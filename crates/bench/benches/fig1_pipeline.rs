@@ -1,0 +1,78 @@
+//! F1 — paper Fig. 1: the MDD pipeline (modeling tool → model
+//! transformation → executable code).
+//!
+//! Measures the model-transformation stage GMDF slots into: compiling
+//! COMDES systems of growing size into deployable program images, with
+//! and without the command-interface instrumentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdf_bench::{chain_system, multi_actor_system};
+use gmdf_codegen::{compile_system, CompileOptions, InstrumentOptions};
+use std::hint::black_box;
+
+fn bench_compile_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/compile_chain");
+    for n in [5usize, 20, 80] {
+        let system = chain_system(n, 1_000_000);
+        g.bench_with_input(BenchmarkId::new("blocks", n), &system, |b, sys| {
+            b.iter(|| {
+                compile_system(black_box(sys), &CompileOptions::default()).expect("compiles")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_multi_actor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/compile_actors");
+    for n in [1usize, 4, 16] {
+        let system = multi_actor_system(n, 6);
+        g.bench_with_input(BenchmarkId::new("actors", n), &system, |b, sys| {
+            b.iter(|| {
+                compile_system(black_box(sys), &CompileOptions::default()).expect("compiles")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_instrumentation_cost_at_compile_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/instrumentation");
+    let system = multi_actor_system(8, 6);
+    for (name, opts) in [
+        ("none", InstrumentOptions::none()),
+        ("behavior", InstrumentOptions::behavior()),
+        ("full", InstrumentOptions::full()),
+    ] {
+        let options = CompileOptions { instrument: opts, faults: vec![] };
+        g.bench_function(name, |b| {
+            b.iter(|| compile_system(black_box(&system), &options).expect("compiles"))
+        });
+    }
+    // Report the code-size effect once (recorded in EXPERIMENTS.md).
+    let clean = compile_system(
+        &system,
+        &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+    )
+    .unwrap();
+    let full = compile_system(
+        &system,
+        &CompileOptions { instrument: InstrumentOptions::full(), faults: vec![] },
+    )
+    .unwrap();
+    eprintln!(
+        "[fig1] code size: {} instrs clean, {} instrs fully instrumented ({} emits)",
+        clean.total_instructions(),
+        full.total_instructions(),
+        full.emit_count()
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile_chain,
+    bench_compile_multi_actor,
+    bench_instrumentation_cost_at_compile_time
+);
+criterion_main!(benches);

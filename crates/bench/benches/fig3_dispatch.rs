@@ -1,0 +1,100 @@
+//! F3 — paper Fig. 3: the GDM event-driven machine.
+//!
+//! Measures raw engine dispatch throughput (commands/second through the
+//! waiting→reacting loop) as the binding list and model size grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmdf_engine::DebuggerEngine;
+use gmdf_gdm::{
+    default_bindings, CommandBinding, CommandMatcher, DebuggerModel, EventKind, GdmElement,
+    GdmPattern, ModelEvent, ReactionSpec,
+};
+use gmdf_render::Rect;
+use std::hint::black_box;
+
+fn gdm_with(n_states: usize, extra_bindings: usize) -> DebuggerModel {
+    let mut m = DebuggerModel::new("bench");
+    m.bindings = default_bindings();
+    for i in 0..extra_bindings {
+        m.bindings.push(CommandBinding::new(
+            CommandMatcher::kind(EventKind::StateEnter).under(&format!("Other{i}")),
+            ReactionSpec::RecordOnly,
+        ));
+    }
+    m.elements.push(GdmElement {
+        path: "A/fsm".into(),
+        label: "fsm".into(),
+        metaclass: "StateMachineBlock".into(),
+        pattern: GdmPattern::RoundedRectangle,
+        parent: None,
+        bounds: Rect::new(0.0, 0.0, 900.0, 600.0),
+    });
+    for i in 0..n_states {
+        m.elements.push(GdmElement {
+            path: format!("A/fsm/S{i}"),
+            label: format!("S{i}"),
+            metaclass: "State".into(),
+            pattern: GdmPattern::Circle,
+            parent: Some(0),
+            bounds: Rect::new(20.0 + 130.0 * (i % 6) as f64, 50.0 + 70.0 * (i / 6) as f64, 110.0, 46.0),
+        });
+    }
+    m
+}
+
+fn events(n_states: usize, count: usize) -> Vec<ModelEvent> {
+    (0..count)
+        .map(|k| {
+            ModelEvent::new(k as u64 * 1000, EventKind::StateEnter, "A/fsm")
+                .with_to(&format!("S{}", k % n_states))
+        })
+        .collect()
+}
+
+fn bench_dispatch_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/dispatch");
+    const BATCH: usize = 1000;
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for (states, bindings) in [(4usize, 0usize), (16, 0), (16, 50), (64, 200)] {
+        let gdm = gdm_with(states, bindings);
+        let evs = events(states, BATCH);
+        g.bench_with_input(
+            BenchmarkId::new("states_bindings", format!("{states}s_{}b", gdm.bindings.len())),
+            &(gdm, evs),
+            |b, (gdm, evs)| {
+                b.iter(|| {
+                    let mut engine = DebuggerEngine::new(gdm.clone());
+                    for e in evs {
+                        engine.feed(black_box(e.clone()));
+                    }
+                    black_box(engine.stats().events_processed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dispatch_with_breakpoint_scan(c: &mut Criterion) {
+    let gdm = gdm_with(16, 0);
+    let evs = events(16, 1000);
+    c.bench_function("fig3/dispatch_with_20_breakpoints", |b| {
+        b.iter(|| {
+            let mut engine = DebuggerEngine::new(gdm.clone());
+            for i in 0..20 {
+                // Breakpoints that never match (worst-case scan).
+                engine.add_breakpoint(
+                    CommandMatcher::kind(EventKind::TaskStart).under(&format!("Ghost{i}")),
+                    false,
+                );
+            }
+            for e in &evs {
+                engine.feed(black_box(e.clone()));
+            }
+            black_box(engine.stats().events_processed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_dispatch_rate, bench_dispatch_with_breakpoint_scan);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! F4 — paper Fig. 4: the abstraction guide.
+//!
+//! Measures the abstraction pipeline: exporting the input model, pairing
+//! metaclasses with patterns, and deriving the laid-out GDM — swept over
+//! model size ("a GDM can be obtained automatically").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdf::comdes_abstraction;
+use gmdf_bench::{chain_system, multi_actor_system, ring_system};
+use gmdf_comdes::export_system;
+use std::hint::black_box;
+
+fn bench_export(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/export");
+    for n in [2usize, 8, 32] {
+        let system = multi_actor_system(n, 6);
+        g.bench_with_input(BenchmarkId::new("actors", n), &system, |b, sys| {
+            b.iter(|| export_system(black_box(sys)).expect("exports"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_derive_gdm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/derive");
+    let abstraction = comdes_abstraction();
+    for (name, system) in [
+        ("ring16", ring_system(16, 0.01, 1_000_000)),
+        ("chain40", chain_system(40, 1_000_000)),
+        ("fleet8x6", multi_actor_system(8, 6)),
+    ] {
+        let (_, model) = export_system(&system).expect("exports");
+        g.bench_with_input(BenchmarkId::new("model", name), &model, |b, m| {
+            b.iter(|| black_box(abstraction.derive(black_box(m), "bench gdm")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_abstraction_pipeline(c: &mut Criterion) {
+    let system = multi_actor_system(4, 8);
+    c.bench_function("fig4/system_to_gdm", |b| {
+        b.iter(|| {
+            let (_, model) = export_system(black_box(&system)).expect("exports");
+            black_box(comdes_abstraction().derive(&model, "bench"))
+        })
+    });
+    // One-time element-count report for EXPERIMENTS.md.
+    let (_, model) = export_system(&system).unwrap();
+    let gdm = comdes_abstraction().derive(&model, "bench");
+    eprintln!(
+        "[fig4] fleet 4x8: {} model objects → {} GDM elements, {} edges",
+        model.len(),
+        gdm.elements.len(),
+        gdm.edges.len()
+    );
+}
+
+criterion_group!(benches, bench_export, bench_derive_gdm, bench_full_abstraction_pipeline);
+criterion_main!(benches);

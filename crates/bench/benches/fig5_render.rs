@@ -1,0 +1,62 @@
+//! F5 — paper Fig. 5: the animated canvas (GEF in the prototype).
+//!
+//! Measures animation frame rendering — SVG vs ASCII backends — as the
+//! scene grows, plus the cost of one animation step (reaction + re-render),
+//! which bounds the debugger's display frame rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdf::comdes_abstraction;
+use gmdf_bench::multi_actor_system;
+use gmdf_comdes::export_system;
+use gmdf_engine::DebuggerEngine;
+use gmdf_gdm::{render_ascii, render_svg, DebuggerModel, EventKind, ModelEvent, VisualState};
+use std::hint::black_box;
+
+fn gdm_of(n_actors: usize) -> DebuggerModel {
+    let system = multi_actor_system(n_actors, 6);
+    let (_, model) = export_system(&system).expect("exports");
+    let mut gdm = comdes_abstraction().derive(&model, "render bench");
+    gdm.strip_path_prefix(2);
+    gdm
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/frame");
+    for n in [2usize, 8, 24] {
+        let gdm = gdm_of(n);
+        let visual = VisualState::new();
+        g.bench_with_input(BenchmarkId::new("svg", n), &gdm, |b, gdm| {
+            b.iter(|| black_box(render_svg(gdm, &visual)))
+        });
+        g.bench_with_input(BenchmarkId::new("ascii", n), &gdm, |b, gdm| {
+            b.iter(|| black_box(render_ascii(gdm, &visual)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_animation_step(c: &mut Criterion) {
+    // One step = feed a state-enter command, re-render the frame.
+    let gdm = gdm_of(8);
+    c.bench_function("fig5/animation_step", |b| {
+        let mut engine = DebuggerEngine::new(gdm.clone());
+        let mut k = 0u64;
+        b.iter(|| {
+            let ev = ModelEvent::new(k, EventKind::StateEnter, "A0/m")
+                .with_to(&format!("S{}", k % 6));
+            k += 1;
+            engine.feed(black_box(ev));
+            black_box(engine.frame_svg())
+        })
+    });
+    let gdm = gdm_of(8);
+    let svg = render_svg(&gdm, &VisualState::new());
+    eprintln!(
+        "[fig5] fleet 8x6 frame: {} GDM elements, SVG {} bytes",
+        gdm.elements.len(),
+        svg.len()
+    );
+}
+
+criterion_group!(benches, bench_backends, bench_animation_step);
+criterion_main!(benches);

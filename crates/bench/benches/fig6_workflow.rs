@@ -1,0 +1,80 @@
+//! F6 — paper Fig. 6: the five-step prototype execution flow.
+//!
+//! Measures end-to-end workflow setup (steps 1–5: load, abstraction,
+//! command settings, GDM creation + channel establishment) and a
+//! debugging window on the live session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmdf::{ChannelMode, Workflow};
+use gmdf_bench::{multi_actor_system, ring_system};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_target::SimConfig;
+use std::hint::black_box;
+
+fn bench_workflow_setup(c: &mut Criterion) {
+    c.bench_function("fig6/setup_steps_1_to_5", |b| {
+        b.iter(|| {
+            let session = Workflow::from_system(black_box(ring_system(6, 0.003, 1_000_000)))
+                .expect("steps 1-2")
+                .default_abstraction() // step 3
+                .default_commands() // step 4
+                .connect(
+                    ChannelMode::Active,
+                    CompileOptions::default(),
+                    SimConfig::default(),
+                ) // step 5
+                .expect("channel");
+            black_box(session)
+        })
+    });
+}
+
+fn bench_workflow_setup_large(c: &mut Criterion) {
+    c.bench_function("fig6/setup_fleet_16x6", |b| {
+        b.iter(|| {
+            let session = Workflow::from_system(black_box(multi_actor_system(16, 6)))
+                .expect("steps 1-2")
+                .default_abstraction()
+                .default_commands()
+                .connect(
+                    ChannelMode::Active,
+                    CompileOptions::default(),
+                    SimConfig::default(),
+                )
+                .expect("channel");
+            black_box(session)
+        })
+    });
+}
+
+fn bench_debug_window(c: &mut Criterion) {
+    // A 100 ms debugging window on an established session (the step-6
+    // "monitor his application" phase).
+    c.bench_function("fig6/run_100ms_window", |b| {
+        b.iter(|| {
+            let mut session = Workflow::from_system(ring_system(6, 0.003, 1_000_000))
+                .expect("wf")
+                .default_abstraction()
+                .default_commands()
+                .connect(
+                    ChannelMode::Active,
+                    CompileOptions {
+                        instrument: InstrumentOptions::behavior(),
+                        faults: vec![],
+                    },
+                    SimConfig::default(),
+                )
+                .expect("channel");
+            session.run_for(black_box(100_000_000)).expect("runs");
+            black_box(session.engine().trace().len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_workflow_setup,
+    bench_workflow_setup_large,
+    bench_debug_window
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! T1 — §II claim: "the overhead of using additional codes to send
+//! commands to GDM can be eliminated" by JTAG.
+//!
+//! Sweeps the model-event rate and reports, in *target cycles*, the cost
+//! of active instrumentation versus the passive JTAG channel (always
+//! zero), plus the host-side price the passive channel pays instead.
+//! Expected shape: active overhead grows linearly with event rate;
+//! passive target overhead is exactly 0 at every rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdf_bench::ring_system;
+use gmdf_codegen::{compile_system, CompileOptions, InstrumentOptions};
+use gmdf_target::{JtagMonitor, SimConfig, Simulator};
+use std::hint::black_box;
+
+const HORIZON_NS: u64 = 100_000_000; // 100 ms
+
+/// Target cycles executed over the horizon with the given dwell time
+/// (shorter dwell = higher event rate) and instrumentation.
+fn target_cycles(dwell_s: f64, instrument: InstrumentOptions, passive: bool) -> (u64, u64) {
+    let system = ring_system(4, dwell_s, 1_000_000);
+    let image = compile_system(&system, &CompileOptions { instrument, faults: vec![] })
+        .expect("compiles");
+    let mut sim = Simulator::new(image, SimConfig::default()).expect("boots");
+    let mut host_ns = 0;
+    if passive {
+        let mut monitor = JtagMonitor::new(1_000_000, 10_000_000);
+        monitor.watch(&sim, "ecu", "Ring/ring#state").expect("watch");
+        monitor.run_until(&mut sim, HORIZON_NS).expect("runs");
+        host_ns = monitor.scan_ns_total;
+    } else {
+        sim.run_until(HORIZON_NS).expect("runs");
+    }
+    (sim.cycles_executed("ecu").expect("cycles"), host_ns)
+}
+
+fn report_overhead_table() {
+    eprintln!("[tab_active_vs_passive] target-cycle overhead over {HORIZON_NS} ns:");
+    eprintln!("  dwell_ms  events/s  clean_cycles  active_cycles  overhead%  passive_cycles  host_scan_us");
+    for dwell_ms in [16.0f64, 8.0, 4.0, 2.0] {
+        let events_per_s = 1000.0 / dwell_ms;
+        let (clean, _) = target_cycles(dwell_ms / 1e3, InstrumentOptions::none(), false);
+        let (active, _) = target_cycles(dwell_ms / 1e3, InstrumentOptions::full(), false);
+        let (passive, host_ns) = target_cycles(dwell_ms / 1e3, InstrumentOptions::none(), true);
+        assert_eq!(passive, clean, "JTAG must add zero target cycles");
+        let overhead = (active as f64 - clean as f64) / clean as f64 * 100.0;
+        eprintln!(
+            "  {dwell_ms:>8} {events_per_s:>9.1} {clean:>13} {active:>14} {overhead:>9.2} {passive:>15} {:>13.1}",
+            host_ns as f64 / 1000.0
+        );
+    }
+}
+
+fn bench_active(c: &mut Criterion) {
+    report_overhead_table();
+    let mut g = c.benchmark_group("tab1/wall_time");
+    for (name, instrument, passive) in [
+        ("clean", InstrumentOptions::none(), false),
+        ("active_full", InstrumentOptions::full(), false),
+        ("passive_jtag", InstrumentOptions::none(), true),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("mode", name),
+            &(instrument, passive),
+            |b, &(instrument, passive)| {
+                b.iter(|| black_box(target_cycles(0.004, instrument, passive)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_active);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! T3 — §II claim: "GDM animation will trace model-level behavior and
+//! always make a record of the execution trace … replay function
+//! associated with a timing diagram".
+//!
+//! Measures trace recording overhead inside the engine, replay
+//! throughput (entries/second), seek cost, and timing-diagram
+//! generation/rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmdf_engine::{timing_diagram, DebuggerEngine, Replayer};
+use gmdf_gdm::{
+    default_bindings, DebuggerModel, EventKind, GdmElement, GdmPattern, ModelEvent,
+};
+use gmdf_render::Rect;
+use std::hint::black_box;
+
+fn gdm(n_states: usize) -> DebuggerModel {
+    let mut m = DebuggerModel::new("trace bench");
+    m.bindings = default_bindings();
+    m.elements.push(GdmElement {
+        path: "A/fsm".into(),
+        label: "fsm".into(),
+        metaclass: "StateMachineBlock".into(),
+        pattern: GdmPattern::RoundedRectangle,
+        parent: None,
+        bounds: Rect::new(0.0, 0.0, 900.0, 600.0),
+    });
+    for i in 0..n_states {
+        m.elements.push(GdmElement {
+            path: format!("A/fsm/S{i}"),
+            label: format!("S{i}"),
+            metaclass: "State".into(),
+            pattern: GdmPattern::Circle,
+            parent: Some(0),
+            bounds: Rect::new(130.0 * (i % 6) as f64, 70.0 * (i / 6) as f64, 110.0, 46.0),
+        });
+    }
+    m
+}
+
+fn recorded(n_entries: usize) -> (DebuggerModel, gmdf_engine::ExecutionTrace) {
+    let g = gdm(8);
+    let mut engine = DebuggerEngine::new(g.clone());
+    for k in 0..n_entries {
+        engine.feed(
+            ModelEvent::new(k as u64 * 1_000, EventKind::StateEnter, "A/fsm")
+                .with_to(&format!("S{}", k % 8)),
+        );
+    }
+    (g, engine.trace().clone())
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab3/record");
+    const BATCH: u64 = 2_000;
+    g.throughput(Throughput::Elements(BATCH));
+    g.bench_function("engine_feed_2k", |b| {
+        let gdm = gdm(8);
+        b.iter(|| {
+            let mut engine = DebuggerEngine::new(gdm.clone());
+            for k in 0..BATCH {
+                engine.feed(
+                    ModelEvent::new(k * 1_000, EventKind::StateEnter, "A/fsm")
+                        .with_to(&format!("S{}", k % 8)),
+                );
+            }
+            black_box(engine.trace().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab3/replay");
+    for n in [500usize, 5_000] {
+        let (gdm, trace) = recorded(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("full_replay", n), &(gdm, trace), |b, (gdm, trace)| {
+            b.iter(|| {
+                let mut r = Replayer::new(gdm, trace);
+                while r.step_forward().is_some() {}
+                black_box(r.position())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_seek_and_diagram(c: &mut Criterion) {
+    let (gdm, trace) = recorded(5_000);
+    c.bench_function("tab3/seek_mid", |b| {
+        b.iter(|| {
+            let mut r = Replayer::new(&gdm, &trace);
+            r.seek(black_box(2_500));
+            black_box(r.position())
+        })
+    });
+    c.bench_function("tab3/timing_diagram_build", |b| {
+        b.iter(|| black_box(timing_diagram(&trace, "bench")))
+    });
+    let d = timing_diagram(&trace, "bench");
+    c.bench_function("tab3/timing_diagram_svg", |b| {
+        b.iter(|| black_box(d.to_svg()))
+    });
+    c.bench_function("tab3/trace_json", |b| b.iter(|| black_box(trace.to_json())));
+    eprintln!(
+        "[tab3] 5k-entry trace: {} bytes JSON, diagram {} lanes",
+        trace.to_json().len(),
+        d.lanes.len()
+    );
+}
+
+criterion_group!(benches, bench_record, bench_replay, bench_seek_and_diagram);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Shared workload builders for the GMDF benchmark harness.
+//!
+//! The paper (a tool paper) reports no quantitative tables; every bench in
+//! `benches/` regenerates one paper *figure* as a runnable artifact and
+//! attaches the quantitative characterization recorded in
+//! `EXPERIMENTS.md`. This library builds the parameterized COMDES
+//! workloads those benches sweep.
+
+#![warn(missing_docs)]
+
+use gmdf_comdes::{
+    ActorBuilder, BasicOp, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+
+/// A ring state machine with `n_states` states, dwelling `dwell_s`
+/// seconds per state, as a single-actor system.
+pub fn ring_system(n_states: usize, dwell_s: f64, period_ns: u64) -> System {
+    let mut fb = FsmBuilder::new().output(Port::int("s"));
+    for i in 0..n_states {
+        fb = fb.state(&format!("S{i}"), |st| st.entry("s", Expr::Int(i as i64)));
+    }
+    for i in 0..n_states {
+        fb = fb.transition(
+            &format!("S{i}"),
+            &format!("S{}", (i + 1) % n_states),
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell_s)),
+        );
+    }
+    let fsm = fb.initial("S0").build().expect("ring fsm");
+    let net = NetworkBuilder::new()
+        .output(Port::int("s"))
+        .state_machine("ring", fsm)
+        .connect("ring.s", "s")
+        .expect("endpoint")
+        .build()
+        .expect("ring net");
+    let actor = ActorBuilder::new("Ring", net)
+        .output("s", "state_sig")
+        .timing(Timing::periodic(period_ns, 0))
+        .build()
+        .expect("ring actor");
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    System::new("ring_sys").with_node(node)
+}
+
+/// A dataflow chain of `n_blocks` PID stages as a single-actor system —
+/// the compile/abstraction scaling workload.
+pub fn chain_system(n_blocks: usize, period_ns: u64) -> System {
+    let mut b = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::real("y"));
+    let mut prev = "x".to_owned();
+    for i in 0..n_blocks {
+        let name = format!("p{i}");
+        b = b.block(
+            &name,
+            BasicOp::Pid { kp: 1.0, ki: 0.1, kd: 0.01, lo: -1e9, hi: 1e9 },
+        );
+        b = b.connect(&prev, &format!("{name}.sp")).expect("endpoint");
+        prev = format!("{name}.u");
+    }
+    let net = b.connect(&prev, "y").expect("endpoint").build().expect("chain net");
+    let actor = ActorBuilder::new("Chain", net)
+        .input("x", "in")
+        .output("y", "out")
+        .timing(Timing::periodic(period_ns, 0))
+        .build()
+        .expect("chain actor");
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    System::new("chain_sys").with_node(node)
+}
+
+/// A system with `n_actors` ring actors (multi-instance scaling).
+pub fn multi_actor_system(n_actors: usize, n_states: usize) -> System {
+    let mut node = NodeSpec::new("ecu", 100_000_000);
+    for a in 0..n_actors {
+        let mut fb = FsmBuilder::new().output(Port::int("s"));
+        for i in 0..n_states {
+            fb = fb.state(&format!("S{i}"), |st| st.entry("s", Expr::Int(i as i64)));
+        }
+        for i in 0..n_states {
+            fb = fb.transition(
+                &format!("S{i}"),
+                &format!("S{}", (i + 1) % n_states),
+                Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.002 + a as f64 * 0.0005)),
+            );
+        }
+        let fsm = fb.initial("S0").build().expect("fsm");
+        let net = NetworkBuilder::new()
+            .output(Port::int("s"))
+            .state_machine("m", fsm)
+            .connect("m.s", "s")
+            .expect("endpoint")
+            .build()
+            .expect("net");
+        let actor = ActorBuilder::new(&format!("A{a}"), net)
+            .output("s", &format!("sig{a}"))
+            .timing(Timing::periodic(1_000_000, a as u8))
+            .build()
+            .expect("actor");
+        node.actors.push(actor);
+    }
+    System::new("fleet").with_node(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_systems() {
+        assert!(ring_system(4, 0.01, 1_000_000).check().is_ok());
+        assert!(chain_system(10, 1_000_000).check().is_ok());
+        assert!(multi_actor_system(3, 4).check().is_ok());
+    }
+}

@@ -1,0 +1,1303 @@
+//! The model transformation: COMDES systems → program images.
+//!
+//! This is the "code generator" of the GMDF workflow: it turns validated
+//! design models into executable code carrying the command interface
+//! ("the executable code with a command interface could be implemented
+//! automatically by a code generator based on input models", paper §II).
+//!
+//! The compiler mirrors the reference interpreter's semantics exactly —
+//! same topological order, same operation order inside every block — so
+//! compiled runs are bit-identical to interpreted ones. Instrumentation
+//! ([`InstrumentOptions`]) decides which `Emit` instructions are woven in;
+//! fault injection ([`Fault`](crate::Fault)) deliberately miscompiles
+//! models to create the *implementation errors* the debugger must catch.
+
+use crate::expr::{compile_expr, VarSource};
+use crate::fault::Fault;
+use crate::frame::CommandKind;
+use crate::image::{
+    DebugInfo, EventSpec, Latch, NodeImage, ProgramImage, Publication, SymbolTable, TaskImage,
+};
+use crate::isa::{CmpKind, Instr};
+use gmdf_comdes::{
+    Actor, BasicOp, Block, ComdesError, Network, SignalType, SignalValue, Sink, Source,
+    StateMachineBlock, System,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which command-interface events the generated code emits (active mode).
+///
+/// Every enabled category adds `Emit` instructions — target-side cycles.
+/// [`InstrumentOptions::none`] generates clean code for the passive JTAG
+/// channel ("a command interface … without any code modifications",
+/// paper §II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentOptions {
+    /// Emit `TaskStart` / `TaskEnd` at activation boundaries.
+    pub task_boundaries: bool,
+    /// Emit `StateEnter` on every fired state-machine transition.
+    pub state_transitions: bool,
+    /// Emit `ModeSwitch` on every modal-block mode change.
+    pub mode_switches: bool,
+    /// Emit `SignalWrite` (with the value) for every actor output.
+    pub signal_writes: bool,
+}
+
+impl InstrumentOptions {
+    /// No instrumentation (passive/JTAG configuration).
+    pub fn none() -> Self {
+        InstrumentOptions {
+            task_boundaries: false,
+            state_transitions: false,
+            mode_switches: false,
+            signal_writes: false,
+        }
+    }
+
+    /// Everything on (maximal active instrumentation).
+    pub fn full() -> Self {
+        InstrumentOptions {
+            task_boundaries: true,
+            state_transitions: true,
+            mode_switches: true,
+            signal_writes: true,
+        }
+    }
+
+    /// Only behavioural events (transitions and mode switches) — the
+    /// prototype's default.
+    pub fn behavior() -> Self {
+        InstrumentOptions {
+            task_boundaries: false,
+            state_transitions: true,
+            mode_switches: true,
+            signal_writes: false,
+        }
+    }
+}
+
+impl Default for InstrumentOptions {
+    fn default() -> Self {
+        Self::behavior()
+    }
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Active-channel instrumentation configuration.
+    pub instrument: InstrumentOptions,
+    /// Injected implementation errors (empty for a correct build).
+    pub faults: Vec<Fault>,
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The input model is invalid.
+    Model(ComdesError),
+    /// Internal invariant violated (a compiler bug).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Model(e) => write!(f, "invalid model: {e}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ComdesError> for CompileError {
+    fn from(e: ComdesError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+/// Compiles a validated system into a deployable [`ProgramImage`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::Model`] for invalid systems and
+/// [`CompileError::Internal`] if an internal invariant breaks.
+pub fn compile_system(
+    system: &System,
+    opts: &CompileOptions,
+) -> Result<ProgramImage, CompileError> {
+    system.check()?;
+    let signal_map = system.signal_map()?;
+    let mut debug = DebugInfo::default();
+    let mut nodes = Vec::with_capacity(system.nodes.len());
+    for node in &system.nodes {
+        let mut nc = NodeCompiler::new(opts, &mut debug);
+        // Board cells for every label in the system (each node keeps its
+        // own copy; the network layer refreshes remote ones).
+        for (label, (ty, _)) in &signal_map {
+            let addr = nc.cell(format!("board/{label}"), *ty, ty.zero());
+            nc.board.insert(label.clone(), crate::image::Symbol { addr, ty: *ty });
+        }
+        let mut tasks = Vec::with_capacity(node.actors.len());
+        for actor in &node.actors {
+            tasks.push(nc.compile_actor(actor)?);
+        }
+        let subscriptions: Vec<String> = node
+            .actors
+            .iter()
+            .flat_map(|a| a.inputs.iter().map(|i| i.label.clone()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        nodes.push(NodeImage {
+            node: node.name.clone(),
+            cpu_hz: node.cpu_hz,
+            data_cells: nc.next_cell,
+            data_init: nc.data_init,
+            tasks,
+            board: nc.board,
+            subscriptions,
+            symbols: nc.symbols,
+        });
+    }
+    // Watch suggestions: state/mode cells plus output latches.
+    let mut suggestions = Vec::new();
+    for n in &nodes {
+        for (name, _) in n.symbols.iter() {
+            if name.ends_with("#state") || name.ends_with("#last") || name.contains("/out/") {
+                suggestions.push((n.node.clone(), name.to_owned()));
+            }
+        }
+    }
+    debug.watch_suggestions = suggestions;
+    Ok(ProgramImage {
+        system: system.name.clone(),
+        nodes,
+        debug,
+    })
+}
+
+/// A block-input value source in generated code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum InSrc {
+    Cell(u32, SignalType),
+    Zero(SignalType),
+}
+
+impl InSrc {
+    fn push(self, code: &mut Vec<Instr>) {
+        match self {
+            InSrc::Cell(addr, _) => code.push(Instr::Load(addr)),
+            InSrc::Zero(SignalType::Real) => code.push(Instr::PushF(0.0)),
+            InSrc::Zero(_) => code.push(Instr::PushI(0)),
+        }
+    }
+
+    fn var_source(self) -> VarSource {
+        match self {
+            InSrc::Cell(addr, ty) => VarSource::Cell(addr, ty),
+            InSrc::Zero(SignalType::Real) => VarSource::ConstF(0.0),
+            InSrc::Zero(SignalType::Int) => VarSource::ConstI(0),
+            InSrc::Zero(SignalType::Bool) => VarSource::ConstB(false),
+        }
+    }
+}
+
+/// Per-network cell layout.
+#[derive(Debug)]
+struct NetLayout {
+    /// `block_out[block][port]` — output cells.
+    block_out: Vec<Vec<u32>>,
+    /// `state[block]` — basic-block state cells.
+    state: Vec<Vec<u32>>,
+    nested: Vec<Nested>,
+}
+
+#[derive(Debug)]
+enum Nested {
+    None,
+    Fsm {
+        state: u32,
+        ticks: u32,
+        tis: u32,
+    },
+    Modal {
+        last: u32,
+        active: u32,
+        modes: Vec<(Vec<u32>, NetLayout)>,
+    },
+    Composite {
+        ins: Vec<u32>,
+        inner: NetLayout,
+    },
+}
+
+struct NodeCompiler<'a> {
+    next_cell: u32,
+    data_init: Vec<(u32, u64)>,
+    symbols: SymbolTable,
+    board: BTreeMap<String, crate::image::Symbol>,
+    debug: &'a mut DebugInfo,
+    opts: &'a CompileOptions,
+    scratch: u32,
+}
+
+impl<'a> NodeCompiler<'a> {
+    fn new(opts: &'a CompileOptions, debug: &'a mut DebugInfo) -> Self {
+        NodeCompiler {
+            next_cell: 0,
+            data_init: Vec::new(),
+            symbols: SymbolTable::new(),
+            board: BTreeMap::new(),
+            debug,
+            opts,
+            scratch: 0,
+        }
+    }
+
+    fn cell(&mut self, name: String, ty: SignalType, init: SignalValue) -> u32 {
+        let addr = self.next_cell;
+        self.next_cell += 1;
+        let raw = init.to_raw();
+        if raw != 0 {
+            self.data_init.push((addr, raw));
+        }
+        self.symbols.insert(name, addr, ty);
+        addr
+    }
+
+    fn scratch_cell(&mut self, prefix: &str, ty: SignalType) -> u32 {
+        let n = self.scratch;
+        self.scratch += 1;
+        self.cell(format!("{prefix}#tmp{n}"), ty, ty.zero())
+    }
+
+    fn allocate_network(&mut self, prefix: &str, net: &Network) -> NetLayout {
+        let mut block_out = Vec::new();
+        let mut state = Vec::new();
+        let mut nested = Vec::new();
+        for inst in &net.blocks {
+            let bp = format!("{prefix}/{}", inst.name);
+            block_out.push(
+                inst.block
+                    .outputs()
+                    .iter()
+                    .map(|p| self.cell(format!("{bp}.{}", p.name), p.ty, p.ty.zero()))
+                    .collect(),
+            );
+            match &inst.block {
+                Block::Basic(op) => {
+                    state.push(
+                        op.state_layout()
+                            .into_iter()
+                            .map(|(n, v)| self.cell(format!("{bp}#{n}"), v.signal_type(), v))
+                            .collect(),
+                    );
+                    nested.push(Nested::None);
+                }
+                Block::StateMachine(fsm) => {
+                    state.push(Vec::new());
+                    let state_cell = self.cell(
+                        format!("{bp}#state"),
+                        SignalType::Int,
+                        SignalValue::Int(fsm.initial as i64),
+                    );
+                    let ticks =
+                        self.cell(format!("{bp}#ticks"), SignalType::Int, SignalValue::Int(0));
+                    let tis =
+                        self.cell(format!("{bp}#tis"), SignalType::Real, SignalValue::Real(0.0));
+                    nested.push(Nested::Fsm { state: state_cell, ticks, tis });
+                }
+                Block::Modal(m) => {
+                    state.push(Vec::new());
+                    let last =
+                        self.cell(format!("{bp}#last"), SignalType::Int, SignalValue::Int(-1));
+                    let active =
+                        self.cell(format!("{bp}#active"), SignalType::Int, SignalValue::Int(0));
+                    let modes = m
+                        .modes
+                        .iter()
+                        .map(|mode| {
+                            let mp = format!("{bp}/{}", mode.name);
+                            let ins = mode
+                                .network
+                                .inputs
+                                .iter()
+                                .map(|p| self.cell(format!("{mp}/in/{}", p.name), p.ty, p.ty.zero()))
+                                .collect();
+                            let inner = self.allocate_network(&mp, &mode.network);
+                            (ins, inner)
+                        })
+                        .collect();
+                    nested.push(Nested::Modal { last, active, modes });
+                }
+                Block::Composite(c) => {
+                    state.push(Vec::new());
+                    let ins = c
+                        .network
+                        .inputs
+                        .iter()
+                        .map(|p| self.cell(format!("{bp}/in/{}", p.name), p.ty, p.ty.zero()))
+                        .collect();
+                    let inner = self.allocate_network(&bp, &c.network);
+                    nested.push(Nested::Composite { ins, inner });
+                }
+            }
+        }
+        NetLayout { block_out, state, nested }
+    }
+
+    /// Value source of a connection `Source` inside this network.
+    fn resolve(
+        net: &Network,
+        layout: &NetLayout,
+        input_cells: &[u32],
+        src: &Source,
+    ) -> Result<InSrc, CompileError> {
+        match src {
+            Source::Input(p) => {
+                let idx = net
+                    .inputs
+                    .iter()
+                    .position(|q| q.name == *p)
+                    .ok_or_else(|| CompileError::Internal(format!("no input `{p}`")))?;
+                Ok(InSrc::Cell(input_cells[idx], net.inputs[idx].ty))
+            }
+            Source::Block { block, port } => {
+                let bi = net
+                    .block_index(block)
+                    .ok_or_else(|| CompileError::Internal(format!("no block `{block}`")))?;
+                let outs = net.blocks[bi].block.outputs();
+                let oi = outs
+                    .iter()
+                    .position(|q| q.name == *port)
+                    .ok_or_else(|| CompileError::Internal(format!("no port `{block}.{port}`")))?;
+                Ok(InSrc::Cell(layout.block_out[bi][oi], outs[oi].ty))
+            }
+        }
+    }
+
+    /// Input sources of a block (declaration order), zero for undriven.
+    fn block_inputs(
+        net: &Network,
+        layout: &NetLayout,
+        input_cells: &[u32],
+        bi: usize,
+    ) -> Result<Vec<InSrc>, CompileError> {
+        let inst = &net.blocks[bi];
+        inst.block
+            .inputs()
+            .iter()
+            .map(|p| {
+                let driver = net.connections.iter().find(|c| {
+                    matches!(&c.to, Sink::Block { block, port }
+                        if *block == inst.name && *port == p.name)
+                });
+                match driver {
+                    Some(c) => Self::resolve(net, layout, input_cells, &c.from),
+                    None => Ok(InSrc::Zero(p.ty)),
+                }
+            })
+            .collect()
+    }
+
+    /// Sources feeding the network's exported outputs.
+    fn output_sources(
+        net: &Network,
+        layout: &NetLayout,
+        input_cells: &[u32],
+    ) -> Result<Vec<InSrc>, CompileError> {
+        net.outputs
+            .iter()
+            .map(|p| {
+                let c = net
+                    .connections
+                    .iter()
+                    .find(|c| matches!(&c.to, Sink::Output(q) if *q == p.name))
+                    .ok_or_else(|| {
+                        CompileError::Internal(format!("output `{}` not driven", p.name))
+                    })?;
+                Self::resolve(net, layout, input_cells, &c.from)
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_network(
+        &mut self,
+        prefix: &str,
+        net: &Network,
+        layout: &NetLayout,
+        input_cells: &[u32],
+        dt: f64,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        // Phase 1: loop-breaking blocks emit state as output.
+        for (bi, inst) in net.blocks.iter().enumerate() {
+            if !inst.block.has_direct_feedthrough() {
+                code.push(Instr::Load(layout.state[bi][0]));
+                code.push(Instr::Store(layout.block_out[bi][0]));
+            }
+        }
+        // Phase 2: feedthrough blocks in topological order.
+        for bi in net.topo_order().map_err(CompileError::Model)? {
+            let inst = &net.blocks[bi];
+            if !inst.block.has_direct_feedthrough() {
+                continue;
+            }
+            let ins = Self::block_inputs(net, layout, input_cells, bi)?;
+            let bp = format!("{prefix}/{}", inst.name);
+            match &inst.block {
+                Block::Basic(op) => {
+                    self.gen_basic(&bp, op, &ins, &layout.block_out[bi], &layout.state[bi], dt, code)?;
+                }
+                Block::StateMachine(fsm) => {
+                    let Nested::Fsm { state, ticks, tis } = &layout.nested[bi] else {
+                        return Err(CompileError::Internal("fsm layout mismatch".into()));
+                    };
+                    self.gen_fsm(&bp, fsm, &ins, &layout.block_out[bi], *state, *ticks, *tis, dt, code)?;
+                }
+                Block::Modal(m) => {
+                    let Nested::Modal { last, active, modes } = &layout.nested[bi] else {
+                        return Err(CompileError::Internal("modal layout mismatch".into()));
+                    };
+                    let (last, active) = (*last, *active);
+                    // active = clamp(selector, 0, n-1)
+                    ins[0].push(code);
+                    code.push(Instr::PushI(0));
+                    code.push(Instr::MaxI);
+                    code.push(Instr::PushI(m.modes.len() as i64 - 1));
+                    code.push(Instr::MinI);
+                    code.push(Instr::Store(active));
+                    let mut end_jumps = Vec::new();
+                    for (mi, mode) in m.modes.iter().enumerate() {
+                        // if active == mi { … } else fall to next check
+                        code.push(Instr::Load(active));
+                        code.push(Instr::PushI(mi as i64));
+                        code.push(Instr::CmpI(CmpKind::Eq));
+                        let skip_at = code.len();
+                        code.push(Instr::JmpIfZero(0)); // patched
+                        // mode-switch detection: last != mi → emit
+                        if self.opts.instrument.mode_switches {
+                            code.push(Instr::Load(last));
+                            code.push(Instr::PushI(mi as i64));
+                            code.push(Instr::CmpI(CmpKind::Eq));
+                            let noswitch_at = code.len();
+                            code.push(Instr::JmpIfNot(0)); // patched
+                            let ev = self.debug.register(EventSpec {
+                                kind: CommandKind::ModeSwitch,
+                                path: bp.clone(),
+                                from: None,
+                                to: Some(mode.name.clone()),
+                                label: None,
+                                value_type: None,
+                            });
+                            code.push(Instr::Emit { event: ev, argc: 0 });
+                            let here = code.len() as u32;
+                            code[noswitch_at] = Instr::JmpIfNot(here);
+                        }
+                        code.push(Instr::PushI(mi as i64));
+                        code.push(Instr::Store(last));
+                        let (mode_ins, mode_layout) = &modes[mi];
+                        for (src, cell) in ins[1..].iter().zip(mode_ins.iter()) {
+                            src.push(code);
+                            code.push(Instr::Store(*cell));
+                        }
+                        let mp = format!("{bp}/{}", mode.name);
+                        let mode_in_cells = mode_ins.clone();
+                        self.gen_network(&mp, &mode.network, mode_layout, &mode_in_cells, dt, code)?;
+                        let mode_outs =
+                            Self::output_sources(&mode.network, mode_layout, &mode_in_cells)?;
+                        for (src, out) in mode_outs.iter().zip(layout.block_out[bi].iter()) {
+                            src.push(code);
+                            code.push(Instr::Store(*out));
+                        }
+                        end_jumps.push(code.len());
+                        code.push(Instr::Jmp(0)); // patched
+                        let here = code.len() as u32;
+                        code[skip_at] = Instr::JmpIfZero(here);
+                    }
+                    let end = code.len() as u32;
+                    for j in end_jumps {
+                        code[j] = Instr::Jmp(end);
+                    }
+                }
+                Block::Composite(c) => {
+                    let Nested::Composite { ins: in_cells, inner } = &layout.nested[bi] else {
+                        return Err(CompileError::Internal("composite layout mismatch".into()));
+                    };
+                    let in_cells = in_cells.clone();
+                    for (src, cell) in ins.iter().zip(in_cells.iter()) {
+                        src.push(code);
+                        code.push(Instr::Store(*cell));
+                    }
+                    self.gen_network(&bp, &c.network, inner, &in_cells, dt, code)?;
+                    let inner_outs = Self::output_sources(&c.network, inner, &in_cells)?;
+                    for (src, out) in inner_outs.iter().zip(layout.block_out[bi].iter()) {
+                        src.push(code);
+                        code.push(Instr::Store(*out));
+                    }
+                }
+            }
+        }
+        // Phase 3: late update of loop-breaking blocks.
+        for (bi, inst) in net.blocks.iter().enumerate() {
+            if inst.block.has_direct_feedthrough() {
+                continue;
+            }
+            let ins = Self::block_inputs(net, layout, input_cells, bi)?;
+            ins[0].push(code);
+            code.push(Instr::Store(layout.state[bi][0]));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_fsm(
+        &mut self,
+        path: &str,
+        fsm: &StateMachineBlock,
+        ins: &[InSrc],
+        latches: &[u32],
+        state_cell: u32,
+        ticks: u32,
+        tis: u32,
+        dt: f64,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        // Fault lookup for this machine.
+        let swap_targets = self
+            .opts
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SwapTransitionTargets { block_path } if block_path == path));
+        let skip_entries = self
+            .opts
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SkipEntryActions { block_path } if block_path == path));
+        let negate_guard: Option<usize> = self.opts.faults.iter().find_map(|f| match f {
+            Fault::NegateGuard { block_path, transition } if block_path == path => {
+                Some(*transition)
+            }
+            _ => None,
+        });
+
+        let mut env: BTreeMap<String, VarSource> = fsm
+            .inputs
+            .iter()
+            .zip(ins.iter())
+            .map(|(p, s)| (p.name.clone(), s.var_source()))
+            .collect();
+        env.insert(
+            gmdf_comdes::VAR_TIME_IN_STATE.to_owned(),
+            VarSource::Cell(tis, SignalType::Real),
+        );
+        env.insert(gmdf_comdes::VAR_DT.to_owned(), VarSource::ConstF(dt));
+
+        // tis = ticks * dt  (mirrors `ticks as f64 * dt`).
+        code.push(Instr::Load(ticks));
+        code.push(Instr::I2F);
+        code.push(Instr::PushF(dt));
+        code.push(Instr::MulF);
+        code.push(Instr::Store(tis));
+
+        // Dispatch header: chained `if state == s`.
+        let nstates = fsm.states.len();
+        let mut state_jumps = Vec::with_capacity(nstates);
+        for s in 0..nstates {
+            code.push(Instr::Load(state_cell));
+            code.push(Instr::PushI(s as i64));
+            code.push(Instr::CmpI(CmpKind::Eq));
+            state_jumps.push(code.len());
+            code.push(Instr::JmpIfNot(0)); // patched to state body
+        }
+        let fallthrough_at = code.len();
+        code.push(Instr::Jmp(0)); // unreachable; patched to end
+
+        // Transition numbering matches declaration order for NegateGuard.
+        let global_index: Vec<usize> = (0..fsm.transitions.len()).collect();
+
+        let mut during_jumps: Vec<Vec<usize>> = vec![Vec::new(); nstates]; // per target state
+        let mut end_jumps: Vec<usize> = vec![fallthrough_at];
+
+        // Per-state bodies.
+        for s in 0..nstates {
+            let body = code.len() as u32;
+            code[state_jumps[s]] = Instr::JmpIfNot(body);
+            // Swap fault: exchange the `to` of the first two transitions of
+            // this machine (globally, matching the fault's intent).
+            let mut swapped: Vec<usize> = fsm
+                .transitions
+                .iter()
+                .map(|t| t.to)
+                .collect();
+            if swap_targets && fsm.transitions.len() >= 2 {
+                swapped.swap(0, 1);
+            }
+            for (ti, t) in fsm.transitions.iter().enumerate().filter(|(_, t)| t.from == s) {
+                compile_expr(&t.guard, &env, code).map_err(CompileError::Model)?;
+                if negate_guard == Some(global_index[ti]) {
+                    code.push(Instr::Not);
+                }
+                let next_at = code.len();
+                code.push(Instr::JmpIfZero(0)); // patched to next transition
+                let to = swapped[ti];
+                code.push(Instr::PushI(to as i64));
+                code.push(Instr::Store(state_cell));
+                code.push(Instr::PushI(0));
+                code.push(Instr::Store(ticks));
+                code.push(Instr::PushF(0.0));
+                code.push(Instr::Store(tis));
+                if !skip_entries {
+                    for a in &fsm.states[to].entry {
+                        let oi = fsm
+                            .outputs
+                            .iter()
+                            .position(|p| p.name == a.output)
+                            .ok_or_else(|| {
+                                CompileError::Internal(format!("no output `{}`", a.output))
+                            })?;
+                        let ty = compile_expr(&a.expr, &env, code).map_err(CompileError::Model)?;
+                        if ty == SignalType::Int && fsm.outputs[oi].ty == SignalType::Real {
+                            code.push(Instr::I2F);
+                        }
+                        code.push(Instr::Store(latches[oi]));
+                    }
+                }
+                if self.opts.instrument.state_transitions {
+                    let ev = self.debug.register(EventSpec {
+                        kind: CommandKind::StateEnter,
+                        path: path.to_owned(),
+                        from: Some(fsm.states[t.from].name.clone()),
+                        to: Some(fsm.states[to].name.clone()),
+                        label: None,
+                        value_type: None,
+                    });
+                    code.push(Instr::Emit { event: ev, argc: 0 });
+                }
+                during_jumps[to].push(code.len());
+                code.push(Instr::Jmp(0)); // patched to during(to)
+                let here = code.len() as u32;
+                code[next_at] = Instr::JmpIfZero(here);
+            }
+            // No transition fired: ticks += 1; goto during(s).
+            code.push(Instr::Load(ticks));
+            code.push(Instr::PushI(1));
+            code.push(Instr::AddI);
+            code.push(Instr::Store(ticks));
+            during_jumps[s].push(code.len());
+            code.push(Instr::Jmp(0)); // patched to during(s)
+        }
+
+        // During bodies. Indexing by state number keeps the jump-patch
+        // bookkeeping symmetrical with the dispatch header above.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..nstates {
+            let body = code.len() as u32;
+            for j in during_jumps[s].drain(..) {
+                code[j] = Instr::Jmp(body);
+            }
+            for a in &fsm.states[s].during {
+                let oi = fsm
+                    .outputs
+                    .iter()
+                    .position(|p| p.name == a.output)
+                    .ok_or_else(|| CompileError::Internal(format!("no output `{}`", a.output)))?;
+                let ty = compile_expr(&a.expr, &env, code).map_err(CompileError::Model)?;
+                if ty == SignalType::Int && fsm.outputs[oi].ty == SignalType::Real {
+                    code.push(Instr::I2F);
+                }
+                code.push(Instr::Store(latches[oi]));
+            }
+            end_jumps.push(code.len());
+            code.push(Instr::Jmp(0)); // patched to end
+        }
+
+        let end = code.len() as u32;
+        for j in end_jumps {
+            code[j] = Instr::Jmp(end);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_basic(
+        &mut self,
+        bp: &str,
+        op: &BasicOp,
+        ins: &[InSrc],
+        outs: &[u32],
+        state: &[u32],
+        dt: f64,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        use BasicOp::*;
+        let gain_fault: Option<f64> = self.opts.faults.iter().find_map(|f| match f {
+            Fault::GainError { block_path, factor } if block_path == bp => Some(*factor),
+            _ => None,
+        });
+        match op {
+            Const(v) => {
+                match v {
+                    SignalValue::Real(r) => code.push(Instr::PushF(*r)),
+                    SignalValue::Int(i) => code.push(Instr::PushI(*i)),
+                    SignalValue::Bool(b) => code.push(Instr::PushI(*b as i64)),
+                }
+                code.push(Instr::Store(outs[0]));
+            }
+            Gain { k } => {
+                let k = gain_fault.map_or(*k, |f| k * f);
+                code.push(Instr::PushF(k));
+                ins[0].push(code);
+                code.push(Instr::MulF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Offset { c } => {
+                ins[0].push(code);
+                code.push(Instr::PushF(*c));
+                code.push(Instr::AddF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Sum | Sub | Mul | Div | Min | Max => {
+                ins[0].push(code);
+                ins[1].push(code);
+                code.push(match op {
+                    Sum => Instr::AddF,
+                    Sub => Instr::SubF,
+                    Mul => Instr::MulF,
+                    Div => Instr::DivF,
+                    Min => Instr::MinF,
+                    Max => Instr::MaxF,
+                    _ => unreachable!(),
+                });
+                code.push(Instr::Store(outs[0]));
+            }
+            Abs => {
+                ins[0].push(code);
+                code.push(Instr::AbsF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Neg => {
+                ins[0].push(code);
+                code.push(Instr::NegF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Limit { lo, hi } => {
+                ins[0].push(code);
+                code.push(Instr::PushF(*lo));
+                code.push(Instr::MaxF);
+                code.push(Instr::PushF(*hi));
+                code.push(Instr::MinF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Deadband { width } => {
+                ins[0].push(code);
+                code.push(Instr::AbsF);
+                code.push(Instr::PushF(*width));
+                code.push(Instr::CmpF(CmpKind::Lt));
+                let else_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushF(0.0));
+                code.push(Instr::Store(outs[0]));
+                let end_at = code.len();
+                code.push(Instr::Jmp(0));
+                let here = code.len() as u32;
+                code[else_at] = Instr::JmpIfZero(here);
+                ins[0].push(code);
+                code.push(Instr::Store(outs[0]));
+                let end = code.len() as u32;
+                code[end_at] = Instr::Jmp(end);
+            }
+            Hysteresis { low, high } => {
+                // q2 = x >= high ? 1 : (x <= low ? 0 : q)
+                ins[0].push(code);
+                code.push(Instr::PushF(*high));
+                code.push(Instr::CmpF(CmpKind::Ge));
+                let l1_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(1));
+                let s1_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l1 = code.len() as u32;
+                code[l1_at] = Instr::JmpIfZero(l1);
+                ins[0].push(code);
+                code.push(Instr::PushF(*low));
+                code.push(Instr::CmpF(CmpKind::Le));
+                let l2_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(0));
+                let s2_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l2 = code.len() as u32;
+                code[l2_at] = Instr::JmpIfZero(l2);
+                code.push(Instr::Load(state[0]));
+                let store = code.len() as u32;
+                code[s1_at] = Instr::Jmp(store);
+                code[s2_at] = Instr::Jmp(store);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            Integrator { gain, lo, hi, .. } => {
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(*gain));
+                ins[0].push(code);
+                code.push(Instr::MulF);
+                code.push(Instr::PushF(dt));
+                code.push(Instr::MulF);
+                code.push(Instr::AddF);
+                code.push(Instr::PushF(*lo));
+                code.push(Instr::MaxF);
+                code.push(Instr::PushF(*hi));
+                code.push(Instr::MinF);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            Derivative => {
+                ins[0].push(code);
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::SubF);
+                code.push(Instr::PushF(dt));
+                code.push(Instr::DivF);
+                code.push(Instr::Store(outs[0]));
+                ins[0].push(code);
+                code.push(Instr::Store(state[0]));
+            }
+            LowPass { alpha } => {
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(*alpha));
+                ins[0].push(code);
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::SubF);
+                code.push(Instr::MulF);
+                code.push(Instr::AddF);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            MovingAverage { window } => {
+                let w = *window as usize;
+                let idx_cell = state[w];
+                let count_cell = state[w + 1];
+                let idxm = self.scratch_cell(bp, SignalType::Int);
+                // idxm = idx % w
+                code.push(Instr::Load(idx_cell));
+                code.push(Instr::PushI(w as i64));
+                code.push(Instr::RemI);
+                code.push(Instr::Store(idxm));
+                // unrolled indexed store: if idxm == i { w_i = x }
+                let mut done_jumps = Vec::new();
+                // Unrolled indexed store addresses state[i] cells by index.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..w {
+                    code.push(Instr::Load(idxm));
+                    code.push(Instr::PushI(i as i64));
+                    code.push(Instr::CmpI(CmpKind::Eq));
+                    let next_at = code.len();
+                    code.push(Instr::JmpIfZero(0));
+                    ins[0].push(code);
+                    code.push(Instr::Store(state[i]));
+                    done_jumps.push(code.len());
+                    code.push(Instr::Jmp(0));
+                    let here = code.len() as u32;
+                    code[next_at] = Instr::JmpIfZero(here);
+                }
+                let done = code.len() as u32;
+                for j in done_jumps {
+                    code[j] = Instr::Jmp(done);
+                }
+                // idx = (idxm + 1) % w
+                code.push(Instr::Load(idxm));
+                code.push(Instr::PushI(1));
+                code.push(Instr::AddI);
+                code.push(Instr::PushI(w as i64));
+                code.push(Instr::RemI);
+                code.push(Instr::Store(idx_cell));
+                // count = min(count + 1, w)
+                code.push(Instr::Load(count_cell));
+                code.push(Instr::PushI(1));
+                code.push(Instr::AddI);
+                code.push(Instr::PushI(w as i64));
+                code.push(Instr::MinI);
+                code.push(Instr::Store(count_cell));
+                // y = (w_0 + … + w_{n-1}) / count
+                code.push(Instr::PushF(0.0));
+                for cell in state.iter().take(w) {
+                    code.push(Instr::Load(*cell));
+                    code.push(Instr::AddF);
+                }
+                code.push(Instr::Load(count_cell));
+                code.push(Instr::I2F);
+                code.push(Instr::DivF);
+                code.push(Instr::Store(outs[0]));
+            }
+            Pid { kp, ki, kd, lo, hi } => {
+                let e_cell = self.scratch_cell(bp, SignalType::Real);
+                // e = sp - pv
+                ins[0].push(code);
+                ins[1].push(code);
+                code.push(Instr::SubF);
+                code.push(Instr::Store(e_cell));
+                // I = I + e*dt
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Load(e_cell));
+                code.push(Instr::PushF(dt));
+                code.push(Instr::MulF);
+                code.push(Instr::AddF);
+                code.push(Instr::Store(state[0]));
+                // u = clamp(kp*e + ki*I + kd*((e - prev)/dt))
+                code.push(Instr::PushF(*kp));
+                code.push(Instr::Load(e_cell));
+                code.push(Instr::MulF);
+                code.push(Instr::PushF(*ki));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::MulF);
+                code.push(Instr::AddF);
+                code.push(Instr::PushF(*kd));
+                code.push(Instr::Load(e_cell));
+                code.push(Instr::Load(state[1]));
+                code.push(Instr::SubF);
+                code.push(Instr::PushF(dt));
+                code.push(Instr::DivF);
+                code.push(Instr::MulF);
+                code.push(Instr::AddF);
+                code.push(Instr::PushF(*lo));
+                code.push(Instr::MaxF);
+                code.push(Instr::PushF(*hi));
+                code.push(Instr::MinF);
+                code.push(Instr::Store(outs[0]));
+                // prev_err = e
+                code.push(Instr::Load(e_cell));
+                code.push(Instr::Store(state[1]));
+            }
+            UnitDelay { .. } => {
+                return Err(CompileError::Internal(
+                    "unit delay handled by network phases".into(),
+                ))
+            }
+            SampleHold => {
+                ins[1].push(code);
+                let skip_at = code.len();
+                code.push(Instr::JmpIfNot(0));
+                ins[0].push(code);
+                code.push(Instr::Store(state[0]));
+                let here = code.len() as u32;
+                code[skip_at] = Instr::JmpIfNot(here);
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            RateLimiter { max_rise, max_fall } => {
+                code.push(Instr::Load(state[0]));
+                ins[0].push(code);
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::SubF);
+                code.push(Instr::PushF(-max_fall * dt));
+                code.push(Instr::MaxF);
+                code.push(Instr::PushF(max_rise * dt));
+                code.push(Instr::MinF);
+                code.push(Instr::AddF);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            Counter { min, max, wrap } => {
+                let tmp = self.scratch_cell(bp, SignalType::Int);
+                ins[1].push(code); // reset
+                let l1_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(*min));
+                let s1_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l1 = code.len() as u32;
+                code[l1_at] = Instr::JmpIfZero(l1);
+                ins[0].push(code); // inc
+                let l2_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushI(1));
+                code.push(Instr::AddI);
+                code.push(Instr::Store(tmp));
+                code.push(Instr::Load(tmp));
+                code.push(Instr::PushI(*max));
+                code.push(Instr::CmpI(CmpKind::Gt));
+                let no_ovf_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(if *wrap { *min } else { *max }));
+                let s2_at = code.len();
+                code.push(Instr::Jmp(0));
+                let no_ovf = code.len() as u32;
+                code[no_ovf_at] = Instr::JmpIfZero(no_ovf);
+                code.push(Instr::Load(tmp));
+                let s3_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l2 = code.len() as u32;
+                code[l2_at] = Instr::JmpIfZero(l2);
+                code.push(Instr::Load(state[0]));
+                let store = code.len() as u32;
+                for at in [s1_at, s2_at, s3_at] {
+                    code[at] = Instr::Jmp(store);
+                }
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            TimerOn { delay } => {
+                ins[0].push(code);
+                let l0_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(dt));
+                code.push(Instr::AddF);
+                let s_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l0 = code.len() as u32;
+                code[l0_at] = Instr::JmpIfZero(l0);
+                code.push(Instr::PushF(0.0));
+                let store = code.len() as u32;
+                code[s_at] = Instr::Jmp(store);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(*delay));
+                code.push(Instr::CmpF(CmpKind::Ge));
+                code.push(Instr::Store(outs[0]));
+            }
+            PulseGen { period, duty } => {
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(duty * period));
+                code.push(Instr::CmpF(CmpKind::Lt));
+                code.push(Instr::Store(outs[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(dt));
+                code.push(Instr::AddF);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(*period));
+                code.push(Instr::CmpF(CmpKind::Ge));
+                let end_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::PushF(*period));
+                code.push(Instr::SubF);
+                code.push(Instr::Store(state[0]));
+                let end = code.len() as u32;
+                code[end_at] = Instr::JmpIfZero(end);
+            }
+            And | Or | Xor => {
+                ins[0].push(code);
+                ins[1].push(code);
+                code.push(match op {
+                    And => Instr::And,
+                    Or => Instr::Or,
+                    Xor => Instr::Xor,
+                    _ => unreachable!(),
+                });
+                code.push(Instr::Store(outs[0]));
+            }
+            Not => {
+                ins[0].push(code);
+                code.push(Instr::Not);
+                code.push(Instr::Store(outs[0]));
+            }
+            SrLatch => {
+                ins[1].push(code); // r
+                let l1_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(0));
+                let s1_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l1 = code.len() as u32;
+                code[l1_at] = Instr::JmpIfZero(l1);
+                ins[0].push(code); // s
+                let l2_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                code.push(Instr::PushI(1));
+                let s2_at = code.len();
+                code.push(Instr::Jmp(0));
+                let l2 = code.len() as u32;
+                code[l2_at] = Instr::JmpIfZero(l2);
+                code.push(Instr::Load(state[0]));
+                let store = code.len() as u32;
+                code[s1_at] = Instr::Jmp(store);
+                code[s2_at] = Instr::Jmp(store);
+                code.push(Instr::Store(state[0]));
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Store(outs[0]));
+            }
+            RisingEdge => {
+                ins[0].push(code);
+                code.push(Instr::Load(state[0]));
+                code.push(Instr::Not);
+                code.push(Instr::And);
+                code.push(Instr::Store(outs[0]));
+                ins[0].push(code);
+                code.push(Instr::Store(state[0]));
+            }
+            Compare(c) => {
+                ins[0].push(code);
+                ins[1].push(code);
+                code.push(Instr::CmpF(match c {
+                    gmdf_comdes::CmpOp::Lt => CmpKind::Lt,
+                    gmdf_comdes::CmpOp::Le => CmpKind::Le,
+                    gmdf_comdes::CmpOp::Gt => CmpKind::Gt,
+                    gmdf_comdes::CmpOp::Ge => CmpKind::Ge,
+                    gmdf_comdes::CmpOp::Eq => CmpKind::Eq,
+                    gmdf_comdes::CmpOp::Ne => CmpKind::Ne,
+                }));
+                code.push(Instr::Store(outs[0]));
+            }
+            Select => {
+                ins[0].push(code);
+                let lb_at = code.len();
+                code.push(Instr::JmpIfZero(0));
+                ins[1].push(code);
+                let ls_at = code.len();
+                code.push(Instr::Jmp(0));
+                let lb = code.len() as u32;
+                code[lb_at] = Instr::JmpIfZero(lb);
+                ins[2].push(code);
+                let ls = code.len() as u32;
+                code[ls_at] = Instr::Jmp(ls);
+                code.push(Instr::Store(outs[0]));
+            }
+            Func { inputs, outputs } => {
+                let env: BTreeMap<String, VarSource> = inputs
+                    .iter()
+                    .zip(ins.iter())
+                    .map(|(p, s)| (p.name.clone(), s.var_source()))
+                    .collect();
+                for (oi, (port, expr)) in outputs.iter().enumerate() {
+                    let ty = compile_expr(expr, &env, code).map_err(CompileError::Model)?;
+                    if ty == SignalType::Int && port.ty == SignalType::Real {
+                        code.push(Instr::I2F);
+                    }
+                    code.push(Instr::Store(outs[oi]));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_actor(&mut self, actor: &Actor) -> Result<TaskImage, CompileError> {
+        let dt = actor.timing.dt_seconds();
+        let in_latch: Vec<u32> = actor
+            .inputs
+            .iter()
+            .map(|i| {
+                self.cell(
+                    format!("{}/in/{}", actor.name, i.port.name),
+                    i.port.ty,
+                    i.port.ty.zero(),
+                )
+            })
+            .collect();
+        let out_latch: Vec<u32> = actor
+            .outputs
+            .iter()
+            .map(|o| {
+                self.cell(
+                    format!("{}/out/{}", actor.name, o.port.name),
+                    o.port.ty,
+                    o.port.ty.zero(),
+                )
+            })
+            .collect();
+        let layout = self.allocate_network(&actor.name, &actor.network);
+
+        let mut code = Vec::new();
+        let start_event = if self.opts.instrument.task_boundaries {
+            let ev = self
+                .debug
+                .register(EventSpec::new(CommandKind::TaskStart, &actor.name));
+            code.push(Instr::Emit { event: ev, argc: 0 });
+            Some(ev)
+        } else {
+            None
+        };
+        self.gen_network(&actor.name, &actor.network, &layout, &in_latch, dt, &mut code)?;
+        let out_srcs = Self::output_sources(&actor.network, &layout, &in_latch)?;
+        for ((src, latch), binding) in out_srcs.iter().zip(out_latch.iter()).zip(&actor.outputs) {
+            src.push(&mut code);
+            code.push(Instr::Store(*latch));
+            if self.opts.instrument.signal_writes {
+                let ev = self.debug.register(EventSpec {
+                    kind: CommandKind::SignalWrite,
+                    path: format!("{}/out/{}", actor.name, binding.port.name),
+                    from: None,
+                    to: None,
+                    label: Some(binding.label.clone()),
+                    value_type: Some(binding.port.ty),
+                });
+                code.push(Instr::Load(*latch));
+                code.push(Instr::Emit { event: ev, argc: 1 });
+            }
+        }
+        let end_event = if self.opts.instrument.task_boundaries {
+            let ev = self
+                .debug
+                .register(EventSpec::new(CommandKind::TaskEnd, &actor.name));
+            code.push(Instr::Emit { event: ev, argc: 0 });
+            Some(ev)
+        } else {
+            None
+        };
+        code.push(Instr::Halt);
+
+        // DropEmits fault: neutralize every Emit (stack residue is benign).
+        if self.opts.faults.iter().any(|f| matches!(f, Fault::DropEmits)) {
+            // Replacement jumps target `pc + 1`, so the index is the datum.
+            #[allow(clippy::needless_range_loop)]
+            for pc in 0..code.len() {
+                if matches!(code[pc], Instr::Emit { .. }) {
+                    code[pc] = Instr::Jmp(pc as u32 + 1);
+                }
+            }
+        }
+
+        let input_latches = actor
+            .inputs
+            .iter()
+            .zip(in_latch.iter())
+            .map(|(i, latch)| {
+                let board = self
+                    .board
+                    .get(&i.label)
+                    .ok_or_else(|| CompileError::Internal(format!("no board `{}`", i.label)))?;
+                Ok(Latch { from: board.addr, to: *latch })
+            })
+            .collect::<Result<Vec<_>, CompileError>>()?;
+        let publications = actor
+            .outputs
+            .iter()
+            .zip(out_latch.iter())
+            .map(|(o, latch)| {
+                let board = self
+                    .board
+                    .get(&o.label)
+                    .ok_or_else(|| CompileError::Internal(format!("no board `{}`", o.label)))?;
+                Ok(Publication {
+                    latch: *latch,
+                    board: board.addr,
+                    label: o.label.clone(),
+                    ty: o.port.ty,
+                })
+            })
+            .collect::<Result<Vec<_>, CompileError>>()?;
+
+        Ok(TaskImage {
+            actor: actor.name.clone(),
+            code,
+            period_ns: actor.timing.period_ns,
+            offset_ns: actor.timing.offset_ns,
+            deadline_ns: actor.timing.deadline_ns,
+            priority: actor.timing.priority,
+            input_latches,
+            publications,
+            start_event,
+            end_event,
+        })
+    }
+}

@@ -1,0 +1,436 @@
+//! Compilation of COMDES expressions to stack code.
+//!
+//! The generated instruction sequences mirror
+//! [`Expr::eval`](gmdf_comdes::Expr::eval) operation-for-operation
+//! (operand order, widening points, truncation semantics), so compiled
+//! results are bit-identical to interpreted ones — the codegen-equivalence
+//! property the test suite enforces.
+
+use crate::isa::{CmpKind, Instr};
+use gmdf_comdes::{BinOp, ComdesError, Expr, SignalType, UnOp};
+use std::collections::BTreeMap;
+
+/// Where a variable's value comes from at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarSource {
+    /// A data cell of the given type.
+    Cell(u32, SignalType),
+    /// A compile-time float constant.
+    ConstF(f64),
+    /// A compile-time integer constant.
+    ConstI(i64),
+    /// A compile-time boolean constant.
+    ConstB(bool),
+}
+
+impl VarSource {
+    /// The type a read of this source produces.
+    pub fn signal_type(self) -> SignalType {
+        match self {
+            VarSource::Cell(_, ty) => ty,
+            VarSource::ConstF(_) => SignalType::Real,
+            VarSource::ConstI(_) => SignalType::Int,
+            VarSource::ConstB(_) => SignalType::Bool,
+        }
+    }
+
+    /// Emits code pushing the source's value.
+    pub fn push(self, code: &mut Vec<Instr>) {
+        match self {
+            VarSource::Cell(addr, _) => code.push(Instr::Load(addr)),
+            VarSource::ConstF(v) => code.push(Instr::PushF(v)),
+            VarSource::ConstI(v) => code.push(Instr::PushI(v)),
+            VarSource::ConstB(v) => code.push(Instr::PushI(v as i64)),
+        }
+    }
+}
+
+fn cmp_kind(op: BinOp) -> CmpKind {
+    match op {
+        BinOp::Lt => CmpKind::Lt,
+        BinOp::Le => CmpKind::Le,
+        BinOp::Gt => CmpKind::Gt,
+        BinOp::Ge => CmpKind::Ge,
+        BinOp::Eq => CmpKind::Eq,
+        BinOp::Ne => CmpKind::Ne,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Compiles `expr` into `code`, leaving the value on the stack; returns
+/// the value's type.
+///
+/// `env` maps variable names to their runtime sources.
+///
+/// # Errors
+///
+/// Returns [`ComdesError::TypeError`] for unbound variables or operator
+/// misuse — the same conditions [`Expr::infer_type`](Expr::infer_type)
+/// rejects.
+pub fn compile_expr(
+    expr: &Expr,
+    env: &BTreeMap<String, VarSource>,
+    code: &mut Vec<Instr>,
+) -> Result<SignalType, ComdesError> {
+    use SignalType::*;
+    match expr {
+        Expr::Bool(b) => {
+            code.push(Instr::PushI(*b as i64));
+            Ok(Bool)
+        }
+        Expr::Int(i) => {
+            code.push(Instr::PushI(*i));
+            Ok(Int)
+        }
+        Expr::Real(r) => {
+            code.push(Instr::PushF(*r));
+            Ok(Real)
+        }
+        Expr::Var(n) => {
+            let src = env
+                .get(n)
+                .copied()
+                .ok_or_else(|| ComdesError::TypeError(format!("unbound variable `{n}`")))?;
+            src.push(code);
+            Ok(src.signal_type())
+        }
+        Expr::Unary(op, e) => {
+            let t = compile_expr(e, env, code)?;
+            match (op, t) {
+                (UnOp::Neg, Int) => code.push(Instr::NegI),
+                (UnOp::Neg, Real) => code.push(Instr::NegF),
+                (UnOp::Abs, Int) => code.push(Instr::AbsI),
+                (UnOp::Abs, Real) => code.push(Instr::AbsF),
+                (UnOp::Not, Bool) => code.push(Instr::Not),
+                _ => {
+                    return Err(ComdesError::TypeError(format!(
+                        "{op:?} cannot apply to {t}"
+                    )))
+                }
+            }
+            Ok(if matches!(op, UnOp::Not) { Bool } else { t })
+        }
+        Expr::Binary(op, a, b) => {
+            if op.is_logical() {
+                let ta = compile_expr(a, env, code)?;
+                let tb = compile_expr(b, env, code)?;
+                if ta != Bool || tb != Bool {
+                    return Err(ComdesError::TypeError(format!("{op:?} needs bool operands")));
+                }
+                code.push(match op {
+                    BinOp::And => Instr::And,
+                    BinOp::Or => Instr::Or,
+                    BinOp::Xor => Instr::Xor,
+                    _ => unreachable!(),
+                });
+                return Ok(Bool);
+            }
+            if op.is_comparison() {
+                // Compile left; we may need to widen it *before* the right
+                // operand lands on the stack.
+                let mut probe = Vec::new();
+                let ta = compile_expr(a, env, &mut probe)?;
+                let tb_peek = peek_type(b, env)?;
+                code.extend(probe);
+                match (ta, tb_peek) {
+                    (Bool, Bool) => {
+                        if !matches!(op, BinOp::Eq | BinOp::Ne) {
+                            return Err(ComdesError::TypeError("cannot order bools".into()));
+                        }
+                        compile_expr(b, env, code)?;
+                        code.push(Instr::CmpI(cmp_kind(*op)));
+                    }
+                    (Int, Int) => {
+                        compile_expr(b, env, code)?;
+                        code.push(Instr::CmpI(cmp_kind(*op)));
+                    }
+                    (Int, Real) | (Real, Int) | (Real, Real) => {
+                        if ta == Int {
+                            code.push(Instr::I2F);
+                        }
+                        let tb = compile_expr(b, env, code)?;
+                        if tb == Int {
+                            code.push(Instr::I2F);
+                        }
+                        code.push(Instr::CmpF(cmp_kind(*op)));
+                    }
+                    _ => {
+                        return Err(ComdesError::TypeError(format!(
+                            "{op:?} cannot compare {ta} with {tb_peek}"
+                        )))
+                    }
+                }
+                return Ok(Bool);
+            }
+            // Arithmetic.
+            let mut probe = Vec::new();
+            let ta = compile_expr(a, env, &mut probe)?;
+            let tb_peek = peek_type(b, env)?;
+            code.extend(probe);
+            match (ta, tb_peek) {
+                (Int, Int) => {
+                    compile_expr(b, env, code)?;
+                    code.push(match op {
+                        BinOp::Add => Instr::AddI,
+                        BinOp::Sub => Instr::SubI,
+                        BinOp::Mul => Instr::MulI,
+                        BinOp::Div => Instr::DivI,
+                        BinOp::Rem => Instr::RemI,
+                        BinOp::Min => Instr::MinI,
+                        BinOp::Max => Instr::MaxI,
+                        _ => unreachable!(),
+                    });
+                    Ok(Int)
+                }
+                (Int, Real) | (Real, Int) | (Real, Real) => {
+                    if matches!(op, BinOp::Rem) {
+                        return Err(ComdesError::TypeError("% needs int operands".into()));
+                    }
+                    if ta == Int {
+                        code.push(Instr::I2F);
+                    }
+                    let tb = compile_expr(b, env, code)?;
+                    if tb == Int {
+                        code.push(Instr::I2F);
+                    }
+                    code.push(match op {
+                        BinOp::Add => Instr::AddF,
+                        BinOp::Sub => Instr::SubF,
+                        BinOp::Mul => Instr::MulF,
+                        BinOp::Div => Instr::DivF,
+                        BinOp::Min => Instr::MinF,
+                        BinOp::Max => Instr::MaxF,
+                        _ => unreachable!(),
+                    });
+                    Ok(Real)
+                }
+                _ => Err(ComdesError::TypeError(format!(
+                    "{op:?} cannot apply to {ta} and {tb_peek}"
+                ))),
+            }
+        }
+        Expr::If(c, t, e) => {
+            let tc = compile_expr(c, env, code)?;
+            if tc != Bool {
+                return Err(ComdesError::TypeError("if condition must be bool".into()));
+            }
+            let tt_peek = peek_type(t, env)?;
+            let te_peek = peek_type(e, env)?;
+            let unified = match (tt_peek, te_peek) {
+                _ if tt_peek == te_peek => tt_peek,
+                (Int, Real) | (Real, Int) => Real,
+                _ => {
+                    return Err(ComdesError::TypeError(format!(
+                        "if arms have incompatible types {tt_peek} and {te_peek}"
+                    )))
+                }
+            };
+            let jz_at = code.len();
+            code.push(Instr::JmpIfZero(0)); // patched below
+            let tt = compile_expr(t, env, code)?;
+            if tt == Int && unified == Real {
+                code.push(Instr::I2F);
+            }
+            let jend_at = code.len();
+            code.push(Instr::Jmp(0)); // patched below
+            let else_target = code.len() as u32;
+            let te = compile_expr(e, env, code)?;
+            if te == Int && unified == Real {
+                code.push(Instr::I2F);
+            }
+            let end_target = code.len() as u32;
+            code[jz_at] = Instr::JmpIfZero(else_target);
+            code[jend_at] = Instr::Jmp(end_target);
+            Ok(unified)
+        }
+        Expr::ToReal(e) => {
+            let t = compile_expr(e, env, code)?;
+            match t {
+                Bool | Int => code.push(Instr::I2F),
+                Real => {}
+            }
+            Ok(Real)
+        }
+        Expr::ToInt(e) => {
+            let t = compile_expr(e, env, code)?;
+            match t {
+                Real => code.push(Instr::F2I),
+                Bool | Int => {}
+            }
+            Ok(Int)
+        }
+    }
+}
+
+/// Type of `expr` under `env` without emitting code.
+fn peek_type(
+    expr: &Expr,
+    env: &BTreeMap<String, VarSource>,
+) -> Result<SignalType, ComdesError> {
+    let tenv: BTreeMap<String, SignalType> = env
+        .iter()
+        .map(|(n, s)| (n.clone(), s.signal_type()))
+        .collect();
+    expr.infer_type(&tenv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::raw;
+    use crate::vm::{run, DEFAULT_STEP_BUDGET};
+    use gmdf_comdes::SignalValue;
+
+    /// Compiles `expr` with vars in cells, runs the VM, returns the value
+    /// typed as the compiler inferred it.
+    fn exec(expr: &Expr, vars: &[(&str, SignalValue)]) -> SignalValue {
+        let mut env = BTreeMap::new();
+        let mut data = Vec::new();
+        for (i, (name, v)) in vars.iter().enumerate() {
+            env.insert(
+                name.to_string(),
+                VarSource::Cell(i as u32, v.signal_type()),
+            );
+            data.push(v.to_raw());
+        }
+        let out_addr = data.len() as u32;
+        data.push(0);
+        let mut code = Vec::new();
+        let ty = compile_expr(expr, &env, &mut code).expect("compiles");
+        code.push(Instr::Store(out_addr));
+        code.push(Instr::Halt);
+        run(&code, &mut data, DEFAULT_STEP_BUDGET).expect("runs");
+        SignalValue::from_raw(ty, data[out_addr as usize])
+    }
+
+    /// Interpreter result for the same expression and bindings.
+    fn interp(expr: &Expr, vars: &[(&str, SignalValue)]) -> SignalValue {
+        let env: BTreeMap<String, SignalValue> =
+            vars.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        expr.eval(&env).expect("evaluates")
+    }
+
+    fn assert_same(expr: &Expr, vars: &[(&str, SignalValue)]) {
+        let a = exec(expr, vars);
+        let b = interp(expr, vars);
+        // Bit-exact comparison (NaN-safe).
+        assert_eq!(a.to_raw(), b.to_raw(), "expr {expr} gave VM {a} vs interp {b}");
+        assert_eq!(a.signal_type(), b.signal_type());
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        assert_same(&Expr::Int(42), &[]);
+        assert_same(&Expr::Real(-1.5), &[]);
+        assert_same(&Expr::Bool(true), &[]);
+        assert_same(&Expr::var("x"), &[("x", SignalValue::Real(2.5))]);
+    }
+
+    #[test]
+    fn arithmetic_matches_interpreter() {
+        let x = ("x", SignalValue::Real(3.5));
+        let n = ("n", SignalValue::Int(7));
+        assert_same(&Expr::var("x").add(Expr::var("n")), &[x, n]);
+        assert_same(&Expr::var("n").mul(Expr::var("n")), &[n]);
+        assert_same(&Expr::var("n").div(Expr::Int(0)), &[n]);
+        assert_same(
+            &Expr::Binary(
+                BinOp::Rem,
+                Box::new(Expr::var("n")),
+                Box::new(Expr::Int(3)),
+            ),
+            &[n],
+        );
+        assert_same(&Expr::var("x").sub(Expr::Real(10.0)).neg(), &[x]);
+    }
+
+    #[test]
+    fn widening_insertion_points() {
+        // int + real and real + int must both widen correctly.
+        let vars = [("i", SignalValue::Int(2)), ("r", SignalValue::Real(0.5))];
+        assert_same(&Expr::var("i").add(Expr::var("r")), &vars);
+        assert_same(&Expr::var("r").add(Expr::var("i")), &vars);
+        assert_same(&Expr::var("i").lt(Expr::var("r")), &vars);
+        assert_same(&Expr::var("r").ge(Expr::var("i")), &vars);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let vars = [("a", SignalValue::Bool(true)), ("b", SignalValue::Bool(false))];
+        assert_same(&Expr::var("a").and(Expr::var("b")), &vars);
+        assert_same(&Expr::var("a").or(Expr::var("b")), &vars);
+        assert_same(&Expr::var("a").eq_(Expr::var("b")), &vars);
+        assert_same(&Expr::var("a").ne_(Expr::var("b")), &vars);
+        assert_same(&Expr::var("a").not(), &vars);
+        assert_same(
+            &Expr::Int(3).le(Expr::Int(3)).and(Expr::Real(1.0).gt(Expr::Real(0.5))),
+            &[],
+        );
+    }
+
+    #[test]
+    fn if_expression_and_unification() {
+        let vars = [("c", SignalValue::Bool(true))];
+        let e = Expr::If(
+            Box::new(Expr::var("c")),
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Real(2.5)),
+        );
+        assert_same(&e, &vars);
+        let vars = [("c", SignalValue::Bool(false))];
+        assert_same(&e, &vars);
+    }
+
+    #[test]
+    fn conversions_match() {
+        assert_same(&Expr::ToReal(Box::new(Expr::Bool(true))), &[]);
+        assert_same(&Expr::ToReal(Box::new(Expr::Int(-3))), &[]);
+        assert_same(&Expr::ToInt(Box::new(Expr::Real(-2.7))), &[]);
+        assert_same(&Expr::ToInt(Box::new(Expr::Real(f64::NAN))), &[]);
+        assert_same(&Expr::ToInt(Box::new(Expr::Real(1e300))), &[]);
+        assert_same(&Expr::ToInt(Box::new(Expr::Bool(true))), &[]);
+    }
+
+    #[test]
+    fn int_overflow_wraps_like_interpreter() {
+        assert_same(&Expr::Int(i64::MAX).add(Expr::Int(1)), &[]);
+        assert_same(&Expr::Int(i64::MIN).neg(), &[]);
+        assert_same(
+            &Expr::Unary(UnOp::Abs, Box::new(Expr::Int(i64::MIN))),
+            &[],
+        );
+    }
+
+    #[test]
+    fn min_max_compile() {
+        assert_same(
+            &Expr::Binary(BinOp::Min, Box::new(Expr::Real(1.0)), Box::new(Expr::Real(2.0))),
+            &[],
+        );
+        assert_same(
+            &Expr::Binary(BinOp::Max, Box::new(Expr::Int(5)), Box::new(Expr::Int(3))),
+            &[],
+        );
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let mut code = Vec::new();
+        let err = compile_expr(&Expr::var("ghost"), &BTreeMap::new(), &mut code);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn constant_sources_push_directly() {
+        let mut env = BTreeMap::new();
+        env.insert("dt".to_owned(), VarSource::ConstF(0.25));
+        let mut code = Vec::new();
+        compile_expr(&Expr::var("dt"), &env, &mut code).unwrap();
+        assert_eq!(code, vec![Instr::PushF(0.25)]);
+        let mut data = vec![0u64];
+        code.push(Instr::Store(0));
+        code.push(Instr::Halt);
+        run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(raw::to_f(data[0]), 0.25);
+    }
+}

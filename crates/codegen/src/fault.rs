@@ -1,0 +1,92 @@
+//! Fault injection: deliberately miscompiling correct models.
+//!
+//! The paper distinguishes *design errors* (wrong model) from
+//! *implementation errors* ("errors that happen during model
+//! transformation", §II) and argues a model debugger can expose both.
+//! Reproducing the second class requires a code generator that can be
+//! *made* to produce wrong code from a right model — that is what these
+//! faults do. Each fault leaves the input model untouched and corrupts
+//! only the generated image, so the reference interpreter still defines
+//! the expected behaviour and the debugger's expectation monitors can
+//! catch the divergence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An injected model-transformation bug.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Swap the targets of the first two transitions of the state machine
+    /// at `block_path` (e.g. `"Heater/ctl"`) — the classic
+    /// copy-paste/indexing slip in a generator's transition table.
+    SwapTransitionTargets {
+        /// Path of the state-machine block (`actor/…/block`).
+        block_path: String,
+    },
+    /// Negate the guard of transition `transition` (declaration index) of
+    /// the machine at `block_path` — an inverted branch condition.
+    NegateGuard {
+        /// Path of the state-machine block.
+        block_path: String,
+        /// Declaration index of the transition within the machine.
+        transition: usize,
+    },
+    /// Omit all entry actions — outputs keep stale values after
+    /// transitions.
+    SkipEntryActions {
+        /// Path of the state-machine block.
+        block_path: String,
+    },
+    /// Scale the constant of the `Gain` block at `block_path` by `factor`
+    /// — a mistranslated parameter.
+    GainError {
+        /// Path of the gain block.
+        block_path: String,
+        /// Multiplier applied to the generated constant.
+        factor: f64,
+    },
+    /// Strip every `Emit` — a generator that silently forgot the command
+    /// interface; the debugger stops receiving commands at all.
+    DropEmits,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::SwapTransitionTargets { block_path } => {
+                write!(f, "swap transition targets in `{block_path}`")
+            }
+            Fault::NegateGuard { block_path, transition } => {
+                write!(f, "negate guard of transition {transition} in `{block_path}`")
+            }
+            Fault::SkipEntryActions { block_path } => {
+                write!(f, "skip entry actions in `{block_path}`")
+            }
+            Fault::GainError { block_path, factor } => {
+                write!(f, "scale gain `{block_path}` by {factor}")
+            }
+            Fault::DropEmits => write!(f, "drop all emit instructions"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_fault() {
+        assert_eq!(
+            Fault::SwapTransitionTargets { block_path: "A/fsm".into() }.to_string(),
+            "swap transition targets in `A/fsm`"
+        );
+        assert_eq!(Fault::DropEmits.to_string(), "drop all emit instructions");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = Fault::GainError { block_path: "A/g".into(), factor: 2.0 };
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<Fault>(&json).unwrap(), f);
+    }
+}

@@ -1,0 +1,269 @@
+//! The command-interface wire format.
+//!
+//! "GMDF requires that developers implement a predefined command interface
+//! in order to enable GDM to receive commands from the tested program"
+//! (paper §II). This module is that predefined interface: the frame layout
+//! command frames use on the RS-232 link (active mode), and the command
+//! kinds both transports share.
+//!
+//! Frame layout (all little-endian):
+//!
+//! ```text
+//! 0x7E | len: u8 | event_id: u16 | argc: u8 | args: argc × u64 | crc16: u16
+//! ```
+//!
+//! `len` counts the bytes between itself and the CRC (`3 + 8·argc`). The
+//! CRC is CRC-16/CCITT-FALSE over `len..args`. There is no byte stuffing:
+//! the decoder resynchronizes on `0x7E` + valid CRC, which is robust
+//! enough for a point-to-point wire and keeps the generated emit code
+//! small.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Start-of-frame marker byte.
+pub const SOF: u8 = 0x7E;
+
+/// Maximum argument count per frame.
+pub const MAX_ARGS: usize = 8;
+
+/// Categories of commands the generated code (or the JTAG watcher) sends
+/// to the debugger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// A task activation began (release / dispatch).
+    TaskStart,
+    /// A task activation finished its computation.
+    TaskEnd,
+    /// A state-machine block entered a state.
+    StateEnter,
+    /// A modal block switched modes.
+    ModeSwitch,
+    /// An actor output signal was written.
+    SignalWrite,
+    /// A watched variable changed (synthesized by the passive JTAG
+    /// channel; never emitted by generated code).
+    WatchHit,
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::TaskStart => "task-start",
+            CommandKind::TaskEnd => "task-end",
+            CommandKind::StateEnter => "state-enter",
+            CommandKind::ModeSwitch => "mode-switch",
+            CommandKind::SignalWrite => "signal-write",
+            CommandKind::WatchHit => "watch-hit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A decoded command frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Event id, resolved against [`DebugInfo`](crate::DebugInfo).
+    pub event: u16,
+    /// Raw argument cells, in emit order.
+    pub args: Vec<u64>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() > MAX_ARGS` — generated code never exceeds it.
+    pub fn new(event: u16, args: Vec<u64>) -> Self {
+        assert!(args.len() <= MAX_ARGS, "too many frame args");
+        Frame { event, args }
+    }
+
+    /// Serializes the frame to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = 3 + 8 * self.args.len();
+        let mut out = Vec::with_capacity(2 + len + 2);
+        out.push(SOF);
+        out.push(len as u8);
+        out.extend_from_slice(&self.event.to_le_bytes());
+        out.push(self.args.len() as u8);
+        for a in &self.args {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        let crc = crc16(&out[1..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Incremental frame decoder: feed received bytes, collect frames.
+///
+/// Tolerates garbage between frames (resynchronizes on the next `SOF`
+/// whose CRC verifies) and counts discarded bytes and CRC failures.
+#[derive(Debug, Default, Clone)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes discarded while hunting for a frame start.
+    pub discarded: u64,
+    /// Frames dropped due to CRC mismatch.
+    pub crc_errors: u64,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds received bytes; returns any complete frames, in order.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<Frame> {
+        self.buf.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        loop {
+            // Hunt for SOF.
+            match self.buf.iter().position(|&b| b == SOF) {
+                Some(0) => {}
+                Some(p) => {
+                    self.discarded += p as u64;
+                    self.buf.drain(..p);
+                }
+                None => {
+                    self.discarded += self.buf.len() as u64;
+                    self.buf.clear();
+                    return frames;
+                }
+            }
+            if self.buf.len() < 2 {
+                return frames;
+            }
+            let len = self.buf[1] as usize;
+            let total = 2 + len + 2;
+            if len < 3 || !(len - 3).is_multiple_of(8) || (len - 3) / 8 > MAX_ARGS {
+                // Impossible length: not a real frame start.
+                self.discarded += 1;
+                self.buf.drain(..1);
+                continue;
+            }
+            if self.buf.len() < total {
+                return frames;
+            }
+            let crc_got = u16::from_le_bytes([self.buf[total - 2], self.buf[total - 1]]);
+            let crc_want = crc16(&self.buf[1..total - 2]);
+            if crc_got != crc_want {
+                self.crc_errors += 1;
+                self.discarded += 1;
+                self.buf.drain(..1);
+                continue;
+            }
+            let event = u16::from_le_bytes([self.buf[2], self.buf[3]]);
+            let argc = self.buf[4] as usize;
+            let mut args = Vec::with_capacity(argc);
+            for i in 0..argc {
+                let off = 5 + 8 * i;
+                let mut le = [0u8; 8];
+                le.copy_from_slice(&self.buf[off..off + 8]);
+                args.push(u64::from_le_bytes(le));
+            }
+            self.buf.drain(..total);
+            frames.push(Frame { event, args });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frames = [
+            Frame::new(0, vec![]),
+            Frame::new(7, vec![42]),
+            Frame::new(65535, vec![u64::MAX, 0, 1]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend(f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&wire);
+        assert_eq!(got, frames);
+        assert_eq!(dec.discarded, 0);
+        assert_eq!(dec.crc_errors, 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_decoding() {
+        let f = Frame::new(3, vec![0xDEADBEEF]);
+        let wire = f.encode();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            got.extend(dec.feed(&[b]));
+        }
+        assert_eq!(got, vec![f]);
+    }
+
+    #[test]
+    fn resynchronizes_after_garbage() {
+        let f = Frame::new(9, vec![5]);
+        let mut wire = vec![0x00, 0x13, 0x7E, 0x01]; // junk incl. a fake SOF
+        wire.extend(f.encode());
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&wire);
+        assert_eq!(got, vec![f]);
+        assert!(dec.discarded > 0);
+    }
+
+    #[test]
+    fn crc_error_detected_and_skipped() {
+        let good = Frame::new(1, vec![2]);
+        let mut corrupted = good.encode();
+        let n = corrupted.len();
+        corrupted[n - 3] ^= 0xFF; // flip an arg byte
+        let mut wire = corrupted;
+        wire.extend(good.encode());
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&wire);
+        assert_eq!(got, vec![good]);
+        assert_eq!(dec.crc_errors, 1);
+    }
+
+    #[test]
+    fn partial_frame_waits_for_more_bytes() {
+        let f = Frame::new(4, vec![1, 2]);
+        let wire = f.encode();
+        let mut dec = FrameDecoder::new();
+        assert!(dec.feed(&wire[..5]).is_empty());
+        assert_eq!(dec.feed(&wire[5..]), vec![f]);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn command_kind_display() {
+        assert_eq!(CommandKind::StateEnter.to_string(), "state-enter");
+        assert_eq!(CommandKind::WatchHit.to_string(), "watch-hit");
+    }
+}

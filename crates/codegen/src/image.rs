@@ -1,0 +1,305 @@
+//! Program images: the "executable code" user input of GMDF.
+//!
+//! A [`ProgramImage`] is what the model transformation produces — per-node
+//! task code, data-segment layout, the symbol table JTAG watching needs,
+//! and the [`DebugInfo`] event table that lets the debugger map command
+//! frames back to model elements.
+
+use crate::frame::CommandKind;
+use crate::isa::Instr;
+use gmdf_comdes::SignalType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named data cell: address and type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Data-segment cell index.
+    pub addr: u32,
+    /// Value interpretation.
+    pub ty: SignalType,
+}
+
+/// Name → cell mapping for one node.
+///
+/// Naming scheme (aligned with interpreter event paths):
+/// * `board/<label>` — the node's copy of a signal;
+/// * `<actor>/in/<port>` / `<actor>/out/<port>` — task I/O latches;
+/// * `<actor>/<block…>.<port>` — a block output cell;
+/// * `<actor>/<block…>#<cell>` — a block state cell (e.g. `#state`,
+///   `#ticks` for state machines — the "critical variables" a JTAG user
+///   selects, paper §II).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    map: BTreeMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names — the compiler generates unique names.
+    pub fn insert(&mut self, name: String, addr: u32, ty: SignalType) {
+        let prev = self.map.insert(name.clone(), Symbol { addr, ty });
+        assert!(prev.is_none(), "duplicate symbol `{name}`");
+    }
+
+    /// Looks up a symbol by name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterates `(name, symbol)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Symbol)> {
+        self.map.iter().map(|(n, s)| (n.as_str(), *s))
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no symbols are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All symbols whose name ends with `suffix` (e.g. `#state`).
+    pub fn with_suffix<'a>(&'a self, suffix: &'a str) -> impl Iterator<Item = (&'a str, Symbol)> {
+        self.iter().filter(move |(n, _)| n.ends_with(suffix))
+    }
+}
+
+/// Static description of one emit event id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSpec {
+    /// Command category.
+    pub kind: CommandKind,
+    /// Model element path the event concerns (interpreter-aligned,
+    /// e.g. `Heater/ctl` for a state machine).
+    pub path: String,
+    /// For `StateEnter`: state left; for `ModeSwitch`: mode left (if
+    /// statically known).
+    pub from: Option<String>,
+    /// For `StateEnter` / `ModeSwitch`: state or mode entered.
+    pub to: Option<String>,
+    /// For `SignalWrite`: the signal label.
+    pub label: Option<String>,
+    /// Type of the frame's value argument, if it carries one.
+    pub value_type: Option<SignalType>,
+}
+
+impl EventSpec {
+    /// A bare event with just a kind and path.
+    pub fn new(kind: CommandKind, path: &str) -> Self {
+        EventSpec {
+            kind,
+            path: path.to_owned(),
+            from: None,
+            to: None,
+            label: None,
+            value_type: None,
+        }
+    }
+}
+
+/// The event table plus watch suggestions — everything the debugger needs
+/// to interpret runtime commands.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DebugInfo {
+    /// Event specs indexed by emit event id.
+    pub events: Vec<EventSpec>,
+    /// `(node, symbol)` pairs worth watching over JTAG (state cells,
+    /// mode cells, output latches).
+    pub watch_suggestions: Vec<(String, String)>,
+}
+
+impl DebugInfo {
+    /// Registers an event, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` events are registered.
+    pub fn register(&mut self, spec: EventSpec) -> u16 {
+        let id = u16::try_from(self.events.len()).expect("event table overflow");
+        self.events.push(spec);
+        id
+    }
+
+    /// Looks up an event spec.
+    pub fn event(&self, id: u16) -> Option<&EventSpec> {
+        self.events.get(id as usize)
+    }
+}
+
+/// Kernel latch descriptor: copy `from` cell into `to` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latch {
+    /// Source cell.
+    pub from: u32,
+    /// Destination cell.
+    pub to: u32,
+}
+
+/// One output publication performed by the kernel at the deadline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Publication {
+    /// Output latch cell written by the task code.
+    pub latch: u32,
+    /// The node's board cell for the label.
+    pub board: u32,
+    /// Signal label (broadcast to other nodes).
+    pub label: String,
+    /// Value type.
+    pub ty: SignalType,
+}
+
+/// Compiled code and timing for one actor task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskImage {
+    /// Actor name.
+    pub actor: String,
+    /// Step code (runs once per activation, ends with `Halt`).
+    pub code: Vec<Instr>,
+    /// Release period (ns).
+    pub period_ns: u64,
+    /// First-release offset (ns).
+    pub offset_ns: u64,
+    /// Relative deadline (ns).
+    pub deadline_ns: u64,
+    /// Fixed priority (lower = higher).
+    pub priority: u8,
+    /// Input latches the kernel performs at release (board → latch cell).
+    pub input_latches: Vec<Latch>,
+    /// Output publications the kernel performs at the deadline.
+    pub publications: Vec<Publication>,
+    /// Event id emitted at task start (active instrumentation), if any.
+    pub start_event: Option<u16>,
+    /// Event id emitted at task end, if any.
+    pub end_event: Option<u16>,
+}
+
+impl TaskImage {
+    /// Worst-case straight-line cycle bound: sum of all instruction costs.
+    /// A loose WCET (branches make real paths shorter).
+    pub fn cycle_bound(&self) -> u64 {
+        self.code.iter().map(Instr::cycles).sum()
+    }
+}
+
+/// Everything deployed to one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeImage {
+    /// Node name.
+    pub node: String,
+    /// CPU clock (Hz).
+    pub cpu_hz: u64,
+    /// Data segment size in cells.
+    pub data_cells: u32,
+    /// Nonzero initial cell values (`(addr, raw)`).
+    pub data_init: Vec<(u32, u64)>,
+    /// Tasks, in actor declaration order.
+    pub tasks: Vec<TaskImage>,
+    /// The node's copy of each signal label: label → board cell.
+    pub board: BTreeMap<String, Symbol>,
+    /// Labels this node's tasks consume from remote producers.
+    pub subscriptions: Vec<String>,
+    /// Symbol table (JTAG watch addresses).
+    pub symbols: SymbolTable,
+}
+
+/// The full model-transformation output for a system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramImage {
+    /// System name.
+    pub system: String,
+    /// Per-node images.
+    pub nodes: Vec<NodeImage>,
+    /// Event table shared by all nodes (event ids are globally unique).
+    pub debug: DebugInfo,
+}
+
+impl ProgramImage {
+    /// Finds a node image by name.
+    pub fn node(&self, name: &str) -> Option<&NodeImage> {
+        self.nodes.iter().find(|n| n.node == name)
+    }
+
+    /// Total instruction count across all tasks (code-size metric).
+    pub fn total_instructions(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter())
+            .map(|t| t.code.len())
+            .sum()
+    }
+
+    /// Count of `Emit` instructions (instrumentation footprint).
+    pub fn emit_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter())
+            .flat_map(|t| t.code.iter())
+            .filter(|i| matches!(i, Instr::Emit { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_table_insert_and_query() {
+        let mut t = SymbolTable::new();
+        t.insert("Heater/ctl#state".into(), 4, SignalType::Int);
+        t.insert("board/temp".into(), 0, SignalType::Real);
+        assert_eq!(t.get("board/temp").unwrap().addr, 0);
+        assert!(t.get("ghost").is_none());
+        assert_eq!(t.len(), 2);
+        let states: Vec<_> = t.with_suffix("#state").collect();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].0, "Heater/ctl#state");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbol_panics() {
+        let mut t = SymbolTable::new();
+        t.insert("x".into(), 0, SignalType::Int);
+        t.insert("x".into(), 1, SignalType::Int);
+    }
+
+    #[test]
+    fn debug_info_registration() {
+        let mut d = DebugInfo::default();
+        let id0 = d.register(EventSpec::new(CommandKind::TaskStart, "A"));
+        let id1 = d.register(EventSpec::new(CommandKind::StateEnter, "A/fsm"));
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(d.event(1).unwrap().kind, CommandKind::StateEnter);
+        assert!(d.event(9).is_none());
+    }
+
+    #[test]
+    fn cycle_bound_sums_costs() {
+        let t = TaskImage {
+            actor: "A".into(),
+            code: vec![Instr::PushF(1.0), Instr::PushF(2.0), Instr::AddF, Instr::Halt],
+            period_ns: 1,
+            offset_ns: 0,
+            deadline_ns: 1,
+            priority: 0,
+            input_latches: vec![],
+            publications: vec![],
+            start_event: None,
+            end_event: None,
+        };
+        assert_eq!(t.cycle_bound(), 1 + 1 + 4 + 1);
+    }
+}

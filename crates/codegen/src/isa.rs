@@ -1,0 +1,235 @@
+//! The target instruction set: a 64-bit stack machine.
+//!
+//! Generated code runs on the embedded node simulator's CPU
+//! ([`gmdf-target`]). Values are raw 64-bit cells (`u64`); floating ops
+//! interpret bits as IEEE-754 `f64`, integer ops as two's-complement
+//! `i64`, booleans as `0`/`1`. Each instruction carries a fixed cycle
+//! cost ([`Instr::cycles`]) so execution consumes simulated CPU time —
+//! this is what makes the active command interface's `EMIT` overhead
+//! measurable, the quantity JTAG "eliminates" (paper §II).
+//!
+//! [`gmdf-target`]: ../../gmdf_target/index.html
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison selector for [`Instr::CmpF`] / [`Instr::CmpI`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpKind {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+}
+
+impl CmpKind {
+    /// Applies the comparison to two ordered operands.
+    pub fn apply<T: PartialOrd + PartialEq>(self, a: T, b: T) -> bool {
+        match self {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+}
+
+/// One instruction of the target ISA.
+///
+/// Jump targets are absolute indices into the owning task's code vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Push an `f64` literal (as raw bits).
+    PushF(f64),
+    /// Push an `i64` literal.
+    PushI(i64),
+    /// Push the raw content of data cell `addr`.
+    Load(u32),
+    /// Pop into data cell `addr`.
+    Store(u32),
+    /// Float add.
+    AddF,
+    /// Float subtract.
+    SubF,
+    /// Float multiply.
+    MulF,
+    /// Float divide (IEEE semantics).
+    DivF,
+    /// Float minimum (`f64::min`).
+    MinF,
+    /// Float maximum (`f64::max`).
+    MaxF,
+    /// Float negate.
+    NegF,
+    /// Float absolute value.
+    AbsF,
+    /// Integer add (wrapping).
+    AddI,
+    /// Integer subtract (wrapping).
+    SubI,
+    /// Integer multiply (wrapping).
+    MulI,
+    /// Integer divide (wrapping; 0 on division by zero).
+    DivI,
+    /// Integer remainder (wrapping; 0 on division by zero).
+    RemI,
+    /// Integer minimum.
+    MinI,
+    /// Integer maximum.
+    MaxI,
+    /// Integer negate (wrapping).
+    NegI,
+    /// Integer absolute value (wrapping).
+    AbsI,
+    /// Float comparison; pushes bool.
+    CmpF(CmpKind),
+    /// Integer comparison; pushes bool.
+    CmpI(CmpKind),
+    /// Boolean and (operands must be 0/1).
+    And,
+    /// Boolean or.
+    Or,
+    /// Boolean exclusive-or.
+    Xor,
+    /// Boolean negation.
+    Not,
+    /// Convert `i64` → `f64`.
+    I2F,
+    /// Convert `f64` → `i64` (truncate toward zero, saturating, NaN → 0).
+    F2I,
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Pop; jump if zero.
+    JmpIfZero(u32),
+    /// Pop; jump if nonzero.
+    JmpIfNot(u32),
+    /// Emit a debug command frame: pops `argc` raw values (first-pushed
+    /// first in the frame) and hands `(event, args)` to the emit sink —
+    /// the *active command interface* (paper §II). This is the
+    /// instrumentation overhead instruction.
+    Emit {
+        /// Event id resolved through [`DebugInfo`](crate::DebugInfo).
+        event: u16,
+        /// Number of argument values popped.
+        argc: u8,
+    },
+    /// End of task step.
+    Halt,
+}
+
+impl Instr {
+    /// Fixed execution cost in CPU cycles.
+    ///
+    /// The model is deliberately simple (no pipeline effects): costs are
+    /// chosen to resemble a small ARM7-class MCU with software floating
+    /// point, the AT91SAM7 family the paper's toolchain notes target.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Instr::PushF(_) | Instr::PushI(_) => 1,
+            Instr::Load(_) | Instr::Store(_) => 2,
+            Instr::AddF | Instr::SubF | Instr::MinF | Instr::MaxF => 4,
+            Instr::MulF => 8,
+            Instr::DivF => 16,
+            Instr::NegF | Instr::AbsF => 2,
+            Instr::AddI | Instr::SubI | Instr::NegI | Instr::AbsI => 1,
+            Instr::MulI => 4,
+            Instr::DivI | Instr::RemI => 8,
+            Instr::MinI | Instr::MaxI => 2,
+            Instr::CmpF(_) => 4,
+            Instr::CmpI(_) => 2,
+            Instr::And | Instr::Or | Instr::Xor | Instr::Not => 1,
+            Instr::I2F | Instr::F2I => 4,
+            Instr::Jmp(_) | Instr::JmpIfZero(_) | Instr::JmpIfNot(_) => 2,
+            Instr::Emit { argc, .. } => 24 + 8 * *argc as u64,
+            Instr::Halt => 1,
+        }
+    }
+}
+
+/// Raw-cell helpers shared by the compiler and the VM.
+pub mod raw {
+    /// Encodes an `f64` into a raw cell.
+    pub fn from_f(v: f64) -> u64 {
+        v.to_bits()
+    }
+
+    /// Decodes a raw cell as `f64`.
+    pub fn to_f(raw: u64) -> f64 {
+        f64::from_bits(raw)
+    }
+
+    /// Encodes an `i64` into a raw cell.
+    pub fn from_i(v: i64) -> u64 {
+        v as u64
+    }
+
+    /// Decodes a raw cell as `i64`.
+    pub fn to_i(raw: u64) -> i64 {
+        raw as i64
+    }
+
+    /// Encodes a bool into a raw cell.
+    pub fn from_b(v: bool) -> u64 {
+        v as u64
+    }
+
+    /// Decodes a raw cell as bool (nonzero = true).
+    pub fn to_b(raw: u64) -> bool {
+        raw != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_costs_ordered_sensibly() {
+        assert!(Instr::DivF.cycles() > Instr::MulF.cycles());
+        assert!(Instr::MulF.cycles() > Instr::AddF.cycles());
+        assert!(Instr::AddI.cycles() <= Instr::AddF.cycles());
+        // Emit is the expensive instrumentation op.
+        assert!(Instr::Emit { event: 0, argc: 0 }.cycles() > Instr::DivF.cycles());
+        assert_eq!(Instr::Emit { event: 0, argc: 2 }.cycles(), 24 + 16);
+    }
+
+    #[test]
+    fn cmp_kind_apply() {
+        assert!(CmpKind::Lt.apply(1, 2));
+        assert!(!CmpKind::Lt.apply(2, 2));
+        assert!(CmpKind::Le.apply(2, 2));
+        assert!(CmpKind::Ne.apply(1.0, 2.0));
+        assert!(CmpKind::Eq.apply(2.0, 2.0));
+        assert!(CmpKind::Ge.apply(3, 2));
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        assert_eq!(raw::to_f(raw::from_f(-1.5)), -1.5);
+        assert_eq!(raw::to_i(raw::from_i(i64::MIN)), i64::MIN);
+        assert!(raw::to_b(raw::from_b(true)));
+        assert!(!raw::to_b(raw::from_b(false)));
+    }
+
+    #[test]
+    fn instr_serde_round_trip() {
+        let prog = vec![
+            Instr::PushF(1.5),
+            Instr::CmpF(CmpKind::Ge),
+            Instr::Emit { event: 7, argc: 1 },
+            Instr::Jmp(3),
+        ];
+        let json = serde_json::to_string(&prog).unwrap();
+        let back: Vec<Instr> = serde_json::from_str(&json).unwrap();
+        assert_eq!(prog, back);
+    }
+}

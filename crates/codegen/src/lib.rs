@@ -1,0 +1,64 @@
+//! # gmdf-codegen — model transformation for GMDF
+//!
+//! Compiles COMDES systems ([`gmdf_comdes`]) into executable
+//! [`ProgramImage`]s for the embedded node simulator, reproducing the
+//! "model transformation" stage of the GMDF workflow (paper Fig. 1): the
+//! generated code carries the **command interface** the debugger listens
+//! to, woven in as `Emit` instructions by the instrumentation pass.
+//!
+//! * [`compile_system`] — the compiler (with [`InstrumentOptions`] and
+//!   [`Fault`] injection);
+//! * [`Instr`] / [`vm::run`] — the target ISA and its executor;
+//! * [`Frame`] / [`FrameDecoder`] — the RS-232 command wire format;
+//! * [`ProgramImage`] / [`SymbolTable`] / [`DebugInfo`] — deployment and
+//!   debug metadata (JTAG watch addresses, event table).
+//!
+//! ```
+//! use gmdf_codegen::{compile_system, CompileOptions};
+//! use gmdf_comdes::{ActorBuilder, BasicOp, NetworkBuilder, NodeSpec, Port, System, Timing};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = NetworkBuilder::new()
+//!     .input(Port::real("x"))
+//!     .output(Port::real("y"))
+//!     .block("g", BasicOp::Gain { k: 2.0 })
+//!     .connect("x", "g.x")?
+//!     .connect("g.y", "y")?
+//!     .build()?;
+//! let actor = ActorBuilder::new("Doubler", net)
+//!     .input("x", "in")
+//!     .output("y", "out")
+//!     .timing(Timing::periodic(1_000_000, 0))
+//!     .build()?;
+//! let mut node = NodeSpec::new("ecu", 48_000_000);
+//! node.actors.push(actor);
+//! let system = System::new("demo").with_node(node);
+//!
+//! let image = compile_system(&system, &CompileOptions::default())?;
+//! assert_eq!(image.nodes.len(), 1);
+//! assert!(image.nodes[0].symbols.get("Doubler/in/x").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compile;
+mod expr;
+mod fault;
+mod frame;
+mod image;
+mod isa;
+pub mod vm;
+
+pub use compile::{compile_system, CompileError, CompileOptions, InstrumentOptions};
+pub use expr::{compile_expr, VarSource};
+pub use fault::Fault;
+pub use frame::{crc16, CommandKind, Frame, FrameDecoder, MAX_ARGS, SOF};
+pub use image::{
+    DebugInfo, EventSpec, Latch, NodeImage, ProgramImage, Publication, Symbol, SymbolTable,
+    TaskImage,
+};
+pub use isa::{raw, CmpKind, Instr};
+pub use vm::{run, RunResult, VmError, DEFAULT_STEP_BUDGET};

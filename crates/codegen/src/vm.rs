@@ -1,0 +1,372 @@
+//! The stack-machine executor.
+//!
+//! This is the semantics of "executable code" in the reproduction: the
+//! target node simulator ([`gmdf-target`]) wraps it with memory,
+//! peripherals and a kernel; unit and property tests drive it directly.
+//! Execution is deterministic and cycle-counted.
+//!
+//! [`gmdf-target`]: ../../gmdf_target/index.html
+
+use crate::frame::Frame;
+use crate::isa::{raw, Instr};
+use std::fmt;
+
+/// Execution fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Pop from an empty stack.
+    StackUnderflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Load/store outside the data segment.
+    BadAddress {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Offending address.
+        addr: u32,
+    },
+    /// Jump outside the code.
+    BadJump {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Offending target.
+        target: u32,
+    },
+    /// Execution exceeded the step budget (runaway loop guard).
+    StepBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// Code ran off the end without `Halt`.
+    MissingHalt,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            VmError::BadAddress { pc, addr } => write!(f, "bad address {addr} at pc {pc}"),
+            VmError::BadJump { pc, target } => write!(f, "bad jump target {target} at pc {pc}"),
+            VmError::StepBudgetExceeded { budget } => {
+                write!(f, "step budget {budget} exceeded (runaway loop?)")
+            }
+            VmError::MissingHalt => write!(f, "code ran past the end without halt"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of one task-step execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Emitted command frames, each tagged with the cycle count *at which
+    /// the emit instruction finished* — the target simulator converts this
+    /// to a wall-clock time under preemption.
+    pub emits: Vec<(u64, Frame)>,
+}
+
+/// Default step budget (instructions per task step).
+pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
+
+/// Executes `code` over the `data` segment until `Halt`.
+///
+/// Returns consumed cycles and emitted frames. The stack is private to the
+/// run; only `data` persists between runs.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on stack underflow, bad addresses/jumps, missing
+/// `Halt`, or when `step_budget` instructions have been executed.
+pub fn run(code: &[Instr], data: &mut [u64], step_budget: u64) -> Result<RunResult, VmError> {
+    let mut stack: Vec<u64> = Vec::with_capacity(32);
+    let mut pc: usize = 0;
+    let mut cycles: u64 = 0;
+    let mut steps: u64 = 0;
+    let mut emits = Vec::new();
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(VmError::StackUnderflow { pc })?
+        };
+    }
+    macro_rules! binf {
+        ($op:expr) => {{
+            let b = raw::to_f(pop!());
+            let a = raw::to_f(pop!());
+            stack.push(raw::from_f($op(a, b)));
+        }};
+    }
+    macro_rules! bini {
+        ($op:expr) => {{
+            let b = raw::to_i(pop!());
+            let a = raw::to_i(pop!());
+            stack.push(raw::from_i($op(a, b)));
+        }};
+    }
+
+    loop {
+        if steps >= step_budget {
+            return Err(VmError::StepBudgetExceeded { budget: step_budget });
+        }
+        let Some(instr) = code.get(pc) else {
+            return Err(VmError::MissingHalt);
+        };
+        steps += 1;
+        cycles += instr.cycles();
+        let mut next = pc + 1;
+        match *instr {
+            Instr::PushF(v) => stack.push(raw::from_f(v)),
+            Instr::PushI(v) => stack.push(raw::from_i(v)),
+            Instr::Load(addr) => {
+                let cell = data
+                    .get(addr as usize)
+                    .ok_or(VmError::BadAddress { pc, addr })?;
+                stack.push(*cell);
+            }
+            Instr::Store(addr) => {
+                let v = pop!();
+                let cell = data
+                    .get_mut(addr as usize)
+                    .ok_or(VmError::BadAddress { pc, addr })?;
+                *cell = v;
+            }
+            Instr::AddF => binf!(|a: f64, b: f64| a + b),
+            Instr::SubF => binf!(|a: f64, b: f64| a - b),
+            Instr::MulF => binf!(|a: f64, b: f64| a * b),
+            Instr::DivF => binf!(|a: f64, b: f64| a / b),
+            Instr::MinF => binf!(f64::min),
+            Instr::MaxF => binf!(f64::max),
+            Instr::NegF => {
+                let a = raw::to_f(pop!());
+                stack.push(raw::from_f(-a));
+            }
+            Instr::AbsF => {
+                let a = raw::to_f(pop!());
+                stack.push(raw::from_f(a.abs()));
+            }
+            Instr::AddI => bini!(i64::wrapping_add),
+            Instr::SubI => bini!(i64::wrapping_sub),
+            Instr::MulI => bini!(i64::wrapping_mul),
+            Instr::DivI => bini!(|a: i64, b: i64| if b == 0 { 0 } else { a.wrapping_div(b) }),
+            Instr::RemI => bini!(|a: i64, b: i64| if b == 0 { 0 } else { a.wrapping_rem(b) }),
+            Instr::MinI => bini!(i64::min),
+            Instr::MaxI => bini!(i64::max),
+            Instr::NegI => {
+                let a = raw::to_i(pop!());
+                stack.push(raw::from_i(a.wrapping_neg()));
+            }
+            Instr::AbsI => {
+                let a = raw::to_i(pop!());
+                stack.push(raw::from_i(a.wrapping_abs()));
+            }
+            Instr::CmpF(k) => {
+                let b = raw::to_f(pop!());
+                let a = raw::to_f(pop!());
+                stack.push(raw::from_b(k.apply(a, b)));
+            }
+            Instr::CmpI(k) => {
+                let b = raw::to_i(pop!());
+                let a = raw::to_i(pop!());
+                stack.push(raw::from_b(k.apply(a, b)));
+            }
+            Instr::And => {
+                let b = raw::to_b(pop!());
+                let a = raw::to_b(pop!());
+                stack.push(raw::from_b(a && b));
+            }
+            Instr::Or => {
+                let b = raw::to_b(pop!());
+                let a = raw::to_b(pop!());
+                stack.push(raw::from_b(a || b));
+            }
+            Instr::Xor => {
+                let b = raw::to_b(pop!());
+                let a = raw::to_b(pop!());
+                stack.push(raw::from_b(a ^ b));
+            }
+            Instr::Not => {
+                let a = raw::to_b(pop!());
+                stack.push(raw::from_b(!a));
+            }
+            Instr::I2F => {
+                let a = raw::to_i(pop!());
+                stack.push(raw::from_f(a as f64));
+            }
+            Instr::F2I => {
+                let a = raw::to_f(pop!());
+                stack.push(raw::from_i(gmdf_comdes::trunc_to_int(a)));
+            }
+            Instr::Jmp(t) => {
+                if t as usize >= code.len() {
+                    return Err(VmError::BadJump { pc, target: t });
+                }
+                next = t as usize;
+            }
+            Instr::JmpIfZero(t) => {
+                if t as usize >= code.len() {
+                    return Err(VmError::BadJump { pc, target: t });
+                }
+                if pop!() == 0 {
+                    next = t as usize;
+                }
+            }
+            Instr::JmpIfNot(t) => {
+                if t as usize >= code.len() {
+                    return Err(VmError::BadJump { pc, target: t });
+                }
+                if pop!() != 0 {
+                    next = t as usize;
+                }
+            }
+            Instr::Emit { event, argc } => {
+                let mut args = Vec::with_capacity(argc as usize);
+                for _ in 0..argc {
+                    args.push(pop!());
+                }
+                args.reverse(); // first-pushed first
+                emits.push((cycles, Frame::new(event, args)));
+            }
+            Instr::Halt => {
+                return Ok(RunResult { cycles, emits });
+            }
+        }
+        pc = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::CmpKind;
+
+    #[test]
+    fn arithmetic_and_store() {
+        let code = [
+            Instr::PushF(2.0),
+            Instr::PushF(3.0),
+            Instr::MulF,
+            Instr::Store(0),
+            Instr::Halt,
+        ];
+        let mut data = vec![0u64; 1];
+        let r = run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(raw::to_f(data[0]), 6.0);
+        assert_eq!(r.cycles, 1 + 1 + 8 + 2 + 1);
+        assert!(r.emits.is_empty());
+    }
+
+    #[test]
+    fn integer_div_by_zero_is_zero() {
+        let code = [
+            Instr::PushI(9),
+            Instr::PushI(0),
+            Instr::DivI,
+            Instr::Store(0),
+            Instr::Halt,
+        ];
+        let mut data = vec![0xFFu64; 1];
+        run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(raw::to_i(data[0]), 0);
+    }
+
+    #[test]
+    fn conditional_jump_selects_branch() {
+        // if (5 > 3) store 1 else store 2
+        let code = [
+            Instr::PushF(5.0),
+            Instr::PushF(3.0),
+            Instr::CmpF(CmpKind::Gt),
+            Instr::JmpIfZero(7),
+            Instr::PushI(1),
+            Instr::Store(0),
+            Instr::Jmp(9),
+            Instr::PushI(2),
+            Instr::Store(0),
+            Instr::Halt,
+        ];
+        let mut data = vec![0u64; 1];
+        run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(raw::to_i(data[0]), 1);
+    }
+
+    #[test]
+    fn emit_pops_args_in_push_order() {
+        let code = [
+            Instr::PushI(10),
+            Instr::PushI(20),
+            Instr::Emit { event: 5, argc: 2 },
+            Instr::Halt,
+        ];
+        let mut data = vec![];
+        let r = run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(r.emits.len(), 1);
+        let (at, frame) = &r.emits[0];
+        assert_eq!(frame.event, 5);
+        assert_eq!(frame.args, vec![10, 20]);
+        assert_eq!(*at, 1 + 1 + (24 + 16));
+    }
+
+    #[test]
+    fn f2i_matches_interpreter_truncation() {
+        for v in [2.9, -2.9, f64::NAN, 1e300, -1e300] {
+            let code = [Instr::PushF(v), Instr::F2I, Instr::Store(0), Instr::Halt];
+            let mut data = vec![0u64; 1];
+            run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+            assert_eq!(raw::to_i(data[0]), gmdf_comdes::trunc_to_int(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let code = [Instr::AddF, Instr::Halt];
+        let err = run(&code, &mut [], DEFAULT_STEP_BUDGET).unwrap_err();
+        assert!(matches!(err, VmError::StackUnderflow { pc: 0 }));
+    }
+
+    #[test]
+    fn bad_address_detected() {
+        let code = [Instr::PushI(1), Instr::Store(9), Instr::Halt];
+        let err = run(&code, &mut [0u64; 2], DEFAULT_STEP_BUDGET).unwrap_err();
+        assert!(matches!(err, VmError::BadAddress { addr: 9, .. }));
+    }
+
+    #[test]
+    fn bad_jump_detected() {
+        let code = [Instr::Jmp(99)];
+        let err = run(&code, &mut [], DEFAULT_STEP_BUDGET).unwrap_err();
+        assert!(matches!(err, VmError::BadJump { target: 99, .. }));
+    }
+
+    #[test]
+    fn missing_halt_detected() {
+        let code = [Instr::PushI(1), Instr::Store(0)];
+        let err = run(&code, &mut [0u64; 1], DEFAULT_STEP_BUDGET).unwrap_err();
+        assert_eq!(err, VmError::MissingHalt);
+    }
+
+    #[test]
+    fn runaway_loop_hits_budget() {
+        let code = [Instr::Jmp(0)];
+        let err = run(&code, &mut [], 1000).unwrap_err();
+        assert!(matches!(err, VmError::StepBudgetExceeded { budget: 1000 }));
+    }
+
+    #[test]
+    fn logic_ops() {
+        let code = [
+            Instr::PushI(1),
+            Instr::PushI(0),
+            Instr::Or,
+            Instr::Not,
+            Instr::Store(0),
+            Instr::Halt,
+        ];
+        let mut data = vec![9u64; 1];
+        run(&code, &mut data, DEFAULT_STEP_BUDGET).unwrap();
+        assert_eq!(data[0], 0);
+    }
+}

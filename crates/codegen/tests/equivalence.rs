@@ -1,0 +1,873 @@
+//! Codegen-equivalence suite: compiled bytecode must reproduce the
+//! reference interpreter **bit for bit**.
+//!
+//! This is the property that makes the debugger's implementation-error
+//! detection meaningful: with no injected faults, generated code and model
+//! semantics coincide exactly, so any observed divergence on a real run is
+//! a genuine transformation bug.
+
+use gmdf_codegen::{compile_system, vm, CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    run_network, ActorBuilder, BasicOp, Expr, FsmBuilder, Mode, ModalBlock, Network,
+    NetworkBuilder, NodeSpec, Port, SignalValue, System, Timing, VAR_TIME_IN_STATE,
+};
+use proptest::prelude::*;
+
+const PERIOD_NS: u64 = 10_000_000; // dt = 0.01 s
+
+/// Wraps a network in a single-actor system, compiles it, and executes the
+/// task code step by step, writing inputs straight into the input latches.
+fn run_compiled(net: &Network, steps: &[Vec<SignalValue>]) -> Vec<Vec<SignalValue>> {
+    let mut builder = ActorBuilder::new("A", net.clone());
+    for p in &net.inputs {
+        builder = builder.input(&p.name, &format!("sig_{}", p.name));
+    }
+    for p in &net.outputs {
+        builder = builder.output(&p.name, &format!("sig_{}", p.name));
+    }
+    let actor = builder
+        .timing(Timing::periodic(PERIOD_NS, 0))
+        .build()
+        .expect("actor builds");
+    let mut node = NodeSpec::new("n0", 48_000_000);
+    node.actors.push(actor);
+    let system = System::new("equiv").with_node(node);
+    let image = compile_system(
+        &system,
+        &CompileOptions {
+            instrument: InstrumentOptions::none(),
+            faults: vec![],
+        },
+    )
+    .expect("compiles");
+
+    let nimg = &image.nodes[0];
+    let task = &nimg.tasks[0];
+    let mut data = vec![0u64; nimg.data_cells as usize];
+    for &(addr, raw) in &nimg.data_init {
+        data[addr as usize] = raw;
+    }
+    steps
+        .iter()
+        .map(|ins| {
+            for (latch, v) in task.input_latches.iter().zip(ins.iter()) {
+                data[latch.to as usize] = v.to_raw();
+            }
+            vm::run(&task.code, &mut data, vm::DEFAULT_STEP_BUDGET).expect("vm runs");
+            task.publications
+                .iter()
+                .map(|p| SignalValue::from_raw(p.ty, data[p.latch as usize]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts bit-identical outputs between interpreter and compiled code.
+fn assert_equivalent(net: &Network, steps: &[Vec<SignalValue>]) {
+    let interp = run_network(net, steps, PERIOD_NS as f64 / 1e9).expect("interpreter runs");
+    let compiled = run_compiled(net, steps);
+    assert_eq!(interp.len(), compiled.len());
+    for (k, (a, b)) in interp.iter().zip(compiled.iter()).enumerate() {
+        assert_eq!(a.len(), b.len(), "step {k}");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_raw(),
+                y.to_raw(),
+                "step {k} output {i}: interpreter {x} vs compiled {y}"
+            );
+        }
+    }
+}
+
+fn real_steps(values: &[f64]) -> Vec<Vec<SignalValue>> {
+    values.iter().map(|&v| vec![SignalValue::Real(v)]).collect()
+}
+
+#[test]
+fn every_stateless_real_op_is_equivalent() {
+    let unary_ops = [
+        BasicOp::Gain { k: -2.5 },
+        BasicOp::Offset { c: 3.25 },
+        BasicOp::Abs,
+        BasicOp::Neg,
+        BasicOp::Limit { lo: -1.0, hi: 1.0 },
+        BasicOp::Deadband { width: 0.5 },
+    ];
+    let inputs = real_steps(&[0.0, 1.5, -0.25, 1e9, -1e-9, f64::MAX]);
+    for op in unary_ops {
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("b", op.clone())
+            .connect("x", "b.x")
+            .unwrap()
+            .connect("b.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_equivalent(&net, &inputs);
+    }
+}
+
+#[test]
+fn every_binary_real_op_is_equivalent() {
+    let ops = [
+        BasicOp::Sum,
+        BasicOp::Sub,
+        BasicOp::Mul,
+        BasicOp::Div,
+        BasicOp::Min,
+        BasicOp::Max,
+    ];
+    let steps: Vec<Vec<SignalValue>> = [(1.5, 2.0), (0.0, 0.0), (-3.0, 7.0), (1.0, 0.0)]
+        .iter()
+        .map(|&(a, b)| vec![SignalValue::Real(a), SignalValue::Real(b)])
+        .collect();
+    for op in ops {
+        let net = NetworkBuilder::new()
+            .input(Port::real("p"))
+            .input(Port::real("q"))
+            .output(Port::real("y"))
+            .block("b", op.clone())
+            .connect("p", "b.a")
+            .unwrap()
+            .connect("q", "b.b")
+            .unwrap()
+            .connect("b.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_equivalent(&net, &steps);
+    }
+}
+
+#[test]
+fn every_stateful_op_is_equivalent_over_time() {
+    let cases: Vec<(BasicOp, &str, &str)> = vec![
+        (BasicOp::Hysteresis { low: -0.5, high: 0.5 }, "x", "q"),
+        (
+            BasicOp::Integrator { gain: 2.0, initial: 0.5, lo: -3.0, hi: 3.0 },
+            "x",
+            "y",
+        ),
+        (BasicOp::Derivative, "x", "y"),
+        (BasicOp::LowPass { alpha: 0.3 }, "x", "y"),
+        (BasicOp::MovingAverage { window: 4 }, "x", "y"),
+        (BasicOp::RateLimiter { max_rise: 10.0, max_fall: 5.0 }, "x", "y"),
+    ];
+    let inputs = real_steps(&[0.0, 1.0, -1.0, 0.75, 0.75, -2.0, 3.0, 0.1, 0.0, 5.0]);
+    for (op, in_port, out_port) in cases {
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::new(out_port, op.outputs()[0].ty))
+            .block("b", op.clone())
+            .connect("x", &format!("b.{in_port}"))
+            .unwrap()
+            .connect(&format!("b.{}", op.outputs()[0].name), out_port)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_equivalent(&net, &inputs);
+    }
+}
+
+#[test]
+fn pid_is_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::real("sp"))
+        .input(Port::real("pv"))
+        .output(Port::real("u"))
+        .block("pid", BasicOp::Pid { kp: 1.2, ki: 0.4, kd: 0.05, lo: -10.0, hi: 10.0 })
+        .connect("sp", "pid.sp")
+        .unwrap()
+        .connect("pv", "pid.pv")
+        .unwrap()
+        .connect("pid.u", "u")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..20)
+        .map(|k| {
+            vec![
+                SignalValue::Real(5.0),
+                SignalValue::Real(5.0 * (1.0 - (-(k as f64) * 0.1).exp())),
+            ]
+        })
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn boolean_blocks_are_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("a"))
+        .input(Port::boolean("b"))
+        .output(Port::boolean("q"))
+        .block("and", BasicOp::And)
+        .block("edge", BasicOp::RisingEdge)
+        .block("latch", BasicOp::SrLatch)
+        .connect("a", "and.a")
+        .unwrap()
+        .connect("b", "and.b")
+        .unwrap()
+        .connect("and.q", "edge.x")
+        .unwrap()
+        .connect("edge.q", "latch.s")
+        .unwrap()
+        .connect("b", "latch.r")
+        .unwrap()
+        .connect("latch.q", "q")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = [
+        (false, false),
+        (true, true),
+        (true, false),
+        (false, false),
+        (true, true),
+        (true, true),
+    ]
+    .iter()
+    .map(|&(a, b)| vec![SignalValue::Bool(a), SignalValue::Bool(b)])
+    .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn counter_timer_pulse_are_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("inc"))
+        .input(Port::boolean("rst"))
+        .output(Port::int("n"))
+        .output(Port::boolean("t"))
+        .output(Port::boolean("p"))
+        .block("cnt", BasicOp::Counter { min: 0, max: 3, wrap: true })
+        .block("tmr", BasicOp::TimerOn { delay: 0.025 })
+        .block("pls", BasicOp::PulseGen { period: 0.04, duty: 0.5 })
+        .connect("inc", "cnt.inc")
+        .unwrap()
+        .connect("rst", "cnt.reset")
+        .unwrap()
+        .connect("inc", "tmr.x")
+        .unwrap()
+        .connect("cnt.n", "n")
+        .unwrap()
+        .connect("tmr.q", "t")
+        .unwrap()
+        .connect("pls.q", "p")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..12)
+        .map(|k| vec![SignalValue::Bool(k % 3 != 0), SignalValue::Bool(k == 7)])
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn unit_delay_feedback_is_equivalent() {
+    // Accumulator: y = z(y) + x.
+    let net = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::real("y"))
+        .block("add", BasicOp::Sum)
+        .block("z", BasicOp::UnitDelay { initial: SignalValue::Real(1.0) })
+        .connect("x", "add.a")
+        .unwrap()
+        .connect("z.y", "add.b")
+        .unwrap()
+        .connect("add.y", "z.x")
+        .unwrap()
+        .connect("add.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_equivalent(&net, &real_steps(&[1.0, 2.0, 3.0, -1.0, 0.5]));
+}
+
+#[test]
+fn sample_hold_and_select_are_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .input(Port::boolean("h"))
+        .output(Port::real("y"))
+        .block("sh", BasicOp::SampleHold)
+        .block("sel", BasicOp::Select)
+        .block("neg", BasicOp::Neg)
+        .connect("x", "sh.x")
+        .unwrap()
+        .connect("h", "sh.hold")
+        .unwrap()
+        .connect("x", "neg.x")
+        .unwrap()
+        .connect("h", "sel.sel")
+        .unwrap()
+        .connect("sh.y", "sel.a")
+        .unwrap()
+        .connect("neg.y", "sel.b")
+        .unwrap()
+        .connect("sel.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = [(1.0, false), (2.0, true), (3.0, false), (4.0, true)]
+        .iter()
+        .map(|&(x, h)| vec![SignalValue::Real(x), SignalValue::Bool(h)])
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn func_block_expressions_are_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::real("t"))
+        .input(Port::int("n"))
+        .output(Port::real("y"))
+        .output(Port::boolean("q"))
+        .block(
+            "f",
+            BasicOp::Func {
+                inputs: vec![Port::real("t"), Port::int("n")],
+                outputs: vec![
+                    (
+                        Port::real("y"),
+                        Expr::var("t").mul(Expr::var("n")).add(Expr::Real(0.5)),
+                    ),
+                    (
+                        Port::boolean("q"),
+                        Expr::var("n")
+                            .ge(Expr::Int(2))
+                            .and(Expr::var("t").lt(Expr::Real(10.0))),
+                    ),
+                ],
+            },
+        )
+        .connect("t", "f.t")
+        .unwrap()
+        .connect("n", "f.n")
+        .unwrap()
+        .connect("f.y", "y")
+        .unwrap()
+        .connect("f.q", "q")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..6)
+        .map(|k| vec![SignalValue::Real(k as f64 * 2.5), SignalValue::Int(k - 2)])
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+fn traffic_fsm() -> gmdf_comdes::StateMachineBlock {
+    FsmBuilder::new()
+        .input(Port::boolean("pedestrian"))
+        .output(Port::int("lamp"))
+        .state("Green", |s| s.entry("lamp", Expr::Int(0)).during("lamp", Expr::Int(0)))
+        .state("Yellow", |s| s.entry("lamp", Expr::Int(1)))
+        .state("Red", |s| s.entry("lamp", Expr::Int(2)))
+        .transition(
+            "Green",
+            "Yellow",
+            Expr::var("pedestrian").and(Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.02))),
+        )
+        .transition("Yellow", "Red", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.01)))
+        .transition("Red", "Green", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.03)))
+        .initial("Green")
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn state_machine_is_equivalent() {
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("pedestrian"))
+        .output(Port::int("lamp"))
+        .state_machine("fsm", traffic_fsm())
+        .connect("pedestrian", "fsm.pedestrian")
+        .unwrap()
+        .connect("fsm.lamp", "lamp")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..40)
+        .map(|k| vec![SignalValue::Bool(k % 5 == 2)])
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn modal_block_is_equivalent() {
+    let mode_net = |k: f64| {
+        NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block(
+                "i",
+                BasicOp::Integrator { gain: k, initial: 0.0, lo: -100.0, hi: 100.0 },
+            )
+            .connect("x", "i.x")
+            .unwrap()
+            .connect("i.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let modal = ModalBlock {
+        data_inputs: vec![Port::real("x")],
+        outputs: vec![Port::real("y")],
+        modes: vec![
+            Mode { name: "slow".into(), network: mode_net(1.0) },
+            Mode { name: "fast".into(), network: mode_net(10.0) },
+        ],
+    };
+    let net = NetworkBuilder::new()
+        .input(Port::int("m"))
+        .input(Port::real("x"))
+        .output(Port::real("y"))
+        .modal("modal", modal)
+        .connect("m", "modal.mode")
+        .unwrap()
+        .connect("x", "modal.x")
+        .unwrap()
+        .connect("modal.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    // Includes out-of-range selectors that must clamp identically.
+    let steps: Vec<Vec<SignalValue>> = [(0, 1.0), (0, 1.0), (1, 1.0), (7, 1.0), (-2, 1.0), (1, -0.5)]
+        .iter()
+        .map(|&(m, x)| vec![SignalValue::Int(m), SignalValue::Real(x)])
+        .collect();
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn heterogeneous_fsm_feeding_modal_is_equivalent() {
+    // The paper's flagship heterogeneity: a state machine selecting the
+    // mode of a dataflow block.
+    let fsm = FsmBuilder::new()
+        .input(Port::real("err"))
+        .output(Port::int("mode"))
+        .state("Coarse", |s| s.during("mode", Expr::Int(0)))
+        .state("Fine", |s| s.during("mode", Expr::Int(1)))
+        .transition(
+            "Coarse",
+            "Fine",
+            Expr::Unary(gmdf_comdes::UnOp::Abs, Box::new(Expr::var("err"))).lt(Expr::Real(1.0)),
+        )
+        .transition(
+            "Fine",
+            "Coarse",
+            Expr::Unary(gmdf_comdes::UnOp::Abs, Box::new(Expr::var("err"))).ge(Expr::Real(2.0)),
+        )
+        .build()
+        .unwrap();
+    let gain_mode = |k: f64| {
+        NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let modal = ModalBlock {
+        data_inputs: vec![Port::real("x")],
+        outputs: vec![Port::real("y")],
+        modes: vec![
+            Mode { name: "coarse".into(), network: gain_mode(4.0) },
+            Mode { name: "fine".into(), network: gain_mode(0.5) },
+        ],
+    };
+    let net = NetworkBuilder::new()
+        .input(Port::real("err"))
+        .output(Port::real("u"))
+        .state_machine("sup", fsm)
+        .modal("ctl", modal)
+        .connect("err", "sup.err")
+        .unwrap()
+        .connect("sup.mode", "ctl.mode")
+        .unwrap()
+        .connect("err", "ctl.x")
+        .unwrap()
+        .connect("ctl.y", "u")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps = real_steps(&[5.0, 3.0, 0.5, 0.2, 2.5, 0.1, 0.9, 4.0]);
+    assert_equivalent(&net, &steps);
+}
+
+#[test]
+fn composite_nesting_is_equivalent() {
+    let inner = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::real("y"))
+        .block("lp", BasicOp::LowPass { alpha: 0.5 })
+        .block("g", BasicOp::Gain { k: 3.0 })
+        .connect("x", "lp.x")
+        .unwrap()
+        .connect("lp.y", "g.x")
+        .unwrap()
+        .connect("g.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    let net = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::real("y"))
+        .composite("filter", inner)
+        .connect("x", "filter.x")
+        .unwrap()
+        .connect("filter.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_equivalent(&net, &real_steps(&[1.0, 0.0, -2.0, 4.0]));
+}
+
+#[test]
+fn instrumented_code_same_values_as_clean_code() {
+    // Instrumentation must be behaviour-neutral: emits cost cycles but
+    // cannot change any computed value.
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("pedestrian"))
+        .output(Port::int("lamp"))
+        .state_machine("fsm", traffic_fsm())
+        .connect("pedestrian", "fsm.pedestrian")
+        .unwrap()
+        .connect("fsm.lamp", "lamp")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..30)
+        .map(|k| vec![SignalValue::Bool(k % 4 == 1)])
+        .collect();
+
+    // Clean run (helper uses InstrumentOptions::none()).
+    let clean = run_compiled(&net, &steps);
+
+    // Fully instrumented run.
+    let mut builder = ActorBuilder::new("A", net.clone());
+    builder = builder.input("pedestrian", "sig_p").output("lamp", "sig_l");
+    let actor = builder.timing(Timing::periodic(PERIOD_NS, 0)).build().unwrap();
+    let mut node = NodeSpec::new("n0", 48_000_000);
+    node.actors.push(actor);
+    let system = System::new("inst").with_node(node);
+    let image = compile_system(
+        &system,
+        &CompileOptions { instrument: InstrumentOptions::full(), faults: vec![] },
+    )
+    .unwrap();
+    let nimg = &image.nodes[0];
+    let task = &nimg.tasks[0];
+    let mut data = vec![0u64; nimg.data_cells as usize];
+    for &(a, r) in &nimg.data_init {
+        data[a as usize] = r;
+    }
+    let mut emitted = 0usize;
+    let instrumented: Vec<Vec<SignalValue>> = steps
+        .iter()
+        .map(|ins| {
+            for (latch, v) in task.input_latches.iter().zip(ins.iter()) {
+                data[latch.to as usize] = v.to_raw();
+            }
+            let r = vm::run(&task.code, &mut data, vm::DEFAULT_STEP_BUDGET).unwrap();
+            emitted += r.emits.len();
+            task.publications
+                .iter()
+                .map(|p| SignalValue::from_raw(p.ty, data[p.latch as usize]))
+                .collect()
+        })
+        .collect();
+    assert_eq!(clean, instrumented);
+    assert!(emitted > 0, "instrumented run must emit commands");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random dataflow chains and state machines.
+// ---------------------------------------------------------------------------
+
+fn arb_real_unary() -> impl Strategy<Value = BasicOp> {
+    prop_oneof![
+        (-4.0f64..4.0).prop_map(|k| BasicOp::Gain { k }),
+        (-4.0f64..4.0).prop_map(|c| BasicOp::Offset { c }),
+        Just(BasicOp::Abs),
+        Just(BasicOp::Neg),
+        (0.1f64..2.0).prop_map(|w| BasicOp::Deadband { width: w }),
+        (0.01f64..1.0).prop_map(|alpha| BasicOp::LowPass { alpha }),
+        (1u8..6).prop_map(|w| BasicOp::MovingAverage { window: w }),
+        ((-4.0f64..0.0), (0.0f64..4.0))
+            .prop_map(|(lo, hi)| BasicOp::Limit { lo, hi }),
+        ((-2.0f64..2.0), (-4.0f64..0.0), (0.0f64..4.0)).prop_map(|(g, lo, hi)| {
+            BasicOp::Integrator { gain: g, initial: 0.0, lo, hi }
+        }),
+        Just(BasicOp::Derivative),
+        ((0.5f64..20.0), (0.5f64..20.0))
+            .prop_map(|(r, f)| BasicOp::RateLimiter { max_rise: r, max_fall: f }),
+    ]
+}
+
+fn arb_real_binary() -> impl Strategy<Value = BasicOp> {
+    prop_oneof![
+        Just(BasicOp::Sum),
+        Just(BasicOp::Sub),
+        Just(BasicOp::Mul),
+        Just(BasicOp::Min),
+        Just(BasicOp::Max),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random chains of unary/binary real blocks: compiled == interpreted.
+    #[test]
+    fn random_dataflow_chain_equivalent(
+        unaries in proptest::collection::vec(arb_real_unary(), 1..6),
+        binaries in proptest::collection::vec(arb_real_binary(), 0..3),
+        inputs in proptest::collection::vec(-100.0f64..100.0, 1..12),
+    ) {
+        let mut b = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"));
+        let mut prev = "x".to_owned();
+        for (i, op) in unaries.iter().enumerate() {
+            let name = format!("u{i}");
+            let in_port = op.inputs()[0].name.clone();
+            b = b.block(&name, op.clone());
+            b = b.connect(&prev, &format!("{name}.{in_port}")).unwrap();
+            prev = format!("{name}.y");
+        }
+        for (i, op) in binaries.iter().enumerate() {
+            let name = format!("b{i}");
+            b = b.block(&name, op.clone());
+            b = b.connect(&prev, &format!("{name}.a")).unwrap();
+            b = b.connect("x", &format!("{name}.b")).unwrap();
+            prev = format!("{name}.y");
+        }
+        b = b.connect(&prev, "y").unwrap();
+        let net = b.build().unwrap();
+        let steps = real_steps(&inputs);
+        assert_equivalent(&net, &steps);
+    }
+
+    /// Random 2–4 state machines with threshold/time guards.
+    #[test]
+    fn random_state_machine_equivalent(
+        nstates in 2usize..5,
+        thresholds in proptest::collection::vec(-5.0f64..5.0, 8),
+        dwell in proptest::collection::vec(0.0f64..0.05, 8),
+        inputs in proptest::collection::vec(-10.0f64..10.0, 4..24),
+    ) {
+        let mut fb = FsmBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::int("s"))
+            .output(Port::real("v"));
+        for i in 0..nstates {
+            fb = fb.state(&format!("S{i}"), |s| {
+                s.entry("s", Expr::Int(i as i64))
+                 .during("v", Expr::var("x").mul(Expr::Real(i as f64 + 0.5)))
+            });
+        }
+        // Ring transitions with mixed guards + one cross transition.
+        for i in 0..nstates {
+            let j = (i + 1) % nstates;
+            let g = Expr::var("x")
+                .gt(Expr::Real(thresholds[i % thresholds.len()]))
+                .or(Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell[i % dwell.len()] + 0.005)));
+            fb = fb.transition(&format!("S{i}"), &format!("S{j}"), g);
+        }
+        fb = fb.transition(
+            "S0",
+            &format!("S{}", nstates - 1),
+            Expr::var("x").lt(Expr::Real(thresholds[7])),
+        );
+        let fsm = fb.build().unwrap();
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::int("s"))
+            .output(Port::real("v"))
+            .state_machine("m", fsm)
+            .connect("x", "m.x").unwrap()
+            .connect("m.s", "s").unwrap()
+            .connect("m.v", "v").unwrap()
+            .build()
+            .unwrap();
+        let steps = real_steps(&inputs);
+        assert_equivalent(&net, &steps);
+    }
+
+    /// Random Func expressions over one real and one int input.
+    #[test]
+    fn random_func_exprs_equivalent(
+        a in -10.0f64..10.0,
+        b in -20i64..20,
+        c in -5.0f64..5.0,
+        inputs in proptest::collection::vec((-50.0f64..50.0, -100i64..100), 1..10),
+    ) {
+        let expr_y = Expr::var("t")
+            .mul(Expr::Real(a))
+            .add(Expr::ToReal(Box::new(Expr::var("n").mul(Expr::Int(b)))))
+            .sub(Expr::Real(c));
+        let expr_q = Expr::If(
+            Box::new(Expr::var("t").gt(Expr::Real(a))),
+            Box::new(Expr::var("n").le(Expr::Int(b))),
+            Box::new(Expr::var("t").ne_(Expr::Real(c))),
+        );
+        let net = NetworkBuilder::new()
+            .input(Port::real("t"))
+            .input(Port::int("n"))
+            .output(Port::real("y"))
+            .output(Port::boolean("q"))
+            .block("f", BasicOp::Func {
+                inputs: vec![Port::real("t"), Port::int("n")],
+                outputs: vec![(Port::real("y"), expr_y), (Port::boolean("q"), expr_q)],
+            })
+            .connect("t", "f.t").unwrap()
+            .connect("n", "f.n").unwrap()
+            .connect("f.y", "y").unwrap()
+            .connect("f.q", "q").unwrap()
+            .build()
+            .unwrap();
+        let steps: Vec<Vec<SignalValue>> = inputs
+            .iter()
+            .map(|&(t, n)| vec![SignalValue::Real(t), SignalValue::Int(n)])
+            .collect();
+        assert_equivalent(&net, &steps);
+    }
+}
+
+#[test]
+fn injected_faults_change_behavior() {
+    use gmdf_codegen::Fault;
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("pedestrian"))
+        .output(Port::int("lamp"))
+        .state_machine("fsm", traffic_fsm())
+        .connect("pedestrian", "fsm.pedestrian")
+        .unwrap()
+        .connect("fsm.lamp", "lamp")
+        .unwrap()
+        .build()
+        .unwrap();
+    let steps: Vec<Vec<SignalValue>> = (0..30)
+        .map(|k| vec![SignalValue::Bool(k % 4 == 1)])
+        .collect();
+    let good = run_network(&net, &steps, PERIOD_NS as f64 / 1e9).unwrap();
+
+    let mut builder = ActorBuilder::new("A", net.clone());
+    builder = builder.input("pedestrian", "p").output("lamp", "l");
+    let actor = builder.timing(Timing::periodic(PERIOD_NS, 0)).build().unwrap();
+    let mut node = NodeSpec::new("n0", 48_000_000);
+    node.actors.push(actor);
+    let system = System::new("faulty").with_node(node);
+    let image = compile_system(
+        &system,
+        &CompileOptions {
+            instrument: InstrumentOptions::none(),
+            faults: vec![Fault::SwapTransitionTargets { block_path: "A/fsm".into() }],
+        },
+    )
+    .unwrap();
+    let nimg = &image.nodes[0];
+    let task = &nimg.tasks[0];
+    let mut data = vec![0u64; nimg.data_cells as usize];
+    for &(a, r) in &nimg.data_init {
+        data[a as usize] = r;
+    }
+    let bad: Vec<Vec<SignalValue>> = steps
+        .iter()
+        .map(|ins| {
+            for (latch, v) in task.input_latches.iter().zip(ins.iter()) {
+                data[latch.to as usize] = v.to_raw();
+            }
+            vm::run(&task.code, &mut data, vm::DEFAULT_STEP_BUDGET).unwrap();
+            task.publications
+                .iter()
+                .map(|p| SignalValue::from_raw(p.ty, data[p.latch as usize]))
+                .collect()
+        })
+        .collect();
+    assert_ne!(good, bad, "the swap fault must change observable behavior");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random heterogeneous compositions — an FSM-driven modal block whose
+    /// modes hold random stateful dataflow, wrapped in a composite —
+    /// compile to bit-identical behaviour.
+    #[test]
+    fn random_heterogeneous_nesting_equivalent(
+        thresholds in proptest::collection::vec(-5.0f64..5.0, 2),
+        mode_gains in proptest::collection::vec(-3.0f64..3.0, 2..5),
+        alphas in proptest::collection::vec(0.05f64..1.0, 2..5),
+        inputs in proptest::collection::vec(-10.0f64..10.0, 4..20),
+    ) {
+        let n_modes = mode_gains.len().min(alphas.len());
+        // Supervisor FSM: toggles between mode indices on thresholds.
+        let mut fb = FsmBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::int("mode"));
+        for m in 0..n_modes {
+            fb = fb.state(&format!("M{m}"), |s| s.during("mode", Expr::Int(m as i64)));
+        }
+        for m in 0..n_modes {
+            let th = thresholds[m % thresholds.len()];
+            fb = fb.transition(
+                &format!("M{m}"),
+                &format!("M{}", (m + 1) % n_modes),
+                Expr::var("x").gt(Expr::Real(th)),
+            );
+        }
+        let fsm = fb.build().unwrap();
+
+        // Modes: gain + low-pass (stateful, so freezing matters).
+        let modes: Vec<Mode> = (0..n_modes)
+            .map(|m| {
+                let net = NetworkBuilder::new()
+                    .input(Port::real("x"))
+                    .output(Port::real("y"))
+                    .block("g", BasicOp::Gain { k: mode_gains[m] })
+                    .block("lp", BasicOp::LowPass { alpha: alphas[m] })
+                    .connect("x", "g.x").unwrap()
+                    .connect("g.y", "lp.x").unwrap()
+                    .connect("lp.y", "y").unwrap()
+                    .build().unwrap();
+                Mode { name: format!("mode{m}"), network: net }
+            })
+            .collect();
+        let modal = ModalBlock {
+            data_inputs: vec![Port::real("x")],
+            outputs: vec![Port::real("y")],
+            modes,
+        };
+
+        // Composite wrapping the FSM + modal pair.
+        let inner = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .state_machine("sup", fsm)
+            .modal("ctl", modal)
+            .connect("x", "sup.x").unwrap()
+            .connect("sup.mode", "ctl.mode").unwrap()
+            .connect("x", "ctl.x").unwrap()
+            .connect("ctl.y", "y").unwrap()
+            .build().unwrap();
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .composite("wrap", inner)
+            .connect("x", "wrap.x").unwrap()
+            .connect("wrap.y", "y").unwrap()
+            .build().unwrap();
+
+        let steps = real_steps(&inputs);
+        assert_equivalent(&net, &steps);
+    }
+}

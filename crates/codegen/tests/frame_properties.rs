@@ -1,0 +1,108 @@
+//! Property tests on the command-interface wire format: the decoder must
+//! recover every frame from arbitrary chunking and arbitrary inter-frame
+//! garbage, and never panic on any byte stream.
+
+use gmdf_codegen::{Frame, FrameDecoder, MAX_ARGS, SOF};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (any::<u16>(), proptest::collection::vec(any::<u64>(), 0..=MAX_ARGS))
+        .prop_map(|(event, args)| Frame::new(event, args))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sequence of frames, split at arbitrary byte boundaries,
+    /// decodes losslessly and in order.
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        frames in proptest::collection::vec(arb_frame(), 0..12),
+        chunk_sizes in proptest::collection::vec(1usize..17, 1..64),
+    ) {
+        let mut wire: Vec<u8> = Vec::new();
+        for f in &frames {
+            wire.extend(f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut k = 0;
+        while pos < wire.len() {
+            let n = chunk_sizes[k % chunk_sizes.len()].min(wire.len() - pos);
+            got.extend(dec.feed(&wire[pos..pos + n]));
+            pos += n;
+            k += 1;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.crc_errors, 0);
+    }
+
+    /// Garbage before, between and after frames is skipped; every real
+    /// frame still comes out. (Garbage bytes may never contain SOF to
+    /// keep the oracle simple — resynchronization with embedded fake SOFs
+    /// is covered separately.)
+    #[test]
+    fn garbage_between_frames_is_skipped(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        garbage in proptest::collection::vec(any::<u8>().prop_filter("not sof", |b| *b != SOF), 0..32),
+    ) {
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend(&garbage);
+        for f in &frames {
+            wire.extend(f.encode());
+            wire.extend(&garbage);
+        }
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&wire);
+        prop_assert_eq!(got, frames);
+    }
+
+    /// The decoder never panics and never fabricates frames from pure
+    /// noise that fails CRC (a fabricated frame would need a valid CRC,
+    /// which the 16-bit check makes vanishingly unlikely for short noise;
+    /// we only assert no panic and bounded output here).
+    #[test]
+    fn decoder_is_total_on_random_bytes(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&noise);
+        // Each decoded frame consumed at least 7 bytes of input.
+        prop_assert!(got.len() <= noise.len() / 7 + 1);
+    }
+
+    /// A single corrupted byte in a frame kills (at most) that frame;
+    /// neighbors decode intact.
+    #[test]
+    fn corruption_is_contained(
+        a in arb_frame(),
+        victim in arb_frame(),
+        b in arb_frame(),
+        flip in any::<(proptest::sample::Index, u8)>(),
+    ) {
+        let mut wire = a.encode();
+        let mut v = victim.encode();
+        let (idx, mask) = flip;
+        prop_assume!(mask != 0);
+        let i = idx.index(v.len());
+        v[i] ^= mask;
+        wire.extend(v);
+        wire.extend(b.encode());
+        let mut dec = FrameDecoder::new();
+        let mut got = dec.feed(&wire);
+        // A flipped byte can fabricate a SOF whose plausible length field
+        // leaves the decoder waiting for a frame tail that spans past the
+        // end of this burst; on a live line more traffic flushes it. Feed
+        // non-SOF padding to emulate the flowing link.
+        got.extend(dec.feed(&[0u8; 256]));
+        // `a` and `b` must both be present, in order, possibly with the
+        // victim surviving if the flip hit a don't-care byte (it can't:
+        // every byte is covered by CRC or is the SOF/len, but a flipped
+        // SOF can resync mid-frame and strand `victim` bytes — so we only
+        // require a and b).
+        prop_assert!(got.contains(&a));
+        prop_assert!(got.contains(&b));
+        let pa = got.iter().position(|f| *f == a).unwrap();
+        let pb = got.iter().rposition(|f| *f == b).unwrap();
+        prop_assert!(pa <= pb);
+    }
+}

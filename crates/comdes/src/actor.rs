@@ -1,0 +1,326 @@
+//! Actors: the unit of concurrency and timing in COMDES.
+//!
+//! "An application is modeled as a network of distributed embedded actors
+//! that communicate by exchanging labeled messages (signals) using
+//! non-blocking state-message communication" (paper §III). Each actor wraps
+//! a component [`Network`] in a periodic task under *Distributed Timed
+//! Multitasking*: inputs are latched at task release and outputs published
+//! exactly at the deadline instant, eliminating I/O jitter.
+
+use crate::error::ComdesError;
+use crate::network::Network;
+use crate::signal::Port;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of an actor's periodic task (all in nanoseconds,
+/// relative to the node's time base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Release period.
+    pub period_ns: u64,
+    /// Offset of the first release.
+    pub offset_ns: u64,
+    /// Relative deadline (output latch instant), `0 < deadline ≤ period`.
+    pub deadline_ns: u64,
+    /// Fixed priority; **lower value = higher priority**.
+    pub priority: u8,
+}
+
+impl Timing {
+    /// Convenience constructor with `deadline = period`, `offset = 0`.
+    pub fn periodic(period_ns: u64, priority: u8) -> Self {
+        Timing {
+            period_ns,
+            offset_ns: 0,
+            deadline_ns: period_ns,
+            priority,
+        }
+    }
+
+    /// The actor's sampling interval in seconds — the `dt` every stateful
+    /// block and guard sees. Computed identically by the interpreter and
+    /// the code generator.
+    pub fn dt_seconds(&self) -> f64 {
+        self.period_ns as f64 / 1e9
+    }
+
+    /// Checks `period > 0` and `0 < deadline ≤ period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::BadTiming`] describing the violation.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        if self.period_ns == 0 {
+            return Err(ComdesError::BadTiming("period must be > 0".into()));
+        }
+        if self.deadline_ns == 0 || self.deadline_ns > self.period_ns {
+            return Err(ComdesError::BadTiming(format!(
+                "deadline {} must be in (0, period {}]",
+                self.deadline_ns, self.period_ns
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Binding of an actor input port to a signal label on the node's board.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActorInput {
+    /// The port (must match a network input of the same name and type).
+    pub port: Port,
+    /// Signal label read (latched) at task release. Labels are written by
+    /// other actors' outputs or by the environment (sensors).
+    pub label: String,
+}
+
+/// Binding of an actor output port to a signal label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActorOutput {
+    /// The port (must match a network output of the same name and type).
+    pub port: Port,
+    /// Signal label published at the deadline instant.
+    pub label: String,
+}
+
+/// A COMDES actor: a named, periodically scheduled component network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    /// Actor name (unique within the system).
+    pub name: String,
+    /// Input signal bindings.
+    pub inputs: Vec<ActorInput>,
+    /// Output signal bindings.
+    pub outputs: Vec<ActorOutput>,
+    /// The component network computing outputs from inputs.
+    pub network: Network,
+    /// Task timing.
+    pub timing: Timing,
+}
+
+impl Actor {
+    /// Validates the actor: name, timing, network, and that the signal
+    /// bindings exactly cover the network's exported ports (same order,
+    /// name and type).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        if !gmdf_metamodel::is_valid_name(&self.name) {
+            return Err(ComdesError::InvalidName(self.name.clone()));
+        }
+        self.timing.check()?;
+        self.network.check()?;
+        let in_ports: Vec<&Port> = self.inputs.iter().map(|i| &i.port).collect();
+        let net_in: Vec<&Port> = self.network.inputs.iter().collect();
+        if in_ports != net_in {
+            return Err(ComdesError::BadSystem(format!(
+                "actor `{}` input bindings do not match its network inputs",
+                self.name
+            )));
+        }
+        let out_ports: Vec<&Port> = self.outputs.iter().map(|o| &o.port).collect();
+        let net_out: Vec<&Port> = self.network.outputs.iter().collect();
+        if out_ports != net_out {
+            return Err(ComdesError::BadSystem(format!(
+                "actor `{}` output bindings do not match its network outputs",
+                self.name
+            )));
+        }
+        for (i, inp) in self.inputs.iter().enumerate() {
+            if self.inputs[..i].iter().any(|p| p.port.name == inp.port.name) {
+                return Err(ComdesError::DuplicateName(inp.port.name.clone()));
+            }
+        }
+        for (i, out) in self.outputs.iter().enumerate() {
+            if self.outputs[..i].iter().any(|p| p.port.name == out.port.name) {
+                return Err(ComdesError::DuplicateName(out.port.name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Actor`].
+///
+/// ```
+/// use gmdf_comdes::{ActorBuilder, NetworkBuilder, BasicOp, Port, Timing};
+///
+/// # fn main() -> Result<(), gmdf_comdes::ComdesError> {
+/// let net = NetworkBuilder::new()
+///     .input(Port::real("t"))
+///     .output(Port::real("u"))
+///     .block("g", BasicOp::Gain { k: -1.0 })
+///     .connect("t", "g.x")?
+///     .connect("g.y", "u")?
+///     .build()?;
+/// let actor = ActorBuilder::new("Controller", net)
+///     .input("t", "temperature")
+///     .output("u", "valve")
+///     .timing(Timing::periodic(10_000_000, 1))
+///     .build()?;
+/// assert_eq!(actor.inputs[0].label, "temperature");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ActorBuilder {
+    name: String,
+    network: Network,
+    inputs: Vec<(String, String)>,
+    outputs: Vec<(String, String)>,
+    timing: Timing,
+}
+
+impl ActorBuilder {
+    /// Starts building an actor around `network` with default timing
+    /// (10 ms period, priority 10).
+    pub fn new(name: &str, network: Network) -> Self {
+        ActorBuilder {
+            name: name.to_owned(),
+            network,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            timing: Timing::periodic(10_000_000, 10),
+        }
+    }
+
+    /// Binds network input port `port` to signal `label`.
+    pub fn input(mut self, port: &str, label: &str) -> Self {
+        self.inputs.push((port.to_owned(), label.to_owned()));
+        self
+    }
+
+    /// Binds network output port `port` to signal `label`.
+    pub fn output(mut self, port: &str, label: &str) -> Self {
+        self.outputs.push((port.to_owned(), label.to_owned()));
+        self
+    }
+
+    /// Sets the task timing.
+    pub fn timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Resolves port names and validates the actor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::Unknown`] for unbound port names and any
+    /// error from [`Actor::check`]. Every network port must be bound.
+    pub fn build(self) -> Result<Actor, ComdesError> {
+        let find = |ports: &[Port], name: &str| -> Result<Port, ComdesError> {
+            ports
+                .iter()
+                .find(|p| p.name == name)
+                .cloned()
+                .ok_or_else(|| ComdesError::Unknown(format!("port `{name}`")))
+        };
+        let mut inputs = Vec::new();
+        for p in &self.network.inputs {
+            let label = self
+                .inputs
+                .iter()
+                .find(|(port, _)| *port == p.name)
+                .map(|(_, l)| l.clone())
+                .ok_or_else(|| {
+                    ComdesError::BadSystem(format!(
+                        "actor `{}`: network input `{}` is not bound to a signal",
+                        self.name, p.name
+                    ))
+                })?;
+            inputs.push(ActorInput { port: find(&self.network.inputs, &p.name)?, label });
+        }
+        let mut outputs = Vec::new();
+        for p in &self.network.outputs {
+            let label = self
+                .outputs
+                .iter()
+                .find(|(port, _)| *port == p.name)
+                .map(|(_, l)| l.clone())
+                .ok_or_else(|| {
+                    ComdesError::BadSystem(format!(
+                        "actor `{}`: network output `{}` is not bound to a signal",
+                        self.name, p.name
+                    ))
+                })?;
+            outputs.push(ActorOutput { port: find(&self.network.outputs, &p.name)?, label });
+        }
+        let actor = Actor {
+            name: self.name,
+            inputs,
+            outputs,
+            network: self.network,
+            timing: self.timing,
+        };
+        actor.check()?;
+        Ok(actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicOp;
+    use crate::network::NetworkBuilder;
+
+    fn net() -> Network {
+        NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 2.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_binds_ports() {
+        let a = ActorBuilder::new("A", net())
+            .input("x", "sensor")
+            .output("y", "act")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        assert_eq!(a.inputs[0].label, "sensor");
+        assert_eq!(a.outputs[0].port.name, "y");
+        assert!((a.timing.dt_seconds() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbound_port_rejected() {
+        let err = ActorBuilder::new("A", net())
+            .output("y", "act")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("not bound"));
+    }
+
+    #[test]
+    fn timing_validation() {
+        assert!(Timing::periodic(0, 1).check().is_err());
+        assert!(Timing { period_ns: 10, offset_ns: 0, deadline_ns: 0, priority: 1 }
+            .check()
+            .is_err());
+        assert!(Timing { period_ns: 10, offset_ns: 0, deadline_ns: 11, priority: 1 }
+            .check()
+            .is_err());
+        assert!(Timing { period_ns: 10, offset_ns: 5, deadline_ns: 10, priority: 1 }
+            .check()
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_actor_name_rejected() {
+        let err = ActorBuilder::new("9bad", net())
+            .input("x", "s")
+            .output("y", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::InvalidName(_)));
+    }
+}

@@ -1,0 +1,747 @@
+//! Basic (signal-processing) function blocks.
+//!
+//! COMDES actors "are configured from prefabricated executable components
+//! such as basic (signal processing), composite, modal and state-machine
+//! function blocks" (paper §III). This module is the prefabricated basic
+//! block library; composite/modal blocks live in
+//! [`network`](crate::network) and state-machine blocks in
+//! [`fsm`](crate::fsm).
+//!
+//! Every op documents its **state layout** — named cells with initial
+//! values — because the code generator allocates the same cells on the
+//! target, and the JTAG watch list addresses them by name. The [`step`]
+//! semantics here are the *reference semantics*; the compiled bytecode is
+//! property-tested to produce bit-identical results.
+//!
+//! [`step`]: BasicOp::step
+
+use crate::expr::Expr;
+use crate::signal::{Port, SignalType, SignalValue};
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator for the [`BasicOp::Compare`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+}
+
+impl CmpOp {
+    fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A prefabricated basic function block.
+///
+/// Port conventions: unary real blocks use `x → y`; binary real blocks use
+/// `a, b → y`; boolean outputs are named `q`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BasicOp {
+    /// Constant source: `→ y` (type of the value). Stateless.
+    Const(SignalValue),
+    /// Proportional gain: `x → y = k·x`. Stateless.
+    Gain {
+        /// Multiplier.
+        k: f64,
+    },
+    /// Constant offset: `x → y = x + c`. Stateless.
+    Offset {
+        /// Added constant.
+        c: f64,
+    },
+    /// Addition: `a, b → y = a + b`. Stateless.
+    Sum,
+    /// Subtraction: `a, b → y = a − b`. Stateless.
+    Sub,
+    /// Multiplication: `a, b → y = a·b`. Stateless.
+    Mul,
+    /// Division: `a, b → y = a / b` (IEEE semantics). Stateless.
+    Div,
+    /// Minimum: `a, b → y`. Stateless.
+    Min,
+    /// Maximum: `a, b → y`. Stateless.
+    Max,
+    /// Absolute value: `x → y`. Stateless.
+    Abs,
+    /// Negation: `x → y = −x`. Stateless.
+    Neg,
+    /// Saturation: `x → y = min(max(x, lo), hi)`. Stateless.
+    Limit {
+        /// Lower clamp.
+        lo: f64,
+        /// Upper clamp.
+        hi: f64,
+    },
+    /// Deadband: `x → y = 0 if |x| < width else x`. Stateless.
+    Deadband {
+        /// Half-width of the dead zone.
+        width: f64,
+    },
+    /// Two-point hysteresis: `x → q`. State: `q0: Bool(false)`.
+    /// `q' = x ≥ high ? true : (x ≤ low ? false : q)`.
+    Hysteresis {
+        /// Switch-off threshold.
+        low: f64,
+        /// Switch-on threshold.
+        high: f64,
+    },
+    /// Clamped integrator: `x → y`. State: `acc: Real(initial)`.
+    /// `acc' = clamp(acc + gain·x·dt); y = acc'`.
+    Integrator {
+        /// Integration gain.
+        gain: f64,
+        /// Initial accumulator value.
+        initial: f64,
+        /// Lower clamp.
+        lo: f64,
+        /// Upper clamp.
+        hi: f64,
+    },
+    /// Backward-difference derivative: `x → y = (x − prev)/dt`.
+    /// State: `prev: Real(0)`.
+    Derivative,
+    /// First-order low-pass: `x → y`. State: `y0: Real(0)`.
+    /// `y' = y + alpha·(x − y)`.
+    LowPass {
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Moving average over the last `window` samples: `x → y`.
+    /// State: `window` ring cells (`Real(0)` each) + `idx: Int(0)` +
+    /// `count: Int(0)`.
+    MovingAverage {
+        /// Window length (≥ 1; builders should keep this small, the code
+        /// generator unrolls the summation).
+        window: u8,
+    },
+    /// PID controller: `sp, pv → u`. State: `integral: Real(0)`,
+    /// `prev_err: Real(0)`. `e = sp − pv; I' = I + e·dt;
+    /// u = clamp(kp·e + ki·I' + kd·(e − prev_err)/dt); prev_err' = e`.
+    Pid {
+        /// Proportional gain.
+        kp: f64,
+        /// Integral gain.
+        ki: f64,
+        /// Derivative gain.
+        kd: f64,
+        /// Output lower clamp.
+        lo: f64,
+        /// Output upper clamp.
+        hi: f64,
+    },
+    /// Unit delay: `x → y = previous x`. State: `prev(initial)`.
+    /// The only block without direct feedthrough — it legally breaks
+    /// dataflow loops. Port types follow `initial`'s type.
+    UnitDelay {
+        /// Initial output (also fixes the port type).
+        initial: SignalValue,
+    },
+    /// Sample-and-hold: `x, hold → y`. State: `held: Real(0)`.
+    /// `if !hold { held' = x }; y = held'`.
+    SampleHold,
+    /// Slew-rate limiter: `x → y`. State: `prev: Real(0)`.
+    /// `y = prev + clamp(x − prev, −max_fall·dt, max_rise·dt)`.
+    RateLimiter {
+        /// Maximum rise per second.
+        max_rise: f64,
+        /// Maximum fall per second.
+        max_fall: f64,
+    },
+    /// Up counter: `inc, reset → n`. State: `cnt: Int(min)`.
+    /// Reset dominates; saturates or wraps at `max`.
+    Counter {
+        /// Reset / minimum value.
+        min: i64,
+        /// Maximum value.
+        max: i64,
+        /// Wrap to `min` on overflow instead of saturating.
+        wrap: bool,
+    },
+    /// On-delay timer: `x → q` true once `x` has been continuously true for
+    /// `delay` seconds. State: `elapsed: Real(0)`.
+    TimerOn {
+        /// Required continuous-true time in seconds.
+        delay: f64,
+    },
+    /// Pulse generator: `→ q` true for the first `duty`-fraction of each
+    /// `period`. State: `phase: Real(0)`.
+    PulseGen {
+        /// Period in seconds.
+        period: f64,
+        /// Duty cycle in `[0, 1]`.
+        duty: f64,
+    },
+    /// Logical and: `a, b → q`. Stateless.
+    And,
+    /// Logical or: `a, b → q`. Stateless.
+    Or,
+    /// Logical exclusive-or: `a, b → q`. Stateless.
+    Xor,
+    /// Logical negation: `x → q`. Stateless.
+    Not,
+    /// Set/reset latch (reset dominant): `s, r → q`. State: `q0: Bool(false)`.
+    SrLatch,
+    /// Rising-edge detector: `x → q = x ∧ ¬prev`. State: `prev: Bool(false)`.
+    RisingEdge,
+    /// Numeric comparison: `a, b → q`. Stateless.
+    Compare(CmpOp),
+    /// Two-way selector: `sel, a, b → y = sel ? a : b`. Stateless.
+    Select,
+    /// Generic expression block: declared input ports, outputs computed by
+    /// expressions over them. Stateless.
+    Func {
+        /// Declared input ports (the expressions' variables).
+        inputs: Vec<Port>,
+        /// `(output port, defining expression)` pairs, evaluated in order.
+        outputs: Vec<(Port, Expr)>,
+    },
+}
+
+impl BasicOp {
+    /// Input port signature, in positional order.
+    pub fn inputs(&self) -> Vec<Port> {
+        use BasicOp::*;
+        match self {
+            Const(_) | PulseGen { .. } => vec![],
+            Gain { .. } | Offset { .. } | Abs | Neg | Limit { .. } | Deadband { .. }
+            | Derivative | LowPass { .. } | MovingAverage { .. } | RateLimiter { .. }
+            | Integrator { .. } => vec![Port::real("x")],
+            Hysteresis { .. } => vec![Port::real("x")],
+            Sum | Sub | Mul | Div | Min | Max => vec![Port::real("a"), Port::real("b")],
+            Pid { .. } => vec![Port::real("sp"), Port::real("pv")],
+            UnitDelay { initial } => vec![Port::new("x", initial.signal_type())],
+            SampleHold => vec![Port::real("x"), Port::boolean("hold")],
+            Counter { .. } => vec![Port::boolean("inc"), Port::boolean("reset")],
+            TimerOn { .. } | Not | RisingEdge => vec![Port::boolean("x")],
+            And | Or | Xor => vec![Port::boolean("a"), Port::boolean("b")],
+            SrLatch => vec![Port::boolean("s"), Port::boolean("r")],
+            Compare(_) => vec![Port::real("a"), Port::real("b")],
+            Select => vec![Port::boolean("sel"), Port::real("a"), Port::real("b")],
+            Func { inputs, .. } => inputs.clone(),
+        }
+    }
+
+    /// Output port signature, in positional order.
+    pub fn outputs(&self) -> Vec<Port> {
+        use BasicOp::*;
+        match self {
+            Const(v) => vec![Port::new("y", v.signal_type())],
+            UnitDelay { initial } => vec![Port::new("y", initial.signal_type())],
+            Hysteresis { .. } | TimerOn { .. } | PulseGen { .. } | And | Or | Xor | Not
+            | SrLatch | RisingEdge | Compare(_) => vec![Port::boolean("q")],
+            Counter { .. } => vec![Port::int("n")],
+            Pid { .. } => vec![Port::real("u")],
+            Func { outputs, .. } => outputs.iter().map(|(p, _)| p.clone()).collect(),
+            _ => vec![Port::real("y")],
+        }
+    }
+
+    /// Named state cells with initial values — the layout the code
+    /// generator reproduces on the target.
+    pub fn state_layout(&self) -> Vec<(String, SignalValue)> {
+        use BasicOp::*;
+        match self {
+            Hysteresis { .. } => vec![("q0".into(), false.into())],
+            Integrator { initial, .. } => vec![("acc".into(), (*initial).into())],
+            Derivative => vec![("prev".into(), 0.0.into())],
+            LowPass { .. } => vec![("y0".into(), 0.0.into())],
+            MovingAverage { window } => {
+                let mut cells: Vec<(String, SignalValue)> = (0..*window)
+                    .map(|i| (format!("w{i}"), 0.0.into()))
+                    .collect();
+                cells.push(("idx".into(), 0i64.into()));
+                cells.push(("count".into(), 0i64.into()));
+                cells
+            }
+            Pid { .. } => vec![
+                ("integral".into(), 0.0.into()),
+                ("prev_err".into(), 0.0.into()),
+            ],
+            UnitDelay { initial } => vec![("prev".into(), *initial)],
+            SampleHold => vec![("held".into(), 0.0.into())],
+            RateLimiter { .. } => vec![("prev".into(), 0.0.into())],
+            Counter { min, .. } => vec![("cnt".into(), (*min).into())],
+            TimerOn { .. } => vec![("elapsed".into(), 0.0.into())],
+            PulseGen { .. } => vec![("phase".into(), 0.0.into())],
+            SrLatch => vec![("q0".into(), false.into())],
+            RisingEdge => vec![("prev".into(), false.into())],
+            _ => vec![],
+        }
+    }
+
+    /// `true` if outputs depend on current-step inputs. Only
+    /// [`BasicOp::UnitDelay`] returns `false`; it may appear inside dataflow
+    /// cycles.
+    pub fn has_direct_feedthrough(&self) -> bool {
+        !matches!(self, BasicOp::UnitDelay { .. })
+    }
+
+    /// Executes one synchronous step: reads `inputs` (positional, matching
+    /// [`inputs`](Self::inputs)), updates `state` (matching
+    /// [`state_layout`](Self::state_layout)) and returns outputs
+    /// (positional, matching [`outputs`](Self::outputs)).
+    ///
+    /// `dt` is the owning actor's period in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `state` have the wrong arity or types; the
+    /// network validator guarantees both before execution.
+    pub fn step(&self, state: &mut [SignalValue], inputs: &[SignalValue], dt: f64) -> Vec<SignalValue> {
+        use BasicOp::*;
+        let r = |i: usize| inputs[i].as_real().expect("real input");
+        let b = |i: usize| inputs[i].as_bool().expect("bool input");
+        match self {
+            Const(v) => vec![*v],
+            Gain { k } => vec![(k * r(0)).into()],
+            Offset { c } => vec![(r(0) + c).into()],
+            Sum => vec![(r(0) + r(1)).into()],
+            Sub => vec![(r(0) - r(1)).into()],
+            Mul => vec![(r(0) * r(1)).into()],
+            Div => vec![(r(0) / r(1)).into()],
+            Min => vec![r(0).min(r(1)).into()],
+            Max => vec![r(0).max(r(1)).into()],
+            Abs => vec![r(0).abs().into()],
+            Neg => vec![(-r(0)).into()],
+            Limit { lo, hi } => vec![r(0).max(*lo).min(*hi).into()],
+            Deadband { width } => {
+                let x = r(0);
+                vec![if x.abs() < *width { 0.0 } else { x }.into()]
+            }
+            Hysteresis { low, high } => {
+                let x = r(0);
+                let q = state[0].as_bool().expect("bool state");
+                let q2 = if x >= *high {
+                    true
+                } else if x <= *low {
+                    false
+                } else {
+                    q
+                };
+                state[0] = q2.into();
+                vec![q2.into()]
+            }
+            Integrator { gain, lo, hi, .. } => {
+                let acc = state[0].as_real().expect("real state");
+                let acc2 = (acc + gain * r(0) * dt).max(*lo).min(*hi);
+                state[0] = acc2.into();
+                vec![acc2.into()]
+            }
+            Derivative => {
+                let prev = state[0].as_real().expect("real state");
+                let x = r(0);
+                state[0] = x.into();
+                vec![((x - prev) / dt).into()]
+            }
+            LowPass { alpha } => {
+                let y = state[0].as_real().expect("real state");
+                let y2 = y + alpha * (r(0) - y);
+                state[0] = y2.into();
+                vec![y2.into()]
+            }
+            MovingAverage { window } => {
+                let w = *window as usize;
+                let x = r(0);
+                let idx = state[w].as_int().expect("int state") as usize % w;
+                let count = state[w + 1].as_int().expect("int state");
+                state[idx] = x.into();
+                state[w] = (((idx + 1) % w) as i64).into();
+                let count2 = (count + 1).min(w as i64);
+                state[w + 1] = count2.into();
+                let mut sum = 0.0;
+                for cell in state.iter().take(w) {
+                    sum += cell.as_real().expect("real cell");
+                }
+                vec![(sum / count2 as f64).into()]
+            }
+            Pid { kp, ki, kd, lo, hi } => {
+                let integral = state[0].as_real().expect("real state");
+                let prev_err = state[1].as_real().expect("real state");
+                let e = r(0) - r(1);
+                let integral2 = integral + e * dt;
+                let d = (e - prev_err) / dt;
+                let u = (kp * e + ki * integral2 + kd * d).max(*lo).min(*hi);
+                state[0] = integral2.into();
+                state[1] = e.into();
+                vec![u.into()]
+            }
+            UnitDelay { .. } => {
+                // Output only; the state update happens in the network's
+                // late-update phase (see crate::interp).
+                vec![state[0]]
+            }
+            SampleHold => {
+                if !b(1) {
+                    state[0] = inputs[0];
+                }
+                vec![state[0]]
+            }
+            RateLimiter { max_rise, max_fall } => {
+                let prev = state[0].as_real().expect("real state");
+                let dy = (r(0) - prev).max(-max_fall * dt).min(max_rise * dt);
+                let y = prev + dy;
+                state[0] = y.into();
+                vec![y.into()]
+            }
+            Counter { min, max, wrap } => {
+                let cnt = state[0].as_int().expect("int state");
+                let cnt2 = if b(1) {
+                    *min
+                } else if b(0) {
+                    let n = cnt.wrapping_add(1);
+                    if n > *max {
+                        if *wrap {
+                            *min
+                        } else {
+                            *max
+                        }
+                    } else {
+                        n
+                    }
+                } else {
+                    cnt
+                };
+                state[0] = cnt2.into();
+                vec![cnt2.into()]
+            }
+            TimerOn { delay } => {
+                let elapsed = state[0].as_real().expect("real state");
+                let e2 = if b(0) { elapsed + dt } else { 0.0 };
+                state[0] = e2.into();
+                vec![(e2 >= *delay).into()]
+            }
+            PulseGen { period, duty } => {
+                let phase = state[0].as_real().expect("real state");
+                let q = phase < duty * period;
+                let mut p2 = phase + dt;
+                if p2 >= *period {
+                    p2 -= period;
+                }
+                state[0] = p2.into();
+                vec![q.into()]
+            }
+            And => vec![(b(0) && b(1)).into()],
+            Or => vec![(b(0) || b(1)).into()],
+            Xor => vec![(b(0) ^ b(1)).into()],
+            Not => vec![(!b(0)).into()],
+            SrLatch => {
+                let q = state[0].as_bool().expect("bool state");
+                let q2 = if b(1) { false } else if b(0) { true } else { q };
+                state[0] = q2.into();
+                vec![q2.into()]
+            }
+            RisingEdge => {
+                let prev = state[0].as_bool().expect("bool state");
+                let x = b(0);
+                state[0] = x.into();
+                vec![(x && !prev).into()]
+            }
+            Compare(op) => vec![op.apply(r(0), r(1)).into()],
+            Select => vec![if b(0) { inputs[1] } else { inputs[2] }],
+            Func { inputs: ports, outputs } => {
+                let env: std::collections::BTreeMap<String, SignalValue> = ports
+                    .iter()
+                    .zip(inputs.iter())
+                    .map(|(p, v)| (p.name.clone(), *v))
+                    .collect();
+                outputs
+                    .iter()
+                    .map(|(port, e)| {
+                        let v = e.eval(&env).expect("validated expression");
+                        coerce(v, port.ty)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Coerces an expression result onto a port type (`int → real` widening
+/// only; everything else must already match).
+///
+/// # Panics
+///
+/// Panics on an incompatible pair — validation rules that out.
+pub(crate) fn coerce(v: SignalValue, ty: SignalType) -> SignalValue {
+    match (v, ty) {
+        (SignalValue::Int(i), SignalType::Real) => SignalValue::Real(i as f64),
+        _ => {
+            assert_eq!(v.signal_type(), ty, "validated port type");
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_series(op: &BasicOp, series: &[Vec<SignalValue>], dt: f64) -> Vec<Vec<SignalValue>> {
+        let mut state: Vec<SignalValue> =
+            op.state_layout().into_iter().map(|(_, v)| v).collect();
+        series.iter().map(|i| op.step(&mut state, i, dt)).collect()
+    }
+
+    #[test]
+    fn stateless_arithmetic() {
+        let mut s = vec![];
+        assert_eq!(
+            BasicOp::Sum.step(&mut s, &[2.0.into(), 3.0.into()], 0.1),
+            vec![SignalValue::Real(5.0)]
+        );
+        assert_eq!(
+            BasicOp::Div.step(&mut s, &[1.0.into(), 0.0.into()], 0.1),
+            vec![SignalValue::Real(f64::INFINITY)]
+        );
+        assert_eq!(
+            BasicOp::Limit { lo: -1.0, hi: 1.0 }.step(&mut s, &[5.0.into()], 0.1),
+            vec![SignalValue::Real(1.0)]
+        );
+        assert_eq!(
+            BasicOp::Deadband { width: 0.5 }.step(&mut s, &[0.3.into()], 0.1),
+            vec![SignalValue::Real(0.0)]
+        );
+    }
+
+    #[test]
+    fn hysteresis_switching() {
+        let op = BasicOp::Hysteresis { low: 20.0, high: 22.0 };
+        let ins: Vec<Vec<SignalValue>> =
+            [19.0, 21.0, 22.5, 21.0, 19.5, 21.0].iter().map(|&x| vec![x.into()]).collect();
+        let outs = run_series(&op, &ins, 0.1);
+        let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
+        assert_eq!(qs, [false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn integrator_accumulates_and_clamps() {
+        let op = BasicOp::Integrator { gain: 1.0, initial: 0.0, lo: 0.0, hi: 0.25 };
+        let ins: Vec<Vec<SignalValue>> = (0..4).map(|_| vec![1.0.into()]).collect();
+        let outs = run_series(&op, &ins, 0.1);
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert!((ys[0] - 0.1).abs() < 1e-12);
+        assert!((ys[1] - 0.2).abs() < 1e-12);
+        assert!((ys[2] - 0.25).abs() < 1e-12); // clamped
+        assert!((ys[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_backward_difference() {
+        let op = BasicOp::Derivative;
+        let ins: Vec<Vec<SignalValue>> = [0.0, 1.0, 1.0].iter().map(|&x| vec![x.into()]).collect();
+        let outs = run_series(&op, &ins, 0.5);
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn unit_delay_emits_state_without_update() {
+        let op = BasicOp::UnitDelay { initial: SignalValue::Real(9.0) };
+        let mut state: Vec<SignalValue> =
+            op.state_layout().into_iter().map(|(_, v)| v).collect();
+        // step never updates state; the network late-update phase does.
+        assert_eq!(op.step(&mut state, &[1.0.into()], 0.1), vec![SignalValue::Real(9.0)]);
+        assert_eq!(state[0], SignalValue::Real(9.0));
+        assert!(!op.has_direct_feedthrough());
+    }
+
+    #[test]
+    fn moving_average_warmup_and_steady() {
+        let op = BasicOp::MovingAverage { window: 3 };
+        let ins: Vec<Vec<SignalValue>> =
+            [3.0, 6.0, 9.0, 12.0].iter().map(|&x| vec![x.into()]).collect();
+        let outs = run_series(&op, &ins, 0.1);
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [3.0, 4.5, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn pid_proportional_only() {
+        let op = BasicOp::Pid { kp: 2.0, ki: 0.0, kd: 0.0, lo: -100.0, hi: 100.0 };
+        let outs = run_series(&op, &[vec![10.0.into(), 7.0.into()]], 0.1);
+        assert_eq!(outs[0][0], SignalValue::Real(6.0));
+    }
+
+    #[test]
+    fn pid_integral_accumulates() {
+        let op = BasicOp::Pid { kp: 0.0, ki: 1.0, kd: 0.0, lo: -100.0, hi: 100.0 };
+        let ins: Vec<Vec<SignalValue>> = (0..3).map(|_| vec![1.0.into(), 0.0.into()]).collect();
+        let outs = run_series(&op, &ins, 0.5);
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn counter_saturates_and_wraps() {
+        let inc = |v: bool| vec![SignalValue::Bool(v), SignalValue::Bool(false)];
+        let sat = BasicOp::Counter { min: 0, max: 2, wrap: false };
+        let ins: Vec<_> = (0..4).map(|_| inc(true)).collect();
+        let outs = run_series(&sat, &ins, 0.1);
+        let ns: Vec<i64> = outs.iter().map(|o| o[0].as_int().unwrap()).collect();
+        assert_eq!(ns, [1, 2, 2, 2]);
+
+        let wrap = BasicOp::Counter { min: 0, max: 2, wrap: true };
+        let outs = run_series(&wrap, &ins, 0.1);
+        let ns: Vec<i64> = outs.iter().map(|o| o[0].as_int().unwrap()).collect();
+        assert_eq!(ns, [1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn counter_reset_dominates() {
+        let op = BasicOp::Counter { min: 5, max: 10, wrap: false };
+        let outs = run_series(
+            &op,
+            &[
+                vec![true.into(), false.into()],
+                vec![true.into(), true.into()],
+            ],
+            0.1,
+        );
+        assert_eq!(outs[1][0], SignalValue::Int(5));
+    }
+
+    #[test]
+    fn timer_on_delay() {
+        let op = BasicOp::TimerOn { delay: 0.3 };
+        let ins: Vec<Vec<SignalValue>> = [true, true, true, false, true]
+            .iter()
+            .map(|&x| vec![x.into()])
+            .collect();
+        let outs = run_series(&op, &ins, 0.1);
+        let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
+        assert_eq!(qs, [false, false, true, false, false]);
+    }
+
+    #[test]
+    fn pulse_generator_duty_cycle() {
+        let op = BasicOp::PulseGen { period: 1.0, duty: 0.5 };
+        let ins: Vec<Vec<SignalValue>> = (0..10).map(|_| vec![]).collect();
+        let outs = run_series(&op, &ins, 0.25);
+        let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
+        assert_eq!(qs, [true, true, false, false, true, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn sr_latch_reset_dominant() {
+        let op = BasicOp::SrLatch;
+        let outs = run_series(
+            &op,
+            &[
+                vec![true.into(), false.into()],
+                vec![false.into(), false.into()],
+                vec![true.into(), true.into()],
+            ],
+            0.1,
+        );
+        let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
+        assert_eq!(qs, [true, true, false]);
+    }
+
+    #[test]
+    fn rising_edge_detects_transitions() {
+        let op = BasicOp::RisingEdge;
+        let ins: Vec<Vec<SignalValue>> = [false, true, true, false, true]
+            .iter()
+            .map(|&x| vec![x.into()])
+            .collect();
+        let outs = run_series(&op, &ins, 0.1);
+        let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
+        assert_eq!(qs, [false, true, false, false, true]);
+    }
+
+    #[test]
+    fn sample_hold() {
+        let op = BasicOp::SampleHold;
+        let outs = run_series(
+            &op,
+            &[
+                vec![1.0.into(), false.into()],
+                vec![2.0.into(), true.into()],
+                vec![3.0.into(), false.into()],
+            ],
+            0.1,
+        );
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn rate_limiter_slews() {
+        let op = BasicOp::RateLimiter { max_rise: 1.0, max_fall: 2.0 };
+        let ins: Vec<Vec<SignalValue>> = [10.0, 10.0, -10.0].iter().map(|&x| vec![x.into()]).collect();
+        let outs = run_series(&op, &ins, 1.0);
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let mut s = vec![];
+        assert_eq!(
+            BasicOp::Select.step(&mut s, &[true.into(), 1.0.into(), 2.0.into()], 0.1),
+            vec![SignalValue::Real(1.0)]
+        );
+        assert_eq!(
+            BasicOp::Compare(CmpOp::Ge).step(&mut s, &[2.0.into(), 2.0.into()], 0.1),
+            vec![SignalValue::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn func_block_evaluates_expressions() {
+        let op = BasicOp::Func {
+            inputs: vec![Port::real("t"), Port::real("sp")],
+            outputs: vec![(
+                Port::real("err"),
+                Expr::var("sp").sub(Expr::var("t")),
+            )],
+        };
+        let mut s = vec![];
+        let out = op.step(&mut s, &[20.0.into(), 22.5.into()], 0.1);
+        assert_eq!(out, vec![SignalValue::Real(2.5)]);
+        assert_eq!(op.inputs().len(), 2);
+        assert_eq!(op.outputs()[0].name, "err");
+    }
+
+    #[test]
+    fn port_signatures_consistent_with_step_arity() {
+        let ops = [
+            BasicOp::Const(1.0.into()),
+            BasicOp::Gain { k: 2.0 },
+            BasicOp::Sum,
+            BasicOp::Pid { kp: 1.0, ki: 0.0, kd: 0.0, lo: -1.0, hi: 1.0 },
+            BasicOp::Select,
+            BasicOp::Counter { min: 0, max: 5, wrap: false },
+            BasicOp::MovingAverage { window: 4 },
+        ];
+        for op in ops {
+            let mut state: Vec<SignalValue> =
+                op.state_layout().into_iter().map(|(_, v)| v).collect();
+            let inputs: Vec<SignalValue> =
+                op.inputs().iter().map(|p| p.ty.zero()).collect();
+            let outs = op.step(&mut state, &inputs, 0.1);
+            assert_eq!(outs.len(), op.outputs().len(), "{op:?}");
+            for (o, p) in outs.iter().zip(op.outputs()) {
+                assert_eq!(o.signal_type(), p.ty, "{op:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for COMDES model construction and evaluation.
+
+use std::fmt;
+
+/// Error raised while building or validating a COMDES model, or while
+/// evaluating it with the reference interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComdesError {
+    /// A block, port, actor, state or signal name is not a valid identifier.
+    InvalidName(String),
+    /// A name collides with an existing sibling.
+    DuplicateName(String),
+    /// A named entity was not found.
+    Unknown(String),
+    /// A connection or expression does not type-check.
+    TypeError(String),
+    /// A connection endpoint does not exist.
+    BadConnection(String),
+    /// An input port is driven by more than one connection.
+    MultipleDrivers {
+        /// Sink block instance name (`<network>` for network outputs).
+        block: String,
+        /// Sink port name.
+        port: String,
+    },
+    /// The dataflow network has an algebraic loop (a cycle not broken by a
+    /// unit-delay block).
+    AlgebraicLoop(String),
+    /// A state machine is malformed (no initial state, dangling transition…).
+    BadStateMachine(String),
+    /// A modal block is malformed (no modes, bad mode selector…).
+    BadModal(String),
+    /// Actor timing parameters are inconsistent (deadline > period, …).
+    BadTiming(String),
+    /// System-level wiring problem (unbound input signal, label clash…).
+    BadSystem(String),
+    /// Runtime evaluation failure in the reference interpreter.
+    Eval(String),
+}
+
+impl fmt::Display for ComdesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComdesError::InvalidName(n) => write!(f, "invalid identifier `{n}`"),
+            ComdesError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            ComdesError::Unknown(n) => write!(f, "unknown element `{n}`"),
+            ComdesError::TypeError(m) => write!(f, "type error: {m}"),
+            ComdesError::BadConnection(m) => write!(f, "bad connection: {m}"),
+            ComdesError::MultipleDrivers { block, port } => {
+                write!(f, "input `{block}.{port}` has multiple drivers")
+            }
+            ComdesError::AlgebraicLoop(m) => write!(f, "algebraic loop: {m}"),
+            ComdesError::BadStateMachine(m) => write!(f, "bad state machine: {m}"),
+            ComdesError::BadModal(m) => write!(f, "bad modal block: {m}"),
+            ComdesError::BadTiming(m) => write!(f, "bad timing: {m}"),
+            ComdesError::BadSystem(m) => write!(f, "bad system: {m}"),
+            ComdesError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ComdesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ComdesError::InvalidName("9x".into()).to_string(),
+            "invalid identifier `9x`"
+        );
+        assert_eq!(
+            ComdesError::MultipleDrivers { block: "pid".into(), port: "pv".into() }.to_string(),
+            "input `pid.pv` has multiple drivers"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ComdesError>();
+    }
+}

@@ -1,0 +1,441 @@
+//! Export of COMDES systems as generic metamodel instances.
+//!
+//! GMDF's abstraction step (paper Fig. 4) operates on *metamodel elements*:
+//! the user pairs each input-language metaclass with a GDM graphical
+//! pattern. This module defines the COMDES metamodel in
+//! [`gmdf_metamodel`] terms and reflects a [`System`] into a conforming
+//! [`Model`], so the debugger can treat COMDES like any other MOF-style
+//! input language.
+//!
+//! Element paths in the exported model (`Actor/block/State`) are aligned
+//! with the interpreter's [`BehaviorEvent`](crate::BehaviorEvent) paths and
+//! with the code generator's symbol names, which is what lets the debugger
+//! bind runtime commands back to model elements.
+
+use crate::actor::Actor;
+use crate::error::ComdesError;
+use crate::network::{Block, Connection, Network, Sink, Source};
+use crate::system::System;
+use gmdf_metamodel::{DataType, Metamodel, MetamodelBuilder, Model, ModelError, ObjectId, Value};
+use std::sync::Arc;
+
+/// Package name of the COMDES metamodel.
+pub const COMDES_METAMODEL: &str = "comdes";
+
+/// Builds the COMDES metamodel (idempotent; callers usually share the
+/// result through an `Arc`).
+///
+/// # Panics
+///
+/// Never panics in practice — the metamodel is a fixed literal; a builder
+/// failure would be a programming error.
+pub fn comdes_metamodel() -> Metamodel {
+    let mut b = MetamodelBuilder::new(COMDES_METAMODEL);
+    b.class("Named")
+        .expect("fixed metamodel")
+        .set_abstract(true)
+        .attribute("name", DataType::Str, true)
+        .expect("fixed metamodel");
+    b.class("System")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .containment_many("nodes", "Node")
+        .expect("fixed metamodel");
+    b.class("Node")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .attribute("cpu_hz", DataType::Int, true)
+        .expect("fixed metamodel")
+        .containment_many("actors", "Actor")
+        .expect("fixed metamodel");
+    b.class("Actor")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .attribute("period_ns", DataType::Int, true)
+        .expect("fixed metamodel")
+        .attribute("deadline_ns", DataType::Int, true)
+        .expect("fixed metamodel")
+        .attribute("offset_ns", DataType::Int, true)
+        .expect("fixed metamodel")
+        .attribute("priority", DataType::Int, true)
+        .expect("fixed metamodel")
+        .containment_many("ports", "SignalPort")
+        .expect("fixed metamodel")
+        .containment_many("blocks", "FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("connections", "Connection")
+        .expect("fixed metamodel");
+    b.class("SignalPort")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .attribute("ty", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("label", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("direction", DataType::Str, true)
+        .expect("fixed metamodel");
+    b.class("FunctionBlock")
+        .expect("fixed metamodel")
+        .set_abstract(true)
+        .supertype("Named")
+        .expect("fixed metamodel");
+    b.class("BasicBlock")
+        .expect("fixed metamodel")
+        .supertype("FunctionBlock")
+        .expect("fixed metamodel")
+        .attribute("op", DataType::Str, true)
+        .expect("fixed metamodel");
+    b.class("StateMachineBlock")
+        .expect("fixed metamodel")
+        .supertype("FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("states", "State")
+        .expect("fixed metamodel")
+        .containment_many("transitions", "Transition")
+        .expect("fixed metamodel");
+    b.class("State")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .attribute("initial", DataType::Bool, true)
+        .expect("fixed metamodel")
+        .attribute("entry", DataType::List(Box::new(DataType::Str)), false)
+        .expect("fixed metamodel")
+        .attribute("during", DataType::List(Box::new(DataType::Str)), false)
+        .expect("fixed metamodel");
+    b.class("Transition")
+        .expect("fixed metamodel")
+        .attribute("guard", DataType::Str, true)
+        .expect("fixed metamodel")
+        .cross_required("source", "State")
+        .expect("fixed metamodel")
+        .cross_required("target", "State")
+        .expect("fixed metamodel");
+    b.class("ModalBlock")
+        .expect("fixed metamodel")
+        .supertype("FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("modes", "Mode")
+        .expect("fixed metamodel");
+    b.class("Mode")
+        .expect("fixed metamodel")
+        .supertype("Named")
+        .expect("fixed metamodel")
+        .containment_many("blocks", "FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("connections", "Connection")
+        .expect("fixed metamodel");
+    b.class("CompositeBlock")
+        .expect("fixed metamodel")
+        .supertype("FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("blocks", "FunctionBlock")
+        .expect("fixed metamodel")
+        .containment_many("connections", "Connection")
+        .expect("fixed metamodel");
+    b.class("Connection")
+        .expect("fixed metamodel")
+        .attribute("from", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("to", DataType::Str, true)
+        .expect("fixed metamodel");
+    b.build().expect("fixed metamodel")
+}
+
+fn endpoint_str_source(s: &Source) -> String {
+    match s {
+        Source::Input(p) => p.clone(),
+        Source::Block { block, port } => format!("{block}.{port}"),
+    }
+}
+
+fn endpoint_str_sink(s: &Sink) -> String {
+    match s {
+        Sink::Output(p) => p.clone(),
+        Sink::Block { block, port } => format!("{block}.{port}"),
+    }
+}
+
+fn export_connections(
+    model: &mut Model,
+    parent: ObjectId,
+    connections: &[Connection],
+) -> Result<(), ModelError> {
+    for c in connections {
+        let obj = model.create("Connection")?;
+        model.set_attr(obj, "from", Value::from(endpoint_str_source(&c.from)))?;
+        model.set_attr(obj, "to", Value::from(endpoint_str_sink(&c.to)))?;
+        model.add_child(parent, "connections", obj)?;
+    }
+    Ok(())
+}
+
+fn export_network_blocks(
+    model: &mut Model,
+    parent: ObjectId,
+    net: &Network,
+) -> Result<(), ModelError> {
+    for inst in &net.blocks {
+        let obj = match &inst.block {
+            Block::Basic(op) => {
+                let obj = model.create("BasicBlock")?;
+                let op_name = format!("{op:?}");
+                let short = op_name
+                    .split([' ', '(', '{'])
+                    .next()
+                    .unwrap_or("Basic")
+                    .to_owned();
+                model.set_attr(obj, "op", Value::from(short))?;
+                obj
+            }
+            Block::StateMachine(fsm) => {
+                let obj = model.create("StateMachineBlock")?;
+                let mut state_ids = Vec::with_capacity(fsm.states.len());
+                for (si, s) in fsm.states.iter().enumerate() {
+                    let sobj = model.create("State")?;
+                    model.set_attr(sobj, "name", Value::from(s.name.as_str()))?;
+                    model.set_attr(sobj, "initial", Value::Bool(si == fsm.initial))?;
+                    let entry: Value = s
+                        .entry
+                        .iter()
+                        .map(|a| format!("{} = {}", a.output, a.expr))
+                        .collect();
+                    model.set_attr(sobj, "entry", entry)?;
+                    let during: Value = s
+                        .during
+                        .iter()
+                        .map(|a| format!("{} = {}", a.output, a.expr))
+                        .collect();
+                    model.set_attr(sobj, "during", during)?;
+                    model.add_child(obj, "states", sobj)?;
+                    state_ids.push(sobj);
+                }
+                for t in &fsm.transitions {
+                    let tobj = model.create("Transition")?;
+                    model.set_attr(tobj, "guard", Value::from(t.guard.to_string()))?;
+                    model.add_ref(tobj, "source", state_ids[t.from])?;
+                    model.add_ref(tobj, "target", state_ids[t.to])?;
+                    model.add_child(obj, "transitions", tobj)?;
+                }
+                obj
+            }
+            Block::Modal(m) => {
+                let obj = model.create("ModalBlock")?;
+                for mode in &m.modes {
+                    let mobj = model.create("Mode")?;
+                    model.set_attr(mobj, "name", Value::from(mode.name.as_str()))?;
+                    export_network_blocks(model, mobj, &mode.network)?;
+                    export_connections(model, mobj, &mode.network.connections)?;
+                    model.add_child(obj, "modes", mobj)?;
+                }
+                obj
+            }
+            Block::Composite(c) => {
+                let obj = model.create("CompositeBlock")?;
+                export_network_blocks(model, obj, &c.network)?;
+                export_connections(model, obj, &c.network.connections)?;
+                obj
+            }
+        };
+        model.set_attr(obj, "name", Value::from(inst.name.as_str()))?;
+        model.add_child(parent, "blocks", obj)?;
+    }
+    Ok(())
+}
+
+fn export_actor(model: &mut Model, parent: ObjectId, actor: &Actor) -> Result<(), ModelError> {
+    let obj = model.create("Actor")?;
+    model.set_attr(obj, "name", Value::from(actor.name.as_str()))?;
+    model.set_attr(obj, "period_ns", Value::Int(actor.timing.period_ns as i64))?;
+    model.set_attr(obj, "deadline_ns", Value::Int(actor.timing.deadline_ns as i64))?;
+    model.set_attr(obj, "offset_ns", Value::Int(actor.timing.offset_ns as i64))?;
+    model.set_attr(obj, "priority", Value::Int(actor.timing.priority as i64))?;
+    for (binding, dir) in actor
+        .inputs
+        .iter()
+        .map(|i| ((&i.port, &i.label), "in"))
+        .chain(actor.outputs.iter().map(|o| ((&o.port, &o.label), "out")))
+    {
+        let (port, label) = binding;
+        let pobj = model.create("SignalPort")?;
+        model.set_attr(pobj, "name", Value::from(port.name.as_str()))?;
+        model.set_attr(pobj, "ty", Value::from(port.ty.to_string()))?;
+        model.set_attr(pobj, "label", Value::from(label.as_str()))?;
+        model.set_attr(pobj, "direction", Value::from(dir))?;
+        model.add_child(obj, "ports", pobj)?;
+    }
+    export_network_blocks(model, obj, &actor.network)?;
+    export_connections(model, obj, &actor.network.connections)?;
+    model.add_child(parent, "actors", obj)?;
+    Ok(())
+}
+
+/// Reflects a validated COMDES system into a conforming metamodel
+/// instance.
+///
+/// # Errors
+///
+/// Returns [`ComdesError`] if the system fails validation, or wraps a
+/// [`ModelError`] (which cannot occur for validated systems).
+pub fn export_system(system: &System) -> Result<(Arc<Metamodel>, Model), ComdesError> {
+    system.check()?;
+    let mm = Arc::new(comdes_metamodel());
+    let mut model = Model::new(mm.clone());
+    let wrap = |e: ModelError| ComdesError::BadSystem(format!("export failed: {e}"));
+    let root = model.create("System").map_err(wrap)?;
+    model
+        .set_attr(root, "name", Value::from(system.name.as_str()))
+        .map_err(wrap)?;
+    for node in &system.nodes {
+        let nobj = model.create("Node").map_err(wrap)?;
+        model
+            .set_attr(nobj, "name", Value::from(node.name.as_str()))
+            .map_err(wrap)?;
+        model
+            .set_attr(nobj, "cpu_hz", Value::Int(node.cpu_hz as i64))
+            .map_err(wrap)?;
+        for actor in &node.actors {
+            export_actor(&mut model, nobj, actor).map_err(wrap)?;
+        }
+        model.add_child(root, "nodes", nobj).map_err(wrap)?;
+    }
+    Ok((mm, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorBuilder, Timing};
+    use crate::expr::Expr;
+    use crate::fsm::FsmBuilder;
+    use crate::network::NetworkBuilder;
+    use crate::signal::Port;
+    use crate::system::NodeSpec;
+    use gmdf_metamodel::ElementPath;
+
+    fn fsm_system() -> System {
+        let fsm = FsmBuilder::new()
+            .input(Port::boolean("go"))
+            .output(Port::boolean("on"))
+            .state("Idle", |s| s.entry("on", Expr::Bool(false)))
+            .state("Run", |s| s.entry("on", Expr::Bool(true)))
+            .transition("Idle", "Run", Expr::var("go"))
+            .transition("Run", "Idle", Expr::var("go").not())
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .input(Port::boolean("go"))
+            .output(Port::boolean("on"))
+            .state_machine("ctl", fsm)
+            .connect("go", "ctl.go")
+            .unwrap()
+            .connect("ctl.on", "on")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("Heater", net)
+            .input("go", "switch")
+            .output("on", "relay")
+            .timing(Timing::periodic(5_000_000, 1))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("node0", 48_000_000);
+        node.actors.push(actor);
+        System::new("demo").with_node(node)
+    }
+
+    #[test]
+    fn exports_conformant_model() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        let report = gmdf_metamodel::validate(&model);
+        assert!(report.is_conformant(), "{report}");
+    }
+
+    #[test]
+    fn element_paths_match_interpreter_convention() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        // The interpreter emits events with block_path "Heater/ctl" and
+        // state names; the exported model must resolve the state path.
+        let path: ElementPath = "demo/node0/Heater/ctl/Run".parse().unwrap();
+        let obj = path.resolve(&model);
+        assert!(obj.is_some(), "state path must resolve in exported model");
+        assert_eq!(model.class_name_of(obj.unwrap()), "State");
+    }
+
+    #[test]
+    fn transitions_reference_states() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        let transitions = model.objects_of_class("Transition");
+        assert_eq!(transitions.len(), 2);
+        for t in transitions {
+            let src = model.ref_one(t, "source").unwrap().unwrap();
+            let dst = model.ref_one(t, "target").unwrap().unwrap();
+            assert_eq!(model.class_name_of(src), "State");
+            assert_eq!(model.class_name_of(dst), "State");
+            assert!(model.attr(t, "guard").unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn initial_state_flagged() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        let states = model.objects_of_class("State");
+        let initials: Vec<_> = states
+            .iter()
+            .filter(|&&s| model.attr(s, "initial").unwrap() == Some(&Value::Bool(true)))
+            .collect();
+        assert_eq!(initials.len(), 1);
+        assert_eq!(model.name_of(*initials[0]), Some("Idle"));
+    }
+
+    #[test]
+    fn ports_and_timing_exported() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        let actor = model.objects_of_class("Actor")[0];
+        assert_eq!(
+            model.attr(actor, "period_ns").unwrap(),
+            Some(&Value::Int(5_000_000))
+        );
+        let ports = model.refs(actor, "ports").unwrap();
+        assert_eq!(ports.len(), 2);
+        let labels: Vec<_> = ports
+            .iter()
+            .map(|&p| model.attr(p, "label").unwrap().unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(labels, ["switch", "relay"]);
+    }
+
+    #[test]
+    fn connections_exported_as_strings() {
+        let sys = fsm_system();
+        let (_, model) = export_system(&sys).unwrap();
+        let conns = model.objects_of_class("Connection");
+        assert_eq!(conns.len(), 2);
+        let froms: Vec<_> = conns
+            .iter()
+            .map(|&c| model.attr(c, "from").unwrap().unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert!(froms.contains(&"go".to_owned()));
+        assert!(froms.contains(&"ctl.on".to_owned()));
+    }
+
+    #[test]
+    fn metamodel_is_reusable() {
+        let mm = comdes_metamodel();
+        assert_eq!(mm.name(), COMDES_METAMODEL);
+        assert!(mm.class_by_name("ModalBlock").is_some());
+        assert!(mm.class_by_name("CompositeBlock").is_some());
+        // FunctionBlock is abstract.
+        let fb = mm.class_by_name("FunctionBlock").unwrap();
+        assert!(mm.class(fb).is_abstract);
+    }
+}

@@ -1,0 +1,652 @@
+//! Expression language for guards, actions and generic computation blocks.
+//!
+//! COMDES specifies component behaviour "in terms of functions relating
+//! input to output signals" (paper §III). This module provides the side-
+//! effect-free expression AST those functions, guards and state actions are
+//! written in, together with static type checking and evaluation.
+//!
+//! Semantics notes (mirrored exactly by the bytecode compiler, which is
+//! property-tested against [`Expr::eval`]):
+//! * `and` / `or` are **strict** (both operands evaluated) — expressions
+//!   are pure, so only cost differs;
+//! * mixed `int`/`real` arithmetic widens the `int` operand;
+//! * `/` and `%` on integers follow Rust semantics and yield 0 on division
+//!   by zero (the target VM traps-to-zero rather than faulting);
+//! * comparisons on mixed numeric operands compare as `real`.
+
+use crate::error::ComdesError;
+use crate::signal::{SignalType, SignalValue};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation (`int` or `real`).
+    Neg,
+    /// Logical negation (`bool`).
+    Not,
+    /// Absolute value (`int` or `real`).
+    Abs,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on `int`; 0 on division by zero).
+    Div,
+    /// Remainder (`int` only; 0 on division by zero).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Logical and (strict).
+    And,
+    /// Logical or (strict).
+    Or,
+    /// Logical exclusive-or.
+    Xor,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+}
+
+impl BinOp {
+    /// `true` for `Lt/Le/Gt/Ge/Eq/Ne`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// `true` for `And/Or/Xor`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+}
+
+/// A side-effect-free expression over named signal variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Real(f64),
+    /// Named variable (an input port, latched signal or builtin).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: `if c { t } else { e }` (both arms same type).
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Explicit `int`/`bool` → `real` conversion.
+    ToReal(Box<Expr>),
+    /// Explicit `real` → `int` conversion (truncation toward zero).
+    ToInt(Box<Expr>),
+}
+
+// The fluent builder methods below intentionally shadow `std::ops` names
+// (`add`, `mul`, `neg`, `not`, …): they build AST nodes rather than compute,
+// and the DSL reads naturally at model-construction sites. Operator
+// overloading is deliberately avoided (C-OVERLOAD): `a + b` computing
+// nothing would be more surprising than `a.add(b)` building a node.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`.
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs`.
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs` (strict).
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs` (strict).
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// `!self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// All variable names referenced, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(n)
+                if !out.contains(n) => {
+                    out.push(n.clone());
+                }
+            Expr::Unary(_, e) | Expr::ToReal(e) | Expr::ToInt(e) => e.collect_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::If(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Infers the expression's type under `env` (variable name → type).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::TypeError`] for unbound variables and operator
+    /// misuse, with a message naming the offending subexpression.
+    pub fn infer_type(&self, env: &BTreeMap<String, SignalType>) -> Result<SignalType, ComdesError> {
+        use SignalType::*;
+        match self {
+            Expr::Bool(_) => Ok(Bool),
+            Expr::Int(_) => Ok(Int),
+            Expr::Real(_) => Ok(Real),
+            Expr::Var(n) => env
+                .get(n)
+                .copied()
+                .ok_or_else(|| ComdesError::TypeError(format!("unbound variable `{n}`"))),
+            Expr::Unary(op, e) => {
+                let t = e.infer_type(env)?;
+                match (op, t) {
+                    (UnOp::Neg | UnOp::Abs, Int) => Ok(Int),
+                    (UnOp::Neg | UnOp::Abs, Real) => Ok(Real),
+                    (UnOp::Not, Bool) => Ok(Bool),
+                    _ => Err(ComdesError::TypeError(format!("{op:?} cannot apply to {t}"))),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = a.infer_type(env)?;
+                let tb = b.infer_type(env)?;
+                if op.is_logical() {
+                    return if ta == Bool && tb == Bool {
+                        Ok(Bool)
+                    } else {
+                        Err(ComdesError::TypeError(format!("{op:?} needs bool operands")))
+                    };
+                }
+                if op.is_comparison() {
+                    return match (ta, tb) {
+                        (Bool, Bool) if matches!(op, BinOp::Eq | BinOp::Ne) => Ok(Bool),
+                        (Int, Int) | (Real, Real) | (Int, Real) | (Real, Int) => Ok(Bool),
+                        _ => Err(ComdesError::TypeError(format!(
+                            "{op:?} cannot compare {ta} with {tb}"
+                        ))),
+                    };
+                }
+                // Arithmetic.
+                match (ta, tb) {
+                    (Int, Int) => Ok(Int),
+                    (Real, Real) | (Int, Real) | (Real, Int) => {
+                        if matches!(op, BinOp::Rem) {
+                            Err(ComdesError::TypeError("% needs int operands".into()))
+                        } else {
+                            Ok(Real)
+                        }
+                    }
+                    _ => Err(ComdesError::TypeError(format!(
+                        "{op:?} cannot apply to {ta} and {tb}"
+                    ))),
+                }
+            }
+            Expr::If(c, t, e) => {
+                if c.infer_type(env)? != Bool {
+                    return Err(ComdesError::TypeError("if condition must be bool".into()));
+                }
+                let tt = t.infer_type(env)?;
+                let te = e.infer_type(env)?;
+                match (tt, te) {
+                    _ if tt == te => Ok(tt),
+                    (Int, Real) | (Real, Int) => Ok(Real),
+                    _ => Err(ComdesError::TypeError(format!(
+                        "if arms have incompatible types {tt} and {te}"
+                    ))),
+                }
+            }
+            Expr::ToReal(e) => match e.infer_type(env)? {
+                Bool | Int | Real => Ok(Real),
+            },
+            Expr::ToInt(e) => match e.infer_type(env)? {
+                Real | Int => Ok(Int),
+                Bool => Ok(Int),
+            },
+        }
+    }
+
+    /// Evaluates the expression under `env` (variable name → value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::Eval`] for unbound variables; type errors
+    /// surface as `Eval` too (call [`infer_type`](Self::infer_type) first
+    /// for static checking).
+    pub fn eval(&self, env: &BTreeMap<String, SignalValue>) -> Result<SignalValue, ComdesError> {
+        use SignalValue::*;
+        let num = |v: SignalValue| -> Result<f64, ComdesError> {
+            v.as_real()
+                .ok_or_else(|| ComdesError::Eval(format!("expected numeric, got {v}")))
+        };
+        match self {
+            Expr::Bool(b) => Ok(Bool(*b)),
+            Expr::Int(i) => Ok(Int(*i)),
+            Expr::Real(r) => Ok(Real(*r)),
+            Expr::Var(n) => env
+                .get(n)
+                .copied()
+                .ok_or_else(|| ComdesError::Eval(format!("unbound variable `{n}`"))),
+            Expr::Unary(op, e) => {
+                let v = e.eval(env)?;
+                match (op, v) {
+                    (UnOp::Neg, Int(i)) => Ok(Int(i.wrapping_neg())),
+                    (UnOp::Neg, Real(r)) => Ok(Real(-r)),
+                    (UnOp::Abs, Int(i)) => Ok(Int(i.wrapping_abs())),
+                    (UnOp::Abs, Real(r)) => Ok(Real(r.abs())),
+                    (UnOp::Not, Bool(b)) => Ok(Bool(!b)),
+                    _ => Err(ComdesError::Eval(format!("{op:?} cannot apply to {v}"))),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = a.eval(env)?;
+                let vb = b.eval(env)?;
+                if op.is_logical() {
+                    let (x, y) = match (va, vb) {
+                        (Bool(x), Bool(y)) => (x, y),
+                        _ => return Err(ComdesError::Eval("logical op needs bools".into())),
+                    };
+                    return Ok(Bool(match op {
+                        BinOp::And => x && y,
+                        BinOp::Or => x || y,
+                        BinOp::Xor => x ^ y,
+                        _ => unreachable!(),
+                    }));
+                }
+                if op.is_comparison() {
+                    return match (va, vb) {
+                        (Bool(x), Bool(y)) => match op {
+                            BinOp::Eq => Ok(Bool(x == y)),
+                            BinOp::Ne => Ok(Bool(x != y)),
+                            _ => Err(ComdesError::Eval("cannot order bools".into())),
+                        },
+                        (Int(x), Int(y)) => Ok(Bool(cmp_ord(*op, &x, &y))),
+                        _ => {
+                            let (x, y) = (num(va)?, num(vb)?);
+                            Ok(Bool(cmp_real(*op, x, y)))
+                        }
+                    };
+                }
+                // Arithmetic.
+                match (va, vb) {
+                    (Int(x), Int(y)) => Ok(Int(int_arith(*op, x, y)?)),
+                    _ => {
+                        let (x, y) = (num(va)?, num(vb)?);
+                        Ok(Real(real_arith(*op, x, y)?))
+                    }
+                }
+            }
+            Expr::If(c, t, e) => {
+                let cond = c
+                    .eval(env)?
+                    .as_bool()
+                    .ok_or_else(|| ComdesError::Eval("if condition must be bool".into()))?;
+                // Strict evaluation of both arms keeps cost deterministic and
+                // mirrors the generated straight-line code path count.
+                let vt = t.eval(env)?;
+                let ve = e.eval(env)?;
+                let pick = if cond { vt } else { ve };
+                // Unify mixed int/real arms to real, matching infer_type.
+                match (vt, ve) {
+                    (Int(_), Real(_)) | (Real(_), Int(_)) => Ok(Real(num(pick)?)),
+                    _ => Ok(pick),
+                }
+            }
+            Expr::ToReal(e) => {
+                let v = e.eval(env)?;
+                match v {
+                    Bool(b) => Ok(Real(if b { 1.0 } else { 0.0 })),
+                    Int(i) => Ok(Real(i as f64)),
+                    Real(r) => Ok(Real(r)),
+                }
+            }
+            Expr::ToInt(e) => {
+                let v = e.eval(env)?;
+                match v {
+                    Bool(b) => Ok(Int(b as i64)),
+                    Int(i) => Ok(Int(i)),
+                    Real(r) => Ok(Int(trunc_to_int(r))),
+                }
+            }
+        }
+    }
+}
+
+/// Truncation used by `ToInt`: toward zero, saturating at i64 bounds, 0 for
+/// NaN — mirrored by the VM's `F2I` instruction.
+pub fn trunc_to_int(r: f64) -> i64 {
+    if r.is_nan() {
+        0
+    } else if r >= i64::MAX as f64 {
+        i64::MAX
+    } else if r <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        r as i64
+    }
+}
+
+fn cmp_ord<T: PartialOrd + PartialEq>(op: BinOp, x: &T, y: &T) -> bool {
+    match op {
+        BinOp::Lt => x < y,
+        BinOp::Le => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::Ge => x >= y,
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        _ => unreachable!(),
+    }
+}
+
+fn cmp_real(op: BinOp, x: f64, y: f64) -> bool {
+    cmp_ord(op, &x, &y)
+}
+
+/// Integer arithmetic with wrap-on-overflow and 0-on-div-by-zero, matching
+/// the VM's integer ALU.
+fn int_arith(op: BinOp, x: i64, y: i64) -> Result<i64, ComdesError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        _ => return Err(ComdesError::Eval(format!("{op:?} is not integer arithmetic"))),
+    })
+}
+
+fn real_arith(op: BinOp, x: f64, y: f64) -> Result<f64, ComdesError> {
+    Ok(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::Rem => return Err(ComdesError::Eval("% needs int operands".into())),
+        _ => return Err(ComdesError::Eval(format!("{op:?} is not arithmetic"))),
+    })
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Real(r) => write!(f, "{r}"),
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Unary(op, e) => match op {
+                UnOp::Neg => write!(f, "(-{e})"),
+                UnOp::Not => write!(f, "(!{e})"),
+                UnOp::Abs => write!(f, "abs({e})"),
+            },
+            Expr::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Min => return write!(f, "min({a}, {b})"),
+                    BinOp::Max => return write!(f, "max({a}, {b})"),
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                    BinOp::Xor => "^",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::ToReal(e) => write!(f, "real({e})"),
+            Expr::ToInt(e) => write!(f, "int({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_t(pairs: &[(&str, SignalType)]) -> BTreeMap<String, SignalType> {
+        pairs.iter().map(|(n, t)| (n.to_string(), *t)).collect()
+    }
+
+    fn env_v(pairs: &[(&str, SignalValue)]) -> BTreeMap<String, SignalValue> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn literal_types_and_values() {
+        let env = BTreeMap::new();
+        assert_eq!(Expr::Int(3).infer_type(&env_t(&[])).unwrap(), SignalType::Int);
+        assert_eq!(Expr::Real(1.5).eval(&env).unwrap(), SignalValue::Real(1.5));
+    }
+
+    #[test]
+    fn arithmetic_widening() {
+        let te = env_t(&[("x", SignalType::Int), ("y", SignalType::Real)]);
+        let e = Expr::var("x").add(Expr::var("y"));
+        assert_eq!(e.infer_type(&te).unwrap(), SignalType::Real);
+        let ve = env_v(&[("x", 2i64.into()), ("y", 0.5.into())]);
+        assert_eq!(e.eval(&ve).unwrap(), SignalValue::Real(2.5));
+    }
+
+    #[test]
+    fn integer_division_by_zero_yields_zero() {
+        let e = Expr::Int(7).div(Expr::Int(0));
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Int(0));
+        let e = Expr::Binary(BinOp::Rem, Box::new(Expr::Int(7)), Box::new(Expr::Int(0)));
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Int(0));
+    }
+
+    #[test]
+    fn integer_overflow_wraps() {
+        let e = Expr::Int(i64::MAX).add(Expr::Int(1));
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Int(i64::MIN));
+    }
+
+    #[test]
+    fn comparisons_mixed_numeric() {
+        let e = Expr::Int(2).lt(Expr::Real(2.5));
+        assert_eq!(e.infer_type(&env_t(&[])).unwrap(), SignalType::Bool);
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Bool(true));
+    }
+
+    #[test]
+    fn bool_equality_but_not_order() {
+        let eq = Expr::Bool(true).eq_(Expr::Bool(false));
+        assert_eq!(eq.eval(&BTreeMap::new()).unwrap(), SignalValue::Bool(false));
+        let lt = Expr::Bool(true).lt(Expr::Bool(false));
+        assert!(lt.infer_type(&env_t(&[])).is_err());
+    }
+
+    #[test]
+    fn logical_ops() {
+        let e = Expr::Bool(true).and(Expr::Bool(false)).or(Expr::Bool(true));
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Bool(true));
+        let bad = Expr::Int(1).and(Expr::Bool(true));
+        assert!(bad.infer_type(&env_t(&[])).is_err());
+    }
+
+    #[test]
+    fn if_expression_unifies_arms() {
+        let e = Expr::If(
+            Box::new(Expr::Bool(true)),
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Real(2.0)),
+        );
+        assert_eq!(e.infer_type(&env_t(&[])).unwrap(), SignalType::Real);
+        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Real(1.0));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let e = Expr::If(Box::new(Expr::Int(1)), Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+        assert!(e.infer_type(&env_t(&[])).is_err());
+        assert!(e.eval(&BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            Expr::ToReal(Box::new(Expr::Bool(true))).eval(&BTreeMap::new()).unwrap(),
+            SignalValue::Real(1.0)
+        );
+        assert_eq!(
+            Expr::ToInt(Box::new(Expr::Real(-2.7))).eval(&BTreeMap::new()).unwrap(),
+            SignalValue::Int(-2)
+        );
+        assert_eq!(trunc_to_int(f64::NAN), 0);
+        assert_eq!(trunc_to_int(1e300), i64::MAX);
+        assert_eq!(trunc_to_int(-1e300), i64::MIN);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::var("ghost");
+        assert!(e.infer_type(&env_t(&[])).is_err());
+        assert!(e.eval(&BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn free_vars_in_order_no_dupes() {
+        let e = Expr::var("b").add(Expr::var("a")).mul(Expr::var("b"));
+        assert_eq!(e.free_vars(), ["b", "a"]);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let e = Expr::var("x").add(Expr::Int(1)).ge(Expr::Real(3.0));
+        assert_eq!(e.to_string(), "((x + 1) >= 3)");
+        let m = Expr::Binary(BinOp::Min, Box::new(Expr::var("a")), Box::new(Expr::var("b")));
+        assert_eq!(m.to_string(), "min(a, b)");
+    }
+
+    #[test]
+    fn neg_abs() {
+        assert_eq!(
+            Expr::Int(-5).neg().eval(&BTreeMap::new()).unwrap(),
+            SignalValue::Int(5)
+        );
+        assert_eq!(
+            Expr::Unary(UnOp::Abs, Box::new(Expr::Real(-2.5)))
+                .eval(&BTreeMap::new())
+                .unwrap(),
+            SignalValue::Real(2.5)
+        );
+        assert_eq!(
+            Expr::Unary(UnOp::Abs, Box::new(Expr::Int(i64::MIN)))
+                .eval(&BTreeMap::new())
+                .unwrap(),
+            SignalValue::Int(i64::MIN) // wrapping_abs
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! State-machine function blocks.
+//!
+//! "The behaviour of stateful components is usually described with state
+//! machine models (state transition graphs), which can be ultimately
+//! represented by state transition functions" (paper §III). The state
+//! machine block is also GMDF's flagship animation target: the debugger
+//! highlights the active state as the embedded code runs.
+//!
+//! ## Execution semantics (one synchronous step)
+//!
+//! 1. `time_in_state = ticks · dt` is bound, along with every input port
+//!    and `dt`, into the guard environment.
+//! 2. The first outgoing transition of the current state (in declaration
+//!    order — declaration order *is* priority) whose guard evaluates true
+//!    fires: the current state changes, `ticks` resets to 0,
+//!    `time_in_state` rebinds to 0, and the new state's **entry actions**
+//!    run. At most one transition fires per step.
+//! 3. If no transition fires, `ticks` increments.
+//! 4. The (possibly new) current state's **during actions** run.
+//! 5. Outputs are the output latches; actions write latches, and latches
+//!    hold their value until overwritten (initialized to type zero).
+//!
+//! State layout on the target: `state: Int(initial)`, `ticks: Int(0)`,
+//! then one latch cell per output port.
+
+use crate::error::ComdesError;
+use crate::expr::Expr;
+use crate::signal::{Port, SignalValue};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Reserved variable name: seconds spent in the current state.
+pub const VAR_TIME_IN_STATE: &str = "time_in_state";
+/// Reserved variable name: the actor period in seconds.
+pub const VAR_DT: &str = "dt";
+
+/// An output assignment performed by an entry or during action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assign {
+    /// Output port name to write.
+    pub output: String,
+    /// Expression over input ports, `time_in_state` and `dt`.
+    pub expr: Expr,
+}
+
+impl Assign {
+    /// Creates an assignment.
+    pub fn new(output: &str, expr: Expr) -> Self {
+        Assign { output: output.to_owned(), expr }
+    }
+}
+
+/// One state of a state-machine block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    /// State name (unique within the machine).
+    pub name: String,
+    /// Actions run once when the state is entered.
+    pub entry: Vec<Assign>,
+    /// Actions run on every step while the state is current.
+    pub during: Vec<Assign>,
+}
+
+/// A guarded transition between two states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state index.
+    pub from: usize,
+    /// Target state index.
+    pub to: usize,
+    /// Boolean guard over inputs, `time_in_state` and `dt`.
+    pub guard: Expr,
+}
+
+/// A state-machine function block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMachineBlock {
+    /// Input ports (guard/action variables).
+    pub inputs: Vec<Port>,
+    /// Output ports (latched).
+    pub outputs: Vec<Port>,
+    /// States; index 0 is not special — see `initial`.
+    pub states: Vec<State>,
+    /// Transitions; declaration order among same-source transitions is the
+    /// firing priority.
+    pub transitions: Vec<Transition>,
+    /// Index of the initial state.
+    pub initial: usize,
+}
+
+/// Mutable runtime state of one state-machine block instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmState {
+    /// Current state index.
+    pub current: usize,
+    /// Completed steps since the current state was entered.
+    pub ticks: i64,
+    /// Output latches, positionally matching the block's output ports.
+    pub latches: Vec<SignalValue>,
+}
+
+/// Result of one FSM step, reported so the instrumentation layer can emit
+/// state-entry commands exactly when the generated code would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmStepInfo {
+    /// `Some((from, to))` if a transition fired this step.
+    pub fired: Option<(usize, usize)>,
+}
+
+impl StateMachineBlock {
+    /// Fresh runtime state (initial state, zeroed latches).
+    pub fn initial_state(&self) -> FsmState {
+        FsmState {
+            current: self.initial,
+            ticks: 0,
+            latches: self.outputs.iter().map(|p| p.ty.zero()).collect(),
+        }
+    }
+
+    /// Builds the guard/action environment for the current step.
+    fn env(
+        &self,
+        inputs: &[SignalValue],
+        time_in_state: f64,
+        dt: f64,
+    ) -> BTreeMap<String, SignalValue> {
+        let mut env: BTreeMap<String, SignalValue> = self
+            .inputs
+            .iter()
+            .zip(inputs.iter())
+            .map(|(p, v)| (p.name.clone(), *v))
+            .collect();
+        env.insert(VAR_TIME_IN_STATE.to_owned(), time_in_state.into());
+        env.insert(VAR_DT.to_owned(), dt.into());
+        env
+    }
+
+    fn run_assigns(
+        &self,
+        assigns: &[Assign],
+        env: &BTreeMap<String, SignalValue>,
+        latches: &mut [SignalValue],
+    ) -> Result<(), ComdesError> {
+        for a in assigns {
+            let idx = self
+                .outputs
+                .iter()
+                .position(|p| p.name == a.output)
+                .ok_or_else(|| ComdesError::Unknown(format!("output `{}`", a.output)))?;
+            let v = a.expr.eval(env)?;
+            latches[idx] = crate::block::coerce(v, self.outputs[idx].ty);
+        }
+        Ok(())
+    }
+
+    /// Executes one synchronous step (see module docs for the exact
+    /// ordering) and returns the outputs plus transition info.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::Eval`] if a guard or action fails to evaluate
+    /// (unbound variable, type misuse) — the validator rules this out for
+    /// checked machines.
+    pub fn step(
+        &self,
+        state: &mut FsmState,
+        inputs: &[SignalValue],
+        dt: f64,
+    ) -> Result<(Vec<SignalValue>, FsmStepInfo), ComdesError> {
+        let tis = state.ticks as f64 * dt;
+        let mut env = self.env(inputs, tis, dt);
+        let from = state.current;
+        let mut fired = None;
+        for t in self.transitions.iter().filter(|t| t.from == from) {
+            let g = t.guard.eval(&env)?.as_bool().ok_or_else(|| {
+                ComdesError::Eval(format!("guard `{}` is not boolean", t.guard))
+            })?;
+            if g {
+                fired = Some((from, t.to));
+                state.current = t.to;
+                state.ticks = 0;
+                env.insert(VAR_TIME_IN_STATE.to_owned(), 0.0.into());
+                let entry = self.states[t.to].entry.clone();
+                self.run_assigns(&entry, &env, &mut state.latches)?;
+                break;
+            }
+        }
+        if fired.is_none() {
+            state.ticks += 1;
+        }
+        let during = self.states[state.current].during.clone();
+        self.run_assigns(&during, &env, &mut state.latches)?;
+        Ok((state.latches.clone(), FsmStepInfo { fired }))
+    }
+
+    /// Index of a state by name.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s.name == name)
+    }
+
+    /// Structural well-formedness: nonempty, valid initial index, in-range
+    /// transition endpoints, unique state names, boolean guards, known
+    /// action targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::BadStateMachine`] or
+    /// [`ComdesError::TypeError`] describing the first problem found.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        if self.states.is_empty() {
+            return Err(ComdesError::BadStateMachine("no states".into()));
+        }
+        if self.initial >= self.states.len() {
+            return Err(ComdesError::BadStateMachine(format!(
+                "initial state index {} out of range",
+                self.initial
+            )));
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if self.states[..i].iter().any(|p| p.name == s.name) {
+                return Err(ComdesError::DuplicateName(s.name.clone()));
+            }
+        }
+        let mut tenv: BTreeMap<String, crate::signal::SignalType> = self
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.ty))
+            .collect();
+        tenv.insert(VAR_TIME_IN_STATE.to_owned(), crate::signal::SignalType::Real);
+        tenv.insert(VAR_DT.to_owned(), crate::signal::SignalType::Real);
+        for t in &self.transitions {
+            if t.from >= self.states.len() || t.to >= self.states.len() {
+                return Err(ComdesError::BadStateMachine(format!(
+                    "transition {} -> {} out of range",
+                    t.from, t.to
+                )));
+            }
+            let ty = t.guard.infer_type(&tenv)?;
+            if ty != crate::signal::SignalType::Bool {
+                return Err(ComdesError::TypeError(format!(
+                    "guard `{}` has type {ty}, expected bool",
+                    t.guard
+                )));
+            }
+        }
+        for s in &self.states {
+            for a in s.entry.iter().chain(s.during.iter()) {
+                let port = self
+                    .outputs
+                    .iter()
+                    .find(|p| p.name == a.output)
+                    .ok_or_else(|| ComdesError::Unknown(format!("output `{}`", a.output)))?;
+                let ty = a.expr.infer_type(&tenv)?;
+                let ok = ty == port.ty
+                    || (ty == crate::signal::SignalType::Int
+                        && port.ty == crate::signal::SignalType::Real);
+                if !ok {
+                    return Err(ComdesError::TypeError(format!(
+                        "action on `{}` has type {ty}, port is {}",
+                        a.output, port.ty
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// States with no incoming transition that are not initial — usually a
+    /// modeling mistake; surfaced as a warning by the validator.
+    pub fn unreachable_states(&self) -> Vec<&str> {
+        let mut reachable = vec![false; self.states.len()];
+        reachable[self.initial] = true;
+        // Fixed-point over the transition graph.
+        loop {
+            let mut changed = false;
+            for t in &self.transitions {
+                if reachable[t.from] && !reachable[t.to] {
+                    reachable[t.to] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !reachable[i])
+            .map(|(_, s)| s.name.as_str())
+            .collect()
+    }
+}
+
+/// Fluent builder for [`StateMachineBlock`].
+///
+/// ```
+/// use gmdf_comdes::{FsmBuilder, Expr, Port};
+///
+/// # fn main() -> Result<(), gmdf_comdes::ComdesError> {
+/// let fsm = FsmBuilder::new()
+///     .input(Port::boolean("button"))
+///     .output(Port::boolean("lamp"))
+///     .state("Off", |s| s.during("lamp", Expr::Bool(false)))
+///     .state("On", |s| s.during("lamp", Expr::Bool(true)))
+///     .transition("Off", "On", Expr::var("button"))
+///     .transition("On", "Off", Expr::var("button").not())
+///     .initial("Off")
+///     .build()?;
+/// assert_eq!(fsm.states.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct FsmBuilder {
+    inputs: Vec<Port>,
+    outputs: Vec<Port>,
+    states: Vec<State>,
+    transitions: Vec<(String, String, Expr)>,
+    initial: Option<String>,
+}
+
+/// Builder scope for one state, used by [`FsmBuilder::state`].
+#[derive(Debug, Default)]
+pub struct StateBuilder {
+    entry: Vec<Assign>,
+    during: Vec<Assign>,
+}
+
+impl StateBuilder {
+    /// Adds an entry action.
+    pub fn entry(mut self, output: &str, expr: Expr) -> Self {
+        self.entry.push(Assign::new(output, expr));
+        self
+    }
+
+    /// Adds a during action.
+    pub fn during(mut self, output: &str, expr: Expr) -> Self {
+        self.during.push(Assign::new(output, expr));
+        self
+    }
+}
+
+impl FsmBuilder {
+    /// Starts an empty machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an input port.
+    pub fn input(mut self, port: Port) -> Self {
+        self.inputs.push(port);
+        self
+    }
+
+    /// Declares an output port.
+    pub fn output(mut self, port: Port) -> Self {
+        self.outputs.push(port);
+        self
+    }
+
+    /// Declares a state; `f` configures its actions.
+    pub fn state(mut self, name: &str, f: impl FnOnce(StateBuilder) -> StateBuilder) -> Self {
+        let sb = f(StateBuilder::default());
+        self.states.push(State {
+            name: name.to_owned(),
+            entry: sb.entry,
+            during: sb.during,
+        });
+        self
+    }
+
+    /// Declares a plain state with no actions.
+    pub fn plain_state(self, name: &str) -> Self {
+        self.state(name, |s| s)
+    }
+
+    /// Declares a transition by state names; declaration order among
+    /// same-source transitions is the firing priority.
+    pub fn transition(mut self, from: &str, to: &str, guard: Expr) -> Self {
+        self.transitions.push((from.to_owned(), to.to_owned(), guard));
+        self
+    }
+
+    /// Names the initial state (defaults to the first declared state).
+    pub fn initial(mut self, name: &str) -> Self {
+        self.initial = Some(name.to_owned());
+        self
+    }
+
+    /// Resolves names and checks the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::Unknown`] for undeclared state names and any
+    /// error from [`StateMachineBlock::check`].
+    pub fn build(self) -> Result<StateMachineBlock, ComdesError> {
+        let index = |n: &str| -> Result<usize, ComdesError> {
+            self.states
+                .iter()
+                .position(|s| s.name == n)
+                .ok_or_else(|| ComdesError::Unknown(format!("state `{n}`")))
+        };
+        let initial = match &self.initial {
+            Some(n) => index(n)?,
+            None => 0,
+        };
+        let transitions = self
+            .transitions
+            .iter()
+            .map(|(f, t, g)| {
+                Ok(Transition {
+                    from: index(f)?,
+                    to: index(t)?,
+                    guard: g.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>, ComdesError>>()?;
+        let block = StateMachineBlock {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            states: self.states,
+            transitions,
+            initial,
+        };
+        block.check()?;
+        Ok(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalType;
+
+    fn toggle() -> StateMachineBlock {
+        FsmBuilder::new()
+            .input(Port::boolean("btn"))
+            .output(Port::boolean("lamp"))
+            .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+            .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+            .transition("Off", "On", Expr::var("btn"))
+            .transition("On", "Off", Expr::var("btn").not())
+            .initial("Off")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn toggles_on_button() {
+        let fsm = toggle();
+        let mut st = fsm.initial_state();
+        let (out, info) = fsm.step(&mut st, &[true.into()], 0.1).unwrap();
+        assert_eq!(out[0], SignalValue::Bool(true));
+        assert_eq!(info.fired, Some((0, 1)));
+        let (out, info) = fsm.step(&mut st, &[true.into()], 0.1).unwrap();
+        assert_eq!(out[0], SignalValue::Bool(true));
+        assert_eq!(info.fired, None);
+        let (out, info) = fsm.step(&mut st, &[false.into()], 0.1).unwrap();
+        assert_eq!(out[0], SignalValue::Bool(false));
+        assert_eq!(info.fired, Some((1, 0)));
+    }
+
+    #[test]
+    fn at_most_one_transition_per_step() {
+        // Off -> On -> Off chain with always-true guards must advance only
+        // one hop per step.
+        let fsm = FsmBuilder::new()
+            .output(Port::int("s"))
+            .state("A", |s| s.during("s", Expr::Int(0)))
+            .state("B", |s| s.during("s", Expr::Int(1)))
+            .state("C", |s| s.during("s", Expr::Int(2)))
+            .transition("A", "B", Expr::Bool(true))
+            .transition("B", "C", Expr::Bool(true))
+            .build()
+            .unwrap();
+        let mut st = fsm.initial_state();
+        let (out, _) = fsm.step(&mut st, &[], 0.1).unwrap();
+        assert_eq!(out[0], SignalValue::Int(1));
+        let (out, _) = fsm.step(&mut st, &[], 0.1).unwrap();
+        assert_eq!(out[0], SignalValue::Int(2));
+    }
+
+    #[test]
+    fn priority_is_declaration_order() {
+        let fsm = FsmBuilder::new()
+            .output(Port::int("s"))
+            .plain_state("A")
+            .state("B", |s| s.during("s", Expr::Int(1)))
+            .state("C", |s| s.during("s", Expr::Int(2)))
+            .transition("A", "B", Expr::Bool(true))
+            .transition("A", "C", Expr::Bool(true))
+            .build()
+            .unwrap();
+        let mut st = fsm.initial_state();
+        fsm.step(&mut st, &[], 0.1).unwrap();
+        assert_eq!(st.current, fsm.state_index("B").unwrap());
+    }
+
+    #[test]
+    fn time_in_state_guard() {
+        // Dwell in A for 3 ticks of dt=1.0 then move to B.
+        let fsm = FsmBuilder::new()
+            .output(Port::int("s"))
+            .state("A", |s| s.during("s", Expr::Int(0)))
+            .state("B", |s| s.during("s", Expr::Int(1)))
+            .transition("A", "B", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(3.0)))
+            .build()
+            .unwrap();
+        let mut st = fsm.initial_state();
+        let mut states = Vec::new();
+        for _ in 0..5 {
+            let (out, _) = fsm.step(&mut st, &[], 1.0).unwrap();
+            states.push(out[0].as_int().unwrap());
+        }
+        // tis = 0,1,2,3 → fires on the 4th step.
+        assert_eq!(states, [0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn latches_hold_between_assignments() {
+        let fsm = FsmBuilder::new()
+            .output(Port::real("v"))
+            .state("A", |s| s.entry("v", Expr::Real(5.0)))
+            .plain_state("B")
+            .transition("A", "B", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)))
+            .build()
+            .unwrap();
+        let mut st = fsm.initial_state();
+        // No entry on initial state activation (entry runs on *transitions*),
+        // so latch starts at type zero.
+        let (out, _) = fsm.step(&mut st, &[], 1.0).unwrap();
+        assert_eq!(out[0], SignalValue::Real(0.0));
+        let (out, _) = fsm.step(&mut st, &[], 1.0).unwrap(); // fires A->B
+        assert_eq!(out[0], SignalValue::Real(0.0)); // B has no actions; latch holds
+    }
+
+    #[test]
+    fn check_rejects_bad_machines() {
+        let no_states = StateMachineBlock {
+            inputs: vec![],
+            outputs: vec![],
+            states: vec![],
+            transitions: vec![],
+            initial: 0,
+        };
+        assert!(no_states.check().is_err());
+
+        let bad_guard = FsmBuilder::new()
+            .plain_state("A")
+            .transition("A", "A", Expr::Int(1))
+            .build();
+        assert!(matches!(bad_guard.unwrap_err(), ComdesError::TypeError(_)));
+
+        let unknown_state = FsmBuilder::new()
+            .plain_state("A")
+            .transition("A", "Ghost", Expr::Bool(true))
+            .build();
+        assert!(matches!(unknown_state.unwrap_err(), ComdesError::Unknown(_)));
+
+        let dup = FsmBuilder::new().plain_state("A").plain_state("A").build();
+        assert!(matches!(dup.unwrap_err(), ComdesError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn action_type_checked_against_port() {
+        let bad = FsmBuilder::new()
+            .output(Port::boolean("q"))
+            .state("A", |s| s.during("q", Expr::Int(1)))
+            .build();
+        assert!(matches!(bad.unwrap_err(), ComdesError::TypeError(_)));
+        // int → real widening is allowed
+        let ok = FsmBuilder::new()
+            .output(Port::real("v"))
+            .state("A", |s| s.during("v", Expr::Int(1)))
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn unreachable_states_reported() {
+        let fsm = FsmBuilder::new()
+            .plain_state("A")
+            .plain_state("B")
+            .plain_state("Island")
+            .transition("A", "B", Expr::Bool(true))
+            .transition("B", "A", Expr::Bool(true))
+            .build()
+            .unwrap();
+        assert_eq!(fsm.unreachable_states(), ["Island"]);
+    }
+
+    #[test]
+    fn entry_sees_inputs_and_zero_time() {
+        let fsm = FsmBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .plain_state("A")
+            .state("B", |s| {
+                s.entry("y", Expr::var("x").add(Expr::var(VAR_TIME_IN_STATE)))
+            })
+            .transition("A", "B", Expr::Bool(true))
+            .build()
+            .unwrap();
+        let mut st = fsm.initial_state();
+        let (out, _) = fsm.step(&mut st, &[4.5.into()], 0.25).unwrap();
+        assert_eq!(out[0], SignalValue::Real(4.5)); // time_in_state rebound to 0
+        assert_eq!(fsm.outputs[0].ty, SignalType::Real);
+    }
+}

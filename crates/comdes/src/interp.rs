@@ -1,0 +1,918 @@
+//! Reference interpreter: executes COMDES models directly at the model
+//! level.
+//!
+//! This is the *semantic oracle* of the reproduction. The code generator
+//! ([`gmdf-codegen`]) compiles the same models to bytecode; a property test
+//! checks that compiled execution produces **bit-identical** signal traces.
+//! The debugger uses the interpreter to derive expected behaviour
+//! ("checking whether the application meets system requirements", paper
+//! §II) and to classify implementation errors.
+//!
+//! Timing model: idealized Distributed Timed Multitasking with zero
+//! execution time — inputs latch at release instants, outputs publish at
+//! deadline instants, signals broadcast with zero latency. The target
+//! simulator refines this with real CPU costs; under deadline latching the
+//! *published values and instants* must coincide with the interpreter's.
+//!
+//! [`gmdf-codegen`]: ../../gmdf_codegen/index.html
+
+use crate::error::ComdesError;
+use crate::fsm::FsmState;
+use crate::network::{Block, Network, Sink, Source};
+use crate::signal::SignalValue;
+use crate::system::System;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A model-level behaviour occurrence, reported by the interpreter and —
+/// through the command interface — by the running target code. Comparing
+/// the two streams is how the debugger detects implementation errors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorEvent {
+    /// A state-machine block changed state.
+    StateEnter {
+        /// Path of the FSM block (`actor/…/block`).
+        block_path: String,
+        /// Name of the state left.
+        from: String,
+        /// Name of the state entered.
+        to: String,
+    },
+    /// A modal block switched modes.
+    ModeSwitch {
+        /// Path of the modal block.
+        block_path: String,
+        /// Name of the mode left (empty on first activation).
+        from: String,
+        /// Name of the mode entered.
+        to: String,
+    },
+}
+
+impl BehaviorEvent {
+    /// Path of the block the event concerns.
+    pub fn block_path(&self) -> &str {
+        match self {
+            BehaviorEvent::StateEnter { block_path, .. }
+            | BehaviorEvent::ModeSwitch { block_path, .. } => block_path,
+        }
+    }
+}
+
+/// Runtime state of one block instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtBlock {
+    /// Basic block state cells.
+    Basic(Vec<SignalValue>),
+    /// State-machine runtime.
+    Fsm(FsmState),
+    /// Modal runtime: last active mode plus per-mode network states.
+    Modal {
+        /// Previously active mode (None before first step).
+        last: Option<usize>,
+        /// Per-mode sub-network states.
+        modes: Vec<RtNetwork>,
+    },
+    /// Composite runtime: the nested network's state.
+    Composite(RtNetwork),
+}
+
+/// Runtime state of a network: one [`RtBlock`] per block instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtNetwork {
+    /// Positional block states.
+    pub blocks: Vec<RtBlock>,
+}
+
+/// Builds the initial runtime state for `net`.
+pub fn init_network(net: &Network) -> RtNetwork {
+    let blocks = net
+        .blocks
+        .iter()
+        .map(|bi| match &bi.block {
+            Block::Basic(op) => {
+                RtBlock::Basic(op.state_layout().into_iter().map(|(_, v)| v).collect())
+            }
+            Block::StateMachine(fsm) => RtBlock::Fsm(fsm.initial_state()),
+            Block::Modal(m) => RtBlock::Modal {
+                last: None,
+                modes: m.modes.iter().map(|mo| init_network(&mo.network)).collect(),
+            },
+            Block::Composite(c) => RtBlock::Composite(init_network(&c.network)),
+        })
+        .collect();
+    RtNetwork { blocks }
+}
+
+/// Executes one synchronous step of `net`.
+///
+/// `path` is the element-path prefix (actor name and enclosing block
+/// names) used to label emitted [`BehaviorEvent`]s; `events` collects
+/// them.
+///
+/// # Errors
+///
+/// Returns [`ComdesError`] if an expression fails to evaluate — validated
+/// networks never do.
+pub fn step_network(
+    net: &Network,
+    rt: &mut RtNetwork,
+    inputs: &[SignalValue],
+    dt: f64,
+    path: &mut Vec<String>,
+    events: &mut Vec<BehaviorEvent>,
+) -> Result<Vec<SignalValue>, ComdesError> {
+    let n = net.blocks.len();
+    let mut produced: Vec<Option<Vec<SignalValue>>> = vec![None; n];
+
+    // Phase 1: loop-breaking blocks emit their state as output.
+    for (bi, inst) in net.blocks.iter().enumerate() {
+        if !inst.block.has_direct_feedthrough() {
+            if let RtBlock::Basic(state) = &rt.blocks[bi] {
+                produced[bi] = Some(vec![state[0]]);
+            }
+        }
+    }
+
+    // Input gathering helper: resolve the driver of (block, port) if any.
+    let driver = |block: &str, port: &str| -> Option<&Source> {
+        net.connections
+            .iter()
+            .find(|c| matches!(&c.to, Sink::Block { block: b, port: p } if b == block && p == port))
+            .map(|c| &c.from)
+    };
+    let resolve = |src: &Source,
+                   produced: &Vec<Option<Vec<SignalValue>>>|
+     -> Result<SignalValue, ComdesError> {
+        match src {
+            Source::Input(p) => {
+                let idx = net
+                    .inputs
+                    .iter()
+                    .position(|q| q.name == *p)
+                    .ok_or_else(|| ComdesError::BadConnection(format!("no input `{p}`")))?;
+                Ok(inputs[idx])
+            }
+            Source::Block { block, port } => {
+                let bi = net
+                    .block_index(block)
+                    .ok_or_else(|| ComdesError::Unknown(format!("block `{block}`")))?;
+                let oi = net.blocks[bi]
+                    .block
+                    .outputs()
+                    .iter()
+                    .position(|q| q.name == *port)
+                    .ok_or_else(|| ComdesError::Unknown(format!("output `{block}.{port}`")))?;
+                produced[bi]
+                    .as_ref()
+                    .map(|o| o[oi])
+                    .ok_or_else(|| ComdesError::Eval(format!("`{block}` not yet computed")))
+            }
+        }
+    };
+    let gather = |inst: &crate::network::BlockInstance,
+                  produced: &Vec<Option<Vec<SignalValue>>>|
+     -> Result<Vec<SignalValue>, ComdesError> {
+        inst.block
+            .inputs()
+            .iter()
+            .map(|p| match driver(&inst.name, &p.name) {
+                Some(src) => resolve(src, produced),
+                None => Ok(p.ty.zero()),
+            })
+            .collect()
+    };
+
+    // Phase 2: feedthrough blocks in topological order.
+    for bi in net.topo_order()? {
+        let inst = &net.blocks[bi];
+        if !inst.block.has_direct_feedthrough() {
+            continue; // already emitted
+        }
+        let ins = gather(inst, &produced)?;
+        let outs = match (&inst.block, &mut rt.blocks[bi]) {
+            (Block::Basic(op), RtBlock::Basic(state)) => op.step(state, &ins, dt),
+            (Block::StateMachine(fsm), RtBlock::Fsm(state)) => {
+                let (outs, info) = fsm.step(state, &ins, dt)?;
+                if let Some((from, to)) = info.fired {
+                    path.push(inst.name.clone());
+                    events.push(BehaviorEvent::StateEnter {
+                        block_path: path.join("/"),
+                        from: fsm.states[from].name.clone(),
+                        to: fsm.states[to].name.clone(),
+                    });
+                    path.pop();
+                }
+                outs
+            }
+            (Block::Modal(m), RtBlock::Modal { last, modes }) => {
+                let raw = ins[0]
+                    .as_int()
+                    .ok_or_else(|| ComdesError::Eval("mode selector must be int".into()))?;
+                let active = m.clamp_mode(raw);
+                if *last != Some(active) {
+                    path.push(inst.name.clone());
+                    events.push(BehaviorEvent::ModeSwitch {
+                        block_path: path.join("/"),
+                        from: last.map(|l| m.modes[l].name.clone()).unwrap_or_default(),
+                        to: m.modes[active].name.clone(),
+                    });
+                    path.pop();
+                    *last = Some(active);
+                }
+                path.push(inst.name.clone());
+                path.push(m.modes[active].name.clone());
+                let outs = step_network(
+                    &m.modes[active].network,
+                    &mut modes[active],
+                    &ins[1..],
+                    dt,
+                    path,
+                    events,
+                )?;
+                path.pop();
+                path.pop();
+                outs
+            }
+            (Block::Composite(c), RtBlock::Composite(inner)) => {
+                path.push(inst.name.clone());
+                let outs = step_network(&c.network, inner, &ins, dt, path, events)?;
+                path.pop();
+                outs
+            }
+            _ => return Err(ComdesError::Eval("runtime/definition mismatch".into())),
+        };
+        produced[bi] = Some(outs);
+    }
+
+    // Phase 3: late state update for loop-breaking blocks.
+    for (bi, inst) in net.blocks.iter().enumerate() {
+        if inst.block.has_direct_feedthrough() {
+            continue;
+        }
+        let ins = gather(inst, &produced)?;
+        if let RtBlock::Basic(state) = &mut rt.blocks[bi] {
+            state[0] = ins[0];
+        }
+    }
+
+    // Network outputs.
+    net.outputs
+        .iter()
+        .map(|p| {
+            let src = net
+                .connections
+                .iter()
+                .find(|c| matches!(&c.to, Sink::Output(q) if *q == p.name))
+                .map(|c| &c.from)
+                .ok_or_else(|| {
+                    ComdesError::BadConnection(format!("output `{}` not driven", p.name))
+                })?;
+            resolve(src, &produced)
+        })
+        .collect()
+}
+
+/// One signal-board write, recorded in the interpreter's trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalWrite {
+    /// Simulation time of the write (deadline instant for actor outputs).
+    pub time_ns: u64,
+    /// Signal label.
+    pub label: String,
+    /// Written value.
+    pub value: SignalValue,
+    /// `true` for environment stimuli, `false` for actor publications.
+    pub from_environment: bool,
+}
+
+/// Record of one actor task activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationRecord {
+    /// Release (and input latch) instant.
+    pub release_ns: u64,
+    /// Actor name.
+    pub actor: String,
+    /// Model-level behaviour events produced by this step.
+    pub events: Vec<BehaviorEvent>,
+    /// Output values latched for publication at the deadline.
+    pub outputs: Vec<(String, SignalValue)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // Order matters: at equal timestamps, environment writes land first,
+    // then deadline publications, then releases latching inputs.
+    Environment = 0,
+    Deadline = 1,
+    Release = 2,
+}
+
+/// Reference interpreter for a whole [`System`].
+///
+/// ```
+/// use gmdf_comdes::{Interpreter, System, NodeSpec, ActorBuilder, NetworkBuilder,
+///                   BasicOp, Port, Timing, SignalValue};
+///
+/// # fn main() -> Result<(), gmdf_comdes::ComdesError> {
+/// let net = NetworkBuilder::new()
+///     .input(Port::real("x"))
+///     .output(Port::real("y"))
+///     .block("g", BasicOp::Gain { k: 2.0 })
+///     .connect("x", "g.x")?
+///     .connect("g.y", "y")?
+///     .build()?;
+/// let actor = ActorBuilder::new("Doubler", net)
+///     .input("x", "in")
+///     .output("y", "out")
+///     .timing(Timing::periodic(1_000_000, 0))
+///     .build()?;
+/// let mut node = NodeSpec::new("n0", 1_000_000);
+/// node.actors.push(actor);
+/// let system = System::new("demo").with_node(node);
+///
+/// let mut interp = Interpreter::new(&system)?;
+/// interp.add_stimulus(0, "in", SignalValue::Real(21.0));
+/// interp.run_until(2_000_000)?;
+/// assert_eq!(interp.board()["out"], SignalValue::Real(42.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    system: &'a System,
+    board: BTreeMap<String, SignalValue>,
+    runtimes: Vec<Vec<ActorRt>>,
+    stimuli: Vec<(u64, String, SignalValue)>,
+    trace: Vec<SignalWrite>,
+    records: Vec<ActivationRecord>,
+    now_ns: u64,
+}
+
+#[derive(Debug)]
+struct ActorRt {
+    rt: RtNetwork,
+    next_release_idx: u64,
+    pending: Option<(u64, Vec<SignalValue>)>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter over a validated system; the signal board is
+    /// initialized to type zeros for every label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`System::check`] failures.
+    pub fn new(system: &'a System) -> Result<Self, ComdesError> {
+        system.check()?;
+        let board = system
+            .signal_map()?
+            .into_iter()
+            .map(|(label, (ty, _))| (label, ty.zero()))
+            .collect();
+        let runtimes = system
+            .nodes
+            .iter()
+            .map(|n| {
+                n.actors
+                    .iter()
+                    .map(|a| ActorRt {
+                        rt: init_network(&a.network),
+                        next_release_idx: 0,
+                        pending: None,
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Interpreter {
+            system,
+            board,
+            runtimes,
+            stimuli: Vec::new(),
+            trace: Vec::new(),
+            records: Vec::new(),
+            now_ns: 0,
+        })
+    }
+
+    /// Schedules an environment write (sensor value) at `time_ns`.
+    ///
+    /// Stimuli must target environment labels; writes to produced labels
+    /// would be overwritten by the producer and are still applied (useful
+    /// for initial conditions).
+    pub fn add_stimulus(&mut self, time_ns: u64, label: &str, value: SignalValue) {
+        self.stimuli.push((time_ns, label.to_owned(), value));
+        self.stimuli.sort_by_key(|a| a.0);
+    }
+
+    /// Current signal board (label → last value).
+    pub fn board(&self) -> &BTreeMap<String, SignalValue> {
+        &self.board
+    }
+
+    /// All board writes so far, in order.
+    pub fn trace(&self) -> &[SignalWrite] {
+        &self.trace
+    }
+
+    /// All actor activations so far, in order.
+    pub fn records(&self) -> &[ActivationRecord] {
+        &self.records
+    }
+
+    /// Current simulation time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances simulation to `t_end_ns` (inclusive), processing all
+    /// environment writes, deadlines and releases in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (never for validated systems).
+    pub fn run_until(&mut self, t_end_ns: u64) -> Result<(), ComdesError> {
+        // Build the event list for (now, t_end].
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Ev {
+            time: u64,
+            kind: EventKind,
+            node: usize,
+            actor: usize,
+            stim: usize,
+        }
+        let mut events: Vec<Ev> = Vec::new();
+        // Deadlines carried over from releases in earlier run_until windows.
+        for (ni, node) in self.runtimes.iter().enumerate() {
+            for (ai, art) in node.iter().enumerate() {
+                if let Some((due, _)) = art.pending {
+                    if due <= t_end_ns {
+                        events.push(Ev {
+                            time: due,
+                            kind: EventKind::Deadline,
+                            node: ni,
+                            actor: ai,
+                            stim: usize::MAX,
+                        });
+                    }
+                }
+            }
+        }
+        for (si, (t, _, _)) in self.stimuli.iter().enumerate() {
+            if *t >= self.now_ns && *t <= t_end_ns {
+                events.push(Ev {
+                    time: *t,
+                    kind: EventKind::Environment,
+                    node: 0,
+                    actor: 0,
+                    stim: si,
+                });
+            }
+        }
+        for (ni, node) in self.system.nodes.iter().enumerate() {
+            for (ai, actor) in node.actors.iter().enumerate() {
+                let t = &actor.timing;
+                let mut k = self.runtimes[ni][ai].next_release_idx;
+                loop {
+                    let rel = t.offset_ns + k * t.period_ns;
+                    if rel > t_end_ns {
+                        break;
+                    }
+                    events.push(Ev {
+                        time: rel,
+                        kind: EventKind::Release,
+                        node: ni,
+                        actor: ai,
+                        stim: usize::MAX,
+                    });
+                    let dl = rel + t.deadline_ns;
+                    if dl <= t_end_ns {
+                        events.push(Ev {
+                            time: dl,
+                            kind: EventKind::Deadline,
+                            node: ni,
+                            actor: ai,
+                            stim: usize::MAX,
+                        });
+                    }
+                    k += 1;
+                }
+            }
+        }
+        events.sort();
+
+        let consumed_stimuli: Vec<usize> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Environment)
+            .map(|e| e.stim)
+            .collect();
+
+        for ev in &events {
+            self.now_ns = ev.time;
+            match ev.kind {
+                EventKind::Environment => {
+                    let (t, label, value) = self.stimuli[ev.stim].clone();
+                    self.board.insert(label.clone(), value);
+                    self.trace.push(SignalWrite {
+                        time_ns: t,
+                        label,
+                        value,
+                        from_environment: true,
+                    });
+                }
+                EventKind::Deadline => {
+                    let actor = &self.system.nodes[ev.node].actors[ev.actor];
+                    let art = &mut self.runtimes[ev.node][ev.actor];
+                    if let Some((due, outs)) = art.pending.take() {
+                        debug_assert_eq!(due, ev.time);
+                        for (binding, value) in actor.outputs.iter().zip(outs.iter()) {
+                            self.board.insert(binding.label.clone(), *value);
+                            self.trace.push(SignalWrite {
+                                time_ns: ev.time,
+                                label: binding.label.clone(),
+                                value: *value,
+                                from_environment: false,
+                            });
+                        }
+                    }
+                }
+                EventKind::Release => {
+                    let actor = &self.system.nodes[ev.node].actors[ev.actor];
+                    // Latch inputs at release.
+                    let latched: Vec<SignalValue> = actor
+                        .inputs
+                        .iter()
+                        .map(|i| {
+                            self.board
+                                .get(&i.label)
+                                .copied()
+                                .unwrap_or_else(|| i.port.ty.zero())
+                        })
+                        .collect();
+                    let dt = actor.timing.dt_seconds();
+                    let mut path = vec![actor.name.clone()];
+                    let mut bevents = Vec::new();
+                    let art = &mut self.runtimes[ev.node][ev.actor];
+                    let outs = step_network(
+                        &actor.network,
+                        &mut art.rt,
+                        &latched,
+                        dt,
+                        &mut path,
+                        &mut bevents,
+                    )?;
+                    art.pending = Some((ev.time + actor.timing.deadline_ns, outs.clone()));
+                    art.next_release_idx += 1;
+                    self.records.push(ActivationRecord {
+                        release_ns: ev.time,
+                        actor: actor.name.clone(),
+                        events: bevents,
+                        outputs: actor
+                            .outputs
+                            .iter()
+                            .zip(outs.iter())
+                            .map(|(b, v)| (b.label.clone(), *v))
+                            .collect(),
+                    });
+                }
+            }
+        }
+        // Drop consumed stimuli (iterate in reverse to keep indexes valid).
+        let mut consumed = consumed_stimuli;
+        consumed.sort_unstable();
+        for si in consumed.into_iter().rev() {
+            self.stimuli.remove(si);
+        }
+        self.now_ns = t_end_ns;
+        Ok(())
+    }
+}
+
+/// Steps a single network repeatedly with the given per-step inputs —
+/// convenience for unit and property tests.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run_network(
+    net: &Network,
+    steps: &[Vec<SignalValue>],
+    dt: f64,
+) -> Result<Vec<Vec<SignalValue>>, ComdesError> {
+    let mut rt = init_network(net);
+    let mut path = Vec::new();
+    let mut events = Vec::new();
+    steps
+        .iter()
+        .map(|ins| step_network(net, &mut rt, ins, dt, &mut path, &mut events))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorBuilder, Timing};
+    use crate::block::BasicOp;
+    use crate::expr::Expr;
+    use crate::fsm::FsmBuilder;
+    use crate::network::{Mode, ModalBlock, NetworkBuilder};
+    use crate::signal::Port;
+    use crate::system::NodeSpec;
+
+    fn accumulator_net() -> Network {
+        // y[k] = y[k-1] + 1 via UnitDelay feedback.
+        NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("add", BasicOp::Sum)
+            .block("z", BasicOp::UnitDelay { initial: SignalValue::Real(0.0) })
+            .block("one", BasicOp::Const(SignalValue::Real(1.0)))
+            .connect("one.y", "add.a")
+            .unwrap()
+            .connect("z.y", "add.b")
+            .unwrap()
+            .connect("add.y", "z.x")
+            .unwrap()
+            .connect("add.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feedback_loop_accumulates() {
+        let net = accumulator_net();
+        let steps: Vec<Vec<SignalValue>> = (0..4).map(|_| vec![]).collect();
+        let outs = run_network(&net, &steps, 0.1).unwrap();
+        let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
+        assert_eq!(ys, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unconnected_input_reads_zero() {
+        let net = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("s", BasicOp::Offset { c: 7.0 })
+            .connect("s.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let outs = run_network(&net, &[vec![]], 0.1).unwrap();
+        assert_eq!(outs[0][0], SignalValue::Real(7.0));
+    }
+
+    #[test]
+    fn fsm_events_carry_paths() {
+        let fsm = FsmBuilder::new()
+            .input(Port::boolean("go"))
+            .output(Port::boolean("on"))
+            .state("Idle", |s| s.entry("on", Expr::Bool(false)))
+            .state("Run", |s| s.entry("on", Expr::Bool(true)))
+            .transition("Idle", "Run", Expr::var("go"))
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .input(Port::boolean("go"))
+            .output(Port::boolean("on"))
+            .state_machine("ctl", fsm)
+            .connect("go", "ctl.go")
+            .unwrap()
+            .connect("ctl.on", "on")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut rt = init_network(&net);
+        let mut path = vec!["Heater".to_owned()];
+        let mut events = Vec::new();
+        step_network(&net, &mut rt, &[true.into()], 0.1, &mut path, &mut events).unwrap();
+        assert_eq!(
+            events,
+            vec![BehaviorEvent::StateEnter {
+                block_path: "Heater/ctl".into(),
+                from: "Idle".into(),
+                to: "Run".into(),
+            }]
+        );
+        assert_eq!(path, vec!["Heater".to_owned()]); // restored
+    }
+
+    fn pass_mode(k: f64) -> Network {
+        NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn modal_switches_and_freezes_inactive() {
+        // Mode 0: integrator; Mode 1: gain. Integrator state must freeze
+        // while mode 1 is active.
+        let m0 = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("i", BasicOp::Integrator { gain: 1.0, initial: 0.0, lo: -1e9, hi: 1e9 })
+            .connect("x", "i.x")
+            .unwrap()
+            .connect("i.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let modal = ModalBlock {
+            data_inputs: vec![Port::real("x")],
+            outputs: vec![Port::real("y")],
+            modes: vec![
+                Mode { name: "integrate".into(), network: m0 },
+                Mode { name: "pass".into(), network: pass_mode(1.0) },
+            ],
+        };
+        let net = NetworkBuilder::new()
+            .input(Port::int("m"))
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .modal("modal", modal)
+            .connect("m", "modal.mode")
+            .unwrap()
+            .connect("x", "modal.x")
+            .unwrap()
+            .connect("modal.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut rt = init_network(&net);
+        let mut path = vec!["A".to_owned()];
+        let mut ev = Vec::new();
+        let dt = 1.0;
+        let s1 = step_network(&net, &mut rt, &[0i64.into(), 2.0.into()], dt, &mut path, &mut ev)
+            .unwrap();
+        assert_eq!(s1[0], SignalValue::Real(2.0)); // integral = 2
+        let s2 = step_network(&net, &mut rt, &[1i64.into(), 5.0.into()], dt, &mut path, &mut ev)
+            .unwrap();
+        assert_eq!(s2[0], SignalValue::Real(5.0)); // pass-through
+        let s3 = step_network(&net, &mut rt, &[0i64.into(), 1.0.into()], dt, &mut path, &mut ev)
+            .unwrap();
+        assert_eq!(s3[0], SignalValue::Real(3.0)); // integral resumed from 2
+        // Mode switch events: initial activation, 0->1, 1->0.
+        let switches: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, BehaviorEvent::ModeSwitch { .. }))
+            .collect();
+        assert_eq!(switches.len(), 3);
+        if let BehaviorEvent::ModeSwitch { block_path, from, to } = switches[1] {
+            assert_eq!(block_path, "A/modal");
+            assert_eq!(from, "integrate");
+            assert_eq!(to, "pass");
+        } else {
+            panic!("expected mode switch");
+        }
+    }
+
+    #[test]
+    fn modal_selector_clamps() {
+        let modal = ModalBlock {
+            data_inputs: vec![Port::real("x")],
+            outputs: vec![Port::real("y")],
+            modes: vec![
+                Mode { name: "a".into(), network: pass_mode(1.0) },
+                Mode { name: "b".into(), network: pass_mode(10.0) },
+            ],
+        };
+        let net = NetworkBuilder::new()
+            .input(Port::int("m"))
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .modal("modal", modal)
+            .connect("m", "modal.mode")
+            .unwrap()
+            .connect("x", "modal.x")
+            .unwrap()
+            .connect("modal.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let steps = vec![
+            vec![SignalValue::Int(-3), SignalValue::Real(1.0)],
+            vec![SignalValue::Int(99), SignalValue::Real(1.0)],
+        ];
+        let outs = run_network(&net, &steps, 0.1).unwrap();
+        assert_eq!(outs[0][0], SignalValue::Real(1.0)); // clamped to mode 0
+        assert_eq!(outs[1][0], SignalValue::Real(10.0)); // clamped to mode 1
+    }
+
+    #[test]
+    fn composite_nesting() {
+        let inner = pass_mode(3.0);
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .composite("sub", inner)
+            .connect("x", "sub.x")
+            .unwrap()
+            .connect("sub.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let outs = run_network(&net, &[vec![2.0.into()]], 0.1).unwrap();
+        assert_eq!(outs[0][0], SignalValue::Real(6.0));
+    }
+
+    fn two_actor_system() -> System {
+        // Producer doubles `raw` into `mid`; consumer negates `mid` into `out`.
+        let p = ActorBuilder::new("Producer", pass_mode(2.0))
+            .input("x", "raw")
+            .output("y", "mid")
+            .timing(Timing { period_ns: 1_000, offset_ns: 0, deadline_ns: 1_000, priority: 0 })
+            .build()
+            .unwrap();
+        let c = ActorBuilder::new("Consumer", pass_mode(-1.0))
+            .input("x", "mid")
+            .output("y", "out")
+            .timing(Timing { period_ns: 1_000, offset_ns: 0, deadline_ns: 1_000, priority: 1 })
+            .build()
+            .unwrap();
+        let mut n0 = NodeSpec::new("n0", 1_000_000_000);
+        n0.actors.push(p);
+        let mut n1 = NodeSpec::new("n1", 1_000_000_000);
+        n1.actors.push(c);
+        System::new("pipeline").with_node(n0).with_node(n1)
+    }
+
+    #[test]
+    fn deadline_publication_ordering() {
+        let sys = two_actor_system();
+        let mut interp = Interpreter::new(&sys).unwrap();
+        interp.add_stimulus(0, "raw", SignalValue::Real(10.0));
+        interp.run_until(3_000).unwrap();
+        // t=0: env write raw=10; both release latching (raw=10, mid=0).
+        // t=1000: producer publishes mid=20, consumer publishes out=0;
+        //         then releases latch mid=20 (deadline before release).
+        // t=2000: publishes mid=20, out=-20.
+        assert_eq!(interp.board()["mid"], SignalValue::Real(20.0));
+        assert_eq!(interp.board()["out"], SignalValue::Real(-20.0));
+        // Trace ordering at t=1000: deadline writes precede the next latch.
+        let t1000: Vec<_> = interp
+            .trace()
+            .iter()
+            .filter(|w| w.time_ns == 1_000)
+            .collect();
+        assert_eq!(t1000.len(), 2);
+    }
+
+    #[test]
+    fn activation_records_capture_outputs() {
+        let sys = two_actor_system();
+        let mut interp = Interpreter::new(&sys).unwrap();
+        interp.add_stimulus(0, "raw", SignalValue::Real(1.0));
+        interp.run_until(1_000).unwrap();
+        let recs: Vec<_> = interp
+            .records()
+            .iter()
+            .filter(|r| r.actor == "Producer")
+            .collect();
+        assert_eq!(recs.len(), 2); // releases at 0 and 1000
+        assert_eq!(recs[0].outputs, vec![("mid".to_owned(), SignalValue::Real(2.0))]);
+    }
+
+    #[test]
+    fn incremental_run_matches_single_run() {
+        let sys = two_actor_system();
+        let mut a = Interpreter::new(&sys).unwrap();
+        a.add_stimulus(0, "raw", SignalValue::Real(3.0));
+        a.add_stimulus(1_500, "raw", SignalValue::Real(-3.0));
+        a.run_until(5_000).unwrap();
+
+        let mut b = Interpreter::new(&sys).unwrap();
+        b.add_stimulus(0, "raw", SignalValue::Real(3.0));
+        b.add_stimulus(1_500, "raw", SignalValue::Real(-3.0));
+        b.run_until(1_200).unwrap();
+        b.run_until(2_600).unwrap();
+        b.run_until(5_000).unwrap();
+
+        assert_eq!(a.board(), b.board());
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.records().len(), b.records().len());
+    }
+
+    #[test]
+    fn offset_delays_first_release() {
+        let actor = ActorBuilder::new("Late", pass_mode(1.0))
+            .input("x", "in")
+            .output("y", "out")
+            .timing(Timing { period_ns: 1_000, offset_ns: 500, deadline_ns: 1_000, priority: 0 })
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("n", 1_000_000);
+        node.actors.push(actor);
+        let sys = System::new("s").with_node(node);
+        let mut interp = Interpreter::new(&sys).unwrap();
+        interp.run_until(400).unwrap();
+        assert!(interp.records().is_empty());
+        interp.run_until(600).unwrap();
+        assert_eq!(interp.records().len(), 1);
+        assert_eq!(interp.records()[0].release_ns, 500);
+    }
+}

@@ -1,0 +1,86 @@
+//! # gmdf-comdes — the COMDES domain-specific modeling language
+//!
+//! Reproduction of the COMDES-II framework the GMDF paper (Zeng, Guo,
+//! Angelov — DATE 2010) uses as its input language: "a component-based
+//! framework for distributed control systems, featuring open architecture
+//! and predictable operation under hard real-time constraints" (§III).
+//!
+//! The crate provides:
+//!
+//! * [`BasicOp`] — the prefabricated basic function-block library;
+//! * [`StateMachineBlock`] / [`FsmBuilder`] — state-machine function blocks;
+//! * [`ModalBlock`], [`CompositeBlock`], [`Network`] / [`NetworkBuilder`] —
+//!   hierarchical component networks;
+//! * [`Actor`] / [`ActorBuilder`], [`System`], [`NodeSpec`] — distributed
+//!   deployment under Distributed Timed Multitasking timing;
+//! * [`Interpreter`] — the reference executor (the semantic oracle the
+//!   code generator is property-tested against);
+//! * [`export_system`] — reflection into the generic
+//!   [`gmdf_metamodel`] layer for the debugger's abstraction step;
+//! * [`lint`] — static warnings for runtime-debuggable design slips.
+//!
+//! ```
+//! use gmdf_comdes::{ActorBuilder, BasicOp, Interpreter, NetworkBuilder, NodeSpec,
+//!                   Port, SignalValue, System, Timing};
+//!
+//! # fn main() -> Result<(), gmdf_comdes::ComdesError> {
+//! // A one-block control actor: u = -0.5 * error.
+//! let net = NetworkBuilder::new()
+//!     .input(Port::real("err"))
+//!     .output(Port::real("u"))
+//!     .block("p", BasicOp::Gain { k: -0.5 })
+//!     .connect("err", "p.x")?
+//!     .connect("p.y", "u")?
+//!     .build()?;
+//! let actor = ActorBuilder::new("Ctl", net)
+//!     .input("err", "error")
+//!     .output("u", "drive")
+//!     .timing(Timing::periodic(1_000_000, 0))
+//!     .build()?;
+//! let mut node = NodeSpec::new("ecu", 48_000_000);
+//! node.actors.push(actor);
+//! let system = System::new("loop").with_node(node);
+//!
+//! let mut sim = Interpreter::new(&system)?;
+//! sim.add_stimulus(0, "error", SignalValue::Real(4.0));
+//! sim.run_until(2_000_000)?;
+//! assert_eq!(sim.board()["drive"], SignalValue::Real(-2.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod actor;
+mod block;
+mod error;
+mod export;
+mod expr;
+mod fsm;
+mod interp;
+mod lint;
+mod network;
+mod signal;
+mod system;
+
+pub use actor::{Actor, ActorBuilder, ActorInput, ActorOutput, Timing};
+pub use block::{BasicOp, CmpOp};
+pub use error::ComdesError;
+pub use export::{comdes_metamodel, export_system, COMDES_METAMODEL};
+pub use expr::{trunc_to_int, BinOp, Expr, UnOp};
+pub use fsm::{
+    Assign, FsmBuilder, FsmState, FsmStepInfo, State, StateBuilder, StateMachineBlock,
+    Transition, VAR_DT, VAR_TIME_IN_STATE,
+};
+pub use interp::{
+    init_network, run_network, step_network, ActivationRecord, BehaviorEvent, Interpreter,
+    RtBlock, RtNetwork, SignalWrite,
+};
+pub use lint::{lint, LintWarning};
+pub use network::{
+    Block, BlockInstance, CompositeBlock, Connection, ModalBlock, Mode, Network,
+    NetworkBuilder, Sink, Source,
+};
+pub use signal::{Port, SignalType, SignalValue};
+pub use system::{NodeSpec, SignalOrigin, System};

@@ -1,0 +1,220 @@
+//! Domain-specific lint checks over validated COMDES systems.
+//!
+//! [`System::check`](crate::System::check) enforces hard conformance;
+//! `lint` surfaces *suspicious but legal* modeling patterns — the class of
+//! design slips the paper's model debugger exists to catch at runtime, but
+//! that are cheap to flag statically first.
+
+use crate::network::{Block, Network};
+use crate::system::System;
+
+/// A lint finding (always a warning; errors come from `check`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintWarning {
+    /// Path-ish location (`actor/block`).
+    pub location: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "warning: {} ({})", self.message, self.location)
+    }
+}
+
+fn lint_network(prefix: &str, net: &Network, out: &mut Vec<LintWarning>) {
+    for (block, port) in net.undriven_block_inputs() {
+        out.push(LintWarning {
+            location: format!("{prefix}/{block}"),
+            message: format!("input `{port}` is undriven and reads as zero"),
+        });
+    }
+    for inst in &net.blocks {
+        let loc = format!("{prefix}/{}", inst.name);
+        match &inst.block {
+            Block::StateMachine(fsm) => {
+                for s in fsm.unreachable_states() {
+                    out.push(LintWarning {
+                        location: loc.clone(),
+                        message: format!("state `{s}` is unreachable from the initial state"),
+                    });
+                }
+                if fsm.outputs.is_empty() {
+                    out.push(LintWarning {
+                        location: loc.clone(),
+                        message: "state machine has no outputs; its activity is invisible".into(),
+                    });
+                }
+            }
+            Block::Modal(m) => {
+                for mode in &m.modes {
+                    lint_network(&format!("{loc}/{}", mode.name), &mode.network, out);
+                }
+            }
+            Block::Composite(c) => lint_network(&loc, &c.network, out),
+            Block::Basic(_) => {}
+        }
+    }
+}
+
+/// Runs all lint checks, returning warnings in deterministic order.
+///
+/// Checked patterns:
+/// * undriven block inputs (silently read zero);
+/// * unreachable state-machine states;
+/// * output-less state machines;
+/// * signals produced but never consumed;
+/// * actors whose deadline equals the period on the same node as a
+///   higher-frequency actor (a latency-jitter smell under preemption).
+pub fn lint(system: &System) -> Vec<LintWarning> {
+    let mut out = Vec::new();
+    for (_, actor) in system.actors() {
+        lint_network(&actor.name, &actor.network, &mut out);
+    }
+    if let Ok(map) = system.signal_map() {
+        for (label, (_, origin)) in &map {
+            if matches!(origin, crate::system::SignalOrigin::Actor { .. }) {
+                let consumed = system
+                    .actors()
+                    .any(|(_, a)| a.inputs.iter().any(|i| i.label == *label));
+                if !consumed {
+                    out.push(LintWarning {
+                        location: label.clone(),
+                        message: format!("signal `{label}` is produced but never consumed"),
+                    });
+                }
+            }
+        }
+    }
+    for node in &system.nodes {
+        let min_period = node.actors.iter().map(|a| a.timing.period_ns).min();
+        for a in &node.actors {
+            if let Some(min) = min_period {
+                if a.timing.deadline_ns == a.timing.period_ns && a.timing.period_ns > min {
+                    out.push(LintWarning {
+                        location: a.name.clone(),
+                        message:
+                            "deadline equals period while sharing the node with faster actors; \
+                             consider a tighter deadline to bound output latency"
+                                .into(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorBuilder, Timing};
+    use crate::block::BasicOp;
+    use crate::expr::Expr;
+    use crate::fsm::FsmBuilder;
+    use crate::network::NetworkBuilder;
+    use crate::signal::Port;
+    use crate::system::NodeSpec;
+
+    #[test]
+    fn flags_undriven_inputs_and_unconsumed_signals() {
+        let net = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("s", BasicOp::Sum)
+            .connect("s.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("A", net)
+            .output("y", "unused_out")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("n", 1_000_000);
+        node.actors.push(actor);
+        let sys = System::new("s").with_node(node);
+        let warnings = lint(&sys);
+        assert!(warnings.iter().any(|w| w.message.contains("undriven")));
+        assert!(warnings.iter().any(|w| w.message.contains("never consumed")));
+    }
+
+    #[test]
+    fn flags_unreachable_state() {
+        let fsm = FsmBuilder::new()
+            .output(Port::boolean("q"))
+            .state("A", |s| s.during("q", Expr::Bool(true)))
+            .plain_state("Island")
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .output(Port::boolean("q"))
+            .state_machine("m", fsm)
+            .connect("m.q", "q")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("A", net)
+            .output("q", "lamp")
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("n", 1_000_000);
+        node.actors.push(actor);
+        let sys = System::new("s").with_node(node);
+        let warnings = lint(&sys);
+        assert!(warnings.iter().any(|w| w.message.contains("Island")));
+    }
+
+    #[test]
+    fn clean_system_has_no_structural_warnings() {
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let producer = ActorBuilder::new("P", net.clone())
+            .input("x", "env")
+            .output("y", "mid")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let consumer = ActorBuilder::new("C", net)
+            .input("x", "mid")
+            .output("y", "out_signal")
+            .timing(Timing::periodic(1_000_000, 1))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("n", 1_000_000);
+        node.actors.push(producer);
+        node.actors.push(consumer);
+        let mut sink_node = NodeSpec::new("sink", 1_000_000);
+        // Consume out_signal so it is not flagged.
+        let sink_net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let sink = ActorBuilder::new("Sink", sink_net)
+            .input("x", "out_signal")
+            .output("y", "actuator")
+            .timing(Timing::periodic(1_000_000, 2))
+            .build()
+            .unwrap();
+        sink_node.actors.push(sink);
+        let sys = System::new("s").with_node(node).with_node(sink_node);
+        let warnings = lint(&sys);
+        // `actuator` is produced-not-consumed — the only expected warning.
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].message.contains("actuator"));
+    }
+}

@@ -1,0 +1,800 @@
+//! Dataflow networks of function blocks, plus the composite and modal
+//! blocks that nest them.
+//!
+//! "Actors are modeled as component networks that are configured from
+//! prefabricated executable components" (paper §III). A [`Network`] is such
+//! a component network: exported input/output ports, named block
+//! instances, and point-to-point connections. Networks nest through
+//! [`CompositeBlock`] (plain hierarchy) and [`ModalBlock`] (one
+//! sub-network per mode, selected by an integer `mode` input — the
+//! heterogeneous "state instance invokes a dataflow instance" pattern of
+//! paper §II is a state-machine block feeding a modal block's selector).
+
+use crate::block::BasicOp;
+use crate::error::ComdesError;
+use crate::fsm::StateMachineBlock;
+use crate::signal::{Port, SignalType};
+use serde::{Deserialize, Serialize};
+
+/// A function block: basic, state-machine, modal or composite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Block {
+    /// A prefabricated basic block.
+    Basic(BasicOp),
+    /// A state-machine block.
+    StateMachine(StateMachineBlock),
+    /// A modal block (mode-selected sub-networks).
+    Modal(ModalBlock),
+    /// A composite block (one nested sub-network).
+    Composite(CompositeBlock),
+}
+
+impl Block {
+    /// Input port signature.
+    pub fn inputs(&self) -> Vec<Port> {
+        match self {
+            Block::Basic(op) => op.inputs(),
+            Block::StateMachine(fsm) => fsm.inputs.clone(),
+            Block::Modal(m) => {
+                let mut v = vec![Port::int("mode")];
+                v.extend(m.data_inputs.iter().cloned());
+                v
+            }
+            Block::Composite(c) => c.network.inputs.clone(),
+        }
+    }
+
+    /// Output port signature.
+    pub fn outputs(&self) -> Vec<Port> {
+        match self {
+            Block::Basic(op) => op.outputs(),
+            Block::StateMachine(fsm) => fsm.outputs.clone(),
+            Block::Modal(m) => m.outputs.clone(),
+            Block::Composite(c) => c.network.outputs.clone(),
+        }
+    }
+
+    /// `false` only for loop-breaking blocks (currently
+    /// [`BasicOp::UnitDelay`]).
+    pub fn has_direct_feedthrough(&self) -> bool {
+        match self {
+            Block::Basic(op) => op.has_direct_feedthrough(),
+            _ => true,
+        }
+    }
+
+    /// Structural well-formedness of the block itself (recursive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates nested network / state machine / modal errors.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        match self {
+            Block::Basic(op) => check_basic(op),
+            Block::StateMachine(fsm) => fsm.check(),
+            Block::Modal(m) => m.check(),
+            Block::Composite(c) => c.network.check(),
+        }
+    }
+}
+
+fn check_basic(op: &BasicOp) -> Result<(), ComdesError> {
+    match op {
+        BasicOp::MovingAverage { window } if *window == 0 => Err(ComdesError::TypeError(
+            "moving average window must be >= 1".into(),
+        )),
+        BasicOp::LowPass { alpha } if !(*alpha > 0.0 && *alpha <= 1.0) => Err(
+            ComdesError::TypeError("low-pass alpha must be in (0, 1]".into()),
+        ),
+        BasicOp::Limit { lo, hi } | BasicOp::Pid { lo, hi, .. } if lo > hi => Err(
+            ComdesError::TypeError("limit lo must be <= hi".into()),
+        ),
+        BasicOp::Counter { min, max, .. } if min > max => Err(ComdesError::TypeError(
+            "counter min must be <= max".into(),
+        )),
+        BasicOp::PulseGen { period, duty } if !(*period > 0.0 && (0.0..=1.0).contains(duty)) => {
+            Err(ComdesError::TypeError(
+                "pulse generator needs period > 0 and duty in [0, 1]".into(),
+            ))
+        }
+        BasicOp::Func { inputs, outputs } => {
+            let env: std::collections::BTreeMap<String, SignalType> =
+                inputs.iter().map(|p| (p.name.clone(), p.ty)).collect();
+            for (port, expr) in outputs {
+                let ty = expr.infer_type(&env)?;
+                let ok = ty == port.ty || (ty == SignalType::Int && port.ty == SignalType::Real);
+                if !ok {
+                    return Err(ComdesError::TypeError(format!(
+                        "func output `{}` has type {ty}, port is {}",
+                        port.name, port.ty
+                    )));
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// One mode of a [`ModalBlock`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mode {
+    /// Mode name (used in debug events and GDM animation).
+    pub name: String,
+    /// The sub-network active in this mode. Its port signature must equal
+    /// the modal block's (`data_inputs` → `outputs`).
+    pub network: Network,
+}
+
+/// A modal function block: an integer `mode` input selects which
+/// sub-network executes; inactive modes hold their state frozen. Out-of-
+/// range selectors clamp to the valid range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModalBlock {
+    /// Data inputs forwarded to the active mode's network (the implicit
+    /// `mode: int` selector input is prepended by [`Block::inputs`]).
+    pub data_inputs: Vec<Port>,
+    /// Outputs (shared signature across modes).
+    pub outputs: Vec<Port>,
+    /// Modes, selected by index.
+    pub modes: Vec<Mode>,
+}
+
+impl ModalBlock {
+    /// Checks mode count and per-mode signature conformance (recursive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::BadModal`] on signature mismatch or zero
+    /// modes.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        if self.modes.is_empty() {
+            return Err(ComdesError::BadModal("no modes".into()));
+        }
+        for mode in &self.modes {
+            if mode.network.inputs != self.data_inputs {
+                return Err(ComdesError::BadModal(format!(
+                    "mode `{}` input signature differs from the modal block's",
+                    mode.name
+                )));
+            }
+            if mode.network.outputs != self.outputs {
+                return Err(ComdesError::BadModal(format!(
+                    "mode `{}` output signature differs from the modal block's",
+                    mode.name
+                )));
+            }
+            mode.network.check()?;
+        }
+        Ok(())
+    }
+
+    /// Clamps a raw selector value to a valid mode index.
+    pub fn clamp_mode(&self, raw: i64) -> usize {
+        raw.clamp(0, self.modes.len() as i64 - 1) as usize
+    }
+}
+
+/// A composite function block: a nested network with exported ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeBlock {
+    /// The nested network.
+    pub network: Network,
+}
+
+/// A named block instance within a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockInstance {
+    /// Instance name, unique within the network.
+    pub name: String,
+    /// The block.
+    pub block: Block,
+}
+
+/// A connection source: a network input port or a block output port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// The network's exported input port.
+    Input(String),
+    /// A block instance's output port.
+    Block {
+        /// Block instance name.
+        block: String,
+        /// Output port name.
+        port: String,
+    },
+}
+
+/// A connection sink: a network output port or a block input port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sink {
+    /// The network's exported output port.
+    Output(String),
+    /// A block instance's input port.
+    Block {
+        /// Block instance name.
+        block: String,
+        /// Input port name.
+        port: String,
+    },
+}
+
+/// A directed connection between a source and a sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Where the value comes from.
+    pub from: Source,
+    /// Where the value goes.
+    pub to: Sink,
+}
+
+/// A dataflow network: exported ports, block instances and connections.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Network {
+    /// Exported input ports.
+    pub inputs: Vec<Port>,
+    /// Exported output ports.
+    pub outputs: Vec<Port>,
+    /// Block instances, in declaration order.
+    pub blocks: Vec<BlockInstance>,
+    /// Connections.
+    pub connections: Vec<Connection>,
+}
+
+impl Network {
+    /// Index of a block instance by name.
+    pub fn block_index(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Type of a connection source.
+    fn source_type(&self, s: &Source) -> Result<SignalType, ComdesError> {
+        match s {
+            Source::Input(p) => self
+                .inputs
+                .iter()
+                .find(|q| q.name == *p)
+                .map(|q| q.ty)
+                .ok_or_else(|| ComdesError::BadConnection(format!("no network input `{p}`"))),
+            Source::Block { block, port } => {
+                let b = self
+                    .block_index(block)
+                    .ok_or_else(|| ComdesError::BadConnection(format!("no block `{block}`")))?;
+                self.blocks[b]
+                    .block
+                    .outputs()
+                    .iter()
+                    .find(|q| q.name == *port)
+                    .map(|q| q.ty)
+                    .ok_or_else(|| {
+                        ComdesError::BadConnection(format!("no output `{block}.{port}`"))
+                    })
+            }
+        }
+    }
+
+    /// Type of a connection sink.
+    fn sink_type(&self, s: &Sink) -> Result<SignalType, ComdesError> {
+        match s {
+            Sink::Output(p) => self
+                .outputs
+                .iter()
+                .find(|q| q.name == *p)
+                .map(|q| q.ty)
+                .ok_or_else(|| ComdesError::BadConnection(format!("no network output `{p}`"))),
+            Sink::Block { block, port } => {
+                let b = self
+                    .block_index(block)
+                    .ok_or_else(|| ComdesError::BadConnection(format!("no block `{block}`")))?;
+                self.blocks[b]
+                    .block
+                    .inputs()
+                    .iter()
+                    .find(|q| q.name == *port)
+                    .map(|q| q.ty)
+                    .ok_or_else(|| {
+                        ComdesError::BadConnection(format!("no input `{block}.{port}`"))
+                    })
+            }
+        }
+    }
+
+    /// Full structural validation: unique names, nested blocks, endpoint
+    /// resolution, exact type matches, single driver per sink, every
+    /// network output driven, and no algebraic loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if !gmdf_metamodel::is_valid_name(&b.name) {
+                return Err(ComdesError::InvalidName(b.name.clone()));
+            }
+            if self.blocks[..i].iter().any(|p| p.name == b.name) {
+                return Err(ComdesError::DuplicateName(b.name.clone()));
+            }
+            b.block.check()?;
+        }
+        for ports in [&self.inputs, &self.outputs] {
+            for (i, p) in ports.iter().enumerate() {
+                if ports[..i].iter().any(|q| q.name == p.name) {
+                    return Err(ComdesError::DuplicateName(p.name.clone()));
+                }
+            }
+        }
+        let mut seen_sinks: Vec<&Sink> = Vec::new();
+        for c in &self.connections {
+            let st = self.source_type(&c.from)?;
+            let tt = self.sink_type(&c.to)?;
+            if st != tt {
+                return Err(ComdesError::TypeError(format!(
+                    "connection carries {st} into a {tt} sink"
+                )));
+            }
+            if seen_sinks.contains(&&c.to) {
+                let (block, port) = match &c.to {
+                    Sink::Output(p) => ("<network>".to_owned(), p.clone()),
+                    Sink::Block { block, port } => (block.clone(), port.clone()),
+                };
+                return Err(ComdesError::MultipleDrivers { block, port });
+            }
+            seen_sinks.push(&c.to);
+        }
+        for out in &self.outputs {
+            let driven = self
+                .connections
+                .iter()
+                .any(|c| matches!(&c.to, Sink::Output(p) if *p == out.name));
+            if !driven {
+                return Err(ComdesError::BadConnection(format!(
+                    "network output `{}` is not driven",
+                    out.name
+                )));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Execution order over block indices, honoring direct-feedthrough
+    /// dependencies. Loop-breaking blocks impose no input-before-step
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::AlgebraicLoop`] naming a block on the cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>, ComdesError> {
+        let n = self.blocks.len();
+        // adj[a] = blocks that must run after a.
+        let mut indegree = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in &self.connections {
+            if let (Source::Block { block: fb, .. }, Sink::Block { block: tb, .. }) =
+                (&c.from, &c.to)
+            {
+                let (a, b) = match (self.block_index(fb), self.block_index(tb)) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => continue, // caught by check()
+                };
+                if a != b && self.blocks[b].block.has_direct_feedthrough() {
+                    adj[a].push(b);
+                    indegree[b] += 1;
+                }
+                if a == b && self.blocks[b].block.has_direct_feedthrough() {
+                    return Err(ComdesError::AlgebraicLoop(format!(
+                        "block `{}` feeds itself",
+                        self.blocks[b].name
+                    )));
+                }
+            }
+        }
+        // Kahn's algorithm; among ready blocks pick lowest index so the
+        // order (and thus generated code) is deterministic.
+        let mut order = Vec::with_capacity(n);
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(i);
+            for &j in &adj[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(std::cmp::Reverse(j));
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+            return Err(ComdesError::AlgebraicLoop(format!(
+                "cycle through block `{}` (insert a UnitDelay)",
+                self.blocks[stuck].name
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Block inputs with no driver (read as type zero at runtime); useful
+    /// for lint-style warnings.
+    pub fn undriven_block_inputs(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for p in b.block.inputs() {
+                let driven = self.connections.iter().any(|c| {
+                    matches!(&c.to, Sink::Block { block, port }
+                        if *block == b.name && *port == p.name)
+                });
+                if !driven {
+                    out.push((b.name.clone(), p.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses an endpoint string: `"port"` names a network port, and
+/// `"block.port"` names a block port.
+fn split_endpoint(s: &str) -> (Option<&str>, &str) {
+    match s.split_once('.') {
+        Some((b, p)) => (Some(b), p),
+        None => (None, s),
+    }
+}
+
+/// Fluent builder for [`Network`].
+///
+/// ```
+/// use gmdf_comdes::{NetworkBuilder, BasicOp, Port};
+///
+/// # fn main() -> Result<(), gmdf_comdes::ComdesError> {
+/// let net = NetworkBuilder::new()
+///     .input(Port::real("x"))
+///     .output(Port::real("y"))
+///     .block("double", BasicOp::Gain { k: 2.0 })
+///     .connect("x", "double.x")?
+///     .connect("double.y", "y")?
+///     .build()?;
+/// assert_eq!(net.blocks.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    net: Network,
+}
+
+impl NetworkBuilder {
+    /// Starts an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an exported input port.
+    pub fn input(mut self, port: Port) -> Self {
+        self.net.inputs.push(port);
+        self
+    }
+
+    /// Declares an exported output port.
+    pub fn output(mut self, port: Port) -> Self {
+        self.net.outputs.push(port);
+        self
+    }
+
+    /// Adds a basic block instance.
+    pub fn block(self, name: &str, op: BasicOp) -> Self {
+        self.add(name, Block::Basic(op))
+    }
+
+    /// Adds a state-machine block instance.
+    pub fn state_machine(self, name: &str, fsm: StateMachineBlock) -> Self {
+        self.add(name, Block::StateMachine(fsm))
+    }
+
+    /// Adds a modal block instance.
+    pub fn modal(self, name: &str, modal: ModalBlock) -> Self {
+        self.add(name, Block::Modal(modal))
+    }
+
+    /// Adds a composite block instance.
+    pub fn composite(self, name: &str, network: Network) -> Self {
+        self.add(name, Block::Composite(CompositeBlock { network }))
+    }
+
+    /// Adds any block instance.
+    pub fn add(mut self, name: &str, block: Block) -> Self {
+        self.net.blocks.push(BlockInstance {
+            name: name.to_owned(),
+            block,
+        });
+        self
+    }
+
+    /// Connects `from` to `to`; endpoints use `"port"` for network ports
+    /// and `"block.port"` for block ports.
+    ///
+    /// # Errors
+    ///
+    /// Defers resolution/type errors to [`build`](Self::build); only
+    /// syntactically empty endpoints error here.
+    pub fn connect(mut self, from: &str, to: &str) -> Result<Self, ComdesError> {
+        if from.is_empty() || to.is_empty() {
+            return Err(ComdesError::BadConnection("empty endpoint".into()));
+        }
+        let from = match split_endpoint(from) {
+            (None, p) => Source::Input(p.to_owned()),
+            (Some(b), p) => Source::Block {
+                block: b.to_owned(),
+                port: p.to_owned(),
+            },
+        };
+        let to = match split_endpoint(to) {
+            (None, p) => Sink::Output(p.to_owned()),
+            (Some(b), p) => Sink::Block {
+                block: b.to_owned(),
+                port: p.to_owned(),
+            },
+        };
+        self.net.connections.push(Connection { from, to });
+        Ok(self)
+    }
+
+    /// Validates and returns the network.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Network::check`].
+    pub fn build(self) -> Result<Network, ComdesError> {
+        self.net.check()?;
+        Ok(self.net)
+    }
+
+    /// Returns the network without validation (for tests constructing
+    /// deliberately broken networks).
+    pub fn build_unchecked(self) -> Network {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::fsm::FsmBuilder;
+    use crate::signal::SignalValue;
+
+    fn gain_chain() -> Network {
+        NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g1", BasicOp::Gain { k: 2.0 })
+            .block("g2", BasicOp::Gain { k: 3.0 })
+            .connect("x", "g1.x")
+            .unwrap()
+            .connect("g1.y", "g2.x")
+            .unwrap()
+            .connect("g2.y", "y")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_orders_chain() {
+        let net = gain_chain();
+        assert_eq!(net.topo_order().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let err = NetworkBuilder::new()
+            .input(Port::boolean("b"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("b", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::TypeError(_)));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let err = NetworkBuilder::new()
+            .input(Port::real("a"))
+            .input(Port::real("b"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("a", "g.x")
+            .unwrap()
+            .connect("b", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let err = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::BadConnection(_)));
+    }
+
+    #[test]
+    fn algebraic_loop_rejected() {
+        let err = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("a", BasicOp::Sum)
+            .block("b", BasicOp::Gain { k: 0.5 })
+            .connect("a.y", "b.x")
+            .unwrap()
+            .connect("b.y", "a.a")
+            .unwrap()
+            .connect("a.y", "y")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::AlgebraicLoop(_)));
+    }
+
+    #[test]
+    fn unit_delay_breaks_loop() {
+        let net = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("a", BasicOp::Sum)
+            .block(
+                "z",
+                BasicOp::UnitDelay { initial: SignalValue::Real(0.0) },
+            )
+            .block("one", BasicOp::Const(SignalValue::Real(1.0)))
+            .connect("one.y", "a.a")
+            .unwrap()
+            .connect("z.y", "a.b")
+            .unwrap()
+            .connect("a.y", "z.x")
+            .unwrap()
+            .connect("a.y", "y")
+            .unwrap()
+            .build();
+        assert!(net.is_ok(), "{net:?}");
+    }
+
+    #[test]
+    fn self_loop_on_feedthrough_rejected() {
+        let err = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("a", BasicOp::Sum)
+            .connect("a.y", "a.a")
+            .unwrap()
+            .connect("a.y", "y")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::AlgebraicLoop(_)));
+    }
+
+    #[test]
+    fn duplicate_block_name_rejected() {
+        let err = NetworkBuilder::new()
+            .block("g", BasicOp::Sum)
+            .block("g", BasicOp::Sum)
+            .build_unchecked()
+            .check()
+            .unwrap_err();
+        assert!(matches!(err, ComdesError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn modal_signature_enforced() {
+        let inner_ok = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let inner_bad = NetworkBuilder::new()
+            .input(Port::boolean("x"))
+            .output(Port::real("y"))
+            .block("c", BasicOp::Const(SignalValue::Real(0.0)))
+            .connect("c.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let modal = ModalBlock {
+            data_inputs: vec![Port::real("x")],
+            outputs: vec![Port::real("y")],
+            modes: vec![
+                Mode { name: "m0".into(), network: inner_ok.clone() },
+                Mode { name: "m1".into(), network: inner_bad },
+            ],
+        };
+        assert!(matches!(modal.check().unwrap_err(), ComdesError::BadModal(_)));
+
+        let good = ModalBlock {
+            data_inputs: vec![Port::real("x")],
+            outputs: vec![Port::real("y")],
+            modes: vec![Mode { name: "m0".into(), network: inner_ok }],
+        };
+        assert!(good.check().is_ok());
+        assert_eq!(good.clamp_mode(-5), 0);
+        assert_eq!(good.clamp_mode(99), 0);
+        // Block-level inputs prepend the selector.
+        assert_eq!(Block::Modal(good).inputs()[0], Port::int("mode"));
+    }
+
+    #[test]
+    fn composite_exposes_inner_ports() {
+        let inner = gain_chain();
+        let block = Block::Composite(CompositeBlock { network: inner });
+        assert_eq!(block.inputs(), vec![Port::real("x")]);
+        assert_eq!(block.outputs(), vec![Port::real("y")]);
+        assert!(block.check().is_ok());
+    }
+
+    #[test]
+    fn fsm_block_in_network_checks() {
+        let fsm = FsmBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::boolean("q"))
+            .state("A", |s| s.during("q", Expr::var("x").gt(Expr::Real(0.0))))
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::boolean("q"))
+            .state_machine("fsm", fsm)
+            .connect("x", "fsm.x")
+            .unwrap()
+            .connect("fsm.q", "q")
+            .unwrap()
+            .build();
+        assert!(net.is_ok());
+    }
+
+    #[test]
+    fn bad_basic_params_rejected() {
+        assert!(check_basic(&BasicOp::MovingAverage { window: 0 }).is_err());
+        assert!(check_basic(&BasicOp::LowPass { alpha: 0.0 }).is_err());
+        assert!(check_basic(&BasicOp::Limit { lo: 2.0, hi: 1.0 }).is_err());
+        assert!(check_basic(&BasicOp::Counter { min: 5, max: 1, wrap: false }).is_err());
+        assert!(check_basic(&BasicOp::PulseGen { period: 0.0, duty: 0.5 }).is_err());
+        assert!(check_basic(&BasicOp::PulseGen { period: 1.0, duty: 1.5 }).is_err());
+    }
+
+    #[test]
+    fn func_block_type_checked_in_network() {
+        let bad = BasicOp::Func {
+            inputs: vec![Port::real("x")],
+            outputs: vec![(Port::boolean("q"), Expr::var("x"))],
+        };
+        assert!(check_basic(&bad).is_err());
+    }
+
+    #[test]
+    fn undriven_inputs_listed() {
+        let net = NetworkBuilder::new()
+            .output(Port::real("y"))
+            .block("s", BasicOp::Sum)
+            .connect("s.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            net.undriven_block_inputs(),
+            vec![("s".to_owned(), "a".to_owned()), ("s".to_owned(), "b".to_owned())]
+        );
+    }
+}

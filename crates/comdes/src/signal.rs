@@ -1,0 +1,224 @@
+//! Signals: the typed values COMDES components exchange.
+//!
+//! COMDES actors communicate by exchanging *labeled messages (signals)*
+//! using non-blocking state-message communication (paper §III). A signal
+//! carries one of three primitive types; the compiler maps each to one
+//! 64-bit memory cell on the target.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Type of a signal or port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalType {
+    /// Boolean signal (digital input, flag, mode bit).
+    Bool,
+    /// 64-bit integer signal (counter, state index, discrete command).
+    Int,
+    /// 64-bit floating point signal (measurement, setpoint, actuation).
+    Real,
+}
+
+impl fmt::Display for SignalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalType::Bool => write!(f, "bool"),
+            SignalType::Int => write!(f, "int"),
+            SignalType::Real => write!(f, "real"),
+        }
+    }
+}
+
+impl SignalType {
+    /// Default value carried by unconnected ports of this type.
+    pub fn zero(self) -> SignalValue {
+        match self {
+            SignalType::Bool => SignalValue::Bool(false),
+            SignalType::Int => SignalValue::Int(0),
+            SignalType::Real => SignalValue::Real(0.0),
+        }
+    }
+}
+
+/// A typed signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SignalValue {
+    /// Boolean payload.
+    Bool(bool),
+    /// Integer payload.
+    Int(i64),
+    /// Floating-point payload.
+    Real(f64),
+}
+
+impl SignalValue {
+    /// The value's type.
+    pub fn signal_type(self) -> SignalType {
+        match self {
+            SignalValue::Bool(_) => SignalType::Bool,
+            SignalValue::Int(_) => SignalType::Int,
+            SignalValue::Real(_) => SignalType::Real,
+        }
+    }
+
+    /// Boolean payload, if `Bool`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            SignalValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if `Int`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            SignalValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Floating-point payload; `Int` widens, `Bool` does not.
+    pub fn as_real(self) -> Option<f64> {
+        match self {
+            SignalValue::Real(r) => Some(r),
+            SignalValue::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// Encodes the value into the raw 64-bit memory cell the target uses.
+    ///
+    /// `Real` stores IEEE-754 bits; `Int` stores two's complement; `Bool`
+    /// stores 0 or 1.
+    pub fn to_raw(self) -> u64 {
+        match self {
+            SignalValue::Bool(b) => b as u64,
+            SignalValue::Int(i) => i as u64,
+            SignalValue::Real(r) => r.to_bits(),
+        }
+    }
+
+    /// Decodes a raw 64-bit memory cell as `ty`.
+    pub fn from_raw(ty: SignalType, raw: u64) -> SignalValue {
+        match ty {
+            SignalType::Bool => SignalValue::Bool(raw != 0),
+            SignalType::Int => SignalValue::Int(raw as i64),
+            SignalType::Real => SignalValue::Real(f64::from_bits(raw)),
+        }
+    }
+}
+
+impl fmt::Display for SignalValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalValue::Bool(b) => write!(f, "{b}"),
+            SignalValue::Int(i) => write!(f, "{i}"),
+            SignalValue::Real(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<bool> for SignalValue {
+    fn from(b: bool) -> Self {
+        SignalValue::Bool(b)
+    }
+}
+
+impl From<i64> for SignalValue {
+    fn from(i: i64) -> Self {
+        SignalValue::Int(i)
+    }
+}
+
+impl From<f64> for SignalValue {
+    fn from(r: f64) -> Self {
+        SignalValue::Real(r)
+    }
+}
+
+/// A named, typed port on a block or actor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name, unique within its direction on the owning block.
+    pub name: String,
+    /// Port type.
+    pub ty: SignalType,
+}
+
+impl Port {
+    /// Creates a port.
+    pub fn new(name: &str, ty: SignalType) -> Self {
+        Port { name: name.to_owned(), ty }
+    }
+
+    /// Shorthand for a `Real` port.
+    pub fn real(name: &str) -> Self {
+        Port::new(name, SignalType::Real)
+    }
+
+    /// Shorthand for a `Bool` port.
+    pub fn boolean(name: &str) -> Self {
+        Port::new(name, SignalType::Bool)
+    }
+
+    /// Shorthand for an `Int` port.
+    pub fn int(name: &str) -> Self {
+        Port::new(name, SignalType::Int)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip_real() {
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, -0.0] {
+            let raw = SignalValue::Real(v).to_raw();
+            assert_eq!(SignalValue::from_raw(SignalType::Real, raw), SignalValue::Real(v));
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_int() {
+        for v in [0i64, -1, i64::MAX, i64::MIN, 42] {
+            let raw = SignalValue::Int(v).to_raw();
+            assert_eq!(SignalValue::from_raw(SignalType::Int, raw), SignalValue::Int(v));
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_bool() {
+        for v in [true, false] {
+            let raw = SignalValue::Bool(v).to_raw();
+            assert_eq!(SignalValue::from_raw(SignalType::Bool, raw), SignalValue::Bool(v));
+        }
+    }
+
+    #[test]
+    fn widening_rules() {
+        assert_eq!(SignalValue::Int(3).as_real(), Some(3.0));
+        assert_eq!(SignalValue::Bool(true).as_real(), None);
+        assert_eq!(SignalValue::Real(3.5).as_int(), None);
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(SignalType::Bool.zero(), SignalValue::Bool(false));
+        assert_eq!(SignalType::Int.zero(), SignalValue::Int(0));
+        assert_eq!(SignalType::Real.zero(), SignalValue::Real(0.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SignalType::Real.to_string(), "real");
+        assert_eq!(SignalValue::Int(-3).to_string(), "-3");
+        assert_eq!(Port::real("speed").to_string(), "speed: real");
+    }
+}

@@ -1,0 +1,301 @@
+//! Systems: distributed deployments of actors onto nodes.
+//!
+//! A COMDES application is "a network of distributed embedded actors"
+//! (paper §III). A [`System`] assigns actors to [`NodeSpec`]s (embedded
+//! controllers); actors exchange labeled signals through state-message
+//! communication — each label has exactly one producer and any number of
+//! consumers, locally or across the network.
+
+use crate::actor::Actor;
+use crate::error::ComdesError;
+use crate::signal::SignalType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One embedded controller in the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node name (unique within the system).
+    pub name: String,
+    /// CPU clock frequency in Hz (converts instruction cycles to time).
+    pub cpu_hz: u64,
+    /// Actors deployed on this node.
+    pub actors: Vec<Actor>,
+}
+
+impl NodeSpec {
+    /// Creates a node with the given clock.
+    pub fn new(name: &str, cpu_hz: u64) -> Self {
+        NodeSpec {
+            name: name.to_owned(),
+            cpu_hz,
+            actors: Vec::new(),
+        }
+    }
+}
+
+/// Where a signal label gets its value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignalOrigin {
+    /// Produced by an actor output (node index, actor index).
+    Actor {
+        /// Producing node index.
+        node: usize,
+        /// Producing actor index within the node.
+        actor: usize,
+    },
+    /// Not produced by any actor — an environment input (sensor); the
+    /// simulation harness writes it.
+    Environment,
+}
+
+/// A fully specified distributed application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct System {
+    /// System name.
+    pub name: String,
+    /// Nodes with their deployed actors.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new(name: &str) -> Self {
+        System {
+            name: name.to_owned(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns `self` for chaining.
+    pub fn with_node(mut self, node: NodeSpec) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// All actors with their `(node_index, actor_index)` coordinates.
+    pub fn actors(&self) -> impl Iterator<Item = ((usize, usize), &Actor)> {
+        self.nodes.iter().enumerate().flat_map(|(ni, n)| {
+            n.actors
+                .iter()
+                .enumerate()
+                .map(move |(ai, a)| ((ni, ai), a))
+        })
+    }
+
+    /// Finds an actor by name.
+    pub fn actor_by_name(&self, name: &str) -> Option<((usize, usize), &Actor)> {
+        self.actors().find(|(_, a)| a.name == name)
+    }
+
+    /// The signal map: label → (type, origin). Labels consumed but never
+    /// produced are [`SignalOrigin::Environment`] inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComdesError::BadSystem`] if two actors produce the same
+    /// label or a label is used with conflicting types.
+    pub fn signal_map(&self) -> Result<BTreeMap<String, (SignalType, SignalOrigin)>, ComdesError> {
+        let mut map: BTreeMap<String, (SignalType, SignalOrigin)> = BTreeMap::new();
+        for ((ni, ai), actor) in self.actors() {
+            for out in &actor.outputs {
+                if let Some((_, origin)) = map.get(&out.label) {
+                    if *origin != SignalOrigin::Environment {
+                        return Err(ComdesError::BadSystem(format!(
+                            "signal `{}` has two producers",
+                            out.label
+                        )));
+                    }
+                }
+                if let Some((ty, _)) = map.get(&out.label) {
+                    if *ty != out.port.ty {
+                        return Err(ComdesError::BadSystem(format!(
+                            "signal `{}` used with types {} and {}",
+                            out.label, ty, out.port.ty
+                        )));
+                    }
+                }
+                map.insert(
+                    out.label.clone(),
+                    (out.port.ty, SignalOrigin::Actor { node: ni, actor: ai }),
+                );
+            }
+        }
+        for (_, actor) in self.actors() {
+            for inp in &actor.inputs {
+                match map.get(&inp.label) {
+                    Some((ty, _)) if *ty != inp.port.ty => {
+                        return Err(ComdesError::BadSystem(format!(
+                            "signal `{}` used with types {} and {}",
+                            inp.label, ty, inp.port.ty
+                        )));
+                    }
+                    Some(_) => {}
+                    None => {
+                        map.insert(inp.label.clone(), (inp.port.ty, SignalOrigin::Environment));
+                    }
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Labels written by the environment (sensor inputs).
+    pub fn environment_signals(&self) -> Vec<String> {
+        self.signal_map()
+            .map(|m| {
+                m.into_iter()
+                    .filter(|(_, (_, o))| *o == SignalOrigin::Environment)
+                    .map(|(l, _)| l)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Validates the whole system: node/actor names, per-actor checks and
+    /// the signal map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), ComdesError> {
+        if !gmdf_metamodel::is_valid_name(&self.name) {
+            return Err(ComdesError::InvalidName(self.name.clone()));
+        }
+        if self.nodes.is_empty() {
+            return Err(ComdesError::BadSystem("system has no nodes".into()));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !gmdf_metamodel::is_valid_name(&n.name) {
+                return Err(ComdesError::InvalidName(n.name.clone()));
+            }
+            if self.nodes[..i].iter().any(|p| p.name == n.name) {
+                return Err(ComdesError::DuplicateName(n.name.clone()));
+            }
+            if n.cpu_hz == 0 {
+                return Err(ComdesError::BadSystem(format!(
+                    "node `{}` has zero clock frequency",
+                    n.name
+                )));
+            }
+        }
+        let mut seen = Vec::new();
+        for (_, a) in self.actors() {
+            if seen.contains(&&a.name) {
+                return Err(ComdesError::DuplicateName(a.name.clone()));
+            }
+            seen.push(&a.name);
+            a.check()?;
+        }
+        self.signal_map()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorBuilder, Timing};
+    use crate::block::BasicOp;
+    use crate::network::NetworkBuilder;
+    use crate::signal::Port;
+
+    fn gain_actor(name: &str, input: &str, output: &str) -> Actor {
+        let net = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 2.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        ActorBuilder::new(name, net)
+            .input("x", input)
+            .output("y", output)
+            .timing(Timing::periodic(10_000_000, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn two_node_system() -> System {
+        let mut n0 = NodeSpec::new("node0", 50_000_000);
+        n0.actors.push(gain_actor("Sensor", "raw", "filtered"));
+        let mut n1 = NodeSpec::new("node1", 50_000_000);
+        n1.actors.push(gain_actor("Control", "filtered", "u"));
+        System::new("plant").with_node(n0).with_node(n1)
+    }
+
+    #[test]
+    fn valid_system_checks() {
+        let sys = two_node_system();
+        assert!(sys.check().is_ok());
+        let map = sys.signal_map().unwrap();
+        assert_eq!(map["raw"], (SignalType::Real, SignalOrigin::Environment));
+        assert_eq!(
+            map["filtered"],
+            (SignalType::Real, SignalOrigin::Actor { node: 0, actor: 0 })
+        );
+        assert_eq!(sys.environment_signals(), vec!["raw".to_owned()]);
+    }
+
+    #[test]
+    fn duplicate_producer_rejected() {
+        let mut sys = two_node_system();
+        sys.nodes[1]
+            .actors
+            .push(gain_actor("Rogue", "raw", "filtered"));
+        assert!(matches!(sys.check().unwrap_err(), ComdesError::BadSystem(_)));
+    }
+
+    #[test]
+    fn type_conflict_rejected() {
+        let mut sys = two_node_system();
+        // Consumer of `filtered` as bool.
+        let net = NetworkBuilder::new()
+            .input(Port::boolean("x"))
+            .output(Port::boolean("y"))
+            .block("n", BasicOp::Not)
+            .connect("x", "n.x")
+            .unwrap()
+            .connect("n.q", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("BoolReader", net)
+            .input("x", "filtered")
+            .output("y", "alarm")
+            .build()
+            .unwrap();
+        sys.nodes[0].actors.push(actor);
+        assert!(matches!(sys.check().unwrap_err(), ComdesError::BadSystem(_)));
+    }
+
+    #[test]
+    fn duplicate_actor_name_rejected() {
+        let mut sys = two_node_system();
+        sys.nodes[0].actors.push(gain_actor("Control", "a", "b"));
+        assert!(matches!(sys.check().unwrap_err(), ComdesError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn actor_lookup() {
+        let sys = two_node_system();
+        let ((ni, ai), a) = sys.actor_by_name("Control").unwrap();
+        assert_eq!((ni, ai), (1, 0));
+        assert_eq!(a.name, "Control");
+        assert!(sys.actor_by_name("Ghost").is_none());
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        assert!(System::new("empty").check().is_err());
+    }
+
+    #[test]
+    fn zero_clock_rejected() {
+        let sys = System::new("s").with_node(NodeSpec::new("n", 0));
+        assert!(sys.check().is_err());
+    }
+}

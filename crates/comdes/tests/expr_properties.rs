@@ -1,0 +1,172 @@
+//! Property tests on the expression language: well-typed expressions
+//! always evaluate, evaluation matches the inferred type, and evaluation
+//! is deterministic.
+
+use gmdf_comdes::{BinOp, Expr, SignalType, SignalValue, UnOp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Generates a well-typed expression of the requested type over variables
+/// `b0..b1: bool`, `i0..i1: int`, `r0..r1: real`.
+fn arb_expr(ty: SignalType, depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return match ty {
+            SignalType::Bool => prop_oneof![
+                any::<bool>().prop_map(Expr::Bool),
+                (0..2u8).prop_map(|i| Expr::var(&format!("b{i}"))),
+            ]
+            .boxed(),
+            SignalType::Int => prop_oneof![
+                (-100i64..100).prop_map(Expr::Int),
+                (0..2u8).prop_map(|i| Expr::var(&format!("i{i}"))),
+            ]
+            .boxed(),
+            SignalType::Real => prop_oneof![
+                (-100.0f64..100.0).prop_map(Expr::Real),
+                (0..2u8).prop_map(|i| Expr::var(&format!("r{i}"))),
+            ]
+            .boxed(),
+        };
+    }
+    let d = depth - 1;
+    match ty {
+        SignalType::Bool => prop_oneof![
+            arb_expr(SignalType::Bool, 0),
+            (arb_expr(SignalType::Bool, d), arb_expr(SignalType::Bool, d))
+                .prop_map(|(a, b)| a.and(b)),
+            (arb_expr(SignalType::Bool, d), arb_expr(SignalType::Bool, d))
+                .prop_map(|(a, b)| a.or(b)),
+            arb_expr(SignalType::Bool, d).prop_map(Expr::not),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
+                .prop_map(|(a, b)| a.lt(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| a.ge(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Real, d))
+                .prop_map(|(a, b)| a.eq_(b)),
+        ]
+        .boxed(),
+        SignalType::Int => prop_oneof![
+            arb_expr(SignalType::Int, 0),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| a.add(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| a.mul(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| a.div(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d)).prop_map(|(a, b)| {
+                Expr::Binary(BinOp::Rem, Box::new(a), Box::new(b))
+            }),
+            arb_expr(SignalType::Int, d).prop_map(Expr::neg),
+            arb_expr(SignalType::Real, d).prop_map(|e| Expr::ToInt(Box::new(e))),
+            (
+                arb_expr(SignalType::Bool, d),
+                arb_expr(SignalType::Int, d),
+                arb_expr(SignalType::Int, d)
+            )
+                .prop_map(|(c, t, e)| Expr::If(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+        .boxed(),
+        SignalType::Real => prop_oneof![
+            arb_expr(SignalType::Real, 0),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
+                .prop_map(|(a, b)| a.add(b)),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| a.mul(b)),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
+                .prop_map(|(a, b)| a.div(b)),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d)).prop_map(|(a, b)| {
+                Expr::Binary(BinOp::Min, Box::new(a), Box::new(b))
+            }),
+            arb_expr(SignalType::Int, d).prop_map(|e| Expr::ToReal(Box::new(e))),
+            arb_expr(SignalType::Real, d)
+                .prop_map(|e| Expr::Unary(UnOp::Abs, Box::new(e))),
+            (
+                arb_expr(SignalType::Bool, d),
+                arb_expr(SignalType::Real, d),
+                arb_expr(SignalType::Real, d)
+            )
+                .prop_map(|(c, t, e)| Expr::If(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+        .boxed(),
+    }
+}
+
+fn env_types() -> BTreeMap<String, SignalType> {
+    let mut m = BTreeMap::new();
+    for i in 0..2 {
+        m.insert(format!("b{i}"), SignalType::Bool);
+        m.insert(format!("i{i}"), SignalType::Int);
+        m.insert(format!("r{i}"), SignalType::Real);
+    }
+    m
+}
+
+fn arb_env() -> impl Strategy<Value = BTreeMap<String, SignalValue>> {
+    (
+        proptest::collection::vec(any::<bool>(), 2),
+        proptest::collection::vec(-1000i64..1000, 2),
+        proptest::collection::vec(-1000.0f64..1000.0, 2),
+    )
+        .prop_map(|(bs, is, rs)| {
+            let mut m = BTreeMap::new();
+            for (i, b) in bs.into_iter().enumerate() {
+                m.insert(format!("b{i}"), SignalValue::Bool(b));
+            }
+            for (i, v) in is.into_iter().enumerate() {
+                m.insert(format!("i{i}"), SignalValue::Int(v));
+            }
+            for (i, v) in rs.into_iter().enumerate() {
+                m.insert(format!("r{i}"), SignalValue::Real(v));
+            }
+            m
+        })
+}
+
+fn arb_typed() -> impl Strategy<Value = (SignalType, Expr)> {
+    prop_oneof![
+        Just(SignalType::Bool),
+        Just(SignalType::Int),
+        Just(SignalType::Real),
+    ]
+    .prop_flat_map(|ty| arb_expr(ty, 4).prop_map(move |e| (ty, e)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Well-typed expressions type-check to the requested type, always
+    /// evaluate, and the runtime type matches the static one (modulo
+    /// int→real widening in mixed arms, which infer_type also reports).
+    #[test]
+    fn typing_soundness((ty, expr) in arb_typed(), env in arb_env()) {
+        let inferred = expr.infer_type(&env_types()).expect("well-typed by construction");
+        // The generator requests `ty` but mixed if-arms may widen.
+        prop_assert!(
+            inferred == ty || (ty == SignalType::Int && inferred == SignalType::Real)
+                || (ty == SignalType::Real && inferred == SignalType::Real)
+        );
+        let v = expr.eval(&env).expect("well-typed expressions evaluate");
+        prop_assert_eq!(v.signal_type(), inferred, "runtime type = static type");
+    }
+
+    /// Evaluation is deterministic (same env → bit-identical result).
+    #[test]
+    fn evaluation_is_deterministic((_, expr) in arb_typed(), env in arb_env()) {
+        let a = expr.eval(&env).unwrap();
+        let b = expr.eval(&env).unwrap();
+        prop_assert_eq!(a.to_raw(), b.to_raw());
+    }
+
+    /// Free variables are exactly the variables evaluation needs: binding
+    /// only `free_vars()` always suffices.
+    #[test]
+    fn free_vars_are_sufficient((_, expr) in arb_typed(), env in arb_env()) {
+        let mut minimal = BTreeMap::new();
+        for v in expr.free_vars() {
+            minimal.insert(v.clone(), env[&v]);
+        }
+        let full = expr.eval(&env).unwrap();
+        let min = expr.eval(&minimal).unwrap();
+        prop_assert_eq!(full.to_raw(), min.to_raw());
+    }
+}

@@ -1,0 +1,300 @@
+//! Command-interface channels: turning raw transport data into
+//! [`ModelEvent`]s.
+//!
+//! The **active** channel decodes RS-232 frames emitted by instrumented
+//! code; the **passive** channel translates JTAG watch hits on monitored
+//! variables into model events "without any code modifications" (paper
+//! §II). Both produce the same event vocabulary, so the engine and all
+//! downstream tooling are transport-agnostic.
+
+use gmdf_codegen::{CommandKind, DebugInfo, FrameDecoder};
+use gmdf_comdes::{Block, Network, SignalValue, System};
+use gmdf_gdm::{EventKind, EventValue, ModelEvent};
+use gmdf_target::WatchEvent;
+use std::collections::BTreeMap;
+
+/// Converts a COMDES signal value into the debugger's value domain.
+pub fn to_event_value(v: SignalValue) -> EventValue {
+    match v {
+        SignalValue::Bool(b) => EventValue::Bool(b),
+        SignalValue::Int(i) => EventValue::Int(i),
+        SignalValue::Real(r) => EventValue::Real(r),
+    }
+}
+
+fn kind_of(k: CommandKind) -> EventKind {
+    match k {
+        CommandKind::TaskStart => EventKind::TaskStart,
+        CommandKind::TaskEnd => EventKind::TaskEnd,
+        CommandKind::StateEnter => EventKind::StateEnter,
+        CommandKind::ModeSwitch => EventKind::ModeSwitch,
+        CommandKind::SignalWrite => EventKind::SignalWrite,
+        CommandKind::WatchHit => EventKind::WatchChange,
+    }
+}
+
+/// Decodes the active (RS-232) command stream of one node.
+#[derive(Debug)]
+pub struct ActiveChannel {
+    decoder: FrameDecoder,
+    debug: DebugInfo,
+}
+
+impl ActiveChannel {
+    /// Creates a channel resolving events against `debug`.
+    pub fn new(debug: DebugInfo) -> Self {
+        ActiveChannel {
+            decoder: FrameDecoder::new(),
+            debug,
+        }
+    }
+
+    /// Feeds timestamped UART bytes; returns decoded model events, each
+    /// stamped with its frame's completion time.
+    pub fn feed(&mut self, bytes: &[(u64, u8)]) -> Vec<ModelEvent> {
+        let mut events = Vec::new();
+        for &(t, b) in bytes {
+            for frame in self.decoder.feed(&[b]) {
+                let Some(spec) = self.debug.event(frame.event) else {
+                    continue;
+                };
+                let mut ev = ModelEvent::new(t, kind_of(spec.kind), &spec.path);
+                ev.from = spec.from.clone();
+                ev.to = spec.to.clone();
+                if let (Some(ty), Some(&raw)) = (spec.value_type, frame.args.first()) {
+                    ev.value = Some(to_event_value(SignalValue::from_raw(ty, raw)));
+                }
+                events.push(ev);
+            }
+        }
+        events
+    }
+
+    /// CRC errors seen so far (line-quality diagnostics).
+    pub fn crc_errors(&self) -> u64 {
+        self.decoder.crc_errors
+    }
+}
+
+/// Translates passive JTAG watch hits into model events using the
+/// structure of the input system (state and mode cell name resolution).
+#[derive(Debug, Clone)]
+pub struct PassiveChannel {
+    /// FSM block path → state names (by index).
+    states: BTreeMap<String, Vec<String>>,
+    /// Modal block path → mode names (by index).
+    modes: BTreeMap<String, Vec<String>>,
+}
+
+impl PassiveChannel {
+    /// Builds the translator from the input system's structure.
+    pub fn new(system: &System) -> Self {
+        let mut states = BTreeMap::new();
+        let mut modes = BTreeMap::new();
+        for (_, actor) in system.actors() {
+            collect_names(&actor.name, &actor.network, &mut states, &mut modes);
+        }
+        PassiveChannel { states, modes }
+    }
+
+    /// Known state-machine block paths.
+    pub fn fsm_paths(&self) -> impl Iterator<Item = &str> {
+        self.states.keys().map(String::as_str)
+    }
+
+    /// Translates one watch event. State cells become `StateEnter`
+    /// (with the state *name* resolved from the index), mode cells become
+    /// `ModeSwitch`, everything else a generic `WatchChange`.
+    pub fn translate(&self, w: &WatchEvent) -> ModelEvent {
+        if let Some(base) = w.symbol.strip_suffix("#state") {
+            if let Some(names) = self.states.get(base) {
+                let idx = w.value.as_int().unwrap_or(0).clamp(0, names.len() as i64 - 1);
+                return ModelEvent::new(w.time_ns, EventKind::StateEnter, base)
+                    .with_to(&names[idx as usize]);
+            }
+        }
+        if let Some(base) = w.symbol.strip_suffix("#last") {
+            if let Some(names) = self.modes.get(base) {
+                let idx = w.value.as_int().unwrap_or(0).clamp(0, names.len() as i64 - 1);
+                return ModelEvent::new(w.time_ns, EventKind::ModeSwitch, base)
+                    .with_to(&names[idx as usize]);
+            }
+        }
+        ModelEvent::new(w.time_ns, EventKind::WatchChange, &w.symbol)
+            .with_value(to_event_value(w.value))
+    }
+}
+
+fn collect_names(
+    prefix: &str,
+    net: &Network,
+    states: &mut BTreeMap<String, Vec<String>>,
+    modes: &mut BTreeMap<String, Vec<String>>,
+) {
+    for inst in &net.blocks {
+        let path = format!("{prefix}/{}", inst.name);
+        match &inst.block {
+            Block::StateMachine(fsm) => {
+                states.insert(path, fsm.states.iter().map(|s| s.name.clone()).collect());
+            }
+            Block::Modal(m) => {
+                modes.insert(
+                    path.clone(),
+                    m.modes.iter().map(|mo| mo.name.clone()).collect(),
+                );
+                for mode in &m.modes {
+                    collect_names(&format!("{path}/{}", mode.name), &mode.network, states, modes);
+                }
+            }
+            Block::Composite(c) => collect_names(&path, &c.network, states, modes),
+            Block::Basic(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_codegen::{EventSpec, Frame};
+    use gmdf_comdes::{
+        ActorBuilder, BasicOp, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, Timing,
+    };
+
+    fn debug_info() -> DebugInfo {
+        let mut d = DebugInfo::default();
+        d.register(EventSpec {
+            kind: CommandKind::StateEnter,
+            path: "A/fsm".into(),
+            from: Some("Idle".into()),
+            to: Some("Run".into()),
+            label: None,
+            value_type: None,
+        });
+        d.register(EventSpec {
+            kind: CommandKind::SignalWrite,
+            path: "A/out/u".into(),
+            from: None,
+            to: None,
+            label: Some("u".into()),
+            value_type: Some(gmdf_comdes::SignalType::Real),
+        });
+        d
+    }
+
+    #[test]
+    fn active_channel_decodes_frames_with_timestamps() {
+        let mut ch = ActiveChannel::new(debug_info());
+        let mut wire: Vec<(u64, u8)> = Vec::new();
+        for (i, b) in Frame::new(0, vec![]).encode().into_iter().enumerate() {
+            wire.push((100 + i as u64, b));
+        }
+        let value_frame = Frame::new(1, vec![SignalValue::Real(2.5).to_raw()]);
+        for (i, b) in value_frame.encode().into_iter().enumerate() {
+            wire.push((500 + i as u64, b));
+        }
+        let events = ch.feed(&wire);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::StateEnter);
+        assert_eq!(events[0].to.as_deref(), Some("Run"));
+        // Timestamp = last byte of the frame.
+        assert_eq!(events[0].time_ns, 100 + 6);
+        assert_eq!(events[1].kind, EventKind::SignalWrite);
+        assert_eq!(events[1].value, Some(EventValue::Real(2.5)));
+        assert_eq!(ch.crc_errors(), 0);
+    }
+
+    #[test]
+    fn active_channel_skips_unknown_event_ids() {
+        let mut ch = ActiveChannel::new(debug_info());
+        let wire: Vec<(u64, u8)> = Frame::new(99, vec![])
+            .encode()
+            .into_iter()
+            .map(|b| (0, b))
+            .collect();
+        assert!(ch.feed(&wire).is_empty());
+    }
+
+    fn sample_system() -> System {
+        let fsm = FsmBuilder::new()
+            .output(Port::int("s"))
+            .state("Off", |s| s.during("s", Expr::Int(0)))
+            .state("On", |s| s.during("s", Expr::Int(1)))
+            .transition("Off", "On", Expr::Bool(true))
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .output(Port::int("s"))
+            .state_machine("ctl", fsm)
+            .connect("ctl.s", "s")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("Pump", net)
+            .output("s", "pump_state")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("ecu", 50_000_000);
+        node.actors.push(actor);
+        // A second actor with a plain gain (no fsm).
+        let gnet = NetworkBuilder::new()
+            .input(Port::real("x"))
+            .output(Port::real("y"))
+            .block("g", BasicOp::Gain { k: 1.0 })
+            .connect("x", "g.x")
+            .unwrap()
+            .connect("g.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let g = ActorBuilder::new("Amp", gnet)
+            .input("x", "in")
+            .output("y", "out")
+            .timing(Timing::periodic(1_000_000, 1))
+            .build()
+            .unwrap();
+        node.actors.push(g);
+        System::new("s").with_node(node)
+    }
+
+    #[test]
+    fn passive_channel_resolves_state_names() {
+        let ch = PassiveChannel::new(&sample_system());
+        assert_eq!(ch.fsm_paths().collect::<Vec<_>>(), vec!["Pump/ctl"]);
+        let ev = ch.translate(&WatchEvent {
+            time_ns: 42,
+            node: "ecu".into(),
+            symbol: "Pump/ctl#state".into(),
+            value: SignalValue::Int(1),
+        });
+        assert_eq!(ev.kind, EventKind::StateEnter);
+        assert_eq!(ev.path, "Pump/ctl");
+        assert_eq!(ev.to.as_deref(), Some("On"));
+        assert_eq!(ev.time_ns, 42);
+    }
+
+    #[test]
+    fn passive_channel_clamps_bad_indices() {
+        let ch = PassiveChannel::new(&sample_system());
+        let ev = ch.translate(&WatchEvent {
+            time_ns: 1,
+            node: "ecu".into(),
+            symbol: "Pump/ctl#state".into(),
+            value: SignalValue::Int(99),
+        });
+        assert_eq!(ev.to.as_deref(), Some("On")); // clamped to last
+    }
+
+    #[test]
+    fn passive_channel_generic_watch() {
+        let ch = PassiveChannel::new(&sample_system());
+        let ev = ch.translate(&WatchEvent {
+            time_ns: 7,
+            node: "ecu".into(),
+            symbol: "Amp/out/y".into(),
+            value: SignalValue::Real(1.5),
+        });
+        assert_eq!(ev.kind, EventKind::WatchChange);
+        assert_eq!(ev.value, Some(EventValue::Real(1.5)));
+    }
+}

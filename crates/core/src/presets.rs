@@ -1,0 +1,134 @@
+//! COMDES presets: the standard abstraction mapping and expectation
+//! derivation for the prototype's input language.
+//!
+//! "The COMDES design model is the only input model used in the current
+//! tool" (paper §III); these presets are the pairing list an experienced
+//! user would click together in the Fig. 4 dialog for COMDES models.
+
+use gmdf_comdes::{comdes_metamodel, export_system, ComdesError, System};
+use gmdf_engine::{allowed_transitions, Expectation};
+use gmdf_gdm::{
+    Abstraction, AbstractionGuide, CommandBinding, DebuggerModel, EdgeRule, GdmPattern,
+};
+use gmdf_metamodel::Model;
+use std::sync::Arc;
+
+/// The default COMDES → GDM mapping: actors and basic blocks as
+/// rectangles, state machines and modal blocks as rounded containers,
+/// states as circles, modes as rounded rectangles, ports as triangles;
+/// transitions (guard-labeled) and connections as arrows.
+///
+/// # Panics
+///
+/// Never in practice: the pairings reference the fixed COMDES metamodel.
+pub fn comdes_abstraction() -> Abstraction {
+    let mm = Arc::new(comdes_metamodel());
+    let mut g = AbstractionGuide::new(mm);
+    g.pair("Actor", GdmPattern::Rectangle).expect("fixed metamodel");
+    g.pair("BasicBlock", GdmPattern::Rectangle).expect("fixed metamodel");
+    g.pair("StateMachineBlock", GdmPattern::RoundedRectangle)
+        .expect("fixed metamodel");
+    g.pair("State", GdmPattern::Circle).expect("fixed metamodel");
+    g.pair("ModalBlock", GdmPattern::RoundedRectangle)
+        .expect("fixed metamodel");
+    g.pair("Mode", GdmPattern::RoundedRectangle).expect("fixed metamodel");
+    g.pair("CompositeBlock", GdmPattern::RoundedRectangle)
+        .expect("fixed metamodel");
+    g.edge_rule(EdgeRule::ByReferences {
+        metaclass: "Transition".into(),
+        source: "source".into(),
+        target: "target".into(),
+        label_attr: Some("guard".into()),
+    })
+    .expect("fixed metamodel");
+    g.edge_rule(EdgeRule::ByAttributes {
+        metaclass: "Connection".into(),
+        from: "from".into(),
+        to: "to".into(),
+    })
+    .expect("fixed metamodel");
+    g.finish().expect("nonempty mapping")
+}
+
+/// Derives a runtime-aligned debug model from a COMDES export: applies
+/// the mapping, then strips the `system/node/` path prefix so element
+/// paths match the command stream's actor-rooted paths.
+pub fn comdes_gdm(model: &Model, name: &str, bindings: Vec<CommandBinding>) -> DebuggerModel {
+    let mut gdm = comdes_abstraction().derive_with_bindings(model, name, bindings);
+    gdm.strip_path_prefix(2);
+    gdm
+}
+
+/// Derives a runtime-aligned debug model with the default bindings.
+pub fn comdes_gdm_default(model: &Model, name: &str) -> DebuggerModel {
+    comdes_gdm(model, name, gmdf_gdm::default_bindings())
+}
+
+/// Derives [`Expectation::AllowedTransitions`] monitors for every state
+/// machine in `system`, from the system's own model — any observed
+/// transition outside the model is then an implementation error by
+/// construction.
+///
+/// # Errors
+///
+/// Propagates system validation/export failures.
+pub fn comdes_allowed_transitions(system: &System) -> Result<Vec<Expectation>, ComdesError> {
+    let (_, model) = export_system(system)?;
+    // Export paths are `system/node/actor/...`; runtime events start at
+    // the actor, so skip the two leading segments.
+    Ok(allowed_transitions(&model, "Transition", "source", "target", 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_comdes::{ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, Timing};
+
+    fn sys() -> System {
+        let fsm = FsmBuilder::new()
+            .output(Port::boolean("q"))
+            .state("A", |s| s.during("q", Expr::Bool(false)))
+            .state("B", |s| s.during("q", Expr::Bool(true)))
+            .transition("A", "B", Expr::Bool(true))
+            .transition("B", "A", Expr::Bool(false))
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .output(Port::boolean("q"))
+            .state_machine("m", fsm)
+            .connect("m.q", "q")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = ActorBuilder::new("Act", net)
+            .output("q", "lamp")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("n", 50_000_000);
+        node.actors.push(a);
+        System::new("s").with_node(node)
+    }
+
+    #[test]
+    fn preset_abstraction_derives_comdes_models() {
+        let (_, model) = export_system(&sys()).unwrap();
+        let gdm = comdes_gdm_default(&model, "debug");
+        assert!(gdm.check().is_empty());
+        // Actor, FSM block, two states mapped; System/Node unmapped.
+        assert!(gdm.element_index("Act/m/A").is_some());
+        assert!(gdm.element_index("Act/m/B").is_some());
+        assert_eq!(gdm.edges.len(), 3); // 2 transitions + 1 connection (m.q → q is boundary, skipped? m has 1 conn to output → endpoint without dot → parent; from m.q resolves to m element; parent=actor → edge m→actor)
+    }
+
+    #[test]
+    fn allowed_transitions_use_runtime_paths() {
+        let exps = comdes_allowed_transitions(&sys()).unwrap();
+        assert_eq!(exps.len(), 1);
+        let Expectation::AllowedTransitions { fsm_path, allowed } = &exps[0] else {
+            panic!("wrong expectation kind");
+        };
+        assert_eq!(fsm_path, "Act/m");
+        assert_eq!(allowed.len(), 2);
+    }
+}

@@ -1,0 +1,408 @@
+//! Debug sessions: the assembled GMDF pipeline.
+//!
+//! A [`DebugSession`] wires all three parts of the framework together
+//! (paper Fig. 2): the *user input* (a COMDES system and its generated
+//! executable code), the *GDM* (derived by abstraction), and the *runtime
+//! engine* — connected to the target simulator through the active RS-232
+//! channel or the passive JTAG monitor.
+
+use crate::channel::{ActiveChannel, PassiveChannel};
+use gmdf_codegen::{compile_system, CompileError, CompileOptions, ProgramImage};
+use gmdf_comdes::{ComdesError, Interpreter, SignalValue, System};
+use gmdf_engine::{classify, BugClass, DebuggerEngine, Divergence};
+use gmdf_gdm::{DebuggerModel, ModelEvent};
+use gmdf_target::{JtagMonitor, SimConfig, SimError, Simulator};
+use std::fmt;
+
+/// Which command interface the session uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelMode {
+    /// Instrumented code sends frames over RS-232.
+    Active,
+    /// JTAG polling of monitored variables; zero target overhead.
+    Passive {
+        /// Poll period in nanoseconds.
+        poll_period_ns: u64,
+        /// Probe TCK frequency in Hz.
+        tck_hz: u64,
+    },
+}
+
+/// Session construction/run failure.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The input model is invalid.
+    Model(ComdesError),
+    /// Code generation failed.
+    Compile(CompileError),
+    /// Target simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Model(e) => write!(f, "model error: {e}"),
+            SessionError::Compile(e) => write!(f, "compile error: {e}"),
+            SessionError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ComdesError> for SessionError {
+    fn from(e: ComdesError) -> Self {
+        SessionError::Model(e)
+    }
+}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Sim(e)
+    }
+}
+
+/// Summary of one [`DebugSession::run_for`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Model events fed to the engine.
+    pub events_fed: usize,
+    /// Expectation violations raised in this window.
+    pub violations: usize,
+    /// `true` if a breakpoint paused the engine.
+    pub breakpoint_hit: bool,
+}
+
+/// A live model-level debug session.
+#[derive(Debug)]
+pub struct DebugSession {
+    system: System,
+    sim: Simulator,
+    engine: DebuggerEngine,
+    active: Option<Vec<(String, ActiveChannel)>>,
+    passive: Option<(JtagMonitor, PassiveChannel)>,
+    stimuli: Vec<(u64, String, SignalValue)>,
+}
+
+impl DebugSession {
+    /// Builds a session: compiles the system, boots the simulator, and
+    /// connects the chosen channel.
+    ///
+    /// For the passive mode, every state and mode cell in the image is
+    /// watched automatically (the "monitored variables" selection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model, compile and simulator errors.
+    pub fn build(
+        system: System,
+        gdm: DebuggerModel,
+        channel: ChannelMode,
+        compile: CompileOptions,
+        sim_config: SimConfig,
+    ) -> Result<Self, SessionError> {
+        let image: ProgramImage = compile_system(&system, &compile)?;
+        let debug = image.debug.clone();
+        let watch_suggestions = debug.watch_suggestions.clone();
+        let sim = Simulator::new(image, sim_config)?;
+        let engine = DebuggerEngine::new(gdm);
+        let (active, passive) = match channel {
+            ChannelMode::Active => {
+                let chans = system
+                    .nodes
+                    .iter()
+                    .map(|n| (n.name.clone(), ActiveChannel::new(debug.clone())))
+                    .collect();
+                (Some(chans), None)
+            }
+            ChannelMode::Passive { poll_period_ns, tck_hz } => {
+                let mut monitor = JtagMonitor::new(poll_period_ns, tck_hz);
+                for (node, symbol) in &watch_suggestions {
+                    if symbol.ends_with("#state") || symbol.ends_with("#last") {
+                        monitor
+                            .watch(&sim, node, symbol)
+                            .map_err(SessionError::Sim)?;
+                    }
+                }
+                (None, Some((monitor, PassiveChannel::new(&system))))
+            }
+        };
+        Ok(DebugSession {
+            system,
+            sim,
+            engine,
+            active,
+            passive,
+            stimuli: Vec::new(),
+        })
+    }
+
+    /// The input system under debug.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The debugger engine (trace, violations, frames).
+    pub fn engine(&self) -> &DebuggerEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (breakpoints, stepping, expectations).
+    pub fn engine_mut(&mut self) -> &mut DebuggerEngine {
+        &mut self.engine
+    }
+
+    /// The target simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access.
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Schedules an environment (sensor) stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::UnknownLabel`].
+    pub fn schedule_signal(
+        &mut self,
+        time_ns: u64,
+        label: &str,
+        value: SignalValue,
+    ) -> Result<(), SessionError> {
+        self.sim.schedule_signal(time_ns, label, value)?;
+        self.stimuli.push((time_ns, label.to_owned(), value));
+        Ok(())
+    }
+
+    /// Runs the target for `duration_ns`, pumping commands into the
+    /// engine as they arrive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_for(&mut self, duration_ns: u64) -> Result<RunReport, SessionError> {
+        let t_end = self.sim.now_ns() + duration_ns;
+        let mut events: Vec<ModelEvent> = Vec::new();
+        if let Some((monitor, translator)) = &mut self.passive {
+            let hits = monitor.run_until(&mut self.sim, t_end)?;
+            events.extend(hits.iter().map(|w| translator.translate(w)));
+        } else {
+            self.sim.run_until(t_end)?;
+        }
+        if let Some(channels) = &mut self.active {
+            for (node, channel) in channels.iter_mut() {
+                let bytes = self.sim.uart_take(node)?;
+                events.extend(channel.feed(&bytes));
+            }
+        }
+        events.sort_by_key(|e| e.time_ns);
+        let mut report = RunReport {
+            events_fed: events.len(),
+            ..RunReport::default()
+        };
+        for e in events {
+            let outcome = self.engine.feed(e);
+            report.violations += outcome.violations;
+            report.breakpoint_hit |= outcome.hit_breakpoint;
+        }
+        Ok(report)
+    }
+
+    /// Produces the *reference* behaviour stream by executing the input
+    /// model itself (reference interpreter) over the same stimuli and
+    /// horizon, then classifies the session against it: divergence ⇒
+    /// implementation error, agreement ⇒ design error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (never for validated systems).
+    pub fn classify_against_model(
+        &self,
+    ) -> Result<(BugClass, Option<Divergence>), SessionError> {
+        let reference = self.reference_events()?;
+        let observed: Vec<ModelEvent> = self
+            .engine
+            .trace()
+            .entries()
+            .iter()
+            .map(|e| e.event.clone())
+            .collect();
+        Ok(classify(&observed, &reference))
+    }
+
+    /// The reference interpreter's behaviour stream for this session's
+    /// stimuli, up to the current simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn reference_events(&self) -> Result<Vec<ModelEvent>, SessionError> {
+        let mut interp = Interpreter::new(&self.system)?;
+        for (t, label, value) in &self.stimuli {
+            interp.add_stimulus(*t, label, *value);
+        }
+        interp.run_until(self.sim.now_ns())?;
+        let mut events = Vec::new();
+        for rec in interp.records() {
+            for be in &rec.events {
+                events.push(crate::behavior_to_model_event(rec.release_ns, be));
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{comdes_allowed_transitions, comdes_gdm_default};
+    use gmdf_codegen::InstrumentOptions;
+    use gmdf_comdes::{ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, Timing};
+
+    fn blinker_system() -> System {
+        let fsm = FsmBuilder::new()
+            .output(Port::boolean("lamp"))
+            .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+            .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+            .transition(
+                "Off",
+                "On",
+                Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.002)),
+            )
+            .transition(
+                "On",
+                "Off",
+                Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.002)),
+            )
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .output(Port::boolean("lamp"))
+            .state_machine("ctl", fsm)
+            .connect("ctl.lamp", "lamp")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = ActorBuilder::new("Blinker", net)
+            .output("lamp", "lamp")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("ecu", 50_000_000);
+        node.actors.push(actor);
+        System::new("blink").with_node(node)
+    }
+
+    fn build(channel: ChannelMode, faults: Vec<gmdf_codegen::Fault>) -> DebugSession {
+        let system = blinker_system();
+        let (_, model) = gmdf_comdes::export_system(&system).unwrap();
+        let gdm = comdes_gdm_default(&model, "blinker");
+        DebugSession::build(
+            system,
+            gdm,
+            channel,
+            CompileOptions { instrument: InstrumentOptions::behavior(), faults },
+            SimConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn active_session_animates_states() {
+        let mut s = build(ChannelMode::Active, vec![]);
+        let report = s.run_for(20_000_000).unwrap();
+        assert!(report.events_fed >= 4, "{report:?}");
+        // Some state element is highlighted.
+        let highlighted = s
+            .engine()
+            .visual()
+            .iter()
+            .any(|(_, v)| v.highlighted);
+        assert!(highlighted);
+        assert!(!s.engine().trace().is_empty());
+    }
+
+    #[test]
+    fn passive_session_sees_the_same_behavior() {
+        let mut s = build(
+            ChannelMode::Passive { poll_period_ns: 200_000, tck_hz: 10_000_000 },
+            vec![],
+        );
+        let report = s.run_for(20_000_000).unwrap();
+        assert!(report.events_fed >= 4, "{report:?}");
+        let states: Vec<&str> = s
+            .engine()
+            .trace()
+            .entries()
+            .iter()
+            .filter_map(|e| e.event.to.as_deref())
+            .collect();
+        assert!(states.contains(&"On"));
+        assert!(states.contains(&"Off"));
+    }
+
+    #[test]
+    fn clean_run_is_faithful_to_model() {
+        let mut s = build(ChannelMode::Active, vec![]);
+        for e in comdes_allowed_transitions(s.system()).unwrap() {
+            s.engine_mut().add_expectation(e);
+        }
+        let report = s.run_for(20_000_000).unwrap();
+        assert_eq!(report.violations, 0);
+        let (class, divergence) = s.classify_against_model().unwrap();
+        assert_eq!(class, BugClass::DesignError); // faithful ⇒ any bug would be design
+        assert!(divergence.is_none());
+    }
+
+    #[test]
+    fn injected_fault_is_classified_as_implementation_error() {
+        let mut s = build(
+            ChannelMode::Active,
+            vec![gmdf_codegen::Fault::SwapTransitionTargets {
+                block_path: "Blinker/ctl".into(),
+            }],
+        );
+        for e in comdes_allowed_transitions(s.system()).unwrap() {
+            s.engine_mut().add_expectation(e);
+        }
+        s.run_for(20_000_000).unwrap();
+        let (class, divergence) = s.classify_against_model().unwrap();
+        assert_eq!(class, BugClass::ImplementationError);
+        assert!(divergence.is_some());
+    }
+
+    #[test]
+    fn breakpoints_pause_the_view() {
+        let mut s = build(ChannelMode::Active, vec![]);
+        s.engine_mut().add_breakpoint(
+            gmdf_gdm::CommandMatcher::kind(gmdf_gdm::EventKind::StateEnter),
+            false,
+        );
+        let report = s.run_for(20_000_000).unwrap();
+        assert!(report.breakpoint_hit);
+        assert!(s.engine().pending() > 0);
+        // Step through one queued command.
+        let before = s.engine().pending();
+        s.engine_mut().step().unwrap();
+        assert_eq!(s.engine().pending(), before - 1);
+    }
+
+    #[test]
+    fn unknown_stimulus_label_rejected() {
+        let mut s = build(ChannelMode::Active, vec![]);
+        assert!(s
+            .schedule_signal(0, "ghost", SignalValue::Real(0.0))
+            .is_err());
+    }
+}

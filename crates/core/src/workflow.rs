@@ -1,0 +1,241 @@
+//! The prototype execution flow of paper Fig. 6, as a typed builder.
+//!
+//! The figure numbers five steps:
+//!
+//! 1. the plug-in starts once the input prerequisites (meta-model, model,
+//!    executable code) are available;
+//! 2. an interface selects the input files;
+//! 3. the model abstraction guide sets up the mapping;
+//! 4. command reaction information is added;
+//! 5. the GDM is created and a communication channel to the embedded
+//!    controller is established — the debugger then waits for commands.
+//!
+//! [`Workflow`] walks exactly these steps and ends in a live
+//! [`DebugSession`].
+
+use crate::presets::comdes_abstraction;
+use crate::session::{ChannelMode, DebugSession, SessionError};
+use gmdf_codegen::CompileOptions;
+use gmdf_comdes::{export_system, System};
+use gmdf_gdm::{
+    default_bindings, Abstraction, AbstractionGuide, CommandBinding, DebuggerModel,
+};
+use gmdf_metamodel::{Metamodel, Model};
+use gmdf_target::SimConfig;
+use std::sync::Arc;
+
+/// Step 1–2: input prerequisites loaded.
+#[derive(Debug)]
+pub struct Workflow {
+    system: System,
+    metamodel: Arc<Metamodel>,
+    model: Model,
+}
+
+impl Workflow {
+    /// Steps 1–2: start the tool and load the inputs. The COMDES system
+    /// plays all three input roles: the model and metamodel are exported
+    /// from it, and the executable code is generated from it at connect
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system validation errors.
+    pub fn from_system(system: System) -> Result<Self, SessionError> {
+        let (metamodel, model) = export_system(&system)?;
+        Ok(Workflow {
+            system,
+            metamodel,
+            model,
+        })
+    }
+
+    /// The exported input model (inspection / validation).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The input metamodel.
+    pub fn metamodel(&self) -> &Arc<Metamodel> {
+        &self.metamodel
+    }
+
+    /// Step 3: open the abstraction guide. `configure` receives the guide
+    /// with the metamodel element list loaded; returning `Ok` presses
+    /// *ABSTRACTION FINISHED*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guide errors (unknown metaclasses, empty mapping…).
+    pub fn abstraction_guide<F>(self, configure: F) -> Result<WorkflowMapped, SessionError>
+    where
+        F: FnOnce(&mut AbstractionGuide) -> Result<(), gmdf_gdm::AbstractionError>,
+    {
+        let mut guide = AbstractionGuide::new(self.metamodel.clone());
+        configure(&mut guide).map_err(|e| {
+            SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string()))
+        })?;
+        let abstraction = guide.finish().map_err(|e| {
+            SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string()))
+        })?;
+        Ok(WorkflowMapped { wf: self, abstraction })
+    }
+
+    /// Step 3 (shortcut): use the standard COMDES pairing list.
+    pub fn default_abstraction(self) -> WorkflowMapped {
+        WorkflowMapped {
+            abstraction: comdes_abstraction(),
+            wf: self,
+        }
+    }
+}
+
+/// Step 3 done: mapping frozen.
+#[derive(Debug)]
+pub struct WorkflowMapped {
+    wf: Workflow,
+    abstraction: Abstraction,
+}
+
+impl WorkflowMapped {
+    /// Step 4: add command reaction information (which command triggers
+    /// which type of reaction). The derived GDM is runtime-aligned: the
+    /// `system/node/` export prefix is stripped from element paths so
+    /// they match incoming command paths.
+    pub fn command_settings(self, bindings: Vec<CommandBinding>) -> WorkflowConfigured {
+        let mut gdm = self.abstraction.derive_with_bindings(
+            &self.wf.model,
+            &format!("{} — debug model", self.wf.system.name),
+            bindings,
+        );
+        gdm.strip_path_prefix(2);
+        WorkflowConfigured { wf: self.wf, gdm }
+    }
+
+    /// Step 4 (shortcut): the default reaction set.
+    pub fn default_commands(self) -> WorkflowConfigured {
+        self.command_settings(default_bindings())
+    }
+}
+
+/// Step 4 done: the initial GDM file exists.
+#[derive(Debug)]
+pub struct WorkflowConfigured {
+    wf: Workflow,
+    gdm: DebuggerModel,
+}
+
+impl WorkflowConfigured {
+    /// The generated debug model (the `.gdm.json` of the prototype).
+    pub fn gdm(&self) -> &DebuggerModel {
+        &self.gdm
+    }
+
+    /// Step 5: create the GDM and establish the communication channel —
+    /// returns the live session, waiting for commands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and simulator errors.
+    pub fn connect(
+        self,
+        channel: ChannelMode,
+        compile: CompileOptions,
+        sim: SimConfig,
+    ) -> Result<DebugSession, SessionError> {
+        DebugSession::build(self.wf.system, self.gdm, channel, compile, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_codegen::InstrumentOptions;
+    use gmdf_comdes::{ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, Timing};
+    use gmdf_gdm::GdmPattern;
+
+    fn system() -> System {
+        let fsm = FsmBuilder::new()
+            .output(Port::int("s"))
+            .state("A", |st| st.during("s", Expr::Int(0)))
+            .state("B", |st| st.during("s", Expr::Int(1)))
+            .transition("A", "B", Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)))
+            .transition("B", "A", Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)))
+            .build()
+            .unwrap();
+        let net = NetworkBuilder::new()
+            .output(Port::int("s"))
+            .state_machine("m", fsm)
+            .connect("m.s", "s")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = ActorBuilder::new("A1", net)
+            .output("s", "sig")
+            .timing(Timing::periodic(1_000_000, 0))
+            .build()
+            .unwrap();
+        let mut node = NodeSpec::new("ecu", 50_000_000);
+        node.actors.push(a);
+        System::new("wf").with_node(node)
+    }
+
+    #[test]
+    fn five_step_workflow_reaches_a_live_session() {
+        // Steps 1–2.
+        let wf = Workflow::from_system(system()).unwrap();
+        assert!(!wf.model().is_empty());
+        // Step 3 with a custom pairing.
+        let mapped = wf
+            .abstraction_guide(|g| {
+                g.pair("Actor", GdmPattern::Rectangle)?;
+                g.pair("State", GdmPattern::Circle)?;
+                g.edge_rule(gmdf_gdm::EdgeRule::ByReferences {
+                    metaclass: "Transition".into(),
+                    source: "source".into(),
+                    target: "target".into(),
+                    label_attr: Some("guard".into()),
+                })
+            })
+            .unwrap();
+        // Step 4.
+        let configured = mapped.default_commands();
+        assert!(configured.gdm().element_index("A1/m/A").is_some());
+        // Step 5.
+        let mut session = configured
+            .connect(
+                ChannelMode::Active,
+                CompileOptions {
+                    instrument: InstrumentOptions::behavior(),
+                    faults: vec![],
+                },
+                SimConfig::default(),
+            )
+            .unwrap();
+        let report = session.run_for(10_000_000).unwrap();
+        assert!(report.events_fed > 0);
+    }
+
+    #[test]
+    fn default_shortcuts_work() {
+        let session = Workflow::from_system(system())
+            .unwrap()
+            .default_abstraction()
+            .default_commands()
+            .connect(
+                ChannelMode::Passive { poll_period_ns: 100_000, tck_hz: 10_000_000 },
+                CompileOptions::default(),
+                SimConfig::default(),
+            );
+        assert!(session.is_ok());
+    }
+
+    #[test]
+    fn bad_abstraction_surfaces_errors() {
+        let err = Workflow::from_system(system())
+            .unwrap()
+            .abstraction_guide(|g| g.pair("Ghost", GdmPattern::Circle).map(|_| ()))
+            .unwrap_err();
+        assert!(err.to_string().contains("Ghost"));
+    }
+}

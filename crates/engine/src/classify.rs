@@ -1,0 +1,182 @@
+//! Design-error vs implementation-error classification.
+//!
+//! The paper names two bug classes a runtime model debugger can expose:
+//! *design errors* ("inconsistencies between system requirements
+//! specifications and the system model") and *implementation errors*
+//! ("errors that happen during model transformation"), and leaves "the
+//! differentiation of different types of bugs … a subject of future work"
+//! (§II). This module implements that differentiation as the extension
+//! the reproduction contributes:
+//!
+//! * the **observed** stream comes from the running target (either
+//!   channel);
+//! * the **reference** stream comes from executing the *model itself*
+//!   with the reference interpreter;
+//! * if the two diverge, the generated code does not implement the model
+//!   — an **implementation error**;
+//! * if they agree but an expectation (a requirement) is violated, the
+//!   model itself is wrong — a **design error**.
+
+use gmdf_gdm::{EventKind, ModelEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's two bug classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugClass {
+    /// Model and code agree; the model violates the requirement.
+    DesignError,
+    /// Code diverges from model semantics (a transformation bug).
+    ImplementationError,
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugClass::DesignError => write!(f, "design error (model vs requirements)"),
+            BugClass::ImplementationError => {
+                write!(f, "implementation error (code vs model)")
+            }
+        }
+    }
+}
+
+/// First point where the observed behaviour leaves the reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Index into the compared behavioural subsequences.
+    pub index: usize,
+    /// What the target did (`None` = target stream ended early).
+    pub observed: Option<String>,
+    /// What the model prescribes (`None` = reference ended early).
+    pub expected: Option<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "behaviour #{}: observed {}, model prescribes {}",
+            self.index,
+            self.observed.as_deref().unwrap_or("<nothing>"),
+            self.expected.as_deref().unwrap_or("<nothing>")
+        )
+    }
+}
+
+/// Behavioural key of an event: `(kind, path, to)` for state/mode changes.
+/// Timing and values are excluded — only the *behaviour* must match.
+fn behavior_key(e: &ModelEvent) -> Option<String> {
+    match e.kind {
+        EventKind::StateEnter | EventKind::ModeSwitch => {
+            Some(format!("{} {} -> {}", e.kind, e.path, e.to.as_deref().unwrap_or("?")))
+        }
+        _ => None,
+    }
+}
+
+/// Compares the behavioural subsequences of two event streams; `None`
+/// means the target faithfully implements the model.
+///
+/// The observed stream may be a *prefix* of the reference (the run was
+/// shorter) without counting as divergence; extra observed behaviour or a
+/// mismatch does count.
+pub fn compare_behavior(observed: &[ModelEvent], reference: &[ModelEvent]) -> Option<Divergence> {
+    let obs: Vec<String> = observed.iter().filter_map(behavior_key).collect();
+    let expect: Vec<String> = reference.iter().filter_map(behavior_key).collect();
+    for (i, o) in obs.iter().enumerate() {
+        match expect.get(i) {
+            Some(e) if e == o => continue,
+            other => {
+                return Some(Divergence {
+                    index: i,
+                    observed: Some(o.clone()),
+                    expected: other.cloned(),
+                })
+            }
+        }
+    }
+    None
+}
+
+/// Classifies a detected violation: divergence from the model ⇒
+/// implementation error, faithful-but-wrong ⇒ design error. Returns the
+/// divergence alongside, when present.
+pub fn classify(
+    observed: &[ModelEvent],
+    reference: &[ModelEvent],
+) -> (BugClass, Option<Divergence>) {
+    match compare_behavior(observed, reference) {
+        Some(d) => (BugClass::ImplementationError, Some(d)),
+        None => (BugClass::DesignError, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(t: u64, path: &str, to: &str) -> ModelEvent {
+        ModelEvent::new(t, EventKind::StateEnter, path).with_to(to)
+    }
+
+    #[test]
+    fn identical_streams_are_faithful() {
+        let a = vec![enter(1, "A/fsm", "Run"), enter(2, "A/fsm", "Idle")];
+        // Different times are fine — only behaviour matters.
+        let b = vec![enter(100, "A/fsm", "Run"), enter(200, "A/fsm", "Idle")];
+        assert_eq!(compare_behavior(&a, &b), None);
+        let (class, d) = classify(&a, &b);
+        assert_eq!(class, BugClass::DesignError);
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn mismatch_is_implementation_error() {
+        let observed = vec![enter(1, "A/fsm", "Error")];
+        let reference = vec![enter(1, "A/fsm", "Run")];
+        let (class, d) = classify(&observed, &reference);
+        assert_eq!(class, BugClass::ImplementationError);
+        let d = d.unwrap();
+        assert!(d.observed.unwrap().contains("Error"));
+        assert!(d.expected.unwrap().contains("Run"));
+    }
+
+    #[test]
+    fn observed_prefix_is_faithful() {
+        let observed = vec![enter(1, "A/fsm", "Run")];
+        let reference = vec![enter(1, "A/fsm", "Run"), enter(2, "A/fsm", "Idle")];
+        assert_eq!(compare_behavior(&observed, &reference), None);
+    }
+
+    #[test]
+    fn extra_observed_behaviour_diverges() {
+        let observed = vec![enter(1, "A/fsm", "Run"), enter(2, "A/fsm", "Idle")];
+        let reference = vec![enter(1, "A/fsm", "Run")];
+        let d = compare_behavior(&observed, &reference).unwrap();
+        assert_eq!(d.index, 1);
+        assert!(d.expected.is_none());
+    }
+
+    #[test]
+    fn non_behavioral_events_ignored() {
+        let observed = vec![
+            ModelEvent::new(1, EventKind::TaskStart, "A"),
+            enter(2, "A/fsm", "Run"),
+            ModelEvent::new(3, EventKind::SignalWrite, "A/out/u"),
+        ];
+        let reference = vec![enter(9, "A/fsm", "Run")];
+        assert_eq!(compare_behavior(&observed, &reference), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(BugClass::DesignError.to_string().contains("design"));
+        let d = Divergence {
+            index: 0,
+            observed: None,
+            expected: Some("x".into()),
+        };
+        assert!(d.to_string().contains("<nothing>"));
+    }
+}

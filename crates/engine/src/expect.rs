@@ -1,0 +1,406 @@
+//! Expectation monitors: how the debugger decides "a bug is considered to
+//! be found".
+//!
+//! "If the actions taken are not consistent with system requirements, a
+//! bug is considered to be found" (paper §II). An [`Expectation`] encodes
+//! a requirement over the command stream; the engine evaluates every
+//! incoming event against all expectations and records [`Violation`]s.
+
+use gmdf_gdm::{EventKind, ModelEvent};
+use gmdf_metamodel::{ElementPath, Model};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A requirement over the observed model behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// Only the listed `(from, to)` transitions may occur on the state
+    /// machine at `fsm_path` — usually derived from the input model, so a
+    /// violation means the *code* disagrees with the *model*.
+    AllowedTransitions {
+        /// State machine block path.
+        fsm_path: String,
+        /// Permitted transitions.
+        allowed: BTreeSet<(String, String)>,
+    },
+    /// States on `fsm_path` must be entered following `sequence`
+    /// (cyclically if `cyclic`) — a requirements-level ordering, e.g.
+    /// traffic lights must pass through Yellow.
+    StateSequence {
+        /// State machine block path.
+        fsm_path: String,
+        /// Expected entering order.
+        sequence: Vec<String>,
+        /// Wrap around after the last state.
+        cyclic: bool,
+    },
+    /// Values written on paths starting with `path_prefix` must stay in
+    /// `[min, max]`.
+    SignalRange {
+        /// Path prefix of the monitored outputs.
+        path_prefix: String,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+    /// Every `TaskEnd` on `task_path` must arrive within `max_ns` of the
+    /// matching `TaskStart` — a response-time requirement (requires
+    /// task-boundary instrumentation).
+    ResponseWithin {
+        /// Actor/task path.
+        task_path: String,
+        /// Maximum allowed start→end latency in nanoseconds.
+        max_ns: u64,
+    },
+}
+
+impl Expectation {
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Expectation::AllowedTransitions { fsm_path, .. } => {
+                format!("allowed-transitions({fsm_path})")
+            }
+            Expectation::StateSequence { fsm_path, .. } => format!("state-sequence({fsm_path})"),
+            Expectation::SignalRange { path_prefix, .. } => format!("signal-range({path_prefix})"),
+            Expectation::ResponseWithin { task_path, .. } => {
+                format!("response-within({task_path})")
+            }
+        }
+    }
+}
+
+/// A detected requirement violation — a found bug.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Time of the offending event.
+    pub time_ns: u64,
+    /// Name of the violated expectation.
+    pub expectation: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ns] {} violated: {}",
+            self.time_ns, self.expectation, self.message
+        )
+    }
+}
+
+/// Runtime state of one expectation (sequence cursor etc.).
+#[derive(Debug, Clone)]
+pub struct ExpectationMonitor {
+    spec: Expectation,
+    cursor: usize,
+    last_start_ns: Option<u64>,
+}
+
+impl ExpectationMonitor {
+    /// Wraps an expectation for evaluation.
+    pub fn new(spec: Expectation) -> Self {
+        ExpectationMonitor { spec, cursor: 0, last_start_ns: None }
+    }
+
+    /// The wrapped expectation.
+    pub fn spec(&self) -> &Expectation {
+        &self.spec
+    }
+
+    /// Evaluates one event; returns a violation if the requirement broke.
+    pub fn check(&mut self, event: &ModelEvent) -> Option<Violation> {
+        match &self.spec {
+            Expectation::AllowedTransitions { fsm_path, allowed } => {
+                if event.kind != EventKind::StateEnter || event.path != *fsm_path {
+                    return None;
+                }
+                let (Some(from), Some(to)) = (&event.from, &event.to) else {
+                    return None;
+                };
+                if allowed.contains(&(from.clone(), to.clone())) {
+                    None
+                } else {
+                    Some(Violation {
+                        time_ns: event.time_ns,
+                        expectation: self.spec.name(),
+                        message: format!("transition {from} -> {to} is not in the model"),
+                    })
+                }
+            }
+            Expectation::StateSequence { fsm_path, sequence, cyclic } => {
+                if event.kind != EventKind::StateEnter || event.path != *fsm_path {
+                    return None;
+                }
+                let Some(to) = &event.to else { return None };
+                if sequence.is_empty() {
+                    return None;
+                }
+                let expected = &sequence[self.cursor % sequence.len()];
+                if to == expected {
+                    self.cursor += 1;
+                    if !cyclic && self.cursor >= sequence.len() {
+                        self.cursor = sequence.len() - 1; // stay on last
+                    }
+                    None
+                } else {
+                    let v = Violation {
+                        time_ns: event.time_ns,
+                        expectation: self.spec.name(),
+                        message: format!("entered `{to}`, requirements expect `{expected}`"),
+                    };
+                    // Resynchronize on the observed state if it appears in
+                    // the sequence, so one slip doesn't cascade.
+                    if let Some(pos) = sequence.iter().position(|s| s == to) {
+                        self.cursor = pos + 1;
+                    }
+                    Some(v)
+                }
+            }
+            Expectation::SignalRange { path_prefix, min, max } => {
+                if event.kind != EventKind::SignalWrite && event.kind != EventKind::WatchChange {
+                    return None;
+                }
+                if !event.path.starts_with(path_prefix.as_str()) {
+                    return None;
+                }
+                let v = event.value?.as_f64();
+                if v < *min || v > *max {
+                    Some(Violation {
+                        time_ns: event.time_ns,
+                        expectation: self.spec.name(),
+                        message: format!("value {v} outside [{min}, {max}]"),
+                    })
+                } else {
+                    None
+                }
+            }
+            Expectation::ResponseWithin { task_path, max_ns } => {
+                if event.path != *task_path {
+                    return None;
+                }
+                match event.kind {
+                    EventKind::TaskStart => {
+                        self.last_start_ns = Some(event.time_ns);
+                        None
+                    }
+                    EventKind::TaskEnd => {
+                        let start = self.last_start_ns.take()?;
+                        let elapsed = event.time_ns.saturating_sub(start);
+                        if elapsed > *max_ns {
+                            Some(Violation {
+                                time_ns: event.time_ns,
+                                expectation: self.spec.name(),
+                                message: format!(
+                                    "activation took {elapsed} ns, limit is {max_ns} ns"
+                                ),
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Derives [`Expectation::AllowedTransitions`] monitors from an exported
+/// input model: every object of `transition_class` contributes its
+/// `(source, target)` state names, grouped by the owning machine's path.
+///
+/// For COMDES exports call it as
+/// `allowed_transitions(&model, "Transition", "source", "target", skip)`
+/// where `skip` trims leading path segments the runtime does not report
+/// (the COMDES export prefixes `system/node/`, while events start at the
+/// actor).
+pub fn allowed_transitions(
+    model: &Model,
+    transition_class: &str,
+    source_ref: &str,
+    target_ref: &str,
+    skip_segments: usize,
+) -> Vec<Expectation> {
+    use std::collections::BTreeMap;
+    let mut by_fsm: BTreeMap<String, BTreeSet<(String, String)>> = BTreeMap::new();
+    for t in model.objects_of_class(transition_class) {
+        let (Ok(Some(s)), Ok(Some(d))) = (model.ref_one(t, source_ref), model.ref_one(t, target_ref))
+        else {
+            continue;
+        };
+        let (Some(sn), Some(dn)) = (model.name_of(s), model.name_of(d)) else {
+            continue;
+        };
+        // The machine owns the transition.
+        let Some((fsm, _)) = model.object(t).ok().and_then(|o| o.container()) else {
+            continue;
+        };
+        let Some(path) = ElementPath::of(model, fsm) else {
+            continue;
+        };
+        let segs = path.segments();
+        let trimmed = segs[skip_segments.min(segs.len().saturating_sub(1))..].join("/");
+        by_fsm
+            .entry(trimmed)
+            .or_default()
+            .insert((sn.to_owned(), dn.to_owned()));
+    }
+    by_fsm
+        .into_iter()
+        .map(|(fsm_path, allowed)| Expectation::AllowedTransitions { fsm_path, allowed })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_gdm::EventValue;
+
+    fn enter(t: u64, path: &str, from: &str, to: &str) -> ModelEvent {
+        ModelEvent::new(t, EventKind::StateEnter, path)
+            .with_from(from)
+            .with_to(to)
+    }
+
+    #[test]
+    fn allowed_transitions_flags_unknown_pairs() {
+        let mut m = ExpectationMonitor::new(Expectation::AllowedTransitions {
+            fsm_path: "A/fsm".into(),
+            allowed: [("Idle".to_owned(), "Run".to_owned())].into_iter().collect(),
+        });
+        assert!(m.check(&enter(1, "A/fsm", "Idle", "Run")).is_none());
+        let v = m.check(&enter(2, "A/fsm", "Run", "Idle")).unwrap();
+        assert!(v.message.contains("Run -> Idle"));
+        // Other machines are ignored.
+        assert!(m.check(&enter(3, "B/fsm", "X", "Y")).is_none());
+    }
+
+    #[test]
+    fn state_sequence_cyclic() {
+        let mut m = ExpectationMonitor::new(Expectation::StateSequence {
+            fsm_path: "L/ctl".into(),
+            sequence: vec!["Green".into(), "Yellow".into(), "Red".into()],
+            cyclic: true,
+        });
+        for (i, s) in ["Green", "Yellow", "Red", "Green", "Yellow"].iter().enumerate() {
+            assert!(m.check(&enter(i as u64, "L/ctl", "", s)).is_none(), "{s}");
+        }
+        // Skipping Yellow is the classic traffic-light design error.
+        let v = m.check(&enter(9, "L/ctl", "Red", "Green")).unwrap();
+        assert!(v.message.contains("expect `Red`"));
+    }
+
+    #[test]
+    fn state_sequence_resynchronizes_after_violation() {
+        let mut m = ExpectationMonitor::new(Expectation::StateSequence {
+            fsm_path: "p".into(),
+            sequence: vec!["A".into(), "B".into(), "C".into()],
+            cyclic: true,
+        });
+        assert!(m.check(&enter(0, "p", "", "A")).is_none());
+        assert!(m.check(&enter(1, "p", "", "C")).is_some()); // skipped B
+        // Cursor resynced after C → next expected is A.
+        assert!(m.check(&enter(2, "p", "", "A")).is_none());
+    }
+
+    #[test]
+    fn signal_range_checks_values() {
+        let mut m = ExpectationMonitor::new(Expectation::SignalRange {
+            path_prefix: "A/out".into(),
+            min: -1.0,
+            max: 1.0,
+        });
+        let ok = ModelEvent::new(0, EventKind::SignalWrite, "A/out/u")
+            .with_value(EventValue::Real(0.5));
+        assert!(m.check(&ok).is_none());
+        let bad = ModelEvent::new(1, EventKind::SignalWrite, "A/out/u")
+            .with_value(EventValue::Real(3.0));
+        let v = m.check(&bad).unwrap();
+        assert!(v.message.contains("outside"));
+        // Foreign paths ignored.
+        let other = ModelEvent::new(2, EventKind::SignalWrite, "B/out/u")
+            .with_value(EventValue::Real(9.0));
+        assert!(m.check(&other).is_none());
+    }
+
+    #[test]
+    fn response_within_tracks_start_end_pairs() {
+        let mut m = ExpectationMonitor::new(Expectation::ResponseWithin {
+            task_path: "A".into(),
+            max_ns: 100,
+        });
+        let start = |t| ModelEvent::new(t, EventKind::TaskStart, "A");
+        let end = |t| ModelEvent::new(t, EventKind::TaskEnd, "A");
+        assert!(m.check(&start(0)).is_none());
+        assert!(m.check(&end(80)).is_none()); // within budget
+        assert!(m.check(&start(1000)).is_none());
+        let v = m.check(&end(1200)).unwrap();
+        assert!(v.message.contains("200 ns"));
+        // End without a start is ignored (lost frame tolerance).
+        assert!(m.check(&end(1300)).is_none());
+        // Other tasks ignored.
+        assert!(m.check(&ModelEvent::new(2, EventKind::TaskEnd, "B")).is_none());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            time_ns: 5,
+            expectation: "x".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(v.to_string(), "[5 ns] x violated: boom");
+    }
+
+    #[test]
+    fn derive_allowed_transitions_from_model() {
+        use gmdf_metamodel::{DataType, MetamodelBuilder};
+        use std::sync::Arc;
+        let mut b = MetamodelBuilder::new("fsm");
+        b.class("Machine")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .containment_many("states", "State")
+            .unwrap()
+            .containment_many("transitions", "Transition")
+            .unwrap();
+        b.class("State")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap();
+        b.class("Transition")
+            .unwrap()
+            .cross_required("source", "State")
+            .unwrap()
+            .cross_required("target", "State")
+            .unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut model = gmdf_metamodel::Model::new(mm);
+        let mach = model.create("Machine").unwrap();
+        model.set_attr(mach, "name", "ctl".into()).unwrap();
+        let a = model.create("State").unwrap();
+        model.set_attr(a, "name", "A".into()).unwrap();
+        let c = model.create("State").unwrap();
+        model.set_attr(c, "name", "B".into()).unwrap();
+        model.add_child(mach, "states", a).unwrap();
+        model.add_child(mach, "states", c).unwrap();
+        let t = model.create("Transition").unwrap();
+        model.add_ref(t, "source", a).unwrap();
+        model.add_ref(t, "target", c).unwrap();
+        model.add_child(mach, "transitions", t).unwrap();
+
+        let exps = allowed_transitions(&model, "Transition", "source", "target", 0);
+        assert_eq!(exps.len(), 1);
+        let Expectation::AllowedTransitions { fsm_path, allowed } = &exps[0] else {
+            panic!("wrong kind");
+        };
+        assert_eq!(fsm_path, "ctl");
+        assert!(allowed.contains(&("A".to_owned(), "B".to_owned())));
+    }
+}

@@ -1,0 +1,239 @@
+//! Trace replay and timing diagrams.
+//!
+//! "In real-time embedded applications, model-level animation … might
+//! occur in milliseconds. Therefore, GDM animation will trace model-level
+//! behavior and always make a record of the execution trace. The user can
+//! then monitor the application's behavior via a replay function
+//! associated with a timing diagram" (paper §II).
+
+use crate::engine::apply_reaction;
+use crate::trace::{ExecutionTrace, TraceEntry};
+use gmdf_gdm::{DebuggerModel, EventKind, ModelEvent, VisualState};
+use gmdf_render::TimingDiagram;
+
+/// Steps through a recorded trace, rebuilding the animation offline.
+#[derive(Debug)]
+pub struct Replayer<'a> {
+    trace: &'a ExecutionTrace,
+    gdm: &'a DebuggerModel,
+    pos: usize,
+    visual: VisualState,
+}
+
+impl<'a> Replayer<'a> {
+    /// Creates a replayer positioned before the first entry.
+    pub fn new(gdm: &'a DebuggerModel, trace: &'a ExecutionTrace) -> Self {
+        Replayer {
+            trace,
+            gdm,
+            pos: 0,
+            visual: VisualState::new(),
+        }
+    }
+
+    /// Current position (entries already applied).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The reconstructed animation state at the current position.
+    pub fn visual(&self) -> &VisualState {
+        &self.visual
+    }
+
+    /// Applies the next entry; returns it, or `None` at the end.
+    pub fn step_forward(&mut self) -> Option<&'a TraceEntry> {
+        let entry = self.trace.entries().get(self.pos)?;
+        for &reaction in &entry.reactions {
+            apply_reaction(self.gdm, &mut self.visual, reaction, &entry.event);
+        }
+        self.pos += 1;
+        Some(entry)
+    }
+
+    /// Replays from the start up to and including sequence number `seq`.
+    pub fn seek(&mut self, seq: u64) {
+        self.pos = 0;
+        self.visual = VisualState::new();
+        while self.pos < self.trace.len() {
+            if self.trace.entries()[self.pos].seq > seq {
+                break;
+            }
+            self.step_forward();
+        }
+    }
+
+    /// Replays until simulated time `t_ns` (inclusive).
+    pub fn play_to_time(&mut self, t_ns: u64) {
+        while let Some(next) = self.trace.entries().get(self.pos) {
+            if next.event.time_ns > t_ns {
+                break;
+            }
+            self.step_forward();
+        }
+    }
+
+    /// Renders the frame at the current position as ASCII art.
+    pub fn frame_ascii(&self) -> String {
+        gmdf_gdm::render_ascii(self.gdm, &self.visual)
+    }
+
+    /// Renders the frame at the current position as SVG.
+    pub fn frame_svg(&self) -> String {
+        gmdf_gdm::render_svg(self.gdm, &self.visual)
+    }
+}
+
+/// Builds the replay timing diagram from a trace: one lane per state
+/// machine (state occupancy segments), plus marker lanes for signal
+/// writes (`*`), task activity (`^`/`$`) and violations (`!`).
+pub fn timing_diagram(trace: &ExecutionTrace, title: &str) -> TimingDiagram {
+    let (t0, t1) = trace.time_range().unwrap_or((0, 1));
+    let mut d = TimingDiagram::new(title, t0, t1);
+    // State occupancy: remember the last entered state per machine path.
+    let mut open: std::collections::BTreeMap<String, (u64, String)> =
+        std::collections::BTreeMap::new();
+    for entry in trace.entries() {
+        let e: &ModelEvent = &entry.event;
+        match e.kind {
+            EventKind::StateEnter | EventKind::ModeSwitch => {
+                if let Some(to) = &e.to {
+                    if let Some((since, state)) = open.remove(&e.path) {
+                        d.segment(&e.path, since, e.time_ns, &state);
+                    }
+                    open.insert(e.path.clone(), (e.time_ns, to.clone()));
+                }
+            }
+            EventKind::SignalWrite | EventKind::WatchChange => {
+                let label = e
+                    .value
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "write".to_owned());
+                d.marker(&e.path, e.time_ns, '*', &label);
+            }
+            EventKind::TaskStart => d.marker(&e.path, e.time_ns, '^', "start"),
+            EventKind::TaskEnd => d.marker(&e.path, e.time_ns, '$', "end"),
+        }
+        for v in &entry.violations {
+            d.marker(&entry.event.path, entry.event.time_ns, '!', v);
+        }
+    }
+    // Close any still-open occupancy at the window end.
+    for (path, (since, state)) in open {
+        d.segment(&path, since, t1, &state);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DebuggerEngine;
+    use gmdf_gdm::{default_bindings, EventValue, GdmElement, GdmPattern};
+    use gmdf_render::Rect;
+
+    fn gdm() -> DebuggerModel {
+        let mut m = DebuggerModel::new("replay demo");
+        m.bindings = default_bindings();
+        m.elements.push(GdmElement {
+            path: "L/ctl".into(),
+            label: "ctl".into(),
+            metaclass: "StateMachineBlock".into(),
+            pattern: GdmPattern::RoundedRectangle,
+            parent: None,
+            bounds: Rect::new(0.0, 0.0, 500.0, 200.0),
+        });
+        for (i, s) in ["Red", "Green", "Yellow"].iter().enumerate() {
+            m.elements.push(GdmElement {
+                path: format!("L/ctl/{s}"),
+                label: (*s).into(),
+                metaclass: "State".into(),
+                pattern: GdmPattern::Circle,
+                parent: Some(0),
+                bounds: Rect::new(20.0 + 150.0 * i as f64, 60.0, 110.0, 46.0),
+            });
+        }
+        m
+    }
+
+    fn recorded_trace() -> (DebuggerModel, ExecutionTrace) {
+        let g = gdm();
+        let mut engine = DebuggerEngine::new(g.clone());
+        for (t, from, to) in [(100, "Red", "Green"), (400, "Green", "Yellow"), (600, "Yellow", "Red")]
+        {
+            engine.feed(
+                ModelEvent::new(t, EventKind::StateEnter, "L/ctl")
+                    .with_from(from)
+                    .with_to(to),
+            );
+        }
+        engine.feed(
+            ModelEvent::new(650, EventKind::SignalWrite, "L/out/lamp")
+                .with_value(EventValue::Int(0)),
+        );
+        (g, engine.trace().clone())
+    }
+
+    #[test]
+    fn replay_reproduces_live_visuals() {
+        let (g, trace) = recorded_trace();
+        // Live reference.
+        let mut live = DebuggerEngine::new(g.clone());
+        for entry in trace.entries() {
+            live.feed(entry.event.clone());
+        }
+        // Replay.
+        let mut r = Replayer::new(&g, &trace);
+        while r.step_forward().is_some() {}
+        assert_eq!(r.visual(), live.visual());
+        assert_eq!(r.position(), trace.len());
+    }
+
+    #[test]
+    fn seek_is_deterministic() {
+        let (g, trace) = recorded_trace();
+        let mut a = Replayer::new(&g, &trace);
+        a.seek(1);
+        let mut b = Replayer::new(&g, &trace);
+        b.step_forward();
+        b.step_forward();
+        assert_eq!(a.visual(), b.visual());
+        // Seeking backwards restarts cleanly.
+        a.seek(0);
+        assert!(a.visual()["L/ctl/Green"].highlighted);
+    }
+
+    #[test]
+    fn play_to_time_stops_at_boundary() {
+        let (g, trace) = recorded_trace();
+        let mut r = Replayer::new(&g, &trace);
+        r.play_to_time(450);
+        assert_eq!(r.position(), 2); // events at 100 and 400
+        assert!(r.visual()["L/ctl/Yellow"].highlighted);
+        let art = r.frame_ascii();
+        assert!(art.contains("Yellow"));
+    }
+
+    #[test]
+    fn timing_diagram_has_occupancy_and_markers() {
+        let (_, trace) = recorded_trace();
+        let d = timing_diagram(&trace, "traffic");
+        let ctl = d.lanes.iter().find(|l| l.name == "L/ctl").unwrap();
+        // Green [100,400), Yellow [400,600), Red [600,650-end].
+        assert_eq!(ctl.segments.len(), 3);
+        assert_eq!(ctl.segments[0].label, "Green");
+        assert_eq!(ctl.segments[1].label, "Yellow");
+        let out = d.lanes.iter().find(|l| l.name == "L/out/lamp").unwrap();
+        assert_eq!(out.markers.len(), 1);
+        assert_eq!(out.markers[0].glyph, '*');
+        // Renders both ways.
+        assert!(d.to_ascii(80).contains("Green"));
+        assert!(d.to_svg().contains(">Green<"));
+    }
+
+    #[test]
+    fn empty_trace_diagram() {
+        let d = timing_diagram(&ExecutionTrace::new(), "empty");
+        assert!(d.lanes.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Execution trace recording.
+//!
+//! "GDM animation will trace model-level behavior and always make a record
+//! of the execution trace" (paper §II). Every processed command is
+//! appended to an [`ExecutionTrace`] together with the reactions it
+//! triggered and any expectation violations it raised; the trace feeds
+//! the replay function and the timing diagram.
+
+use gmdf_gdm::{ModelEvent, ReactionSpec};
+use serde::{Deserialize, Serialize};
+
+/// One recorded command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The command.
+    pub event: ModelEvent,
+    /// Reactions the engine applied.
+    pub reactions: Vec<ReactionSpec>,
+    /// Expectation violations raised by this command.
+    pub violations: Vec<String>,
+}
+
+/// The recorded execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry, assigning its sequence number.
+    pub fn record(
+        &mut self,
+        event: ModelEvent,
+        reactions: Vec<ReactionSpec>,
+        violations: Vec<String>,
+    ) -> u64 {
+        let seq = self.entries.len() as u64;
+        self.entries.push(TraceEntry {
+            seq,
+            event,
+            reactions,
+            violations,
+        });
+        seq
+    }
+
+    /// All entries, in sequence order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Time range covered, if nonempty.
+    pub fn time_range(&self) -> Option<(u64, u64)> {
+        let first = self.entries.first()?.event.time_ns;
+        let last = self.entries.last()?.event.time_ns;
+        Some((first, last))
+    }
+
+    /// Entries whose event time falls in `[t0, t1]`.
+    pub fn window(&self, t0_ns: u64, t1_ns: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.event.time_ns >= t0_ns && e.event.time_ns <= t1_ns)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parses a saved trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_gdm::EventKind;
+
+    fn sample() -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record(
+            ModelEvent::new(100, EventKind::StateEnter, "A/fsm").with_to("Run"),
+            vec![ReactionSpec::HighlightTarget],
+            vec![],
+        );
+        t.record(
+            ModelEvent::new(250, EventKind::SignalWrite, "A/out/u"),
+            vec![ReactionSpec::ShowValue],
+            vec!["signal out of range".into()],
+        );
+        t
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].seq, 0);
+        assert_eq!(t.entries()[1].seq, 1);
+        assert_eq!(t.time_range(), Some((100, 250)));
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let t = sample();
+        assert_eq!(t.window(0, 150).count(), 1);
+        assert_eq!(t.window(0, 300).count(), 2);
+        assert_eq!(t.window(300, 400).count(), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let back = ExecutionTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+        assert!(ExecutionTrace::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.time_range(), None);
+    }
+}

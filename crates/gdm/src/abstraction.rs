@@ -1,0 +1,662 @@
+//! Abstraction: deriving the GDM from an input model.
+//!
+//! "GMDF defines an 'abstraction' procedure to specify the process of user
+//! model conversion, whereby GDM is obtained from the user model via a
+//! user-specified mapping" (paper §II). The [`AbstractionGuide`] is the
+//! headless equivalent of the Fig. 4 dialog: a metamodel element list on
+//! the left, pattern options on the right, a pairing list in the middle,
+//! and an *ABSTRACTION FINISHED* action that freezes the mapping. The
+//! frozen [`Abstraction`] then derives a laid-out [`DebuggerModel`] from
+//! any conforming input model — "a GDM can be obtained automatically".
+
+use crate::binding::{default_bindings, CommandBinding};
+use crate::model::{DebuggerModel, GdmEdge, GdmElement};
+use crate::pattern::GdmPattern;
+use gmdf_metamodel::{ElementPath, Metamodel, Model, ObjectId, Value};
+use gmdf_render::Rect;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Abstraction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractionError {
+    /// The metaclass is not in the input metamodel.
+    UnknownMetaclass(String),
+    /// The metaclass is already paired.
+    AlreadyPaired(String),
+    /// No pairings were configured before finishing.
+    EmptyMapping,
+    /// An edge rule references a feature the metaclass lacks.
+    BadEdgeRule(String),
+}
+
+impl fmt::Display for AbstractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractionError::UnknownMetaclass(c) => write!(f, "unknown metaclass `{c}`"),
+            AbstractionError::AlreadyPaired(c) => write!(f, "metaclass `{c}` already paired"),
+            AbstractionError::EmptyMapping => write!(f, "no metaclass/pattern pairings configured"),
+            AbstractionError::BadEdgeRule(m) => write!(f, "bad edge rule: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AbstractionError {}
+
+/// One metaclass → pattern pairing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingRule {
+    /// Input metaclass name.
+    pub metaclass: String,
+    /// Chosen GDM pattern.
+    pub pattern: GdmPattern,
+}
+
+/// How edges are discovered in the input model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EdgeRule {
+    /// Objects of `metaclass` contribute an edge from the element of the
+    /// object referenced by `source` to that referenced by `target`
+    /// (e.g. COMDES `Transition.source/.target`), labeled with the
+    /// object's `label_attr` attribute if given.
+    ByReferences {
+        /// Edge metaclass.
+        metaclass: String,
+        /// Source reference name.
+        source: String,
+        /// Target reference name.
+        target: String,
+        /// Attribute shown as the edge label (e.g. `guard`).
+        label_attr: Option<String>,
+    },
+    /// Objects of `metaclass` carry endpoint strings in attributes
+    /// (`block.port` names a sibling element, a bare `port` names the
+    /// enclosing parent element) — COMDES `Connection.from/.to`.
+    ByAttributes {
+        /// Edge metaclass.
+        metaclass: String,
+        /// Attribute holding the source endpoint string.
+        from: String,
+        /// Attribute holding the target endpoint string.
+        to: String,
+    },
+}
+
+/// The interactive mapping setup of Fig. 4.
+#[derive(Debug)]
+pub struct AbstractionGuide {
+    metamodel: Arc<Metamodel>,
+    pairings: Vec<MappingRule>,
+    edge_rules: Vec<EdgeRule>,
+}
+
+impl AbstractionGuide {
+    /// Opens the guide for an input metamodel.
+    pub fn new(metamodel: Arc<Metamodel>) -> Self {
+        AbstractionGuide {
+            metamodel,
+            pairings: Vec::new(),
+            edge_rules: Vec::new(),
+        }
+    }
+
+    /// The metamodel element list (left-hand side of the dialog):
+    /// non-abstract class names in declaration order.
+    pub fn element_list(&self) -> Vec<&str> {
+        self.metamodel
+            .classes()
+            .iter()
+            .filter(|c| !c.is_abstract)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// The GDM pattern options (right-hand side of the dialog).
+    pub fn pattern_options(&self) -> &'static [GdmPattern] {
+        &GdmPattern::ALL
+    }
+
+    /// Pairs a metaclass with a pattern (adds to the pairing list).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown metaclasses and duplicates.
+    pub fn pair(&mut self, metaclass: &str, pattern: GdmPattern) -> Result<(), AbstractionError> {
+        if self.metamodel.class_by_name(metaclass).is_none() {
+            return Err(AbstractionError::UnknownMetaclass(metaclass.to_owned()));
+        }
+        if self.pairings.iter().any(|p| p.metaclass == metaclass) {
+            return Err(AbstractionError::AlreadyPaired(metaclass.to_owned()));
+        }
+        self.pairings.push(MappingRule {
+            metaclass: metaclass.to_owned(),
+            pattern,
+        });
+        Ok(())
+    }
+
+    /// Removes a pairing ("the user can view and delete his previous
+    /// pairings"). Returns `true` if one was removed.
+    pub fn unpair(&mut self, metaclass: &str) -> bool {
+        let before = self.pairings.len();
+        self.pairings.retain(|p| p.metaclass != metaclass);
+        self.pairings.len() != before
+    }
+
+    /// The current pairing list (middle of the dialog).
+    pub fn pairings(&self) -> &[MappingRule] {
+        &self.pairings
+    }
+
+    /// Adds an edge discovery rule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rules naming unknown metaclasses or features.
+    pub fn edge_rule(&mut self, rule: EdgeRule) -> Result<(), AbstractionError> {
+        let (metaclass, features): (&str, Vec<&str>) = match &rule {
+            EdgeRule::ByReferences { metaclass, source, target, .. } => {
+                (metaclass, vec![source, target])
+            }
+            EdgeRule::ByAttributes { metaclass, from, to } => (metaclass, vec![from, to]),
+        };
+        let class = self
+            .metamodel
+            .class_by_name(metaclass)
+            .ok_or_else(|| AbstractionError::UnknownMetaclass(metaclass.to_owned()))?;
+        for f in features {
+            let ok = match &rule {
+                EdgeRule::ByReferences { .. } => self.metamodel.reference(class, f).is_some(),
+                EdgeRule::ByAttributes { .. } => self.metamodel.attribute(class, f).is_some(),
+            };
+            if !ok {
+                return Err(AbstractionError::BadEdgeRule(format!(
+                    "`{metaclass}` has no feature `{f}`"
+                )));
+            }
+        }
+        self.edge_rules.push(rule);
+        Ok(())
+    }
+
+    /// The *ABSTRACTION FINISHED* button: freezes the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbstractionError::EmptyMapping`] if nothing was paired.
+    pub fn finish(self) -> Result<Abstraction, AbstractionError> {
+        if self.pairings.is_empty() {
+            return Err(AbstractionError::EmptyMapping);
+        }
+        Ok(Abstraction {
+            rules: self
+                .pairings
+                .into_iter()
+                .map(|r| (r.metaclass.clone(), r))
+                .collect(),
+            edge_rules: self.edge_rules,
+        })
+    }
+}
+
+/// A frozen user-specified mapping, ready to derive debug models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Abstraction {
+    rules: BTreeMap<String, MappingRule>,
+    edge_rules: Vec<EdgeRule>,
+}
+
+const LEAF_W: f64 = 110.0;
+const LEAF_H: f64 = 46.0;
+const PAD: f64 = 18.0;
+const TITLE_H: f64 = 22.0;
+const GAP: f64 = 28.0;
+
+impl Abstraction {
+    /// The mapping rules, keyed by metaclass.
+    pub fn rules(&self) -> &BTreeMap<String, MappingRule> {
+        &self.rules
+    }
+
+    /// Finds the rule applying to `class` (walking up the supertype
+    /// chain).
+    fn rule_for(&self, mm: &Metamodel, class: gmdf_metamodel::ClassId) -> Option<&MappingRule> {
+        if let Some(r) = self.rules.get(&mm.class(class).name) {
+            return Some(r);
+        }
+        mm.class(class)
+            .supertypes
+            .iter()
+            .find_map(|&s| self.rule_for(mm, s))
+    }
+
+    /// Derives the laid-out debug model from a conforming input model,
+    /// with the default command bindings attached.
+    pub fn derive(&self, model: &Model, name: &str) -> DebuggerModel {
+        self.derive_with_bindings(model, name, default_bindings())
+    }
+
+    /// Derives the debug model with explicit bindings (Fig. 6 step 4).
+    pub fn derive_with_bindings(
+        &self,
+        model: &Model,
+        name: &str,
+        bindings: Vec<CommandBinding>,
+    ) -> DebuggerModel {
+        let mm = model.metamodel();
+        let mut gdm = DebuggerModel::new(name);
+        gdm.bindings = bindings;
+        // Map ObjectId → element index for edge resolution.
+        let mut elem_of: BTreeMap<ObjectId, usize> = BTreeMap::new();
+
+        // DFS from roots, tracking the nearest mapped ancestor.
+        let mut stack: Vec<(ObjectId, Option<usize>)> = model
+            .roots()
+            .into_iter()
+            .rev()
+            .map(|o| (o, None))
+            .collect();
+        while let Some((obj, mapped_parent)) = stack.pop() {
+            let class = model.object(obj).expect("live object").class();
+            let mut parent_for_children = mapped_parent;
+            if let Some(rule) = self.rule_for(mm, class) {
+                let path = ElementPath::of(model, obj)
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                let label = model
+                    .name_of(obj)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| mm.class(class).name.clone());
+                let idx = gdm.elements.len();
+                gdm.elements.push(GdmElement {
+                    path,
+                    label,
+                    metaclass: mm.class(class).name.clone(),
+                    pattern: rule.pattern,
+                    parent: mapped_parent,
+                    bounds: Rect::default(),
+                });
+                elem_of.insert(obj, idx);
+                parent_for_children = Some(idx);
+            }
+            let kids: Vec<ObjectId> = model.children(obj).collect();
+            for k in kids.into_iter().rev() {
+                stack.push((k, parent_for_children));
+            }
+        }
+
+        // Edges.
+        for rule in &self.edge_rules {
+            match rule {
+                EdgeRule::ByReferences { metaclass, source, target, label_attr } => {
+                    for obj in model.objects_of_class(metaclass) {
+                        let (Ok(Some(s)), Ok(Some(t))) =
+                            (model.ref_one(obj, source), model.ref_one(obj, target))
+                        else {
+                            continue;
+                        };
+                        let (Some(&si), Some(&ti)) = (elem_of.get(&s), elem_of.get(&t)) else {
+                            continue;
+                        };
+                        let label = label_attr.as_ref().and_then(|a| {
+                            model
+                                .attr(obj, a)
+                                .ok()
+                                .flatten()
+                                .and_then(Value::as_str)
+                                .map(str::to_owned)
+                        });
+                        gdm.edges.push(GdmEdge {
+                            from: gdm.elements[si].path.clone(),
+                            to: gdm.elements[ti].path.clone(),
+                            label,
+                            metaclass: metaclass.clone(),
+                        });
+                    }
+                }
+                EdgeRule::ByAttributes { metaclass, from, to } => {
+                    for obj in model.objects_of_class(metaclass) {
+                        // Scope: siblings under the connection's mapped parent.
+                        let parent_idx = model
+                            .object(obj)
+                            .ok()
+                            .and_then(|o| o.container())
+                            .and_then(|(p, _)| elem_of.get(&p))
+                            .copied();
+                        let resolve = |endpoint: &str| -> Option<String> {
+                            let block = endpoint.split('.').next().unwrap_or(endpoint);
+                            if endpoint.contains('.') {
+                                gdm.elements
+                                    .iter()
+                                    .find(|e| e.parent == parent_idx && e.label == block)
+                                    .map(|e| e.path.clone())
+                            } else {
+                                parent_idx.map(|pi| gdm.elements[pi].path.clone())
+                            }
+                        };
+                        let (Ok(Some(fv)), Ok(Some(tv))) =
+                            (model.attr(obj, from), model.attr(obj, to))
+                        else {
+                            continue;
+                        };
+                        let (Some(fs), Some(ts)) = (fv.as_str(), tv.as_str()) else {
+                            continue;
+                        };
+                        if let (Some(fp), Some(tp)) = (resolve(fs), resolve(ts)) {
+                            if fp != tp {
+                                gdm.edges.push(GdmEdge {
+                                    from: fp,
+                                    to: tp,
+                                    label: None,
+                                    metaclass: metaclass.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        layout(&mut gdm);
+        gdm
+    }
+}
+
+/// Hierarchical layout: leaves get a fixed size, containers wrap their
+/// children (grid or circle, circle when edges connect the children —
+/// the state-machine look), sized bottom-up and placed top-down.
+fn layout(gdm: &mut DebuggerModel) {
+    let n = gdm.elements.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for i in 0..n {
+        match gdm.elements[i].parent {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    // Does any edge connect two children of `parent`?
+    let edge_connected = |gdm: &DebuggerModel, kids: &[usize]| -> bool {
+        gdm.edges.iter().any(|e| {
+            let fi = gdm.element_index(&e.from);
+            let ti = gdm.element_index(&e.to);
+            matches!((fi, ti), (Some(a), Some(b)) if kids.contains(&a) && kids.contains(&b))
+        })
+    };
+
+    // Pass 1: sizes bottom-up (children have higher indices than parents
+    // is NOT guaranteed for size purposes — recurse instead).
+    let mut size: Vec<(f64, f64)> = vec![(LEAF_W, LEAF_H); n];
+    let mut offsets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    fn compute_size(
+        i: usize,
+        gdm: &DebuggerModel,
+        children: &Vec<Vec<usize>>,
+        size: &mut Vec<(f64, f64)>,
+        offsets: &mut Vec<Vec<(f64, f64)>>,
+        edge_connected: &dyn Fn(&DebuggerModel, &[usize]) -> bool,
+    ) {
+        let kids = children[i].clone();
+        if kids.is_empty() {
+            size[i] = (LEAF_W, LEAF_H);
+            return;
+        }
+        for &k in &kids {
+            compute_size(k, gdm, children, size, offsets, edge_connected);
+        }
+        let cell_w = kids.iter().map(|&k| size[k].0).fold(0.0, f64::max);
+        let cell_h = kids.iter().map(|&k| size[k].1).fold(0.0, f64::max);
+        let m = kids.len();
+        let mut local: Vec<(f64, f64)> = Vec::with_capacity(m);
+        let (w, h);
+        if m >= 2 && edge_connected(gdm, &kids) {
+            // Circle arrangement.
+            let needed = (cell_w + GAP) * m as f64 / std::f64::consts::TAU;
+            let r = needed.max(cell_w * 0.9);
+            for (j, _) in kids.iter().enumerate() {
+                let a = std::f64::consts::TAU * j as f64 / m as f64 - std::f64::consts::FRAC_PI_2;
+                local.push((
+                    r + r * a.cos() - cell_w / 2.0 + cell_w / 2.0 + PAD,
+                    r + r * a.sin() - cell_h / 2.0 + cell_h / 2.0 + PAD + TITLE_H,
+                ));
+            }
+            w = 2.0 * r + cell_w + 2.0 * PAD;
+            h = 2.0 * r + cell_h + 2.0 * PAD + TITLE_H;
+        } else {
+            // Grid arrangement.
+            let cols = (m as f64).sqrt().ceil() as usize;
+            let rows = m.div_ceil(cols);
+            for j in 0..m {
+                let col = j % cols;
+                let row = j / cols;
+                local.push((
+                    PAD + col as f64 * (cell_w + GAP),
+                    PAD + TITLE_H + row as f64 * (cell_h + GAP),
+                ));
+            }
+            w = 2.0 * PAD + cols as f64 * cell_w + (cols - 1) as f64 * GAP;
+            h = 2.0 * PAD + TITLE_H + rows as f64 * cell_h + (rows - 1) as f64 * GAP;
+        }
+        offsets[i] = local;
+        size[i] = (w.max(LEAF_W), h.max(LEAF_H));
+    }
+    for &r in &roots {
+        compute_size(r, gdm, &children, &mut size, &mut offsets, &edge_connected);
+    }
+
+    // Pass 2: absolute placement, roots in a row.
+    let mut x_cursor = 0.0;
+    let mut place_stack: Vec<(usize, f64, f64)> = Vec::new();
+    for &r in &roots {
+        place_stack.push((r, x_cursor, 0.0));
+        x_cursor += size[r].0 + GAP * 2.0;
+    }
+    while let Some((i, x, y)) = place_stack.pop() {
+        gdm.elements[i].bounds = Rect::new(x, y, size[i].0, size[i].1);
+        let kids = children[i].clone();
+        for (j, &k) in kids.iter().enumerate() {
+            let (ox, oy) = offsets[i][j];
+            // Center each child in its cell.
+            let cell_w = kids.iter().map(|&k2| size[k2].0).fold(0.0, f64::max);
+            let cell_h = kids.iter().map(|&k2| size[k2].1).fold(0.0, f64::max);
+            let cx = ox + (cell_w - size[k].0) / 2.0;
+            let cy = oy + (cell_h - size[k].1) / 2.0;
+            place_stack.push((k, x + cx, y + cy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_metamodel::{DataType, MetamodelBuilder};
+
+    fn fsm_metamodel() -> Arc<Metamodel> {
+        let mut b = MetamodelBuilder::new("fsm");
+        b.class("Machine")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .containment_many("states", "State")
+            .unwrap()
+            .containment_many("transitions", "Transition")
+            .unwrap();
+        b.class("State")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap();
+        b.class("Transition")
+            .unwrap()
+            .attribute("guard", DataType::Str, false)
+            .unwrap()
+            .cross_required("source", "State")
+            .unwrap()
+            .cross_required("target", "State")
+            .unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn fsm_model() -> Model {
+        let mm = fsm_metamodel();
+        let mut m = Model::new(mm);
+        let mach = m.create("Machine").unwrap();
+        m.set_attr(mach, "name", "Gate".into()).unwrap();
+        let mut states = Vec::new();
+        for s in ["Open", "Closed", "Locked"] {
+            let st = m.create("State").unwrap();
+            m.set_attr(st, "name", s.into()).unwrap();
+            m.add_child(mach, "states", st).unwrap();
+            states.push(st);
+        }
+        for (a, b, g) in [(0, 1, "close"), (1, 2, "lock"), (2, 0, "unlock")] {
+            let t = m.create("Transition").unwrap();
+            m.set_attr(t, "guard", g.into()).unwrap();
+            m.add_ref(t, "source", states[a]).unwrap();
+            m.add_ref(t, "target", states[b]).unwrap();
+            m.add_child(mach, "transitions", t).unwrap();
+        }
+        m
+    }
+
+    fn guide() -> AbstractionGuide {
+        AbstractionGuide::new(fsm_metamodel())
+    }
+
+    #[test]
+    fn element_list_excludes_abstract_classes() {
+        let g = guide();
+        assert_eq!(g.element_list(), ["Machine", "State", "Transition"]);
+        assert_eq!(g.pattern_options().len(), 6);
+    }
+
+    #[test]
+    fn pairing_workflow() {
+        let mut g = guide();
+        g.pair("Machine", GdmPattern::Rectangle).unwrap();
+        g.pair("State", GdmPattern::Circle).unwrap();
+        assert_eq!(g.pairings().len(), 2);
+        assert_eq!(
+            g.pair("State", GdmPattern::Triangle).unwrap_err(),
+            AbstractionError::AlreadyPaired("State".into())
+        );
+        assert!(g.unpair("State"));
+        assert!(!g.unpair("State"));
+        assert_eq!(
+            g.pair("Ghost", GdmPattern::Circle).unwrap_err(),
+            AbstractionError::UnknownMetaclass("Ghost".into())
+        );
+    }
+
+    #[test]
+    fn empty_mapping_rejected() {
+        assert_eq!(guide().finish().unwrap_err(), AbstractionError::EmptyMapping);
+    }
+
+    #[test]
+    fn bad_edge_rule_rejected() {
+        let mut g = guide();
+        let err = g
+            .edge_rule(EdgeRule::ByReferences {
+                metaclass: "Transition".into(),
+                source: "ghost".into(),
+                target: "target".into(),
+                label_attr: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, AbstractionError::BadEdgeRule(_)));
+    }
+
+    fn fsm_abstraction() -> Abstraction {
+        let mut g = guide();
+        g.pair("Machine", GdmPattern::Rectangle).unwrap();
+        g.pair("State", GdmPattern::Circle).unwrap();
+        g.edge_rule(EdgeRule::ByReferences {
+            metaclass: "Transition".into(),
+            source: "source".into(),
+            target: "target".into(),
+            label_attr: Some("guard".into()),
+        })
+        .unwrap();
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn derive_creates_elements_edges_and_layout() {
+        let model = fsm_model();
+        let gdm = fsm_abstraction().derive(&model, "Gate debug model");
+        assert!(gdm.check().is_empty(), "{:?}", gdm.check());
+        // 1 machine + 3 states (transitions are edges, not elements).
+        assert_eq!(gdm.elements.len(), 4);
+        assert_eq!(gdm.edges.len(), 3);
+        let machine = gdm.element("Gate").unwrap();
+        assert_eq!(machine.pattern, GdmPattern::Rectangle);
+        let open = gdm.element("Gate/Open").unwrap();
+        assert_eq!(open.pattern, GdmPattern::Circle);
+        assert_eq!(open.parent, Some(0));
+        // States laid out inside the machine.
+        assert!(open.bounds.x >= machine.bounds.x);
+        assert!(open.bounds.bottom() <= machine.bounds.bottom());
+        // Edge labels carried over.
+        assert_eq!(gdm.edges[0].label.as_deref(), Some("close"));
+        // Default bindings attached.
+        assert!(!gdm.bindings.is_empty());
+    }
+
+    #[test]
+    fn states_do_not_overlap() {
+        let model = fsm_model();
+        let gdm = fsm_abstraction().derive(&model, "t");
+        let states: Vec<&GdmElement> =
+            gdm.elements.iter().filter(|e| e.metaclass == "State").collect();
+        for (i, a) in states.iter().enumerate() {
+            for b in states.iter().skip(i + 1) {
+                let disjoint = a.bounds.right() <= b.bounds.x
+                    || b.bounds.right() <= a.bounds.x
+                    || a.bounds.bottom() <= b.bounds.y
+                    || b.bounds.bottom() <= a.bounds.y;
+                assert!(disjoint, "{} overlaps {}", a.path, b.path);
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_classes_are_skipped_but_children_still_map() {
+        // Map only State: machine is skipped, states become roots.
+        let mut g = guide();
+        g.pair("State", GdmPattern::Circle).unwrap();
+        let a = g.finish().unwrap();
+        let gdm = a.derive(&fsm_model(), "t");
+        assert_eq!(gdm.elements.len(), 3);
+        assert!(gdm.elements.iter().all(|e| e.parent.is_none()));
+    }
+
+    #[test]
+    fn rule_inheritance_applies_to_subclasses() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("Base")
+            .unwrap()
+            .set_abstract(true)
+            .attribute("name", DataType::Str, false)
+            .unwrap();
+        b.class("Derived").unwrap().supertype("Base").unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut model = Model::new(mm.clone());
+        model.create("Derived").unwrap();
+        let mut g = AbstractionGuide::new(mm);
+        g.pair("Base", GdmPattern::Diamond).unwrap();
+        let gdm = g.finish().unwrap().derive(&model, "t");
+        assert_eq!(gdm.elements.len(), 1);
+        assert_eq!(gdm.elements[0].pattern, GdmPattern::Diamond);
+        assert_eq!(gdm.elements[0].metaclass, "Derived");
+    }
+
+    #[test]
+    fn abstraction_serde_round_trip() {
+        let a = fsm_abstraction();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Abstraction = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,179 @@
+//! Command → reaction bindings: the GDM's command interface.
+//!
+//! "GDM has a command interface … which provides appropriate reactions
+//! when receiving commands (events) from the code being executed, i.e.
+//! specific actions to be performed on the model in response to events
+//! coming from the system under test (e.g. highlighting a GDM element)"
+//! (paper §II). GMDF "provides a user interface to setup commands
+//! associated with reaction types" (Fig. 6 step 4) — [`CommandBinding`]
+//! is that association.
+
+use crate::event::{EventKind, ModelEvent};
+use serde::{Deserialize, Serialize};
+
+/// Predicate selecting the events a binding reacts to.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommandMatcher {
+    /// Match only this event kind (any if `None`).
+    pub kind: Option<EventKind>,
+    /// Match only events whose element path starts with this prefix
+    /// (any if `None`).
+    pub path_prefix: Option<String>,
+}
+
+impl CommandMatcher {
+    /// Matches every event.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Matches one kind, any path.
+    pub fn kind(kind: EventKind) -> Self {
+        CommandMatcher { kind: Some(kind), path_prefix: None }
+    }
+
+    /// Restricts the matcher to a path prefix.
+    pub fn under(mut self, prefix: &str) -> Self {
+        self.path_prefix = Some(prefix.to_owned());
+        self
+    }
+
+    /// `true` if `event` satisfies the predicate.
+    pub fn matches(&self, event: &ModelEvent) -> bool {
+        if let Some(k) = self.kind {
+            if event.kind != k {
+                return false;
+            }
+        }
+        if let Some(p) = &self.path_prefix {
+            if !(event.path == *p || event.path.starts_with(&format!("{p}/"))) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The visual action a binding performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReactionSpec {
+    /// Highlight the entered child element (`path/to`) and dim its
+    /// siblings — the classic active-state animation.
+    HighlightTarget,
+    /// Highlight the element at the event's own path.
+    HighlightSelf,
+    /// Update the element's label with the event's value.
+    ShowValue,
+    /// Briefly emphasize the element (pulse counter increments).
+    Pulse,
+    /// Record the event in the trace without visual change.
+    RecordOnly,
+}
+
+/// One configured command→reaction pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandBinding {
+    /// Which events trigger the reaction.
+    pub matcher: CommandMatcher,
+    /// What happens on a match.
+    pub reaction: ReactionSpec,
+}
+
+impl CommandBinding {
+    /// Creates a binding.
+    pub fn new(matcher: CommandMatcher, reaction: ReactionSpec) -> Self {
+        CommandBinding { matcher, reaction }
+    }
+}
+
+/// The default binding set the command-settings step pre-populates:
+/// state entries and mode switches highlight the entered element, signal
+/// writes show the value, watch hits highlight, task boundaries are
+/// trace-only.
+pub fn default_bindings() -> Vec<CommandBinding> {
+    vec![
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::StateEnter),
+            ReactionSpec::HighlightTarget,
+        ),
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::ModeSwitch),
+            ReactionSpec::HighlightTarget,
+        ),
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::SignalWrite),
+            ReactionSpec::ShowValue,
+        ),
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::WatchChange),
+            ReactionSpec::HighlightTarget,
+        ),
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::TaskStart),
+            ReactionSpec::RecordOnly,
+        ),
+        CommandBinding::new(
+            CommandMatcher::kind(EventKind::TaskEnd),
+            ReactionSpec::RecordOnly,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_by_kind() {
+        let m = CommandMatcher::kind(EventKind::StateEnter);
+        assert!(m.matches(&ModelEvent::new(0, EventKind::StateEnter, "A/fsm")));
+        assert!(!m.matches(&ModelEvent::new(0, EventKind::TaskStart, "A")));
+    }
+
+    #[test]
+    fn matcher_by_prefix_is_segment_aware() {
+        let m = CommandMatcher::any().under("A/fsm");
+        assert!(m.matches(&ModelEvent::new(0, EventKind::StateEnter, "A/fsm")));
+        assert!(m.matches(&ModelEvent::new(0, EventKind::StateEnter, "A/fsm/inner")));
+        // "A/fsmX" must NOT match the "A/fsm" prefix.
+        assert!(!m.matches(&ModelEvent::new(0, EventKind::StateEnter, "A/fsmX")));
+        assert!(!m.matches(&ModelEvent::new(0, EventKind::StateEnter, "B/fsm")));
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let m = CommandMatcher::any();
+        for kind in [EventKind::TaskStart, EventKind::SignalWrite, EventKind::WatchChange] {
+            assert!(m.matches(&ModelEvent::new(0, kind, "whatever")));
+        }
+    }
+
+    #[test]
+    fn default_bindings_cover_all_kinds() {
+        let bindings = default_bindings();
+        for kind in [
+            EventKind::TaskStart,
+            EventKind::TaskEnd,
+            EventKind::StateEnter,
+            EventKind::ModeSwitch,
+            EventKind::SignalWrite,
+            EventKind::WatchChange,
+        ] {
+            let e = ModelEvent::new(0, kind, "x");
+            assert!(
+                bindings.iter().any(|b| b.matcher.matches(&e)),
+                "no binding for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = CommandBinding::new(
+            CommandMatcher::kind(EventKind::StateEnter).under("A"),
+            ReactionSpec::HighlightTarget,
+        );
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<CommandBinding>(&json).unwrap(), b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Model-level runtime events — commands in the GDM's vocabulary.
+//!
+//! Whatever the transport (active RS-232 frames or passive JTAG watch
+//! hits), the debugger sees a stream of [`ModelEvent`]s: "specific
+//! commands (events) at particular points of execution" (paper §II),
+//! already resolved to model element paths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Category of a model-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A task activation started.
+    TaskStart,
+    /// A task activation completed.
+    TaskEnd,
+    /// A state machine entered a state.
+    StateEnter,
+    /// A modal block switched modes.
+    ModeSwitch,
+    /// An output signal was written.
+    SignalWrite,
+    /// A watched variable changed (passive channel).
+    WatchChange,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::TaskStart => "task-start",
+            EventKind::TaskEnd => "task-end",
+            EventKind::StateEnter => "state-enter",
+            EventKind::ModeSwitch => "mode-switch",
+            EventKind::SignalWrite => "signal-write",
+            EventKind::WatchChange => "watch-change",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A value carried by an event (the debugger's input-language-independent
+/// value domain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventValue {
+    /// Boolean payload.
+    Bool(bool),
+    /// Integer payload.
+    Int(i64),
+    /// Floating-point payload.
+    Real(f64),
+}
+
+impl EventValue {
+    /// Numeric view (bools as 0/1).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            EventValue::Bool(b) => b as i64 as f64,
+            EventValue::Int(i) => i as f64,
+            EventValue::Real(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for EventValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventValue::Bool(b) => write!(f, "{b}"),
+            EventValue::Int(i) => write!(f, "{i}"),
+            EventValue::Real(r) => write!(f, "{r:.6}"),
+        }
+    }
+}
+
+/// One model-level runtime event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEvent {
+    /// Observation instant (ns, target time base).
+    pub time_ns: u64,
+    /// Event category.
+    pub kind: EventKind,
+    /// Path of the model element concerned (`Actor/block…`).
+    pub path: String,
+    /// State/mode left, when known.
+    pub from: Option<String>,
+    /// State/mode entered (`StateEnter` / `ModeSwitch`).
+    pub to: Option<String>,
+    /// Carried value (`SignalWrite` / `WatchChange`).
+    pub value: Option<EventValue>,
+}
+
+impl ModelEvent {
+    /// Creates a bare event.
+    pub fn new(time_ns: u64, kind: EventKind, path: &str) -> Self {
+        ModelEvent {
+            time_ns,
+            kind,
+            path: path.to_owned(),
+            from: None,
+            to: None,
+            value: None,
+        }
+    }
+
+    /// Builder-style `to` setter.
+    pub fn with_to(mut self, to: &str) -> Self {
+        self.to = Some(to.to_owned());
+        self
+    }
+
+    /// Builder-style `from` setter.
+    pub fn with_from(mut self, from: &str) -> Self {
+        self.from = Some(from.to_owned());
+        self
+    }
+
+    /// Builder-style value setter.
+    pub fn with_value(mut self, v: EventValue) -> Self {
+        self.value = Some(v);
+        self
+    }
+
+    /// The path of the entered child element (`path/to`), when `to` is
+    /// known — what highlight reactions target.
+    pub fn target_path(&self) -> Option<String> {
+        self.to.as_ref().map(|t| format!("{}/{}", self.path, t))
+    }
+}
+
+impl fmt::Display for ModelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10} ns] {} {}", self.time_ns, self.kind, self.path)?;
+        if let (Some(from), Some(to)) = (&self.from, &self.to) {
+            write!(f, ": {from} -> {to}")?;
+        } else if let Some(to) = &self.to {
+            write!(f, " -> {to}")?;
+        }
+        if let Some(v) = &self.value {
+            write!(f, " = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ModelEvent::new(1500, EventKind::StateEnter, "Heater/ctl")
+            .with_from("Idle")
+            .with_to("Run");
+        assert_eq!(e.to_string(), "[      1500 ns] state-enter Heater/ctl: Idle -> Run");
+        let e = ModelEvent::new(2, EventKind::SignalWrite, "Heater/out/u")
+            .with_value(EventValue::Real(1.5));
+        assert!(e.to_string().contains("= 1.5"));
+    }
+
+    #[test]
+    fn target_path_joins() {
+        let e = ModelEvent::new(0, EventKind::StateEnter, "A/fsm").with_to("Run");
+        assert_eq!(e.target_path().unwrap(), "A/fsm/Run");
+        let bare = ModelEvent::new(0, EventKind::TaskStart, "A");
+        assert_eq!(bare.target_path(), None);
+    }
+
+    #[test]
+    fn event_value_numeric_view() {
+        assert_eq!(EventValue::Bool(true).as_f64(), 1.0);
+        assert_eq!(EventValue::Int(-3).as_f64(), -3.0);
+        assert_eq!(EventValue::Real(0.5).as_f64(), 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = ModelEvent::new(7, EventKind::ModeSwitch, "A/m").with_to("fast");
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<ModelEvent>(&json).unwrap(), e);
+    }
+}

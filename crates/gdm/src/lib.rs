@@ -1,0 +1,53 @@
+//! # gmdf-gdm — the Graphical Debugger Model
+//!
+//! "The GDM is the core of GMDF" (paper §II). This crate implements:
+//!
+//! * the GDM meta-model of paper Fig. 3 ([`gdm_metamodel`] /
+//!   [`export_gdm`]) — an event-driven machine of graphical elements,
+//!   commands and reactions;
+//! * the **abstraction** procedure of paper Fig. 4
+//!   ([`AbstractionGuide`] → [`Abstraction`]): pair input metaclasses
+//!   with [`GdmPattern`]s, add edge rules, press *ABSTRACTION FINISHED*,
+//!   and derive a laid-out [`DebuggerModel`] from any conforming model;
+//! * the command interface ([`CommandBinding`], [`ModelEvent`]) and the
+//!   renderable animation state ([`VisualState`], [`render_gdm`]).
+//!
+//! ```
+//! use gmdf_gdm::{AbstractionGuide, GdmPattern};
+//! use gmdf_metamodel::{DataType, MetamodelBuilder, Model, Value};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = MetamodelBuilder::new("fsm");
+//! b.class("State")?.attribute("name", DataType::Str, true)?;
+//! let mm = Arc::new(b.build()?);
+//! let mut model = Model::new(mm.clone());
+//! let s = model.create("State")?;
+//! model.set_attr(s, "name", Value::from("Idle"))?;
+//!
+//! let mut guide = AbstractionGuide::new(mm);
+//! guide.pair("State", GdmPattern::Circle)?;
+//! let gdm = guide.finish()?.derive(&model, "debug model");
+//! assert_eq!(gdm.elements[0].label, "Idle");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod abstraction;
+mod binding;
+mod event;
+mod metamodel;
+mod model;
+mod pattern;
+mod scene;
+
+pub use abstraction::{Abstraction, AbstractionError, AbstractionGuide, EdgeRule, MappingRule};
+pub use binding::{default_bindings, CommandBinding, CommandMatcher, ReactionSpec};
+pub use event::{EventKind, EventValue, ModelEvent};
+pub use metamodel::{export_gdm, gdm_metamodel, GDM_METAMODEL};
+pub use model::{DebuggerModel, GdmEdge, GdmElement};
+pub use pattern::GdmPattern;
+pub use scene::{is_highlightable, render_ascii, render_gdm, render_svg, ElementVisual, VisualState};

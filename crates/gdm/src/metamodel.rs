@@ -1,0 +1,220 @@
+//! The GDM meta-model (paper Fig. 3) expressed in the generic
+//! metamodeling layer.
+//!
+//! Fig. 3 defines "the basic elements needed to construct a debug model
+//! from the user input meta-model": an event-driven finite state machine
+//! of the debugger itself — graphical elements, commands, reactions and
+//! bindings, with the engine normally "in a waiting state, listening for
+//! commands and performing the corresponding reactions". Reifying the GDM
+//! as a [`gmdf_metamodel::Model`] lets the framework introspect, persist
+//! and validate debug models with the same machinery as input models.
+
+use crate::model::DebuggerModel;
+use gmdf_metamodel::{DataType, Metamodel, MetamodelBuilder, Model, ModelError, Value};
+use std::sync::Arc;
+
+/// Package name of the GDM metamodel.
+pub const GDM_METAMODEL: &str = "gdm";
+
+/// Builds the GDM metamodel of paper Fig. 3.
+///
+/// Classes: `DebuggerModel` (the event-driven machine, with its `Waiting`
+/// / `Reacting` engine states as an enum attribute), `GraphicalElement`,
+/// `Edge`, `CommandBinding`.
+///
+/// # Panics
+///
+/// Never in practice — the metamodel is a fixed literal.
+pub fn gdm_metamodel() -> Metamodel {
+    let mut b = MetamodelBuilder::new(GDM_METAMODEL);
+    b.enumeration("Pattern", [
+        "Rectangle",
+        "RoundedRectangle",
+        "Circle",
+        "Triangle",
+        "Diamond",
+        "Label",
+    ])
+    .expect("fixed metamodel");
+    b.enumeration("EngineState", ["Waiting", "Reacting", "Paused"])
+        .expect("fixed metamodel");
+    b.enumeration("Reaction", [
+        "HighlightTarget",
+        "HighlightSelf",
+        "ShowValue",
+        "Pulse",
+        "RecordOnly",
+    ])
+    .expect("fixed metamodel");
+    b.class("DebuggerModel")
+        .expect("fixed metamodel")
+        .attribute("name", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute_with_default(
+            "engine_state",
+            DataType::Enum("EngineState".into()),
+            Value::Enum("EngineState".into(), "Waiting".into()),
+        )
+        .expect("fixed metamodel")
+        .containment_many("elements", "GraphicalElement")
+        .expect("fixed metamodel")
+        .containment_many("edges", "Edge")
+        .expect("fixed metamodel")
+        .containment_many("bindings", "CommandBinding")
+        .expect("fixed metamodel");
+    b.class("GraphicalElement")
+        .expect("fixed metamodel")
+        .attribute("name", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("path", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("metaclass", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("pattern", DataType::Enum("Pattern".into()), true)
+        .expect("fixed metamodel")
+        .containment_many("children", "GraphicalElement")
+        .expect("fixed metamodel");
+    b.class("Edge")
+        .expect("fixed metamodel")
+        .attribute("from", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("to", DataType::Str, true)
+        .expect("fixed metamodel")
+        .attribute("label", DataType::Str, false)
+        .expect("fixed metamodel");
+    b.class("CommandBinding")
+        .expect("fixed metamodel")
+        .attribute("kind", DataType::Str, false)
+        .expect("fixed metamodel")
+        .attribute("path_prefix", DataType::Str, false)
+        .expect("fixed metamodel")
+        .attribute("reaction", DataType::Enum("Reaction".into()), true)
+        .expect("fixed metamodel");
+    b.build().expect("fixed metamodel")
+}
+
+/// Reifies a [`DebuggerModel`] as an instance of the GDM metamodel.
+///
+/// # Errors
+///
+/// Wraps [`ModelError`]s, which cannot occur for checked debug models.
+pub fn export_gdm(gdm: &DebuggerModel) -> Result<(Arc<Metamodel>, Model), ModelError> {
+    let mm = Arc::new(gdm_metamodel());
+    let mut model = Model::new(mm.clone());
+    let root = model.create("DebuggerModel")?;
+    model.set_attr(root, "name", Value::from(gdm.name.as_str()))?;
+    let mut objs = Vec::with_capacity(gdm.elements.len());
+    for e in &gdm.elements {
+        let obj = model.create("GraphicalElement")?;
+        model.set_attr(obj, "name", Value::from(e.label.as_str()))?;
+        model.set_attr(obj, "path", Value::from(e.path.as_str()))?;
+        model.set_attr(obj, "metaclass", Value::from(e.metaclass.as_str()))?;
+        model.set_attr(
+            obj,
+            "pattern",
+            Value::Enum("Pattern".into(), e.pattern.to_string()),
+        )?;
+        match e.parent {
+            Some(p) => model.add_child(objs[p], "children", obj)?,
+            None => model.add_child(root, "elements", obj)?,
+        }
+        objs.push(obj);
+    }
+    for edge in &gdm.edges {
+        let obj = model.create("Edge")?;
+        model.set_attr(obj, "from", Value::from(edge.from.as_str()))?;
+        model.set_attr(obj, "to", Value::from(edge.to.as_str()))?;
+        if let Some(l) = &edge.label {
+            model.set_attr(obj, "label", Value::from(l.as_str()))?;
+        }
+        model.add_child(root, "edges", obj)?;
+    }
+    for binding in &gdm.bindings {
+        let obj = model.create("CommandBinding")?;
+        if let Some(k) = binding.matcher.kind {
+            model.set_attr(obj, "kind", Value::from(k.to_string()))?;
+        }
+        if let Some(p) = &binding.matcher.path_prefix {
+            model.set_attr(obj, "path_prefix", Value::from(p.as_str()))?;
+        }
+        model.set_attr(
+            obj,
+            "reaction",
+            Value::Enum("Reaction".into(), format!("{:?}", binding.reaction)),
+        )?;
+        model.add_child(root, "bindings", obj)?;
+    }
+    Ok((mm, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::default_bindings;
+    use crate::model::{GdmEdge, GdmElement};
+    use crate::pattern::GdmPattern;
+    use gmdf_render::Rect;
+
+    fn sample() -> DebuggerModel {
+        let mut m = DebuggerModel::new("demo");
+        m.bindings = default_bindings();
+        m.elements.push(GdmElement {
+            path: "A".into(),
+            label: "A".into(),
+            metaclass: "Machine".into(),
+            pattern: GdmPattern::Rectangle,
+            parent: None,
+            bounds: Rect::default(),
+        });
+        m.elements.push(GdmElement {
+            path: "A/Idle".into(),
+            label: "Idle".into(),
+            metaclass: "State".into(),
+            pattern: GdmPattern::Circle,
+            parent: Some(0),
+            bounds: Rect::default(),
+        });
+        m.edges.push(GdmEdge {
+            from: "A/Idle".into(),
+            to: "A/Idle".into(),
+            label: Some("tick".into()),
+            metaclass: "Transition".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn metamodel_matches_fig3_inventory() {
+        let mm = gdm_metamodel();
+        for c in ["DebuggerModel", "GraphicalElement", "Edge", "CommandBinding"] {
+            assert!(mm.class_by_name(c).is_some(), "missing {c}");
+        }
+        let engine = mm.enum_by_name("EngineState").unwrap();
+        assert_eq!(engine.literals, ["Waiting", "Reacting", "Paused"]);
+        assert!(mm.enum_by_name("Pattern").unwrap().literals.len() >= 4);
+    }
+
+    #[test]
+    fn export_is_conformant_and_nested() {
+        let gdm = sample();
+        let (_, model) = export_gdm(&gdm).unwrap();
+        let report = gmdf_metamodel::validate(&model);
+        assert!(report.is_conformant(), "{report}");
+        // Nesting: Idle is a child of A, not of the root.
+        let idle = model
+            .objects_of_class("GraphicalElement")
+            .into_iter()
+            .find(|&o| model.name_of(o) == Some("Idle"))
+            .unwrap();
+        let (parent, _) = model.object(idle).unwrap().container().unwrap();
+        assert_eq!(model.name_of(parent), Some("A"));
+        // Engine starts in Waiting.
+        let root = model.objects_of_class("DebuggerModel")[0];
+        assert_eq!(
+            model.attr(root, "engine_state").unwrap(),
+            Some(&Value::Enum("EngineState".into(), "Waiting".into()))
+        );
+        assert_eq!(model.objects_of_class("CommandBinding").len(), 6);
+        assert_eq!(model.objects_of_class("Edge").len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! The Graphical Debugger Model (GDM) — "the core of GMDF" (paper §II).
+//!
+//! A [`DebuggerModel`] is the event-driven debug model derived from the
+//! user's input model via abstraction: graphical elements (with layout),
+//! edges, and the command→reaction bindings that make it animate. The
+//! runtime engine ([`gmdf-engine`]) loads it, displays it, and reacts to
+//! incoming [`ModelEvent`](crate::ModelEvent)s.
+//!
+//! [`gmdf-engine`]: ../../gmdf_engine/index.html
+
+use crate::binding::CommandBinding;
+use crate::pattern::GdmPattern;
+use gmdf_render::Rect;
+use serde::{Deserialize, Serialize};
+
+/// One graphical element of the debug model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GdmElement {
+    /// Stable element path (mirrors the input model's element path).
+    pub path: String,
+    /// Display label.
+    pub label: String,
+    /// Metaclass of the source model element (e.g. `State`).
+    pub metaclass: String,
+    /// Graphical pattern chosen during abstraction.
+    pub pattern: GdmPattern,
+    /// Index of the parent element in the element list, if nested.
+    pub parent: Option<usize>,
+    /// Absolute scene bounds (computed by the abstraction layout).
+    pub bounds: Rect,
+}
+
+/// A graphical edge (transition arrow, connection wire).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GdmEdge {
+    /// Path of the source element.
+    pub from: String,
+    /// Path of the target element.
+    pub to: String,
+    /// Optional edge label (e.g. a guard expression).
+    pub label: Option<String>,
+    /// Metaclass of the source model element (e.g. `Transition`).
+    pub metaclass: String,
+}
+
+/// The complete debug model: elements, edges and command bindings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DebuggerModel {
+    /// Model name (shown as the canvas title).
+    pub name: String,
+    /// Elements; parents always precede their children.
+    pub elements: Vec<GdmElement>,
+    /// Edges between element paths.
+    pub edges: Vec<GdmEdge>,
+    /// Command → reaction bindings (Fig. 6 step 4).
+    pub bindings: Vec<CommandBinding>,
+}
+
+impl DebuggerModel {
+    /// Creates an empty debug model.
+    pub fn new(name: &str) -> Self {
+        DebuggerModel {
+            name: name.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Finds an element by path.
+    pub fn element(&self, path: &str) -> Option<&GdmElement> {
+        self.elements.iter().find(|e| e.path == path)
+    }
+
+    /// Index of an element by path.
+    pub fn element_index(&self, path: &str) -> Option<usize> {
+        self.elements.iter().position(|e| e.path == path)
+    }
+
+    /// Direct children of element `idx`.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.parent == Some(idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Paths of all elements sharing the parent of `path` (its animation
+    /// siblings — what gets dimmed when one is highlighted).
+    pub fn siblings(&self, path: &str) -> Vec<&str> {
+        let Some(idx) = self.element_index(path) else {
+            return Vec::new();
+        };
+        let parent = self.elements[idx].parent;
+        self.elements
+            .iter()
+            .filter(|e| e.parent == parent && e.path != path)
+            .map(|e| e.path.as_str())
+            .collect()
+    }
+
+    /// Rewrites all element paths and edge endpoints, dropping the first
+    /// `segments` path segments (at least one segment is always kept).
+    ///
+    /// Input-model exports often prefix paths with container segments the
+    /// runtime does not report (the COMDES export prefixes
+    /// `system/node/`, while commands arrive with actor-rooted paths);
+    /// stripping aligns the GDM with the command stream.
+    pub fn strip_path_prefix(&mut self, segments: usize) {
+        let strip = |p: &str| -> String {
+            let parts: Vec<&str> = p.split('/').collect();
+            let keep = segments.min(parts.len().saturating_sub(1));
+            parts[keep..].join("/")
+        };
+        for e in &mut self.elements {
+            e.path = strip(&e.path);
+        }
+        for edge in &mut self.edges {
+            edge.from = strip(&edge.from);
+            edge.to = strip(&edge.to);
+        }
+    }
+
+    /// Serializes to pretty JSON (the `.gdm.json` file of the workflow's
+    /// step 4, "an initial GDM file is automatically generated").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("gdm serializes")
+    }
+
+    /// Parses a saved debug model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Sanity check: parent indices in range and acyclic, edge endpoints
+    /// resolvable. Returns problems found.
+    pub fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, e) in self.elements.iter().enumerate() {
+            if let Some(p) = e.parent {
+                if p >= i {
+                    problems.push(format!(
+                        "element `{}` has parent index {p} not preceding it",
+                        e.path
+                    ));
+                }
+            }
+            if self.elements[..i].iter().any(|q| q.path == e.path) {
+                problems.push(format!("duplicate element path `{}`", e.path));
+            }
+        }
+        for edge in &self.edges {
+            for end in [&edge.from, &edge.to] {
+                if self.element(end).is_none() {
+                    problems.push(format!("edge endpoint `{end}` has no element"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebuggerModel {
+        let mut m = DebuggerModel::new("demo");
+        m.elements.push(GdmElement {
+            path: "A".into(),
+            label: "A".into(),
+            metaclass: "Actor".into(),
+            pattern: GdmPattern::Rectangle,
+            parent: None,
+            bounds: Rect::new(0.0, 0.0, 300.0, 200.0),
+        });
+        for (i, s) in ["Idle", "Run"].iter().enumerate() {
+            m.elements.push(GdmElement {
+                path: format!("A/fsm/{s}"),
+                label: (*s).into(),
+                metaclass: "State".into(),
+                pattern: GdmPattern::Circle,
+                parent: Some(0),
+                bounds: Rect::new(20.0 + i as f64 * 120.0, 40.0, 100.0, 40.0),
+            });
+        }
+        m.edges.push(GdmEdge {
+            from: "A/fsm/Idle".into(),
+            to: "A/fsm/Run".into(),
+            label: Some("go".into()),
+            metaclass: "Transition".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn lookup_and_children() {
+        let m = sample();
+        assert!(m.element("A/fsm/Idle").is_some());
+        assert_eq!(m.children(0).len(), 2);
+        assert_eq!(m.siblings("A/fsm/Idle"), vec!["A/fsm/Run"]);
+        assert!(m.check().is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let back = DebuggerModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+        assert!(DebuggerModel::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn check_flags_problems() {
+        let mut m = sample();
+        m.edges.push(GdmEdge {
+            from: "ghost".into(),
+            to: "A".into(),
+            label: None,
+            metaclass: "Transition".into(),
+        });
+        m.elements.push(GdmElement {
+            path: "A".into(), // duplicate
+            label: "dup".into(),
+            metaclass: "Actor".into(),
+            pattern: GdmPattern::Rectangle,
+            parent: Some(99), // bad parent
+            bounds: Rect::default(),
+        });
+        let problems = m.check();
+        assert_eq!(problems.len(), 3);
+    }
+}

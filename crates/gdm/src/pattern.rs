@@ -1,0 +1,109 @@
+//! GDM graphical patterns — the display options of the abstraction guide.
+//!
+//! "The GDM pattern provides the options of displaying objectives in
+//! different forms according to user requirements. For instance, a
+//! meta-model element 'state' from input models could be displayed as a
+//! line or as a shape" (paper §II); the prototype's dialog offers
+//! Rectangle, Triangle, Circle and Arrow (Fig. 4).
+
+use gmdf_render::{Rect, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The graphical form a mapped metamodel element takes in the GDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GdmPattern {
+    /// Sharp-cornered rectangle (blocks, actors).
+    Rectangle,
+    /// Rounded rectangle (composite containers).
+    RoundedRectangle,
+    /// Circle/ellipse (states).
+    Circle,
+    /// Upward triangle (ports, sources).
+    Triangle,
+    /// Diamond (decision-ish elements).
+    Diamond,
+    /// Plain text label, no outline.
+    Label,
+}
+
+impl GdmPattern {
+    /// The full palette, in the order the abstraction guide lists it.
+    pub const ALL: [GdmPattern; 6] = [
+        GdmPattern::Rectangle,
+        GdmPattern::RoundedRectangle,
+        GdmPattern::Circle,
+        GdmPattern::Triangle,
+        GdmPattern::Diamond,
+        GdmPattern::Label,
+    ];
+
+    /// Builds the scene shape realizing this pattern inside `bounds`.
+    pub fn to_shape(self, bounds: Rect) -> Shape {
+        match self {
+            GdmPattern::Rectangle => Shape::Rect { bounds, rounded: 0.0 },
+            GdmPattern::RoundedRectangle => Shape::Rect { bounds, rounded: 10.0 },
+            GdmPattern::Circle => Shape::Ellipse { bounds },
+            GdmPattern::Triangle => Shape::Triangle { bounds },
+            GdmPattern::Diamond => Shape::Diamond { bounds },
+            GdmPattern::Label => Shape::Text {
+                at: gmdf_render::Point::new(bounds.x, bounds.bottom()),
+                size: 12.0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for GdmPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GdmPattern::Rectangle => "Rectangle",
+            GdmPattern::RoundedRectangle => "RoundedRectangle",
+            GdmPattern::Circle => "Circle",
+            GdmPattern::Triangle => "Triangle",
+            GdmPattern::Diamond => "Diamond",
+            GdmPattern::Label => "Label",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for GdmPattern {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GdmPattern::ALL
+            .iter()
+            .copied()
+            .find(|p| p.to_string().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown pattern `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pattern_produces_a_shape() {
+        let b = Rect::new(0.0, 0.0, 50.0, 30.0);
+        for p in GdmPattern::ALL {
+            let _ = p.to_shape(b); // must not panic
+        }
+        assert!(matches!(
+            GdmPattern::Circle.to_shape(b),
+            Shape::Ellipse { .. }
+        ));
+        assert!(matches!(GdmPattern::Label.to_shape(b), Shape::Text { .. }));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for p in GdmPattern::ALL {
+            let back: GdmPattern = p.to_string().parse().unwrap();
+            assert_eq!(back, p);
+        }
+        assert!("Hexagon".parse::<GdmPattern>().is_err());
+        assert_eq!("circle".parse::<GdmPattern>().unwrap(), GdmPattern::Circle);
+    }
+}

@@ -1,0 +1,212 @@
+//! Rendering a [`DebuggerModel`] into a scene, with animation state.
+//!
+//! The engine keeps a [`VisualState`] per element (highlighted, dimmed,
+//! value label, pulse count) and re-renders frames as commands arrive —
+//! the "model behavior animation" functionality (paper §II).
+
+use crate::model::DebuggerModel;
+use crate::pattern::GdmPattern;
+use gmdf_render::{layout, Primitive, Scene, Shape, Style};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-element animation state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ElementVisual {
+    /// Drawn with the highlight style (active state).
+    pub highlighted: bool,
+    /// Drawn with the dimmed style (inactive sibling).
+    pub dimmed: bool,
+    /// Extra label line (last signal value).
+    pub value_text: Option<String>,
+    /// Number of pulses received (drawn as an emphasis tick).
+    pub pulses: u32,
+}
+
+/// Animation state for the whole model: element path → visual.
+pub type VisualState = BTreeMap<String, ElementVisual>;
+
+/// Builds a renderable scene from the debug model and its current
+/// animation state.
+pub fn render_gdm(gdm: &DebuggerModel, visual: &VisualState) -> Scene {
+    let mut scene = Scene::new(&gdm.name);
+    // Containers first (paint order: parents under children).
+    for e in &gdm.elements {
+        let v = visual.get(&e.path).cloned().unwrap_or_default();
+        let style = if v.highlighted {
+            Style::highlighted()
+        } else if v.dimmed {
+            Style::dimmed()
+        } else {
+            Style::default()
+        };
+        let mut label = e.label.clone();
+        if let Some(val) = &v.value_text {
+            label = format!("{label} = {val}");
+        }
+        if v.pulses > 0 {
+            label = format!("{label} ({}x)", v.pulses);
+        }
+        scene.push(Primitive {
+            id: e.path.clone(),
+            shape: e.pattern.to_shape(e.bounds),
+            style,
+            label: Some(label),
+        });
+    }
+    // Edges on top of containers but under nothing else matters much;
+    // anchor them on element borders.
+    for (i, edge) in gdm.edges.iter().enumerate() {
+        let (Some(from), Some(to)) = (gdm.element(&edge.from), gdm.element(&edge.to)) else {
+            continue;
+        };
+        let points = layout::route_edge(&from.bounds, &to.bounds);
+        scene.push(Primitive {
+            id: format!("edge#{i}"),
+            shape: Shape::Arrow { points: points.clone() },
+            style: Style { fill: None, ..Style::default() },
+            label: None,
+        });
+        if let Some(text) = &edge.label {
+            let mid = points[points.len() / 2 - 1];
+            scene.push(Primitive {
+                id: format!("edge#{i}/label"),
+                shape: Shape::Text {
+                    at: gmdf_render::Point::new(
+                        (mid.x + points[points.len() / 2].x) / 2.0,
+                        (mid.y + points[points.len() / 2].y) / 2.0 - 4.0,
+                    ),
+                    size: 10.0,
+                },
+                style: Style { fill: None, ..Style::default() },
+                label: Some(text.clone()),
+            });
+        }
+    }
+    scene
+}
+
+/// Convenience: renders the model and serializes the frame as SVG.
+pub fn render_svg(gdm: &DebuggerModel, visual: &VisualState) -> String {
+    gmdf_render::to_svg(&render_gdm(gdm, visual))
+}
+
+/// Convenience: renders the model and serializes the frame as ASCII art.
+pub fn render_ascii(gdm: &DebuggerModel, visual: &VisualState) -> String {
+    gmdf_render::to_ascii(&render_gdm(gdm, visual))
+}
+
+/// `true` if `pattern` renders as a closed shape that can be highlighted.
+pub fn is_highlightable(pattern: GdmPattern) -> bool {
+    !matches!(pattern, GdmPattern::Label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GdmEdge, GdmElement};
+    use gmdf_render::Rect;
+
+    fn sample() -> DebuggerModel {
+        let mut m = DebuggerModel::new("demo");
+        m.elements.push(GdmElement {
+            path: "A".into(),
+            label: "A".into(),
+            metaclass: "Machine".into(),
+            pattern: GdmPattern::Rectangle,
+            parent: None,
+            bounds: Rect::new(0.0, 0.0, 400.0, 240.0),
+        });
+        for (i, s) in ["Idle", "Run"].iter().enumerate() {
+            m.elements.push(GdmElement {
+                path: format!("A/{s}"),
+                label: (*s).into(),
+                metaclass: "State".into(),
+                pattern: GdmPattern::Circle,
+                parent: Some(0),
+                bounds: Rect::new(30.0 + 180.0 * i as f64, 60.0, 110.0, 46.0),
+            });
+        }
+        m.edges.push(GdmEdge {
+            from: "A/Idle".into(),
+            to: "A/Run".into(),
+            label: Some("go".into()),
+            metaclass: "Transition".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn renders_elements_and_edges() {
+        let gdm = sample();
+        let scene = render_gdm(&gdm, &VisualState::new());
+        // 3 elements + 1 arrow + 1 edge label.
+        assert_eq!(scene.len(), 5);
+        assert!(scene.find("A/Idle").is_some());
+        assert!(scene.find("edge#0").is_some());
+    }
+
+    #[test]
+    fn highlight_changes_style() {
+        let gdm = sample();
+        let mut vis = VisualState::new();
+        vis.insert(
+            "A/Run".into(),
+            ElementVisual { highlighted: true, ..Default::default() },
+        );
+        vis.insert(
+            "A/Idle".into(),
+            ElementVisual { dimmed: true, ..Default::default() },
+        );
+        let scene = render_gdm(&gdm, &vis);
+        assert_eq!(scene.find("A/Run").unwrap().style, Style::highlighted());
+        assert_eq!(scene.find("A/Idle").unwrap().style, Style::dimmed());
+        assert_eq!(scene.find("A").unwrap().style, Style::default());
+    }
+
+    #[test]
+    fn value_text_and_pulses_in_label() {
+        let gdm = sample();
+        let mut vis = VisualState::new();
+        vis.insert(
+            "A/Run".into(),
+            ElementVisual {
+                value_text: Some("3.5".into()),
+                pulses: 2,
+                ..Default::default()
+            },
+        );
+        let scene = render_gdm(&gdm, &vis);
+        let label = scene.find("A/Run").unwrap().label.clone().unwrap();
+        assert_eq!(label, "Run = 3.5 (2x)");
+    }
+
+    #[test]
+    fn svg_and_ascii_backends_work() {
+        let gdm = sample();
+        let vis = VisualState::new();
+        let svg = render_svg(&gdm, &vis);
+        assert!(svg.contains("data-id=\"A/Run\""));
+        let art = render_ascii(&gdm, &vis);
+        assert!(art.contains("Idle"));
+    }
+
+    #[test]
+    fn dangling_edges_are_skipped() {
+        let mut gdm = sample();
+        gdm.edges.push(GdmEdge {
+            from: "ghost".into(),
+            to: "A".into(),
+            label: None,
+            metaclass: "Transition".into(),
+        });
+        let scene = render_gdm(&gdm, &VisualState::new());
+        assert_eq!(scene.len(), 5); // unchanged
+    }
+
+    #[test]
+    fn highlightable_patterns() {
+        assert!(is_highlightable(GdmPattern::Circle));
+        assert!(!is_highlightable(GdmPattern::Label));
+    }
+}

@@ -1,0 +1,497 @@
+//! Fluent construction of [`Metamodel`]s with eager validation.
+
+use crate::error::MetaError;
+use crate::meta::{is_valid_name, Attribute, Class, ClassId, EnumType, Metamodel, Reference};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Incrementally builds a [`Metamodel`].
+///
+/// Class declarations may reference classes that are declared later: forward
+/// references are recorded by name and resolved in [`build`](Self::build).
+///
+/// ```
+/// use gmdf_metamodel::{MetamodelBuilder, DataType};
+///
+/// # fn main() -> Result<(), gmdf_metamodel::MetaError> {
+/// let mut b = MetamodelBuilder::new("fsm");
+/// b.class("Machine")?.containment_many("states", "State")?;
+/// b.class("State")?.attribute("name", DataType::Str, true)?;
+/// let mm = b.build()?;
+/// assert_eq!(mm.classes().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MetamodelBuilder {
+    name: String,
+    classes: Vec<ProtoClass>,
+    class_names: HashMap<String, usize>,
+    enums: Vec<EnumType>,
+}
+
+#[derive(Debug)]
+struct ProtoClass {
+    name: String,
+    is_abstract: bool,
+    supertypes: Vec<String>,
+    attributes: Vec<Attribute>,
+    references: Vec<ProtoReference>,
+}
+
+#[derive(Debug)]
+struct ProtoReference {
+    name: String,
+    target: String,
+    containment: bool,
+    lower: u32,
+    upper: Option<u32>,
+}
+
+impl MetamodelBuilder {
+    /// Starts a new package named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid identifier; package names are almost
+    /// always literals, so this is a programming error rather than input.
+    pub fn new(name: &str) -> Self {
+        assert!(is_valid_name(name), "invalid package name `{name}`");
+        MetamodelBuilder {
+            name: name.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares (or re-opens) a class and returns a scoped builder for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidName`] for bad identifiers and
+    /// [`MetaError::DuplicateClass`] if the class was already declared.
+    pub fn class(&mut self, name: &str) -> Result<ClassBuilder<'_>, MetaError> {
+        if !is_valid_name(name) {
+            return Err(MetaError::InvalidName(name.to_owned()));
+        }
+        if self.class_names.contains_key(name) {
+            return Err(MetaError::DuplicateClass(name.to_owned()));
+        }
+        let idx = self.classes.len();
+        self.class_names.insert(name.to_owned(), idx);
+        self.classes.push(ProtoClass {
+            name: name.to_owned(),
+            is_abstract: false,
+            supertypes: Vec::new(),
+            attributes: Vec::new(),
+            references: Vec::new(),
+        });
+        Ok(ClassBuilder { owner: self, idx })
+    }
+
+    /// Declares an enumeration type with the given literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid names, duplicate enum names, duplicate
+    /// literals, or an empty literal list.
+    pub fn enumeration<I, S>(&mut self, name: &str, literals: I) -> Result<&mut Self, MetaError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        if !is_valid_name(name) {
+            return Err(MetaError::InvalidName(name.to_owned()));
+        }
+        if self.enums.iter().any(|e| e.name == name) {
+            return Err(MetaError::DuplicateEnum(name.to_owned()));
+        }
+        let mut lits: Vec<String> = Vec::new();
+        for l in literals {
+            let l = l.into();
+            if !is_valid_name(&l) {
+                return Err(MetaError::InvalidName(l));
+            }
+            if lits.contains(&l) {
+                return Err(MetaError::DuplicateLiteral {
+                    enumeration: name.to_owned(),
+                    literal: l,
+                });
+            }
+            lits.push(l);
+        }
+        if lits.is_empty() {
+            return Err(MetaError::EmptyEnum(name.to_owned()));
+        }
+        self.enums.push(EnumType {
+            name: name.to_owned(),
+            literals: lits,
+        });
+        Ok(self)
+    }
+
+    /// Resolves all forward references and produces the immutable metamodel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::UnknownClass`] for unresolved supertype or
+    /// reference targets, [`MetaError::UnknownEnum`] for attributes typed
+    /// with undeclared enums, and [`MetaError::InheritanceCycle`] if the
+    /// supertype graph is cyclic.
+    pub fn build(self) -> Result<Metamodel, MetaError> {
+        let resolve = |n: &str| -> Result<ClassId, MetaError> {
+            self.class_names
+                .get(n)
+                .map(|&i| ClassId(i as u32))
+                .ok_or_else(|| MetaError::UnknownClass(n.to_owned()))
+        };
+        let mut classes = Vec::with_capacity(self.classes.len());
+        for proto in &self.classes {
+            for attr in &proto.attributes {
+                check_enum_types(&attr.data_type, &self.enums)?;
+            }
+            let supertypes = proto
+                .supertypes
+                .iter()
+                .map(|s| resolve(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            let references = proto
+                .references
+                .iter()
+                .map(|r| {
+                    Ok(Reference {
+                        name: r.name.clone(),
+                        target: resolve(&r.target)?,
+                        containment: r.containment,
+                        lower: r.lower,
+                        upper: r.upper,
+                    })
+                })
+                .collect::<Result<Vec<_>, MetaError>>()?;
+            classes.push(Class {
+                name: proto.name.clone(),
+                is_abstract: proto.is_abstract,
+                supertypes,
+                own_attributes: proto.attributes.clone(),
+                own_references: references,
+            });
+        }
+        detect_cycles(&classes)?;
+        Ok(Metamodel::from_parts(self.name, classes, self.enums))
+    }
+}
+
+fn check_enum_types(ty: &DataType, enums: &[EnumType]) -> Result<(), MetaError> {
+    match ty {
+        DataType::Enum(name) => {
+            if enums.iter().any(|e| &e.name == name) {
+                Ok(())
+            } else {
+                Err(MetaError::UnknownEnum(name.clone()))
+            }
+        }
+        DataType::List(inner) => check_enum_types(inner, enums),
+        _ => Ok(()),
+    }
+}
+
+fn detect_cycles(classes: &[Class]) -> Result<(), MetaError> {
+    // Colors: 0 = white, 1 = grey (on stack), 2 = black (done).
+    fn visit(classes: &[Class], i: usize, color: &mut [u8]) -> Result<(), MetaError> {
+        match color[i] {
+            1 => return Err(MetaError::InheritanceCycle {
+                class: classes[i].name.clone(),
+            }),
+            2 => return Ok(()),
+            _ => {}
+        }
+        color[i] = 1;
+        for sup in &classes[i].supertypes {
+            visit(classes, sup.index(), color)?;
+        }
+        color[i] = 2;
+        Ok(())
+    }
+    let mut color = vec![0u8; classes.len()];
+    for i in 0..classes.len() {
+        visit(classes, i, &mut color)?;
+    }
+    Ok(())
+}
+
+/// Scoped builder for a single class; returned by
+/// [`MetamodelBuilder::class`].
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    owner: &'a mut MetamodelBuilder,
+    idx: usize,
+}
+
+impl ClassBuilder<'_> {
+    fn proto(&mut self) -> &mut ProtoClass {
+        &mut self.owner.classes[self.idx]
+    }
+
+    /// Marks the class abstract (not directly instantiable).
+    pub fn set_abstract(&mut self, is_abstract: bool) -> &mut Self {
+        self.proto().is_abstract = is_abstract;
+        self
+    }
+
+    /// Adds a supertype by name (may be declared later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::InvalidName`] for bad identifiers.
+    pub fn supertype(&mut self, name: &str) -> Result<&mut Self, MetaError> {
+        if !is_valid_name(name) {
+            return Err(MetaError::InvalidName(name.to_owned()));
+        }
+        let p = self.proto();
+        if !p.supertypes.iter().any(|s| s == name) {
+            p.supertypes.push(name.to_owned());
+        }
+        Ok(self)
+    }
+
+    fn check_feature_name(&mut self, name: &str) -> Result<(), MetaError> {
+        if !is_valid_name(name) {
+            return Err(MetaError::InvalidName(name.to_owned()));
+        }
+        let p = &self.owner.classes[self.idx];
+        let dup = p.attributes.iter().any(|a| a.name == name)
+            || p.references.iter().any(|r| r.name == name);
+        if dup {
+            return Err(MetaError::DuplicateFeature {
+                class: p.name.clone(),
+                feature: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Declares an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for bad or duplicate feature names.
+    pub fn attribute(
+        &mut self,
+        name: &str,
+        data_type: DataType,
+        required: bool,
+    ) -> Result<&mut Self, MetaError> {
+        self.check_feature_name(name)?;
+        self.proto().attributes.push(Attribute {
+            name: name.to_owned(),
+            data_type,
+            required,
+            default: None,
+        });
+        Ok(self)
+    }
+
+    /// Declares an attribute with a default value (implies not required).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for bad/duplicate names, or if `default` does not
+    /// conform to `data_type`.
+    pub fn attribute_with_default(
+        &mut self,
+        name: &str,
+        data_type: DataType,
+        default: Value,
+    ) -> Result<&mut Self, MetaError> {
+        self.check_feature_name(name)?;
+        if !default.conforms_to(&data_type) {
+            return Err(MetaError::InvalidName(format!(
+                "default for `{name}` does not conform to {data_type}"
+            )));
+        }
+        self.proto().attributes.push(Attribute {
+            name: name.to_owned(),
+            data_type,
+            required: false,
+            default: Some(default),
+        });
+        Ok(self)
+    }
+
+    /// Declares a reference with explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for bad/duplicate names or `lower > upper`.
+    pub fn reference(
+        &mut self,
+        name: &str,
+        target: &str,
+        containment: bool,
+        lower: u32,
+        upper: Option<u32>,
+    ) -> Result<&mut Self, MetaError> {
+        self.check_feature_name(name)?;
+        if !is_valid_name(target) {
+            return Err(MetaError::InvalidName(target.to_owned()));
+        }
+        if let Some(u) = upper {
+            if lower > u {
+                return Err(MetaError::InvalidBounds {
+                    reference: name.to_owned(),
+                    lower,
+                    upper: u,
+                });
+            }
+        }
+        self.proto().references.push(ProtoReference {
+            name: name.to_owned(),
+            target: target.to_owned(),
+            containment,
+            lower,
+            upper,
+        });
+        Ok(self)
+    }
+
+    /// Shorthand: unbounded containment reference (`0..*`, owned children).
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`reference`](Self::reference).
+    pub fn containment_many(&mut self, name: &str, target: &str) -> Result<&mut Self, MetaError> {
+        self.reference(name, target, true, 0, None)
+    }
+
+    /// Shorthand: optional single cross-reference (`0..1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`reference`](Self::reference).
+    pub fn cross_optional(&mut self, name: &str, target: &str) -> Result<&mut Self, MetaError> {
+        self.reference(name, target, false, 0, Some(1))
+    }
+
+    /// Shorthand: required single cross-reference (`1..1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`reference`](Self::reference).
+    pub fn cross_required(&mut self, name: &str, target: &str) -> Result<&mut Self, MetaError> {
+        self.reference(name, target, false, 1, Some(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A").unwrap().cross_optional("next", "B").unwrap();
+        b.class("B").unwrap();
+        let mm = b.build().unwrap();
+        let a = mm.class_by_name("A").unwrap();
+        let (_, r) = mm.reference(a, "next").unwrap();
+        assert_eq!(r.target, mm.class_by_name("B").unwrap());
+    }
+
+    #[test]
+    fn unresolved_target_errors() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A").unwrap().cross_optional("next", "Ghost").unwrap();
+        assert_eq!(b.build().unwrap_err(), MetaError::UnknownClass("Ghost".into()));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A").unwrap();
+        assert_eq!(b.class("A").unwrap_err(), MetaError::DuplicateClass("A".into()));
+    }
+
+    #[test]
+    fn duplicate_feature_rejected() {
+        let mut b = MetamodelBuilder::new("m");
+        let mut c = b.class("A").unwrap();
+        c.attribute("x", DataType::Int, false).unwrap();
+        let err = c.attribute("x", DataType::Bool, false).unwrap_err();
+        assert!(matches!(err, MetaError::DuplicateFeature { .. }));
+    }
+
+    #[test]
+    fn inheritance_cycle_detected() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A").unwrap().supertype("B").unwrap();
+        b.class("B").unwrap().supertype("A").unwrap();
+        assert!(matches!(b.build().unwrap_err(), MetaError::InheritanceCycle { .. }));
+    }
+
+    #[test]
+    fn self_inheritance_cycle_detected() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A").unwrap().supertype("A").unwrap();
+        assert!(matches!(b.build().unwrap_err(), MetaError::InheritanceCycle { .. }));
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let mut b = MetamodelBuilder::new("m");
+        let err = b
+            .class("A")
+            .unwrap()
+            .reference("r", "A", false, 5, Some(2))
+            .unwrap_err();
+        assert!(matches!(err, MetaError::InvalidBounds { .. }));
+    }
+
+    #[test]
+    fn enum_attribute_requires_declared_enum() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A")
+            .unwrap()
+            .attribute("c", DataType::Enum("Color".into()), true)
+            .unwrap();
+        assert_eq!(b.build().unwrap_err(), MetaError::UnknownEnum("Color".into()));
+
+        let mut b = MetamodelBuilder::new("m");
+        b.enumeration("Color", ["Red"]).unwrap();
+        b.class("A")
+            .unwrap()
+            .attribute("c", DataType::Enum("Color".into()), true)
+            .unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn list_of_enum_checked() {
+        let mut b = MetamodelBuilder::new("m");
+        b.class("A")
+            .unwrap()
+            .attribute(
+                "cs",
+                DataType::List(Box::new(DataType::Enum("Color".into()))),
+                false,
+            )
+            .unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn default_must_conform() {
+        let mut b = MetamodelBuilder::new("m");
+        let err = b
+            .class("A")
+            .unwrap()
+            .attribute_with_default("x", DataType::Int, Value::Bool(true))
+            .unwrap_err();
+        assert!(matches!(err, MetaError::InvalidName(_)));
+    }
+
+    #[test]
+    fn empty_enum_rejected() {
+        let mut b = MetamodelBuilder::new("m");
+        let err = b.enumeration("E", Vec::<String>::new()).unwrap_err();
+        assert_eq!(err, MetaError::EmptyEnum("E".into()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Error types for metamodel and model operations.
+
+use std::fmt;
+
+/// Error raised while constructing or mutating a metamodel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// A package, class, attribute, reference or enum name is not a valid
+    /// identifier (empty, or contains characters outside `[A-Za-z0-9_.-]`).
+    InvalidName(String),
+    /// A class with this name already exists in the package.
+    DuplicateClass(String),
+    /// An attribute or reference with this name already exists on the class
+    /// (including inherited features).
+    DuplicateFeature {
+        /// Owning class name.
+        class: String,
+        /// Offending feature name.
+        feature: String,
+    },
+    /// An enum type with this name already exists.
+    DuplicateEnum(String),
+    /// An enum literal is repeated within one enum type.
+    DuplicateLiteral {
+        /// Owning enum name.
+        enumeration: String,
+        /// Offending literal.
+        literal: String,
+    },
+    /// A named class was not found in the package.
+    UnknownClass(String),
+    /// A named enum type was not found in the package.
+    UnknownEnum(String),
+    /// Adding this supertype edge would create an inheritance cycle.
+    InheritanceCycle {
+        /// A class on the cycle.
+        class: String,
+    },
+    /// A reference's lower bound exceeds its upper bound.
+    InvalidBounds {
+        /// Offending reference name.
+        reference: String,
+        /// Declared lower bound.
+        lower: u32,
+        /// Declared upper bound.
+        upper: u32,
+    },
+    /// An enum type has no literals.
+    EmptyEnum(String),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::InvalidName(n) => write!(f, "invalid identifier `{n}`"),
+            MetaError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            MetaError::DuplicateFeature { class, feature } => {
+                write!(f, "duplicate feature `{feature}` on class `{class}`")
+            }
+            MetaError::DuplicateEnum(n) => write!(f, "duplicate enum type `{n}`"),
+            MetaError::DuplicateLiteral { enumeration, literal } => {
+                write!(f, "duplicate literal `{literal}` in enum `{enumeration}`")
+            }
+            MetaError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            MetaError::UnknownEnum(n) => write!(f, "unknown enum type `{n}`"),
+            MetaError::InheritanceCycle { class } => {
+                write!(f, "inheritance cycle through class `{class}`")
+            }
+            MetaError::InvalidBounds { reference, lower, upper } => {
+                write!(f, "reference `{reference}` has lower bound {lower} > upper bound {upper}")
+            }
+            MetaError::EmptyEnum(n) => write!(f, "enum type `{n}` has no literals"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Error raised while constructing, mutating or validating a model instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The referenced object id does not exist (or has been deleted).
+    UnknownObject(u32),
+    /// The named class does not exist in the model's metamodel.
+    UnknownClass(String),
+    /// The class is abstract and cannot be instantiated.
+    AbstractClass(String),
+    /// The named attribute does not exist on the object's class.
+    UnknownAttribute {
+        /// Object's class name.
+        class: String,
+        /// Requested attribute name.
+        attribute: String,
+    },
+    /// The named reference does not exist on the object's class.
+    UnknownReference {
+        /// Object's class name.
+        class: String,
+        /// Requested reference name.
+        reference: String,
+    },
+    /// A value's data type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Declared type.
+        expected: String,
+        /// Supplied value's type.
+        found: String,
+    },
+    /// The target object's class is not compatible with the reference's
+    /// declared target class.
+    TargetClassMismatch {
+        /// Reference name.
+        reference: String,
+        /// Declared target class.
+        expected: String,
+        /// Supplied target's class.
+        found: String,
+    },
+    /// Adding the link would exceed the reference's upper bound.
+    UpperBoundExceeded {
+        /// Reference name.
+        reference: String,
+        /// Declared upper bound.
+        upper: u32,
+    },
+    /// An object would be contained by two different parents.
+    AlreadyContained {
+        /// Offending object id.
+        object: u32,
+    },
+    /// A containment link would create a cycle.
+    ContainmentCycle {
+        /// Offending object id.
+        object: u32,
+    },
+    /// Deserialization failed.
+    Parse(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownObject(id) => write!(f, "unknown object #{id}"),
+            ModelError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            ModelError::AbstractClass(n) => write!(f, "class `{n}` is abstract"),
+            ModelError::UnknownAttribute { class, attribute } => {
+                write!(f, "class `{class}` has no attribute `{attribute}`")
+            }
+            ModelError::UnknownReference { class, reference } => {
+                write!(f, "class `{class}` has no reference `{reference}`")
+            }
+            ModelError::TypeMismatch { attribute, expected, found } => {
+                write!(f, "attribute `{attribute}` expects {expected}, found {found}")
+            }
+            ModelError::TargetClassMismatch { reference, expected, found } => {
+                write!(f, "reference `{reference}` expects target class `{expected}`, found `{found}`")
+            }
+            ModelError::UpperBoundExceeded { reference, upper } => {
+                write!(f, "reference `{reference}` upper bound {upper} exceeded")
+            }
+            ModelError::AlreadyContained { object } => {
+                write!(f, "object #{object} is already contained by another parent")
+            }
+            ModelError::ContainmentCycle { object } => {
+                write!(f, "containment cycle through object #{object}")
+            }
+            ModelError::Parse(msg) => write!(f, "model parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_error_display_is_lowercase_and_concise() {
+        let e = MetaError::DuplicateClass("State".into());
+        assert_eq!(e.to_string(), "duplicate class `State`");
+        let e = MetaError::InvalidBounds { reference: "r".into(), lower: 3, upper: 1 };
+        assert!(e.to_string().contains("lower bound 3"));
+    }
+
+    #[test]
+    fn model_error_display() {
+        let e = ModelError::TypeMismatch {
+            attribute: "speed".into(),
+            expected: "Real".into(),
+            found: "Bool".into(),
+        };
+        assert_eq!(e.to_string(), "attribute `speed` expects Real, found Bool");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetaError>();
+        assert_send_sync::<ModelError>();
+    }
+}

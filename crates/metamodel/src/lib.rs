@@ -1,0 +1,68 @@
+//! # gmdf-metamodel — MOF/EMF-style metamodeling substrate
+//!
+//! This crate is the reproduction of the Eclipse EMF layer the GMDF paper
+//! (Zeng, Guo, Angelov — DATE 2010) builds on: GMDF "could accept all types
+//! of system model that follow the MOF specification". It provides:
+//!
+//! * [`Metamodel`] — packages of classes, attributes, references and enums,
+//!   built with [`MetamodelBuilder`];
+//! * [`Model`] — object graphs conforming to a metamodel, with eager
+//!   type/bound/containment checking;
+//! * [`validate`](validate()) — whole-model conformance reports;
+//! * [`ElementPath`] — stable, serializable element addresses used by the
+//!   debugger's commands and bindings;
+//! * JSON persistence ([`model_to_json`] / [`model_from_json`], the XMI
+//!   analog) and a [`MetamodelRegistry`] for multi-metamodel sessions.
+//!
+//! ```
+//! use gmdf_metamodel::{MetamodelBuilder, Model, DataType, Value, ElementPath};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Define a tiny state-machine metamodel…
+//! let mut b = MetamodelBuilder::new("fsm");
+//! b.class("Machine")?
+//!     .attribute("name", DataType::Str, true)?
+//!     .containment_many("states", "State")?;
+//! b.class("State")?.attribute("name", DataType::Str, true)?;
+//! let mm = Arc::new(b.build()?);
+//!
+//! // …instantiate it…
+//! let mut model = Model::new(mm);
+//! let machine = model.create("Machine")?;
+//! model.set_attr(machine, "name", Value::from("Blinker"))?;
+//! let on = model.create("State")?;
+//! model.set_attr(on, "name", Value::from("On"))?;
+//! model.add_child(machine, "states", on)?;
+//!
+//! // …and address elements by path, as the debugger does.
+//! let path = ElementPath::of(&model, on).expect("live object");
+//! assert_eq!(path.to_string(), "Blinker/On");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod meta;
+mod model;
+mod path;
+mod registry;
+mod serialize;
+mod validate;
+mod value;
+
+pub use builder::{ClassBuilder, MetamodelBuilder};
+pub use error::{MetaError, ModelError};
+pub use meta::{
+    is_valid_name, AttrId, Attribute, Class, ClassId, EnumType, Metamodel, RefId, Reference,
+};
+pub use model::{Model, Object, ObjectId};
+pub use path::ElementPath;
+pub use registry::MetamodelRegistry;
+pub use serialize::{metamodel_from_json, metamodel_to_json, model_from_json, model_to_json};
+pub use validate::{validate, Diagnostic, Severity, ValidationReport};
+pub use value::{DataType, Value};

@@ -1,0 +1,423 @@
+//! The metamodel layer: packages of classes, attributes, references and
+//! enumerations — a pragmatic subset of MOF / Ecore.
+//!
+//! A [`Metamodel`] is immutable once built (use
+//! [`MetamodelBuilder`](crate::builder::MetamodelBuilder)); models hold
+//! compact ids ([`ClassId`], [`AttrId`], [`RefId`]) into it.
+
+use crate::error::MetaError;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a class within its [`Metamodel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassId(pub(crate) u32);
+
+/// Index of an attribute within its owning class (effective feature list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub(crate) u32);
+
+/// Index of a reference within its owning class (effective feature list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RefId(pub(crate) u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+impl fmt::Display for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ref#{}", self.0)
+    }
+}
+
+impl ClassId {
+    /// Raw index, useful for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// Raw index into the owning class's attribute list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RefId {
+    /// Raw index into the owning class's reference list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An attribute declaration: a named, typed, possibly-defaulted value slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Feature name, unique within the owning class hierarchy.
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+    /// `true` if every conforming object must carry a value.
+    pub required: bool,
+    /// Value used when an object is instantiated without an explicit one.
+    pub default: Option<Value>,
+}
+
+/// A reference declaration: a named, typed link slot to other objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reference {
+    /// Feature name, unique within the owning class hierarchy.
+    pub name: String,
+    /// Class (or superclass) that link targets must conform to.
+    pub target: ClassId,
+    /// `true` if targets are owned by the source (containment tree edge).
+    pub containment: bool,
+    /// Minimum number of targets for a valid model.
+    pub lower: u32,
+    /// Maximum number of targets, or `None` for unbounded (`*`).
+    pub upper: Option<u32>,
+}
+
+impl Reference {
+    /// `true` if more than one target is permitted.
+    pub fn is_many(&self) -> bool {
+        self.upper.is_none_or(|u| u > 1)
+    }
+}
+
+/// A class (metaclass) declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Class {
+    /// Class name, unique within the package.
+    pub name: String,
+    /// `true` if the class cannot be instantiated directly.
+    pub is_abstract: bool,
+    /// Direct supertypes (multiple inheritance is allowed, cycles are not).
+    pub supertypes: Vec<ClassId>,
+    /// Attributes declared *directly* on this class.
+    pub own_attributes: Vec<Attribute>,
+    /// References declared *directly* on this class.
+    pub own_references: Vec<Reference>,
+}
+
+/// An enumeration type: a closed set of named literals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnumType {
+    /// Enum name, unique within the package.
+    pub name: String,
+    /// Ordered literal names.
+    pub literals: Vec<String>,
+}
+
+impl EnumType {
+    /// Index of `literal`, if it belongs to this enum.
+    pub fn literal_index(&self, literal: &str) -> Option<usize> {
+        self.literals.iter().position(|l| l == literal)
+    }
+}
+
+/// Returns `true` if `name` is a legal identifier for metamodel elements:
+/// nonempty ASCII `[A-Za-z0-9_.-]`, not starting with a digit.
+pub fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        None => return false,
+        Some(c) if c.is_ascii_digit() => return false,
+        Some(c) if !(c.is_ascii_alphanumeric() || c == '_') => return false,
+        _ => {}
+    }
+    name.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+}
+
+/// An immutable package of classes and enum types — the MOF/Ecore analog.
+///
+/// Build one with [`MetamodelBuilder`](crate::builder::MetamodelBuilder):
+///
+/// ```
+/// use gmdf_metamodel::{MetamodelBuilder, DataType};
+///
+/// # fn main() -> Result<(), gmdf_metamodel::MetaError> {
+/// let mut b = MetamodelBuilder::new("fsm");
+/// b.class("State")?.attribute("name", DataType::Str, true)?;
+/// let mm = b.build()?;
+/// assert!(mm.class_by_name("State").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metamodel {
+    name: String,
+    classes: Vec<Class>,
+    enums: Vec<EnumType>,
+    #[serde(skip)]
+    class_index: HashMap<String, ClassId>,
+    #[serde(skip)]
+    enum_index: HashMap<String, usize>,
+}
+
+impl Metamodel {
+    pub(crate) fn from_parts(
+        name: String,
+        classes: Vec<Class>,
+        enums: Vec<EnumType>,
+    ) -> Self {
+        let mut mm = Metamodel {
+            name,
+            classes,
+            enums,
+            class_index: HashMap::new(),
+            enum_index: HashMap::new(),
+        };
+        mm.rebuild_indexes();
+        mm
+    }
+
+    /// Recomputes the name→id lookup tables (needed after deserialization).
+    pub(crate) fn rebuild_indexes(&mut self) {
+        self.class_index = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), ClassId(i as u32)))
+            .collect();
+        self.enum_index = self
+            .enums
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), i))
+            .collect();
+    }
+
+    /// Package name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All classes, in declaration order.
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// All enum types, in declaration order.
+    pub fn enums(&self) -> &[EnumType] {
+        &self.enums
+    }
+
+    /// Looks up a class id by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(name).copied()
+    }
+
+    /// Returns the class for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not originate from this metamodel.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Looks up an enum type by name.
+    pub fn enum_by_name(&self, name: &str) -> Option<&EnumType> {
+        self.enum_index.get(name).map(|&i| &self.enums[i])
+    }
+
+    /// Returns `true` if `sub` equals `sup` or transitively inherits from it.
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        self.class(sub)
+            .supertypes
+            .iter()
+            .any(|&s| self.is_subclass_of(s, sup))
+    }
+
+    /// All concrete classes conforming to `sup` (including itself if concrete).
+    pub fn concrete_subclasses(&self, sup: ClassId) -> Vec<ClassId> {
+        (0..self.classes.len() as u32)
+            .map(ClassId)
+            .filter(|&c| !self.class(c).is_abstract && self.is_subclass_of(c, sup))
+            .collect()
+    }
+
+    /// Effective attributes of `id`: inherited (depth-first over supertypes,
+    /// in declaration order) followed by own attributes.
+    pub fn effective_attributes(&self, id: ClassId) -> Vec<(AttrId, &Attribute)> {
+        let mut out = Vec::new();
+        self.collect_attrs(id, &mut out);
+        out.into_iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u32), a))
+            .collect()
+    }
+
+    fn collect_attrs<'a>(&'a self, id: ClassId, out: &mut Vec<&'a Attribute>) {
+        for &sup in &self.class(id).supertypes {
+            self.collect_attrs(sup, out);
+        }
+        for a in &self.class(id).own_attributes {
+            if !out.iter().any(|e| e.name == a.name) {
+                out.push(a);
+            }
+        }
+    }
+
+    /// Effective references of `id`, ordered like
+    /// [`effective_attributes`](Self::effective_attributes).
+    pub fn effective_references(&self, id: ClassId) -> Vec<(RefId, &Reference)> {
+        let mut out = Vec::new();
+        self.collect_refs(id, &mut out);
+        out.into_iter()
+            .enumerate()
+            .map(|(i, r)| (RefId(i as u32), r))
+            .collect()
+    }
+
+    fn collect_refs<'a>(&'a self, id: ClassId, out: &mut Vec<&'a Reference>) {
+        for &sup in &self.class(id).supertypes {
+            self.collect_refs(sup, out);
+        }
+        for r in &self.class(id).own_references {
+            if !out.iter().any(|e| e.name == r.name) {
+                out.push(r);
+            }
+        }
+    }
+
+    /// Finds an effective attribute of `class` by name.
+    pub fn attribute(&self, class: ClassId, name: &str) -> Option<(AttrId, Attribute)> {
+        self.effective_attributes(class)
+            .into_iter()
+            .find(|(_, a)| a.name == name)
+            .map(|(id, a)| (id, a.clone()))
+    }
+
+    /// Finds an effective reference of `class` by name.
+    pub fn reference(&self, class: ClassId, name: &str) -> Option<(RefId, Reference)> {
+        self.effective_references(class)
+            .into_iter()
+            .find(|(_, r)| r.name == name)
+            .map(|(id, r)| (id, r.clone()))
+    }
+
+    /// Validates a value against an enum declared in this package.
+    pub fn check_enum_literal(&self, enum_name: &str, literal: &str) -> Result<(), MetaError> {
+        let e = self
+            .enum_by_name(enum_name)
+            .ok_or_else(|| MetaError::UnknownEnum(enum_name.to_owned()))?;
+        if e.literal_index(literal).is_some() {
+            Ok(())
+        } else {
+            Err(MetaError::DuplicateLiteral {
+                enumeration: enum_name.to_owned(),
+                literal: literal.to_owned(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MetamodelBuilder;
+
+    fn sample() -> Metamodel {
+        let mut b = MetamodelBuilder::new("sample");
+        b.enumeration("Color", ["Red", "Green", "Blue"]).unwrap();
+        b.class("Named")
+            .unwrap()
+            .set_abstract(true)
+            .attribute("name", DataType::Str, true)
+            .unwrap();
+        b.class("State")
+            .unwrap()
+            .supertype("Named")
+            .unwrap()
+            .attribute("initial", DataType::Bool, false)
+            .unwrap();
+        b.class("Machine")
+            .unwrap()
+            .supertype("Named")
+            .unwrap()
+            .containment_many("states", "State")
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("State"));
+        assert!(is_valid_name("a_b-c.d"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1abc"));
+        assert!(!is_valid_name("-abc"));
+        assert!(!is_valid_name("a b"));
+    }
+
+    #[test]
+    fn class_lookup_and_inheritance() {
+        let mm = sample();
+        let named = mm.class_by_name("Named").unwrap();
+        let state = mm.class_by_name("State").unwrap();
+        let machine = mm.class_by_name("Machine").unwrap();
+        assert!(mm.is_subclass_of(state, named));
+        assert!(mm.is_subclass_of(machine, named));
+        assert!(!mm.is_subclass_of(named, state));
+        assert!(mm.is_subclass_of(state, state));
+    }
+
+    #[test]
+    fn effective_attributes_include_inherited_first() {
+        let mm = sample();
+        let state = mm.class_by_name("State").unwrap();
+        let attrs = mm.effective_attributes(state);
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].1.name, "name"); // inherited from Named
+        assert_eq!(attrs[1].1.name, "initial");
+        assert_eq!(attrs[0].0, AttrId(0));
+    }
+
+    #[test]
+    fn concrete_subclasses_skip_abstract() {
+        let mm = sample();
+        let named = mm.class_by_name("Named").unwrap();
+        let subs = mm.concrete_subclasses(named);
+        let names: Vec<_> = subs.iter().map(|&c| mm.class(c).name.as_str()).collect();
+        assert_eq!(names, ["State", "Machine"]);
+    }
+
+    #[test]
+    fn reference_lookup() {
+        let mm = sample();
+        let machine = mm.class_by_name("Machine").unwrap();
+        let (rid, r) = mm.reference(machine, "states").unwrap();
+        assert_eq!(rid, RefId(0));
+        assert!(r.containment);
+        assert!(r.is_many());
+        assert_eq!(r.target, mm.class_by_name("State").unwrap());
+    }
+
+    #[test]
+    fn enum_literal_lookup() {
+        let mm = sample();
+        let color = mm.enum_by_name("Color").unwrap();
+        assert_eq!(color.literal_index("Green"), Some(1));
+        assert_eq!(color.literal_index("Magenta"), None);
+        assert!(mm.check_enum_literal("Color", "Red").is_ok());
+        assert!(mm.check_enum_literal("Hue", "Red").is_err());
+    }
+}

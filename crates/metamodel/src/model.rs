@@ -1,0 +1,674 @@
+//! The model instance layer: objects conforming to a [`Metamodel`].
+//!
+//! A [`Model`] is a slot-map of [`Object`]s plus the containment forest the
+//! metamodel's containment references induce. Mutations are checked eagerly
+//! (types, bounds, containment uniqueness and acyclicity); whole-model
+//! conformance is re-checked by [`crate::validate`].
+
+use crate::error::ModelError;
+use crate::meta::{AttrId, ClassId, Metamodel, RefId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable handle to an object within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub(crate) u32);
+
+impl ObjectId {
+    /// Raw index (also the serialized form).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from its raw index; only meaningful for ids that came
+    /// from the same model.
+    pub fn from_index(i: usize) -> Self {
+        ObjectId(i as u32)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// One model object: a class instance with attribute and reference slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    class: ClassId,
+    attrs: Vec<Option<Value>>,
+    refs: Vec<Vec<ObjectId>>,
+    container: Option<(ObjectId, RefId)>,
+}
+
+impl Object {
+    /// The object's metaclass.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The containing parent and the containment reference holding this
+    /// object, if any.
+    pub fn container(&self) -> Option<(ObjectId, RefId)> {
+        self.container
+    }
+
+    /// Raw attribute slot (by effective attribute id).
+    pub fn attr(&self, id: AttrId) -> Option<&Value> {
+        self.attrs.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Raw reference slot (by effective reference id).
+    pub fn targets(&self, id: RefId) -> &[ObjectId] {
+        self.refs.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A model: a set of objects conforming to a shared [`Metamodel`].
+///
+/// ```
+/// use gmdf_metamodel::{MetamodelBuilder, DataType, Model, Value};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = MetamodelBuilder::new("fsm");
+/// b.class("Machine")?.containment_many("states", "State")?;
+/// b.class("State")?.attribute("name", DataType::Str, true)?;
+/// let mm = Arc::new(b.build()?);
+///
+/// let mut model = Model::new(mm.clone());
+/// let machine = model.create("Machine")?;
+/// let idle = model.create("State")?;
+/// model.set_attr(idle, "name", Value::from("Idle"))?;
+/// model.add_child(machine, "states", idle)?;
+/// assert_eq!(model.children(machine).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    metamodel: Arc<Metamodel>,
+    objects: Vec<Option<Object>>,
+}
+
+impl Model {
+    /// Creates an empty model over `metamodel`.
+    pub fn new(metamodel: Arc<Metamodel>) -> Self {
+        Model {
+            metamodel,
+            objects: Vec::new(),
+        }
+    }
+
+    /// The metamodel this model conforms to.
+    pub fn metamodel(&self) -> &Arc<Metamodel> {
+        &self.metamodel
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// `true` if the model holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instantiates a concrete class by name, filling attribute defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownClass`] or [`ModelError::AbstractClass`].
+    pub fn create(&mut self, class_name: &str) -> Result<ObjectId, ModelError> {
+        let class = self
+            .metamodel
+            .class_by_name(class_name)
+            .ok_or_else(|| ModelError::UnknownClass(class_name.to_owned()))?;
+        self.create_by_id(class)
+    }
+
+    /// Instantiates a concrete class by id, filling attribute defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::AbstractClass`] for abstract classes.
+    pub fn create_by_id(&mut self, class: ClassId) -> Result<ObjectId, ModelError> {
+        let c = self.metamodel.class(class);
+        if c.is_abstract {
+            return Err(ModelError::AbstractClass(c.name.clone()));
+        }
+        let attrs = self
+            .metamodel
+            .effective_attributes(class)
+            .into_iter()
+            .map(|(_, a)| a.default.clone())
+            .collect();
+        let refs = vec![Vec::new(); self.metamodel.effective_references(class).len()];
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(Some(Object {
+            class,
+            attrs,
+            refs,
+            container: None,
+        }));
+        Ok(id)
+    }
+
+    /// Looks up a live object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownObject`] for deleted or foreign ids.
+    pub fn object(&self, id: ObjectId) -> Result<&Object, ModelError> {
+        self.objects
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(ModelError::UnknownObject(id.0))
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Result<&mut Object, ModelError> {
+        self.objects
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(ModelError::UnknownObject(id.0))
+    }
+
+    /// `true` if `id` names a live object.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.get(id.index()).is_some_and(Option::is_some)
+    }
+
+    /// Iterates over `(id, object)` for all live objects, in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Object)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|o| (ObjectId(i as u32), o)))
+    }
+
+    /// All live objects whose class conforms to `class_name`.
+    pub fn objects_of_class(&self, class_name: &str) -> Vec<ObjectId> {
+        match self.metamodel.class_by_name(class_name) {
+            Some(sup) => self
+                .iter()
+                .filter(|(_, o)| self.metamodel.is_subclass_of(o.class(), sup))
+                .map(|(id, _)| id)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Objects with no container — the containment forest's roots.
+    pub fn roots(&self) -> Vec<ObjectId> {
+        self.iter()
+            .filter(|(_, o)| o.container().is_none())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Sets an attribute by name, checking the declared type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownAttribute`] or
+    /// [`ModelError::TypeMismatch`].
+    pub fn set_attr(
+        &mut self,
+        id: ObjectId,
+        attr: &str,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        let class = self.object(id)?.class();
+        let class_name = self.metamodel.class(class).name.clone();
+        let (aid, decl) = self.metamodel.attribute(class, attr).ok_or_else(|| {
+            ModelError::UnknownAttribute {
+                class: class_name.clone(),
+                attribute: attr.to_owned(),
+            }
+        })?;
+        if !value.conforms_to(&decl.data_type) {
+            return Err(ModelError::TypeMismatch {
+                attribute: attr.to_owned(),
+                expected: decl.data_type.to_string(),
+                found: value.data_type().to_string(),
+            });
+        }
+        self.object_mut(id)?.attrs[aid.index()] = Some(value);
+        Ok(())
+    }
+
+    /// Reads an attribute by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownAttribute`] for undeclared names; an
+    /// unset optional attribute reads as `Ok(None)`.
+    pub fn attr(&self, id: ObjectId, attr: &str) -> Result<Option<&Value>, ModelError> {
+        let obj = self.object(id)?;
+        let class_name = self.metamodel.class(obj.class()).name.clone();
+        let (aid, _) = self.metamodel.attribute(obj.class(), attr).ok_or(
+            ModelError::UnknownAttribute {
+                class: class_name,
+                attribute: attr.to_owned(),
+            },
+        )?;
+        Ok(obj.attr(aid))
+    }
+
+    /// Convenience: reads a required string attribute named `name`.
+    pub fn name_of(&self, id: ObjectId) -> Option<&str> {
+        self.attr(id, "name").ok().flatten().and_then(Value::as_str)
+    }
+
+    /// Class name of a live object, or `"?"` for deleted ids.
+    pub fn class_name_of(&self, id: ObjectId) -> &str {
+        match self.object(id) {
+            Ok(o) => &self.metamodel.class(o.class()).name,
+            Err(_) => "?",
+        }
+    }
+
+    fn resolve_ref(
+        &self,
+        id: ObjectId,
+        reference: &str,
+    ) -> Result<(RefId, crate::meta::Reference), ModelError> {
+        let class = self.object(id)?.class();
+        let class_name = self.metamodel.class(class).name.clone();
+        self.metamodel
+            .reference(class, reference)
+            .ok_or(ModelError::UnknownReference {
+                class: class_name,
+                reference: reference.to_owned(),
+            })
+    }
+
+    fn check_target(
+        &self,
+        decl: &crate::meta::Reference,
+        target: ObjectId,
+    ) -> Result<(), ModelError> {
+        let t = self.object(target)?;
+        if !self.metamodel.is_subclass_of(t.class(), decl.target) {
+            return Err(ModelError::TargetClassMismatch {
+                reference: decl.name.clone(),
+                expected: self.metamodel.class(decl.target).name.clone(),
+                found: self.metamodel.class(t.class()).name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends `target` to a cross (non-containment) reference.
+    ///
+    /// # Errors
+    ///
+    /// Checks name, target class, and upper bound. Containment references
+    /// must use [`add_child`](Self::add_child).
+    pub fn add_ref(
+        &mut self,
+        id: ObjectId,
+        reference: &str,
+        target: ObjectId,
+    ) -> Result<(), ModelError> {
+        let (rid, decl) = self.resolve_ref(id, reference)?;
+        if decl.containment {
+            return self.add_child(id, reference, target);
+        }
+        self.check_target(&decl, target)?;
+        let slot = &mut self.object_mut(id)?.refs[rid.index()];
+        if let Some(u) = decl.upper {
+            if slot.len() as u32 >= u {
+                return Err(ModelError::UpperBoundExceeded {
+                    reference: reference.to_owned(),
+                    upper: u,
+                });
+            }
+        }
+        slot.push(target);
+        Ok(())
+    }
+
+    /// Sets a single-valued reference, replacing any existing target.
+    ///
+    /// # Errors
+    ///
+    /// Same checks as [`add_ref`](Self::add_ref).
+    pub fn set_ref(
+        &mut self,
+        id: ObjectId,
+        reference: &str,
+        target: ObjectId,
+    ) -> Result<(), ModelError> {
+        let (rid, decl) = self.resolve_ref(id, reference)?;
+        if decl.containment {
+            // Detach previous children, then attach the new one.
+            let old: Vec<ObjectId> = self.object(id)?.targets(rid).to_vec();
+            for o in old {
+                self.detach(o)?;
+            }
+            return self.add_child(id, reference, target);
+        }
+        self.check_target(&decl, target)?;
+        let slot = &mut self.object_mut(id)?.refs[rid.index()];
+        slot.clear();
+        slot.push(target);
+        Ok(())
+    }
+
+    /// Adds `child` under `parent` via a containment reference.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`add_ref`](Self::add_ref) checks, fails if `child`
+    /// already has a container ([`ModelError::AlreadyContained`]) or if the
+    /// edge would close a containment cycle
+    /// ([`ModelError::ContainmentCycle`]).
+    pub fn add_child(
+        &mut self,
+        parent: ObjectId,
+        reference: &str,
+        child: ObjectId,
+    ) -> Result<(), ModelError> {
+        let (rid, decl) = self.resolve_ref(parent, reference)?;
+        self.check_target(&decl, child)?;
+        if self.object(child)?.container().is_some() {
+            return Err(ModelError::AlreadyContained { object: child.0 });
+        }
+        // Walk up from parent; hitting child means a cycle.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            if c == child {
+                return Err(ModelError::ContainmentCycle { object: child.0 });
+            }
+            cur = self.object(c)?.container().map(|(p, _)| p);
+        }
+        if let Some(u) = decl.upper {
+            if self.object(parent)?.targets(rid).len() as u32 >= u {
+                return Err(ModelError::UpperBoundExceeded {
+                    reference: reference.to_owned(),
+                    upper: u,
+                });
+            }
+        }
+        self.object_mut(parent)?.refs[rid.index()].push(child);
+        self.object_mut(child)?.container = Some((parent, rid));
+        Ok(())
+    }
+
+    /// Removes `child` from its container (it becomes a root).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownObject`] for dead ids; detaching a root
+    /// is a no-op.
+    pub fn detach(&mut self, child: ObjectId) -> Result<(), ModelError> {
+        let Some((parent, rid)) = self.object(child)?.container() else {
+            return Ok(());
+        };
+        self.object_mut(parent)?.refs[rid.index()].retain(|&c| c != child);
+        self.object_mut(child)?.container = None;
+        Ok(())
+    }
+
+    /// Reads the targets of a reference by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownReference`] for undeclared names.
+    pub fn refs(&self, id: ObjectId, reference: &str) -> Result<Vec<ObjectId>, ModelError> {
+        let (rid, _) = self.resolve_ref(id, reference)?;
+        Ok(self.object(id)?.targets(rid).to_vec())
+    }
+
+    /// Single target of a reference, if present.
+    pub fn ref_one(&self, id: ObjectId, reference: &str) -> Result<Option<ObjectId>, ModelError> {
+        Ok(self.refs(id, reference)?.first().copied())
+    }
+
+    /// Iterates the direct containment children of `id`, across all
+    /// containment references, in slot order.
+    pub fn children(&self, id: ObjectId) -> impl Iterator<Item = ObjectId> + '_ {
+        let obj = self.object(id).ok();
+        let refs = obj
+            .map(|o| {
+                self.metamodel
+                    .effective_references(o.class())
+                    .into_iter()
+                    .filter(|(_, r)| r.containment)
+                    .flat_map(|(rid, _)| o.targets(rid).to_vec())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        refs.into_iter()
+    }
+
+    /// Depth-first pre-order traversal of `id`'s containment subtree
+    /// (including `id` itself).
+    pub fn descendants(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if !self.contains(cur) {
+                continue;
+            }
+            out.push(cur);
+            let kids: Vec<_> = self.children(cur).collect();
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    /// Deletes `id` and its entire containment subtree; all cross-links to
+    /// deleted objects are removed from survivors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownObject`] if `id` is already dead.
+    pub fn delete(&mut self, id: ObjectId) -> Result<(), ModelError> {
+        self.detach(id)?;
+        let doomed = self.descendants(id);
+        for &d in &doomed {
+            self.objects[d.index()] = None;
+        }
+        for slot in self.objects.iter_mut().flatten() {
+            for targets in &mut slot.refs {
+                targets.retain(|t| !doomed.contains(t));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MetamodelBuilder;
+    use crate::value::DataType;
+
+    fn fsm_metamodel() -> Arc<Metamodel> {
+        let mut b = MetamodelBuilder::new("fsm");
+        b.class("Machine")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .containment_many("states", "State")
+            .unwrap()
+            .containment_many("transitions", "Transition")
+            .unwrap();
+        b.class("State")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .attribute_with_default("initial", DataType::Bool, Value::Bool(false))
+            .unwrap();
+        b.class("Transition")
+            .unwrap()
+            .cross_required("source", "State")
+            .unwrap()
+            .cross_required("target", "State")
+            .unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn small_machine() -> (Model, ObjectId, ObjectId, ObjectId) {
+        let mut m = Model::new(fsm_metamodel());
+        let mach = m.create("Machine").unwrap();
+        m.set_attr(mach, "name", "M".into()).unwrap();
+        let s0 = m.create("State").unwrap();
+        m.set_attr(s0, "name", "Idle".into()).unwrap();
+        m.set_attr(s0, "initial", true.into()).unwrap();
+        let s1 = m.create("State").unwrap();
+        m.set_attr(s1, "name", "Run".into()).unwrap();
+        m.add_child(mach, "states", s0).unwrap();
+        m.add_child(mach, "states", s1).unwrap();
+        (m, mach, s0, s1)
+    }
+
+    #[test]
+    fn create_sets_defaults() {
+        let mut m = Model::new(fsm_metamodel());
+        let s = m.create("State").unwrap();
+        assert_eq!(m.attr(s, "initial").unwrap(), Some(&Value::Bool(false)));
+        assert_eq!(m.attr(s, "name").unwrap(), None);
+    }
+
+    #[test]
+    fn attr_type_checked() {
+        let mut m = Model::new(fsm_metamodel());
+        let s = m.create("State").unwrap();
+        let err = m.set_attr(s, "name", Value::Int(3)).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        let err = m.set_attr(s, "ghost", Value::Int(3)).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn containment_tracks_parent() {
+        let (m, mach, s0, _) = small_machine();
+        assert_eq!(m.object(s0).unwrap().container().map(|(p, _)| p), Some(mach));
+        assert_eq!(m.roots(), vec![mach]);
+        let kids: Vec<_> = m.children(mach).collect();
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn double_containment_rejected() {
+        let (mut m, mach, s0, _) = small_machine();
+        let err = m.add_child(mach, "states", s0).unwrap_err();
+        assert!(matches!(err, ModelError::AlreadyContained { .. }));
+    }
+
+    #[test]
+    fn containment_cycle_rejected() {
+        let mut b = MetamodelBuilder::new("t");
+        b.class("Node")
+            .unwrap()
+            .containment_many("kids", "Node")
+            .unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut m = Model::new(mm);
+        let a = m.create("Node").unwrap();
+        let c = m.create("Node").unwrap();
+        m.add_child(a, "kids", c).unwrap();
+        let err = m.add_child(c, "kids", a).unwrap_err();
+        assert!(matches!(err, ModelError::ContainmentCycle { .. }));
+        let err = m.add_child(a, "kids", a).unwrap_err();
+        assert!(matches!(err, ModelError::ContainmentCycle { .. }));
+    }
+
+    #[test]
+    fn cross_reference_bounds() {
+        let (mut m, mach, s0, s1) = small_machine();
+        let t = m.create("Transition").unwrap();
+        m.add_child(mach, "transitions", t).unwrap();
+        m.add_ref(t, "source", s0).unwrap();
+        let err = m.add_ref(t, "source", s1).unwrap_err();
+        assert!(matches!(err, ModelError::UpperBoundExceeded { .. }));
+        m.set_ref(t, "source", s1).unwrap(); // replace is fine
+        assert_eq!(m.ref_one(t, "source").unwrap(), Some(s1));
+    }
+
+    #[test]
+    fn target_class_checked() {
+        let (mut m, mach, s0, _) = small_machine();
+        let t = m.create("Transition").unwrap();
+        let err = m.add_ref(t, "source", mach).unwrap_err();
+        assert!(matches!(err, ModelError::TargetClassMismatch { .. }));
+        m.add_ref(t, "source", s0).unwrap();
+    }
+
+    #[test]
+    fn delete_cascades_and_cleans_links() {
+        let (mut m, mach, s0, s1) = small_machine();
+        let t = m.create("Transition").unwrap();
+        m.add_child(mach, "transitions", t).unwrap();
+        m.add_ref(t, "source", s0).unwrap();
+        m.add_ref(t, "target", s1).unwrap();
+        assert_eq!(m.len(), 4);
+        m.delete(mach).unwrap();
+        assert_eq!(m.len(), 0);
+        assert!(!m.contains(s0));
+        assert!(m.object(t).is_err());
+    }
+
+    #[test]
+    fn delete_subtree_only() {
+        let (mut m, mach, s0, s1) = small_machine();
+        let t = m.create("Transition").unwrap();
+        m.add_child(mach, "transitions", t).unwrap();
+        m.add_ref(t, "source", s0).unwrap();
+        m.add_ref(t, "target", s1).unwrap();
+        m.delete(s0).unwrap();
+        assert!(m.contains(mach));
+        assert!(m.contains(s1));
+        // dangling link to s0 removed from t
+        assert_eq!(m.refs(t, "source").unwrap(), vec![]);
+        assert_eq!(m.refs(t, "target").unwrap(), vec![s1]);
+        assert_eq!(m.children(mach).count(), 2); // s1 + t
+    }
+
+    #[test]
+    fn abstract_class_not_instantiable() {
+        let mut b = MetamodelBuilder::new("t");
+        b.class("A").unwrap().set_abstract(true);
+        let mm = Arc::new(b.build().unwrap());
+        let mut m = Model::new(mm);
+        assert!(matches!(m.create("A").unwrap_err(), ModelError::AbstractClass(_)));
+        assert!(matches!(m.create("Nope").unwrap_err(), ModelError::UnknownClass(_)));
+    }
+
+    #[test]
+    fn objects_of_class_respects_inheritance() {
+        let mut b = MetamodelBuilder::new("t");
+        b.class("Base").unwrap();
+        b.class("Derived").unwrap().supertype("Base").unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut m = Model::new(mm);
+        let d = m.create("Derived").unwrap();
+        let b_ = m.create("Base").unwrap();
+        assert_eq!(m.objects_of_class("Base"), vec![d, b_]);
+        assert_eq!(m.objects_of_class("Derived"), vec![d]);
+        assert!(m.objects_of_class("Ghost").is_empty());
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (m, mach, s0, s1) = small_machine();
+        assert_eq!(m.descendants(mach), vec![mach, s0, s1]);
+    }
+
+    #[test]
+    fn name_helpers() {
+        let (m, mach, s0, _) = small_machine();
+        assert_eq!(m.name_of(mach), Some("M"));
+        assert_eq!(m.name_of(s0), Some("Idle"));
+        assert_eq!(m.class_name_of(s0), "State");
+    }
+}

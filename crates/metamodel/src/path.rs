@@ -1,0 +1,190 @@
+//! Stable, human-readable paths addressing model elements.
+//!
+//! The debugger refers to model elements (states, blocks, actors) across
+//! process boundaries — in command frames, GDM bindings and traces — so it
+//! needs an id that survives serialization. An [`ElementPath`] is the chain
+//! of element names from a containment root, e.g. `"Heater/fsm/Standby"`.
+//! Unnamed objects fall back to `Class@id` segments.
+
+use crate::model::{Model, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Path of an element in a model's containment forest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementPath(Vec<String>);
+
+impl ElementPath {
+    /// Builds a path from raw segments.
+    pub fn from_segments<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ElementPath(segments.into_iter().map(Into::into).collect())
+    }
+
+    /// Computes the path of `id` by walking up its containment chain.
+    ///
+    /// Returns `None` for dead objects.
+    pub fn of(model: &Model, id: ObjectId) -> Option<Self> {
+        if !model.contains(id) {
+            return None;
+        }
+        let mut segments = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            segments.push(segment_of(model, c));
+            cur = model.object(c).ok()?.container().map(|(p, _)| p);
+        }
+        segments.reverse();
+        Some(ElementPath(segments))
+    }
+
+    /// Resolves the path in `model`, returning the element it names.
+    pub fn resolve(&self, model: &Model) -> Option<ObjectId> {
+        let mut candidates: Vec<ObjectId> = model.roots();
+        let mut resolved: Option<ObjectId> = None;
+        for seg in &self.0 {
+            let found = candidates
+                .iter()
+                .copied()
+                .find(|&c| segment_of(model, c) == *seg)?;
+            resolved = Some(found);
+            candidates = model.children(found).collect();
+        }
+        resolved
+    }
+
+    /// Path segments, outermost first.
+    pub fn segments(&self) -> &[String] {
+        &self.0
+    }
+
+    /// Final segment (the element's own name), if the path is nonempty.
+    pub fn leaf(&self) -> Option<&str> {
+        self.0.last().map(String::as_str)
+    }
+
+    /// `true` if `self` is a prefix of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &ElementPath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Returns a new path with `segment` appended.
+    pub fn child(&self, segment: &str) -> ElementPath {
+        let mut v = self.0.clone();
+        v.push(segment.to_owned());
+        ElementPath(v)
+    }
+}
+
+fn segment_of(model: &Model, id: ObjectId) -> String {
+    match model.name_of(id) {
+        Some(n) => n.to_owned(),
+        None => format!("{}@{}", model.class_name_of(id), id.index()),
+    }
+}
+
+impl fmt::Display for ElementPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("/"))
+    }
+}
+
+impl std::str::FromStr for ElementPath {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(ElementPath(
+            s.split('/').filter(|p| !p.is_empty()).map(str::to_owned).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MetamodelBuilder;
+    use crate::value::DataType;
+    use std::sync::Arc;
+
+    fn model() -> (Model, ObjectId, ObjectId, ObjectId) {
+        let mut b = MetamodelBuilder::new("t");
+        b.class("Actor")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .containment_many("blocks", "Block")
+            .unwrap();
+        b.class("Block")
+            .unwrap()
+            .attribute("name", DataType::Str, false)
+            .unwrap()
+            .containment_many("blocks", "Block")
+            .unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut m = Model::new(mm);
+        let actor = m.create("Actor").unwrap();
+        m.set_attr(actor, "name", "Heater".into()).unwrap();
+        let fsm = m.create("Block").unwrap();
+        m.set_attr(fsm, "name", "fsm".into()).unwrap();
+        let state = m.create("Block").unwrap();
+        m.set_attr(state, "name", "Standby".into()).unwrap();
+        m.add_child(actor, "blocks", fsm).unwrap();
+        m.add_child(fsm, "blocks", state).unwrap();
+        (m, actor, fsm, state)
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let (m, _, _, state) = model();
+        let p = ElementPath::of(&m, state).unwrap();
+        assert_eq!(p.to_string(), "Heater/fsm/Standby");
+        assert_eq!(p.resolve(&m), Some(state));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let p: ElementPath = "a/b/c".parse().unwrap();
+        assert_eq!(p.segments(), ["a", "b", "c"]);
+        assert_eq!(p.leaf(), Some("c"));
+        assert_eq!(p.to_string(), "a/b/c");
+        let empty: ElementPath = "".parse().unwrap();
+        assert_eq!(empty.segments().len(), 0);
+    }
+
+    #[test]
+    fn unnamed_objects_get_fallback_segments() {
+        let (mut m, actor, _, _) = model();
+        let anon = m.create("Block").unwrap();
+        m.add_child(actor, "blocks", anon).unwrap();
+        let p = ElementPath::of(&m, anon).unwrap();
+        assert!(p.to_string().starts_with("Heater/Block@"));
+        assert_eq!(p.resolve(&m), Some(anon));
+    }
+
+    #[test]
+    fn prefix_and_child() {
+        let a: ElementPath = "x/y".parse().unwrap();
+        let b = a.child("z");
+        assert_eq!(b.to_string(), "x/y/z");
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn resolve_missing_returns_none() {
+        let (m, ..) = model();
+        let p: ElementPath = "Heater/ghost".parse().unwrap();
+        assert_eq!(p.resolve(&m), None);
+    }
+
+    #[test]
+    fn path_of_dead_object_is_none() {
+        let (mut m, _, _, state) = model();
+        m.delete(state).unwrap();
+        assert_eq!(ElementPath::of(&m, state), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! A registry of metamodels keyed by package name.
+//!
+//! GMDF accepts "multi-type and multi-input models" (paper §II): a debug
+//! session may load models conforming to several metamodels at once. The
+//! registry is the lookup the framework's input stage uses to resolve a
+//! model document's `metamodel` field.
+
+use crate::error::ModelError;
+use crate::meta::Metamodel;
+use crate::model::Model;
+use crate::serialize::model_from_json;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared, name-keyed collection of metamodels.
+#[derive(Debug, Clone, Default)]
+pub struct MetamodelRegistry {
+    packages: BTreeMap<String, Arc<Metamodel>>,
+}
+
+impl MetamodelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a metamodel, returning the shared handle. Re-registering
+    /// the same name replaces the previous entry (and returns it).
+    pub fn register(&mut self, mm: Metamodel) -> Arc<Metamodel> {
+        let arc = Arc::new(mm);
+        self.packages.insert(arc.name().to_owned(), arc.clone());
+        arc
+    }
+
+    /// Looks up a metamodel by package name.
+    pub fn get(&self, name: &str) -> Option<Arc<Metamodel>> {
+        self.packages.get(name).cloned()
+    }
+
+    /// Registered package names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.packages.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// `true` if no packages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Parses a model document, resolving its metamodel from the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] when the document is malformed or its
+    /// metamodel is not registered, plus any conformance error.
+    pub fn load_model(&self, json: &str) -> Result<Model, ModelError> {
+        // Peek at the metamodel name without fully parsing objects.
+        #[derive(serde::Deserialize)]
+        struct Head {
+            metamodel: String,
+        }
+        let head: Head =
+            serde_json::from_str(json).map_err(|e| ModelError::Parse(e.to_string()))?;
+        let mm = self.get(&head.metamodel).ok_or_else(|| {
+            ModelError::Parse(format!("metamodel `{}` is not registered", head.metamodel))
+        })?;
+        model_from_json(mm, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MetamodelBuilder;
+    use crate::serialize::model_to_json;
+    use crate::value::DataType;
+
+    fn fsm() -> Metamodel {
+        let mut b = MetamodelBuilder::new("fsm");
+        b.class("State")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn dataflow() -> Metamodel {
+        let mut b = MetamodelBuilder::new("dataflow");
+        b.class("Block").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = MetamodelRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(fsm());
+        reg.register(dataflow());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), ["dataflow", "fsm"]);
+        assert!(reg.get("fsm").is_some());
+        assert!(reg.get("uml").is_none());
+    }
+
+    #[test]
+    fn load_model_resolves_metamodel() {
+        let mut reg = MetamodelRegistry::new();
+        let mm = reg.register(fsm());
+        let mut m = Model::new(mm);
+        let s = m.create("State").unwrap();
+        m.set_attr(s, "name", "Idle".into()).unwrap();
+        let json = model_to_json(&m).unwrap();
+
+        let loaded = reg.load_model(&json).unwrap();
+        assert_eq!(loaded.len(), 1);
+    }
+
+    #[test]
+    fn load_model_unknown_metamodel_fails() {
+        let reg = MetamodelRegistry::new();
+        let err = reg
+            .load_model(r#"{ "metamodel": "ghost", "objects": [] }"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("not registered"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Whole-model conformance validation.
+//!
+//! Mutations on [`Model`](crate::Model) are checked eagerly, but a model can
+//! still be *incomplete* (missing required attributes, references below
+//! their lower bound). [`validate`] re-checks every constraint and returns
+//! all diagnostics rather than failing fast, which is what an editor or an
+//! abstraction guide wants to display.
+
+use crate::meta::Metamodel;
+use crate::model::{Model, ObjectId};
+use crate::path::ElementPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Stylistic or suspicious but conforming.
+    Warning,
+    /// The model does not conform to its metamodel.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One validation finding, tied to a model element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Element the finding refers to.
+    pub object: ObjectId,
+    /// Element path, when computable (for display).
+    pub path: Option<ElementPath>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{}: {} ({})", self.severity, self.message, p),
+            None => write!(f, "{}: {} ({})", self.severity, self.message, self.object),
+        }
+    }
+}
+
+/// Result of [`validate`]: all diagnostics, in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All findings, ordered by object id then message.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationReport {
+    /// `true` if no error-severity diagnostics are present.
+    pub fn is_conformant(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Iterates error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "model conforms (no diagnostics)");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates `model` against its metamodel, returning every finding.
+///
+/// Checks performed per object:
+/// - required attributes carry a value;
+/// - stored values conform to declared attribute types (defensive — the
+///   mutation API enforces this, but models can be deserialized);
+/// - reference target counts are within `[lower, upper]`;
+/// - reference targets are live and class-compatible;
+/// - warning when an object is an orphan root of a class that is the target
+///   of some containment reference (usually a forgotten `add_child`).
+pub fn validate(model: &Model) -> ValidationReport {
+    let mm: &Metamodel = model.metamodel();
+    let mut diagnostics = Vec::new();
+    let containment_targets: Vec<_> = mm
+        .classes()
+        .iter()
+        .flat_map(|c| c.own_references.iter())
+        .filter(|r| r.containment)
+        .map(|r| r.target)
+        .collect();
+
+    for (id, obj) in model.iter() {
+        let class = obj.class();
+        let path = ElementPath::of(model, id);
+        let mut push = |severity, message: String| {
+            diagnostics.push(Diagnostic {
+                severity,
+                object: id,
+                path: path.clone(),
+                message,
+            });
+        };
+
+        for (aid, attr) in mm.effective_attributes(class) {
+            match obj.attr(aid) {
+                None if attr.required => push(
+                    Severity::Error,
+                    format!("missing required attribute `{}`", attr.name),
+                ),
+                Some(v) if !v.conforms_to(&attr.data_type) => push(
+                    Severity::Error,
+                    format!(
+                        "attribute `{}` holds {} but expects {}",
+                        attr.name,
+                        v.data_type(),
+                        attr.data_type
+                    ),
+                ),
+                Some(crate::Value::Enum(ty, lit)) => {
+                    let ok = mm
+                        .enum_by_name(ty)
+                        .is_some_and(|e| e.literal_index(lit).is_some());
+                    if !ok {
+                        push(
+                            Severity::Error,
+                            format!("attribute `{}` holds unknown literal `{ty}::{lit}`", attr.name),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for (rid, reference) in mm.effective_references(class) {
+            let targets = obj.targets(rid);
+            if (targets.len() as u32) < reference.lower {
+                push(
+                    Severity::Error,
+                    format!(
+                        "reference `{}` has {} target(s), lower bound is {}",
+                        reference.name,
+                        targets.len(),
+                        reference.lower
+                    ),
+                );
+            }
+            if let Some(u) = reference.upper {
+                if targets.len() as u32 > u {
+                    push(
+                        Severity::Error,
+                        format!(
+                            "reference `{}` has {} target(s), upper bound is {}",
+                            reference.name,
+                            targets.len(),
+                            u
+                        ),
+                    );
+                }
+            }
+            for &t in targets {
+                match model.object(t) {
+                    Err(_) => push(
+                        Severity::Error,
+                        format!("reference `{}` targets dead object {t}", reference.name),
+                    ),
+                    Ok(tobj) if !mm.is_subclass_of(tobj.class(), reference.target) => push(
+                        Severity::Error,
+                        format!(
+                            "reference `{}` targets `{}`, expected `{}`",
+                            reference.name,
+                            mm.class(tobj.class()).name,
+                            mm.class(reference.target).name
+                        ),
+                    ),
+                    Ok(_) => {}
+                }
+            }
+        }
+
+        if obj.container().is_none() && containment_targets.iter().any(|&t| mm.is_subclass_of(class, t))
+        {
+            push(
+                Severity::Warning,
+                format!(
+                    "`{}` instance is a root but its class is normally contained",
+                    mm.class(class).name
+                ),
+            );
+        }
+    }
+
+    diagnostics.sort_by(|a, b| a.object.cmp(&b.object).then_with(|| a.message.cmp(&b.message)));
+    ValidationReport { diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MetamodelBuilder;
+    use crate::value::{DataType, Value};
+    use std::sync::Arc;
+
+    fn mm() -> Arc<Metamodel> {
+        let mut b = MetamodelBuilder::new("t");
+        b.class("Machine")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap()
+            .containment_many("states", "State")
+            .unwrap();
+        b.class("State")
+            .unwrap()
+            .attribute("name", DataType::Str, true)
+            .unwrap();
+        b.class("Transition")
+            .unwrap()
+            .cross_required("source", "State")
+            .unwrap()
+            .cross_required("target", "State")
+            .unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn conformant_model_passes() {
+        let mut m = Model::new(mm());
+        let mach = m.create("Machine").unwrap();
+        m.set_attr(mach, "name", "M".into()).unwrap();
+        let s = m.create("State").unwrap();
+        m.set_attr(s, "name", "S".into()).unwrap();
+        m.add_child(mach, "states", s).unwrap();
+        let report = validate(&m);
+        assert!(report.is_conformant(), "{report}");
+    }
+
+    #[test]
+    fn missing_required_attribute_is_error() {
+        let mut m = Model::new(mm());
+        let mach = m.create("Machine").unwrap();
+        let _ = mach;
+        let report = validate(&m);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics[0].message.contains("name"));
+    }
+
+    #[test]
+    fn lower_bound_violation_is_error() {
+        let mut m = Model::new(mm());
+        let t = m.create("Transition").unwrap();
+        let _ = t;
+        let report = validate(&m);
+        // source and target both missing
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn orphan_contained_class_is_warning() {
+        let mut m = Model::new(mm());
+        let s = m.create("State").unwrap();
+        m.set_attr(s, "name", "S".into()).unwrap();
+        let report = validate(&m);
+        assert!(report.is_conformant());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn bad_enum_literal_detected() {
+        let mut b = MetamodelBuilder::new("t");
+        b.enumeration("Color", ["Red"]).unwrap();
+        b.class("A")
+            .unwrap()
+            .attribute("c", DataType::Enum("Color".into()), false)
+            .unwrap();
+        let mm = Arc::new(b.build().unwrap());
+        let mut m = Model::new(mm);
+        let a = m.create("A").unwrap();
+        // Bypassing literal checks is possible because set_attr only checks
+        // the enum *type* name; validate() must catch the bad literal.
+        m.set_attr(a, "c", Value::Enum("Color".into(), "Chartreuse".into()))
+            .unwrap();
+        let report = validate(&m);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics[0].message.contains("Chartreuse"));
+    }
+
+    #[test]
+    fn report_display() {
+        let m = Model::new(mm());
+        let report = validate(&m);
+        assert_eq!(report.to_string(), "model conforms (no diagnostics)");
+    }
+}

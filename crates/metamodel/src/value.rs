@@ -1,0 +1,287 @@
+//! Runtime values and primitive data types shared by metamodels and models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Primitive data types available for attributes (the MOF "data type" layer).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean truth value.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point.
+    Real,
+    /// UTF-8 string.
+    Str,
+    /// A named enumeration defined in the metamodel package.
+    Enum(String),
+    /// Homogeneous ordered list of another data type.
+    List(Box<DataType>),
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "Bool"),
+            DataType::Int => write!(f, "Int"),
+            DataType::Real => write!(f, "Real"),
+            DataType::Str => write!(f, "Str"),
+            DataType::Enum(name) => write!(f, "Enum<{name}>"),
+            DataType::List(inner) => write!(f, "List<{inner}>"),
+        }
+    }
+}
+
+/// A runtime value stored in a model object's attribute slot.
+///
+/// `Value` deliberately mirrors [`DataType`]; [`Value::data_type`] computes
+/// the type a value conforms to, and [`Value::conforms_to`] checks
+/// compatibility (an empty list conforms to any list type).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Real(f64),
+    /// String value.
+    Str(String),
+    /// Enumeration literal: enum type name plus literal name.
+    Enum(String, String),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the most specific [`DataType`] this value conforms to.
+    ///
+    /// For empty lists the element type is unknowable, so `List<Str>` is
+    /// returned as a placeholder; use [`Value::conforms_to`] for checks.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Real(_) => DataType::Real,
+            Value::Str(_) => DataType::Str,
+            Value::Enum(ty, _) => DataType::Enum(ty.clone()),
+            Value::List(items) => {
+                let inner = items.first().map(Value::data_type).unwrap_or(DataType::Str);
+                DataType::List(Box::new(inner))
+            }
+        }
+    }
+
+    /// Returns `true` if this value may be stored in a slot of type `ty`.
+    ///
+    /// `Int` values conform to `Real` slots (widening); empty lists conform
+    /// to every list type; list values conform element-wise.
+    pub fn conforms_to(&self, ty: &DataType) -> bool {
+        match (self, ty) {
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_), DataType::Real) => true,
+            (Value::Real(_), DataType::Real) => true,
+            (Value::Str(_), DataType::Str) => true,
+            (Value::Enum(vt, _), DataType::Enum(t)) => vt == t,
+            (Value::List(items), DataType::List(inner)) => {
+                items.iter().all(|v| v.conforms_to(inner))
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the floating-point payload; `Int` values are widened.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `(enum type, literal)`, if this is an `Enum`.
+    pub fn as_enum(&self) -> Option<(&str, &str)> {
+        match self {
+            Value::Enum(t, l) => Some((t, l)),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Enum(t, l) => write!(f, "{t}::{l}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::List(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_display() {
+        assert_eq!(DataType::Bool.to_string(), "Bool");
+        assert_eq!(DataType::Enum("Color".into()).to_string(), "Enum<Color>");
+        assert_eq!(
+            DataType::List(Box::new(DataType::Int)).to_string(),
+            "List<Int>"
+        );
+    }
+
+    #[test]
+    fn value_conformance_basic() {
+        assert!(Value::Bool(true).conforms_to(&DataType::Bool));
+        assert!(Value::Int(3).conforms_to(&DataType::Int));
+        assert!(!Value::Int(3).conforms_to(&DataType::Bool));
+        assert!(Value::Str("x".into()).conforms_to(&DataType::Str));
+    }
+
+    #[test]
+    fn int_widens_to_real() {
+        assert!(Value::Int(7).conforms_to(&DataType::Real));
+        assert_eq!(Value::Int(7).as_real(), Some(7.0));
+        assert!(!Value::Real(7.0).conforms_to(&DataType::Int));
+    }
+
+    #[test]
+    fn enum_conformance_requires_same_type() {
+        let v = Value::Enum("Color".into(), "Red".into());
+        assert!(v.conforms_to(&DataType::Enum("Color".into())));
+        assert!(!v.conforms_to(&DataType::Enum("Shape".into())));
+        assert_eq!(v.as_enum(), Some(("Color", "Red")));
+    }
+
+    #[test]
+    fn empty_list_conforms_to_any_list() {
+        let v = Value::List(vec![]);
+        assert!(v.conforms_to(&DataType::List(Box::new(DataType::Int))));
+        assert!(v.conforms_to(&DataType::List(Box::new(DataType::Bool))));
+        assert!(!v.conforms_to(&DataType::Int));
+    }
+
+    #[test]
+    fn list_conformance_is_elementwise() {
+        let good: Value = [1i64, 2, 3].into_iter().collect();
+        assert!(good.conforms_to(&DataType::List(Box::new(DataType::Int))));
+        let mixed = Value::List(vec![Value::Int(1), Value::Bool(false)]);
+        assert!(!mixed.conforms_to(&DataType::List(Box::new(DataType::Int))));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(4).to_string(), "4");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(
+            Value::Enum("Color".into(), "Red".into()).to_string(),
+            "Color::Red"
+        );
+        let l: Value = [1i64, 2].into_iter().collect();
+        assert_eq!(l.to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Real(2.5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::List(vec![
+            Value::Bool(true),
+            Value::Enum("M".into(), "A".into()),
+            Value::Real(1.5),
+        ]);
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: Value = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(v, back);
+    }
+}

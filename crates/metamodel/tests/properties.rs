@@ -1,0 +1,177 @@
+//! Property tests on the metamodeling substrate: JSON round trips over
+//! randomly generated metamodels and models, and containment invariants
+//! under random mutation sequences.
+
+use gmdf_metamodel::{
+    metamodel_from_json, metamodel_to_json, model_from_json, model_to_json, validate, DataType,
+    ElementPath, Metamodel, MetamodelBuilder, Model, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomized tree-shaped metamodel: `Node` objects with typed
+/// attributes and nested children.
+fn tree_metamodel(attr_types: &[DataType]) -> Metamodel {
+    let mut b = MetamodelBuilder::new("tree");
+    let mut cb = b.class("Node").unwrap();
+    cb.attribute("name", DataType::Str, false).unwrap();
+    for (i, ty) in attr_types.iter().enumerate() {
+        cb.attribute(&format!("a{i}"), ty.clone(), false).unwrap();
+    }
+    cb.containment_many("kids", "Node").unwrap();
+    cb.cross_optional("buddy", "Node").unwrap();
+    b.build().unwrap()
+}
+
+fn arb_data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::Int),
+        Just(DataType::Real),
+        Just(DataType::Str),
+        Just(DataType::List(Box::new(DataType::Int))),
+    ]
+}
+
+fn arb_value_for(ty: &DataType) -> BoxedStrategy<Value> {
+    match ty {
+        DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        DataType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        DataType::Real => {
+            // Finite reals only: NaN breaks PartialEq-based comparison.
+            (-1e12f64..1e12).prop_map(Value::Real).boxed()
+        }
+        DataType::Str => "[a-z]{0,12}".prop_map(Value::Str).boxed(),
+        DataType::List(_) => proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..5)
+            .prop_map(Value::List)
+            .boxed(),
+        DataType::Enum(_) => unreachable!("not generated"),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    attr_types: Vec<DataType>,
+    /// (parent index or none, attr values, buddy target index)
+    nodes: Vec<(Option<usize>, Vec<Value>, Option<usize>)>,
+}
+
+fn arb_tree() -> impl Strategy<Value = TreeSpec> {
+    proptest::collection::vec(arb_data_type(), 0..4).prop_flat_map(|attr_types: Vec<DataType>| {
+        let tys = attr_types.clone();
+        let attr_types = std::sync::Arc::new(attr_types);
+        proptest::collection::vec(
+            (
+                any::<proptest::sample::Index>(),
+                tys.iter().map(arb_value_for).collect::<Vec<_>>(),
+                proptest::option::of(any::<proptest::sample::Index>()),
+                any::<bool>(),
+            ),
+            1..20,
+        )
+        .prop_map(move |raw| {
+            let n = raw.len();
+            let nodes = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (parent_idx, values, buddy, is_root))| {
+                    let parent = if i == 0 || is_root {
+                        None
+                    } else {
+                        Some(parent_idx.index(i)) // earlier node → acyclic
+                    };
+                    let buddy = buddy.map(|b| b.index(n));
+                    (parent, values, buddy)
+                })
+                .collect();
+            TreeSpec { attr_types: attr_types.as_ref().clone(), nodes }
+        })
+    })
+}
+
+fn build(spec: &TreeSpec) -> (Arc<Metamodel>, Model) {
+    let mm = Arc::new(tree_metamodel(&spec.attr_types));
+    let mut model = Model::new(mm.clone());
+    let mut ids = Vec::new();
+    for (i, (parent, values, _)) in spec.nodes.iter().enumerate() {
+        let obj = model.create("Node").unwrap();
+        model
+            .set_attr(obj, "name", Value::Str(format!("n{i}")))
+            .unwrap();
+        for (k, v) in values.iter().enumerate() {
+            model.set_attr(obj, &format!("a{k}"), v.clone()).unwrap();
+        }
+        if let Some(p) = parent {
+            model.add_child(ids[*p], "kids", obj).unwrap();
+        }
+        ids.push(obj);
+    }
+    for (i, (_, _, buddy)) in spec.nodes.iter().enumerate() {
+        if let Some(b) = buddy {
+            model.add_ref(ids[i], "buddy", ids[*b]).unwrap();
+        }
+    }
+    (mm, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Model JSON round trip preserves structure, attributes, links and
+    /// conformance.
+    #[test]
+    fn model_json_round_trip(spec in arb_tree()) {
+        let (mm, model) = build(&spec);
+        let json = model_to_json(&model).unwrap();
+        let back = model_from_json(mm, &json).unwrap();
+        prop_assert_eq!(back.len(), model.len());
+        prop_assert!(validate(&back).is_conformant());
+        // Every object's path resolves identically in both models (paths
+        // encode the containment tree + names).
+        for (id, _) in model.iter() {
+            let p = ElementPath::of(&model, id).unwrap();
+            let there = p.resolve(&back);
+            prop_assert!(there.is_some(), "path {} lost", p);
+            // And the attributes under that path agree.
+            let a = model.attr(id, "a0").ok().flatten().cloned();
+            let b = back.attr(there.unwrap(), "a0").ok().flatten().cloned();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Metamodel JSON round trip preserves lookup behaviour.
+    #[test]
+    fn metamodel_json_round_trip(attr_types in proptest::collection::vec(arb_data_type(), 0..4)) {
+        let mm = tree_metamodel(&attr_types);
+        let json = metamodel_to_json(&mm).unwrap();
+        let back = metamodel_from_json(&json).unwrap();
+        prop_assert_eq!(back.name(), mm.name());
+        let a = mm.class_by_name("Node").unwrap();
+        let b = back.class_by_name("Node").unwrap();
+        prop_assert_eq!(
+            mm.effective_attributes(a).len(),
+            back.effective_attributes(b).len()
+        );
+    }
+
+    /// Deleting any object keeps the model conformant (cascade removes
+    /// the subtree and cleans dangling links) and never panics.
+    #[test]
+    fn random_deletions_keep_conformance(
+        spec in arb_tree(),
+        victims in proptest::collection::vec(any::<proptest::sample::Index>(), 1..6),
+    ) {
+        let (_, mut model) = build(&spec);
+        for v in victims {
+            let live: Vec<_> = model.iter().map(|(id, _)| id).collect();
+            if live.is_empty() {
+                break;
+            }
+            let target = live[v.index(live.len())];
+            model.delete(target).unwrap();
+            let report = validate(&model);
+            // Only warnings (orphan roots) may remain; no errors ever.
+            prop_assert!(report.is_conformant(), "{}", report);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! ASCII backend: renders a [`Scene`] onto a character grid.
+//!
+//! The terminal equivalent of the prototype's canvas — examples and tests
+//! use it to show animated debug models without a display. Highlighted
+//! elements are drawn with `#` borders, normal ones with `+-|`, dimmed
+//! ones with `.`.
+
+use crate::scene::{Scene, Shape, Style};
+
+const SCALE_X: f64 = 0.14; // scene px → columns
+const SCALE_Y: f64 = 0.07; // scene px → rows
+
+#[derive(Debug)]
+struct Grid {
+    w: usize,
+    h: usize,
+    cells: Vec<char>,
+}
+
+impl Grid {
+    fn new(w: usize, h: usize) -> Self {
+        Grid { w, h, cells: vec![' '; w * h] }
+    }
+
+    fn set(&mut self, x: i64, y: i64, c: char) {
+        if x >= 0 && y >= 0 && (x as usize) < self.w && (y as usize) < self.h {
+            // Last writer wins; paint order (lines, then boxes, then
+            // labels) keeps text on top.
+            self.cells[y as usize * self.w + x as usize] = c;
+        }
+    }
+
+    fn text(&mut self, x: i64, y: i64, s: &str) {
+        for (i, c) in s.chars().enumerate() {
+            self.set(x + i as i64, y, c);
+        }
+    }
+
+    fn hline(&mut self, x0: i64, x1: i64, y: i64, c: char) {
+        for x in x0.min(x1)..=x0.max(x1) {
+            self.set(x, y, c);
+        }
+    }
+
+    fn vline(&mut self, y0: i64, y1: i64, x: i64, c: char) {
+        for y in y0.min(y1)..=y0.max(y1) {
+            self.set(x, y, c);
+        }
+    }
+
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, _c: char) {
+        // Bresenham with direction-aware glyphs.
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            let glyph = if dy == 0 {
+                '-'
+            } else if dx == 0 {
+                '|'
+            } else if (sx > 0) == (sy > 0) {
+                '\\'
+            } else {
+                '/'
+            };
+            self.set(x, y, glyph);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    fn to_string_trimmed(&self) -> String {
+        let mut out = String::new();
+        for row in 0..self.h {
+            let line: String = self.cells[row * self.w..(row + 1) * self.w]
+                .iter()
+                .collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        // Trim trailing blank lines.
+        while out.ends_with("\n\n") {
+            out.pop();
+        }
+        out
+    }
+}
+
+fn border_char(style: &Style) -> (char, char, char) {
+    // (corner, horizontal, vertical)
+    if *style == Style::highlighted() {
+        ('#', '#', '#')
+    } else if *style == Style::dimmed() {
+        ('.', '.', '.')
+    } else {
+        ('+', '-', '|')
+    }
+}
+
+/// Renders `scene` as ASCII art.
+pub fn to_ascii(scene: &Scene) -> String {
+    let b = scene.bounds();
+    let w = ((b.right() * SCALE_X).ceil() as usize + 4).max(20);
+    let h = ((b.bottom() * SCALE_Y).ceil() as usize + 3).max(4);
+    let mut g = Grid::new(w.min(400), h.min(200));
+    let cx = |v: f64| (v * SCALE_X) as i64;
+    let cy = |v: f64| (v * SCALE_Y) as i64 + 1; // row 0 is the title
+
+    g.text(0, 0, &format!("== {} ==", scene.title));
+
+    // Lines first so boxes draw over them.
+    for p in &scene.primitives {
+        match &p.shape {
+            Shape::Line { points } | Shape::Arrow { points } => {
+                for wseg in points.windows(2) {
+                    g.line(
+                        cx(wseg[0].x),
+                        cy(wseg[0].y),
+                        cx(wseg[1].x),
+                        cy(wseg[1].y),
+                        '-',
+                    );
+                }
+                if matches!(p.shape, Shape::Arrow { .. }) {
+                    if let Some(last) = points.last() {
+                        g.set(cx(last.x), cy(last.y), '>');
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for p in &scene.primitives {
+        match &p.shape {
+            Shape::Rect { bounds, .. }
+            | Shape::Ellipse { bounds }
+            | Shape::Triangle { bounds }
+            | Shape::Diamond { bounds } => {
+                let (x0, y0) = (cx(bounds.x), cy(bounds.y));
+                let (x1, y1) = (cx(bounds.right()).max(x0 + 2), cy(bounds.bottom()).max(y0 + 2));
+                let (corner, hc, vc) = border_char(&p.style);
+                g.hline(x0, x1, y0, hc);
+                g.hline(x0, x1, y1, hc);
+                g.vline(y0, y1, x0, vc);
+                g.vline(y0, y1, x1, vc);
+                g.set(x0, y0, corner);
+                g.set(x1, y0, corner);
+                g.set(x0, y1, corner);
+                g.set(x1, y1, corner);
+                if let Some(label) = &p.label {
+                    let mid_y = (y0 + y1) / 2;
+                    let width = (x1 - x0 - 1).max(1) as usize;
+                    let txt: String = label.chars().take(width).collect();
+                    let start = x0 + 1 + ((width as i64 - txt.len() as i64) / 2).max(0);
+                    g.text(start, mid_y, &txt);
+                }
+            }
+            Shape::Text { at, .. } => {
+                if let Some(label) = &p.label {
+                    g.text(cx(at.x), cy(at.y), label);
+                }
+            }
+            _ => {}
+        }
+    }
+    g.to_string_trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::scene::{Primitive, Style};
+
+    fn boxed(id: &str, x: f64, label: &str, style: Style) -> Primitive {
+        Primitive {
+            id: id.into(),
+            shape: Shape::Rect { bounds: Rect::new(x, 0.0, 110.0, 46.0), rounded: 0.0 },
+            style,
+            label: Some(label.into()),
+        }
+    }
+
+    #[test]
+    fn labels_and_borders_appear() {
+        let mut s = Scene::new("fsm");
+        s.push(boxed("a", 0.0, "Idle", Style::default()));
+        s.push(boxed("b", 200.0, "Run", Style::highlighted()));
+        let art = to_ascii(&s);
+        assert!(art.contains("== fsm =="));
+        assert!(art.contains("Idle"));
+        assert!(art.contains("Run"));
+        assert!(art.contains('+'), "normal border");
+        assert!(art.contains('#'), "highlighted border");
+    }
+
+    #[test]
+    fn arrows_render_with_head() {
+        let mut s = Scene::new("t");
+        s.push(Primitive {
+            id: "e".into(),
+            shape: Shape::Arrow {
+                points: vec![Point::new(0.0, 23.0), Point::new(300.0, 23.0)],
+            },
+            style: Style::default(),
+            label: None,
+        });
+        let art = to_ascii(&s);
+        assert!(art.contains('-'));
+        assert!(art.contains('>'));
+    }
+
+    #[test]
+    fn dimmed_style_uses_dots() {
+        let mut s = Scene::new("t");
+        s.push(boxed("a", 0.0, "Off", Style::dimmed()));
+        let art = to_ascii(&s);
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn long_labels_truncate_within_box() {
+        let mut s = Scene::new("t");
+        s.push(boxed("a", 0.0, "AVeryLongStateNameIndeed", Style::default()));
+        let art = to_ascii(&s);
+        // Label must not leak past the right border into infinity.
+        for line in art.lines() {
+            assert!(line.len() < 80, "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_scene_has_title_only() {
+        let art = to_ascii(&Scene::new("nothing"));
+        assert!(art.contains("== nothing =="));
+    }
+}

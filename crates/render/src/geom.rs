@@ -1,0 +1,134 @@
+//! Plain 2-D geometry for the scene graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in scene coordinates (pixels; y grows downward, SVG-style).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width (≥ 0).
+    pub w: f64,
+    /// Height (≥ 0).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let r = self.right().max(other.right());
+        let b = self.bottom().max(other.bottom());
+        Rect::new(x, y, r - x, b - y)
+    }
+
+    /// Grows the rectangle by `m` on every side.
+    pub fn inflate(&self, m: f64) -> Rect {
+        Rect::new(self.x - m, self.y - m, self.w + 2.0 * m, self.h + 2.0 * m)
+    }
+
+    /// Point where the segment from the center toward `target` crosses the
+    /// rectangle border — used to anchor arrows on shape outlines.
+    pub fn border_toward(&self, target: Point) -> Point {
+        let c = self.center();
+        let dx = target.x - c.x;
+        let dy = target.y - c.y;
+        if dx == 0.0 && dy == 0.0 {
+            return c;
+        }
+        let half_w = self.w / 2.0;
+        let half_h = self.h / 2.0;
+        // Scale the direction vector until it touches the border.
+        let sx = if dx != 0.0 { half_w / dx.abs() } else { f64::INFINITY };
+        let sy = if dy != 0.0 { half_h / dy.abs() } else { f64::INFINITY };
+        let s = sx.min(sy);
+        Point::new(c.x + dx * s, c.y + dy * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_and_edges() {
+        let r = Rect::new(10.0, 20.0, 30.0, 40.0);
+        assert_eq!(r.center(), Point::new(25.0, 40.0));
+        assert_eq!(r.right(), 40.0);
+        assert_eq!(r.bottom(), 60.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(20.0, 5.0, 10.0, 20.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 30.0, 25.0));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let r = Rect::new(5.0, 5.0, 10.0, 10.0).inflate(2.0);
+        assert_eq!(r, Rect::new(3.0, 3.0, 14.0, 14.0));
+    }
+
+    #[test]
+    fn border_toward_hits_edges() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        // Straight right.
+        let p = r.border_toward(Point::new(100.0, 5.0));
+        assert_eq!(p, Point::new(10.0, 5.0));
+        // Straight down.
+        let p = r.border_toward(Point::new(5.0, 100.0));
+        assert_eq!(p, Point::new(5.0, 10.0));
+        // Degenerate: target at center.
+        let p = r.border_toward(r.center());
+        assert_eq!(p, r.center());
+    }
+}

@@ -1,0 +1,194 @@
+//! Automatic layout algorithms for derived debug models.
+//!
+//! GMDF generates the GDM automatically from the input model (paper §II,
+//! "automatic model abstraction and generation"), so element positions
+//! must be computed, not hand-placed. Three layouts cover the COMDES
+//! visuals: layered DAG for dataflow networks, a circle for state
+//! machines, and a grid for flat element sets.
+
+use crate::geom::{Point, Rect};
+use std::collections::BTreeMap;
+
+/// Size every laid-out element receives.
+pub const NODE_W: f64 = 110.0;
+/// Element height.
+pub const NODE_H: f64 = 46.0;
+/// Horizontal gap between layers / columns.
+pub const GAP_X: f64 = 60.0;
+/// Vertical gap between rows.
+pub const GAP_Y: f64 = 34.0;
+
+/// Places `n` items on a grid with `cols` columns; returns their bounds in
+/// index order.
+pub fn grid(n: usize, cols: usize) -> Vec<Rect> {
+    let cols = cols.max(1);
+    (0..n)
+        .map(|i| {
+            let col = i % cols;
+            let row = i / cols;
+            Rect::new(
+                col as f64 * (NODE_W + GAP_X),
+                row as f64 * (NODE_H + GAP_Y),
+                NODE_W,
+                NODE_H,
+            )
+        })
+        .collect()
+}
+
+/// Places `n` items evenly on a circle (state-machine layout); returns
+/// bounds in index order.
+pub fn circle(n: usize) -> Vec<Rect> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![Rect::new(0.0, 0.0, NODE_W, NODE_H)];
+    }
+    // Radius grows with n so neighbors never overlap.
+    let needed = (NODE_W + GAP_X) * n as f64 / std::f64::consts::TAU;
+    let r = needed.max(NODE_W * 1.2);
+    (0..n)
+        .map(|i| {
+            let a = std::f64::consts::TAU * i as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
+            let cx = r + r * a.cos();
+            let cy = r + r * a.sin();
+            Rect::new(cx - NODE_W / 2.0, cy - NODE_H / 2.0, NODE_W, NODE_H)
+        })
+        .collect()
+}
+
+/// Layered left-to-right DAG layout (dataflow networks).
+///
+/// `edges` are `(from, to)` index pairs. Nodes are assigned the layer
+/// `1 + max(layer of predecessors)` (longest path); cycles are tolerated
+/// by ignoring back edges discovered in index order. Within a layer,
+/// nodes stack vertically in index order.
+pub fn layered(n: usize, edges: &[(usize, usize)]) -> Vec<Rect> {
+    let mut layer = vec![0usize; n];
+    // Relaxation passes; n rounds suffice for any DAG, back edges damp out.
+    for _ in 0..n {
+        let mut changed = false;
+        for &(a, b) in edges {
+            if a < n && b < n && layer[b] < layer[a] + 1 && layer[a] + 1 < n {
+                layer[b] = layer[a] + 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut row_of: BTreeMap<usize, usize> = BTreeMap::new();
+    (0..n)
+        .map(|i| {
+            let l = layer[i];
+            let row = row_of.entry(l).or_insert(0);
+            let rect = Rect::new(
+                l as f64 * (NODE_W + GAP_X),
+                *row as f64 * (NODE_H + GAP_Y),
+                NODE_W,
+                NODE_H,
+            );
+            *row += 1;
+            rect
+        })
+        .collect()
+}
+
+/// Routes a straight arrow between two element bounds, anchored on their
+/// borders.
+pub fn route_edge(from: &Rect, to: &Rect) -> Vec<Point> {
+    if from == to {
+        // Self-loop: a small detour above the element.
+        let c = from.center();
+        return vec![
+            Point::new(c.x - 15.0, from.y),
+            Point::new(c.x - 15.0, from.y - 25.0),
+            Point::new(c.x + 15.0, from.y - 25.0),
+            Point::new(c.x + 15.0, from.y),
+        ];
+    }
+    let a = from.border_toward(to.center());
+    let b = to.border_toward(from.center());
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_overlap(rects: &[Rect]) {
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                let disjoint = a.right() <= b.x
+                    || b.right() <= a.x
+                    || a.bottom() <= b.y
+                    || b.bottom() <= a.y;
+                assert!(disjoint, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_positions() {
+        let r = grid(5, 2);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].x, 0.0);
+        assert_eq!(r[1].x, NODE_W + GAP_X);
+        assert_eq!(r[2].y, NODE_H + GAP_Y);
+        no_overlap(&r);
+    }
+
+    #[test]
+    fn circle_spreads_without_overlap() {
+        for n in 1..12 {
+            let r = circle(n);
+            assert_eq!(r.len(), n);
+            no_overlap(&r);
+        }
+        assert!(circle(0).is_empty());
+    }
+
+    #[test]
+    fn layered_respects_edges() {
+        // 0 → 1 → 2, 0 → 2.
+        let r = layered(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(r[0].x < r[1].x);
+        assert!(r[1].x < r[2].x);
+        no_overlap(&r);
+    }
+
+    #[test]
+    fn layered_tolerates_cycles() {
+        let r = layered(2, &[(0, 1), (1, 0)]);
+        assert_eq!(r.len(), 2);
+        no_overlap(&r);
+    }
+
+    #[test]
+    fn layered_stacks_same_layer_vertically() {
+        // 0 → 1, 0 → 2: 1 and 2 share a layer.
+        let r = layered(3, &[(0, 1), (0, 2)]);
+        assert_eq!(r[1].x, r[2].x);
+        assert_ne!(r[1].y, r[2].y);
+    }
+
+    #[test]
+    fn route_edge_anchors_on_borders() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(100.0, 0.0, 10.0, 10.0);
+        let pts = route_edge(&a, &b);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].x, 10.0); // right edge of a
+        assert_eq!(pts[1].x, 100.0); // left edge of b
+    }
+
+    #[test]
+    fn self_loop_routes_outside() {
+        let a = Rect::new(0.0, 50.0, 10.0, 10.0);
+        let pts = route_edge(&a, &a);
+        assert!(pts.len() >= 4);
+        assert!(pts.iter().any(|p| p.y < a.y));
+    }
+}

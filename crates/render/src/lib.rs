@@ -1,0 +1,42 @@
+//! # gmdf-render — headless graphics for GMDF
+//!
+//! The reproduction's stand-in for the Eclipse Graphical Editing
+//! Framework the prototype draws with (paper §III): a retained
+//! [`Scene`] graph, automatic [`layout`]s for derived debug models,
+//! [`to_svg`] and [`to_ascii`] backends, and the replay [`TimingDiagram`].
+//!
+//! ```
+//! use gmdf_render::{layout, Primitive, Scene, Shape, Style};
+//!
+//! let mut scene = Scene::new("two states");
+//! for (i, (name, style)) in [("Idle", Style::default()),
+//!                            ("Run", Style::highlighted())].iter().enumerate() {
+//!     let bounds = layout::grid(2, 2)[i];
+//!     scene.push(Primitive {
+//!         id: format!("fsm/{name}"),
+//!         shape: Shape::Rect { bounds, rounded: 8.0 },
+//!         style: *style,
+//!         label: Some(name.to_string()),
+//!     });
+//! }
+//! let svg = gmdf_render::to_svg(&scene);
+//! assert!(svg.contains("Run"));
+//! let art = gmdf_render::to_ascii(&scene);
+//! assert!(art.contains("Idle"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ascii;
+mod geom;
+pub mod layout;
+mod scene;
+mod svg;
+mod timing;
+
+pub use ascii::to_ascii;
+pub use geom::{Point, Rect};
+pub use scene::{Color, Primitive, Scene, Shape, Style};
+pub use svg::to_svg;
+pub use timing::{Lane, Marker, Segment, TimingDiagram};

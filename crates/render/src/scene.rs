@@ -1,0 +1,251 @@
+//! The retained scene graph the debugger engine renders.
+//!
+//! A [`Scene`] is a flat list of primitives (the GEF figure-canvas
+//! analog). Primitives carry stable string ids — the engine patches
+//! styles by id to animate the model ("e.g. highlighting a GDM element",
+//! paper §II) without rebuilding geometry.
+
+use crate::geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A 24-bit RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Color(pub u8, pub u8, pub u8);
+
+impl Color {
+    /// Black.
+    pub const BLACK: Color = Color(0, 0, 0);
+    /// White.
+    pub const WHITE: Color = Color(255, 255, 255);
+    /// Light grey (default fill).
+    pub const LIGHT: Color = Color(240, 240, 240);
+    /// Highlight yellow (the active-state animation color).
+    pub const HIGHLIGHT: Color = Color(255, 215, 0);
+    /// Dimmed grey.
+    pub const DIM: Color = Color(200, 200, 200);
+    /// Alert red.
+    pub const ALERT: Color = Color(220, 50, 47);
+    /// Accent blue.
+    pub const ACCENT: Color = Color(38, 139, 210);
+    /// Confirm green.
+    pub const OK: Color = Color(133, 153, 0);
+
+    /// `#rrggbb` form.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+}
+
+/// Visual style of a primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Style {
+    /// Outline color.
+    pub stroke: Color,
+    /// Fill color (`None` = unfilled).
+    pub fill: Option<Color>,
+    /// Outline width.
+    pub stroke_width: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            stroke: Color::BLACK,
+            fill: Some(Color::LIGHT),
+            stroke_width: 1.5,
+        }
+    }
+}
+
+impl Style {
+    /// The style used for highlighted (active) elements.
+    pub fn highlighted() -> Self {
+        Style {
+            stroke: Color::BLACK,
+            fill: Some(Color::HIGHLIGHT),
+            stroke_width: 3.0,
+        }
+    }
+
+    /// The style used for dimmed (inactive) elements.
+    pub fn dimmed() -> Self {
+        Style {
+            stroke: Color::DIM,
+            fill: Some(Color::LIGHT),
+            stroke_width: 1.0,
+        }
+    }
+}
+
+/// Geometry of a primitive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Axis-aligned rectangle (`rounded` corner radius, 0 = square).
+    Rect {
+        /// Bounds.
+        bounds: Rect,
+        /// Corner radius.
+        rounded: f64,
+    },
+    /// Ellipse inscribed in `bounds`.
+    Ellipse {
+        /// Bounds.
+        bounds: Rect,
+    },
+    /// Upward-pointing triangle inscribed in `bounds`.
+    Triangle {
+        /// Bounds.
+        bounds: Rect,
+    },
+    /// Diamond (rhombus) inscribed in `bounds`.
+    Diamond {
+        /// Bounds.
+        bounds: Rect,
+    },
+    /// Open polyline.
+    Line {
+        /// Waypoints (≥ 2).
+        points: Vec<Point>,
+    },
+    /// Polyline with an arrowhead at the last point.
+    Arrow {
+        /// Waypoints (≥ 2).
+        points: Vec<Point>,
+    },
+    /// Text anchored at `at` (baseline-left).
+    Text {
+        /// Anchor.
+        at: Point,
+        /// Font size in pixels.
+        size: f64,
+    },
+}
+
+impl Shape {
+    /// Bounding box of the shape.
+    pub fn bounds(&self) -> Rect {
+        match self {
+            Shape::Rect { bounds, .. }
+            | Shape::Ellipse { bounds }
+            | Shape::Triangle { bounds }
+            | Shape::Diamond { bounds } => *bounds,
+            Shape::Line { points } | Shape::Arrow { points } => {
+                let mut r = Rect::new(points[0].x, points[0].y, 0.0, 0.0);
+                for p in points {
+                    r = r.union(&Rect::new(p.x, p.y, 0.0, 0.0));
+                }
+                r
+            }
+            Shape::Text { at, size } => Rect::new(at.x, at.y - size, size * 4.0, *size),
+        }
+    }
+}
+
+/// One drawable element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Primitive {
+    /// Stable id (an element path for model-derived primitives).
+    pub id: String,
+    /// Geometry.
+    pub shape: Shape,
+    /// Style.
+    pub style: Style,
+    /// Centered label text, if any.
+    pub label: Option<String>,
+}
+
+/// A renderable scene.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// Primitives in paint order (later = on top).
+    pub primitives: Vec<Primitive>,
+    /// Scene title (rendered as a caption).
+    pub title: String,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new(title: &str) -> Self {
+        Scene {
+            primitives: Vec::new(),
+            title: title.to_owned(),
+        }
+    }
+
+    /// Adds a primitive.
+    pub fn push(&mut self, p: Primitive) {
+        self.primitives.push(p);
+    }
+
+    /// Finds a primitive by id.
+    pub fn find(&self, id: &str) -> Option<&Primitive> {
+        self.primitives.iter().find(|p| p.id == id)
+    }
+
+    /// Mutable lookup by id (used by the engine to patch styles).
+    pub fn find_mut(&mut self, id: &str) -> Option<&mut Primitive> {
+        self.primitives.iter_mut().find(|p| p.id == id)
+    }
+
+    /// Overall bounding box (padded origin not applied).
+    pub fn bounds(&self) -> Rect {
+        let mut it = self.primitives.iter();
+        let Some(first) = it.next() else {
+            return Rect::default();
+        };
+        it.fold(first.shape.bounds(), |acc, p| acc.union(&p.shape.bounds()))
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// `true` if the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_hex() {
+        assert_eq!(Color::BLACK.to_hex(), "#000000");
+        assert_eq!(Color(255, 215, 0).to_hex(), "#ffd700");
+    }
+
+    #[test]
+    fn shape_bounds() {
+        let line = Shape::Line {
+            points: vec![Point::new(1.0, 2.0), Point::new(5.0, -3.0)],
+        };
+        let b = line.bounds();
+        assert_eq!((b.x, b.y, b.w, b.h), (1.0, -3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn scene_find_and_bounds() {
+        let mut s = Scene::new("t");
+        s.push(Primitive {
+            id: "a".into(),
+            shape: Shape::Rect { bounds: Rect::new(0.0, 0.0, 10.0, 10.0), rounded: 0.0 },
+            style: Style::default(),
+            label: Some("A".into()),
+        });
+        s.push(Primitive {
+            id: "b".into(),
+            shape: Shape::Ellipse { bounds: Rect::new(20.0, 0.0, 10.0, 10.0) },
+            style: Style::highlighted(),
+            label: None,
+        });
+        assert_eq!(s.len(), 2);
+        assert!(s.find("a").is_some());
+        assert!(s.find("ghost").is_none());
+        assert_eq!(s.bounds(), Rect::new(0.0, 0.0, 30.0, 10.0));
+        s.find_mut("a").unwrap().style = Style::dimmed();
+        assert_eq!(s.find("a").unwrap().style, Style::dimmed());
+    }
+}

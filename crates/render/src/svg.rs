@@ -1,0 +1,244 @@
+//! SVG backend: serializes a [`Scene`] to a standalone SVG document.
+
+use crate::geom::Rect;
+use crate::scene::{Primitive, Scene, Shape};
+use std::fmt::Write;
+
+const MARGIN: f64 = 20.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn style_attrs(p: &Primitive) -> String {
+    let fill = p
+        .style
+        .fill
+        .map(|c| c.to_hex())
+        .unwrap_or_else(|| "none".to_owned());
+    format!(
+        "fill=\"{}\" stroke=\"{}\" stroke-width=\"{}\"",
+        fill,
+        p.style.stroke.to_hex(),
+        p.style.stroke_width
+    )
+}
+
+fn render_primitive(out: &mut String, p: &Primitive, dx: f64, dy: f64) {
+    let attrs = style_attrs(p);
+    let id = esc(&p.id);
+    match &p.shape {
+        Shape::Rect { bounds, rounded } => {
+            let _ = writeln!(
+                out,
+                "  <rect data-id=\"{id}\" x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" rx=\"{rounded}\" {attrs}/>",
+                bounds.x + dx,
+                bounds.y + dy,
+                bounds.w,
+                bounds.h
+            );
+        }
+        Shape::Ellipse { bounds } => {
+            let c = bounds.center();
+            let _ = writeln!(
+                out,
+                "  <ellipse data-id=\"{id}\" cx=\"{:.1}\" cy=\"{:.1}\" rx=\"{:.1}\" ry=\"{:.1}\" {attrs}/>",
+                c.x + dx,
+                c.y + dy,
+                bounds.w / 2.0,
+                bounds.h / 2.0
+            );
+        }
+        Shape::Triangle { bounds } => {
+            let _ = writeln!(
+                out,
+                "  <polygon data-id=\"{id}\" points=\"{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}\" {attrs}/>",
+                bounds.x + bounds.w / 2.0 + dx,
+                bounds.y + dy,
+                bounds.x + dx,
+                bounds.bottom() + dy,
+                bounds.right() + dx,
+                bounds.bottom() + dy
+            );
+        }
+        Shape::Diamond { bounds } => {
+            let c = bounds.center();
+            let _ = writeln!(
+                out,
+                "  <polygon data-id=\"{id}\" points=\"{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}\" {attrs}/>",
+                c.x + dx,
+                bounds.y + dy,
+                bounds.right() + dx,
+                c.y + dy,
+                c.x + dx,
+                bounds.bottom() + dy,
+                bounds.x + dx,
+                c.y + dy
+            );
+        }
+        Shape::Line { points } | Shape::Arrow { points } => {
+            let pts: Vec<String> = points
+                .iter()
+                .map(|p| format!("{:.1},{:.1}", p.x + dx, p.y + dy))
+                .collect();
+            let marker = if matches!(p.shape, Shape::Arrow { .. }) {
+                " marker-end=\"url(#arrowhead)\""
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  <polyline data-id=\"{id}\" points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\"{marker}/>",
+                pts.join(" "),
+                p.style.stroke.to_hex(),
+                p.style.stroke_width
+            );
+        }
+        Shape::Text { at, size } => {
+            let _ = writeln!(
+                out,
+                "  <text data-id=\"{id}\" x=\"{:.1}\" y=\"{:.1}\" font-size=\"{size}\" font-family=\"monospace\" fill=\"{}\">{}</text>",
+                at.x + dx,
+                at.y + dy,
+                p.style.stroke.to_hex(),
+                esc(p.label.as_deref().unwrap_or(""))
+            );
+        }
+    }
+    // Centered label for closed shapes.
+    if !matches!(p.shape, Shape::Text { .. }) {
+        if let Some(label) = &p.label {
+            let b = p.shape.bounds();
+            let c = b.center();
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" font-family=\"monospace\" text-anchor=\"middle\" dominant-baseline=\"middle\" fill=\"#000000\">{}</text>",
+                c.x + dx,
+                c.y + dy,
+                esc(label)
+            );
+        }
+    }
+}
+
+/// Renders `scene` to a standalone SVG document.
+pub fn to_svg(scene: &Scene) -> String {
+    let b = if scene.is_empty() {
+        Rect::new(0.0, 0.0, 100.0, 40.0)
+    } else {
+        scene.bounds().inflate(MARGIN)
+    };
+    let (dx, dy) = (-b.x, -b.y + 16.0); // leave room for the title
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">",
+        b.w,
+        b.h + 20.0,
+        b.w,
+        b.h + 20.0
+    );
+    out.push_str(
+        "  <defs><marker id=\"arrowhead\" markerWidth=\"10\" markerHeight=\"8\" refX=\"9\" refY=\"4\" orient=\"auto\"><polygon points=\"0 0, 10 4, 0 8\"/></marker></defs>\n",
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"6\" y=\"13\" font-size=\"13\" font-family=\"monospace\" font-weight=\"bold\">{}</text>",
+        esc(&scene.title)
+    );
+    for p in &scene.primitives {
+        render_primitive(&mut out, p, dx, dy);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+    use crate::scene::{Color, Style};
+
+    fn sample_scene() -> Scene {
+        let mut s = Scene::new("demo <model>");
+        s.push(Primitive {
+            id: "A/state".into(),
+            shape: Shape::Rect { bounds: Rect::new(0.0, 0.0, 100.0, 40.0), rounded: 6.0 },
+            style: Style::highlighted(),
+            label: Some("Idle".into()),
+        });
+        s.push(Primitive {
+            id: "edge".into(),
+            shape: Shape::Arrow {
+                points: vec![Point::new(100.0, 20.0), Point::new(160.0, 20.0)],
+            },
+            style: Style { fill: None, ..Style::default() },
+            label: None,
+        });
+        s.push(Primitive {
+            id: "t".into(),
+            shape: Shape::Text { at: Point::new(0.0, 80.0), size: 12.0 },
+            style: Style { stroke: Color::ALERT, ..Style::default() },
+            label: Some("a < b".into()),
+        });
+        s
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = to_svg(&sample_scene());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("data-id=\"A/state\""));
+        assert!(svg.contains("marker-end=\"url(#arrowhead)\""));
+        assert!(svg.contains(">Idle<"));
+        // Escaping.
+        assert!(svg.contains("demo &lt;model&gt;"));
+        assert!(svg.contains("a &lt; b"));
+        assert!(!svg.contains("a < b<"));
+    }
+
+    #[test]
+    fn highlight_color_present() {
+        let svg = to_svg(&sample_scene());
+        assert!(svg.contains(&Color::HIGHLIGHT.to_hex()));
+    }
+
+    #[test]
+    fn empty_scene_renders() {
+        let svg = to_svg(&Scene::new("empty"));
+        assert!(svg.contains("empty"));
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn all_shapes_render() {
+        let mut s = Scene::new("shapes");
+        let b = Rect::new(0.0, 0.0, 50.0, 30.0);
+        for (i, shape) in [
+            Shape::Rect { bounds: b, rounded: 0.0 },
+            Shape::Ellipse { bounds: b },
+            Shape::Triangle { bounds: b },
+            Shape::Diamond { bounds: b },
+            Shape::Line { points: vec![Point::new(0.0, 0.0), Point::new(9.0, 9.0)] },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            s.push(Primitive {
+                id: format!("p{i}"),
+                shape,
+                style: Style::default(),
+                label: None,
+            });
+        }
+        let svg = to_svg(&s);
+        assert_eq!(svg.matches("data-id=").count(), 5);
+        assert!(svg.contains("<ellipse"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Timing diagrams for trace replay.
+//!
+//! "The user can then monitor the application's behavior via a replay
+//! function associated with a timing diagram" (paper §II). A
+//! [`TimingDiagram`] holds per-element lanes of labeled occupancy
+//! segments (state names, task activity) plus point events, and renders
+//! to SVG or ASCII.
+
+use std::fmt::Write;
+
+/// A labeled occupancy interval on a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Start time (ns).
+    pub from_ns: u64,
+    /// End time (ns).
+    pub to_ns: u64,
+    /// Label shown in the segment (state name, task phase…).
+    pub label: String,
+}
+
+/// A point event marker on a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marker {
+    /// Event instant (ns).
+    pub at_ns: u64,
+    /// One-character glyph (e.g. `*` publish, `!` violation).
+    pub glyph: char,
+    /// Tooltip/legend text.
+    pub label: String,
+}
+
+/// One horizontal lane of the diagram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Lane {
+    /// Lane name (element path or actor).
+    pub name: String,
+    /// Occupancy segments, non-overlapping, time-ordered.
+    pub segments: Vec<Segment>,
+    /// Point events.
+    pub markers: Vec<Marker>,
+}
+
+/// A multi-lane timing diagram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingDiagram {
+    /// Diagram title.
+    pub title: String,
+    /// Lanes in display order.
+    pub lanes: Vec<Lane>,
+    /// Time window start.
+    pub t0_ns: u64,
+    /// Time window end.
+    pub t1_ns: u64,
+}
+
+impl TimingDiagram {
+    /// Creates an empty diagram over `[t0, t1]`.
+    pub fn new(title: &str, t0_ns: u64, t1_ns: u64) -> Self {
+        TimingDiagram {
+            title: title.to_owned(),
+            lanes: Vec::new(),
+            t0_ns,
+            t1_ns: t1_ns.max(t0_ns + 1),
+        }
+    }
+
+    /// Adds (or reuses) a lane by name, returning its index.
+    pub fn lane(&mut self, name: &str) -> usize {
+        if let Some(i) = self.lanes.iter().position(|l| l.name == name) {
+            return i;
+        }
+        self.lanes.push(Lane {
+            name: name.to_owned(),
+            ..Lane::default()
+        });
+        self.lanes.len() - 1
+    }
+
+    /// Appends a segment to lane `name` (clipped to the window).
+    pub fn segment(&mut self, name: &str, from_ns: u64, to_ns: u64, label: &str) {
+        let (t0, t1) = (self.t0_ns, self.t1_ns);
+        let li = self.lane(name);
+        let from = from_ns.max(t0);
+        let to = to_ns.min(t1);
+        if from < to {
+            self.lanes[li].segments.push(Segment {
+                from_ns: from,
+                to_ns: to,
+                label: label.to_owned(),
+            });
+        }
+    }
+
+    /// Adds a point marker to lane `name`.
+    pub fn marker(&mut self, name: &str, at_ns: u64, glyph: char, label: &str) {
+        if at_ns < self.t0_ns || at_ns > self.t1_ns {
+            return;
+        }
+        let li = self.lane(name);
+        self.lanes[li].markers.push(Marker {
+            at_ns,
+            glyph,
+            label: label.to_owned(),
+        });
+    }
+
+    fn span(&self) -> f64 {
+        (self.t1_ns - self.t0_ns) as f64
+    }
+
+    /// Renders the diagram as ASCII art, `width` columns of timeline.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let width = width.clamp(20, 300);
+        let name_w = self
+            .lanes
+            .iter()
+            .map(|l| l.name.len())
+            .max()
+            .unwrap_or(4)
+            .clamp(4, 32);
+        let col = |t: u64| -> usize {
+            (((t - self.t0_ns) as f64 / self.span()) * (width - 1) as f64).round() as usize
+        };
+        let mut out = format!(
+            "== {} ==  [{} ns .. {} ns]\n",
+            self.title, self.t0_ns, self.t1_ns
+        );
+        for lane in &self.lanes {
+            let mut row = vec![' '; width];
+            for seg in &lane.segments {
+                let a = col(seg.from_ns);
+                let b = col(seg.to_ns).max(a + 1).min(width);
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = '=';
+                }
+                // Place the label inside the segment if it fits.
+                let label: Vec<char> = seg.label.chars().take(b - a).collect();
+                for (i, c) in label.iter().enumerate() {
+                    row[a + i] = *c;
+                }
+            }
+            for m in &lane.markers {
+                let c = col(m.at_ns).min(width - 1);
+                row[c] = m.glyph;
+            }
+            let _ = writeln!(
+                out,
+                "{:>name_w$} |{}|",
+                truncate(&lane.name, name_w),
+                row.iter().collect::<String>()
+            );
+        }
+        // Time axis.
+        let _ = writeln!(
+            out,
+            "{:>name_w$} +{}+",
+            "",
+            "-".repeat(width)
+        );
+        out
+    }
+
+    /// Renders the diagram as an SVG document.
+    pub fn to_svg(&self) -> String {
+        const LANE_H: f64 = 34.0;
+        const NAME_W: f64 = 170.0;
+        const PLOT_W: f64 = 760.0;
+        let h = 40.0 + self.lanes.len() as f64 * LANE_H + 24.0;
+        let x_of = |t: u64| -> f64 {
+            NAME_W + ((t - self.t0_ns) as f64 / self.span()) * PLOT_W
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{h:.0}\">",
+            NAME_W + PLOT_W + 20.0
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"6\" y=\"16\" font-size=\"13\" font-family=\"monospace\" font-weight=\"bold\">{}</text>",
+            self.title
+        );
+        for (li, lane) in self.lanes.iter().enumerate() {
+            let y = 34.0 + li as f64 * LANE_H;
+            let _ = writeln!(
+                out,
+                "  <text x=\"6\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\">{}</text>",
+                y + 16.0,
+                lane.name
+            );
+            let _ = writeln!(
+                out,
+                "  <line x1=\"{NAME_W}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#cccccc\"/>",
+                y + LANE_H - 6.0,
+                NAME_W + PLOT_W,
+                y + LANE_H - 6.0
+            );
+            for seg in &lane.segments {
+                let x0 = x_of(seg.from_ns);
+                let x1 = x_of(seg.to_ns);
+                let hue = hash_color(&seg.label);
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{x0:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"20\" fill=\"{hue}\" stroke=\"#333333\" stroke-width=\"0.7\"/>",
+                    y + 2.0,
+                    (x1 - x0).max(1.0)
+                );
+                if x1 - x0 > 24.0 {
+                    let _ = writeln!(
+                        out,
+                        "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\" text-anchor=\"middle\">{}</text>",
+                        (x0 + x1) / 2.0,
+                        y + 16.0,
+                        seg.label
+                    );
+                }
+            }
+            for m in &lane.markers {
+                let x = x_of(m.at_ns);
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"13\" font-family=\"monospace\" text-anchor=\"middle\">{}</text>",
+                    y + 14.0,
+                    m.glyph
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            "  <text x=\"{NAME_W}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\">{} ns</text>\n  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\" text-anchor=\"end\">{} ns</text>\n",
+            h - 6.0,
+            self.t0_ns,
+            NAME_W + PLOT_W,
+            h - 6.0,
+            self.t1_ns
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("…{}", &s[s.len() - (n - 1)..])
+    }
+}
+
+/// Deterministic pastel color for a segment label.
+fn hash_color(label: &str) -> String {
+    let mut h: u32 = 2166136261;
+    for b in label.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    let r = 160 + (h & 0x3F) as u8;
+    let g = 160 + ((h >> 8) & 0x3F) as u8;
+    let b = 160 + ((h >> 16) & 0x3F) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimingDiagram {
+        let mut d = TimingDiagram::new("Light/ctl", 0, 1000);
+        d.segment("Light/ctl", 0, 400, "Red");
+        d.segment("Light/ctl", 400, 700, "Green");
+        d.segment("Light/ctl", 700, 1000, "Yellow");
+        d.marker("Light/out", 400, '*', "publish");
+        d
+    }
+
+    #[test]
+    fn lanes_created_on_demand() {
+        let d = sample();
+        assert_eq!(d.lanes.len(), 2);
+        assert_eq!(d.lanes[0].segments.len(), 3);
+        assert_eq!(d.lanes[1].markers.len(), 1);
+    }
+
+    #[test]
+    fn segments_clip_to_window() {
+        let mut d = TimingDiagram::new("t", 100, 200);
+        d.segment("a", 0, 150, "x"); // clipped to [100,150]
+        d.segment("a", 180, 500, "y"); // clipped to [180,200]
+        d.segment("a", 300, 400, "z"); // fully outside → dropped
+        assert_eq!(d.lanes[0].segments.len(), 2);
+        assert_eq!(d.lanes[0].segments[0].from_ns, 100);
+        assert_eq!(d.lanes[0].segments[1].to_ns, 200);
+        d.marker("a", 999, '!', "late"); // outside → dropped
+        assert!(d.lanes[0].markers.is_empty());
+    }
+
+    #[test]
+    fn ascii_shows_labels_and_markers() {
+        let art = sample().to_ascii(60);
+        assert!(art.contains("Red"));
+        assert!(art.contains("Green"));
+        assert!(art.contains('*'));
+        assert!(art.contains("Light/ctl"));
+        // Axis line present.
+        assert!(art.lines().last().unwrap().contains('+'));
+    }
+
+    #[test]
+    fn svg_contains_lane_names_and_segments() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Light/ctl"));
+        assert!(svg.contains(">Red<"));
+        assert!(svg.matches("<rect").count() >= 3);
+    }
+
+    #[test]
+    fn hash_color_is_stable_and_pastel() {
+        assert_eq!(hash_color("Red"), hash_color("Red"));
+        assert_ne!(hash_color("Red"), hash_color("Green"));
+        let c = hash_color("anything");
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn degenerate_window_survives() {
+        let d = TimingDiagram::new("t", 5, 5);
+        assert!(d.t1_ns > d.t0_ns);
+        let _ = d.to_ascii(40);
+        let _ = d.to_svg();
+    }
+}

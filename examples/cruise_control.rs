@@ -1,0 +1,177 @@
+//! Heterogeneous model debugging: a cruise controller mixing a state
+//! machine with a modal dataflow controller — the paper's motivating
+//! "state instance invokes a particular instance of a dataflow model"
+//! pattern (§II), plus a *design error* caught by an expectation monitor
+//! and classified against the reference interpreter.
+//!
+//! Run with `cargo run --example cruise_control`.
+
+use gmdf::{ChannelMode, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, BasicOp, Expr, FsmBuilder, Mode, ModalBlock, NetworkBuilder, NodeSpec, Port,
+    SignalValue, System, Timing,
+};
+use gmdf_engine::Expectation;
+use gmdf_target::SimConfig;
+
+/// Builds the cruise-control system. `broken_model` plants the design
+/// error: the PID output clamp in the *model* is far too wide, so the
+/// throttle command violates the actuator requirement [0, 100] — a bug in
+/// the design, not in the code generator.
+fn cruise_system(broken_model: bool) -> Result<System, gmdf_comdes::ComdesError> {
+    // Supervisory state machine: Off → Armed → Cruising, cancel anywhere.
+    let fsm = FsmBuilder::new()
+        .input(Port::boolean("set"))
+        .input(Port::boolean("cancel"))
+        .output(Port::int("mode"))
+        .state("Off", |s| s.entry("mode", Expr::Int(0)))
+        .state("Armed", |s| s.entry("mode", Expr::Int(0)))
+        .state("Cruising", |s| s.entry("mode", Expr::Int(1)))
+        .transition("Off", "Armed", Expr::var("set"))
+        .transition("Armed", "Cruising", Expr::var("set").not())
+        .transition("Cruising", "Off", Expr::var("cancel"))
+        .transition("Armed", "Off", Expr::var("cancel"))
+        .initial("Off")
+        .build()?;
+
+    // Modal throttle controller: mode 0 = coast (zero throttle),
+    // mode 1 = PID speed hold.
+    let coast = NetworkBuilder::new()
+        .input(Port::real("speed"))
+        .input(Port::real("target"))
+        .output(Port::real("throttle"))
+        .block("zero", BasicOp::Const(SignalValue::Real(0.0)))
+        .connect("zero.y", "throttle")?
+        .build()?;
+    let (lo, hi) = if broken_model { (-50.0, 150.0) } else { (0.0, 100.0) };
+    let hold = NetworkBuilder::new()
+        .input(Port::real("speed"))
+        .input(Port::real("target"))
+        .output(Port::real("throttle"))
+        .block("pid", BasicOp::Pid { kp: 8.0, ki: 2.0, kd: 0.0, lo, hi })
+        .connect("target", "pid.sp")?
+        .connect("speed", "pid.pv")?
+        .connect("pid.u", "throttle")?
+        .build()?;
+    let modal = ModalBlock {
+        data_inputs: vec![Port::real("speed"), Port::real("target")],
+        outputs: vec![Port::real("throttle")],
+        modes: vec![
+            Mode { name: "coast".into(), network: coast },
+            Mode { name: "hold".into(), network: hold },
+        ],
+    };
+
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("set"))
+        .input(Port::boolean("cancel"))
+        .input(Port::real("speed"))
+        .input(Port::real("target"))
+        .output(Port::int("mode"))
+        .output(Port::real("throttle"))
+        .state_machine("sup", fsm)
+        .modal("ctl", modal)
+        .connect("set", "sup.set")?
+        .connect("cancel", "sup.cancel")?
+        .connect("sup.mode", "ctl.mode")?
+        .connect("speed", "ctl.speed")?
+        .connect("target", "ctl.target")?
+        .connect("sup.mode", "mode")?
+        .connect("ctl.throttle", "throttle")?
+        .build()?;
+    let actor = ActorBuilder::new("Cruise", net)
+        .input("set", "btn_set")
+        .input("cancel", "btn_cancel")
+        .input("speed", "speed")
+        .input("target", "target")
+        .output("mode", "cruise_mode")
+        .output("throttle", "throttle")
+        .timing(Timing::periodic(20_000_000, 0)) // 50 Hz
+        .build()?;
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new("cruise").with_node(node))
+}
+
+fn drive(session: &mut gmdf::DebugSession) -> Result<(), Box<dyn std::error::Error>> {
+    session.schedule_signal(0, "speed", SignalValue::Real(60.0))?;
+    session.schedule_signal(0, "target", SignalValue::Real(90.0))?;
+    // Press SET at 0.1 s, release at 0.2 s → Armed → Cruising.
+    session.schedule_signal(100_000_000, "btn_set", SignalValue::Bool(true))?;
+    session.schedule_signal(200_000_000, "btn_set", SignalValue::Bool(false))?;
+    // Cancel at 1.5 s.
+    session.schedule_signal(1_500_000_000, "btn_cancel", SignalValue::Bool(true))?;
+    session.run_for(2_000_000_000)?;
+    Ok(())
+}
+
+fn run_variant(broken_model: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let label = if broken_model { "DESIGN-ERROR MODEL" } else { "CORRECT MODEL" };
+    println!("\n===== {label} =====");
+    let system = cruise_system(broken_model)?;
+    let mut session = Workflow::from_system(system)?
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::full(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )?;
+
+    // Requirement: the physical actuator accepts 0..100 % throttle.
+    session.engine_mut().add_expectation(Expectation::SignalRange {
+        path_prefix: "Cruise/out/throttle".into(),
+        min: 0.0,
+        max: 100.0,
+    });
+    // Requirement: the supervisor must arm before cruising.
+    session.engine_mut().add_expectation(Expectation::StateSequence {
+        fsm_path: "Cruise/sup".into(),
+        sequence: vec!["Armed".into(), "Cruising".into(), "Off".into()],
+        cyclic: true,
+    });
+
+    drive(&mut session)?;
+
+    println!("states visited:");
+    for e in session.engine().trace().entries() {
+        if e.event.kind == gmdf_gdm::EventKind::StateEnter
+            || e.event.kind == gmdf_gdm::EventKind::ModeSwitch
+        {
+            println!("  {}", e.event);
+        }
+    }
+    let violations = session.engine().violations();
+    println!("violations found: {}", violations.len());
+    for v in violations.iter().take(3) {
+        println!("  {v}");
+    }
+    if !violations.is_empty() {
+        let (class, divergence) = session.classify_against_model()?;
+        println!("classification: {class}");
+        if let Some(d) = divergence {
+            println!("  divergence: {d}");
+        } else {
+            println!("  target behaviour matches the model — the model itself is wrong");
+        }
+    }
+
+    // SVG frame of the final animated model.
+    let out_dir = std::path::Path::new("target/gmdf-artifacts");
+    std::fs::create_dir_all(out_dir)?;
+    let name = if broken_model { "cruise-broken.svg" } else { "cruise-ok.svg" };
+    std::fs::write(out_dir.join(name), session.engine().frame_svg())?;
+    println!("frame written to {}", out_dir.join(name).display());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("GMDF cruise control — heterogeneous model (FSM + modal dataflow)");
+    run_variant(false)?;
+    run_variant(true)?;
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Implementation-error detection: the debugger catches bugs injected
+//! into the **model transformation**, not the model.
+//!
+//! "In principle, there are two kinds of bugs that can be checked with a
+//! runtime model debugger: design-errors … and implementation errors that
+//! happen during model transformation" (paper §II). Here the model is
+//! correct; the code generator is sabotaged three ways, and each sabotage
+//! is detected — and classified as an implementation error by comparing
+//! the target's behaviour with the reference interpreter's.
+//!
+//! Run with `cargo run --example fault_injection`.
+
+use gmdf::{comdes_allowed_transitions, ChannelMode, Workflow};
+use gmdf_codegen::{CompileOptions, Fault, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_target::SimConfig;
+
+fn washer_system() -> Result<System, gmdf_comdes::ComdesError> {
+    let fsm = FsmBuilder::new()
+        .output(Port::int("phase"))
+        .state("Fill", |s| s.entry("phase", Expr::Int(0)))
+        .state("Wash", |s| s.entry("phase", Expr::Int(1)))
+        .state("Rinse", |s| s.entry("phase", Expr::Int(2)))
+        .state("Spin", |s| s.entry("phase", Expr::Int(3)))
+        .transition("Fill", "Wash", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.3)))
+        .transition("Wash", "Rinse", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)))
+        .transition("Rinse", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.4)))
+        .transition("Spin", "Fill", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.6)))
+        .initial("Fill")
+        .build()?;
+    let net = NetworkBuilder::new()
+        .output(Port::int("phase"))
+        .state_machine("cycle", fsm)
+        .connect("cycle.phase", "phase")?
+        .build()?;
+    let actor = ActorBuilder::new("Washer", net)
+        .output("phase", "phase")
+        .timing(Timing::periodic(50_000_000, 0))
+        .build()?;
+    let mut node = NodeSpec::new("mcu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new("washer").with_node(node))
+}
+
+fn debug_with_faults(faults: Vec<Fault>) -> Result<(), Box<dyn std::error::Error>> {
+    let fault_desc = if faults.is_empty() {
+        "no faults (correct generator)".to_owned()
+    } else {
+        faults.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    };
+    println!("\n===== generator: {fault_desc} =====");
+
+    let system = washer_system()?;
+    let mut session = Workflow::from_system(system)?
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults,
+            },
+            SimConfig::default(),
+        )?;
+    // The expectations are derived from the MODEL itself — any observed
+    // transition outside the model is an implementation error by
+    // construction.
+    for e in comdes_allowed_transitions(session.system())? {
+        session.engine_mut().add_expectation(e);
+    }
+
+    let report = session.run_for(5_000_000_000)?;
+    println!("commands observed: {}", report.events_fed);
+    let entered: Vec<&str> = session
+        .engine()
+        .trace()
+        .entries()
+        .iter()
+        .filter_map(|e| e.event.to.as_deref())
+        .collect();
+    println!("phases entered:   {}", entered.join(" → "));
+    println!("violations:       {}", session.engine().violations().len());
+    for v in session.engine().violations().iter().take(2) {
+        println!("  {v}");
+    }
+
+    if report.events_fed == 0 {
+        println!("diagnosis: the debugger is SILENT — the generator dropped the");
+        println!("           command interface (every emit stripped). The model");
+        println!("           cannot be debugged actively; switch to JTAG.");
+    } else {
+        let (class, divergence) = session.classify_against_model()?;
+        if session.engine().violations().is_empty() && divergence.is_none() {
+            println!("diagnosis: behaviour matches the model — no bug.");
+        } else {
+            println!("diagnosis: {class}");
+            if let Some(d) = divergence {
+                println!("  first divergence — {d}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("GMDF fault injection — catching model-transformation bugs");
+    // Baseline: faithful generator.
+    debug_with_faults(vec![])?;
+    // Classic transition-table indexing slip.
+    debug_with_faults(vec![Fault::SwapTransitionTargets {
+        block_path: "Washer/cycle".into(),
+    }])?;
+    // Inverted guard on the Wash → Rinse transition.
+    debug_with_faults(vec![Fault::NegateGuard {
+        block_path: "Washer/cycle".into(),
+        transition: 1,
+    }])?;
+    // A generator that silently forgot the command interface.
+    debug_with_faults(vec![Fault::DropEmits])?;
+    Ok(())
+}

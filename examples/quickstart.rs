@@ -1,0 +1,140 @@
+//! Quickstart: the five-step GMDF workflow of paper Fig. 6 on a traffic
+//! light controller.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The example models a pedestrian traffic light as a COMDES state-machine
+//! actor, generates instrumented code, runs it on the simulated target,
+//! and animates the design model from the live RS-232 command stream —
+//! printing ASCII animation frames and finishing with the replay timing
+//! diagram.
+
+use gmdf::{ChannelMode, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, SignalValue, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_engine::timing_diagram;
+use gmdf_target::SimConfig;
+
+fn traffic_light_system() -> Result<System, gmdf_comdes::ComdesError> {
+    // Dwell times: Red 3 s, Green 4 s (cut short by the button), Yellow 1 s.
+    let fsm = FsmBuilder::new()
+        .input(Port::boolean("button"))
+        .output(Port::int("lamp"))
+        .state("Red", |s| s.entry("lamp", Expr::Int(0)))
+        .state("Green", |s| s.entry("lamp", Expr::Int(1)))
+        .state("Yellow", |s| s.entry("lamp", Expr::Int(2)))
+        .transition("Red", "Green", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(3.0)))
+        .transition(
+            "Green",
+            "Yellow",
+            Expr::var("button").or(Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(4.0))),
+        )
+        .transition("Yellow", "Red", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)))
+        .initial("Red")
+        .build()?;
+    let net = NetworkBuilder::new()
+        .input(Port::boolean("button"))
+        .output(Port::int("lamp"))
+        .state_machine("ctl", fsm)
+        .connect("button", "ctl.button")?
+        .connect("ctl.lamp", "lamp")?
+        .build()?;
+    let actor = ActorBuilder::new("Light", net)
+        .input("button", "button")
+        .output("lamp", "lamp")
+        .timing(Timing::periodic(100_000_000, 0)) // 100 ms control period
+        .build()?;
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new("crossing").with_node(node))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("GMDF quickstart — paper Fig. 6 workflow\n");
+
+    // Steps 1-2: input prerequisites (the COMDES system provides the
+    // metamodel, the model, and — after compilation — the executable code).
+    let system = traffic_light_system()?;
+    let workflow = Workflow::from_system(system)?;
+    println!(
+        "step 1-2: inputs loaded ({} model elements, metamodel `{}`)",
+        workflow.model().len(),
+        workflow.metamodel().name()
+    );
+
+    // Step 3: abstraction guide (standard COMDES pairing list).
+    let mapped = workflow.default_abstraction();
+    println!("step 3:   abstraction finished (COMDES preset mapping)");
+
+    // Step 4: command settings (default reactions) → initial GDM.
+    let configured = mapped.default_commands();
+    println!(
+        "step 4:   GDM generated ({} elements, {} edges, {} bindings)",
+        configured.gdm().elements.len(),
+        configured.gdm().edges.len(),
+        configured.gdm().bindings.len()
+    );
+
+    // Step 5: connect the active RS-232 channel and start debugging.
+    let mut session = configured.connect(
+        ChannelMode::Active,
+        CompileOptions {
+            instrument: InstrumentOptions::behavior(),
+            faults: vec![],
+        },
+        SimConfig::default(),
+    )?;
+    println!("step 5:   channel established; debugger waiting for commands\n");
+
+    // A pedestrian presses the button at t = 3.5 s and t = 12 s.
+    session.schedule_signal(3_500_000_000, "button", SignalValue::Bool(true))?;
+    session.schedule_signal(3_700_000_000, "button", SignalValue::Bool(false))?;
+    session.schedule_signal(12_000_000_000, "button", SignalValue::Bool(true))?;
+    session.schedule_signal(12_200_000_000, "button", SignalValue::Bool(false))?;
+
+    // Run in 2-second slices, showing the animated model after each.
+    for slice in 0..7 {
+        let report = session.run_for(2_000_000_000)?;
+        if report.events_fed > 0 {
+            println!(
+                "t = {:>2} s — {} command(s) received:",
+                (slice + 1) * 2,
+                report.events_fed
+            );
+            println!("{}", session.engine().frame_ascii());
+        }
+    }
+
+    // The always-on execution trace, and the replay timing diagram.
+    println!("\nexecution trace ({} entries):", session.engine().trace().len());
+    for entry in session.engine().trace().entries() {
+        println!("  {}", entry.event);
+    }
+    println!("\nreplay timing diagram:");
+    println!(
+        "{}",
+        timing_diagram(session.engine().trace(), "Light/ctl state occupancy").to_ascii(100)
+    );
+
+    // Persist artifacts like the prototype would.
+    let out_dir = std::path::Path::new("target/gmdf-artifacts");
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(out_dir.join("quickstart-frame.svg"), session.engine().frame_svg())?;
+    std::fs::write(
+        out_dir.join("quickstart-gdm.json"),
+        session.engine().gdm().to_json(),
+    )?;
+    std::fs::write(
+        out_dir.join("quickstart-trace.json"),
+        session.engine().trace().to_json(),
+    )?;
+    std::fs::write(
+        out_dir.join("quickstart-timing.svg"),
+        timing_diagram(session.engine().trace(), "Light/ctl state occupancy").to_svg(),
+    )?;
+    println!("\nartifacts written to {}", out_dir.display());
+    Ok(())
+}

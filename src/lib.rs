@@ -1,0 +1,43 @@
+//! # gmdf-suite — integration suite for the GMDF reproduction
+//!
+//! This crate hosts the repository-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). Its library part is a thin
+//! [`prelude`] so examples and downstream experiments can import the whole
+//! framework with one line:
+//!
+//! ```
+//! use gmdf_suite::prelude::*;
+//!
+//! let fsm = FsmBuilder::new()
+//!     .output(Port::boolean("q"))
+//!     .state("A", |s| s.during("q", Expr::Bool(true)))
+//!     .build()
+//!     .expect("valid machine");
+//! assert_eq!(fsm.states.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+/// One-line import for the whole framework: sessions and workflow from
+/// [`gmdf`], the COMDES modeling language, codegen options, the target
+/// simulator, and the engine's debugging types.
+pub mod prelude {
+    pub use gmdf::{
+        comdes_abstraction, comdes_allowed_transitions, comdes_gdm, comdes_gdm_default,
+        ChannelMode, DebugSession, RunReport, SessionError, Workflow,
+    };
+    pub use gmdf_codegen::{compile_system, CompileOptions, Fault, InstrumentOptions};
+    pub use gmdf_comdes::{
+        export_system, ActorBuilder, BasicOp, Expr, FsmBuilder, Interpreter, Mode, ModalBlock,
+        Network, NetworkBuilder, NodeSpec, Port, SignalType, SignalValue, System, Timing,
+        VAR_DT, VAR_TIME_IN_STATE,
+    };
+    pub use gmdf_engine::{
+        timing_diagram, BugClass, DebuggerEngine, Expectation, ExecutionTrace, Replayer,
+    };
+    pub use gmdf_gdm::{
+        default_bindings, AbstractionGuide, CommandMatcher, DebuggerModel, EventKind,
+        GdmPattern, ModelEvent,
+    };
+    pub use gmdf_target::{JtagMonitor, SimConfig, SimEvent, Simulator};
+}

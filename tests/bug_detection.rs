@@ -1,0 +1,198 @@
+//! Experiment T4 as a test suite: detection and classification of both
+//! bug classes the paper names — design errors (wrong model) and
+//! implementation errors (wrong model transformation).
+
+use gmdf::{comdes_allowed_transitions, ChannelMode, Workflow};
+use gmdf_codegen::{CompileOptions, Fault, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, BasicOp, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_engine::{BugClass, Expectation};
+use gmdf_target::SimConfig;
+
+fn sequencer(skip_a_phase_in_model: bool) -> System {
+    // A four-phase sequencer; the "design error" variant wires Rinse to be
+    // skipped in the MODEL (requirements demand it).
+    let mut fb = FsmBuilder::new()
+        .output(Port::int("phase"))
+        .state("Fill", |s| s.entry("phase", Expr::Int(0)))
+        .state("Wash", |s| s.entry("phase", Expr::Int(1)))
+        .state("Rinse", |s| s.entry("phase", Expr::Int(2)))
+        .state("Spin", |s| s.entry("phase", Expr::Int(3)))
+        .transition("Fill", "Wash", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+    if skip_a_phase_in_model {
+        fb = fb.transition("Wash", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+    } else {
+        fb = fb
+            .transition("Wash", "Rinse", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)))
+            .transition("Rinse", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+    }
+    let fsm = fb
+        .transition("Spin", "Fill", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)))
+        .initial("Fill")
+        .build()
+        .unwrap();
+    let net = NetworkBuilder::new()
+        .output(Port::int("phase"))
+        .state_machine("cycle", fsm)
+        .connect("cycle.phase", "phase")
+        .unwrap()
+        .build()
+        .unwrap();
+    let actor = ActorBuilder::new("Washer", net)
+        .output("phase", "phase")
+        .timing(Timing::periodic(50_000_000, 0))
+        .build()
+        .unwrap();
+    let mut node = NodeSpec::new("mcu", 50_000_000);
+    node.actors.push(actor);
+    System::new("washer").with_node(node)
+}
+
+fn requirements() -> Expectation {
+    // Requirement: every cycle passes through all four phases in order.
+    Expectation::StateSequence {
+        fsm_path: "Washer/cycle".into(),
+        sequence: vec!["Wash".into(), "Rinse".into(), "Spin".into(), "Fill".into()],
+        cyclic: true,
+    }
+}
+
+fn run(system: System, faults: Vec<Fault>) -> gmdf::DebugSession {
+    let mut session = Workflow::from_system(system)
+        .unwrap()
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults,
+            },
+            SimConfig::default(),
+        )
+        .unwrap();
+    session.engine_mut().add_expectation(requirements());
+    for e in comdes_allowed_transitions(session.system()).unwrap() {
+        session.engine_mut().add_expectation(e);
+    }
+    session.run_for(3_000_000_000).unwrap();
+    session
+}
+
+#[test]
+fn clean_build_of_correct_model_has_no_findings() {
+    let s = run(sequencer(false), vec![]);
+    assert!(s.engine().violations().is_empty());
+    let (_, divergence) = s.classify_against_model().unwrap();
+    assert!(divergence.is_none());
+}
+
+#[test]
+fn design_error_detected_and_classified() {
+    // The model skips Rinse; the generated code faithfully skips it too.
+    let s = run(sequencer(true), vec![]);
+    assert!(
+        !s.engine().violations().is_empty(),
+        "requirement violation expected"
+    );
+    let (class, divergence) = s.classify_against_model().unwrap();
+    assert_eq!(class, BugClass::DesignError);
+    assert!(divergence.is_none(), "code matches the (wrong) model");
+}
+
+#[test]
+fn swapped_transitions_detected_as_implementation_error() {
+    let s = run(
+        sequencer(false),
+        vec![Fault::SwapTransitionTargets { block_path: "Washer/cycle".into() }],
+    );
+    assert!(!s.engine().violations().is_empty());
+    let (class, divergence) = s.classify_against_model().unwrap();
+    assert_eq!(class, BugClass::ImplementationError);
+    assert!(divergence.is_some());
+}
+
+#[test]
+fn negated_guard_detected_as_implementation_error() {
+    let s = run(
+        sequencer(false),
+        vec![Fault::NegateGuard { block_path: "Washer/cycle".into(), transition: 1 }],
+    );
+    let (class, _) = s.classify_against_model().unwrap();
+    assert_eq!(class, BugClass::ImplementationError);
+}
+
+#[test]
+fn skipped_entry_actions_change_signal_values() {
+    // Entry actions write the phase output; skipping them freezes it at 0.
+    let clean = run(sequencer(false), vec![]);
+    let faulty = run(
+        sequencer(false),
+        vec![Fault::SkipEntryActions { block_path: "Washer/cycle".into() }],
+    );
+    let last_phase = |s: &gmdf::DebugSession| {
+        s.simulator()
+            .read_signal("mcu", "phase")
+            .unwrap()
+            .as_int()
+            .unwrap()
+    };
+    // Clean run has progressed beyond phase 0 at some point; faulty stays 0.
+    assert_eq!(last_phase(&faulty), 0);
+    let _ = last_phase(&clean); // clean one is whatever phase it's in
+    // The transitions still FIRE in the faulty build (guards unaffected),
+    // so the stream diverges from the model only in values, not behaviour
+    // — this fault class needs signal monitoring to catch:
+    let observed_transitions = faulty.engine().trace().len();
+    assert!(observed_transitions > 0);
+}
+
+#[test]
+fn gain_error_detected_by_signal_range() {
+    // Dataflow actor: y = 2x with requirement |y| <= 30 for |x| <= 10.
+    let net = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::real("y"))
+        .block("g", BasicOp::Gain { k: 2.0 })
+        .connect("x", "g.x")
+        .unwrap()
+        .connect("g.y", "y")
+        .unwrap()
+        .build()
+        .unwrap();
+    let actor = ActorBuilder::new("Amp", net)
+        .input("x", "in")
+        .output("y", "out")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()
+        .unwrap();
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    let system = System::new("amp").with_node(node);
+
+    let mut session = Workflow::from_system(system)
+        .unwrap()
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::full(), // signal writes too
+                faults: vec![Fault::GainError { block_path: "Amp/g".into(), factor: 10.0 }],
+            },
+            SimConfig::default(),
+        )
+        .unwrap();
+    session.engine_mut().add_expectation(Expectation::SignalRange {
+        path_prefix: "Amp/out/y".into(),
+        min: -30.0,
+        max: 30.0,
+    });
+    session
+        .schedule_signal(0, "in", gmdf_comdes::SignalValue::Real(5.0))
+        .unwrap();
+    let report = session.run_for(10_000_000).unwrap();
+    assert!(report.violations > 0, "5 * 2 * 10 = 100 > 30 must violate");
+}

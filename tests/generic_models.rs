@@ -1,0 +1,188 @@
+//! Input-language genericity: GMDF "could accept all types of system
+//! model that follow the MOF specification" (paper §II) — the GDM,
+//! abstraction and engine layers must work for *any* metamodel, not just
+//! COMDES. This suite debugs a Petri-net-flavoured model that the
+//! framework has never seen, and exercises the multi-metamodel registry
+//! ("multiple-type and multiple-instance input models").
+
+use gmdf_engine::DebuggerEngine;
+use gmdf_gdm::{
+    default_bindings, AbstractionGuide, EdgeRule, EventKind, GdmPattern, ModelEvent,
+};
+use gmdf_metamodel::{
+    model_to_json, DataType, Metamodel, MetamodelBuilder, MetamodelRegistry, Model, Value,
+};
+use std::sync::Arc;
+
+/// A minimal Petri-net metamodel: places, transitions, arcs.
+fn petri_metamodel() -> Metamodel {
+    let mut b = MetamodelBuilder::new("petri");
+    b.class("Net")
+        .unwrap()
+        .attribute("name", DataType::Str, true)
+        .unwrap()
+        .containment_many("places", "Place")
+        .unwrap()
+        .containment_many("transitions", "Transition")
+        .unwrap()
+        .containment_many("arcs", "Arc")
+        .unwrap();
+    b.class("Place")
+        .unwrap()
+        .attribute("name", DataType::Str, true)
+        .unwrap()
+        .attribute_with_default("tokens", DataType::Int, Value::Int(0))
+        .unwrap();
+    b.class("Transition")
+        .unwrap()
+        .attribute("name", DataType::Str, true)
+        .unwrap();
+    b.class("Arc")
+        .unwrap()
+        .cross_required("from", "Place")
+        .unwrap()
+        .cross_required("to", "Transition")
+        .unwrap();
+    b.build().unwrap()
+}
+
+fn petri_model(mm: Arc<Metamodel>) -> Model {
+    let mut m = Model::new(mm);
+    let net = m.create("Net").unwrap();
+    m.set_attr(net, "name", "mutex".into()).unwrap();
+    let mut places = Vec::new();
+    for p in ["idle", "waiting", "critical"] {
+        let obj = m.create("Place").unwrap();
+        m.set_attr(obj, "name", p.into()).unwrap();
+        m.add_child(net, "places", obj).unwrap();
+        places.push(obj);
+    }
+    let mut transitions = Vec::new();
+    for t in ["request", "enter"] {
+        let obj = m.create("Transition").unwrap();
+        m.set_attr(obj, "name", t.into()).unwrap();
+        m.add_child(net, "transitions", obj).unwrap();
+        transitions.push(obj);
+    }
+    for (p, t) in [(0usize, 0usize), (1, 1)] {
+        let arc = m.create("Arc").unwrap();
+        m.add_ref(arc, "from", places[p]).unwrap();
+        m.add_ref(arc, "to", transitions[t]).unwrap();
+        m.add_child(net, "arcs", arc).unwrap();
+    }
+    m
+}
+
+#[test]
+fn foreign_metamodel_flows_through_abstraction_and_engine() {
+    let mm = Arc::new(petri_metamodel());
+    let model = petri_model(mm.clone());
+    assert!(gmdf_metamodel::validate(&model).is_conformant());
+
+    // Abstraction guide on a metamodel the framework has never seen.
+    let mut guide = AbstractionGuide::new(mm);
+    assert_eq!(guide.element_list(), ["Net", "Place", "Transition", "Arc"]);
+    guide.pair("Net", GdmPattern::Rectangle).unwrap();
+    guide.pair("Place", GdmPattern::Circle).unwrap();
+    guide.pair("Transition", GdmPattern::Diamond).unwrap();
+    guide
+        .edge_rule(EdgeRule::ByReferences {
+            metaclass: "Arc".into(),
+            source: "from".into(),
+            target: "to".into(),
+            label_attr: None,
+        })
+        .unwrap();
+    let gdm = guide.finish().unwrap().derive(&model, "petri debug model");
+    assert!(gdm.check().is_empty());
+    assert_eq!(gdm.elements.len(), 6); // net + 3 places + 2 transitions
+    assert_eq!(gdm.edges.len(), 2);
+
+    // The engine animates it from a (synthetic) command stream: a token
+    // game reported as watch-change + state-enter style events.
+    let mut gdm = gdm;
+    gdm.bindings = default_bindings();
+    let mut engine = DebuggerEngine::new(gdm);
+    engine.feed(
+        ModelEvent::new(10, EventKind::StateEnter, "mutex").with_to("waiting"),
+    );
+    assert!(engine.visual()["mutex/waiting"].highlighted);
+    engine.feed(
+        ModelEvent::new(20, EventKind::StateEnter, "mutex").with_to("critical"),
+    );
+    assert!(engine.visual()["mutex/critical"].highlighted);
+    assert!(engine.visual()["mutex/waiting"].dimmed);
+    let svg = engine.frame_svg();
+    assert!(svg.contains("critical"));
+}
+
+#[test]
+fn registry_hosts_multiple_metamodels_simultaneously() {
+    // "Input models may consist of more than one type of model" (§II).
+    let mut registry = MetamodelRegistry::new();
+    let petri = registry.register(petri_metamodel());
+    registry.register(gmdf_comdes::comdes_metamodel());
+    assert_eq!(registry.names(), ["comdes", "petri"]);
+
+    // A petri document round-trips through the registry loader…
+    let model = petri_model(petri);
+    let json = model_to_json(&model).unwrap();
+    let loaded = registry.load_model(&json).unwrap();
+    assert_eq!(loaded.len(), model.len());
+
+    // …and so does a COMDES export, resolved by its own metamodel name.
+    let system = {
+        let net = gmdf_comdes::NetworkBuilder::new()
+            .output(gmdf_comdes::Port::real("y"))
+            .block("c", gmdf_comdes::BasicOp::Const(gmdf_comdes::SignalValue::Real(1.0)))
+            .connect("c.y", "y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let actor = gmdf_comdes::ActorBuilder::new("A", net)
+            .output("y", "one")
+            .build()
+            .unwrap();
+        let mut node = gmdf_comdes::NodeSpec::new("n", 1_000_000);
+        node.actors.push(actor);
+        gmdf_comdes::System::new("tiny").with_node(node)
+    };
+    let (_, comdes_model) = gmdf_comdes::export_system(&system).unwrap();
+    let comdes_json = model_to_json(&comdes_model).unwrap();
+    let loaded = registry.load_model(&comdes_json).unwrap();
+    assert_eq!(loaded.len(), comdes_model.len());
+}
+
+#[test]
+fn multiple_instances_of_one_metamodel_coexist() {
+    // "complex input models may contain more than one instance of specific
+    // input models" (§II): two independent petri models, one guide, two
+    // derived debug models driven by interleaved event streams.
+    let mm = Arc::new(petri_metamodel());
+    let model_a = petri_model(mm.clone());
+    let model_b = petri_model(mm.clone());
+
+    let mut guide = AbstractionGuide::new(mm);
+    guide.pair("Place", GdmPattern::Circle).unwrap();
+    let abstraction = guide.finish().unwrap();
+
+    let gdm_a = {
+        let mut g = abstraction.derive(&model_a, "instance A");
+        g.bindings = default_bindings();
+        g
+    };
+    let gdm_b = {
+        let mut g = abstraction.derive(&model_b, "instance B");
+        g.bindings = default_bindings();
+        g
+    };
+    let mut engine_a = DebuggerEngine::new(gdm_a);
+    let mut engine_b = DebuggerEngine::new(gdm_b);
+    engine_a.feed(ModelEvent::new(1, EventKind::StateEnter, "mutex").with_to("idle"));
+    engine_b.feed(ModelEvent::new(2, EventKind::StateEnter, "mutex").with_to("critical"));
+    assert!(engine_a.visual()["mutex/idle"].highlighted);
+    // Engine A only dimmed `critical` as a sibling; B highlighted its own.
+    assert!(!engine_a.visual()["mutex/critical"].highlighted);
+    assert!(engine_b.visual()["mutex/critical"].highlighted);
+    assert!(!engine_b.visual()["mutex/idle"].highlighted);
+}

@@ -1,0 +1,230 @@
+//! End-to-end pipeline tests spanning every crate (paper Fig. 2: the
+//! three parts of GMDF wired together over both channel types).
+
+use gmdf::{comdes_allowed_transitions, ChannelMode, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, BasicOp, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, SignalValue, System,
+    Timing, VAR_TIME_IN_STATE,
+};
+use gmdf_gdm::EventKind;
+use gmdf_target::SimConfig;
+
+fn blinker(period_ms: u64) -> System {
+    let fsm = FsmBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+        .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+        .transition("Off", "On", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)))
+        .transition("On", "Off", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)))
+        .build()
+        .unwrap();
+    let net = NetworkBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state_machine("ctl", fsm)
+        .connect("ctl.lamp", "lamp")
+        .unwrap()
+        .build()
+        .unwrap();
+    let actor = ActorBuilder::new("Blinker", net)
+        .output("lamp", "lamp")
+        .timing(Timing::periodic(period_ms * 1_000_000, 0))
+        .build()
+        .unwrap();
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    System::new("blink").with_node(node)
+}
+
+fn session(system: System, channel: ChannelMode) -> gmdf::DebugSession {
+    Workflow::from_system(system)
+        .unwrap()
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            channel,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )
+        .unwrap()
+}
+
+/// Behavioural subsequence (path, to) of a session's trace.
+fn behavior(s: &gmdf::DebugSession) -> Vec<(String, String)> {
+    s.engine()
+        .trace()
+        .entries()
+        .iter()
+        .filter(|e| {
+            matches!(e.event.kind, EventKind::StateEnter | EventKind::ModeSwitch)
+        })
+        .map(|e| (e.event.path.clone(), e.event.to.clone().unwrap_or_default()))
+        .collect()
+}
+
+#[test]
+fn active_and_passive_channels_observe_identical_behavior() {
+    let mut active = session(blinker(1), ChannelMode::Active);
+    active.run_for(50_000_000).unwrap();
+    let mut passive = session(
+        blinker(1),
+        // Poll fast enough to catch every 4 ms dwell.
+        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+    );
+    passive.run_for(50_000_000).unwrap();
+
+    let a = behavior(&active);
+    let p = behavior(&passive);
+    assert!(!a.is_empty());
+    // The passive channel's first poll also reports the initial state;
+    // align on the first common element and compare sequences.
+    let p_aligned: Vec<_> = p
+        .iter()
+        .skip_while(|(path, to)| (path.as_str(), to.as_str()) != (a[0].0.as_str(), a[0].1.as_str()))
+        .cloned()
+        .collect();
+    let n = a.len().min(p_aligned.len());
+    assert!(n >= 4, "need several transitions to compare ({a:?} vs {p:?})");
+    assert_eq!(&a[..n], &p_aligned[..n]);
+}
+
+#[test]
+fn observed_behavior_matches_reference_interpreter() {
+    let mut s = session(blinker(1), ChannelMode::Active);
+    s.run_for(50_000_000).unwrap();
+    let reference = s.reference_events().unwrap();
+    let observed: Vec<_> = s
+        .engine()
+        .trace()
+        .entries()
+        .iter()
+        .map(|e| e.event.clone())
+        .collect();
+    assert!(gmdf_engine::compare_behavior(&observed, &reference).is_none());
+}
+
+#[test]
+fn multi_node_dataflow_session() {
+    // Producer (node A) feeds a hysteresis FSM (node B).
+    let producer_net = NetworkBuilder::new()
+        .output(Port::real("wave"))
+        .block("pulse", BasicOp::PulseGen { period: 0.02, duty: 0.5 })
+        .block("sel", BasicOp::Select)
+        .block("hi", BasicOp::Const(SignalValue::Real(10.0)))
+        .block("lo", BasicOp::Const(SignalValue::Real(-10.0)))
+        .connect("pulse.q", "sel.sel")
+        .unwrap()
+        .connect("hi.y", "sel.a")
+        .unwrap()
+        .connect("lo.y", "sel.b")
+        .unwrap()
+        .connect("sel.y", "wave")
+        .unwrap()
+        .build()
+        .unwrap();
+    let producer = ActorBuilder::new("Gen", producer_net)
+        .output("wave", "wave")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()
+        .unwrap();
+    let fsm = FsmBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::boolean("q"))
+        .state("Low", |s| s.entry("q", Expr::Bool(false)))
+        .state("High", |s| s.entry("q", Expr::Bool(true)))
+        .transition("Low", "High", Expr::var("x").gt(Expr::Real(5.0)))
+        .transition("High", "Low", Expr::var("x").lt(Expr::Real(-5.0)))
+        .build()
+        .unwrap();
+    let watcher_net = NetworkBuilder::new()
+        .input(Port::real("x"))
+        .output(Port::boolean("q"))
+        .state_machine("trig", fsm)
+        .connect("x", "trig.x")
+        .unwrap()
+        .connect("trig.q", "q")
+        .unwrap()
+        .build()
+        .unwrap();
+    let watcher = ActorBuilder::new("Trigger", watcher_net)
+        .input("x", "wave")
+        .output("q", "detect")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()
+        .unwrap();
+    let mut na = NodeSpec::new("gen_node", 50_000_000);
+    na.actors.push(producer);
+    let mut nb = NodeSpec::new("trig_node", 50_000_000);
+    nb.actors.push(watcher);
+    let system = System::new("wave_sys").with_node(na).with_node(nb);
+
+    let mut s = session(system, ChannelMode::Active);
+    s.run_for(100_000_000).unwrap();
+    let b = behavior(&s);
+    // The trigger follows the square wave across the node boundary.
+    let highs = b.iter().filter(|(_, to)| to == "High").count();
+    let lows = b.iter().filter(|(_, to)| to == "Low").count();
+    assert!(highs >= 2, "{b:?}");
+    assert!(lows >= 2, "{b:?}");
+}
+
+#[test]
+fn expectations_pass_on_clean_runs_across_channels() {
+    for channel in [
+        ChannelMode::Active,
+        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+    ] {
+        let mut s = session(blinker(1), channel);
+        for e in comdes_allowed_transitions(s.system()).unwrap() {
+            s.engine_mut().add_expectation(e);
+        }
+        let report = s.run_for(50_000_000).unwrap();
+        assert_eq!(report.violations, 0, "{channel:?}");
+        assert!(report.events_fed > 0, "{channel:?}");
+    }
+}
+
+#[test]
+fn gdm_export_is_conformant_metamodel_instance() {
+    // The GDM itself reifies as an instance of the Fig. 3 metamodel.
+    let wf = Workflow::from_system(blinker(1)).unwrap();
+    let gdm = wf.default_abstraction().default_commands().gdm().clone();
+    let (_, model) = gmdf_gdm::export_gdm(&gdm).unwrap();
+    let report = gmdf_metamodel::validate(&model);
+    assert!(report.is_conformant(), "{report}");
+    assert!(!model.objects_of_class("GraphicalElement").is_empty());
+}
+
+#[test]
+fn uninstrumented_active_session_is_silent_passive_is_not() {
+    // Active channel with no instrumentation sees nothing…
+    let mut silent = session_with_instrument(InstrumentOptions::none(), ChannelMode::Active);
+    let r = silent.run_for(50_000_000).unwrap();
+    assert_eq!(r.events_fed, 0);
+    // …while the passive channel on the same clean image sees everything.
+    let mut passive = session_with_instrument(
+        InstrumentOptions::none(),
+        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+    );
+    let r = passive.run_for(50_000_000).unwrap();
+    assert!(r.events_fed > 0);
+}
+
+fn session_with_instrument(
+    instrument: InstrumentOptions,
+    channel: ChannelMode,
+) -> gmdf::DebugSession {
+    Workflow::from_system(blinker(1))
+        .unwrap()
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            channel,
+            CompileOptions { instrument, faults: vec![] },
+            SimConfig::default(),
+        )
+        .unwrap()
+}
