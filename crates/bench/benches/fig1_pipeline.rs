@@ -15,9 +15,7 @@ fn bench_compile_chain(c: &mut Criterion) {
     for n in [5usize, 20, 80] {
         let system = chain_system(n, 1_000_000);
         g.bench_with_input(BenchmarkId::new("blocks", n), &system, |b, sys| {
-            b.iter(|| {
-                compile_system(black_box(sys), &CompileOptions::default()).expect("compiles")
-            })
+            b.iter(|| compile_system(black_box(sys), &CompileOptions::default()).expect("compiles"))
         });
     }
     g.finish();
@@ -28,9 +26,7 @@ fn bench_compile_multi_actor(c: &mut Criterion) {
     for n in [1usize, 4, 16] {
         let system = multi_actor_system(n, 6);
         g.bench_with_input(BenchmarkId::new("actors", n), &system, |b, sys| {
-            b.iter(|| {
-                compile_system(black_box(sys), &CompileOptions::default()).expect("compiles")
-            })
+            b.iter(|| compile_system(black_box(sys), &CompileOptions::default()).expect("compiles"))
         });
     }
     g.finish();
@@ -44,7 +40,10 @@ fn bench_instrumentation_cost_at_compile_time(c: &mut Criterion) {
         ("behavior", InstrumentOptions::behavior()),
         ("full", InstrumentOptions::full()),
     ] {
-        let options = CompileOptions { instrument: opts, faults: vec![] };
+        let options = CompileOptions {
+            instrument: opts,
+            faults: vec![],
+        };
         g.bench_function(name, |b| {
             b.iter(|| compile_system(black_box(&system), &options).expect("compiles"))
         });
@@ -52,12 +51,18 @@ fn bench_instrumentation_cost_at_compile_time(c: &mut Criterion) {
     // Report the code-size effect once (recorded in EXPERIMENTS.md).
     let clean = compile_system(
         &system,
-        &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+        &CompileOptions {
+            instrument: InstrumentOptions::none(),
+            faults: vec![],
+        },
     )
     .unwrap();
     let full = compile_system(
         &system,
-        &CompileOptions { instrument: InstrumentOptions::full(), faults: vec![] },
+        &CompileOptions {
+            instrument: InstrumentOptions::full(),
+            faults: vec![],
+        },
     )
     .unwrap();
     eprintln!(

@@ -19,7 +19,14 @@ fn session(channel: ChannelMode, instrument: InstrumentOptions) -> gmdf::DebugSe
         .expect("valid system")
         .default_abstraction()
         .default_commands()
-        .connect(channel, CompileOptions { instrument, faults: vec![] }, SimConfig::default())
+        .connect(
+            channel,
+            CompileOptions {
+                instrument,
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )
         .expect("session builds")
 }
 
@@ -37,7 +44,10 @@ fn bench_passive_roundtrip(c: &mut Criterion) {
     c.bench_function("fig2/passive_50ms_window", |b| {
         b.iter(|| {
             let mut s = session(
-                ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 10_000_000 },
+                ChannelMode::Passive {
+                    poll_period_ns: 500_000,
+                    tck_hz: 10_000_000,
+                },
                 InstrumentOptions::none(),
             );
             s.run_for(black_box(50_000_000)).expect("runs");
@@ -63,7 +73,10 @@ fn report_observation_latency(c: &mut Criterion) {
     // past the enclosing release.
     let active_latency = first.event.time_ns % 1_000_000;
     let mut p = session(
-        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 10_000_000 },
+        ChannelMode::Passive {
+            poll_period_ns: 500_000,
+            tck_hz: 10_000_000,
+        },
         InstrumentOptions::none(),
     );
     p.run_for(50_000_000).unwrap();

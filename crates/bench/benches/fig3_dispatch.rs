@@ -36,7 +36,12 @@ fn gdm_with(n_states: usize, extra_bindings: usize) -> DebuggerModel {
             metaclass: "State".into(),
             pattern: GdmPattern::Circle,
             parent: Some(0),
-            bounds: Rect::new(20.0 + 130.0 * (i % 6) as f64, 50.0 + 70.0 * (i / 6) as f64, 110.0, 46.0),
+            bounds: Rect::new(
+                20.0 + 130.0 * (i % 6) as f64,
+                50.0 + 70.0 * (i / 6) as f64,
+                110.0,
+                46.0,
+            ),
         });
     }
     m
@@ -59,7 +64,10 @@ fn bench_dispatch_rate(c: &mut Criterion) {
         let gdm = gdm_with(states, bindings);
         let evs = events(states, BATCH);
         g.bench_with_input(
-            BenchmarkId::new("states_bindings", format!("{states}s_{}b", gdm.bindings.len())),
+            BenchmarkId::new(
+                "states_bindings",
+                format!("{states}s_{}b", gdm.bindings.len()),
+            ),
             &(gdm, evs),
             |b, (gdm, evs)| {
                 b.iter(|| {
@@ -96,5 +104,9 @@ fn bench_dispatch_with_breakpoint_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dispatch_rate, bench_dispatch_with_breakpoint_scan);
+criterion_group!(
+    benches,
+    bench_dispatch_rate,
+    bench_dispatch_with_breakpoint_scan
+);
 criterion_main!(benches);

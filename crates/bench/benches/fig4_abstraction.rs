@@ -56,5 +56,10 @@ fn bench_full_abstraction_pipeline(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_export, bench_derive_gdm, bench_full_abstraction_pipeline);
+criterion_group!(
+    benches,
+    bench_export,
+    bench_derive_gdm,
+    bench_full_abstraction_pipeline
+);
 criterion_main!(benches);

@@ -42,8 +42,8 @@ fn bench_animation_step(c: &mut Criterion) {
         let mut engine = DebuggerEngine::new(gdm.clone());
         let mut k = 0u64;
         b.iter(|| {
-            let ev = ModelEvent::new(k, EventKind::StateEnter, "A0/m")
-                .with_to(&format!("S{}", k % 6));
+            let ev =
+                ModelEvent::new(k, EventKind::StateEnter, "A0/m").with_to(&format!("S{}", k % 6));
             k += 1;
             engine.feed(black_box(ev));
             black_box(engine.frame_svg())

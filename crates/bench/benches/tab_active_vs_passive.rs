@@ -19,13 +19,21 @@ const HORIZON_NS: u64 = 100_000_000; // 100 ms
 /// (shorter dwell = higher event rate) and instrumentation.
 fn target_cycles(dwell_s: f64, instrument: InstrumentOptions, passive: bool) -> (u64, u64) {
     let system = ring_system(4, dwell_s, 1_000_000);
-    let image = compile_system(&system, &CompileOptions { instrument, faults: vec![] })
-        .expect("compiles");
+    let image = compile_system(
+        &system,
+        &CompileOptions {
+            instrument,
+            faults: vec![],
+        },
+    )
+    .expect("compiles");
     let mut sim = Simulator::new(image, SimConfig::default()).expect("boots");
     let mut host_ns = 0;
     if passive {
         let mut monitor = JtagMonitor::new(1_000_000, 10_000_000);
-        monitor.watch(&sim, "ecu", "Ring/ring#state").expect("watch");
+        monitor
+            .watch(&sim, "ecu", "Ring/ring#state")
+            .expect("watch");
         monitor.run_until(&mut sim, HORIZON_NS).expect("runs");
         host_ns = monitor.scan_ns_total;
     } else {

@@ -34,11 +34,13 @@ fn detect(faults: Vec<Fault>) -> (usize, Option<u64>, Option<BugClass>) {
     for e in comdes_allowed_transitions(session.system()).expect("export") {
         session.engine_mut().add_expectation(e);
     }
-    session.engine_mut().add_expectation(Expectation::StateSequence {
-        fsm_path: "Ring/ring".into(),
-        sequence: vec!["S1".into(), "S2".into(), "S3".into(), "S0".into()],
-        cyclic: true,
-    });
+    session
+        .engine_mut()
+        .add_expectation(Expectation::StateSequence {
+            fsm_path: "Ring/ring".into(),
+            sequence: vec!["S1".into(), "S2".into(), "S3".into(), "S0".into()],
+            cyclic: true,
+        });
     session.run_for(100_000_000).expect("runs");
     let violations = session.engine().violations();
     let first = violations.first().map(|v| v.time_ns);
@@ -63,15 +65,22 @@ fn report_detection_table() {
         ("none (baseline)", vec![]),
         (
             "swap transition targets",
-            vec![Fault::SwapTransitionTargets { block_path: "Ring/ring".into() }],
+            vec![Fault::SwapTransitionTargets {
+                block_path: "Ring/ring".into(),
+            }],
         ),
         (
             "negate guard #0",
-            vec![Fault::NegateGuard { block_path: "Ring/ring".into(), transition: 0 }],
+            vec![Fault::NegateGuard {
+                block_path: "Ring/ring".into(),
+                transition: 0,
+            }],
         ),
         (
             "skip entry actions",
-            vec![Fault::SkipEntryActions { block_path: "Ring/ring".into() }],
+            vec![Fault::SkipEntryActions {
+                block_path: "Ring/ring".into(),
+            }],
         ),
         ("drop all emits", vec![Fault::DropEmits]),
     ];
@@ -80,7 +89,9 @@ fn report_detection_table() {
         eprintln!(
             "  {name:<26} {violations:>10} {:>12} {}",
             first.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
-            class.map(|c| c.to_string()).unwrap_or_else(|| "none".into())
+            class
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "none".into())
         );
     }
 }

@@ -23,16 +23,33 @@ fn contended_system(load_blocks: usize) -> System {
         let mut prev = "x".to_owned();
         for i in 0..load_blocks {
             let name = format!("p{i}");
-            b = b.block(&name, BasicOp::Pid { kp: 1.0, ki: 0.1, kd: 0.01, lo: -1e9, hi: 1e9 });
+            b = b.block(
+                &name,
+                BasicOp::Pid {
+                    kp: 1.0,
+                    ki: 0.1,
+                    kd: 0.01,
+                    lo: -1e9,
+                    hi: 1e9,
+                },
+            );
             b = b.connect(&prev, &format!("{name}.sp")).expect("endpoint");
             prev = format!("{name}.u");
         }
-        b.connect(&prev, "y").expect("endpoint").build().expect("net")
+        b.connect(&prev, "y")
+            .expect("endpoint")
+            .build()
+            .expect("net")
     };
     let heavy = ActorBuilder::new("Heavy", heavy_net)
         .input("x", "hx")
         .output("y", "hy")
-        .timing(Timing { period_ns: 1_000_000, offset_ns: 0, deadline_ns: 1_000_000, priority: 5 })
+        .timing(Timing {
+            period_ns: 1_000_000,
+            offset_ns: 0,
+            deadline_ns: 1_000_000,
+            priority: 5,
+        })
         .build()
         .expect("actor");
     let light_net = NetworkBuilder::new()
@@ -51,7 +68,12 @@ fn contended_system(load_blocks: usize) -> System {
         // Non-harmonic with the heavy period (lcm = 33 ms) so the
         // preemption pattern — and thus completion time — varies release
         // to release.
-        .timing(Timing { period_ns: 330_000, offset_ns: 130_000, deadline_ns: 330_000, priority: 0 })
+        .timing(Timing {
+            period_ns: 330_000,
+            offset_ns: 130_000,
+            deadline_ns: 330_000,
+            priority: 0,
+        })
         .build()
         .expect("actor");
     let mut node = NodeSpec::new("ecu", 10_000_000);
@@ -63,30 +85,41 @@ fn contended_system(load_blocks: usize) -> System {
 fn jitter_ns(system: &System, latch: bool) -> i64 {
     let image = compile_system(
         system,
-        &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+        &CompileOptions {
+            instrument: InstrumentOptions::none(),
+            faults: vec![],
+        },
     )
     .expect("compiles");
     let mut sim = Simulator::new(
         image,
-        SimConfig { latch_outputs: latch, ..SimConfig::default() },
+        SimConfig {
+            latch_outputs: latch,
+            ..SimConfig::default()
+        },
     )
     .expect("boots");
-    sim.schedule_signal(0, "hx", SignalValue::Real(1.0)).expect("label");
+    sim.schedule_signal(0, "hx", SignalValue::Real(1.0))
+        .expect("label");
     sim.run_until(60_000_000).expect("runs");
     let times: Vec<u64> = sim
         .events()
         .iter()
         .filter_map(|e| match e {
-            SimEvent::Publish { time_ns, actor, label, .. }
-                if actor == "Heavy" && label == "hy" =>
-            {
-                Some(*time_ns)
-            }
+            SimEvent::Publish {
+                time_ns,
+                actor,
+                label,
+                ..
+            } if actor == "Heavy" && label == "hy" => Some(*time_ns),
             _ => None,
         })
         .collect();
     assert!(times.len() > 20, "need many publications");
-    let intervals: Vec<i64> = times.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    let intervals: Vec<i64> = times
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect();
     intervals.iter().max().unwrap() - intervals.iter().min().unwrap()
 }
 
@@ -107,11 +140,9 @@ fn bench_jitter_runs(c: &mut Criterion) {
     let system = contended_system(25);
     let mut g = c.benchmark_group("tab2/wall_time");
     for latch in [true, false] {
-        g.bench_with_input(
-            BenchmarkId::new("latched", latch),
-            &latch,
-            |b, &latch| b.iter(|| black_box(jitter_ns(&system, latch))),
-        );
+        g.bench_with_input(BenchmarkId::new("latched", latch), &latch, |b, &latch| {
+            b.iter(|| black_box(jitter_ns(&system, latch)))
+        });
     }
     g.finish();
 }

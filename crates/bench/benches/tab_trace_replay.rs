@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gmdf_engine::{timing_diagram, DebuggerEngine, Replayer};
-use gmdf_gdm::{
-    default_bindings, DebuggerModel, EventKind, GdmElement, GdmPattern, ModelEvent,
-};
+use gmdf_gdm::{default_bindings, DebuggerModel, EventKind, GdmElement, GdmPattern, ModelEvent};
 use gmdf_render::Rect;
 use std::hint::black_box;
 
@@ -75,13 +73,17 @@ fn bench_replay(c: &mut Criterion) {
     for n in [500usize, 5_000] {
         let (gdm, trace) = recorded(n);
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("full_replay", n), &(gdm, trace), |b, (gdm, trace)| {
-            b.iter(|| {
-                let mut r = Replayer::new(gdm, trace);
-                while r.step_forward().is_some() {}
-                black_box(r.position())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full_replay", n),
+            &(gdm, trace),
+            |b, (gdm, trace)| {
+                b.iter(|| {
+                    let mut r = Replayer::new(gdm, trace);
+                    while r.step_forward().is_some() {}
+                    black_box(r.position())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -56,12 +56,22 @@ pub fn chain_system(n_blocks: usize, period_ns: u64) -> System {
         let name = format!("p{i}");
         b = b.block(
             &name,
-            BasicOp::Pid { kp: 1.0, ki: 0.1, kd: 0.01, lo: -1e9, hi: 1e9 },
+            BasicOp::Pid {
+                kp: 1.0,
+                ki: 0.1,
+                kd: 0.01,
+                lo: -1e9,
+                hi: 1e9,
+            },
         );
         b = b.connect(&prev, &format!("{name}.sp")).expect("endpoint");
         prev = format!("{name}.u");
     }
-    let net = b.connect(&prev, "y").expect("endpoint").build().expect("chain net");
+    let net = b
+        .connect(&prev, "y")
+        .expect("endpoint")
+        .build()
+        .expect("chain net");
     let actor = ActorBuilder::new("Chain", net)
         .input("x", "in")
         .output("y", "out")

@@ -138,7 +138,8 @@ pub fn compile_system(
         // own copy; the network layer refreshes remote ones).
         for (label, (ty, _)) in &signal_map {
             let addr = nc.cell(format!("board/{label}"), *ty, ty.zero());
-            nc.board.insert(label.clone(), crate::image::Symbol { addr, ty: *ty });
+            nc.board
+                .insert(label.clone(), crate::image::Symbol { addr, ty: *ty });
         }
         let mut tasks = Vec::with_capacity(node.actors.len());
         for actor in &node.actors {
@@ -306,9 +307,16 @@ impl<'a> NodeCompiler<'a> {
                     );
                     let ticks =
                         self.cell(format!("{bp}#ticks"), SignalType::Int, SignalValue::Int(0));
-                    let tis =
-                        self.cell(format!("{bp}#tis"), SignalType::Real, SignalValue::Real(0.0));
-                    nested.push(Nested::Fsm { state: state_cell, ticks, tis });
+                    let tis = self.cell(
+                        format!("{bp}#tis"),
+                        SignalType::Real,
+                        SignalValue::Real(0.0),
+                    );
+                    nested.push(Nested::Fsm {
+                        state: state_cell,
+                        ticks,
+                        tis,
+                    });
                 }
                 Block::Modal(m) => {
                     state.push(Vec::new());
@@ -325,13 +333,19 @@ impl<'a> NodeCompiler<'a> {
                                 .network
                                 .inputs
                                 .iter()
-                                .map(|p| self.cell(format!("{mp}/in/{}", p.name), p.ty, p.ty.zero()))
+                                .map(|p| {
+                                    self.cell(format!("{mp}/in/{}", p.name), p.ty, p.ty.zero())
+                                })
                                 .collect();
                             let inner = self.allocate_network(&mp, &mode.network);
                             (ins, inner)
                         })
                         .collect();
-                    nested.push(Nested::Modal { last, active, modes });
+                    nested.push(Nested::Modal {
+                        last,
+                        active,
+                        modes,
+                    });
                 }
                 Block::Composite(c) => {
                     state.push(Vec::new());
@@ -346,7 +360,11 @@ impl<'a> NodeCompiler<'a> {
                 }
             }
         }
-        NetLayout { block_out, state, nested }
+        NetLayout {
+            block_out,
+            state,
+            nested,
+        }
     }
 
     /// Value source of a connection `Source` inside this network.
@@ -451,16 +469,39 @@ impl<'a> NodeCompiler<'a> {
             let bp = format!("{prefix}/{}", inst.name);
             match &inst.block {
                 Block::Basic(op) => {
-                    self.gen_basic(&bp, op, &ins, &layout.block_out[bi], &layout.state[bi], dt, code)?;
+                    self.gen_basic(
+                        &bp,
+                        op,
+                        &ins,
+                        &layout.block_out[bi],
+                        &layout.state[bi],
+                        dt,
+                        code,
+                    )?;
                 }
                 Block::StateMachine(fsm) => {
                     let Nested::Fsm { state, ticks, tis } = &layout.nested[bi] else {
                         return Err(CompileError::Internal("fsm layout mismatch".into()));
                     };
-                    self.gen_fsm(&bp, fsm, &ins, &layout.block_out[bi], *state, *ticks, *tis, dt, code)?;
+                    self.gen_fsm(
+                        &bp,
+                        fsm,
+                        &ins,
+                        &layout.block_out[bi],
+                        *state,
+                        *ticks,
+                        *tis,
+                        dt,
+                        code,
+                    )?;
                 }
                 Block::Modal(m) => {
-                    let Nested::Modal { last, active, modes } = &layout.nested[bi] else {
+                    let Nested::Modal {
+                        last,
+                        active,
+                        modes,
+                    } = &layout.nested[bi]
+                    else {
                         return Err(CompileError::Internal("modal layout mismatch".into()));
                     };
                     let (last, active) = (*last, *active);
@@ -479,7 +520,7 @@ impl<'a> NodeCompiler<'a> {
                         code.push(Instr::CmpI(CmpKind::Eq));
                         let skip_at = code.len();
                         code.push(Instr::JmpIfZero(0)); // patched
-                        // mode-switch detection: last != mi → emit
+                                                        // mode-switch detection: last != mi → emit
                         if self.opts.instrument.mode_switches {
                             code.push(Instr::Load(last));
                             code.push(Instr::PushI(mi as i64));
@@ -507,7 +548,14 @@ impl<'a> NodeCompiler<'a> {
                         }
                         let mp = format!("{bp}/{}", mode.name);
                         let mode_in_cells = mode_ins.clone();
-                        self.gen_network(&mp, &mode.network, mode_layout, &mode_in_cells, dt, code)?;
+                        self.gen_network(
+                            &mp,
+                            &mode.network,
+                            mode_layout,
+                            &mode_in_cells,
+                            dt,
+                            code,
+                        )?;
                         let mode_outs =
                             Self::output_sources(&mode.network, mode_layout, &mode_in_cells)?;
                         for (src, out) in mode_outs.iter().zip(layout.block_out[bi].iter()) {
@@ -525,7 +573,11 @@ impl<'a> NodeCompiler<'a> {
                     }
                 }
                 Block::Composite(c) => {
-                    let Nested::Composite { ins: in_cells, inner } = &layout.nested[bi] else {
+                    let Nested::Composite {
+                        ins: in_cells,
+                        inner,
+                    } = &layout.nested[bi]
+                    else {
                         return Err(CompileError::Internal("composite layout mismatch".into()));
                     };
                     let in_cells = in_cells.clone();
@@ -568,20 +620,19 @@ impl<'a> NodeCompiler<'a> {
         code: &mut Vec<Instr>,
     ) -> Result<(), CompileError> {
         // Fault lookup for this machine.
-        let swap_targets = self
-            .opts
-            .faults
-            .iter()
-            .any(|f| matches!(f, Fault::SwapTransitionTargets { block_path } if block_path == path));
+        let swap_targets = self.opts.faults.iter().any(
+            |f| matches!(f, Fault::SwapTransitionTargets { block_path } if block_path == path),
+        );
         let skip_entries = self
             .opts
             .faults
             .iter()
             .any(|f| matches!(f, Fault::SkipEntryActions { block_path } if block_path == path));
         let negate_guard: Option<usize> = self.opts.faults.iter().find_map(|f| match f {
-            Fault::NegateGuard { block_path, transition } if block_path == path => {
-                Some(*transition)
-            }
+            Fault::NegateGuard {
+                block_path,
+                transition,
+            } if block_path == path => Some(*transition),
             _ => None,
         });
 
@@ -629,15 +680,16 @@ impl<'a> NodeCompiler<'a> {
             code[state_jumps[s]] = Instr::JmpIfNot(body);
             // Swap fault: exchange the `to` of the first two transitions of
             // this machine (globally, matching the fault's intent).
-            let mut swapped: Vec<usize> = fsm
-                .transitions
-                .iter()
-                .map(|t| t.to)
-                .collect();
+            let mut swapped: Vec<usize> = fsm.transitions.iter().map(|t| t.to).collect();
             if swap_targets && fsm.transitions.len() >= 2 {
                 swapped.swap(0, 1);
             }
-            for (ti, t) in fsm.transitions.iter().enumerate().filter(|(_, t)| t.from == s) {
+            for (ti, t) in fsm
+                .transitions
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.from == s)
+            {
                 compile_expr(&t.guard, &env, code).map_err(CompileError::Model)?;
                 if negate_guard == Some(global_index[ti]) {
                     code.push(Instr::Not);
@@ -1217,7 +1269,14 @@ impl<'a> NodeCompiler<'a> {
         } else {
             None
         };
-        self.gen_network(&actor.name, &actor.network, &layout, &in_latch, dt, &mut code)?;
+        self.gen_network(
+            &actor.name,
+            &actor.network,
+            &layout,
+            &in_latch,
+            dt,
+            &mut code,
+        )?;
         let out_srcs = Self::output_sources(&actor.network, &layout, &in_latch)?;
         for ((src, latch), binding) in out_srcs.iter().zip(out_latch.iter()).zip(&actor.outputs) {
             src.push(&mut code);
@@ -1247,7 +1306,12 @@ impl<'a> NodeCompiler<'a> {
         code.push(Instr::Halt);
 
         // DropEmits fault: neutralize every Emit (stack residue is benign).
-        if self.opts.faults.iter().any(|f| matches!(f, Fault::DropEmits)) {
+        if self
+            .opts
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::DropEmits))
+        {
             // Replacement jumps target `pc + 1`, so the index is the datum.
             #[allow(clippy::needless_range_loop)]
             for pc in 0..code.len() {
@@ -1266,7 +1330,10 @@ impl<'a> NodeCompiler<'a> {
                     .board
                     .get(&i.label)
                     .ok_or_else(|| CompileError::Internal(format!("no board `{}`", i.label)))?;
-                Ok(Latch { from: board.addr, to: *latch })
+                Ok(Latch {
+                    from: board.addr,
+                    to: *latch,
+                })
             })
             .collect::<Result<Vec<_>, CompileError>>()?;
         let publications = actor

@@ -115,7 +115,9 @@ pub fn compile_expr(
                 let ta = compile_expr(a, env, code)?;
                 let tb = compile_expr(b, env, code)?;
                 if ta != Bool || tb != Bool {
-                    return Err(ComdesError::TypeError(format!("{op:?} needs bool operands")));
+                    return Err(ComdesError::TypeError(format!(
+                        "{op:?} needs bool operands"
+                    )));
                 }
                 code.push(match op {
                     BinOp::And => Instr::And,
@@ -263,10 +265,7 @@ pub fn compile_expr(
 }
 
 /// Type of `expr` under `env` without emitting code.
-fn peek_type(
-    expr: &Expr,
-    env: &BTreeMap<String, VarSource>,
-) -> Result<SignalType, ComdesError> {
+fn peek_type(expr: &Expr, env: &BTreeMap<String, VarSource>) -> Result<SignalType, ComdesError> {
     let tenv: BTreeMap<String, SignalType> = env
         .iter()
         .map(|(n, s)| (n.clone(), s.signal_type()))
@@ -287,10 +286,7 @@ mod tests {
         let mut env = BTreeMap::new();
         let mut data = Vec::new();
         for (i, (name, v)) in vars.iter().enumerate() {
-            env.insert(
-                name.to_string(),
-                VarSource::Cell(i as u32, v.signal_type()),
-            );
+            env.insert(name.to_string(), VarSource::Cell(i as u32, v.signal_type()));
             data.push(v.to_raw());
         }
         let out_addr = data.len() as u32;
@@ -314,7 +310,11 @@ mod tests {
         let a = exec(expr, vars);
         let b = interp(expr, vars);
         // Bit-exact comparison (NaN-safe).
-        assert_eq!(a.to_raw(), b.to_raw(), "expr {expr} gave VM {a} vs interp {b}");
+        assert_eq!(
+            a.to_raw(),
+            b.to_raw(),
+            "expr {expr} gave VM {a} vs interp {b}"
+        );
         assert_eq!(a.signal_type(), b.signal_type());
     }
 
@@ -334,11 +334,7 @@ mod tests {
         assert_same(&Expr::var("n").mul(Expr::var("n")), &[n]);
         assert_same(&Expr::var("n").div(Expr::Int(0)), &[n]);
         assert_same(
-            &Expr::Binary(
-                BinOp::Rem,
-                Box::new(Expr::var("n")),
-                Box::new(Expr::Int(3)),
-            ),
+            &Expr::Binary(BinOp::Rem, Box::new(Expr::var("n")), Box::new(Expr::Int(3))),
             &[n],
         );
         assert_same(&Expr::var("x").sub(Expr::Real(10.0)).neg(), &[x]);
@@ -356,14 +352,19 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        let vars = [("a", SignalValue::Bool(true)), ("b", SignalValue::Bool(false))];
+        let vars = [
+            ("a", SignalValue::Bool(true)),
+            ("b", SignalValue::Bool(false)),
+        ];
         assert_same(&Expr::var("a").and(Expr::var("b")), &vars);
         assert_same(&Expr::var("a").or(Expr::var("b")), &vars);
         assert_same(&Expr::var("a").eq_(Expr::var("b")), &vars);
         assert_same(&Expr::var("a").ne_(Expr::var("b")), &vars);
         assert_same(&Expr::var("a").not(), &vars);
         assert_same(
-            &Expr::Int(3).le(Expr::Int(3)).and(Expr::Real(1.0).gt(Expr::Real(0.5))),
+            &Expr::Int(3)
+                .le(Expr::Int(3))
+                .and(Expr::Real(1.0).gt(Expr::Real(0.5))),
             &[],
         );
     }
@@ -395,16 +396,17 @@ mod tests {
     fn int_overflow_wraps_like_interpreter() {
         assert_same(&Expr::Int(i64::MAX).add(Expr::Int(1)), &[]);
         assert_same(&Expr::Int(i64::MIN).neg(), &[]);
-        assert_same(
-            &Expr::Unary(UnOp::Abs, Box::new(Expr::Int(i64::MIN))),
-            &[],
-        );
+        assert_same(&Expr::Unary(UnOp::Abs, Box::new(Expr::Int(i64::MIN))), &[]);
     }
 
     #[test]
     fn min_max_compile() {
         assert_same(
-            &Expr::Binary(BinOp::Min, Box::new(Expr::Real(1.0)), Box::new(Expr::Real(2.0))),
+            &Expr::Binary(
+                BinOp::Min,
+                Box::new(Expr::Real(1.0)),
+                Box::new(Expr::Real(2.0)),
+            ),
             &[],
         );
         assert_same(

@@ -56,8 +56,14 @@ impl fmt::Display for Fault {
             Fault::SwapTransitionTargets { block_path } => {
                 write!(f, "swap transition targets in `{block_path}`")
             }
-            Fault::NegateGuard { block_path, transition } => {
-                write!(f, "negate guard of transition {transition} in `{block_path}`")
+            Fault::NegateGuard {
+                block_path,
+                transition,
+            } => {
+                write!(
+                    f,
+                    "negate guard of transition {transition} in `{block_path}`"
+                )
             }
             Fault::SkipEntryActions { block_path } => {
                 write!(f, "skip entry actions in `{block_path}`")
@@ -77,7 +83,10 @@ mod tests {
     #[test]
     fn display_names_the_fault() {
         assert_eq!(
-            Fault::SwapTransitionTargets { block_path: "A/fsm".into() }.to_string(),
+            Fault::SwapTransitionTargets {
+                block_path: "A/fsm".into()
+            }
+            .to_string(),
             "swap transition targets in `A/fsm`"
         );
         assert_eq!(Fault::DropEmits.to_string(), "drop all emit instructions");
@@ -85,7 +94,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let f = Fault::GainError { block_path: "A/g".into(), factor: 2.0 };
+        let f = Fault::GainError {
+            block_path: "A/g".into(),
+            factor: 2.0,
+        };
         let json = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<Fault>(&json).unwrap(), f);
     }

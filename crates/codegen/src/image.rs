@@ -290,7 +290,12 @@ mod tests {
     fn cycle_bound_sums_costs() {
         let t = TaskImage {
             actor: "A".into(),
-            code: vec![Instr::PushF(1.0), Instr::PushF(2.0), Instr::AddF, Instr::Halt],
+            code: vec![
+                Instr::PushF(1.0),
+                Instr::PushF(2.0),
+                Instr::AddF,
+                Instr::Halt,
+            ],
             period_ns: 1,
             offset_ns: 0,
             deadline_ns: 1,

@@ -110,7 +110,9 @@ pub fn run(code: &[Instr], data: &mut [u64], step_budget: u64) -> Result<RunResu
 
     loop {
         if steps >= step_budget {
-            return Err(VmError::StepBudgetExceeded { budget: step_budget });
+            return Err(VmError::StepBudgetExceeded {
+                budget: step_budget,
+            });
         }
         let Some(instr) = code.get(pc) else {
             return Err(VmError::MissingHalt);

@@ -8,7 +8,7 @@
 
 use gmdf_codegen::{compile_system, vm, CompileOptions, InstrumentOptions};
 use gmdf_comdes::{
-    run_network, ActorBuilder, BasicOp, Expr, FsmBuilder, Mode, ModalBlock, Network,
+    run_network, ActorBuilder, BasicOp, Expr, FsmBuilder, ModalBlock, Mode, Network,
     NetworkBuilder, NodeSpec, Port, SignalValue, System, Timing, VAR_TIME_IN_STATE,
 };
 use proptest::prelude::*;
@@ -144,16 +144,35 @@ fn every_binary_real_op_is_equivalent() {
 #[test]
 fn every_stateful_op_is_equivalent_over_time() {
     let cases: Vec<(BasicOp, &str, &str)> = vec![
-        (BasicOp::Hysteresis { low: -0.5, high: 0.5 }, "x", "q"),
         (
-            BasicOp::Integrator { gain: 2.0, initial: 0.5, lo: -3.0, hi: 3.0 },
+            BasicOp::Hysteresis {
+                low: -0.5,
+                high: 0.5,
+            },
+            "x",
+            "q",
+        ),
+        (
+            BasicOp::Integrator {
+                gain: 2.0,
+                initial: 0.5,
+                lo: -3.0,
+                hi: 3.0,
+            },
             "x",
             "y",
         ),
         (BasicOp::Derivative, "x", "y"),
         (BasicOp::LowPass { alpha: 0.3 }, "x", "y"),
         (BasicOp::MovingAverage { window: 4 }, "x", "y"),
-        (BasicOp::RateLimiter { max_rise: 10.0, max_fall: 5.0 }, "x", "y"),
+        (
+            BasicOp::RateLimiter {
+                max_rise: 10.0,
+                max_fall: 5.0,
+            },
+            "x",
+            "y",
+        ),
     ];
     let inputs = real_steps(&[0.0, 1.0, -1.0, 0.75, 0.75, -2.0, 3.0, 0.1, 0.0, 5.0]);
     for (op, in_port, out_port) in cases {
@@ -177,7 +196,16 @@ fn pid_is_equivalent() {
         .input(Port::real("sp"))
         .input(Port::real("pv"))
         .output(Port::real("u"))
-        .block("pid", BasicOp::Pid { kp: 1.2, ki: 0.4, kd: 0.05, lo: -10.0, hi: 10.0 })
+        .block(
+            "pid",
+            BasicOp::Pid {
+                kp: 1.2,
+                ki: 0.4,
+                kd: 0.05,
+                lo: -10.0,
+                hi: 10.0,
+            },
+        )
         .connect("sp", "pid.sp")
         .unwrap()
         .connect("pv", "pid.pv")
@@ -242,9 +270,22 @@ fn counter_timer_pulse_are_equivalent() {
         .output(Port::int("n"))
         .output(Port::boolean("t"))
         .output(Port::boolean("p"))
-        .block("cnt", BasicOp::Counter { min: 0, max: 3, wrap: true })
+        .block(
+            "cnt",
+            BasicOp::Counter {
+                min: 0,
+                max: 3,
+                wrap: true,
+            },
+        )
         .block("tmr", BasicOp::TimerOn { delay: 0.025 })
-        .block("pls", BasicOp::PulseGen { period: 0.04, duty: 0.5 })
+        .block(
+            "pls",
+            BasicOp::PulseGen {
+                period: 0.04,
+                duty: 0.5,
+            },
+        )
         .connect("inc", "cnt.inc")
         .unwrap()
         .connect("rst", "cnt.reset")
@@ -272,7 +313,12 @@ fn unit_delay_feedback_is_equivalent() {
         .input(Port::real("x"))
         .output(Port::real("y"))
         .block("add", BasicOp::Sum)
-        .block("z", BasicOp::UnitDelay { initial: SignalValue::Real(1.0) })
+        .block(
+            "z",
+            BasicOp::UnitDelay {
+                initial: SignalValue::Real(1.0),
+            },
+        )
         .connect("x", "add.a")
         .unwrap()
         .connect("z.y", "add.b")
@@ -363,7 +409,9 @@ fn traffic_fsm() -> gmdf_comdes::StateMachineBlock {
     FsmBuilder::new()
         .input(Port::boolean("pedestrian"))
         .output(Port::int("lamp"))
-        .state("Green", |s| s.entry("lamp", Expr::Int(0)).during("lamp", Expr::Int(0)))
+        .state("Green", |s| {
+            s.entry("lamp", Expr::Int(0)).during("lamp", Expr::Int(0))
+        })
         .state("Yellow", |s| s.entry("lamp", Expr::Int(1)))
         .state("Red", |s| s.entry("lamp", Expr::Int(2)))
         .transition(
@@ -371,8 +419,16 @@ fn traffic_fsm() -> gmdf_comdes::StateMachineBlock {
             "Yellow",
             Expr::var("pedestrian").and(Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.02))),
         )
-        .transition("Yellow", "Red", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.01)))
-        .transition("Red", "Green", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.03)))
+        .transition(
+            "Yellow",
+            "Red",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.01)),
+        )
+        .transition(
+            "Red",
+            "Green",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.03)),
+        )
         .initial("Green")
         .build()
         .unwrap()
@@ -404,7 +460,12 @@ fn modal_block_is_equivalent() {
             .output(Port::real("y"))
             .block(
                 "i",
-                BasicOp::Integrator { gain: k, initial: 0.0, lo: -100.0, hi: 100.0 },
+                BasicOp::Integrator {
+                    gain: k,
+                    initial: 0.0,
+                    lo: -100.0,
+                    hi: 100.0,
+                },
             )
             .connect("x", "i.x")
             .unwrap()
@@ -417,8 +478,14 @@ fn modal_block_is_equivalent() {
         data_inputs: vec![Port::real("x")],
         outputs: vec![Port::real("y")],
         modes: vec![
-            Mode { name: "slow".into(), network: mode_net(1.0) },
-            Mode { name: "fast".into(), network: mode_net(10.0) },
+            Mode {
+                name: "slow".into(),
+                network: mode_net(1.0),
+            },
+            Mode {
+                name: "fast".into(),
+                network: mode_net(10.0),
+            },
         ],
     };
     let net = NetworkBuilder::new()
@@ -435,10 +502,11 @@ fn modal_block_is_equivalent() {
         .build()
         .unwrap();
     // Includes out-of-range selectors that must clamp identically.
-    let steps: Vec<Vec<SignalValue>> = [(0, 1.0), (0, 1.0), (1, 1.0), (7, 1.0), (-2, 1.0), (1, -0.5)]
-        .iter()
-        .map(|&(m, x)| vec![SignalValue::Int(m), SignalValue::Real(x)])
-        .collect();
+    let steps: Vec<Vec<SignalValue>> =
+        [(0, 1.0), (0, 1.0), (1, 1.0), (7, 1.0), (-2, 1.0), (1, -0.5)]
+            .iter()
+            .map(|&(m, x)| vec![SignalValue::Int(m), SignalValue::Real(x)])
+            .collect();
     assert_equivalent(&net, &steps);
 }
 
@@ -479,8 +547,14 @@ fn heterogeneous_fsm_feeding_modal_is_equivalent() {
         data_inputs: vec![Port::real("x")],
         outputs: vec![Port::real("y")],
         modes: vec![
-            Mode { name: "coarse".into(), network: gain_mode(4.0) },
-            Mode { name: "fine".into(), network: gain_mode(0.5) },
+            Mode {
+                name: "coarse".into(),
+                network: gain_mode(4.0),
+            },
+            Mode {
+                name: "fine".into(),
+                network: gain_mode(0.5),
+            },
         ],
     };
     let net = NetworkBuilder::new()
@@ -554,13 +628,19 @@ fn instrumented_code_same_values_as_clean_code() {
     // Fully instrumented run.
     let mut builder = ActorBuilder::new("A", net.clone());
     builder = builder.input("pedestrian", "sig_p").output("lamp", "sig_l");
-    let actor = builder.timing(Timing::periodic(PERIOD_NS, 0)).build().unwrap();
+    let actor = builder
+        .timing(Timing::periodic(PERIOD_NS, 0))
+        .build()
+        .unwrap();
     let mut node = NodeSpec::new("n0", 48_000_000);
     node.actors.push(actor);
     let system = System::new("inst").with_node(node);
     let image = compile_system(
         &system,
-        &CompileOptions { instrument: InstrumentOptions::full(), faults: vec![] },
+        &CompileOptions {
+            instrument: InstrumentOptions::full(),
+            faults: vec![],
+        },
     )
     .unwrap();
     let nimg = &image.nodes[0];
@@ -601,14 +681,20 @@ fn arb_real_unary() -> impl Strategy<Value = BasicOp> {
         (0.1f64..2.0).prop_map(|w| BasicOp::Deadband { width: w }),
         (0.01f64..1.0).prop_map(|alpha| BasicOp::LowPass { alpha }),
         (1u8..6).prop_map(|w| BasicOp::MovingAverage { window: w }),
-        ((-4.0f64..0.0), (0.0f64..4.0))
-            .prop_map(|(lo, hi)| BasicOp::Limit { lo, hi }),
+        ((-4.0f64..0.0), (0.0f64..4.0)).prop_map(|(lo, hi)| BasicOp::Limit { lo, hi }),
         ((-2.0f64..2.0), (-4.0f64..0.0), (0.0f64..4.0)).prop_map(|(g, lo, hi)| {
-            BasicOp::Integrator { gain: g, initial: 0.0, lo, hi }
+            BasicOp::Integrator {
+                gain: g,
+                initial: 0.0,
+                lo,
+                hi,
+            }
         }),
         Just(BasicOp::Derivative),
-        ((0.5f64..20.0), (0.5f64..20.0))
-            .prop_map(|(r, f)| BasicOp::RateLimiter { max_rise: r, max_fall: f }),
+        ((0.5f64..20.0), (0.5f64..20.0)).prop_map(|(r, f)| BasicOp::RateLimiter {
+            max_rise: r,
+            max_fall: f
+        }),
     ]
 }
 
@@ -762,7 +848,10 @@ fn injected_faults_change_behavior() {
 
     let mut builder = ActorBuilder::new("A", net.clone());
     builder = builder.input("pedestrian", "p").output("lamp", "l");
-    let actor = builder.timing(Timing::periodic(PERIOD_NS, 0)).build().unwrap();
+    let actor = builder
+        .timing(Timing::periodic(PERIOD_NS, 0))
+        .build()
+        .unwrap();
     let mut node = NodeSpec::new("n0", 48_000_000);
     node.actors.push(actor);
     let system = System::new("faulty").with_node(node);
@@ -770,7 +859,9 @@ fn injected_faults_change_behavior() {
         &system,
         &CompileOptions {
             instrument: InstrumentOptions::none(),
-            faults: vec![Fault::SwapTransitionTargets { block_path: "A/fsm".into() }],
+            faults: vec![Fault::SwapTransitionTargets {
+                block_path: "A/fsm".into(),
+            }],
         },
     )
     .unwrap();

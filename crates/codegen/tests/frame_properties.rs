@@ -6,7 +6,10 @@ use gmdf_codegen::{Frame, FrameDecoder, MAX_ARGS, SOF};
 use proptest::prelude::*;
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
-    (any::<u16>(), proptest::collection::vec(any::<u64>(), 0..=MAX_ARGS))
+    (
+        any::<u16>(),
+        proptest::collection::vec(any::<u64>(), 0..=MAX_ARGS),
+    )
         .prop_map(|(event, args)| Frame::new(event, args))
 }
 

@@ -128,12 +128,18 @@ impl Actor {
             )));
         }
         for (i, inp) in self.inputs.iter().enumerate() {
-            if self.inputs[..i].iter().any(|p| p.port.name == inp.port.name) {
+            if self.inputs[..i]
+                .iter()
+                .any(|p| p.port.name == inp.port.name)
+            {
                 return Err(ComdesError::DuplicateName(inp.port.name.clone()));
             }
         }
         for (i, out) in self.outputs.iter().enumerate() {
-            if self.outputs[..i].iter().any(|p| p.port.name == out.port.name) {
+            if self.outputs[..i]
+                .iter()
+                .any(|p| p.port.name == out.port.name)
+            {
                 return Err(ComdesError::DuplicateName(out.port.name.clone()));
             }
         }
@@ -230,7 +236,10 @@ impl ActorBuilder {
                         self.name, p.name
                     ))
                 })?;
-            inputs.push(ActorInput { port: find(&self.network.inputs, &p.name)?, label });
+            inputs.push(ActorInput {
+                port: find(&self.network.inputs, &p.name)?,
+                label,
+            });
         }
         let mut outputs = Vec::new();
         for p in &self.network.outputs {
@@ -245,7 +254,10 @@ impl ActorBuilder {
                         self.name, p.name
                     ))
                 })?;
-            outputs.push(ActorOutput { port: find(&self.network.outputs, &p.name)?, label });
+            outputs.push(ActorOutput {
+                port: find(&self.network.outputs, &p.name)?,
+                label,
+            });
         }
         let actor = Actor {
             name: self.name,
@@ -303,15 +315,30 @@ mod tests {
     #[test]
     fn timing_validation() {
         assert!(Timing::periodic(0, 1).check().is_err());
-        assert!(Timing { period_ns: 10, offset_ns: 0, deadline_ns: 0, priority: 1 }
-            .check()
-            .is_err());
-        assert!(Timing { period_ns: 10, offset_ns: 0, deadline_ns: 11, priority: 1 }
-            .check()
-            .is_err());
-        assert!(Timing { period_ns: 10, offset_ns: 5, deadline_ns: 10, priority: 1 }
-            .check()
-            .is_ok());
+        assert!(Timing {
+            period_ns: 10,
+            offset_ns: 0,
+            deadline_ns: 0,
+            priority: 1
+        }
+        .check()
+        .is_err());
+        assert!(Timing {
+            period_ns: 10,
+            offset_ns: 0,
+            deadline_ns: 11,
+            priority: 1
+        }
+        .check()
+        .is_err());
+        assert!(Timing {
+            period_ns: 10,
+            offset_ns: 5,
+            deadline_ns: 10,
+            priority: 1
+        }
+        .check()
+        .is_ok());
     }
 
     #[test]

@@ -221,8 +221,16 @@ impl BasicOp {
         use BasicOp::*;
         match self {
             Const(_) | PulseGen { .. } => vec![],
-            Gain { .. } | Offset { .. } | Abs | Neg | Limit { .. } | Deadband { .. }
-            | Derivative | LowPass { .. } | MovingAverage { .. } | RateLimiter { .. }
+            Gain { .. }
+            | Offset { .. }
+            | Abs
+            | Neg
+            | Limit { .. }
+            | Deadband { .. }
+            | Derivative
+            | LowPass { .. }
+            | MovingAverage { .. }
+            | RateLimiter { .. }
             | Integrator { .. } => vec![Port::real("x")],
             Hysteresis { .. } => vec![Port::real("x")],
             Sum | Sub | Mul | Div | Min | Max => vec![Port::real("a"), Port::real("b")],
@@ -245,8 +253,16 @@ impl BasicOp {
         match self {
             Const(v) => vec![Port::new("y", v.signal_type())],
             UnitDelay { initial } => vec![Port::new("y", initial.signal_type())],
-            Hysteresis { .. } | TimerOn { .. } | PulseGen { .. } | And | Or | Xor | Not
-            | SrLatch | RisingEdge | Compare(_) => vec![Port::boolean("q")],
+            Hysteresis { .. }
+            | TimerOn { .. }
+            | PulseGen { .. }
+            | And
+            | Or
+            | Xor
+            | Not
+            | SrLatch
+            | RisingEdge
+            | Compare(_) => vec![Port::boolean("q")],
             Counter { .. } => vec![Port::int("n")],
             Pid { .. } => vec![Port::real("u")],
             Func { outputs, .. } => outputs.iter().map(|(p, _)| p.clone()).collect(),
@@ -305,7 +321,12 @@ impl BasicOp {
     ///
     /// Panics if `inputs` or `state` have the wrong arity or types; the
     /// network validator guarantees both before execution.
-    pub fn step(&self, state: &mut [SignalValue], inputs: &[SignalValue], dt: f64) -> Vec<SignalValue> {
+    pub fn step(
+        &self,
+        state: &mut [SignalValue],
+        inputs: &[SignalValue],
+        dt: f64,
+    ) -> Vec<SignalValue> {
         use BasicOp::*;
         let r = |i: usize| inputs[i].as_real().expect("real input");
         let b = |i: usize| inputs[i].as_bool().expect("bool input");
@@ -444,7 +465,13 @@ impl BasicOp {
             Not => vec![(!b(0)).into()],
             SrLatch => {
                 let q = state[0].as_bool().expect("bool state");
-                let q2 = if b(1) { false } else if b(0) { true } else { q };
+                let q2 = if b(1) {
+                    false
+                } else if b(0) {
+                    true
+                } else {
+                    q
+                };
                 state[0] = q2.into();
                 vec![q2.into()]
             }
@@ -456,7 +483,10 @@ impl BasicOp {
             }
             Compare(op) => vec![op.apply(r(0), r(1)).into()],
             Select => vec![if b(0) { inputs[1] } else { inputs[2] }],
-            Func { inputs: ports, outputs } => {
+            Func {
+                inputs: ports,
+                outputs,
+            } => {
                 let env: std::collections::BTreeMap<String, SignalValue> = ports
                     .iter()
                     .zip(inputs.iter())
@@ -495,8 +525,7 @@ mod tests {
     use super::*;
 
     fn run_series(op: &BasicOp, series: &[Vec<SignalValue>], dt: f64) -> Vec<Vec<SignalValue>> {
-        let mut state: Vec<SignalValue> =
-            op.state_layout().into_iter().map(|(_, v)| v).collect();
+        let mut state: Vec<SignalValue> = op.state_layout().into_iter().map(|(_, v)| v).collect();
         series.iter().map(|i| op.step(&mut state, i, dt)).collect()
     }
 
@@ -523,9 +552,14 @@ mod tests {
 
     #[test]
     fn hysteresis_switching() {
-        let op = BasicOp::Hysteresis { low: 20.0, high: 22.0 };
-        let ins: Vec<Vec<SignalValue>> =
-            [19.0, 21.0, 22.5, 21.0, 19.5, 21.0].iter().map(|&x| vec![x.into()]).collect();
+        let op = BasicOp::Hysteresis {
+            low: 20.0,
+            high: 22.0,
+        };
+        let ins: Vec<Vec<SignalValue>> = [19.0, 21.0, 22.5, 21.0, 19.5, 21.0]
+            .iter()
+            .map(|&x| vec![x.into()])
+            .collect();
         let outs = run_series(&op, &ins, 0.1);
         let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
         assert_eq!(qs, [false, false, true, true, false, false]);
@@ -533,7 +567,12 @@ mod tests {
 
     #[test]
     fn integrator_accumulates_and_clamps() {
-        let op = BasicOp::Integrator { gain: 1.0, initial: 0.0, lo: 0.0, hi: 0.25 };
+        let op = BasicOp::Integrator {
+            gain: 1.0,
+            initial: 0.0,
+            lo: 0.0,
+            hi: 0.25,
+        };
         let ins: Vec<Vec<SignalValue>> = (0..4).map(|_| vec![1.0.into()]).collect();
         let outs = run_series(&op, &ins, 0.1);
         let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
@@ -554,11 +593,15 @@ mod tests {
 
     #[test]
     fn unit_delay_emits_state_without_update() {
-        let op = BasicOp::UnitDelay { initial: SignalValue::Real(9.0) };
-        let mut state: Vec<SignalValue> =
-            op.state_layout().into_iter().map(|(_, v)| v).collect();
+        let op = BasicOp::UnitDelay {
+            initial: SignalValue::Real(9.0),
+        };
+        let mut state: Vec<SignalValue> = op.state_layout().into_iter().map(|(_, v)| v).collect();
         // step never updates state; the network late-update phase does.
-        assert_eq!(op.step(&mut state, &[1.0.into()], 0.1), vec![SignalValue::Real(9.0)]);
+        assert_eq!(
+            op.step(&mut state, &[1.0.into()], 0.1),
+            vec![SignalValue::Real(9.0)]
+        );
         assert_eq!(state[0], SignalValue::Real(9.0));
         assert!(!op.has_direct_feedthrough());
     }
@@ -566,8 +609,10 @@ mod tests {
     #[test]
     fn moving_average_warmup_and_steady() {
         let op = BasicOp::MovingAverage { window: 3 };
-        let ins: Vec<Vec<SignalValue>> =
-            [3.0, 6.0, 9.0, 12.0].iter().map(|&x| vec![x.into()]).collect();
+        let ins: Vec<Vec<SignalValue>> = [3.0, 6.0, 9.0, 12.0]
+            .iter()
+            .map(|&x| vec![x.into()])
+            .collect();
         let outs = run_series(&op, &ins, 0.1);
         let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
         assert_eq!(ys, [3.0, 4.5, 6.0, 9.0]);
@@ -575,14 +620,26 @@ mod tests {
 
     #[test]
     fn pid_proportional_only() {
-        let op = BasicOp::Pid { kp: 2.0, ki: 0.0, kd: 0.0, lo: -100.0, hi: 100.0 };
+        let op = BasicOp::Pid {
+            kp: 2.0,
+            ki: 0.0,
+            kd: 0.0,
+            lo: -100.0,
+            hi: 100.0,
+        };
         let outs = run_series(&op, &[vec![10.0.into(), 7.0.into()]], 0.1);
         assert_eq!(outs[0][0], SignalValue::Real(6.0));
     }
 
     #[test]
     fn pid_integral_accumulates() {
-        let op = BasicOp::Pid { kp: 0.0, ki: 1.0, kd: 0.0, lo: -100.0, hi: 100.0 };
+        let op = BasicOp::Pid {
+            kp: 0.0,
+            ki: 1.0,
+            kd: 0.0,
+            lo: -100.0,
+            hi: 100.0,
+        };
         let ins: Vec<Vec<SignalValue>> = (0..3).map(|_| vec![1.0.into(), 0.0.into()]).collect();
         let outs = run_series(&op, &ins, 0.5);
         let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
@@ -592,13 +649,21 @@ mod tests {
     #[test]
     fn counter_saturates_and_wraps() {
         let inc = |v: bool| vec![SignalValue::Bool(v), SignalValue::Bool(false)];
-        let sat = BasicOp::Counter { min: 0, max: 2, wrap: false };
+        let sat = BasicOp::Counter {
+            min: 0,
+            max: 2,
+            wrap: false,
+        };
         let ins: Vec<_> = (0..4).map(|_| inc(true)).collect();
         let outs = run_series(&sat, &ins, 0.1);
         let ns: Vec<i64> = outs.iter().map(|o| o[0].as_int().unwrap()).collect();
         assert_eq!(ns, [1, 2, 2, 2]);
 
-        let wrap = BasicOp::Counter { min: 0, max: 2, wrap: true };
+        let wrap = BasicOp::Counter {
+            min: 0,
+            max: 2,
+            wrap: true,
+        };
         let outs = run_series(&wrap, &ins, 0.1);
         let ns: Vec<i64> = outs.iter().map(|o| o[0].as_int().unwrap()).collect();
         assert_eq!(ns, [1, 2, 0, 1]);
@@ -606,7 +671,11 @@ mod tests {
 
     #[test]
     fn counter_reset_dominates() {
-        let op = BasicOp::Counter { min: 5, max: 10, wrap: false };
+        let op = BasicOp::Counter {
+            min: 5,
+            max: 10,
+            wrap: false,
+        };
         let outs = run_series(
             &op,
             &[
@@ -632,11 +701,17 @@ mod tests {
 
     #[test]
     fn pulse_generator_duty_cycle() {
-        let op = BasicOp::PulseGen { period: 1.0, duty: 0.5 };
+        let op = BasicOp::PulseGen {
+            period: 1.0,
+            duty: 0.5,
+        };
         let ins: Vec<Vec<SignalValue>> = (0..10).map(|_| vec![]).collect();
         let outs = run_series(&op, &ins, 0.25);
         let qs: Vec<bool> = outs.iter().map(|o| o[0].as_bool().unwrap()).collect();
-        assert_eq!(qs, [true, true, false, false, true, true, false, false, true, true]);
+        assert_eq!(
+            qs,
+            [true, true, false, false, true, true, false, false, true, true]
+        );
     }
 
     #[test]
@@ -685,8 +760,14 @@ mod tests {
 
     #[test]
     fn rate_limiter_slews() {
-        let op = BasicOp::RateLimiter { max_rise: 1.0, max_fall: 2.0 };
-        let ins: Vec<Vec<SignalValue>> = [10.0, 10.0, -10.0].iter().map(|&x| vec![x.into()]).collect();
+        let op = BasicOp::RateLimiter {
+            max_rise: 1.0,
+            max_fall: 2.0,
+        };
+        let ins: Vec<Vec<SignalValue>> = [10.0, 10.0, -10.0]
+            .iter()
+            .map(|&x| vec![x.into()])
+            .collect();
         let outs = run_series(&op, &ins, 1.0);
         let ys: Vec<f64> = outs.iter().map(|o| o[0].as_real().unwrap()).collect();
         assert_eq!(ys, [1.0, 2.0, 0.0]);
@@ -709,10 +790,7 @@ mod tests {
     fn func_block_evaluates_expressions() {
         let op = BasicOp::Func {
             inputs: vec![Port::real("t"), Port::real("sp")],
-            outputs: vec![(
-                Port::real("err"),
-                Expr::var("sp").sub(Expr::var("t")),
-            )],
+            outputs: vec![(Port::real("err"), Expr::var("sp").sub(Expr::var("t")))],
         };
         let mut s = vec![];
         let out = op.step(&mut s, &[20.0.into(), 22.5.into()], 0.1);
@@ -727,16 +805,25 @@ mod tests {
             BasicOp::Const(1.0.into()),
             BasicOp::Gain { k: 2.0 },
             BasicOp::Sum,
-            BasicOp::Pid { kp: 1.0, ki: 0.0, kd: 0.0, lo: -1.0, hi: 1.0 },
+            BasicOp::Pid {
+                kp: 1.0,
+                ki: 0.0,
+                kd: 0.0,
+                lo: -1.0,
+                hi: 1.0,
+            },
             BasicOp::Select,
-            BasicOp::Counter { min: 0, max: 5, wrap: false },
+            BasicOp::Counter {
+                min: 0,
+                max: 5,
+                wrap: false,
+            },
             BasicOp::MovingAverage { window: 4 },
         ];
         for op in ops {
             let mut state: Vec<SignalValue> =
                 op.state_layout().into_iter().map(|(_, v)| v).collect();
-            let inputs: Vec<SignalValue> =
-                op.inputs().iter().map(|p| p.ty.zero()).collect();
+            let inputs: Vec<SignalValue> = op.inputs().iter().map(|p| p.ty.zero()).collect();
             let outs = op.step(&mut state, &inputs, 0.1);
             assert_eq!(outs.len(), op.outputs().len(), "{op:?}");
             for (o, p) in outs.iter().zip(op.outputs()) {

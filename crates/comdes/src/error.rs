@@ -72,7 +72,11 @@ mod tests {
             "invalid identifier `9x`"
         );
         assert_eq!(
-            ComdesError::MultipleDrivers { block: "pid".into(), port: "pv".into() }.to_string(),
+            ComdesError::MultipleDrivers {
+                block: "pid".into(),
+                port: "pv".into()
+            }
+            .to_string(),
             "input `pid.pv` has multiple drivers"
         );
     }

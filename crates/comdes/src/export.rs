@@ -251,7 +251,11 @@ fn export_actor(model: &mut Model, parent: ObjectId, actor: &Actor) -> Result<()
     let obj = model.create("Actor")?;
     model.set_attr(obj, "name", Value::from(actor.name.as_str()))?;
     model.set_attr(obj, "period_ns", Value::Int(actor.timing.period_ns as i64))?;
-    model.set_attr(obj, "deadline_ns", Value::Int(actor.timing.deadline_ns as i64))?;
+    model.set_attr(
+        obj,
+        "deadline_ns",
+        Value::Int(actor.timing.deadline_ns as i64),
+    )?;
     model.set_attr(obj, "offset_ns", Value::Int(actor.timing.offset_ns as i64))?;
     model.set_attr(obj, "priority", Value::Int(actor.timing.priority as i64))?;
     for (binding, dir) in actor
@@ -409,7 +413,15 @@ mod tests {
         assert_eq!(ports.len(), 2);
         let labels: Vec<_> = ports
             .iter()
-            .map(|&p| model.attr(p, "label").unwrap().unwrap().as_str().unwrap().to_owned())
+            .map(|&p| {
+                model
+                    .attr(p, "label")
+                    .unwrap()
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
             .collect();
         assert_eq!(labels, ["switch", "relay"]);
     }
@@ -422,7 +434,15 @@ mod tests {
         assert_eq!(conns.len(), 2);
         let froms: Vec<_> = conns
             .iter()
-            .map(|&c| model.attr(c, "from").unwrap().unwrap().as_str().unwrap().to_owned())
+            .map(|&c| {
+                model
+                    .attr(c, "from")
+                    .unwrap()
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
             .collect();
         assert!(froms.contains(&"go".to_owned()));
         assert!(froms.contains(&"ctl.on".to_owned()));

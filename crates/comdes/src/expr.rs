@@ -71,7 +71,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for `Lt/Le/Gt/Ge/Eq/Ne`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// `true` for `And/Or/Xor`.
@@ -194,10 +197,9 @@ impl Expr {
 
     fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Var(n)
-                if !out.contains(n) => {
-                    out.push(n.clone());
-                }
+            Expr::Var(n) if !out.contains(n) => {
+                out.push(n.clone());
+            }
             Expr::Unary(_, e) | Expr::ToReal(e) | Expr::ToInt(e) => e.collect_vars(out),
             Expr::Binary(_, a, b) => {
                 a.collect_vars(out);
@@ -218,7 +220,10 @@ impl Expr {
     ///
     /// Returns [`ComdesError::TypeError`] for unbound variables and operator
     /// misuse, with a message naming the offending subexpression.
-    pub fn infer_type(&self, env: &BTreeMap<String, SignalType>) -> Result<SignalType, ComdesError> {
+    pub fn infer_type(
+        &self,
+        env: &BTreeMap<String, SignalType>,
+    ) -> Result<SignalType, ComdesError> {
         use SignalType::*;
         match self {
             Expr::Bool(_) => Ok(Bool),
@@ -234,7 +239,9 @@ impl Expr {
                     (UnOp::Neg | UnOp::Abs, Int) => Ok(Int),
                     (UnOp::Neg | UnOp::Abs, Real) => Ok(Real),
                     (UnOp::Not, Bool) => Ok(Bool),
-                    _ => Err(ComdesError::TypeError(format!("{op:?} cannot apply to {t}"))),
+                    _ => Err(ComdesError::TypeError(format!(
+                        "{op:?} cannot apply to {t}"
+                    ))),
                 }
             }
             Expr::Binary(op, a, b) => {
@@ -244,7 +251,9 @@ impl Expr {
                     return if ta == Bool && tb == Bool {
                         Ok(Bool)
                     } else {
-                        Err(ComdesError::TypeError(format!("{op:?} needs bool operands")))
+                        Err(ComdesError::TypeError(format!(
+                            "{op:?} needs bool operands"
+                        )))
                     };
                 }
                 if op.is_comparison() {
@@ -454,7 +463,11 @@ fn int_arith(op: BinOp, x: i64, y: i64) -> Result<i64, ComdesError> {
         }
         BinOp::Min => x.min(y),
         BinOp::Max => x.max(y),
-        _ => return Err(ComdesError::Eval(format!("{op:?} is not integer arithmetic"))),
+        _ => {
+            return Err(ComdesError::Eval(format!(
+                "{op:?} is not integer arithmetic"
+            )))
+        }
     })
 }
 
@@ -526,7 +539,10 @@ mod tests {
     #[test]
     fn literal_types_and_values() {
         let env = BTreeMap::new();
-        assert_eq!(Expr::Int(3).infer_type(&env_t(&[])).unwrap(), SignalType::Int);
+        assert_eq!(
+            Expr::Int(3).infer_type(&env_t(&[])).unwrap(),
+            SignalType::Int
+        );
         assert_eq!(Expr::Real(1.5).eval(&env).unwrap(), SignalValue::Real(1.5));
     }
 
@@ -550,7 +566,10 @@ mod tests {
     #[test]
     fn integer_overflow_wraps() {
         let e = Expr::Int(i64::MAX).add(Expr::Int(1));
-        assert_eq!(e.eval(&BTreeMap::new()).unwrap(), SignalValue::Int(i64::MIN));
+        assert_eq!(
+            e.eval(&BTreeMap::new()).unwrap(),
+            SignalValue::Int(i64::MIN)
+        );
     }
 
     #[test]
@@ -589,7 +608,11 @@ mod tests {
 
     #[test]
     fn if_condition_must_be_bool() {
-        let e = Expr::If(Box::new(Expr::Int(1)), Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+        let e = Expr::If(
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Int(2)),
+        );
         assert!(e.infer_type(&env_t(&[])).is_err());
         assert!(e.eval(&BTreeMap::new()).is_err());
     }
@@ -597,11 +620,15 @@ mod tests {
     #[test]
     fn conversions() {
         assert_eq!(
-            Expr::ToReal(Box::new(Expr::Bool(true))).eval(&BTreeMap::new()).unwrap(),
+            Expr::ToReal(Box::new(Expr::Bool(true)))
+                .eval(&BTreeMap::new())
+                .unwrap(),
             SignalValue::Real(1.0)
         );
         assert_eq!(
-            Expr::ToInt(Box::new(Expr::Real(-2.7))).eval(&BTreeMap::new()).unwrap(),
+            Expr::ToInt(Box::new(Expr::Real(-2.7)))
+                .eval(&BTreeMap::new())
+                .unwrap(),
             SignalValue::Int(-2)
         );
         assert_eq!(trunc_to_int(f64::NAN), 0);
@@ -626,7 +653,11 @@ mod tests {
     fn display_round_readable() {
         let e = Expr::var("x").add(Expr::Int(1)).ge(Expr::Real(3.0));
         assert_eq!(e.to_string(), "((x + 1) >= 3)");
-        let m = Expr::Binary(BinOp::Min, Box::new(Expr::var("a")), Box::new(Expr::var("b")));
+        let m = Expr::Binary(
+            BinOp::Min,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::var("b")),
+        );
         assert_eq!(m.to_string(), "min(a, b)");
     }
 

@@ -46,7 +46,10 @@ pub struct Assign {
 impl Assign {
     /// Creates an assignment.
     pub fn new(output: &str, expr: Expr) -> Self {
-        Assign { output: output.to_owned(), expr }
+        Assign {
+            output: output.to_owned(),
+            expr,
+        }
     }
 }
 
@@ -172,9 +175,10 @@ impl StateMachineBlock {
         let from = state.current;
         let mut fired = None;
         for t in self.transitions.iter().filter(|t| t.from == from) {
-            let g = t.guard.eval(&env)?.as_bool().ok_or_else(|| {
-                ComdesError::Eval(format!("guard `{}` is not boolean", t.guard))
-            })?;
+            let g =
+                t.guard.eval(&env)?.as_bool().ok_or_else(|| {
+                    ComdesError::Eval(format!("guard `{}` is not boolean", t.guard))
+                })?;
             if g {
                 fired = Some((from, t.to));
                 state.current = t.to;
@@ -221,12 +225,12 @@ impl StateMachineBlock {
                 return Err(ComdesError::DuplicateName(s.name.clone()));
             }
         }
-        let mut tenv: BTreeMap<String, crate::signal::SignalType> = self
-            .inputs
-            .iter()
-            .map(|p| (p.name.clone(), p.ty))
-            .collect();
-        tenv.insert(VAR_TIME_IN_STATE.to_owned(), crate::signal::SignalType::Real);
+        let mut tenv: BTreeMap<String, crate::signal::SignalType> =
+            self.inputs.iter().map(|p| (p.name.clone(), p.ty)).collect();
+        tenv.insert(
+            VAR_TIME_IN_STATE.to_owned(),
+            crate::signal::SignalType::Real,
+        );
         tenv.insert(VAR_DT.to_owned(), crate::signal::SignalType::Real);
         for t in &self.transitions {
             if t.from >= self.states.len() || t.to >= self.states.len() {
@@ -378,7 +382,8 @@ impl FsmBuilder {
     /// Declares a transition by state names; declaration order among
     /// same-source transitions is the firing priority.
     pub fn transition(mut self, from: &str, to: &str, guard: Expr) -> Self {
-        self.transitions.push((from.to_owned(), to.to_owned(), guard));
+        self.transitions
+            .push((from.to_owned(), to.to_owned(), guard));
         self
     }
 
@@ -556,7 +561,10 @@ mod tests {
             .plain_state("A")
             .transition("A", "Ghost", Expr::Bool(true))
             .build();
-        assert!(matches!(unknown_state.unwrap_err(), ComdesError::Unknown(_)));
+        assert!(matches!(
+            unknown_state.unwrap_err(),
+            ComdesError::Unknown(_)
+        ));
 
         let dup = FsmBuilder::new().plain_state("A").plain_state("A").build();
         assert!(matches!(dup.unwrap_err(), ComdesError::DuplicateName(_)));

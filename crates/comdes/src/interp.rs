@@ -615,7 +615,7 @@ mod tests {
     use crate::block::BasicOp;
     use crate::expr::Expr;
     use crate::fsm::FsmBuilder;
-    use crate::network::{Mode, ModalBlock, NetworkBuilder};
+    use crate::network::{ModalBlock, Mode, NetworkBuilder};
     use crate::signal::Port;
     use crate::system::NodeSpec;
 
@@ -624,7 +624,12 @@ mod tests {
         NetworkBuilder::new()
             .output(Port::real("y"))
             .block("add", BasicOp::Sum)
-            .block("z", BasicOp::UnitDelay { initial: SignalValue::Real(0.0) })
+            .block(
+                "z",
+                BasicOp::UnitDelay {
+                    initial: SignalValue::Real(0.0),
+                },
+            )
             .block("one", BasicOp::Const(SignalValue::Real(1.0)))
             .connect("one.y", "add.a")
             .unwrap()
@@ -715,7 +720,15 @@ mod tests {
         let m0 = NetworkBuilder::new()
             .input(Port::real("x"))
             .output(Port::real("y"))
-            .block("i", BasicOp::Integrator { gain: 1.0, initial: 0.0, lo: -1e9, hi: 1e9 })
+            .block(
+                "i",
+                BasicOp::Integrator {
+                    gain: 1.0,
+                    initial: 0.0,
+                    lo: -1e9,
+                    hi: 1e9,
+                },
+            )
             .connect("x", "i.x")
             .unwrap()
             .connect("i.y", "y")
@@ -726,8 +739,14 @@ mod tests {
             data_inputs: vec![Port::real("x")],
             outputs: vec![Port::real("y")],
             modes: vec![
-                Mode { name: "integrate".into(), network: m0 },
-                Mode { name: "pass".into(), network: pass_mode(1.0) },
+                Mode {
+                    name: "integrate".into(),
+                    network: m0,
+                },
+                Mode {
+                    name: "pass".into(),
+                    network: pass_mode(1.0),
+                },
             ],
         };
         let net = NetworkBuilder::new()
@@ -747,22 +766,48 @@ mod tests {
         let mut path = vec!["A".to_owned()];
         let mut ev = Vec::new();
         let dt = 1.0;
-        let s1 = step_network(&net, &mut rt, &[0i64.into(), 2.0.into()], dt, &mut path, &mut ev)
-            .unwrap();
+        let s1 = step_network(
+            &net,
+            &mut rt,
+            &[0i64.into(), 2.0.into()],
+            dt,
+            &mut path,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(s1[0], SignalValue::Real(2.0)); // integral = 2
-        let s2 = step_network(&net, &mut rt, &[1i64.into(), 5.0.into()], dt, &mut path, &mut ev)
-            .unwrap();
+        let s2 = step_network(
+            &net,
+            &mut rt,
+            &[1i64.into(), 5.0.into()],
+            dt,
+            &mut path,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(s2[0], SignalValue::Real(5.0)); // pass-through
-        let s3 = step_network(&net, &mut rt, &[0i64.into(), 1.0.into()], dt, &mut path, &mut ev)
-            .unwrap();
+        let s3 = step_network(
+            &net,
+            &mut rt,
+            &[0i64.into(), 1.0.into()],
+            dt,
+            &mut path,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(s3[0], SignalValue::Real(3.0)); // integral resumed from 2
-        // Mode switch events: initial activation, 0->1, 1->0.
+                                                   // Mode switch events: initial activation, 0->1, 1->0.
         let switches: Vec<_> = ev
             .iter()
             .filter(|e| matches!(e, BehaviorEvent::ModeSwitch { .. }))
             .collect();
         assert_eq!(switches.len(), 3);
-        if let BehaviorEvent::ModeSwitch { block_path, from, to } = switches[1] {
+        if let BehaviorEvent::ModeSwitch {
+            block_path,
+            from,
+            to,
+        } = switches[1]
+        {
             assert_eq!(block_path, "A/modal");
             assert_eq!(from, "integrate");
             assert_eq!(to, "pass");
@@ -777,8 +822,14 @@ mod tests {
             data_inputs: vec![Port::real("x")],
             outputs: vec![Port::real("y")],
             modes: vec![
-                Mode { name: "a".into(), network: pass_mode(1.0) },
-                Mode { name: "b".into(), network: pass_mode(10.0) },
+                Mode {
+                    name: "a".into(),
+                    network: pass_mode(1.0),
+                },
+                Mode {
+                    name: "b".into(),
+                    network: pass_mode(10.0),
+                },
             ],
         };
         let net = NetworkBuilder::new()
@@ -825,13 +876,23 @@ mod tests {
         let p = ActorBuilder::new("Producer", pass_mode(2.0))
             .input("x", "raw")
             .output("y", "mid")
-            .timing(Timing { period_ns: 1_000, offset_ns: 0, deadline_ns: 1_000, priority: 0 })
+            .timing(Timing {
+                period_ns: 1_000,
+                offset_ns: 0,
+                deadline_ns: 1_000,
+                priority: 0,
+            })
             .build()
             .unwrap();
         let c = ActorBuilder::new("Consumer", pass_mode(-1.0))
             .input("x", "mid")
             .output("y", "out")
-            .timing(Timing { period_ns: 1_000, offset_ns: 0, deadline_ns: 1_000, priority: 1 })
+            .timing(Timing {
+                period_ns: 1_000,
+                offset_ns: 0,
+                deadline_ns: 1_000,
+                priority: 1,
+            })
             .build()
             .unwrap();
         let mut n0 = NodeSpec::new("n0", 1_000_000_000);
@@ -874,7 +935,10 @@ mod tests {
             .filter(|r| r.actor == "Producer")
             .collect();
         assert_eq!(recs.len(), 2); // releases at 0 and 1000
-        assert_eq!(recs[0].outputs, vec![("mid".to_owned(), SignalValue::Real(2.0))]);
+        assert_eq!(
+            recs[0].outputs,
+            vec![("mid".to_owned(), SignalValue::Real(2.0))]
+        );
     }
 
     #[test]
@@ -902,7 +966,12 @@ mod tests {
         let actor = ActorBuilder::new("Late", pass_mode(1.0))
             .input("x", "in")
             .output("y", "out")
-            .timing(Timing { period_ns: 1_000, offset_ns: 500, deadline_ns: 1_000, priority: 0 })
+            .timing(Timing {
+                period_ns: 1_000,
+                offset_ns: 500,
+                deadline_ns: 1_000,
+                priority: 0,
+            })
             .build()
             .unwrap();
         let mut node = NodeSpec::new("n", 1_000_000);

@@ -70,17 +70,17 @@ pub use error::ComdesError;
 pub use export::{comdes_metamodel, export_system, COMDES_METAMODEL};
 pub use expr::{trunc_to_int, BinOp, Expr, UnOp};
 pub use fsm::{
-    Assign, FsmBuilder, FsmState, FsmStepInfo, State, StateBuilder, StateMachineBlock,
-    Transition, VAR_DT, VAR_TIME_IN_STATE,
+    Assign, FsmBuilder, FsmState, FsmStepInfo, State, StateBuilder, StateMachineBlock, Transition,
+    VAR_DT, VAR_TIME_IN_STATE,
 };
 pub use interp::{
-    init_network, run_network, step_network, ActivationRecord, BehaviorEvent, Interpreter,
-    RtBlock, RtNetwork, SignalWrite,
+    init_network, run_network, step_network, ActivationRecord, BehaviorEvent, Interpreter, RtBlock,
+    RtNetwork, SignalWrite,
 };
 pub use lint::{lint, LintWarning};
 pub use network::{
-    Block, BlockInstance, CompositeBlock, Connection, ModalBlock, Mode, Network,
-    NetworkBuilder, Sink, Source,
+    Block, BlockInstance, CompositeBlock, Connection, ModalBlock, Mode, Network, NetworkBuilder,
+    Sink, Source,
 };
 pub use signal::{Port, SignalType, SignalValue};
 pub use system::{NodeSpec, SignalOrigin, System};

@@ -136,7 +136,9 @@ mod tests {
         let sys = System::new("s").with_node(node);
         let warnings = lint(&sys);
         assert!(warnings.iter().any(|w| w.message.contains("undriven")));
-        assert!(warnings.iter().any(|w| w.message.contains("never consumed")));
+        assert!(warnings
+            .iter()
+            .any(|w| w.message.contains("never consumed")));
     }
 
     #[test]

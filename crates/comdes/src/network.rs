@@ -86,12 +86,12 @@ fn check_basic(op: &BasicOp) -> Result<(), ComdesError> {
         BasicOp::LowPass { alpha } if !(*alpha > 0.0 && *alpha <= 1.0) => Err(
             ComdesError::TypeError("low-pass alpha must be in (0, 1]".into()),
         ),
-        BasicOp::Limit { lo, hi } | BasicOp::Pid { lo, hi, .. } if lo > hi => Err(
-            ComdesError::TypeError("limit lo must be <= hi".into()),
-        ),
-        BasicOp::Counter { min, max, .. } if min > max => Err(ComdesError::TypeError(
-            "counter min must be <= max".into(),
-        )),
+        BasicOp::Limit { lo, hi } | BasicOp::Pid { lo, hi, .. } if lo > hi => {
+            Err(ComdesError::TypeError("limit lo must be <= hi".into()))
+        }
+        BasicOp::Counter { min, max, .. } if min > max => {
+            Err(ComdesError::TypeError("counter min must be <= max".into()))
+        }
         BasicOp::PulseGen { period, duty } if !(*period > 0.0 && (0.0..=1.0).contains(duty)) => {
             Err(ComdesError::TypeError(
                 "pulse generator needs period > 0 and duty in [0, 1]".into(),
@@ -292,9 +292,7 @@ impl Network {
                     .iter()
                     .find(|q| q.name == *port)
                     .map(|q| q.ty)
-                    .ok_or_else(|| {
-                        ComdesError::BadConnection(format!("no input `{block}.{port}`"))
-                    })
+                    .ok_or_else(|| ComdesError::BadConnection(format!("no input `{block}.{port}`")))
             }
         }
     }
@@ -653,7 +651,9 @@ mod tests {
             .block("a", BasicOp::Sum)
             .block(
                 "z",
-                BasicOp::UnitDelay { initial: SignalValue::Real(0.0) },
+                BasicOp::UnitDelay {
+                    initial: SignalValue::Real(0.0),
+                },
             )
             .block("one", BasicOp::Const(SignalValue::Real(1.0)))
             .connect("one.y", "a.a")
@@ -717,16 +717,28 @@ mod tests {
             data_inputs: vec![Port::real("x")],
             outputs: vec![Port::real("y")],
             modes: vec![
-                Mode { name: "m0".into(), network: inner_ok.clone() },
-                Mode { name: "m1".into(), network: inner_bad },
+                Mode {
+                    name: "m0".into(),
+                    network: inner_ok.clone(),
+                },
+                Mode {
+                    name: "m1".into(),
+                    network: inner_bad,
+                },
             ],
         };
-        assert!(matches!(modal.check().unwrap_err(), ComdesError::BadModal(_)));
+        assert!(matches!(
+            modal.check().unwrap_err(),
+            ComdesError::BadModal(_)
+        ));
 
         let good = ModalBlock {
             data_inputs: vec![Port::real("x")],
             outputs: vec![Port::real("y")],
-            modes: vec![Mode { name: "m0".into(), network: inner_ok }],
+            modes: vec![Mode {
+                name: "m0".into(),
+                network: inner_ok,
+            }],
         };
         assert!(good.check().is_ok());
         assert_eq!(good.clamp_mode(-5), 0);
@@ -769,9 +781,22 @@ mod tests {
         assert!(check_basic(&BasicOp::MovingAverage { window: 0 }).is_err());
         assert!(check_basic(&BasicOp::LowPass { alpha: 0.0 }).is_err());
         assert!(check_basic(&BasicOp::Limit { lo: 2.0, hi: 1.0 }).is_err());
-        assert!(check_basic(&BasicOp::Counter { min: 5, max: 1, wrap: false }).is_err());
-        assert!(check_basic(&BasicOp::PulseGen { period: 0.0, duty: 0.5 }).is_err());
-        assert!(check_basic(&BasicOp::PulseGen { period: 1.0, duty: 1.5 }).is_err());
+        assert!(check_basic(&BasicOp::Counter {
+            min: 5,
+            max: 1,
+            wrap: false
+        })
+        .is_err());
+        assert!(check_basic(&BasicOp::PulseGen {
+            period: 0.0,
+            duty: 0.5
+        })
+        .is_err());
+        assert!(check_basic(&BasicOp::PulseGen {
+            period: 1.0,
+            duty: 1.5
+        })
+        .is_err());
     }
 
     #[test]
@@ -794,7 +819,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             net.undriven_block_inputs(),
-            vec![("s".to_owned(), "a".to_owned()), ("s".to_owned(), "b".to_owned())]
+            vec![
+                ("s".to_owned(), "a".to_owned()),
+                ("s".to_owned(), "b".to_owned())
+            ]
         );
     }
 }

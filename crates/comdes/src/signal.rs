@@ -148,7 +148,10 @@ pub struct Port {
 impl Port {
     /// Creates a port.
     pub fn new(name: &str, ty: SignalType) -> Self {
-        Port { name: name.to_owned(), ty }
+        Port {
+            name: name.to_owned(),
+            ty,
+        }
     }
 
     /// Shorthand for a `Real` port.
@@ -181,7 +184,10 @@ mod tests {
     fn raw_round_trip_real() {
         for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, -0.0] {
             let raw = SignalValue::Real(v).to_raw();
-            assert_eq!(SignalValue::from_raw(SignalType::Real, raw), SignalValue::Real(v));
+            assert_eq!(
+                SignalValue::from_raw(SignalType::Real, raw),
+                SignalValue::Real(v)
+            );
         }
     }
 
@@ -189,7 +195,10 @@ mod tests {
     fn raw_round_trip_int() {
         for v in [0i64, -1, i64::MAX, i64::MIN, 42] {
             let raw = SignalValue::Int(v).to_raw();
-            assert_eq!(SignalValue::from_raw(SignalType::Int, raw), SignalValue::Int(v));
+            assert_eq!(
+                SignalValue::from_raw(SignalType::Int, raw),
+                SignalValue::Int(v)
+            );
         }
     }
 
@@ -197,7 +206,10 @@ mod tests {
     fn raw_round_trip_bool() {
         for v in [true, false] {
             let raw = SignalValue::Bool(v).to_raw();
-            assert_eq!(SignalValue::from_raw(SignalType::Bool, raw), SignalValue::Bool(v));
+            assert_eq!(
+                SignalValue::from_raw(SignalType::Bool, raw),
+                SignalValue::Bool(v)
+            );
         }
     }
 

@@ -117,7 +117,13 @@ impl System {
                 }
                 map.insert(
                     out.label.clone(),
-                    (out.port.ty, SignalOrigin::Actor { node: ni, actor: ai }),
+                    (
+                        out.port.ty,
+                        SignalOrigin::Actor {
+                            node: ni,
+                            actor: ai,
+                        },
+                    ),
                 );
             }
         }
@@ -246,7 +252,10 @@ mod tests {
         sys.nodes[1]
             .actors
             .push(gain_actor("Rogue", "raw", "filtered"));
-        assert!(matches!(sys.check().unwrap_err(), ComdesError::BadSystem(_)));
+        assert!(matches!(
+            sys.check().unwrap_err(),
+            ComdesError::BadSystem(_)
+        ));
     }
 
     #[test]
@@ -269,14 +278,20 @@ mod tests {
             .build()
             .unwrap();
         sys.nodes[0].actors.push(actor);
-        assert!(matches!(sys.check().unwrap_err(), ComdesError::BadSystem(_)));
+        assert!(matches!(
+            sys.check().unwrap_err(),
+            ComdesError::BadSystem(_)
+        ));
     }
 
     #[test]
     fn duplicate_actor_name_rejected() {
         let mut sys = two_node_system();
         sys.nodes[0].actors.push(gain_actor("Control", "a", "b"));
-        assert!(matches!(sys.check().unwrap_err(), ComdesError::DuplicateName(_)));
+        assert!(matches!(
+            sys.check().unwrap_err(),
+            ComdesError::DuplicateName(_)
+        ));
     }
 
     #[test]

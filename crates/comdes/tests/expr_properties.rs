@@ -39,8 +39,7 @@ fn arb_expr(ty: SignalType, depth: u32) -> BoxedStrategy<Expr> {
             arb_expr(SignalType::Bool, d).prop_map(Expr::not),
             (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
                 .prop_map(|(a, b)| a.lt(b)),
-            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
-                .prop_map(|(a, b)| a.ge(b)),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d)).prop_map(|(a, b)| a.ge(b)),
             (arb_expr(SignalType::Int, d), arb_expr(SignalType::Real, d))
                 .prop_map(|(a, b)| a.eq_(b)),
         ]
@@ -53,9 +52,8 @@ fn arb_expr(ty: SignalType, depth: u32) -> BoxedStrategy<Expr> {
                 .prop_map(|(a, b)| a.mul(b)),
             (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
                 .prop_map(|(a, b)| a.div(b)),
-            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d)).prop_map(|(a, b)| {
-                Expr::Binary(BinOp::Rem, Box::new(a), Box::new(b))
-            }),
+            (arb_expr(SignalType::Int, d), arb_expr(SignalType::Int, d))
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Rem, Box::new(a), Box::new(b)) }),
             arb_expr(SignalType::Int, d).prop_map(Expr::neg),
             arb_expr(SignalType::Real, d).prop_map(|e| Expr::ToInt(Box::new(e))),
             (
@@ -74,12 +72,10 @@ fn arb_expr(ty: SignalType, depth: u32) -> BoxedStrategy<Expr> {
                 .prop_map(|(a, b)| a.mul(b)),
             (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
                 .prop_map(|(a, b)| a.div(b)),
-            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d)).prop_map(|(a, b)| {
-                Expr::Binary(BinOp::Min, Box::new(a), Box::new(b))
-            }),
+            (arb_expr(SignalType::Real, d), arb_expr(SignalType::Real, d))
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Min, Box::new(a), Box::new(b)) }),
             arb_expr(SignalType::Int, d).prop_map(|e| Expr::ToReal(Box::new(e))),
-            arb_expr(SignalType::Real, d)
-                .prop_map(|e| Expr::Unary(UnOp::Abs, Box::new(e))),
+            arb_expr(SignalType::Real, d).prop_map(|e| Expr::Unary(UnOp::Abs, Box::new(e))),
             (
                 arb_expr(SignalType::Bool, d),
                 arb_expr(SignalType::Real, d),

@@ -3,7 +3,7 @@
 //! the debugger as documents).
 
 use gmdf_comdes::{
-    ActorBuilder, BasicOp, Expr, FsmBuilder, Mode, ModalBlock, NetworkBuilder, NodeSpec, Port,
+    ActorBuilder, BasicOp, Expr, FsmBuilder, ModalBlock, Mode, NetworkBuilder, NodeSpec, Port,
     SignalValue, System, Timing, VAR_TIME_IN_STATE,
 };
 
@@ -18,7 +18,11 @@ fn heterogeneous_system() -> System {
             "Fine",
             Expr::Unary(gmdf_comdes::UnOp::Abs, Box::new(Expr::var("err"))).lt(Expr::Real(1.0)),
         )
-        .transition("Fine", "Coarse", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)))
+        .transition(
+            "Fine",
+            "Coarse",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)),
+        )
         .build()
         .unwrap();
     let mode_net = |k: f64| {
@@ -26,7 +30,12 @@ fn heterogeneous_system() -> System {
             .input(Port::real("x"))
             .output(Port::real("y"))
             .block("g", BasicOp::Gain { k })
-            .block("z", BasicOp::UnitDelay { initial: SignalValue::Real(0.0) })
+            .block(
+                "z",
+                BasicOp::UnitDelay {
+                    initial: SignalValue::Real(0.0),
+                },
+            )
             .connect("x", "g.x")
             .unwrap()
             .connect("g.y", "z.x")
@@ -40,8 +49,14 @@ fn heterogeneous_system() -> System {
         data_inputs: vec![Port::real("x")],
         outputs: vec![Port::real("y")],
         modes: vec![
-            Mode { name: "coarse".into(), network: mode_net(4.0) },
-            Mode { name: "fine".into(), network: mode_net(0.5) },
+            Mode {
+                name: "coarse".into(),
+                network: mode_net(4.0),
+            },
+            Mode {
+                name: "fine".into(),
+                network: mode_net(0.5),
+            },
         ],
     };
     let net = NetworkBuilder::new()

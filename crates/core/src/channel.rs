@@ -108,14 +108,22 @@ impl PassiveChannel {
     pub fn translate(&self, w: &WatchEvent) -> ModelEvent {
         if let Some(base) = w.symbol.strip_suffix("#state") {
             if let Some(names) = self.states.get(base) {
-                let idx = w.value.as_int().unwrap_or(0).clamp(0, names.len() as i64 - 1);
+                let idx = w
+                    .value
+                    .as_int()
+                    .unwrap_or(0)
+                    .clamp(0, names.len() as i64 - 1);
                 return ModelEvent::new(w.time_ns, EventKind::StateEnter, base)
                     .with_to(&names[idx as usize]);
             }
         }
         if let Some(base) = w.symbol.strip_suffix("#last") {
             if let Some(names) = self.modes.get(base) {
-                let idx = w.value.as_int().unwrap_or(0).clamp(0, names.len() as i64 - 1);
+                let idx = w
+                    .value
+                    .as_int()
+                    .unwrap_or(0)
+                    .clamp(0, names.len() as i64 - 1);
                 return ModelEvent::new(w.time_ns, EventKind::ModeSwitch, base)
                     .with_to(&names[idx as usize]);
             }
@@ -143,7 +151,12 @@ fn collect_names(
                     m.modes.iter().map(|mo| mo.name.clone()).collect(),
                 );
                 for mode in &m.modes {
-                    collect_names(&format!("{path}/{}", mode.name), &mode.network, states, modes);
+                    collect_names(
+                        &format!("{path}/{}", mode.name),
+                        &mode.network,
+                        states,
+                        modes,
+                    );
                 }
             }
             Block::Composite(c) => collect_names(&path, &c.network, states, modes),

@@ -82,15 +82,19 @@ use gmdf_gdm::{EventKind, ModelEvent};
 /// classification).
 pub fn behavior_to_model_event(time_ns: u64, be: &BehaviorEvent) -> ModelEvent {
     match be {
-        BehaviorEvent::StateEnter { block_path, from, to } => {
-            ModelEvent::new(time_ns, EventKind::StateEnter, block_path)
-                .with_from(from)
-                .with_to(to)
-        }
-        BehaviorEvent::ModeSwitch { block_path, from, to } => {
-            ModelEvent::new(time_ns, EventKind::ModeSwitch, block_path)
-                .with_from(from)
-                .with_to(to)
-        }
+        BehaviorEvent::StateEnter {
+            block_path,
+            from,
+            to,
+        } => ModelEvent::new(time_ns, EventKind::StateEnter, block_path)
+            .with_from(from)
+            .with_to(to),
+        BehaviorEvent::ModeSwitch {
+            block_path,
+            from,
+            to,
+        } => ModelEvent::new(time_ns, EventKind::ModeSwitch, block_path)
+            .with_from(from)
+            .with_to(to),
     }
 }

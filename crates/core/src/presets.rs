@@ -24,14 +24,18 @@ use std::sync::Arc;
 pub fn comdes_abstraction() -> Abstraction {
     let mm = Arc::new(comdes_metamodel());
     let mut g = AbstractionGuide::new(mm);
-    g.pair("Actor", GdmPattern::Rectangle).expect("fixed metamodel");
-    g.pair("BasicBlock", GdmPattern::Rectangle).expect("fixed metamodel");
+    g.pair("Actor", GdmPattern::Rectangle)
+        .expect("fixed metamodel");
+    g.pair("BasicBlock", GdmPattern::Rectangle)
+        .expect("fixed metamodel");
     g.pair("StateMachineBlock", GdmPattern::RoundedRectangle)
         .expect("fixed metamodel");
-    g.pair("State", GdmPattern::Circle).expect("fixed metamodel");
+    g.pair("State", GdmPattern::Circle)
+        .expect("fixed metamodel");
     g.pair("ModalBlock", GdmPattern::RoundedRectangle)
         .expect("fixed metamodel");
-    g.pair("Mode", GdmPattern::RoundedRectangle).expect("fixed metamodel");
+    g.pair("Mode", GdmPattern::RoundedRectangle)
+        .expect("fixed metamodel");
     g.pair("CompositeBlock", GdmPattern::RoundedRectangle)
         .expect("fixed metamodel");
     g.edge_rule(EdgeRule::ByReferences {
@@ -76,7 +80,13 @@ pub fn comdes_allowed_transitions(system: &System) -> Result<Vec<Expectation>, C
     let (_, model) = export_system(system)?;
     // Export paths are `system/node/actor/...`; runtime events start at
     // the actor, so skip the two leading segments.
-    Ok(allowed_transitions(&model, "Transition", "source", "target", 2))
+    Ok(allowed_transitions(
+        &model,
+        "Transition",
+        "source",
+        "target",
+        2,
+    ))
 }
 
 #[cfg(test)]

@@ -122,7 +122,10 @@ impl DebugSession {
                     .collect();
                 (Some(chans), None)
             }
-            ChannelMode::Passive { poll_period_ns, tck_hz } => {
+            ChannelMode::Passive {
+                poll_period_ns,
+                tck_hz,
+            } => {
                 let mut monitor = JtagMonitor::new(poll_period_ns, tck_hz);
                 for (node, symbol) in &watch_suggestions {
                     if symbol.ends_with("#state") || symbol.ends_with("#last") {
@@ -227,9 +230,7 @@ impl DebugSession {
     /// # Errors
     ///
     /// Propagates interpreter errors (never for validated systems).
-    pub fn classify_against_model(
-        &self,
-    ) -> Result<(BugClass, Option<Divergence>), SessionError> {
+    pub fn classify_against_model(&self) -> Result<(BugClass, Option<Divergence>), SessionError> {
         let reference = self.reference_events()?;
         let observed: Vec<ModelEvent> = self
             .engine
@@ -312,7 +313,10 @@ mod tests {
             system,
             gdm,
             channel,
-            CompileOptions { instrument: InstrumentOptions::behavior(), faults },
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults,
+            },
             SimConfig::default(),
         )
         .unwrap()
@@ -324,11 +328,7 @@ mod tests {
         let report = s.run_for(20_000_000).unwrap();
         assert!(report.events_fed >= 4, "{report:?}");
         // Some state element is highlighted.
-        let highlighted = s
-            .engine()
-            .visual()
-            .iter()
-            .any(|(_, v)| v.highlighted);
+        let highlighted = s.engine().visual().iter().any(|(_, v)| v.highlighted);
         assert!(highlighted);
         assert!(!s.engine().trace().is_empty());
     }
@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn passive_session_sees_the_same_behavior() {
         let mut s = build(
-            ChannelMode::Passive { poll_period_ns: 200_000, tck_hz: 10_000_000 },
+            ChannelMode::Passive {
+                poll_period_ns: 200_000,
+                tck_hz: 10_000_000,
+            },
             vec![],
         );
         let report = s.run_for(20_000_000).unwrap();

@@ -17,9 +17,7 @@ use crate::presets::comdes_abstraction;
 use crate::session::{ChannelMode, DebugSession, SessionError};
 use gmdf_codegen::CompileOptions;
 use gmdf_comdes::{export_system, System};
-use gmdf_gdm::{
-    default_bindings, Abstraction, AbstractionGuide, CommandBinding, DebuggerModel,
-};
+use gmdf_gdm::{default_bindings, Abstraction, AbstractionGuide, CommandBinding, DebuggerModel};
 use gmdf_metamodel::{Metamodel, Model};
 use gmdf_target::SimConfig;
 use std::sync::Arc;
@@ -72,13 +70,15 @@ impl Workflow {
         F: FnOnce(&mut AbstractionGuide) -> Result<(), gmdf_gdm::AbstractionError>,
     {
         let mut guide = AbstractionGuide::new(self.metamodel.clone());
-        configure(&mut guide).map_err(|e| {
-            SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string()))
-        })?;
-        let abstraction = guide.finish().map_err(|e| {
-            SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string()))
-        })?;
-        Ok(WorkflowMapped { wf: self, abstraction })
+        configure(&mut guide)
+            .map_err(|e| SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string())))?;
+        let abstraction = guide
+            .finish()
+            .map_err(|e| SessionError::Model(gmdf_comdes::ComdesError::BadSystem(e.to_string())))?;
+        Ok(WorkflowMapped {
+            wf: self,
+            abstraction,
+        })
     }
 
     /// Step 3 (shortcut): use the standard COMDES pairing list.
@@ -159,8 +159,16 @@ mod tests {
             .output(Port::int("s"))
             .state("A", |st| st.during("s", Expr::Int(0)))
             .state("B", |st| st.during("s", Expr::Int(1)))
-            .transition("A", "B", Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)))
-            .transition("B", "A", Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)))
+            .transition(
+                "A",
+                "B",
+                Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)),
+            )
+            .transition(
+                "B",
+                "A",
+                Expr::var(gmdf_comdes::VAR_TIME_IN_STATE).ge(Expr::Real(0.001)),
+            )
             .build()
             .unwrap();
         let net = NetworkBuilder::new()
@@ -223,7 +231,10 @@ mod tests {
             .default_abstraction()
             .default_commands()
             .connect(
-                ChannelMode::Passive { poll_period_ns: 100_000, tck_hz: 10_000_000 },
+                ChannelMode::Passive {
+                    poll_period_ns: 100_000,
+                    tck_hz: 10_000_000,
+                },
                 CompileOptions::default(),
                 SimConfig::default(),
             );

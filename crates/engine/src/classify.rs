@@ -68,9 +68,12 @@ impl fmt::Display for Divergence {
 /// Timing and values are excluded — only the *behaviour* must match.
 fn behavior_key(e: &ModelEvent) -> Option<String> {
     match e.kind {
-        EventKind::StateEnter | EventKind::ModeSwitch => {
-            Some(format!("{} {} -> {}", e.kind, e.path, e.to.as_deref().unwrap_or("?")))
-        }
+        EventKind::StateEnter | EventKind::ModeSwitch => Some(format!(
+            "{} {} -> {}",
+            e.kind,
+            e.path,
+            e.to.as_deref().unwrap_or("?")
+        )),
         _ => None,
     }
 }

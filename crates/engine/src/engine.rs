@@ -15,8 +15,8 @@
 use crate::expect::{Expectation, ExpectationMonitor, Violation};
 use crate::trace::ExecutionTrace;
 use gmdf_gdm::{
-    render_ascii, render_gdm, render_svg, CommandMatcher, DebuggerModel,
-    ModelEvent, ReactionSpec, VisualState,
+    render_ascii, render_gdm, render_svg, CommandMatcher, DebuggerModel, ModelEvent, ReactionSpec,
+    VisualState,
 };
 use gmdf_render::Scene;
 use std::collections::VecDeque;
@@ -273,8 +273,7 @@ pub fn apply_reaction(
         ReactionSpec::ShowValue => {
             if let Some(v) = event.value {
                 if gdm.element(&event.path).is_some() {
-                    visual.entry(event.path.clone()).or_default().value_text =
-                        Some(v.to_string());
+                    visual.entry(event.path.clone()).or_default().value_text = Some(v.to_string());
                 }
             }
         }
@@ -288,17 +287,13 @@ pub fn apply_reaction(
     }
     // Touch the map so a visual exists for the event path even for
     // record-only events (keeps replay deterministic).
-    let _ = visual
-        .entry(event.path.clone())
-        .or_default();
+    let _ = visual.entry(event.path.clone()).or_default();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmdf_gdm::{
-        default_bindings, EventKind, EventValue, GdmEdge, GdmElement, GdmPattern,
-    };
+    use gmdf_gdm::{default_bindings, EventKind, EventValue, GdmEdge, GdmElement, GdmPattern};
     use gmdf_render::Rect;
 
     fn sample_gdm() -> DebuggerModel {
@@ -371,10 +366,12 @@ mod tests {
         });
         let mut e = DebuggerEngine::new(gdm);
         e.feed(
-            ModelEvent::new(5, EventKind::SignalWrite, "A/out/u")
-                .with_value(EventValue::Real(2.5)),
+            ModelEvent::new(5, EventKind::SignalWrite, "A/out/u").with_value(EventValue::Real(2.5)),
         );
-        assert_eq!(e.visual()["A/out/u"].value_text.as_deref(), Some("2.500000"));
+        assert_eq!(
+            e.visual()["A/out/u"].value_text.as_deref(),
+            Some("2.500000")
+        );
         let svg = e.frame_svg();
         assert!(svg.contains("u = 2.5"));
     }
@@ -453,7 +450,9 @@ mod tests {
         let mut e = DebuggerEngine::new(sample_gdm());
         e.add_expectation(Expectation::AllowedTransitions {
             fsm_path: "A/fsm".into(),
-            allowed: [("Idle".to_owned(), "Run".to_owned())].into_iter().collect(),
+            allowed: [("Idle".to_owned(), "Run".to_owned())]
+                .into_iter()
+                .collect(),
         });
         assert_eq!(e.feed(enter(1, "Run")).violations, 0);
         let o = e.feed(enter(2, "Error"));
@@ -475,9 +474,7 @@ mod tests {
     #[test]
     fn unknown_target_paths_are_tolerated() {
         let mut e = DebuggerEngine::new(sample_gdm());
-        let o = e.feed(
-            ModelEvent::new(1, EventKind::StateEnter, "Ghost/fsm").with_to("Nowhere"),
-        );
+        let o = e.feed(ModelEvent::new(1, EventKind::StateEnter, "Ghost/fsm").with_to("Nowhere"));
         assert!(o.processed);
         assert!(!e.visual().contains_key("Ghost/fsm/Nowhere"));
     }

@@ -104,7 +104,11 @@ pub struct ExpectationMonitor {
 impl ExpectationMonitor {
     /// Wraps an expectation for evaluation.
     pub fn new(spec: Expectation) -> Self {
-        ExpectationMonitor { spec, cursor: 0, last_start_ns: None }
+        ExpectationMonitor {
+            spec,
+            cursor: 0,
+            last_start_ns: None,
+        }
     }
 
     /// The wrapped expectation.
@@ -132,7 +136,11 @@ impl ExpectationMonitor {
                     })
                 }
             }
-            Expectation::StateSequence { fsm_path, sequence, cyclic } => {
+            Expectation::StateSequence {
+                fsm_path,
+                sequence,
+                cyclic,
+            } => {
                 if event.kind != EventKind::StateEnter || event.path != *fsm_path {
                     return None;
                 }
@@ -161,7 +169,11 @@ impl ExpectationMonitor {
                     Some(v)
                 }
             }
-            Expectation::SignalRange { path_prefix, min, max } => {
+            Expectation::SignalRange {
+                path_prefix,
+                min,
+                max,
+            } => {
                 if event.kind != EventKind::SignalWrite && event.kind != EventKind::WatchChange {
                     return None;
                 }
@@ -229,7 +241,8 @@ pub fn allowed_transitions(
     use std::collections::BTreeMap;
     let mut by_fsm: BTreeMap<String, BTreeSet<(String, String)>> = BTreeMap::new();
     for t in model.objects_of_class(transition_class) {
-        let (Ok(Some(s)), Ok(Some(d))) = (model.ref_one(t, source_ref), model.ref_one(t, target_ref))
+        let (Ok(Some(s)), Ok(Some(d))) =
+            (model.ref_one(t, source_ref), model.ref_one(t, target_ref))
         else {
             continue;
         };
@@ -271,7 +284,9 @@ mod tests {
     fn allowed_transitions_flags_unknown_pairs() {
         let mut m = ExpectationMonitor::new(Expectation::AllowedTransitions {
             fsm_path: "A/fsm".into(),
-            allowed: [("Idle".to_owned(), "Run".to_owned())].into_iter().collect(),
+            allowed: [("Idle".to_owned(), "Run".to_owned())]
+                .into_iter()
+                .collect(),
         });
         assert!(m.check(&enter(1, "A/fsm", "Idle", "Run")).is_none());
         let v = m.check(&enter(2, "A/fsm", "Run", "Idle")).unwrap();
@@ -287,7 +302,10 @@ mod tests {
             sequence: vec!["Green".into(), "Yellow".into(), "Red".into()],
             cyclic: true,
         });
-        for (i, s) in ["Green", "Yellow", "Red", "Green", "Yellow"].iter().enumerate() {
+        for (i, s) in ["Green", "Yellow", "Red", "Green", "Yellow"]
+            .iter()
+            .enumerate()
+        {
             assert!(m.check(&enter(i as u64, "L/ctl", "", s)).is_none(), "{s}");
         }
         // Skipping Yellow is the classic traffic-light design error.
@@ -304,7 +322,7 @@ mod tests {
         });
         assert!(m.check(&enter(0, "p", "", "A")).is_none());
         assert!(m.check(&enter(1, "p", "", "C")).is_some()); // skipped B
-        // Cursor resynced after C → next expected is A.
+                                                             // Cursor resynced after C → next expected is A.
         assert!(m.check(&enter(2, "p", "", "A")).is_none());
     }
 
@@ -315,16 +333,16 @@ mod tests {
             min: -1.0,
             max: 1.0,
         });
-        let ok = ModelEvent::new(0, EventKind::SignalWrite, "A/out/u")
-            .with_value(EventValue::Real(0.5));
+        let ok =
+            ModelEvent::new(0, EventKind::SignalWrite, "A/out/u").with_value(EventValue::Real(0.5));
         assert!(m.check(&ok).is_none());
-        let bad = ModelEvent::new(1, EventKind::SignalWrite, "A/out/u")
-            .with_value(EventValue::Real(3.0));
+        let bad =
+            ModelEvent::new(1, EventKind::SignalWrite, "A/out/u").with_value(EventValue::Real(3.0));
         let v = m.check(&bad).unwrap();
         assert!(v.message.contains("outside"));
         // Foreign paths ignored.
-        let other = ModelEvent::new(2, EventKind::SignalWrite, "B/out/u")
-            .with_value(EventValue::Real(9.0));
+        let other =
+            ModelEvent::new(2, EventKind::SignalWrite, "B/out/u").with_value(EventValue::Real(9.0));
         assert!(m.check(&other).is_none());
     }
 
@@ -344,7 +362,9 @@ mod tests {
         // End without a start is ignored (lost frame tolerance).
         assert!(m.check(&end(1300)).is_none());
         // Other tasks ignored.
-        assert!(m.check(&ModelEvent::new(2, EventKind::TaskEnd, "B")).is_none());
+        assert!(m
+            .check(&ModelEvent::new(2, EventKind::TaskEnd, "B"))
+            .is_none());
     }
 
     #[test]

@@ -159,8 +159,11 @@ mod tests {
     fn recorded_trace() -> (DebuggerModel, ExecutionTrace) {
         let g = gdm();
         let mut engine = DebuggerEngine::new(g.clone());
-        for (t, from, to) in [(100, "Red", "Green"), (400, "Green", "Yellow"), (600, "Yellow", "Red")]
-        {
+        for (t, from, to) in [
+            (100, "Red", "Green"),
+            (400, "Green", "Yellow"),
+            (600, "Yellow", "Red"),
+        ] {
             engine.feed(
                 ModelEvent::new(t, EventKind::StateEnter, "L/ctl")
                     .with_from(from)

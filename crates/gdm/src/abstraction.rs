@@ -157,10 +157,17 @@ impl AbstractionGuide {
     /// Rejects rules naming unknown metaclasses or features.
     pub fn edge_rule(&mut self, rule: EdgeRule) -> Result<(), AbstractionError> {
         let (metaclass, features): (&str, Vec<&str>) = match &rule {
-            EdgeRule::ByReferences { metaclass, source, target, .. } => {
-                (metaclass, vec![source, target])
-            }
-            EdgeRule::ByAttributes { metaclass, from, to } => (metaclass, vec![from, to]),
+            EdgeRule::ByReferences {
+                metaclass,
+                source,
+                target,
+                ..
+            } => (metaclass, vec![source, target]),
+            EdgeRule::ByAttributes {
+                metaclass,
+                from,
+                to,
+            } => (metaclass, vec![from, to]),
         };
         let class = self
             .metamodel
@@ -252,12 +259,8 @@ impl Abstraction {
         let mut elem_of: BTreeMap<ObjectId, usize> = BTreeMap::new();
 
         // DFS from roots, tracking the nearest mapped ancestor.
-        let mut stack: Vec<(ObjectId, Option<usize>)> = model
-            .roots()
-            .into_iter()
-            .rev()
-            .map(|o| (o, None))
-            .collect();
+        let mut stack: Vec<(ObjectId, Option<usize>)> =
+            model.roots().into_iter().rev().map(|o| (o, None)).collect();
         while let Some((obj, mapped_parent)) = stack.pop() {
             let class = model.object(obj).expect("live object").class();
             let mut parent_for_children = mapped_parent;
@@ -290,7 +293,12 @@ impl Abstraction {
         // Edges.
         for rule in &self.edge_rules {
             match rule {
-                EdgeRule::ByReferences { metaclass, source, target, label_attr } => {
+                EdgeRule::ByReferences {
+                    metaclass,
+                    source,
+                    target,
+                    label_attr,
+                } => {
                     for obj in model.objects_of_class(metaclass) {
                         let (Ok(Some(s)), Ok(Some(t))) =
                             (model.ref_one(obj, source), model.ref_one(obj, target))
@@ -316,7 +324,11 @@ impl Abstraction {
                         });
                     }
                 }
-                EdgeRule::ByAttributes { metaclass, from, to } => {
+                EdgeRule::ByAttributes {
+                    metaclass,
+                    from,
+                    to,
+                } => {
                     for obj in model.objects_of_class(metaclass) {
                         // Scope: siblings under the connection's mapped parent.
                         let parent_idx = model
@@ -551,7 +563,10 @@ mod tests {
 
     #[test]
     fn empty_mapping_rejected() {
-        assert_eq!(guide().finish().unwrap_err(), AbstractionError::EmptyMapping);
+        assert_eq!(
+            guide().finish().unwrap_err(),
+            AbstractionError::EmptyMapping
+        );
     }
 
     #[test]
@@ -608,8 +623,11 @@ mod tests {
     fn states_do_not_overlap() {
         let model = fsm_model();
         let gdm = fsm_abstraction().derive(&model, "t");
-        let states: Vec<&GdmElement> =
-            gdm.elements.iter().filter(|e| e.metaclass == "State").collect();
+        let states: Vec<&GdmElement> = gdm
+            .elements
+            .iter()
+            .filter(|e| e.metaclass == "State")
+            .collect();
         for (i, a) in states.iter().enumerate() {
             for b in states.iter().skip(i + 1) {
                 let disjoint = a.bounds.right() <= b.bounds.x

@@ -29,7 +29,10 @@ impl CommandMatcher {
 
     /// Matches one kind, any path.
     pub fn kind(kind: EventKind) -> Self {
-        CommandMatcher { kind: Some(kind), path_prefix: None }
+        CommandMatcher {
+            kind: Some(kind),
+            path_prefix: None,
+        }
     }
 
     /// Restricts the matcher to a path prefix.
@@ -143,7 +146,11 @@ mod tests {
     #[test]
     fn any_matches_everything() {
         let m = CommandMatcher::any();
-        for kind in [EventKind::TaskStart, EventKind::SignalWrite, EventKind::WatchChange] {
+        for kind in [
+            EventKind::TaskStart,
+            EventKind::SignalWrite,
+            EventKind::WatchChange,
+        ] {
             assert!(m.matches(&ModelEvent::new(0, kind, "whatever")));
         }
     }

@@ -151,7 +151,10 @@ mod tests {
         let e = ModelEvent::new(1500, EventKind::StateEnter, "Heater/ctl")
             .with_from("Idle")
             .with_to("Run");
-        assert_eq!(e.to_string(), "[      1500 ns] state-enter Heater/ctl: Idle -> Run");
+        assert_eq!(
+            e.to_string(),
+            "[      1500 ns] state-enter Heater/ctl: Idle -> Run"
+        );
         let e = ModelEvent::new(2, EventKind::SignalWrite, "Heater/out/u")
             .with_value(EventValue::Real(1.5));
         assert!(e.to_string().contains("= 1.5"));

@@ -50,4 +50,6 @@ pub use event::{EventKind, EventValue, ModelEvent};
 pub use metamodel::{export_gdm, gdm_metamodel, GDM_METAMODEL};
 pub use model::{DebuggerModel, GdmEdge, GdmElement};
 pub use pattern::GdmPattern;
-pub use scene::{is_highlightable, render_ascii, render_gdm, render_svg, ElementVisual, VisualState};
+pub use scene::{
+    is_highlightable, render_ascii, render_gdm, render_svg, ElementVisual, VisualState,
+};

@@ -27,24 +27,30 @@ pub const GDM_METAMODEL: &str = "gdm";
 /// Never in practice — the metamodel is a fixed literal.
 pub fn gdm_metamodel() -> Metamodel {
     let mut b = MetamodelBuilder::new(GDM_METAMODEL);
-    b.enumeration("Pattern", [
-        "Rectangle",
-        "RoundedRectangle",
-        "Circle",
-        "Triangle",
-        "Diamond",
-        "Label",
-    ])
+    b.enumeration(
+        "Pattern",
+        [
+            "Rectangle",
+            "RoundedRectangle",
+            "Circle",
+            "Triangle",
+            "Diamond",
+            "Label",
+        ],
+    )
     .expect("fixed metamodel");
     b.enumeration("EngineState", ["Waiting", "Reacting", "Paused"])
         .expect("fixed metamodel");
-    b.enumeration("Reaction", [
-        "HighlightTarget",
-        "HighlightSelf",
-        "ShowValue",
-        "Pulse",
-        "RecordOnly",
-    ])
+    b.enumeration(
+        "Reaction",
+        [
+            "HighlightTarget",
+            "HighlightSelf",
+            "ShowValue",
+            "Pulse",
+            "RecordOnly",
+        ],
+    )
     .expect("fixed metamodel");
     b.class("DebuggerModel")
         .expect("fixed metamodel")
@@ -186,7 +192,12 @@ mod tests {
     #[test]
     fn metamodel_matches_fig3_inventory() {
         let mm = gdm_metamodel();
-        for c in ["DebuggerModel", "GraphicalElement", "Edge", "CommandBinding"] {
+        for c in [
+            "DebuggerModel",
+            "GraphicalElement",
+            "Edge",
+            "CommandBinding",
+        ] {
             assert!(mm.class_by_name(c).is_some(), "missing {c}");
         }
         let engine = mm.enum_by_name("EngineState").unwrap();

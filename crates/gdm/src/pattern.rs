@@ -41,8 +41,14 @@ impl GdmPattern {
     /// Builds the scene shape realizing this pattern inside `bounds`.
     pub fn to_shape(self, bounds: Rect) -> Shape {
         match self {
-            GdmPattern::Rectangle => Shape::Rect { bounds, rounded: 0.0 },
-            GdmPattern::RoundedRectangle => Shape::Rect { bounds, rounded: 10.0 },
+            GdmPattern::Rectangle => Shape::Rect {
+                bounds,
+                rounded: 0.0,
+            },
+            GdmPattern::RoundedRectangle => Shape::Rect {
+                bounds,
+                rounded: 10.0,
+            },
             GdmPattern::Circle => Shape::Ellipse { bounds },
             GdmPattern::Triangle => Shape::Triangle { bounds },
             GdmPattern::Diamond => Shape::Diamond { bounds },

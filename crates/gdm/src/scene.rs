@@ -63,8 +63,13 @@ pub fn render_gdm(gdm: &DebuggerModel, visual: &VisualState) -> Scene {
         let points = layout::route_edge(&from.bounds, &to.bounds);
         scene.push(Primitive {
             id: format!("edge#{i}"),
-            shape: Shape::Arrow { points: points.clone() },
-            style: Style { fill: None, ..Style::default() },
+            shape: Shape::Arrow {
+                points: points.clone(),
+            },
+            style: Style {
+                fill: None,
+                ..Style::default()
+            },
             label: None,
         });
         if let Some(text) = &edge.label {
@@ -78,7 +83,10 @@ pub fn render_gdm(gdm: &DebuggerModel, visual: &VisualState) -> Scene {
                     ),
                     size: 10.0,
                 },
-                style: Style { fill: None, ..Style::default() },
+                style: Style {
+                    fill: None,
+                    ..Style::default()
+                },
                 label: Some(text.clone()),
             });
         }
@@ -152,11 +160,17 @@ mod tests {
         let mut vis = VisualState::new();
         vis.insert(
             "A/Run".into(),
-            ElementVisual { highlighted: true, ..Default::default() },
+            ElementVisual {
+                highlighted: true,
+                ..Default::default()
+            },
         );
         vis.insert(
             "A/Idle".into(),
-            ElementVisual { dimmed: true, ..Default::default() },
+            ElementVisual {
+                dimmed: true,
+                ..Default::default()
+            },
         );
         let scene = render_gdm(&gdm, &vis);
         assert_eq!(scene.find("A/Run").unwrap().style, Style::highlighted());

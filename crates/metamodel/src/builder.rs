@@ -198,9 +198,11 @@ fn detect_cycles(classes: &[Class]) -> Result<(), MetaError> {
     // Colors: 0 = white, 1 = grey (on stack), 2 = black (done).
     fn visit(classes: &[Class], i: usize, color: &mut [u8]) -> Result<(), MetaError> {
         match color[i] {
-            1 => return Err(MetaError::InheritanceCycle {
-                class: classes[i].name.clone(),
-            }),
+            1 => {
+                return Err(MetaError::InheritanceCycle {
+                    class: classes[i].name.clone(),
+                })
+            }
             2 => return Ok(()),
             _ => {}
         }
@@ -399,15 +401,24 @@ mod tests {
     #[test]
     fn unresolved_target_errors() {
         let mut b = MetamodelBuilder::new("m");
-        b.class("A").unwrap().cross_optional("next", "Ghost").unwrap();
-        assert_eq!(b.build().unwrap_err(), MetaError::UnknownClass("Ghost".into()));
+        b.class("A")
+            .unwrap()
+            .cross_optional("next", "Ghost")
+            .unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            MetaError::UnknownClass("Ghost".into())
+        );
     }
 
     #[test]
     fn duplicate_class_rejected() {
         let mut b = MetamodelBuilder::new("m");
         b.class("A").unwrap();
-        assert_eq!(b.class("A").unwrap_err(), MetaError::DuplicateClass("A".into()));
+        assert_eq!(
+            b.class("A").unwrap_err(),
+            MetaError::DuplicateClass("A".into())
+        );
     }
 
     #[test]
@@ -424,14 +435,20 @@ mod tests {
         let mut b = MetamodelBuilder::new("m");
         b.class("A").unwrap().supertype("B").unwrap();
         b.class("B").unwrap().supertype("A").unwrap();
-        assert!(matches!(b.build().unwrap_err(), MetaError::InheritanceCycle { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MetaError::InheritanceCycle { .. }
+        ));
     }
 
     #[test]
     fn self_inheritance_cycle_detected() {
         let mut b = MetamodelBuilder::new("m");
         b.class("A").unwrap().supertype("A").unwrap();
-        assert!(matches!(b.build().unwrap_err(), MetaError::InheritanceCycle { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MetaError::InheritanceCycle { .. }
+        ));
     }
 
     #[test]
@@ -452,7 +469,10 @@ mod tests {
             .unwrap()
             .attribute("c", DataType::Enum("Color".into()), true)
             .unwrap();
-        assert_eq!(b.build().unwrap_err(), MetaError::UnknownEnum("Color".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            MetaError::UnknownEnum("Color".into())
+        );
 
         let mut b = MetamodelBuilder::new("m");
         b.enumeration("Color", ["Red"]).unwrap();

@@ -58,7 +58,10 @@ impl fmt::Display for MetaError {
                 write!(f, "duplicate feature `{feature}` on class `{class}`")
             }
             MetaError::DuplicateEnum(n) => write!(f, "duplicate enum type `{n}`"),
-            MetaError::DuplicateLiteral { enumeration, literal } => {
+            MetaError::DuplicateLiteral {
+                enumeration,
+                literal,
+            } => {
                 write!(f, "duplicate literal `{literal}` in enum `{enumeration}`")
             }
             MetaError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
@@ -66,8 +69,15 @@ impl fmt::Display for MetaError {
             MetaError::InheritanceCycle { class } => {
                 write!(f, "inheritance cycle through class `{class}`")
             }
-            MetaError::InvalidBounds { reference, lower, upper } => {
-                write!(f, "reference `{reference}` has lower bound {lower} > upper bound {upper}")
+            MetaError::InvalidBounds {
+                reference,
+                lower,
+                upper,
+            } => {
+                write!(
+                    f,
+                    "reference `{reference}` has lower bound {lower} > upper bound {upper}"
+                )
             }
             MetaError::EmptyEnum(n) => write!(f, "enum type `{n}` has no literals"),
         }
@@ -151,11 +161,25 @@ impl fmt::Display for ModelError {
             ModelError::UnknownReference { class, reference } => {
                 write!(f, "class `{class}` has no reference `{reference}`")
             }
-            ModelError::TypeMismatch { attribute, expected, found } => {
-                write!(f, "attribute `{attribute}` expects {expected}, found {found}")
+            ModelError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` expects {expected}, found {found}"
+                )
             }
-            ModelError::TargetClassMismatch { reference, expected, found } => {
-                write!(f, "reference `{reference}` expects target class `{expected}`, found `{found}`")
+            ModelError::TargetClassMismatch {
+                reference,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "reference `{reference}` expects target class `{expected}`, found `{found}`"
+                )
             }
             ModelError::UpperBoundExceeded { reference, upper } => {
                 write!(f, "reference `{reference}` upper bound {upper} exceeded")
@@ -181,7 +205,11 @@ mod tests {
     fn meta_error_display_is_lowercase_and_concise() {
         let e = MetaError::DuplicateClass("State".into());
         assert_eq!(e.to_string(), "duplicate class `State`");
-        let e = MetaError::InvalidBounds { reference: "r".into(), lower: 3, upper: 1 };
+        let e = MetaError::InvalidBounds {
+            reference: "r".into(),
+            lower: 3,
+            upper: 1,
+        };
         assert!(e.to_string().contains("lower bound 3"));
     }
 

@@ -169,11 +169,7 @@ pub struct Metamodel {
 }
 
 impl Metamodel {
-    pub(crate) fn from_parts(
-        name: String,
-        classes: Vec<Class>,
-        enums: Vec<EnumType>,
-    ) -> Self {
+    pub(crate) fn from_parts(name: String, classes: Vec<Class>, enums: Vec<EnumType>) -> Self {
         let mut mm = Metamodel {
             name,
             classes,

@@ -216,20 +216,16 @@ impl Model {
     ///
     /// Returns [`ModelError::UnknownAttribute`] or
     /// [`ModelError::TypeMismatch`].
-    pub fn set_attr(
-        &mut self,
-        id: ObjectId,
-        attr: &str,
-        value: Value,
-    ) -> Result<(), ModelError> {
+    pub fn set_attr(&mut self, id: ObjectId, attr: &str, value: Value) -> Result<(), ModelError> {
         let class = self.object(id)?.class();
         let class_name = self.metamodel.class(class).name.clone();
-        let (aid, decl) = self.metamodel.attribute(class, attr).ok_or_else(|| {
-            ModelError::UnknownAttribute {
-                class: class_name.clone(),
-                attribute: attr.to_owned(),
-            }
-        })?;
+        let (aid, decl) =
+            self.metamodel
+                .attribute(class, attr)
+                .ok_or_else(|| ModelError::UnknownAttribute {
+                    class: class_name.clone(),
+                    attribute: attr.to_owned(),
+                })?;
         if !value.conforms_to(&decl.data_type) {
             return Err(ModelError::TypeMismatch {
                 attribute: attr.to_owned(),
@@ -250,12 +246,13 @@ impl Model {
     pub fn attr(&self, id: ObjectId, attr: &str) -> Result<Option<&Value>, ModelError> {
         let obj = self.object(id)?;
         let class_name = self.metamodel.class(obj.class()).name.clone();
-        let (aid, _) = self.metamodel.attribute(obj.class(), attr).ok_or(
-            ModelError::UnknownAttribute {
-                class: class_name,
-                attribute: attr.to_owned(),
-            },
-        )?;
+        let (aid, _) =
+            self.metamodel
+                .attribute(obj.class(), attr)
+                .ok_or(ModelError::UnknownAttribute {
+                    class: class_name,
+                    attribute: attr.to_owned(),
+                })?;
         Ok(obj.attr(aid))
     }
 
@@ -552,7 +549,10 @@ mod tests {
     #[test]
     fn containment_tracks_parent() {
         let (m, mach, s0, _) = small_machine();
-        assert_eq!(m.object(s0).unwrap().container().map(|(p, _)| p), Some(mach));
+        assert_eq!(
+            m.object(s0).unwrap().container().map(|(p, _)| p),
+            Some(mach)
+        );
         assert_eq!(m.roots(), vec![mach]);
         let kids: Vec<_> = m.children(mach).collect();
         assert_eq!(kids.len(), 2);
@@ -640,8 +640,14 @@ mod tests {
         b.class("A").unwrap().set_abstract(true);
         let mm = Arc::new(b.build().unwrap());
         let mut m = Model::new(mm);
-        assert!(matches!(m.create("A").unwrap_err(), ModelError::AbstractClass(_)));
-        assert!(matches!(m.create("Nope").unwrap_err(), ModelError::UnknownClass(_)));
+        assert!(matches!(
+            m.create("A").unwrap_err(),
+            ModelError::AbstractClass(_)
+        ));
+        assert!(matches!(
+            m.create("Nope").unwrap_err(),
+            ModelError::UnknownClass(_)
+        ));
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl std::str::FromStr for ElementPath {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Ok(ElementPath(
-            s.split('/').filter(|p| !p.is_empty()).map(str::to_owned).collect(),
+            s.split('/')
+                .filter(|p| !p.is_empty())
+                .map(str::to_owned)
+                .collect(),
         ))
     }
 }

@@ -90,8 +90,7 @@ pub fn model_to_json(model: &Model) -> Result<String, ModelError> {
 /// Returns [`ModelError::Parse`] for malformed JSON or a metamodel name
 /// mismatch, and the usual mutation errors for non-conforming content.
 pub fn model_from_json(metamodel: Arc<Metamodel>, json: &str) -> Result<Model, ModelError> {
-    let doc: ModelDoc =
-        serde_json::from_str(json).map_err(|e| ModelError::Parse(e.to_string()))?;
+    let doc: ModelDoc = serde_json::from_str(json).map_err(|e| ModelError::Parse(e.to_string()))?;
     if doc.metamodel != metamodel.name() {
         return Err(ModelError::Parse(format!(
             "document targets metamodel `{}`, expected `{}`",

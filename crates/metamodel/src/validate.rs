@@ -151,7 +151,10 @@ pub fn validate(model: &Model) -> ValidationReport {
                     if !ok {
                         push(
                             Severity::Error,
-                            format!("attribute `{}` holds unknown literal `{ty}::{lit}`", attr.name),
+                            format!(
+                                "attribute `{}` holds unknown literal `{ty}::{lit}`",
+                                attr.name
+                            ),
                         );
                     }
                 }
@@ -205,7 +208,10 @@ pub fn validate(model: &Model) -> ValidationReport {
             }
         }
 
-        if obj.container().is_none() && containment_targets.iter().any(|&t| mm.is_subclass_of(class, t))
+        if obj.container().is_none()
+            && containment_targets
+                .iter()
+                .any(|&t| mm.is_subclass_of(class, t))
         {
             push(
                 Severity::Warning,
@@ -217,7 +223,11 @@ pub fn validate(model: &Model) -> ValidationReport {
         }
     }
 
-    diagnostics.sort_by(|a, b| a.object.cmp(&b.object).then_with(|| a.message.cmp(&b.message)));
+    diagnostics.sort_by(|a, b| {
+        a.object
+            .cmp(&b.object)
+            .then_with(|| a.message.cmp(&b.message))
+    });
     ValidationReport { diagnostics }
 }
 

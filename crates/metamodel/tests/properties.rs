@@ -84,7 +84,10 @@ fn arb_tree() -> impl Strategy<Value = TreeSpec> {
                     (parent, values, buddy)
                 })
                 .collect();
-            TreeSpec { attr_types: attr_types.as_ref().clone(), nodes }
+            TreeSpec {
+                attr_types: attr_types.as_ref().clone(),
+                nodes,
+            }
         })
     })
 }

@@ -19,7 +19,11 @@ struct Grid {
 
 impl Grid {
     fn new(w: usize, h: usize) -> Self {
-        Grid { w, h, cells: vec![' '; w * h] }
+        Grid {
+            w,
+            h,
+            cells: vec![' '; w * h],
+        }
     }
 
     fn set(&mut self, x: i64, y: i64, c: char) {
@@ -150,7 +154,10 @@ pub fn to_ascii(scene: &Scene) -> String {
             | Shape::Triangle { bounds }
             | Shape::Diamond { bounds } => {
                 let (x0, y0) = (cx(bounds.x), cy(bounds.y));
-                let (x1, y1) = (cx(bounds.right()).max(x0 + 2), cy(bounds.bottom()).max(y0 + 2));
+                let (x1, y1) = (
+                    cx(bounds.right()).max(x0 + 2),
+                    cy(bounds.bottom()).max(y0 + 2),
+                );
                 let (corner, hc, vc) = border_char(&p.style);
                 g.hline(x0, x1, y0, hc);
                 g.hline(x0, x1, y1, hc);
@@ -188,7 +195,10 @@ mod tests {
     fn boxed(id: &str, x: f64, label: &str, style: Style) -> Primitive {
         Primitive {
             id: id.into(),
-            shape: Shape::Rect { bounds: Rect::new(x, 0.0, 110.0, 46.0), rounded: 0.0 },
+            shape: Shape::Rect {
+                bounds: Rect::new(x, 0.0, 110.0, 46.0),
+                rounded: 0.0,
+            },
             style,
             label: Some(label.into()),
         }
@@ -234,7 +244,12 @@ mod tests {
     #[test]
     fn long_labels_truncate_within_box() {
         let mut s = Scene::new("t");
-        s.push(boxed("a", 0.0, "AVeryLongStateNameIndeed", Style::default()));
+        s.push(boxed(
+            "a",
+            0.0,
+            "AVeryLongStateNameIndeed",
+            Style::default(),
+        ));
         let art = to_ascii(&s);
         // Label must not leak past the right border into infinity.
         for line in art.lines() {

@@ -85,8 +85,16 @@ impl Rect {
         let half_w = self.w / 2.0;
         let half_h = self.h / 2.0;
         // Scale the direction vector until it touches the border.
-        let sx = if dx != 0.0 { half_w / dx.abs() } else { f64::INFINITY };
-        let sy = if dy != 0.0 { half_h / dy.abs() } else { f64::INFINITY };
+        let sx = if dx != 0.0 {
+            half_w / dx.abs()
+        } else {
+            f64::INFINITY
+        };
+        let sy = if dy != 0.0 {
+            half_h / dy.abs()
+        } else {
+            f64::INFINITY
+        };
         let s = sx.min(sy);
         Point::new(c.x + dx * s, c.y + dy * s)
     }

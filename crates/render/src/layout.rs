@@ -121,10 +121,8 @@ mod tests {
     fn no_overlap(rects: &[Rect]) {
         for (i, a) in rects.iter().enumerate() {
             for b in rects.iter().skip(i + 1) {
-                let disjoint = a.right() <= b.x
-                    || b.right() <= a.x
-                    || a.bottom() <= b.y
-                    || b.bottom() <= a.y;
+                let disjoint =
+                    a.right() <= b.x || b.right() <= a.x || a.bottom() <= b.y || b.bottom() <= a.y;
                 assert!(disjoint, "{a:?} overlaps {b:?}");
             }
         }

@@ -231,13 +231,18 @@ mod tests {
         let mut s = Scene::new("t");
         s.push(Primitive {
             id: "a".into(),
-            shape: Shape::Rect { bounds: Rect::new(0.0, 0.0, 10.0, 10.0), rounded: 0.0 },
+            shape: Shape::Rect {
+                bounds: Rect::new(0.0, 0.0, 10.0, 10.0),
+                rounded: 0.0,
+            },
             style: Style::default(),
             label: Some("A".into()),
         });
         s.push(Primitive {
             id: "b".into(),
-            shape: Shape::Ellipse { bounds: Rect::new(20.0, 0.0, 10.0, 10.0) },
+            shape: Shape::Ellipse {
+                bounds: Rect::new(20.0, 0.0, 10.0, 10.0),
+            },
             style: Style::highlighted(),
             label: None,
         });

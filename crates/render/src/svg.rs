@@ -166,7 +166,10 @@ mod tests {
         let mut s = Scene::new("demo <model>");
         s.push(Primitive {
             id: "A/state".into(),
-            shape: Shape::Rect { bounds: Rect::new(0.0, 0.0, 100.0, 40.0), rounded: 6.0 },
+            shape: Shape::Rect {
+                bounds: Rect::new(0.0, 0.0, 100.0, 40.0),
+                rounded: 6.0,
+            },
             style: Style::highlighted(),
             label: Some("Idle".into()),
         });
@@ -175,13 +178,22 @@ mod tests {
             shape: Shape::Arrow {
                 points: vec![Point::new(100.0, 20.0), Point::new(160.0, 20.0)],
             },
-            style: Style { fill: None, ..Style::default() },
+            style: Style {
+                fill: None,
+                ..Style::default()
+            },
             label: None,
         });
         s.push(Primitive {
             id: "t".into(),
-            shape: Shape::Text { at: Point::new(0.0, 80.0), size: 12.0 },
-            style: Style { stroke: Color::ALERT, ..Style::default() },
+            shape: Shape::Text {
+                at: Point::new(0.0, 80.0),
+                size: 12.0,
+            },
+            style: Style {
+                stroke: Color::ALERT,
+                ..Style::default()
+            },
             label: Some("a < b".into()),
         });
         s
@@ -219,11 +231,16 @@ mod tests {
         let mut s = Scene::new("shapes");
         let b = Rect::new(0.0, 0.0, 50.0, 30.0);
         for (i, shape) in [
-            Shape::Rect { bounds: b, rounded: 0.0 },
+            Shape::Rect {
+                bounds: b,
+                rounded: 0.0,
+            },
             Shape::Ellipse { bounds: b },
             Shape::Triangle { bounds: b },
             Shape::Diamond { bounds: b },
-            Shape::Line { points: vec![Point::new(0.0, 0.0), Point::new(9.0, 9.0)] },
+            Shape::Line {
+                points: vec![Point::new(0.0, 0.0), Point::new(9.0, 9.0)],
+            },
         ]
         .into_iter()
         .enumerate()

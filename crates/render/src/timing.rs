@@ -152,12 +152,7 @@ impl TimingDiagram {
             );
         }
         // Time axis.
-        let _ = writeln!(
-            out,
-            "{:>name_w$} +{}+",
-            "",
-            "-".repeat(width)
-        );
+        let _ = writeln!(out, "{:>name_w$} +{}+", "", "-".repeat(width));
         out
     }
 
@@ -167,9 +162,7 @@ impl TimingDiagram {
         const NAME_W: f64 = 170.0;
         const PLOT_W: f64 = 760.0;
         let h = 40.0 + self.lanes.len() as f64 * LANE_H + 24.0;
-        let x_of = |t: u64| -> f64 {
-            NAME_W + ((t - self.t0_ns) as f64 / self.span()) * PLOT_W
-        };
+        let x_of = |t: u64| -> f64 { NAME_W + ((t - self.t0_ns) as f64 / self.span()) * PLOT_W };
         let mut out = String::new();
         let _ = writeln!(
             out,

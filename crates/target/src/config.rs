@@ -1,0 +1,53 @@
+//! Simulator configuration.
+
+use gmdf_codegen::vm::DEFAULT_STEP_BUDGET;
+
+/// Platform parameters of the simulated embedded system.
+///
+/// The defaults model the idealized platform the reference interpreter
+/// assumes — deadline-latched outputs, zero network latency, no clock
+/// jitter — so a default-configured run is behaviourally identical to
+/// model-level execution, which is exactly what implementation-error
+/// detection needs as a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// `true` (default): the kernel publishes task outputs at the
+    /// *deadline* instant (timed multitasking — zero I/O jitter);
+    /// `false`: outputs are published the moment the task completes,
+    /// exposing scheduling-induced jitter.
+    pub latch_outputs: bool,
+    /// One-way latency of a labeled-signal broadcast between nodes, in
+    /// nanoseconds. `0` (default) matches the interpreter's idealized
+    /// zero-latency network.
+    pub bus_latency_ns: u64,
+    /// RS-232 debug-link speed in baud (10 wire bits per byte: start +
+    /// 8 data + stop). Default 115 200 — the classic debug UART.
+    pub uart_baud: u64,
+    /// Kernel tick granularity in nanoseconds. Release instants are
+    /// quantized *up* to the next tick multiple. `0` (default) models a
+    /// tickless, event-driven kernel.
+    pub tick_ns: u64,
+    /// Maximum per-release clock jitter in nanoseconds, drawn
+    /// deterministically from [`SimConfig::seed`]. `0` (default)
+    /// disables the jitter model. Effective jitter is capped below each
+    /// task's period so release instants remain monotone.
+    pub clock_jitter_ns: u64,
+    /// Seed of the deterministic jitter generator.
+    pub seed: u64,
+    /// VM step budget per task activation (runaway-loop guard).
+    pub step_budget: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latch_outputs: true,
+            bus_latency_ns: 0,
+            uart_baud: 115_200,
+            tick_ns: 0,
+            clock_jitter_ns: 0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Simulator error type.
+
+use gmdf_codegen::VmError;
+use std::fmt;
+
+/// Simulation construction or execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A signal label that no node's board knows.
+    UnknownLabel(String),
+    /// A node name not present in the image.
+    UnknownNode(String),
+    /// A symbol not present in the node's symbol table.
+    UnknownSymbol {
+        /// The node searched.
+        node: String,
+        /// The missing symbol name.
+        symbol: String,
+    },
+    /// Generated code faulted in the VM.
+    Vm {
+        /// Node the task runs on.
+        node: String,
+        /// Faulting actor task.
+        actor: String,
+        /// The underlying VM fault.
+        error: VmError,
+    },
+    /// The configuration is unusable (zero baud, zero TCK, …).
+    BadConfig(String),
+    /// The program image violates a platform invariant.
+    BadImage(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownLabel(l) => write!(f, "unknown signal label `{l}`"),
+            SimError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            SimError::UnknownSymbol { node, symbol } => {
+                write!(f, "unknown symbol `{symbol}` on node `{node}`")
+            }
+            SimError::Vm { node, actor, error } => {
+                write!(f, "task `{actor}` on `{node}` faulted: {error}")
+            }
+            SimError::BadConfig(m) => write!(f, "bad simulator configuration: {m}"),
+            SimError::BadImage(m) => write!(f, "bad program image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

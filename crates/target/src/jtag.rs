@@ -1,0 +1,146 @@
+//! The passive command interface: an IEEE 1149.1-style watch unit.
+//!
+//! "A command interface could be implemented … without any code
+//! modifications" (paper §II): instead of instrumenting the generated
+//! code, the debugger selects *monitored variables* — symbol-table cells
+//! such as a state machine's `#state` cell — and a JTAG probe scans them
+//! out on a fixed polling period. The target spends **zero** cycles; the
+//! host pays TAP scan time instead, which [`JtagMonitor::scan_ns_total`]
+//! accounts.
+
+use crate::error::SimError;
+use crate::event::WatchEvent;
+use crate::sim::Simulator;
+use gmdf_comdes::{SignalType, SignalValue};
+
+/// TAP bits per 64-bit data scan: instruction-register preamble plus the
+/// data register and state-machine overhead.
+const SCAN_BITS: u64 = 88;
+
+/// One watched symbol-table cell.
+#[derive(Debug)]
+struct Watch {
+    node: String,
+    node_idx: usize,
+    symbol: String,
+    addr: u32,
+    ty: SignalType,
+    last_raw: Option<u64>,
+}
+
+/// A polling JTAG probe over a [`Simulator`]'s memory.
+///
+/// Watches are scanned in registration order at every poll instant
+/// (multiples of the poll period). A [`WatchEvent`] is reported whenever
+/// a scan observes a value different from the previous scan — including
+/// the very first scan, which reports the initial value. Changes faster
+/// than the poll period coalesce: only the value visible at the poll
+/// instant is seen, exactly like real watchpoint polling.
+#[derive(Debug)]
+pub struct JtagMonitor {
+    poll_period_ns: u64,
+    tck_hz: u64,
+    /// Cumulative host-side scan time, in nanoseconds — the cost the
+    /// passive channel pays instead of target cycles.
+    pub scan_ns_total: u64,
+    watches: Vec<Watch>,
+    next_poll_ns: Option<u64>,
+}
+
+impl JtagMonitor {
+    /// Creates a probe polling every `poll_period_ns` over a
+    /// `tck_hz` TAP clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero — a probe without a clock or a
+    /// period cannot scan.
+    pub fn new(poll_period_ns: u64, tck_hz: u64) -> Self {
+        assert!(poll_period_ns > 0, "poll period must be nonzero");
+        assert!(tck_hz > 0, "TCK frequency must be nonzero");
+        JtagMonitor {
+            poll_period_ns,
+            tck_hz,
+            scan_ns_total: 0,
+            watches: Vec::new(),
+            next_poll_ns: None,
+        }
+    }
+
+    /// The configured poll period.
+    pub fn poll_period_ns(&self) -> u64 {
+        self.poll_period_ns
+    }
+
+    /// Number of watched cells.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Adds `symbol` on `node` to the watch list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] / [`SimError::UnknownSymbol`]
+    /// when the cell cannot be resolved against the deployed image.
+    pub fn watch(&mut self, sim: &Simulator, node: &str, symbol: &str) -> Result<(), SimError> {
+        let node_idx = sim.node_index(node)?;
+        let sym = sim.resolve_symbol(node_idx, symbol)?;
+        self.watches.push(Watch {
+            node: node.to_owned(),
+            node_idx,
+            symbol: symbol.to_owned(),
+            addr: sym.addr,
+            ty: sym.ty,
+            last_raw: None,
+        });
+        Ok(())
+    }
+
+    /// Drives the simulator to `t_end_ns`, scanning all watches at every
+    /// poll instant on the way; returns the observed changes in
+    /// (poll time, registration order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_until(
+        &mut self,
+        sim: &mut Simulator,
+        t_end_ns: u64,
+    ) -> Result<Vec<WatchEvent>, SimError> {
+        let mut hits = Vec::new();
+        let scan_ns = (SCAN_BITS as u128 * 1_000_000_000 / self.tck_hz as u128) as u64;
+        // Polls land on period multiples, starting at the first one not
+        // in the past — including the current instant. A stored poll
+        // instant that the simulator has already run past (the caller
+        // advanced it directly between calls) resynchronizes the same
+        // way: scanning memory "at" an instant the platform has left
+        // behind would stamp watch events with times that never match
+        // the values observed.
+        let mut next = match self.next_poll_ns {
+            Some(t) if t >= sim.now_ns() => t,
+            _ => sim.now_ns().div_ceil(self.poll_period_ns) * self.poll_period_ns,
+        };
+        while next <= t_end_ns {
+            sim.run_until(next)?;
+            for w in &mut self.watches {
+                let raw = sim.peek_raw(w.node_idx, w.addr);
+                self.scan_ns_total += scan_ns;
+                if w.last_raw != Some(raw) {
+                    w.last_raw = Some(raw);
+                    hits.push(WatchEvent {
+                        time_ns: next,
+                        node: w.node.clone(),
+                        symbol: w.symbol.clone(),
+                        value: SignalValue::from_raw(w.ty, raw),
+                    });
+                }
+            }
+            next += self.poll_period_ns;
+        }
+        self.next_poll_ns = Some(next);
+        sim.run_until(t_end_ns)?;
+        Ok(hits)
+    }
+}

@@ -1,0 +1,828 @@
+//! The multi-node target simulator: periodic-task kernel, preemptive
+//! fixed-priority CPUs, signal-board network, and per-node UART.
+//!
+//! ## Execution model
+//!
+//! The kernel follows Distributed Timed Multitasking:
+//!
+//! * at a task's **release** instant the kernel latches the task's inputs
+//!   from the node's signal board and the task's step becomes ready;
+//! * the step's *data effect* is computed atomically at release (the
+//!   generated code touches only task-private cells, so this matches the
+//!   reference interpreter bit for bit), while its *CPU demand* — the
+//!   cycle count the VM reports — is scheduled on the node's processor
+//!   under preemptive fixed-priority scheduling;
+//! * command frames emitted by the code surface on the UART at the
+//!   wall-clock instant their `Emit` instruction retires under that
+//!   schedule;
+//! * at the **deadline** instant the kernel publishes the latched outputs
+//!   to the signal boards (or at completion time when
+//!   [`SimConfig::latch_outputs`] is off).
+//!
+//! Simultaneous timeline events process in the interpreter's order —
+//! stimuli, then network deliveries, then deadline publications, then
+//! releases — each tie broken by node and task declaration order, which
+//! makes every run bit-reproducible.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::event::SimEvent;
+use gmdf_codegen::{vm, Frame, ProgramImage, Symbol};
+use gmdf_comdes::SignalValue;
+use std::collections::VecDeque;
+
+/// Converts a cycle count to nanoseconds on a `hz` clock (rounding up).
+fn ns_of(cycles: u64, hz: u64) -> u64 {
+    ((u128::from(cycles) * 1_000_000_000).div_ceil(u128::from(hz))) as u64
+}
+
+/// How many whole cycles fit in `dt_ns` on a `hz` clock.
+fn cycles_in(dt_ns: u64, hz: u64) -> u64 {
+    (u128::from(dt_ns) * u128::from(hz) / 1_000_000_000) as u64
+}
+
+/// Deterministic per-release jitter: a split-mix hash of the seed and the
+/// release coordinates, reduced to `[0, max]`.
+fn jitter_ns(seed: u64, node: usize, task: usize, k: u64, max: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    let mut x = seed
+        ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (task as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ k.wrapping_mul(0x1656_67B1_9E37_79F9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % (max + 1)
+}
+
+/// One released, not yet completed activation.
+#[derive(Debug)]
+struct Job {
+    seq: u64,
+    release_ns: u64,
+    deadline_ns: u64,
+    total_cycles: u64,
+    executed_cycles: u64,
+    /// `(cycle offset, frame)` pairs still waiting to retire.
+    emits: VecDeque<(u64, Frame)>,
+    /// Raw publication-latch values captured when the step ran.
+    pub_raw: Vec<u64>,
+}
+
+/// Output values of a completed activation awaiting its deadline instant.
+#[derive(Debug)]
+struct PendingPub {
+    deadline_ns: u64,
+    seq: u64,
+    pub_raw: Vec<u64>,
+}
+
+/// Per-task runtime state.
+#[derive(Debug)]
+struct TaskRt {
+    next_release_idx: u64,
+    next_release_ns: u64,
+    next_seq: u64,
+    /// Released activations, oldest first (FIFO within a task).
+    jobs: VecDeque<Job>,
+    /// Completed-on-time activations awaiting deadline publication,
+    /// oldest deadline first.
+    pending_pubs: VecDeque<PendingPub>,
+}
+
+/// The serial debug link of one node.
+#[derive(Debug)]
+struct Uart {
+    byte_ns: u64,
+    busy_until_ns: u64,
+    queue: VecDeque<(u64, u8)>,
+}
+
+impl Uart {
+    /// Queues a frame's wire bytes starting no earlier than `t`.
+    fn send_frame(&mut self, t: u64, frame: &Frame) {
+        let mut at = self.busy_until_ns.max(t);
+        for b in frame.encode() {
+            at += self.byte_ns;
+            self.queue.push_back((at, b));
+        }
+        self.busy_until_ns = at;
+    }
+}
+
+/// The job currently occupying a node's CPU, anchored to the wall
+/// instant it (re)gained the processor.
+///
+/// Anchoring is what makes execution independent of how finely callers
+/// step `run_until`: a running job's completion instant is always
+/// `start_ns + ns_of(remaining)`, never re-derived from rounded
+/// per-window progress. Partial progress only materializes into
+/// `executed_cycles` at preemption instants, which are schedule events,
+/// not caller choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunAnchor {
+    ti: usize,
+    seq: u64,
+    start_ns: u64,
+    base_cycles: u64,
+}
+
+/// Per-node runtime state.
+#[derive(Debug)]
+struct NodeRt {
+    data: Vec<u64>,
+    tasks: Vec<TaskRt>,
+    uart: Uart,
+    cycles_executed: u64,
+    anchor: Option<RunAnchor>,
+}
+
+/// An in-flight labeled-signal broadcast.
+#[derive(Debug)]
+struct Delivery {
+    time_ns: u64,
+    node_idx: usize,
+    addr: u32,
+    raw: u64,
+}
+
+/// A deterministic simulator of the distributed embedded platform
+/// executing one [`ProgramImage`].
+///
+/// ```
+/// use gmdf_codegen::{compile_system, CompileOptions};
+/// use gmdf_comdes::{ActorBuilder, BasicOp, NetworkBuilder, NodeSpec, Port, SignalValue,
+///                   System, Timing};
+/// use gmdf_target::{SimConfig, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetworkBuilder::new()
+///     .input(Port::real("x"))
+///     .output(Port::real("y"))
+///     .block("g", BasicOp::Gain { k: 2.0 })
+///     .connect("x", "g.x")?
+///     .connect("g.y", "y")?
+///     .build()?;
+/// let actor = ActorBuilder::new("Doubler", net)
+///     .input("x", "in")
+///     .output("y", "out")
+///     .timing(Timing::periodic(1_000_000, 0))
+///     .build()?;
+/// let mut node = NodeSpec::new("ecu", 50_000_000);
+/// node.actors.push(actor);
+/// let system = System::new("demo").with_node(node);
+///
+/// let image = compile_system(&system, &CompileOptions::default())?;
+/// let mut sim = Simulator::new(image, SimConfig::default())?;
+/// sim.schedule_signal(0, "in", SignalValue::Real(21.0))?;
+/// sim.run_until(2_000_000)?;
+/// assert_eq!(sim.read_signal("ecu", "out")?, SignalValue::Real(42.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    image: ProgramImage,
+    config: SimConfig,
+    nodes: Vec<NodeRt>,
+    /// Sorted (stably) by time; `stim_pos` marks the applied prefix.
+    stimuli: Vec<(u64, String, SignalValue)>,
+    stim_pos: usize,
+    /// In-flight broadcasts, sorted by (time, insertion order).
+    deliveries: VecDeque<Delivery>,
+    events: Vec<SimEvent>,
+    now_ns: u64,
+}
+
+impl Simulator {
+    /// Boots the platform: allocates and initializes each node's data
+    /// segment, seeds the kernels with first-release instants, and sizes
+    /// the UARTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for unusable configurations and
+    /// [`SimError::BadImage`] for images violating platform invariants.
+    pub fn new(image: ProgramImage, config: SimConfig) -> Result<Self, SimError> {
+        if config.uart_baud == 0 {
+            return Err(SimError::BadConfig("uart_baud must be nonzero".into()));
+        }
+        if config.step_budget == 0 {
+            return Err(SimError::BadConfig("step_budget must be nonzero".into()));
+        }
+        let byte_ns = 10_000_000_000u64.div_ceil(config.uart_baud);
+        let mut nodes = Vec::with_capacity(image.nodes.len());
+        for (ni, node) in image.nodes.iter().enumerate() {
+            if node.cpu_hz == 0 {
+                return Err(SimError::BadImage(format!(
+                    "node `{}` has a zero clock",
+                    node.node
+                )));
+            }
+            let mut data = vec![0u64; node.data_cells as usize];
+            for &(addr, raw) in &node.data_init {
+                let cell = data.get_mut(addr as usize).ok_or_else(|| {
+                    SimError::BadImage(format!("init address {addr} outside node `{}`", node.node))
+                })?;
+                *cell = raw;
+            }
+            let mut tasks = Vec::with_capacity(node.tasks.len());
+            for (ti, task) in node.tasks.iter().enumerate() {
+                if task.period_ns == 0 {
+                    return Err(SimError::BadImage(format!(
+                        "task `{}` has a zero period",
+                        task.actor
+                    )));
+                }
+                // A tick at or above a task's period would quantize
+                // several releases onto one instant, firing bursts of
+                // same-nanosecond activations — reject rather than
+                // invent catch-up semantics.
+                if config.tick_ns >= task.period_ns && config.tick_ns != 0 {
+                    return Err(SimError::BadConfig(format!(
+                        "tick_ns ({}) must be below task `{}`'s period ({})",
+                        config.tick_ns, task.actor, task.period_ns
+                    )));
+                }
+                let mut rt = TaskRt {
+                    next_release_idx: 0,
+                    next_release_ns: 0,
+                    next_seq: 0,
+                    jobs: VecDeque::new(),
+                    pending_pubs: VecDeque::new(),
+                };
+                rt.next_release_ns =
+                    release_instant(&config, task.offset_ns, task.period_ns, 0, ni, ti);
+                tasks.push(rt);
+            }
+            nodes.push(NodeRt {
+                data,
+                tasks,
+                uart: Uart {
+                    byte_ns,
+                    busy_until_ns: 0,
+                    queue: VecDeque::new(),
+                },
+                cycles_executed: 0,
+                anchor: None,
+            });
+        }
+        Ok(Simulator {
+            image,
+            config,
+            nodes,
+            stimuli: Vec::new(),
+            stim_pos: 0,
+            deliveries: VecDeque::new(),
+            events: Vec::new(),
+            now_ns: 0,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The deployed image.
+    pub fn image(&self) -> &ProgramImage {
+        &self.image
+    }
+
+    /// The event log so far, in time order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Total cycles the named node's CPU has executed — the target-side
+    /// cost metric instrumentation overhead is measured in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] for unknown names.
+    pub fn cycles_executed(&self, node: &str) -> Result<u64, SimError> {
+        let ni = self.node_index(node)?;
+        let mut total = self.nodes[ni].cycles_executed;
+        // Include the anchored job's progress up to now (materialized
+        // counters only update at schedule instants).
+        if let Some(a) = self.nodes[ni].anchor {
+            let hz = self.image.nodes[ni].cpu_hz;
+            let job = self.nodes[ni].tasks[a.ti]
+                .jobs
+                .front()
+                .expect("anchored job");
+            let done =
+                (a.base_cycles + cycles_in(self.now_ns - a.start_ns, hz)).min(job.total_cycles);
+            total += done - job.executed_cycles;
+        }
+        Ok(total)
+    }
+
+    /// Schedules an environment (sensor) write of `label` at `time_ns`.
+    /// Stimuli in the past are ignored, like the reference interpreter's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownLabel`] if no node's board carries the
+    /// label.
+    pub fn schedule_signal(
+        &mut self,
+        time_ns: u64,
+        label: &str,
+        value: SignalValue,
+    ) -> Result<(), SimError> {
+        if !self.image.nodes.iter().any(|n| n.board.contains_key(label)) {
+            return Err(SimError::UnknownLabel(label.to_owned()));
+        }
+        if time_ns < self.now_ns {
+            return Ok(());
+        }
+        // Stable insert by time keeps same-instant stimuli in schedule
+        // order, matching the interpreter.
+        let at = self.stimuli[self.stim_pos..].partition_point(|(t, _, _)| *t <= time_ns)
+            + self.stim_pos;
+        self.stimuli.insert(at, (time_ns, label.to_owned(), value));
+        Ok(())
+    }
+
+    /// Reads a node's current copy of a labeled signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] / [`SimError::UnknownLabel`].
+    pub fn read_signal(&self, node: &str, label: &str) -> Result<SignalValue, SimError> {
+        let ni = self.node_index(node)?;
+        let sym = self.image.nodes[ni]
+            .board
+            .get(label)
+            .copied()
+            .ok_or_else(|| SimError::UnknownLabel(label.to_owned()))?;
+        Ok(SignalValue::from_raw(
+            sym.ty,
+            self.nodes[ni].data[sym.addr as usize],
+        ))
+    }
+
+    /// Reads a symbol-table cell (what a JTAG probe scans out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] / [`SimError::UnknownSymbol`].
+    pub fn read_symbol(&self, node: &str, symbol: &str) -> Result<SignalValue, SimError> {
+        let ni = self.node_index(node)?;
+        let sym = self.resolve_symbol(ni, symbol)?;
+        Ok(SignalValue::from_raw(
+            sym.ty,
+            self.nodes[ni].data[sym.addr as usize],
+        ))
+    }
+
+    /// Drains the node's UART: `(timestamp, byte)` pairs whose
+    /// transmission has finished by now, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] for unknown names.
+    pub fn uart_take(&mut self, node: &str) -> Result<Vec<(u64, u8)>, SimError> {
+        let ni = self.node_index(node)?;
+        let now = self.now_ns;
+        let uart = &mut self.nodes[ni].uart;
+        let ready = uart.queue.partition_point(|(t, _)| *t <= now);
+        Ok(uart.queue.drain(..ready).collect())
+    }
+
+    /// Advances the platform to `t_end_ns` (inclusive), executing every
+    /// stimulus, release, completion, publication and delivery due.
+    ///
+    /// Calling this in increments is equivalent to one big run — the
+    /// kernels track their own progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Vm`] if generated code faults.
+    pub fn run_until(&mut self, t_end_ns: u64) -> Result<(), SimError> {
+        if t_end_ns < self.now_ns {
+            return Ok(());
+        }
+        while let Some(t_next) = self.next_timeline_instant(t_end_ns) {
+            self.advance_cpus(t_next);
+            self.now_ns = t_next;
+            self.apply_stimuli_at(t_next);
+            self.apply_deliveries_at(t_next);
+            self.apply_deadline_pubs_at(t_next);
+            self.apply_releases_at(t_next)?;
+        }
+        self.advance_cpus(t_end_ns);
+        self.now_ns = t_end_ns;
+        Ok(())
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    pub(crate) fn node_index(&self, node: &str) -> Result<usize, SimError> {
+        self.image
+            .nodes
+            .iter()
+            .position(|n| n.node == node)
+            .ok_or_else(|| SimError::UnknownNode(node.to_owned()))
+    }
+
+    pub(crate) fn resolve_symbol(&self, node_idx: usize, symbol: &str) -> Result<Symbol, SimError> {
+        self.image.nodes[node_idx]
+            .symbols
+            .get(symbol)
+            .ok_or_else(|| SimError::UnknownSymbol {
+                node: self.image.nodes[node_idx].node.clone(),
+                symbol: symbol.to_owned(),
+            })
+    }
+
+    pub(crate) fn peek_raw(&self, node_idx: usize, addr: u32) -> u64 {
+        self.nodes[node_idx].data[addr as usize]
+    }
+
+    /// The earliest discrete timeline instant ≤ `t_end` still pending, or
+    /// the earliest CPU completion if it comes first (completions can
+    /// schedule publications the timeline must then see).
+    fn next_timeline_instant(&self, t_end: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t <= t_end && best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        };
+        if let Some((t, _, _)) = self.stimuli.get(self.stim_pos) {
+            consider(*t);
+        }
+        if let Some(d) = self.deliveries.front() {
+            consider(d.time_ns);
+        }
+        for (ni, node) in self.nodes.iter().enumerate() {
+            for task in &node.tasks {
+                consider(task.next_release_ns);
+                if let Some(p) = task.pending_pubs.front() {
+                    consider(p.deadline_ns);
+                }
+            }
+            // The first completion on this node's CPU, were it to run
+            // undisturbed from now (anchored jobs finish relative to the
+            // instant they gained the CPU, not to `now`).
+            if let Some((ti, _)) = self.pick_job(ni) {
+                let job = self.nodes[ni].tasks[ti].jobs.front().expect("picked job");
+                let hz = self.image.nodes[ni].cpu_hz;
+                let fin = match node.anchor {
+                    Some(a) if (a.ti, a.seq) == (ti, job.seq) => {
+                        a.start_ns + ns_of(job.total_cycles - a.base_cycles, hz)
+                    }
+                    _ => self.now_ns + ns_of(job.total_cycles - job.executed_cycles, hz),
+                };
+                consider(fin);
+            }
+        }
+        best
+    }
+
+    /// The highest-priority runnable job on `node_idx`:
+    /// `(task index, priority)` — lower priority value wins, then earlier
+    /// release, then declaration order.
+    fn pick_job(&self, node_idx: usize) -> Option<(usize, u8)> {
+        let image = &self.image.nodes[node_idx];
+        let mut best: Option<(usize, u8, u64)> = None;
+        for (ti, rt) in self.nodes[node_idx].tasks.iter().enumerate() {
+            let Some(front) = rt.jobs.front() else {
+                continue;
+            };
+            let prio = image.tasks[ti].priority;
+            let key = (prio, front.release_ns, ti);
+            if best.is_none_or(|(bti, bp, br)| key < (bp, br, bti)) {
+                best = Some((ti, prio, front.release_ns));
+            }
+        }
+        best.map(|(ti, p, _)| (ti, p))
+    }
+
+    /// Runs every node's CPU forward to `t_target`, retiring emits and
+    /// completions due in `(now, t_target]`.
+    fn advance_cpus(&mut self, t_target: u64) {
+        for ni in 0..self.nodes.len() {
+            let mut t = self.now_ns;
+            loop {
+                let Some((ti, _)) = self.pick_job(ni) else {
+                    self.nodes[ni].anchor = None;
+                    break;
+                };
+                let hz = self.image.nodes[ni].cpu_hz;
+                let (seq, total, executed) = {
+                    let job = self.nodes[ni].tasks[ti].jobs.front().expect("picked job");
+                    (job.seq, job.total_cycles, job.executed_cycles)
+                };
+                // A different job won the CPU: the old one was preempted
+                // at `t` (a schedule instant) — materialize its progress
+                // before switching.
+                if let Some(a) = self.nodes[ni].anchor {
+                    if (a.ti, a.seq) != (ti, seq) {
+                        self.materialize_preempted(ni, a, t);
+                        self.nodes[ni].anchor = None;
+                    }
+                }
+                let a = *self.nodes[ni].anchor.get_or_insert(RunAnchor {
+                    ti,
+                    seq,
+                    start_ns: t,
+                    base_cycles: executed,
+                });
+                let fin = a.start_ns + ns_of(total - a.base_cycles, hz);
+                if fin <= t_target {
+                    self.retire_emits(ni, ti, a.start_ns, a.base_cycles, total - a.base_cycles, hz);
+                    self.nodes[ni].cycles_executed += total - executed;
+                    let job = self.nodes[ni].tasks[ti]
+                        .jobs
+                        .pop_front()
+                        .expect("picked job");
+                    self.nodes[ni].anchor = None;
+                    self.complete_job(ni, ti, job, fin);
+                    t = fin;
+                } else {
+                    // Still running at t_target: keep the anchor (so the
+                    // completion instant never depends on how finely the
+                    // caller steps) and surface the emits due by now.
+                    let due = cycles_in(t_target - a.start_ns, hz);
+                    self.retire_emits(ni, ti, a.start_ns, a.base_cycles, due, hz);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Books a preempted job's CPU progress as of the preemption
+    /// instant `t`.
+    fn materialize_preempted(&mut self, ni: usize, a: RunAnchor, t: u64) {
+        let hz = self.image.nodes[ni].cpu_hz;
+        let done = a.base_cycles + cycles_in(t - a.start_ns, hz);
+        let nrt = &mut self.nodes[ni];
+        let job = nrt.tasks[a.ti].jobs.front_mut().expect("anchored job");
+        debug_assert_eq!(job.seq, a.seq);
+        let done = done.min(job.total_cycles);
+        nrt.cycles_executed += done - job.executed_cycles;
+        job.executed_cycles = done;
+    }
+
+    /// Retires emits whose cycle offset falls inside the execution
+    /// segment starting at wall time `seg_start` with `done` cycles
+    /// already executed and `delta` more being executed now.
+    fn retire_emits(
+        &mut self,
+        ni: usize,
+        ti: usize,
+        seg_start: u64,
+        done: u64,
+        delta: u64,
+        hz: u64,
+    ) {
+        while let Some(&(off, _)) = self.nodes[ni].tasks[ti]
+            .jobs
+            .front()
+            .and_then(|j| j.emits.front())
+        {
+            if off > done + delta {
+                break;
+            }
+            let (_, frame) = self.nodes[ni].tasks[ti]
+                .jobs
+                .front_mut()
+                .and_then(|j| j.emits.pop_front())
+                .expect("emit present");
+            let at = seg_start + ns_of(off.saturating_sub(done), hz);
+            self.nodes[ni].uart.send_frame(at, &frame);
+        }
+    }
+
+    /// Books a finished activation: logs completion (and a deadline miss
+    /// when late) and routes its publication.
+    fn complete_job(&mut self, ni: usize, ti: usize, job: Job, tc: u64) {
+        let node_name = self.image.nodes[ni].node.clone();
+        let actor = self.image.nodes[ni].tasks[ti].actor.clone();
+        self.events.push(SimEvent::Completion {
+            time_ns: tc,
+            node: node_name.clone(),
+            actor: actor.clone(),
+            response_ns: tc - job.release_ns,
+            cycles: job.total_cycles,
+        });
+        if tc > job.deadline_ns {
+            self.events.push(SimEvent::DeadlineMiss {
+                time_ns: tc,
+                node: node_name,
+                actor,
+                overrun_ns: tc - job.deadline_ns,
+            });
+            // The deadline instant has passed: publish as late as reality.
+            self.publish(ni, ti, &job.pub_raw, tc);
+        } else if self.config.latch_outputs {
+            self.nodes[ni].tasks[ti].pending_pubs.push_back(PendingPub {
+                deadline_ns: job.deadline_ns,
+                seq: job.seq,
+                pub_raw: job.pub_raw,
+            });
+        } else {
+            self.publish(ni, ti, &job.pub_raw, tc);
+        }
+    }
+
+    /// Writes `pub_raw` to the producing node's board, logs the
+    /// publications, and broadcasts to every other node's board.
+    fn publish(&mut self, ni: usize, ti: usize, pub_raw: &[u64], t: u64) {
+        let Simulator {
+            image,
+            nodes,
+            events,
+            deliveries,
+            config,
+            ..
+        } = self;
+        let task = &image.nodes[ni].tasks[ti];
+        for (p, &raw) in task.publications.iter().zip(pub_raw.iter()) {
+            nodes[ni].data[p.board as usize] = raw;
+            events.push(SimEvent::Publish {
+                time_ns: t,
+                node: image.nodes[ni].node.clone(),
+                actor: task.actor.clone(),
+                label: p.label.clone(),
+                value: SignalValue::from_raw(p.ty, raw),
+            });
+            for (oj, other) in nodes.iter_mut().enumerate() {
+                if oj == ni {
+                    continue;
+                }
+                let Some(sym) = image.nodes[oj].board.get(&p.label).copied() else {
+                    continue;
+                };
+                if config.bus_latency_ns == 0 {
+                    other.data[sym.addr as usize] = raw;
+                } else {
+                    deliveries.push_back(Delivery {
+                        time_ns: t + config.bus_latency_ns,
+                        node_idx: oj,
+                        addr: sym.addr,
+                        raw,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_stimuli_at(&mut self, t: u64) {
+        while let Some((st, label, value)) = self.stimuli.get(self.stim_pos) {
+            if *st != t {
+                break;
+            }
+            let (label, value) = (label.clone(), *value);
+            self.stim_pos += 1;
+            for ni in 0..self.nodes.len() {
+                if let Some(sym) = self.image.nodes[ni].board.get(&label).copied() {
+                    self.nodes[ni].data[sym.addr as usize] = value.to_raw();
+                }
+            }
+            self.events.push(SimEvent::Stimulus {
+                time_ns: t,
+                label,
+                value,
+            });
+        }
+    }
+
+    fn apply_deliveries_at(&mut self, t: u64) {
+        while let Some(d) = self.deliveries.front() {
+            if d.time_ns != t {
+                break;
+            }
+            let d = self.deliveries.pop_front().expect("front checked");
+            self.nodes[d.node_idx].data[d.addr as usize] = d.raw;
+        }
+    }
+
+    fn apply_deadline_pubs_at(&mut self, t: u64) {
+        for ni in 0..self.nodes.len() {
+            for ti in 0..self.nodes[ni].tasks.len() {
+                while let Some(p) = self.nodes[ni].tasks[ti].pending_pubs.front() {
+                    if p.deadline_ns != t {
+                        break;
+                    }
+                    let p = self.nodes[ni].tasks[ti]
+                        .pending_pubs
+                        .pop_front()
+                        .expect("front checked");
+                    debug_assert!(p.seq < self.nodes[ni].tasks[ti].next_seq);
+                    self.publish(ni, ti, &p.pub_raw, t);
+                }
+            }
+        }
+    }
+
+    fn apply_releases_at(&mut self, t: u64) -> Result<(), SimError> {
+        for ni in 0..self.nodes.len() {
+            for ti in 0..self.nodes[ni].tasks.len() {
+                if self.nodes[ni].tasks[ti].next_release_ns != t {
+                    continue;
+                }
+                self.release(ni, ti, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One kernel release: latch inputs, execute the step, queue the CPU
+    /// demand, and arm the next release.
+    fn release(&mut self, ni: usize, ti: usize, t: u64) -> Result<(), SimError> {
+        let Simulator {
+            image,
+            nodes,
+            events,
+            config,
+            ..
+        } = self;
+        let task = &image.nodes[ni].tasks[ti];
+        let nrt = &mut nodes[ni];
+        for latch in &task.input_latches {
+            nrt.data[latch.to as usize] = nrt.data[latch.from as usize];
+        }
+        let result = vm::run(&task.code, &mut nrt.data, config.step_budget).map_err(|error| {
+            SimError::Vm {
+                node: image.nodes[ni].node.clone(),
+                actor: task.actor.clone(),
+                error,
+            }
+        })?;
+        let pub_raw: Vec<u64> = task
+            .publications
+            .iter()
+            .map(|p| nrt.data[p.latch as usize])
+            .collect();
+        events.push(SimEvent::Release {
+            time_ns: t,
+            node: image.nodes[ni].node.clone(),
+            actor: task.actor.clone(),
+        });
+        let rt = &mut nrt.tasks[ti];
+        let seq = rt.next_seq;
+        rt.next_seq += 1;
+        rt.jobs.push_back(Job {
+            seq,
+            release_ns: t,
+            deadline_ns: t + task.deadline_ns,
+            total_cycles: result.cycles.max(1),
+            executed_cycles: 0,
+            emits: result.emits.into_iter().collect(),
+            pub_raw,
+        });
+        rt.next_release_idx += 1;
+        rt.next_release_ns = release_instant(
+            config,
+            task.offset_ns,
+            task.period_ns,
+            rt.next_release_idx,
+            ni,
+            ti,
+        );
+        Ok(())
+    }
+}
+
+/// The (possibly jittered, tick-quantized) instant of release `k`.
+fn release_instant(
+    config: &SimConfig,
+    offset_ns: u64,
+    period_ns: u64,
+    k: u64,
+    node: usize,
+    task: usize,
+) -> u64 {
+    let nominal = offset_ns + k * period_ns;
+    // Jitter is capped so the release sequence stays strictly monotone,
+    // which the determinism contract depends on. Tickless: j <= period-1
+    // keeps jittered instants ordered. With a tick, quantization rounds
+    // up by as much as tick-1, so the cap tightens to period - tick:
+    // then q(n_k + j_k) <= n_k + period - 1 < n_{k+1} <= q(n_{k+1} +
+    // j_{k+1}) — no two releases of a task can collapse onto one tick.
+    let cap = if config.tick_ns == 0 {
+        period_ns - 1
+    } else {
+        period_ns - config.tick_ns
+    };
+    let max_jitter = config.clock_jitter_ns.min(cap);
+    let jittered = nominal + jitter_ns(config.seed, node, task, k, max_jitter);
+    if config.tick_ns == 0 {
+        jittered
+    } else {
+        jittered.div_ceil(config.tick_ns) * config.tick_ns
+    }
+}

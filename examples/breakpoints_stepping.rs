@@ -24,10 +24,26 @@ fn elevator_system() -> Result<System, gmdf_comdes::ComdesError> {
         .state("MovingUp", |s| s.during("floor", Expr::Int(1)))
         .state("DoorsOpen", |s| s.during("floor", Expr::Int(2)))
         .state("MovingDown", |s| s.during("floor", Expr::Int(3)))
-        .transition("Idle", "MovingUp", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)))
-        .transition("MovingUp", "DoorsOpen", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)))
-        .transition("DoorsOpen", "MovingDown", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(2.0)))
-        .transition("MovingDown", "Idle", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)))
+        .transition(
+            "Idle",
+            "MovingUp",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)),
+        )
+        .transition(
+            "MovingUp",
+            "DoorsOpen",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)),
+        )
+        .transition(
+            "DoorsOpen",
+            "MovingDown",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(2.0)),
+        )
+        .transition(
+            "MovingDown",
+            "Idle",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)),
+        )
         .initial("Idle")
         .build()?;
     let net = NetworkBuilder::new()
@@ -78,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "engine paused; {} command(s) queued behind the breakpoint",
         session.engine().pending()
     );
-    println!("\nview frozen at the breakpoint:\n{}", session.engine().frame_ascii());
+    println!(
+        "\nview frozen at the breakpoint:\n{}",
+        session.engine().frame_ascii()
+    );
 
     // Step through the queued commands one at a time.
     println!("stepping:");

@@ -9,7 +9,7 @@
 use gmdf::{ChannelMode, Workflow};
 use gmdf_codegen::{CompileOptions, InstrumentOptions};
 use gmdf_comdes::{
-    ActorBuilder, BasicOp, Expr, FsmBuilder, Mode, ModalBlock, NetworkBuilder, NodeSpec, Port,
+    ActorBuilder, BasicOp, Expr, FsmBuilder, ModalBlock, Mode, NetworkBuilder, NodeSpec, Port,
     SignalValue, System, Timing,
 };
 use gmdf_engine::Expectation;
@@ -44,12 +44,25 @@ fn cruise_system(broken_model: bool) -> Result<System, gmdf_comdes::ComdesError>
         .block("zero", BasicOp::Const(SignalValue::Real(0.0)))
         .connect("zero.y", "throttle")?
         .build()?;
-    let (lo, hi) = if broken_model { (-50.0, 150.0) } else { (0.0, 100.0) };
+    let (lo, hi) = if broken_model {
+        (-50.0, 150.0)
+    } else {
+        (0.0, 100.0)
+    };
     let hold = NetworkBuilder::new()
         .input(Port::real("speed"))
         .input(Port::real("target"))
         .output(Port::real("throttle"))
-        .block("pid", BasicOp::Pid { kp: 8.0, ki: 2.0, kd: 0.0, lo, hi })
+        .block(
+            "pid",
+            BasicOp::Pid {
+                kp: 8.0,
+                ki: 2.0,
+                kd: 0.0,
+                lo,
+                hi,
+            },
+        )
         .connect("target", "pid.sp")?
         .connect("speed", "pid.pv")?
         .connect("pid.u", "throttle")?
@@ -58,8 +71,14 @@ fn cruise_system(broken_model: bool) -> Result<System, gmdf_comdes::ComdesError>
         data_inputs: vec![Port::real("speed"), Port::real("target")],
         outputs: vec![Port::real("throttle")],
         modes: vec![
-            Mode { name: "coast".into(), network: coast },
-            Mode { name: "hold".into(), network: hold },
+            Mode {
+                name: "coast".into(),
+                network: coast,
+            },
+            Mode {
+                name: "hold".into(),
+                network: hold,
+            },
         ],
     };
 
@@ -107,7 +126,11 @@ fn drive(session: &mut gmdf::DebugSession) -> Result<(), Box<dyn std::error::Err
 }
 
 fn run_variant(broken_model: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let label = if broken_model { "DESIGN-ERROR MODEL" } else { "CORRECT MODEL" };
+    let label = if broken_model {
+        "DESIGN-ERROR MODEL"
+    } else {
+        "CORRECT MODEL"
+    };
     println!("\n===== {label} =====");
     let system = cruise_system(broken_model)?;
     let mut session = Workflow::from_system(system)?
@@ -123,17 +146,21 @@ fn run_variant(broken_model: bool) -> Result<(), Box<dyn std::error::Error>> {
         )?;
 
     // Requirement: the physical actuator accepts 0..100 % throttle.
-    session.engine_mut().add_expectation(Expectation::SignalRange {
-        path_prefix: "Cruise/out/throttle".into(),
-        min: 0.0,
-        max: 100.0,
-    });
+    session
+        .engine_mut()
+        .add_expectation(Expectation::SignalRange {
+            path_prefix: "Cruise/out/throttle".into(),
+            min: 0.0,
+            max: 100.0,
+        });
     // Requirement: the supervisor must arm before cruising.
-    session.engine_mut().add_expectation(Expectation::StateSequence {
-        fsm_path: "Cruise/sup".into(),
-        sequence: vec!["Armed".into(), "Cruising".into(), "Off".into()],
-        cyclic: true,
-    });
+    session
+        .engine_mut()
+        .add_expectation(Expectation::StateSequence {
+            fsm_path: "Cruise/sup".into(),
+            sequence: vec!["Armed".into(), "Cruising".into(), "Off".into()],
+            cyclic: true,
+        });
 
     drive(&mut session)?;
 
@@ -163,7 +190,11 @@ fn run_variant(broken_model: bool) -> Result<(), Box<dyn std::error::Error>> {
     // SVG frame of the final animated model.
     let out_dir = std::path::Path::new("target/gmdf-artifacts");
     std::fs::create_dir_all(out_dir)?;
-    let name = if broken_model { "cruise-broken.svg" } else { "cruise-ok.svg" };
+    let name = if broken_model {
+        "cruise-broken.svg"
+    } else {
+        "cruise-ok.svg"
+    };
     std::fs::write(out_dir.join(name), session.engine().frame_svg())?;
     println!("frame written to {}", out_dir.join(name).display());
     Ok(())

@@ -63,7 +63,13 @@ fn heating_system() -> Result<System, gmdf_comdes::ComdesError> {
         .block("sel", BasicOp::Select)
         .block("hi", BasicOp::Const(SignalValue::Real(100.0)))
         .block("lo", BasicOp::Const(SignalValue::Real(0.0)))
-        .block("slew", BasicOp::RateLimiter { max_rise: 200.0, max_fall: 200.0 })
+        .block(
+            "slew",
+            BasicOp::RateLimiter {
+                max_rise: 200.0,
+                max_fall: 200.0,
+            },
+        )
         .connect("heat", "sel.sel")?
         .connect("hi.y", "sel.a")?
         .connect("lo.y", "sel.b")?
@@ -107,12 +113,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .default_commands()
         .connect(
             // Passive: poll monitored variables every 5 ms over a 10 MHz TAP.
-            ChannelMode::Passive { poll_period_ns: 5_000_000, tck_hz: 10_000_000 },
+            ChannelMode::Passive {
+                poll_period_ns: 5_000_000,
+                tck_hz: 10_000_000,
+            },
             CompileOptions {
                 instrument: InstrumentOptions::none(), // no code modifications
                 faults: vec![],
             },
-            SimConfig { bus_latency_ns: 200_000, ..SimConfig::default() },
+            SimConfig {
+                bus_latency_ns: 200_000,
+                ..SimConfig::default()
+            },
         )?;
     temperature_profile(&mut session)?;
 
@@ -125,7 +137,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in session.engine().trace().entries() {
         println!("  {}", e.event);
     }
-    println!("\nfinal animated model:\n{}", session.engine().frame_ascii());
+    println!(
+        "\nfinal animated model:\n{}",
+        session.engine().frame_ascii()
+    );
     println!(
         "{}",
         timing_diagram(session.engine().trace(), "Controller/thermostat").to_ascii(90)
@@ -136,11 +151,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jitter_of = |latch: bool| -> Result<(usize, i64), Box<dyn std::error::Error>> {
         let image = compile_system(
             &system,
-            &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+            &CompileOptions {
+                instrument: InstrumentOptions::none(),
+                faults: vec![],
+            },
         )?;
         let mut sim = Simulator::new(
             image,
-            SimConfig { latch_outputs: latch, ..SimConfig::default() },
+            SimConfig {
+                latch_outputs: latch,
+                ..SimConfig::default()
+            },
         )?;
         sim.schedule_signal(0, "raw_temp", SignalValue::Real(18.0))?;
         sim.run_until(5_000_000_000)?;
@@ -152,7 +173,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 _ => None,
             })
             .collect();
-        let intervals: Vec<i64> = times.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let intervals: Vec<i64> = times
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         let jitter = intervals.iter().max().unwrap_or(&0) - intervals.iter().min().unwrap_or(&0);
         Ok((times.len(), jitter))
     };
@@ -163,7 +187,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let out_dir = std::path::Path::new("target/gmdf-artifacts");
     std::fs::create_dir_all(out_dir)?;
-    std::fs::write(out_dir.join("heating-frame.svg"), session.engine().frame_svg())?;
+    std::fs::write(
+        out_dir.join("heating-frame.svg"),
+        session.engine().frame_svg(),
+    )?;
     std::fs::write(
         out_dir.join("heating-timing.svg"),
         timing_diagram(session.engine().trace(), "Controller/thermostat").to_svg(),

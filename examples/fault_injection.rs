@@ -25,10 +25,26 @@ fn washer_system() -> Result<System, gmdf_comdes::ComdesError> {
         .state("Wash", |s| s.entry("phase", Expr::Int(1)))
         .state("Rinse", |s| s.entry("phase", Expr::Int(2)))
         .state("Spin", |s| s.entry("phase", Expr::Int(3)))
-        .transition("Fill", "Wash", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.3)))
-        .transition("Wash", "Rinse", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)))
-        .transition("Rinse", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.4)))
-        .transition("Spin", "Fill", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.6)))
+        .transition(
+            "Fill",
+            "Wash",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.3)),
+        )
+        .transition(
+            "Wash",
+            "Rinse",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.5)),
+        )
+        .transition(
+            "Rinse",
+            "Spin",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.4)),
+        )
+        .transition(
+            "Spin",
+            "Fill",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.6)),
+        )
         .initial("Fill")
         .build()?;
     let net = NetworkBuilder::new()
@@ -49,7 +65,11 @@ fn debug_with_faults(faults: Vec<Fault>) -> Result<(), Box<dyn std::error::Error
     let fault_desc = if faults.is_empty() {
         "no faults (correct generator)".to_owned()
     } else {
-        faults.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        faults
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!("\n===== generator: {fault_desc} =====");
 

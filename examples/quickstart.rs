@@ -26,13 +26,21 @@ fn traffic_light_system() -> Result<System, gmdf_comdes::ComdesError> {
         .state("Red", |s| s.entry("lamp", Expr::Int(0)))
         .state("Green", |s| s.entry("lamp", Expr::Int(1)))
         .state("Yellow", |s| s.entry("lamp", Expr::Int(2)))
-        .transition("Red", "Green", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(3.0)))
+        .transition(
+            "Red",
+            "Green",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(3.0)),
+        )
         .transition(
             "Green",
             "Yellow",
             Expr::var("button").or(Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(4.0))),
         )
-        .transition("Yellow", "Red", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)))
+        .transition(
+            "Yellow",
+            "Red",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1.0)),
+        )
         .initial("Red")
         .build()?;
     let net = NetworkBuilder::new()
@@ -109,7 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The always-on execution trace, and the replay timing diagram.
-    println!("\nexecution trace ({} entries):", session.engine().trace().len());
+    println!(
+        "\nexecution trace ({} entries):",
+        session.engine().trace().len()
+    );
     for entry in session.engine().trace().entries() {
         println!("  {}", entry.event);
     }
@@ -122,7 +133,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Persist artifacts like the prototype would.
     let out_dir = std::path::Path::new("target/gmdf-artifacts");
     std::fs::create_dir_all(out_dir)?;
-    std::fs::write(out_dir.join("quickstart-frame.svg"), session.engine().frame_svg())?;
+    std::fs::write(
+        out_dir.join("quickstart-frame.svg"),
+        session.engine().frame_svg(),
+    )?;
     std::fs::write(
         out_dir.join("quickstart-gdm.json"),
         session.engine().gdm().to_json(),

@@ -28,16 +28,16 @@ pub mod prelude {
     };
     pub use gmdf_codegen::{compile_system, CompileOptions, Fault, InstrumentOptions};
     pub use gmdf_comdes::{
-        export_system, ActorBuilder, BasicOp, Expr, FsmBuilder, Interpreter, Mode, ModalBlock,
-        Network, NetworkBuilder, NodeSpec, Port, SignalType, SignalValue, System, Timing,
-        VAR_DT, VAR_TIME_IN_STATE,
+        export_system, ActorBuilder, BasicOp, Expr, FsmBuilder, Interpreter, ModalBlock, Mode,
+        Network, NetworkBuilder, NodeSpec, Port, SignalType, SignalValue, System, Timing, VAR_DT,
+        VAR_TIME_IN_STATE,
     };
     pub use gmdf_engine::{
-        timing_diagram, BugClass, DebuggerEngine, Expectation, ExecutionTrace, Replayer,
+        timing_diagram, BugClass, DebuggerEngine, ExecutionTrace, Expectation, Replayer,
     };
     pub use gmdf_gdm::{
-        default_bindings, AbstractionGuide, CommandMatcher, DebuggerModel, EventKind,
-        GdmPattern, ModelEvent,
+        default_bindings, AbstractionGuide, CommandMatcher, DebuggerModel, EventKind, GdmPattern,
+        ModelEvent,
     };
     pub use gmdf_target::{JtagMonitor, SimConfig, SimEvent, Simulator};
 }

@@ -20,16 +20,36 @@ fn sequencer(skip_a_phase_in_model: bool) -> System {
         .state("Wash", |s| s.entry("phase", Expr::Int(1)))
         .state("Rinse", |s| s.entry("phase", Expr::Int(2)))
         .state("Spin", |s| s.entry("phase", Expr::Int(3)))
-        .transition("Fill", "Wash", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+        .transition(
+            "Fill",
+            "Wash",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)),
+        );
     if skip_a_phase_in_model {
-        fb = fb.transition("Wash", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+        fb = fb.transition(
+            "Wash",
+            "Spin",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)),
+        );
     } else {
         fb = fb
-            .transition("Wash", "Rinse", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)))
-            .transition("Rinse", "Spin", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)));
+            .transition(
+                "Wash",
+                "Rinse",
+                Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)),
+            )
+            .transition(
+                "Rinse",
+                "Spin",
+                Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)),
+            );
     }
     let fsm = fb
-        .transition("Spin", "Fill", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)))
+        .transition(
+            "Spin",
+            "Fill",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.2)),
+        )
         .initial("Fill")
         .build()
         .unwrap();
@@ -106,7 +126,9 @@ fn design_error_detected_and_classified() {
 fn swapped_transitions_detected_as_implementation_error() {
     let s = run(
         sequencer(false),
-        vec![Fault::SwapTransitionTargets { block_path: "Washer/cycle".into() }],
+        vec![Fault::SwapTransitionTargets {
+            block_path: "Washer/cycle".into(),
+        }],
     );
     assert!(!s.engine().violations().is_empty());
     let (class, divergence) = s.classify_against_model().unwrap();
@@ -118,7 +140,10 @@ fn swapped_transitions_detected_as_implementation_error() {
 fn negated_guard_detected_as_implementation_error() {
     let s = run(
         sequencer(false),
-        vec![Fault::NegateGuard { block_path: "Washer/cycle".into(), transition: 1 }],
+        vec![Fault::NegateGuard {
+            block_path: "Washer/cycle".into(),
+            transition: 1,
+        }],
     );
     let (class, _) = s.classify_against_model().unwrap();
     assert_eq!(class, BugClass::ImplementationError);
@@ -130,7 +155,9 @@ fn skipped_entry_actions_change_signal_values() {
     let clean = run(sequencer(false), vec![]);
     let faulty = run(
         sequencer(false),
-        vec![Fault::SkipEntryActions { block_path: "Washer/cycle".into() }],
+        vec![Fault::SkipEntryActions {
+            block_path: "Washer/cycle".into(),
+        }],
     );
     let last_phase = |s: &gmdf::DebugSession| {
         s.simulator()
@@ -142,9 +169,9 @@ fn skipped_entry_actions_change_signal_values() {
     // Clean run has progressed beyond phase 0 at some point; faulty stays 0.
     assert_eq!(last_phase(&faulty), 0);
     let _ = last_phase(&clean); // clean one is whatever phase it's in
-    // The transitions still FIRE in the faulty build (guards unaffected),
-    // so the stream diverges from the model only in values, not behaviour
-    // — this fault class needs signal monitoring to catch:
+                                // The transitions still FIRE in the faulty build (guards unaffected),
+                                // so the stream diverges from the model only in values, not behaviour
+                                // — this fault class needs signal monitoring to catch:
     let observed_transitions = faulty.engine().trace().len();
     assert!(observed_transitions > 0);
 }
@@ -180,16 +207,21 @@ fn gain_error_detected_by_signal_range() {
             ChannelMode::Active,
             CompileOptions {
                 instrument: InstrumentOptions::full(), // signal writes too
-                faults: vec![Fault::GainError { block_path: "Amp/g".into(), factor: 10.0 }],
+                faults: vec![Fault::GainError {
+                    block_path: "Amp/g".into(),
+                    factor: 10.0,
+                }],
             },
             SimConfig::default(),
         )
         .unwrap();
-    session.engine_mut().add_expectation(Expectation::SignalRange {
-        path_prefix: "Amp/out/y".into(),
-        min: -30.0,
-        max: 30.0,
-    });
+    session
+        .engine_mut()
+        .add_expectation(Expectation::SignalRange {
+            path_prefix: "Amp/out/y".into(),
+            min: -30.0,
+            max: 30.0,
+        });
     session
         .schedule_signal(0, "in", gmdf_comdes::SignalValue::Real(5.0))
         .unwrap();

@@ -6,9 +6,7 @@
 //! ("multiple-type and multiple-instance input models").
 
 use gmdf_engine::DebuggerEngine;
-use gmdf_gdm::{
-    default_bindings, AbstractionGuide, EdgeRule, EventKind, GdmPattern, ModelEvent,
-};
+use gmdf_gdm::{default_bindings, AbstractionGuide, EdgeRule, EventKind, GdmPattern, ModelEvent};
 use gmdf_metamodel::{
     model_to_json, DataType, Metamodel, MetamodelBuilder, MetamodelRegistry, Model, Value,
 };
@@ -103,13 +101,9 @@ fn foreign_metamodel_flows_through_abstraction_and_engine() {
     let mut gdm = gdm;
     gdm.bindings = default_bindings();
     let mut engine = DebuggerEngine::new(gdm);
-    engine.feed(
-        ModelEvent::new(10, EventKind::StateEnter, "mutex").with_to("waiting"),
-    );
+    engine.feed(ModelEvent::new(10, EventKind::StateEnter, "mutex").with_to("waiting"));
     assert!(engine.visual()["mutex/waiting"].highlighted);
-    engine.feed(
-        ModelEvent::new(20, EventKind::StateEnter, "mutex").with_to("critical"),
-    );
+    engine.feed(ModelEvent::new(20, EventKind::StateEnter, "mutex").with_to("critical"));
     assert!(engine.visual()["mutex/critical"].highlighted);
     assert!(engine.visual()["mutex/waiting"].dimmed);
     let svg = engine.frame_svg();
@@ -134,7 +128,10 @@ fn registry_hosts_multiple_metamodels_simultaneously() {
     let system = {
         let net = gmdf_comdes::NetworkBuilder::new()
             .output(gmdf_comdes::Port::real("y"))
-            .block("c", gmdf_comdes::BasicOp::Const(gmdf_comdes::SignalValue::Real(1.0)))
+            .block(
+                "c",
+                gmdf_comdes::BasicOp::Const(gmdf_comdes::SignalValue::Real(1.0)),
+            )
             .connect("c.y", "y")
             .unwrap()
             .build()

@@ -15,8 +15,16 @@ fn blinker(period_ms: u64) -> System {
         .output(Port::boolean("lamp"))
         .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
         .state("On", |s| s.entry("lamp", Expr::Bool(true)))
-        .transition("Off", "On", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)))
-        .transition("On", "Off", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)))
+        .transition(
+            "Off",
+            "On",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)),
+        )
+        .transition(
+            "On",
+            "Off",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.004)),
+        )
         .build()
         .unwrap();
     let net = NetworkBuilder::new()
@@ -58,9 +66,7 @@ fn behavior(s: &gmdf::DebugSession) -> Vec<(String, String)> {
         .trace()
         .entries()
         .iter()
-        .filter(|e| {
-            matches!(e.event.kind, EventKind::StateEnter | EventKind::ModeSwitch)
-        })
+        .filter(|e| matches!(e.event.kind, EventKind::StateEnter | EventKind::ModeSwitch))
         .map(|e| (e.event.path.clone(), e.event.to.clone().unwrap_or_default()))
         .collect()
 }
@@ -72,7 +78,10 @@ fn active_and_passive_channels_observe_identical_behavior() {
     let mut passive = session(
         blinker(1),
         // Poll fast enough to catch every 4 ms dwell.
-        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+        ChannelMode::Passive {
+            poll_period_ns: 500_000,
+            tck_hz: 20_000_000,
+        },
     );
     passive.run_for(50_000_000).unwrap();
 
@@ -87,7 +96,10 @@ fn active_and_passive_channels_observe_identical_behavior() {
         .cloned()
         .collect();
     let n = a.len().min(p_aligned.len());
-    assert!(n >= 4, "need several transitions to compare ({a:?} vs {p:?})");
+    assert!(
+        n >= 4,
+        "need several transitions to compare ({a:?} vs {p:?})"
+    );
     assert_eq!(&a[..n], &p_aligned[..n]);
 }
 
@@ -111,7 +123,13 @@ fn multi_node_dataflow_session() {
     // Producer (node A) feeds a hysteresis FSM (node B).
     let producer_net = NetworkBuilder::new()
         .output(Port::real("wave"))
-        .block("pulse", BasicOp::PulseGen { period: 0.02, duty: 0.5 })
+        .block(
+            "pulse",
+            BasicOp::PulseGen {
+                period: 0.02,
+                duty: 0.5,
+            },
+        )
         .block("sel", BasicOp::Select)
         .block("hi", BasicOp::Const(SignalValue::Real(10.0)))
         .block("lo", BasicOp::Const(SignalValue::Real(-10.0)))
@@ -175,7 +193,10 @@ fn multi_node_dataflow_session() {
 fn expectations_pass_on_clean_runs_across_channels() {
     for channel in [
         ChannelMode::Active,
-        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+        ChannelMode::Passive {
+            poll_period_ns: 500_000,
+            tck_hz: 20_000_000,
+        },
     ] {
         let mut s = session(blinker(1), channel);
         for e in comdes_allowed_transitions(s.system()).unwrap() {
@@ -207,7 +228,10 @@ fn uninstrumented_active_session_is_silent_passive_is_not() {
     // …while the passive channel on the same clean image sees everything.
     let mut passive = session_with_instrument(
         InstrumentOptions::none(),
-        ChannelMode::Passive { poll_period_ns: 500_000, tck_hz: 20_000_000 },
+        ChannelMode::Passive {
+            poll_period_ns: 500_000,
+            tck_hz: 20_000_000,
+        },
     );
     let r = passive.run_for(50_000_000).unwrap();
     assert!(r.events_fed > 0);
@@ -223,7 +247,10 @@ fn session_with_instrument(
         .default_commands()
         .connect(
             channel,
-            CompileOptions { instrument, faults: vec![] },
+            CompileOptions {
+                instrument,
+                faults: vec![],
+            },
             SimConfig::default(),
         )
         .unwrap()

@@ -104,7 +104,10 @@ fn timing_diagram_covers_every_state_in_the_ring() {
     let lane = d.lanes.iter().find(|l| l.name == "Ring/ring").unwrap();
     let labels: std::collections::BTreeSet<&str> =
         lane.segments.iter().map(|s| s.label.as_str()).collect();
-    assert!(labels.len() >= 5, "all ring states should appear: {labels:?}");
+    assert!(
+        labels.len() >= 5,
+        "all ring states should appear: {labels:?}"
+    );
     // Segments tile the window without overlap.
     for w in lane.segments.windows(2) {
         assert!(w[0].to_ns <= w[1].from_ns);

@@ -13,7 +13,13 @@ fn loaded_system(blocks: usize, cpu_hz: u64) -> System {
         let name = format!("p{i}");
         b = b.block(
             &name,
-            BasicOp::Pid { kp: 1.0, ki: 0.1, kd: 0.01, lo: -1e9, hi: 1e9 },
+            BasicOp::Pid {
+                kp: 1.0,
+                ki: 0.1,
+                kd: 0.01,
+                lo: -1e9,
+                hi: 1e9,
+            },
         );
         b = b.connect(&prev, &format!("{name}.sp")).unwrap();
         prev = format!("{name}.u");
@@ -46,7 +52,10 @@ fn session(system: System) -> DebugSession {
             // not dominate (at 115200 baud the fully-instrumented frame
             // stream saturates the line and the measurement reflects UART
             // queueing — itself a realistic observation-channel artifact).
-            SimConfig { uart_baud: 10_000_000, ..SimConfig::default() },
+            SimConfig {
+                uart_baud: 10_000_000,
+                ..SimConfig::default()
+            },
         )
         .unwrap()
 }
@@ -87,7 +96,10 @@ fn deadline_misses_are_visible_in_simulator_events() {
     let system = loaded_system(60, 1_000_000);
     let image = compile_system(
         &system,
-        &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+        &CompileOptions {
+            instrument: InstrumentOptions::none(),
+            faults: vec![],
+        },
     )
     .unwrap();
     let mut sim = Simulator::new(image, SimConfig::default()).unwrap();
@@ -106,7 +118,10 @@ fn response_time_scales_with_clock() {
         let system = loaded_system(10, hz);
         let image = compile_system(
             &system,
-            &CompileOptions { instrument: InstrumentOptions::none(), faults: vec![] },
+            &CompileOptions {
+                instrument: InstrumentOptions::none(),
+                faults: vec![],
+            },
         )
         .unwrap();
         let mut sim = Simulator::new(image, SimConfig::default()).unwrap();
@@ -122,5 +137,9 @@ fn response_time_scales_with_clock() {
     };
     let slow = max_response(10_000_000);
     let fast = max_response(100_000_000);
-    assert_eq!(slow, fast * 10, "pure-compute response scales inversely with clock");
+    assert_eq!(
+        slow,
+        fast * 10,
+        "pure-compute response scales inversely with clock"
+    );
 }

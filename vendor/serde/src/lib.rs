@@ -1,0 +1,458 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real serde cannot
+//! be fetched. This shim keeps the public surface the repository actually
+//! uses — the `Serialize`/`Deserialize` traits and their derive macros —
+//! on top of a small self-describing [`Content`] tree that `serde_json`
+//! (the sibling shim) renders to and parses from JSON text.
+//!
+//! It is intentionally *not* the real serde data model: there are no
+//! `Serializer`/`Deserializer` visitors, no zero-copy borrowing, and no
+//! format independence beyond the `Content` tree. Round-tripping through
+//! the sibling `serde_json` shim is lossless for every type this
+//! repository serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// A self-describing serialized value — the interchange tree between the
+/// derive macros and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key/value map (keys serialize as strings).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in serialized map entries (string keys only).
+pub fn content_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a free-form message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// A "missing field" error.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from `content`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the tree shape does not match.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range"))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range"))),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if let Ok(v) = i64::try_from(*self) {
+            Content::I64(v)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::I64(v) => {
+                u64::try_from(*v).map_err(|_| DeError::custom(format!("{v} out of range")))
+            }
+            Content::U64(v) => Ok(*v),
+            other => Err(DeError::custom(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        if let Ok(v) = u64::try_from(*self) {
+            v.to_content()
+        } else {
+            Content::Str(self.to_string())
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => s.parse().map_err(|_| DeError::custom("bad u128")),
+            other => u64::from_content(other).map(u128::from),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let entries = c.as_map().ok_or_else(|| DeError::custom("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .as_str()
+                    .ok_or_else(|| DeError::custom("expected string key"))?
+                    .to_owned();
+                Ok((key, V::from_content(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k.clone()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let entries = c.as_map().ok_or_else(|| DeError::custom("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .as_str()
+                    .ok_or_else(|| DeError::custom("expected string key"))?
+                    .to_owned();
+                Ok((key, V::from_content(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::custom("expected tuple"))?;
+                Ok(($(
+                    $t::from_content(
+                        s.get($n).ok_or_else(|| DeError::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,538 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without `syn`/`quote`.
+//!
+//! The macro hand-parses the item token stream (structs and enums without
+//! generics — the only shapes this repository serializes) and emits the
+//! trait impls as formatted source text parsed back into a `TokenStream`.
+//! Supported `#[serde(...)]` field attributes: `skip`, `default`, and
+//! `skip_serializing_if = "path"` — the subset the repository uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String, // empty for tuple fields
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Extracts serde attributes from one `#[...]` group, if it is one.
+fn serde_attrs_of(group: &TokenTree, attrs: &mut FieldAttrs) {
+    let TokenTree::Group(g) = group else { return };
+    let mut it = g.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" | "skip_deserializing" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    "skip_serializing_if" => {
+                        // skip_serializing_if = "Path::to::fn"
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (toks.get(i + 1), toks.get(i + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_owned();
+                                attrs.skip_serializing_if = Some(path);
+                                i += 2;
+                            }
+                        }
+                    }
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(_) => {}
+            other => panic!("unsupported serde attribute token `{other}`"),
+        }
+        i += 1;
+    }
+}
+
+/// Consumes leading `#[...]` attributes, collecting serde ones.
+fn take_attrs(toks: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), g @ TokenTree::Group(_)) if p.as_char() == '#' => {
+                serde_attrs_of(g, &mut attrs);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, attrs)
+}
+
+/// Consumes an optional visibility modifier (`pub`, `pub(crate)`, …).
+fn take_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type expression: everything until a top-level `,` (or the end).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, attrs) = take_attrs(&toks, i);
+        let j = take_vis(&toks, j);
+        let Some(TokenTree::Ident(name)) = toks.get(j) else {
+            break;
+        };
+        let name = name.to_string();
+        // Expect `:` then the type.
+        let mut k = j + 1;
+        match toks.get(k) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => k += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        k = skip_type(&toks, k);
+        fields.push(Field { name, attrs });
+        // Skip the separating comma.
+        if let Some(TokenTree::Punct(p)) = toks.get(k) {
+            if p.as_char() == ',' {
+                k += 1;
+            }
+        }
+        i = k;
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, attrs) = take_attrs(&toks, i);
+        let j = take_vis(&toks, j);
+        if j >= toks.len() {
+            break;
+        }
+        let k = skip_type(&toks, j);
+        fields.push(Field {
+            name: String::new(),
+            attrs,
+        });
+        i = k;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _attrs) = take_attrs(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(j) else {
+            break;
+        };
+        let name = name.to_string();
+        let mut k = j + 1;
+        let shape = match toks.get(k) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                k += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                k += 1;
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr` (none in this repo) and
+        // the separating comma.
+        while k < toks.len() {
+            if let TokenTree::Punct(p) = &toks[k] {
+                if p.as_char() == ',' {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        variants.push(Variant { name, shape });
+        i = k;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = take_attrs(&toks, 0);
+    i = take_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the serde shim ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_named_ser(fields: &[Field], access: &str, out: &mut String) {
+    out.push_str("let mut __m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let push = format!(
+            "__m.push((::serde::Content::Str(\"{n}\".to_owned()), \
+             ::serde::Serialize::to_content({access}{n})));\n",
+            n = f.name,
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!(
+                "if !{pred}({access}{n}) {{ {push} }}\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&push);
+        }
+    }
+}
+
+fn gen_named_de(fields: &[Field], entries: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+            out.push_str(&format!(
+                "{n}: match ::serde::content_get({entries}, \"{n}\") {{\n\
+                     Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+                     None => ::std::default::Default::default(),\n\
+                 }},\n",
+                n = f.name,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_content(\
+                     ::serde::content_get({entries}, \"{n}\")\
+                     .ok_or_else(|| ::serde::DeError::missing(\"{n}\"))?,\
+                 )?,\n",
+                n = f.name,
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Map(Vec::new())".to_owned(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_content(&self.0)".to_owned()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut b = String::from("{\n");
+                    gen_named_ser(fields, "&self.", &mut b);
+                    b.push_str("::serde::Content::Map(__m)\n}");
+                    b
+                }
+            };
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_owned()),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(\"{vn}\".to_owned()), {inner})]),\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut body = String::new();
+                        gen_named_ser(fields, "", &mut body);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{body}\
+                                 ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(\"{vn}\".to_owned()), \
+                                 ::serde::Content::Map(__m))])\n}}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_content(\
+                                 __s.get({i}).ok_or_else(|| \
+                                 ::serde::DeError::custom(\"tuple struct too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __s = __c.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits = gen_named_de(fields, "__e");
+                    format!(
+                        "let __e = __c.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                         Ok({name} {{\n{inits}}})"
+                    )
+                }
+            };
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_content(__v)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let items: Vec<String> = (0..fields.len())
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_content(\
+                                     __s.get({i}).ok_or_else(|| \
+                                     ::serde::DeError::custom(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __s = __v.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected sequence\"))?;\n\
+                                 return Ok({name}::{vn}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits = gen_named_de(fields, "__f");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __f = __v.as_map().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected map\"))?;\n\
+                                 return Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         if let Some(__tag) = __c.as_str() {{\n\
+                             match __tag {{\n{unit_arms}\
+                                 _ => return Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{__tag}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         let __e = __c.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected variant map for {name}\"))?;\n\
+                         if let Some((__k, __v)) = __e.first() {{\n\
+                             if let Some(__tag) = __k.as_str() {{\n\
+                                 match __tag {{\n{tagged_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::custom(\"no matching variant of {name}\"))\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
