@@ -1,0 +1,108 @@
+//! Fleet scaling: the multi-session debug server vs sequential pumping.
+//!
+//! The "heavy traffic" workload the server opens up: N independent debug
+//! sessions advanced over the same target horizon. The table compares
+//! wall time for (a) one thread pumping the fleet session by session and
+//! (b) a 4-worker `DebugServer` slicing them round-robin — same traces,
+//! different wall clock. Criterion then times the server path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_bench::ring_system;
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_server::{DebugServer, ServerConfig};
+use gmdf_target::SimConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const HORIZON_NS: u64 = 10_000_000;
+
+fn fleet(n: usize) -> Vec<DebugSession> {
+    (0..n)
+        .map(|i| {
+            Workflow::from_system(ring_system(3 + i % 5, 0.001, 1_000_000))
+                .expect("valid system")
+                .default_abstraction()
+                .default_commands()
+                .connect(
+                    ChannelMode::Active,
+                    CompileOptions {
+                        instrument: InstrumentOptions::behavior(),
+                        faults: vec![],
+                    },
+                    SimConfig::default(),
+                )
+                .expect("session boots")
+        })
+        .collect()
+}
+
+fn pump_sequential(sessions: Vec<DebugSession>) -> usize {
+    let mut fed = 0;
+    for mut session in sessions {
+        fed += session.run_for(HORIZON_NS).expect("runs").events_fed;
+    }
+    fed
+}
+
+fn pump_server(sessions: Vec<DebugSession>, workers: usize) -> usize {
+    let server = DebugServer::start(ServerConfig {
+        workers,
+        slice_ns: 1_000_000,
+    });
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .map(|s| server.add_session(s))
+        .collect();
+    for handle in &handles {
+        handle.run_for(HORIZON_NS).expect("send");
+    }
+    let mut fed = 0;
+    for handle in &handles {
+        handle.wait_idle(Duration::from_secs(120)).expect("idle");
+        fed += handle
+            .stats(Duration::from_secs(120))
+            .expect("stats")
+            .events_fed as usize;
+    }
+    fed
+}
+
+fn report_fleet_table() {
+    eprintln!("[fleet_server] fleet of N sessions over a 10 ms horizon, wall time:");
+    eprintln!("  sessions  sequential_ms  server4_ms  events_fed");
+    for n in [8usize, 32] {
+        let t0 = Instant::now();
+        let fed_seq = pump_sequential(fleet(n));
+        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let fed_srv = pump_server(fleet(n), 4);
+        let srv_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(fed_seq, fed_srv, "scheduler must not change behaviour");
+        eprintln!("  {n:>8} {seq_ms:>14.2} {srv_ms:>11.2} {fed_seq:>11}");
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    report_fleet_table();
+    let mut group = c.benchmark_group("fleet_server");
+    // Sessions are consumed by a run, so each iteration must rebuild the
+    // fleet (the vendored criterion shim has no iter_batched to hoist
+    // setup). The `build_only` baseline makes the construction share of
+    // every other line explicit — subtract it to compare pump costs.
+    group.bench_with_input(BenchmarkId::from_parameter("build_only32"), &32, |b, &n| {
+        b.iter(|| black_box(fleet(n)).len());
+    });
+    for &n in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("server4", n), &n, |b, &n| {
+            b.iter(|| black_box(pump_server(fleet(n), 4)));
+        });
+    }
+    group.bench_with_input(BenchmarkId::from_parameter("sequential32"), &32, |b, &n| {
+        b.iter(|| black_box(pump_sequential(fleet(n))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -20,6 +20,7 @@ use gmdf_gdm::{
 };
 use gmdf_render::Scene;
 use std::collections::VecDeque;
+use std::sync::mpsc;
 
 /// Engine control state (the Fig. 3 machine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,24 @@ pub struct FeedOutcome {
     pub violations: usize,
 }
 
+/// A per-command notification delivered to engine subscribers.
+///
+/// Subscribers learn *that* something happened and where it sits in the
+/// trace; the full payload (event, reactions, violation messages) is read
+/// incrementally via [`ExecutionTrace::entries_since`] with `seq` as the
+/// cursor, so notices stay cheap to clone and send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineNotice {
+    /// Trace sequence number of the processed command.
+    pub seq: u64,
+    /// The command's model time.
+    pub time_ns: u64,
+    /// Expectation violations this command raised.
+    pub violations: usize,
+    /// `true` if this command hit a breakpoint.
+    pub hit_breakpoint: bool,
+}
+
 /// Aggregate engine statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -73,6 +92,7 @@ pub struct DebuggerEngine {
     queue: VecDeque<ModelEvent>,
     trace: ExecutionTrace,
     stats: EngineStats,
+    taps: Vec<mpsc::Sender<EngineNotice>>,
 }
 
 impl DebuggerEngine {
@@ -88,6 +108,7 @@ impl DebuggerEngine {
             queue: VecDeque::new(),
             trace: ExecutionTrace::new(),
             stats: EngineStats::default(),
+            taps: Vec::new(),
         }
     }
 
@@ -124,6 +145,22 @@ impl DebuggerEngine {
     /// Number of commands waiting while paused.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Subscribes to per-command notifications. Every *processed* command
+    /// (queued ones notify when stepped/resumed through) produces one
+    /// [`EngineNotice`] on the returned receiver. Disconnected
+    /// subscribers are pruned on the next notification; subscriptions
+    /// never block command processing.
+    pub fn subscribe(&mut self) -> mpsc::Receiver<EngineNotice> {
+        let (tx, rx) = mpsc::channel();
+        self.taps.push(tx);
+        rx
+    }
+
+    /// Number of live notification subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.taps.len()
     }
 
     /// Installs a model-level breakpoint.
@@ -220,7 +257,17 @@ impl DebuggerEngine {
         self.stats.events_processed += 1;
         self.stats.reactions_applied += reactions.len() as u64;
         let violations = violation_msgs.len();
-        self.trace.record(event, reactions, violation_msgs);
+        let time_ns = event.time_ns;
+        let seq = self.trace.record(event, reactions, violation_msgs);
+        if !self.taps.is_empty() {
+            let notice = EngineNotice {
+                seq,
+                time_ns,
+                violations,
+                hit_breakpoint: hit,
+            };
+            self.taps.retain(|tap| tap.send(notice).is_ok());
+        }
         FeedOutcome {
             processed: true,
             hit_breakpoint: hit,
@@ -469,6 +516,38 @@ mod tests {
         assert!(art.contains("Run"));
         let scene = e.frame();
         assert!(scene.find("A/fsm/Run").is_some());
+    }
+
+    #[test]
+    fn subscribers_see_processed_commands_only() {
+        let mut e = DebuggerEngine::new(sample_gdm());
+        let rx = e.subscribe();
+        e.add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), false);
+        e.feed(enter(1, "Run")); // processed, hits breakpoint
+        e.feed(enter(2, "Error")); // queued while paused — no notice yet
+        let n1 = rx.try_recv().unwrap();
+        assert_eq!(n1.seq, 0);
+        assert_eq!(n1.time_ns, 1);
+        assert!(n1.hit_breakpoint);
+        assert!(rx.try_recv().is_err());
+        // Stepping through the queued command notifies it.
+        e.step().unwrap();
+        let n2 = rx.try_recv().unwrap();
+        assert_eq!(n2.seq, 1);
+        assert!(!n2.hit_breakpoint); // steps don't honor breakpoints
+                                     // The notice cursor addresses the trace delta.
+        assert_eq!(e.trace().entries_since(n2.seq).len(), 1);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let mut e = DebuggerEngine::new(sample_gdm());
+        let rx = e.subscribe();
+        let _rx2 = e.subscribe();
+        assert_eq!(e.subscriber_count(), 2);
+        drop(rx);
+        e.feed(enter(1, "Run"));
+        assert_eq!(e.subscriber_count(), 1);
     }
 
     #[test]

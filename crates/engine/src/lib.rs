@@ -47,7 +47,7 @@ mod trace;
 
 pub use classify::{classify, compare_behavior, BugClass, Divergence};
 pub use engine::{
-    apply_reaction, Breakpoint, DebuggerEngine, EngineState, EngineStats, FeedOutcome,
+    apply_reaction, Breakpoint, DebuggerEngine, EngineNotice, EngineState, EngineStats, FeedOutcome,
 };
 pub use expect::{allowed_transitions, Expectation, ExpectationMonitor, Violation};
 pub use replay::{timing_diagram, Replayer};

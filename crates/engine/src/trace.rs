@@ -56,6 +56,15 @@ impl ExecutionTrace {
         &self.entries
     }
 
+    /// Entries recorded at or after sequence number `seq` — the
+    /// incremental delta a subscriber that has already seen `[0, seq)`
+    /// still has to consume. Sequence numbers are dense, so `seq` is
+    /// also the index of the first returned entry.
+    pub fn entries_since(&self, seq: u64) -> &[TraceEntry] {
+        let start = (seq as usize).min(self.entries.len());
+        &self.entries[start..]
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -145,5 +154,55 @@ mod tests {
         let t = ExecutionTrace::new();
         assert!(t.is_empty());
         assert_eq!(t.time_range(), None);
+    }
+
+    #[test]
+    fn window_on_empty_trace_is_empty() {
+        let t = ExecutionTrace::new();
+        assert_eq!(t.window(0, u64::MAX).count(), 0);
+        assert_eq!(t.window(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn window_ends_are_inclusive() {
+        let t = sample(); // entries at t = 100 and t = 250
+                          // Both boundary instants are inside the window.
+        assert_eq!(t.window(100, 250).count(), 2);
+        // A degenerate window [t, t] still sees the entry at t.
+        assert_eq!(t.window(100, 100).count(), 1);
+        assert_eq!(t.window(250, 250).count(), 1);
+        // One past either boundary excludes the entry.
+        assert_eq!(t.window(101, 249).count(), 0);
+        assert_eq!(t.window(0, 99).count(), 0);
+        assert_eq!(t.window(251, u64::MAX).count(), 0);
+        // An inverted window matches nothing.
+        assert_eq!(t.window(250, 100).count(), 0);
+    }
+
+    #[test]
+    fn time_range_boundaries() {
+        let t = sample();
+        // Range is (first entry, last entry), both inclusive instants.
+        assert_eq!(t.time_range(), Some((100, 250)));
+        // A single-entry trace has a degenerate range.
+        let mut one = ExecutionTrace::new();
+        one.record(
+            ModelEvent::new(42, EventKind::StateEnter, "A/fsm"),
+            vec![],
+            vec![],
+        );
+        assert_eq!(one.time_range(), Some((42, 42)));
+        assert_eq!(one.window(42, 42).count(), 1);
+    }
+
+    #[test]
+    fn entries_since_returns_the_delta() {
+        let t = sample();
+        assert_eq!(t.entries_since(0).len(), 2);
+        assert_eq!(t.entries_since(1).len(), 1);
+        assert_eq!(t.entries_since(1)[0].seq, 1);
+        assert_eq!(t.entries_since(2).len(), 0);
+        // Cursors past the end are tolerated (subscriber saw everything).
+        assert_eq!(t.entries_since(99).len(), 0);
     }
 }

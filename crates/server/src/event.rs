@@ -1,0 +1,105 @@
+//! The server's broadcast vocabulary: what subscribers see.
+
+use crate::server::SessionId;
+use gmdf::RunReport;
+use gmdf_engine::{EngineState, TraceEntry};
+
+/// One notification on a session's broadcast stream.
+///
+/// Events are emitted at scheduling-turn granularity (commands applied,
+/// at most one slice pumped, deltas published) and carry everything a
+/// viewer needs to stay current without polling: the incremental trace,
+/// raised violations, breakpoint hits, and lifecycle edges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// One scheduler slice finished on this session.
+    SliceCompleted {
+        /// The session that was pumped.
+        session: SessionId,
+        /// Target time after the slice.
+        now_ns: u64,
+        /// Feed outcome of the slice (events fed, violations, breaks).
+        report: RunReport,
+    },
+    /// New trace entries since the previous delta, in sequence order.
+    TraceDelta {
+        /// The recording session.
+        session: SessionId,
+        /// The freshly recorded entries (dense `seq`, no gaps).
+        entries: Vec<TraceEntry>,
+    },
+    /// An expectation violation was raised — a found bug.
+    Violation {
+        /// The violating session.
+        session: SessionId,
+        /// Trace sequence number of the violating command.
+        seq: u64,
+        /// Human-readable violation message.
+        message: String,
+    },
+    /// A model-level breakpoint paused the session's engine.
+    BreakpointHit {
+        /// The paused session.
+        session: SessionId,
+        /// Trace sequence number of the command that hit.
+        seq: u64,
+        /// Model time of that command.
+        time_ns: u64,
+    },
+    /// The session consumed its whole run budget and left the run queue.
+    Idle {
+        /// The now-idle session.
+        session: SessionId,
+        /// Target time at which it went idle.
+        now_ns: u64,
+    },
+    /// The session failed; it is parked and will accept no more pumping.
+    Error {
+        /// The failed session.
+        session: SessionId,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl EngineEvent {
+    /// The session this event concerns.
+    pub fn session(&self) -> SessionId {
+        match self {
+            EngineEvent::SliceCompleted { session, .. }
+            | EngineEvent::TraceDelta { session, .. }
+            | EngineEvent::Violation { session, .. }
+            | EngineEvent::BreakpointHit { session, .. }
+            | EngineEvent::Idle { session, .. }
+            | EngineEvent::Error { session, .. } => *session,
+        }
+    }
+}
+
+/// A consistent point-in-time view of one hosted session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The snapshotted session.
+    pub session: SessionId,
+    /// Target simulation time.
+    pub now_ns: u64,
+    /// Engine control state (waiting / paused at a breakpoint).
+    pub engine_state: EngineState,
+    /// Commands queued in the engine while paused.
+    pub pending: usize,
+    /// Entries recorded in the execution trace.
+    pub trace_len: usize,
+    /// The full trace, serialized (byte-stable across identical runs).
+    /// `None` for counter-only snapshots ([`SessionHandle::stats`]).
+    ///
+    /// [`SessionHandle::stats`]: crate::SessionHandle::stats
+    pub trace_json: Option<String>,
+    /// Total model events fed over the session's lifetime.
+    pub events_fed: u64,
+    /// Total expectation violations raised.
+    pub violations: u64,
+    /// Total breakpoint hits.
+    pub breakpoint_hits: u64,
+    /// Run budget not yet consumed, in nanoseconds.
+    pub remaining_ns: u64,
+}

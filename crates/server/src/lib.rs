@@ -1,0 +1,83 @@
+//! # gmdf-server — the multi-session debug server
+//!
+//! The paper's debugger is a long-lived tool plug-in: it serves an
+//! interactive UI while the target keeps running. This crate is the
+//! server layer of the reproduction — a [`DebugServer`] owns many
+//! [`gmdf::DebugSession`]s at once, shards them across a fixed pool of
+//! worker threads, and pumps each underlying simulator in **bounded time
+//! slices** under a round-robin run-queue scheduler, so one busy session
+//! can never starve its siblings.
+//!
+//! Each hosted session exposes two asynchronous surfaces through its
+//! [`SessionHandle`]:
+//!
+//! * a **command mailbox** — [`SessionCommand`]s (schedule a signal,
+//!   add/clear breakpoints, step, resume, run-for, snapshot) queue
+//!   without blocking and are applied in arrival order at the session's
+//!   next scheduling turn;
+//! * a **broadcast event stream** — every subscriber gets its own
+//!   unbounded receiver of [`EngineEvent`]s (slice reports, incremental
+//!   trace deltas, violations, breakpoint hits), drained at leisure
+//!   without ever blocking the pump.
+//!
+//! Determinism is the load-bearing invariant: a session pumped in server
+//! slices on a contended worker pool records a trace **byte-identical**
+//! to the same session run in one synchronous `run_for` — the scheduler
+//! decides only *when* a session advances, never *what* it observes.
+//! `crates/server/tests/determinism.rs` pins this down.
+//!
+//! ```
+//! use gmdf::{ChannelMode, Workflow};
+//! use gmdf_codegen::CompileOptions;
+//! use gmdf_comdes::{ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port,
+//!                   System, Timing, VAR_TIME_IN_STATE};
+//! use gmdf_server::{DebugServer, ServerConfig};
+//! use gmdf_target::SimConfig;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fsm = FsmBuilder::new()
+//!     .output(Port::boolean("lamp"))
+//!     .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+//!     .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+//!     .transition("Off", "On", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.002)))
+//!     .transition("On", "Off", Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.002)))
+//!     .build()?;
+//! let net = NetworkBuilder::new()
+//!     .output(Port::boolean("lamp"))
+//!     .state_machine("ctl", fsm)
+//!     .connect("ctl.lamp", "lamp")?
+//!     .build()?;
+//! let actor = ActorBuilder::new("Blinker", net)
+//!     .output("lamp", "lamp")
+//!     .timing(Timing::periodic(1_000_000, 0))
+//!     .build()?;
+//! let mut node = NodeSpec::new("ecu", 50_000_000);
+//! node.actors.push(actor);
+//! let session = Workflow::from_system(System::new("blink").with_node(node))?
+//!     .default_abstraction()
+//!     .default_commands()
+//!     .connect(ChannelMode::Active, CompileOptions::default(), SimConfig::default())?;
+//!
+//! let server = DebugServer::start(ServerConfig::default());
+//! let handle = server.add_session(session);
+//! let events = handle.subscribe();
+//! handle.run_for(10_000_000)?;                       // 10 ms of target time
+//! handle.wait_idle(Duration::from_secs(10))?;
+//! let snap = handle.snapshot(Duration::from_secs(10))?;
+//! assert!(snap.trace_len > 0);
+//! assert!(events.try_iter().count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod server;
+
+pub use event::{EngineEvent, SessionSnapshot};
+pub use server::{
+    DebugServer, ServerConfig, ServerError, SessionCommand, SessionHandle, SessionId,
+};

@@ -1,0 +1,784 @@
+//! The debug server: session registry, shards, and the run-queue
+//! scheduler.
+//!
+//! ## Architecture
+//!
+//! Sessions are **sharded**: each session is pinned to one worker thread
+//! (`shard = id % workers`), so a given simulator is only ever pumped by
+//! a single thread and needs no internal synchronization. Within a
+//! shard, a FIFO run queue with re-enqueue implements round-robin: one
+//! scheduling *turn* drains the session's command mailbox, pumps at most
+//! one bounded time slice, publishes deltas to subscribers, and — if run
+//! budget remains — puts the session back at the tail of the queue.
+//!
+//! The `queued` flag on each session cell keeps the queue duplicate-free
+//! without a scan: whoever flips it `false → true` (a command sender or
+//! the worker re-enqueueing) owns the push. The worker clears the flag
+//! *before* draining the mailbox, so a command arriving mid-turn always
+//! re-queues the session rather than being stranded.
+//!
+//! Lock order is `inner → mailbox` (the worker and `wait_idle` both
+//! follow it; command senders touch only the mailbox), so the server
+//! cannot deadlock on its own locks.
+
+use crate::event::{EngineEvent, SessionSnapshot};
+use gmdf::DebugSession;
+use gmdf_comdes::SignalValue;
+use gmdf_engine::{EngineNotice, TraceEntry};
+use gmdf_gdm::CommandMatcher;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifies one hosted session for the lifetime of its server.
+pub type SessionId = u64;
+
+/// How long a worker sleeps between run-queue polls when idle, and the
+/// re-check period of blocking waiters — a lost-wakeup backstop, not the
+/// scheduling granularity (queue pushes notify immediately).
+const POLL: Duration = Duration::from_millis(20);
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// a worker panic fails one session (see [`worker_loop`]), it must not
+/// poison the whole server.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads in the pump pool (minimum 1).
+    pub workers: usize,
+    /// Default per-turn time-slice budget, in target nanoseconds.
+    pub slice_ns: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            slice_ns: 1_000_000,
+        }
+    }
+}
+
+/// A command posted to a session's mailbox.
+///
+/// Commands are applied in arrival order at the session's next
+/// scheduling turn. Posting never blocks; a failed session still
+/// services `Snapshot` but ignores run budget.
+#[derive(Debug, Clone)]
+pub enum SessionCommand {
+    /// Schedule an environment stimulus on the target. An unknown label
+    /// fails the session (it indicates a wiring bug in the client).
+    ScheduleSignal {
+        /// Absolute target time of the write.
+        time_ns: u64,
+        /// Board label to write.
+        label: String,
+        /// Value to write.
+        value: SignalValue,
+    },
+    /// Install a model-level breakpoint on the engine.
+    AddBreakpoint {
+        /// Events that trigger the pause.
+        matcher: CommandMatcher,
+        /// Remove after the first hit.
+        one_shot: bool,
+    },
+    /// Remove all breakpoints.
+    ClearBreakpoints,
+    /// While paused: process exactly one queued engine command.
+    Step,
+    /// Resume the engine, draining queued commands until empty or the
+    /// next breakpoint.
+    Resume,
+    /// Add run budget: pump the target `duration_ns` further (sliced by
+    /// the scheduler).
+    RunFor {
+        /// Additional target time to run, in nanoseconds.
+        duration_ns: u64,
+    },
+    /// Reply with a consistent snapshot of the session.
+    Snapshot {
+        /// Where to deliver the snapshot.
+        reply: mpsc::Sender<SessionSnapshot>,
+        /// Also serialize the full trace (O(trace length); leave off
+        /// for cheap counter polls).
+        include_trace: bool,
+    },
+}
+
+/// Server-side failure surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The server has shut down; the operation cannot complete.
+    Shutdown,
+    /// A blocking wait exceeded its deadline.
+    Timeout,
+    /// The session failed (simulator fault, bad stimulus…); the message
+    /// is the underlying error.
+    SessionFailed(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Shutdown => write!(f, "debug server has shut down"),
+            ServerError::Timeout => write!(f, "timed out waiting on the debug server"),
+            ServerError::SessionFailed(m) => write!(f, "session failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Mutable per-session state, owned by whichever thread holds the lock.
+#[derive(Debug)]
+struct SessionInner {
+    session: DebugSession,
+    /// Engine-level notification hook (violations, breakpoint hits).
+    notices: mpsc::Receiver<EngineNotice>,
+    /// Run budget not yet consumed.
+    remaining_ns: u64,
+    /// Per-turn slice budget.
+    slice_ns: u64,
+    /// First trace sequence number subscribers have not seen yet.
+    trace_cursor: u64,
+    subscribers: Vec<mpsc::Sender<EngineEvent>>,
+    events_fed: u64,
+    violations: u64,
+    breakpoint_hits: u64,
+    failed: Option<String>,
+}
+
+/// One hosted session: state + mailbox + scheduling flags.
+#[derive(Debug)]
+struct SessionCell {
+    id: SessionId,
+    shard: usize,
+    inner: Mutex<SessionInner>,
+    /// Paired with `inner`; notified whenever a turn leaves the session
+    /// quiescent.
+    idle_cv: Condvar,
+    mailbox: Mutex<VecDeque<SessionCommand>>,
+    /// `true` while the session sits in (or is being pushed onto) its
+    /// shard's run queue.
+    queued: AtomicBool,
+}
+
+/// One worker's run queue.
+#[derive(Debug)]
+struct Shard {
+    queue: Mutex<VecDeque<Arc<SessionCell>>>,
+    cv: Condvar,
+}
+
+/// State shared between the server front and its workers.
+#[derive(Debug)]
+struct Shared {
+    shards: Vec<Shard>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    default_slice_ns: u64,
+}
+
+impl Shared {
+    /// Puts `cell` on its shard's run queue unless it is already there.
+    /// Returns `false` if the server is (or just became) shut down, in
+    /// which case the cell may never be scheduled again.
+    fn enqueue(&self, cell: &Arc<SessionCell>) -> bool {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        if !cell.queued.swap(true, Ordering::SeqCst) {
+            let shard = &self.shards[cell.shard];
+            lock(&shard.queue).push_back(Arc::clone(cell));
+            shard.cv.notify_one();
+        }
+        // Shutdown may have raced the push; workers exit without
+        // draining their queues, so report it rather than claiming the
+        // command will run.
+        !self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A multi-session debug server over a fixed worker-thread pool.
+///
+/// Dropping the server shuts it down: workers are signalled, finish at
+/// most one bounded slice each, and are joined. Hosted sessions are
+/// dropped with it; outstanding [`SessionHandle`]s turn into
+/// [`ServerError::Shutdown`] errors instead of hanging.
+#[derive(Debug)]
+pub struct DebugServer {
+    shared: Arc<Shared>,
+    sessions: Mutex<Vec<Arc<SessionCell>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DebugServer {
+    /// Boots the worker pool and returns the (initially empty) server.
+    pub fn start(config: ServerConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            shards: (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            default_slice_ns: config.slice_ns.max(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gmdf-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        DebugServer {
+            shared,
+            sessions: Mutex::new(Vec::new()),
+            workers: handles,
+        }
+    }
+
+    /// Takes ownership of `session` and registers it with the scheduler
+    /// (idle until its first command). The session is pinned to the
+    /// shard `id % workers`.
+    pub fn add_session(&self, mut session: DebugSession) -> SessionHandle {
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        let shard = (id as usize) % self.shared.shards.len();
+        let notices = session.engine_mut().subscribe();
+        let cell = Arc::new(SessionCell {
+            id,
+            shard,
+            inner: Mutex::new(SessionInner {
+                session,
+                notices,
+                remaining_ns: 0,
+                slice_ns: self.shared.default_slice_ns,
+                trace_cursor: 0,
+                subscribers: Vec::new(),
+                events_fed: 0,
+                violations: 0,
+                breakpoint_hits: 0,
+                failed: None,
+            }),
+            idle_cv: Condvar::new(),
+            mailbox: Mutex::new(VecDeque::new()),
+            queued: AtomicBool::new(false),
+        });
+        lock(&self.sessions).push(Arc::clone(&cell));
+        SessionHandle {
+            cell,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of hosted sessions.
+    pub fn session_count(&self) -> usize {
+        lock(&self.sessions).len()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Stops the scheduler: signals every worker, joins the pool, and
+    /// releases all sessions. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            // Take the queue lock so a worker between its shutdown check
+            // and its cv wait cannot miss the notification.
+            let _guard = lock(&shard.queue);
+            shard.cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Wake blocking waiters (wait_idle) so they observe the
+        // shutdown instead of sleeping out their timeout.
+        for cell in lock(&self.sessions).iter() {
+            cell.idle_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for DebugServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A client's handle to one hosted session. Cloneable; all clones
+/// address the same session.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    cell: Arc<SessionCell>,
+    shared: Arc<Shared>,
+}
+
+impl SessionHandle {
+    /// The session's server-assigned id.
+    pub fn id(&self) -> SessionId {
+        self.cell.id
+    }
+
+    /// Posts a command to the session's mailbox and wakes its shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn send(&self, command: SessionCommand) -> Result<(), ServerError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::Shutdown);
+        }
+        lock(&self.cell.mailbox).push_back(command);
+        if self.shared.enqueue(&self.cell) {
+            Ok(())
+        } else {
+            Err(ServerError::Shutdown)
+        }
+    }
+
+    /// Subscribes to the session's broadcast stream from this point on.
+    /// The returned receiver is unbounded and never back-pressures the
+    /// pump; drop it to unsubscribe.
+    pub fn subscribe(&self) -> mpsc::Receiver<EngineEvent> {
+        let (tx, rx) = mpsc::channel();
+        lock(&self.cell.inner).subscribers.push(tx);
+        rx
+    }
+
+    /// Convenience: [`SessionCommand::RunFor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn run_for(&self, duration_ns: u64) -> Result<(), ServerError> {
+        self.send(SessionCommand::RunFor { duration_ns })
+    }
+
+    /// Convenience: [`SessionCommand::ScheduleSignal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn schedule_signal(
+        &self,
+        time_ns: u64,
+        label: &str,
+        value: SignalValue,
+    ) -> Result<(), ServerError> {
+        self.send(SessionCommand::ScheduleSignal {
+            time_ns,
+            label: label.to_owned(),
+            value,
+        })
+    }
+
+    /// Convenience: [`SessionCommand::AddBreakpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn add_breakpoint(
+        &self,
+        matcher: CommandMatcher,
+        one_shot: bool,
+    ) -> Result<(), ServerError> {
+        self.send(SessionCommand::AddBreakpoint { matcher, one_shot })
+    }
+
+    /// Convenience: [`SessionCommand::ClearBreakpoints`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn clear_breakpoints(&self) -> Result<(), ServerError> {
+        self.send(SessionCommand::ClearBreakpoints)
+    }
+
+    /// Convenience: [`SessionCommand::Step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn step(&self) -> Result<(), ServerError> {
+        self.send(SessionCommand::Step)
+    }
+
+    /// Convenience: [`SessionCommand::Resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Shutdown`] after the server stopped.
+    pub fn resume(&self) -> Result<(), ServerError> {
+        self.send(SessionCommand::Resume)
+    }
+
+    /// Round-trips a [`SessionCommand::Snapshot`] through the mailbox —
+    /// the snapshot is therefore ordered after every command posted
+    /// before it — including the serialized trace (O(trace length)).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Shutdown`] if the server stops first,
+    /// [`ServerError::Timeout`] if `timeout` elapses.
+    pub fn snapshot(&self, timeout: Duration) -> Result<SessionSnapshot, ServerError> {
+        self.snapshot_inner(timeout, true)
+    }
+
+    /// Like [`SessionHandle::snapshot`] but without serializing the
+    /// trace (`trace_json` is `None`) — O(1), for counter polling.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Shutdown`] if the server stops first,
+    /// [`ServerError::Timeout`] if `timeout` elapses.
+    pub fn stats(&self, timeout: Duration) -> Result<SessionSnapshot, ServerError> {
+        self.snapshot_inner(timeout, false)
+    }
+
+    fn snapshot_inner(
+        &self,
+        timeout: Duration,
+        include_trace: bool,
+    ) -> Result<SessionSnapshot, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::Snapshot {
+            reply: tx,
+            include_trace,
+        })?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match rx.recv_timeout(POLL) {
+                Ok(snapshot) => return Ok(snapshot),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // The reply sender was dropped undelivered. Usually
+                    // that means shutdown — but a panicked turn unwinds
+                    // the drained command too; report the session
+                    // failure, not a bogus server death.
+                    if let Some(msg) = &lock(&self.cell.inner).failed {
+                        return Err(ServerError::SessionFailed(msg.clone()));
+                    }
+                    return Err(ServerError::Shutdown);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return Err(ServerError::Shutdown);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ServerError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until the session is quiescent: no run budget left, empty
+    /// mailbox, and not on its shard's run queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::SessionFailed`] if the session failed,
+    /// [`ServerError::Shutdown`] if the server stops first,
+    /// [`ServerError::Timeout`] if `timeout` elapses.
+    pub fn wait_idle(&self, timeout: Duration) -> Result<(), ServerError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock(&self.cell.inner);
+        loop {
+            if let Some(msg) = &inner.failed {
+                return Err(ServerError::SessionFailed(msg.clone()));
+            }
+            let busy = inner.remaining_ns > 0
+                || self.cell.queued.load(Ordering::SeqCst)
+                || !lock(&self.cell.mailbox).is_empty();
+            if !busy {
+                return Ok(());
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ServerError::Shutdown);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServerError::Timeout);
+            }
+            inner = self
+                .cell
+                .idle_cv
+                .wait_timeout(inner, POLL)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// One worker: pops sessions off its shard queue and gives each a turn.
+fn worker_loop(shared: &Shared, shard_idx: usize) {
+    let shard = &shared.shards[shard_idx];
+    loop {
+        let cell = {
+            let mut queue = lock(&shard.queue);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(cell) = queue.pop_front() {
+                    break cell;
+                }
+                queue = shard
+                    .cv
+                    .wait_timeout(queue, POLL)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        };
+        // Clear the flag *before* draining the mailbox: a command posted
+        // after the drain re-queues the session instead of stranding.
+        cell.queued.store(false, Ordering::SeqCst);
+        // A panic inside one session's turn (decode bug, VM fault path,
+        // user-visible assert) must not take the shard's worker down
+        // with every sibling pinned to it: catch it, park the session
+        // as failed, and keep serving the queue.
+        let turn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_turn(shared, &cell);
+        }));
+        if turn.is_err() {
+            let mut inner = lock(&cell.inner);
+            fail(
+                &mut inner,
+                cell.id,
+                "worker panicked during this session's turn",
+            );
+            drop(inner);
+            cell.idle_cv.notify_all();
+        }
+    }
+}
+
+/// One scheduling turn: apply mailed commands, pump at most one slice,
+/// publish deltas, and reschedule or park.
+fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
+    let mut inner = lock(&cell.inner);
+    // Drain the mailbox only while holding `inner` (lock order
+    // inner → mailbox): `wait_idle` checks "mailbox empty" under the
+    // same `inner` lock, so it can never observe the in-between state
+    // where commands have left the mailbox but are not yet applied.
+    let commands: Vec<SessionCommand> = {
+        let mut mailbox = lock(&cell.mailbox);
+        mailbox.drain(..).collect()
+    };
+    for command in commands {
+        apply_command(&mut inner, cell.id, command);
+    }
+    let mut pumped = false;
+    if inner.failed.is_none() && inner.remaining_ns > 0 {
+        let dt = inner.slice_ns.min(inner.remaining_ns);
+        match inner.session.run_slice(dt) {
+            Ok(report) => {
+                inner.remaining_ns -= dt;
+                inner.events_fed += report.events_fed as u64;
+                let now_ns = inner.session.now_ns();
+                broadcast(
+                    &mut inner,
+                    EngineEvent::SliceCompleted {
+                        session: cell.id,
+                        now_ns,
+                        report,
+                    },
+                );
+                pumped = true;
+            }
+            Err(e) => fail(&mut inner, cell.id, &e.to_string()),
+        }
+    }
+    publish_deltas(&mut inner, cell.id);
+    let idle_now = inner.remaining_ns == 0 || inner.failed.is_some();
+    if pumped && idle_now {
+        let now_ns = inner.session.now_ns();
+        broadcast(
+            &mut inner,
+            EngineEvent::Idle {
+                session: cell.id,
+                now_ns,
+            },
+        );
+    }
+    drop(inner);
+    let more_mail = !lock(&cell.mailbox).is_empty();
+    if !idle_now || more_mail {
+        let _ = shared.enqueue(cell); // on shutdown the turn just ends
+    }
+    if idle_now {
+        cell.idle_cv.notify_all();
+    }
+}
+
+/// Applies one mailed command to the session.
+fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionCommand) {
+    match command {
+        SessionCommand::ScheduleSignal {
+            time_ns,
+            label,
+            value,
+        } => {
+            if let Err(e) = inner.session.schedule_signal(time_ns, &label, value) {
+                fail(inner, id, &e.to_string());
+            }
+        }
+        SessionCommand::AddBreakpoint { matcher, one_shot } => {
+            inner.session.engine_mut().add_breakpoint(matcher, one_shot);
+        }
+        SessionCommand::ClearBreakpoints => inner.session.engine_mut().clear_breakpoints(),
+        SessionCommand::Step => {
+            inner.session.engine_mut().step();
+        }
+        SessionCommand::Resume => {
+            inner.session.engine_mut().resume();
+        }
+        SessionCommand::RunFor { duration_ns } => {
+            inner.remaining_ns = inner.remaining_ns.saturating_add(duration_ns);
+        }
+        SessionCommand::Snapshot {
+            reply,
+            include_trace,
+        } => {
+            let snapshot = snapshot_of(inner, id, include_trace);
+            let _ = reply.send(snapshot); // client may have given up
+        }
+    }
+}
+
+/// Builds a consistent snapshot under the state lock.
+fn snapshot_of(inner: &SessionInner, id: SessionId, include_trace: bool) -> SessionSnapshot {
+    let engine = inner.session.engine();
+    SessionSnapshot {
+        session: id,
+        now_ns: inner.session.now_ns(),
+        engine_state: engine.state(),
+        pending: engine.pending(),
+        trace_len: engine.trace().len(),
+        trace_json: include_trace.then(|| engine.trace().to_json()),
+        events_fed: inner.events_fed,
+        violations: inner.violations,
+        breakpoint_hits: inner.breakpoint_hits,
+        remaining_ns: inner.remaining_ns,
+    }
+}
+
+/// Parks the session as failed and tells subscribers.
+fn fail(inner: &mut SessionInner, id: SessionId, message: &str) {
+    inner.failed = Some(message.to_owned());
+    inner.remaining_ns = 0;
+    broadcast(
+        &mut *inner,
+        EngineEvent::Error {
+            session: id,
+            message: message.to_owned(),
+        },
+    );
+}
+
+/// Publishes everything recorded since the last turn: engine notices
+/// (breakpoint hits), violation messages, and the trace delta. The
+/// session's counters and cursor always advance; the owned event
+/// payloads (entry clones, message strings) are only built when someone
+/// is subscribed.
+fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
+    let has_subscribers = !inner.subscribers.is_empty();
+    let mut events = Vec::new();
+    while let Ok(notice) = inner.notices.try_recv() {
+        if notice.hit_breakpoint {
+            inner.breakpoint_hits += 1;
+            if has_subscribers {
+                events.push(EngineEvent::BreakpointHit {
+                    session: id,
+                    seq: notice.seq,
+                    time_ns: notice.time_ns,
+                });
+            }
+        }
+    }
+    let cursor = inner.trace_cursor;
+    let mut next_cursor = cursor;
+    let mut new_violations = 0u64;
+    let mut delta: Vec<TraceEntry> = Vec::new();
+    {
+        let entries = inner.session.engine().trace().entries_since(cursor);
+        if let Some(last) = entries.last() {
+            next_cursor = last.seq + 1;
+        }
+        for entry in entries {
+            new_violations += entry.violations.len() as u64;
+            if has_subscribers {
+                for message in &entry.violations {
+                    events.push(EngineEvent::Violation {
+                        session: id,
+                        seq: entry.seq,
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+        if has_subscribers && !entries.is_empty() {
+            delta = entries.to_vec();
+        }
+    }
+    inner.trace_cursor = next_cursor;
+    inner.violations += new_violations;
+    if !delta.is_empty() {
+        events.push(EngineEvent::TraceDelta {
+            session: id,
+            entries: delta,
+        });
+    }
+    for event in events {
+        broadcast(inner, event);
+    }
+}
+
+/// Delivers `event` to every live subscriber, pruning dead ones. The
+/// last recipient gets the event by move, so the common single-
+/// subscriber case never deep-clones a `TraceDelta` payload.
+fn broadcast(inner: &mut SessionInner, event: EngineEvent) {
+    let subscribers = &mut inner.subscribers;
+    match subscribers.len() {
+        0 => {}
+        1 => {
+            if subscribers[0].send(event).is_err() {
+                subscribers.clear();
+            }
+        }
+        n => {
+            let mut alive = vec![true; n];
+            let mut any_dead = false;
+            for (i, subscriber) in subscribers.iter().enumerate().take(n - 1) {
+                if subscriber.send(event.clone()).is_err() {
+                    alive[i] = false;
+                    any_dead = true;
+                }
+            }
+            if subscribers[n - 1].send(event).is_err() {
+                alive[n - 1] = false;
+                any_dead = true;
+            }
+            if any_dead {
+                let mut keep = alive.into_iter();
+                subscribers.retain(|_| keep.next().expect("length match"));
+            }
+        }
+    }
+}

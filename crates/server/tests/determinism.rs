@@ -1,0 +1,128 @@
+//! The determinism contract: the scheduler decides *when* a session
+//! advances, never *what* it observes. The same system pumped
+//! (a) in one big synchronous `run_for`, (b) in many small server
+//! slices, and (c) on a contended multi-worker server among noisy
+//! sibling sessions must record **byte-identical**
+//! `ExecutionTrace::to_json` output.
+
+mod common;
+
+use common::{active_session, blinker_system, ring_system};
+use gmdf_server::{DebugServer, EngineEvent, ServerConfig};
+use std::time::Duration;
+
+/// Target horizon every variant runs to (20 ms).
+const HORIZON_NS: u64 = 20_000_000;
+/// Generous wall-clock allowance for scheduler completion.
+const WAIT: Duration = Duration::from_secs(60);
+
+/// Variant (a): the synchronous ground truth.
+fn one_shot_trace() -> String {
+    let mut session = active_session(blinker_system("det", 0.002, 1_000_000));
+    session.run_for(HORIZON_NS).unwrap();
+    session.engine().trace().to_json()
+}
+
+#[test]
+fn sliced_server_run_matches_one_big_run_for() {
+    let reference = one_shot_trace();
+    // Variant (b): a single worker pumping deliberately small slices —
+    // 80 scheduling turns for the same horizon, with UART frames
+    // regularly straddling slice boundaries.
+    let server = DebugServer::start(ServerConfig {
+        workers: 1,
+        slice_ns: 250_000,
+    });
+    let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
+    handle.run_for(HORIZON_NS).unwrap();
+    handle.wait_idle(WAIT).unwrap();
+    let snapshot = handle.snapshot(WAIT).unwrap();
+    assert_eq!(snapshot.now_ns, HORIZON_NS);
+    assert_eq!(snapshot.trace_json.as_deref(), Some(reference.as_str()));
+}
+
+#[test]
+fn contended_multi_worker_run_matches_one_big_run_for() {
+    let reference = one_shot_trace();
+    // Variant (c): 4 workers, the probe session among 16 noisy siblings
+    // generating heavy event traffic on every shard.
+    let server = DebugServer::start(ServerConfig {
+        workers: 4,
+        slice_ns: 500_000,
+    });
+    let probe = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
+    let siblings: Vec<_> = (0..16)
+        .map(|i| {
+            let system = ring_system(
+                &format!("noise{i}"),
+                3 + i % 5,
+                0.001 + 0.0005 * (i % 4) as f64,
+                500_000 + 100_000 * (i % 3) as u64,
+            );
+            server.add_session(active_session(system))
+        })
+        .collect();
+    assert_eq!(server.session_count(), 17);
+    assert_eq!(server.worker_count(), 4);
+    // Kick everything off before waiting on anyone, so the probe shares
+    // its worker pool with live traffic the whole way.
+    for sibling in &siblings {
+        sibling.run_for(HORIZON_NS).unwrap();
+    }
+    probe.run_for(HORIZON_NS).unwrap();
+    probe.wait_idle(WAIT).unwrap();
+    for sibling in &siblings {
+        sibling.wait_idle(WAIT).unwrap();
+    }
+    let snapshot = probe.snapshot(WAIT).unwrap();
+    assert_eq!(snapshot.trace_json.as_deref(), Some(reference.as_str()));
+    // The siblings really did produce traffic (contention was real).
+    for sibling in &siblings {
+        let s = sibling.stats(WAIT).unwrap();
+        assert!(s.trace_len > 0, "sibling {} recorded nothing", s.session);
+        assert_eq!(s.now_ns, HORIZON_NS);
+    }
+}
+
+#[test]
+fn broadcast_trace_deltas_reassemble_the_exact_trace() {
+    let reference = one_shot_trace();
+    let server = DebugServer::start(ServerConfig {
+        workers: 2,
+        slice_ns: 333_333, // not a divisor of anything interesting
+    });
+    let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
+    let events = handle.subscribe();
+    handle.run_for(HORIZON_NS).unwrap();
+    handle.wait_idle(WAIT).unwrap();
+    // Reassemble the trace purely from broadcast deltas.
+    let mut entries = Vec::new();
+    for event in events.try_iter() {
+        if let EngineEvent::TraceDelta { entries: delta, .. } = event {
+            entries.extend(delta);
+        }
+    }
+    // Dense, gap-free sequence numbers: nothing dropped, nothing
+    // duplicated, nothing reordered.
+    for (i, entry) in entries.iter().enumerate() {
+        assert_eq!(entry.seq, i as u64);
+    }
+    let snapshot = handle.snapshot(WAIT).unwrap();
+    assert_eq!(snapshot.trace_len, entries.len());
+    assert_eq!(snapshot.trace_json.as_deref(), Some(reference.as_str()));
+}
+
+#[test]
+fn two_identical_server_runs_are_byte_identical() {
+    let run = || {
+        let server = DebugServer::start(ServerConfig {
+            workers: 3,
+            slice_ns: 777_777,
+        });
+        let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
+        handle.run_for(HORIZON_NS).unwrap();
+        handle.wait_idle(WAIT).unwrap();
+        handle.snapshot(WAIT).unwrap().trace_json.unwrap()
+    };
+    assert_eq!(run(), run());
+}

@@ -426,6 +426,25 @@ impl Simulator {
         Ok(())
     }
 
+    /// Advances the platform by one bounded time slice and returns the
+    /// new simulation time — the resumable pumping primitive a scheduler
+    /// uses to interleave many simulators on shared worker threads.
+    ///
+    /// Slicing is exact: any partition of a horizon into slices produces
+    /// the same platform state, event log and UART stream as one
+    /// [`Simulator::run_until`] over the whole horizon (running jobs stay
+    /// anchored to the instant they gained the CPU, so completion times
+    /// never depend on slice boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Vm`] if generated code faults.
+    pub fn run_for_slice(&mut self, slice_ns: u64) -> Result<u64, SimError> {
+        let t_end = self.now_ns.saturating_add(slice_ns);
+        self.run_until(t_end)?;
+        Ok(self.now_ns)
+    }
+
     // -- internals ---------------------------------------------------------
 
     pub(crate) fn node_index(&self, node: &str) -> Result<usize, SimError> {

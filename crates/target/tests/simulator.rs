@@ -194,6 +194,25 @@ fn incremental_runs_match_one_big_run() {
 }
 
 #[test]
+fn slice_pumping_matches_one_big_run() {
+    let system = ring_system(4, 0.002, 1_000_000);
+    let mut a = boot(&system, InstrumentOptions::behavior(), SimConfig::default());
+    a.run_until(25_000_000).unwrap();
+    // Pump in deliberately ragged slices (prime-ish sizes, not divisors
+    // of any period) up to the same horizon.
+    let mut b = boot(&system, InstrumentOptions::behavior(), SimConfig::default());
+    let mut k = 0usize;
+    while b.now_ns() < 25_000_000 {
+        let slice = [13_337, 991, 742_101, 1_000_003][k % 4].min(25_000_000 - b.now_ns());
+        let now = b.run_for_slice(slice).unwrap();
+        assert_eq!(now, b.now_ns());
+        k += 1;
+    }
+    assert_eq!(format!("{:?}", a.events()), format!("{:?}", b.events()));
+    assert_eq!(a.uart_take("ecu").unwrap(), b.uart_take("ecu").unwrap());
+}
+
+#[test]
 fn latched_outputs_publish_exactly_at_deadlines() {
     let system = ring_system(4, 0.002, 1_000_000);
     let mut sim = boot(&system, InstrumentOptions::none(), SimConfig::default());

@@ -1,0 +1,137 @@
+//! Debug server: hosting a fleet of live sessions behind a scheduler.
+//!
+//! Run with `cargo run --example debug_server`.
+//!
+//! Boots a 4-worker `DebugServer`, adds eight blinker sessions with
+//! different dwell times, sets a breakpoint on one of them, pumps the
+//! whole fleet concurrently, and prints what each session's broadcast
+//! stream and final snapshot report — the resident-service shape of the
+//! paper's tool plug-in (one engine per client, all animated at once).
+
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_gdm::{CommandMatcher, EventKind};
+use gmdf_server::{DebugServer, EngineEvent, ServerConfig};
+use gmdf_target::SimConfig;
+use std::time::Duration;
+
+fn blinker(name: &str, dwell_s: f64) -> Result<System, gmdf_comdes::ComdesError> {
+    let fsm = FsmBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+        .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+        .transition(
+            "Off",
+            "On",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell_s)),
+        )
+        .transition(
+            "On",
+            "Off",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell_s)),
+        )
+        .build()?;
+    let net = NetworkBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state_machine("ctl", fsm)
+        .connect("ctl.lamp", "lamp")?
+        .build()?;
+    let actor = ActorBuilder::new("Blinker", net)
+        .output("lamp", "lamp")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()?;
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new(name).with_node(node))
+}
+
+fn session(system: System) -> Result<DebugSession, Box<dyn std::error::Error>> {
+    Ok(Workflow::from_system(system)?
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wait = Duration::from_secs(30);
+    let server = DebugServer::start(ServerConfig {
+        workers: 4,
+        slice_ns: 1_000_000, // 1 ms scheduling slices
+    });
+    println!(
+        "debug server up: {} workers, {} ns slices",
+        server.worker_count(),
+        1_000_000
+    );
+
+    // Eight clients with different blink rates share the pool.
+    let mut handles = Vec::new();
+    let mut streams = Vec::new();
+    for i in 0..8u32 {
+        let dwell = 0.002 + 0.001 * f64::from(i % 4);
+        let handle = server.add_session(session(blinker(&format!("blink{i}"), dwell)?)?);
+        streams.push(handle.subscribe());
+        handles.push(handle);
+    }
+
+    // Session 0 additionally pauses at its first state entry.
+    handles[0].add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)?;
+
+    // Pump the whole fleet for 30 ms of target time, concurrently.
+    for handle in &handles {
+        handle.run_for(30_000_000)?;
+    }
+    for handle in &handles {
+        handle.wait_idle(wait)?;
+    }
+
+    println!("\n  id  now_ms  trace  events  breaks  stream(slices/deltas)");
+    for (handle, stream) in handles.iter().zip(&streams) {
+        let snap = handle.stats(wait)?;
+        let (mut slices, mut deltas) = (0usize, 0usize);
+        for event in stream.try_iter() {
+            match event {
+                EngineEvent::SliceCompleted { .. } => slices += 1,
+                EngineEvent::TraceDelta { .. } => deltas += 1,
+                _ => {}
+            }
+        }
+        println!(
+            "  {:>2} {:>7.1} {:>6} {:>7} {:>7}  {:>6}/{}",
+            snap.session,
+            snap.now_ns as f64 / 1e6,
+            snap.trace_len,
+            snap.events_fed,
+            snap.breakpoint_hits,
+            slices,
+            deltas,
+        );
+    }
+
+    // The paused session steps once, then resumes to drain its queue.
+    let paused = handles[0].stats(wait)?;
+    println!(
+        "\nsession 0 paused with {} queued commands; stepping one and resuming",
+        paused.pending
+    );
+    handles[0].step()?;
+    handles[0].resume()?;
+    handles[0].wait_idle(wait)?;
+    let drained = handles[0].stats(wait)?;
+    println!(
+        "session 0 drained: {} trace entries, engine {:?}",
+        drained.trace_len, drained.engine_state
+    );
+    Ok(())
+}
