@@ -2,8 +2,14 @@
 //!
 //! Measures raw engine dispatch throughput (commands/second through the
 //! waiting→reacting loop) as the binding list and model size grow.
+//!
+//! This bench persists `BENCH_dispatch.json` at the repo root —
+//! regenerate with `cargo bench -p gmdf-bench --bench fig3_dispatch`.
+//! With `GMDF_BENCH_QUICK=1` it writes `BENCH_dispatch.quick.json`
+//! instead, so each mode keeps a comparable checked-in baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use gmdf_bench::report::{repo_root, report_from, write_report};
 use gmdf_engine::DebuggerEngine;
 use gmdf_gdm::{
     default_bindings, CommandBinding, CommandMatcher, DebuggerModel, EventKind, GdmElement,
@@ -109,4 +115,16 @@ criterion_group!(
     bench_dispatch_rate,
     bench_dispatch_with_breakpoint_scan
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let report = report_from("dispatch", criterion::take_results(), vec![]);
+    // Per-mode baselines: CI runs quick mode and compares against the
+    // checked-in quick file, keeping the regression gate numeric.
+    let name = if criterion::quick_mode() {
+        "BENCH_dispatch.quick.json"
+    } else {
+        "BENCH_dispatch.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

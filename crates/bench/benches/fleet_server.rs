@@ -1,46 +1,68 @@
-//! Fleet scaling: the multi-session debug server vs sequential pumping.
+//! Fleet scaling: the multi-session debug server vs sequential pumping,
+//! and the event-calendar / step-memo speedup on a simulator-bound
+//! large fleet.
 //!
-//! The "heavy traffic" workload the server opens up: N independent debug
-//! sessions advanced over the same target horizon. The table compares
-//! wall time for (a) one thread pumping the fleet session by session and
-//! (b) a 4-worker `DebugServer` slicing them round-robin — same traces,
-//! different wall clock. Criterion then times the server path.
+//! Two workloads:
+//!
+//! * the original **ring fleet** (N single-node ring-FSM sessions) —
+//!   the server-vs-sequential wall-clock comparison from PR 2;
+//! * the **large fleet** (`fleet_node_system`: multi-node sessions with
+//!   dozens of tasks each, mostly quiescent) — the configuration the
+//!   calendar dispatcher and VM step memoization target. It is measured
+//!   twice, once under `DispatchMode::LegacyScan` + `memo_steps: false`
+//!   (the pre-calendar simulator) and once under the defaults, and the
+//!   pair lands in `BENCH_fleet_server.json` as a `Comparison` row.
+//!
+//! This bench persists `BENCH_fleet_server.json` at the repo root —
+//! regenerate with `cargo bench -p gmdf-bench --bench fleet_server`.
+//! With `GMDF_BENCH_QUICK=1` it measures the smaller CI-smoke shape and
+//! writes `BENCH_fleet_server.quick.json` instead, so each mode keeps a
+//! numerically comparable checked-in baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use gmdf::{ChannelMode, DebugSession, Workflow};
-use gmdf_bench::ring_system;
+use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
+use gmdf_bench::{fleet_node_system, ring_system};
 use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::SignalValue;
 use gmdf_server::{DebugServer, ServerConfig};
-use gmdf_target::SimConfig;
+use gmdf_target::{DispatchMode, SimConfig};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 const HORIZON_NS: u64 = 10_000_000;
 
+fn connect(system: gmdf_comdes::System, sim: SimConfig) -> DebugSession {
+    Workflow::from_system(system)
+        .expect("valid system")
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            sim,
+        )
+        .expect("session boots")
+}
+
 fn fleet(n: usize) -> Vec<DebugSession> {
     (0..n)
         .map(|i| {
-            Workflow::from_system(ring_system(3 + i % 5, 0.001, 1_000_000))
-                .expect("valid system")
-                .default_abstraction()
-                .default_commands()
-                .connect(
-                    ChannelMode::Active,
-                    CompileOptions {
-                        instrument: InstrumentOptions::behavior(),
-                        faults: vec![],
-                    },
-                    SimConfig::default(),
-                )
-                .expect("session boots")
+            connect(
+                ring_system(3 + i % 5, 0.001, 1_000_000),
+                SimConfig::default(),
+            )
         })
         .collect()
 }
 
-fn pump_sequential(sessions: Vec<DebugSession>) -> usize {
+fn pump_sequential(sessions: Vec<DebugSession>, horizon_ns: u64) -> usize {
     let mut fed = 0;
     for mut session in sessions {
-        fed += session.run_for(HORIZON_NS).expect("runs").events_fed;
+        fed += session.run_for(horizon_ns).expect("runs").events_fed;
     }
     fed
 }
@@ -73,13 +95,109 @@ fn report_fleet_table() {
     eprintln!("  sessions  sequential_ms  server4_ms  events_fed");
     for n in [8usize, 32] {
         let t0 = Instant::now();
-        let fed_seq = pump_sequential(fleet(n));
+        let fed_seq = pump_sequential(fleet(n), HORIZON_NS);
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let fed_srv = pump_server(fleet(n), 4);
         let srv_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert_eq!(fed_seq, fed_srv, "scheduler must not change behaviour");
         eprintln!("  {n:>8} {seq_ms:>14.2} {srv_ms:>11.2} {fed_seq:>11}");
+    }
+}
+
+// -- the large-fleet configuration ------------------------------------------
+
+/// The shape of the simulator-bound fleet:
+/// `(sessions, nodes/session, tasks-1/node, period scale, horizon_ns,
+/// reps)` — sized down in quick mode so the CI smoke step stays cheap.
+///
+/// Period scale 8 (gain periods 4–16 ms) plus per-board clock jitter is
+/// the *sparse, de-harmonized* profile of a real fleet: hundreds of
+/// deployed tasks whose release instants rarely coincide. That is the
+/// regime the event calendar exists for — a full rescan pays
+/// O(nodes × tasks) at (nearly) every job, the calendar O(log n).
+fn large_fleet_shape() -> (usize, usize, usize, u64, u64, usize) {
+    // Odd rep counts: `time_large_fleet` records the median repetition,
+    // and an even count would make that the slower (worst) sample.
+    if criterion::quick_mode() {
+        (1, 8, 7, 4, 100_000_000, 3)
+    } else {
+        (2, 24, 15, 8, 800_000_000, 3)
+    }
+}
+
+fn large_fleet_config(optimized: bool) -> SimConfig {
+    let base = SimConfig {
+        // Independent boards drift: ±300 µs of release jitter, identical
+        // in both configurations (it changes the workload, not the
+        // contest).
+        clock_jitter_ns: 300_000,
+        ..SimConfig::default()
+    };
+    if optimized {
+        base // Calendar dispatch + step memo (the defaults)
+    } else {
+        SimConfig {
+            dispatch: DispatchMode::LegacyScan,
+            memo_steps: false,
+            ..base
+        }
+    }
+}
+
+fn large_fleet(sim: SimConfig) -> Vec<DebugSession> {
+    let (sessions, nodes, gains, scale, _, _) = large_fleet_shape();
+    (0..sessions)
+        .map(|_| {
+            let mut s = connect(fleet_node_system(nodes, gains, scale), sim);
+            // One stimulus plateau: the gain stages latch it and go
+            // quiescent — the mostly-idle fleet profile.
+            s.schedule_signal(0, "u", SignalValue::Real(2.5))
+                .expect("label u");
+            s
+        })
+        .collect()
+}
+
+/// Wall-clock median of pumping the large fleet sequentially under
+/// `sim`, over `reps` repetitions; also returns the events fed (must be
+/// identical across configurations — the knobs are behaviour-neutral).
+fn time_large_fleet(sim: SimConfig) -> (f64, usize) {
+    let (_, _, _, _, horizon_ns, reps) = large_fleet_shape();
+    let mut times = Vec::with_capacity(reps);
+    let mut fed = 0;
+    for _ in 0..reps {
+        let sessions = large_fleet(sim);
+        let t0 = Instant::now();
+        fed = pump_sequential(sessions, horizon_ns);
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], fed)
+}
+
+fn large_fleet_comparison() -> Comparison {
+    let (sessions, nodes, gains, _, horizon_ns, _) = large_fleet_shape();
+    let (baseline_ns, fed_base) = time_large_fleet(large_fleet_config(false));
+    let (optimized_ns, fed_opt) = time_large_fleet(large_fleet_config(true));
+    assert_eq!(fed_base, fed_opt, "calendar/memo must not change behaviour");
+    let speedup = baseline_ns / optimized_ns;
+    eprintln!(
+        "[fleet_server] large fleet: {sessions} sessions × {nodes} nodes × {} tasks, \
+         {} ms horizon",
+        gains + 1,
+        horizon_ns / 1_000_000
+    );
+    eprintln!(
+        "  legacy scan + no memo: {:>9.2} ms   calendar + memo: {:>9.2} ms   speedup: {speedup:.2}x",
+        baseline_ns / 1e6,
+        optimized_ns / 1e6
+    );
+    Comparison {
+        name: "large_fleet_pump".to_owned(),
+        baseline_ns,
+        optimized_ns,
+        speedup,
     }
 }
 
@@ -99,10 +217,41 @@ fn bench_fleet(c: &mut Criterion) {
         });
     }
     group.bench_with_input(BenchmarkId::from_parameter("sequential32"), &32, |b, &n| {
-        b.iter(|| black_box(pump_sequential(fleet(n))));
+        b.iter(|| black_box(pump_sequential(fleet(n), HORIZON_NS)));
     });
     group.finish();
 }
 
 criterion_group!(benches, bench_fleet);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let comparison = large_fleet_comparison();
+    let mut results = criterion::take_results();
+    // Pump-only trend lines for the large fleet, taken from the
+    // comparison's repetition medians. Deliberately NOT criterion rows:
+    // a `b.iter` line would have to rebuild the fleet inside the timed
+    // closure (the shim has no iter_batched), and compile/boot cost
+    // would dilute exactly the dispatch signal these lines exist to
+    // track.
+    results.push(criterion::BenchResult {
+        name: "fleet_server/large_fleet_pump_scan".to_owned(),
+        median_ns: comparison.baseline_ns,
+        mean_ns: comparison.baseline_ns,
+    });
+    results.push(criterion::BenchResult {
+        name: "fleet_server/large_fleet_pump_calendar_memo".to_owned(),
+        median_ns: comparison.optimized_ns,
+        mean_ns: comparison.optimized_ns,
+    });
+    let report = report_from("fleet_server", results, vec![comparison]);
+    // Full and quick mode measure different shapes, so each mode keeps
+    // its own checked-in baseline — CI (quick) gets a numerically
+    // comparable file instead of a mode mismatch.
+    let name = if criterion::quick_mode() {
+        "BENCH_fleet_server.quick.json"
+    } else {
+        "BENCH_fleet_server.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

@@ -1,0 +1,99 @@
+//! A/B harness for the simulator's perf knobs: pumps the large-fleet
+//! workload under every `{dispatch} × {memo_steps}` combination and
+//! prints wall time, events fed (must match — the knobs are
+//! behaviour-neutral), and memo hit/miss counters.
+//!
+//! ```text
+//! cargo run --release -p gmdf-bench --example dispatch_matrix \
+//!     [nodes] [tasks_per_node-1] [horizon_ns] [sessions] [period_scale]
+//! ```
+//!
+//! Environment:
+//! * `JITTER=<ns>` — per-board clock jitter. Jitter de-harmonizes
+//!   release instants; without it, harmonic periods make many tasks
+//!   fire at the same instant, which is the legacy scan's best case
+//!   (one rescan amortizes over many releases) and hides the
+//!   calendar's advantage.
+//! * `ONLY=<scan-nomemo|scan-memo|cal-nomemo|cal-memo>` — run a single
+//!   cell (handy under a profiler).
+
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_bench::fleet_node_system;
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::SignalValue;
+use gmdf_target::{DispatchMode, SimConfig};
+use std::time::Instant;
+
+fn connect(nodes: usize, gains: usize, scale: u64, sim: SimConfig) -> DebugSession {
+    let mut s = Workflow::from_system(fleet_node_system(nodes, gains, scale))
+        .unwrap()
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            sim,
+        )
+        .unwrap();
+    s.schedule_signal(0, "u", SignalValue::Real(2.5)).unwrap();
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).map_or(8, |s| s.parse().unwrap());
+    let gains: usize = args.get(2).map_or(7, |s| s.parse().unwrap());
+    let horizon: u64 = args.get(3).map_or(50_000_000, |s| s.parse().unwrap());
+    let nsess: usize = args.get(4).map_or(4, |s| s.parse().unwrap());
+    let scale: u64 = args.get(5).map_or(1, |s| s.parse().unwrap());
+    let jitter: u64 = std::env::var("JITTER").map_or(0, |s| s.parse().unwrap());
+    let only = std::env::var("ONLY").ok();
+    println!(
+        "{nodes} nodes x {} tasks, horizon {horizon} ns, {nsess} sessions, \
+         scale {scale}, jitter {jitter} ns",
+        gains + 1
+    );
+    for (label, dispatch, memo) in [
+        ("scan  nomemo", DispatchMode::LegacyScan, false),
+        ("scan  memo  ", DispatchMode::LegacyScan, true),
+        ("cal   nomemo", DispatchMode::Calendar, false),
+        ("cal   memo  ", DispatchMode::Calendar, true),
+    ] {
+        if let Some(f) = &only {
+            let key: String = label.split_whitespace().collect::<Vec<_>>().join("-");
+            if key != *f {
+                continue;
+            }
+        }
+        let sim = SimConfig {
+            dispatch,
+            memo_steps: memo,
+            clock_jitter_ns: jitter,
+            ..SimConfig::default()
+        };
+        let mut best = f64::MAX;
+        let mut fed = 0;
+        let mut stats = (0u64, 0u64);
+        for _ in 0..3 {
+            fed = 0;
+            let sessions: Vec<DebugSession> = (0..nsess)
+                .map(|_| connect(nodes, gains, scale, sim))
+                .collect();
+            let t0 = Instant::now();
+            let mut done = Vec::new();
+            for mut s in sessions {
+                fed += s.run_for(horizon).unwrap().events_fed;
+                done.push(s);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            stats = done.iter().fold((0, 0), |(h, m), s| {
+                let (sh, sm) = s.simulator().memo_stats();
+                (h + sh, m + sm)
+            });
+        }
+        println!("  {label}  {best:>9.2} ms   fed {fed}  memo hits/misses {stats:?}");
+    }
+}

@@ -116,6 +116,113 @@ pub fn multi_actor_system(n_actors: usize, n_states: usize) -> System {
     System::new("fleet").with_node(node)
 }
 
+/// A multi-node "fleet node": every node hosts one dwelling ring FSM
+/// (cyclic, UART-visible behaviour) plus `gains_per_node` stateless
+/// signal-conditioning pipelines (gain → offset → limit → deadband →
+/// … chains) consuming the shared stimulus label `u` — quiescent
+/// whenever `u` holds still, which is the common case in mostly-idle
+/// embedded fleets. This is the simulator-bound workload the
+/// event-calendar / memoization benches sweep: per-event dispatch cost
+/// scales with `n_nodes × (1 + gains_per_node)` under the legacy scan
+/// and O(log n) under the calendar, while the conditioning steps
+/// (dozens of VM instructions each, identical footprint every release)
+/// are pure memo-hit fodder.
+///
+/// `period_scale` stretches every period/offset/dwell: larger values
+/// model the *sparse* fleet profile — lots of deployed tasks, each
+/// sampling at a modest rate — where per-event dispatch cost is the
+/// bill, which is exactly the regime an event calendar exists for.
+pub fn fleet_node_system(n_nodes: usize, gains_per_node: usize, period_scale: u64) -> System {
+    // Guard condition with a realistic arithmetic budget: a Horner-form
+    // polynomial of the dwell time (think calibration curves or filter
+    // thresholds), ~30 float ops per evaluation over a 2-cell footprint
+    // — the shape where skipping a memoized step is a clear win.
+    let dwell_poly = |dwell_s: f64| {
+        let t = Expr::var(VAR_TIME_IN_STATE);
+        let mut poly = t.clone();
+        for k in 0..12 {
+            poly = poly
+                .mul(Expr::Real(1.0 + 0.01 * k as f64))
+                .add(t.clone().mul(Expr::Real(0.001 * k as f64)));
+        }
+        // The polynomial keeps ~t's magnitude (coefficients hover around
+        // 1), so the threshold still fires near `dwell_s`.
+        poly.ge(Expr::Real(dwell_s))
+    };
+    let mut system = System::new("fleet_grid");
+    for ni in 0..n_nodes {
+        let mut node = NodeSpec::new(&format!("ecu{ni}"), 50_000_000);
+        let mut fb = FsmBuilder::new().output(Port::int("s"));
+        for i in 0..4 {
+            fb = fb.state(&format!("S{i}"), |st| st.entry("s", Expr::Int(i as i64)));
+        }
+        for i in 0..4 {
+            fb = fb.transition(
+                &format!("S{i}"),
+                &format!("S{}", (i + 1) % 4),
+                dwell_poly(0.002 * period_scale as f64),
+            );
+        }
+        let fsm = fb.initial("S0").build().expect("ring fsm");
+        let net = NetworkBuilder::new()
+            .output(Port::int("s"))
+            .state_machine("ring", fsm)
+            .connect("ring.s", "s")
+            .expect("endpoint")
+            .build()
+            .expect("ring net");
+        let ring = ActorBuilder::new(&format!("Ring{ni}"), net)
+            .output("s", &format!("state_{ni}"))
+            .timing(Timing::periodic(1_000_000 * period_scale, 0))
+            .build()
+            .expect("ring actor");
+        node.actors.push(ring);
+        for gi in 0..gains_per_node {
+            let mut b = NetworkBuilder::new()
+                .input(Port::real("x"))
+                .output(Port::real("y"));
+            let mut prev = "x".to_owned();
+            for si in 0..10 {
+                let name = format!("s{si}");
+                let op = match si % 4 {
+                    0 => BasicOp::Gain {
+                        k: 1.0 + (gi + si) as f64 * 0.125,
+                    },
+                    1 => BasicOp::Offset { c: 0.25 },
+                    2 => BasicOp::Limit { lo: -1e6, hi: 1e6 },
+                    _ => BasicOp::Deadband { width: 1e-9 },
+                };
+                b = b.block(&name, op);
+                b = b.connect(&prev, &format!("{name}.x")).expect("endpoint");
+                prev = format!("{name}.y");
+            }
+            let net = b
+                .connect(&prev, "y")
+                .expect("endpoint")
+                .build()
+                .expect("conditioning net");
+            let actor = ActorBuilder::new(&format!("Gain{ni}_{gi}"), net)
+                .input("x", "u")
+                .output("y", &format!("gout_{ni}_{gi}"))
+                // Staggered periods and priorities: releases spread over
+                // the timeline and preemption actually happens.
+                .timing(Timing {
+                    period_ns: [500_000, 750_000, 1_250_000, 2_000_000][gi % 4] * period_scale,
+                    offset_ns: (gi as u64) * 61_000 * period_scale,
+                    deadline_ns: [500_000, 750_000, 1_250_000, 2_000_000][gi % 4] * period_scale,
+                    priority: 1 + (gi % 3) as u8,
+                })
+                .build()
+                .expect("gain actor");
+            node.actors.push(actor);
+        }
+        system = system.with_node(node);
+    }
+    system
+}
+
+pub mod report;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +232,7 @@ mod tests {
         assert!(ring_system(4, 0.01, 1_000_000).check().is_ok());
         assert!(chain_system(10, 1_000_000).check().is_ok());
         assert!(multi_actor_system(3, 4).check().is_ok());
+        assert!(fleet_node_system(4, 5, 1).check().is_ok());
+        assert!(fleet_node_system(2, 3, 8).check().is_ok());
     }
 }

@@ -1,0 +1,131 @@
+//! Machine-readable bench artifacts (`BENCH_*.json` at the repo root).
+//!
+//! Every JSON-emitting bench drains the vendored criterion shim's
+//! result registry into a [`BenchReport`] and persists it with
+//! [`write_report`], so perf PRs leave a trajectory: the checked-in
+//! file is the *baseline*, a fresh run is the *candidate*, and the
+//! `bench_check` binary compares the two in CI (malformed output or a
+//! >2× regression fails the job).
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One benchmark line: the unit is nanoseconds per iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Fully-qualified benchmark name (`group/id`).
+    pub name: String,
+    /// Median of the per-batch means.
+    pub median_ns: f64,
+    /// Grand mean across all batches.
+    pub mean_ns: f64,
+}
+
+/// A before/after measurement of one configuration pair — the
+/// "speedup" rows perf PRs are judged on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared (e.g. `large_fleet_pump`).
+    pub name: String,
+    /// Median wall nanoseconds of the baseline configuration.
+    pub baseline_ns: f64,
+    /// Median wall nanoseconds of the optimized configuration.
+    pub optimized_ns: f64,
+    /// `baseline_ns / optimized_ns`.
+    pub speedup: f64,
+}
+
+/// The persisted artifact of one bench binary run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Which bench produced this (`fleet_server`, `dispatch`, …).
+    pub bench: String,
+    /// `full` or `quick` (`GMDF_BENCH_QUICK` set — CI smoke mode).
+    pub mode: String,
+    /// Criterion-timed benchmark lines.
+    pub results: Vec<BenchEntry>,
+    /// Explicit before/after configuration comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+/// The repository root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Builds a report from the criterion registry's drained results.
+pub fn report_from(
+    bench: &str,
+    results: Vec<criterion::BenchResult>,
+    comparisons: Vec<Comparison>,
+) -> BenchReport {
+    BenchReport {
+        bench: bench.to_owned(),
+        mode: if criterion::quick_mode() {
+            "quick".to_owned()
+        } else {
+            "full".to_owned()
+        },
+        results: results
+            .into_iter()
+            .map(|r| BenchEntry {
+                name: r.name,
+                median_ns: r.median_ns,
+                mean_ns: r.mean_ns,
+            })
+            .collect(),
+        comparisons,
+    }
+}
+
+/// Serializes `report` to `path` (pretty-printed JSON + trailing
+/// newline). Panics on I/O failure — benches have no error channel and
+/// a silent miss would fake a green CI step.
+pub fn write_report(path: &Path, report: &BenchReport) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Parses a previously written report.
+///
+/// # Errors
+///
+/// Returns a message when the file is unreadable or not a valid report.
+pub fn read_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("malformed report {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            bench: "unit".into(),
+            mode: "full".into(),
+            results: vec![BenchEntry {
+                name: "g/x".into(),
+                median_ns: 1234.5,
+                mean_ns: 1300.0,
+            }],
+            comparisons: vec![Comparison {
+                name: "pump".into(),
+                baseline_ns: 2e9,
+                optimized_ns: 5e8,
+                speedup: 4.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.bench, "unit");
+        assert_eq!(back.results.len(), 1);
+        assert_eq!(back.results[0].name, "g/x");
+        assert!((back.results[0].median_ns - 1234.5).abs() < 1e-9);
+        assert!((back.comparisons[0].speedup - 4.0).abs() < 1e-9);
+    }
+}

@@ -89,6 +89,9 @@ pub struct DebugSession {
     active: Option<Vec<(String, ActiveChannel)>>,
     passive: Option<(JtagMonitor, PassiveChannel)>,
     stimuli: Vec<(u64, String, SignalValue)>,
+    /// Reused UART drain buffer — the pump runs every slice, and a fresh
+    /// allocation per node per slice is measurable at fleet scale.
+    uart_buf: Vec<(u64, u8)>,
 }
 
 // Sessions migrate onto scheduler worker threads; keep the entire
@@ -152,6 +155,7 @@ impl DebugSession {
             active,
             passive,
             stimuli: Vec::new(),
+            uart_buf: Vec::new(),
         })
     }
 
@@ -238,10 +242,13 @@ impl DebugSession {
             self.sim.run_until(t_end)?;
         }
         if let Some(channels) = &mut self.active {
+            let mut buf = std::mem::take(&mut self.uart_buf);
             for (node, channel) in channels.iter_mut() {
-                let bytes = self.sim.uart_take(node)?;
-                events.extend(channel.feed(&bytes));
+                buf.clear();
+                self.sim.uart_take_into(node, &mut buf)?;
+                events.extend(channel.feed(&buf));
             }
+            self.uart_buf = buf;
         }
         events.sort_by_key(|e| e.time_ns);
         let mut report = RunReport {

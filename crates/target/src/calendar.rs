@@ -1,0 +1,249 @@
+//! The event calendar: a priority-queue index over pending timeline
+//! instants, plus the per-node runnable-job index.
+//!
+//! ## Why an index at all
+//!
+//! The simulator's hot loop asks one question per event: *what is the
+//! earliest pending instant?* The original implementation answered it by
+//! rescanning every task of every node — O(nodes × tasks) per event,
+//! which dominates large fleets. The calendar makes the answer an
+//! O(log n) heap peek:
+//!
+//! * **Releases** — one entry per armed release; pushed when the kernel
+//!   arms the next activation, consumed exactly at that instant. Never
+//!   stale.
+//! * **Deadline publications** — one entry per queued [`PendingPub`];
+//!   pushed when a completion latches outputs. Never stale.
+//! * **CPU completions** — the projected finish instant of the job
+//!   currently winning a node's CPU. These *do* go stale (a release or
+//!   completion can change the winner), so each entry carries the node's
+//!   schedule epoch at push time and is lazily discarded on peek when
+//!   the epoch has moved on. The simulator re-projects and re-pushes for
+//!   every node whose job set changed in an iteration.
+//!
+//! Stimuli and network deliveries stay outside the heap: both queues are
+//! already time-sorted, so their earliest instant is an O(1) front peek.
+//!
+//! ## The runnable index
+//!
+//! `ReadyIndex` mirrors "tasks with at least one released, uncompleted
+//! job" as a `BTreeSet` ordered by the scheduler key
+//! `(priority, front release, declaration order)`, so picking the
+//! highest-priority runnable job is a `first()` instead of a scan over
+//! every task.
+//!
+//! [`PendingPub`]: ../sim/index.html
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// What a calendar entry announces.
+///
+/// The discriminant values are part of the heap ordering (entries at one
+/// instant sort by kind, then node, then task), but dispatch order
+/// within an instant is decided by the simulator's apply functions, not
+/// by the heap — the kind ranks only make the ordering total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum CalKind {
+    /// A queued deadline publication of task `ti` on node `ni` comes due.
+    Publish,
+    /// Task `ti` on node `ni` has an armed release at this instant.
+    Release,
+    /// Node `ni`'s currently-winning job is projected to finish.
+    /// Valid only while the node's schedule epoch still equals `epoch`.
+    Completion,
+}
+
+/// One pending instant in the calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CalEntry {
+    time_ns: u64,
+    kind: CalKind,
+    ni: usize,
+    ti: usize,
+    /// Schedule epoch for `Completion` entries; 0 for exact kinds.
+    epoch: u64,
+}
+
+/// The events of one timeline instant, grouped by kind, each list sorted
+/// by `(node, task)` declaration order — the tie-break the determinism
+/// contract fixes. Owned by the simulator and reused across instants so
+/// the hot loop does not allocate per event.
+#[derive(Debug, Default)]
+pub(crate) struct DueSet {
+    /// `(ni, ti)` pairs with a deadline publication due.
+    pub publishes: Vec<(usize, usize)>,
+    /// `(ni, ti)` pairs with an armed release due.
+    pub releases: Vec<(usize, usize)>,
+}
+
+/// Min-heap of pending timeline instants with lazy invalidation of
+/// stale completion projections.
+#[derive(Debug, Default)]
+pub(crate) struct Calendar {
+    heap: BinaryHeap<Reverse<CalEntry>>,
+}
+
+impl Calendar {
+    /// Announces an armed release of `(ni, ti)` at `time_ns`.
+    pub fn push_release(&mut self, time_ns: u64, ni: usize, ti: usize) {
+        self.heap.push(Reverse(CalEntry {
+            time_ns,
+            kind: CalKind::Release,
+            ni,
+            ti,
+            epoch: 0,
+        }));
+    }
+
+    /// Announces a queued deadline publication of `(ni, ti)` at
+    /// `time_ns`.
+    pub fn push_publish(&mut self, time_ns: u64, ni: usize, ti: usize) {
+        self.heap.push(Reverse(CalEntry {
+            time_ns,
+            kind: CalKind::Publish,
+            ni,
+            ti,
+            epoch: 0,
+        }));
+    }
+
+    /// Announces node `ni`'s projected CPU completion at `time_ns`,
+    /// valid while the node's schedule epoch stays `epoch`.
+    pub fn push_completion(&mut self, time_ns: u64, ni: usize, epoch: u64) {
+        self.heap.push(Reverse(CalEntry {
+            time_ns,
+            kind: CalKind::Completion,
+            ni,
+            ti: 0,
+            epoch,
+        }));
+    }
+
+    /// The earliest pending instant, discarding stale completion
+    /// projections from the top (`epochs[ni]` is each node's current
+    /// schedule epoch).
+    pub fn peek_earliest(&mut self, epochs: &[u64]) -> Option<u64> {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.kind == CalKind::Completion && e.epoch != epochs[e.ni] {
+                self.heap.pop();
+                continue;
+            }
+            return Some(e.time_ns);
+        }
+        None
+    }
+
+    /// Removes every entry due at or before `t` and collects the exact
+    /// (release / publish) events among them into `due` (cleared first),
+    /// each list sorted by `(node, task)` and deduplicated. Completion
+    /// entries are simply dropped — the CPU advance handles completions
+    /// itself, and any still-valid one at `t` is re-projected by the
+    /// caller afterwards.
+    pub fn take_due(&mut self, t: u64, due: &mut DueSet) {
+        due.publishes.clear();
+        due.releases.clear();
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.time_ns > t {
+                break;
+            }
+            let Reverse(e) = self.heap.pop().expect("peeked entry");
+            match e.kind {
+                CalKind::Publish => due.publishes.push((e.ni, e.ti)),
+                CalKind::Release => due.releases.push((e.ni, e.ti)),
+                CalKind::Completion => {}
+            }
+        }
+        due.publishes.sort_unstable();
+        due.publishes.dedup();
+        due.releases.sort_unstable();
+        due.releases.dedup();
+    }
+
+    /// Number of entries currently held (stale completions included).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Per-node index of runnable tasks ordered by the fixed-priority
+/// scheduler key `(priority, front-job release, declaration order)` —
+/// lower wins.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyIndex {
+    set: BTreeSet<(u8, u64, usize)>,
+}
+
+impl ReadyIndex {
+    /// Marks task `ti` runnable with the given priority and front-job
+    /// release instant.
+    pub fn insert(&mut self, prio: u8, release_ns: u64, ti: usize) {
+        self.set.insert((prio, release_ns, ti));
+    }
+
+    /// Unmarks task `ti` (its front job left the queue).
+    pub fn remove(&mut self, prio: u8, release_ns: u64, ti: usize) {
+        let was = self.set.remove(&(prio, release_ns, ti));
+        debug_assert!(was, "ready-index entry missing on removal");
+    }
+
+    /// The winning runnable task: `(task index, priority)`.
+    pub fn first(&self) -> Option<(usize, u8)> {
+        self.set.first().map(|&(p, _, ti)| (ti, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_instant_wins_regardless_of_push_order() {
+        let mut c = Calendar::default();
+        c.push_release(500, 0, 0);
+        c.push_publish(200, 1, 3);
+        c.push_release(200, 0, 1);
+        assert_eq!(c.peek_earliest(&[0, 0]), Some(200));
+        let mut due = DueSet::default();
+        c.take_due(200, &mut due);
+        assert_eq!(due.publishes, vec![(1, 3)]);
+        assert_eq!(due.releases, vec![(0, 1)]);
+        assert_eq!(c.peek_earliest(&[0, 0]), Some(500));
+    }
+
+    #[test]
+    fn stale_completions_are_discarded_on_peek() {
+        let mut c = Calendar::default();
+        c.push_completion(100, 0, 7); // stale: node 0 is at epoch 8
+        c.push_completion(300, 1, 2); // valid
+        assert_eq!(c.peek_earliest(&[8, 2]), Some(300));
+        assert_eq!(c.len(), 1, "the stale entry must be gone");
+    }
+
+    #[test]
+    fn due_set_sorts_by_declaration_order() {
+        let mut c = Calendar::default();
+        c.push_release(10, 2, 0);
+        c.push_release(10, 0, 1);
+        c.push_release(10, 0, 0);
+        let mut due = DueSet::default();
+        due.publishes.push((9, 9)); // cleared on reuse
+        c.take_due(10, &mut due);
+        assert!(due.publishes.is_empty());
+        assert_eq!(due.releases, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn ready_index_orders_by_priority_then_release_then_ti() {
+        let mut r = ReadyIndex::default();
+        r.insert(3, 100, 0);
+        r.insert(1, 900, 2);
+        r.insert(1, 900, 1);
+        assert_eq!(r.first(), Some((1, 1)));
+        r.remove(1, 900, 1);
+        assert_eq!(r.first(), Some((2, 1)));
+        r.remove(1, 900, 2);
+        assert_eq!(r.first(), Some((0, 3)));
+    }
+}

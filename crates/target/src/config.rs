@@ -2,6 +2,24 @@
 
 use gmdf_codegen::vm::DEFAULT_STEP_BUDGET;
 
+/// How the simulator finds the next pending timeline instant.
+///
+/// Both modes are bit-for-bit equivalent — [`DispatchMode::LegacyScan`]
+/// exists as an A/B oracle so tests (and suspicious users) can check the
+/// indexed calendar against the original full rescan on any workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Indexed event calendar: a priority queue over pending releases,
+    /// deadline publications and projected CPU completions, plus a
+    /// per-node runnable-job index. Per-event cost is O(log n) in the
+    /// number of pending events instead of O(nodes × tasks).
+    #[default]
+    Calendar,
+    /// The original full rescan of every node and task per event.
+    /// O(nodes × tasks) per event; kept as the reference oracle.
+    LegacyScan,
+}
+
 /// Platform parameters of the simulated embedded system.
 ///
 /// The defaults model the idealized platform the reference interpreter
@@ -36,6 +54,17 @@ pub struct SimConfig {
     pub seed: u64,
     /// VM step budget per task activation (runaway-loop guard).
     pub step_budget: u64,
+    /// Timeline dispatch strategy. [`DispatchMode::Calendar`] (default)
+    /// and [`DispatchMode::LegacyScan`] produce identical behaviour; the
+    /// scan is kept as a property-test oracle and A/B knob.
+    pub dispatch: DispatchMode,
+    /// `true` (default): memoize task-step execution. A release whose
+    /// VM-visible memory footprint matches a previous activation reuses
+    /// the cached `{cycles, emits, writes}` instead of re-running the
+    /// VM. Bit-for-bit exact (the VM is deterministic and its load/store
+    /// addresses are static), so this is purely a speed knob — flip it
+    /// off to A/B against uncached execution.
+    pub memo_steps: bool,
 }
 
 impl Default for SimConfig {
@@ -48,6 +77,8 @@ impl Default for SimConfig {
             clock_jitter_ns: 0,
             seed: 0x9E37_79B9_7F4A_7C15,
             step_budget: DEFAULT_STEP_BUDGET,
+            dispatch: DispatchMode::Calendar,
+            memo_steps: true,
         }
     }
 }

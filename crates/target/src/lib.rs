@@ -30,13 +30,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod config;
 mod error;
 mod event;
 mod jtag;
+mod memo;
 mod sim;
 
-pub use config::SimConfig;
+pub use config::{DispatchMode, SimConfig};
 pub use error::SimError;
 pub use event::{SimEvent, WatchEvent};
 pub use jtag::JtagMonitor;

@@ -1,0 +1,230 @@
+//! Bit-exact VM step memoization.
+//!
+//! Task code on this platform is a deterministic stack machine whose
+//! only persistent interface is the node's data segment, addressed by
+//! *static* `Load`/`Store` operands. That makes a task step a pure
+//! function of the values its code can possibly read or overwrite — the
+//! **footprint**: the union of its static load and store addresses.
+//!
+//! [`TaskMemo`] caches, per footprint valuation:
+//!
+//! * the cycle count and emitted frames ([`RunResult`] equivalents), and
+//! * the post-run values of every static store address.
+//!
+//! On a hit the kernel skips [`vm::run`] entirely and replays the cached
+//! store values. This is exact, not approximate:
+//!
+//! * identical footprint values ⇒ the deterministic VM takes the
+//!   identical path ⇒ identical cycles, emits and writes;
+//! * a store address the path never executes keeps its pre-run value —
+//!   which is part of the key, so the cached "post" value equals the
+//!   current value and replaying it is a no-op;
+//! * cells outside the footprint are untouched by either path.
+//!
+//! Quiescent tasks (inputs and internal state unchanged — the common
+//! case in mostly-idle embedded fleets) therefore cost a key probe
+//! instead of a full VM execution, without moving a single bit of
+//! observable behaviour. The cache is capped and evicts in insertion
+//! order, keeping memory bounded and behaviour independent of hash
+//! iteration order.
+//!
+//! [`vm::run`]: gmdf_codegen::vm::run
+
+use gmdf_codegen::{vm::RunResult, Frame, Instr};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a folding whole `u64` words — the memo probes once per release,
+/// and SipHash's per-probe setup would eat a good slice of the VM run
+/// it is trying to skip. Collisions only cost a bucket walk; equality
+/// is always verified on the full key.
+#[derive(Debug, Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Cached entries per task. Generously above the state-space size of
+/// typical periodic tasks (a handful of FSM states × input plateaus);
+/// pathological tasks that never repeat a footprint just miss.
+const MEMO_CAP: usize = 256;
+
+/// One cached task-step execution.
+#[derive(Debug, Clone)]
+struct CachedStep {
+    /// Total cycles the step consumed.
+    cycles: u64,
+    /// `(cycle offset, frame)` pairs the step emitted.
+    emits: Vec<(u64, Frame)>,
+    /// Post-run values of the task's static store addresses, aligned
+    /// with [`TaskMemo::stores`].
+    post_stores: Vec<u64>,
+}
+
+/// The memo table of one task: static footprint plus cached executions.
+#[derive(Debug)]
+pub(crate) struct TaskMemo {
+    /// Sorted, deduplicated union of the code's `Load` and `Store`
+    /// addresses — the cells that can influence or be changed by a step.
+    footprint: Vec<u32>,
+    /// Sorted, deduplicated `Store` addresses — the cells a step can
+    /// change.
+    stores: Vec<u32>,
+    entries: FnvMap<Vec<u64>, CachedStep>,
+    /// Keys in insertion order, for deterministic FIFO eviction.
+    order: VecDeque<Vec<u64>>,
+    /// Scratch buffer for key construction. Hits reuse it probe after
+    /// probe with no allocation; a miss donates it to the map as the
+    /// stored key (so the probe after a miss regrows it once).
+    key_buf: Vec<u64>,
+}
+
+impl TaskMemo {
+    /// Derives the static footprint of `code`.
+    pub fn new(code: &[Instr]) -> Self {
+        let mut footprint = Vec::new();
+        let mut stores = Vec::new();
+        for instr in code {
+            match *instr {
+                Instr::Load(a) => footprint.push(a),
+                Instr::Store(a) => {
+                    footprint.push(a);
+                    stores.push(a);
+                }
+                _ => {}
+            }
+        }
+        footprint.sort_unstable();
+        footprint.dedup();
+        stores.sort_unstable();
+        stores.dedup();
+        TaskMemo {
+            footprint,
+            stores,
+            entries: FnvMap::default(),
+            order: VecDeque::new(),
+            key_buf: Vec::new(),
+        }
+    }
+
+    /// Probes the cache against the current data segment. On a hit,
+    /// replays the cached stores into `data` and returns the cached
+    /// result; the caller must not run the VM.
+    pub fn lookup_and_apply(&mut self, data: &mut [u64]) -> Option<RunResult> {
+        self.key_buf.clear();
+        self.key_buf
+            .extend(self.footprint.iter().map(|&a| data[a as usize]));
+        let cached = self.entries.get(&self.key_buf)?;
+        for (&addr, &value) in self.stores.iter().zip(&cached.post_stores) {
+            data[addr as usize] = value;
+        }
+        Some(RunResult {
+            cycles: cached.cycles,
+            emits: cached.emits.clone(),
+        })
+    }
+
+    /// Records a miss: `pre_key` is the footprint valuation captured
+    /// before the VM ran (by [`TaskMemo::lookup_and_apply`], which
+    /// leaves it in the scratch buffer), `data` the post-run segment.
+    pub fn record(&mut self, data: &[u64], result: &RunResult) {
+        if self.entries.len() >= MEMO_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+        let key = std::mem::take(&mut self.key_buf);
+        let step = CachedStep {
+            cycles: result.cycles,
+            emits: result.emits.clone(),
+            post_stores: self.stores.iter().map(|&a| data[a as usize]).collect(),
+        };
+        self.order.push_back(key.clone());
+        self.entries.insert(key, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_codegen::vm;
+
+    /// `data[1] = data[0] * 2; emit(7, data[1])` — footprint {0, 1}.
+    fn doubler() -> Vec<Instr> {
+        vec![
+            Instr::Load(0),
+            Instr::PushI(2),
+            Instr::MulI,
+            Instr::Store(1),
+            Instr::Load(1),
+            Instr::Emit { event: 7, argc: 1 },
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn footprint_is_static_loads_and_stores() {
+        let m = TaskMemo::new(&doubler());
+        assert_eq!(m.footprint, vec![0, 1]);
+        assert_eq!(m.stores, vec![1]);
+    }
+
+    #[test]
+    fn hit_replays_the_exact_execution() {
+        let code = doubler();
+        let mut memo = TaskMemo::new(&code);
+        let mut data = vec![21u64, 0];
+        assert!(memo.lookup_and_apply(&mut data).is_none());
+        let r = vm::run(&code, &mut data, 1000).unwrap();
+        memo.record(&data, &r);
+        // Same inputs again: a fresh segment with the same footprint.
+        let mut data2 = vec![21u64, 0];
+        let cached = memo.lookup_and_apply(&mut data2).expect("hit");
+        assert_eq!(cached, r);
+        assert_eq!(data2, data);
+        // Different input: miss.
+        let mut data3 = vec![22u64, 0];
+        assert!(memo.lookup_and_apply(&mut data3).is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_the_table_bounded() {
+        let code = doubler();
+        let mut memo = TaskMemo::new(&code);
+        for i in 0..(MEMO_CAP as u64 + 10) {
+            let mut data = vec![i, 0];
+            if memo.lookup_and_apply(&mut data).is_none() {
+                let r = vm::run(&code, &mut data, 1000).unwrap();
+                memo.record(&data, &r);
+            }
+        }
+        assert!(memo.entries.len() <= MEMO_CAP);
+        // The newest entry is still cached…
+        let mut data = vec![MEMO_CAP as u64 + 9, 0];
+        assert!(memo.lookup_and_apply(&mut data).is_some());
+        // …and the oldest was evicted.
+        let mut data0 = vec![0u64, 0];
+        assert!(memo.lookup_and_apply(&mut data0).is_none());
+    }
+}

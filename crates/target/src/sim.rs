@@ -23,13 +23,35 @@
 //! stimuli, then network deliveries, then deadline publications, then
 //! releases — each tie broken by node and task declaration order, which
 //! makes every run bit-reproducible.
+//!
+//! ## Dispatch and the event calendar
+//!
+//! Finding "the earliest pending instant" is the hot loop's core
+//! question. Two interchangeable answers exist
+//! ([`SimConfig::dispatch`]):
+//!
+//! * [`DispatchMode::Calendar`] (default) — an indexed event calendar
+//!   ([`crate::calendar`]): a priority queue over armed releases, queued
+//!   deadline publications and projected CPU completions, plus a
+//!   per-node runnable-job index. O(log n) per event.
+//! * [`DispatchMode::LegacyScan`] — the original full rescan of every
+//!   node and task. O(nodes × tasks) per event; kept as the reference
+//!   oracle the property tests compare the calendar against.
+//!
+//! Independent of dispatch, [`SimConfig::memo_steps`] memoizes task-step
+//! execution ([`crate::memo`]): a release whose VM-visible footprint
+//! matches a previous activation replays the cached effect instead of
+//! re-running the VM. Both knobs are bit-for-bit exact — they never
+//! change the event log, the UART stream, or any data cell.
 
-use crate::config::SimConfig;
+use crate::calendar::{Calendar, DueSet};
+use crate::config::{DispatchMode, SimConfig};
 use crate::error::SimError;
 use crate::event::SimEvent;
+use crate::memo::TaskMemo;
 use gmdf_codegen::{vm, Frame, ProgramImage, Symbol};
 use gmdf_comdes::SignalValue;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Converts a cycle count to nanoseconds on a `hz` clock (rounding up).
 fn ns_of(cycles: u64, hz: u64) -> u64 {
@@ -92,6 +114,8 @@ struct TaskRt {
     /// Completed-on-time activations awaiting deadline publication,
     /// oldest deadline first.
     pending_pubs: VecDeque<PendingPub>,
+    /// Step-execution cache (see [`crate::memo`]).
+    memo: TaskMemo,
 }
 
 /// The serial debug link of one node.
@@ -139,7 +163,22 @@ struct NodeRt {
     uart: Uart,
     cycles_executed: u64,
     anchor: Option<RunAnchor>,
+    /// Runnable tasks ordered by the scheduler key (see
+    /// [`crate::calendar::ReadyIndex`]). Mirrors "`tasks[ti].jobs` is
+    /// non-empty", maintained at every job push/pop — in calendar mode
+    /// only, so the legacy-scan oracle keeps the original cost profile.
+    ready: crate::calendar::ReadyIndex,
+    /// The last completion projection pushed to the calendar:
+    /// `(task, job seq, finish instant)`. When a schedule change leaves
+    /// the projection identical (a lower-priority release under a
+    /// running job — the common case), the queued entry stays valid and
+    /// no epoch bump or re-push happens.
+    last_proj: Option<(usize, u64, u64)>,
 }
+
+/// Broadcast subscribers of one publication: `(node, board address)`
+/// pairs, excluding the producer.
+type PubRoute = Vec<(usize, u32)>;
 
 /// An in-flight labeled-signal broadcast.
 #[derive(Debug)]
@@ -189,11 +228,38 @@ pub struct Simulator {
     image: ProgramImage,
     config: SimConfig,
     nodes: Vec<NodeRt>,
+    /// Node name → index, built once at boot (`node_index` is on the
+    /// `read_symbol`/`uart_take` hot paths).
+    name_index: HashMap<String, usize>,
+    /// Precomputed broadcast routes: `pub_routes[ni][ti][pi]` lists the
+    /// `(subscriber node, board address)` pairs carrying publication
+    /// `pi` of task `(ni, ti)`. Built once at boot so `publish` — which
+    /// runs for every completed activation — never scans all nodes or
+    /// hashes a label string.
+    pub_routes: Vec<Vec<Vec<PubRoute>>>,
     /// Sorted (stably) by time; `stim_pos` marks the applied prefix.
     stimuli: Vec<(u64, String, SignalValue)>,
     stim_pos: usize,
     /// In-flight broadcasts, sorted by (time, insertion order).
     deliveries: VecDeque<Delivery>,
+    /// The event calendar ([`DispatchMode::Calendar`] only).
+    calendar: Calendar,
+    /// Per-node schedule epoch: bumped whenever the node's job set
+    /// changes, invalidating that node's queued completion projections.
+    epochs: Vec<u64>,
+    /// Nodes whose schedule changed this iteration (calendar mode).
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+    /// Reused per-instant due-event buffers (no allocation per event).
+    due: DueSet,
+    /// Released-but-uncompleted jobs per node — the CPU advance skips
+    /// nodes at zero (an idle node has no emits to retire and no
+    /// completions to book), so its cost tracks *busy* nodes, not fleet
+    /// size. Kept contiguous (not inside `NodeRt`) for the scan.
+    job_counts: Vec<u32>,
+    /// Releases that replayed a memoized step (VM skipped) / ran the VM.
+    memo_hits: u64,
+    memo_misses: u64,
     events: Vec<SimEvent>,
     now_ns: u64,
 }
@@ -216,6 +282,7 @@ impl Simulator {
         }
         let byte_ns = 10_000_000_000u64.div_ceil(config.uart_baud);
         let mut nodes = Vec::with_capacity(image.nodes.len());
+        let mut calendar = Calendar::default();
         for (ni, node) in image.nodes.iter().enumerate() {
             if node.cpu_hz == 0 {
                 return Err(SimError::BadImage(format!(
@@ -254,9 +321,13 @@ impl Simulator {
                     next_seq: 0,
                     jobs: VecDeque::new(),
                     pending_pubs: VecDeque::new(),
+                    memo: TaskMemo::new(&task.code),
                 };
                 rt.next_release_ns =
                     release_instant(&config, task.offset_ns, task.period_ns, 0, ni, ti);
+                if config.dispatch == DispatchMode::Calendar {
+                    calendar.push_release(rt.next_release_ns, ni, ti);
+                }
                 tasks.push(rt);
             }
             nodes.push(NodeRt {
@@ -269,15 +340,60 @@ impl Simulator {
                 },
                 cycles_executed: 0,
                 anchor: None,
+                ready: crate::calendar::ReadyIndex::default(),
+                last_proj: None,
             });
         }
+        let name_index = image
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(ni, n)| (n.node.clone(), ni))
+            .collect();
+        let pub_routes = image
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(ni, node)| {
+                node.tasks
+                    .iter()
+                    .map(|task| {
+                        task.publications
+                            .iter()
+                            .map(|p| {
+                                image
+                                    .nodes
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(oj, _)| oj != ni)
+                                    .filter_map(|(oj, other)| {
+                                        other.board.get(&p.label).map(|sym| (oj, sym.addr))
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let n = nodes.len();
         Ok(Simulator {
             image,
             config,
             nodes,
+            name_index,
+            pub_routes,
             stimuli: Vec::new(),
             stim_pos: 0,
             deliveries: VecDeque::new(),
+            calendar,
+            epochs: vec![0; n],
+            dirty: Vec::new(),
+            dirty_flag: vec![false; n],
+            due: DueSet::default(),
+            job_counts: vec![0; n],
+            memo_hits: 0,
+            memo_misses: 0,
             events: Vec::new(),
             now_ns: 0,
         })
@@ -301,6 +417,14 @@ impl Simulator {
     /// The event log so far, in time order.
     pub fn events(&self) -> &[SimEvent] {
         &self.events
+    }
+
+    /// Step-memoization counters: `(hits, misses)`. A *hit* is a task
+    /// release that replayed a cached step without running the VM; a
+    /// *miss* ran the VM (and cached the result). Both are zero with
+    /// [`SimConfig::memo_steps`] off.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
     }
 
     /// Total cycles the named node's CPU has executed — the target-side
@@ -393,11 +517,29 @@ impl Simulator {
     ///
     /// Returns [`SimError::UnknownNode`] for unknown names.
     pub fn uart_take(&mut self, node: &str) -> Result<Vec<(u64, u8)>, SimError> {
+        let mut out = Vec::new();
+        self.uart_take_into(node, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Simulator::uart_take`], but **appends** the drained bytes
+    /// to `out` instead of allocating — the reuse path for pumps that
+    /// drain UARTs every slice. Returns the number of bytes appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] for unknown names.
+    pub fn uart_take_into(
+        &mut self,
+        node: &str,
+        out: &mut Vec<(u64, u8)>,
+    ) -> Result<usize, SimError> {
         let ni = self.node_index(node)?;
         let now = self.now_ns;
         let uart = &mut self.nodes[ni].uart;
         let ready = uart.queue.partition_point(|(t, _)| *t <= now);
-        Ok(uart.queue.drain(..ready).collect())
+        out.extend(uart.queue.drain(..ready));
+        Ok(ready)
     }
 
     /// Advances the platform to `t_end_ns` (inclusive), executing every
@@ -413,17 +555,10 @@ impl Simulator {
         if t_end_ns < self.now_ns {
             return Ok(());
         }
-        while let Some(t_next) = self.next_timeline_instant(t_end_ns) {
-            self.advance_cpus(t_next);
-            self.now_ns = t_next;
-            self.apply_stimuli_at(t_next);
-            self.apply_deliveries_at(t_next);
-            self.apply_deadline_pubs_at(t_next);
-            self.apply_releases_at(t_next)?;
+        match self.config.dispatch {
+            DispatchMode::Calendar => self.run_until_calendar(t_end_ns),
+            DispatchMode::LegacyScan => self.run_until_scan(t_end_ns),
         }
-        self.advance_cpus(t_end_ns);
-        self.now_ns = t_end_ns;
-        Ok(())
     }
 
     /// Advances the platform by one bounded time slice and returns the
@@ -448,10 +583,9 @@ impl Simulator {
     // -- internals ---------------------------------------------------------
 
     pub(crate) fn node_index(&self, node: &str) -> Result<usize, SimError> {
-        self.image
-            .nodes
-            .iter()
-            .position(|n| n.node == node)
+        self.name_index
+            .get(node)
+            .copied()
             .ok_or_else(|| SimError::UnknownNode(node.to_owned()))
     }
 
@@ -469,10 +603,73 @@ impl Simulator {
         self.nodes[node_idx].data[addr as usize]
     }
 
+    /// The original dispatch loop: full rescan per event.
+    fn run_until_scan(&mut self, t_end_ns: u64) -> Result<(), SimError> {
+        while let Some(t_next) = self.next_timeline_instant_scan(t_end_ns) {
+            self.advance_cpus(t_next);
+            self.now_ns = t_next;
+            self.apply_stimuli_at(t_next);
+            self.apply_deliveries_at(t_next);
+            self.apply_deadline_pubs_at(t_next);
+            self.apply_releases_at(t_next)?;
+        }
+        self.advance_cpus(t_end_ns);
+        self.now_ns = t_end_ns;
+        Ok(())
+    }
+
+    /// The calendar dispatch loop: O(log n) peek per event, apply work
+    /// proportional to what actually fires.
+    fn run_until_calendar(&mut self, t_end_ns: u64) -> Result<(), SimError> {
+        while let Some(t_next) = self.next_timeline_instant_calendar(t_end_ns) {
+            self.advance_cpus(t_next);
+            self.now_ns = t_next;
+            let mut due = std::mem::take(&mut self.due);
+            self.calendar.take_due(t_next, &mut due);
+            self.apply_stimuli_at(t_next);
+            self.apply_deliveries_at(t_next);
+            for &(ni, ti) in &due.publishes {
+                self.apply_deadline_pub(ni, ti, t_next);
+            }
+            for &(ni, ti) in &due.releases {
+                debug_assert_eq!(self.nodes[ni].tasks[ti].next_release_ns, t_next);
+                self.release(ni, ti, t_next)?;
+            }
+            self.due = due;
+            self.flush_dirty();
+        }
+        self.advance_cpus(t_end_ns);
+        self.now_ns = t_end_ns;
+        Ok(())
+    }
+
+    /// Calendar-mode lookup of the earliest pending instant ≤ `t_end`:
+    /// an O(1) peek at the (time-sorted) stimulus and delivery queues
+    /// and an O(log n) heap peek for everything else.
+    fn next_timeline_instant_calendar(&mut self, t_end: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        };
+        if let Some((t, _, _)) = self.stimuli.get(self.stim_pos) {
+            consider(*t);
+        }
+        if let Some(d) = self.deliveries.front() {
+            consider(d.time_ns);
+        }
+        if let Some(t) = self.calendar.peek_earliest(&self.epochs) {
+            consider(t);
+        }
+        best.filter(|&t| t <= t_end)
+    }
+
     /// The earliest discrete timeline instant ≤ `t_end` still pending, or
     /// the earliest CPU completion if it comes first (completions can
-    /// schedule publications the timeline must then see).
-    fn next_timeline_instant(&self, t_end: u64) -> Option<u64> {
+    /// schedule publications the timeline must then see). Full rescan —
+    /// the [`DispatchMode::LegacyScan`] oracle.
+    fn next_timeline_instant_scan(&self, t_end: u64) -> Option<u64> {
         let mut best: Option<u64> = None;
         let mut consider = |t: u64| {
             if t <= t_end && best.is_none_or(|b| t < b) {
@@ -495,25 +692,51 @@ impl Simulator {
             // The first completion on this node's CPU, were it to run
             // undisturbed from now (anchored jobs finish relative to the
             // instant they gained the CPU, not to `now`).
-            if let Some((ti, _)) = self.pick_job(ni) {
-                let job = self.nodes[ni].tasks[ti].jobs.front().expect("picked job");
-                let hz = self.image.nodes[ni].cpu_hz;
-                let fin = match node.anchor {
-                    Some(a) if (a.ti, a.seq) == (ti, job.seq) => {
-                        a.start_ns + ns_of(job.total_cycles - a.base_cycles, hz)
-                    }
-                    _ => self.now_ns + ns_of(job.total_cycles - job.executed_cycles, hz),
-                };
-                consider(fin);
+            if let Some((ti, _)) = self.pick_job_scan(ni) {
+                consider(self.completion_of_pick(ni, ti));
             }
         }
         best
     }
 
-    /// The highest-priority runnable job on `node_idx`:
-    /// `(task index, priority)` — lower priority value wins, then earlier
-    /// release, then declaration order.
+    /// The projected completion instant of `(ni, ti)`'s front job, were
+    /// it to hold the CPU undisturbed from now (anchored jobs finish
+    /// relative to the instant they gained the CPU, not to `now`).
+    fn completion_of_pick(&self, ni: usize, ti: usize) -> u64 {
+        let job = self.nodes[ni].tasks[ti].jobs.front().expect("picked job");
+        let hz = self.image.nodes[ni].cpu_hz;
+        match self.nodes[ni].anchor {
+            Some(a) if (a.ti, a.seq) == (ti, job.seq) => {
+                a.start_ns + ns_of(job.total_cycles - a.base_cycles, hz)
+            }
+            _ => self.now_ns + ns_of(job.total_cycles - job.executed_cycles, hz),
+        }
+    }
+
+    /// The highest-priority runnable job on `node_idx` per the active
+    /// dispatch mode: `(task index, priority)`.
     fn pick_job(&self, node_idx: usize) -> Option<(usize, u8)> {
+        match self.config.dispatch {
+            DispatchMode::Calendar => self.pick_job_indexed(node_idx),
+            DispatchMode::LegacyScan => self.pick_job_scan(node_idx),
+        }
+    }
+
+    /// Indexed pick: the ready set's first entry. Cross-checked against
+    /// the scan oracle in debug builds.
+    fn pick_job_indexed(&self, node_idx: usize) -> Option<(usize, u8)> {
+        let picked = self.nodes[node_idx].ready.first();
+        debug_assert_eq!(
+            picked,
+            self.pick_job_scan(node_idx),
+            "ready index diverged from the scan oracle on node {node_idx}"
+        );
+        picked
+    }
+
+    /// Scan pick: lower priority value wins, then earlier release, then
+    /// declaration order. The [`DispatchMode::LegacyScan`] oracle.
+    fn pick_job_scan(&self, node_idx: usize) -> Option<(usize, u8)> {
         let image = &self.image.nodes[node_idx];
         let mut best: Option<(usize, u8, u64)> = None;
         for (ti, rt) in self.nodes[node_idx].tasks.iter().enumerate() {
@@ -529,10 +752,52 @@ impl Simulator {
         best.map(|(ti, p, _)| (ti, p))
     }
 
+    /// Marks `ni`'s schedule as changed this iteration (calendar mode):
+    /// its queued completion projections will be invalidated and
+    /// re-pushed by [`Simulator::flush_dirty`].
+    fn mark_dirty(&mut self, ni: usize) {
+        if self.config.dispatch == DispatchMode::Calendar && !self.dirty_flag[ni] {
+            self.dirty_flag[ni] = true;
+            self.dirty.push(ni);
+        }
+    }
+
+    /// Re-projects the CPU completion of every dirty node. If the
+    /// projection actually moved, the node's schedule epoch is bumped
+    /// (lazily invalidating the stale calendar entry) and the new one
+    /// pushed; an unchanged projection keeps its queued entry — the
+    /// common case when a lower-priority release arrives under a
+    /// running job, and what keeps heap churn off the hot path.
+    fn flush_dirty(&mut self) {
+        while let Some(ni) = self.dirty.pop() {
+            self.dirty_flag[ni] = false;
+            let proj = self.pick_job_indexed(ni).map(|(ti, _)| {
+                let seq = self.nodes[ni].tasks[ti]
+                    .jobs
+                    .front()
+                    .expect("picked job")
+                    .seq;
+                (ti, seq, self.completion_of_pick(ni, ti))
+            });
+            if proj == self.nodes[ni].last_proj {
+                continue;
+            }
+            self.nodes[ni].last_proj = proj;
+            self.epochs[ni] += 1;
+            if let Some((_, _, fin)) = proj {
+                self.calendar.push_completion(fin, ni, self.epochs[ni]);
+            }
+        }
+    }
+
     /// Runs every node's CPU forward to `t_target`, retiring emits and
     /// completions due in `(now, t_target]`.
     fn advance_cpus(&mut self, t_target: u64) {
         for ni in 0..self.nodes.len() {
+            if self.job_counts[ni] == 0 {
+                debug_assert!(self.nodes[ni].anchor.is_none());
+                continue;
+            }
             let mut t = self.now_ns;
             loop {
                 let Some((ti, _)) = self.pick_job(ni) else {
@@ -563,11 +828,22 @@ impl Simulator {
                 if fin <= t_target {
                     self.retire_emits(ni, ti, a.start_ns, a.base_cycles, total - a.base_cycles, hz);
                     self.nodes[ni].cycles_executed += total - executed;
-                    let job = self.nodes[ni].tasks[ti]
-                        .jobs
-                        .pop_front()
-                        .expect("picked job");
-                    self.nodes[ni].anchor = None;
+                    let prio = self.image.nodes[ni].tasks[ti].priority;
+                    self.job_counts[ni] -= 1;
+                    let indexed = self.config.dispatch == DispatchMode::Calendar;
+                    let nrt = &mut self.nodes[ni];
+                    let job = nrt.tasks[ti].jobs.pop_front().expect("picked job");
+                    // The ready index exists for calendar dispatch only;
+                    // legacy-scan mode skips its upkeep so the oracle's
+                    // cost profile stays that of the original code.
+                    if indexed {
+                        nrt.ready.remove(prio, job.release_ns, ti);
+                        if let Some(front) = nrt.tasks[ti].jobs.front() {
+                            nrt.ready.insert(prio, front.release_ns, ti);
+                        }
+                    }
+                    nrt.anchor = None;
+                    self.mark_dirty(ni);
                     self.complete_job(ni, ti, job, fin);
                     t = fin;
                 } else {
@@ -647,6 +923,9 @@ impl Simulator {
             // The deadline instant has passed: publish as late as reality.
             self.publish(ni, ti, &job.pub_raw, tc);
         } else if self.config.latch_outputs {
+            if self.config.dispatch == DispatchMode::Calendar {
+                self.calendar.push_publish(job.deadline_ns, ni, ti);
+            }
             self.nodes[ni].tasks[ti].pending_pubs.push_back(PendingPub {
                 deadline_ns: job.deadline_ns,
                 seq: job.seq,
@@ -658,7 +937,8 @@ impl Simulator {
     }
 
     /// Writes `pub_raw` to the producing node's board, logs the
-    /// publications, and broadcasts to every other node's board.
+    /// publications, and broadcasts to every subscribed node's board
+    /// over the routes precomputed at boot.
     fn publish(&mut self, ni: usize, ti: usize, pub_raw: &[u64], t: u64) {
         let Simulator {
             image,
@@ -666,10 +946,11 @@ impl Simulator {
             events,
             deliveries,
             config,
+            pub_routes,
             ..
         } = self;
         let task = &image.nodes[ni].tasks[ti];
-        for (p, &raw) in task.publications.iter().zip(pub_raw.iter()) {
+        for (pi, (p, &raw)) in task.publications.iter().zip(pub_raw.iter()).enumerate() {
             nodes[ni].data[p.board as usize] = raw;
             events.push(SimEvent::Publish {
                 time_ns: t,
@@ -678,20 +959,14 @@ impl Simulator {
                 label: p.label.clone(),
                 value: SignalValue::from_raw(p.ty, raw),
             });
-            for (oj, other) in nodes.iter_mut().enumerate() {
-                if oj == ni {
-                    continue;
-                }
-                let Some(sym) = image.nodes[oj].board.get(&p.label).copied() else {
-                    continue;
-                };
+            for &(oj, addr) in &pub_routes[ni][ti][pi] {
                 if config.bus_latency_ns == 0 {
-                    other.data[sym.addr as usize] = raw;
+                    nodes[oj].data[addr as usize] = raw;
                 } else {
                     deliveries.push_back(Delivery {
                         time_ns: t + config.bus_latency_ns,
                         node_idx: oj,
-                        addr: sym.addr,
+                        addr,
                         raw,
                     });
                 }
@@ -729,24 +1004,34 @@ impl Simulator {
         }
     }
 
+    /// Publishes `(ni, ti)`'s queued outputs whose deadline is `t`
+    /// (calendar mode — the due set names the tasks directly).
+    fn apply_deadline_pub(&mut self, ni: usize, ti: usize, t: u64) {
+        while let Some(p) = self.nodes[ni].tasks[ti].pending_pubs.front() {
+            if p.deadline_ns != t {
+                break;
+            }
+            let p = self.nodes[ni].tasks[ti]
+                .pending_pubs
+                .pop_front()
+                .expect("front checked");
+            debug_assert!(p.seq < self.nodes[ni].tasks[ti].next_seq);
+            self.publish(ni, ti, &p.pub_raw, t);
+        }
+    }
+
+    /// Scan-mode deadline publication: every task of every node is
+    /// checked for queued outputs due at `t`.
     fn apply_deadline_pubs_at(&mut self, t: u64) {
         for ni in 0..self.nodes.len() {
             for ti in 0..self.nodes[ni].tasks.len() {
-                while let Some(p) = self.nodes[ni].tasks[ti].pending_pubs.front() {
-                    if p.deadline_ns != t {
-                        break;
-                    }
-                    let p = self.nodes[ni].tasks[ti]
-                        .pending_pubs
-                        .pop_front()
-                        .expect("front checked");
-                    debug_assert!(p.seq < self.nodes[ni].tasks[ti].next_seq);
-                    self.publish(ni, ti, &p.pub_raw, t);
-                }
+                self.apply_deadline_pub(ni, ti, t);
             }
         }
     }
 
+    /// Scan-mode release sweep: every task of every node is checked for
+    /// an armed release at `t`.
     fn apply_releases_at(&mut self, t: u64) -> Result<(), SimError> {
         for ni in 0..self.nodes.len() {
             for ti in 0..self.nodes[ni].tasks.len() {
@@ -759,14 +1044,18 @@ impl Simulator {
         Ok(())
     }
 
-    /// One kernel release: latch inputs, execute the step, queue the CPU
-    /// demand, and arm the next release.
+    /// One kernel release: latch inputs, execute the step (or replay its
+    /// memoized effect), queue the CPU demand, and arm the next release.
     fn release(&mut self, ni: usize, ti: usize, t: u64) -> Result<(), SimError> {
         let Simulator {
             image,
             nodes,
             events,
             config,
+            calendar,
+            memo_hits,
+            memo_misses,
+            job_counts,
             ..
         } = self;
         let task = &image.nodes[ni].tasks[ti];
@@ -774,13 +1063,30 @@ impl Simulator {
         for latch in &task.input_latches {
             nrt.data[latch.to as usize] = nrt.data[latch.from as usize];
         }
-        let result = vm::run(&task.code, &mut nrt.data, config.step_budget).map_err(|error| {
-            SimError::Vm {
-                node: image.nodes[ni].node.clone(),
-                actor: task.actor.clone(),
-                error,
+        let vm_fault = |error| SimError::Vm {
+            node: image.nodes[ni].node.clone(),
+            actor: task.actor.clone(),
+            error,
+        };
+        let result = if config.memo_steps {
+            // Split-borrow the node: the memo lives next to the data
+            // segment it probes.
+            let NodeRt { data, tasks, .. } = nrt;
+            match tasks[ti].memo.lookup_and_apply(data) {
+                Some(cached) => {
+                    *memo_hits += 1;
+                    cached
+                }
+                None => {
+                    let r = vm::run(&task.code, data, config.step_budget).map_err(&vm_fault)?;
+                    *memo_misses += 1;
+                    tasks[ti].memo.record(data, &r);
+                    r
+                }
             }
-        })?;
+        } else {
+            vm::run(&task.code, &mut nrt.data, config.step_budget).map_err(&vm_fault)?
+        };
         let pub_raw: Vec<u64> = task
             .publications
             .iter()
@@ -791,6 +1097,7 @@ impl Simulator {
             node: image.nodes[ni].node.clone(),
             actor: task.actor.clone(),
         });
+        let was_idle = nrt.tasks[ti].jobs.is_empty();
         let rt = &mut nrt.tasks[ti];
         let seq = rt.next_seq;
         rt.next_seq += 1;
@@ -812,6 +1119,15 @@ impl Simulator {
             ni,
             ti,
         );
+        let next_release_ns = rt.next_release_ns;
+        job_counts[ni] += 1;
+        if config.dispatch == DispatchMode::Calendar {
+            if was_idle {
+                nrt.ready.insert(task.priority, t, ti);
+            }
+            calendar.push_release(next_release_ns, ni, ti);
+        }
+        self.mark_dirty(ni);
         Ok(())
     }
 }

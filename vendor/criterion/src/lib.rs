@@ -2,11 +2,19 @@
 //!
 //! Provides the benchmarking surface the `gmdf-bench` crate uses —
 //! groups, parameterized benchmark ids, throughput annotations and the
-//! timing loop — with a simple fixed-iteration measurement instead of
+//! timing loop — with a simple batched-sample measurement instead of
 //! criterion's statistical engine. `cargo bench --no-run` compiles the
-//! benches; running them prints mean wall-clock per iteration.
+//! benches; running them prints median wall-clock per iteration.
+//!
+//! Extensions over the upstream surface (used by the JSON-emitting
+//! benches): every completed benchmark is recorded in a process-global
+//! registry; [`take_results`] drains it so a custom `main` can persist
+//! machine-readable `BENCH_*.json` artifacts. Setting the
+//! `GMDF_BENCH_QUICK` environment variable shrinks the measurement
+//! window (~40 ms instead of ~200 ms per benchmark) for CI smoke runs.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Measured-quantity annotation (reported, not otherwise used).
@@ -46,39 +54,92 @@ impl Display for BenchmarkId {
     }
 }
 
+/// One completed benchmark, as recorded in the results registry.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully-qualified benchmark name (`group/id`).
+    pub name: String,
+    /// Median of the per-batch mean nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Grand-mean nanoseconds per iteration across all batches.
+    pub mean_ns: f64,
+}
+
+/// Every benchmark completed by this process, in execution order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains the registry of results recorded so far — for custom bench
+/// `main`s that persist machine-readable artifacts after the groups run.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// `true` when the `GMDF_BENCH_QUICK` environment variable is set —
+/// CI smoke mode with a shorter measurement window.
+pub fn quick_mode() -> bool {
+    std::env::var_os("GMDF_BENCH_QUICK").is_some()
+}
+
 /// The per-benchmark timing driver.
 #[derive(Debug)]
 pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    median_ns: f64,
     /// Mean nanoseconds per iteration of the last `iter` call.
-    last_ns: f64,
+    mean_ns: f64,
 }
 
 impl Bencher {
-    /// Times `routine`, running it enough times to smooth noise.
+    /// Times `routine` over several batches of iterations and records
+    /// the median batch mean — robust to one-off scheduling hiccups.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up + calibration run.
         let t0 = Instant::now();
         std::hint::black_box(routine());
         let once = t0.elapsed();
-        // Aim for ~200 ms of measurement, capped for slow routines.
-        let iters =
-            (Duration::from_millis(200).as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64;
-        let t1 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(routine());
+        // Aim for ~200 ms of measurement (~40 ms in quick mode), capped
+        // for slow routines.
+        let budget = Duration::from_millis(if quick_mode() { 40 } else { 200 });
+        let iters = (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64;
+        // Split into up to 9 sample batches (odd count → true median).
+        let batches = iters.min(9);
+        let per_batch = iters / batches;
+        let mut samples = Vec::with_capacity(batches as usize);
+        let mut total_ns = 0f64;
+        for _ in 0..batches {
+            let t1 = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t1.elapsed().as_nanos() as f64 / per_batch as f64;
+            total_ns += ns * per_batch as f64;
+            samples.push(ns);
         }
-        self.last_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+        self.mean_ns = total_ns / (batches * per_batch) as f64;
     }
 }
 
 fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { last_ns: 0.0 };
+    let mut b = Bencher {
+        median_ns: 0.0,
+        mean_ns: 0.0,
+    };
     f(&mut b);
-    if b.last_ns >= 1e6 {
-        println!("{name:<50} {:>12.3} ms/iter", b.last_ns / 1e6);
+    if b.median_ns >= 1e6 {
+        println!("{name:<50} {:>12.3} ms/iter (median)", b.median_ns / 1e6);
     } else {
-        println!("{name:<50} {:>12.1} ns/iter", b.last_ns);
+        println!("{name:<50} {:>12.1} ns/iter (median)", b.median_ns);
     }
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            name: name.to_owned(),
+            median_ns: b.median_ns,
+            mean_ns: b.mean_ns,
+        });
 }
 
 /// A named group of related benchmarks.
