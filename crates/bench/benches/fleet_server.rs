@@ -71,6 +71,7 @@ fn pump_server(sessions: Vec<DebugSession>, workers: usize) -> usize {
     let server = DebugServer::start(ServerConfig {
         workers,
         slice_ns: 1_000_000,
+        ..ServerConfig::default()
     });
     let handles: Vec<_> = sessions
         .into_iter()

@@ -111,7 +111,7 @@ fn jitter_ns(system: &System, latch: bool) -> i64 {
                 actor,
                 label,
                 ..
-            } if actor == "Heavy" && label == "hy" => Some(*time_ns),
+            } if &**actor == "Heavy" && label == "hy" => Some(*time_ns),
             _ => None,
         })
         .collect();

@@ -1,0 +1,153 @@
+//! Wire-protocol loopback: what remote attach costs on localhost TCP.
+//!
+//! Three measurements:
+//!
+//! * `wire/codec_trace_delta64` — pure encode + deframe + decode of a
+//!   64-entry `TraceDelta` frame (the protocol's dominant payload), no
+//!   socket;
+//! * `wire/snapshot_roundtrip` — one counter snapshot command →
+//!   mailbox → reply frame, full client/server round trip over
+//!   loopback TCP;
+//! * `wire/event_stream_per_event` — a pumped session streaming its
+//!   broadcast over the wire; wall time divided by events received
+//!   (manual row: the horizon run is not an `iter`-able unit).
+//!
+//! Persists `BENCH_wire.json` at the repo root — regenerate with
+//! `cargo bench -p gmdf-bench --bench wire_loopback`. With
+//! `GMDF_BENCH_QUICK=1` it writes `BENCH_wire.quick.json` (smaller
+//! horizon, same shape), the CI baseline.
+
+use criterion::{criterion_group, Criterion};
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_bench::report::{repo_root, report_from, write_report};
+use gmdf_bench::ring_system;
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_engine::TraceEntry;
+use gmdf_gdm::{EventKind, ModelEvent};
+use gmdf_server::proto::{decode_payload, encode_frame, FrameDecoder, ServerFrame};
+use gmdf_server::{DebugServer, EngineEvent, ServerConfig, WireClient, WireServer};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn session() -> DebugSession {
+    Workflow::from_system(ring_system(5, 0.001, 1_000_000))
+        .expect("valid system")
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            gmdf_target::SimConfig::default(),
+        )
+        .expect("session boots")
+}
+
+fn delta_frame(entries: usize) -> ServerFrame {
+    ServerFrame::Event {
+        event: EngineEvent::TraceDelta {
+            session: 0,
+            entries: (0..entries as u64)
+                .map(|seq| TraceEntry {
+                    seq,
+                    event: ModelEvent::new(seq * 1_000, EventKind::StateEnter, "node/actor/fsm")
+                        .with_to("Run"),
+                    reactions: vec![],
+                    violations: vec![],
+                })
+                .collect(),
+        },
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let server = Arc::new(DebugServer::start(ServerConfig {
+        workers: 1,
+        slice_ns: 1_000_000,
+        ..ServerConfig::default()
+    }));
+    let handle = server.add_session(session());
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+
+    let mut group = c.benchmark_group("wire");
+    let frame = delta_frame(64);
+    group.bench_function("codec_trace_delta64", |b| {
+        b.iter(|| {
+            let bytes = encode_frame(black_box(&frame));
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&bytes);
+            let payload = decoder.next_payload().expect("valid").expect("complete");
+            decode_payload::<ServerFrame>(&payload).expect("decodes")
+        });
+    });
+    group.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| client.snapshot(false, WAIT).expect("snapshot").now_ns);
+    });
+    group.finish();
+}
+
+/// Streams one pumped horizon over the wire and returns
+/// `(ns_per_event, events)`.
+fn stream_throughput() -> (f64, usize) {
+    let horizon_ns: u64 = if criterion::quick_mode() {
+        20_000_000
+    } else {
+        200_000_000
+    };
+    let server = Arc::new(DebugServer::start(ServerConfig {
+        workers: 1,
+        slice_ns: 500_000,
+        ..ServerConfig::default()
+    }));
+    let handle = server.add_session(session());
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+    let t0 = Instant::now();
+    client.run_for(horizon_ns).expect("run");
+    let mut events = 0usize;
+    loop {
+        match client.next_event(WAIT) {
+            Ok(EngineEvent::Idle { .. }) => {
+                events += 1;
+                break;
+            }
+            Ok(_) => events += 1,
+            Err(e) => panic!("stream failed: {e}"),
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    eprintln!(
+        "[wire_loopback] streamed {events} events over {} ms of target time in {:.2} ms wall",
+        horizon_ns / 1_000_000,
+        elapsed_ns / 1e6
+    );
+    (elapsed_ns / events.max(1) as f64, events)
+}
+
+criterion_group!(benches, bench_wire);
+
+fn main() {
+    benches();
+    let (per_event_ns, _events) = stream_throughput();
+    let mut results = criterion::take_results();
+    results.push(criterion::BenchResult {
+        name: "wire/event_stream_per_event".to_owned(),
+        median_ns: per_event_ns,
+        mean_ns: per_event_ns,
+    });
+    let report = report_from("wire", results, vec![]);
+    let name = if criterion::quick_mode() {
+        "BENCH_wire.quick.json"
+    } else {
+        "BENCH_wire.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

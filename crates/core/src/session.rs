@@ -12,6 +12,7 @@ use gmdf_comdes::{ComdesError, Interpreter, SignalValue, System};
 use gmdf_engine::{classify, BugClass, DebuggerEngine, Divergence};
 use gmdf_gdm::{DebuggerModel, ModelEvent};
 use gmdf_target::{JtagMonitor, SimConfig, SimError, Simulator};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which command interface the session uses.
@@ -70,7 +71,7 @@ impl From<SimError> for SessionError {
 }
 
 /// Summary of one [`DebugSession::run_for`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Model events fed to the engine.
     pub events_fed: usize,

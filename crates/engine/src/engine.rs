@@ -19,11 +19,12 @@ use gmdf_gdm::{
     VisualState,
 };
 use gmdf_render::Scene;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
 /// Engine control state (the Fig. 3 machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineState {
     /// Listening for commands, reacting immediately.
     Waiting,

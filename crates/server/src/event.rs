@@ -1,8 +1,14 @@
 //! The server's broadcast vocabulary: what subscribers see.
+//!
+//! Every type here is serde-serializable: the wire layer
+//! ([`crate::WireServer`] / [`crate::WireClient`]) ships these exact
+//! structures as JSON frames, and the in-process broadcast hands them
+//! out by value — one vocabulary, two transports.
 
 use crate::server::SessionId;
 use gmdf::RunReport;
 use gmdf_engine::{EngineState, TraceEntry};
+use serde::{Deserialize, Serialize};
 
 /// One notification on a session's broadcast stream.
 ///
@@ -10,7 +16,7 @@ use gmdf_engine::{EngineState, TraceEntry};
 /// at most one slice pumped, deltas published) and carry everything a
 /// viewer needs to stay current without polling: the incremental trace,
 /// raised violations, breakpoint hits, and lifecycle edges.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EngineEvent {
     /// One scheduler slice finished on this session.
     SliceCompleted {
@@ -25,7 +31,9 @@ pub enum EngineEvent {
     TraceDelta {
         /// The recording session.
         session: SessionId,
-        /// The freshly recorded entries (dense `seq`, no gaps).
+        /// The freshly recorded entries (dense `seq` on an unbounded or
+        /// keeping-up subscription; a lagging bounded subscription may
+        /// see gaps, each announced by a preceding [`Self::Lagged`]).
         entries: Vec<TraceEntry>,
     },
     /// An expectation violation was raised — a found bug.
@@ -60,6 +68,16 @@ pub enum EngineEvent {
         /// What went wrong.
         message: String,
     },
+    /// This subscriber fell behind a bounded queue and data was dropped
+    /// — delivered in-stream, exactly where the loss happened. The run
+    /// itself is unaffected; a snapshot still serves the full trace.
+    Lagged {
+        /// The session whose stream lost data.
+        session: SessionId,
+        /// Events dropped since the previous `Lagged` (a dropped
+        /// `TraceDelta` counts one per trace entry it carried).
+        dropped: u64,
+    },
 }
 
 impl EngineEvent {
@@ -71,13 +89,14 @@ impl EngineEvent {
             | EngineEvent::Violation { session, .. }
             | EngineEvent::BreakpointHit { session, .. }
             | EngineEvent::Idle { session, .. }
-            | EngineEvent::Error { session, .. } => *session,
+            | EngineEvent::Error { session, .. }
+            | EngineEvent::Lagged { session, .. } => *session,
         }
     }
 }
 
 /// A consistent point-in-time view of one hosted session.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSnapshot {
     /// The snapshotted session.
     pub session: SessionId,

@@ -16,15 +16,30 @@
 //!   without blocking and are applied in arrival order at the session's
 //!   next scheduling turn;
 //! * a **broadcast event stream** — every subscriber gets its own
-//!   unbounded receiver of [`EngineEvent`]s (slice reports, incremental
-//!   trace deltas, violations, breakpoint hits), drained at leisure
-//!   without ever blocking the pump.
+//!   *bounded* [`EventReceiver`] of [`EngineEvent`]s (slice reports,
+//!   incremental trace deltas, violations, breakpoint hits), drained at
+//!   leisure without ever blocking the pump. A subscriber that falls
+//!   behind has consecutive trace deltas coalesced, then the oldest
+//!   events dropped — announced in-stream by [`EngineEvent::Lagged`] —
+//!   so a stalled consumer costs bounded memory and zero pump latency
+//!   ([`ServerConfig::subscriber_capacity`]; `0` restores the legacy
+//!   unbounded queue).
+//!
+//! Remote frontends attach over TCP: [`WireServer`] fronts a
+//! [`DebugServer`] with a length-prefixed, versioned JSON framing of
+//! the same vocabulary ([`proto`]), and [`WireClient`] drives it —
+//! attach to a session, send commands, stream events. The wire path
+//! shares the broadcast backpressure policy, so a stalled socket can
+//! never wedge the scheduler either.
 //!
 //! Determinism is the load-bearing invariant: a session pumped in server
 //! slices on a contended worker pool records a trace **byte-identical**
 //! to the same session run in one synchronous `run_for` — the scheduler
-//! decides only *when* a session advances, never *what* it observes.
-//! `crates/server/tests/determinism.rs` pins this down.
+//! decides only *when* a session advances, never *what* it observes —
+//! and an event stream replayed through the wire is byte-identical
+//! (after JSON round-trip) to the in-process broadcast of the same run.
+//! `crates/server/tests/determinism.rs` and
+//! `crates/server/tests/wire.rs` pin this down.
 //!
 //! ```
 //! use gmdf::{ChannelMode, Workflow};
@@ -75,9 +90,14 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod proto;
+mod queue;
 mod server;
+mod wire;
 
 pub use event::{EngineEvent, SessionSnapshot};
+pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{
     DebugServer, ServerConfig, ServerError, SessionCommand, SessionHandle, SessionId,
 };
+pub use wire::{WireClient, WireError, WireServer};

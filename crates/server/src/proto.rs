@@ -1,0 +1,290 @@
+//! Wire protocol: framing and envelopes for remote debug clients.
+//!
+//! The transport is deliberately minimal — a paper-faithful "Debugger
+//! Communication Framework" a microcontroller-side stub could speak:
+//!
+//! * **Framing**: each message is `[u32 length, big-endian][payload]`,
+//!   where the payload is the compact JSON serialization of one
+//!   envelope ([`ClientFrame`] client→server, [`ServerFrame`]
+//!   server→client). Frames longer than [`MAX_FRAME_LEN`] are rejected
+//!   (a desynchronized or hostile peer must not drive allocation).
+//! * **Handshake**: the client's first frame must be
+//!   [`ClientFrame::Hello`] carrying [`WIRE_VERSION`]; the server
+//!   answers [`ServerFrame::HelloAck`] (listing attachable sessions) or
+//!   [`ServerFrame::Error`] and closes. Versioning is strict equality —
+//!   the vocabulary is re-negotiated per release, not field-patched.
+//! * **Envelopes**: after the handshake, the client attaches to one
+//!   session and sends [`SessionCommand`]s; the server interleaves
+//!   command replies (`Ack` / `Snapshot` / `Error`) with the attached
+//!   session's [`EngineEvent`] stream on the same socket.
+//!
+//! The JSON encoding of every payload type is exactly the vendored
+//! serde shim's derive format, so a wire round-trip of an event stream
+//! is byte-identical to serializing the in-process broadcast
+//! (`crates/server/tests/wire.rs` pins this down).
+
+use crate::event::{EngineEvent, SessionSnapshot};
+use crate::server::{SessionCommand, SessionId};
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
+use std::sync::mpsc;
+
+/// Protocol revision spoken by this build. Strict equality is required
+/// at handshake time.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload length (64 MiB) — large enough
+/// for a full-trace snapshot of any realistic session, small enough
+/// that a desynchronized length prefix cannot drive allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// A message from a remote client to the wire server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Handshake opener; must be the first frame on the connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Attach this connection to one hosted session: subsequent
+    /// commands address it and its event stream starts flowing.
+    Attach {
+        /// Client-chosen request id, echoed in the reply — correlates
+        /// replies with requests even after a client-side timeout left
+        /// a stale reply in flight.
+        seq: u64,
+        /// The session to attach to (see
+        /// [`ServerFrame::HelloAck::sessions`]).
+        session: SessionId,
+    },
+    /// Post one command to the attached session's mailbox.
+    /// [`SessionCommand::Snapshot`] is answered with
+    /// [`ServerFrame::Snapshot`]; everything else with
+    /// [`ServerFrame::Ack`].
+    Command {
+        /// Client-chosen request id, echoed in the reply.
+        seq: u64,
+        /// The command to apply.
+        command: SessionCommand,
+    },
+}
+
+/// A message from the wire server to a remote client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// Successful handshake reply.
+    HelloAck {
+        /// The server's [`WIRE_VERSION`] (equal to the client's).
+        version: u32,
+        /// Sessions hosted at handshake time, attachable by id.
+        sessions: Vec<SessionId>,
+    },
+    /// A non-snapshot request was accepted (attach done, command in
+    /// the mailbox).
+    Ack {
+        /// The request id this acknowledges.
+        seq: u64,
+    },
+    /// A request failed (unknown session, bad command, shut-down
+    /// server…), or — with no `seq` — the connection itself is in
+    /// trouble (handshake rejection, malformed frame). Connection-level
+    /// errors close the connection; request-level ones do not.
+    Error {
+        /// The failed request's id; `None` for connection-level errors.
+        seq: Option<u64>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Reply to a [`SessionCommand::Snapshot`] command.
+    Snapshot {
+        /// The request id this answers.
+        seq: u64,
+        /// The consistent point-in-time view.
+        snapshot: SessionSnapshot,
+    },
+    /// One event from the attached session's broadcast stream.
+    Event {
+        /// The broadcast event (including [`EngineEvent::Lagged`] when
+        /// this connection fell behind).
+        event: EngineEvent,
+    },
+}
+
+fn tagged(tag: &str, fields: Vec<(Content, Content)>) -> Content {
+    Content::Map(vec![(Content::Str(tag.to_owned()), Content::Map(fields))])
+}
+
+fn field(name: &str, value: Content) -> (Content, Content) {
+    (Content::Str(name.to_owned()), value)
+}
+
+fn get<T: Deserialize>(fields: &[(Content, Content)], name: &str) -> Result<T, DeError> {
+    T::from_content(content_get(fields, name).ok_or_else(|| DeError::missing(name))?)
+}
+
+// `SessionCommand` cannot derive its serde impls: the `Snapshot`
+// variant carries an in-process reply channel. On the wire the variant
+// is just `{"Snapshot":{"include_trace":…}}`; deserialization installs
+// a dangling reply sender, which the wire server replaces with its own
+// before forwarding (`apply_command` tolerates a dead reply channel).
+// Every other variant matches the derive format exactly.
+impl Serialize for SessionCommand {
+    fn to_content(&self) -> Content {
+        match self {
+            SessionCommand::ScheduleSignal {
+                time_ns,
+                label,
+                value,
+            } => tagged(
+                "ScheduleSignal",
+                vec![
+                    field("time_ns", time_ns.to_content()),
+                    field("label", label.to_content()),
+                    field("value", value.to_content()),
+                ],
+            ),
+            SessionCommand::AddBreakpoint { matcher, one_shot } => tagged(
+                "AddBreakpoint",
+                vec![
+                    field("matcher", matcher.to_content()),
+                    field("one_shot", one_shot.to_content()),
+                ],
+            ),
+            SessionCommand::ClearBreakpoints => Content::Str("ClearBreakpoints".to_owned()),
+            SessionCommand::Step => Content::Str("Step".to_owned()),
+            SessionCommand::Resume => Content::Str("Resume".to_owned()),
+            SessionCommand::RunFor { duration_ns } => tagged(
+                "RunFor",
+                vec![field("duration_ns", duration_ns.to_content())],
+            ),
+            SessionCommand::Snapshot { include_trace, .. } => tagged(
+                "Snapshot",
+                vec![field("include_trace", include_trace.to_content())],
+            ),
+        }
+    }
+}
+
+impl Deserialize for SessionCommand {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        if let Some(tag) = c.as_str() {
+            return match tag {
+                "ClearBreakpoints" => Ok(SessionCommand::ClearBreakpoints),
+                "Step" => Ok(SessionCommand::Step),
+                "Resume" => Ok(SessionCommand::Resume),
+                other => Err(DeError::custom(format!(
+                    "unknown variant `{other}` of SessionCommand"
+                ))),
+            };
+        }
+        let entries = c
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected variant map for SessionCommand"))?;
+        let (tag, body) = entries
+            .first()
+            .ok_or_else(|| DeError::custom("empty variant map for SessionCommand"))?;
+        let tag = tag
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected string variant tag"))?;
+        let fields = body
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected field map for `{tag}`")))?;
+        match tag {
+            "ScheduleSignal" => Ok(SessionCommand::ScheduleSignal {
+                time_ns: get(fields, "time_ns")?,
+                label: get(fields, "label")?,
+                value: get(fields, "value")?,
+            }),
+            "AddBreakpoint" => Ok(SessionCommand::AddBreakpoint {
+                matcher: get(fields, "matcher")?,
+                one_shot: get(fields, "one_shot")?,
+            }),
+            "RunFor" => Ok(SessionCommand::RunFor {
+                duration_ns: get(fields, "duration_ns")?,
+            }),
+            "Snapshot" => {
+                // The wire carries no reply channel; install a dangling
+                // sender the transport re-wires before forwarding.
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::Snapshot {
+                    reply,
+                    include_trace: get(fields, "include_trace")?,
+                })
+            }
+            other => Err(DeError::custom(format!(
+                "unknown variant `{other}` of SessionCommand"
+            ))),
+        }
+    }
+}
+
+/// Encodes one envelope as a length-prefixed frame, ready to write.
+pub fn encode_frame<T: Serialize>(frame: &T) -> Vec<u8> {
+    let json = serde_json::to_string(frame).expect("frame serializes");
+    let mut out = Vec::with_capacity(4 + json.len());
+    out.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    out.extend_from_slice(json.as_bytes());
+    out
+}
+
+/// Decodes one frame payload (the JSON bytes *after* the length
+/// prefix) into an envelope.
+///
+/// # Errors
+///
+/// Returns a message for non-UTF-8 or shape-mismatched payloads.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| format!("frame payload is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Incremental frame deframer: feed it bytes in whatever chunks the
+/// socket hands out (a frame may straddle any number of reads — same
+/// contract as the UART decoder on the target side), take complete
+/// payloads out as they materialize.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Takes the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the peer announces a frame longer than
+    /// [`MAX_FRAME_LEN`] — the stream is desynchronized and the
+    /// connection should be dropped.
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, String> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}

@@ -22,6 +22,7 @@
 //! cannot deadlock on its own locks.
 
 use crate::event::{EngineEvent, SessionSnapshot};
+use crate::queue::{self, EventReceiver, EventSender};
 use gmdf::DebugSession;
 use gmdf_comdes::SignalValue;
 use gmdf_engine::{EngineNotice, TraceEntry};
@@ -43,8 +44,9 @@ const POLL: Duration = Duration::from_millis(20);
 
 /// Locks a mutex, recovering the guard if a previous holder panicked —
 /// a worker panic fails one session (see [`worker_loop`]), it must not
-/// poison the whole server.
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+/// poison the whole server. Shared by the queue and wire modules, whose
+/// locks follow the same policy.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -57,6 +59,13 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Default per-turn time-slice budget, in target nanoseconds.
     pub slice_ns: u64,
+    /// Default capacity of each subscriber's event queue. A slow
+    /// subscriber overflowing it has consecutive `TraceDelta`s
+    /// coalesced, then the oldest events dropped and announced by an
+    /// in-stream [`EngineEvent::Lagged`] — the pump never blocks and
+    /// never grows memory without bound on a stalled consumer.
+    /// `0` = legacy unbounded queues (no loss, unbounded memory).
+    pub subscriber_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +73,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             slice_ns: 1_000_000,
+            subscriber_capacity: 1024,
         }
     }
 }
@@ -151,7 +161,7 @@ struct SessionInner {
     slice_ns: u64,
     /// First trace sequence number subscribers have not seen yet.
     trace_cursor: u64,
-    subscribers: Vec<mpsc::Sender<EngineEvent>>,
+    subscribers: Vec<EventSender>,
     events_fed: u64,
     violations: u64,
     breakpoint_hits: u64,
@@ -187,6 +197,7 @@ struct Shared {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     default_slice_ns: u64,
+    default_subscriber_capacity: usize,
 }
 
 impl Shared {
@@ -236,6 +247,7 @@ impl DebugServer {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             default_slice_ns: config.slice_ns.max(1),
+            default_subscriber_capacity: config.subscriber_capacity,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -289,6 +301,25 @@ impl DebugServer {
     /// Number of hosted sessions.
     pub fn session_count(&self) -> usize {
         lock(&self.sessions).len()
+    }
+
+    /// Ids of every hosted session, in registration order — what a
+    /// remote client is offered at attach time.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        lock(&self.sessions).iter().map(|c| c.id).collect()
+    }
+
+    /// A fresh handle to hosted session `id`, or `None` for an unknown
+    /// id. This is how late-joining clients (e.g. wire connections)
+    /// attach to sessions added by someone else.
+    pub fn handle(&self, id: SessionId) -> Option<SessionHandle> {
+        lock(&self.sessions)
+            .iter()
+            .find(|cell| cell.id == id)
+            .map(|cell| SessionHandle {
+                cell: Arc::clone(cell),
+                shared: Arc::clone(&self.shared),
+            })
     }
 
     /// Number of worker threads in the pool.
@@ -354,11 +385,21 @@ impl SessionHandle {
         }
     }
 
-    /// Subscribes to the session's broadcast stream from this point on.
-    /// The returned receiver is unbounded and never back-pressures the
-    /// pump; drop it to unsubscribe.
-    pub fn subscribe(&self) -> mpsc::Receiver<EngineEvent> {
-        let (tx, rx) = mpsc::channel();
+    /// Subscribes to the session's broadcast stream from this point on,
+    /// with the server's default queue capacity
+    /// ([`ServerConfig::subscriber_capacity`]). The queue never
+    /// back-pressures the pump: a subscriber that falls behind a
+    /// bounded queue loses data *visibly* ([`EngineEvent::Lagged`])
+    /// instead of growing memory without bound. Drop the receiver to
+    /// unsubscribe.
+    pub fn subscribe(&self) -> EventReceiver {
+        self.subscribe_with_capacity(self.shared.default_subscriber_capacity)
+    }
+
+    /// Like [`SessionHandle::subscribe`] with an explicit queue
+    /// capacity (`0` = unbounded, the legacy behaviour).
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventReceiver {
+        let (tx, rx) = queue::channel(self.cell.id, capacity);
         lock(&self.cell.inner).subscribers.push(tx);
         rx
     }
@@ -752,13 +793,15 @@ fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
 
 /// Delivers `event` to every live subscriber, pruning dead ones. The
 /// last recipient gets the event by move, so the common single-
-/// subscriber case never deep-clones a `TraceDelta` payload.
+/// subscriber case never deep-clones a `TraceDelta` payload. Pushes
+/// never block: a full bounded queue coalesces or drops on the
+/// subscriber's side (see [`crate::queue`]).
 fn broadcast(inner: &mut SessionInner, event: EngineEvent) {
     let subscribers = &mut inner.subscribers;
     match subscribers.len() {
         0 => {}
         1 => {
-            if subscribers[0].send(event).is_err() {
+            if !subscribers[0].push(event) {
                 subscribers.clear();
             }
         }
@@ -766,18 +809,27 @@ fn broadcast(inner: &mut SessionInner, event: EngineEvent) {
             let mut alive = vec![true; n];
             let mut any_dead = false;
             for (i, subscriber) in subscribers.iter().enumerate().take(n - 1) {
-                if subscriber.send(event.clone()).is_err() {
+                if !subscriber.push(event.clone()) {
                     alive[i] = false;
                     any_dead = true;
                 }
             }
-            if subscribers[n - 1].send(event).is_err() {
+            if !subscribers[n - 1].push(event) {
                 alive[n - 1] = false;
                 any_dead = true;
             }
             if any_dead {
-                let mut keep = alive.into_iter();
-                subscribers.retain(|_| keep.next().expect("length match"));
+                // Positional retain. Deliberately index-defensive: this
+                // runs inside the broadcast lock, where a panic would
+                // poison the session for every other subscriber, so a
+                // length mismatch keeps the subscriber rather than
+                // unwinding.
+                let mut idx = 0;
+                subscribers.retain(|_| {
+                    let keep = alive.get(idx).copied().unwrap_or(true);
+                    idx += 1;
+                    keep
+                });
             }
         }
     }

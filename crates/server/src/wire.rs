@@ -1,0 +1,873 @@
+//! The wire layer: remote attach over TCP.
+//!
+//! [`WireServer`] fronts a [`DebugServer`]: it accepts TCP connections,
+//! speaks the [`crate::proto`] handshake, and gives each connection two
+//! threads — a **reader** that decodes [`ClientFrame`]s and forwards
+//! commands to the hosted session, and a **writer** that multiplexes
+//! command replies with the attached session's broadcast stream onto
+//! the socket.
+//!
+//! Backpressure is inherited from the in-process subscription: the
+//! writer drains a *bounded* [`EventReceiver`], so a stalled TCP client
+//! fills its own queue, gets consecutive `TraceDelta`s coalesced, then
+//! drops oldest events (announced in-stream by
+//! [`EngineEvent::Lagged`][crate::EngineEvent::Lagged]) — the
+//! scheduler pump never blocks on a socket and the server's memory
+//! stays bounded per connection.
+//!
+//! [`WireClient`] is the matching blocking client: it drives the
+//! handshake, attaches to one session, sends commands, and interleaves
+//! event consumption with request/reply calls on a single socket.
+
+use crate::proto::{
+    decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame, MAX_FRAME_LEN,
+};
+use crate::queue::EventReceiver;
+use crate::server::{lock, DebugServer, SessionCommand, SessionHandle, SessionId};
+use crate::EngineEvent;
+use crate::SessionSnapshot;
+use serde::Serialize;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket poll granularity: read/write timeouts and shutdown-flag
+/// re-check period. A backstop, not the event latency — frames flow as
+/// fast as the socket carries them.
+const POLL: Duration = Duration::from_millis(20);
+
+/// How long the server waits on a session snapshot before reporting an
+/// error frame to the client.
+const SNAPSHOT_WAIT: Duration = Duration::from_secs(30);
+
+/// Default client-side wait for a command reply.
+const REPLY_WAIT: Duration = Duration::from_secs(30);
+
+/// A wire-layer failure, on either side of the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Socket-level failure (connect, read, write).
+    Io(String),
+    /// The peer violated the protocol (bad frame, unexpected reply).
+    Protocol(String),
+    /// The server reported an error frame.
+    Remote(String),
+    /// The peer speaks a different [`crate::proto::WIRE_VERSION`].
+    VersionMismatch {
+        /// Version spoken by this side.
+        ours: u32,
+        /// Version the peer announced.
+        theirs: u32,
+    },
+    /// The connection closed before the operation completed.
+    Closed,
+    /// A blocking wait exceeded its deadline.
+    Timeout,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "wire i/o error: {m}"),
+            WireError::Protocol(m) => write!(f, "wire protocol violation: {m}"),
+            WireError::Remote(m) => write!(f, "server error: {m}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "wire version mismatch: ours {ours}, theirs {theirs}")
+            }
+            WireError::Closed => write!(f, "wire connection closed"),
+            WireError::Timeout => write!(f, "timed out waiting on the wire"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// A TCP front for a [`DebugServer`]: remote clients attach to hosted
+/// sessions, send [`SessionCommand`]s, and stream
+/// [`EngineEvent`][crate::EngineEvent]s.
+///
+/// Dropping the server stops accepting, disconnects every client, and
+/// joins all connection threads. The fronted [`DebugServer`] keeps
+/// running (it is shared via [`Arc`]).
+#[derive(Debug)]
+pub struct WireServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `server`'s sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn start(server: Arc<DebugServer>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("gmdf-wire-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &server, &shutdown, &conns))
+                .expect("spawn wire accept thread")
+        };
+        Ok(WireServer {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address — what clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects clients, joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let conns: Vec<JoinHandle<()>> = lock(&self.conns).drain(..).collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<DebugServer>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        // Reap finished connections so a long-lived server with churning
+        // clients does not accumulate handles (finished threads are
+        // safe to detach-drop).
+        lock(conns).retain(|handle| !handle.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(server);
+                let shutdown = Arc::clone(shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("gmdf-wire-conn".to_owned())
+                    .spawn(move || serve_connection(stream, &server, &shutdown))
+                    .expect("spawn wire connection thread");
+                lock(conns).push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Outcome of one blocking frame read on the server side.
+enum ReadOutcome {
+    Frame(ClientFrame),
+    /// Clean close, peer error, or server shutdown — stop serving.
+    Stop,
+    /// The peer sent bytes that do not decode; report and stop.
+    Malformed(String),
+}
+
+/// Reads the next client frame, polling the shutdown flag at [`POLL`]
+/// granularity. The stream must have a read timeout installed.
+fn next_client_frame(
+    mut stream: &TcpStream,
+    decoder: &mut FrameDecoder,
+    shutdown: &AtomicBool,
+    closed: &AtomicBool,
+) -> ReadOutcome {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match decoder.next_payload() {
+            Ok(Some(payload)) => match decode_payload::<ClientFrame>(&payload) {
+                Ok(frame) => return ReadOutcome::Frame(frame),
+                Err(e) => return ReadOutcome::Malformed(e),
+            },
+            Ok(None) => {}
+            Err(e) => return ReadOutcome::Malformed(e),
+        }
+        if shutdown.load(Ordering::SeqCst) || closed.load(Ordering::SeqCst) {
+            return ReadOutcome::Stop;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Stop,
+            Ok(n) => decoder.feed(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return ReadOutcome::Stop,
+        }
+    }
+}
+
+/// How long a write keeps retrying after the connection started
+/// closing (`closed` set): long enough for a final diagnostic frame to
+/// reach a live peer, short enough that a stalled one only delays —
+/// never wedges — its own teardown.
+const FLUSH_GRACE: Duration = Duration::from_millis(500);
+
+/// Writes pre-encoded bytes, retrying on write timeouts while polling
+/// the shutdown flag. Once `closed` is set the retries continue only
+/// for [`FLUSH_GRACE`], so queued diagnostics still flush to a live
+/// peer but a stalled one cannot hang the join.
+fn write_bytes(
+    mut stream: &TcpStream,
+    bytes: &[u8],
+    shutdown: &AtomicBool,
+    closed: &AtomicBool,
+) -> Result<(), ()> {
+    let mut off = 0;
+    let mut grace: Option<Instant> = None;
+    while off < bytes.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Err(());
+        }
+        if closed.load(Ordering::SeqCst) {
+            let deadline = *grace.get_or_insert_with(|| Instant::now() + FLUSH_GRACE);
+            if Instant::now() >= deadline {
+                return Err(());
+            }
+        }
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => off += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(())
+}
+
+/// Encodes and writes one frame (see [`write_bytes`]).
+fn write_frame<T: Serialize>(
+    stream: &TcpStream,
+    frame: &T,
+    shutdown: &AtomicBool,
+    closed: &AtomicBool,
+) -> Result<(), ()> {
+    write_bytes(stream, &encode_frame(frame), shutdown, closed)
+}
+
+/// The request id `frame` answers, if it is a reply.
+fn frame_seq(frame: &ServerFrame) -> Option<u64> {
+    match frame {
+        ServerFrame::Ack { seq } | ServerFrame::Snapshot { seq, .. } => Some(*seq),
+        ServerFrame::Error { seq, .. } => *seq,
+        ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
+    }
+}
+
+/// Like [`write_frame`], but substitutes a fitting frame when the
+/// encoding exceeds [`MAX_FRAME_LEN`]: an oversized event degrades to
+/// an in-stream [`EngineEvent::Lagged`] (visible data loss, stream
+/// stays healthy), an oversized reply to an `Error` naming the request
+/// — never a desynchronized stream the peer can only abandon.
+fn write_server_frame(
+    stream: &TcpStream,
+    frame: &ServerFrame,
+    shutdown: &AtomicBool,
+    closed: &AtomicBool,
+) -> Result<(), ()> {
+    let mut bytes = encode_frame(frame);
+    if bytes.len() - 4 > MAX_FRAME_LEN {
+        let substitute = match frame {
+            ServerFrame::Event { event } => ServerFrame::Event {
+                event: EngineEvent::Lagged {
+                    session: event.session(),
+                    dropped: match event {
+                        EngineEvent::TraceDelta { entries, .. } => entries.len() as u64,
+                        _ => 1,
+                    },
+                },
+            },
+            other => ServerFrame::Error {
+                seq: frame_seq(other),
+                message: format!(
+                    "reply of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
+                    bytes.len() - 4
+                ),
+            },
+        };
+        bytes = encode_frame(&substitute);
+    }
+    write_bytes(stream, &bytes, shutdown, closed)
+}
+
+fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(POLL));
+    let closed = Arc::new(AtomicBool::new(false));
+    let mut decoder = FrameDecoder::new();
+
+    // Handshake: the first frame must be a version-matched Hello.
+    match next_client_frame(&stream, &mut decoder, shutdown, &closed) {
+        ReadOutcome::Frame(ClientFrame::Hello { version }) => {
+            if version != crate::proto::WIRE_VERSION {
+                let _ = write_frame(
+                    &stream,
+                    &ServerFrame::Error {
+                        seq: None,
+                        message: format!(
+                            "wire version mismatch: server speaks {}, client sent {version}",
+                            crate::proto::WIRE_VERSION
+                        ),
+                    },
+                    shutdown,
+                    &closed,
+                );
+                return;
+            }
+        }
+        ReadOutcome::Frame(_) => {
+            let _ = write_frame(
+                &stream,
+                &ServerFrame::Error {
+                    seq: None,
+                    message: "expected Hello as the first frame".to_owned(),
+                },
+                shutdown,
+                &closed,
+            );
+            return;
+        }
+        ReadOutcome::Malformed(e) => {
+            let _ = write_frame(
+                &stream,
+                &ServerFrame::Error {
+                    seq: None,
+                    message: e,
+                },
+                shutdown,
+                &closed,
+            );
+            return;
+        }
+        ReadOutcome::Stop => return,
+    }
+
+    // Post-handshake, replies and events share the socket: the reader
+    // writes command replies directly (no queuing latency) and a
+    // streamer thread pumps the attached session's events; a write
+    // lock keeps whole frames atomic between the two.
+    let write_lock = Arc::new(Mutex::new(()));
+    let (sub_tx, sub_rx) = mpsc::channel::<EventReceiver>();
+    let streamer = {
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let shutdown = Arc::clone(shutdown);
+        let closed = Arc::clone(&closed);
+        let write_lock = Arc::clone(&write_lock);
+        std::thread::Builder::new()
+            .name("gmdf-wire-streamer".to_owned())
+            .spawn(move || event_loop(&stream, &sub_rx, &shutdown, &closed, &write_lock))
+            .expect("spawn wire streamer thread")
+    };
+    let reply = |frame: ServerFrame| {
+        let _guard = lock(&write_lock);
+        if write_server_frame(&stream, &frame, shutdown, &closed).is_err() {
+            closed.store(true, Ordering::SeqCst);
+        }
+    };
+    reply(ServerFrame::HelloAck {
+        version: crate::proto::WIRE_VERSION,
+        sessions: server.session_ids(),
+    });
+
+    let mut attached: Option<SessionHandle> = None;
+    loop {
+        if closed.load(Ordering::SeqCst) {
+            break;
+        }
+        match next_client_frame(&stream, &mut decoder, shutdown, &closed) {
+            ReadOutcome::Frame(ClientFrame::Hello { .. }) => {
+                // A connection-level violation; per the protocol
+                // contract a seq-less Error closes the connection.
+                reply(ServerFrame::Error {
+                    seq: None,
+                    message: "duplicate Hello".to_owned(),
+                });
+                break;
+            }
+            ReadOutcome::Frame(ClientFrame::Attach { seq, session }) => {
+                match server.handle(session) {
+                    Some(handle) => {
+                        // Subscribe *before* acking so no event between
+                        // the ack and the subscription can be missed
+                        // (the streamer may interleave an event ahead of
+                        // the ack; the client buffers it).
+                        let _ = sub_tx.send(handle.subscribe());
+                        reply(ServerFrame::Ack { seq });
+                        attached = Some(handle);
+                    }
+                    None => reply(ServerFrame::Error {
+                        seq: Some(seq),
+                        message: format!("unknown session {session}"),
+                    }),
+                }
+            }
+            ReadOutcome::Frame(ClientFrame::Command { seq, command }) => {
+                let Some(handle) = &attached else {
+                    reply(ServerFrame::Error {
+                        seq: Some(seq),
+                        message: "attach to a session before sending commands".to_owned(),
+                    });
+                    continue;
+                };
+                match command {
+                    SessionCommand::Snapshot { include_trace, .. } => {
+                        // Re-wire the reply channel (the deserialized
+                        // one is a dangling stand-in) by issuing the
+                        // snapshot through the handle.
+                        let result = if include_trace {
+                            handle.snapshot(SNAPSHOT_WAIT)
+                        } else {
+                            handle.stats(SNAPSHOT_WAIT)
+                        };
+                        match result {
+                            Ok(snapshot) => reply(ServerFrame::Snapshot { seq, snapshot }),
+                            Err(e) => reply(ServerFrame::Error {
+                                seq: Some(seq),
+                                message: e.to_string(),
+                            }),
+                        }
+                    }
+                    other => match handle.send(other) {
+                        Ok(()) => reply(ServerFrame::Ack { seq }),
+                        Err(e) => reply(ServerFrame::Error {
+                            seq: Some(seq),
+                            message: e.to_string(),
+                        }),
+                    },
+                }
+            }
+            ReadOutcome::Malformed(e) => {
+                // Written before `closed` is set, so the diagnostic
+                // still flushes to a live peer.
+                reply(ServerFrame::Error {
+                    seq: None,
+                    message: e,
+                });
+                break;
+            }
+            ReadOutcome::Stop => break,
+        }
+    }
+    closed.store(true, Ordering::SeqCst);
+    drop(sub_tx);
+    let _ = streamer.join();
+}
+
+/// The per-connection event streamer: waits on the attached session's
+/// subscription (woken immediately on every broadcast) and writes each
+/// event frame under the connection's write lock. A re-attach replaces
+/// the streamed subscription.
+fn event_loop(
+    stream: &TcpStream,
+    subs: &mpsc::Receiver<EventReceiver>,
+    shutdown: &AtomicBool,
+    closed: &AtomicBool,
+    write_lock: &Mutex<()>,
+) {
+    let mut sub: Option<EventReceiver> = None;
+    loop {
+        if shutdown.load(Ordering::SeqCst) || closed.load(Ordering::SeqCst) {
+            return;
+        }
+        match &sub {
+            None => match subs.recv_timeout(POLL) {
+                Ok(receiver) => sub = Some(receiver),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                // The reader is gone and no subscription will ever
+                // arrive; nothing left to stream.
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            },
+            Some(receiver) => {
+                if let Ok(replacement) = subs.try_recv() {
+                    sub = Some(replacement);
+                    continue;
+                }
+                match receiver.recv_timeout(POLL) {
+                    Ok(event) => {
+                        let frame = ServerFrame::Event { event };
+                        let guard = lock(write_lock);
+                        let ok = write_server_frame(stream, &frame, shutdown, closed).is_ok();
+                        drop(guard);
+                        if !ok {
+                            closed.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    // The session is gone (server released it); keep
+                    // serving replies until the client goes away.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => sub = None,
+                }
+            }
+        }
+    }
+}
+
+/// A blocking client for [`WireServer`]: one socket, one attached
+/// session, commands interleaved with the event stream.
+///
+/// Events that arrive while the client waits for a command reply are
+/// buffered and handed out by [`WireClient::next_event`] in order —
+/// nothing on the stream is dropped client-side.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    buffered: std::collections::VecDeque<crate::EngineEvent>,
+    sessions: Vec<SessionId>,
+    /// The currently attached session; events from any other session
+    /// (stragglers written around a re-attach) are filtered out.
+    attached: Option<SessionId>,
+    /// Request-id counter; replies echo it, so a stale reply left in
+    /// flight by a timed-out call can never answer a later request.
+    next_seq: u64,
+}
+
+impl WireClient {
+    /// Connects and completes the hello/version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on socket failure, [`WireError::Remote`] /
+    /// [`WireError::VersionMismatch`] on a rejected handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL))?;
+        let mut client = WireClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            buffered: std::collections::VecDeque::new(),
+            sessions: Vec::new(),
+            attached: None,
+            next_seq: 0,
+        };
+        client.write(&ClientFrame::Hello {
+            version: crate::proto::WIRE_VERSION,
+        })?;
+        match client.read_frame(REPLY_WAIT)? {
+            ServerFrame::HelloAck { version, sessions } => {
+                if version != crate::proto::WIRE_VERSION {
+                    return Err(WireError::VersionMismatch {
+                        ours: crate::proto::WIRE_VERSION,
+                        theirs: version,
+                    });
+                }
+                client.sessions = sessions;
+                Ok(client)
+            }
+            ServerFrame::Error { message, .. } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sessions the server hosted at handshake time.
+    pub fn sessions(&self) -> &[SessionId] {
+        &self.sessions
+    }
+
+    /// Attaches this connection to `session`; its event stream starts
+    /// flowing immediately after the acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] for an unknown session, transport errors
+    /// otherwise.
+    pub fn attach(&mut self, session: SessionId) -> Result<(), WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Attach { seq, session })?;
+        self.wait_ack(seq)?;
+        self.attached = Some(session);
+        // Drop events buffered from a previously attached session, but
+        // keep any of the *new* session's events that the streamer
+        // wrote ahead of the ack — the subscription starts before the
+        // ack is sent, and its leading events must not be lost.
+        self.buffered.retain(|event| event.session() == session);
+        Ok(())
+    }
+
+    /// Sends one command to the attached session and waits for the
+    /// acknowledgment. Use [`WireClient::snapshot`] for
+    /// [`SessionCommand::Snapshot`] (it has a dedicated reply).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] when the server rejects the command,
+    /// transport errors otherwise.
+    pub fn send(&mut self, command: SessionCommand) -> Result<(), WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command { seq, command })?;
+        self.wait_ack(seq)
+    }
+
+    /// Requests a snapshot of the attached session (with the serialized
+    /// trace when `include_trace`).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors otherwise.
+    pub fn snapshot(
+        &mut self,
+        include_trace: bool,
+        timeout: Duration,
+    ) -> Result<SessionSnapshot, WireError> {
+        let (reply, _) = mpsc::channel();
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq,
+            command: SessionCommand::Snapshot {
+                reply,
+                include_trace,
+            },
+        })?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Timeout);
+            }
+            match self.read_frame(remaining)? {
+                ServerFrame::Snapshot { seq: s, snapshot } if s == seq => return Ok(snapshot),
+                ServerFrame::Event { event } => self.buffered.push_back(event),
+                ServerFrame::Error { seq: Some(s), .. } if s != seq => {} // stale
+                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
+                // Stale replies to requests whose caller already gave
+                // up; this request's reply is still coming.
+                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "expected Snapshot, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The next event on the attached session's stream (buffered ones
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses first, transport
+    /// or remote errors otherwise.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<crate::EngineEvent, WireError> {
+        while let Some(event) = self.buffered.pop_front() {
+            if self.wants(&event) {
+                return Ok(event);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Timeout);
+            }
+            match self.read_frame(remaining)? {
+                ServerFrame::Event { event } if self.wants(&event) => return Ok(event),
+                // A straggler from a previously attached session,
+                // written around a re-attach; not part of this stream.
+                ServerFrame::Event { .. } => {}
+                // Stray replies from an earlier timed-out request (an
+                // Ack, a Snapshot, or a request-level Error that
+                // arrived after its caller gave up) are not events;
+                // skip them instead of poisoning an otherwise healthy
+                // connection.
+                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
+                ServerFrame::Error { seq: Some(_), .. } => {}
+                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "expected Event, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Polls counter snapshots until the attached session is idle (no
+    /// run budget left after every previously sent command applied).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses first.
+    pub fn wait_idle(&mut self, timeout: Duration) -> Result<(), WireError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Timeout);
+            }
+            // The snapshot round-trips through the mailbox, so once it
+            // reports zero budget every earlier command was applied.
+            let snapshot = self.snapshot(false, remaining)?;
+            if snapshot.remaining_ns == 0 {
+                return Ok(());
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+
+    /// Convenience: [`SessionCommand::RunFor`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn run_for(&mut self, duration_ns: u64) -> Result<(), WireError> {
+        self.send(SessionCommand::RunFor { duration_ns })
+    }
+
+    /// Convenience: [`SessionCommand::ScheduleSignal`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn schedule_signal(
+        &mut self,
+        time_ns: u64,
+        label: &str,
+        value: gmdf_comdes::SignalValue,
+    ) -> Result<(), WireError> {
+        self.send(SessionCommand::ScheduleSignal {
+            time_ns,
+            label: label.to_owned(),
+            value,
+        })
+    }
+
+    /// Convenience: [`SessionCommand::AddBreakpoint`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn add_breakpoint(
+        &mut self,
+        matcher: gmdf_gdm::CommandMatcher,
+        one_shot: bool,
+    ) -> Result<(), WireError> {
+        self.send(SessionCommand::AddBreakpoint { matcher, one_shot })
+    }
+
+    /// Convenience: [`SessionCommand::Step`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn step(&mut self) -> Result<(), WireError> {
+        self.send(SessionCommand::Step)
+    }
+
+    /// Convenience: [`SessionCommand::Resume`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn resume(&mut self) -> Result<(), WireError> {
+        self.send(SessionCommand::Resume)
+    }
+
+    /// Convenience: [`SessionCommand::ClearBreakpoints`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::send`].
+    pub fn clear_breakpoints(&mut self) -> Result<(), WireError> {
+        self.send(SessionCommand::ClearBreakpoints)
+    }
+
+    fn write<T: Serialize>(&mut self, frame: &T) -> Result<(), WireError> {
+        self.stream.write_all(&encode_frame(frame))?;
+        Ok(())
+    }
+
+    /// `true` if `event` belongs to the attached session's stream.
+    fn wants(&self, event: &crate::EngineEvent) -> bool {
+        self.attached
+            .is_none_or(|session| event.session() == session)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn wait_ack(&mut self, seq: u64) -> Result<(), WireError> {
+        let deadline = Instant::now() + REPLY_WAIT;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Timeout);
+            }
+            match self.read_frame(remaining)? {
+                ServerFrame::Ack { seq: s } if s == seq => return Ok(()),
+                ServerFrame::Event { event } => self.buffered.push_back(event),
+                ServerFrame::Error { seq: Some(s), .. } if s != seq => {} // stale
+                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
+                // Replies left over from earlier timed-out requests;
+                // skip them rather than fail this command.
+                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
+                other => return Err(WireError::Protocol(format!("expected Ack, got {other:?}"))),
+            }
+        }
+    }
+
+    /// Reads one server frame, waiting up to `timeout`.
+    fn read_frame(&mut self, timeout: Duration) -> Result<ServerFrame, WireError> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.decoder.next_payload() {
+                Ok(Some(payload)) => {
+                    return decode_payload::<ServerFrame>(&payload).map_err(WireError::Protocol)
+                }
+                Ok(None) => {}
+                Err(e) => return Err(WireError::Protocol(e)),
+            }
+            if Instant::now() >= deadline {
+                return Err(WireError::Timeout);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(WireError::Closed),
+                Ok(n) => self.decoder.feed(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) => return Err(WireError::Io(e.to_string())),
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ fn sliced_server_run_matches_one_big_run_for() {
     let server = DebugServer::start(ServerConfig {
         workers: 1,
         slice_ns: 250_000,
+        ..ServerConfig::default()
     });
     let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
     handle.run_for(HORIZON_NS).unwrap();
@@ -49,6 +50,7 @@ fn contended_multi_worker_run_matches_one_big_run_for() {
     let server = DebugServer::start(ServerConfig {
         workers: 4,
         slice_ns: 500_000,
+        ..ServerConfig::default()
     });
     let probe = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
     let siblings: Vec<_> = (0..16)
@@ -90,6 +92,7 @@ fn broadcast_trace_deltas_reassemble_the_exact_trace() {
     let server = DebugServer::start(ServerConfig {
         workers: 2,
         slice_ns: 333_333, // not a divisor of anything interesting
+        ..ServerConfig::default()
     });
     let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
     let events = handle.subscribe();
@@ -118,6 +121,7 @@ fn two_identical_server_runs_are_byte_identical() {
         let server = DebugServer::start(ServerConfig {
             workers: 3,
             slice_ns: 777_777,
+            ..ServerConfig::default()
         });
         let handle = server.add_session(active_session(blinker_system("det", 0.002, 1_000_000)));
         handle.run_for(HORIZON_NS).unwrap();

@@ -167,6 +167,7 @@ proptest! {
         let server = DebugServer::start(ServerConfig {
             workers,
             slice_ns: 400_000,
+            ..ServerConfig::default()
         });
         let handle = server.add_session(active_session(blinker_system("prop", 0.002, 1_000_000)));
         let events = handle.subscribe();

@@ -15,6 +15,7 @@ fn soak_64_sessions_on_4_workers_run_to_completion() {
     let server = DebugServer::start(ServerConfig {
         workers: 4,
         slice_ns: 500_000,
+        ..ServerConfig::default()
     });
     let handles: Vec<_> = (0..64)
         .map(|i| {
@@ -60,6 +61,7 @@ fn dropping_the_server_mid_run_is_crash_free() {
     let server = DebugServer::start(ServerConfig {
         workers: 4,
         slice_ns: 250_000,
+        ..ServerConfig::default()
     });
     let handles: Vec<_> = (0..16)
         .map(|i| {
@@ -100,6 +102,7 @@ fn shutdown_is_idempotent_and_immediate_when_idle() {
     let mut server = DebugServer::start(ServerConfig {
         workers: 2,
         slice_ns: 1_000_000,
+        ..ServerConfig::default()
     });
     let handle = server.add_session(active_session(blinker_system("idem", 0.002, 1_000_000)));
     handle.run_for(5_000_000).unwrap();

@@ -1,0 +1,590 @@
+//! The wire layer's contracts:
+//!
+//! * **codec** — every `ClientFrame`/`ServerFrame` variant round-trips
+//!   through encode → arbitrary chunking → decode (the per-byte-vs-
+//!   batched UART pattern, applied to the TCP framing);
+//! * **fidelity** — a remote client driving a session over localhost
+//!   TCP receives an event stream byte-identical (after JSON
+//!   round-trip) to an in-process subscriber of the same run, and the
+//!   snapshot trace matches byte for byte;
+//! * **backpressure** — a deliberately stalled client overflows its own
+//!   bounded queue (coalesce, then drop + `Lagged`), while the
+//!   scheduler pump finishes on time and the recorded trace is
+//!   unaffected.
+
+mod common;
+
+use common::{active_session, blinker_system};
+use gmdf_comdes::SignalValue;
+use gmdf_gdm::{CommandMatcher, EventKind};
+use gmdf_server::proto::{
+    decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame, WIRE_VERSION,
+};
+use gmdf_server::{
+    DebugServer, EngineEvent, ServerConfig, SessionCommand, WireClient, WireError, WireServer,
+};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(60);
+const HORIZON_NS: u64 = 20_000_000;
+
+fn wired_server(config: ServerConfig) -> (Arc<DebugServer>, WireServer) {
+    let server = Arc::new(DebugServer::start(config));
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    (server, wire)
+}
+
+/// JSON text of a frame — the canonical comparison form (commands have
+/// no `PartialEq`; events get the same treatment for symmetry).
+fn json_of<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+// ---------------------------------------------------------------------------
+// Codec properties
+// ---------------------------------------------------------------------------
+
+fn arb_command() -> impl Strategy<Value = SessionCommand> {
+    prop_oneof![
+        (0u64..u64::MAX / 2, any::<bool>()).prop_map(|(t, b)| SessionCommand::ScheduleSignal {
+            time_ns: t,
+            label: format!("sig{}", t % 7),
+            value: if b {
+                SignalValue::Bool(t % 2 == 0)
+            } else {
+                SignalValue::Real(t as f64 * 0.125)
+            },
+        }),
+        any::<bool>().prop_map(|one_shot| SessionCommand::AddBreakpoint {
+            matcher: CommandMatcher::kind(EventKind::StateEnter).under("A/fsm"),
+            one_shot,
+        }),
+        Just(SessionCommand::ClearBreakpoints),
+        Just(SessionCommand::Step),
+        Just(SessionCommand::Resume),
+        (1u64..u64::MAX / 2).prop_map(|duration_ns| SessionCommand::RunFor { duration_ns }),
+        any::<bool>().prop_map(|include_trace| {
+            let (reply, _) = mpsc::channel();
+            SessionCommand::Snapshot {
+                reply,
+                include_trace,
+            }
+        }),
+    ]
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        any::<u32>().prop_map(|version| ClientFrame::Hello { version }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, session)| ClientFrame::Attach { seq, session }),
+        (any::<u64>(), arb_command())
+            .prop_map(|(seq, command)| ClientFrame::Command { seq, command }),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = EngineEvent> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(session, now_ns)| EngineEvent::SliceCompleted {
+            session,
+            now_ns,
+            report: gmdf::RunReport {
+                events_fed: (session % 100) as usize,
+                violations: (now_ns % 3) as usize,
+                breakpoint_hit: session % 2 == 0,
+            },
+        }),
+        (any::<u64>(), 0u64..5).prop_map(|(session, n)| EngineEvent::TraceDelta {
+            session,
+            entries: (0..n)
+                .map(|seq| gmdf_engine::TraceEntry {
+                    seq,
+                    event: gmdf_gdm::ModelEvent::new(seq * 17, EventKind::StateEnter, "A/fsm")
+                        .with_to("Run"),
+                    reactions: vec![],
+                    violations: if seq % 2 == 0 {
+                        vec![format!("violation {seq}")]
+                    } else {
+                        vec![]
+                    },
+                })
+                .collect(),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(session, seq)| EngineEvent::Violation {
+            session,
+            seq,
+            message: format!("out of range at {seq}"),
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(session, seq, time_ns)| {
+            EngineEvent::BreakpointHit {
+                session,
+                seq,
+                time_ns,
+            }
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(session, now_ns)| EngineEvent::Idle { session, now_ns }),
+        any::<u64>().prop_map(|session| EngineEvent::Error {
+            session,
+            message: "boom \"quoted\"\nline".to_owned(),
+        }),
+        (any::<u64>(), 1u64..u64::MAX)
+            .prop_map(|(session, dropped)| EngineEvent::Lagged { session, dropped }),
+    ]
+}
+
+fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
+    prop_oneof![
+        (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..5))
+            .prop_map(|(version, sessions)| ServerFrame::HelloAck { version, sessions }),
+        any::<u64>().prop_map(|seq| ServerFrame::Ack { seq }),
+        proptest::option::of(any::<u64>()).prop_map(|seq| ServerFrame::Error {
+            seq,
+            message: "unknown session 9".to_owned(),
+        }),
+        arb_event().prop_map(|event| ServerFrame::Event { event }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Client frames survive encode → arbitrary re-chunking → decode:
+    /// the deframer completes frames that straddle any read boundary,
+    /// and the decoded command serializes back to the same JSON.
+    #[test]
+    fn client_frames_roundtrip_over_any_chunking(
+        frames in proptest::collection::vec(arb_client_frame(), 1..8),
+        chunk_sizes in proptest::collection::vec(1usize..37, 1..16),
+    ) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&encode_frame(frame));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let (mut pos, mut k) = (0, 0);
+        while pos < wire.len() {
+            let n = chunk_sizes[k % chunk_sizes.len()].min(wire.len() - pos);
+            decoder.feed(&wire[pos..pos + n]);
+            while let Some(payload) = decoder.next_payload().unwrap() {
+                got.push(decode_payload::<ClientFrame>(&payload).unwrap());
+            }
+            pos += n;
+            k += 1;
+        }
+        prop_assert_eq!(decoder.buffered(), 0);
+        prop_assert_eq!(got.len(), frames.len());
+        for (sent, received) in frames.iter().zip(&got) {
+            prop_assert_eq!(json_of(sent), json_of(received));
+        }
+    }
+
+    /// Server frames — including every `EngineEvent` variant — survive
+    /// the same treatment.
+    #[test]
+    fn server_frames_roundtrip_over_any_chunking(
+        frames in proptest::collection::vec(arb_server_frame(), 1..8),
+        chunk_sizes in proptest::collection::vec(1usize..53, 1..16),
+    ) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&encode_frame(frame));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let (mut pos, mut k) = (0, 0);
+        while pos < wire.len() {
+            let n = chunk_sizes[k % chunk_sizes.len()].min(wire.len() - pos);
+            decoder.feed(&wire[pos..pos + n]);
+            while let Some(payload) = decoder.next_payload().unwrap() {
+                got.push(decode_payload::<ServerFrame>(&payload).unwrap());
+            }
+            pos += n;
+            k += 1;
+        }
+        prop_assert_eq!(got.len(), frames.len());
+        for (sent, received) in frames.iter().zip(&got) {
+            prop_assert_eq!(json_of(sent), json_of(received));
+        }
+    }
+}
+
+#[test]
+fn oversized_frame_length_is_rejected() {
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&u32::MAX.to_be_bytes());
+    assert!(decoder.next_payload().is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+#[test]
+fn handshake_lists_hosted_sessions() {
+    let (server, wire) = wired_server(ServerConfig::default());
+    let a = server.add_session(active_session(blinker_system("hs_a", 0.002, 1_000_000)));
+    let b = server.add_session(active_session(blinker_system("hs_b", 0.002, 1_000_000)));
+    let client = WireClient::connect(wire.local_addr()).expect("handshake");
+    assert_eq!(client.sessions(), &[a.id(), b.id()]);
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let (_server, wire) = wired_server(ServerConfig::default());
+    // A raw socket speaking a future protocol revision.
+    let mut raw = std::net::TcpStream::connect(wire.local_addr()).expect("connect");
+    raw.write_all(&encode_frame(&ClientFrame::Hello {
+        version: WIRE_VERSION + 1,
+    }))
+    .expect("send hello");
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 1024];
+    let reply = loop {
+        if let Some(payload) = decoder.next_payload().expect("frame") {
+            break decode_payload::<ServerFrame>(&payload).expect("decodes");
+        }
+        let n = raw.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed without replying");
+        decoder.feed(&chunk[..n]);
+    };
+    let ServerFrame::Error { message, .. } = reply else {
+        panic!("expected an error frame, got {reply:?}");
+    };
+    assert!(message.contains("version"), "unexpected message: {message}");
+}
+
+#[test]
+fn commands_before_attach_are_rejected_and_unknown_sessions_refused() {
+    let (_server, wire) = wired_server(ServerConfig::default());
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    match client.run_for(1_000) {
+        Err(WireError::Remote(m)) => assert!(m.contains("attach"), "message: {m}"),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    match client.attach(99) {
+        Err(WireError::Remote(m)) => assert!(m.contains("unknown session"), "message: {m}"),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity: the acceptance scenario
+// ---------------------------------------------------------------------------
+
+/// A remote client attaches, schedules a signal, sets a breakpoint,
+/// runs, resumes — and its event stream (BreakpointHit, TraceDelta,
+/// everything) is byte-identical, after the JSON round-trip, to an
+/// in-process subscriber of the very same run. So is the final trace.
+#[test]
+fn wire_stream_is_byte_identical_to_in_process_broadcast() {
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 2,
+        slice_ns: 333_333,
+        ..ServerConfig::default()
+    });
+    let handle = server.add_session(active_session(blinker_system("fid", 0.002, 1_000_000)));
+    let local = handle.subscribe();
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+
+    // Drive the whole scenario over the wire.
+    client
+        .schedule_signal(500_000, "lamp", SignalValue::Bool(true))
+        .expect("signal");
+    client
+        .add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)
+        .expect("breakpoint");
+    client.run_for(HORIZON_NS).expect("run");
+    client.wait_idle(WAIT).expect("idle");
+    client.resume().expect("resume");
+    client.wait_idle(WAIT).expect("drained");
+
+    // In-process ground truth, from this run's own broadcast. Drain
+    // until a full second of silence: the final deltas are published
+    // moments after the snapshot that ended wait_idle, and a loaded
+    // machine may deschedule the worker mid-turn.
+    let mut local_events: Vec<EngineEvent> = Vec::new();
+    while let Ok(event) = local.recv_timeout(Duration::from_secs(1)) {
+        local_events.push(event);
+    }
+    assert!(
+        local_events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::BreakpointHit { .. })),
+        "scenario must hit the breakpoint"
+    );
+    assert!(
+        local_events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::TraceDelta { .. })),
+        "scenario must stream trace deltas"
+    );
+
+    // The wire must deliver exactly the same stream: read event-for-
+    // event (a generous per-event timeout, robust to load), then prove
+    // nothing extra follows.
+    let mut wire_events = Vec::new();
+    while wire_events.len() < local_events.len() {
+        match client.next_event(WAIT) {
+            Ok(event) => wire_events.push(event),
+            Err(e) => panic!(
+                "wire stream ended after {} of {} events: {e}",
+                wire_events.len(),
+                local_events.len()
+            ),
+        }
+    }
+    if let Ok(extra) = client.next_event(Duration::from_millis(300)) {
+        panic!("wire stream carries an extra event: {extra:?}");
+    }
+    assert_eq!(
+        json_of(&local_events),
+        json_of(&wire_events),
+        "wire stream diverged from the in-process broadcast"
+    );
+
+    // The snapshot trace also survives the wire byte for byte.
+    let remote_snap = client.snapshot(true, WAIT).expect("remote snapshot");
+    let local_snap = handle.snapshot(WAIT).expect("local snapshot");
+    assert_eq!(remote_snap.trace_json, local_snap.trace_json);
+    assert_eq!(remote_snap.trace_len, local_snap.trace_len);
+    assert!(remote_snap.breakpoint_hits >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+// ---------------------------------------------------------------------------
+
+/// An in-process subscriber with a tiny bounded queue: the queue never
+/// exceeds its capacity, loss is announced by `Lagged`, surviving
+/// deltas stay ordered, and the recorded trace is untouched.
+#[test]
+fn bounded_subscriber_overflow_is_visible_and_bounded() {
+    let reference = {
+        let mut session = active_session(blinker_system("bp", 0.002, 1_000_000));
+        session.run_for(HORIZON_NS).unwrap();
+        session.engine().trace().to_json()
+    };
+    let server = DebugServer::start(ServerConfig {
+        workers: 1,
+        slice_ns: 250_000,
+        ..ServerConfig::default()
+    });
+    let handle = server.add_session(active_session(blinker_system("bp", 0.002, 1_000_000)));
+    let capacity = 4;
+    let sub = handle.subscribe_with_capacity(capacity);
+    handle.run_for(HORIZON_NS).unwrap();
+    // Stalled consumer: never drains while the run is live, but keeps
+    // checking that the queue respects its bound.
+    loop {
+        assert!(sub.len() <= capacity, "queue exceeded its capacity");
+        match handle.wait_idle(Duration::from_millis(1)) {
+            Ok(()) => break,
+            Err(gmdf_server::ServerError::Timeout) => continue,
+            Err(e) => panic!("wait_idle failed: {e}"),
+        }
+    }
+    let events: Vec<EngineEvent> = sub.try_iter().collect();
+    assert!(events.len() <= capacity + 1, "drain exceeded capacity");
+    let lagged: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::Lagged { dropped, .. } => Some(*dropped),
+            _ => None,
+        })
+        .sum();
+    assert!(lagged > 0, "a stalled subscriber must be told it lagged");
+    // Surviving trace entries arrive in order (gaps only at the loss).
+    let mut last_seq = None;
+    for event in &events {
+        if let EngineEvent::TraceDelta { entries, .. } = event {
+            for entry in entries {
+                assert!(last_seq.is_none_or(|s| entry.seq > s), "reordered delta");
+                last_seq = Some(entry.seq);
+            }
+        }
+    }
+    // The run itself is untouched: byte-identical trace.
+    let snapshot = handle.snapshot(WAIT).unwrap();
+    assert_eq!(snapshot.trace_json.as_deref(), Some(reference.as_str()));
+}
+
+/// A wire client that attaches and then never reads: its socket stalls,
+/// its queue overflows — and the scheduler still finishes the horizon
+/// at full cadence with a byte-identical trace. When the client finally
+/// drains, it finds a `Lagged` marker in-stream.
+#[test]
+fn stalled_wire_client_never_wedges_the_pump() {
+    let reference = {
+        let mut session = active_session(blinker_system("stall", 0.002, 1_000_000));
+        session.run_for(HORIZON_NS).unwrap();
+        session.engine().trace().to_json()
+    };
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 1,
+        slice_ns: 250_000,
+        // Tiny queues so the stall bites long before TCP buffers could
+        // mask it.
+        subscriber_capacity: 2,
+    });
+    let handle = server.add_session(active_session(blinker_system("stall", 0.002, 1_000_000)));
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+    // Stall: from here on the client reads nothing while the server
+    // pumps 80 slices' worth of events at it.
+    let t0 = Instant::now();
+    handle.run_for(HORIZON_NS).unwrap();
+    handle.wait_idle(WAIT).expect("pump must not be wedged");
+    let pumped_in = t0.elapsed();
+    assert!(
+        pumped_in < WAIT,
+        "wait_idle returned but took implausibly long: {pumped_in:?}"
+    );
+    let snapshot = handle.snapshot(WAIT).unwrap();
+    assert_eq!(
+        snapshot.trace_json.as_deref(),
+        Some(reference.as_str()),
+        "a stalled subscriber must not change the run"
+    );
+    // The client wakes up and finds the loss marker in its stream.
+    let deadline = Instant::now() + WAIT;
+    let mut saw_lagged = false;
+    while Instant::now() < deadline {
+        match client.next_event(Duration::from_millis(200)) {
+            Ok(EngineEvent::Lagged { dropped, .. }) => {
+                assert!(dropped > 0);
+                saw_lagged = true;
+                break;
+            }
+            Ok(_) => {}
+            // Keep waiting out the overall deadline: a loaded machine
+            // may open >200 ms gaps mid-stream.
+            Err(WireError::Timeout) => {}
+            Err(e) => panic!("stream error: {e}"),
+        }
+    }
+    assert!(saw_lagged, "the stalled client was never told it lagged");
+}
+
+/// Concurrent wire clients on different sessions do not interfere:
+/// each stream reassembles its own session's dense trace.
+#[test]
+fn two_wire_clients_stream_independent_sessions() {
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 2,
+        slice_ns: 500_000,
+        ..ServerConfig::default()
+    });
+    let h1 = server.add_session(active_session(blinker_system("w1", 0.002, 1_000_000)));
+    let h2 = server.add_session(active_session(blinker_system("w2", 0.003, 1_000_000)));
+    let mut c1 = WireClient::connect(wire.local_addr()).expect("c1");
+    let mut c2 = WireClient::connect(wire.local_addr()).expect("c2");
+    c1.attach(h1.id()).expect("attach 1");
+    c2.attach(h2.id()).expect("attach 2");
+    c1.run_for(HORIZON_NS).expect("run 1");
+    c2.run_for(HORIZON_NS).expect("run 2");
+    c1.wait_idle(WAIT).expect("idle 1");
+    c2.wait_idle(WAIT).expect("idle 2");
+    for (client, handle) in [(&mut c1, &h1), (&mut c2, &h2)] {
+        // The snapshot tells us how many trace entries the stream must
+        // deliver; read until they all arrived (generous per-event
+        // timeout — a fixed silence window is flaky under load).
+        let snap = client.snapshot(false, WAIT).expect("snapshot");
+        let mut seqs = Vec::new();
+        while seqs.len() < snap.trace_len {
+            match client.next_event(WAIT) {
+                Ok(event) => {
+                    assert_eq!(event.session(), handle.id(), "cross-session event leak");
+                    if let EngineEvent::TraceDelta { entries, .. } = event {
+                        seqs.extend(entries.iter().map(|e| e.seq));
+                    }
+                }
+                Err(e) => panic!(
+                    "stream ended after {} of {} entries: {e}",
+                    seqs.len(),
+                    snap.trace_len
+                ),
+            }
+        }
+        let expected: Vec<u64> = (0..snap.trace_len as u64).collect();
+        assert_eq!(seqs, expected, "stream must carry the dense trace");
+    }
+}
+
+/// A client that attaches mid-run must not lose post-subscription
+/// events — including any the streamer writes ahead of the attach Ack.
+/// Received deltas must be gapless from the first seen entry through
+/// the end of the recorded trace.
+#[test]
+fn late_join_stream_is_gapless_from_the_subscription_point() {
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 2,
+        slice_ns: 250_000,
+        ..ServerConfig::default()
+    });
+    let handle = server.add_session(active_session(blinker_system("late", 0.002, 1_000_000)));
+    handle.run_for(10 * HORIZON_NS).unwrap();
+    // Attach while the run is (very likely) still in flight.
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+    client.wait_idle(WAIT).expect("idle");
+    let snap = client.snapshot(false, WAIT).expect("snapshot");
+    let mut seqs: Vec<u64> = Vec::new();
+    while let Ok(event) = client.next_event(Duration::from_secs(1)) {
+        if let EngineEvent::TraceDelta { entries, .. } = event {
+            seqs.extend(entries.iter().map(|e| e.seq));
+        }
+    }
+    if let (Some(&first), Some(&last)) = (seqs.first(), seqs.last()) {
+        let expected: Vec<u64> = (first..=last).collect();
+        assert_eq!(seqs, expected, "late-join stream has gaps or reordering");
+        assert_eq!(
+            last as usize + 1,
+            snap.trace_len,
+            "late-join stream must run through the end of the trace"
+        );
+    }
+}
+
+/// A duplicate Hello is a connection-level violation: the server
+/// answers a seq-less Error and closes, as the protocol contract says.
+#[test]
+fn duplicate_hello_closes_the_connection() {
+    let (_server, wire) = wired_server(ServerConfig::default());
+    let mut raw = std::net::TcpStream::connect(wire.local_addr()).expect("connect");
+    raw.write_all(&encode_frame(&ClientFrame::Hello {
+        version: WIRE_VERSION,
+    }))
+    .expect("hello");
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 4096];
+    let mut read_frame = |raw: &mut std::net::TcpStream, decoder: &mut FrameDecoder| loop {
+        if let Some(payload) = decoder.next_payload().expect("frame") {
+            break Some(decode_payload::<ServerFrame>(&payload).expect("decodes"));
+        }
+        match raw.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => decoder.feed(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    };
+    assert!(matches!(
+        read_frame(&mut raw, &mut decoder),
+        Some(ServerFrame::HelloAck { .. })
+    ));
+    raw.write_all(&encode_frame(&ClientFrame::Hello {
+        version: WIRE_VERSION,
+    }))
+    .expect("duplicate hello");
+    assert!(matches!(
+        read_frame(&mut raw, &mut decoder),
+        Some(ServerFrame::Error { seq: None, .. })
+    ));
+    // The server hangs up; the stream drains to EOF.
+    assert!(read_frame(&mut raw, &mut decoder).is_none());
+}

@@ -1,11 +1,18 @@
 //! Observable simulator events.
 
 use gmdf_comdes::SignalValue;
+use std::sync::Arc;
 
 /// One entry of the simulator's event log — the platform-level record of
 /// a run (kernel activity and signal-board traffic). Model-level command
 /// traffic travels separately, over the UART byte stream or the JTAG
 /// watch hits.
+///
+/// Node and actor names are interned `Arc<str>`s shared with the
+/// simulator's boot-time name table: logging an event costs a reference
+/// count bump, not a heap-allocated `String` clone per release /
+/// completion / publication. `Arc<str>` formats (`Debug` and `Display`)
+/// exactly like `String`, so event-log comparisons are unaffected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimEvent {
     /// An environment stimulus was applied to the signal boards.
@@ -22,18 +29,18 @@ pub enum SimEvent {
         /// Release instant.
         time_ns: u64,
         /// Node name.
-        node: String,
+        node: Arc<str>,
         /// Actor task name.
-        actor: String,
+        actor: Arc<str>,
     },
     /// A task activation finished consuming its CPU demand.
     Completion {
         /// Completion instant.
         time_ns: u64,
         /// Node name.
-        node: String,
+        node: Arc<str>,
         /// Actor task name.
-        actor: String,
+        actor: Arc<str>,
         /// Completion minus release (the response time).
         response_ns: u64,
         /// Cycles the activation consumed.
@@ -44,9 +51,9 @@ pub enum SimEvent {
         /// Completion instant (when the miss became known).
         time_ns: u64,
         /// Node name.
-        node: String,
+        node: Arc<str>,
         /// Actor task name.
-        actor: String,
+        actor: Arc<str>,
         /// How far past the deadline the activation ran.
         overrun_ns: u64,
     },
@@ -56,9 +63,9 @@ pub enum SimEvent {
         /// completion time otherwise.
         time_ns: u64,
         /// Producing node.
-        node: String,
+        node: Arc<str>,
         /// Producing actor.
-        actor: String,
+        actor: Arc<str>,
         /// Signal label.
         label: String,
         /// Published value.

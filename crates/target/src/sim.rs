@@ -52,6 +52,7 @@ use crate::memo::TaskMemo;
 use gmdf_codegen::{vm, Frame, ProgramImage, Symbol};
 use gmdf_comdes::SignalValue;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Converts a cycle count to nanoseconds on a `hz` clock (rounding up).
 fn ns_of(cycles: u64, hz: u64) -> u64 {
@@ -176,6 +177,14 @@ struct NodeRt {
     last_proj: Option<(usize, u64, u64)>,
 }
 
+/// One node's interned names: the node itself plus one entry per task,
+/// shared by reference with every [`SimEvent`] that mentions them.
+#[derive(Debug, Clone)]
+struct NodeNames {
+    node: Arc<str>,
+    actors: Vec<Arc<str>>,
+}
+
 /// Broadcast subscribers of one publication: `(node, board address)`
 /// pairs, excluding the producer.
 type PubRoute = Vec<(usize, u32)>;
@@ -231,6 +240,10 @@ pub struct Simulator {
     /// Node name → index, built once at boot (`node_index` is on the
     /// `read_symbol`/`uart_take` hot paths).
     name_index: HashMap<String, usize>,
+    /// Interned node/actor names, built once at boot — event logging
+    /// clones an `Arc`, never a `String` (`SimEvent` is pushed on every
+    /// release, completion and publication).
+    names: Vec<NodeNames>,
     /// Precomputed broadcast routes: `pub_routes[ni][ti][pi]` lists the
     /// `(subscriber node, board address)` pairs carrying publication
     /// `pi` of task `(ni, ti)`. Built once at boot so `publish` — which
@@ -350,6 +363,18 @@ impl Simulator {
             .enumerate()
             .map(|(ni, n)| (n.node.clone(), ni))
             .collect();
+        let names = image
+            .nodes
+            .iter()
+            .map(|n| NodeNames {
+                node: Arc::from(n.node.as_str()),
+                actors: n
+                    .tasks
+                    .iter()
+                    .map(|t| Arc::from(t.actor.as_str()))
+                    .collect(),
+            })
+            .collect();
         let pub_routes = image
             .nodes
             .iter()
@@ -382,6 +407,7 @@ impl Simulator {
             config,
             nodes,
             name_index,
+            names,
             pub_routes,
             stimuli: Vec::new(),
             stim_pos: 0,
@@ -904,8 +930,8 @@ impl Simulator {
     /// Books a finished activation: logs completion (and a deadline miss
     /// when late) and routes its publication.
     fn complete_job(&mut self, ni: usize, ti: usize, job: Job, tc: u64) {
-        let node_name = self.image.nodes[ni].node.clone();
-        let actor = self.image.nodes[ni].tasks[ti].actor.clone();
+        let node_name = self.names[ni].node.clone();
+        let actor = self.names[ni].actors[ti].clone();
         self.events.push(SimEvent::Completion {
             time_ns: tc,
             node: node_name.clone(),
@@ -943,6 +969,7 @@ impl Simulator {
         let Simulator {
             image,
             nodes,
+            names,
             events,
             deliveries,
             config,
@@ -954,8 +981,8 @@ impl Simulator {
             nodes[ni].data[p.board as usize] = raw;
             events.push(SimEvent::Publish {
                 time_ns: t,
-                node: image.nodes[ni].node.clone(),
-                actor: task.actor.clone(),
+                node: names[ni].node.clone(),
+                actor: names[ni].actors[ti].clone(),
                 label: p.label.clone(),
                 value: SignalValue::from_raw(p.ty, raw),
             });
@@ -1050,6 +1077,7 @@ impl Simulator {
         let Simulator {
             image,
             nodes,
+            names,
             events,
             config,
             calendar,
@@ -1094,8 +1122,8 @@ impl Simulator {
             .collect();
         events.push(SimEvent::Release {
             time_ns: t,
-            node: image.nodes[ni].node.clone(),
-            actor: task.actor.clone(),
+            node: names[ni].node.clone(),
+            actor: names[ni].actors[ti].clone(),
         });
         let was_idle = nrt.tasks[ti].jobs.is_empty();
         let rt = &mut nrt.tasks[ti];

@@ -68,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = DebugServer::start(ServerConfig {
         workers: 4,
         slice_ns: 1_000_000, // 1 ms scheduling slices
+        ..ServerConfig::default()
     });
     println!(
         "debug server up: {} workers, {} ns slices",

@@ -1,0 +1,116 @@
+//! Remote attach: driving a hosted session over the wire protocol.
+//!
+//! Run with `cargo run --example remote_attach`.
+//!
+//! Boots a `DebugServer` hosting one blinker session, fronts it with a
+//! `WireServer` on an ephemeral loopback port, then plays the remote
+//! frontend: a `WireClient` performs the hello/version handshake,
+//! attaches to the session, schedules a stimulus, sets a one-shot
+//! breakpoint, pumps 20 ms of target time, and tails the event stream —
+//! the paper's Debugger Communication Framework, over real TCP.
+
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, SignalValue, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_gdm::{CommandMatcher, EventKind};
+use gmdf_server::{DebugServer, EngineEvent, ServerConfig, WireClient, WireServer};
+use gmdf_target::SimConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn blinker(name: &str) -> Result<System, gmdf_comdes::ComdesError> {
+    let fsm = FsmBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+        .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+        .transition(
+            "Off",
+            "On",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.002)),
+        )
+        .transition(
+            "On",
+            "Off",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(0.002)),
+        )
+        .build()?;
+    let net = NetworkBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state_machine("ctl", fsm)
+        .connect("ctl.lamp", "lamp")?
+        .build()?;
+    let actor = ActorBuilder::new("Blinker", net)
+        .output("lamp", "lamp")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()?;
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new(name).with_node(node))
+}
+
+fn session(system: System) -> Result<DebugSession, Box<dyn std::error::Error>> {
+    Ok(Workflow::from_system(system)?
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wait = Duration::from_secs(30);
+
+    // Server side: one hosted session behind a TCP front.
+    let server = Arc::new(DebugServer::start(ServerConfig::default()));
+    let handle = server.add_session(session(blinker("remote")?)?);
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0")?;
+    println!("wire server listening on {}", wire.local_addr());
+
+    // Client side: handshake, attach, drive.
+    let mut client = WireClient::connect(wire.local_addr())?;
+    println!("handshake ok; attachable sessions: {:?}", client.sessions());
+    client.attach(handle.id())?;
+    client.schedule_signal(500_000, "lamp", SignalValue::Bool(true))?;
+    client.add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)?;
+    client.run_for(20_000_000)?; // 20 ms of target time
+    client.wait_idle(wait)?;
+    client.resume()?;
+    client.wait_idle(wait)?;
+
+    // Tail the stream: slice reports, trace deltas, the breakpoint hit.
+    let (mut slices, mut delta_entries, mut hits) = (0usize, 0usize, 0usize);
+    while let Ok(event) = client.next_event(Duration::from_millis(300)) {
+        match event {
+            EngineEvent::SliceCompleted { .. } => slices += 1,
+            EngineEvent::TraceDelta { entries, .. } => delta_entries += entries.len(),
+            EngineEvent::BreakpointHit { seq, time_ns, .. } => {
+                hits += 1;
+                println!(
+                    "breakpoint hit at seq {seq}, t = {:.3} ms",
+                    time_ns as f64 / 1e6
+                );
+            }
+            EngineEvent::Lagged { dropped, .. } => println!("lagged: {dropped} events dropped"),
+            _ => {}
+        }
+    }
+    println!("stream: {slices} slices, {delta_entries} trace entries, {hits} breakpoint hit(s)");
+
+    let snap = client.snapshot(true, wait)?;
+    println!(
+        "remote snapshot: t = {:.1} ms, {} trace entries, engine {:?}",
+        snap.now_ns as f64 / 1e6,
+        snap.trace_len,
+        snap.engine_state
+    );
+    assert!(snap.trace_len > 0 && hits >= 1);
+    Ok(())
+}
