@@ -62,10 +62,8 @@ fn report_observation_latency(c: &mut Criterion) {
     // after UART serialization.
     let mut s = session(ChannelMode::Active, InstrumentOptions::behavior());
     s.run_for(50_000_000).unwrap();
-    let first = s
-        .engine()
-        .trace()
-        .entries()
+    let entries = s.engine().trace().entries();
+    let first = entries
         .iter()
         .find(|e| e.event.kind == EventKind::StateEnter)
         .expect("a transition");
@@ -80,10 +78,8 @@ fn report_observation_latency(c: &mut Criterion) {
         InstrumentOptions::none(),
     );
     p.run_for(50_000_000).unwrap();
-    let first_p = p
-        .engine()
-        .trace()
-        .entries()
+    let entries_p = p.engine().trace().entries();
+    let first_p = entries_p
         .iter()
         .filter(|e| e.event.kind == EventKind::StateEnter)
         .nth(1)

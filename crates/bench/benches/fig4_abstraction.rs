@@ -28,6 +28,9 @@ fn bench_derive_gdm(c: &mut Criterion) {
         ("ring16", ring_system(16, 0.01, 1_000_000)),
         ("chain40", chain_system(40, 1_000_000)),
         ("fleet8x6", multi_actor_system(8, 6)),
+        // The fleet-boot shape: many identical actors, where the layout
+        // pass (edge-connectivity + subtree sizing) dominates derive.
+        ("fleet32x8", multi_actor_system(32, 8)),
     ] {
         let (_, model) = export_system(&system).expect("exports");
         g.bench_with_input(BenchmarkId::new("model", name), &model, |b, m| {

@@ -1,0 +1,197 @@
+//! Trace-store costs: append throughput and window seeks, in-memory vs
+//! the segmented on-disk store.
+//!
+//! Four measurements:
+//!
+//! * `trace_store/append_mem_batch` / `append_disk_batch` — recording a
+//!   4096-entry batch through `ExecutionTrace` into the in-memory and
+//!   segmented-disk backends (the disk line includes the per-batch
+//!   store creation and flush — the full durability bill);
+//! * `trace_store/window_mem` / `window_cold_disk` — a narrow `window`
+//!   query against a long prebuilt trace: the in-memory store answers
+//!   from its `Vec`, the disk store from its per-segment index plus the
+//!   one or two boundary segments it actually reads;
+//! * comparison row `window_indexed_vs_linear` — the indexed
+//!   (`partition_point`) window against the pre-refactor full scan on
+//!   the same in-memory trace, measured on the narrow-window shape the
+//!   refactor targets.
+//!
+//! Persists `BENCH_trace.json` at the repo root — regenerate with
+//! `cargo bench -p gmdf-bench --bench trace_store`. With
+//! `GMDF_BENCH_QUICK=1` it writes `BENCH_trace.quick.json` (smaller
+//! trace, same shape), the CI baseline.
+
+use criterion::{criterion_group, Criterion};
+use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
+use gmdf_engine::store::{MemStore, SegmentStore, TraceStore};
+use gmdf_engine::{ExecutionTrace, TraceEntry};
+use gmdf_gdm::{EventKind, EventValue, ModelEvent, ReactionSpec};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Entries per append batch (one bench iteration).
+const BATCH: u64 = 4096;
+
+/// Segment capacity of the disk store under test.
+const SEGMENT: usize = 256;
+
+fn trace_len() -> u64 {
+    if criterion::quick_mode() {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!("gmdf-bench-{tag}-{}-{nanos}", std::process::id()))
+}
+
+/// One synthetic entry; times advance 1 µs per seq (a busy trace).
+fn event(seq: u64) -> ModelEvent {
+    let time_ns = seq * 1_000;
+    match seq % 3 {
+        0 => ModelEvent::new(time_ns, EventKind::StateEnter, "node/actor/fsm").with_to("Run"),
+        1 => ModelEvent::new(time_ns, EventKind::SignalWrite, "node/actor/out")
+            .with_value(EventValue::Real(seq as f64 * 0.5)),
+        _ => ModelEvent::new(time_ns, EventKind::TaskStart, "node/actor"),
+    }
+}
+
+fn record_batch(trace: &mut ExecutionTrace, n: u64) {
+    for seq in 0..n {
+        trace.record(event(seq), vec![ReactionSpec::HighlightTarget], vec![]);
+    }
+}
+
+/// Builds the long reference trace once, on both backends.
+fn prebuilt(dir: &PathBuf) -> (ExecutionTrace, ExecutionTrace) {
+    let n = trace_len();
+    let mut mem = ExecutionTrace::new();
+    record_batch(&mut mem, n);
+    let mut disk = ExecutionTrace::with_store(Box::new(
+        SegmentStore::open(dir, SEGMENT).expect("segment store"),
+    ));
+    record_batch(&mut disk, n);
+    disk.sync().expect("flush");
+    (mem, disk)
+}
+
+/// The pre-refactor `window`: a linear scan over every entry.
+fn window_linear(entries: &[TraceEntry], t0_ns: u64, t1_ns: u64) -> usize {
+    entries
+        .iter()
+        .filter(|e| e.event.time_ns >= t0_ns && e.event.time_ns <= t1_ns)
+        .count()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_store");
+
+    group.bench_function("append_mem_batch", |b| {
+        b.iter(|| {
+            let mut trace = ExecutionTrace::new();
+            record_batch(&mut trace, BATCH);
+            black_box(trace.len())
+        })
+    });
+
+    let append_dir = tmp_dir("append");
+    group.bench_function("append_disk_batch", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&append_dir).ok();
+            let mut trace = ExecutionTrace::with_store(Box::new(
+                SegmentStore::open(&append_dir, SEGMENT).expect("segment store"),
+            ));
+            record_batch(&mut trace, BATCH);
+            trace.sync().expect("flush");
+            black_box(trace.len())
+        })
+    });
+    std::fs::remove_dir_all(&append_dir).ok();
+
+    // Narrow-window seeks against the long trace: ~64 entries out of
+    // the middle, the replay/timing-diagram access pattern.
+    let window_dir = tmp_dir("window");
+    let (mem, disk) = prebuilt(&window_dir);
+    let mid = trace_len() / 2 * 1_000;
+    let (t0, t1) = (mid, mid + 64_000);
+    group.bench_function("window_mem", |b| {
+        b.iter(|| black_box(mem.window(black_box(t0), black_box(t1)).count()))
+    });
+    group.bench_function("window_cold_disk", |b| {
+        b.iter(|| black_box(disk.window(black_box(t0), black_box(t1)).count()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&window_dir).ok();
+}
+
+criterion_group!(benches, bench_store);
+
+/// The satellite comparison: indexed window vs the old linear scan, on
+/// the in-memory backend (identical data, identical answer).
+fn window_comparison() -> Comparison {
+    let n = trace_len();
+    let mut store = MemStore::new();
+    for seq in 0..n {
+        store
+            .append(TraceEntry {
+                seq,
+                event: event(seq),
+                reactions: vec![],
+                violations: vec![],
+            })
+            .expect("append");
+    }
+    let entries = store.as_slice().expect("memory-backed").to_vec();
+    let trace = ExecutionTrace::with_store(Box::new(store));
+    let mid = n / 2 * 1_000;
+    let (t0, t1) = (mid, mid + 64_000);
+    let reps = if criterion::quick_mode() { 200 } else { 1_000 };
+
+    let start = Instant::now();
+    let mut hits_linear = 0usize;
+    for _ in 0..reps {
+        hits_linear = black_box(window_linear(&entries, black_box(t0), black_box(t1)));
+    }
+    let baseline_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+    let start = Instant::now();
+    let mut hits_indexed = 0usize;
+    for _ in 0..reps {
+        hits_indexed = black_box(trace.window(black_box(t0), black_box(t1)).count());
+    }
+    let optimized_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+    assert_eq!(hits_linear, hits_indexed, "both windows must agree");
+    let speedup = baseline_ns / optimized_ns;
+    eprintln!(
+        "[trace_store] window over {n} entries: linear {:.1} us, indexed {:.2} us ({speedup:.0}x)",
+        baseline_ns / 1e3,
+        optimized_ns / 1e3,
+    );
+    Comparison {
+        name: "window_indexed_vs_linear".to_owned(),
+        baseline_ns,
+        optimized_ns,
+        speedup,
+    }
+}
+
+fn main() {
+    benches();
+    let comparison = window_comparison();
+    let results = criterion::take_results();
+    let report = report_from("trace_store", results, vec![comparison]);
+    let name = if criterion::quick_mode() {
+        "BENCH_trace.quick.json"
+    } else {
+        "BENCH_trace.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

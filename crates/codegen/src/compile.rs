@@ -23,6 +23,7 @@ use gmdf_comdes::{
     Actor, BasicOp, Block, ComdesError, Network, SignalType, SignalValue, Sink, Source,
     StateMachineBlock, System,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -32,7 +33,7 @@ use std::fmt;
 /// [`InstrumentOptions::none`] generates clean code for the passive JTAG
 /// channel ("a command interface … without any code modifications",
 /// paper §II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InstrumentOptions {
     /// Emit `TaskStart` / `TaskEnd` at activation boundaries.
     pub task_boundaries: bool,
@@ -84,7 +85,7 @@ impl Default for InstrumentOptions {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// Active-channel instrumentation configuration.
     pub instrument: InstrumentOptions,

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which command interface the session uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ChannelMode {
     /// Instrumented code sends frames over RS-232.
     Active,
@@ -173,6 +173,24 @@ impl DebugSession {
     /// Mutable engine access (breakpoints, stepping, expectations).
     pub fn engine_mut(&mut self) -> &mut DebuggerEngine {
         &mut self.engine
+    }
+
+    /// Replaces the execution trace's backend (e.g. with a segmented
+    /// on-disk [`gmdf_engine::SegmentStore`]). Attaching a non-empty
+    /// store puts the trace into deterministic catch-up mode — see
+    /// [`gmdf_engine::ExecutionTrace`]'s type docs.
+    pub fn set_trace_store(&mut self, store: Box<dyn gmdf_engine::TraceStore>) {
+        self.engine.set_trace_store(store);
+    }
+
+    /// Flushes the trace's backing store, surfacing any sticky
+    /// storage failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store failure.
+    pub fn sync_trace(&mut self) -> Result<(), gmdf_engine::StoreError> {
+        self.engine.sync_trace()
     }
 
     /// The target simulator.
@@ -386,10 +404,8 @@ mod tests {
         );
         let report = s.run_for(20_000_000).unwrap();
         assert!(report.events_fed >= 4, "{report:?}");
-        let states: Vec<&str> = s
-            .engine()
-            .trace()
-            .entries()
+        let entries = s.engine().trace().entries();
+        let states: Vec<&str> = entries
             .iter()
             .filter_map(|e| e.event.to.as_deref())
             .collect();

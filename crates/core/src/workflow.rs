@@ -145,6 +145,24 @@ impl WorkflowConfigured {
     ) -> Result<DebugSession, SessionError> {
         DebugSession::build(self.wf.system, self.gdm, channel, compile, sim)
     }
+
+    /// Step 5, deferred: freeze the configured pipeline into a
+    /// serializable [`crate::SessionSpec`] instead of connecting now —
+    /// the form the debug server persists for durable sessions.
+    pub fn into_spec(
+        self,
+        channel: ChannelMode,
+        compile: CompileOptions,
+        sim: SimConfig,
+    ) -> crate::SessionSpec {
+        crate::SessionSpec {
+            system: self.wf.system,
+            gdm: self.gdm,
+            channel,
+            compile,
+            sim,
+        }
+    }
 }
 
 #[cfg(test)]

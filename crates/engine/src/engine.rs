@@ -133,6 +133,30 @@ impl DebuggerEngine {
         &self.trace
     }
 
+    /// Replaces the trace backend ([`crate::store::TraceStore`]) —
+    /// e.g. a segmented on-disk store for a trace that must survive
+    /// the process. Attaching a non-empty store puts the trace in
+    /// deterministic catch-up mode: re-fed commands that are already
+    /// persisted are dropped instead of duplicated, which is how a
+    /// restored session replays to its saved point. Intended to be
+    /// called before the first command; entries already recorded into
+    /// the previous backend are not migrated.
+    pub fn set_trace_store(&mut self, store: Box<dyn crate::store::TraceStore>) {
+        self.trace = ExecutionTrace::with_store(store);
+    }
+
+    /// Flushes the trace's backing store and surfaces any sticky
+    /// storage failure — the debug server calls this after every
+    /// pumped slice so a disk problem fails the session visibly
+    /// instead of silently shortening the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store failure.
+    pub fn sync_trace(&mut self) -> Result<(), crate::store::StoreError> {
+        self.trace.sync()
+    }
+
     /// Violations recorded so far — the found bugs.
     pub fn violations(&self) -> &[Violation] {
         &self.violations

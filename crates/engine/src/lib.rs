@@ -6,7 +6,10 @@
 //!
 //! * [`DebuggerEngine`] — the event-driven machine: reactions, model-level
 //!   breakpoints, step-wise execution;
-//! * [`ExecutionTrace`] — the always-on execution record;
+//! * [`ExecutionTrace`] — the always-on execution record, over a
+//!   pluggable [`TraceStore`] backend ([`MemStore`] by default, the
+//!   segmented on-disk [`SegmentStore`] for traces that outlive the
+//!   process — see [`store`]);
 //! * [`Replayer`] / [`timing_diagram`] — the replay function with its
 //!   timing diagram;
 //! * [`Expectation`] monitors — requirement checks that turn inconsistent
@@ -43,6 +46,7 @@ mod classify;
 mod engine;
 mod expect;
 mod replay;
+pub mod store;
 mod trace;
 
 pub use classify::{classify, compare_behavior, BugClass, Divergence};
@@ -51,4 +55,5 @@ pub use engine::{
 };
 pub use expect::{allowed_transitions, Expectation, ExpectationMonitor, Violation};
 pub use replay::{timing_diagram, Replayer};
+pub use store::{MemStore, SegmentStore, StoreError, TraceStore};
 pub use trace::{ExecutionTrace, TraceEntry};

@@ -12,28 +12,43 @@ use gmdf_gdm::{DebuggerModel, EventKind, ModelEvent, VisualState};
 use gmdf_render::TimingDiagram;
 
 /// Steps through a recorded trace, rebuilding the animation offline.
+///
+/// On the default in-memory backend entries are read zero-copy from the
+/// store's slice; on a disk-backed trace they are prefetched in pages,
+/// so a replay streams segments instead of holding the whole run, and
+/// [`Replayer::play_to_time`] locates its stop boundary through the
+/// store's time index.
 #[derive(Debug)]
 pub struct Replayer<'a> {
     trace: &'a ExecutionTrace,
     gdm: &'a DebuggerModel,
-    pos: usize,
+    pos: u64,
     visual: VisualState,
+    /// Zero-copy fast path: the whole trace, when memory-backed.
+    slice: Option<&'a [TraceEntry]>,
+    /// Disk path: prefetched entries
+    /// `[page_start, page_start + page.len())`.
+    page: Vec<TraceEntry>,
+    page_start: u64,
 }
 
 impl<'a> Replayer<'a> {
     /// Creates a replayer positioned before the first entry.
     pub fn new(gdm: &'a DebuggerModel, trace: &'a ExecutionTrace) -> Self {
         Replayer {
+            slice: trace.as_slice(),
             trace,
             gdm,
             pos: 0,
             visual: VisualState::new(),
+            page: Vec::new(),
+            page_start: 0,
         }
     }
 
     /// Current position (entries already applied).
     pub fn position(&self) -> usize {
-        self.pos
+        self.pos as usize
     }
 
     /// The reconstructed animation state at the current position.
@@ -41,9 +56,29 @@ impl<'a> Replayer<'a> {
         &self.visual
     }
 
+    /// The entry at `pos` — from the memory-backed slice when there is
+    /// one, otherwise from the prefetched page.
+    fn fetch(&mut self, pos: u64) -> Option<&TraceEntry> {
+        if let Some(slice) = self.slice {
+            return slice.get(pos as usize);
+        }
+        let in_page = pos >= self.page_start && pos < self.page_start + self.page.len() as u64;
+        if !in_page {
+            self.page.clear();
+            self.trace
+                .read_range_into(pos, pos + crate::trace::PAGE, &mut self.page);
+            self.page_start = pos;
+            if self.page.is_empty() {
+                return None;
+            }
+        }
+        self.page.get((pos - self.page_start) as usize)
+    }
+
     /// Applies the next entry; returns it, or `None` at the end.
-    pub fn step_forward(&mut self) -> Option<&'a TraceEntry> {
-        let entry = self.trace.entries().get(self.pos)?;
+    pub fn step_forward(&mut self) -> Option<TraceEntry> {
+        let pos = self.pos;
+        let entry = self.fetch(pos)?.clone();
         for &reaction in &entry.reactions {
             apply_reaction(self.gdm, &mut self.visual, reaction, &entry.event);
         }
@@ -55,21 +90,27 @@ impl<'a> Replayer<'a> {
     pub fn seek(&mut self, seq: u64) {
         self.pos = 0;
         self.visual = VisualState::new();
-        while self.pos < self.trace.len() {
-            if self.trace.entries()[self.pos].seq > seq {
-                break;
+        while (self.pos as usize) < self.trace.len() {
+            match self.fetch(self.pos) {
+                Some(next) if next.seq > seq => break,
+                Some(_) => {
+                    self.step_forward();
+                }
+                None => break,
             }
-            self.step_forward();
         }
     }
 
-    /// Replays until simulated time `t_ns` (inclusive).
+    /// Replays until simulated time `t_ns` (inclusive). The stop
+    /// boundary comes from the trace's time index, so on a disk-backed
+    /// trace only the replayed prefix is read.
     pub fn play_to_time(&mut self, t_ns: u64) {
-        while let Some(next) = self.trace.entries().get(self.pos) {
-            if next.event.time_ns > t_ns {
+        // One past the last entry with time <= t_ns.
+        let (_, stop) = self.trace.window_bounds(0, t_ns);
+        while self.pos < stop {
+            if self.step_forward().is_none() {
                 break;
             }
-            self.step_forward();
         }
     }
 
@@ -93,7 +134,9 @@ pub fn timing_diagram(trace: &ExecutionTrace, title: &str) -> TimingDiagram {
     // State occupancy: remember the last entered state per machine path.
     let mut open: std::collections::BTreeMap<String, (u64, String)> =
         std::collections::BTreeMap::new();
-    for entry in trace.entries() {
+    // Paged iteration: the diagram streams the trace instead of
+    // materializing it (it may be disk-backed and long).
+    trace.for_each(|entry| {
         let e: &ModelEvent = &entry.event;
         match e.kind {
             EventKind::StateEnter | EventKind::ModeSwitch => {
@@ -117,7 +160,7 @@ pub fn timing_diagram(trace: &ExecutionTrace, title: &str) -> TimingDiagram {
         for v in &entry.violations {
             d.marker(&entry.event.path, entry.event.time_ns, '!', v);
         }
-    }
+    });
     // Close any still-open occupancy at the window end.
     for (path, (since, state)) in open {
         d.segment(&path, since, t1, &state);

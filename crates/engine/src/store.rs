@@ -1,0 +1,744 @@
+//! Pluggable trace storage: in-memory and segmented on-disk stores.
+//!
+//! The paper promises that GDM animation "always make[s] a record of the
+//! execution trace"; for long runs that record must not cost O(whole
+//! run) memory or die with the process. [`TraceStore`] abstracts where
+//! [`TraceEntry`]s live; [`MemStore`] is the classic `Vec` (the
+//! default), and [`SegmentStore`] is an append-only, segmented on-disk
+//! log:
+//!
+//! ```text
+//! <dir>/
+//!   meta.json          {"version":1,"capacity":N}   (written once)
+//!   seg-00000000.log   N length-prefixed JSON entries   (sealed)
+//!   seg-00000001.log   N entries                        (sealed)
+//!   seg-00000002.log   < N entries                      (active tail)
+//! ```
+//!
+//! Every record is `[u32 len, big-endian][compact JSON TraceEntry]` —
+//! the same framing the wire protocol and the session journal use. Each
+//! segment holds a fixed number of entries, so a sequence number maps
+//! to its segment by division; an in-memory per-segment index of
+//! `(first_seq, last_seq, t0_ns, t1_ns)` makes `entries_since`,
+//! `window` and replay seek O(log segments + hit) instead of O(whole
+//! run). The active segment is additionally cached in memory, so the
+//! hot path (the scheduler publishing the latest delta) never touches
+//! disk.
+//!
+//! **Crash safety**: opening a store re-scans the segment files once; a
+//! torn tail (a record cut mid-write, a corrupt length, an unparsable
+//! payload) truncates the file at the last whole record and drops any
+//! later segment — recovery always yields a valid *prefix* of the
+//! original trace, never a gap or a panic
+//! (`crates/engine/tests/store_recovery.rs` proves this for kills at
+//! arbitrary byte offsets).
+
+use crate::trace::TraceEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A trace storage failure (I/O, corrupt metadata…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(String);
+
+impl StoreError {
+    /// Wraps a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        StoreError(message.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError(e.to_string())
+    }
+}
+
+/// Where recorded [`TraceEntry`]s live.
+///
+/// Contract shared by every implementation:
+///
+/// * entries are append-only and densely numbered — the `n`-th appended
+///   entry has `seq == n`;
+/// * event times are nondecreasing in sequence order (the engine feeds
+///   commands in time order), which is what lets [`TraceStore::window_bounds`]
+///   binary-search instead of scan;
+/// * reads never block appends made by the same owner (single-writer).
+pub trait TraceStore: Send + fmt::Debug {
+    /// Appends one entry. `entry.seq` must equal [`TraceStore::len`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (in-memory stores never fail).
+    fn append(&mut self, entry: TraceEntry) -> Result<(), StoreError>;
+
+    /// Number of stored entries.
+    fn len(&self) -> u64;
+
+    /// `true` when nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the entries with `seq` in `[from_seq, to_seq)` (clamped
+    /// to the stored range) onto `out`, in sequence order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn read_into(
+        &self,
+        from_seq: u64,
+        to_seq: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), StoreError>;
+
+    /// The half-open sequence range `[lo, hi)` of entries whose event
+    /// time falls in `[t0_ns, t1_ns]`. Empty windows (including
+    /// inverted inputs) return `lo == hi`.
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64);
+
+    /// `(first, last)` event time, if nonempty.
+    fn time_range(&self) -> Option<(u64, u64)>;
+
+    /// Flushes buffered appends to durable storage (no-op in memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn sync(&mut self) -> Result<(), StoreError>;
+
+    /// Fast path: the full entry slice, when the store is memory-backed.
+    /// Disk-backed stores return `None` and are read via
+    /// [`TraceStore::read_into`].
+    fn as_slice(&self) -> Option<&[TraceEntry]> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared record framing
+// ---------------------------------------------------------------------------
+
+/// Encodes one serializable record as `[u32 len BE][compact JSON]` —
+/// the framing shared by trace segments, session journals and the wire
+/// protocol.
+pub fn encode_record<T: Serialize>(value: &T) -> Vec<u8> {
+    let json = serde_json::to_string(value).expect("record serializes");
+    let mut out = Vec::with_capacity(4 + json.len());
+    out.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    out.extend_from_slice(json.as_bytes());
+    out
+}
+
+/// Reads every *whole, decodable* record from `path`, stopping at the
+/// first torn or corrupt one. Returns the decoded records and the byte
+/// length of the valid prefix — everything past it is damage from an
+/// interrupted write and safe to truncate.
+///
+/// # Errors
+///
+/// Propagates I/O failures (a missing file is an error; corruption is
+/// not — it just shortens the valid prefix).
+pub fn read_records<T: Deserialize>(path: &Path) -> Result<(Vec<T>, u64), StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 4 {
+        let len = u32::from_be_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]) as usize;
+        if len == 0 || bytes.len() - offset - 4 < len {
+            break; // torn or nonsense length: end of the valid prefix
+        }
+        let payload = &bytes[offset + 4..offset + 4 + len];
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(value) = serde_json::from_str::<T>(text) else {
+            break;
+        };
+        records.push(value);
+        offset += 4 + len;
+    }
+    Ok((records, offset as u64))
+}
+
+/// Truncates `path` to `len` bytes — recovery discarding a torn tail.
+fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// The classic in-memory trace store: a `Vec` of entries. Fast,
+/// unbounded, gone when the process exits — the default backend.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    entries: Vec<TraceEntry>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store pre-filled with `entries` (used when deserializing a
+    /// saved trace).
+    pub fn from_entries(entries: Vec<TraceEntry>) -> Self {
+        MemStore { entries }
+    }
+}
+
+impl TraceStore for MemStore {
+    fn append(&mut self, entry: TraceEntry) -> Result<(), StoreError> {
+        debug_assert_eq!(entry.seq, self.entries.len() as u64);
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn read_into(
+        &self,
+        from_seq: u64,
+        to_seq: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), StoreError> {
+        let n = self.entries.len();
+        let from = (from_seq as usize).min(n);
+        let to = (to_seq as usize).min(n);
+        if from < to {
+            out.extend_from_slice(&self.entries[from..to]);
+        }
+        Ok(())
+    }
+
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+        if t0_ns > t1_ns {
+            return (0, 0);
+        }
+        // Entries are time-ordered, so both boundaries binary-search.
+        let lo = self.entries.partition_point(|e| e.event.time_ns < t0_ns);
+        let hi = self.entries.partition_point(|e| e.event.time_ns <= t1_ns);
+        if lo >= hi {
+            (0, 0)
+        } else {
+            (lo as u64, hi as u64)
+        }
+    }
+
+    fn time_range(&self) -> Option<(u64, u64)> {
+        let first = self.entries.first()?.event.time_ns;
+        let last = self.entries.last()?.event.time_ns;
+        Some((first, last))
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn as_slice(&self) -> Option<&[TraceEntry]> {
+        Some(&self.entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStore
+// ---------------------------------------------------------------------------
+
+/// Default entries per segment for disk-backed traces.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 256;
+
+/// Persisted store metadata (`meta.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreMeta {
+    version: u32,
+    capacity: usize,
+}
+
+/// Index entry for one sealed (full) segment.
+#[derive(Debug, Clone, Copy)]
+struct SegmentMeta {
+    first_seq: u64,
+    last_seq: u64,
+    t0_ns: u64,
+    t1_ns: u64,
+}
+
+/// Append-only, segmented on-disk trace store (see the module docs for
+/// layout, indexing and crash-safety).
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    capacity: usize,
+    /// Index over sealed (full) segments, in order.
+    sealed: Vec<SegmentMeta>,
+    /// The active segment's entries, cached in memory (≤ `capacity`).
+    tail: Vec<TraceEntry>,
+    /// Writer on the active segment file; opened lazily.
+    writer: Option<BufWriter<File>>,
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the store at `dir`, recovering from any torn
+    /// tail left by an interrupted writer. `capacity` (entries per
+    /// segment) is used when creating a fresh store; an existing store
+    /// keeps the capacity recorded in its `meta.json`.
+    ///
+    /// Opening costs one sequential scan of the segment files (that is
+    /// the recovery validation); queries afterwards are indexed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects unreadable metadata.
+    pub fn open(dir: impl AsRef<Path>, capacity: usize) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let meta_path = dir.join("meta.json");
+        let capacity = if meta_path.exists() {
+            let text = std::fs::read_to_string(&meta_path)?;
+            let meta: StoreMeta = serde_json::from_str(&text)
+                .map_err(|e| StoreError::new(format!("corrupt meta.json: {e}")))?;
+            if meta.version != 1 {
+                return Err(StoreError::new(format!(
+                    "unsupported store version {}",
+                    meta.version
+                )));
+            }
+            meta.capacity.max(1)
+        } else {
+            let capacity = capacity.max(1);
+            let meta = StoreMeta {
+                version: 1,
+                capacity,
+            };
+            // Write-then-rename so a kill mid-write cannot leave a
+            // half-written meta masquerading as the real one.
+            let tmp = dir.join("meta.json.tmp");
+            std::fs::write(&tmp, serde_json::to_string(&meta).expect("meta serializes"))?;
+            std::fs::rename(&tmp, &meta_path)?;
+            capacity
+        };
+
+        let mut store = SegmentStore {
+            dir,
+            capacity,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            writer: None,
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// Entries per segment.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of segment files currently backing the store (sealed +
+    /// active).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + usize::from(!self.tail.is_empty())
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("seg-{index:08}.log"))
+    }
+
+    /// Scans the segment files in order, rebuilding the index and
+    /// truncating at the first sign of a torn write. Everything after
+    /// the damage point (later records, later segments) is removed, so
+    /// the surviving store is a valid prefix of the original trace.
+    fn recover(&mut self) -> Result<(), StoreError> {
+        let mut index = 0usize;
+        loop {
+            let path = self.segment_path(index);
+            if !path.exists() {
+                break;
+            }
+            let (entries, valid_len) = read_records::<TraceEntry>(&path)?;
+            // Entries must continue the dense sequence; a mismatch means
+            // the file was damaged beyond framing (e.g. bytes flipped in
+            // a seq field) — cut there.
+            let expected_first = (index * self.capacity) as u64;
+            let mut good = 0usize;
+            for (i, e) in entries.iter().enumerate() {
+                if e.seq != expected_first + i as u64 {
+                    break;
+                }
+                good += 1;
+            }
+            let entries = if good < entries.len() {
+                let mut truncated = entries;
+                truncated.truncate(good);
+                // Re-measure the valid byte prefix for the kept records.
+                let kept: u64 = truncated
+                    .iter()
+                    .map(|e| encode_record(e).len() as u64)
+                    .sum();
+                truncate_file(&path, kept)?;
+                truncated
+            } else {
+                let file_len = std::fs::metadata(&path)?.len();
+                if valid_len < file_len {
+                    truncate_file(&path, valid_len)?;
+                }
+                entries
+            };
+            let torn = entries.len() < self.capacity;
+            if entries.is_empty() {
+                // Nothing usable in this segment: delete it and stop.
+                std::fs::remove_file(&path)?;
+                Self::drop_segments_from(self, index + 1)?;
+                break;
+            }
+            if torn {
+                // Short segment: it becomes the active tail; later
+                // segments (if any survived a bizarre crash) are stale.
+                Self::drop_segments_from(self, index + 1)?;
+                self.tail = entries;
+                return Ok(());
+            }
+            self.sealed.push(SegmentMeta {
+                first_seq: expected_first,
+                last_seq: expected_first + entries.len() as u64 - 1,
+                t0_ns: entries.first().expect("nonempty").event.time_ns,
+                t1_ns: entries.last().expect("nonempty").event.time_ns,
+            });
+            index += 1;
+        }
+        Ok(())
+    }
+
+    fn drop_segments_from(&self, index: usize) -> Result<(), StoreError> {
+        let mut i = index;
+        loop {
+            let path = self.segment_path(i);
+            if !path.exists() {
+                return Ok(());
+            }
+            std::fs::remove_file(&path)?;
+            i += 1;
+        }
+    }
+
+    /// Index of the segment holding `seq` (sealed or active).
+    fn segment_of(&self, seq: u64) -> usize {
+        (seq as usize) / self.capacity
+    }
+
+    /// Reads one sealed segment's entries from disk.
+    fn load_segment(&self, index: usize) -> Result<Vec<TraceEntry>, StoreError> {
+        let (entries, _) = read_records::<TraceEntry>(&self.segment_path(index))?;
+        Ok(entries)
+    }
+
+    fn active_writer(&mut self) -> Result<&mut BufWriter<File>, StoreError> {
+        if self.writer.is_none() {
+            let path = self.segment_path(self.sealed.len());
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.writer = Some(BufWriter::new(file));
+        }
+        Ok(self.writer.as_mut().expect("just installed"))
+    }
+}
+
+impl TraceStore for SegmentStore {
+    fn append(&mut self, entry: TraceEntry) -> Result<(), StoreError> {
+        debug_assert_eq!(entry.seq, self.len());
+        let record = encode_record(&entry);
+        self.active_writer()?.write_all(&record)?;
+        self.tail.push(entry);
+        if self.tail.len() >= self.capacity {
+            // Seal: flush, index, and start the next segment fresh.
+            if let Some(mut w) = self.writer.take() {
+                w.flush()?;
+            }
+            let first_seq = (self.sealed.len() * self.capacity) as u64;
+            self.sealed.push(SegmentMeta {
+                first_seq,
+                last_seq: first_seq + self.tail.len() as u64 - 1,
+                t0_ns: self.tail.first().expect("full").event.time_ns,
+                t1_ns: self.tail.last().expect("full").event.time_ns,
+            });
+            self.tail.clear();
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        (self.sealed.len() * self.capacity + self.tail.len()) as u64
+    }
+
+    fn read_into(
+        &self,
+        from_seq: u64,
+        to_seq: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), StoreError> {
+        let len = self.len();
+        let from = from_seq.min(len);
+        let to = to_seq.min(len);
+        if from >= to {
+            return Ok(());
+        }
+        let tail_first = (self.sealed.len() * self.capacity) as u64;
+        let mut seq = from;
+        // Sealed segments: one file read per touched segment.
+        while seq < to && seq < tail_first {
+            let seg = self.segment_of(seq);
+            let meta = self.sealed[seg];
+            let entries = self.load_segment(seg)?;
+            let lo = (seq - meta.first_seq) as usize;
+            let hi = ((to.min(meta.last_seq + 1)) - meta.first_seq) as usize;
+            out.extend_from_slice(&entries[lo..hi.min(entries.len())]);
+            seq = meta.first_seq + hi as u64;
+        }
+        // Active tail: served from the in-memory cache.
+        if seq < to {
+            let lo = (seq - tail_first) as usize;
+            let hi = (to - tail_first) as usize;
+            out.extend_from_slice(&self.tail[lo..hi]);
+        }
+        Ok(())
+    }
+
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+        if t0_ns > t1_ns || self.is_empty() {
+            return (0, 0);
+        }
+        let tail_first = (self.sealed.len() * self.capacity) as u64;
+        // `lo`: first seq with time >= t0. Binary-search the sealed
+        // index, then partition inside the one boundary segment.
+        let lo = {
+            let seg = self.sealed.partition_point(|m| m.t1_ns < t0_ns);
+            if seg < self.sealed.len() {
+                match self.load_segment(seg) {
+                    Ok(entries) => {
+                        self.sealed[seg].first_seq
+                            + entries.partition_point(|e| e.event.time_ns < t0_ns) as u64
+                    }
+                    Err(_) => return (0, 0),
+                }
+            } else {
+                tail_first + self.tail.partition_point(|e| e.event.time_ns < t0_ns) as u64
+            }
+        };
+        // `hi`: one past the last seq with time <= t1.
+        let hi = {
+            let after_tail = !self.tail.is_empty()
+                && self.tail.first().expect("nonempty").event.time_ns <= t1_ns;
+            if after_tail {
+                tail_first + self.tail.partition_point(|e| e.event.time_ns <= t1_ns) as u64
+            } else {
+                let seg = self.sealed.partition_point(|m| m.t0_ns <= t1_ns);
+                if seg == 0 {
+                    return (0, 0);
+                }
+                match self.load_segment(seg - 1) {
+                    Ok(entries) => {
+                        self.sealed[seg - 1].first_seq
+                            + entries.partition_point(|e| e.event.time_ns <= t1_ns) as u64
+                    }
+                    Err(_) => return (0, 0),
+                }
+            }
+        };
+        if lo >= hi {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    fn time_range(&self) -> Option<(u64, u64)> {
+        let first = if let Some(m) = self.sealed.first() {
+            m.t0_ns
+        } else {
+            self.tail.first()?.event.time_ns
+        };
+        let last = if let Some(e) = self.tail.last() {
+            e.event.time_ns
+        } else {
+            self.sealed.last()?.t1_ns
+        };
+        Some((first, last))
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdf_gdm::{EventKind, ModelEvent};
+
+    fn entry(seq: u64, t: u64) -> TraceEntry {
+        TraceEntry {
+            seq,
+            event: ModelEvent::new(t, EventKind::StateEnter, "A/fsm").with_to("Run"),
+            reactions: vec![],
+            violations: vec![],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos();
+        let dir =
+            std::env::temp_dir().join(format!("gmdf-store-{tag}-{}-{nanos}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn segment_store_round_trips_across_reopen() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let mut s = SegmentStore::open(&dir, 4).unwrap();
+            for i in 0..11 {
+                s.append(entry(i, 100 * (i + 1))).unwrap();
+            }
+            s.sync().unwrap();
+            assert_eq!(s.len(), 11);
+            assert_eq!(s.segment_count(), 3);
+        }
+        let s = SegmentStore::open(&dir, 999).unwrap(); // capacity from meta, not arg
+        assert_eq!(s.capacity(), 4);
+        assert_eq!(s.len(), 11);
+        let mut all = Vec::new();
+        s.read_into(0, u64::MAX, &mut all).unwrap();
+        assert_eq!(all.len(), 11);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.event.time_ns, 100 * (i as u64 + 1));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_bounds_match_memory_semantics() {
+        let dir = tmp_dir("window");
+        let mut mem = MemStore::new();
+        let mut disk = SegmentStore::open(&dir, 3).unwrap();
+        for i in 0..10 {
+            let e = entry(i, 50 * i); // times 0,50,...,450
+            mem.append(e.clone()).unwrap();
+            disk.append(e).unwrap();
+        }
+        for (t0, t1) in [
+            (0, 450),
+            (0, 0),
+            (49, 51),
+            (50, 100),
+            (451, 900),
+            (200, 100),
+            (125, 275),
+            (450, 450),
+        ] {
+            assert_eq!(
+                mem.window_bounds(t0, t1),
+                disk.window_bounds(t0, t1),
+                "window [{t0},{t1}]"
+            );
+        }
+        assert_eq!(mem.time_range(), disk.time_range());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        {
+            let mut s = SegmentStore::open(&dir, 4).unwrap();
+            for i in 0..6 {
+                s.append(entry(i, 10 * i)).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // Cut the active segment mid-record.
+        let tail_path = dir.join("seg-00000001.log");
+        let bytes = std::fs::read(&tail_path).unwrap();
+        std::fs::write(&tail_path, &bytes[..bytes.len() - 3]).unwrap();
+        let mut s = SegmentStore::open(&dir, 4).unwrap();
+        assert_eq!(s.len(), 5, "torn record dropped, prefix kept");
+        // The store keeps appending correctly after recovery.
+        s.append(entry(5, 50)).unwrap();
+        s.sync().unwrap();
+        let mut all = Vec::new();
+        s.read_into(0, u64::MAX, &mut all).unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(all.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_truncates_from_damage_point() {
+        let dir = tmp_dir("corrupt");
+        {
+            let mut s = SegmentStore::open(&dir, 8).unwrap();
+            for i in 0..5 {
+                s.append(entry(i, 10 * i)).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        let path = dir.join("seg-00000000.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the third record's JSON payload.
+        let rec = encode_record(&entry(0, 0)).len();
+        bytes[2 * rec + 10] = b'\xff';
+        std::fs::write(&path, &bytes).unwrap();
+        let s = SegmentStore::open(&dir, 8).unwrap();
+        assert_eq!(s.len(), 2, "valid prefix before the corrupt record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let dir = tmp_dir("empty");
+        let s = SegmentStore::open(&dir, 4).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.window_bounds(0, u64::MAX), (0, 0));
+        assert_eq!(s.time_range(), None);
+        let mut out = Vec::new();
+        s.read_into(0, 10, &mut out).unwrap();
+        assert!(out.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

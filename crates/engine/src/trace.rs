@@ -5,9 +5,18 @@
 //! appended to an [`ExecutionTrace`] together with the reactions it
 //! triggered and any expectation violations it raised; the trace feeds
 //! the replay function and the timing diagram.
+//!
+//! Where the record lives is pluggable: an [`ExecutionTrace`] fronts any
+//! [`TraceStore`] — the in-memory [`MemStore`](crate::store::MemStore)
+//! by default, or the segmented on-disk
+//! [`SegmentStore`](crate::store::SegmentStore) for traces that must
+//! outlive the process and stop costing O(whole run) memory. Reads go
+//! through sequence/time indexes (`entries_since`, `window`), so callers
+//! page the history instead of holding all of it.
 
+use crate::store::{MemStore, StoreError, TraceStore};
 use gmdf_gdm::{ModelEvent, ReactionSpec};
-use serde::{Deserialize, Serialize};
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
 
 /// One recorded command.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,71 +31,255 @@ pub struct TraceEntry {
     pub violations: Vec<String>,
 }
 
-/// The recorded execution trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// How many entries a paged read ([`ExecutionTrace::window`],
+/// [`ExecutionTrace::for_each`], the [`crate::Replayer`]) fetches per
+/// store round-trip.
+pub(crate) const PAGE: u64 = 256;
+
+/// The recorded execution trace, fronting a pluggable [`TraceStore`].
+///
+/// # Deterministic catch-up
+///
+/// A trace attached to a non-empty store (a restored session) is in
+/// *catch-up* mode: the owner re-executes the run deterministically
+/// from the start, and every recorded command whose sequence number is
+/// already stored is dropped instead of re-appended — the store holds
+/// the identical entry. Once the re-execution passes the stored prefix,
+/// appends resume normally. This is what lets a restarted debug server
+/// resume a session mid-run against its persisted trace.
+#[derive(Debug)]
 pub struct ExecutionTrace {
-    entries: Vec<TraceEntry>,
+    store: Box<dyn TraceStore>,
+    /// Sequence number the next recorded command gets. Below the store
+    /// length during deterministic catch-up.
+    next_seq: u64,
+    /// First storage failure, sticky. Appends after it are dropped; the
+    /// owner checks [`ExecutionTrace::error`] (the debug server fails
+    /// the session).
+    error: Option<String>,
+}
+
+impl Default for ExecutionTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for ExecutionTrace {
+    /// Cloning materializes the entries into an in-memory store — a
+    /// snapshot copy, detached from any disk backend.
+    fn clone(&self) -> Self {
+        ExecutionTrace {
+            store: Box::new(MemStore::from_entries(self.entries())),
+            next_seq: self.next_seq,
+            error: self.error.clone(),
+        }
+    }
+}
+
+impl PartialEq for ExecutionTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.entries() == other.entries()
+    }
+}
+
+// The serialized form is exactly the old derive format —
+// `{"entries": [...]}` — so traces saved before the store refactor
+// still load, and `to_json` stays byte-identical across backends.
+impl Serialize for ExecutionTrace {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![(
+            Content::Str("entries".to_owned()),
+            Content::Seq(self.entries().iter().map(Serialize::to_content).collect()),
+        )])
+    }
+}
+
+impl Deserialize for ExecutionTrace {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let fields = c
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map for ExecutionTrace"))?;
+        let entries: Vec<TraceEntry> = Deserialize::from_content(
+            content_get(fields, "entries").ok_or_else(|| DeError::missing("entries"))?,
+        )?;
+        let next_seq = entries.len() as u64;
+        Ok(ExecutionTrace {
+            store: Box::new(MemStore::from_entries(entries)),
+            next_seq,
+            error: None,
+        })
+    }
 }
 
 impl ExecutionTrace {
-    /// Creates an empty trace.
+    /// Creates an empty in-memory trace.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_store(Box::new(MemStore::new()))
     }
 
-    /// Appends an entry, assigning its sequence number.
+    /// Creates a trace over `store`. A non-empty store puts the trace
+    /// in deterministic catch-up mode (see the type docs).
+    pub fn with_store(store: Box<dyn TraceStore>) -> Self {
+        ExecutionTrace {
+            store,
+            next_seq: 0,
+            error: None,
+        }
+    }
+
+    /// Appends an entry, assigning its sequence number. During
+    /// deterministic catch-up the entry is already stored and is
+    /// dropped instead of duplicated.
     pub fn record(
         &mut self,
         event: ModelEvent,
         reactions: Vec<ReactionSpec>,
         violations: Vec<String>,
     ) -> u64 {
-        let seq = self.entries.len() as u64;
-        self.entries.push(TraceEntry {
-            seq,
-            event,
-            reactions,
-            violations,
-        });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if seq < self.store.len() {
+            return seq; // catch-up: identical entry already persisted
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.store.append(TraceEntry {
+                seq,
+                event,
+                reactions,
+                violations,
+            }) {
+                self.error = Some(e.to_string());
+            }
+        }
         seq
     }
 
-    /// All entries, in sequence order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// All entries, in sequence order, materialized into a `Vec`.
+    ///
+    /// This reads the *whole* trace — O(len) time and memory on any
+    /// backend. Prefer [`ExecutionTrace::entries_since`],
+    /// [`ExecutionTrace::window`] or [`ExecutionTrace::for_each`] on
+    /// traces that can be long.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        let mut out = Vec::with_capacity(self.len());
+        let _ = self.store.read_into(0, u64::MAX, &mut out);
+        out
+    }
+
+    /// The full entry slice without copying, when the backend is
+    /// memory-resident.
+    pub fn as_slice(&self) -> Option<&[TraceEntry]> {
+        self.store.as_slice()
+    }
+
+    /// The entry with sequence number `seq`.
+    pub fn get(&self, seq: u64) -> Option<TraceEntry> {
+        let mut out = Vec::with_capacity(1);
+        self.store.read_into(seq, seq + 1, &mut out).ok()?;
+        out.pop()
     }
 
     /// Entries recorded at or after sequence number `seq` — the
     /// incremental delta a subscriber that has already seen `[0, seq)`
     /// still has to consume. Sequence numbers are dense, so `seq` is
     /// also the index of the first returned entry.
-    pub fn entries_since(&self, seq: u64) -> &[TraceEntry] {
-        let start = (seq as usize).min(self.entries.len());
-        &self.entries[start..]
+    pub fn entries_since(&self, seq: u64) -> Vec<TraceEntry> {
+        let mut out = Vec::new();
+        let _ = self.store.read_into(seq, u64::MAX, &mut out);
+        out
+    }
+
+    /// Appends the entries with sequence numbers in `[from, to)`
+    /// (clamped) onto `out` — the paged read underlying everything
+    /// else, exposed for callers that reuse buffers.
+    pub fn read_range_into(&self, from: u64, to: u64, out: &mut Vec<TraceEntry>) {
+        let _ = self.store.read_into(from, to, out);
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len() as usize
     }
 
     /// `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.is_empty()
     }
 
     /// Time range covered, if nonempty.
     pub fn time_range(&self) -> Option<(u64, u64)> {
-        let first = self.entries.first()?.event.time_ns;
-        let last = self.entries.last()?.event.time_ns;
-        Some((first, last))
+        self.store.time_range()
     }
 
-    /// Entries whose event time falls in `[t0, t1]`.
-    pub fn window(&self, t0_ns: u64, t1_ns: u64) -> impl Iterator<Item = &TraceEntry> {
-        self.entries
-            .iter()
-            .filter(move |e| e.event.time_ns >= t0_ns && e.event.time_ns <= t1_ns)
+    /// The half-open sequence range of entries whose event time falls
+    /// in `[t0_ns, t1_ns]` — resolved via the store's time index
+    /// (binary search, not a scan).
+    pub fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+        self.store.window_bounds(t0_ns, t1_ns)
+    }
+
+    /// Entries whose event time falls in `[t0, t1]`. The boundaries are
+    /// located by binary search (entries are time-ordered); the hits
+    /// are then streamed in pages, so a narrow window over a long
+    /// disk-backed trace reads only its own segments.
+    pub fn window(&self, t0_ns: u64, t1_ns: u64) -> impl Iterator<Item = TraceEntry> + '_ {
+        let (lo, hi) = self.window_bounds(t0_ns, t1_ns);
+        PagedIter {
+            trace: self,
+            next: lo,
+            end: hi,
+            page: Vec::new().into_iter(),
+        }
+    }
+
+    /// Calls `f` on every entry in sequence order, reading in pages —
+    /// full-trace iteration without materializing the whole run.
+    pub fn for_each<F: FnMut(&TraceEntry)>(&self, mut f: F) {
+        if let Some(slice) = self.store.as_slice() {
+            for e in slice {
+                f(e);
+            }
+            return;
+        }
+        let mut page = Vec::new();
+        let mut next = 0u64;
+        let len = self.store.len();
+        while next < len {
+            page.clear();
+            let _ = self.store.read_into(next, next + PAGE, &mut page);
+            if page.is_empty() {
+                break;
+            }
+            next += page.len() as u64;
+            for e in &page {
+                f(e);
+            }
+        }
+    }
+
+    /// Flushes buffered appends to the backing store and surfaces any
+    /// sticky storage failure.
+    ///
+    /// # Errors
+    ///
+    /// The first storage failure, or the flush failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(e) = &self.error {
+            return Err(StoreError::new(e.clone()));
+        }
+        self.store.sync()
+    }
+
+    /// The first storage failure, if any (sticky).
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// `true` while a restored trace is still re-executing its stored
+    /// prefix (see the type docs).
+    pub fn catching_up(&self) -> bool {
+        self.next_seq < self.store.len()
     }
 
     /// Serializes to pretty JSON.
@@ -94,13 +287,44 @@ impl ExecutionTrace {
         serde_json::to_string_pretty(self).expect("trace serializes")
     }
 
-    /// Parses a saved trace.
+    /// Parses a saved trace (into an in-memory backend).
     ///
     /// # Errors
     ///
     /// Returns the underlying parse error message.
     pub fn from_json(json: &str) -> Result<Self, String> {
         serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Paged iterator over a sequence range of a trace.
+struct PagedIter<'a> {
+    trace: &'a ExecutionTrace,
+    next: u64,
+    end: u64,
+    page: std::vec::IntoIter<TraceEntry>,
+}
+
+impl Iterator for PagedIter<'_> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        loop {
+            if let Some(e) = self.page.next() {
+                return Some(e);
+            }
+            if self.next >= self.end {
+                return None;
+            }
+            let mut page = Vec::new();
+            self.trace
+                .read_range_into(self.next, (self.next + PAGE).min(self.end), &mut page);
+            if page.is_empty() {
+                return None;
+            }
+            self.next += page.len() as u64;
+            self.page = page.into_iter();
+        }
     }
 }
 
@@ -204,5 +428,51 @@ mod tests {
         assert_eq!(t.entries_since(2).len(), 0);
         // Cursors past the end are tolerated (subscriber saw everything).
         assert_eq!(t.entries_since(99).len(), 0);
+    }
+
+    #[test]
+    fn catch_up_drops_already_stored_records() {
+        // Persist two entries, then re-record them (the deterministic
+        // re-execution) plus one new command.
+        let stored = sample();
+        let trace_entries = stored.entries();
+        let store = crate::store::MemStore::from_entries(trace_entries.clone());
+        let mut t = ExecutionTrace::with_store(Box::new(store));
+        assert!(t.catching_up());
+        assert_eq!(t.len(), 2);
+        let s0 = t.record(
+            trace_entries[0].event.clone(),
+            trace_entries[0].reactions.clone(),
+            vec![],
+        );
+        assert_eq!(s0, 0);
+        assert_eq!(t.len(), 2, "catch-up records are dropped, not duplicated");
+        let s1 = t.record(trace_entries[1].event.clone(), vec![], vec![]);
+        assert_eq!(s1, 1);
+        assert!(!t.catching_up());
+        let s2 = t.record(
+            ModelEvent::new(300, EventKind::StateEnter, "A/fsm").with_to("Idle"),
+            vec![],
+            vec![],
+        );
+        assert_eq!(s2, 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(2).unwrap().event.time_ns, 300);
+    }
+
+    #[test]
+    fn clone_detaches_into_memory() {
+        let t = sample();
+        let c = t.clone();
+        assert_eq!(t, c);
+        assert_eq!(t.to_json(), c.to_json());
+    }
+
+    #[test]
+    fn for_each_visits_every_entry_in_order() {
+        let t = sample();
+        let mut seen = Vec::new();
+        t.for_each(|e| seen.push(e.seq));
+        assert_eq!(seen, vec![0, 1]);
     }
 }

@@ -15,7 +15,7 @@ use crate::pattern::GdmPattern;
 use gmdf_metamodel::{ElementPath, Metamodel, Model, ObjectId, Value};
 use gmdf_render::Rect;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -376,9 +376,27 @@ impl Abstraction {
     }
 }
 
+/// Geometry of one laid-out container: outer size + child offsets.
+/// Keyed only by what the math actually depends on, so identical
+/// subtree shapes share one computation (see [`layout`]).
+type ShapeKey = (bool, usize, u64, u64);
+
+/// A memoized container geometry: `(width, height, child offsets)`.
+type Shape = (f64, f64, Vec<(f64, f64)>);
+
 /// Hierarchical layout: leaves get a fixed size, containers wrap their
 /// children (grid or circle, circle when edges connect the children —
 /// the state-machine look), sized bottom-up and placed top-down.
+///
+/// Two costs dominate fleet boot-up and are avoided here:
+///
+/// * edge-connectivity used to rescan every edge per container, with a
+///   linear path lookup per endpoint — now one pass over the edges
+///   against a path→index map marks the connected containers up front;
+/// * container geometry depends only on `(circle?, child count, cell
+///   size)`, so a fleet of identical actors computes each distinct
+///   subtree shape once and reuses it (`ShapeKey` memo) instead of
+///   redoing the trig/grid math per instance.
 fn layout(gdm: &mut DebuggerModel) {
     let n = gdm.elements.len();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -389,45 +407,65 @@ fn layout(gdm: &mut DebuggerModel) {
             None => roots.push(i),
         }
     }
-    // Does any edge connect two children of `parent`?
-    let edge_connected = |gdm: &DebuggerModel, kids: &[usize]| -> bool {
-        gdm.edges.iter().any(|e| {
-            let fi = gdm.element_index(&e.from);
-            let ti = gdm.element_index(&e.to);
-            matches!((fi, ti), (Some(a), Some(b)) if kids.contains(&a) && kids.contains(&b))
-        })
-    };
+    // Mark containers whose children are connected by an edge.
+    let index_of: BTreeMap<&str, usize> = gdm
+        .elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.path.as_str(), i))
+        .collect();
+    let mut connected = vec![false; n];
+    for e in &gdm.edges {
+        let (Some(&a), Some(&b)) = (index_of.get(e.from.as_str()), index_of.get(e.to.as_str()))
+        else {
+            continue;
+        };
+        if let (Some(pa), Some(pb)) = (gdm.elements[a].parent, gdm.elements[b].parent) {
+            if pa == pb {
+                connected[pa] = true;
+            }
+        }
+    }
 
     // Pass 1: sizes bottom-up (children have higher indices than parents
     // is NOT guaranteed for size purposes — recurse instead).
     let mut size: Vec<(f64, f64)> = vec![(LEAF_W, LEAF_H); n];
     let mut offsets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut shapes: HashMap<ShapeKey, Shape> = HashMap::new();
+    #[allow(clippy::too_many_arguments)]
     fn compute_size(
         i: usize,
-        gdm: &DebuggerModel,
         children: &Vec<Vec<usize>>,
+        connected: &[bool],
         size: &mut Vec<(f64, f64)>,
         offsets: &mut Vec<Vec<(f64, f64)>>,
-        edge_connected: &dyn Fn(&DebuggerModel, &[usize]) -> bool,
+        shapes: &mut HashMap<ShapeKey, Shape>,
     ) {
-        let kids = children[i].clone();
+        let kids = &children[i];
         if kids.is_empty() {
             size[i] = (LEAF_W, LEAF_H);
             return;
         }
-        for &k in &kids {
-            compute_size(k, gdm, children, size, offsets, edge_connected);
+        for &k in kids {
+            compute_size(k, children, connected, size, offsets, shapes);
         }
         let cell_w = kids.iter().map(|&k| size[k].0).fold(0.0, f64::max);
         let cell_h = kids.iter().map(|&k| size[k].1).fold(0.0, f64::max);
         let m = kids.len();
+        let circle = m >= 2 && connected[i];
+        let key: ShapeKey = (circle, m, cell_w.to_bits(), cell_h.to_bits());
+        if let Some((w, h, local)) = shapes.get(&key) {
+            size[i] = (*w, *h);
+            offsets[i] = local.clone();
+            return;
+        }
         let mut local: Vec<(f64, f64)> = Vec::with_capacity(m);
         let (w, h);
-        if m >= 2 && edge_connected(gdm, &kids) {
+        if circle {
             // Circle arrangement.
             let needed = (cell_w + GAP) * m as f64 / std::f64::consts::TAU;
             let r = needed.max(cell_w * 0.9);
-            for (j, _) in kids.iter().enumerate() {
+            for j in 0..m {
                 let a = std::f64::consts::TAU * j as f64 / m as f64 - std::f64::consts::FRAC_PI_2;
                 local.push((
                     r + r * a.cos() - cell_w / 2.0 + cell_w / 2.0 + PAD,
@@ -451,11 +489,21 @@ fn layout(gdm: &mut DebuggerModel) {
             w = 2.0 * PAD + cols as f64 * cell_w + (cols - 1) as f64 * GAP;
             h = 2.0 * PAD + TITLE_H + rows as f64 * cell_h + (rows - 1) as f64 * GAP;
         }
+        let w = w.max(LEAF_W);
+        let h = h.max(LEAF_H);
+        shapes.insert(key, (w, h, local.clone()));
         offsets[i] = local;
-        size[i] = (w.max(LEAF_W), h.max(LEAF_H));
+        size[i] = (w, h);
     }
     for &r in &roots {
-        compute_size(r, gdm, &children, &mut size, &mut offsets, &edge_connected);
+        compute_size(
+            r,
+            &children,
+            &connected,
+            &mut size,
+            &mut offsets,
+            &mut shapes,
+        );
     }
 
     // Pass 2: absolute placement, roots in a row.

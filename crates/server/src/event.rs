@@ -95,6 +95,38 @@ impl EngineEvent {
     }
 }
 
+/// A bounded page of trace history — the reply to
+/// [`SessionCommand::FetchRange`] and [`SessionCommand::ReplayFrom`].
+/// Remote clients page a long (possibly disk-backed) trace through
+/// these instead of pulling the whole record in one snapshot.
+///
+/// [`SessionCommand::FetchRange`]: crate::SessionCommand::FetchRange
+/// [`SessionCommand::ReplayFrom`]: crate::SessionCommand::ReplayFrom
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSlice {
+    /// The session whose trace was read.
+    pub session: SessionId,
+    /// Sequence number of the first returned entry (the requested
+    /// start when nothing was returned).
+    pub first_seq: u64,
+    /// The entries, in sequence order. Capped server-side
+    /// ([`MAX_FETCH_ENTRIES`]) — while `complete` is false, continue
+    /// with [`SessionCommand::ReplayFrom`] at
+    /// `first_seq + entries.len()` until `end_seq`.
+    ///
+    /// [`MAX_FETCH_ENTRIES`]: crate::MAX_FETCH_ENTRIES
+    pub entries: Vec<TraceEntry>,
+    /// Exclusive upper bound of the *full* requested range: the
+    /// window's last matching sequence + 1 for `FetchRange`, the trace
+    /// length for `ReplayFrom`. This is the continuation limit — a
+    /// truncated `FetchRange` page is resumed by sequence number, so
+    /// the follow-up pages cannot overshoot the time window.
+    pub end_seq: u64,
+    /// `true` when this page reaches the end of the requested range
+    /// (`first_seq + entries.len() >= end_seq`).
+    pub complete: bool,
+}
+
 /// A consistent point-in-time view of one hosted session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSnapshot {

@@ -90,14 +90,16 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod persist;
 pub mod proto;
 mod queue;
 mod server;
 mod wire;
 
-pub use event::{EngineEvent, SessionSnapshot};
+pub use event::{EngineEvent, SessionSnapshot, TraceSlice};
 pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{
-    DebugServer, ServerConfig, ServerError, SessionCommand, SessionHandle, SessionId,
+    DebugServer, PersistConfig, ServerConfig, ServerError, SessionCommand, SessionHandle,
+    SessionId, MAX_FETCH_ENTRIES,
 };
 pub use wire::{WireClient, WireError, WireServer};

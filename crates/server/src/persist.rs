@@ -1,0 +1,266 @@
+//! Durable sessions: the on-disk session registry and command journal.
+//!
+//! A persistent [`DebugServer`](crate::DebugServer) keeps, for every
+//! durable session, everything needed to recreate it after a process
+//! restart:
+//!
+//! ```text
+//! <root>/sessions/<id>/
+//!   spec.json      the SessionSpec (system, GDM, channel, options)
+//!   journal.log    length-prefixed records of every applied
+//!                  state-affecting command, stamped with the target
+//!                  time at which it was applied
+//!   trace/         the session's segmented trace store
+//!     meta.json
+//!     seg-*.log
+//! ```
+//!
+//! Restore leans entirely on determinism: the simulator, the code
+//! generator and slice pumping are all bit-exact, so *spec + journal*
+//! is the session. [`restore_session`] rebuilds the session from its
+//! spec, re-applies each journaled command at the exact target time it
+//! originally took effect (pumping the simulator up to that instant in
+//! between), and reattaches the recovered trace store — whose
+//! already-persisted prefix makes the trace drop re-generated entries
+//! instead of duplicating them (deterministic catch-up, see
+//! [`gmdf_engine::ExecutionTrace`]). Whatever run budget the journal
+//! grants beyond the restore point is handed back to the scheduler,
+//! which finishes the run as if the restart never happened.
+
+use crate::server::SessionCommand;
+use gmdf::{DebugSession, SessionSpec};
+use gmdf_engine::store::{encode_record, read_records, SegmentStore};
+use gmdf_engine::EngineNotice;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+
+/// One journaled command: what was applied, and the target time the
+/// session had reached when it was applied.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct JournalRecord {
+    /// Target simulation time at application.
+    pub at_ns: u64,
+    /// The applied command (`Snapshot`/`FetchRange`/`ReplayFrom` are
+    /// read-only and never journaled; their deserialized reply channel
+    /// stand-ins make the derive usable here).
+    pub command: SessionCommand,
+}
+
+/// Append-only command journal for one durable session.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Appends one record and flushes it — commands are rare and each
+    /// must survive a crash that happens right after it was accepted.
+    pub fn append(&mut self, at_ns: u64, command: &SessionCommand) -> std::io::Result<()> {
+        let record = encode_record(&JournalRecord {
+            at_ns,
+            command: command.clone(),
+        });
+        self.file.write_all(&record)?;
+        self.file.flush()
+    }
+}
+
+/// `true` for commands that change session state and must be journaled
+/// (read-only queries are not part of the replayable history).
+pub(crate) fn journaled(command: &SessionCommand) -> bool {
+    !matches!(
+        command,
+        SessionCommand::Snapshot { .. }
+            | SessionCommand::FetchRange { .. }
+            | SessionCommand::ReplayFrom { .. }
+    )
+}
+
+/// Directory of one session's persisted state.
+pub(crate) fn session_dir(root: &Path, id: u64) -> PathBuf {
+    root.join("sessions").join(format!("{id:016}"))
+}
+
+/// Creates a fresh durable-session directory: writes the spec
+/// (atomically) and returns the opened journal and trace store.
+pub(crate) fn create_session_dir(
+    root: &Path,
+    id: u64,
+    spec: &SessionSpec,
+    segment_capacity: usize,
+) -> Result<(Journal, SegmentStore), String> {
+    let dir = session_dir(root, id);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let spec_json = serde_json::to_string_pretty(spec).expect("spec serializes");
+    let tmp = dir.join("spec.json.tmp");
+    std::fs::write(&tmp, spec_json).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, dir.join("spec.json")).map_err(|e| e.to_string())?;
+    let journal = Journal::open(&dir.join("journal.log")).map_err(|e| e.to_string())?;
+    let store =
+        SegmentStore::open(dir.join("trace"), segment_capacity).map_err(|e| e.to_string())?;
+    Ok((journal, store))
+}
+
+/// Session ids persisted under `root`, in ascending order.
+pub(crate) fn persisted_ids(root: &Path) -> Vec<u64> {
+    let mut ids = Vec::new();
+    let sessions = root.join("sessions");
+    let Ok(dir) = std::fs::read_dir(&sessions) else {
+        return ids;
+    };
+    for entry in dir.flatten() {
+        if let Ok(id) = entry.file_name().to_string_lossy().parse::<u64>() {
+            if entry.path().join("spec.json").exists() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// A session rebuilt from its persisted state, ready to hand to the
+/// scheduler.
+#[derive(Debug)]
+pub(crate) struct RestoredSession {
+    pub session: DebugSession,
+    pub notices: mpsc::Receiver<EngineNotice>,
+    pub journal: Journal,
+    /// Run budget granted by the journal but not yet consumed — the
+    /// scheduler finishes it.
+    pub remaining_ns: u64,
+    /// Counters reconstructed from the replayed history, so snapshots
+    /// after a restart report the same totals as an uninterrupted run.
+    pub events_fed: u64,
+    pub violations: u64,
+    pub breakpoint_hits: u64,
+    /// Where delta publication resumes (everything before is history,
+    /// served via `FetchRange`/`ReplayFrom`).
+    pub trace_cursor: u64,
+}
+
+/// Rebuilds one durable session from `<root>/sessions/<id>` (see the
+/// module docs for the replay semantics).
+///
+/// # Errors
+///
+/// Returns a message when the spec is unreadable or the deterministic
+/// replay fails (it cannot for state persisted by this code, barring
+/// on-disk tampering).
+pub(crate) fn restore_session(
+    root: &Path,
+    id: u64,
+    segment_capacity: usize,
+) -> Result<RestoredSession, String> {
+    let dir = session_dir(root, id);
+    let spec_text = std::fs::read_to_string(dir.join("spec.json"))
+        .map_err(|e| format!("session {id}: cannot read spec.json: {e}"))?;
+    let spec: SessionSpec = serde_json::from_str(&spec_text)
+        .map_err(|e| format!("session {id}: corrupt spec.json: {e}"))?;
+    let mut session = spec
+        .build()
+        .map_err(|e| format!("session {id}: rebuild failed: {e}"))?;
+    let notices = session.engine_mut().subscribe();
+
+    // Reattach the recovered trace. Its surviving prefix arms the
+    // deterministic catch-up: re-generated entries below the recovered
+    // length are dropped, not duplicated.
+    let store = SegmentStore::open(dir.join("trace"), segment_capacity)
+        .map_err(|e| format!("session {id}: trace recovery failed: {e}"))?;
+    session.set_trace_store(Box::new(store));
+
+    // Recover the journal, truncating any torn tail record (a command
+    // cut mid-append was never acknowledged; dropping it is correct).
+    let journal_path = dir.join("journal.log");
+    let mut records: Vec<JournalRecord> = Vec::new();
+    if journal_path.exists() {
+        let (recovered, valid_len) = read_records::<JournalRecord>(&journal_path)
+            .map_err(|e| format!("session {id}: cannot read journal: {e}"))?;
+        let file_len = std::fs::metadata(&journal_path)
+            .map_err(|e| e.to_string())?
+            .len();
+        if valid_len < file_len {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&journal_path)
+                .map_err(|e| e.to_string())?;
+            f.set_len(valid_len).map_err(|e| e.to_string())?;
+        }
+        records = recovered;
+    }
+
+    // Deterministic replay: pump to each command's application instant,
+    // apply it, and tally the total granted run budget.
+    let mut total_budget_ns: u64 = 0;
+    let mut events_fed: u64 = 0;
+    for record in records {
+        let now = session.now_ns();
+        if record.at_ns > now {
+            let report = session
+                .run_for(record.at_ns - now)
+                .map_err(|e| format!("session {id}: replay pump failed: {e}"))?;
+            events_fed += report.events_fed as u64;
+        }
+        match record.command {
+            SessionCommand::ScheduleSignal {
+                time_ns,
+                label,
+                value,
+            } => {
+                session
+                    .schedule_signal(time_ns, &label, value)
+                    .map_err(|e| format!("session {id}: replay stimulus failed: {e}"))?;
+            }
+            SessionCommand::AddBreakpoint { matcher, one_shot } => {
+                session.engine_mut().add_breakpoint(matcher, one_shot);
+            }
+            SessionCommand::ClearBreakpoints => session.engine_mut().clear_breakpoints(),
+            SessionCommand::Step => {
+                session.engine_mut().step();
+            }
+            SessionCommand::Resume => {
+                session.engine_mut().resume();
+            }
+            SessionCommand::RunFor { duration_ns } => {
+                total_budget_ns = total_budget_ns.saturating_add(duration_ns);
+            }
+            // Never journaled; tolerated for robustness.
+            SessionCommand::Snapshot { .. }
+            | SessionCommand::FetchRange { .. }
+            | SessionCommand::ReplayFrom { .. } => {}
+        }
+    }
+    let remaining_ns = total_budget_ns.saturating_sub(session.now_ns());
+
+    // Reconstruct the counters from the replayed prefix; the scheduler
+    // continues them over the remaining budget.
+    let mut violations: u64 = 0;
+    let mut breakpoint_hits: u64 = 0;
+    while let Ok(notice) = notices.try_recv() {
+        violations += notice.violations as u64;
+        if notice.hit_breakpoint {
+            breakpoint_hits += 1;
+        }
+    }
+    let trace_cursor = session.engine().trace().len() as u64;
+    let journal = Journal::open(&journal_path).map_err(|e| e.to_string())?;
+    Ok(RestoredSession {
+        session,
+        notices,
+        journal,
+        remaining_ns,
+        events_fed,
+        violations,
+        breakpoint_hits,
+        trace_cursor,
+    })
+}

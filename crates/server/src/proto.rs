@@ -23,14 +23,16 @@
 //! is byte-identical to serializing the in-process broadcast
 //! (`crates/server/tests/wire.rs` pins this down).
 
-use crate::event::{EngineEvent, SessionSnapshot};
+use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
 use crate::server::{SessionCommand, SessionId};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::sync::mpsc;
 
 /// Protocol revision spoken by this build. Strict equality is required
-/// at handshake time.
-pub const WIRE_VERSION: u32 = 1;
+/// at handshake time. Version 2 added the history-paging pair
+/// ([`SessionCommand::FetchRange`] / [`SessionCommand::ReplayFrom`])
+/// and their [`ServerFrame::Trace`] reply.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload length (64 MiB) — large enough
 /// for a full-trace snapshot of any realistic session, small enough
@@ -101,6 +103,15 @@ pub enum ServerFrame {
         /// The consistent point-in-time view.
         snapshot: SessionSnapshot,
     },
+    /// Reply to a [`SessionCommand::FetchRange`] or
+    /// [`SessionCommand::ReplayFrom`] command: one page of trace
+    /// history.
+    Trace {
+        /// The request id this answers.
+        seq: u64,
+        /// The page (bounded; see [`TraceSlice::complete`]).
+        slice: TraceSlice,
+    },
     /// One event from the attached session's broadcast stream.
     Event {
         /// The broadcast event (including [`EngineEvent::Lagged`] when
@@ -160,6 +171,20 @@ impl Serialize for SessionCommand {
                 "Snapshot",
                 vec![field("include_trace", include_trace.to_content())],
             ),
+            SessionCommand::FetchRange { t0_ns, t1_ns, .. } => tagged(
+                "FetchRange",
+                vec![
+                    field("t0_ns", t0_ns.to_content()),
+                    field("t1_ns", t1_ns.to_content()),
+                ],
+            ),
+            SessionCommand::ReplayFrom { seq, limit, .. } => tagged(
+                "ReplayFrom",
+                vec![
+                    field("seq", seq.to_content()),
+                    field("limit", limit.to_content()),
+                ],
+            ),
         }
     }
 }
@@ -208,6 +233,22 @@ impl Deserialize for SessionCommand {
                 Ok(SessionCommand::Snapshot {
                     reply,
                     include_trace: get(fields, "include_trace")?,
+                })
+            }
+            "FetchRange" => {
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::FetchRange {
+                    t0_ns: get(fields, "t0_ns")?,
+                    t1_ns: get(fields, "t1_ns")?,
+                    reply,
+                })
+            }
+            "ReplayFrom" => {
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::ReplayFrom {
+                    seq: get(fields, "seq")?,
+                    limit: get(fields, "limit")?,
+                    reply,
                 })
             }
             other => Err(DeError::custom(format!(

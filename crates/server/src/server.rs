@@ -21,14 +21,17 @@
 //! follow it; command senders touch only the mailbox), so the server
 //! cannot deadlock on its own locks.
 
-use crate::event::{EngineEvent, SessionSnapshot};
+use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
+use crate::persist;
 use crate::queue::{self, EventReceiver, EventSender};
-use gmdf::DebugSession;
+use gmdf::{DebugSession, SessionSpec};
 use gmdf_comdes::SignalValue;
+use gmdf_engine::store::DEFAULT_SEGMENT_CAPACITY;
 use gmdf_engine::{EngineNotice, TraceEntry};
 use gmdf_gdm::CommandMatcher;
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -78,6 +81,40 @@ impl Default for ServerConfig {
     }
 }
 
+/// Where (and how) a persistent server journals its durable sessions.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Root directory of the session registry
+    /// (`<root>/sessions/<id>/…`). Created on demand.
+    pub root: PathBuf,
+    /// Entries per trace segment file
+    /// ([`gmdf_engine::SegmentStore`] capacity).
+    pub segment_capacity: usize,
+}
+
+impl PersistConfig {
+    /// Persistence rooted at `root` with the default segment capacity.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            root: root.into(),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+        }
+    }
+
+    /// Overrides the trace segment capacity (entries per segment).
+    #[must_use]
+    pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
+        self.segment_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Cap on the entries one [`SessionCommand::FetchRange`] /
+/// [`SessionCommand::ReplayFrom`] reply carries. Clients page by
+/// re-issuing the command from `first_seq + entries.len()` while
+/// [`TraceSlice::complete`] is false.
+pub const MAX_FETCH_ENTRIES: u64 = 4096;
+
 /// A command posted to a session's mailbox.
 ///
 /// Commands are applied in arrival order at the session's next
@@ -123,6 +160,31 @@ pub enum SessionCommand {
         /// for cheap counter polls).
         include_trace: bool,
     },
+    /// Reply with the trace entries whose event time falls in
+    /// `[t0_ns, t1_ns]` — located through the store's time index, so a
+    /// narrow window over a long disk-backed trace reads only its own
+    /// segments. Capped at [`MAX_FETCH_ENTRIES`].
+    FetchRange {
+        /// Window start (inclusive), in target nanoseconds.
+        t0_ns: u64,
+        /// Window end (inclusive), in target nanoseconds.
+        t1_ns: u64,
+        /// Where to deliver the page.
+        reply: mpsc::Sender<TraceSlice>,
+    },
+    /// Reply with up to `limit` trace entries starting at sequence
+    /// number `seq` — how clients page history (including the persisted
+    /// pre-restart prefix of a durable session) without holding the
+    /// whole trace.
+    ReplayFrom {
+        /// First sequence number wanted.
+        seq: u64,
+        /// Page size; `0` means the server cap ([`MAX_FETCH_ENTRIES`]),
+        /// larger values are clamped to it.
+        limit: u64,
+        /// Where to deliver the page.
+        reply: mpsc::Sender<TraceSlice>,
+    },
 }
 
 /// Server-side failure surfaced to clients.
@@ -135,6 +197,9 @@ pub enum ServerError {
     /// The session failed (simulator fault, bad stimulus…); the message
     /// is the underlying error.
     SessionFailed(String),
+    /// Session persistence failed (registry I/O, corrupt journal,
+    /// restore mismatch) or was requested on a non-persistent server.
+    Persist(String),
 }
 
 impl fmt::Display for ServerError {
@@ -143,6 +208,7 @@ impl fmt::Display for ServerError {
             ServerError::Shutdown => write!(f, "debug server has shut down"),
             ServerError::Timeout => write!(f, "timed out waiting on the debug server"),
             ServerError::SessionFailed(m) => write!(f, "session failed: {m}"),
+            ServerError::Persist(m) => write!(f, "session persistence failed: {m}"),
         }
     }
 }
@@ -166,6 +232,9 @@ struct SessionInner {
     violations: u64,
     breakpoint_hits: u64,
     failed: Option<String>,
+    /// Durable sessions journal every state-affecting command here
+    /// before applying it; `None` for in-memory sessions.
+    journal: Option<persist::Journal>,
 }
 
 /// One hosted session: state + mailbox + scheduling flags.
@@ -231,11 +300,58 @@ pub struct DebugServer {
     shared: Arc<Shared>,
     sessions: Mutex<Vec<Arc<SessionCell>>>,
     workers: Vec<JoinHandle<()>>,
+    /// Set on persistent servers: where durable sessions live.
+    persist: Option<PersistConfig>,
 }
 
 impl DebugServer {
     /// Boots the worker pool and returns the (initially empty) server.
     pub fn start(config: ServerConfig) -> Self {
+        Self::boot(config, None)
+    }
+
+    /// Boots a **persistent** server: durable sessions journal their
+    /// spec, commands and trace under `persist.root`, and any sessions
+    /// already persisted there are recreated — their traces recovered
+    /// from disk, their command history deterministically replayed to
+    /// the point the old process reached, and any outstanding run
+    /// budget handed back to the scheduler. Restored sessions keep
+    /// their ids; new ids continue above the highest restored one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Persist`] when the registry is unreadable or a
+    /// persisted session fails to rebuild (the partially started
+    /// server is shut down before returning).
+    pub fn start_persistent(
+        config: ServerConfig,
+        persist: PersistConfig,
+    ) -> Result<Self, ServerError> {
+        let mut server = Self::boot(config, Some(persist.clone()));
+        let ids = persist::persisted_ids(&persist.root);
+        for id in ids {
+            match persist::restore_session(&persist.root, id, persist.segment_capacity) {
+                Ok(restored) => {
+                    server.shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
+                    server.register(id, restored.session, restored.notices, |inner| {
+                        inner.remaining_ns = restored.remaining_ns;
+                        inner.trace_cursor = restored.trace_cursor;
+                        inner.events_fed = restored.events_fed;
+                        inner.violations = restored.violations;
+                        inner.breakpoint_hits = restored.breakpoint_hits;
+                        inner.journal = Some(restored.journal);
+                    });
+                }
+                Err(message) => {
+                    server.shutdown();
+                    return Err(ServerError::Persist(message));
+                }
+            }
+        }
+        Ok(server)
+    }
+
+    fn boot(config: ServerConfig, persist: Option<PersistConfig>) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             shards: (0..workers)
@@ -262,36 +378,92 @@ impl DebugServer {
             shared,
             sessions: Mutex::new(Vec::new()),
             workers: handles,
+            persist,
         }
     }
 
     /// Takes ownership of `session` and registers it with the scheduler
     /// (idle until its first command). The session is pinned to the
-    /// shard `id % workers`.
+    /// shard `id % workers`. The session is in-memory: its trace and
+    /// command history die with the server — see
+    /// [`DebugServer::add_durable_session`] for ones that survive a
+    /// restart.
     pub fn add_session(&self, mut session: DebugSession) -> SessionHandle {
         let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
-        let shard = (id as usize) % self.shared.shards.len();
         let notices = session.engine_mut().subscribe();
+        self.register(id, session, notices, |_| {})
+    }
+
+    /// Builds a **durable** session from `spec` and registers it. The
+    /// spec is written to the session registry, every state-affecting
+    /// command is journaled, and the trace records into a segmented
+    /// on-disk store next to the journal — a server restarted over the
+    /// same [`PersistConfig::root`] recreates the session and finishes
+    /// its run ([`DebugServer::start_persistent`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Persist`] on a non-persistent server or registry
+    /// I/O failure, [`ServerError::SessionFailed`] when the spec does
+    /// not build.
+    pub fn add_durable_session(&self, spec: &SessionSpec) -> Result<SessionHandle, ServerError> {
+        let Some(persist) = &self.persist else {
+            return Err(ServerError::Persist(
+                "server was not started with persistence (use start_persistent)".to_owned(),
+            ));
+        };
+        let mut session = spec
+            .build()
+            .map_err(|e| ServerError::SessionFailed(e.to_string()))?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        let (journal, store) =
+            persist::create_session_dir(&persist.root, id, spec, persist.segment_capacity)
+                .map_err(ServerError::Persist)?;
+        session.set_trace_store(Box::new(store));
+        let notices = session.engine_mut().subscribe();
+        Ok(self.register(id, session, notices, |inner| {
+            inner.journal = Some(journal);
+        }))
+    }
+
+    /// Registers a cell for `session` under `id`, applying `init` to
+    /// the fresh state (restored budgets, counters, journal). A cell
+    /// left with run budget is scheduled immediately.
+    fn register(
+        &self,
+        id: SessionId,
+        session: DebugSession,
+        notices: mpsc::Receiver<EngineNotice>,
+        init: impl FnOnce(&mut SessionInner),
+    ) -> SessionHandle {
+        let shard = (id as usize) % self.shared.shards.len();
+        let mut inner = SessionInner {
+            session,
+            notices,
+            remaining_ns: 0,
+            slice_ns: self.shared.default_slice_ns,
+            trace_cursor: 0,
+            subscribers: Vec::new(),
+            events_fed: 0,
+            violations: 0,
+            breakpoint_hits: 0,
+            failed: None,
+            journal: None,
+        };
+        init(&mut inner);
+        let resume = inner.remaining_ns > 0;
         let cell = Arc::new(SessionCell {
             id,
             shard,
-            inner: Mutex::new(SessionInner {
-                session,
-                notices,
-                remaining_ns: 0,
-                slice_ns: self.shared.default_slice_ns,
-                trace_cursor: 0,
-                subscribers: Vec::new(),
-                events_fed: 0,
-                violations: 0,
-                breakpoint_hits: 0,
-                failed: None,
-            }),
+            inner: Mutex::new(inner),
             idle_cv: Condvar::new(),
             mailbox: Mutex::new(VecDeque::new()),
             queued: AtomicBool::new(false),
         });
         lock(&self.sessions).push(Arc::clone(&cell));
+        if resume {
+            let _ = self.shared.enqueue(&cell);
+        }
         SessionHandle {
             cell,
             shared: Arc::clone(&self.shared),
@@ -473,7 +645,10 @@ impl SessionHandle {
 
     /// Round-trips a [`SessionCommand::Snapshot`] through the mailbox —
     /// the snapshot is therefore ordered after every command posted
-    /// before it — including the serialized trace (O(trace length)).
+    /// before it — including the serialized trace (O(trace length):
+    /// the *whole* record is materialized, even from a disk-backed
+    /// store; for long durable sessions page it with
+    /// [`SessionHandle::replay_from`] instead).
     ///
     /// # Errors
     ///
@@ -504,10 +679,64 @@ impl SessionHandle {
             reply: tx,
             include_trace,
         })?;
+        self.await_reply(&rx, timeout)
+    }
+
+    /// Fetches the trace entries whose event time falls in
+    /// `[t0_ns, t1_ns]` (one page, capped at [`MAX_FETCH_ENTRIES`]).
+    /// Round-trips through the mailbox like a snapshot, so it is
+    /// ordered after every command posted before it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Shutdown`] if the server stops first,
+    /// [`ServerError::Timeout`] if `timeout` elapses.
+    pub fn fetch_range(
+        &self,
+        t0_ns: u64,
+        t1_ns: u64,
+        timeout: Duration,
+    ) -> Result<TraceSlice, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::FetchRange {
+            t0_ns,
+            t1_ns,
+            reply: tx,
+        })?;
+        self.await_reply(&rx, timeout)
+    }
+
+    /// Fetches up to `limit` trace entries starting at sequence number
+    /// `seq` (`0` = the server cap) — the paging read over a session's
+    /// full history, including the persisted pre-restart prefix of a
+    /// durable session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Shutdown`] if the server stops first,
+    /// [`ServerError::Timeout`] if `timeout` elapses.
+    pub fn replay_from(
+        &self,
+        seq: u64,
+        limit: u64,
+        timeout: Duration,
+    ) -> Result<TraceSlice, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::ReplayFrom {
+            seq,
+            limit,
+            reply: tx,
+        })?;
+        self.await_reply(&rx, timeout)
+    }
+
+    /// Waits for a mailbox-routed reply, translating a dropped sender
+    /// into the session/server failure that caused it.
+    fn await_reply<T>(&self, rx: &mpsc::Receiver<T>, timeout: Duration) -> Result<T, ServerError> {
         let deadline = Instant::now() + timeout;
         loop {
             match rx.recv_timeout(POLL) {
-                Ok(snapshot) => return Ok(snapshot),
+                Ok(reply) => return Ok(reply),
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     // The reply sender was dropped undelivered. Usually
                     // that means shutdown — but a panicked turn unwinds
@@ -632,16 +861,23 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
             Ok(report) => {
                 inner.remaining_ns -= dt;
                 inner.events_fed += report.events_fed as u64;
-                let now_ns = inner.session.now_ns();
-                broadcast(
-                    &mut inner,
-                    EngineEvent::SliceCompleted {
-                        session: cell.id,
-                        now_ns,
-                        report,
-                    },
-                );
-                pumped = true;
+                // Land the slice's trace appends on durable storage
+                // before telling anyone about them — a crash after the
+                // broadcast must not lose acknowledged history.
+                if let Err(e) = inner.session.sync_trace() {
+                    fail(&mut inner, cell.id, &format!("trace store failed: {e}"));
+                } else {
+                    let now_ns = inner.session.now_ns();
+                    broadcast(
+                        &mut inner,
+                        EngineEvent::SliceCompleted {
+                            session: cell.id,
+                            now_ns,
+                            report,
+                        },
+                    );
+                    pumped = true;
+                }
             }
             Err(e) => fail(&mut inner, cell.id, &e.to_string()),
         }
@@ -668,8 +904,23 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
     }
 }
 
-/// Applies one mailed command to the session.
+/// Applies one mailed command to the session. Durable sessions journal
+/// state-affecting commands first — stamped with the target time at
+/// which they take effect — so a restarted server can replay them at
+/// exactly the same instants.
 fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionCommand) {
+    if inner.journal.is_some() && persist::journaled(&command) {
+        let at_ns = inner.session.now_ns();
+        let result = inner
+            .journal
+            .as_mut()
+            .expect("checked above")
+            .append(at_ns, &command);
+        if let Err(e) = result {
+            fail(inner, id, &format!("command journal write failed: {e}"));
+            return;
+        }
+    }
     match command {
         SessionCommand::ScheduleSignal {
             time_ns,
@@ -699,6 +950,43 @@ fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionComman
         } => {
             let snapshot = snapshot_of(inner, id, include_trace);
             let _ = reply.send(snapshot); // client may have given up
+        }
+        SessionCommand::FetchRange {
+            t0_ns,
+            t1_ns,
+            reply,
+        } => {
+            let trace = inner.session.engine().trace();
+            let (lo, hi) = trace.window_bounds(t0_ns, t1_ns);
+            let end = hi.min(lo.saturating_add(MAX_FETCH_ENTRIES));
+            let mut entries = Vec::new();
+            trace.read_range_into(lo, end, &mut entries);
+            let _ = reply.send(TraceSlice {
+                session: id,
+                first_seq: lo,
+                complete: lo + entries.len() as u64 >= hi,
+                entries,
+                end_seq: hi,
+            });
+        }
+        SessionCommand::ReplayFrom { seq, limit, reply } => {
+            let trace = inner.session.engine().trace();
+            let len = trace.len() as u64;
+            let cap = if limit == 0 {
+                MAX_FETCH_ENTRIES
+            } else {
+                limit.min(MAX_FETCH_ENTRIES)
+            };
+            let end = len.min(seq.saturating_add(cap));
+            let mut entries = Vec::new();
+            trace.read_range_into(seq, end, &mut entries);
+            let _ = reply.send(TraceSlice {
+                session: id,
+                first_seq: seq,
+                complete: seq.saturating_add(entries.len() as u64) >= len,
+                entries,
+                end_seq: len,
+            });
         }
     }
 }
@@ -734,14 +1022,18 @@ fn fail(inner: &mut SessionInner, id: SessionId, message: &str) {
 }
 
 /// Publishes everything recorded since the last turn: engine notices
-/// (breakpoint hits), violation messages, and the trace delta. The
-/// session's counters and cursor always advance; the owned event
-/// payloads (entry clones, message strings) are only built when someone
-/// is subscribed.
+/// (breakpoint hits, violation counts), violation messages, and the
+/// trace delta. The session's counters and cursor always advance; the
+/// owned event payloads (the delta read-back, message strings) are only
+/// built when someone is subscribed.
 fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
     let has_subscribers = !inner.subscribers.is_empty();
     let mut events = Vec::new();
+    // Counters come from the per-command notices, so they advance even
+    // when nobody subscribes and the trace store is disk-backed — no
+    // read-back just to count.
     while let Ok(notice) = inner.notices.try_recv() {
+        inner.violations += notice.violations as u64;
         if notice.hit_breakpoint {
             inner.breakpoint_hits += 1;
             if has_subscribers {
@@ -754,37 +1046,38 @@ fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
         }
     }
     let cursor = inner.trace_cursor;
-    let mut next_cursor = cursor;
-    let mut new_violations = 0u64;
-    let mut delta: Vec<TraceEntry> = Vec::new();
-    {
-        let entries = inner.session.engine().trace().entries_since(cursor);
-        if let Some(last) = entries.last() {
-            next_cursor = last.seq + 1;
-        }
-        for entry in entries {
-            new_violations += entry.violations.len() as u64;
-            if has_subscribers {
-                for message in &entry.violations {
-                    events.push(EngineEvent::Violation {
-                        session: id,
-                        seq: entry.seq,
-                        message: message.clone(),
-                    });
-                }
+    let trace_len = inner.session.engine().trace().len() as u64;
+    if has_subscribers && trace_len > cursor {
+        let mut delta: Vec<TraceEntry> = Vec::new();
+        inner
+            .session
+            .engine()
+            .trace()
+            .read_range_into(cursor, trace_len, &mut delta);
+        // Advance the cursor only past what was actually read: a
+        // short read (disk hiccup on a sealed segment) is retried on
+        // the next turn instead of silently dropping entries from the
+        // stream.
+        inner.trace_cursor = cursor + delta.len() as u64;
+        for entry in &delta {
+            for message in &entry.violations {
+                events.push(EngineEvent::Violation {
+                    session: id,
+                    seq: entry.seq,
+                    message: message.clone(),
+                });
             }
         }
-        if has_subscribers && !entries.is_empty() {
-            delta = entries.to_vec();
+        if !delta.is_empty() {
+            events.push(EngineEvent::TraceDelta {
+                session: id,
+                entries: delta,
+            });
         }
-    }
-    inner.trace_cursor = next_cursor;
-    inner.violations += new_violations;
-    if !delta.is_empty() {
-        events.push(EngineEvent::TraceDelta {
-            session: id,
-            entries: delta,
-        });
+    } else {
+        // Nobody is listening: skip the read-back, the history stays
+        // addressable through `FetchRange`/`ReplayFrom`.
+        inner.trace_cursor = trace_len;
     }
     for event in events {
         broadcast(inner, event);

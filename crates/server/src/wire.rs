@@ -278,7 +278,9 @@ fn write_frame<T: Serialize>(
 /// The request id `frame` answers, if it is a reply.
 fn frame_seq(frame: &ServerFrame) -> Option<u64> {
     match frame {
-        ServerFrame::Ack { seq } | ServerFrame::Snapshot { seq, .. } => Some(*seq),
+        ServerFrame::Ack { seq }
+        | ServerFrame::Snapshot { seq, .. }
+        | ServerFrame::Trace { seq, .. } => Some(*seq),
         ServerFrame::Error { seq, .. } => *seq,
         ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
     }
@@ -461,6 +463,26 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                             }),
                         }
                     }
+                    // History pages get the same reply re-wiring as
+                    // snapshots: the handle installs a live channel.
+                    SessionCommand::FetchRange { t0_ns, t1_ns, .. } => {
+                        match handle.fetch_range(t0_ns, t1_ns, SNAPSHOT_WAIT) {
+                            Ok(slice) => reply(ServerFrame::Trace { seq, slice }),
+                            Err(e) => reply(ServerFrame::Error {
+                                seq: Some(seq),
+                                message: e.to_string(),
+                            }),
+                        }
+                    }
+                    SessionCommand::ReplayFrom {
+                        seq: from, limit, ..
+                    } => match handle.replay_from(from, limit, SNAPSHOT_WAIT) {
+                        Ok(slice) => reply(ServerFrame::Trace { seq, slice }),
+                        Err(e) => reply(ServerFrame::Error {
+                            seq: Some(seq),
+                            message: e.to_string(),
+                        }),
+                    },
                     other => match handle.send(other) {
                         Ok(()) => reply(ServerFrame::Ack { seq }),
                         Err(e) => reply(ServerFrame::Error {
@@ -657,23 +679,102 @@ impl WireClient {
                 include_trace,
             },
         })?;
+        self.wait_reply(seq, timeout, "Snapshot", move |frame| match frame {
+            ServerFrame::Snapshot { seq: s, snapshot } if s == seq => Ok(snapshot),
+            other => Err(other),
+        })
+    }
+
+    /// Requests the attached session's trace entries whose event time
+    /// falls in `[t0_ns, t1_ns]` — one bounded page
+    /// ([`crate::MAX_FETCH_ENTRIES`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors otherwise.
+    pub fn fetch_range(
+        &mut self,
+        t0_ns: u64,
+        t1_ns: u64,
+        timeout: Duration,
+    ) -> Result<crate::TraceSlice, WireError> {
+        let (reply, _) = mpsc::channel();
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq,
+            command: SessionCommand::FetchRange {
+                t0_ns,
+                t1_ns,
+                reply,
+            },
+        })?;
+        self.wait_trace(seq, timeout)
+    }
+
+    /// Requests up to `limit` trace entries starting at sequence number
+    /// `seq` (`0` = the server cap) — page history by advancing `seq`
+    /// while [`crate::TraceSlice::complete`] is false.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors otherwise.
+    pub fn replay_from(
+        &mut self,
+        seq: u64,
+        limit: u64,
+        timeout: Duration,
+    ) -> Result<crate::TraceSlice, WireError> {
+        let (reply, _) = mpsc::channel();
+        let request = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq: request,
+            command: SessionCommand::ReplayFrom { seq, limit, reply },
+        })?;
+        self.wait_trace(request, timeout)
+    }
+
+    /// Waits for the [`ServerFrame::Trace`] reply answering `seq`.
+    fn wait_trace(&mut self, seq: u64, timeout: Duration) -> Result<crate::TraceSlice, WireError> {
+        self.wait_reply(seq, timeout, "Trace", move |frame| match frame {
+            ServerFrame::Trace { seq: s, slice } if s == seq => Ok(slice),
+            other => Err(other),
+        })
+    }
+
+    /// The shared reply wait: reads frames until `extract` accepts one,
+    /// buffering interleaved events, skipping stale replies left by
+    /// earlier timed-out requests, and surfacing this request's (or the
+    /// connection's) error.
+    fn wait_reply<T>(
+        &mut self,
+        seq: u64,
+        timeout: Duration,
+        what: &str,
+        extract: impl Fn(ServerFrame) -> Result<T, ServerFrame>,
+    ) -> Result<T, WireError> {
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(WireError::Timeout);
             }
-            match self.read_frame(remaining)? {
-                ServerFrame::Snapshot { seq: s, snapshot } if s == seq => return Ok(snapshot),
-                ServerFrame::Event { event } => self.buffered.push_back(event),
-                ServerFrame::Error { seq: Some(s), .. } if s != seq => {} // stale
-                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
+            match extract(self.read_frame(remaining)?) {
+                Ok(reply) => return Ok(reply),
+                Err(ServerFrame::Event { event }) => self.buffered.push_back(event),
+                Err(ServerFrame::Error { seq: Some(s), .. }) if s != seq => {} // stale
+                Err(ServerFrame::Error { message, .. }) => return Err(WireError::Remote(message)),
                 // Stale replies to requests whose caller already gave
                 // up; this request's reply is still coming.
-                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
-                other => {
+                Err(
+                    ServerFrame::Ack { .. }
+                    | ServerFrame::Snapshot { .. }
+                    | ServerFrame::Trace { .. },
+                ) => {}
+                Err(other) => {
                     return Err(WireError::Protocol(format!(
-                        "expected Snapshot, got {other:?}"
+                        "expected {what}, got {other:?}"
                     )))
                 }
             }
@@ -705,11 +806,13 @@ impl WireClient {
                 // written around a re-attach; not part of this stream.
                 ServerFrame::Event { .. } => {}
                 // Stray replies from an earlier timed-out request (an
-                // Ack, a Snapshot, or a request-level Error that
-                // arrived after its caller gave up) are not events;
-                // skip them instead of poisoning an otherwise healthy
-                // connection.
-                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
+                // Ack, a Snapshot, a Trace page, or a request-level
+                // Error that arrived after its caller gave up) are not
+                // events; skip them instead of poisoning an otherwise
+                // healthy connection.
+                ServerFrame::Ack { .. }
+                | ServerFrame::Snapshot { .. }
+                | ServerFrame::Trace { .. } => {}
                 ServerFrame::Error { seq: Some(_), .. } => {}
                 ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
                 other => {
@@ -828,23 +931,10 @@ impl WireClient {
     }
 
     fn wait_ack(&mut self, seq: u64) -> Result<(), WireError> {
-        let deadline = Instant::now() + REPLY_WAIT;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(WireError::Timeout);
-            }
-            match self.read_frame(remaining)? {
-                ServerFrame::Ack { seq: s } if s == seq => return Ok(()),
-                ServerFrame::Event { event } => self.buffered.push_back(event),
-                ServerFrame::Error { seq: Some(s), .. } if s != seq => {} // stale
-                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
-                // Replies left over from earlier timed-out requests;
-                // skip them rather than fail this command.
-                ServerFrame::Ack { .. } | ServerFrame::Snapshot { .. } => {}
-                other => return Err(WireError::Protocol(format!("expected Ack, got {other:?}"))),
-            }
-        }
+        self.wait_reply(seq, REPLY_WAIT, "Ack", move |frame| match frame {
+            ServerFrame::Ack { seq: s } if s == seq => Ok(()),
+            other => Err(other),
+        })
     }
 
     /// Reads one server frame, waiting up to `timeout`.

@@ -1,0 +1,402 @@
+//! Durable sessions: restart round-trips, disk-backed history paging,
+//! and backend equivalence under the scheduler.
+//!
+//! The headline property: a persistent server stopped **mid-run** and
+//! restarted over the same registry finishes the run with an
+//! `ExecutionTrace::to_json` and a subscriber-visible entry stream
+//! **byte-identical** to an uninterrupted in-memory run of the same
+//! command history — the restart is unobservable in the record.
+
+mod common;
+
+use common::{blinker_system, ring_system};
+use gmdf::{ChannelMode, SessionSpec, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_engine::{SegmentStore, TraceEntry};
+use gmdf_gdm::{CommandMatcher, EventKind};
+use gmdf_server::{
+    DebugServer, EngineEvent, EventReceiver, PersistConfig, ServerConfig, ServerError,
+    SessionHandle, WireClient, WireServer,
+};
+use gmdf_target::SimConfig;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tmp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "gmdf-persist-{tag}-{}-{n}-{nanos}",
+        std::process::id()
+    ))
+}
+
+fn spec_of(system: gmdf_comdes::System) -> SessionSpec {
+    Workflow::from_system(system)
+        .expect("valid system")
+        .default_abstraction()
+        .default_commands()
+        .into_spec(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        slice_ns: 500_000,
+        ..ServerConfig::default()
+    }
+}
+
+/// Drains every `TraceDelta` entry currently buffered on `events`.
+fn drain_delta_entries(events: &EventReceiver, out: &mut Vec<TraceEntry>) {
+    for event in events.try_iter() {
+        if let EngineEvent::TraceDelta { entries, .. } = event {
+            out.extend(entries);
+        }
+    }
+}
+
+/// The scripted command history both the reference and the durable run
+/// execute. `wait_idle` barriers pin every command's application
+/// instant, so the two runs are commanded identically.
+fn drive_history(handle: &SessionHandle) {
+    handle.run_for(3_000_000).expect("send");
+    handle.wait_idle(WAIT).expect("idle");
+    handle
+        .add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)
+        .expect("send");
+    handle.run_for(3_000_000).expect("send");
+    handle.wait_idle(WAIT).expect("idle");
+    handle.step().expect("send");
+    handle.resume().expect("send");
+    handle.wait_idle(WAIT).expect("idle");
+}
+
+/// Stop a persistent server mid-run, restart it over the same registry,
+/// and prove the finished trace and the subscriber-visible entry stream
+/// are byte-identical to an uninterrupted in-memory run.
+#[test]
+fn restart_mid_run_is_unobservable_in_the_record() {
+    let system = || blinker_system("persist-blinker", 0.0005, 500_000);
+
+    // Reference: uninterrupted, in-memory, same command history.
+    let reference = DebugServer::start(server_config());
+    let ref_handle = reference.add_session(spec_of(system()).build().expect("builds"));
+    let ref_events = ref_handle.subscribe();
+    drive_history(&ref_handle);
+    ref_handle.run_for(10_000_000).expect("send");
+    ref_handle.wait_idle(WAIT).expect("idle");
+    let ref_snapshot = ref_handle.snapshot(WAIT).expect("snapshot");
+    let mut ref_stream = Vec::new();
+    drain_delta_entries(&ref_events, &mut ref_stream);
+    drop(reference);
+
+    // Durable run: same history, but the server dies mid-way through
+    // the final run budget.
+    let root = tmp_root("restart");
+    let (session_id, mut pre_stream) = {
+        let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+            .expect("persistent server boots");
+        let handle = server
+            .add_durable_session(&spec_of(system()))
+            .expect("durable session");
+        let events = handle.subscribe();
+        drive_history(&handle);
+        handle.run_for(10_000_000).expect("send");
+        // No wait: drop the server with run budget outstanding — the
+        // "kill mid-run". (Workers stop after at most one more slice.)
+        let mut pre = Vec::new();
+        drain_delta_entries(&events, &mut pre);
+        (handle.id(), pre)
+        // server dropped here
+    };
+
+    // Restart over the same registry: the session is recreated, its
+    // history replayed, and the outstanding budget finished.
+    let server =
+        DebugServer::start_persistent(server_config(), PersistConfig::new(&root)).expect("restart");
+    assert_eq!(server.session_ids(), vec![session_id], "id preserved");
+    let handle = server.handle(session_id).expect("restored handle");
+    handle.wait_idle(WAIT).expect("restored run finishes");
+    let snapshot = handle.snapshot(WAIT).expect("snapshot");
+
+    // The record is byte-identical to the uninterrupted run.
+    assert_eq!(
+        snapshot.trace_json, ref_snapshot.trace_json,
+        "restarted trace must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(snapshot.trace_len, ref_snapshot.trace_len);
+    assert_eq!(snapshot.now_ns, ref_snapshot.now_ns);
+    assert_eq!(snapshot.engine_state, ref_snapshot.engine_state);
+    assert_eq!(snapshot.events_fed, ref_snapshot.events_fed);
+    assert_eq!(snapshot.violations, ref_snapshot.violations);
+    assert_eq!(snapshot.breakpoint_hits, ref_snapshot.breakpoint_hits);
+    assert!(snapshot.trace_len > 0, "the run actually recorded");
+
+    // Stream equivalence: what subscribers saw before the kill, plus
+    // the historical backfill served from disk, is the uninterrupted
+    // stream. (Pages of 7 force multiple ReplayFrom round trips.)
+    let seen = pre_stream.len() as u64;
+    let mut next = seen;
+    loop {
+        let slice = handle.replay_from(next, 7, WAIT).expect("replay page");
+        assert_eq!(slice.first_seq, next);
+        next += slice.entries.len() as u64;
+        pre_stream.extend(slice.entries);
+        if slice.complete {
+            break;
+        }
+    }
+    let as_json = |entries: &[TraceEntry]| serde_json::to_string(&entries.to_vec()).expect("json");
+    assert_eq!(
+        as_json(&pre_stream),
+        as_json(&ref_stream),
+        "pre-kill stream + disk backfill must equal the uninterrupted stream"
+    );
+
+    // The delta stream entries are the trace itself.
+    assert_eq!(pre_stream.len(), snapshot.trace_len);
+    drop(server);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A durable session's disk-backed `window`/`entries_since` answers
+    /// are identical to an in-memory session of the same run — over
+    /// random ring images, segment capacities, slice partitions and
+    /// query points.
+    #[test]
+    fn disk_backed_session_queries_equal_memory(
+        n_states in 2usize..5,
+        capacity in 1usize..9,
+        slices in proptest::collection::vec(
+            prop_oneof![Just(333u64), Just(70_001u64), Just(1_250_000u64), Just(5_000_000u64)],
+            1..5,
+        ),
+        cursors in proptest::collection::vec(0u64..200, 1..5),
+    ) {
+        let system = |name: &str| ring_system(name, n_states, 0.0008, 500_000);
+        let horizon = 12_000_000u64;
+
+        // In-memory run, one-shot.
+        let mut mem = spec_of(system("ring-mem")).build().expect("builds");
+        mem.run_for(horizon).expect("runs");
+
+        // Disk-backed run, pumped in a ragged slice partition.
+        let root = tmp_root("equiv");
+        let mut disk = spec_of(system("ring-mem")).build().expect("builds");
+        disk.set_trace_store(Box::new(
+            SegmentStore::open(root.join("trace"), capacity).expect("store"),
+        ));
+        let mut k = 0usize;
+        while disk.now_ns() < horizon {
+            let dt = slices[k % slices.len()].min(horizon - disk.now_ns());
+            disk.run_slice(dt).expect("slice");
+            k += 1;
+        }
+        disk.sync_trace().expect("sync");
+
+        let mem_trace = mem.engine().trace();
+        let disk_trace = disk.engine().trace();
+        prop_assert_eq!(mem_trace.to_json(), disk_trace.to_json(), "whole-trace identity");
+        for &cursor in &cursors {
+            prop_assert_eq!(
+                mem_trace.entries_since(cursor),
+                disk_trace.entries_since(cursor),
+                "entries_since({})", cursor
+            );
+        }
+        let (t0, t1) = mem_trace.time_range().unwrap_or((0, 1));
+        let mid = t0 + (t1 - t0) / 2;
+        for (a, b) in [(t0, t1), (t0, mid), (mid, t1), (mid, mid), (t1 + 1, u64::MAX), (0, t0)] {
+            prop_assert_eq!(
+                mem_trace.window_bounds(a, b),
+                disk_trace.window_bounds(a, b),
+                "window_bounds({}, {})", a, b
+            );
+            let mem_win: Vec<TraceEntry> = mem_trace.window(a, b).collect();
+            let disk_win: Vec<TraceEntry> = disk_trace.window(a, b).collect();
+            prop_assert_eq!(mem_win, disk_win, "window({}, {})", a, b);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+/// `FetchRange` and `ReplayFrom` page history correctly — in-process
+/// and over the wire, against both live and restored sessions.
+#[test]
+fn history_paging_in_process_and_over_wire() {
+    let server = std::sync::Arc::new(DebugServer::start(server_config()));
+    let handle = server.add_session(
+        spec_of(ring_system("page-ring", 3, 0.0008, 500_000))
+            .build()
+            .expect("builds"),
+    );
+    handle.run_for(50_000_000).expect("send");
+    handle.wait_idle(WAIT).expect("idle");
+    let snapshot = handle.snapshot(WAIT).expect("snapshot");
+    let full: Vec<TraceEntry> =
+        gmdf_engine::ExecutionTrace::from_json(&snapshot.trace_json.expect("trace"))
+            .expect("parses")
+            .entries();
+    assert!(
+        full.len() > 10,
+        "need a non-trivial trace, got {}",
+        full.len()
+    );
+
+    // ReplayFrom pages concatenate to the full trace.
+    let mut paged = Vec::new();
+    let mut next = 0u64;
+    loop {
+        let slice = handle.replay_from(next, 4, WAIT).expect("page");
+        assert!(slice.entries.len() <= 4);
+        assert_eq!(slice.end_seq, full.len() as u64);
+        next += slice.entries.len() as u64;
+        let done = slice.complete;
+        paged.extend(slice.entries);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(paged, full);
+
+    // FetchRange equals the in-memory window on a mid-run time span.
+    let t_mid = full[full.len() / 2].event.time_ns;
+    let t_end = full[full.len() - 1].event.time_ns;
+    let in_window: Vec<TraceEntry> = full
+        .iter()
+        .filter(|e| e.event.time_ns >= t_mid && e.event.time_ns <= t_end)
+        .cloned()
+        .collect();
+    let slice = handle.fetch_range(t_mid, t_end, WAIT).expect("fetch");
+    assert!(slice.complete);
+    assert_eq!(slice.entries, in_window);
+    assert_eq!(slice.first_seq, in_window[0].seq);
+    // end_seq is the continuation limit: the window's exclusive upper
+    // bound by sequence number (a truncated page resumes via
+    // ReplayFrom(first_seq + entries.len()) until end_seq).
+    assert_eq!(slice.end_seq, in_window[in_window.len() - 1].seq + 1);
+
+    // The same pair over TCP: byte-identical after the JSON round trip.
+    let wire = WireServer::start(std::sync::Arc::clone(&server), "127.0.0.1:0").expect("bind");
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach(handle.id()).expect("attach");
+    let remote = client
+        .fetch_range(t_mid, t_end, WAIT)
+        .expect("remote fetch");
+    assert_eq!(
+        serde_json::to_string(&remote).expect("json"),
+        serde_json::to_string(&slice).expect("json")
+    );
+    let mut remote_paged = Vec::new();
+    let mut next = 0u64;
+    loop {
+        let slice = client.replay_from(next, 5, WAIT).expect("remote page");
+        next += slice.entries.len() as u64;
+        let done = slice.complete;
+        remote_paged.extend(slice.entries);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(remote_paged, full);
+
+    // An empty window is a clean, complete, empty page.
+    let empty = handle
+        .fetch_range(t_end + 1, u64::MAX, WAIT)
+        .expect("fetch");
+    assert!(empty.complete);
+    assert!(empty.entries.is_empty());
+}
+
+/// Restored servers keep persisted ids and allocate fresh ones above
+/// them; durable sessions on a non-persistent server are rejected.
+#[test]
+fn registry_ids_and_misuse() {
+    let root = tmp_root("ids");
+    let spec = spec_of(blinker_system("ids-blinker", 0.001, 1_000_000));
+    {
+        let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+            .expect("boots");
+        let a = server.add_durable_session(&spec).expect("a");
+        let b = server.add_durable_session(&spec).expect("b");
+        assert_eq!((a.id(), b.id()), (0, 1));
+        a.run_for(2_000_000).expect("send");
+        b.run_for(1_000_000).expect("send");
+        a.wait_idle(WAIT).expect("idle");
+        b.wait_idle(WAIT).expect("idle");
+    }
+    let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+        .expect("restarts");
+    assert_eq!(server.session_ids(), vec![0, 1]);
+    let c = server.add_durable_session(&spec).expect("c");
+    assert_eq!(c.id(), 2, "fresh ids continue above restored ones");
+    // Mixed registries restore all durable sessions; in-memory siblings
+    // simply do not come back.
+    let transient = server.add_session(spec.build().expect("builds"));
+    assert_eq!(transient.id(), 3);
+    drop(server);
+
+    let plain = DebugServer::start(server_config());
+    match plain.add_durable_session(&spec) {
+        Err(ServerError::Persist(_)) => {}
+        other => panic!("expected Persist error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A torn journal tail (a command cut mid-append by a kill) is dropped
+/// on restart; the session still restores and keeps serving.
+#[test]
+fn torn_journal_tail_is_recovered() {
+    let root = tmp_root("torn-journal");
+    let spec = spec_of(blinker_system("torn-blinker", 0.001, 1_000_000));
+    let id = {
+        let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+            .expect("boots");
+        let handle = server.add_durable_session(&spec).expect("durable");
+        handle.run_for(3_000_000).expect("send");
+        handle.wait_idle(WAIT).expect("idle");
+        handle.id()
+    };
+    // Damage the journal: append garbage, then also cut into the last
+    // record's bytes.
+    let journal = root
+        .join("sessions")
+        .join(format!("{id:016}"))
+        .join("journal.log");
+    let mut bytes = std::fs::read(&journal).expect("journal exists");
+    bytes.truncate(bytes.len() - 2);
+    bytes.extend_from_slice(&[0xde, 0xad]);
+    std::fs::write(&journal, &bytes).expect("write");
+
+    let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+        .expect("restart survives a torn journal");
+    let handle = server.handle(id).expect("restored");
+    // The torn RunFor was dropped, so the restored session is idle with
+    // whatever prefix survived; it still accepts new work.
+    handle.run_for(1_000_000).expect("send");
+    handle.wait_idle(WAIT).expect("idle");
+    let snapshot = handle.stats(WAIT).expect("stats");
+    assert_eq!(snapshot.remaining_ns, 0);
+    drop(server);
+    std::fs::remove_dir_all(&root).ok();
+}

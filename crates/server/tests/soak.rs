@@ -73,8 +73,13 @@ fn dropping_the_server_mid_run_is_crash_free() {
         })
         .collect();
     for handle in &handles {
-        // Budgets far larger than the drop window: the pool is mid-run.
-        handle.run_for(2_000_000_000).unwrap();
+        // A budget no pool can consume in the drop window: an hour of
+        // target time is ~14M slices — a memoized quiescent blinker
+        // pumps ~1M slices/s, so even on a stalled CI box the sessions
+        // are guaranteed still mid-run when the drop lands. (2 s of
+        // budget flaked here: the first session could finish its whole
+        // run while the posting loop contended for the other 15.)
+        handle.run_for(3_600_000_000_000).unwrap();
     }
     // Drop while every shard is busy. Drop::drop signals shutdown and
     // joins all 4 workers — returning at all proves the join. (Worker

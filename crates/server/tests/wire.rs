@@ -73,6 +73,18 @@ fn arb_command() -> impl Strategy<Value = SessionCommand> {
                 include_trace,
             }
         }),
+        (any::<u64>(), any::<u64>()).prop_map(|(t0_ns, t1_ns)| {
+            let (reply, _) = mpsc::channel();
+            SessionCommand::FetchRange {
+                t0_ns,
+                t1_ns,
+                reply,
+            }
+        }),
+        (any::<u64>(), 0u64..8192).prop_map(|(seq, limit)| {
+            let (reply, _) = mpsc::channel();
+            SessionCommand::ReplayFrom { seq, limit, reply }
+        }),
     ]
 }
 
@@ -146,6 +158,29 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
             message: "unknown session 9".to_owned(),
         }),
         arb_event().prop_map(|event| ServerFrame::Event { event }),
+        (any::<u64>(), any::<u64>(), 0u64..4, any::<bool>()).prop_map(
+            |(seq, session, n, complete)| ServerFrame::Trace {
+                seq,
+                slice: gmdf_server::TraceSlice {
+                    session,
+                    first_seq: seq,
+                    entries: (0..n)
+                        .map(|i| gmdf_engine::TraceEntry {
+                            seq: seq + i,
+                            event: gmdf_gdm::ModelEvent::new(
+                                i * 31,
+                                EventKind::SignalWrite,
+                                "A/out/u",
+                            ),
+                            reactions: vec![],
+                            violations: vec![],
+                        })
+                        .collect(),
+                    end_seq: seq.saturating_add(n),
+                    complete,
+                },
+            }
+        ),
     ]
 }
 

@@ -1,13 +1,14 @@
 //! Simulator configuration.
 
 use gmdf_codegen::vm::DEFAULT_STEP_BUDGET;
+use serde::{Deserialize, Serialize};
 
 /// How the simulator finds the next pending timeline instant.
 ///
 /// Both modes are bit-for-bit equivalent — [`DispatchMode::LegacyScan`]
 /// exists as an A/B oracle so tests (and suspicious users) can check the
 /// indexed calendar against the original full rescan on any workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DispatchMode {
     /// Indexed event calendar: a priority queue over pending releases,
     /// deadline publications and projected CPU completions, plus a
@@ -27,7 +28,7 @@ pub enum DispatchMode {
 /// jitter — so a default-configured run is behaviourally identical to
 /// model-level execution, which is exactly what implementation-error
 /// detection needs as a baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// `true` (default): the kernel publishes task outputs at the
     /// *deadline* instant (timed multitasking — zero I/O jitter);

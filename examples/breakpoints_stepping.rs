@@ -103,12 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("stepping:");
     while session.engine().pending() > 0 {
         session.engine_mut().step();
-        let last = session
-            .engine()
-            .trace()
-            .entries()
-            .last()
-            .expect("stepped entry");
+        let trace = session.engine().trace();
+        let last = trace.get(trace.len() as u64 - 1).expect("stepped entry");
         println!("  step → {}", last.event);
     }
 

@@ -94,10 +94,8 @@ fn debug_with_faults(faults: Vec<Fault>) -> Result<(), Box<dyn std::error::Error
 
     let report = session.run_for(5_000_000_000)?;
     println!("commands observed: {}", report.events_fed);
-    let entered: Vec<&str> = session
-        .engine()
-        .trace()
-        .entries()
+    let entries = session.engine().trace().entries();
+    let entered: Vec<&str> = entries
         .iter()
         .filter_map(|e| e.event.to.as_deref())
         .collect();
