@@ -38,6 +38,8 @@ pub enum SessionError {
     Compile(CompileError),
     /// Target simulation failed.
     Sim(SimError),
+    /// The trace's backing store failed (a disk-backed read/flush).
+    Trace(gmdf_engine::StoreError),
 }
 
 impl fmt::Display for SessionError {
@@ -46,6 +48,7 @@ impl fmt::Display for SessionError {
             SessionError::Model(e) => write!(f, "model error: {e}"),
             SessionError::Compile(e) => write!(f, "compile error: {e}"),
             SessionError::Sim(e) => write!(f, "simulation error: {e}"),
+            SessionError::Trace(e) => write!(f, "{e}"),
         }
     }
 }
@@ -289,13 +292,16 @@ impl DebugSession {
     ///
     /// # Errors
     ///
-    /// Propagates interpreter errors (never for validated systems).
+    /// Propagates interpreter errors (never for validated systems) and
+    /// trace-store read failures — a verdict over a silently truncated
+    /// observed stream would be wrong, not conservative.
     pub fn classify_against_model(&self) -> Result<(BugClass, Option<Divergence>), SessionError> {
         let reference = self.reference_events()?;
         let observed: Vec<ModelEvent> = self
             .engine
             .trace()
-            .entries()
+            .try_entries()
+            .map_err(SessionError::Trace)?
             .iter()
             .map(|e| e.event.clone())
             .collect();

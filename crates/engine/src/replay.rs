@@ -65,8 +65,13 @@ impl<'a> Replayer<'a> {
         let in_page = pos >= self.page_start && pos < self.page_start + self.page.len() as u64;
         if !in_page {
             self.page.clear();
-            self.trace
-                .read_range_into(pos, pos + crate::trace::PAGE, &mut self.page);
+            if self
+                .trace
+                .read_range_into(pos, pos + crate::trace::PAGE, &mut self.page)
+                .is_err()
+            {
+                return None; // a failing store ends the replay early
+            }
             self.page_start = pos;
             if self.page.is_empty() {
                 return None;
@@ -105,8 +110,9 @@ impl<'a> Replayer<'a> {
     /// boundary comes from the trace's time index, so on a disk-backed
     /// trace only the replayed prefix is read.
     pub fn play_to_time(&mut self, t_ns: u64) {
-        // One past the last entry with time <= t_ns.
-        let (_, stop) = self.trace.window_bounds(0, t_ns);
+        // One past the last entry with time <= t_ns. A store read
+        // failure replays nothing rather than panicking mid-animation.
+        let (_, stop) = self.trace.window_bounds(0, t_ns).unwrap_or((0, 0));
         while self.pos < stop {
             if self.step_forward().is_none() {
                 break;

@@ -107,12 +107,24 @@ pub trait TraceStore: Send + fmt::Debug {
     /// The half-open sequence range `[lo, hi)` of entries whose event
     /// time falls in `[t0_ns, t1_ns]`. Empty windows (including
     /// inverted inputs) return `lo == hi`.
-    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64);
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from reading boundary segments — a
+    /// failing disk must surface as an error, never masquerade as an
+    /// empty window.
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError>;
 
     /// `(first, last)` event time, if nonempty.
     fn time_range(&self) -> Option<(u64, u64)>;
 
-    /// Flushes buffered appends to durable storage (no-op in memory).
+    /// Flushes buffered appends out of the process (no-op in memory).
+    /// This guarantees durability against a *process* crash. Disk
+    /// stores deliberately do not fsync the append path (it is the hot
+    /// path), so an OS crash or power loss may drop the most recent
+    /// entries; owners that need stronger guarantees pair the store
+    /// with an fsynced command journal and regenerate the lost tail by
+    /// deterministic replay (`gmdf-server`'s durable sessions do).
     ///
     /// # Errors
     ///
@@ -236,17 +248,17 @@ impl TraceStore for MemStore {
         Ok(())
     }
 
-    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError> {
         if t0_ns > t1_ns {
-            return (0, 0);
+            return Ok((0, 0));
         }
         // Entries are time-ordered, so both boundaries binary-search.
         let lo = self.entries.partition_point(|e| e.event.time_ns < t0_ns);
         let hi = self.entries.partition_point(|e| e.event.time_ns <= t1_ns);
         if lo >= hi {
-            (0, 0)
+            Ok((0, 0))
         } else {
-            (lo as u64, hi as u64)
+            Ok((lo as u64, hi as u64))
         }
     }
 
@@ -335,10 +347,19 @@ impl SegmentStore {
                 version: 1,
                 capacity,
             };
-            // Write-then-rename so a kill mid-write cannot leave a
-            // half-written meta masquerading as the real one.
+            // Write-fsync-rename so a kill (or power loss) mid-write
+            // cannot leave a half-written meta masquerading as the
+            // real one.
             let tmp = dir.join("meta.json.tmp");
-            std::fs::write(&tmp, serde_json::to_string(&meta).expect("meta serializes"))?;
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(
+                    serde_json::to_string(&meta)
+                        .expect("meta serializes")
+                        .as_bytes(),
+                )?;
+                f.sync_data()?;
+            }
             std::fs::rename(&tmp, &meta_path)?;
             capacity
         };
@@ -480,6 +501,10 @@ impl TraceStore for SegmentStore {
         self.tail.push(entry);
         if self.tail.len() >= self.capacity {
             // Seal: flush, index, and start the next segment fresh.
+            // Deliberately no fsync — appends are the hot path, and
+            // owners that need power-loss durability journal commands
+            // (fsynced) and regenerate lost trace bytes by
+            // deterministic replay; see `TraceStore::sync`.
             if let Some(mut w) = self.writer.take() {
                 w.flush()?;
             }
@@ -532,9 +557,9 @@ impl TraceStore for SegmentStore {
         Ok(())
     }
 
-    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError> {
         if t0_ns > t1_ns || self.is_empty() {
-            return (0, 0);
+            return Ok((0, 0));
         }
         let tail_first = (self.sealed.len() * self.capacity) as u64;
         // `lo`: first seq with time >= t0. Binary-search the sealed
@@ -542,13 +567,9 @@ impl TraceStore for SegmentStore {
         let lo = {
             let seg = self.sealed.partition_point(|m| m.t1_ns < t0_ns);
             if seg < self.sealed.len() {
-                match self.load_segment(seg) {
-                    Ok(entries) => {
-                        self.sealed[seg].first_seq
-                            + entries.partition_point(|e| e.event.time_ns < t0_ns) as u64
-                    }
-                    Err(_) => return (0, 0),
-                }
+                let entries = self.load_segment(seg)?;
+                self.sealed[seg].first_seq
+                    + entries.partition_point(|e| e.event.time_ns < t0_ns) as u64
             } else {
                 tail_first + self.tail.partition_point(|e| e.event.time_ns < t0_ns) as u64
             }
@@ -562,21 +583,17 @@ impl TraceStore for SegmentStore {
             } else {
                 let seg = self.sealed.partition_point(|m| m.t0_ns <= t1_ns);
                 if seg == 0 {
-                    return (0, 0);
+                    return Ok((0, 0));
                 }
-                match self.load_segment(seg - 1) {
-                    Ok(entries) => {
-                        self.sealed[seg - 1].first_seq
-                            + entries.partition_point(|e| e.event.time_ns <= t1_ns) as u64
-                    }
-                    Err(_) => return (0, 0),
-                }
+                let entries = self.load_segment(seg - 1)?;
+                self.sealed[seg - 1].first_seq
+                    + entries.partition_point(|e| e.event.time_ns <= t1_ns) as u64
             }
         };
         if lo >= hi {
-            (0, 0)
+            Ok((0, 0))
         } else {
-            (lo, hi)
+            Ok((lo, hi))
         }
     }
 
@@ -673,8 +690,8 @@ mod tests {
             (450, 450),
         ] {
             assert_eq!(
-                mem.window_bounds(t0, t1),
-                disk.window_bounds(t0, t1),
+                mem.window_bounds(t0, t1).unwrap(),
+                disk.window_bounds(t0, t1).unwrap(),
                 "window [{t0},{t1}]"
             );
         }
@@ -734,7 +751,7 @@ mod tests {
         let dir = tmp_dir("empty");
         let s = SegmentStore::open(&dir, 4).unwrap();
         assert!(s.is_empty());
-        assert_eq!(s.window_bounds(0, u64::MAX), (0, 0));
+        assert_eq!(s.window_bounds(0, u64::MAX).unwrap(), (0, 0));
         assert_eq!(s.time_range(), None);
         let mut out = Vec::new();
         s.read_into(0, 10, &mut out).unwrap();

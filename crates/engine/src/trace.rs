@@ -160,11 +160,26 @@ impl ExecutionTrace {
     /// This reads the *whole* trace — O(len) time and memory on any
     /// backend. Prefer [`ExecutionTrace::entries_since`],
     /// [`ExecutionTrace::window`] or [`ExecutionTrace::for_each`] on
-    /// traces that can be long.
+    /// traces that can be long. A store read failure truncates the
+    /// result (this serves infallible surfaces — `Clone`, `PartialEq`);
+    /// callers that must not confuse a failing disk with a short trace
+    /// use [`ExecutionTrace::try_entries`].
     pub fn entries(&self) -> Vec<TraceEntry> {
         let mut out = Vec::with_capacity(self.len());
         let _ = self.store.read_into(0, u64::MAX, &mut out);
         out
+    }
+
+    /// Like [`ExecutionTrace::entries`], but a store read failure is an
+    /// error instead of a silently truncated record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn try_entries(&self) -> Result<Vec<TraceEntry>, StoreError> {
+        let mut out = Vec::with_capacity(self.len());
+        self.store.read_into(0, u64::MAX, &mut out)?;
+        Ok(out)
     }
 
     /// The full entry slice without copying, when the backend is
@@ -193,8 +208,18 @@ impl ExecutionTrace {
     /// Appends the entries with sequence numbers in `[from, to)`
     /// (clamped) onto `out` — the paged read underlying everything
     /// else, exposed for callers that reuse buffers.
-    pub fn read_range_into(&self, from: u64, to: u64, out: &mut Vec<TraceEntry>) {
-        let _ = self.store.read_into(from, to, out);
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures; `out` may hold a partial read. A
+    /// success means the whole clamped range was appended.
+    pub fn read_range_into(
+        &self,
+        from: u64,
+        to: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), StoreError> {
+        self.store.read_into(from, to, out)
     }
 
     /// Number of entries.
@@ -215,7 +240,11 @@ impl ExecutionTrace {
     /// The half-open sequence range of entries whose event time falls
     /// in `[t0_ns, t1_ns]` — resolved via the store's time index
     /// (binary search, not a scan).
-    pub fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> (u64, u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures from reading boundary segments.
+    pub fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError> {
         self.store.window_bounds(t0_ns, t1_ns)
     }
 
@@ -223,8 +252,13 @@ impl ExecutionTrace {
     /// located by binary search (entries are time-ordered); the hits
     /// are then streamed in pages, so a narrow window over a long
     /// disk-backed trace reads only its own segments.
+    ///
+    /// A store read failure ends the iteration early (possibly before
+    /// the first entry); callers that must distinguish an empty window
+    /// from a failing disk use [`ExecutionTrace::window_bounds`] +
+    /// [`ExecutionTrace::read_range_into`] directly.
     pub fn window(&self, t0_ns: u64, t1_ns: u64) -> impl Iterator<Item = TraceEntry> + '_ {
-        let (lo, hi) = self.window_bounds(t0_ns, t1_ns);
+        let (lo, hi) = self.window_bounds(t0_ns, t1_ns).unwrap_or((0, 0));
         PagedIter {
             trace: self,
             next: lo,
@@ -282,9 +316,28 @@ impl ExecutionTrace {
         self.next_seq < self.store.len()
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON. A store read failure truncates the
+    /// output (see [`ExecutionTrace::entries`]); use
+    /// [`ExecutionTrace::try_to_json`] where that must be an error.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Like [`ExecutionTrace::to_json`] (byte-identical output), but a
+    /// store read failure is an error instead of a silently truncated
+    /// record — what the debug server serves snapshots through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn try_to_json(&self) -> Result<String, StoreError> {
+        let entries = self.try_entries()?;
+        let snapshot = ExecutionTrace {
+            next_seq: entries.len() as u64,
+            store: Box::new(MemStore::from_entries(entries)),
+            error: None,
+        };
+        Ok(snapshot.to_json())
     }
 
     /// Parses a saved trace (into an in-memory backend).
@@ -317,8 +370,13 @@ impl Iterator for PagedIter<'_> {
                 return None;
             }
             let mut page = Vec::new();
-            self.trace
-                .read_range_into(self.next, (self.next + PAGE).min(self.end), &mut page);
+            if self
+                .trace
+                .read_range_into(self.next, (self.next + PAGE).min(self.end), &mut page)
+                .is_err()
+            {
+                return None; // read failure ends the iteration (see `window`)
+            }
             if page.is_empty() {
                 return None;
             }

@@ -193,8 +193,8 @@ proptest! {
         }
         for &(a, b) in &windows {
             prop_assert_eq!(
-                disk.window_bounds(a, b),
-                mem.window_bounds(a, b),
+                disk.window_bounds(a, b).expect("disk window_bounds"),
+                mem.window_bounds(a, b).expect("mem window_bounds"),
                 "window_bounds({}, {})", a, b
             );
         }

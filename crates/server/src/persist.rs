@@ -62,15 +62,16 @@ impl Journal {
         Ok(Journal { file })
     }
 
-    /// Appends one record and flushes it — commands are rare and each
-    /// must survive a crash that happens right after it was accepted.
+    /// Appends one record and fsyncs it — commands are rare and each
+    /// must survive a crash (including an OS crash or power loss) that
+    /// happens right after it was accepted.
     pub fn append(&mut self, at_ns: u64, command: &SessionCommand) -> std::io::Result<()> {
         let record = encode_record(&JournalRecord {
             at_ns,
             command: command.clone(),
         });
         self.file.write_all(&record)?;
-        self.file.flush()
+        self.file.sync_data()
     }
 }
 
@@ -101,8 +102,16 @@ pub(crate) fn create_session_dir(
     let dir = session_dir(root, id);
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let spec_json = serde_json::to_string_pretty(spec).expect("spec serializes");
+    // Write-fsync-rename: without the fsync the rename can land before
+    // the data on power loss, leaving an empty spec that would
+    // quarantine the session forever even though its journal survived.
     let tmp = dir.join("spec.json.tmp");
-    std::fs::write(&tmp, spec_json).map_err(|e| e.to_string())?;
+    {
+        let mut f = File::create(&tmp).map_err(|e| e.to_string())?;
+        f.write_all(spec_json.as_bytes())
+            .map_err(|e| e.to_string())?;
+        f.sync_data().map_err(|e| e.to_string())?;
+    }
     std::fs::rename(&tmp, dir.join("spec.json")).map_err(|e| e.to_string())?;
     let journal = Journal::open(&dir.join("journal.log")).map_err(|e| e.to_string())?;
     let store =

@@ -27,7 +27,7 @@ use crate::queue::{self, EventReceiver, EventSender};
 use gmdf::{DebugSession, SessionSpec};
 use gmdf_comdes::SignalValue;
 use gmdf_engine::store::DEFAULT_SEGMENT_CAPACITY;
-use gmdf_engine::{EngineNotice, TraceEntry};
+use gmdf_engine::{EngineNotice, StoreError, TraceEntry};
 use gmdf_gdm::CommandMatcher;
 use std::collections::VecDeque;
 use std::fmt;
@@ -110,9 +110,11 @@ impl PersistConfig {
 }
 
 /// Cap on the entries one [`SessionCommand::FetchRange`] /
-/// [`SessionCommand::ReplayFrom`] reply carries. Clients page by
-/// re-issuing the command from `first_seq + entries.len()` while
-/// [`TraceSlice::complete`] is false.
+/// [`SessionCommand::ReplayFrom`] reply carries. While
+/// [`TraceSlice::complete`] is false, clients continue with
+/// [`SessionCommand::ReplayFrom`] at `first_seq + entries.len()` until
+/// [`TraceSlice::end_seq`] — `FetchRange` itself has no sequence
+/// parameter, so re-issuing it only returns the same first page.
 pub const MAX_FETCH_ENTRIES: u64 = 4096;
 
 /// A command posted to a session's mailbox.
@@ -302,6 +304,8 @@ pub struct DebugServer {
     workers: Vec<JoinHandle<()>>,
     /// Set on persistent servers: where durable sessions live.
     persist: Option<PersistConfig>,
+    /// Persisted sessions that failed to restore, with the reason.
+    quarantined: Vec<(SessionId, String)>,
 }
 
 impl DebugServer {
@@ -318,11 +322,18 @@ impl DebugServer {
     /// budget handed back to the scheduler. Restored sessions keep
     /// their ids; new ids continue above the highest restored one.
     ///
+    /// A session that fails to restore (corrupt spec, tampered
+    /// journal…) is **quarantined**, not fatal: its directory is left
+    /// on disk untouched for inspection, its id is never reused, the
+    /// failure is reported through
+    /// [`DebugServer::quarantined_sessions`], and every other session
+    /// boots normally — one damaged session must never brick the whole
+    /// registry.
+    ///
     /// # Errors
     ///
-    /// [`ServerError::Persist`] when the registry is unreadable or a
-    /// persisted session fails to rebuild (the partially started
-    /// server is shut down before returning).
+    /// [`ServerError::Persist`] is reserved for registry-level
+    /// failures; per-session restore failures are quarantined instead.
     pub fn start_persistent(
         config: ServerConfig,
         persist: PersistConfig,
@@ -330,9 +341,11 @@ impl DebugServer {
         let mut server = Self::boot(config, Some(persist.clone()));
         let ids = persist::persisted_ids(&persist.root);
         for id in ids {
+            // Reserve the id either way: a fresh session must never be
+            // created over a quarantined directory.
+            server.shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
             match persist::restore_session(&persist.root, id, persist.segment_capacity) {
                 Ok(restored) => {
-                    server.shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
                     server.register(id, restored.session, restored.notices, |inner| {
                         inner.remaining_ns = restored.remaining_ns;
                         inner.trace_cursor = restored.trace_cursor;
@@ -342,13 +355,18 @@ impl DebugServer {
                         inner.journal = Some(restored.journal);
                     });
                 }
-                Err(message) => {
-                    server.shutdown();
-                    return Err(ServerError::Persist(message));
-                }
+                Err(message) => server.quarantined.push((id, message)),
             }
         }
         Ok(server)
+    }
+
+    /// Persisted sessions that failed to restore at the last
+    /// [`DebugServer::start_persistent`], with the reason. Their
+    /// directories are left on disk for inspection and their ids are
+    /// not reused.
+    pub fn quarantined_sessions(&self) -> &[(SessionId, String)] {
+        &self.quarantined
     }
 
     fn boot(config: ServerConfig, persist: Option<PersistConfig>) -> Self {
@@ -379,6 +397,7 @@ impl DebugServer {
             sessions: Mutex::new(Vec::new()),
             workers: handles,
             persist,
+            quarantined: Vec::new(),
         }
     }
 
@@ -861,9 +880,13 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
             Ok(report) => {
                 inner.remaining_ns -= dt;
                 inner.events_fed += report.events_fed as u64;
-                // Land the slice's trace appends on durable storage
-                // before telling anyone about them — a crash after the
-                // broadcast must not lose acknowledged history.
+                // Push the slice's trace appends out of the process
+                // before telling anyone about them — a process crash
+                // after the broadcast must not lose acknowledged
+                // history. (Power-loss durability comes from the
+                // fsynced command journal instead: a trace tail lost
+                // with the OS is regenerated by deterministic replay
+                // on restore.)
                 if let Err(e) = inner.session.sync_trace() {
                     fail(&mut inner, cell.id, &format!("trace store failed: {e}"));
                 } else {
@@ -905,32 +928,41 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
 }
 
 /// Applies one mailed command to the session. Durable sessions journal
-/// state-affecting commands first — stamped with the target time at
-/// which they take effect — so a restarted server can replay them at
-/// exactly the same instants.
+/// state-affecting commands — stamped with the target time at which
+/// they take effect — so a restarted server can replay them at exactly
+/// the same instants. Only *accepted* commands enter the journal: a
+/// rejected one in the replayable history would deterministically
+/// re-fail every subsequent restore of the session.
 fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionCommand) {
-    if inner.journal.is_some() && persist::journaled(&command) {
+    // `ScheduleSignal` is the one journaled command the session can
+    // reject (unknown label — a client wiring bug). Validate it by
+    // applying it *before* journaling, and journal only on success.
+    if let SessionCommand::ScheduleSignal {
+        time_ns,
+        ref label,
+        value,
+    } = command
+    {
         let at_ns = inner.session.now_ns();
-        let result = inner
-            .journal
-            .as_mut()
-            .expect("checked above")
-            .append(at_ns, &command);
-        if let Err(e) = result {
-            fail(inner, id, &format!("command journal write failed: {e}"));
+        if let Err(e) = inner.session.schedule_signal(time_ns, label, value) {
+            fail(inner, id, &e.to_string());
+            return;
+        }
+        journal_command(inner, id, at_ns, &command);
+        return;
+    }
+    // The remaining journaled commands are infallible; journal them
+    // first, so a crash between the two writes leaves the journal
+    // ahead of the session (replay regenerates the effect), never
+    // behind it.
+    if persist::journaled(&command) {
+        let at_ns = inner.session.now_ns();
+        if !journal_command(inner, id, at_ns, &command) {
             return;
         }
     }
     match command {
-        SessionCommand::ScheduleSignal {
-            time_ns,
-            label,
-            value,
-        } => {
-            if let Err(e) = inner.session.schedule_signal(time_ns, &label, value) {
-                fail(inner, id, &e.to_string());
-            }
-        }
+        SessionCommand::ScheduleSignal { .. } => {} // applied above
         SessionCommand::AddBreakpoint { matcher, one_shot } => {
             inner.session.engine_mut().add_breakpoint(matcher, one_shot);
         }
@@ -947,65 +979,119 @@ fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionComman
         SessionCommand::Snapshot {
             reply,
             include_trace,
-        } => {
-            let snapshot = snapshot_of(inner, id, include_trace);
-            let _ = reply.send(snapshot); // client may have given up
-        }
+        } => match snapshot_of(inner, id, include_trace) {
+            Ok(snapshot) => {
+                let _ = reply.send(snapshot); // client may have given up
+            }
+            // Same policy as FetchRange/ReplayFrom: a trace the store
+            // cannot read back must reach the client as a failure, not
+            // as a silently truncated record.
+            Err(e) => fail(inner, id, &format!("trace history read failed: {e}")),
+        },
         SessionCommand::FetchRange {
             t0_ns,
             t1_ns,
             reply,
         } => {
-            let trace = inner.session.engine().trace();
-            let (lo, hi) = trace.window_bounds(t0_ns, t1_ns);
-            let end = hi.min(lo.saturating_add(MAX_FETCH_ENTRIES));
-            let mut entries = Vec::new();
-            trace.read_range_into(lo, end, &mut entries);
-            let _ = reply.send(TraceSlice {
-                session: id,
-                first_seq: lo,
-                complete: lo + entries.len() as u64 >= hi,
-                entries,
-                end_seq: hi,
-            });
+            let read = (|| {
+                let trace = inner.session.engine().trace();
+                let (lo, hi) = trace.window_bounds(t0_ns, t1_ns)?;
+                let end = hi.min(lo.saturating_add(MAX_FETCH_ENTRIES));
+                let mut entries = Vec::new();
+                trace.read_range_into(lo, end, &mut entries)?;
+                Ok::<_, StoreError>((lo, hi, entries))
+            })();
+            match read {
+                Ok((lo, hi, entries)) => {
+                    let _ = reply.send(TraceSlice {
+                        session: id,
+                        first_seq: lo,
+                        complete: lo + entries.len() as u64 >= hi,
+                        entries,
+                        end_seq: hi,
+                    });
+                }
+                // Fail the session and drop the reply unanswered: the
+                // waiting client observes the failure instead of an
+                // empty window falsely marked complete.
+                Err(e) => fail(inner, id, &format!("trace history read failed: {e}")),
+            }
         }
         SessionCommand::ReplayFrom { seq, limit, reply } => {
-            let trace = inner.session.engine().trace();
-            let len = trace.len() as u64;
-            let cap = if limit == 0 {
-                MAX_FETCH_ENTRIES
-            } else {
-                limit.min(MAX_FETCH_ENTRIES)
-            };
-            let end = len.min(seq.saturating_add(cap));
-            let mut entries = Vec::new();
-            trace.read_range_into(seq, end, &mut entries);
-            let _ = reply.send(TraceSlice {
-                session: id,
-                first_seq: seq,
-                complete: seq.saturating_add(entries.len() as u64) >= len,
-                entries,
-                end_seq: len,
-            });
+            let read = (|| {
+                let trace = inner.session.engine().trace();
+                let len = trace.len() as u64;
+                let cap = if limit == 0 {
+                    MAX_FETCH_ENTRIES
+                } else {
+                    limit.min(MAX_FETCH_ENTRIES)
+                };
+                let end = len.min(seq.saturating_add(cap));
+                let mut entries = Vec::new();
+                trace.read_range_into(seq, end, &mut entries)?;
+                Ok::<_, StoreError>((len, entries))
+            })();
+            match read {
+                Ok((len, entries)) => {
+                    let _ = reply.send(TraceSlice {
+                        session: id,
+                        first_seq: seq,
+                        complete: seq.saturating_add(entries.len() as u64) >= len,
+                        entries,
+                        end_seq: len,
+                    });
+                }
+                Err(e) => fail(inner, id, &format!("trace history read failed: {e}")),
+            }
         }
     }
 }
 
 /// Builds a consistent snapshot under the state lock.
-fn snapshot_of(inner: &SessionInner, id: SessionId, include_trace: bool) -> SessionSnapshot {
+fn snapshot_of(
+    inner: &SessionInner,
+    id: SessionId,
+    include_trace: bool,
+) -> Result<SessionSnapshot, StoreError> {
     let engine = inner.session.engine();
-    SessionSnapshot {
+    let trace_json = if include_trace {
+        Some(engine.trace().try_to_json()?)
+    } else {
+        None
+    };
+    Ok(SessionSnapshot {
         session: id,
         now_ns: inner.session.now_ns(),
         engine_state: engine.state(),
         pending: engine.pending(),
         trace_len: engine.trace().len(),
-        trace_json: include_trace.then(|| engine.trace().to_json()),
+        trace_json,
         events_fed: inner.events_fed,
         violations: inner.violations,
         breakpoint_hits: inner.breakpoint_hits,
         remaining_ns: inner.remaining_ns,
+    })
+}
+
+/// Journals one *accepted* command on a durable session (no-op for
+/// in-memory ones). A journal write failure fails the session — its
+/// durable history could no longer be trusted to match its state.
+/// Returns `false` when the append failed.
+fn journal_command(
+    inner: &mut SessionInner,
+    id: SessionId,
+    at_ns: u64,
+    command: &SessionCommand,
+) -> bool {
+    let result = match inner.journal.as_mut() {
+        Some(journal) => journal.append(at_ns, command),
+        None => return true,
+    };
+    if let Err(e) = result {
+        fail(inner, id, &format!("command journal write failed: {e}"));
+        return false;
     }
+    true
 }
 
 /// Parks the session as failed and tells subscribers.
@@ -1047,32 +1133,36 @@ fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
     }
     let cursor = inner.trace_cursor;
     let trace_len = inner.session.engine().trace().len() as u64;
+    let mut read_error: Option<StoreError> = None;
     if has_subscribers && trace_len > cursor {
         let mut delta: Vec<TraceEntry> = Vec::new();
-        inner
+        match inner
             .session
             .engine()
             .trace()
-            .read_range_into(cursor, trace_len, &mut delta);
-        // Advance the cursor only past what was actually read: a
-        // short read (disk hiccup on a sealed segment) is retried on
-        // the next turn instead of silently dropping entries from the
-        // stream.
-        inner.trace_cursor = cursor + delta.len() as u64;
-        for entry in &delta {
-            for message in &entry.violations {
-                events.push(EngineEvent::Violation {
-                    session: id,
-                    seq: entry.seq,
-                    message: message.clone(),
-                });
+            .read_range_into(cursor, trace_len, &mut delta)
+        {
+            Ok(()) => {
+                inner.trace_cursor = trace_len;
+                for entry in &delta {
+                    for message in &entry.violations {
+                        events.push(EngineEvent::Violation {
+                            session: id,
+                            seq: entry.seq,
+                            message: message.clone(),
+                        });
+                    }
+                }
+                if !delta.is_empty() {
+                    events.push(EngineEvent::TraceDelta {
+                        session: id,
+                        entries: delta,
+                    });
+                }
             }
-        }
-        if !delta.is_empty() {
-            events.push(EngineEvent::TraceDelta {
-                session: id,
-                entries: delta,
-            });
+            // The cursor stays put; the session is failed below, after
+            // the events gathered so far have gone out.
+            Err(e) => read_error = Some(e),
         }
     } else {
         // Nobody is listening: skip the read-back, the history stays
@@ -1081,6 +1171,14 @@ fn publish_deltas(inner: &mut SessionInner, id: SessionId) {
     }
     for event in events {
         broadcast(inner, event);
+    }
+    if let Some(e) = read_error {
+        // A delta the store cannot serve must not strand the stream's
+        // tail: if the session simply parked, no further turn would run
+        // until an external command arrived and subscribers would wait
+        // on the missing entries forever. Failing the session makes
+        // the loss visible (Error event, failed snapshots) instead.
+        fail(inner, id, &format!("trace delta read failed: {e}"));
     }
 }
 

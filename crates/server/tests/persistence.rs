@@ -118,8 +118,13 @@ fn restart_mid_run_is_unobservable_in_the_record() {
         let events = handle.subscribe();
         drive_history(&handle);
         handle.run_for(10_000_000).expect("send");
-        // No wait: drop the server with run budget outstanding — the
-        // "kill mid-run". (Workers stop after at most one more slice.)
+        // Barrier on the mailbox (stats round-trips behind the RunFor)
+        // so the command is *accepted* — applied and journaled —
+        // before the kill; the drop below must interrupt the run, not
+        // outrace the command. No idle wait: budget stays outstanding.
+        handle.stats(WAIT).expect("stats");
+        // Drop the server with run budget outstanding — the "kill
+        // mid-run". (Workers stop after at most one more slice.)
         let mut pre = Vec::new();
         drain_delta_entries(&events, &mut pre);
         (handle.id(), pre)
@@ -227,8 +232,8 @@ proptest! {
         let mid = t0 + (t1 - t0) / 2;
         for (a, b) in [(t0, t1), (t0, mid), (mid, t1), (mid, mid), (t1 + 1, u64::MAX), (0, t0)] {
             prop_assert_eq!(
-                mem_trace.window_bounds(a, b),
-                disk_trace.window_bounds(a, b),
+                mem_trace.window_bounds(a, b).expect("mem window_bounds"),
+                disk_trace.window_bounds(a, b).expect("disk window_bounds"),
                 "window_bounds({}, {})", a, b
             );
             let mem_win: Vec<TraceEntry> = mem_trace.window(a, b).collect();
@@ -360,6 +365,95 @@ fn registry_ids_and_misuse() {
         Err(ServerError::Persist(_)) => {}
         other => panic!("expected Persist error, got {other:?}"),
     }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A client-triggerable command failure (a stimulus with an unknown
+/// label) must never enter the journal: the session fails *live*, but
+/// a restart over the same registry still restores it — the rejected
+/// command is not part of the replayable history, so the registry is
+/// never bricked by one bad client call.
+#[test]
+fn rejected_stimulus_does_not_brick_the_registry() {
+    let root = tmp_root("bad-stimulus");
+    let spec = spec_of(blinker_system("bad-stim-blinker", 0.001, 1_000_000));
+    let id = {
+        let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+            .expect("boots");
+        let handle = server.add_durable_session(&spec).expect("durable");
+        handle.run_for(2_000_000).expect("send");
+        handle.wait_idle(WAIT).expect("idle");
+        // A stimulus on a label that does not exist fails the session.
+        handle
+            .schedule_signal(
+                3_000_000,
+                "no-such-label",
+                gmdf_comdes::SignalValue::Real(1.0),
+            )
+            .expect("send accepts; the failure surfaces at apply time");
+        match handle.wait_idle(WAIT) {
+            Err(ServerError::SessionFailed(_)) => {}
+            other => panic!("expected SessionFailed, got {other:?}"),
+        }
+        handle.id()
+    };
+
+    // The restart must succeed and restore the session to its last
+    // good state — nothing quarantined, nothing bricked.
+    let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+        .expect("restart survives a rejected command");
+    assert!(
+        server.quarantined_sessions().is_empty(),
+        "rejected commands are not journaled, so restore cannot re-fail: {:?}",
+        server.quarantined_sessions()
+    );
+    let handle = server.handle(id).expect("restored");
+    // The restored session is healthy and keeps working.
+    handle.run_for(1_000_000).expect("send");
+    handle.wait_idle(WAIT).expect("restored session still runs");
+    drop(server);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// One damaged session directory quarantines that session only: the
+/// restarted server boots, restores every healthy sibling, reports the
+/// failure, and never reuses the quarantined id.
+#[test]
+fn damaged_session_is_quarantined_not_fatal() {
+    let root = tmp_root("quarantine");
+    let spec = spec_of(blinker_system("quarantine-blinker", 0.001, 1_000_000));
+    let (good, bad) = {
+        let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+            .expect("boots");
+        let a = server.add_durable_session(&spec).expect("a");
+        let b = server.add_durable_session(&spec).expect("b");
+        a.run_for(2_000_000).expect("send");
+        b.run_for(2_000_000).expect("send");
+        a.wait_idle(WAIT).expect("idle");
+        b.wait_idle(WAIT).expect("idle");
+        (a.id(), b.id())
+    };
+    // Corrupt the second session's spec beyond repair.
+    let spec_path = root
+        .join("sessions")
+        .join(format!("{bad:016}"))
+        .join("spec.json");
+    std::fs::write(&spec_path, b"{ not json").expect("corrupt spec");
+
+    let server = DebugServer::start_persistent(server_config(), PersistConfig::new(&root))
+        .expect("one damaged session must not brick the registry");
+    assert_eq!(server.session_ids(), vec![good], "healthy sibling restored");
+    let quarantined = server.quarantined_sessions();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, bad);
+    assert!(
+        spec_path.exists(),
+        "the quarantined directory is kept for inspection"
+    );
+    // The quarantined id is reserved: fresh sessions continue above it.
+    let fresh = server.add_durable_session(&spec).expect("fresh");
+    assert!(fresh.id() > bad, "quarantined ids are never reused");
+    drop(server);
     std::fs::remove_dir_all(&root).ok();
 }
 

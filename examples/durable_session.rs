@@ -93,9 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         // Grant 20 ms more — then drop the server with the budget
-        // outstanding: the crash. The journal already holds the
-        // command; the trace segments hold everything pumped so far.
+        // outstanding: the crash. The stats barrier round-trips the
+        // mailbox behind the RunFor, so the journal holds the command
+        // before the kill; the trace segments hold everything pumped
+        // so far.
         handle.run_for(20_000_000)?;
+        handle.stats(WAIT)?;
         println!("[life 1] killed mid-run with ~20 ms of budget outstanding");
         handle.id()
         // server dropped here
