@@ -1,0 +1,149 @@
+//! Metrics overhead: the instrumented scheduler pump vs the same pump
+//! with a disabled registry (`ServerConfig { metrics: false }`, i.e.
+//! [`MetricsRegistry::disabled`]).
+//!
+//! The observability layer's contract is that recording is cheap enough
+//! to leave on: relaxed atomics per slice, one branch per site when
+//! disabled. This bench makes that claim falsifiable — it pumps the
+//! same ring fleet through a `DebugServer` twice, once per registry
+//! flavor, on a deliberately small slice so per-slice recording (wall
+//! clock, events-per-slice histograms, the rate series) is exercised as
+//! often as possible, and persists the pair as a `Comparison` row. The
+//! `speedup` column reads as disabled/instrumented wall time: 1.00
+//! means free, 0.95 means the instrumented pump costs 5%.
+//!
+//! Persists `BENCH_metrics.json` at the repo root — regenerate with
+//! `cargo bench -p gmdf-bench --bench metrics_overhead`. With
+//! `GMDF_BENCH_QUICK=1` it measures a smaller shape and writes
+//! `BENCH_metrics.quick.json` instead.
+//!
+//! [`MetricsRegistry::disabled`]: gmdf_server::MetricsRegistry::disabled
+
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
+use gmdf_bench::ring_system;
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_server::{DebugServer, ServerConfig};
+use gmdf_target::SimConfig;
+use std::time::{Duration, Instant};
+
+/// `(sessions, horizon_ns, slice_ns, reps)` — sized down in quick mode
+/// for the CI smoke step. Odd rep counts so the recorded median is the
+/// true middle sample.
+fn shape() -> (usize, u64, u64, usize) {
+    if criterion::quick_mode() {
+        (8, 5_000_000, 250_000, 3)
+    } else {
+        (32, 10_000_000, 250_000, 5)
+    }
+}
+
+fn connect(system: gmdf_comdes::System) -> DebugSession {
+    Workflow::from_system(system)
+        .expect("valid system")
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )
+        .expect("session boots")
+}
+
+fn fleet(n: usize) -> Vec<DebugSession> {
+    (0..n)
+        .map(|i| connect(ring_system(3 + i % 5, 0.001, 1_000_000)))
+        .collect()
+}
+
+/// Pumps `sessions` through a 4-worker server to the horizon and
+/// returns the total events fed (must be identical across flavors —
+/// metrics never change behaviour).
+fn pump(metrics: bool, sessions: Vec<DebugSession>, horizon_ns: u64, slice_ns: u64) -> usize {
+    let server = DebugServer::start(ServerConfig {
+        workers: 4,
+        slice_ns,
+        metrics,
+        ..ServerConfig::default()
+    });
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .map(|s| server.add_session(s))
+        .collect();
+    for handle in &handles {
+        handle.run_for(horizon_ns).expect("send");
+    }
+    let mut fed = 0;
+    for handle in &handles {
+        handle.wait_idle(Duration::from_secs(120)).expect("idle");
+        fed += handle
+            .stats(Duration::from_secs(120))
+            .expect("stats")
+            .events_fed as usize;
+    }
+    fed
+}
+
+/// Median wall time of `reps` full pumps under one registry flavor.
+/// Fleet construction happens outside the timed region.
+fn time_pump(metrics: bool) -> (f64, usize) {
+    let (n, horizon_ns, slice_ns, reps) = shape();
+    let mut times = Vec::with_capacity(reps);
+    let mut fed = 0;
+    for _ in 0..reps {
+        let sessions = fleet(n);
+        let t0 = Instant::now();
+        fed = pump(metrics, sessions, horizon_ns, slice_ns);
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], fed)
+}
+
+fn main() {
+    let (n, horizon_ns, slice_ns, _) = shape();
+    let (disabled_ns, fed_off) = time_pump(false);
+    let (enabled_ns, fed_on) = time_pump(true);
+    assert_eq!(fed_off, fed_on, "metrics must not change behaviour");
+    let overhead = enabled_ns / disabled_ns - 1.0;
+    eprintln!(
+        "[metrics_overhead] {n} sessions, {} ms horizon, {} µs slices:",
+        horizon_ns / 1_000_000,
+        slice_ns / 1_000
+    );
+    eprintln!(
+        "  disabled registry: {:>9.2} ms   instrumented: {:>9.2} ms   overhead: {:+.2}%",
+        disabled_ns / 1e6,
+        enabled_ns / 1e6,
+        overhead * 100.0
+    );
+    let results = vec![
+        criterion::BenchResult {
+            name: "metrics_overhead/pump_disabled".to_owned(),
+            median_ns: disabled_ns,
+            mean_ns: disabled_ns,
+        },
+        criterion::BenchResult {
+            name: "metrics_overhead/pump_instrumented".to_owned(),
+            median_ns: enabled_ns,
+            mean_ns: enabled_ns,
+        },
+    ];
+    let comparison = Comparison {
+        name: "instrumented_vs_disabled_pump".to_owned(),
+        baseline_ns: disabled_ns,
+        optimized_ns: enabled_ns,
+        speedup: disabled_ns / enabled_ns,
+    };
+    let report = report_from("metrics_overhead", results, vec![comparison]);
+    let name = if criterion::quick_mode() {
+        "BENCH_metrics.quick.json"
+    } else {
+        "BENCH_metrics.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <candidate.json> [max-regression]
+//! bench_check --scan [repo-root]
 //! ```
 //!
-//! Fails (exit 1) when:
+//! `--scan` audits the repo root's `BENCH_*.json` files against the
+//! registry of benches CI actually gates: a bench artifact sitting at
+//! the root but absent from the registry fails loudly (someone added a
+//! persisted bench without wiring its gate), and a registered bench
+//! with no full-mode artifact is warned about.
+//!
+//! The comparison form fails (exit 1) when:
 //!
 //! * either file is missing or not a valid [`BenchReport`] — a bench
 //!   that silently stopped emitting JSON must not pass;
@@ -24,6 +31,63 @@
 
 use gmdf_bench::report::{read_report, BenchReport};
 use std::process::ExitCode;
+
+/// Every bench whose persisted `BENCH_<name>.json` artifact CI gates.
+/// `--scan` fails on any root-level bench file not named here.
+const REGISTRY: &[&str] = &["dispatch", "fleet_server", "trace", "wire", "metrics"];
+
+/// Audits `root` for `BENCH_*.json` files that no gate covers.
+fn scan(root: &std::path::Path) -> ExitCode {
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_check: cannot scan `{}`: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut found: Vec<String> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            found.push(stem.strip_suffix(".quick").unwrap_or(stem).to_owned());
+        }
+    }
+    found.sort();
+    found.dedup();
+    let unregistered: Vec<&String> = found
+        .iter()
+        .filter(|name| !REGISTRY.contains(&name.as_str()))
+        .collect();
+    for name in REGISTRY {
+        if !found.iter().any(|f| f == name) {
+            println!(
+                "bench_check: warning — registered bench `{name}` has no BENCH_{name}.json at `{}`",
+                root.display()
+            );
+        }
+    }
+    if unregistered.is_empty() {
+        println!(
+            "bench_check: scan ok — {} bench artifact(s) at `{}`, all registered: {}",
+            found.len(),
+            root.display(),
+            found.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        for name in &unregistered {
+            eprintln!(
+                "bench_check: FAIL bench artifact `BENCH_{name}.json` at `{}` is not in the gate \
+                 registry — add it to REGISTRY in bench_check and wire its CI gate",
+                root.display()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
 
 fn validate(report: &BenchReport, label: &str) -> Result<(), String> {
     if report.results.is_empty() {
@@ -88,10 +152,17 @@ fn check(baseline: &BenchReport, candidate: &BenchReport, max_regress: f64) -> V
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "--scan") {
+        let root = args.get(2).map_or_else(|| ".".to_owned(), Clone::clone);
+        return scan(std::path::Path::new(&root));
+    }
     let (baseline_path, candidate_path) = match (args.get(1), args.get(2)) {
         (Some(b), Some(c)) => (b.clone(), c.clone()),
         _ => {
-            eprintln!("usage: bench_check <baseline.json> <candidate.json> [max-regression]");
+            eprintln!(
+                "usage: bench_check <baseline.json> <candidate.json> [max-regression]\n       \
+                 bench_check --scan [repo-root]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -103,6 +174,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    println!("bench_check: gating `{candidate_path}` against baseline `{baseline_path}`");
     let load = |path: &str, label: &str| -> Result<BenchReport, String> {
         let report = read_report(std::path::Path::new(path))?;
         validate(&report, label)?;

@@ -45,6 +45,7 @@
 mod classify;
 mod engine;
 mod expect;
+pub mod metrics;
 mod replay;
 pub mod store;
 mod trace;
@@ -54,6 +55,7 @@ pub use engine::{
     apply_reaction, Breakpoint, DebuggerEngine, EngineNotice, EngineState, EngineStats, FeedOutcome,
 };
 pub use expect::{allowed_transitions, Expectation, ExpectationMonitor, Violation};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RecentSeries, StoreMetrics};
 pub use replay::{timing_diagram, Replayer};
-pub use store::{MemStore, SegmentStore, StoreError, TraceStore};
+pub use store::{MemStore, SegmentStore, StoreError, StoreStats, TraceStore};
 pub use trace::{ExecutionTrace, TraceEntry};

@@ -1,0 +1,544 @@
+//! Dependency-free metric primitives shared by every layer of the
+//! stack.
+//!
+//! The paper's debugger exists to make a running system observable; the
+//! reproduction's own runtime deserves the same treatment. This module
+//! provides the counters the engine and its embedders record into —
+//! atomic, lock-free on the hot paths, cheap enough to stay always-on:
+//!
+//! * [`Counter`] / [`Gauge`] — monotonic and up/down atomics, cloneable
+//!   handles over shared cells;
+//! * [`Histogram`] — fixed-bucket log-scale latency/size histogram
+//!   (16 linear buckets below 16, then 4 sub-buckets per octave ⇒
+//!   ≤ 12.5 % relative bucket error) with p50/p90/p99/max read-out and
+//!   lossless merging across instances;
+//! * [`RecentSeries`] — a bounded ring buffer of timestamped samples
+//!   for "events per second over the last N seconds" rate windows;
+//! * [`StoreMetrics`] — the bundle a [`crate::ExecutionTrace`] records
+//!   its store append/read latencies into when observability is on.
+//!
+//! Recording uses relaxed atomics throughout: metrics are statistics,
+//! not synchronization, and a pump slice must never pay a fence for
+//! them. Reads may therefore be momentarily torn across *different*
+//! metrics (a snapshot is not a consistent cut), which is the standard
+//! trade for zero-cost instrumentation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning yields another handle to
+/// the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge (queue depths, live connections). Decrements
+/// saturate at zero instead of wrapping, so a racy unpaired decrement
+/// can never turn into a 2^64 depth. Cloning yields another handle to
+/// the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one (saturating).
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 16 linear (values 0..16) + 4 sub-buckets
+/// for each octave `[2^m, 2^(m+1))`, `m` in 4..=63.
+pub const HISTOGRAM_BUCKETS: usize = 16 + 60 * 4;
+
+/// The bucket index recording `value` — first 16 values map linearly,
+/// then each octave splits into 4 linear sub-buckets (HDR-style), so
+/// the bucket's relative width is at most 1/8 of its lower bound.
+fn bucket_index(value: u64) -> usize {
+    if value < 16 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize; // >= 4
+    let sub = ((value >> (msb - 2)) & 3) as usize;
+    16 + (msb - 4) * 4 + sub
+}
+
+/// Inclusive lower bound of bucket `index` (the smallest value that
+/// records into it).
+fn bucket_lower_bound(index: usize) -> u64 {
+    if index < 16 {
+        return index as u64;
+    }
+    let msb = 4 + (index - 16) / 4;
+    let sub = ((index - 16) % 4) as u64;
+    (1u64 << msb) + sub * (1u64 << (msb - 2))
+}
+
+/// Representative value reported for bucket `index`: the midpoint of
+/// its value range (exact for the linear buckets, ≤ 12.5 % off
+/// elsewhere).
+fn bucket_mid(index: usize) -> u64 {
+    let lo = bucket_lower_bound(index);
+    if index < 16 {
+        return lo;
+    }
+    let hi = if index + 1 < HISTOGRAM_BUCKETS {
+        bucket_lower_bound(index + 1)
+    } else {
+        u64::MAX
+    };
+    lo + (hi - lo) / 2
+}
+
+/// A fixed-bucket log-scale histogram over `u64` samples (latencies in
+/// nanoseconds, batch sizes). Recording is one relaxed `fetch_add` per
+/// bucket plus count/sum/max updates — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds this histogram's buckets into `acc` — how per-shard
+    /// histograms merge into one fleet-wide read-out.
+    pub fn merge_into(&self, acc: &mut HistogramAccum) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc.buckets[i] += b.load(Ordering::Relaxed);
+        }
+        acc.count += self.count.load(Ordering::Relaxed);
+        acc.sum += self.sum.load(Ordering::Relaxed);
+        acc.max = acc.max.max(self.max.load(Ordering::Relaxed));
+    }
+
+    /// A point-in-time summary of this histogram alone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut acc = HistogramAccum::new();
+        self.merge_into(&mut acc);
+        acc.snapshot()
+    }
+}
+
+/// A plain (non-atomic) bucket accumulator: merge any number of
+/// [`Histogram`]s into it, then summarize with
+/// [`HistogramAccum::snapshot`].
+#[derive(Debug)]
+pub struct HistogramAccum {
+    buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramAccum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        HistogramAccum {
+            buckets: Box::new([0; HISTOGRAM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The value at quantile `q` (0.0..=1.0): the representative value
+    /// of the bucket holding the `ceil(q × count)`-th sample. Zero for
+    /// an empty accumulator; the exact max for `q == 1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The top bucket's midpoint can overshoot the true
+                // maximum; never report a quantile above it.
+                return bucket_mid(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes the accumulated distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Serializable summary of a histogram: sample count, sum, quantile
+/// estimates (bucket-resolution, ≤ 12.5 % relative error) and the exact
+/// maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples (e.g. total nanoseconds).
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A bounded ring buffer of `(timestamp_ms, value)` samples — enough
+/// recent history to answer "how much happened over the last window"
+/// without unbounded growth. Pushes and reads take a mutex; callers
+/// record at slice granularity, not per event, so contention is nil.
+#[derive(Debug)]
+pub struct RecentSeries {
+    samples: Mutex<VecDeque<(u64, u64)>>,
+    capacity: usize,
+}
+
+impl RecentSeries {
+    /// A series keeping at most `capacity` samples (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RecentSeries {
+            samples: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a sample taken at `at_ms` (milliseconds on the caller's
+    /// monotonic clock), evicting the oldest past capacity.
+    pub fn push(&self, at_ms: u64, value: u64) {
+        let mut s = self
+            .samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if s.len() >= self.capacity {
+            s.pop_front();
+        }
+        s.push_back((at_ms, value));
+    }
+
+    /// Sum of the sample values with `timestamp_ms` in
+    /// `[now_ms - window_ms, now_ms]`.
+    pub fn sum_over(&self, now_ms: u64, window_ms: u64) -> u64 {
+        let cutoff = now_ms.saturating_sub(window_ms);
+        let s = self
+            .samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.iter()
+            .rev()
+            .take_while(|(t, _)| *t >= cutoff)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Average rate per second over the trailing `window_ms` window.
+    pub fn rate_per_sec(&self, now_ms: u64, window_ms: u64) -> f64 {
+        let window_ms = window_ms.max(1);
+        self.sum_over(now_ms, window_ms) as f64 * 1e3 / window_ms as f64
+    }
+}
+
+/// Trace-store I/O metrics: what an instrumented
+/// [`crate::ExecutionTrace`] records. One bundle is typically shared by
+/// every session of a server and read out fleet-wide.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Entries appended to backing stores.
+    pub appends: Counter,
+    /// Wall nanoseconds per store append.
+    pub append_ns: Histogram,
+    /// Read operations served by backing stores.
+    pub reads: Counter,
+    /// Wall nanoseconds per store read operation.
+    pub read_ns: Histogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share the cell");
+
+        let g = Gauge::new();
+        g.add(3);
+        g.dec();
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "gauge decrements saturate");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotonic_and_self_consistent() {
+        // Linear region: exact.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+        // Every bucket's lower bound maps back to that bucket, and the
+        // index is monotone in the value.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "bucket {i}");
+        }
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            19,
+            20,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 30,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for w in probes.windows(2) {
+            assert!(bucket_index(w[0]) <= bucket_index(w[1]));
+        }
+        // A value never lands below its bucket's range.
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "value {v} bucket {i}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert!(v < bucket_lower_bound(i + 1), "value {v} bucket {i}");
+            }
+        }
+        // Sub-bucket width is 1/4 octave: relative error <= 12.5 %.
+        for &v in probes.iter().filter(|&&v| (16..u64::MAX / 2).contains(&v)) {
+            let i = bucket_index(v);
+            let width = bucket_lower_bound(i + 1) - bucket_lower_bound(i);
+            assert!(
+                (width as f64) <= 0.26 * bucket_lower_bound(i) as f64,
+                "bucket {i} width {width}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact_in_the_linear_region() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 55);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p90, 9);
+        assert_eq!(s.p99, 10);
+        assert_eq!(s.max, 10);
+        assert!((s.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_error_in_the_log_region() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(1_000 + i * 100); // 1_000 .. 100_900
+        }
+        let s = h.snapshot();
+        let true_p50 = 1_000.0 + 499.0 * 100.0;
+        assert!(
+            (s.p50 as f64 - true_p50).abs() / true_p50 < 0.125,
+            "p50 {} vs true {true_p50}",
+            s.p50
+        );
+        assert_eq!(s.max, 100_900);
+        assert!(s.p99 <= s.max && s.p90 <= s.p99 && s.p50 <= s.p90);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [1u64, 5, 17, 100, 1_000, 65_536] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [2u64, 15, 31, 4_096, 123_456_789] {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut acc = HistogramAccum::new();
+        a.merge_into(&mut acc);
+        b.merge_into(&mut acc);
+        assert_eq!(acc.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let mut acc = HistogramAccum::new();
+        assert_eq!(acc.quantile(0.5), 0, "empty accumulator");
+        let h = Histogram::new();
+        h.record(7);
+        h.merge_into(&mut acc);
+        assert_eq!(acc.quantile(0.0), 7, "rank clamps to the first sample");
+        assert_eq!(acc.quantile(1.0), 7);
+        // Log-region quantiles land on the bucket midpoint — within the
+        // bucket's relative error, and never above the recorded max.
+        let h2 = Histogram::new();
+        h2.record(1_000_003);
+        let s = h2.snapshot();
+        assert!(s.p50 <= s.max && s.p99 <= s.max);
+        for q in [s.p50, s.p99] {
+            let err = (q as f64 - 1_000_003.0).abs() / 1_000_003.0;
+            assert!(err < 0.125, "quantile {q} err {err}");
+        }
+        assert_eq!(s.max, 1_000_003);
+    }
+
+    #[test]
+    fn recent_series_windows_and_evicts() {
+        let r = RecentSeries::new(4);
+        for (t, v) in [(100u64, 10u64), (200, 20), (300, 30), (400, 40)] {
+            r.push(t, v);
+        }
+        assert_eq!(r.sum_over(400, 200), 90); // t in [200, 400]
+        assert_eq!(r.sum_over(400, 10_000), 100);
+        r.push(500, 50); // evicts (100, 10)
+        assert_eq!(r.sum_over(500, 10_000), 140);
+        // Rate: 140 units over a 400 ms window.
+        let rate = r.rate_per_sec(500, 400);
+        assert!((rate - 140.0 * 2.5).abs() < 1e-9);
+    }
+}

@@ -65,6 +65,16 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Storage footprint of a [`TraceStore`] — what the observability layer
+/// reports per session and sums fleet-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Segment files backing the store (0 for memory-resident stores).
+    pub segments: u64,
+    /// Bytes of encoded records on disk (0 for memory-resident stores).
+    pub disk_bytes: u64,
+}
+
 /// Where recorded [`TraceEntry`]s live.
 ///
 /// Contract shared by every implementation:
@@ -136,6 +146,12 @@ pub trait TraceStore: Send + fmt::Debug {
     /// [`TraceStore::read_into`].
     fn as_slice(&self) -> Option<&[TraceEntry]> {
         None
+    }
+
+    /// Storage footprint (segment count, on-disk bytes). Memory-backed
+    /// stores keep the all-zero default.
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
     }
 }
 
@@ -312,6 +328,10 @@ pub struct SegmentStore {
     tail: Vec<TraceEntry>,
     /// Writer on the active segment file; opened lazily.
     writer: Option<BufWriter<File>>,
+    /// Bytes of valid encoded records across every segment file —
+    /// maintained incrementally (recovery seeds it, appends add to it)
+    /// so [`TraceStore::stats`] never touches the filesystem.
+    disk_bytes: u64,
 }
 
 impl SegmentStore {
@@ -370,6 +390,7 @@ impl SegmentStore {
             sealed: Vec::new(),
             tail: Vec::new(),
             writer: None,
+            disk_bytes: 0,
         };
         store.recover()?;
         Ok(store)
@@ -427,12 +448,14 @@ impl SegmentStore {
                     .map(|e| encode_record(e).len() as u64)
                     .sum();
                 truncate_file(&path, kept)?;
+                self.disk_bytes += kept;
                 truncated
             } else {
                 let file_len = std::fs::metadata(&path)?.len();
                 if valid_len < file_len {
                     truncate_file(&path, valid_len)?;
                 }
+                self.disk_bytes += valid_len;
                 entries
             };
             let torn = entries.len() < self.capacity;
@@ -498,6 +521,7 @@ impl TraceStore for SegmentStore {
         debug_assert_eq!(entry.seq, self.len());
         let record = encode_record(&entry);
         self.active_writer()?.write_all(&record)?;
+        self.disk_bytes += record.len() as u64;
         self.tail.push(entry);
         if self.tail.len() >= self.capacity {
             // Seal: flush, index, and start the next segment fresh.
@@ -616,6 +640,13 @@ impl TraceStore for SegmentStore {
             w.flush()?;
         }
         Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            segments: self.segment_count() as u64,
+            disk_bytes: self.disk_bytes,
+        }
     }
 }
 
@@ -743,6 +774,40 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let s = SegmentStore::open(&dir, 8).unwrap();
         assert_eq!(s.len(), 2, "valid prefix before the corrupt record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_track_segments_and_bytes_across_reopen() {
+        let dir = tmp_dir("stats");
+        let expected: u64 = (0..6)
+            .map(|i| encode_record(&entry(i, 10 * i)).len() as u64)
+            .sum();
+        {
+            let mut s = SegmentStore::open(&dir, 4).unwrap();
+            assert_eq!(s.stats(), StoreStats::default());
+            for i in 0..6 {
+                s.append(entry(i, 10 * i)).unwrap();
+            }
+            s.sync().unwrap();
+            assert_eq!(
+                s.stats(),
+                StoreStats {
+                    segments: 2,
+                    disk_bytes: expected
+                }
+            );
+        }
+        // Recovery re-seeds the byte count from the files themselves.
+        let s = SegmentStore::open(&dir, 4).unwrap();
+        assert_eq!(
+            s.stats(),
+            StoreStats {
+                segments: 2,
+                disk_bytes: expected
+            }
+        );
+        assert_eq!(MemStore::new().stats(), StoreStats::default());
         std::fs::remove_dir_all(&dir).ok();
     }
 

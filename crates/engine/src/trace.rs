@@ -14,9 +14,12 @@
 //! through sequence/time indexes (`entries_since`, `window`), so callers
 //! page the history instead of holding all of it.
 
-use crate::store::{MemStore, StoreError, TraceStore};
+use crate::metrics::StoreMetrics;
+use crate::store::{MemStore, StoreError, StoreStats, TraceStore};
 use gmdf_gdm::{ModelEvent, ReactionSpec};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One recorded command.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +60,9 @@ pub struct ExecutionTrace {
     /// owner checks [`ExecutionTrace::error`] (the debug server fails
     /// the session).
     error: Option<String>,
+    /// Store I/O metrics sink, when the embedder turned observability
+    /// on. `None` costs nothing on the hot paths.
+    metrics: Option<Arc<StoreMetrics>>,
 }
 
 impl Default for ExecutionTrace {
@@ -73,6 +79,7 @@ impl Clone for ExecutionTrace {
             store: Box::new(MemStore::from_entries(self.entries())),
             next_seq: self.next_seq,
             error: self.error.clone(),
+            metrics: None,
         }
     }
 }
@@ -108,6 +115,7 @@ impl Deserialize for ExecutionTrace {
             store: Box::new(MemStore::from_entries(entries)),
             next_seq,
             error: None,
+            metrics: None,
         })
     }
 }
@@ -125,7 +133,21 @@ impl ExecutionTrace {
             store,
             next_seq: 0,
             error: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics sink: store appends and range reads are timed
+    /// into it from now on. Pass the same `Arc` to every trace whose
+    /// I/O should aggregate into one fleet-wide read-out.
+    pub fn set_metrics(&mut self, metrics: Option<Arc<StoreMetrics>>) {
+        self.metrics = metrics;
+    }
+
+    /// Storage footprint of the backing store (segment count, on-disk
+    /// bytes) — zeros for memory-resident backends.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Appends an entry, assigning its sequence number. During
@@ -143,12 +165,22 @@ impl ExecutionTrace {
             return seq; // catch-up: identical entry already persisted
         }
         if self.error.is_none() {
-            if let Err(e) = self.store.append(TraceEntry {
+            let entry = TraceEntry {
                 seq,
                 event,
                 reactions,
                 violations,
-            }) {
+            };
+            let result = if let Some(m) = &self.metrics {
+                let t0 = Instant::now();
+                let result = self.store.append(entry);
+                m.append_ns.record(t0.elapsed().as_nanos() as u64);
+                m.appends.inc();
+                result
+            } else {
+                self.store.append(entry)
+            };
+            if let Err(e) = result {
                 self.error = Some(e.to_string());
             }
         }
@@ -219,7 +251,15 @@ impl ExecutionTrace {
         to: u64,
         out: &mut Vec<TraceEntry>,
     ) -> Result<(), StoreError> {
-        self.store.read_into(from, to, out)
+        if let Some(m) = &self.metrics {
+            let t0 = Instant::now();
+            let result = self.store.read_into(from, to, out);
+            m.read_ns.record(t0.elapsed().as_nanos() as u64);
+            m.reads.inc();
+            result
+        } else {
+            self.store.read_into(from, to, out)
+        }
     }
 
     /// Number of entries.
@@ -336,6 +376,7 @@ impl ExecutionTrace {
             next_seq: entries.len() as u64,
             store: Box::new(MemStore::from_entries(entries)),
             error: None,
+            metrics: None,
         };
         Ok(snapshot.to_json())
     }

@@ -151,6 +151,12 @@ pub struct SessionSnapshot {
     pub violations: u64,
     /// Total breakpoint hits.
     pub breakpoint_hits: u64,
+    /// Total events dropped by this session's bounded subscriber
+    /// queues (cumulative, across all subscribers — including ones
+    /// already gone). Without this, drop counts die inside the queue
+    /// that suffered them and are visible only to the subscriber that
+    /// lagged.
+    pub lagged_drops: u64,
     /// Run budget not yet consumed, in nanoseconds.
     pub remaining_ns: u64,
 }

@@ -90,6 +90,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod metrics;
 mod persist;
 pub mod proto;
 mod queue;
@@ -97,6 +98,9 @@ mod server;
 mod wire;
 
 pub use event::{EngineEvent, SessionSnapshot, TraceSlice};
+pub use metrics::{
+    FleetMetrics, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionHealth,
+};
 pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{
     DebugServer, PersistConfig, ServerConfig, ServerError, SessionCommand, SessionHandle,

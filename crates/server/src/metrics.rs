@@ -1,0 +1,464 @@
+//! Fleet-wide observability: the metrics registry every server layer
+//! records into, and the snapshot/exposition formats it is read out
+//! through.
+//!
+//! The paper's debugger exists to make a running embedded system
+//! observable; this module points the same lens at the debug server
+//! itself. One [`MetricsRegistry`] lives in the server's shared state
+//! and is threaded (by reference or cloned counter handle) into every
+//! layer:
+//!
+//! * the scheduler records pump slice wall-time and events-per-slice
+//!   per shard, and mailbox depth;
+//! * the subscriber queues record their depth and cumulative `Lagged`
+//!   drops;
+//! * every session trace records store append/read latency into one
+//!   shared [`StoreMetrics`] (segment counts and on-disk bytes are read
+//!   from the stores at snapshot time);
+//! * durable sessions record journal append+fsync latency;
+//! * the wire layer records frames/bytes in both directions and the
+//!   live connection count.
+//!
+//! Read-out comes in three shapes: [`crate::DebugServer::metrics_snapshot`]
+//! (a serializable [`MetricsSnapshot`]: fleet summary + per-session
+//! health), the `ListMetrics` wire frame (the same snapshot over TCP),
+//! and [`crate::DebugServer::metrics_text`] (Prometheus-style text
+//! exposition).
+//!
+//! Recording is relaxed-atomic and allocation-free; a registry built
+//! with [`MetricsRegistry::disabled`] skips even that, which is what
+//! the `metrics_overhead` bench compares against to keep the
+//! instrumented pump honest.
+
+pub use gmdf_engine::metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, RecentSeries, StoreMetrics,
+};
+
+use crate::server::SessionId;
+use gmdf_engine::metrics::HistogramAccum;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Trailing window for "recent events per second" (milliseconds).
+const RATE_WINDOW_MS: u64 = 10_000;
+
+/// Per-shard pump metrics.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Scheduler slices pumped on this shard.
+    pub slices: Counter,
+    /// Wall nanoseconds per pumped slice.
+    pub slice_wall_ns: Histogram,
+    /// Model events fed per pumped slice.
+    pub events_per_slice: Histogram,
+}
+
+/// Wire-layer metrics, shared by every connection of a
+/// [`crate::WireServer`].
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    /// Live TCP connections.
+    pub connections: Gauge,
+    /// Frames encoded and written to clients.
+    pub frames_tx: Counter,
+    /// Frames read and decoded from clients.
+    pub frames_rx: Counter,
+    /// Payload bytes written (length prefixes included).
+    pub bytes_tx: Counter,
+    /// Payload bytes read (length prefixes included).
+    pub bytes_rx: Counter,
+}
+
+/// The always-on counter bundle the whole server stack records into.
+///
+/// Constructed once per [`crate::DebugServer`]
+/// ([`ServerConfig::metrics`] controls which flavor) and shared via
+/// `Arc`. All recording sites check [`MetricsRegistry::enabled`] first,
+/// so a disabled registry costs one branch per site.
+///
+/// [`ServerConfig::metrics`]: crate::ServerConfig
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    /// Monotonic origin for uptime and rate-window timestamps.
+    epoch: Instant,
+    /// One entry per worker shard.
+    pub shards: Vec<ShardMetrics>,
+    /// Commands currently sitting in session mailboxes.
+    pub mailbox_depth: Gauge,
+    /// Events currently queued across all subscriber queues.
+    pub subscriber_depth: Gauge,
+    /// Trace-store I/O (appends/reads, latency) — the same bundle every
+    /// session trace records into.
+    pub store: Arc<StoreMetrics>,
+    /// Journal records appended (durable sessions).
+    pub journal_appends: Counter,
+    /// Wall nanoseconds per journal append **including the fsync** —
+    /// the slowest thing on a durable session's command path.
+    pub journal_append_ns: Histogram,
+    /// Wire-layer counters.
+    pub wire: WireMetrics,
+    /// Recent (timestamp, events-fed) samples, one per pumped slice —
+    /// backs the fleet's "events per second" rate.
+    pub events_recent: RecentSeries,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry for `workers` shards.
+    pub fn new(workers: usize) -> Self {
+        Self::build(workers, true)
+    }
+
+    /// A registry whose recording sites are skipped — the zero-overhead
+    /// baseline the `metrics_overhead` bench compares against.
+    pub fn disabled() -> Self {
+        Self::build(0, false)
+    }
+
+    fn build(workers: usize, enabled: bool) -> Self {
+        MetricsRegistry {
+            enabled,
+            epoch: Instant::now(),
+            shards: (0..workers).map(|_| ShardMetrics::default()).collect(),
+            mailbox_depth: Gauge::new(),
+            subscriber_depth: Gauge::new(),
+            store: Arc::new(StoreMetrics::default()),
+            journal_appends: Counter::new(),
+            journal_append_ns: Histogram::new(),
+            wire: WireMetrics::default(),
+            events_recent: RecentSeries::new(256),
+        }
+    }
+
+    /// `true` when recording sites should record.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Milliseconds since the registry was built — the timestamp base
+    /// for rate windows and uptime.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// Control/health state of one hosted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Scheduled or holding run budget.
+    Running,
+    /// Healthy but quiescent (no budget, empty mailbox).
+    Parked,
+    /// Persisted but failed to restore at boot; not scheduled.
+    Quarantined,
+    /// Parked by a failure (simulator fault, store I/O, panic).
+    Failed,
+}
+
+/// Point-in-time health of one hosted session — one row of
+/// [`MetricsSnapshot::sessions`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionHealth {
+    /// The session.
+    pub session: SessionId,
+    /// Control/health state.
+    pub state: HealthState,
+    /// Failure or quarantine reason, when there is one.
+    pub detail: Option<String>,
+    /// Wall milliseconds since the session registered with this server
+    /// process.
+    pub uptime_ms: u64,
+    /// Wall milliseconds since the last pumped slice; `None` before the
+    /// first slice (or when metrics are disabled).
+    pub last_slice_age_ms: Option<u64>,
+    /// Target simulation time.
+    pub now_ns: u64,
+    /// Entries in the execution trace.
+    pub trace_len: u64,
+    /// Segment files backing the trace (0 = memory-resident).
+    pub trace_segments: u64,
+    /// On-disk bytes of the trace (0 = memory-resident).
+    pub trace_bytes: u64,
+    /// Total model events fed.
+    pub events_fed: u64,
+    /// Total expectation violations raised.
+    pub violations: u64,
+    /// Total breakpoint hits.
+    pub breakpoint_hits: u64,
+    /// Events dropped across this session's bounded subscriber queues.
+    pub lagged_drops: u64,
+    /// Run budget not yet consumed, in nanoseconds.
+    pub remaining_ns: u64,
+    /// Live subscriber queues.
+    pub subscribers: u64,
+    /// Condition-memo hits in the session's VM.
+    pub memo_hits: u64,
+    /// Condition-memo misses in the session's VM.
+    pub memo_misses: u64,
+}
+
+/// A persisted session that failed to restore, with the reason — the
+/// wire-visible form of [`crate::DebugServer::quarantined_sessions`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedSession {
+    /// The reserved (never reused) session id.
+    pub session: SessionId,
+    /// Why the restore failed.
+    pub reason: String,
+}
+
+/// Per-shard read-out inside [`FleetMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard (worker) index.
+    pub shard: u64,
+    /// Slices pumped.
+    pub slices: u64,
+    /// Slice wall-time distribution.
+    pub slice_wall_ns: HistogramSnapshot,
+    /// Events-fed-per-slice distribution.
+    pub events_per_slice: HistogramSnapshot,
+}
+
+/// Fleet-level aggregates — the summary half of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Hosted sessions (quarantined ones not included).
+    pub sessions: u64,
+    /// Worker threads / shards.
+    pub workers: u64,
+    /// Wall milliseconds since the server booted.
+    pub uptime_ms: u64,
+    /// Slices pumped, all shards.
+    pub slices: u64,
+    /// Slice wall-time distribution, merged across shards.
+    pub slice_wall_ns: HistogramSnapshot,
+    /// Events-per-slice distribution, merged across shards.
+    pub events_per_slice: HistogramSnapshot,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardSnapshot>,
+    /// Total model events fed, summed over sessions.
+    pub events_fed: u64,
+    /// Events fed per second over the trailing rate window.
+    pub recent_events_per_sec: f64,
+    /// Commands currently sitting in session mailboxes.
+    pub mailbox_depth: u64,
+    /// Events currently queued across subscriber queues.
+    pub subscriber_depth: u64,
+    /// Events dropped by bounded subscriber queues, summed over
+    /// sessions.
+    pub lagged_drops: u64,
+    /// Trace-store appends.
+    pub store_appends: u64,
+    /// Trace-store append latency.
+    pub store_append_ns: HistogramSnapshot,
+    /// Trace-store read operations.
+    pub store_reads: u64,
+    /// Trace-store read latency.
+    pub store_read_ns: HistogramSnapshot,
+    /// Trace segment files, summed over sessions.
+    pub trace_segments: u64,
+    /// Trace bytes on disk, summed over sessions.
+    pub trace_disk_bytes: u64,
+    /// Journal records appended.
+    pub journal_appends: u64,
+    /// Journal append+fsync latency.
+    pub journal_append_ns: HistogramSnapshot,
+    /// Live wire connections.
+    pub wire_connections: u64,
+    /// Wire frames written.
+    pub wire_frames_tx: u64,
+    /// Wire frames read.
+    pub wire_frames_rx: u64,
+    /// Wire bytes written.
+    pub wire_bytes_tx: u64,
+    /// Wire bytes read.
+    pub wire_bytes_rx: u64,
+    /// VM condition-memo hits, summed over sessions.
+    pub memo_hits: u64,
+    /// VM condition-memo misses, summed over sessions.
+    pub memo_misses: u64,
+}
+
+/// The full observability read-out: fleet aggregates, one health row
+/// per session, and the quarantine list. Serializable — the wire
+/// `ListMetrics` reply ships exactly this structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Fleet-level aggregates.
+    pub fleet: FleetMetrics,
+    /// One row per hosted session (including quarantined ids).
+    pub sessions: Vec<SessionHealth>,
+    /// Persisted sessions that failed to restore.
+    pub quarantined: Vec<QuarantinedSession>,
+}
+
+impl MetricsSnapshot {
+    /// Zeroes every wall-clock-derived field (uptimes, slice ages, the
+    /// recent rate) in place. Everything left is a deterministic
+    /// counter or a latency distribution that no longer moves once the
+    /// fleet is idle — this is what lets tests assert that a snapshot
+    /// fetched over TCP equals the in-process one *exactly*.
+    pub fn strip_wall_clock(&mut self) {
+        self.fleet.uptime_ms = 0;
+        self.fleet.recent_events_per_sec = 0.0;
+        for s in &mut self.sessions {
+            s.uptime_ms = 0;
+            s.last_slice_age_ms = None;
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (`# TYPE` headers, one sample per line) — what
+    /// [`crate::DebugServer::metrics_text`] returns and the
+    /// `fleet_dashboard` example scrapes.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let f = &self.fleet;
+        let mut gauge = |name: &str, value: String| {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" gauge\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        gauge("gmdf_sessions", f.sessions.to_string());
+        gauge("gmdf_workers", f.workers.to_string());
+        gauge("gmdf_uptime_ms", f.uptime_ms.to_string());
+        gauge("gmdf_mailbox_depth", f.mailbox_depth.to_string());
+        gauge("gmdf_subscriber_depth", f.subscriber_depth.to_string());
+        gauge("gmdf_wire_connections", f.wire_connections.to_string());
+        gauge(
+            "gmdf_recent_events_per_sec",
+            format!("{:.3}", f.recent_events_per_sec),
+        );
+        let mut counter = |name: &str, value: u64| {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        counter("gmdf_slices_total", f.slices);
+        counter("gmdf_events_fed_total", f.events_fed);
+        counter("gmdf_lagged_drops_total", f.lagged_drops);
+        counter("gmdf_store_appends_total", f.store_appends);
+        counter("gmdf_store_reads_total", f.store_reads);
+        counter("gmdf_journal_appends_total", f.journal_appends);
+        counter("gmdf_wire_frames_tx_total", f.wire_frames_tx);
+        counter("gmdf_wire_frames_rx_total", f.wire_frames_rx);
+        counter("gmdf_wire_bytes_tx_total", f.wire_bytes_tx);
+        counter("gmdf_wire_bytes_rx_total", f.wire_bytes_rx);
+        counter("gmdf_trace_segments", f.trace_segments);
+        counter("gmdf_trace_disk_bytes", f.trace_disk_bytes);
+        counter("gmdf_memo_hits_total", f.memo_hits);
+        counter("gmdf_memo_misses_total", f.memo_misses);
+        let mut histo = |name: &str, h: &HistogramSnapshot| {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" summary\n");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_max {}\n", h.max));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        };
+        histo("gmdf_slice_wall_ns", &f.slice_wall_ns);
+        histo("gmdf_events_per_slice", &f.events_per_slice);
+        histo("gmdf_store_append_ns", &f.store_append_ns);
+        histo("gmdf_store_read_ns", &f.store_read_ns);
+        histo("gmdf_journal_append_ns", &f.journal_append_ns);
+        for s in &self.sessions {
+            let id = s.session;
+            let state = match s.state {
+                HealthState::Running => "running",
+                HealthState::Parked => "parked",
+                HealthState::Quarantined => "quarantined",
+                HealthState::Failed => "failed",
+            };
+            out.push_str(&format!(
+                "gmdf_session_up{{session=\"{id}\",state=\"{state}\"}} {}\n",
+                u64::from(matches!(
+                    s.state,
+                    HealthState::Running | HealthState::Parked
+                ))
+            ));
+            out.push_str(&format!(
+                "gmdf_session_events_fed{{session=\"{id}\"}} {}\n",
+                s.events_fed
+            ));
+            out.push_str(&format!(
+                "gmdf_session_violations{{session=\"{id}\"}} {}\n",
+                s.violations
+            ));
+            out.push_str(&format!(
+                "gmdf_session_lagged_drops{{session=\"{id}\"}} {}\n",
+                s.lagged_drops
+            ));
+            out.push_str(&format!(
+                "gmdf_session_trace_len{{session=\"{id}\"}} {}\n",
+                s.trace_len
+            ));
+        }
+        out
+    }
+}
+
+/// Merges the registry's per-shard histograms and counters into the
+/// fleet read-out skeleton. Session-derived sums (events, drops, store
+/// footprints, memo stats) are filled in by the caller, which holds the
+/// session locks.
+pub(crate) fn fleet_skeleton(registry: &MetricsRegistry) -> FleetMetrics {
+    let mut wall = HistogramAccum::new();
+    let mut per_slice = HistogramAccum::new();
+    let mut slices = 0u64;
+    let mut shards = Vec::with_capacity(registry.shards.len());
+    for (i, s) in registry.shards.iter().enumerate() {
+        s.slice_wall_ns.merge_into(&mut wall);
+        s.events_per_slice.merge_into(&mut per_slice);
+        slices += s.slices.get();
+        shards.push(ShardSnapshot {
+            shard: i as u64,
+            slices: s.slices.get(),
+            slice_wall_ns: s.slice_wall_ns.snapshot(),
+            events_per_slice: s.events_per_slice.snapshot(),
+        });
+    }
+    let now_ms = registry.now_ms();
+    FleetMetrics {
+        sessions: 0,
+        workers: registry.shards.len() as u64,
+        uptime_ms: now_ms,
+        slices,
+        slice_wall_ns: wall.snapshot(),
+        events_per_slice: per_slice.snapshot(),
+        shards,
+        events_fed: 0,
+        recent_events_per_sec: registry.events_recent.rate_per_sec(now_ms, RATE_WINDOW_MS),
+        mailbox_depth: registry.mailbox_depth.get(),
+        subscriber_depth: registry.subscriber_depth.get(),
+        lagged_drops: 0,
+        store_appends: registry.store.appends.get(),
+        store_append_ns: registry.store.append_ns.snapshot(),
+        store_reads: registry.store.reads.get(),
+        store_read_ns: registry.store.read_ns.snapshot(),
+        trace_segments: 0,
+        trace_disk_bytes: 0,
+        journal_appends: registry.journal_appends.get(),
+        journal_append_ns: registry.journal_append_ns.snapshot(),
+        wire_connections: registry.wire.connections.get(),
+        wire_frames_tx: registry.wire.frames_tx.get(),
+        wire_frames_rx: registry.wire.frames_rx.get(),
+        wire_bytes_tx: registry.wire.bytes_tx.get(),
+        wire_bytes_rx: registry.wire.bytes_rx.get(),
+        memo_hits: 0,
+        memo_misses: 0,
+    }
+}

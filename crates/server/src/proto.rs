@@ -24,6 +24,7 @@
 //! (`crates/server/tests/wire.rs` pins this down).
 
 use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
+use crate::metrics::{MetricsSnapshot, QuarantinedSession};
 use crate::server::{SessionCommand, SessionId};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::sync::mpsc;
@@ -31,8 +32,11 @@ use std::sync::mpsc;
 /// Protocol revision spoken by this build. Strict equality is required
 /// at handshake time. Version 2 added the history-paging pair
 /// ([`SessionCommand::FetchRange`] / [`SessionCommand::ReplayFrom`])
-/// and their [`ServerFrame::Trace`] reply.
-pub const WIRE_VERSION: u32 = 2;
+/// and their [`ServerFrame::Trace`] reply. Version 3 added the
+/// server-scope telemetry pair ([`ClientFrame::ListMetrics`] /
+/// [`ServerFrame::Metrics`]) and the quarantine list in
+/// [`ServerFrame::HelloAck`].
+pub const WIRE_VERSION: u32 = 3;
 
 /// Upper bound on one frame's payload length (64 MiB) — large enough
 /// for a full-trace snapshot of any realistic session, small enough
@@ -68,6 +72,14 @@ pub enum ClientFrame {
         /// The command to apply.
         command: SessionCommand,
     },
+    /// Request the server's fleet-wide [`MetricsSnapshot`]. This is a
+    /// *server-scope* request — it needs no attached session, so a
+    /// monitoring client can poll telemetry right after the handshake.
+    /// Answered with [`ServerFrame::Metrics`].
+    ListMetrics {
+        /// Client-chosen request id, echoed in the reply.
+        seq: u64,
+    },
 }
 
 /// A message from the wire server to a remote client.
@@ -79,6 +91,11 @@ pub enum ServerFrame {
         version: u32,
         /// Sessions hosted at handshake time, attachable by id.
         sessions: Vec<SessionId>,
+        /// Sessions quarantined at handshake time (failed a durable
+        /// restore), each with its restore-failure reason. Not
+        /// attachable; listed so a remote operator can see *why* a
+        /// session is missing from `sessions`.
+        quarantined: Vec<QuarantinedSession>,
     },
     /// A non-snapshot request was accepted (attach done, command in
     /// the mailbox).
@@ -111,6 +128,15 @@ pub enum ServerFrame {
         seq: u64,
         /// The page (bounded; see [`TraceSlice::complete`]).
         slice: TraceSlice,
+    },
+    /// Reply to a [`ClientFrame::ListMetrics`] request: the fleet-wide
+    /// telemetry snapshot.
+    Metrics {
+        /// The request id this answers.
+        seq: u64,
+        /// The point-in-time fleet view (boxed: it is by far the
+        /// largest payload, and boxing keeps the frame enum small).
+        snapshot: Box<MetricsSnapshot>,
     },
     /// One event from the attached session's broadcast stream.
     Event {

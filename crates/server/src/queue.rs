@@ -25,6 +25,7 @@
 //! no loss, unbounded memory) — the pre-backpressure behaviour.
 
 use crate::event::EngineEvent;
+use crate::metrics::{Counter, Gauge};
 use crate::server::{lock, SessionId};
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -51,11 +52,25 @@ struct Channel {
     capacity: usize,
     state: Mutex<State>,
     cv: Condvar,
+    /// The owning session's cumulative drop counter — bumped alongside
+    /// `State::dropped` so losses outlive this queue (they feed
+    /// [`crate::SessionSnapshot::lagged_drops`]).
+    lagged: Counter,
+    /// Fleet-wide queued-event gauge, when metrics are enabled.
+    depth: Option<Gauge>,
 }
 
 /// Creates one subscriber queue for `session` with the given capacity
-/// (`0` = unbounded).
-pub(crate) fn channel(session: SessionId, capacity: usize) -> (EventSender, EventReceiver) {
+/// (`0` = unbounded). Drops are counted into `lagged` (the session's
+/// cumulative counter) in addition to the in-stream `Lagged` report;
+/// `depth` — when present — tracks the queue's current length in the
+/// fleet-wide subscriber-depth gauge.
+pub(crate) fn channel(
+    session: SessionId,
+    capacity: usize,
+    lagged: Counter,
+    depth: Option<Gauge>,
+) -> (EventSender, EventReceiver) {
     let chan = Arc::new(Channel {
         session,
         capacity,
@@ -66,6 +81,8 @@ pub(crate) fn channel(session: SessionId, capacity: usize) -> (EventSender, Even
             tx_alive: true,
         }),
         cv: Condvar::new(),
+        lagged,
+        depth,
     });
     (EventSender(Arc::clone(&chan)), EventReceiver(chan))
 }
@@ -100,16 +117,22 @@ impl EventSender {
                 event = EngineEvent::TraceDelta { session, entries };
             }
             while s.events.len() >= ch.capacity {
-                match s.events.pop_front() {
-                    Some(EngineEvent::TraceDelta { entries, .. }) => {
-                        s.dropped += entries.len() as u64;
-                    }
-                    Some(_) => s.dropped += 1,
+                let lost = match s.events.pop_front() {
+                    Some(EngineEvent::TraceDelta { entries, .. }) => entries.len() as u64,
+                    Some(_) => 1,
                     None => break,
+                };
+                s.dropped += lost;
+                ch.lagged.add(lost);
+                if let Some(depth) = &ch.depth {
+                    depth.dec();
                 }
             }
         }
         s.events.push_back(event);
+        if let Some(depth) = &ch.depth {
+            depth.inc();
+        }
         drop(s);
         ch.cv.notify_one();
         true
@@ -134,7 +157,13 @@ fn take_next(ch: &Channel, s: &mut State) -> Option<EngineEvent> {
             dropped,
         });
     }
-    s.events.pop_front()
+    let event = s.events.pop_front();
+    if event.is_some() {
+        if let Some(depth) = &ch.depth {
+            depth.dec();
+        }
+    }
+    event
 }
 
 /// The consumer half of a session's broadcast subscription.
@@ -226,7 +255,14 @@ impl EventReceiver {
 
 impl Drop for EventReceiver {
     fn drop(&mut self) {
-        lock(&self.0.state).rx_alive = false;
+        let mut s = lock(&self.0.state);
+        s.rx_alive = false;
+        // Events still queued will never be taken: release them now so
+        // the fleet depth gauge doesn't leak this queue's residue.
+        if let Some(depth) = &self.0.depth {
+            depth.sub(s.events.len() as u64);
+        }
+        s.events.clear();
         // No cv notify needed: only the receiver waits on the condvar.
     }
 }
@@ -272,7 +308,7 @@ mod tests {
 
     #[test]
     fn unbounded_queue_never_drops() {
-        let (tx, rx) = channel(7, 0);
+        let (tx, rx) = channel(7, 0, Counter::new(), None);
         for i in 0..1000 {
             assert!(tx.push(idle(i)));
         }
@@ -282,7 +318,7 @@ mod tests {
 
     #[test]
     fn overflow_coalesces_consecutive_trace_deltas() {
-        let (tx, rx) = channel(7, 2);
+        let (tx, rx) = channel(7, 2, Counter::new(), None);
         assert!(tx.push(delta(0..2)));
         assert!(tx.push(delta(2..4)));
         // Queue full; the next delta merges into the newest one.
@@ -298,7 +334,7 @@ mod tests {
 
     #[test]
     fn overflow_drops_oldest_and_reports_lagged_first() {
-        let (tx, rx) = channel(7, 2);
+        let (tx, rx) = channel(7, 2, Counter::new(), None);
         assert!(tx.push(idle(0)));
         assert!(tx.push(idle(1)));
         assert!(tx.push(idle(2))); // drops idle(0)
@@ -316,7 +352,7 @@ mod tests {
 
     #[test]
     fn dropped_trace_delta_counts_its_entries() {
-        let (tx, rx) = channel(7, 1);
+        let (tx, rx) = channel(7, 1, Counter::new(), None);
         assert!(tx.push(delta(0..3)));
         assert!(tx.push(idle(0))); // cannot coalesce → drops the delta
         let got: Vec<_> = rx.try_iter().collect();
@@ -332,7 +368,7 @@ mod tests {
 
     #[test]
     fn bounded_queue_length_never_exceeds_capacity() {
-        let (tx, rx) = channel(7, 4);
+        let (tx, rx) = channel(7, 4, Counter::new(), None);
         for i in 0..100 {
             assert!(tx.push(idle(i)));
             assert!(rx.len() <= 4);
@@ -341,14 +377,14 @@ mod tests {
 
     #[test]
     fn receiver_drop_unsubscribes() {
-        let (tx, rx) = channel(7, 0);
+        let (tx, rx) = channel(7, 0, Counter::new(), None);
         drop(rx);
         assert!(!tx.push(idle(0)));
     }
 
     #[test]
     fn sender_drop_disconnects_after_drain() {
-        let (tx, rx) = channel(7, 0);
+        let (tx, rx) = channel(7, 0, Counter::new(), None);
         assert!(tx.push(idle(0)));
         drop(tx);
         assert!(rx.try_recv().is_ok());

@@ -22,6 +22,9 @@
 //! cannot deadlock on its own locks.
 
 use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
+use crate::metrics::{
+    self, Counter, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionHealth,
+};
 use crate::persist;
 use crate::queue::{self, EventReceiver, EventSender};
 use gmdf::{DebugSession, SessionSpec};
@@ -69,6 +72,13 @@ pub struct ServerConfig {
     /// never grows memory without bound on a stalled consumer.
     /// `0` = legacy unbounded queues (no loss, unbounded memory).
     pub subscriber_capacity: usize,
+    /// Collect runtime metrics (pump timings, queue depths, store and
+    /// wire I/O — see [`crate::metrics`]). On by default; recording is
+    /// relaxed-atomic and stays within noise of an uninstrumented pump
+    /// (the `metrics_overhead` bench gates this). `false` builds a
+    /// [`MetricsRegistry::disabled`] registry and skips every
+    /// recording site.
+    pub metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +87,7 @@ impl Default for ServerConfig {
             workers: 4,
             slice_ns: 1_000_000,
             subscriber_capacity: 1024,
+            metrics: true,
         }
     }
 }
@@ -237,6 +248,14 @@ struct SessionInner {
     /// Durable sessions journal every state-affecting command here
     /// before applying it; `None` for in-memory sessions.
     journal: Option<persist::Journal>,
+    /// Cumulative events dropped by this session's bounded subscriber
+    /// queues — each queue holds a clone, so drops survive the queue
+    /// that suffered them. Always on (it feeds
+    /// [`SessionSnapshot::lagged_drops`]), independent of the metrics
+    /// registry.
+    lagged: Counter,
+    /// Wall-clock instant of the last pumped slice (metrics only).
+    last_slice: Option<Instant>,
 }
 
 /// One hosted session: state + mailbox + scheduling flags.
@@ -252,6 +271,9 @@ struct SessionCell {
     /// `true` while the session sits in (or is being pushed onto) its
     /// shard's run queue.
     queued: AtomicBool,
+    /// When the session registered with this server process (uptime
+    /// base for health reporting).
+    registered_at: Instant,
 }
 
 /// One worker's run queue.
@@ -269,6 +291,9 @@ struct Shared {
     next_id: AtomicU64,
     default_slice_ns: u64,
     default_subscriber_capacity: usize,
+    /// The observability registry every layer records into (disabled =
+    /// all recording sites skipped).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Shared {
@@ -371,6 +396,11 @@ impl DebugServer {
 
     fn boot(config: ServerConfig, persist: Option<PersistConfig>) -> Self {
         let workers = config.workers.max(1);
+        let registry = if config.metrics {
+            MetricsRegistry::new(workers)
+        } else {
+            MetricsRegistry::disabled()
+        };
         let shared = Arc::new(Shared {
             shards: (0..workers)
                 .map(|_| Shard {
@@ -382,6 +412,7 @@ impl DebugServer {
             next_id: AtomicU64::new(0),
             default_slice_ns: config.slice_ns.max(1),
             default_subscriber_capacity: config.subscriber_capacity,
+            metrics: Arc::new(registry),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -468,8 +499,19 @@ impl DebugServer {
             breakpoint_hits: 0,
             failed: None,
             journal: None,
+            lagged: Counter::new(),
+            last_slice: None,
         };
         init(&mut inner);
+        // After `init`: a durable/restored session has already swapped
+        // its trace store in, which builds a fresh trace without a
+        // metrics sink — attach it last.
+        if self.shared.metrics.enabled() {
+            inner
+                .session
+                .engine_mut()
+                .set_trace_metrics(Some(Arc::clone(&self.shared.metrics.store)));
+        }
         let resume = inner.remaining_ns > 0;
         let cell = Arc::new(SessionCell {
             id,
@@ -478,6 +520,7 @@ impl DebugServer {
             idle_cv: Condvar::new(),
             mailbox: Mutex::new(VecDeque::new()),
             queued: AtomicBool::new(false),
+            registered_at: Instant::now(),
         });
         lock(&self.sessions).push(Arc::clone(&cell));
         if resume {
@@ -516,6 +559,108 @@ impl DebugServer {
     /// Number of worker threads in the pool.
     pub fn worker_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// The observability registry the server records into. Disabled
+    /// (all-zero) when the server was built with
+    /// [`ServerConfig::metrics`] = `false`.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// The full observability read-out: fleet aggregates from the
+    /// registry plus one health row per hosted session (briefly taking
+    /// each session's state lock in turn — not a stop-the-world cut)
+    /// and the quarantine list. Works — with zeroed registry-side
+    /// counters — even when metrics are disabled; the session rows come
+    /// from always-on per-session counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let registry = &self.shared.metrics;
+        let mut fleet = metrics::fleet_skeleton(registry);
+        let cells: Vec<Arc<SessionCell>> = lock(&self.sessions).clone();
+        fleet.sessions = cells.len() as u64;
+        let mut sessions = Vec::with_capacity(cells.len() + self.quarantined.len());
+        for cell in &cells {
+            let inner = lock(&cell.inner);
+            let state = if inner.failed.is_some() {
+                HealthState::Failed
+            } else if inner.remaining_ns > 0
+                || cell.queued.load(Ordering::SeqCst)
+                || !lock(&cell.mailbox).is_empty()
+            {
+                HealthState::Running
+            } else {
+                HealthState::Parked
+            };
+            let store_stats = inner.session.engine().trace().store_stats();
+            let (memo_hits, memo_misses) = inner.session.simulator().memo_stats();
+            fleet.events_fed += inner.events_fed;
+            fleet.lagged_drops += inner.lagged.get();
+            fleet.trace_segments += store_stats.segments;
+            fleet.trace_disk_bytes += store_stats.disk_bytes;
+            fleet.memo_hits += memo_hits;
+            fleet.memo_misses += memo_misses;
+            sessions.push(SessionHealth {
+                session: cell.id,
+                state,
+                detail: inner.failed.clone(),
+                uptime_ms: cell.registered_at.elapsed().as_millis() as u64,
+                last_slice_age_ms: inner.last_slice.map(|t| t.elapsed().as_millis() as u64),
+                now_ns: inner.session.now_ns(),
+                trace_len: inner.session.engine().trace().len() as u64,
+                trace_segments: store_stats.segments,
+                trace_bytes: store_stats.disk_bytes,
+                events_fed: inner.events_fed,
+                violations: inner.violations,
+                breakpoint_hits: inner.breakpoint_hits,
+                lagged_drops: inner.lagged.get(),
+                remaining_ns: inner.remaining_ns,
+                subscribers: inner.subscribers.len() as u64,
+                memo_hits,
+                memo_misses,
+            });
+        }
+        let quarantined: Vec<QuarantinedSession> = self
+            .quarantined
+            .iter()
+            .map(|(id, reason)| QuarantinedSession {
+                session: *id,
+                reason: reason.clone(),
+            })
+            .collect();
+        for q in &quarantined {
+            sessions.push(SessionHealth {
+                session: q.session,
+                state: HealthState::Quarantined,
+                detail: Some(q.reason.clone()),
+                uptime_ms: 0,
+                last_slice_age_ms: None,
+                now_ns: 0,
+                trace_len: 0,
+                trace_segments: 0,
+                trace_bytes: 0,
+                events_fed: 0,
+                violations: 0,
+                breakpoint_hits: 0,
+                lagged_drops: 0,
+                remaining_ns: 0,
+                subscribers: 0,
+                memo_hits: 0,
+                memo_misses: 0,
+            });
+        }
+        MetricsSnapshot {
+            fleet,
+            sessions,
+            quarantined,
+        }
+    }
+
+    /// [`DebugServer::metrics_snapshot`] rendered in Prometheus text
+    /// exposition format — scrape-ready (the `fleet_dashboard` example
+    /// polls it over TCP).
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 
     /// Stops the scheduler: signals every worker, joins the pool, and
@@ -569,6 +714,9 @@ impl SessionHandle {
             return Err(ServerError::Shutdown);
         }
         lock(&self.cell.mailbox).push_back(command);
+        if self.shared.metrics.enabled() {
+            self.shared.metrics.mailbox_depth.inc();
+        }
         if self.shared.enqueue(&self.cell) {
             Ok(())
         } else {
@@ -590,8 +738,14 @@ impl SessionHandle {
     /// Like [`SessionHandle::subscribe`] with an explicit queue
     /// capacity (`0` = unbounded, the legacy behaviour).
     pub fn subscribe_with_capacity(&self, capacity: usize) -> EventReceiver {
-        let (tx, rx) = queue::channel(self.cell.id, capacity);
-        lock(&self.cell.inner).subscribers.push(tx);
+        let mut inner = lock(&self.cell.inner);
+        let depth = self
+            .shared
+            .metrics
+            .enabled()
+            .then(|| self.shared.metrics.subscriber_depth.clone());
+        let (tx, rx) = queue::channel(self.cell.id, capacity, inner.lagged.clone(), depth);
+        inner.subscribers.push(tx);
         rx
     }
 
@@ -861,6 +1015,8 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
 /// One scheduling turn: apply mailed commands, pump at most one slice,
 /// publish deltas, and reschedule or park.
 fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
+    let registry = &*shared.metrics;
+    let observed = registry.enabled();
     let mut inner = lock(&cell.inner);
     // Drain the mailbox only while holding `inner` (lock order
     // inner → mailbox): `wait_idle` checks "mailbox empty" under the
@@ -870,16 +1026,30 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
         let mut mailbox = lock(&cell.mailbox);
         mailbox.drain(..).collect()
     };
+    if observed {
+        registry.mailbox_depth.sub(commands.len() as u64);
+    }
     for command in commands {
-        apply_command(&mut inner, cell.id, command);
+        apply_command(&mut inner, cell.id, command, registry);
     }
     let mut pumped = false;
     if inner.failed.is_none() && inner.remaining_ns > 0 {
         let dt = inner.slice_ns.min(inner.remaining_ns);
+        let slice_t0 = observed.then(Instant::now);
         match inner.session.run_slice(dt) {
             Ok(report) => {
                 inner.remaining_ns -= dt;
                 inner.events_fed += report.events_fed as u64;
+                if let Some(t0) = slice_t0 {
+                    let shard = &registry.shards[cell.shard];
+                    shard.slices.inc();
+                    shard.slice_wall_ns.record(t0.elapsed().as_nanos() as u64);
+                    shard.events_per_slice.record(report.events_fed as u64);
+                    registry
+                        .events_recent
+                        .push(registry.now_ms(), report.events_fed as u64);
+                    inner.last_slice = Some(Instant::now());
+                }
                 // Push the slice's trace appends out of the process
                 // before telling anyone about them — a process crash
                 // after the broadcast must not lose acknowledged
@@ -933,7 +1103,12 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
 /// the same instants. Only *accepted* commands enter the journal: a
 /// rejected one in the replayable history would deterministically
 /// re-fail every subsequent restore of the session.
-fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionCommand) {
+fn apply_command(
+    inner: &mut SessionInner,
+    id: SessionId,
+    command: SessionCommand,
+    registry: &MetricsRegistry,
+) {
     // `ScheduleSignal` is the one journaled command the session can
     // reject (unknown label — a client wiring bug). Validate it by
     // applying it *before* journaling, and journal only on success.
@@ -948,7 +1123,7 @@ fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionComman
             fail(inner, id, &e.to_string());
             return;
         }
-        journal_command(inner, id, at_ns, &command);
+        journal_command(inner, id, at_ns, &command, registry);
         return;
     }
     // The remaining journaled commands are infallible; journal them
@@ -957,7 +1132,7 @@ fn apply_command(inner: &mut SessionInner, id: SessionId, command: SessionComman
     // behind it.
     if persist::journaled(&command) {
         let at_ns = inner.session.now_ns();
-        if !journal_command(inner, id, at_ns, &command) {
+        if !journal_command(inner, id, at_ns, &command, registry) {
             return;
         }
     }
@@ -1069,6 +1244,7 @@ fn snapshot_of(
         events_fed: inner.events_fed,
         violations: inner.violations,
         breakpoint_hits: inner.breakpoint_hits,
+        lagged_drops: inner.lagged.get(),
         remaining_ns: inner.remaining_ns,
     })
 }
@@ -1082,9 +1258,23 @@ fn journal_command(
     id: SessionId,
     at_ns: u64,
     command: &SessionCommand,
+    registry: &MetricsRegistry,
 ) -> bool {
     let result = match inner.journal.as_mut() {
-        Some(journal) => journal.append(at_ns, command),
+        Some(journal) => {
+            // Timed here (not inside `Journal`) so the journal stays a
+            // plain file wrapper; the measurement includes the fsync —
+            // the dominant cost on a durable session's command path.
+            let t0 = registry.enabled().then(Instant::now);
+            let result = journal.append(at_ns, command);
+            if let Some(t0) = t0 {
+                registry.journal_appends.inc();
+                registry
+                    .journal_append_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+            result
+        }
         None => return true,
     };
     if let Err(e) = result {

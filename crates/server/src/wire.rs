@@ -19,6 +19,7 @@
 //! handshake, attaches to one session, sends commands, and interleaves
 //! event consumption with request/reply calls on a single socket.
 
+use crate::metrics::{Gauge, MetricsSnapshot, QuarantinedSession, WireMetrics};
 use crate::proto::{
     decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame, MAX_FRAME_LEN,
 };
@@ -198,18 +199,26 @@ enum ReadOutcome {
 }
 
 /// Reads the next client frame, polling the shutdown flag at [`POLL`]
-/// granularity. The stream must have a read timeout installed.
+/// granularity. The stream must have a read timeout installed. When
+/// metrics are enabled (`wm`), received bytes and decoded frames are
+/// counted.
 fn next_client_frame(
     mut stream: &TcpStream,
     decoder: &mut FrameDecoder,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
+    wm: Option<&WireMetrics>,
 ) -> ReadOutcome {
     let mut chunk = [0u8; 4096];
     loop {
         match decoder.next_payload() {
             Ok(Some(payload)) => match decode_payload::<ClientFrame>(&payload) {
-                Ok(frame) => return ReadOutcome::Frame(frame),
+                Ok(frame) => {
+                    if let Some(wm) = wm {
+                        wm.frames_rx.inc();
+                    }
+                    return ReadOutcome::Frame(frame);
+                }
                 Err(e) => return ReadOutcome::Malformed(e),
             },
             Ok(None) => {}
@@ -220,7 +229,12 @@ fn next_client_frame(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return ReadOutcome::Stop,
-            Ok(n) => decoder.feed(&chunk[..n]),
+            Ok(n) => {
+                if let Some(wm) = wm {
+                    wm.bytes_rx.add(n as u64);
+                }
+                decoder.feed(&chunk[..n]);
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => return ReadOutcome::Stop,
         }
@@ -242,6 +256,7 @@ fn write_bytes(
     bytes: &[u8],
     shutdown: &AtomicBool,
     closed: &AtomicBool,
+    wm: Option<&WireMetrics>,
 ) -> Result<(), ()> {
     let mut off = 0;
     let mut grace: Option<Instant> = None;
@@ -257,10 +272,18 @@ fn write_bytes(
         }
         match stream.write(&bytes[off..]) {
             Ok(0) => return Err(()),
-            Ok(n) => off += n,
+            Ok(n) => {
+                if let Some(wm) = wm {
+                    wm.bytes_tx.add(n as u64);
+                }
+                off += n;
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => return Err(()),
         }
+    }
+    if let Some(wm) = wm {
+        wm.frames_tx.inc();
     }
     Ok(())
 }
@@ -271,8 +294,9 @@ fn write_frame<T: Serialize>(
     frame: &T,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
+    wm: Option<&WireMetrics>,
 ) -> Result<(), ()> {
-    write_bytes(stream, &encode_frame(frame), shutdown, closed)
+    write_bytes(stream, &encode_frame(frame), shutdown, closed, wm)
 }
 
 /// The request id `frame` answers, if it is a reply.
@@ -280,7 +304,8 @@ fn frame_seq(frame: &ServerFrame) -> Option<u64> {
     match frame {
         ServerFrame::Ack { seq }
         | ServerFrame::Snapshot { seq, .. }
-        | ServerFrame::Trace { seq, .. } => Some(*seq),
+        | ServerFrame::Trace { seq, .. }
+        | ServerFrame::Metrics { seq, .. } => Some(*seq),
         ServerFrame::Error { seq, .. } => *seq,
         ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
     }
@@ -296,6 +321,7 @@ fn write_server_frame(
     frame: &ServerFrame,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
+    wm: Option<&WireMetrics>,
 ) -> Result<(), ()> {
     let mut bytes = encode_frame(frame);
     if bytes.len() - 4 > MAX_FRAME_LEN {
@@ -319,18 +345,39 @@ fn write_server_frame(
         };
         bytes = encode_frame(&substitute);
     }
-    write_bytes(stream, &bytes, shutdown, closed)
+    write_bytes(stream, &bytes, shutdown, closed, wm)
+}
+
+/// Holds the wire layer's live-connection gauge up for one connection's
+/// lifetime; the decrement rides the drop so every early return in
+/// [`serve_connection`] is covered.
+struct ConnectionGauge(Gauge);
+
+impl ConnectionGauge {
+    fn acquire(gauge: &Gauge) -> Self {
+        gauge.inc();
+        ConnectionGauge(gauge.clone())
+    }
+}
+
+impl Drop for ConnectionGauge {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
 }
 
 fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_write_timeout(Some(POLL));
+    let registry = Arc::clone(server.metrics_registry());
+    let wm = registry.enabled().then(|| &registry.wire);
+    let _connections = wm.map(|w| ConnectionGauge::acquire(&w.connections));
     let closed = Arc::new(AtomicBool::new(false));
     let mut decoder = FrameDecoder::new();
 
     // Handshake: the first frame must be a version-matched Hello.
-    match next_client_frame(&stream, &mut decoder, shutdown, &closed) {
+    match next_client_frame(&stream, &mut decoder, shutdown, &closed, wm) {
         ReadOutcome::Frame(ClientFrame::Hello { version }) => {
             if version != crate::proto::WIRE_VERSION {
                 let _ = write_frame(
@@ -344,6 +391,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                     },
                     shutdown,
                     &closed,
+                    wm,
                 );
                 return;
             }
@@ -357,6 +405,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                 },
                 shutdown,
                 &closed,
+                wm,
             );
             return;
         }
@@ -369,6 +418,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                 },
                 shutdown,
                 &closed,
+                wm,
             );
             return;
         }
@@ -389,20 +439,32 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
         let shutdown = Arc::clone(shutdown);
         let closed = Arc::clone(&closed);
         let write_lock = Arc::clone(&write_lock);
+        let registry = Arc::clone(&registry);
         std::thread::Builder::new()
             .name("gmdf-wire-streamer".to_owned())
-            .spawn(move || event_loop(&stream, &sub_rx, &shutdown, &closed, &write_lock))
+            .spawn(move || {
+                let wm = registry.enabled().then(|| &registry.wire);
+                event_loop(&stream, &sub_rx, &shutdown, &closed, &write_lock, wm);
+            })
             .expect("spawn wire streamer thread")
     };
     let reply = |frame: ServerFrame| {
         let _guard = lock(&write_lock);
-        if write_server_frame(&stream, &frame, shutdown, &closed).is_err() {
+        if write_server_frame(&stream, &frame, shutdown, &closed, wm).is_err() {
             closed.store(true, Ordering::SeqCst);
         }
     };
     reply(ServerFrame::HelloAck {
         version: crate::proto::WIRE_VERSION,
         sessions: server.session_ids(),
+        quarantined: server
+            .quarantined_sessions()
+            .iter()
+            .map(|(id, reason)| QuarantinedSession {
+                session: *id,
+                reason: reason.clone(),
+            })
+            .collect(),
     });
 
     let mut attached: Option<SessionHandle> = None;
@@ -410,7 +472,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
         if closed.load(Ordering::SeqCst) {
             break;
         }
-        match next_client_frame(&stream, &mut decoder, shutdown, &closed) {
+        match next_client_frame(&stream, &mut decoder, shutdown, &closed, wm) {
             ReadOutcome::Frame(ClientFrame::Hello { .. }) => {
                 // A connection-level violation; per the protocol
                 // contract a seq-less Error closes the connection.
@@ -419,6 +481,14 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                     message: "duplicate Hello".to_owned(),
                 });
                 break;
+            }
+            // Server-scope: answerable before (or without) an attach,
+            // so a pure monitoring client never touches a session.
+            ReadOutcome::Frame(ClientFrame::ListMetrics { seq }) => {
+                reply(ServerFrame::Metrics {
+                    seq,
+                    snapshot: Box::new(server.metrics_snapshot()),
+                });
             }
             ReadOutcome::Frame(ClientFrame::Attach { seq, session }) => {
                 match server.handle(session) {
@@ -519,6 +589,7 @@ fn event_loop(
     shutdown: &AtomicBool,
     closed: &AtomicBool,
     write_lock: &Mutex<()>,
+    wm: Option<&WireMetrics>,
 ) {
     let mut sub: Option<EventReceiver> = None;
     loop {
@@ -542,7 +613,7 @@ fn event_loop(
                     Ok(event) => {
                         let frame = ServerFrame::Event { event };
                         let guard = lock(write_lock);
-                        let ok = write_server_frame(stream, &frame, shutdown, closed).is_ok();
+                        let ok = write_server_frame(stream, &frame, shutdown, closed, wm).is_ok();
                         drop(guard);
                         if !ok {
                             closed.store(true, Ordering::SeqCst);
@@ -571,6 +642,7 @@ pub struct WireClient {
     decoder: FrameDecoder,
     buffered: std::collections::VecDeque<crate::EngineEvent>,
     sessions: Vec<SessionId>,
+    quarantined: Vec<QuarantinedSession>,
     /// The currently attached session; events from any other session
     /// (stragglers written around a re-attach) are filtered out.
     attached: Option<SessionId>,
@@ -595,6 +667,7 @@ impl WireClient {
             decoder: FrameDecoder::new(),
             buffered: std::collections::VecDeque::new(),
             sessions: Vec::new(),
+            quarantined: Vec::new(),
             attached: None,
             next_seq: 0,
         };
@@ -602,7 +675,11 @@ impl WireClient {
             version: crate::proto::WIRE_VERSION,
         })?;
         match client.read_frame(REPLY_WAIT)? {
-            ServerFrame::HelloAck { version, sessions } => {
+            ServerFrame::HelloAck {
+                version,
+                sessions,
+                quarantined,
+            } => {
                 if version != crate::proto::WIRE_VERSION {
                     return Err(WireError::VersionMismatch {
                         ours: crate::proto::WIRE_VERSION,
@@ -610,6 +687,7 @@ impl WireClient {
                     });
                 }
                 client.sessions = sessions;
+                client.quarantined = quarantined;
                 Ok(client)
             }
             ServerFrame::Error { message, .. } => Err(WireError::Remote(message)),
@@ -622,6 +700,28 @@ impl WireClient {
     /// Sessions the server hosted at handshake time.
     pub fn sessions(&self) -> &[SessionId] {
         &self.sessions
+    }
+
+    /// Sessions quarantined at handshake time (a durable restore
+    /// failed), each with the server's restore-failure reason.
+    pub fn quarantined(&self) -> &[QuarantinedSession] {
+        &self.quarantined
+    }
+
+    /// Requests the server's fleet-wide telemetry snapshot — a
+    /// *server-scope* call, valid before (or without) an attach.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors otherwise.
+    pub fn metrics(&mut self, timeout: Duration) -> Result<MetricsSnapshot, WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::ListMetrics { seq })?;
+        self.wait_reply(seq, timeout, "Metrics", move |frame| match frame {
+            ServerFrame::Metrics { seq: s, snapshot } if s == seq => Ok(*snapshot),
+            other => Err(other),
+        })
     }
 
     /// Attaches this connection to `session`; its event stream starts
@@ -770,7 +870,8 @@ impl WireClient {
                 Err(
                     ServerFrame::Ack { .. }
                     | ServerFrame::Snapshot { .. }
-                    | ServerFrame::Trace { .. },
+                    | ServerFrame::Trace { .. }
+                    | ServerFrame::Metrics { .. },
                 ) => {}
                 Err(other) => {
                     return Err(WireError::Protocol(format!(
@@ -812,7 +913,8 @@ impl WireClient {
                 // healthy connection.
                 ServerFrame::Ack { .. }
                 | ServerFrame::Snapshot { .. }
-                | ServerFrame::Trace { .. } => {}
+                | ServerFrame::Trace { .. }
+                | ServerFrame::Metrics { .. } => {}
                 ServerFrame::Error { seq: Some(_), .. } => {}
                 ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
                 other => {

@@ -150,8 +150,16 @@ fn arb_event() -> impl Strategy<Value = EngineEvent> {
 
 fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
     prop_oneof![
-        (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..5))
-            .prop_map(|(version, sessions)| ServerFrame::HelloAck { version, sessions }),
+        (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..5)).prop_map(
+            |(version, sessions)| ServerFrame::HelloAck {
+                version,
+                sessions,
+                quarantined: vec![gmdf_server::QuarantinedSession {
+                    session: 9,
+                    reason: "journal truncated".to_owned(),
+                }],
+            }
+        ),
         any::<u64>().prop_map(|seq| ServerFrame::Ack { seq }),
         proptest::option::of(any::<u64>()).prop_map(|seq| ServerFrame::Error {
             seq,
@@ -466,6 +474,7 @@ fn stalled_wire_client_never_wedges_the_pump() {
         // Tiny queues so the stall bites long before TCP buffers could
         // mask it.
         subscriber_capacity: 2,
+        metrics: true,
     });
     let handle = server.add_session(active_session(blinker_system("stall", 0.002, 1_000_000)));
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");

@@ -1,0 +1,179 @@
+//! Fleet dashboard: live server telemetry scraped over the wire.
+//!
+//! Run with `cargo run --example fleet_dashboard`.
+//!
+//! Boots a `DebugServer` hosting a small fleet of blinker sessions,
+//! fronts it with a `WireServer`, then plays a monitoring frontend: a
+//! `WireClient` that never attaches to any session — it polls the
+//! server-scope `ListMetrics` frame while the fleet runs and renders
+//! the [`MetricsSnapshot`]s as an ASCII dashboard (fleet aggregates,
+//! pump latency percentiles, one health row per session). The final
+//! poll is printed alongside the server's own Prometheus-style text
+//! exposition, so the two read-outs can be eyeballed against each
+//! other.
+//!
+//! [`MetricsSnapshot`]: gmdf_server::MetricsSnapshot
+
+use gmdf::{ChannelMode, DebugSession, Workflow};
+use gmdf_codegen::{CompileOptions, InstrumentOptions};
+use gmdf_comdes::{
+    ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+    VAR_TIME_IN_STATE,
+};
+use gmdf_server::{
+    DebugServer, HealthState, MetricsSnapshot, ServerConfig, WireClient, WireServer,
+};
+use gmdf_target::SimConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn blinker(name: &str, dwell_s: f64) -> Result<System, gmdf_comdes::ComdesError> {
+    let fsm = FsmBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state("Off", |s| s.entry("lamp", Expr::Bool(false)))
+        .state("On", |s| s.entry("lamp", Expr::Bool(true)))
+        .transition(
+            "Off",
+            "On",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell_s)),
+        )
+        .transition(
+            "On",
+            "Off",
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(dwell_s)),
+        )
+        .build()?;
+    let net = NetworkBuilder::new()
+        .output(Port::boolean("lamp"))
+        .state_machine("ctl", fsm)
+        .connect("ctl.lamp", "lamp")?
+        .build()?;
+    let actor = ActorBuilder::new("Blinker", net)
+        .output("lamp", "lamp")
+        .timing(Timing::periodic(1_000_000, 0))
+        .build()?;
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    Ok(System::new(name).with_node(node))
+}
+
+fn session(system: System) -> Result<DebugSession, Box<dyn std::error::Error>> {
+    Ok(Workflow::from_system(system)?
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            ChannelMode::Active,
+            CompileOptions {
+                instrument: InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            SimConfig::default(),
+        )?)
+}
+
+fn state_label(state: HealthState) -> &'static str {
+    match state {
+        HealthState::Running => "running",
+        HealthState::Parked => "parked",
+        HealthState::Quarantined => "quarantined",
+        HealthState::Failed => "failed",
+    }
+}
+
+fn render(poll: usize, snapshot: &MetricsSnapshot) {
+    let f = &snapshot.fleet;
+    println!("== fleet dashboard (poll {poll}) ==");
+    println!(
+        "  sessions {:>3}   workers {:>2}   uptime {:>6} ms   conns {:>2}",
+        f.sessions, f.workers, f.uptime_ms, f.wire_connections
+    );
+    println!(
+        "  slices {:>6}   events fed {:>8}   recent {:>10.1} ev/s",
+        f.slices, f.events_fed, f.recent_events_per_sec
+    );
+    println!(
+        "  slice wall ns   p50 {:>9}  p90 {:>9}  p99 {:>9}  max {:>9}",
+        f.slice_wall_ns.p50, f.slice_wall_ns.p90, f.slice_wall_ns.p99, f.slice_wall_ns.max
+    );
+    println!(
+        "  store appends {:>8} (p99 {} ns)   reads {:>6}   segments {:>4}   disk {:>8} B",
+        f.store_appends, f.store_append_ns.p99, f.store_reads, f.trace_segments, f.trace_disk_bytes
+    );
+    println!(
+        "  wire tx {:>6} frames / {:>9} B   rx {:>6} frames / {:>9} B",
+        f.wire_frames_tx, f.wire_bytes_tx, f.wire_frames_rx, f.wire_bytes_rx
+    );
+    println!(
+        "  queues: mailbox {:>4}  subscriber {:>4}  lagged drops {:>6}",
+        f.mailbox_depth, f.subscriber_depth, f.lagged_drops
+    );
+    println!(
+        "  {:>4}  {:<11} {:>12} {:>10} {:>10}",
+        "id", "state", "sim time ms", "events", "trace"
+    );
+    for s in &snapshot.sessions {
+        println!(
+            "  {:>4}  {:<11} {:>12.2} {:>10} {:>10}",
+            s.session,
+            state_label(s.state),
+            s.now_ns as f64 / 1e6,
+            s.events_fed,
+            s.trace_len
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wait = Duration::from_secs(30);
+
+    // Server side: a small fleet behind a TCP front.
+    let server = Arc::new(DebugServer::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }));
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let dwell = 0.001 + 0.001 * i as f64;
+        handles.push(server.add_session(session(blinker(&format!("fleet-{i}"), dwell)?)?));
+    }
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0")?;
+    println!("wire server listening on {}", wire.local_addr());
+
+    // Monitoring side: a client that never attaches — ListMetrics is
+    // server-scope, so the dashboard works straight off the handshake.
+    let mut dashboard = WireClient::connect(wire.local_addr())?;
+
+    // Put the fleet to work and poll while it runs.
+    for handle in &handles {
+        handle.run_for(40_000_000)?; // 40 ms of target time each
+    }
+    for poll in 1..=3 {
+        let snapshot = dashboard.metrics(wait)?;
+        render(poll, &snapshot);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for handle in &handles {
+        handle.wait_idle(wait)?;
+    }
+
+    // Final poll: the fleet is idle, every counter has settled.
+    let snapshot = dashboard.metrics(wait)?;
+    render(4, &snapshot);
+    assert_eq!(snapshot.fleet.sessions, handles.len() as u64);
+    assert!(snapshot.fleet.slices > 0, "fleet pumped no slices");
+    assert!(snapshot.fleet.events_fed > 0, "fleet fed no events");
+    assert!(
+        snapshot
+            .sessions
+            .iter()
+            .all(|s| s.state == HealthState::Parked),
+        "idle fleet should be parked"
+    );
+
+    // The same telemetry, as the Prometheus-style text exposition.
+    println!("\n== metrics_text() (first lines) ==");
+    for line in server.metrics_text().lines().take(12) {
+        println!("  {line}");
+    }
+    Ok(())
+}
