@@ -1,20 +1,26 @@
 //! Trace-store costs: append throughput and window seeks, in-memory vs
 //! the segmented on-disk store.
 //!
-//! Four measurements:
+//! The measurements:
 //!
-//! * `trace_store/append_mem_batch` / `append_disk_batch` — recording a
-//!   4096-entry batch through `ExecutionTrace` into the in-memory and
-//!   segmented-disk backends (the disk line includes the per-batch
-//!   store creation and flush — the full durability bill);
-//! * `trace_store/window_mem` / `window_cold_disk` — a narrow `window`
-//!   query against a long prebuilt trace: the in-memory store answers
-//!   from its `Vec`, the disk store from its per-segment index plus the
-//!   one or two boundary segments it actually reads;
+//! * `trace_store/append_mem_batch` / `append_disk_batch` /
+//!   `append_disk_binary` — recording a 4096-entry batch through
+//!   `ExecutionTrace` into the in-memory backend and the segmented-disk
+//!   backend under each record codec (the disk lines include the
+//!   per-batch store creation and flush — the full durability bill);
+//! * `trace_store/window_mem` / `window_cold_disk` /
+//!   `cold_window_compacted` — a narrow `window` query against a long
+//!   prebuilt trace: the in-memory store answers from its `Vec`, the
+//!   disk store from its per-segment index plus the one or two boundary
+//!   segments it actually reads, and the compacted store additionally
+//!   decompresses those segments from the `.lgz` cold tier;
 //! * comparison row `window_indexed_vs_linear` — the indexed
 //!   (`partition_point`) window against the pre-refactor full scan on
 //!   the same in-memory trace, measured on the narrow-window shape the
-//!   refactor targets.
+//!   refactor targets;
+//! * comparison row `append_disk_binary_vs_json` — the same durable
+//!   batch under the binary record codec against the JSON codec: the
+//!   serialization share of the durability bill.
 //!
 //! Persists `BENCH_trace.json` at the repo root — regenerate with
 //! `cargo bench -p gmdf-bench --bench trace_store`. With
@@ -23,11 +29,12 @@
 
 use criterion::{criterion_group, Criterion};
 use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
-use gmdf_engine::store::{MemStore, SegmentStore, TraceStore};
+use gmdf_engine::store::{Codec, MemStore, Retention, SegmentConfig, SegmentStore, TraceStore};
 use gmdf_engine::{ExecutionTrace, TraceEntry};
 use gmdf_gdm::{EventKind, EventValue, ModelEvent, ReactionSpec};
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Entries per append batch (one bench iteration).
@@ -45,11 +52,24 @@ fn trace_len() -> u64 {
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock")
-        .as_nanos();
-    std::env::temp_dir().join(format!("gmdf-bench-{tag}-{}-{nanos}", std::process::id()))
+    // A per-process atomic counter, not the wall clock: concurrent
+    // bench processes can land in the same nanosecond and collide, and
+    // a pre-epoch clock would panic the `expect`.
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gmdf-bench-{tag}-{}-{n}", std::process::id()))
+}
+
+/// A fresh durable trace over a segment store with `codec`.
+fn disk_trace(dir: &PathBuf, codec: Codec) -> ExecutionTrace {
+    let config = SegmentConfig {
+        capacity: SEGMENT,
+        codec,
+        ..SegmentConfig::default()
+    };
+    ExecutionTrace::with_store(Box::new(
+        SegmentStore::open_with(dir, config).expect("segment store"),
+    ))
 }
 
 /// One synthetic entry; times advance 1 µs per seq (a busy trace).
@@ -105,15 +125,25 @@ fn bench_store(c: &mut Criterion) {
     group.bench_function("append_disk_batch", |b| {
         b.iter(|| {
             std::fs::remove_dir_all(&append_dir).ok();
-            let mut trace = ExecutionTrace::with_store(Box::new(
-                SegmentStore::open(&append_dir, SEGMENT).expect("segment store"),
-            ));
+            let mut trace = disk_trace(&append_dir, Codec::Json);
             record_batch(&mut trace, BATCH);
             trace.sync().expect("flush");
             black_box(trace.len())
         })
     });
     std::fs::remove_dir_all(&append_dir).ok();
+
+    let binary_dir = tmp_dir("append-bin");
+    group.bench_function("append_disk_binary", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&binary_dir).ok();
+            let mut trace = disk_trace(&binary_dir, Codec::Binary);
+            record_batch(&mut trace, BATCH);
+            trace.sync().expect("flush");
+            black_box(trace.len())
+        })
+    });
+    std::fs::remove_dir_all(&binary_dir).ok();
 
     // Narrow-window seeks against the long trace: ~64 entries out of
     // the middle, the replay/timing-diagram access pattern.
@@ -127,8 +157,33 @@ fn bench_store(c: &mut Criterion) {
     group.bench_function("window_cold_disk", |b| {
         b.iter(|| black_box(disk.window(black_box(t0), black_box(t1)).count()))
     });
+
+    // The same narrow window against a fully compacted store: every
+    // sealed segment lives on the `.lgz` cold tier, so the seek pays
+    // per-segment decompression on top of the index walk.
+    let compact_dir = tmp_dir("compacted");
+    let mut compacted = {
+        let config = SegmentConfig {
+            capacity: SEGMENT,
+            codec: Codec::Binary,
+            retention: Retention {
+                compress_after: Some(1),
+                max_disk_bytes: None,
+            },
+        };
+        ExecutionTrace::with_store(Box::new(
+            SegmentStore::open_with(&compact_dir, config).expect("segment store"),
+        ))
+    };
+    record_batch(&mut compacted, trace_len());
+    compacted.sync().expect("flush");
+    while compacted.maintain().expect("maintain").did_work() {}
+    group.bench_function("cold_window_compacted", |b| {
+        b.iter(|| black_box(compacted.window(black_box(t0), black_box(t1)).count()))
+    });
     group.finish();
     std::fs::remove_dir_all(&window_dir).ok();
+    std::fs::remove_dir_all(&compact_dir).ok();
 }
 
 criterion_group!(benches, bench_store);
@@ -183,11 +238,42 @@ fn window_comparison() -> Comparison {
     }
 }
 
+/// The codec comparison: the same durable 4096-entry batch (store
+/// creation + appends + flush) under the binary record codec against
+/// the JSON codec. Derived from the criterion-timed medians of the
+/// `append_disk_batch` / `append_disk_binary` rows rather than
+/// re-measured — re-running the pair back-to-back makes whichever
+/// codec goes second pay the first one's dirty-page writeback.
+fn codec_comparison(results: &[criterion::BenchResult]) -> Comparison {
+    let median_of = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|r| r.name == format!("trace_store/{name}"))
+            .unwrap_or_else(|| panic!("bench row `{name}` was measured"))
+            .median_ns
+    };
+    let baseline_ns = median_of("append_disk_batch");
+    let optimized_ns = median_of("append_disk_binary");
+    let speedup = baseline_ns / optimized_ns;
+    eprintln!(
+        "[trace_store] durable {BATCH}-entry batch: json {:.2} ms, binary {:.2} ms ({speedup:.1}x)",
+        baseline_ns / 1e6,
+        optimized_ns / 1e6,
+    );
+    Comparison {
+        name: "append_disk_binary_vs_json".to_owned(),
+        baseline_ns,
+        optimized_ns,
+        speedup,
+    }
+}
+
 fn main() {
     benches();
     let comparison = window_comparison();
     let results = criterion::take_results();
-    let report = report_from("trace_store", results, vec![comparison]);
+    let comparisons = vec![comparison, codec_comparison(&results)];
+    let report = report_from("trace_store", results, comparisons);
     let name = if criterion::quick_mode() {
         "BENCH_trace.quick.json"
     } else {

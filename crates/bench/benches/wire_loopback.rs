@@ -80,7 +80,7 @@ fn bench_wire(c: &mut Criterion) {
     let frame = delta_frame(64);
     group.bench_function("codec_trace_delta64", |b| {
         b.iter(|| {
-            let bytes = encode_frame(black_box(&frame));
+            let bytes = encode_frame(black_box(&frame)).expect("fits in a frame");
             let mut decoder = FrameDecoder::new();
             decoder.feed(&bytes);
             let payload = decoder.next_payload().expect("valid").expect("complete");

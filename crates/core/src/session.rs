@@ -196,6 +196,20 @@ impl DebugSession {
         self.engine.sync_trace()
     }
 
+    /// Runs one bounded unit of trace-store maintenance (segment
+    /// compression / retention eviction). A no-op on stores without a
+    /// retention policy — the debug server's compactor thread calls
+    /// this off the pump path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store failure.
+    pub fn maintain_trace(
+        &mut self,
+    ) -> Result<gmdf_engine::MaintenanceReport, gmdf_engine::StoreError> {
+        self.engine.maintain_trace()
+    }
+
     /// The target simulator.
     pub fn simulator(&self) -> &Simulator {
         &self.sim

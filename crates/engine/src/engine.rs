@@ -168,6 +168,20 @@ impl DebuggerEngine {
         self.trace.sync()
     }
 
+    /// Runs one bounded unit of trace-store maintenance (segment
+    /// compression / retention eviction) — what the debug server's
+    /// compactor thread calls off the pump path. A no-op on stores
+    /// without a retention policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store failure.
+    pub fn maintain_trace(
+        &mut self,
+    ) -> Result<crate::store::MaintenanceReport, crate::store::StoreError> {
+        self.trace.maintain()
+    }
+
     /// Violations recorded so far — the found bugs.
     pub fn violations(&self) -> &[Violation] {
         &self.violations

@@ -57,5 +57,8 @@ pub use engine::{
 pub use expect::{allowed_transitions, Expectation, ExpectationMonitor, Violation};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RecentSeries, StoreMetrics};
 pub use replay::{timing_diagram, Replayer};
-pub use store::{MemStore, SegmentStore, StoreError, StoreStats, TraceStore};
+pub use store::{
+    Codec, MaintenanceReport, MemStore, Retention, SegmentConfig, SegmentStore, StoreError,
+    StoreStats, TraceStore,
+};
 pub use trace::{ExecutionTrace, TraceEntry};

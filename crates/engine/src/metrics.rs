@@ -369,6 +369,14 @@ pub struct StoreMetrics {
     pub reads: Counter,
     /// Wall nanoseconds per store read operation.
     pub read_ns: Histogram,
+    /// Sealed segments moved to the compressed cold tier.
+    pub compactions: Counter,
+    /// Sealed segments evicted by a retention budget.
+    pub evicted_segments: Counter,
+    /// Disk bytes reclaimed by compression + eviction.
+    pub reclaimed_bytes: Counter,
+    /// Wall nanoseconds per store maintenance call.
+    pub maintain_ns: Histogram,
 }
 
 #[cfg(test)]

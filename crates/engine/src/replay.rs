@@ -33,13 +33,15 @@ pub struct Replayer<'a> {
 }
 
 impl<'a> Replayer<'a> {
-    /// Creates a replayer positioned before the first entry.
+    /// Creates a replayer positioned before the first *retained* entry
+    /// — on a store whose retention budget evicted old segments, replay
+    /// starts at the eviction floor, not at 0.
     pub fn new(gdm: &'a DebuggerModel, trace: &'a ExecutionTrace) -> Self {
         Replayer {
             slice: trace.as_slice(),
+            pos: trace.first_retained_seq(),
             trace,
             gdm,
-            pos: 0,
             visual: VisualState::new(),
             page: Vec::new(),
             page_start: 0,
@@ -91,9 +93,10 @@ impl<'a> Replayer<'a> {
         Some(entry)
     }
 
-    /// Replays from the start up to and including sequence number `seq`.
+    /// Replays from the start (the retention floor, on an evicted
+    /// store) up to and including sequence number `seq`.
     pub fn seek(&mut self, seq: u64) {
-        self.pos = 0;
+        self.pos = self.trace.first_retained_seq();
         self.visual = VisualState::new();
         while (self.pos as usize) < self.trace.len() {
             match self.fetch(self.pos) {

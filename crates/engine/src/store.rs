@@ -9,21 +9,32 @@
 //!
 //! ```text
 //! <dir>/
-//!   meta.json          {"version":1,"capacity":N}   (written once)
-//!   seg-00000000.log   N length-prefixed JSON entries   (sealed)
-//!   seg-00000001.log   N entries                        (sealed)
-//!   seg-00000002.log   < N entries                      (active tail)
+//!   meta.json          {"version":1,"capacity":N,"codec":…}  (written once)
+//!   seg-00000000.lgz   N entries, LZ-compressed     (cold tier)
+//!   seg-00000001.log   N length-prefixed entries    (sealed)
+//!   seg-00000002.log   < N entries                  (active tail)
 //! ```
 //!
-//! Every record is `[u32 len, big-endian][compact JSON TraceEntry]` —
-//! the same framing the wire protocol and the session journal use. Each
-//! segment holds a fixed number of entries, so a sequence number maps
-//! to its segment by division; an in-memory per-segment index of
-//! `(first_seq, last_seq, t0_ns, t1_ns)` makes `entries_since`,
-//! `window` and replay seek O(log segments + hit) instead of O(whole
-//! run). The active segment is additionally cached in memory, so the
-//! hot path (the scheduler publishing the latest delta) never touches
-//! disk.
+//! Every record is `[u32 len, big-endian][payload]` — the same framing
+//! the wire protocol and the session journal use — where the payload is
+//! either compact JSON ([`Codec::Json`], the debug/interop format) or
+//! the varint binary form ([`Codec::Binary`], see [`encode_entry`]);
+//! the choice is fixed per store in `meta.json`. Each segment holds a
+//! fixed number of entries, so a sequence number maps to its segment by
+//! division; an in-memory per-segment index of `(first_seq, last_seq,
+//! t0_ns, t1_ns)` makes `entries_since`, `window` and replay seek
+//! O(log segments + hit) instead of O(whole run). The active segment is
+//! additionally cached in memory, so the hot path (the scheduler
+//! publishing the latest delta) never touches disk.
+//!
+//! **Compaction tiers**: under a [`Retention`] policy,
+//! [`TraceStore::maintain`] moves sealed segments into an LZ-compressed
+//! `.lgz` cold tier and, past a disk budget, evicts the oldest sealed
+//! segments entirely. Reads (`read_into`, `window_bounds`, paging)
+//! span all tiers transparently; [`TraceStore::first_retained_seq`]
+//! reports the eviction floor while [`TraceStore::len`] keeps counting
+//! every appended entry, so dense numbering and deterministic catch-up
+//! survive retention.
 //!
 //! **Crash safety**: opening a store re-scans the segment files once; a
 //! torn tail (a record cut mid-write, a corrupt length, an unparsable
@@ -34,6 +45,7 @@
 //! arbitrary byte offsets).
 
 use crate::trace::TraceEntry;
+use gmdf_gdm::{EventKind, EventValue, ModelEvent, ReactionSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -73,6 +85,8 @@ pub struct StoreStats {
     pub segments: u64,
     /// Bytes of encoded records on disk (0 for memory-resident stores).
     pub disk_bytes: u64,
+    /// Sealed segments currently held in the compressed cold tier.
+    pub compacted_segments: u64,
 }
 
 /// Where recorded [`TraceEntry`]s live.
@@ -153,21 +167,108 @@ pub trait TraceStore: Send + fmt::Debug {
     fn stats(&self) -> StoreStats {
         StoreStats::default()
     }
+
+    /// Sequence number of the oldest entry still readable. `0` unless a
+    /// retention budget has evicted old segments; reads below it are
+    /// clamped up to it. [`TraceStore::len`] keeps counting *all*
+    /// appended entries, so dense sequence numbering (and deterministic
+    /// catch-up) survives eviction.
+    fn first_retained_seq(&self) -> u64 {
+        0
+    }
+
+    /// Runs one bounded unit of background maintenance (compress at
+    /// most one sealed segment, then enforce the retention budget).
+    /// Owners call this off the append hot path — the debug server's
+    /// compactor thread does — and repeat while it reports progress.
+    /// The default (memory stores, stores without retention) is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
+        Ok(MaintenanceReport::default())
+    }
+}
+
+/// What [`TraceStore::maintain`] accomplished in one call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Sealed segments moved to the compressed cold tier.
+    pub compacted_segments: u64,
+    /// Disk bytes freed (compression savings + evicted files).
+    pub reclaimed_bytes: u64,
+    /// Whole segments evicted by the retention budget.
+    pub dropped_segments: u64,
+    /// Entries inside those evicted segments.
+    pub dropped_entries: u64,
+}
+
+impl MaintenanceReport {
+    /// `true` when the call changed anything — callers loop while this
+    /// holds to drain pending maintenance.
+    pub fn did_work(&self) -> bool {
+        *self != MaintenanceReport::default()
+    }
+}
+
+/// Retention policy for a [`SegmentStore`]: when sealed segments move
+/// to the compressed cold tier, and how much disk the store may hold.
+/// The default keeps everything uncompressed forever (the pre-retention
+/// behavior).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Retention {
+    /// Compress sealed segments older than this many newest sealed
+    /// segments (`Some(0)` = compress every sealed segment as soon as
+    /// it seals). `None` disables compression.
+    pub compress_after: Option<usize>,
+    /// Evict oldest sealed segments while the store's on-disk footprint
+    /// exceeds this many bytes. `None` disables eviction. The active
+    /// tail is never evicted.
+    pub max_disk_bytes: Option<u64>,
+}
+
+impl Retention {
+    /// `true` when any policy knob is set (maintenance can do work).
+    pub fn is_active(&self) -> bool {
+        self.compress_after.is_some() || self.max_disk_bytes.is_some()
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Shared record framing
 // ---------------------------------------------------------------------------
 
+/// Validates a record payload length against the `u32` framing field.
+///
+/// Every framed stream in the system (trace segments, session journals,
+/// the wire protocol) prefixes payloads with a big-endian `u32` length;
+/// a payload over `u32::MAX` would silently truncate the prefix and
+/// desynchronize the stream, so it must be rejected *before* writing.
+///
+/// # Errors
+///
+/// When `len` does not fit the 4-byte prefix.
+pub fn frame_len(len: usize) -> Result<[u8; 4], StoreError> {
+    u32::try_from(len)
+        .map(u32::to_be_bytes)
+        .map_err(|_| StoreError::new(format!("record of {len} bytes exceeds the u32 frame limit")))
+}
+
 /// Encodes one serializable record as `[u32 len BE][compact JSON]` —
 /// the framing shared by trace segments, session journals and the wire
 /// protocol.
-pub fn encode_record<T: Serialize>(value: &T) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Rejects payloads whose length does not fit the `u32` prefix (see
+/// [`frame_len`]) instead of truncating it.
+pub fn encode_record<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
     let json = serde_json::to_string(value).expect("record serializes");
     let mut out = Vec::with_capacity(4 + json.len());
-    out.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    out.extend_from_slice(&frame_len(json.len())?);
     out.extend_from_slice(json.as_bytes());
-    out
+    Ok(out)
 }
 
 /// Reads every *whole, decodable* record from `path`, stopping at the
@@ -182,6 +283,15 @@ pub fn encode_record<T: Serialize>(value: &T) -> Vec<u8> {
 pub fn read_records<T: Deserialize>(path: &Path) -> Result<(Vec<T>, u64), StoreError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    let (records, offset) = scan_frames(&bytes, decode_json::<T>);
+    Ok((records, offset))
+}
+
+/// Walks `[u32 len BE][payload]` frames from the front of `bytes`,
+/// decoding each payload with `decode`, and stops at the first torn or
+/// undecodable one. Returns the decoded values and the byte length of
+/// the valid prefix.
+fn scan_frames<T>(bytes: &[u8], mut decode: impl FnMut(&[u8]) -> Option<T>) -> (Vec<T>, u64) {
     let mut records = Vec::new();
     let mut offset = 0usize;
     while bytes.len() - offset >= 4 {
@@ -194,17 +304,18 @@ pub fn read_records<T: Deserialize>(path: &Path) -> Result<(Vec<T>, u64), StoreE
         if len == 0 || bytes.len() - offset - 4 < len {
             break; // torn or nonsense length: end of the valid prefix
         }
-        let payload = &bytes[offset + 4..offset + 4 + len];
-        let Ok(text) = std::str::from_utf8(payload) else {
-            break;
-        };
-        let Ok(value) = serde_json::from_str::<T>(text) else {
+        let Some(value) = decode(&bytes[offset + 4..offset + 4 + len]) else {
             break;
         };
         records.push(value);
         offset += 4 + len;
     }
-    Ok((records, offset as u64))
+    (records, offset as u64)
+}
+
+fn decode_json<T: Deserialize>(payload: &[u8]) -> Option<T> {
+    let text = std::str::from_utf8(payload).ok()?;
+    serde_json::from_str::<T>(text).ok()
 }
 
 /// Truncates `path` to `len` bytes — recovery discarding a torn tail.
@@ -212,6 +323,416 @@ fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
     let f = OpenOptions::new().write(true).open(path)?;
     f.set_len(len)?;
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Record codecs
+// ---------------------------------------------------------------------------
+
+/// How [`TraceEntry`] payloads are encoded inside a segment's frames.
+///
+/// `Json` is the debug/interop codec (human-greppable segments, and the
+/// oracle the property suite checks `Binary` against); `Binary` is the
+/// compact varint codec for production stores. The choice is recorded
+/// in the store's `meta.json`, so mixed-codec session directories open
+/// cleanly — each store decodes with the codec it was written with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Codec {
+    /// Compact JSON payloads (the v1 on-disk format).
+    #[default]
+    Json,
+    /// Fixed-width header + varint fields (see [`encode_entry`]).
+    Binary,
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        let chunk = u64::from(b & 0x7f);
+        if shift == 63 && chunk > 1 {
+            return None; // bits past the 64th: not a value we encode
+        }
+        v |= chunk << shift;
+        if b & 0x80 == 0 {
+            // Reject non-canonical trailing zero continuation bytes so
+            // every value has exactly one encoding.
+            if b == 0 && shift != 0 {
+                return None;
+            }
+            return Some(v);
+        }
+    }
+    None // > 10 bytes: not a varint we ever write
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn kind_to_u8(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::TaskStart => 0,
+        EventKind::TaskEnd => 1,
+        EventKind::StateEnter => 2,
+        EventKind::ModeSwitch => 3,
+        EventKind::SignalWrite => 4,
+        EventKind::WatchChange => 5,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Option<EventKind> {
+    Some(match b {
+        0 => EventKind::TaskStart,
+        1 => EventKind::TaskEnd,
+        2 => EventKind::StateEnter,
+        3 => EventKind::ModeSwitch,
+        4 => EventKind::SignalWrite,
+        5 => EventKind::WatchChange,
+        _ => return None,
+    })
+}
+
+fn reaction_to_u8(r: ReactionSpec) -> u8 {
+    match r {
+        ReactionSpec::HighlightTarget => 0,
+        ReactionSpec::HighlightSelf => 1,
+        ReactionSpec::ShowValue => 2,
+        ReactionSpec::Pulse => 3,
+        ReactionSpec::RecordOnly => 4,
+    }
+}
+
+fn reaction_from_u8(b: u8) -> Option<ReactionSpec> {
+    Some(match b {
+        0 => ReactionSpec::HighlightTarget,
+        1 => ReactionSpec::HighlightSelf,
+        2 => ReactionSpec::ShowValue,
+        3 => ReactionSpec::Pulse,
+        4 => ReactionSpec::RecordOnly,
+        _ => return None,
+    })
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_varint(bytes, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    let slice = bytes.get(*pos..end)?;
+    *pos = end;
+    Some(std::str::from_utf8(slice).ok()?.to_owned())
+}
+
+/// Binary payload for one [`TraceEntry`]:
+///
+/// ```text
+/// varint seq · varint time_ns · u8 kind · u8 flags ·
+/// str path · [str from] · [str to] · [value] ·
+/// varint n_reactions · n × u8 · varint n_violations · n × str
+/// ```
+///
+/// where `str` is `varint len + UTF-8 bytes`, `flags` packs
+/// `bit0 = from present`, `bit1 = to present`, `bits2-3 = value tag`
+/// (0 none, 1 bool, 2 int, 3 real), and `value` is one byte for bools,
+/// a zigzag varint for ints, or 8 little-endian `f64` bits for reals.
+fn encode_entry_binary(entry: &TraceEntry) -> Vec<u8> {
+    let e = &entry.event;
+    let mut out = Vec::with_capacity(24 + e.path.len());
+    push_varint(&mut out, entry.seq);
+    push_varint(&mut out, e.time_ns);
+    out.push(kind_to_u8(e.kind));
+    let value_tag = match e.value {
+        None => 0u8,
+        Some(EventValue::Bool(_)) => 1,
+        Some(EventValue::Int(_)) => 2,
+        Some(EventValue::Real(_)) => 3,
+    };
+    let flags = u8::from(e.from.is_some()) | (u8::from(e.to.is_some()) << 1) | (value_tag << 2);
+    out.push(flags);
+    push_str(&mut out, &e.path);
+    if let Some(from) = &e.from {
+        push_str(&mut out, from);
+    }
+    if let Some(to) = &e.to {
+        push_str(&mut out, to);
+    }
+    match e.value {
+        None => {}
+        Some(EventValue::Bool(b)) => out.push(u8::from(b)),
+        Some(EventValue::Int(i)) => push_varint(&mut out, zigzag(i)),
+        Some(EventValue::Real(r)) => out.extend_from_slice(&r.to_bits().to_le_bytes()),
+    }
+    push_varint(&mut out, entry.reactions.len() as u64);
+    for &r in &entry.reactions {
+        out.push(reaction_to_u8(r));
+    }
+    push_varint(&mut out, entry.violations.len() as u64);
+    for v in &entry.violations {
+        push_str(&mut out, v);
+    }
+    out
+}
+
+/// Strict inverse of [`encode_entry_binary`]: any unknown tag, bad
+/// UTF-8, truncation or trailing byte is a decode failure (`None`), so
+/// damage shortens the valid prefix exactly like a corrupt JSON record.
+fn decode_entry_binary(bytes: &[u8]) -> Option<TraceEntry> {
+    let mut pos = 0usize;
+    let seq = read_varint(bytes, &mut pos)?;
+    let time_ns = read_varint(bytes, &mut pos)?;
+    let kind = kind_from_u8(*bytes.get(pos)?)?;
+    pos += 1;
+    let flags = *bytes.get(pos)?;
+    pos += 1;
+    if flags & 0xf0 != 0 {
+        return None;
+    }
+    let path = read_str(bytes, &mut pos)?;
+    let from = if flags & 1 != 0 {
+        Some(read_str(bytes, &mut pos)?)
+    } else {
+        None
+    };
+    let to = if flags & 2 != 0 {
+        Some(read_str(bytes, &mut pos)?)
+    } else {
+        None
+    };
+    let value = match (flags >> 2) & 3 {
+        0 => None,
+        1 => {
+            let b = *bytes.get(pos)?;
+            pos += 1;
+            if b > 1 {
+                return None;
+            }
+            Some(EventValue::Bool(b == 1))
+        }
+        2 => Some(EventValue::Int(unzigzag(read_varint(bytes, &mut pos)?))),
+        _ => {
+            let raw = bytes.get(pos..pos + 8)?;
+            pos += 8;
+            Some(EventValue::Real(f64::from_bits(u64::from_le_bytes(
+                raw.try_into().ok()?,
+            ))))
+        }
+    };
+    let n_reactions = read_varint(bytes, &mut pos)? as usize;
+    if n_reactions > bytes.len().saturating_sub(pos) {
+        return None;
+    }
+    let mut reactions = Vec::with_capacity(n_reactions);
+    for _ in 0..n_reactions {
+        reactions.push(reaction_from_u8(*bytes.get(pos)?)?);
+        pos += 1;
+    }
+    let n_violations = read_varint(bytes, &mut pos)? as usize;
+    if n_violations > bytes.len().saturating_sub(pos) {
+        return None;
+    }
+    let mut violations = Vec::with_capacity(n_violations);
+    for _ in 0..n_violations {
+        violations.push(read_str(bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return None; // trailing bytes = damage
+    }
+    Some(TraceEntry {
+        seq,
+        event: ModelEvent {
+            time_ns,
+            kind,
+            path,
+            from,
+            to,
+            value,
+        },
+        reactions,
+        violations,
+    })
+}
+
+/// Encodes one trace entry as a `[u32 len BE][payload]` frame in the
+/// given codec — the segment-file append unit.
+///
+/// # Errors
+///
+/// Rejects payloads that overflow the `u32` length prefix.
+pub fn encode_entry(entry: &TraceEntry, codec: Codec) -> Result<Vec<u8>, StoreError> {
+    match codec {
+        Codec::Json => encode_record(entry),
+        Codec::Binary => {
+            let payload = encode_entry_binary(entry);
+            let mut out = Vec::with_capacity(4 + payload.len());
+            out.extend_from_slice(&frame_len(payload.len())?);
+            out.extend_from_slice(&payload);
+            Ok(out)
+        }
+    }
+}
+
+fn decode_entry(payload: &[u8], codec: Codec) -> Option<TraceEntry> {
+    match codec {
+        Codec::Json => decode_json::<TraceEntry>(payload),
+        Codec::Binary => decode_entry_binary(payload),
+    }
+}
+
+/// Reads every whole, decodable entry frame from `path` in `codec`,
+/// stopping at the first torn or corrupt one (see [`read_records`]).
+///
+/// # Errors
+///
+/// Propagates I/O failures; corruption just shortens the valid prefix.
+pub fn read_entries(path: &Path, codec: Codec) -> Result<(Vec<TraceEntry>, u64), StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(scan_frames(&bytes, |payload| decode_entry(payload, codec)))
+}
+
+// ---------------------------------------------------------------------------
+// Segment compression (the cold tier)
+// ---------------------------------------------------------------------------
+
+/// Compressed-segment file magic (`seg-XXXXXXXX.lgz` header).
+const LGZ_MAGIC: [u8; 4] = *b"GLZ1";
+
+fn hash3(bytes: &[u8]) -> usize {
+    let v = u32::from(bytes[0]) | (u32::from(bytes[1]) << 8) | (u32::from(bytes[2]) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> 19) as usize & 0x1fff
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(127) {
+        out.push(chunk.len() as u8);
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Dependency-free LZ77 with a one-slot hash table (LZRW-style): the
+/// token stream is `control byte` + operands, where a control byte with
+/// the high bit clear is a literal run of 1–127 bytes, and with the high
+/// bit set a back-reference of length 3–130 (`(ctl & 0x7f) + 3`)
+/// followed by a 16-bit little-endian distance (1–65535). Overlapping
+/// matches are allowed (run-length compression falls out for free).
+/// Framed JSON/binary trace records are highly repetitive (paths and
+/// structure repeat every record), so sealed segments shrink several-fold.
+fn lz_compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+    let mut table = [0usize; 0x2000]; // position + 1 of each 3-byte hash
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i < raw.len() {
+        let mut match_len = 0usize;
+        let mut match_off = 0usize;
+        if i + 3 <= raw.len() {
+            let h = hash3(&raw[i..]);
+            let cand = table[h];
+            table[h] = i + 1;
+            if cand > 0 {
+                let c = cand - 1;
+                let off = i - c;
+                if off > 0 && off <= 0xffff {
+                    let max = (raw.len() - i).min(130);
+                    let mut l = 0usize;
+                    while l < max && raw[c + l] == raw[i + l] {
+                        l += 1;
+                    }
+                    if l >= 3 {
+                        match_len = l;
+                        match_off = off;
+                    }
+                }
+            }
+        }
+        if match_len >= 3 {
+            flush_literals(&mut out, &raw[lit_start..i]);
+            out.push(0x80 | (match_len - 3) as u8);
+            out.extend_from_slice(&(match_off as u16).to_le_bytes());
+            i += match_len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &raw[lit_start..]);
+    out
+}
+
+/// Inverse of [`lz_compress`]; `None` on any malformed token or when
+/// the output does not come out to exactly `raw_len` bytes.
+fn lz_decompress(data: &[u8], raw_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while i < data.len() {
+        let ctl = data[i];
+        i += 1;
+        if ctl & 0x80 == 0 {
+            let n = ctl as usize;
+            if n == 0 || i + n > data.len() {
+                return None;
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else {
+            let len = (ctl & 0x7f) as usize + 3;
+            let off = u16::from_le_bytes([*data.get(i)?, *data.get(i + 1)?]) as usize;
+            i += 2;
+            if off == 0 || off > out.len() {
+                return None;
+            }
+            let start = out.len() - off;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() > raw_len {
+            return None;
+        }
+    }
+    (out.len() == raw_len).then_some(out)
+}
+
+/// Packs a raw segment byte stream into the `.lgz` on-disk form:
+/// `GLZ1` magic, `u64 LE` raw length, LZ token stream.
+fn pack_segment(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + raw.len() / 2);
+    out.extend_from_slice(&LGZ_MAGIC);
+    out.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+    out.extend_from_slice(&lz_compress(raw));
+    out
+}
+
+/// Unpacks a `.lgz` file image back to the raw segment bytes; `None`
+/// when the header or token stream is damaged.
+fn unpack_segment(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 12 || data[..4] != LGZ_MAGIC {
+        return None;
+    }
+    let raw_len = u64::from_le_bytes(data[4..12].try_into().ok()?);
+    lz_decompress(&data[12..], usize::try_from(raw_len).ok()?)
 }
 
 // ---------------------------------------------------------------------------
@@ -300,20 +821,61 @@ impl TraceStore for MemStore {
 /// Default entries per segment for disk-backed traces.
 pub const DEFAULT_SEGMENT_CAPACITY: usize = 256;
 
-/// Persisted store metadata (`meta.json`).
+/// Persisted store metadata (`meta.json`). `codec` was added after v1
+/// shipped; metas without it are JSON stores (the only codec that
+/// existed), which is exactly what `#[serde(default)]` yields.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct StoreMeta {
     version: u32,
     capacity: usize,
+    #[serde(default)]
+    codec: Codec,
 }
 
-/// Index entry for one sealed (full) segment.
+/// Everything [`SegmentStore::open_with`] needs to create or attach a
+/// store: segment capacity, payload codec, and retention policy. The
+/// codec applies to *new* stores — an existing store keeps the codec
+/// recorded in its `meta.json`. Retention is a runtime policy and may
+/// differ per boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Entries per segment file.
+    pub capacity: usize,
+    /// Payload codec for newly created stores.
+    pub codec: Codec,
+    /// Compression/eviction policy (default: keep everything).
+    pub retention: Retention,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            capacity: DEFAULT_SEGMENT_CAPACITY,
+            codec: Codec::default(),
+            retention: Retention::default(),
+        }
+    }
+}
+
+/// Index entry for one sealed (full) segment still on disk.
 #[derive(Debug, Clone, Copy)]
 struct SegmentMeta {
     first_seq: u64,
     last_seq: u64,
     t0_ns: u64,
     t1_ns: u64,
+    /// On-disk size of the segment file (raw frames, or the whole
+    /// `.lgz` image once compressed).
+    bytes: u64,
+    /// `true` once [`TraceStore::maintain`] moved it to the `.lgz`
+    /// cold tier.
+    compressed: bool,
+}
+
+impl SegmentMeta {
+    fn entry_count(&self) -> u64 {
+        self.last_seq - self.first_seq + 1
+    }
 }
 
 /// Append-only, segmented on-disk trace store (see the module docs for
@@ -322,16 +884,22 @@ struct SegmentMeta {
 pub struct SegmentStore {
     dir: PathBuf,
     capacity: usize,
-    /// Index over sealed (full) segments, in order.
+    codec: Codec,
+    retention: Retention,
+    /// Index over retained sealed segments, ascending by sequence.
+    /// Eviction removes from the front; the first element's
+    /// `first_seq` is the retention floor.
     sealed: Vec<SegmentMeta>,
     /// The active segment's entries, cached in memory (≤ `capacity`).
     tail: Vec<TraceEntry>,
+    /// Sequence number of the first tail entry — also the total number
+    /// of entries ever sealed (including evicted ones), which keeps
+    /// [`TraceStore::len`] counting the full appended history.
+    tail_first: u64,
+    /// Bytes of valid encoded records in the active segment file.
+    tail_bytes: u64,
     /// Writer on the active segment file; opened lazily.
     writer: Option<BufWriter<File>>,
-    /// Bytes of valid encoded records across every segment file —
-    /// maintained incrementally (recovery seeds it, appends add to it)
-    /// so [`TraceStore::stats`] never touches the filesystem.
-    disk_bytes: u64,
 }
 
 impl SegmentStore {
@@ -347,10 +915,29 @@ impl SegmentStore {
     ///
     /// Propagates I/O failures and rejects unreadable metadata.
     pub fn open(dir: impl AsRef<Path>, capacity: usize) -> Result<Self, StoreError> {
+        Self::open_with(
+            dir,
+            SegmentConfig {
+                capacity,
+                ..SegmentConfig::default()
+            },
+        )
+    }
+
+    /// [`SegmentStore::open`] with an explicit codec and retention
+    /// policy. A fresh store records `config.codec` in its `meta.json`;
+    /// an existing store keeps the codec it was written with (the
+    /// config's codec is ignored), so mixed-codec session directories
+    /// open cleanly. Retention applies from this open onward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects unreadable metadata.
+    pub fn open_with(dir: impl AsRef<Path>, config: SegmentConfig) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let meta_path = dir.join("meta.json");
-        let capacity = if meta_path.exists() {
+        let (capacity, codec) = if meta_path.exists() {
             let text = std::fs::read_to_string(&meta_path)?;
             let meta: StoreMeta = serde_json::from_str(&text)
                 .map_err(|e| StoreError::new(format!("corrupt meta.json: {e}")))?;
@@ -360,12 +947,13 @@ impl SegmentStore {
                     meta.version
                 )));
             }
-            meta.capacity.max(1)
+            (meta.capacity.max(1), meta.codec)
         } else {
-            let capacity = capacity.max(1);
+            let capacity = config.capacity.max(1);
             let meta = StoreMeta {
                 version: 1,
                 capacity,
+                codec: config.codec,
             };
             // Write-fsync-rename so a kill (or power loss) mid-write
             // cannot leave a half-written meta masquerading as the
@@ -381,16 +969,19 @@ impl SegmentStore {
                 f.sync_data()?;
             }
             std::fs::rename(&tmp, &meta_path)?;
-            capacity
+            (capacity, config.codec)
         };
 
         let mut store = SegmentStore {
             dir,
             capacity,
+            codec,
+            retention: config.retention,
             sealed: Vec::new(),
             tail: Vec::new(),
+            tail_first: 0,
+            tail_bytes: 0,
             writer: None,
-            disk_bytes: 0,
         };
         store.recover()?;
         Ok(store)
@@ -399,6 +990,11 @@ impl SegmentStore {
     /// Entries per segment.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The payload codec this store was created with.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Number of segment files currently backing the store (sealed +
@@ -412,63 +1008,172 @@ impl SegmentStore {
         &self.dir
     }
 
+    fn disk_bytes(&self) -> u64 {
+        self.sealed.iter().map(|m| m.bytes).sum::<u64>() + self.tail_bytes
+    }
+
     fn segment_path(&self, index: usize) -> PathBuf {
         self.dir.join(format!("seg-{index:08}.log"))
+    }
+
+    fn compressed_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("seg-{index:08}.lgz"))
+    }
+
+    fn segment_index(&self, first_seq: u64) -> usize {
+        (first_seq as usize) / self.capacity
+    }
+
+    /// Lists the segment files on disk as `(index, has_log, has_lgz)`,
+    /// ascending, deleting stale `.tmp` leftovers from an interrupted
+    /// compaction on the way.
+    fn scan_dir(&self) -> Result<Vec<(usize, bool, bool)>, StoreError> {
+        let mut present = std::collections::BTreeMap::<usize, (bool, bool)>::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+                continue;
+            }
+            let (stem, compressed) = if let Some(s) = name.strip_suffix(".log") {
+                (s, false)
+            } else if let Some(s) = name.strip_suffix(".lgz") {
+                (s, true)
+            } else {
+                continue;
+            };
+            let Some(idx) = stem
+                .strip_prefix("seg-")
+                .and_then(|d| d.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let slot = present.entry(idx).or_insert((false, false));
+            if compressed {
+                slot.1 = true;
+            } else {
+                slot.0 = true;
+            }
+        }
+        Ok(present.iter().map(|(&i, &(l, z))| (i, l, z)).collect())
     }
 
     /// Scans the segment files in order, rebuilding the index and
     /// truncating at the first sign of a torn write. Everything after
     /// the damage point (later records, later segments) is removed, so
-    /// the surviving store is a valid prefix of the original trace.
+    /// the surviving store is a valid *suffix-free prefix* of the
+    /// retained trace. The scan starts at the lowest index present —
+    /// eviction deletes oldest segments, so a store need not start at
+    /// segment 0.
     fn recover(&mut self) -> Result<(), StoreError> {
-        let mut index = 0usize;
-        loop {
-            let path = self.segment_path(index);
-            if !path.exists() {
-                break;
+        let mut files = self.scan_dir()?;
+        let Some(&(first_idx, ..)) = files.first() else {
+            return Ok(()); // brand-new store
+        };
+        // Contiguity: appends create segments in order and eviction
+        // deletes oldest-first, so a gap can only mean stale files from
+        // a damaged history — drop everything at and after it.
+        if let Some(gap) = files
+            .iter()
+            .enumerate()
+            .position(|(i, &(idx, ..))| idx != first_idx + i)
+        {
+            for &(idx, has_log, has_lgz) in &files[gap..] {
+                if has_log {
+                    std::fs::remove_file(self.segment_path(idx))?;
+                }
+                if has_lgz {
+                    std::fs::remove_file(self.compressed_path(idx))?;
+                }
             }
-            let (entries, valid_len) = read_records::<TraceEntry>(&path)?;
+            files.truncate(gap);
+        }
+        self.tail_first = (first_idx * self.capacity) as u64;
+        for &(idx, has_log, has_lgz) in &files {
+            let expected_first = (idx * self.capacity) as u64;
+            if has_lgz {
+                // A valid .lgz is the newer truth: compaction removes
+                // the .log only after the .lgz rename lands.
+                let lgz_path = self.compressed_path(idx);
+                let data = std::fs::read(&lgz_path)?;
+                let entries = unpack_segment(&data)
+                    .map(|raw| scan_frames(&raw, |p| decode_entry(p, self.codec)).0)
+                    .filter(|entries| {
+                        entries.len() == self.capacity
+                            && entries
+                                .iter()
+                                .enumerate()
+                                .all(|(i, e)| e.seq == expected_first + i as u64)
+                    });
+                if let Some(entries) = entries {
+                    if has_log {
+                        std::fs::remove_file(self.segment_path(idx))?;
+                    }
+                    self.sealed.push(SegmentMeta {
+                        first_seq: expected_first,
+                        last_seq: expected_first + entries.len() as u64 - 1,
+                        t0_ns: entries.first().expect("full").event.time_ns,
+                        t1_ns: entries.last().expect("full").event.time_ns,
+                        bytes: data.len() as u64,
+                        compressed: true,
+                    });
+                    self.tail_first = expected_first + self.capacity as u64;
+                    continue;
+                }
+                // Damaged cold segment: fall back to the raw .log when
+                // it survived (crash before the remove); otherwise the
+                // valid history ends here.
+                std::fs::remove_file(&lgz_path)?;
+                if !has_log {
+                    self.drop_segments_after(idx)?;
+                    self.tail_first = expected_first;
+                    return Ok(());
+                }
+            }
+            let path = self.segment_path(idx);
+            let (entries, valid_len) = read_entries(&path, self.codec)?;
             // Entries must continue the dense sequence; a mismatch means
             // the file was damaged beyond framing (e.g. bytes flipped in
             // a seq field) — cut there.
-            let expected_first = (index * self.capacity) as u64;
             let mut good = 0usize;
             for (i, e) in entries.iter().enumerate() {
-                if e.seq != expected_first + i as u64 {
+                if i >= self.capacity || e.seq != expected_first + i as u64 {
                     break;
                 }
                 good += 1;
             }
-            let entries = if good < entries.len() {
+            let (entries, bytes) = if good < entries.len() {
                 let mut truncated = entries;
                 truncated.truncate(good);
                 // Re-measure the valid byte prefix for the kept records.
-                let kept: u64 = truncated
-                    .iter()
-                    .map(|e| encode_record(e).len() as u64)
-                    .sum();
+                let mut kept = 0u64;
+                for e in &truncated {
+                    kept += encode_entry(e, self.codec)?.len() as u64;
+                }
                 truncate_file(&path, kept)?;
-                self.disk_bytes += kept;
-                truncated
+                (truncated, kept)
             } else {
                 let file_len = std::fs::metadata(&path)?.len();
                 if valid_len < file_len {
                     truncate_file(&path, valid_len)?;
                 }
-                self.disk_bytes += valid_len;
-                entries
+                (entries, valid_len)
             };
-            let torn = entries.len() < self.capacity;
             if entries.is_empty() {
                 // Nothing usable in this segment: delete it and stop.
                 std::fs::remove_file(&path)?;
-                Self::drop_segments_from(self, index + 1)?;
-                break;
+                self.drop_segments_after(idx)?;
+                self.tail_first = expected_first;
+                return Ok(());
             }
-            if torn {
+            if entries.len() < self.capacity {
                 // Short segment: it becomes the active tail; later
                 // segments (if any survived a bizarre crash) are stale.
-                Self::drop_segments_from(self, index + 1)?;
+                self.drop_segments_after(idx)?;
+                self.tail_first = expected_first;
+                self.tail_bytes = bytes;
                 self.tail = entries;
                 return Ok(());
             }
@@ -477,38 +1182,68 @@ impl SegmentStore {
                 last_seq: expected_first + entries.len() as u64 - 1,
                 t0_ns: entries.first().expect("nonempty").event.time_ns,
                 t1_ns: entries.last().expect("nonempty").event.time_ns,
+                bytes,
+                compressed: false,
             });
-            index += 1;
+            self.tail_first = expected_first + self.capacity as u64;
         }
         Ok(())
     }
 
-    fn drop_segments_from(&self, index: usize) -> Result<(), StoreError> {
-        let mut i = index;
+    /// Deletes every segment file (plain or compressed) after `index`.
+    fn drop_segments_after(&self, index: usize) -> Result<(), StoreError> {
+        let mut i = index + 1;
         loop {
-            let path = self.segment_path(i);
-            if !path.exists() {
+            let mut any = false;
+            let log = self.segment_path(i);
+            if log.exists() {
+                std::fs::remove_file(&log)?;
+                any = true;
+            }
+            let lgz = self.compressed_path(i);
+            if lgz.exists() {
+                std::fs::remove_file(&lgz)?;
+                any = true;
+            }
+            if !any {
                 return Ok(());
             }
-            std::fs::remove_file(&path)?;
             i += 1;
         }
     }
 
-    /// Index of the segment holding `seq` (sealed or active).
-    fn segment_of(&self, seq: u64) -> usize {
-        (seq as usize) / self.capacity
+    /// The retained sealed segment containing `seq`. Callers guarantee
+    /// `first_retained_seq() <= seq < tail_first`.
+    fn sealed_containing(&self, seq: u64) -> &SegmentMeta {
+        let pos = self.sealed.partition_point(|m| m.last_seq < seq);
+        &self.sealed[pos]
     }
 
-    /// Reads one sealed segment's entries from disk.
-    fn load_segment(&self, index: usize) -> Result<Vec<TraceEntry>, StoreError> {
-        let (entries, _) = read_records::<TraceEntry>(&self.segment_path(index))?;
+    /// Reads one retained sealed segment's entries from disk, from
+    /// whichever tier (raw `.log` or compressed `.lgz`) holds it.
+    fn load_sealed(&self, meta: &SegmentMeta) -> Result<Vec<TraceEntry>, StoreError> {
+        let idx = self.segment_index(meta.first_seq);
+        let entries = if meta.compressed {
+            let data = std::fs::read(self.compressed_path(idx))?;
+            let raw = unpack_segment(&data)
+                .ok_or_else(|| StoreError::new(format!("compressed segment {idx} is damaged")))?;
+            scan_frames(&raw, |p| decode_entry(p, self.codec)).0
+        } else {
+            read_entries(&self.segment_path(idx), self.codec)?.0
+        };
+        if entries.len() as u64 != meta.entry_count() {
+            return Err(StoreError::new(format!(
+                "segment {idx} decoded {} of {} entries",
+                entries.len(),
+                meta.entry_count()
+            )));
+        }
         Ok(entries)
     }
 
     fn active_writer(&mut self) -> Result<&mut BufWriter<File>, StoreError> {
         if self.writer.is_none() {
-            let path = self.segment_path(self.sealed.len());
+            let path = self.segment_path(self.segment_index(self.tail_first));
             let file = OpenOptions::new().create(true).append(true).open(&path)?;
             self.writer = Some(BufWriter::new(file));
         }
@@ -519,9 +1254,9 @@ impl SegmentStore {
 impl TraceStore for SegmentStore {
     fn append(&mut self, entry: TraceEntry) -> Result<(), StoreError> {
         debug_assert_eq!(entry.seq, self.len());
-        let record = encode_record(&entry);
+        let record = encode_entry(&entry, self.codec)?;
         self.active_writer()?.write_all(&record)?;
-        self.disk_bytes += record.len() as u64;
+        self.tail_bytes += record.len() as u64;
         self.tail.push(entry);
         if self.tail.len() >= self.capacity {
             // Seal: flush, index, and start the next segment fresh.
@@ -532,20 +1267,23 @@ impl TraceStore for SegmentStore {
             if let Some(mut w) = self.writer.take() {
                 w.flush()?;
             }
-            let first_seq = (self.sealed.len() * self.capacity) as u64;
             self.sealed.push(SegmentMeta {
-                first_seq,
-                last_seq: first_seq + self.tail.len() as u64 - 1,
+                first_seq: self.tail_first,
+                last_seq: self.tail_first + self.tail.len() as u64 - 1,
                 t0_ns: self.tail.first().expect("full").event.time_ns,
                 t1_ns: self.tail.last().expect("full").event.time_ns,
+                bytes: self.tail_bytes,
+                compressed: false,
             });
+            self.tail_first += self.tail.len() as u64;
             self.tail.clear();
+            self.tail_bytes = 0;
         }
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        (self.sealed.len() * self.capacity + self.tail.len()) as u64
+        self.tail_first + self.tail.len() as u64
     }
 
     fn read_into(
@@ -555,18 +1293,18 @@ impl TraceStore for SegmentStore {
         out: &mut Vec<TraceEntry>,
     ) -> Result<(), StoreError> {
         let len = self.len();
-        let from = from_seq.min(len);
+        // Reads below the retention floor are clamped up to it — the
+        // evicted history is gone by policy, not by failure.
+        let from = from_seq.max(self.first_retained_seq()).min(len);
         let to = to_seq.min(len);
         if from >= to {
             return Ok(());
         }
-        let tail_first = (self.sealed.len() * self.capacity) as u64;
         let mut seq = from;
         // Sealed segments: one file read per touched segment.
-        while seq < to && seq < tail_first {
-            let seg = self.segment_of(seq);
-            let meta = self.sealed[seg];
-            let entries = self.load_segment(seg)?;
+        while seq < to && seq < self.tail_first {
+            let meta = *self.sealed_containing(seq);
+            let entries = self.load_sealed(&meta)?;
             let lo = (seq - meta.first_seq) as usize;
             let hi = ((to.min(meta.last_seq + 1)) - meta.first_seq) as usize;
             out.extend_from_slice(&entries[lo..hi.min(entries.len())]);
@@ -574,24 +1312,24 @@ impl TraceStore for SegmentStore {
         }
         // Active tail: served from the in-memory cache.
         if seq < to {
-            let lo = (seq - tail_first) as usize;
-            let hi = (to - tail_first) as usize;
+            let lo = (seq - self.tail_first) as usize;
+            let hi = (to - self.tail_first) as usize;
             out.extend_from_slice(&self.tail[lo..hi]);
         }
         Ok(())
     }
 
     fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError> {
-        if t0_ns > t1_ns || self.is_empty() {
+        if t0_ns > t1_ns || self.len() == self.first_retained_seq() {
             return Ok((0, 0));
         }
-        let tail_first = (self.sealed.len() * self.capacity) as u64;
+        let tail_first = self.tail_first;
         // `lo`: first seq with time >= t0. Binary-search the sealed
         // index, then partition inside the one boundary segment.
         let lo = {
             let seg = self.sealed.partition_point(|m| m.t1_ns < t0_ns);
             if seg < self.sealed.len() {
-                let entries = self.load_segment(seg)?;
+                let entries = self.load_sealed(&self.sealed[seg])?;
                 self.sealed[seg].first_seq
                     + entries.partition_point(|e| e.event.time_ns < t0_ns) as u64
             } else {
@@ -609,7 +1347,7 @@ impl TraceStore for SegmentStore {
                 if seg == 0 {
                     return Ok((0, 0));
                 }
-                let entries = self.load_segment(seg - 1)?;
+                let entries = self.load_sealed(&self.sealed[seg - 1])?;
                 self.sealed[seg - 1].first_seq
                     + entries.partition_point(|e| e.event.time_ns <= t1_ns) as u64
             }
@@ -645,8 +1383,62 @@ impl TraceStore for SegmentStore {
     fn stats(&self) -> StoreStats {
         StoreStats {
             segments: self.segment_count() as u64,
-            disk_bytes: self.disk_bytes,
+            disk_bytes: self.disk_bytes(),
+            compacted_segments: self.sealed.iter().filter(|m| m.compressed).count() as u64,
         }
+    }
+
+    fn first_retained_seq(&self) -> u64 {
+        self.sealed
+            .first()
+            .map(|m| m.first_seq)
+            .unwrap_or(self.tail_first)
+    }
+
+    /// One bounded maintenance step: move the oldest eligible sealed
+    /// segment to the compressed cold tier (crash-safe: write `.tmp`,
+    /// fsync, rename to `.lgz`, then remove the `.log` — recovery
+    /// prefers whichever image validates), then evict oldest sealed
+    /// segments while the store is over its disk budget.
+    fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
+        let mut report = MaintenanceReport::default();
+        if let Some(keep) = self.retention.compress_after {
+            let eligible = self.sealed.len().saturating_sub(keep);
+            if let Some(pos) = self.sealed[..eligible].iter().position(|m| !m.compressed) {
+                let meta = self.sealed[pos];
+                let idx = self.segment_index(meta.first_seq);
+                let raw = std::fs::read(self.segment_path(idx))?;
+                let packed = pack_segment(&raw);
+                let tmp = self.dir.join(format!("seg-{idx:08}.lgz.tmp"));
+                {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(&packed)?;
+                    f.sync_data()?;
+                }
+                std::fs::rename(&tmp, self.compressed_path(idx))?;
+                std::fs::remove_file(self.segment_path(idx))?;
+                report.compacted_segments = 1;
+                report.reclaimed_bytes += meta.bytes.saturating_sub(packed.len() as u64);
+                self.sealed[pos].bytes = packed.len() as u64;
+                self.sealed[pos].compressed = true;
+            }
+        }
+        if let Some(budget) = self.retention.max_disk_bytes {
+            while self.disk_bytes() > budget && !self.sealed.is_empty() {
+                let meta = self.sealed.remove(0);
+                let idx = self.segment_index(meta.first_seq);
+                let path = if meta.compressed {
+                    self.compressed_path(idx)
+                } else {
+                    self.segment_path(idx)
+                };
+                std::fs::remove_file(&path)?;
+                report.dropped_segments += 1;
+                report.dropped_entries += meta.entry_count();
+                report.reclaimed_bytes += meta.bytes;
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -665,12 +1457,11 @@ mod tests {
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let nanos = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .expect("clock")
-            .as_nanos();
-        let dir =
-            std::env::temp_dir().join(format!("gmdf-store-{tag}-{}-{nanos}", std::process::id()));
+        // A per-process atomic counter, not the wall clock: parallel
+        // tests can land in the same nanosecond and collide.
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("gmdf-store-{tag}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");
         dir
     }
@@ -769,7 +1560,7 @@ mod tests {
         let path = dir.join("seg-00000000.log");
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip a byte inside the third record's JSON payload.
-        let rec = encode_record(&entry(0, 0)).len();
+        let rec = encode_record(&entry(0, 0)).unwrap().len();
         bytes[2 * rec + 10] = b'\xff';
         std::fs::write(&path, &bytes).unwrap();
         let s = SegmentStore::open(&dir, 8).unwrap();
@@ -781,7 +1572,7 @@ mod tests {
     fn stats_track_segments_and_bytes_across_reopen() {
         let dir = tmp_dir("stats");
         let expected: u64 = (0..6)
-            .map(|i| encode_record(&entry(i, 10 * i)).len() as u64)
+            .map(|i| encode_record(&entry(i, 10 * i)).unwrap().len() as u64)
             .sum();
         {
             let mut s = SegmentStore::open(&dir, 4).unwrap();
@@ -794,7 +1585,8 @@ mod tests {
                 s.stats(),
                 StoreStats {
                     segments: 2,
-                    disk_bytes: expected
+                    disk_bytes: expected,
+                    compacted_segments: 0
                 }
             );
         }
@@ -804,7 +1596,8 @@ mod tests {
             s.stats(),
             StoreStats {
                 segments: 2,
-                disk_bytes: expected
+                disk_bytes: expected,
+                compacted_segments: 0
             }
         );
         assert_eq!(MemStore::new().stats(), StoreStats::default());
@@ -822,5 +1615,388 @@ mod tests {
         s.read_into(0, 10, &mut out).unwrap();
         assert!(out.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A payload over `u32::MAX` must be rejected, not length-truncated
+    /// into a desynchronized stream. The bound check is a pure function
+    /// of the length, so it is testable without a 4 GiB allocation.
+    #[test]
+    fn oversized_record_is_an_error_not_a_truncated_prefix() {
+        assert_eq!(frame_len(0).unwrap(), [0, 0, 0, 0]);
+        assert_eq!(
+            frame_len(u32::MAX as usize).unwrap(),
+            u32::MAX.to_be_bytes()
+        );
+        let err = frame_len(u32::MAX as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("exceeds the u32 frame limit"));
+        // And the record encoder routes through the same check.
+        assert!(encode_record(&entry(0, 0)).is_ok());
+    }
+
+    fn fancy_entries() -> Vec<TraceEntry> {
+        let mk = |seq: u64, event: ModelEvent| TraceEntry {
+            seq,
+            event,
+            reactions: vec![],
+            violations: vec![],
+        };
+        vec![
+            mk(0, ModelEvent::new(0, EventKind::TaskStart, "")),
+            TraceEntry {
+                seq: 1,
+                event: ModelEvent::new(7, EventKind::StateEnter, "Héà/fsm☂")
+                    .with_from("Idle")
+                    .with_to("Run"),
+                reactions: vec![ReactionSpec::HighlightTarget, ReactionSpec::Pulse],
+                violations: vec!["deadline μ missed".into(), String::new()],
+            },
+            mk(
+                2,
+                ModelEvent::new(u64::MAX, EventKind::SignalWrite, "A/out")
+                    .with_value(EventValue::Real(-0.0)),
+            ),
+            mk(
+                3,
+                ModelEvent::new(9, EventKind::WatchChange, "A/w")
+                    .with_value(EventValue::Int(i64::MIN)),
+            ),
+            mk(
+                4,
+                ModelEvent::new(10, EventKind::ModeSwitch, "A/m")
+                    .with_value(EventValue::Bool(true)),
+            ),
+            mk(
+                5,
+                ModelEvent::new(11, EventKind::TaskEnd, "A/t")
+                    .with_value(EventValue::Real(f64::NAN)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_field_shape() {
+        for e in fancy_entries() {
+            let payload = encode_entry_binary(&e);
+            let back = decode_entry_binary(&payload).expect("decodes");
+            // NaN != NaN, so compare through the JSON image.
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&e).unwrap(),
+                "entry {}",
+                e.seq
+            );
+            // And the framed form round-trips through the frame scanner.
+            let framed = encode_entry(&e, Codec::Binary).unwrap();
+            let (decoded, len) = scan_frames(&framed, decode_entry_binary);
+            assert_eq!(len as usize, framed.len());
+            assert_eq!(decoded.len(), 1);
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_damage() {
+        let good = encode_entry_binary(&fancy_entries()[1]);
+        // Truncation at every prefix length fails (never panics).
+        for cut in 0..good.len() {
+            assert!(decode_entry_binary(&good[..cut]).is_none(), "cut {cut}");
+        }
+        // A trailing byte is damage too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_entry_binary(&long).is_none());
+        // Unknown kind and flag bits are rejected.
+        let mut bad_kind = good.clone();
+        bad_kind[2] = 6;
+        assert!(decode_entry_binary(&bad_kind).is_none());
+        let mut bad_flags = good;
+        bad_flags[3] |= 0x10;
+        assert!(decode_entry_binary(&bad_flags).is_none());
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for i in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+        // A non-canonical zero continuation byte is rejected.
+        assert_eq!(read_varint(&[0x80, 0x00], &mut 0), None);
+    }
+
+    #[test]
+    fn lz_round_trips_and_rejects_damage() {
+        let repetitive: Vec<u8> = (0..4096u32)
+            .flat_map(|i| format!("path/A/fsm-{};", i % 7).into_bytes())
+            .collect();
+        let packed = pack_segment(&repetitive);
+        assert!(
+            packed.len() < repetitive.len() / 2,
+            "repetitive input compresses: {} -> {}",
+            repetitive.len(),
+            packed.len()
+        );
+        assert_eq!(unpack_segment(&packed).unwrap(), repetitive);
+        // Incompressible and empty inputs still round-trip.
+        let noise: Vec<u8> = (0..997u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert_eq!(unpack_segment(&pack_segment(&noise)).unwrap(), noise);
+        assert_eq!(
+            unpack_segment(&pack_segment(&[])).unwrap(),
+            Vec::<u8>::new()
+        );
+        // Damage: bad magic, truncation, garbage tokens.
+        assert_eq!(unpack_segment(b"nope"), None);
+        assert_eq!(unpack_segment(&packed[..packed.len() - 1]), None);
+        let mut bad = packed.clone();
+        bad[12] = 0; // literal run of 0 is malformed
+        assert_eq!(unpack_segment(&bad), None);
+    }
+
+    #[test]
+    fn binary_store_round_trips_and_meta_codec_wins() {
+        let dir = tmp_dir("binary");
+        {
+            let mut s = SegmentStore::open_with(
+                &dir,
+                SegmentConfig {
+                    capacity: 4,
+                    codec: Codec::Binary,
+                    ..SegmentConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(s.codec(), Codec::Binary);
+            for i in 0..11 {
+                s.append(entry(i, 100 * (i + 1))).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // Reopen with a *JSON* config: the meta's codec wins, and every
+        // entry decodes.
+        let s = SegmentStore::open(&dir, 999).unwrap();
+        assert_eq!(s.codec(), Codec::Binary);
+        assert_eq!(s.capacity(), 4);
+        let mut all = Vec::new();
+        s.read_into(0, u64::MAX, &mut all).unwrap();
+        assert_eq!(all.len(), 11);
+        assert!(all.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintain_compresses_and_reads_span_tiers() {
+        let dir = tmp_dir("compact");
+        let config = SegmentConfig {
+            capacity: 4,
+            codec: Codec::Binary,
+            retention: Retention {
+                compress_after: Some(1),
+                max_disk_bytes: None,
+            },
+        };
+        let mut s = SegmentStore::open_with(&dir, config).unwrap();
+        let mut mem = MemStore::new();
+        for i in 0..19 {
+            let e = entry(i, 10 * i);
+            s.append(e.clone()).unwrap();
+            mem.append(e).unwrap();
+        }
+        s.sync().unwrap();
+        // Drain maintenance: all but the newest sealed segment compress.
+        let mut compacted = 0;
+        loop {
+            let report = s.maintain().unwrap();
+            if !report.did_work() {
+                break;
+            }
+            compacted += report.compacted_segments;
+        }
+        assert_eq!(compacted, 3, "4 sealed segments, newest kept raw");
+        assert_eq!(s.stats().compacted_segments, 3);
+        assert_eq!(s.first_retained_seq(), 0, "nothing evicted");
+        // Reads and windows span compressed + raw + tail tiers and
+        // still equal memory semantics.
+        let mut disk_all = Vec::new();
+        s.read_into(0, u64::MAX, &mut disk_all).unwrap();
+        let mut mem_all = Vec::new();
+        mem.read_into(0, u64::MAX, &mut mem_all).unwrap();
+        assert_eq!(disk_all, mem_all);
+        for (t0, t1) in [(0, 180), (35, 95), (0, u64::MAX), (70, 70)] {
+            assert_eq!(
+                s.window_bounds(t0, t1).unwrap(),
+                mem.window_bounds(t0, t1).unwrap(),
+                "window [{t0},{t1}]"
+            );
+        }
+        // Reopen: the compressed tier recovers, and appends continue.
+        drop(s);
+        let mut s = SegmentStore::open_with(&dir, config).unwrap();
+        assert_eq!(s.stats().compacted_segments, 3);
+        assert_eq!(s.len(), 19);
+        s.append(entry(19, 190)).unwrap();
+        s.sync().unwrap();
+        let mut again = Vec::new();
+        s.read_into(0, u64::MAX, &mut again).unwrap();
+        assert_eq!(again.len(), 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_budget_evicts_oldest_but_len_survives() {
+        let dir = tmp_dir("evict");
+        let config = SegmentConfig {
+            capacity: 4,
+            codec: Codec::Json,
+            retention: Retention {
+                compress_after: Some(0),
+                max_disk_bytes: Some(600),
+            },
+        };
+        let mut s = SegmentStore::open_with(&dir, config).unwrap();
+        for i in 0..26 {
+            s.append(entry(i, 10 * i)).unwrap();
+        }
+        s.sync().unwrap();
+        let mut dropped = 0;
+        loop {
+            let report = s.maintain().unwrap();
+            if !report.did_work() {
+                break;
+            }
+            dropped += report.dropped_entries;
+        }
+        assert!(dropped > 0, "budget forces eviction");
+        assert!(
+            s.stats().disk_bytes <= 600,
+            "disk stays under budget, got {}",
+            s.stats().disk_bytes
+        );
+        assert_eq!(s.len(), 26, "len counts evicted history");
+        let floor = s.first_retained_seq();
+        assert!(
+            floor > 0 && floor.is_multiple_of(4),
+            "floor {floor} on a seal edge"
+        );
+        // Reads below the floor clamp up to it; reads above work.
+        let mut out = Vec::new();
+        s.read_into(0, u64::MAX, &mut out).unwrap();
+        assert_eq!(out.first().unwrap().seq, floor);
+        assert_eq!(out.last().unwrap().seq, 25);
+        // The eviction floor survives reopen, and appends continue.
+        drop(s);
+        let mut s = SegmentStore::open_with(&dir, config).unwrap();
+        assert_eq!(s.len(), 26);
+        assert_eq!(s.first_retained_seq(), floor);
+        s.append(entry(26, 260)).unwrap();
+        s.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_compressed_segment_truncates_history_there() {
+        let dir = tmp_dir("lgz-damage");
+        let config = SegmentConfig {
+            capacity: 4,
+            codec: Codec::Binary,
+            retention: Retention {
+                compress_after: Some(0),
+                max_disk_bytes: None,
+            },
+        };
+        {
+            let mut s = SegmentStore::open_with(&dir, config).unwrap();
+            for i in 0..10 {
+                s.append(entry(i, 10 * i)).unwrap();
+            }
+            s.sync().unwrap();
+            while s.maintain().unwrap().did_work() {}
+            assert_eq!(s.stats().compacted_segments, 2);
+        }
+        // Corrupt the second compressed segment's token stream.
+        let path = dir.join("seg-00000001.lgz");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 2;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = SegmentStore::open_with(&dir, config).unwrap();
+        // Segment 0 survives; the damaged segment and the tail after it
+        // are gone — recovery yields a valid prefix.
+        assert_eq!(s.len(), 4);
+        let mut out = Vec::new();
+        s.read_into(0, u64::MAX, &mut out).unwrap();
+        assert!(out.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_compaction_recovers_from_either_image() {
+        let dir = tmp_dir("lgz-crash");
+        let config = SegmentConfig {
+            capacity: 4,
+            codec: Codec::Json,
+            retention: Retention {
+                compress_after: Some(0),
+                max_disk_bytes: None,
+            },
+        };
+        {
+            let mut s = SegmentStore::open_with(&dir, config).unwrap();
+            for i in 0..6 {
+                s.append(entry(i, 10 * i)).unwrap();
+            }
+            s.sync().unwrap();
+            while s.maintain().unwrap().did_work() {}
+        }
+        // Simulate a crash between the .lgz rename and the .log remove:
+        // both images exist. Recovery keeps the compressed one.
+        let lgz = std::fs::read(dir.join("seg-00000000.lgz")).unwrap();
+        let raw = unpack_segment(&lgz).unwrap();
+        std::fs::write(dir.join("seg-00000000.log"), &raw).unwrap();
+        let s = SegmentStore::open_with(&dir, config).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.stats().compacted_segments, 1);
+        assert!(!dir.join("seg-00000000.log").exists(), "stale log removed");
+        // Now the other interleaving: .lgz damaged, .log intact.
+        std::fs::write(dir.join("seg-00000000.log"), &raw).unwrap();
+        std::fs::write(dir.join("seg-00000000.lgz"), b"GLZ1garbage").unwrap();
+        let s = SegmentStore::open_with(&dir, config).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.stats().compacted_segments, 0, "fell back to the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_codec_session_dirs_open_cleanly() {
+        let root = tmp_dir("mixed");
+        for (name, codec) in [("a", Codec::Json), ("b", Codec::Binary)] {
+            let mut s = SegmentStore::open_with(
+                root.join(name),
+                SegmentConfig {
+                    capacity: 3,
+                    codec,
+                    ..SegmentConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..5 {
+                s.append(entry(i, i)).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // Reopen both with the *same* default config: each store uses
+        // its own recorded codec.
+        for (name, codec) in [("a", Codec::Json), ("b", Codec::Binary)] {
+            let s = SegmentStore::open(root.join(name), DEFAULT_SEGMENT_CAPACITY).unwrap();
+            assert_eq!(s.codec(), codec, "store {name}");
+            assert_eq!(s.len(), 5, "store {name}");
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 }

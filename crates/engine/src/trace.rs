@@ -15,7 +15,7 @@
 //! page the history instead of holding all of it.
 
 use crate::metrics::StoreMetrics;
-use crate::store::{MemStore, StoreError, StoreStats, TraceStore};
+use crate::store::{MaintenanceReport, MemStore, StoreError, StoreStats, TraceStore};
 use gmdf_gdm::{ModelEvent, ReactionSpec};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::sync::Arc;
@@ -148,6 +148,38 @@ impl ExecutionTrace {
     /// bytes) — zeros for memory-resident backends.
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Sequence number of the oldest entry still readable — `0` unless
+    /// the backing store evicted old segments under a retention budget.
+    /// Count-based iteration (replay, `for_each`) starts here, never
+    /// at 0 blindly.
+    pub fn first_retained_seq(&self) -> u64 {
+        self.store.first_retained_seq()
+    }
+
+    /// Runs one bounded unit of store maintenance (segment compression
+    /// / retention eviction) — see [`TraceStore::maintain`]. Timed into
+    /// the metrics sink like every other store I/O when one is
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
+        if let Some(m) = &self.metrics {
+            let t0 = Instant::now();
+            let report = self.store.maintain();
+            m.maintain_ns.record(t0.elapsed().as_nanos() as u64);
+            if let Ok(r) = &report {
+                m.compactions.add(r.compacted_segments);
+                m.evicted_segments.add(r.dropped_segments);
+                m.reclaimed_bytes.add(r.reclaimed_bytes);
+            }
+            report
+        } else {
+            self.store.maintain()
+        }
     }
 
     /// Appends an entry, assigning its sequence number. During
@@ -317,7 +349,7 @@ impl ExecutionTrace {
             return;
         }
         let mut page = Vec::new();
-        let mut next = 0u64;
+        let mut next = self.store.first_retained_seq();
         let len = self.store.len();
         while next < len {
             page.clear();

@@ -1,0 +1,237 @@
+//! Cross-codec properties of the trace store.
+//!
+//! The JSON codec is the debug/interop format and doubles as the
+//! *oracle* for the binary codec: whatever the image and however the
+//! run is partitioned into append slices (with reopen cycles between
+//! them), a JSON-backed store and a binary-backed store must decode to
+//! byte-identical `ExecutionTrace` streams. On top of that, the binary
+//! codec must hold the same kill-anywhere torn-tail guarantee the JSON
+//! codec established, and both guarantees must survive segment
+//! compaction to the cold tier.
+
+use gmdf_engine::store::{Codec, MemStore, Retention, SegmentConfig, SegmentStore, TraceStore};
+use gmdf_engine::{ExecutionTrace, TraceEntry};
+use gmdf_gdm::{EventKind, EventValue, ModelEvent, ReactionSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A process-unique scratch directory (no tempfile crate offline).
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gmdf-codec-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn config(capacity: usize, codec: Codec) -> SegmentConfig {
+    SegmentConfig {
+        capacity,
+        codec,
+        ..SegmentConfig::default()
+    }
+}
+
+/// One random-ish entry covering every field shape the codec carries:
+/// kind, from/to presence, all three value tags, reactions, violations,
+/// and non-ASCII paths.
+fn entry(seq: u64, dt: u64, kind: u8) -> TraceEntry {
+    let time_ns = seq * 1_000 + dt;
+    let path = match kind % 4 {
+        0 => "node/actor/fsm".to_owned(),
+        1 => format!("nœud/actor-{}/état", kind),
+        2 => String::new(),
+        _ => "a/b/c/d/e/f".to_owned(),
+    };
+    let event = match kind % 6 {
+        0 => ModelEvent::new(time_ns, EventKind::StateEnter, &path)
+            .with_from("Idle")
+            .with_to("Run"),
+        1 => ModelEvent::new(time_ns, EventKind::SignalWrite, &path)
+            .with_value(EventValue::Real(dt as f64 * 0.5 - 3.25)),
+        2 => ModelEvent::new(time_ns, EventKind::SignalWrite, &path)
+            .with_value(EventValue::Int(dt as i64 - 500)),
+        3 => ModelEvent::new(time_ns, EventKind::WatchChange, &path)
+            .with_value(EventValue::Bool(dt.is_multiple_of(2))),
+        4 => ModelEvent::new(time_ns, EventKind::ModeSwitch, &path).with_to("Degraded"),
+        _ => ModelEvent::new(time_ns, EventKind::TaskStart, &path),
+    };
+    TraceEntry {
+        seq,
+        event,
+        reactions: match kind % 3 {
+            0 => vec![ReactionSpec::HighlightTarget],
+            1 => vec![ReactionSpec::Pulse, ReactionSpec::ShowValue],
+            _ => vec![],
+        },
+        violations: if kind == 5 {
+            vec!["синтетическое – violation".to_owned()]
+        } else {
+            vec![]
+        },
+    }
+}
+
+fn build_entries(shape: &[(u64, u8)]) -> Vec<TraceEntry> {
+    shape
+        .iter()
+        .enumerate()
+        .map(|(i, &(dt, kind))| entry(i as u64, dt % 1_000, kind))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Binary ≡ JSON: the same image written through either codec —
+    /// in arbitrary append slices, with a reopen (recovery) cycle at
+    /// every slice boundary — decodes to byte-identical traces.
+    #[test]
+    fn codecs_decode_to_identical_streams(
+        shape in proptest::collection::vec((0u64..1_000, 0u8..6), 0..80),
+        capacity in 1usize..11,
+        slice_sizes in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let entries = build_entries(&shape);
+        let dir_json = tmp_dir("oracle-json");
+        let dir_bin = tmp_dir("oracle-bin");
+        // Append slice-by-slice, reopening both stores between slices
+        // so every slice boundary exercises recovery for each codec.
+        let (mut pos, mut k) = (0usize, 0usize);
+        while pos < entries.len() {
+            let n = slice_sizes[k % slice_sizes.len()].min(entries.len() - pos);
+            let mut json = SegmentStore::open_with(&dir_json, config(capacity, Codec::Json))
+                .expect("open json");
+            let mut bin = SegmentStore::open_with(&dir_bin, config(capacity, Codec::Binary))
+                .expect("open binary");
+            for e in &entries[pos..pos + n] {
+                json.append(e.clone()).expect("append json");
+                bin.append(e.clone()).expect("append binary");
+            }
+            json.sync().expect("sync json");
+            bin.sync().expect("sync binary");
+            pos += n;
+            k += 1;
+        }
+        let json = SegmentStore::open_with(&dir_json, config(capacity, Codec::Json))
+            .expect("reopen json");
+        let bin = SegmentStore::open_with(&dir_bin, config(capacity, Codec::Binary))
+            .expect("reopen binary");
+        prop_assert_eq!(json.len(), bin.len());
+        prop_assert_eq!(json.time_range(), bin.time_range());
+        let mut from_json = Vec::new();
+        json.read_into(0, u64::MAX, &mut from_json).expect("read json");
+        let mut from_bin = Vec::new();
+        bin.read_into(0, u64::MAX, &mut from_bin).expect("read binary");
+        prop_assert_eq!(&from_json[..], &entries[..], "json is faithful");
+        prop_assert_eq!(&from_bin[..], &entries[..], "binary is faithful");
+        // Full-trace serialization is byte-identical across codecs.
+        let t_json = ExecutionTrace::with_store(Box::new(json));
+        let t_bin = ExecutionTrace::with_store(Box::new(bin));
+        prop_assert_eq!(t_json.to_json(), t_bin.to_json());
+        std::fs::remove_dir_all(&dir_json).ok();
+        std::fs::remove_dir_all(&dir_bin).ok();
+    }
+
+    /// Kill-anywhere for the binary codec specifically: truncating the
+    /// active tail segment at an arbitrary byte offset recovers the
+    /// longest valid record prefix — never a panic, never a partially
+    /// decoded record leaking through.
+    #[test]
+    fn binary_tail_cut_at_any_byte_recovers_a_prefix(
+        shape in proptest::collection::vec((0u64..1_000, 0u8..6), 1..40),
+        capacity in 4usize..12,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let entries = build_entries(&shape);
+        let dir = tmp_dir("bin-cut");
+        let mut store = SegmentStore::open_with(&dir, config(capacity, Codec::Binary))
+            .expect("open");
+        for e in &entries {
+            store.append(e.clone()).expect("append");
+        }
+        store.sync().expect("sync");
+        drop(store);
+
+        // Cut the *last* segment file (the active tail) mid-byte.
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "log"))
+            .collect();
+        files.sort();
+        let tail = files.last().expect("at least one segment");
+        let bytes = std::fs::read(tail).expect("read tail");
+        let keep = (bytes.len() as f64 * cut_fraction) as usize;
+        std::fs::write(tail, &bytes[..keep]).expect("truncate");
+
+        let recovered = SegmentStore::open_with(&dir, config(capacity, Codec::Binary))
+            .expect("recovery must not fail");
+        let n = recovered.len() as usize;
+        prop_assert!(n <= entries.len());
+        let mut read_back = Vec::new();
+        recovered.read_into(0, u64::MAX, &mut read_back).expect("read");
+        prop_assert_eq!(&read_back[..], &entries[..n], "recovered = exact prefix");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Compaction transparency: with a retention policy compressing
+    /// sealed segments to the cold tier, every query still answers
+    /// exactly like the in-memory store — reads span compressed and
+    /// hot tiers without a seam, for either codec.
+    #[test]
+    fn compacted_tiers_answer_like_memory(
+        shape in proptest::collection::vec((0u64..1_000, 0u8..6), 1..80),
+        capacity in 1usize..9,
+        cursors in proptest::collection::vec(0u64..100, 1..5),
+        windows in proptest::collection::vec((0u64..90_000, 0u64..90_000), 1..5),
+        codec in prop_oneof![Just(Codec::Json), Just(Codec::Binary)],
+    ) {
+        let entries = build_entries(&shape);
+        let dir = tmp_dir("tiers");
+        let cfg = SegmentConfig {
+            capacity,
+            codec,
+            retention: Retention {
+                compress_after: Some(1), // everything but the tail goes cold
+                max_disk_bytes: None,    // nothing evicted: full history
+            },
+        };
+        let mut disk = SegmentStore::open_with(&dir, cfg).expect("open");
+        for e in &entries {
+            disk.append(e.clone()).expect("append");
+        }
+        disk.sync().expect("sync");
+        // Run maintenance to a fixed point: one segment compresses per
+        // turn, so loop until it reports no work.
+        while disk.maintain().expect("maintain").did_work() {}
+        let mem = MemStore::from_entries(entries.clone());
+
+        prop_assert_eq!(disk.len(), mem.len());
+        prop_assert_eq!(disk.time_range(), mem.time_range());
+        for &cursor in &cursors {
+            let mut from_disk = Vec::new();
+            disk.read_into(cursor, u64::MAX, &mut from_disk).expect("read disk");
+            let mut from_mem = Vec::new();
+            mem.read_into(cursor, u64::MAX, &mut from_mem).expect("read mem");
+            prop_assert_eq!(from_disk, from_mem, "entries_since({})", cursor);
+        }
+        for &(a, b) in &windows {
+            prop_assert_eq!(
+                disk.window_bounds(a, b).expect("disk window_bounds"),
+                mem.window_bounds(a, b).expect("mem window_bounds"),
+                "window_bounds({}, {})", a, b
+            );
+        }
+        // A reopen over the compressed tiers recovers the same store.
+        drop(disk);
+        let reopened = SegmentStore::open_with(&dir, cfg).expect("reopen over cold tiers");
+        prop_assert_eq!(reopened.len(), entries.len() as u64);
+        let mut all = Vec::new();
+        reopened.read_into(0, u64::MAX, &mut all).expect("read");
+        prop_assert_eq!(&all[..], &entries[..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,27 +13,28 @@
 //!   the in-memory store and the segmented disk store over random
 //!   traces, segment capacities and query points.
 
-use gmdf_engine::store::{encode_record, MemStore, SegmentStore, TraceStore};
+use gmdf_engine::store::{encode_record, Codec, MemStore, SegmentConfig, SegmentStore, TraceStore};
 use gmdf_engine::{ExecutionTrace, TraceEntry};
 use gmdf_gdm::{EventKind, EventValue, ModelEvent, ReactionSpec};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A process-unique scratch directory (no tempfile crate offline).
+/// A process-unique scratch directory (no tempfile crate offline) —
+/// pid + atomic counter; no wall clock, which can collide under
+/// parallel test runs and needs a fallible `expect`.
 fn tmp_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock")
-        .as_nanos();
-    let dir = std::env::temp_dir().join(format!(
-        "gmdf-recovery-{tag}-{}-{n}-{nanos}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("gmdf-recovery-{tag}-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
     dir
+}
+
+/// The two record codecs, drawn as a proptest parameter so every
+/// recovery/equivalence property holds for both.
+fn arb_codec() -> impl Strategy<Value = Codec> {
+    prop_oneof![Just(Codec::Json), Just(Codec::Binary)]
 }
 
 /// One synthetic entry; times grow with `seq` (the engine's invariant).
@@ -70,13 +71,22 @@ fn build_entries(shape: &[(u64, u8)]) -> Vec<TraceEntry> {
 }
 
 /// Writes `entries` into a fresh segment store and flushes it.
-fn write_store(dir: &PathBuf, capacity: usize, entries: &[TraceEntry]) -> SegmentStore {
-    let mut store = SegmentStore::open(dir, capacity).expect("open");
+fn write_store(dir: &PathBuf, config: SegmentConfig, entries: &[TraceEntry]) -> SegmentStore {
+    let mut store = SegmentStore::open_with(dir, config).expect("open");
     for e in entries {
         store.append(e.clone()).expect("append");
     }
     store.sync().expect("sync");
     store
+}
+
+/// A store config with `capacity` and `codec`, retention off.
+fn config(capacity: usize, codec: Codec) -> SegmentConfig {
+    SegmentConfig {
+        capacity,
+        codec,
+        ..SegmentConfig::default()
+    }
 }
 
 /// All segment files of `dir` in order, with their byte lengths.
@@ -111,10 +121,11 @@ proptest! {
         shape in proptest::collection::vec((0u64..1_000, 0u8..6), 1..60),
         capacity in 1usize..9,
         cut_fraction in 0.0f64..1.0,
+        codec in arb_codec(),
     ) {
         let entries = build_entries(&shape);
         let dir = tmp_dir("kill");
-        write_store(&dir, capacity, &entries);
+        write_store(&dir, config(capacity, codec), &entries);
 
         // Choose a kill point: a global byte offset into the ordered
         // concatenation of segment files. Everything after it is
@@ -149,7 +160,8 @@ proptest! {
             }
         }
 
-        let mut recovered = SegmentStore::open(&dir, capacity).expect("recovery must not fail");
+        let mut recovered =
+            SegmentStore::open_with(&dir, config(capacity, codec)).expect("recovery must not fail");
         prop_assert_eq!(recovered.len(), survivors as u64, "exact valid prefix");
         let mut read_back = Vec::new();
         recovered.read_into(0, u64::MAX, &mut read_back).expect("read");
@@ -160,7 +172,7 @@ proptest! {
         recovered.append(entry(next, 500, 1)).expect("append after recovery");
         recovered.sync().expect("sync");
         prop_assert_eq!(recovered.len(), next + 1);
-        let reopened = SegmentStore::open(&dir, capacity).expect("reopen");
+        let reopened = SegmentStore::open_with(&dir, config(capacity, codec)).expect("reopen");
         prop_assert_eq!(reopened.len(), next + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -174,12 +186,13 @@ proptest! {
         capacity in 1usize..11,
         cursors in proptest::collection::vec(0u64..100, 1..6),
         windows in proptest::collection::vec((0u64..90_000, 0u64..90_000), 1..6),
+        codec in arb_codec(),
     ) {
         let entries = build_entries(&shape);
         let dir = tmp_dir("equiv");
-        write_store(&dir, capacity, &entries);
+        write_store(&dir, config(capacity, codec), &entries);
         // Reopen to also exercise the recovery path on a clean store.
-        let disk = SegmentStore::open(&dir, capacity).expect("reopen");
+        let disk = SegmentStore::open_with(&dir, config(capacity, codec)).expect("reopen");
         let mem = MemStore::from_entries(entries.clone());
 
         prop_assert_eq!(disk.len(), mem.len());
@@ -238,7 +251,7 @@ fn catch_up_resumes_over_recovered_prefix() {
             .map(|i| (i * 37 % 1000, (i % 6) as u8))
             .collect::<Vec<_>>(),
     );
-    write_store(&dir, 4, &entries[..12]);
+    write_store(&dir, config(4, Codec::Binary), &entries[..12]);
 
     // A restored trace re-executes the full run; the first 12 records
     // are dropped (already persisted), the rest append.
@@ -266,7 +279,7 @@ fn catch_up_resumes_over_recovered_prefix() {
 #[test]
 fn record_framing_round_trips() {
     let e = entry(0, 123, 1);
-    let bytes = encode_record(&e);
+    let bytes = encode_record(&e).expect("fits in a frame");
     let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
     assert_eq!(len + 4, bytes.len());
     let json = std::str::from_utf8(&bytes[4..]).expect("utf8");

@@ -104,6 +104,6 @@ pub use metrics::{
 pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{
     DebugServer, PersistConfig, ServerConfig, ServerError, SessionCommand, SessionHandle,
-    SessionId, MAX_FETCH_ENTRIES,
+    SessionId, MAX_FETCH_BYTES, MAX_FETCH_ENTRIES,
 };
 pub use wire::{WireClient, WireError, WireServer};

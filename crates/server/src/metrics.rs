@@ -262,6 +262,16 @@ pub struct FleetMetrics {
     pub trace_segments: u64,
     /// Trace bytes on disk, summed over sessions.
     pub trace_disk_bytes: u64,
+    /// Compressed (cold-tier) trace segments, summed over sessions.
+    pub trace_compacted_segments: u64,
+    /// Segments compressed to the cold tier by retention sweeps.
+    pub store_compactions: u64,
+    /// Sealed segments evicted under the retention disk budget.
+    pub store_evicted_segments: u64,
+    /// On-disk bytes reclaimed by compression and eviction.
+    pub store_reclaimed_bytes: u64,
+    /// Wall-time distribution of retention maintenance turns.
+    pub store_maintain_ns: HistogramSnapshot,
     /// Journal records appended.
     pub journal_appends: u64,
     /// Journal append+fsync latency.
@@ -357,6 +367,13 @@ impl MetricsSnapshot {
         counter("gmdf_wire_bytes_rx_total", f.wire_bytes_rx);
         counter("gmdf_trace_segments", f.trace_segments);
         counter("gmdf_trace_disk_bytes", f.trace_disk_bytes);
+        counter("gmdf_trace_compacted_segments", f.trace_compacted_segments);
+        counter("gmdf_store_compactions_total", f.store_compactions);
+        counter(
+            "gmdf_store_evicted_segments_total",
+            f.store_evicted_segments,
+        );
+        counter("gmdf_store_reclaimed_bytes_total", f.store_reclaimed_bytes);
         counter("gmdf_memo_hits_total", f.memo_hits);
         counter("gmdf_memo_misses_total", f.memo_misses);
         let mut histo = |name: &str, h: &HistogramSnapshot| {
@@ -374,6 +391,7 @@ impl MetricsSnapshot {
         histo("gmdf_events_per_slice", &f.events_per_slice);
         histo("gmdf_store_append_ns", &f.store_append_ns);
         histo("gmdf_store_read_ns", &f.store_read_ns);
+        histo("gmdf_store_maintain_ns", &f.store_maintain_ns);
         histo("gmdf_journal_append_ns", &f.journal_append_ns);
         for s in &self.sessions {
             let id = s.session;
@@ -451,6 +469,11 @@ pub(crate) fn fleet_skeleton(registry: &MetricsRegistry) -> FleetMetrics {
         store_read_ns: registry.store.read_ns.snapshot(),
         trace_segments: 0,
         trace_disk_bytes: 0,
+        trace_compacted_segments: 0,
+        store_compactions: registry.store.compactions.get(),
+        store_evicted_segments: registry.store.evicted_segments.get(),
+        store_reclaimed_bytes: registry.store.reclaimed_bytes.get(),
+        store_maintain_ns: registry.store.maintain_ns.snapshot(),
         journal_appends: registry.journal_appends.get(),
         journal_append_ns: registry.journal_append_ns.snapshot(),
         wire_connections: registry.wire.connections.get(),

@@ -12,7 +12,8 @@
 //!                  time at which it was applied
 //!   trace/         the session's segmented trace store
 //!     meta.json
-//!     seg-*.log
+//!     seg-*.log    hot segments (JSON or binary records, per meta)
+//!     seg-*.lgz    cold segments, compressed by the retention sweep
 //! ```
 //!
 //! Restore leans entirely on determinism: the simulator, the code
@@ -29,7 +30,7 @@
 
 use crate::server::SessionCommand;
 use gmdf::{DebugSession, SessionSpec};
-use gmdf_engine::store::{encode_record, read_records, SegmentStore};
+use gmdf_engine::store::{encode_record, read_records, SegmentConfig, SegmentStore};
 use gmdf_engine::EngineNotice;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -69,7 +70,8 @@ impl Journal {
         let record = encode_record(&JournalRecord {
             at_ns,
             command: command.clone(),
-        });
+        })
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
         self.file.write_all(&record)?;
         self.file.sync_data()
     }
@@ -97,7 +99,7 @@ pub(crate) fn create_session_dir(
     root: &Path,
     id: u64,
     spec: &SessionSpec,
-    segment_capacity: usize,
+    store_config: SegmentConfig,
 ) -> Result<(Journal, SegmentStore), String> {
     let dir = session_dir(root, id);
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
@@ -115,7 +117,7 @@ pub(crate) fn create_session_dir(
     std::fs::rename(&tmp, dir.join("spec.json")).map_err(|e| e.to_string())?;
     let journal = Journal::open(&dir.join("journal.log")).map_err(|e| e.to_string())?;
     let store =
-        SegmentStore::open(dir.join("trace"), segment_capacity).map_err(|e| e.to_string())?;
+        SegmentStore::open_with(dir.join("trace"), store_config).map_err(|e| e.to_string())?;
     Ok((journal, store))
 }
 
@@ -168,7 +170,7 @@ pub(crate) struct RestoredSession {
 pub(crate) fn restore_session(
     root: &Path,
     id: u64,
-    segment_capacity: usize,
+    store_config: SegmentConfig,
 ) -> Result<RestoredSession, String> {
     let dir = session_dir(root, id);
     let spec_text = std::fs::read_to_string(dir.join("spec.json"))
@@ -182,8 +184,10 @@ pub(crate) fn restore_session(
 
     // Reattach the recovered trace. Its surviving prefix arms the
     // deterministic catch-up: re-generated entries below the recovered
-    // length are dropped, not duplicated.
-    let store = SegmentStore::open(dir.join("trace"), segment_capacity)
+    // length are dropped, not duplicated. The store's own meta.json
+    // codec wins over the configured one, so a fleet reconfigured to a
+    // new codec still reopens old session directories correctly.
+    let store = SegmentStore::open_with(dir.join("trace"), store_config)
         .map_err(|e| format!("session {id}: trace recovery failed: {e}"))?;
     session.set_trace_store(Box::new(store));
 

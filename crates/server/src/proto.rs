@@ -284,13 +284,47 @@ impl Deserialize for SessionCommand {
     }
 }
 
+/// An envelope too large for the wire: its encoded payload exceeds
+/// [`MAX_FRAME_LEN`], so writing it would either truncate the length
+/// prefix or feed the peer a frame its decoder must reject. Carries the
+/// offending payload length so senders can substitute a bounded notice
+/// (see `write_server_frame` in the wire layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// Encoded payload length that broke the limit.
+    pub payload_len: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
+            self.payload_len
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
 /// Encodes one envelope as a length-prefixed frame, ready to write.
-pub fn encode_frame<T: Serialize>(frame: &T) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Rejects envelopes whose payload exceeds [`MAX_FRAME_LEN`] — an
+/// unchecked `as u32` cast here would silently truncate the length
+/// prefix and desynchronize the stream for every later frame.
+pub fn encode_frame<T: Serialize>(frame: &T) -> Result<Vec<u8>, FrameTooLarge> {
     let json = serde_json::to_string(frame).expect("frame serializes");
+    if json.len() > MAX_FRAME_LEN {
+        return Err(FrameTooLarge {
+            payload_len: json.len(),
+        });
+    }
     let mut out = Vec::with_capacity(4 + json.len());
     out.extend_from_slice(&(json.len() as u32).to_be_bytes());
     out.extend_from_slice(json.as_bytes());
-    out
+    Ok(out)
 }
 
 /// Decodes one frame payload (the JSON bytes *after* the length
@@ -353,5 +387,59 @@ impl FrameDecoder {
     /// Bytes buffered but not yet consumed as a frame.
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a reply carrying a payload past
+    /// [`MAX_FRAME_LEN`] must come back as [`FrameTooLarge`], not as a
+    /// frame whose length prefix the decoder will reject (or, for
+    /// payloads past `u32::MAX`, a silently truncated prefix that
+    /// desynchronizes every later frame).
+    #[test]
+    fn oversized_envelope_is_an_error_not_a_bad_prefix() {
+        let fits = ServerFrame::Error {
+            seq: Some(1),
+            message: "x".repeat(1024),
+        };
+        assert!(encode_frame(&fits).is_ok());
+
+        let too_big = ServerFrame::Error {
+            seq: Some(2),
+            message: "x".repeat(MAX_FRAME_LEN + 1),
+        };
+        let err = encode_frame(&too_big).expect_err("must refuse to encode");
+        assert!(err.payload_len > MAX_FRAME_LEN);
+        let shown = err.to_string();
+        assert!(shown.contains("exceeds"), "unhelpful error: {shown}");
+    }
+
+    /// The boundary itself is legal: a payload of exactly
+    /// `MAX_FRAME_LEN` bytes round-trips through the decoder.
+    #[test]
+    fn frame_at_the_limit_round_trips() {
+        // JSON overhead: {"type":"error","seq":3,"message":"..."} — pad
+        // the message so the whole payload lands exactly on the limit.
+        let probe = ServerFrame::Error {
+            seq: Some(3),
+            message: String::new(),
+        };
+        let overhead = serde_json::to_string(&probe).expect("serializes").len();
+        let frame = ServerFrame::Error {
+            seq: Some(3),
+            message: "y".repeat(MAX_FRAME_LEN - overhead),
+        };
+        let bytes = encode_frame(&frame).expect("exactly at the limit encodes");
+        assert_eq!(bytes.len(), 4 + MAX_FRAME_LEN);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        let payload = decoder
+            .next_payload()
+            .expect("length prefix is within bounds")
+            .expect("complete");
+        assert_eq!(payload.len(), MAX_FRAME_LEN);
     }
 }

@@ -30,7 +30,7 @@ use crate::queue::{self, EventReceiver, EventSender};
 use gmdf::{DebugSession, SessionSpec};
 use gmdf_comdes::SignalValue;
 use gmdf_engine::store::DEFAULT_SEGMENT_CAPACITY;
-use gmdf_engine::{EngineNotice, StoreError, TraceEntry};
+use gmdf_engine::{Codec, EngineNotice, Retention, SegmentConfig, StoreError, TraceEntry};
 use gmdf_gdm::CommandMatcher;
 use std::collections::VecDeque;
 use std::fmt;
@@ -101,14 +101,29 @@ pub struct PersistConfig {
     /// Entries per trace segment file
     /// ([`gmdf_engine::SegmentStore`] capacity).
     pub segment_capacity: usize,
+    /// Trace record codec for *new* durable sessions. Existing session
+    /// directories keep whatever their `meta.json` records, so a server
+    /// reconfigured mid-fleet reopens old sessions correctly.
+    pub codec: Codec,
+    /// Compaction/retention policy applied to every durable session's
+    /// trace store. Disabled by default (nothing is compressed or
+    /// evicted — the pre-retention behavior).
+    pub retention: Retention,
+    /// How often the background compactor sweeps the durable sessions.
+    /// Only consulted when `retention` is active.
+    pub compact_interval: Duration,
 }
 
 impl PersistConfig {
-    /// Persistence rooted at `root` with the default segment capacity.
+    /// Persistence rooted at `root` with the default segment capacity,
+    /// the binary trace codec, and retention disabled.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         PersistConfig {
             root: root.into(),
             segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            codec: Codec::Binary,
+            retention: Retention::default(),
+            compact_interval: Duration::from_millis(250),
         }
     }
 
@@ -118,15 +133,55 @@ impl PersistConfig {
         self.segment_capacity = capacity.max(1);
         self
     }
+
+    /// Overrides the trace record codec for new durable sessions.
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the compaction/retention policy for durable-session traces.
+    #[must_use]
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Overrides how often the background compactor runs.
+    #[must_use]
+    pub fn with_compact_interval(mut self, interval: Duration) -> Self {
+        self.compact_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The store-level configuration this policy expands to.
+    pub(crate) fn segment_config(&self) -> SegmentConfig {
+        SegmentConfig {
+            capacity: self.segment_capacity,
+            codec: self.codec,
+            retention: self.retention,
+        }
+    }
 }
 
 /// Cap on the entries one [`SessionCommand::FetchRange`] /
 /// [`SessionCommand::ReplayFrom`] reply carries. While
 /// [`TraceSlice::complete`] is false, clients continue with
-/// [`SessionCommand::ReplayFrom`] at `first_seq + entries.len()` until
+/// [`SessionCommand::ReplayFrom`] at `last().seq + 1` until
 /// [`TraceSlice::end_seq`] — `FetchRange` itself has no sequence
 /// parameter, so re-issuing it only returns the same first page.
 pub const MAX_FETCH_ENTRIES: u64 = 4096;
+
+/// Cap on the *encoded* payload one [`SessionCommand::FetchRange`] /
+/// [`SessionCommand::ReplayFrom`] reply carries. An entry count alone
+/// does not bound a page — 4096 entries of pathological width would
+/// overflow the 64 MiB wire frame and reach the client as an error
+/// instead of data — so the page is also cut at this many JSON bytes
+/// (half the frame limit, leaving room for the envelope). A page always
+/// carries at least one entry, so paging makes progress even past an
+/// oversized record.
+pub const MAX_FETCH_BYTES: u64 = 32 * 1024 * 1024;
 
 /// A command posted to a session's mailbox.
 ///
@@ -176,7 +231,8 @@ pub enum SessionCommand {
     /// Reply with the trace entries whose event time falls in
     /// `[t0_ns, t1_ns]` — located through the store's time index, so a
     /// narrow window over a long disk-backed trace reads only its own
-    /// segments. Capped at [`MAX_FETCH_ENTRIES`].
+    /// segments. Capped at [`MAX_FETCH_ENTRIES`] entries and
+    /// [`MAX_FETCH_BYTES`] of encoded payload.
     FetchRange {
         /// Window start (inclusive), in target nanoseconds.
         t0_ns: u64,
@@ -193,7 +249,8 @@ pub enum SessionCommand {
         /// First sequence number wanted.
         seq: u64,
         /// Page size; `0` means the server cap ([`MAX_FETCH_ENTRIES`]),
-        /// larger values are clamped to it.
+        /// larger values are clamped to it. The reply is additionally
+        /// bounded by [`MAX_FETCH_BYTES`] of encoded payload.
         limit: u64,
         /// Where to deliver the page.
         reply: mpsc::Sender<TraceSlice>,
@@ -325,8 +382,10 @@ impl Shared {
 #[derive(Debug)]
 pub struct DebugServer {
     shared: Arc<Shared>,
-    sessions: Mutex<Vec<Arc<SessionCell>>>,
+    sessions: Arc<Mutex<Vec<Arc<SessionCell>>>>,
     workers: Vec<JoinHandle<()>>,
+    /// The background compaction sweep, when retention is active.
+    compactor: Option<JoinHandle<()>>,
     /// Set on persistent servers: where durable sessions live.
     persist: Option<PersistConfig>,
     /// Persisted sessions that failed to restore, with the reason.
@@ -369,7 +428,7 @@ impl DebugServer {
             // Reserve the id either way: a fresh session must never be
             // created over a quarantined directory.
             server.shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
-            match persist::restore_session(&persist.root, id, persist.segment_capacity) {
+            match persist::restore_session(&persist.root, id, persist.segment_config()) {
                 Ok(restored) => {
                     server.register(id, restored.session, restored.notices, |inner| {
                         inner.remaining_ns = restored.remaining_ns;
@@ -423,10 +482,29 @@ impl DebugServer {
                     .expect("spawn worker thread")
             })
             .collect();
+        let sessions: Arc<Mutex<Vec<Arc<SessionCell>>>> = Arc::new(Mutex::new(Vec::new()));
+        // With retention active, a background sweep periodically gives
+        // every session's trace store a maintenance turn (compress one
+        // cold segment, evict while over budget). It runs outside the
+        // pump path — a sweep takes each session's state lock briefly,
+        // so the scheduler never stalls behind compression.
+        let compactor = persist
+            .as_ref()
+            .filter(|p| p.retention.is_active())
+            .map(|p| {
+                let shared = Arc::clone(&shared);
+                let sessions = Arc::clone(&sessions);
+                let interval = p.compact_interval;
+                std::thread::Builder::new()
+                    .name("gmdf-compactor".to_owned())
+                    .spawn(move || compactor_loop(&shared, &sessions, interval))
+                    .expect("spawn compactor thread")
+            });
         DebugServer {
             shared,
-            sessions: Mutex::new(Vec::new()),
+            sessions,
             workers: handles,
+            compactor,
             persist,
             quarantined: Vec::new(),
         }
@@ -467,7 +545,7 @@ impl DebugServer {
             .map_err(|e| ServerError::SessionFailed(e.to_string()))?;
         let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
         let (journal, store) =
-            persist::create_session_dir(&persist.root, id, spec, persist.segment_capacity)
+            persist::create_session_dir(&persist.root, id, spec, persist.segment_config())
                 .map_err(ServerError::Persist)?;
         session.set_trace_store(Box::new(store));
         let notices = session.engine_mut().subscribe();
@@ -598,6 +676,7 @@ impl DebugServer {
             fleet.lagged_drops += inner.lagged.get();
             fleet.trace_segments += store_stats.segments;
             fleet.trace_disk_bytes += store_stats.disk_bytes;
+            fleet.trace_compacted_segments += store_stats.compacted_segments;
             fleet.memo_hits += memo_hits;
             fleet.memo_misses += memo_misses;
             sessions.push(SessionHealth {
@@ -676,6 +755,9 @@ impl DebugServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
         // Wake blocking waiters (wait_idle) so they observe the
         // shutdown instead of sleeping out their timeout.
         for cell in lock(&self.sessions).iter() {
@@ -713,10 +795,14 @@ impl SessionHandle {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServerError::Shutdown);
         }
-        lock(&self.cell.mailbox).push_back(command);
+        // Gauge up *before* the push: a worker that drains the command
+        // in the gap would decrement first (saturating at zero) and the
+        // late increment would stick the gauge one high forever. The
+        // inc-first order only ever over-counts transiently.
         if self.shared.metrics.enabled() {
             self.shared.metrics.mailbox_depth.inc();
         }
+        lock(&self.cell.mailbox).push_back(command);
         if self.shared.enqueue(&self.cell) {
             Ok(())
         } else {
@@ -1012,6 +1098,49 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
     }
 }
 
+/// The retention sweep: every `interval`, give each live session's
+/// trace store one maintenance turn (compress at most one cold segment,
+/// evict oldest sealed segments while over the disk budget — see
+/// [`gmdf_engine::TraceStore::maintain`]). Each turn holds that one
+/// session's state lock; sessions are swept strictly one at a time so a
+/// long compression never blocks more than one shard's pump. A
+/// maintenance failure fails the session (its history can no longer be
+/// trusted to be contiguous), never the server.
+fn compactor_loop(shared: &Shared, sessions: &Mutex<Vec<Arc<SessionCell>>>, interval: Duration) {
+    loop {
+        // Sleep in POLL steps so shutdown is honored promptly even with
+        // a long sweep interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = POLL.min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let cells: Vec<Arc<SessionCell>> = lock(sessions).clone();
+        for cell in cells {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut inner = lock(&cell.inner);
+            if inner.failed.is_some() {
+                continue;
+            }
+            if let Err(e) = inner.session.maintain_trace() {
+                fail(
+                    &mut inner,
+                    cell.id,
+                    &format!("trace maintenance failed: {e}"),
+                );
+                drop(inner);
+                cell.idle_cv.notify_all();
+            }
+        }
+    }
+}
+
 /// One scheduling turn: apply mailed commands, pump at most one slice,
 /// publish deltas, and reschedule or park.
 fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
@@ -1172,16 +1301,17 @@ fn apply_command(
                 let trace = inner.session.engine().trace();
                 let (lo, hi) = trace.window_bounds(t0_ns, t1_ns)?;
                 let end = hi.min(lo.saturating_add(MAX_FETCH_ENTRIES));
-                let mut entries = Vec::new();
-                trace.read_range_into(lo, end, &mut entries)?;
+                let entries = read_bounded(trace, lo, end)?;
                 Ok::<_, StoreError>((lo, hi, entries))
             })();
             match read {
                 Ok((lo, hi, entries)) => {
+                    let first = entries.first().map_or(lo, |e| e.seq);
+                    let next = entries.last().map_or(first, |e| e.seq + 1);
                     let _ = reply.send(TraceSlice {
                         session: id,
-                        first_seq: lo,
-                        complete: lo + entries.len() as u64 >= hi,
+                        first_seq: first,
+                        complete: next >= hi,
                         entries,
                         end_seq: hi,
                     });
@@ -1201,17 +1331,29 @@ fn apply_command(
                 } else {
                     limit.min(MAX_FETCH_ENTRIES)
                 };
-                let end = len.min(seq.saturating_add(cap));
-                let mut entries = Vec::new();
-                trace.read_range_into(seq, end, &mut entries)?;
-                Ok::<_, StoreError>((len, entries))
+                // Clamp the page's low edge to the eviction floor
+                // *before* sizing it: history below the floor is gone
+                // by policy, and a window computed from the raw `seq`
+                // would end below the floor — an empty, incomplete page
+                // whose continuation point never advances.
+                let lo = seq.max(trace.first_retained_seq());
+                let end = len.min(lo.saturating_add(cap));
+                let entries = read_bounded(trace, lo, end)?;
+                Ok::<_, StoreError>((len, lo, entries))
             })();
             match read {
-                Ok((len, entries)) => {
+                Ok((len, lo, entries)) => {
+                    // On a retention-evicted store the page may start
+                    // above the requested `seq` (history below the
+                    // eviction floor is gone); `first_seq` reports
+                    // where it actually starts so clients resume from
+                    // `last().seq + 1`, not from arithmetic on `seq`.
+                    let first = entries.first().map_or(lo, |e| e.seq);
+                    let next = entries.last().map_or(first, |e| e.seq + 1);
                     let _ = reply.send(TraceSlice {
                         session: id,
-                        first_seq: seq,
-                        complete: seq.saturating_add(entries.len() as u64) >= len,
+                        first_seq: first,
+                        complete: next >= len,
                         entries,
                         end_seq: len,
                     });
@@ -1220,6 +1362,48 @@ fn apply_command(
             }
         }
     }
+}
+
+/// Reads trace entries `[lo, end)` for one reply page, bounded by the
+/// caller's entry cap (baked into `end`) *and* [`MAX_FETCH_BYTES`] of
+/// encoded payload — see the constant for why both bounds exist. Reads
+/// in store-page-sized chunks so a byte-capped request never pulls the
+/// whole entry range off disk first. On a retention-evicted store the
+/// result starts at the eviction floor when `lo` is below it.
+fn read_bounded(
+    trace: &gmdf_engine::ExecutionTrace,
+    lo: u64,
+    end: u64,
+) -> Result<Vec<TraceEntry>, StoreError> {
+    const CHUNK: u64 = 256;
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    let mut budget = MAX_FETCH_BYTES;
+    // Start at the eviction floor: chunks below it would come back
+    // empty and end the loop before any retained entry was reached.
+    let mut next = lo.max(trace.first_retained_seq());
+    while next < end {
+        let mut page = Vec::new();
+        trace.read_range_into(next, end.min(next.saturating_add(CHUNK)), &mut page)?;
+        if page.is_empty() {
+            break; // nothing retained in the remaining range
+        }
+        for entry in page {
+            let cost = serde_json::to_string(&entry).map_or(0, |s| s.len() as u64);
+            // Always ship at least one entry so paging makes progress;
+            // a single record past the frame limit is the wire layer's
+            // terminal case, not ours.
+            if !entries.is_empty() && cost > budget {
+                return Ok(entries);
+            }
+            budget = budget.saturating_sub(cost);
+            entries.push(entry);
+        }
+        // Continue after the last entry actually read — below an
+        // eviction floor the store returns fewer than asked, starting
+        // above `next`, and naive `next += CHUNK` would re-read.
+        next = entries.last().expect("page was non-empty").seq + 1;
+    }
+    Ok(entries)
 }
 
 /// Builds a consistent snapshot under the state lock.

@@ -20,9 +20,7 @@
 //! event consumption with request/reply calls on a single socket.
 
 use crate::metrics::{Gauge, MetricsSnapshot, QuarantinedSession, WireMetrics};
-use crate::proto::{
-    decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame, MAX_FRAME_LEN,
-};
+use crate::proto::{decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame};
 use crate::queue::EventReceiver;
 use crate::server::{lock, DebugServer, SessionCommand, SessionHandle, SessionId};
 use crate::EngineEvent;
@@ -288,7 +286,9 @@ fn write_bytes(
     Ok(())
 }
 
-/// Encodes and writes one frame (see [`write_bytes`]).
+/// Encodes and writes one frame (see [`write_bytes`]). A frame too
+/// large to encode fails the write — client frames are requests, and a
+/// request the peer can never receive has no useful substitute.
 fn write_frame<T: Serialize>(
     stream: &TcpStream,
     frame: &T,
@@ -296,7 +296,8 @@ fn write_frame<T: Serialize>(
     closed: &AtomicBool,
     wm: Option<&WireMetrics>,
 ) -> Result<(), ()> {
-    write_bytes(stream, &encode_frame(frame), shutdown, closed, wm)
+    let bytes = encode_frame(frame).map_err(|_| ())?;
+    write_bytes(stream, &bytes, shutdown, closed, wm)
 }
 
 /// The request id `frame` answers, if it is a reply.
@@ -312,7 +313,8 @@ fn frame_seq(frame: &ServerFrame) -> Option<u64> {
 }
 
 /// Like [`write_frame`], but substitutes a fitting frame when the
-/// encoding exceeds [`MAX_FRAME_LEN`]: an oversized event degrades to
+/// encoding exceeds [`crate::proto::MAX_FRAME_LEN`]: an oversized event
+/// degrades to
 /// an in-stream [`EngineEvent::Lagged`] (visible data loss, stream
 /// stays healthy), an oversized reply to an `Error` naming the request
 /// — never a desynchronized stream the peer can only abandon.
@@ -323,28 +325,27 @@ fn write_server_frame(
     closed: &AtomicBool,
     wm: Option<&WireMetrics>,
 ) -> Result<(), ()> {
-    let mut bytes = encode_frame(frame);
-    if bytes.len() - 4 > MAX_FRAME_LEN {
-        let substitute = match frame {
-            ServerFrame::Event { event } => ServerFrame::Event {
-                event: EngineEvent::Lagged {
-                    session: event.session(),
-                    dropped: match event {
-                        EngineEvent::TraceDelta { entries, .. } => entries.len() as u64,
-                        _ => 1,
+    let bytes = match encode_frame(frame) {
+        Ok(bytes) => bytes,
+        Err(err) => {
+            let substitute = match frame {
+                ServerFrame::Event { event } => ServerFrame::Event {
+                    event: EngineEvent::Lagged {
+                        session: event.session(),
+                        dropped: match event {
+                            EngineEvent::TraceDelta { entries, .. } => entries.len() as u64,
+                            _ => 1,
+                        },
                     },
                 },
-            },
-            other => ServerFrame::Error {
-                seq: frame_seq(other),
-                message: format!(
-                    "reply of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
-                    bytes.len() - 4
-                ),
-            },
-        };
-        bytes = encode_frame(&substitute);
-    }
+                other => ServerFrame::Error {
+                    seq: frame_seq(other),
+                    message: format!("reply: {err}"),
+                },
+            };
+            encode_frame(&substitute).map_err(|_| ())?
+        }
+    };
     write_bytes(stream, &bytes, shutdown, closed, wm)
 }
 
@@ -1017,7 +1018,8 @@ impl WireClient {
     }
 
     fn write<T: Serialize>(&mut self, frame: &T) -> Result<(), WireError> {
-        self.stream.write_all(&encode_frame(frame))?;
+        let bytes = encode_frame(frame).map_err(|e| WireError::Protocol(e.to_string()))?;
+        self.stream.write_all(&bytes)?;
         Ok(())
     }
 

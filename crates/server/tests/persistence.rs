@@ -12,7 +12,7 @@ mod common;
 use common::{blinker_system, ring_system};
 use gmdf::{ChannelMode, SessionSpec, Workflow};
 use gmdf_codegen::{CompileOptions, InstrumentOptions};
-use gmdf_engine::{SegmentStore, TraceEntry};
+use gmdf_engine::{Codec, Retention, SegmentStore, TraceEntry};
 use gmdf_gdm::{CommandMatcher, EventKind};
 use gmdf_server::{
     DebugServer, EngineEvent, EventReceiver, PersistConfig, ServerConfig, ServerError,
@@ -29,14 +29,7 @@ const WAIT: Duration = Duration::from_secs(120);
 fn tmp_root(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock")
-        .as_nanos();
-    std::env::temp_dir().join(format!(
-        "gmdf-persist-{tag}-{}-{n}-{nanos}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("gmdf-persist-{tag}-{}-{n}", std::process::id()))
 }
 
 fn spec_of(system: gmdf_comdes::System) -> SessionSpec {
@@ -491,6 +484,152 @@ fn torn_journal_tail_is_recovered() {
     handle.wait_idle(WAIT).expect("idle");
     let snapshot = handle.stats(WAIT).expect("stats");
     assert_eq!(snapshot.remaining_ns, 0);
+    drop(server);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Retention soak: a durable session driven far past its disk budget
+/// keeps a bounded on-disk footprint — the compactor thread compresses
+/// sealed segments and evicts the oldest ones — while `ReplayFrom`
+/// transparently pages the retained history across the compressed cold
+/// tier and the hot tail, and a restart over the compacted registry
+/// restores a session that still answers.
+#[test]
+fn retention_budget_bounds_disk_while_replay_spans_tiers() {
+    const BUDGET: u64 = 8 * 1024;
+    // The budget bounds *sealed* segments; the hot tail plus segments
+    // appended since the last compactor sweep ride on top.
+    const SLACK: u64 = 8 * 1024;
+    const CHUNK_NS: u64 = 25_000_000;
+    let root = tmp_root("retention");
+    let persist = || {
+        PersistConfig::new(&root)
+            .with_segment_capacity(16)
+            .with_codec(Codec::Binary)
+            .with_retention(Retention {
+                compress_after: Some(1),
+                max_disk_bytes: Some(BUDGET),
+            })
+            .with_compact_interval(Duration::from_millis(5))
+    };
+    let system = || ring_system("retain-ring", 3, 0.0008, 500_000);
+    let server = DebugServer::start_persistent(server_config(), persist()).expect("boots");
+    let handle = server
+        .add_durable_session(&spec_of(system()))
+        .expect("durable");
+    let id = handle.id();
+
+    // Drive in fixed chunks until the run has recorded several budgets'
+    // worth of history, counting the chunks so a reference run can
+    // repeat the exact same command schedule.
+    let mut chunks = 0usize;
+    loop {
+        handle.run_for(CHUNK_NS).expect("send");
+        handle.wait_idle(WAIT).expect("idle");
+        chunks += 1;
+        let len = handle.stats(WAIT).expect("stats").trace_len;
+        if len >= 600 {
+            break;
+        }
+        assert!(
+            chunks < 64,
+            "ring system too quiet: {len} entries after {chunks} chunks"
+        );
+    }
+
+    // Let the compactor settle: disk under budget *and* a compressed
+    // cold tier present among the retained segments. (During the run
+    // eviction consumes the oldest — compressed — segments; once
+    // appends stop, the next sweeps re-compress the retained tail.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let fleet = loop {
+        let fleet = server.metrics_snapshot().fleet;
+        if fleet.trace_disk_bytes <= BUDGET + SLACK && fleet.trace_compacted_segments > 0 {
+            break fleet;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "store never settled: {} disk bytes, {} compressed segments",
+            fleet.trace_disk_bytes,
+            fleet.trace_compacted_segments
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        fleet.store_compactions > 0,
+        "compactor never compressed a segment"
+    );
+    assert!(
+        fleet.store_evicted_segments > 0,
+        "the budget never forced an eviction"
+    );
+    assert!(fleet.store_reclaimed_bytes > 0, "nothing was reclaimed");
+
+    // Reference: the same image under the same command schedule, fully
+    // in memory — determinism makes its trace the ground truth for what
+    // the retained suffix must contain.
+    let reference = DebugServer::start(server_config());
+    let ref_handle = reference.add_session(spec_of(system()).build().expect("builds"));
+    for _ in 0..chunks {
+        ref_handle.run_for(CHUNK_NS).expect("send");
+        ref_handle.wait_idle(WAIT).expect("idle");
+    }
+    let ref_snapshot = ref_handle.snapshot(WAIT).expect("snapshot");
+    let full: Vec<TraceEntry> =
+        gmdf_engine::ExecutionTrace::from_json(&ref_snapshot.trace_json.expect("trace"))
+            .expect("parses")
+            .entries();
+    drop(reference);
+
+    // ReplayFrom(0) pages the retained history: the first page starts
+    // at the eviction floor (not at 0), pages stay contiguous across
+    // the cold/hot tier seam, and the concatenation is byte-identical
+    // to the reference suffix.
+    let pages = |handle: &SessionHandle| {
+        let mut paged = Vec::new();
+        let mut next = 0u64;
+        let mut floor = None;
+        loop {
+            let slice = handle.replay_from(next, 7, WAIT).expect("page");
+            match floor {
+                None => floor = Some(slice.first_seq),
+                Some(_) => assert_eq!(slice.first_seq, next, "pages must stay contiguous"),
+            }
+            assert_eq!(slice.end_seq, full.len() as u64);
+            next = slice.entries.last().map_or(slice.first_seq, |e| e.seq + 1);
+            let done = slice.complete;
+            paged.extend(slice.entries);
+            if done {
+                break;
+            }
+        }
+        (floor.expect("at least one page"), paged)
+    };
+    let (floor, paged) = pages(&handle);
+    assert!(floor > 0, "eviction should have moved the replay floor");
+    assert!(
+        (floor as usize) < full.len(),
+        "something must remain retained"
+    );
+    assert_eq!(
+        serde_json::to_string(&paged).expect("json"),
+        serde_json::to_string(&full[floor as usize..]).expect("json"),
+        "retained suffix must match the in-memory reference"
+    );
+
+    // A restart over the compacted, partially-evicted registry restores
+    // the session and serves the same retained history.
+    drop(server);
+    let server = DebugServer::start_persistent(server_config(), persist()).expect("restart");
+    let handle = server.handle(id).expect("restored");
+    handle.wait_idle(WAIT).expect("restored catch-up finishes");
+    let (floor_after, paged_after) = pages(&handle);
+    assert_eq!(floor_after, floor, "restart must not move the floor");
+    assert_eq!(
+        serde_json::to_string(&paged_after).expect("json"),
+        serde_json::to_string(&paged).expect("json"),
+        "restart must not change the retained history"
+    );
     drop(server);
     std::fs::remove_dir_all(&root).ok();
 }

@@ -205,7 +205,7 @@ proptest! {
     ) {
         let mut wire = Vec::new();
         for frame in &frames {
-            wire.extend_from_slice(&encode_frame(frame));
+            wire.extend_from_slice(&encode_frame(frame).unwrap());
         }
         let mut decoder = FrameDecoder::new();
         let mut got = Vec::new();
@@ -235,7 +235,7 @@ proptest! {
     ) {
         let mut wire = Vec::new();
         for frame in &frames {
-            wire.extend_from_slice(&encode_frame(frame));
+            wire.extend_from_slice(&encode_frame(frame).unwrap());
         }
         let mut decoder = FrameDecoder::new();
         let mut got = Vec::new();
@@ -281,9 +281,12 @@ fn version_mismatch_is_rejected() {
     let (_server, wire) = wired_server(ServerConfig::default());
     // A raw socket speaking a future protocol revision.
     let mut raw = std::net::TcpStream::connect(wire.local_addr()).expect("connect");
-    raw.write_all(&encode_frame(&ClientFrame::Hello {
-        version: WIRE_VERSION + 1,
-    }))
+    raw.write_all(
+        &encode_frame(&ClientFrame::Hello {
+            version: WIRE_VERSION + 1,
+        })
+        .expect("encodes"),
+    )
     .expect("send hello");
     let mut decoder = FrameDecoder::new();
     let mut chunk = [0u8; 1024];
@@ -601,9 +604,12 @@ fn late_join_stream_is_gapless_from_the_subscription_point() {
 fn duplicate_hello_closes_the_connection() {
     let (_server, wire) = wired_server(ServerConfig::default());
     let mut raw = std::net::TcpStream::connect(wire.local_addr()).expect("connect");
-    raw.write_all(&encode_frame(&ClientFrame::Hello {
-        version: WIRE_VERSION,
-    }))
+    raw.write_all(
+        &encode_frame(&ClientFrame::Hello {
+            version: WIRE_VERSION,
+        })
+        .expect("encodes"),
+    )
     .expect("hello");
     let mut decoder = FrameDecoder::new();
     let mut chunk = [0u8; 4096];
@@ -621,9 +627,12 @@ fn duplicate_hello_closes_the_connection() {
         read_frame(&mut raw, &mut decoder),
         Some(ServerFrame::HelloAck { .. })
     ));
-    raw.write_all(&encode_frame(&ClientFrame::Hello {
-        version: WIRE_VERSION,
-    }))
+    raw.write_all(
+        &encode_frame(&ClientFrame::Hello {
+            version: WIRE_VERSION,
+        })
+        .expect("encodes"),
+    )
     .expect("duplicate hello");
     assert!(matches!(
         read_frame(&mut raw, &mut decoder),
