@@ -1,36 +1,61 @@
 //! Wire-protocol loopback: what remote attach costs on localhost TCP.
 //!
-//! Three measurements:
+//! Measurements:
 //!
 //! * `wire/codec_trace_delta64` — pure encode + deframe + decode of a
 //!   64-entry `TraceDelta` frame (the protocol's dominant payload), no
-//!   socket;
+//!   socket, fresh buffers per frame (the v3 streamer's allocation
+//!   pattern);
+//! * `wire/codec_trace_delta64_reuse` — the same codec through
+//!   `encode_frame_into` with warm caller-owned buffers (the v4
+//!   streamer's steady state);
 //! * `wire/snapshot_roundtrip` — one counter snapshot command →
 //!   mailbox → reply frame, full client/server round trip over
 //!   loopback TCP;
 //! * `wire/event_stream_per_event` — a pumped session streaming its
 //!   broadcast over the wire; wall time divided by events received
-//!   (manual row: the horizon run is not an `iter`-able unit).
+//!   (manual row: the horizon run is not an `iter`-able unit);
+//! * `wire/multiplexed_event_stream_per_event` — eight sessions
+//!   streaming concurrently over ONE connection (one streamer thread);
+//!   wall time divided by events received;
+//! * `wire/fanout_per_client_per_event` — many concurrent clients
+//!   fanned over a fleet on one listener, each multiplexing several
+//!   attaches; wall time divided by total events delivered — the
+//!   per-client lag proxy under fan-out load;
+//! * `wire/fanout_connections` — the concurrent-connection count the
+//!   fan-out row was measured at (a count, not a latency; kept as a
+//!   positive "median" so `bench_check` gates its presence);
+//! * comparison `wire/threads_per_watched_session` — server threads
+//!   per watched session, v3 (one connection + streamer pair per
+//!   session) vs v4 (one pair per connection, many sessions each).
 //!
 //! Persists `BENCH_wire.json` at the repo root — regenerate with
 //! `cargo bench -p gmdf-bench --bench wire_loopback`. With
 //! `GMDF_BENCH_QUICK=1` it writes `BENCH_wire.quick.json` (smaller
-//! horizon, same shape), the CI baseline.
+//! horizon and fan-out, same shape), the CI baseline.
 
 use criterion::{criterion_group, Criterion};
 use gmdf::{ChannelMode, DebugSession, Workflow};
-use gmdf_bench::report::{repo_root, report_from, write_report};
+use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
 use gmdf_bench::ring_system;
 use gmdf_codegen::{CompileOptions, InstrumentOptions};
 use gmdf_engine::TraceEntry;
 use gmdf_gdm::{EventKind, ModelEvent};
-use gmdf_server::proto::{decode_payload, encode_frame, FrameDecoder, ServerFrame};
-use gmdf_server::{DebugServer, EngineEvent, ServerConfig, WireClient, WireServer};
+use gmdf_server::proto::{
+    decode_payload, encode_frame, encode_frame_into, FrameDecoder, ServerFrame,
+};
+use gmdf_server::{DebugServer, EngineEvent, ServerConfig, SessionId, WireClient, WireServer};
+use std::collections::BTreeSet;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const WAIT: Duration = Duration::from_secs(120);
+
+/// Sessions multiplexed on the single connection of the
+/// `multiplexed_event_stream_per_event` row — also the denominator of
+/// the `threads_per_watched_session` comparison.
+const MUX_SESSIONS: usize = 8;
 
 fn session() -> DebugSession {
     Workflow::from_system(ring_system(5, 0.001, 1_000_000))
@@ -78,6 +103,10 @@ fn bench_wire(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("wire");
     let frame = delta_frame(64);
+    // Allocation count, fresh-buffer path (what the v3 streamer did per
+    // event frame): one `String` grown for the JSON text + one `Vec`
+    // for the length-prefixed bytes = 2 buffer allocations per frame,
+    // on top of the serializer's Content tree.
     group.bench_function("codec_trace_delta64", |b| {
         b.iter(|| {
             let bytes = encode_frame(black_box(&frame)).expect("fits in a frame");
@@ -87,10 +116,55 @@ fn bench_wire(c: &mut Criterion) {
             decode_payload::<ServerFrame>(&payload).expect("decodes")
         });
     });
+    // Allocation count, reuse path (the v4 streamer's steady state):
+    // both buffers are warm after the first frame, so 0 buffer
+    // allocations per frame — only the serializer's Content tree
+    // remains. Same deframe + decode tail as the row above, so the
+    // delta between the two rows is exactly the encode-side reuse.
+    group.bench_function("codec_trace_delta64_reuse", |b| {
+        let mut json = String::new();
+        let mut out: Vec<u8> = Vec::new();
+        b.iter(|| {
+            out.clear();
+            encode_frame_into(black_box(&frame), &mut json, &mut out).expect("fits in a frame");
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&out);
+            let payload = decoder.next_payload().expect("valid").expect("complete");
+            decode_payload::<ServerFrame>(&payload).expect("decodes")
+        });
+    });
     group.bench_function("snapshot_roundtrip", |b| {
-        b.iter(|| client.snapshot(false, WAIT).expect("snapshot").now_ns);
+        b.iter(|| {
+            client
+                .snapshot(handle.id(), false, WAIT)
+                .expect("snapshot")
+                .now_ns
+        });
     });
     group.finish();
+}
+
+/// Runs every session in `ids` for `horizon_ns` and drains `client`
+/// until each has delivered its end-of-run `Idle`. Returns events
+/// received (all sessions merged).
+fn run_and_drain(client: &mut WireClient, ids: &[SessionId], horizon_ns: u64) -> usize {
+    for &id in ids {
+        client.run_for(id, horizon_ns).expect("run");
+    }
+    let mut pending: BTreeSet<SessionId> = ids.iter().copied().collect();
+    let mut events = 0usize;
+    while !pending.is_empty() {
+        match client.next_event(WAIT) {
+            Ok(event) => {
+                events += 1;
+                if let EngineEvent::Idle { session, .. } = event {
+                    pending.remove(&session);
+                }
+            }
+            Err(e) => panic!("stream failed: {e}"),
+        }
+    }
+    events
 }
 
 /// Streams one pumped horizon over the wire and returns
@@ -111,18 +185,7 @@ fn stream_throughput() -> (f64, usize) {
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
     client.attach(handle.id()).expect("attach");
     let t0 = Instant::now();
-    client.run_for(horizon_ns).expect("run");
-    let mut events = 0usize;
-    loop {
-        match client.next_event(WAIT) {
-            Ok(EngineEvent::Idle { .. }) => {
-                events += 1;
-                break;
-            }
-            Ok(_) => events += 1,
-            Err(e) => panic!("stream failed: {e}"),
-        }
-    }
+    let events = run_and_drain(&mut client, &[handle.id()], horizon_ns);
     let elapsed_ns = t0.elapsed().as_nanos() as f64;
     eprintln!(
         "[wire_loopback] streamed {events} events over {} ms of target time in {:.2} ms wall",
@@ -132,18 +195,162 @@ fn stream_throughput() -> (f64, usize) {
     (elapsed_ns / events.max(1) as f64, events)
 }
 
+/// [`MUX_SESSIONS`] sessions streaming concurrently over ONE
+/// connection — one socket, one streamer thread, session-tagged frames
+/// demultiplexed client-side. Returns `(ns_per_event, events)`.
+fn multiplexed_stream_throughput() -> (f64, usize) {
+    let horizon_ns: u64 = if criterion::quick_mode() {
+        5_000_000
+    } else {
+        25_000_000
+    };
+    let server = Arc::new(DebugServer::start(ServerConfig {
+        workers: 2,
+        slice_ns: 500_000,
+        ..ServerConfig::default()
+    }));
+    let ids: Vec<SessionId> = (0..MUX_SESSIONS)
+        .map(|_| server.add_session(session()).id())
+        .collect();
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach_many(&ids).expect("attach fleet");
+    let t0 = Instant::now();
+    let events = run_and_drain(&mut client, &ids, horizon_ns);
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    eprintln!(
+        "[wire_loopback] multiplexed {events} events from {MUX_SESSIONS} sessions over one \
+         connection in {:.2} ms wall",
+        elapsed_ns / 1e6
+    );
+    (elapsed_ns / events.max(1) as f64, events)
+}
+
+/// Fan-out: many concurrent clients on one listener, each multiplexing
+/// several attaches over a shared fleet. Returns
+/// `(ns_per_event_across_all_clients, clients)`.
+fn fanout_throughput() -> (f64, usize) {
+    let (clients, fleet, horizon_ns): (usize, usize, u64) = if criterion::quick_mode() {
+        (16, 8, 2_000_000)
+    } else {
+        (200, 32, 5_000_000)
+    };
+    let attaches_per_client = 2usize;
+    let server = Arc::new(DebugServer::start(ServerConfig {
+        workers: 2,
+        slice_ns: 500_000,
+        ..ServerConfig::default()
+    }));
+    let ids: Vec<SessionId> = (0..fleet)
+        .map(|_| server.add_session(session()).id())
+        .collect();
+    let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    // All connections are live and attached before the fleet runs, so
+    // the measured window is pure streaming fan-out.
+    let mut pool: Vec<(WireClient, Vec<SessionId>)> = (0..clients)
+        .map(|i| {
+            let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+            let watch: Vec<SessionId> = (0..attaches_per_client)
+                .map(|k| ids[(i + k) % fleet])
+                .collect();
+            client.attach_many(&watch).expect("attach");
+            (client, watch)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut driver = WireClient::connect(wire.local_addr()).expect("handshake");
+    for &id in &ids {
+        driver.run_for(id, horizon_ns).expect("run");
+    }
+    let mut events = 0usize;
+    for (client, watch) in &mut pool {
+        let mut pending: BTreeSet<SessionId> = watch.iter().copied().collect();
+        while !pending.is_empty() {
+            match client.next_event(WAIT) {
+                Ok(event) => {
+                    events += 1;
+                    if let EngineEvent::Idle { session, .. } = event {
+                        pending.remove(&session);
+                    }
+                }
+                Err(e) => panic!("fan-out stream failed: {e}"),
+            }
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    eprintln!(
+        "[wire_loopback] fanned {events} events to {clients} clients ({attaches_per_client} \
+         attaches each) over a {fleet}-session fleet in {:.2} ms wall",
+        elapsed_ns / 1e6
+    );
+    (elapsed_ns / events.max(1) as f64, clients)
+}
+
 criterion_group!(benches, bench_wire);
+
+/// Median and mean of repeated single-shot throughput runs — one
+/// pumped horizon is not an `iter`-able unit, so robustness comes from
+/// repeating the whole scenario (fresh server each time) instead.
+fn sampled(runs: usize, mut one: impl FnMut() -> f64) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..runs).map(|_| one()).collect();
+    samples.sort_by(f64::total_cmp);
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
+    };
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (median, mean)
+}
 
 fn main() {
     benches();
-    let (per_event_ns, _events) = stream_throughput();
+    let runs = if criterion::quick_mode() { 3 } else { 5 };
+    let (stream_median, stream_mean) = sampled(runs, || stream_throughput().0);
+    let (mux_median, mux_mean) = sampled(runs, || multiplexed_stream_throughput().0);
+    let mut connections = 0usize;
+    let (fanout_median, fanout_mean) = sampled(3, || {
+        let (ns, conns) = fanout_throughput();
+        connections = conns;
+        ns
+    });
     let mut results = criterion::take_results();
     results.push(criterion::BenchResult {
         name: "wire/event_stream_per_event".to_owned(),
-        median_ns: per_event_ns,
-        mean_ns: per_event_ns,
+        median_ns: stream_median,
+        mean_ns: stream_mean,
     });
-    let report = report_from("wire", results, vec![]);
+    results.push(criterion::BenchResult {
+        name: "wire/multiplexed_event_stream_per_event".to_owned(),
+        median_ns: mux_median,
+        mean_ns: mux_mean,
+    });
+    results.push(criterion::BenchResult {
+        name: "wire/fanout_per_client_per_event".to_owned(),
+        median_ns: fanout_median,
+        mean_ns: fanout_mean,
+    });
+    // A count, not a latency: how many concurrent connections the
+    // fan-out row was measured at. Kept as a positive "median" so the
+    // gate notices if the soak silently shrinks.
+    results.push(criterion::BenchResult {
+        name: "wire/fanout_connections".to_owned(),
+        median_ns: connections as f64,
+        mean_ns: connections as f64,
+    });
+    // Server threads per watched session: wire v3 needed one
+    // connection (reader + streamer) per session = 2.0; v4 amortizes
+    // one reader/streamer pair over every session multiplexed on the
+    // connection.
+    let threads_v3 = 2.0;
+    let threads_v4 = 2.0 / MUX_SESSIONS as f64;
+    let comparisons = vec![Comparison {
+        name: "wire/threads_per_watched_session".to_owned(),
+        baseline_ns: threads_v3,
+        optimized_ns: threads_v4,
+        speedup: threads_v3 / threads_v4,
+    }];
+    let report = report_from("wire", results, comparisons);
     let name = if criterion::quick_mode() {
         "BENCH_wire.quick.json"
     } else {

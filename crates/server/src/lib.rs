@@ -100,6 +100,7 @@ mod wire;
 pub use event::{EngineEvent, SessionSnapshot, TraceSlice};
 pub use metrics::{
     FleetMetrics, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionHealth,
+    SessionInfo, WireConnection,
 };
 pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{

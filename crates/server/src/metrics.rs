@@ -37,7 +37,8 @@ pub use gmdf_engine::metrics::{
 use crate::server::SessionId;
 use gmdf_engine::metrics::HistogramAccum;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
 /// Trailing window for "recent events per second" (milliseconds).
@@ -68,6 +69,75 @@ pub struct WireMetrics {
     pub bytes_tx: Counter,
     /// Payload bytes read (length prefixes included).
     pub bytes_rx: Counter,
+    /// Next per-connection id (monotonic, never reused).
+    next_conn: AtomicU64,
+    /// Live per-connection counter bundles, held weakly so a closed
+    /// connection's row disappears once its threads drop the `Arc`.
+    conns: Mutex<Vec<Weak<ConnMetrics>>>,
+}
+
+/// Per-connection wire counters, one bundle per accepted TCP
+/// connection. The connection's reader and streamer threads share one
+/// `Arc`; snapshots read live bundles through [`WireMetrics`]'s weak
+/// list, so the row vanishes when the connection closes.
+#[derive(Debug)]
+pub struct ConnMetrics {
+    /// Stable per-connection id (monotonic across the server's life).
+    pub id: u64,
+    /// Frames written to this client.
+    pub frames_tx: Counter,
+    /// Frames read from this client.
+    pub frames_rx: Counter,
+    /// Bytes written to this client (length prefixes included).
+    pub bytes_tx: Counter,
+    /// Bytes read from this client (length prefixes included).
+    pub bytes_rx: Counter,
+    /// Events dropped by this connection's per-session queues
+    /// (observed `Lagged` markers delivered downstream).
+    pub lagged: Counter,
+    /// Sessions currently attached on this connection.
+    pub attached: Gauge,
+}
+
+impl WireMetrics {
+    /// Allocates a fresh per-connection counter bundle and tracks it
+    /// (weakly) for snapshot read-out. Dead entries from closed
+    /// connections are pruned on the way in.
+    pub fn register_connection(&self) -> Arc<ConnMetrics> {
+        let conn = Arc::new(ConnMetrics {
+            id: self.next_conn.fetch_add(1, Ordering::Relaxed),
+            frames_tx: Counter::new(),
+            frames_rx: Counter::new(),
+            bytes_tx: Counter::new(),
+            bytes_rx: Counter::new(),
+            lagged: Counter::new(),
+            attached: Gauge::new(),
+        });
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.retain(|w| w.strong_count() > 0);
+        conns.push(Arc::downgrade(&conn));
+        conn
+    }
+
+    /// Snapshot rows for the connections still alive, ordered by id.
+    pub fn connection_rows(&self) -> Vec<WireConnection> {
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<WireConnection> = conns
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|c| WireConnection {
+                connection: c.id,
+                frames_tx: c.frames_tx.get(),
+                frames_rx: c.frames_rx.get(),
+                bytes_tx: c.bytes_tx.get(),
+                bytes_rx: c.bytes_rx.get(),
+                attached: c.attached.get(),
+                lagged_drops: c.lagged.get(),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.connection);
+        rows
+    }
 }
 
 /// The always-on counter bundle the whole server stack records into.
@@ -199,6 +269,43 @@ pub struct SessionHealth {
     pub memo_misses: u64,
 }
 
+/// One row of the wire v4 session directory: the cheap-to-build
+/// summary a `ListSessions` reply carries so a multiplexed client can
+/// discover the fleet and decide what to attach. Quarantined ids are
+/// listed too (state [`HealthState::Quarantined`], zeroed progress
+/// fields) so the directory names every id the server knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// The session.
+    pub session: SessionId,
+    /// Control/health state.
+    pub state: HealthState,
+    /// Target simulation time.
+    pub now_ns: u64,
+    /// Entries in the execution trace.
+    pub trace_len: u64,
+}
+
+/// Per-connection wire counters as read out in a snapshot — one row of
+/// [`FleetMetrics::wire_conns`] per live connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireConnection {
+    /// Stable per-connection id.
+    pub connection: u64,
+    /// Frames written to this client.
+    pub frames_tx: u64,
+    /// Frames read from this client.
+    pub frames_rx: u64,
+    /// Bytes written to this client.
+    pub bytes_tx: u64,
+    /// Bytes read from this client.
+    pub bytes_rx: u64,
+    /// Sessions currently attached on this connection.
+    pub attached: u64,
+    /// Events dropped by this connection's per-session queues.
+    pub lagged_drops: u64,
+}
+
 /// A persisted session that failed to restore, with the reason — the
 /// wire-visible form of [`crate::DebugServer::quarantined_sessions`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -286,6 +393,8 @@ pub struct FleetMetrics {
     pub wire_bytes_tx: u64,
     /// Wire bytes read.
     pub wire_bytes_rx: u64,
+    /// Per-connection wire breakdown, one row per live connection.
+    pub wire_conns: Vec<WireConnection>,
     /// VM condition-memo hits, summed over sessions.
     pub memo_hits: u64,
     /// VM condition-memo misses, summed over sessions.
@@ -393,6 +502,33 @@ impl MetricsSnapshot {
         histo("gmdf_store_read_ns", &f.store_read_ns);
         histo("gmdf_store_maintain_ns", &f.store_maintain_ns);
         histo("gmdf_journal_append_ns", &f.journal_append_ns);
+        for c in &f.wire_conns {
+            let id = c.connection;
+            out.push_str(&format!(
+                "gmdf_wire_conn_attached{{connection=\"{id}\"}} {}\n",
+                c.attached
+            ));
+            out.push_str(&format!(
+                "gmdf_wire_conn_frames_tx{{connection=\"{id}\"}} {}\n",
+                c.frames_tx
+            ));
+            out.push_str(&format!(
+                "gmdf_wire_conn_frames_rx{{connection=\"{id}\"}} {}\n",
+                c.frames_rx
+            ));
+            out.push_str(&format!(
+                "gmdf_wire_conn_bytes_tx{{connection=\"{id}\"}} {}\n",
+                c.bytes_tx
+            ));
+            out.push_str(&format!(
+                "gmdf_wire_conn_bytes_rx{{connection=\"{id}\"}} {}\n",
+                c.bytes_rx
+            ));
+            out.push_str(&format!(
+                "gmdf_wire_conn_lagged_drops{{connection=\"{id}\"}} {}\n",
+                c.lagged_drops
+            ));
+        }
         for s in &self.sessions {
             let id = s.session;
             let state = match s.state {
@@ -481,6 +617,7 @@ pub(crate) fn fleet_skeleton(registry: &MetricsRegistry) -> FleetMetrics {
         wire_frames_rx: registry.wire.frames_rx.get(),
         wire_bytes_tx: registry.wire.bytes_tx.get(),
         wire_bytes_rx: registry.wire.bytes_rx.get(),
+        wire_conns: registry.wire.connection_rows(),
         memo_hits: 0,
         memo_misses: 0,
     }

@@ -9,14 +9,21 @@
 //!   server→client). Frames longer than [`MAX_FRAME_LEN`] are rejected
 //!   (a desynchronized or hostile peer must not drive allocation).
 //! * **Handshake**: the client's first frame must be
-//!   [`ClientFrame::Hello`] carrying [`WIRE_VERSION`]; the server
-//!   answers [`ServerFrame::HelloAck`] (listing attachable sessions) or
+//!   [`ClientFrame::Hello`] carrying [`WIRE_VERSION`] (and the shared
+//!   secret when the server requires one); the server answers
+//!   [`ServerFrame::HelloAck`] (listing attachable sessions) or
 //!   [`ServerFrame::Error`] and closes. Versioning is strict equality —
 //!   the vocabulary is re-negotiated per release, not field-patched.
-//! * **Envelopes**: after the handshake, the client attaches to one
-//!   session and sends [`SessionCommand`]s; the server interleaves
-//!   command replies (`Ack` / `Snapshot` / `Error`) with the attached
-//!   session's [`EngineEvent`] stream on the same socket.
+//! * **Envelopes**: after the handshake, the connection is
+//!   **multiplexed**: the client attaches to any number of sessions
+//!   concurrently ([`ClientFrame::Attach`] / [`ClientFrame::Detach`]),
+//!   addresses every [`SessionCommand`] at an explicit session, and
+//!   polls the live session directory ([`ClientFrame::ListSessions`] /
+//!   [`ServerFrame::Sessions`]). The server interleaves command replies
+//!   (`Ack` / `Snapshot` / `Error`) with the attached sessions' merged
+//!   [`EngineEvent`] stream on the same socket; every event carries its
+//!   session id, so frames demultiplex client-side without per-session
+//!   sockets.
 //!
 //! The JSON encoding of every payload type is exactly the vendored
 //! serde shim's derive format, so a wire round-trip of an event stream
@@ -24,7 +31,7 @@
 //! (`crates/server/tests/wire.rs` pins this down).
 
 use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
-use crate::metrics::{MetricsSnapshot, QuarantinedSession};
+use crate::metrics::{MetricsSnapshot, QuarantinedSession, SessionInfo};
 use crate::server::{SessionCommand, SessionId};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::sync::mpsc;
@@ -35,8 +42,14 @@ use std::sync::mpsc;
 /// and their [`ServerFrame::Trace`] reply. Version 3 added the
 /// server-scope telemetry pair ([`ClientFrame::ListMetrics`] /
 /// [`ServerFrame::Metrics`]) and the quarantine list in
-/// [`ServerFrame::HelloAck`].
-pub const WIRE_VERSION: u32 = 3;
+/// [`ServerFrame::HelloAck`]. Version 4 multiplexed the connection:
+/// concurrent attaches ([`ClientFrame::Attach`] grew a queue-capacity
+/// override, [`ClientFrame::Detach`] appeared), session-addressed
+/// commands ([`ClientFrame::Command`] carries a `session`), the live
+/// directory pair ([`ClientFrame::ListSessions`] /
+/// [`ServerFrame::Sessions`]), and the optional shared-secret `token`
+/// in [`ClientFrame::Hello`].
+pub const WIRE_VERSION: u32 = 4;
 
 /// Upper bound on one frame's payload length (64 MiB) — large enough
 /// for a full-trace snapshot of any realistic session, small enough
@@ -50,27 +63,61 @@ pub enum ClientFrame {
     Hello {
         /// The client's [`WIRE_VERSION`].
         version: u32,
+        /// Shared-secret authentication token. Required (and compared
+        /// in constant time) when the server was configured with
+        /// [`crate::ServerConfig::auth_token`]; ignored otherwise.
+        token: Option<String>,
     },
-    /// Attach this connection to one hosted session: subsequent
-    /// commands address it and its event stream starts flowing.
+    /// Attach this connection to one hosted session: its event stream
+    /// starts flowing, interleaved with every other attached session's.
+    /// Re-attaching an already-attached session replaces its
+    /// subscription (the stream restarts from now).
     Attach {
         /// Client-chosen request id, echoed in the reply — correlates
         /// replies with requests even after a client-side timeout left
         /// a stale reply in flight.
         seq: u64,
         /// The session to attach to (see
-        /// [`ServerFrame::HelloAck::sessions`]).
+        /// [`ServerFrame::HelloAck::sessions`] or
+        /// [`ServerFrame::Sessions`]).
+        session: SessionId,
+        /// Override for this attach's event-queue capacity (`Some(0)` =
+        /// unbounded); `None` uses the server default
+        /// ([`crate::ServerConfig::subscriber_capacity`]). Each attach
+        /// gets its own (connection, session) bounded queue, so one
+        /// lagging attach overflows alone.
+        capacity: Option<u64>,
+    },
+    /// Detach one session from this connection: its event stream stops
+    /// (frames already in flight may still arrive — clients filter
+    /// stragglers). Idempotent; other attaches are untouched.
+    Detach {
+        /// Client-chosen request id, echoed in the reply.
+        seq: u64,
+        /// The session to detach.
         session: SessionId,
     },
-    /// Post one command to the attached session's mailbox.
+    /// Post one command to a hosted session's mailbox.
     /// [`SessionCommand::Snapshot`] is answered with
     /// [`ServerFrame::Snapshot`]; everything else with
-    /// [`ServerFrame::Ack`].
+    /// [`ServerFrame::Ack`]. Commands are session-addressed and need no
+    /// prior attach.
     Command {
         /// Client-chosen request id, echoed in the reply.
         seq: u64,
+        /// The session the command addresses.
+        session: SessionId,
         /// The command to apply.
         command: SessionCommand,
+    },
+    /// Request the live session directory — one
+    /// [`SessionInfo`] row per hosted (and quarantined) session.
+    /// Server-scope: a discovery client can poll the fleet and choose
+    /// what to attach without any prior attach. Answered with
+    /// [`ServerFrame::Sessions`].
+    ListSessions {
+        /// Client-chosen request id, echoed in the reply.
+        seq: u64,
     },
     /// Request the server's fleet-wide [`MetricsSnapshot`]. This is a
     /// *server-scope* request — it needs no attached session, so a
@@ -129,6 +176,15 @@ pub enum ServerFrame {
         /// The page (bounded; see [`TraceSlice::complete`]).
         slice: TraceSlice,
     },
+    /// Reply to a [`ClientFrame::ListSessions`] request: the live
+    /// session directory clients discover and attach against.
+    Sessions {
+        /// The request id this answers.
+        seq: u64,
+        /// One row per hosted session (quarantined ids included, marked
+        /// by their [`crate::HealthState`]).
+        sessions: Vec<SessionInfo>,
+    },
     /// Reply to a [`ClientFrame::ListMetrics`] request: the fleet-wide
     /// telemetry snapshot.
     Metrics {
@@ -138,10 +194,12 @@ pub enum ServerFrame {
         /// largest payload, and boxing keeps the frame enum small).
         snapshot: Box<MetricsSnapshot>,
     },
-    /// One event from the attached session's broadcast stream.
+    /// One event from an attached session's broadcast stream. The
+    /// event carries its session id — a multiplexed connection's merged
+    /// stream demultiplexes on it.
     Event {
         /// The broadcast event (including [`EngineEvent::Lagged`] when
-        /// this connection fell behind).
+        /// this (connection, session) queue fell behind).
         event: EngineEvent,
     },
 }
@@ -315,16 +373,43 @@ impl std::error::Error for FrameTooLarge {}
 /// unchecked `as u32` cast here would silently truncate the length
 /// prefix and desynchronize the stream for every later frame.
 pub fn encode_frame<T: Serialize>(frame: &T) -> Result<Vec<u8>, FrameTooLarge> {
-    let json = serde_json::to_string(frame).expect("frame serializes");
+    let mut json = String::new();
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut json, &mut out)?;
+    Ok(out)
+}
+
+/// The buffer-reuse form of [`encode_frame`]: appends one
+/// length-prefixed frame to `out`, rendering the JSON through the
+/// caller-owned `json` scratch buffer. A hot encode loop (the
+/// per-connection streamer batching event frames) keeps both buffers
+/// warm, so steady-state encoding allocates nothing — instead of one
+/// fresh `String` plus one fresh `Vec` per frame.
+///
+/// `json` is cleared on entry; `out` is appended to (never truncated),
+/// so successive frames batch into one write. On error `out` is left
+/// exactly as it was.
+///
+/// # Errors
+///
+/// Rejects envelopes whose payload exceeds [`MAX_FRAME_LEN`], like
+/// [`encode_frame`].
+pub fn encode_frame_into<T: Serialize>(
+    frame: &T,
+    json: &mut String,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameTooLarge> {
+    json.clear();
+    serde_json::write_to_string(frame, json);
     if json.len() > MAX_FRAME_LEN {
         return Err(FrameTooLarge {
             payload_len: json.len(),
         });
     }
-    let mut out = Vec::with_capacity(4 + json.len());
+    out.reserve(4 + json.len());
     out.extend_from_slice(&(json.len() as u32).to_be_bytes());
     out.extend_from_slice(json.as_bytes());
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes one frame payload (the JSON bytes *after* the length

@@ -36,6 +36,52 @@ use std::time::{Duration, Instant};
 /// subscriber bounds memory even on a delta-only stream.
 pub const MAX_COALESCED_ENTRIES: usize = 4096;
 
+/// A shared wake flag for a consumer multiplexing **many** queues: the
+/// wire streamer drains every attach on its connection round-robin,
+/// so it cannot block inside any single queue's condvar. Each of its
+/// queues is built with the same `Arc<Notify>`; every push (and sender
+/// drop) raises the flag, and the streamer sleeps on
+/// [`Notify::wait_timeout`] only when a full sweep found nothing.
+///
+/// The flag is level-triggered and sticky: a notify that lands between
+/// the streamer's sweep and its wait returns the wait immediately, so
+/// no event can be stranded for a full poll interval.
+#[derive(Debug, Default)]
+pub(crate) struct Notify {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Notify {
+    /// Raises the flag and wakes a waiter.
+    pub(crate) fn notify(&self) {
+        *lock(&self.flag) = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until the flag is raised (consuming it) or `timeout`
+    /// elapses. A flag raised before the call returns immediately.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut flag = lock(&self.flag);
+        loop {
+            if *flag {
+                *flag = false;
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            flag = self
+                .cv
+                .wait_timeout(flag, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
 #[derive(Debug)]
 struct State {
     events: VecDeque<EngineEvent>,
@@ -58,18 +104,24 @@ struct Channel {
     lagged: Counter,
     /// Fleet-wide queued-event gauge, when metrics are enabled.
     depth: Option<Gauge>,
+    /// External wake hook for consumers multiplexing many queues (the
+    /// wire streamer); raised on every push and on sender drop.
+    notify: Option<Arc<Notify>>,
 }
 
 /// Creates one subscriber queue for `session` with the given capacity
 /// (`0` = unbounded). Drops are counted into `lagged` (the session's
 /// cumulative counter) in addition to the in-stream `Lagged` report;
 /// `depth` — when present — tracks the queue's current length in the
-/// fleet-wide subscriber-depth gauge.
+/// fleet-wide subscriber-depth gauge; `notify` — when present — is
+/// raised on every push so a consumer sweeping many queues (the wire
+/// streamer) can sleep on one flag instead of polling each condvar.
 pub(crate) fn channel(
     session: SessionId,
     capacity: usize,
     lagged: Counter,
     depth: Option<Gauge>,
+    notify: Option<Arc<Notify>>,
 ) -> (EventSender, EventReceiver) {
     let chan = Arc::new(Channel {
         session,
@@ -83,6 +135,7 @@ pub(crate) fn channel(
         cv: Condvar::new(),
         lagged,
         depth,
+        notify,
     });
     (EventSender(Arc::clone(&chan)), EventReceiver(chan))
 }
@@ -111,6 +164,9 @@ impl EventSender {
                         tail.append(&mut entries);
                         drop(s);
                         ch.cv.notify_one();
+                        if let Some(notify) = &ch.notify {
+                            notify.notify();
+                        }
                         return true;
                     }
                 }
@@ -135,6 +191,9 @@ impl EventSender {
         }
         drop(s);
         ch.cv.notify_one();
+        if let Some(notify) = &ch.notify {
+            notify.notify();
+        }
         true
     }
 }
@@ -143,6 +202,9 @@ impl Drop for EventSender {
     fn drop(&mut self) {
         lock(&self.0.state).tx_alive = false;
         self.0.cv.notify_all();
+        if let Some(notify) = &self.0.notify {
+            notify.notify();
+        }
     }
 }
 
@@ -308,7 +370,7 @@ mod tests {
 
     #[test]
     fn unbounded_queue_never_drops() {
-        let (tx, rx) = channel(7, 0, Counter::new(), None);
+        let (tx, rx) = channel(7, 0, Counter::new(), None, None);
         for i in 0..1000 {
             assert!(tx.push(idle(i)));
         }
@@ -318,7 +380,7 @@ mod tests {
 
     #[test]
     fn overflow_coalesces_consecutive_trace_deltas() {
-        let (tx, rx) = channel(7, 2, Counter::new(), None);
+        let (tx, rx) = channel(7, 2, Counter::new(), None, None);
         assert!(tx.push(delta(0..2)));
         assert!(tx.push(delta(2..4)));
         // Queue full; the next delta merges into the newest one.
@@ -334,7 +396,7 @@ mod tests {
 
     #[test]
     fn overflow_drops_oldest_and_reports_lagged_first() {
-        let (tx, rx) = channel(7, 2, Counter::new(), None);
+        let (tx, rx) = channel(7, 2, Counter::new(), None, None);
         assert!(tx.push(idle(0)));
         assert!(tx.push(idle(1)));
         assert!(tx.push(idle(2))); // drops idle(0)
@@ -352,7 +414,7 @@ mod tests {
 
     #[test]
     fn dropped_trace_delta_counts_its_entries() {
-        let (tx, rx) = channel(7, 1, Counter::new(), None);
+        let (tx, rx) = channel(7, 1, Counter::new(), None, None);
         assert!(tx.push(delta(0..3)));
         assert!(tx.push(idle(0))); // cannot coalesce → drops the delta
         let got: Vec<_> = rx.try_iter().collect();
@@ -368,7 +430,7 @@ mod tests {
 
     #[test]
     fn bounded_queue_length_never_exceeds_capacity() {
-        let (tx, rx) = channel(7, 4, Counter::new(), None);
+        let (tx, rx) = channel(7, 4, Counter::new(), None, None);
         for i in 0..100 {
             assert!(tx.push(idle(i)));
             assert!(rx.len() <= 4);
@@ -377,14 +439,14 @@ mod tests {
 
     #[test]
     fn receiver_drop_unsubscribes() {
-        let (tx, rx) = channel(7, 0, Counter::new(), None);
+        let (tx, rx) = channel(7, 0, Counter::new(), None, None);
         drop(rx);
         assert!(!tx.push(idle(0)));
     }
 
     #[test]
     fn sender_drop_disconnects_after_drain() {
-        let (tx, rx) = channel(7, 0, Counter::new(), None);
+        let (tx, rx) = channel(7, 0, Counter::new(), None, None);
         assert!(tx.push(idle(0)));
         drop(tx);
         assert!(rx.try_recv().is_ok());
@@ -396,5 +458,27 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)),
             Err(mpsc::RecvTimeoutError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn notify_wakes_on_push_and_is_sticky() {
+        let notify = Arc::new(Notify::default());
+        let (tx, rx) = channel(7, 0, Counter::new(), None, Some(Arc::clone(&notify)));
+        // Raised before the wait: returns immediately (sticky flag).
+        assert!(tx.push(idle(0)));
+        let start = Instant::now();
+        notify.wait_timeout(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        // Flag was consumed: with nothing new, the wait times out.
+        let start = Instant::now();
+        notify.wait_timeout(Duration::from_millis(10));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        // Sender drop raises it too, so a sweeping consumer notices
+        // disconnects without polling.
+        drop(tx);
+        let start = Instant::now();
+        notify.wait_timeout(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        drop(rx);
     }
 }

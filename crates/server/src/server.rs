@@ -23,7 +23,8 @@
 
 use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
 use crate::metrics::{
-    self, Counter, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionHealth,
+    self, Counter, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession,
+    SessionHealth, SessionInfo,
 };
 use crate::persist;
 use crate::queue::{self, EventReceiver, EventSender};
@@ -59,7 +60,7 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Server construction parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads in the pump pool (minimum 1).
     pub workers: usize,
@@ -79,6 +80,11 @@ pub struct ServerConfig {
     /// [`MetricsRegistry::disabled`] registry and skips every
     /// recording site.
     pub metrics: bool,
+    /// Shared-secret token wire clients must present in their `Hello`
+    /// frame (compared in constant time). `None` = no authentication:
+    /// any `Hello` (with or without a token) is accepted. Only the wire
+    /// layer consults this; in-process handles are never gated.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +94,7 @@ impl Default for ServerConfig {
             slice_ns: 1_000_000,
             subscriber_capacity: 1024,
             metrics: true,
+            auth_token: None,
         }
     }
 }
@@ -351,6 +358,8 @@ struct Shared {
     /// The observability registry every layer records into (disabled =
     /// all recording sites skipped).
     metrics: Arc<MetricsRegistry>,
+    /// Wire-handshake shared secret ([`ServerConfig::auth_token`]).
+    auth_token: Option<String>,
 }
 
 impl Shared {
@@ -472,6 +481,7 @@ impl DebugServer {
             default_slice_ns: config.slice_ns.max(1),
             default_subscriber_capacity: config.subscriber_capacity,
             metrics: Arc::new(registry),
+            auth_token: config.auth_token,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -637,6 +647,50 @@ impl DebugServer {
     /// Number of worker threads in the pool.
     pub fn worker_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// The session directory a wire v4 `ListSessions` reply carries:
+    /// one [`SessionInfo`] row per hosted session (registration order),
+    /// followed by one per quarantined id (zeroed progress fields).
+    /// Much cheaper than [`DebugServer::metrics_snapshot`] — each
+    /// session's state lock is taken just long enough to read its
+    /// health state, clock, and trace length.
+    pub fn session_directory(&self) -> Vec<SessionInfo> {
+        let cells: Vec<Arc<SessionCell>> = lock(&self.sessions).clone();
+        let mut rows = Vec::with_capacity(cells.len() + self.quarantined.len());
+        for cell in &cells {
+            let inner = lock(&cell.inner);
+            let state = if inner.failed.is_some() {
+                HealthState::Failed
+            } else if inner.remaining_ns > 0
+                || cell.queued.load(Ordering::SeqCst)
+                || !lock(&cell.mailbox).is_empty()
+            {
+                HealthState::Running
+            } else {
+                HealthState::Parked
+            };
+            rows.push(SessionInfo {
+                session: cell.id,
+                state,
+                now_ns: inner.session.now_ns(),
+                trace_len: inner.session.engine().trace().len() as u64,
+            });
+        }
+        for (id, _) in &self.quarantined {
+            rows.push(SessionInfo {
+                session: *id,
+                state: HealthState::Quarantined,
+                now_ns: 0,
+                trace_len: 0,
+            });
+        }
+        rows
+    }
+
+    /// The wire-handshake shared secret, when one is configured.
+    pub(crate) fn auth_token(&self) -> Option<&str> {
+        self.shared.auth_token.as_deref()
     }
 
     /// The observability registry the server records into. Disabled
@@ -830,7 +884,35 @@ impl SessionHandle {
             .metrics
             .enabled()
             .then(|| self.shared.metrics.subscriber_depth.clone());
-        let (tx, rx) = queue::channel(self.cell.id, capacity, inner.lagged.clone(), depth);
+        let (tx, rx) = queue::channel(self.cell.id, capacity, inner.lagged.clone(), depth, None);
+        inner.subscribers.push(tx);
+        rx
+    }
+
+    /// The wire streamer's subscription: like
+    /// [`SessionHandle::subscribe_with_capacity`] (`None` = the
+    /// server's default capacity), but the queue also raises `notify`
+    /// on every push so one streamer thread can sleep on a single flag
+    /// while draining every attach on its connection.
+    pub(crate) fn subscribe_wire(
+        &self,
+        capacity: Option<usize>,
+        notify: Arc<crate::queue::Notify>,
+    ) -> EventReceiver {
+        let capacity = capacity.unwrap_or(self.shared.default_subscriber_capacity);
+        let mut inner = lock(&self.cell.inner);
+        let depth = self
+            .shared
+            .metrics
+            .enabled()
+            .then(|| self.shared.metrics.subscriber_depth.clone());
+        let (tx, rx) = queue::channel(
+            self.cell.id,
+            capacity,
+            inner.lagged.clone(),
+            depth,
+            Some(notify),
+        );
         inner.subscribers.push(tx);
         rx
     }

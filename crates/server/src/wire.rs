@@ -1,31 +1,48 @@
-//! The wire layer: remote attach over TCP.
+//! The wire layer: multiplexed remote attach over TCP (wire v4).
 //!
 //! [`WireServer`] fronts a [`DebugServer`]: it accepts TCP connections,
-//! speaks the [`crate::proto`] handshake, and gives each connection two
-//! threads — a **reader** that decodes [`ClientFrame`]s and forwards
-//! commands to the hosted session, and a **writer** that multiplexes
-//! command replies with the attached session's broadcast stream onto
-//! the socket.
+//! speaks the [`crate::proto`] handshake, and gives each connection
+//! exactly **two** threads regardless of how many sessions it watches —
+//! a **reader** that decodes [`ClientFrame`]s, answers session
+//! directory / metrics queries, and forwards session-addressed commands
+//! to the hosted sessions, and a single **streamer** that drains every
+//! attached session's queue round-robin and writes event frames in
+//! batches under the connection's write lock. A dashboard watching a
+//! 64-session fleet therefore costs one socket and two threads, not 64
+//! of each.
 //!
-//! Backpressure is inherited from the in-process subscription: the
-//! writer drains a *bounded* [`EventReceiver`], so a stalled TCP client
-//! fills its own queue, gets consecutive `TraceDelta`s coalesced, then
-//! drops oldest events (announced in-stream by
-//! [`EngineEvent::Lagged`][crate::EngineEvent::Lagged]) — the
-//! scheduler pump never blocks on a socket and the server's memory
-//! stays bounded per connection.
+//! Backpressure is per *(connection, session)*: every attach owns a
+//! bounded [`EventReceiver`], so one stalled attach fills its own queue
+//! — consecutive `TraceDelta`s coalesce, then the oldest events drop
+//! (announced in-stream by
+//! [`EngineEvent::Lagged`][crate::EngineEvent::Lagged]) — while sibling
+//! attaches on the same socket, and the scheduler pump itself, never
+//! block. The streamer encodes into a reused per-connection buffer
+//! (zero steady-state allocations) and flushes whole batches per
+//! write-lock acquisition.
+//!
+//! An optional shared-secret token ([`crate::ServerConfig::auth_token`])
+//! rides in the `Hello` frame and is compared in constant time.
 //!
 //! [`WireClient`] is the matching blocking client: it drives the
-//! handshake, attaches to one session, sends commands, and interleaves
-//! event consumption with request/reply calls on a single socket.
+//! handshake, attaches to any number of sessions
+//! ([`WireClient::attach_many`]), demultiplexes their merged event
+//! stream ([`WireClient::next_event_from`]), polls the server's session
+//! directory ([`WireClient::list_sessions`]), and interleaves commands
+//! with event consumption on a single socket.
 
-use crate::metrics::{Gauge, MetricsSnapshot, QuarantinedSession, WireMetrics};
-use crate::proto::{decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame};
-use crate::queue::EventReceiver;
-use crate::server::{lock, DebugServer, SessionCommand, SessionHandle, SessionId};
+use crate::metrics::{
+    ConnMetrics, Gauge, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionInfo,
+};
+use crate::proto::{
+    decode_payload, encode_frame, encode_frame_into, ClientFrame, FrameDecoder, ServerFrame,
+};
+use crate::queue::{EventReceiver, Notify};
+use crate::server::{lock, DebugServer, SessionCommand, SessionId};
 use crate::EngineEvent;
 use crate::SessionSnapshot;
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -36,7 +53,8 @@ use std::time::{Duration, Instant};
 
 /// Socket poll granularity: read/write timeouts and shutdown-flag
 /// re-check period. A backstop, not the event latency — frames flow as
-/// fast as the socket carries them.
+/// fast as the socket carries them, and queue pushes wake the streamer
+/// immediately through its [`Notify`] flag.
 const POLL: Duration = Duration::from_millis(20);
 
 /// How long the server waits on a session snapshot before reporting an
@@ -45,6 +63,11 @@ const SNAPSHOT_WAIT: Duration = Duration::from_secs(30);
 
 /// Default client-side wait for a command reply.
 const REPLY_WAIT: Duration = Duration::from_secs(30);
+
+/// Streamer batch cutoff: once a sweep has encoded this many bytes the
+/// batch is flushed, so a burst on one session cannot hold the write
+/// lock (and sibling replies) hostage indefinitely.
+const MAX_BATCH_BYTES: usize = 256 * 1024;
 
 /// A wire-layer failure, on either side of the socket.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,9 +114,22 @@ impl From<std::io::Error> for WireError {
     }
 }
 
-/// A TCP front for a [`DebugServer`]: remote clients attach to hosted
-/// sessions, send [`SessionCommand`]s, and stream
-/// [`EngineEvent`][crate::EngineEvent]s.
+/// Constant-time byte-string equality for the handshake token: the
+/// comparison touches every byte of both inputs regardless of where
+/// they first differ, so response timing leaks neither a prefix match
+/// nor the secret's length.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        diff |= (*a.get(i).unwrap_or(&0) ^ *b.get(i).unwrap_or(&0)) as usize;
+    }
+    diff == 0
+}
+
+/// A TCP front for a [`DebugServer`]: remote clients discover hosted
+/// sessions, attach to any number of them, send [`SessionCommand`]s,
+/// and stream [`EngineEvent`][crate::EngineEvent]s — all multiplexed
+/// over one socket per client.
 ///
 /// Dropping the server stops accepting, disconnects every client, and
 /// joins all connection threads. The fronted [`DebugServer`] keeps
@@ -174,12 +210,31 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let server = Arc::clone(server);
-                let shutdown = Arc::clone(shutdown);
-                let handle = std::thread::Builder::new()
+                let shutdown_flag = Arc::clone(shutdown);
+                // Held aside so a failed spawn can still tell the peer
+                // why (the spawn closure consumes the original).
+                let reporter = stream.try_clone();
+                let spawned = std::thread::Builder::new()
                     .name("gmdf-wire-conn".to_owned())
-                    .spawn(move || serve_connection(stream, &server, &shutdown))
-                    .expect("spawn wire connection thread");
-                lock(conns).push(handle);
+                    .spawn(move || serve_connection(stream, &server, &shutdown_flag));
+                match spawned {
+                    Ok(handle) => lock(conns).push(handle),
+                    // Thread exhaustion must not take down the accept
+                    // loop (and with it every future client): tell this
+                    // peer why and drop only its connection.
+                    Err(e) => {
+                        if let Ok(mut reporter) = reporter {
+                            let _ = reporter.set_write_timeout(Some(POLL));
+                            let refused = ServerFrame::Error {
+                                seq: None,
+                                message: format!("server cannot serve connection: {e}"),
+                            };
+                            if let Ok(bytes) = encode_frame(&refused) {
+                                let _ = reporter.write_all(&bytes);
+                            }
+                        }
+                    }
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(_) => std::thread::sleep(POLL),
@@ -196,25 +251,89 @@ enum ReadOutcome {
     Malformed(String),
 }
 
+/// The wire-telemetry handle one connection's reader and streamer
+/// share: `None` when metrics are disabled (every record is one branch),
+/// otherwise the global [`crate::metrics::WireMetrics`] counters plus
+/// this connection's own [`ConnMetrics`] row. Cloned into the streamer
+/// thread; the per-connection row disappears from snapshots when the
+/// last clone drops.
+#[derive(Debug, Clone)]
+struct Telemetry(Option<(Arc<MetricsRegistry>, Arc<ConnMetrics>)>);
+
+impl Telemetry {
+    fn acquire(registry: &Arc<MetricsRegistry>) -> Self {
+        Telemetry(
+            registry
+                .enabled()
+                .then(|| (Arc::clone(registry), registry.wire.register_connection())),
+        )
+    }
+
+    fn frames_rx(&self) {
+        if let Some((reg, conn)) = &self.0 {
+            reg.wire.frames_rx.inc();
+            conn.frames_rx.inc();
+        }
+    }
+
+    fn bytes_rx(&self, n: u64) {
+        if let Some((reg, conn)) = &self.0 {
+            reg.wire.bytes_rx.add(n);
+            conn.bytes_rx.add(n);
+        }
+    }
+
+    fn frames_tx(&self, n: u64) {
+        if let Some((reg, conn)) = &self.0 {
+            reg.wire.frames_tx.add(n);
+            conn.frames_tx.add(n);
+        }
+    }
+
+    fn bytes_tx(&self, n: u64) {
+        if let Some((reg, conn)) = &self.0 {
+            reg.wire.bytes_tx.add(n);
+            conn.bytes_tx.add(n);
+        }
+    }
+
+    /// Events dropped by this connection's queues, observed as the
+    /// streamer delivers their in-stream `Lagged` markers.
+    fn lagged(&self, n: u64) {
+        if let Some((_, conn)) = &self.0 {
+            conn.lagged.add(n);
+        }
+    }
+
+    fn attach_inc(&self) {
+        if let Some((_, conn)) = &self.0 {
+            conn.attached.inc();
+        }
+    }
+
+    fn attach_dec(&self) {
+        if let Some((_, conn)) = &self.0 {
+            conn.attached.dec();
+        }
+    }
+}
+
 /// Reads the next client frame, polling the shutdown flag at [`POLL`]
-/// granularity. The stream must have a read timeout installed. When
-/// metrics are enabled (`wm`), received bytes and decoded frames are
-/// counted.
+/// granularity. The stream must have a read timeout installed. Received
+/// bytes and decoded frames are counted into `tel`.
 fn next_client_frame(
     mut stream: &TcpStream,
     decoder: &mut FrameDecoder,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
-    wm: Option<&WireMetrics>,
+    tel: &Telemetry,
 ) -> ReadOutcome {
     let mut chunk = [0u8; 4096];
     loop {
         match decoder.next_payload() {
             Ok(Some(payload)) => match decode_payload::<ClientFrame>(&payload) {
                 Ok(frame) => {
-                    if let Some(wm) = wm {
-                        wm.frames_rx.inc();
-                    }
+                    tel.frames_rx();
                     return ReadOutcome::Frame(frame);
                 }
                 Err(e) => return ReadOutcome::Malformed(e),
@@ -228,9 +347,7 @@ fn next_client_frame(
         match stream.read(&mut chunk) {
             Ok(0) => return ReadOutcome::Stop,
             Ok(n) => {
-                if let Some(wm) = wm {
-                    wm.bytes_rx.add(n as u64);
-                }
+                tel.bytes_rx(n as u64);
                 decoder.feed(&chunk[..n]);
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
@@ -245,16 +362,18 @@ fn next_client_frame(
 /// never wedges — its own teardown.
 const FLUSH_GRACE: Duration = Duration::from_millis(500);
 
-/// Writes pre-encoded bytes, retrying on write timeouts while polling
-/// the shutdown flag. Once `closed` is set the retries continue only
-/// for [`FLUSH_GRACE`], so queued diagnostics still flush to a live
-/// peer but a stalled one cannot hang the join.
+/// Writes pre-encoded bytes carrying `frames` whole frames (a batch of
+/// one or many), retrying on write timeouts while polling the shutdown
+/// flag. Once `closed` is set the retries continue only for
+/// [`FLUSH_GRACE`], so queued diagnostics still flush to a live peer
+/// but a stalled one cannot hang the join.
 fn write_bytes(
     mut stream: &TcpStream,
     bytes: &[u8],
+    frames: u64,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
-    wm: Option<&WireMetrics>,
+    tel: &Telemetry,
 ) -> Result<(), ()> {
     let mut off = 0;
     let mut grace: Option<Instant> = None;
@@ -271,18 +390,14 @@ fn write_bytes(
         match stream.write(&bytes[off..]) {
             Ok(0) => return Err(()),
             Ok(n) => {
-                if let Some(wm) = wm {
-                    wm.bytes_tx.add(n as u64);
-                }
+                tel.bytes_tx(n as u64);
                 off += n;
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => return Err(()),
         }
     }
-    if let Some(wm) = wm {
-        wm.frames_tx.inc();
-    }
+    tel.frames_tx(frames);
     Ok(())
 }
 
@@ -294,10 +409,10 @@ fn write_frame<T: Serialize>(
     frame: &T,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
-    wm: Option<&WireMetrics>,
+    tel: &Telemetry,
 ) -> Result<(), ()> {
     let bytes = encode_frame(frame).map_err(|_| ())?;
-    write_bytes(stream, &bytes, shutdown, closed, wm)
+    write_bytes(stream, &bytes, 1, shutdown, closed, tel)
 }
 
 /// The request id `frame` answers, if it is a reply.
@@ -306,9 +421,25 @@ fn frame_seq(frame: &ServerFrame) -> Option<u64> {
         ServerFrame::Ack { seq }
         | ServerFrame::Snapshot { seq, .. }
         | ServerFrame::Trace { seq, .. }
+        | ServerFrame::Sessions { seq, .. }
         | ServerFrame::Metrics { seq, .. } => Some(*seq),
         ServerFrame::Error { seq, .. } => *seq,
         ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
+    }
+}
+
+/// The fitting substitute for an oversized event frame: an in-stream
+/// [`EngineEvent::Lagged`] charging the event's payload (visible data
+/// loss, stream stays healthy and decodable).
+fn lagged_substitute(event: &EngineEvent) -> ServerFrame {
+    ServerFrame::Event {
+        event: EngineEvent::Lagged {
+            session: event.session(),
+            dropped: match event {
+                EngineEvent::TraceDelta { entries, .. } => entries.len() as u64,
+                _ => 1,
+            },
+        },
     }
 }
 
@@ -323,21 +454,13 @@ fn write_server_frame(
     frame: &ServerFrame,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
-    wm: Option<&WireMetrics>,
+    tel: &Telemetry,
 ) -> Result<(), ()> {
     let bytes = match encode_frame(frame) {
         Ok(bytes) => bytes,
         Err(err) => {
             let substitute = match frame {
-                ServerFrame::Event { event } => ServerFrame::Event {
-                    event: EngineEvent::Lagged {
-                        session: event.session(),
-                        dropped: match event {
-                            EngineEvent::TraceDelta { entries, .. } => entries.len() as u64,
-                            _ => 1,
-                        },
-                    },
-                },
+                ServerFrame::Event { event } => lagged_substitute(event),
                 other => ServerFrame::Error {
                     seq: frame_seq(other),
                     message: format!("reply: {err}"),
@@ -346,7 +469,7 @@ fn write_server_frame(
             encode_frame(&substitute).map_err(|_| ())?
         }
     };
-    write_bytes(stream, &bytes, shutdown, closed, wm)
+    write_bytes(stream, &bytes, 1, shutdown, closed, tel)
 }
 
 /// Holds the wire layer's live-connection gauge up for one connection's
@@ -367,19 +490,35 @@ impl Drop for ConnectionGauge {
     }
 }
 
+/// What the reader hands the streamer: a new (or replacement)
+/// subscription to drain, or a detach. Sent over an `mpsc` channel and
+/// applied at the top of every streamer sweep; the reader raises the
+/// streamer's [`Notify`] after each send so ops apply immediately, not
+/// at the next poll tick.
+enum StreamOp {
+    /// Start draining this subscription. Replaces an existing
+    /// subscription to the same session (re-attach).
+    Attach(EventReceiver),
+    /// Stop draining (and drop) the subscription to this session.
+    Detach(SessionId),
+}
+
 fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_write_timeout(Some(POLL));
     let registry = Arc::clone(server.metrics_registry());
-    let wm = registry.enabled().then(|| &registry.wire);
-    let _connections = wm.map(|w| ConnectionGauge::acquire(&w.connections));
+    let tel = Telemetry::acquire(&registry);
+    let _connections = registry
+        .enabled()
+        .then(|| ConnectionGauge::acquire(&registry.wire.connections));
     let closed = Arc::new(AtomicBool::new(false));
     let mut decoder = FrameDecoder::new();
 
-    // Handshake: the first frame must be a version-matched Hello.
-    match next_client_frame(&stream, &mut decoder, shutdown, &closed, wm) {
-        ReadOutcome::Frame(ClientFrame::Hello { version }) => {
+    // Handshake: the first frame must be a version-matched Hello
+    // carrying the shared secret, when the server requires one.
+    match next_client_frame(&stream, &mut decoder, shutdown, &closed, &tel) {
+        ReadOutcome::Frame(ClientFrame::Hello { version, token }) => {
             if version != crate::proto::WIRE_VERSION {
                 let _ = write_frame(
                     &stream,
@@ -392,9 +531,27 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                     },
                     shutdown,
                     &closed,
-                    wm,
+                    &tel,
                 );
                 return;
+            }
+            if let Some(required) = server.auth_token() {
+                let presented = token.as_deref().unwrap_or("");
+                if !ct_eq(required.as_bytes(), presented.as_bytes()) {
+                    // One generic message for absent and wrong tokens
+                    // alike — the reply must not narrate the secret.
+                    let _ = write_frame(
+                        &stream,
+                        &ServerFrame::Error {
+                            seq: None,
+                            message: "authentication failed".to_owned(),
+                        },
+                        shutdown,
+                        &closed,
+                        &tel,
+                    );
+                    return;
+                }
             }
         }
         ReadOutcome::Frame(_) => {
@@ -406,7 +563,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                 },
                 shutdown,
                 &closed,
-                wm,
+                &tel,
             );
             return;
         }
@@ -419,7 +576,7 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                 },
                 shutdown,
                 &closed,
-                wm,
+                &tel,
             );
             return;
         }
@@ -427,31 +584,59 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
     }
 
     // Post-handshake, replies and events share the socket: the reader
-    // writes command replies directly (no queuing latency) and a
-    // streamer thread pumps the attached session's events; a write
-    // lock keeps whole frames atomic between the two.
+    // writes command replies directly (no queuing latency) and ONE
+    // streamer thread drains every attached session's queue, batching
+    // event frames; a write lock keeps whole frames (and batches)
+    // atomic between the two.
     let write_lock = Arc::new(Mutex::new(()));
-    let (sub_tx, sub_rx) = mpsc::channel::<EventReceiver>();
+    let notify = Arc::new(Notify::default());
+    let (ops_tx, ops_rx) = mpsc::channel::<StreamOp>();
     let streamer = {
-        let stream = match stream.try_clone() {
+        let stream_clone = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
         };
-        let shutdown = Arc::clone(shutdown);
-        let closed = Arc::clone(&closed);
-        let write_lock = Arc::clone(&write_lock);
-        let registry = Arc::clone(&registry);
-        std::thread::Builder::new()
+        let shutdown_flag = Arc::clone(shutdown);
+        let closed_flag = Arc::clone(&closed);
+        let lock_clone = Arc::clone(&write_lock);
+        let notify_clone = Arc::clone(&notify);
+        let tel_clone = tel.clone();
+        let spawned = std::thread::Builder::new()
             .name("gmdf-wire-streamer".to_owned())
             .spawn(move || {
-                let wm = registry.enabled().then(|| &registry.wire);
-                event_loop(&stream, &sub_rx, &shutdown, &closed, &write_lock, wm);
-            })
-            .expect("spawn wire streamer thread")
+                event_loop(
+                    &stream_clone,
+                    &ops_rx,
+                    &notify_clone,
+                    &shutdown_flag,
+                    &closed_flag,
+                    &lock_clone,
+                    &tel_clone,
+                );
+            });
+        match spawned {
+            Ok(handle) => handle,
+            // Degraded, not dead: without a streamer this connection
+            // cannot honor its contract, so tell the peer and tear down
+            // this one connection — never panic the accept path.
+            Err(e) => {
+                let _ = write_frame(
+                    &stream,
+                    &ServerFrame::Error {
+                        seq: None,
+                        message: format!("server cannot stream events: {e}"),
+                    },
+                    shutdown,
+                    &closed,
+                    &tel,
+                );
+                return;
+            }
+        }
     };
     let reply = |frame: ServerFrame| {
         let _guard = lock(&write_lock);
-        if write_server_frame(&stream, &frame, shutdown, &closed, wm).is_err() {
+        if write_server_frame(&stream, &frame, shutdown, &closed, &tel).is_err() {
             closed.store(true, Ordering::SeqCst);
         }
     };
@@ -468,12 +653,15 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
             .collect(),
     });
 
-    let mut attached: Option<SessionHandle> = None;
+    // Which sessions this connection currently streams — reader-side
+    // bookkeeping for the attached gauge and detach idempotence; the
+    // streamer owns the receivers themselves.
+    let mut attached: BTreeSet<SessionId> = BTreeSet::new();
     loop {
         if closed.load(Ordering::SeqCst) {
             break;
         }
-        match next_client_frame(&stream, &mut decoder, shutdown, &closed, wm) {
+        match next_client_frame(&stream, &mut decoder, shutdown, &closed, &tel) {
             ReadOutcome::Frame(ClientFrame::Hello { .. }) => {
                 // A connection-level violation; per the protocol
                 // contract a seq-less Error closes the connection.
@@ -491,28 +679,55 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                     snapshot: Box::new(server.metrics_snapshot()),
                 });
             }
-            ReadOutcome::Frame(ClientFrame::Attach { seq, session }) => {
-                match server.handle(session) {
-                    Some(handle) => {
-                        // Subscribe *before* acking so no event between
-                        // the ack and the subscription can be missed
-                        // (the streamer may interleave an event ahead of
-                        // the ack; the client buffers it).
-                        let _ = sub_tx.send(handle.subscribe());
-                        reply(ServerFrame::Ack { seq });
-                        attached = Some(handle);
-                    }
-                    None => reply(ServerFrame::Error {
-                        seq: Some(seq),
-                        message: format!("unknown session {session}"),
-                    }),
-                }
+            ReadOutcome::Frame(ClientFrame::ListSessions { seq }) => {
+                reply(ServerFrame::Sessions {
+                    seq,
+                    sessions: server.session_directory(),
+                });
             }
-            ReadOutcome::Frame(ClientFrame::Command { seq, command }) => {
-                let Some(handle) = &attached else {
+            ReadOutcome::Frame(ClientFrame::Attach {
+                seq,
+                session,
+                capacity,
+            }) => match server.handle(session) {
+                Some(handle) => {
+                    // Subscribe *before* acking so no event between
+                    // the ack and the subscription can be missed
+                    // (the streamer may interleave an event ahead of
+                    // the ack; the client buffers it).
+                    let receiver =
+                        handle.subscribe_wire(capacity.map(|c| c as usize), Arc::clone(&notify));
+                    let _ = ops_tx.send(StreamOp::Attach(receiver));
+                    notify.notify();
+                    reply(ServerFrame::Ack { seq });
+                    if attached.insert(session) {
+                        tel.attach_inc();
+                    }
+                }
+                None => reply(ServerFrame::Error {
+                    seq: Some(seq),
+                    message: format!("unknown session {session}"),
+                }),
+            },
+            ReadOutcome::Frame(ClientFrame::Detach { seq, session }) => {
+                // Idempotent: detaching a session that was never
+                // attached (or already detached) still acks.
+                if attached.remove(&session) {
+                    let _ = ops_tx.send(StreamOp::Detach(session));
+                    notify.notify();
+                    tel.attach_dec();
+                }
+                reply(ServerFrame::Ack { seq });
+            }
+            ReadOutcome::Frame(ClientFrame::Command {
+                seq,
+                session,
+                command,
+            }) => {
+                let Some(handle) = server.handle(session) else {
                     reply(ServerFrame::Error {
                         seq: Some(seq),
-                        message: "attach to a session before sending commands".to_owned(),
+                        message: format!("unknown session {session}"),
                     });
                     continue;
                 };
@@ -576,67 +791,133 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
         }
     }
     closed.store(true, Ordering::SeqCst);
-    drop(sub_tx);
+    notify.notify();
+    drop(ops_tx);
     let _ = streamer.join();
 }
 
-/// The per-connection event streamer: waits on the attached session's
-/// subscription (woken immediately on every broadcast) and writes each
-/// event frame under the connection's write lock. A re-attach replaces
-/// the streamed subscription.
+/// The per-connection event streamer — **one** thread no matter how
+/// many sessions are attached. Each sweep applies pending
+/// attach/detach ops, then drains the subscriptions round-robin (one
+/// event per subscription per round, so a chatty session cannot starve
+/// its siblings), encoding frames back-to-back into a reused batch
+/// buffer; the whole batch goes out under a single write-lock
+/// acquisition. When a full sweep finds nothing the streamer sleeps on
+/// the connection's [`Notify`] flag, which every queue push raises.
+///
+/// Buffer reuse is the point: the v3 streamer allocated a fresh
+/// `String` (JSON) and a fresh `Vec` (length-prefixed bytes) per event
+/// frame; here both scratch buffers and the batch buffer are warm after
+/// the first frame, so steady-state encoding allocates only what the
+/// serializer itself needs.
 fn event_loop(
     stream: &TcpStream,
-    subs: &mpsc::Receiver<EventReceiver>,
+    ops: &mpsc::Receiver<StreamOp>,
+    notify: &Notify,
     shutdown: &AtomicBool,
     closed: &AtomicBool,
     write_lock: &Mutex<()>,
-    wm: Option<&WireMetrics>,
+    tel: &Telemetry,
 ) {
-    let mut sub: Option<EventReceiver> = None;
+    let mut subs: Vec<EventReceiver> = Vec::new();
+    let mut json = String::new();
+    let mut batch: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) || closed.load(Ordering::SeqCst) {
             return;
         }
-        match &sub {
-            None => match subs.recv_timeout(POLL) {
-                Ok(receiver) => sub = Some(receiver),
-                Err(mpsc::RecvTimeoutError::Timeout) => {}
-                // The reader is gone and no subscription will ever
-                // arrive; nothing left to stream.
-                Err(mpsc::RecvTimeoutError::Disconnected) => return,
-            },
-            Some(receiver) => {
-                if let Ok(replacement) = subs.try_recv() {
-                    sub = Some(replacement);
-                    continue;
+        // Apply pending attach/detach ops. A disconnected ops channel
+        // means the reader is gone; it sets `closed` before dropping
+        // its sender, so the top-of-loop check exits next sweep.
+        loop {
+            match ops.try_recv() {
+                Ok(StreamOp::Attach(receiver)) => {
+                    let session = receiver.session();
+                    match subs.iter_mut().find(|s| s.session() == session) {
+                        // Re-attach: the replacement subscription takes
+                        // over; dropping the old receiver unsubscribes
+                        // it server-side.
+                        Some(slot) => *slot = receiver,
+                        None => subs.push(receiver),
+                    }
                 }
-                match receiver.recv_timeout(POLL) {
+                Ok(StreamOp::Detach(session)) => subs.retain(|s| s.session() != session),
+                Err(mpsc::TryRecvError::Empty | mpsc::TryRecvError::Disconnected) => break,
+            }
+        }
+        // Sweep: round-robin over the subscriptions, one event each per
+        // round, until a full round finds nothing or the batch is full.
+        batch.clear();
+        let mut frames = 0u64;
+        let mut dead: Vec<SessionId> = Vec::new();
+        'sweep: loop {
+            let mut progressed = false;
+            for sub in &subs {
+                match sub.try_recv() {
                     Ok(event) => {
+                        progressed = true;
+                        if let EngineEvent::Lagged { dropped, .. } = &event {
+                            tel.lagged(*dropped);
+                        }
                         let frame = ServerFrame::Event { event };
-                        let guard = lock(write_lock);
-                        let ok = write_server_frame(stream, &frame, shutdown, closed, wm).is_ok();
-                        drop(guard);
-                        if !ok {
-                            closed.store(true, Ordering::SeqCst);
-                            return;
+                        if encode_frame_into(&frame, &mut json, &mut batch).is_err() {
+                            let ServerFrame::Event { event } = &frame else {
+                                unreachable!()
+                            };
+                            let substitute = lagged_substitute(event);
+                            if let EngineEvent::Lagged { dropped, .. } = match &substitute {
+                                ServerFrame::Event { event } => event,
+                                _ => unreachable!(),
+                            } {
+                                tel.lagged(*dropped);
+                            }
+                            encode_frame_into(&substitute, &mut json, &mut batch)
+                                .expect("Lagged substitute frame fits");
+                        }
+                        frames += 1;
+                        if batch.len() >= MAX_BATCH_BYTES {
+                            break 'sweep;
                         }
                     }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    // The session is gone (server released it); keep
-                    // serving replies until the client goes away.
-                    Err(mpsc::RecvTimeoutError::Disconnected) => sub = None,
+                    Err(mpsc::TryRecvError::Empty) => {}
+                    // The session is gone (server released it) and its
+                    // queue is drained; drop the subscription but keep
+                    // serving the connection's other attaches.
+                    Err(mpsc::TryRecvError::Disconnected) => dead.push(sub.session()),
                 }
             }
+            if !progressed {
+                break;
+            }
+        }
+        if !dead.is_empty() {
+            subs.retain(|s| !dead.contains(&s.session()));
+        }
+        if frames > 0 {
+            let guard = lock(write_lock);
+            let ok = write_bytes(stream, &batch, frames, shutdown, closed, tel).is_ok();
+            drop(guard);
+            if !ok {
+                closed.store(true, Ordering::SeqCst);
+                return;
+            }
+        } else {
+            notify.wait_timeout(POLL);
         }
     }
 }
 
-/// A blocking client for [`WireServer`]: one socket, one attached
-/// session, commands interleaved with the event stream.
+/// A blocking client for [`WireServer`]: one socket, any number of
+/// attached sessions, commands interleaved with the merged event
+/// stream.
 ///
 /// Events that arrive while the client waits for a command reply are
-/// buffered and handed out by [`WireClient::next_event`] in order —
-/// nothing on the stream is dropped client-side.
+/// buffered and handed out by [`WireClient::next_event`] /
+/// [`WireClient::next_event_from`] in arrival order — nothing on the
+/// stream is dropped client-side. Every session-scoped call names its
+/// session explicitly; attach first to stream events
+/// ([`WireClient::attach`], [`WireClient::attach_many`]), while
+/// commands and queries work without any attach.
 #[derive(Debug)]
 pub struct WireClient {
     stream: TcpStream,
@@ -644,22 +925,40 @@ pub struct WireClient {
     buffered: std::collections::VecDeque<crate::EngineEvent>,
     sessions: Vec<SessionId>,
     quarantined: Vec<QuarantinedSession>,
-    /// The currently attached session; events from any other session
-    /// (stragglers written around a re-attach) are filtered out.
-    attached: Option<SessionId>,
+    /// The currently attached sessions; events from any other session
+    /// (stragglers written around a detach) are filtered out.
+    attached: BTreeSet<SessionId>,
     /// Request-id counter; replies echo it, so a stale reply left in
     /// flight by a timed-out call can never answer a later request.
     next_seq: u64,
 }
 
 impl WireClient {
-    /// Connects and completes the hello/version handshake.
+    /// Connects and completes the hello/version handshake with no
+    /// authentication token — see [`WireClient::connect_with_token`]
+    /// for servers that require one.
     ///
     /// # Errors
     ///
     /// [`WireError::Io`] on socket failure, [`WireError::Remote`] /
     /// [`WireError::VersionMismatch`] on a rejected handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with_token(addr, None)
+    }
+
+    /// Connects and completes the hello/version handshake, presenting
+    /// `token` when the server requires a shared secret
+    /// ([`crate::ServerConfig::auth_token`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on socket failure, [`WireError::Remote`] on a
+    /// rejected token (`"authentication failed"`),
+    /// [`WireError::VersionMismatch`] on a version skew.
+    pub fn connect_with_token(
+        addr: impl ToSocketAddrs,
+        token: Option<&str>,
+    ) -> Result<Self, WireError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(POLL))?;
@@ -669,11 +968,12 @@ impl WireClient {
             buffered: std::collections::VecDeque::new(),
             sessions: Vec::new(),
             quarantined: Vec::new(),
-            attached: None,
+            attached: BTreeSet::new(),
             next_seq: 0,
         };
         client.write(&ClientFrame::Hello {
             version: crate::proto::WIRE_VERSION,
+            token: token.map(str::to_owned),
         })?;
         match client.read_frame(REPLY_WAIT)? {
             ServerFrame::HelloAck {
@@ -698,7 +998,8 @@ impl WireClient {
         }
     }
 
-    /// Sessions the server hosted at handshake time.
+    /// Sessions the server hosted at handshake time. For a live view,
+    /// poll [`WireClient::list_sessions`].
     pub fn sessions(&self) -> &[SessionId] {
         &self.sessions
     }
@@ -709,8 +1010,32 @@ impl WireClient {
         &self.quarantined
     }
 
+    /// Sessions this client is currently attached to.
+    pub fn attached(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.attached.iter().copied()
+    }
+
+    /// Polls the server's live session directory: one row per hosted
+    /// session (id, health state, clock, trace length), quarantined
+    /// ids included. A *server-scope* call, valid without any attach —
+    /// discover here, then [`WireClient::attach_many`] what you want
+    /// to watch.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors otherwise.
+    pub fn list_sessions(&mut self, timeout: Duration) -> Result<Vec<SessionInfo>, WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::ListSessions { seq })?;
+        self.wait_reply(seq, timeout, "Sessions", move |frame| match frame {
+            ServerFrame::Sessions { seq: s, sessions } if s == seq => Ok(sessions),
+            other => Err(other),
+        })
+    }
+
     /// Requests the server's fleet-wide telemetry snapshot — a
-    /// *server-scope* call, valid before (or without) an attach.
+    /// *server-scope* call, valid without any attach.
     ///
     /// # Errors
     ///
@@ -725,42 +1050,108 @@ impl WireClient {
         })
     }
 
-    /// Attaches this connection to `session`; its event stream starts
-    /// flowing immediately after the acknowledgment.
+    /// Attaches to `session` with the server's default queue capacity;
+    /// its event stream joins this connection's merged stream
+    /// immediately after the acknowledgment. Attaching again replaces
+    /// the server-side subscription (a fresh queue).
     ///
     /// # Errors
     ///
     /// [`WireError::Remote`] for an unknown session, transport errors
     /// otherwise.
     pub fn attach(&mut self, session: SessionId) -> Result<(), WireError> {
+        self.attach_with_capacity(session, None)
+    }
+
+    /// Like [`WireClient::attach`] with an explicit per-(connection,
+    /// session) queue capacity: `Some(0)` = unbounded (lossless),
+    /// `Some(n)` = at most `n` queued events (coalesce, then drop
+    /// oldest with an in-stream `Lagged`), `None` = the server default.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::attach`].
+    pub fn attach_with_capacity(
+        &mut self,
+        session: SessionId,
+        capacity: Option<u64>,
+    ) -> Result<(), WireError> {
         let seq = self.next_seq();
-        self.write(&ClientFrame::Attach { seq, session })?;
+        self.write(&ClientFrame::Attach {
+            seq,
+            session,
+            capacity,
+        })?;
         self.wait_ack(seq)?;
-        self.attached = Some(session);
-        // Drop events buffered from a previously attached session, but
-        // keep any of the *new* session's events that the streamer
-        // wrote ahead of the ack — the subscription starts before the
-        // ack is sent, and its leading events must not be lost.
-        self.buffered.retain(|event| event.session() == session);
+        self.attached.insert(session);
         Ok(())
     }
 
-    /// Sends one command to the attached session and waits for the
-    /// acknowledgment. Use [`WireClient::snapshot`] for
+    /// Attaches to every session in `sessions`, pipelined: all `Attach`
+    /// frames go out back-to-back, then the acknowledgments are awaited
+    /// in order — one round-trip for the whole batch instead of one per
+    /// session. Sessions acked before the first failure stay attached.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] on the first unknown session, transport
+    /// errors otherwise.
+    pub fn attach_many(&mut self, sessions: &[SessionId]) -> Result<(), WireError> {
+        let mut seqs = Vec::with_capacity(sessions.len());
+        for &session in sessions {
+            let seq = self.next_seq();
+            self.write(&ClientFrame::Attach {
+                seq,
+                session,
+                capacity: None,
+            })?;
+            seqs.push((seq, session));
+        }
+        for (seq, session) in seqs {
+            self.wait_ack(seq)?;
+            self.attached.insert(session);
+        }
+        Ok(())
+    }
+
+    /// Detaches from `session`: its events stop flowing (the server
+    /// drops the subscription), and any of its events still buffered
+    /// client-side are discarded — after this call,
+    /// [`WireClient::next_event`] never hands out a straggler from the
+    /// detached stream. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; detaching a never-attached session still acks.
+    pub fn detach(&mut self, session: SessionId) -> Result<(), WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Detach { seq, session })?;
+        self.wait_ack(seq)?;
+        self.attached.remove(&session);
+        self.buffered.retain(|event| event.session() != session);
+        Ok(())
+    }
+
+    /// Sends one command to `session` and waits for the acknowledgment
+    /// — valid without an attach. Use [`WireClient::snapshot`] for
     /// [`SessionCommand::Snapshot`] (it has a dedicated reply).
     ///
     /// # Errors
     ///
     /// [`WireError::Remote`] when the server rejects the command,
     /// transport errors otherwise.
-    pub fn send(&mut self, command: SessionCommand) -> Result<(), WireError> {
+    pub fn send(&mut self, session: SessionId, command: SessionCommand) -> Result<(), WireError> {
         let seq = self.next_seq();
-        self.write(&ClientFrame::Command { seq, command })?;
+        self.write(&ClientFrame::Command {
+            seq,
+            session,
+            command,
+        })?;
         self.wait_ack(seq)
     }
 
-    /// Requests a snapshot of the attached session (with the serialized
-    /// trace when `include_trace`).
+    /// Requests a snapshot of `session` (with the serialized trace when
+    /// `include_trace`).
     ///
     /// # Errors
     ///
@@ -768,6 +1159,7 @@ impl WireClient {
     /// remote errors otherwise.
     pub fn snapshot(
         &mut self,
+        session: SessionId,
         include_trace: bool,
         timeout: Duration,
     ) -> Result<SessionSnapshot, WireError> {
@@ -775,6 +1167,7 @@ impl WireClient {
         let seq = self.next_seq();
         self.write(&ClientFrame::Command {
             seq,
+            session,
             command: SessionCommand::Snapshot {
                 reply,
                 include_trace,
@@ -786,8 +1179,8 @@ impl WireClient {
         })
     }
 
-    /// Requests the attached session's trace entries whose event time
-    /// falls in `[t0_ns, t1_ns]` — one bounded page
+    /// Requests `session`'s trace entries whose event time falls in
+    /// `[t0_ns, t1_ns]` — one bounded page
     /// ([`crate::MAX_FETCH_ENTRIES`]).
     ///
     /// # Errors
@@ -796,6 +1189,7 @@ impl WireClient {
     /// remote errors otherwise.
     pub fn fetch_range(
         &mut self,
+        session: SessionId,
         t0_ns: u64,
         t1_ns: u64,
         timeout: Duration,
@@ -804,6 +1198,7 @@ impl WireClient {
         let seq = self.next_seq();
         self.write(&ClientFrame::Command {
             seq,
+            session,
             command: SessionCommand::FetchRange {
                 t0_ns,
                 t1_ns,
@@ -813,9 +1208,9 @@ impl WireClient {
         self.wait_trace(seq, timeout)
     }
 
-    /// Requests up to `limit` trace entries starting at sequence number
-    /// `seq` (`0` = the server cap) — page history by advancing `seq`
-    /// while [`crate::TraceSlice::complete`] is false.
+    /// Requests up to `limit` trace entries of `session` starting at
+    /// sequence number `seq` (`0` = the server cap) — page history by
+    /// advancing `seq` while [`crate::TraceSlice::complete`] is false.
     ///
     /// # Errors
     ///
@@ -823,6 +1218,7 @@ impl WireClient {
     /// remote errors otherwise.
     pub fn replay_from(
         &mut self,
+        session: SessionId,
         seq: u64,
         limit: u64,
         timeout: Duration,
@@ -831,6 +1227,7 @@ impl WireClient {
         let request = self.next_seq();
         self.write(&ClientFrame::Command {
             seq: request,
+            session,
             command: SessionCommand::ReplayFrom { seq, limit, reply },
         })?;
         self.wait_trace(request, timeout)
@@ -872,6 +1269,7 @@ impl WireClient {
                     ServerFrame::Ack { .. }
                     | ServerFrame::Snapshot { .. }
                     | ServerFrame::Trace { .. }
+                    | ServerFrame::Sessions { .. }
                     | ServerFrame::Metrics { .. },
                 ) => {}
                 Err(other) => {
@@ -883,8 +1281,11 @@ impl WireClient {
         }
     }
 
-    /// The next event on the attached session's stream (buffered ones
-    /// first).
+    /// The next event from **any** attached session (buffered ones
+    /// first, in arrival order) — the merged multiplexed stream.
+    /// Demultiplex with [`EngineEvent::session`][crate::EngineEvent],
+    /// or use [`WireClient::next_event_from`] for one session's
+    /// sub-stream.
     ///
     /// # Errors
     ///
@@ -904,8 +1305,8 @@ impl WireClient {
             }
             match self.read_frame(remaining)? {
                 ServerFrame::Event { event } if self.wants(&event) => return Ok(event),
-                // A straggler from a previously attached session,
-                // written around a re-attach; not part of this stream.
+                // A straggler from a detached session, written around
+                // the detach; not part of any current stream.
                 ServerFrame::Event { .. } => {}
                 // Stray replies from an earlier timed-out request (an
                 // Ack, a Snapshot, a Trace page, or a request-level
@@ -915,6 +1316,7 @@ impl WireClient {
                 ServerFrame::Ack { .. }
                 | ServerFrame::Snapshot { .. }
                 | ServerFrame::Trace { .. }
+                | ServerFrame::Sessions { .. }
                 | ServerFrame::Metrics { .. } => {}
                 ServerFrame::Error { seq: Some(_), .. } => {}
                 ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
@@ -927,13 +1329,64 @@ impl WireClient {
         }
     }
 
-    /// Polls counter snapshots until the attached session is idle (no
-    /// run budget left after every previously sent command applied).
+    /// The next event on `session`'s sub-stream: the per-session demux
+    /// over the merged stream. Other attached sessions' events read
+    /// along the way stay buffered in arrival order for their own
+    /// [`WireClient::next_event_from`] (or [`WireClient::next_event`])
+    /// calls — draining one session never loses a sibling's events.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses first, transport
+    /// or remote errors otherwise.
+    pub fn next_event_from(
+        &mut self,
+        session: SessionId,
+        timeout: Duration,
+    ) -> Result<crate::EngineEvent, WireError> {
+        if let Some(pos) = self
+            .buffered
+            .iter()
+            .position(|event| event.session() == session)
+        {
+            return Ok(self.buffered.remove(pos).expect("position is in range"));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Timeout);
+            }
+            match self.read_frame(remaining)? {
+                ServerFrame::Event { event } if event.session() == session => return Ok(event),
+                ServerFrame::Event { event } if self.wants(&event) => {
+                    self.buffered.push_back(event);
+                }
+                // A straggler from a detached session.
+                ServerFrame::Event { .. } => {}
+                ServerFrame::Ack { .. }
+                | ServerFrame::Snapshot { .. }
+                | ServerFrame::Trace { .. }
+                | ServerFrame::Sessions { .. }
+                | ServerFrame::Metrics { .. } => {}
+                ServerFrame::Error { seq: Some(_), .. } => {}
+                ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "expected Event, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Polls counter snapshots until `session` is idle (no run budget
+    /// left after every previously sent command applied).
     ///
     /// # Errors
     ///
     /// [`WireError::Timeout`] when `timeout` elapses first.
-    pub fn wait_idle(&mut self, timeout: Duration) -> Result<(), WireError> {
+    pub fn wait_idle(&mut self, session: SessionId, timeout: Duration) -> Result<(), WireError> {
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -942,7 +1395,7 @@ impl WireClient {
             }
             // The snapshot round-trips through the mailbox, so once it
             // reports zero budget every earlier command was applied.
-            let snapshot = self.snapshot(false, remaining)?;
+            let snapshot = self.snapshot(session, false, remaining)?;
             if snapshot.remaining_ns == 0 {
                 return Ok(());
             }
@@ -955,8 +1408,8 @@ impl WireClient {
     /// # Errors
     ///
     /// See [`WireClient::send`].
-    pub fn run_for(&mut self, duration_ns: u64) -> Result<(), WireError> {
-        self.send(SessionCommand::RunFor { duration_ns })
+    pub fn run_for(&mut self, session: SessionId, duration_ns: u64) -> Result<(), WireError> {
+        self.send(session, SessionCommand::RunFor { duration_ns })
     }
 
     /// Convenience: [`SessionCommand::ScheduleSignal`].
@@ -966,15 +1419,19 @@ impl WireClient {
     /// See [`WireClient::send`].
     pub fn schedule_signal(
         &mut self,
+        session: SessionId,
         time_ns: u64,
         label: &str,
         value: gmdf_comdes::SignalValue,
     ) -> Result<(), WireError> {
-        self.send(SessionCommand::ScheduleSignal {
-            time_ns,
-            label: label.to_owned(),
-            value,
-        })
+        self.send(
+            session,
+            SessionCommand::ScheduleSignal {
+                time_ns,
+                label: label.to_owned(),
+                value,
+            },
+        )
     }
 
     /// Convenience: [`SessionCommand::AddBreakpoint`].
@@ -984,10 +1441,11 @@ impl WireClient {
     /// See [`WireClient::send`].
     pub fn add_breakpoint(
         &mut self,
+        session: SessionId,
         matcher: gmdf_gdm::CommandMatcher,
         one_shot: bool,
     ) -> Result<(), WireError> {
-        self.send(SessionCommand::AddBreakpoint { matcher, one_shot })
+        self.send(session, SessionCommand::AddBreakpoint { matcher, one_shot })
     }
 
     /// Convenience: [`SessionCommand::Step`].
@@ -995,8 +1453,8 @@ impl WireClient {
     /// # Errors
     ///
     /// See [`WireClient::send`].
-    pub fn step(&mut self) -> Result<(), WireError> {
-        self.send(SessionCommand::Step)
+    pub fn step(&mut self, session: SessionId) -> Result<(), WireError> {
+        self.send(session, SessionCommand::Step)
     }
 
     /// Convenience: [`SessionCommand::Resume`].
@@ -1004,8 +1462,8 @@ impl WireClient {
     /// # Errors
     ///
     /// See [`WireClient::send`].
-    pub fn resume(&mut self) -> Result<(), WireError> {
-        self.send(SessionCommand::Resume)
+    pub fn resume(&mut self, session: SessionId) -> Result<(), WireError> {
+        self.send(session, SessionCommand::Resume)
     }
 
     /// Convenience: [`SessionCommand::ClearBreakpoints`].
@@ -1013,8 +1471,8 @@ impl WireClient {
     /// # Errors
     ///
     /// See [`WireClient::send`].
-    pub fn clear_breakpoints(&mut self) -> Result<(), WireError> {
-        self.send(SessionCommand::ClearBreakpoints)
+    pub fn clear_breakpoints(&mut self, session: SessionId) -> Result<(), WireError> {
+        self.send(session, SessionCommand::ClearBreakpoints)
     }
 
     fn write<T: Serialize>(&mut self, frame: &T) -> Result<(), WireError> {
@@ -1023,10 +1481,10 @@ impl WireClient {
         Ok(())
     }
 
-    /// `true` if `event` belongs to the attached session's stream.
+    /// `true` if `event` belongs to a currently attached session's
+    /// stream.
     fn wants(&self, event: &crate::EngineEvent) -> bool {
-        self.attached
-            .is_none_or(|session| event.session() == session)
+        self.attached.contains(&event.session())
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -1063,5 +1521,20 @@ impl WireClient {
                 Err(e) => return Err(WireError::Io(e.to_string())),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn ct_eq_matches_equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"secret", b"secret"));
+        assert!(!ct_eq(b"secret", b"secres"));
+        assert!(!ct_eq(b"secret", b"secret2"));
+        assert!(!ct_eq(b"secret", b""));
+        assert!(!ct_eq(b"", b"secret"));
     }
 }

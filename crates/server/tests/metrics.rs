@@ -186,12 +186,32 @@ fn wire_snapshot_matches_in_process_exactly() {
     remote.fleet.wire_bytes_tx = 0;
     local.fleet.wire_frames_tx = 0;
     local.fleet.wire_bytes_tx = 0;
+    // Same story for the per-connection rows: the Metrics reply itself
+    // bumps this connection's tx counters between the two snapshots.
+    for conn in remote
+        .fleet
+        .wire_conns
+        .iter_mut()
+        .chain(local.fleet.wire_conns.iter_mut())
+    {
+        conn.frames_tx = 0;
+        conn.bytes_tx = 0;
+    }
     assert_eq!(remote, local);
     // And the counters are non-trivial — this was a live fleet.
     assert!(remote.fleet.events_fed > 0);
     assert!(remote.fleet.slices > 0);
     assert_eq!(remote.fleet.wire_connections, 1);
     assert!(remote.fleet.wire_frames_rx > 0);
+    // The per-connection row for this one live client exists, carries
+    // its received traffic, and reaches the Prometheus exposition.
+    assert_eq!(remote.fleet.wire_conns.len(), 1);
+    assert!(remote.fleet.wire_conns[0].frames_rx > 0);
+    let text = server.metrics_text();
+    assert!(
+        text.contains("gmdf_wire_conn_frames_rx{connection="),
+        "per-connection rows missing from the exposition"
+    );
 }
 
 /// A durable session that fails to restore is reported over the wire —
@@ -207,7 +227,7 @@ fn quarantined_sessions_surface_over_the_wire() {
         ..ServerConfig::default()
     };
     let (good, bad) = {
-        let server = DebugServer::start_persistent(config, PersistConfig::new(&root))
+        let server = DebugServer::start_persistent(config.clone(), PersistConfig::new(&root))
             .expect("persistent server boots");
         let a = server.add_durable_session(&spec).expect("a");
         let b = server.add_durable_session(&spec).expect("b");

@@ -298,7 +298,7 @@ fn history_paging_in_process_and_over_wire() {
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
     client.attach(handle.id()).expect("attach");
     let remote = client
-        .fetch_range(t_mid, t_end, WAIT)
+        .fetch_range(handle.id(), t_mid, t_end, WAIT)
         .expect("remote fetch");
     assert_eq!(
         serde_json::to_string(&remote).expect("json"),
@@ -307,7 +307,9 @@ fn history_paging_in_process_and_over_wire() {
     let mut remote_paged = Vec::new();
     let mut next = 0u64;
     loop {
-        let slice = client.replay_from(next, 5, WAIT).expect("remote page");
+        let slice = client
+            .replay_from(handle.id(), next, 5, WAIT)
+            .expect("remote page");
         next += slice.entries.len() as u64;
         let done = slice.complete;
         remote_paged.extend(slice.entries);

@@ -1,16 +1,26 @@
 //! The wire layer's contracts:
 //!
-//! * **codec** — every `ClientFrame`/`ServerFrame` variant round-trips
-//!   through encode → arbitrary chunking → decode (the per-byte-vs-
-//!   batched UART pattern, applied to the TCP framing);
+//! * **codec** — every v4 `ClientFrame`/`ServerFrame` variant
+//!   (session-tagged envelope, directory frames, auth'd `Hello`)
+//!   round-trips through encode → arbitrary chunking → decode (the
+//!   per-byte-vs-batched UART pattern, applied to the TCP framing);
 //! * **fidelity** — a remote client driving a session over localhost
 //!   TCP receives an event stream byte-identical (after JSON
 //!   round-trip) to an in-process subscriber of the same run, and the
 //!   snapshot trace matches byte for byte;
-//! * **backpressure** — a deliberately stalled client overflows its own
-//!   bounded queue (coalesce, then drop + `Lagged`), while the
+//! * **multiplexing** — one socket attaches many sessions
+//!   (`attach_many`), demultiplexes the merged stream per session,
+//!   survives detach/re-attach with straggler filtering, and a
+//!   200-client fan-out over a 32-session fleet on a single listener
+//!   stays byte-identical per attach with two server threads per
+//!   connection;
+//! * **backpressure** — a deliberately stalled client (or one stalled
+//!   attach among healthy siblings on the same socket) overflows its
+//!   own bounded queue (coalesce, then drop + `Lagged`), while the
 //!   scheduler pump finishes on time and the recorded trace is
-//!   unaffected.
+//!   unaffected;
+//! * **auth** — a server with a shared-secret token refuses absent and
+//!   wrong tokens with one generic message and accepts the right one.
 
 mod common;
 
@@ -21,7 +31,8 @@ use gmdf_server::proto::{
     decode_payload, encode_frame, ClientFrame, FrameDecoder, ServerFrame, WIRE_VERSION,
 };
 use gmdf_server::{
-    DebugServer, EngineEvent, ServerConfig, SessionCommand, WireClient, WireError, WireServer,
+    DebugServer, EngineEvent, HealthState, ServerConfig, SessionCommand, SessionInfo, WireClient,
+    WireError, WireServer,
 };
 use proptest::prelude::*;
 use std::io::{Read, Write};
@@ -90,11 +101,29 @@ fn arb_command() -> impl Strategy<Value = SessionCommand> {
 
 fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
     prop_oneof![
-        any::<u32>().prop_map(|version| ClientFrame::Hello { version }),
+        (any::<u32>(), proptest::option::of("[ -~]{0,24}"))
+            .prop_map(|(version, token)| ClientFrame::Hello { version, token }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u64>())
+        )
+            .prop_map(|(seq, session, capacity)| ClientFrame::Attach {
+                seq,
+                session,
+                capacity,
+            }),
         (any::<u64>(), any::<u64>())
-            .prop_map(|(seq, session)| ClientFrame::Attach { seq, session }),
-        (any::<u64>(), arb_command())
-            .prop_map(|(seq, command)| ClientFrame::Command { seq, command }),
+            .prop_map(|(seq, session)| ClientFrame::Detach { seq, session }),
+        any::<u64>().prop_map(|seq| ClientFrame::ListSessions { seq }),
+        any::<u64>().prop_map(|seq| ClientFrame::ListMetrics { seq }),
+        (any::<u64>(), any::<u64>(), arb_command()).prop_map(|(seq, session, command)| {
+            ClientFrame::Command {
+                seq,
+                session,
+                command,
+            }
+        }),
     ]
 }
 
@@ -161,6 +190,26 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
             }
         ),
         any::<u64>().prop_map(|seq| ServerFrame::Ack { seq }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..5)
+        )
+            .prop_map(|(seq, rows)| ServerFrame::Sessions {
+                seq,
+                sessions: rows
+                    .into_iter()
+                    .map(|(session, now_ns, trace_len)| SessionInfo {
+                        session,
+                        state: match session % 3 {
+                            0 => HealthState::Running,
+                            1 => HealthState::Parked,
+                            _ => HealthState::Failed,
+                        },
+                        now_ns,
+                        trace_len,
+                    })
+                    .collect(),
+            }),
         proptest::option::of(any::<u64>()).prop_map(|seq| ServerFrame::Error {
             seq,
             message: "unknown session 9".to_owned(),
@@ -284,6 +333,7 @@ fn version_mismatch_is_rejected() {
     raw.write_all(
         &encode_frame(&ClientFrame::Hello {
             version: WIRE_VERSION + 1,
+            token: None,
         })
         .expect("encodes"),
     )
@@ -304,18 +354,24 @@ fn version_mismatch_is_rejected() {
     assert!(message.contains("version"), "unexpected message: {message}");
 }
 
+/// v4 commands are session-addressed, so no attach is required before a
+/// command — but the addressed session must exist, and so must an
+/// attach target. Detaching a never-attached session is idempotent.
 #[test]
-fn commands_before_attach_are_rejected_and_unknown_sessions_refused() {
+fn unknown_sessions_are_refused_and_detach_is_idempotent() {
     let (_server, wire) = wired_server(ServerConfig::default());
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
-    match client.run_for(1_000) {
-        Err(WireError::Remote(m)) => assert!(m.contains("attach"), "message: {m}"),
+    match client.run_for(99, 1_000) {
+        Err(WireError::Remote(m)) => assert!(m.contains("unknown session"), "message: {m}"),
         other => panic!("expected a remote error, got {other:?}"),
     }
     match client.attach(99) {
         Err(WireError::Remote(m)) => assert!(m.contains("unknown session"), "message: {m}"),
         other => panic!("expected a remote error, got {other:?}"),
     }
+    // Detach acks even for sessions that were never attached (or do
+    // not exist): the post-state "not attached" already holds.
+    client.detach(99).expect("detach is idempotent");
 }
 
 // ---------------------------------------------------------------------------
@@ -340,15 +396,19 @@ fn wire_stream_is_byte_identical_to_in_process_broadcast() {
 
     // Drive the whole scenario over the wire.
     client
-        .schedule_signal(500_000, "lamp", SignalValue::Bool(true))
+        .schedule_signal(handle.id(), 500_000, "lamp", SignalValue::Bool(true))
         .expect("signal");
     client
-        .add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)
+        .add_breakpoint(
+            handle.id(),
+            CommandMatcher::kind(EventKind::StateEnter),
+            true,
+        )
         .expect("breakpoint");
-    client.run_for(HORIZON_NS).expect("run");
-    client.wait_idle(WAIT).expect("idle");
-    client.resume().expect("resume");
-    client.wait_idle(WAIT).expect("drained");
+    client.run_for(handle.id(), HORIZON_NS).expect("run");
+    client.wait_idle(handle.id(), WAIT).expect("idle");
+    client.resume(handle.id()).expect("resume");
+    client.wait_idle(handle.id(), WAIT).expect("drained");
 
     // In-process ground truth, from this run's own broadcast. Drain
     // until a full second of silence: the final deltas are published
@@ -395,7 +455,9 @@ fn wire_stream_is_byte_identical_to_in_process_broadcast() {
     );
 
     // The snapshot trace also survives the wire byte for byte.
-    let remote_snap = client.snapshot(true, WAIT).expect("remote snapshot");
+    let remote_snap = client
+        .snapshot(handle.id(), true, WAIT)
+        .expect("remote snapshot");
     let local_snap = handle.snapshot(WAIT).expect("local snapshot");
     assert_eq!(remote_snap.trace_json, local_snap.trace_json);
     assert_eq!(remote_snap.trace_len, local_snap.trace_len);
@@ -477,7 +539,7 @@ fn stalled_wire_client_never_wedges_the_pump() {
         // Tiny queues so the stall bites long before TCP buffers could
         // mask it.
         subscriber_capacity: 2,
-        metrics: true,
+        ..ServerConfig::default()
     });
     let handle = server.add_session(active_session(blinker_system("stall", 0.002, 1_000_000)));
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
@@ -533,15 +595,15 @@ fn two_wire_clients_stream_independent_sessions() {
     let mut c2 = WireClient::connect(wire.local_addr()).expect("c2");
     c1.attach(h1.id()).expect("attach 1");
     c2.attach(h2.id()).expect("attach 2");
-    c1.run_for(HORIZON_NS).expect("run 1");
-    c2.run_for(HORIZON_NS).expect("run 2");
-    c1.wait_idle(WAIT).expect("idle 1");
-    c2.wait_idle(WAIT).expect("idle 2");
+    c1.run_for(h1.id(), HORIZON_NS).expect("run 1");
+    c2.run_for(h2.id(), HORIZON_NS).expect("run 2");
+    c1.wait_idle(h1.id(), WAIT).expect("idle 1");
+    c2.wait_idle(h2.id(), WAIT).expect("idle 2");
     for (client, handle) in [(&mut c1, &h1), (&mut c2, &h2)] {
         // The snapshot tells us how many trace entries the stream must
         // deliver; read until they all arrived (generous per-event
         // timeout — a fixed silence window is flaky under load).
-        let snap = client.snapshot(false, WAIT).expect("snapshot");
+        let snap = client.snapshot(handle.id(), false, WAIT).expect("snapshot");
         let mut seqs = Vec::new();
         while seqs.len() < snap.trace_len {
             match client.next_event(WAIT) {
@@ -579,8 +641,8 @@ fn late_join_stream_is_gapless_from_the_subscription_point() {
     // Attach while the run is (very likely) still in flight.
     let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
     client.attach(handle.id()).expect("attach");
-    client.wait_idle(WAIT).expect("idle");
-    let snap = client.snapshot(false, WAIT).expect("snapshot");
+    client.wait_idle(handle.id(), WAIT).expect("idle");
+    let snap = client.snapshot(handle.id(), false, WAIT).expect("snapshot");
     let mut seqs: Vec<u64> = Vec::new();
     while let Ok(event) = client.next_event(Duration::from_secs(1)) {
         if let EngineEvent::TraceDelta { entries, .. } = event {
@@ -607,6 +669,7 @@ fn duplicate_hello_closes_the_connection() {
     raw.write_all(
         &encode_frame(&ClientFrame::Hello {
             version: WIRE_VERSION,
+            token: None,
         })
         .expect("encodes"),
     )
@@ -630,6 +693,7 @@ fn duplicate_hello_closes_the_connection() {
     raw.write_all(
         &encode_frame(&ClientFrame::Hello {
             version: WIRE_VERSION,
+            token: None,
         })
         .expect("encodes"),
     )
@@ -640,4 +704,328 @@ fn duplicate_hello_closes_the_connection() {
     ));
     // The server hangs up; the stream drains to EOF.
     assert!(read_frame(&mut raw, &mut decoder).is_none());
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexing: many sessions per socket
+// ---------------------------------------------------------------------------
+
+/// Drain an in-process subscriber until a full second of silence (the
+/// final deltas land moments after the snapshot that ended wait_idle).
+fn drain_local(sub: &gmdf_server::EventReceiver) -> Vec<EngineEvent> {
+    let mut events = Vec::new();
+    while let Ok(event) = sub.recv_timeout(Duration::from_secs(1)) {
+        events.push(event);
+    }
+    events
+}
+
+/// One socket, two sessions: `attach_many` multiplexes both streams
+/// over the connection, `next_event_from` demultiplexes them without
+/// disturbing the sibling's buffered events, each demuxed stream is
+/// byte-identical to an in-process subscriber of the same run, detach
+/// filters out stragglers already buffered client-side, and a
+/// re-attach starts a fresh subscription on the same socket.
+#[test]
+fn multi_attach_demux_is_byte_identical_and_filters_stragglers() {
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 2,
+        slice_ns: 500_000,
+        subscriber_capacity: 0, // unbounded: nothing may lag
+        ..ServerConfig::default()
+    });
+    let a = server.add_session(active_session(blinker_system("mux_a", 0.002, 1_000_000)));
+    let b = server.add_session(active_session(blinker_system("mux_b", 0.003, 1_000_000)));
+    let local_a = a.subscribe_with_capacity(0);
+    let local_b = b.subscribe_with_capacity(0);
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    client.attach_many(&[a.id(), b.id()]).expect("attach both");
+    assert_eq!(client.attached().collect::<Vec<_>>(), vec![a.id(), b.id()]);
+
+    // The live session directory lists both hosted sessions.
+    let directory = client.list_sessions(WAIT).expect("directory");
+    let listed: Vec<_> = directory.iter().map(|row| row.session).collect();
+    assert!(listed.contains(&a.id()) && listed.contains(&b.id()));
+
+    // Drive both sessions over the one socket.
+    client.run_for(a.id(), HORIZON_NS).expect("run a");
+    client.run_for(b.id(), HORIZON_NS).expect("run b");
+    client.wait_idle(a.id(), WAIT).expect("idle a");
+    client.wait_idle(b.id(), WAIT).expect("idle b");
+
+    let reference_a = drain_local(&local_a);
+    let reference_b = drain_local(&local_b);
+    assert!(!reference_a.is_empty() && !reference_b.is_empty());
+
+    // Demux a first: b's interleaved events must stay buffered.
+    let mut wire_a = Vec::new();
+    while wire_a.len() < reference_a.len() {
+        match client.next_event_from(a.id(), WAIT) {
+            Ok(event) => wire_a.push(event),
+            Err(e) => panic!(
+                "stream a ended after {} of {} events: {e}",
+                wire_a.len(),
+                reference_a.len()
+            ),
+        }
+    }
+    assert_eq!(
+        json_of(&reference_a),
+        json_of(&wire_a),
+        "demuxed stream a diverged from the in-process broadcast"
+    );
+    // Then b, from the client-side buffer (plus any still in flight).
+    let mut wire_b = Vec::new();
+    while wire_b.len() < reference_b.len() {
+        match client.next_event_from(b.id(), WAIT) {
+            Ok(event) => wire_b.push(event),
+            Err(e) => panic!(
+                "stream b ended after {} of {} events: {e}",
+                wire_b.len(),
+                reference_b.len()
+            ),
+        }
+    }
+    assert_eq!(
+        json_of(&reference_b),
+        json_of(&wire_b),
+        "demuxed stream b diverged from the in-process broadcast"
+    );
+
+    // Straggler filter: run b again, then detach it before reading.
+    // The detach purges b's buffered stragglers client-side, and the
+    // merged stream never surfaces a b event again.
+    client.run_for(b.id(), HORIZON_NS).expect("run b again");
+    client.wait_idle(b.id(), WAIT).expect("idle b again");
+    client.detach(b.id()).expect("detach b");
+    assert_eq!(client.attached().collect::<Vec<_>>(), vec![a.id()]);
+    match client.next_event(Duration::from_millis(300)) {
+        Err(WireError::Timeout) => {}
+        Ok(event) => panic!("detached stream leaked an event: {event:?}"),
+        Err(e) => panic!("stream error: {e}"),
+    }
+
+    // Re-attach on the same socket: a fresh subscription streams b's
+    // next run.
+    client.attach(b.id()).expect("re-attach b");
+    client.run_for(b.id(), HORIZON_NS).expect("run b third");
+    client.wait_idle(b.id(), WAIT).expect("idle b third");
+    let deadline = Instant::now() + WAIT;
+    let mut fresh = 0usize;
+    while Instant::now() < deadline {
+        match client.next_event_from(b.id(), Duration::from_millis(200)) {
+            Ok(_) => {
+                fresh += 1;
+                break;
+            }
+            Err(WireError::Timeout) => {}
+            Err(e) => panic!("stream error: {e}"),
+        }
+    }
+    assert!(fresh > 0, "re-attached session streamed nothing");
+}
+
+/// One stalled attach among healthy siblings on the same socket: the
+/// tiny-capacity attach overflows *its own* queue (announced by
+/// `Lagged`), while the sibling attach on the very same connection
+/// stays byte-identical to an in-process subscriber of the same run.
+#[test]
+fn stalled_attach_lags_alone_while_sibling_stays_byte_identical() {
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 1,
+        slice_ns: 250_000,
+        ..ServerConfig::default()
+    });
+    let x = server.add_session(active_session(blinker_system("slow", 0.002, 1_000_000)));
+    let y = server.add_session(active_session(blinker_system("fast", 0.002, 1_000_000)));
+    let local_y = y.subscribe_with_capacity(0);
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+    // Same socket, opposite fates: x on a two-slot queue, y unbounded.
+    client
+        .attach_with_capacity(x.id(), Some(2))
+        .expect("attach x");
+    client
+        .attach_with_capacity(y.id(), Some(0))
+        .expect("attach y");
+
+    // Stall: the client reads nothing while the pump throws hundreds
+    // of slices' worth of events at the shared socket. x's volume is
+    // 10x so its two-slot queue must overflow once TCP backs up.
+    x.run_for(10 * HORIZON_NS).unwrap();
+    y.run_for(HORIZON_NS).unwrap();
+    x.wait_idle(WAIT).expect("pump x must not be wedged");
+    y.wait_idle(WAIT).expect("pump y must not be wedged");
+    let reference_y = drain_local(&local_y);
+    assert!(!reference_y.is_empty());
+
+    // y's stream survives intact despite the sibling's overflow.
+    let mut wire_y = Vec::new();
+    while wire_y.len() < reference_y.len() {
+        match client.next_event_from(y.id(), WAIT) {
+            Ok(event) => wire_y.push(event),
+            Err(e) => panic!(
+                "sibling stream ended after {} of {} events: {e}",
+                wire_y.len(),
+                reference_y.len()
+            ),
+        }
+    }
+    assert_eq!(
+        json_of(&reference_y),
+        json_of(&wire_y),
+        "healthy sibling diverged from the in-process broadcast"
+    );
+
+    // x's stream carries the loss marker for its own queue.
+    let deadline = Instant::now() + WAIT;
+    let mut saw_lagged = false;
+    while Instant::now() < deadline && !saw_lagged {
+        match client.next_event_from(x.id(), Duration::from_millis(200)) {
+            Ok(EngineEvent::Lagged { dropped, .. }) => {
+                assert!(dropped > 0);
+                saw_lagged = true;
+            }
+            Ok(_) => {}
+            Err(WireError::Timeout) => break,
+            Err(e) => panic!("stream error: {e}"),
+        }
+    }
+    assert!(saw_lagged, "the stalled attach was never told it lagged");
+}
+
+/// Threads of this process, per the kernel (`/proc/self/status`).
+/// `None` off Linux — the soak then skips its thread-count assertion.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|n| n.trim().parse().ok())
+}
+
+/// The fan-out soak the wire v4 refactor gates on: 200 concurrent
+/// clients on ONE listener, each multiplexing four attaches over a
+/// 32-session fleet — 800 attached streams served by two threads per
+/// connection (reader + streamer), not two per watched session. Every
+/// stream must be byte-identical to an in-process subscriber of the
+/// same run.
+#[test]
+fn fanout_soak_two_hundred_clients_multiplex_a_fleet() {
+    const CLIENTS: usize = 200;
+    const FLEET: usize = 32;
+    const ATTACHES_PER_CLIENT: usize = 4;
+    const SOAK_HORIZON_NS: u64 = 2_000_000;
+
+    let (server, wire) = wired_server(ServerConfig {
+        workers: 4,
+        slice_ns: 500_000,
+        subscriber_capacity: 0, // unbounded: byte-identical, no Lagged
+        ..ServerConfig::default()
+    });
+    let handles: Vec<_> = (0..FLEET)
+        .map(|i| {
+            server.add_session(active_session(blinker_system(
+                &format!("fan{i}"),
+                0.002,
+                1_000_000,
+            )))
+        })
+        .collect();
+    let locals: Vec<_> = handles
+        .iter()
+        .map(|handle| handle.subscribe_with_capacity(0))
+        .collect();
+
+    let threads_before = thread_count();
+    let mut clients: Vec<(WireClient, Vec<usize>)> = (0..CLIENTS)
+        .map(|c| {
+            let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+            // Four consecutive fleet slots, striped so every session is
+            // watched by many clients.
+            let picks: Vec<usize> = (0..ATTACHES_PER_CLIENT)
+                .map(|k| (c * ATTACHES_PER_CLIENT + k) % FLEET)
+                .collect();
+            let ids: Vec<_> = picks.iter().map(|&i| handles[i].id()).collect();
+            client.attach_many(&ids).expect("attach_many");
+            (client, picks)
+        })
+        .collect();
+    if let (Some(before), Some(after)) = (threads_before, thread_count()) {
+        let grown = after.saturating_sub(before);
+        assert!(
+            grown <= 2 * CLIENTS + 8,
+            "{grown} new threads for {CLIENTS} connections — more than two per connection"
+        );
+    }
+
+    // One short burst per session, then every one of the 800 attached
+    // streams must replay its sessions exactly.
+    for handle in &handles {
+        handle.run_for(SOAK_HORIZON_NS).unwrap();
+    }
+    for handle in &handles {
+        handle.wait_idle(WAIT).unwrap();
+    }
+    let references: Vec<Vec<EngineEvent>> = locals.iter().map(drain_local).collect();
+    let reference_json: Vec<String> = references.iter().map(json_of).collect();
+    for (client, picks) in &mut clients {
+        for &i in picks.iter() {
+            let mut got = Vec::new();
+            while got.len() < references[i].len() {
+                match client.next_event_from(handles[i].id(), WAIT) {
+                    Ok(event) => got.push(event),
+                    Err(e) => panic!(
+                        "fan-out stream died after {} of {} events: {e}",
+                        got.len(),
+                        references[i].len()
+                    ),
+                }
+            }
+            assert_eq!(
+                json_of(&got),
+                reference_json[i],
+                "fan-out stream diverged from the in-process broadcast"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Authentication
+// ---------------------------------------------------------------------------
+
+/// A server with a shared-secret token refuses absent and wrong tokens
+/// with one generic message (no oracle for the secret), and completes
+/// the handshake — and a full drive of a session — for the right one.
+#[test]
+fn auth_token_gates_the_handshake() {
+    let (server, wire) = wired_server(ServerConfig {
+        auth_token: Some("correct horse battery".to_owned()),
+        ..ServerConfig::default()
+    });
+    let handle = server.add_session(active_session(blinker_system("auth", 0.002, 1_000_000)));
+    for bad in [None, Some("wrong"), Some("correct horse batterY")] {
+        match WireClient::connect_with_token(wire.local_addr(), bad) {
+            Err(WireError::Remote(m)) => assert_eq!(m, "authentication failed"),
+            other => panic!("expected a refusal for {bad:?}, got {other:?}"),
+        }
+    }
+    let mut client =
+        WireClient::connect_with_token(wire.local_addr(), Some("correct horse battery"))
+            .expect("authenticated handshake");
+    client.attach(handle.id()).expect("attach");
+    client.run_for(handle.id(), HORIZON_NS).expect("run");
+    client.wait_idle(handle.id(), WAIT).expect("idle");
+    let snap = client.snapshot(handle.id(), false, WAIT).expect("snapshot");
+    assert!(snap.trace_len > 0);
+}
+
+/// A server with no configured token accepts a token-less Hello and
+/// ignores any token a client volunteers.
+#[test]
+fn unauthenticated_server_ignores_tokens() {
+    let (_server, wire) = wired_server(ServerConfig::default());
+    WireClient::connect(wire.local_addr()).expect("token-less handshake");
+    WireClient::connect_with_token(wire.local_addr(), Some("ignored"))
+        .expect("volunteered token is ignored");
 }

@@ -1,13 +1,16 @@
-//! Remote attach: driving a hosted session over the wire protocol.
+//! Remote attach: driving hosted sessions over the multiplexed wire
+//! protocol (v4).
 //!
 //! Run with `cargo run --example remote_attach`.
 //!
-//! Boots a `DebugServer` hosting one blinker session, fronts it with a
+//! Boots a `DebugServer` hosting two blinker sessions, fronts it with a
 //! `WireServer` on an ephemeral loopback port, then plays the remote
-//! frontend: a `WireClient` performs the hello/version handshake,
-//! attaches to the session, schedules a stimulus, sets a one-shot
-//! breakpoint, pumps 20 ms of target time, and tails the event stream —
-//! the paper's Debugger Communication Framework, over real TCP.
+//! frontend: a `WireClient` performs the hello/version handshake, polls
+//! the session directory, attaches to **both** sessions on the one
+//! socket (`attach_many`), schedules a stimulus, sets a one-shot
+//! breakpoint, pumps 20 ms of target time, and demultiplexes the merged
+//! event stream per session — the paper's Debugger Communication
+//! Framework, over real TCP, one connection for the whole fleet.
 
 use gmdf::{ChannelMode, DebugSession, Workflow};
 use gmdf_codegen::{CompileOptions, InstrumentOptions};
@@ -68,29 +71,57 @@ fn session(system: System) -> Result<DebugSession, Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wait = Duration::from_secs(30);
 
-    // Server side: one hosted session behind a TCP front.
+    // Server side: two hosted sessions behind one TCP front.
     let server = Arc::new(DebugServer::start(ServerConfig::default()));
-    let handle = server.add_session(session(blinker("remote")?)?);
+    let alpha = server.add_session(session(blinker("alpha")?)?);
+    let beta = server.add_session(session(blinker("beta")?)?);
     let wire = WireServer::start(Arc::clone(&server), "127.0.0.1:0")?;
     println!("wire server listening on {}", wire.local_addr());
 
-    // Client side: handshake, attach, drive.
+    // Client side: handshake, discover, attach to the whole fleet.
     let mut client = WireClient::connect(wire.local_addr())?;
-    println!("handshake ok; attachable sessions: {:?}", client.sessions());
-    client.attach(handle.id())?;
-    client.schedule_signal(500_000, "lamp", SignalValue::Bool(true))?;
-    client.add_breakpoint(CommandMatcher::kind(EventKind::StateEnter), true)?;
-    client.run_for(20_000_000)?; // 20 ms of target time
-    client.wait_idle(wait)?;
-    client.resume()?;
-    client.wait_idle(wait)?;
+    let directory = client.list_sessions(wait)?;
+    println!("session directory:");
+    for row in &directory {
+        println!(
+            "  session {} — {:?}, t = {:.3} ms, {} trace entries",
+            row.session,
+            row.state,
+            row.now_ns as f64 / 1e6,
+            row.trace_len
+        );
+    }
+    client.attach_many(&[alpha.id(), beta.id()])?;
 
-    // Tail the stream: slice reports, trace deltas, the breakpoint hit.
+    // Drive both sessions over the same socket: a stimulus and a
+    // one-shot breakpoint on alpha, plain running time on beta.
+    client.schedule_signal(alpha.id(), 500_000, "lamp", SignalValue::Bool(true))?;
+    client.add_breakpoint(
+        alpha.id(),
+        CommandMatcher::kind(EventKind::StateEnter),
+        true,
+    )?;
+    client.run_for(alpha.id(), 20_000_000)?; // 20 ms of target time
+    client.run_for(beta.id(), 20_000_000)?;
+    client.wait_idle(alpha.id(), wait)?;
+    client.resume(alpha.id())?;
+    client.wait_idle(alpha.id(), wait)?;
+    client.wait_idle(beta.id(), wait)?;
+
+    // Tail the merged stream, demuxing on the frame's session tag.
     let (mut slices, mut delta_entries, mut hits) = (0usize, 0usize, 0usize);
+    let mut beta_entries = 0usize;
     while let Ok(event) = client.next_event(Duration::from_millis(300)) {
+        let from_beta = event.session() == beta.id();
         match event {
             EngineEvent::SliceCompleted { .. } => slices += 1,
-            EngineEvent::TraceDelta { entries, .. } => delta_entries += entries.len(),
+            EngineEvent::TraceDelta { entries, .. } => {
+                if from_beta {
+                    beta_entries += entries.len();
+                } else {
+                    delta_entries += entries.len();
+                }
+            }
             EngineEvent::BreakpointHit { seq, time_ns, .. } => {
                 hits += 1;
                 println!(
@@ -102,15 +133,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => {}
         }
     }
-    println!("stream: {slices} slices, {delta_entries} trace entries, {hits} breakpoint hit(s)");
-
-    let snap = client.snapshot(true, wait)?;
     println!(
-        "remote snapshot: t = {:.1} ms, {} trace entries, engine {:?}",
+        "merged stream: {slices} slices, {delta_entries} alpha + {beta_entries} beta trace \
+         entries, {hits} breakpoint hit(s)"
+    );
+
+    // Detach beta; alpha's request/reply path keeps working.
+    client.detach(beta.id())?;
+    let snap = client.snapshot(alpha.id(), true, wait)?;
+    println!(
+        "remote snapshot (alpha): t = {:.1} ms, {} trace entries, engine {:?}",
         snap.now_ns as f64 / 1e6,
         snap.trace_len,
         snap.engine_state
     );
-    assert!(snap.trace_len > 0 && hits >= 1);
+    assert!(snap.trace_len > 0 && hits >= 1 && beta_entries > 0);
     Ok(())
 }

@@ -2,7 +2,9 @@
 //! [`Content`] tree.
 //!
 //! Covers the API surface this repository uses: [`to_string`],
-//! [`to_string_pretty`], and [`from_str`]. Finite floats round-trip
+//! [`to_string_pretty`], [`write_to_string`] (append into a caller-owned
+//! buffer, for allocation-free steady-state encoding), and [`from_str`].
+//! Finite floats round-trip
 //! bit-exactly (shortest-representation printing + correctly rounded
 //! parsing); non-finite floats serialize as `null`, matching real
 //! serde_json.
@@ -41,6 +43,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_content(&value.to_content(), None, 0, &mut out);
     Ok(out)
+}
+
+/// Appends the compact JSON serialization of `value` to `out` without
+/// allocating a fresh string — the buffer-reuse form of [`to_string`]
+/// (a hot encode loop keeps one buffer warm instead of growing a new
+/// allocation per message). Infallible for the types this repository
+/// serializes, like [`to_string`].
+pub fn write_to_string<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_content(&value.to_content(), None, 0, out);
 }
 
 /// Serializes `value` to a pretty-printed JSON string.
@@ -419,6 +430,14 @@ mod tests {
             from_str::<std::collections::BTreeMap<String, Vec<u32>>>(&json).unwrap(),
             m
         );
+    }
+
+    #[test]
+    fn write_to_string_appends_and_matches_to_string() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let mut buf = String::from("prefix:");
+        write_to_string(&v, &mut buf);
+        assert_eq!(buf, format!("prefix:{}", to_string(&v).unwrap()));
     }
 
     #[test]
