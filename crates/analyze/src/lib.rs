@@ -1,0 +1,370 @@
+//! # gmdf-analyze — static schedulability & model analysis
+//!
+//! The paper's model debugger catches design slips *at runtime*; this
+//! crate catches a large class of them **before the first simulated
+//! tick**, by analyzing the compiled [`ProgramImage`] together with the
+//! platform [`SimConfig`] — no simulation involved. Three passes feed a
+//! single [`Diagnostic`] stream:
+//!
+//! * **Schedulability** ([`Pass::Schedulability`]) — classic
+//!   fixed-priority preemptive response-time analysis per task, priced
+//!   with the image's cycle-accurate worst-case path
+//!   ([`TaskImage::wcet_cycles`](gmdf_codegen::TaskImage::wcet_cycles))
+//!   and *widened* by the kernel's release-jitter, tick-quantization and
+//!   cycle-rounding models, so the bound is sound against the simulator
+//!   (see `crates/analyze/tests/soundness.rs`). Yields per-task
+//!   [`TaskVerdict`]s plus per-node utilization and hyperperiod.
+//! * **Routes** ([`Pass::Routes`]) — graph analysis over the same
+//!   publish routes the simulator precomputes: unreachable subscribers,
+//!   publish cycles (feedback that can oscillate or amplify under
+//!   deadline latching), and watch suggestions over cells nothing ever
+//!   writes.
+//! * **Lint** ([`Pass::Lint`]) — absorbs
+//!   [`gmdf_comdes::lint`] model-level findings (undriven inputs,
+//!   unreachable FSM states, …) so remote clients finally see them.
+//!
+//! Every verdict here is advisory: `Overutilized` is a **warning, never
+//! a refusal** — the simulator stays the ground truth, and the soundness
+//! suite holds the analyzer to it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod routes;
+mod rta;
+
+use gmdf_codegen::ProgramImage;
+use gmdf_comdes::{LintWarning, System};
+use gmdf_target::SimConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use rta::MAX_RTA_ITERATIONS;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational — worth a look, not necessarily a problem.
+    Info,
+    /// Likely design slip; the spec still runs.
+    Warning,
+    /// The spec is broken in a way analysis can prove.
+    Error,
+}
+
+/// Which analysis pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pass {
+    /// Model-level lint absorbed from [`gmdf_comdes::lint`].
+    Lint,
+    /// Fixed-priority response-time / utilization analysis.
+    Schedulability,
+    /// Signal-route graph analysis.
+    Routes,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Lint => "lint",
+            Pass::Schedulability => "schedulability",
+            Pass::Routes => "routes",
+        })
+    }
+}
+
+/// One finding from any pass — the single currency all diagnostics flow
+/// through, from `comdes` lint to RTA verdicts to wire clients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Path-ish location (`node/actor`, `actor/block`, `node:board/x`).
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+    /// The pass that produced it.
+    pub pass: Pass,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(
+            f,
+            "{sev}: {} ({}) [{}]",
+            self.message, self.location, self.pass
+        )
+    }
+}
+
+impl From<LintWarning> for Diagnostic {
+    fn from(w: LintWarning) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            location: w.location,
+            message: w.message,
+            pass: Pass::Lint,
+        }
+    }
+}
+
+/// Schedulability verdict for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskVerdict {
+    /// The RTA fixpoint converged within the deadline (and the period, so
+    /// no same-task backlog): `wcrt_ns` upper-bounds every response time
+    /// the simulator can observe under the analyzed configuration.
+    Schedulable {
+        /// Worst-case response time from the nominal release (ns),
+        /// including the release-jitter widening.
+        wcrt_ns: u64,
+    },
+    /// Demand can exceed the deadline. `bound_ns` is the response-time
+    /// iterate at which analysis stopped — a certified lower bound on
+    /// worst-case demand, already past the deadline.
+    DeadlineRisk {
+        /// Response bound reached when analysis stopped (ns).
+        bound_ns: u64,
+    },
+    /// The task misses because its node's total utilization exceeds 1 —
+    /// backlog grows without bound. Advisory only: the simulator still
+    /// runs such specs (that is often the point of a debugger).
+    Overutilized,
+}
+
+impl TaskVerdict {
+    /// `true` for [`TaskVerdict::Schedulable`].
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, TaskVerdict::Schedulable { .. })
+    }
+}
+
+/// Per-task analysis row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// Actor name.
+    pub actor: String,
+    /// Release period (ns).
+    pub period_ns: u64,
+    /// Relative deadline (ns).
+    pub deadline_ns: u64,
+    /// Fixed priority (lower = higher).
+    pub priority: u8,
+    /// Worst-case cycles per activation (longest code path).
+    pub wcet_cycles: u64,
+    /// Worst-case execution time (ns, rounded up like the kernel does).
+    pub wcet_ns: u64,
+    /// Effective release-jitter bound (ns): capped clock jitter plus
+    /// tick quantization, exactly as the kernel displaces releases.
+    pub release_jitter_ns: u64,
+    /// The schedulability verdict.
+    pub verdict: TaskVerdict,
+}
+
+/// Per-node analysis summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Node name.
+    pub node: String,
+    /// CPU clock (Hz).
+    pub cpu_hz: u64,
+    /// Total utilization in parts per million (Σ wcet/period, floored
+    /// per task; saturates at `u64::MAX`). 1 000 000 = 100 %.
+    pub utilization_ppm: u64,
+    /// `true` when *exact* rational utilization exceeds 1 (conservative
+    /// on arithmetic overflow).
+    pub overutilized: bool,
+    /// LCM of all task periods (ns), `None` when there are no tasks or
+    /// the LCM overflows `u128`.
+    pub hyperperiod_ns: Option<u128>,
+    /// Per-task rows, in image task order.
+    pub tasks: Vec<TaskReport>,
+}
+
+/// The full analysis output: per-node schedulability plus the unified
+/// diagnostic stream from all passes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// System name (from the image).
+    pub system: String,
+    /// Per-node schedulability reports.
+    pub nodes: Vec<NodeReport>,
+    /// All findings, grouped by pass in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// `(errors, warnings)` counts — the summary the session directory
+    /// carries per session.
+    pub fn diagnostic_counts(&self) -> (u64, u64) {
+        let mut errors = 0;
+        let mut warnings = 0;
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+        }
+        (errors, warnings)
+    }
+
+    /// `true` when every task on every node is `Schedulable`.
+    pub fn all_schedulable(&self) -> bool {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter())
+            .all(|t| t.verdict.is_schedulable())
+    }
+
+    /// Looks up one task's row.
+    pub fn task(&self, node: &str, actor: &str) -> Option<&TaskReport> {
+        self.nodes
+            .iter()
+            .find(|n| n.node == node)?
+            .tasks
+            .iter()
+            .find(|t| t.actor == actor)
+    }
+
+    /// A degraded report carrying a single `Error` diagnostic — what the
+    /// server caches when analysis itself fails, so a session is *never*
+    /// refused over an analyzer limitation.
+    pub fn from_failure(system: &str, message: String) -> Self {
+        AnalysisReport {
+            system: system.to_owned(),
+            nodes: Vec::new(),
+            diagnostics: vec![Diagnostic {
+                severity: Severity::Error,
+                location: system.to_owned(),
+                message,
+                pass: Pass::Schedulability,
+            }],
+        }
+    }
+}
+
+/// Why analysis could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalysisError {
+    /// The RTA fixpoint iteration neither converged nor crossed the
+    /// deadline within [`MAX_RTA_ITERATIONS`] — adversarial period
+    /// ratios can make the iteration crawl; we stop instead of spinning.
+    Diverged {
+        /// Node whose task diverged.
+        node: String,
+        /// Task actor name.
+        actor: String,
+        /// Iterations performed before giving up.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Diverged {
+                node,
+                actor,
+                iterations,
+            } => write!(
+                f,
+                "response-time analysis for `{node}/{actor}` did not settle \
+                 within {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Runs all passes over a system, its compiled image, and the platform
+/// configuration.
+///
+/// `system` feeds the lint pass only; scheduling and routing analyze the
+/// image — the artifact the simulator actually executes — so the bounds
+/// hold for exactly what will run.
+pub fn analyze(
+    system: &System,
+    image: &ProgramImage,
+    config: &SimConfig,
+) -> Result<AnalysisReport, AnalysisError> {
+    let mut diagnostics: Vec<Diagnostic> = gmdf_comdes::lint(system)
+        .into_iter()
+        .map(Into::into)
+        .collect();
+    let nodes = rta::analyze_nodes(image, config, &mut diagnostics)?;
+    routes::analyze_routes(image, config, &mut diagnostics);
+    Ok(AnalysisReport {
+        system: image.system.clone(),
+        nodes,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_and_lint_conversion() {
+        let d: Diagnostic = LintWarning {
+            location: "Heater/ctl".into(),
+            message: "state `Panic` is unreachable from the initial state".into(),
+        }
+        .into();
+        assert_eq!(d.pass, Pass::Lint);
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(
+            d.to_string(),
+            "warning: state `Panic` is unreachable from the initial state \
+             (Heater/ctl) [lint]"
+        );
+    }
+
+    #[test]
+    fn failure_report_counts_one_error() {
+        let r = AnalysisReport::from_failure("sys", "rta diverged".into());
+        assert_eq!(r.diagnostic_counts(), (1, 0));
+        assert!(r.all_schedulable()); // vacuously: no tasks
+        assert!(r.task("sys", "A").is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = AnalysisReport {
+            system: "s".into(),
+            nodes: vec![NodeReport {
+                node: "n0".into(),
+                cpu_hz: 50_000_000,
+                utilization_ppm: 950_000,
+                overutilized: false,
+                hyperperiod_ns: Some(4_000_000),
+                tasks: vec![TaskReport {
+                    actor: "A".into(),
+                    period_ns: 1_000_000,
+                    deadline_ns: 1_000_000,
+                    priority: 1,
+                    wcet_cycles: 1_234,
+                    wcet_ns: 24_680,
+                    release_jitter_ns: 0,
+                    verdict: TaskVerdict::Schedulable { wcrt_ns: 24_680 },
+                }],
+            }],
+            diagnostics: vec![Diagnostic {
+                severity: Severity::Warning,
+                location: "n0/A".into(),
+                message: "m".into(),
+                pass: Pass::Schedulability,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

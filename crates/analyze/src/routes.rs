@@ -1,0 +1,379 @@
+//! Signal-route graph analysis over the compiled image.
+//!
+//! The simulator precomputes publish routes at boot: a publication of
+//! label `L` on node `n` writes `n`'s own board cell and the board cell
+//! of every *other* node whose board carries `L`. This pass analyzes the
+//! same graph statically:
+//!
+//! * **Unreachable subscribers** — a node's `subscriptions` entry with no
+//!   producer anywhere (a local publication writes the node's own board
+//!   cell; a remote one is broadcast onto it): the cell can only move
+//!   under an external stimulus.
+//! * **Publish cycles** — tasks feeding each other's inputs in a loop
+//!   (including self-loops). Legal, sometimes intentional (feedback
+//!   controllers), but under deadline latching each hop adds a full
+//!   deadline of delay and gain errors can amplify around the loop —
+//!   worth a warning.
+//! * **Undriven watches** — a `watch_suggestions` cell no task store, no
+//!   kernel latch and no publication (local or routed) ever writes: the
+//!   JTAG monitor would poll a constant forever.
+//!
+//! This pass runs on the server's session-registration path, so it is
+//! budgeted against a scheduler pump slice (`BENCH_analyze.json`): the
+//! node boards of a fleet image hold `nodes × labels` entries, and every
+//! walk below is either a single linear scan of them or skipped outright
+//! when the feature (latches, suggestions, edges) is absent.
+
+use crate::{Diagnostic, Pass, Severity};
+use gmdf_codegen::{Instr, ProgramImage};
+use gmdf_comdes::fnv::FnvHashMap;
+use gmdf_target::SimConfig;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) fn analyze_routes(
+    image: &ProgramImage,
+    config: &SimConfig,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    // label → tasks that publish it, as (node index, task index), in
+    // image order (only ever looked up, never iterated for output).
+    let mut producers: FnvHashMap<&str, Vec<(usize, usize)>> = FnvHashMap::default();
+    // label → tasks whose input latches read it (on their own node's board).
+    let mut consumers: FnvHashMap<&str, Vec<(usize, usize)>> = FnvHashMap::default();
+    for (ni, node) in image.nodes.iter().enumerate() {
+        // Latched cell addresses, sorted; tiny in practice (most tasks
+        // latch the handful of cells their inputs name), so one linear
+        // walk of the board with a binary probe per entry resolves every
+        // label without building a full reverse map per node.
+        let mut latched: Vec<(u32, usize)> = Vec::new();
+        for (ti, task) in node.tasks.iter().enumerate() {
+            for p in &task.publications {
+                producers
+                    .entry(p.label.as_str())
+                    .or_default()
+                    .push((ni, ti));
+            }
+            for latch in &task.input_latches {
+                latched.push((latch.from, ti));
+            }
+        }
+        if latched.is_empty() {
+            continue;
+        }
+        latched.sort_unstable();
+        // Cell address → label for every cell a task can legally latch:
+        // locally published cells plus subscribed cells. This sidesteps
+        // walking the full `nodes × labels` board table; should an image
+        // ever latch a cell outside that set, the per-node board walk
+        // below restores full coverage.
+        let mut cell_label: Vec<(u32, &str)> = Vec::new();
+        for task in &node.tasks {
+            for p in &task.publications {
+                cell_label.push((p.board, p.label.as_str()));
+            }
+        }
+        for label in &node.subscriptions {
+            if let Some(sym) = node.board.get(label) {
+                cell_label.push((sym.addr, label.as_str()));
+            }
+        }
+        cell_label.sort_unstable();
+        cell_label.dedup();
+        let resolve = |addr: u32| -> Option<&str> {
+            let i = cell_label.partition_point(|&(x, _)| x < addr);
+            match cell_label.get(i) {
+                Some(&(x, label)) if x == addr => Some(label),
+                _ => None,
+            }
+        };
+        if latched.iter().all(|&(a, _)| resolve(a).is_some()) {
+            for &(addr, ti) in &latched {
+                let label = resolve(addr).expect("checked above");
+                consumers.entry(label).or_default().push((ni, ti));
+            }
+        } else {
+            for (label, sym) in &node.board {
+                let from = latched.partition_point(|&(a, _)| a < sym.addr);
+                for &(_, ti) in latched[from..].iter().take_while(|&&(a, _)| a == sym.addr) {
+                    consumers.entry(label.as_str()).or_default().push((ni, ti));
+                }
+            }
+        }
+    }
+
+    unreachable_subscribers(image, &producers, diagnostics);
+    publish_cycles(image, config, &producers, &consumers, diagnostics);
+    undriven_watches(image, &producers, diagnostics);
+}
+
+/// Does any task on a node other than `ni` publish `label`?
+fn has_remote_producer(
+    producers: &FnvHashMap<&str, Vec<(usize, usize)>>,
+    label: &str,
+    ni: usize,
+) -> bool {
+    producers
+        .get(label)
+        .is_some_and(|ps| ps.iter().any(|&(pi, _)| pi != ni))
+}
+
+fn unreachable_subscribers(
+    image: &ProgramImage,
+    producers: &FnvHashMap<&str, Vec<(usize, usize)>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    for node in &image.nodes {
+        for label in &node.subscriptions {
+            // A local publication writes the node's own board cell and a
+            // remote one is broadcast onto it, so only a label nobody
+            // publishes anywhere is unreachable.
+            if !producers.contains_key(label.as_str()) {
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Warning,
+                    location: format!("{}:board/{label}", node.node),
+                    message: format!(
+                        "subscribes to `{label}` but no task on any node \
+                         publishes it; only an external stimulus could \
+                         drive this input"
+                    ),
+                    pass: Pass::Routes,
+                });
+            }
+        }
+    }
+}
+
+/// Tarjan-free cycle detection: iterative DFS with tri-coloring over the
+/// task graph (edge = "publication of one task is latched by another").
+fn publish_cycles(
+    image: &ProgramImage,
+    config: &SimConfig,
+    producers: &FnvHashMap<&str, Vec<(usize, usize)>>,
+    consumers: &FnvHashMap<&str, Vec<(usize, usize)>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    // An edge needs a label that is both published and latched; fleets
+    // whose latched inputs are all externally driven have none, and skip
+    // the id/adjacency build outright. Probe from the smaller side.
+    let (small, large) = if producers.len() <= consumers.len() {
+        (producers, consumers)
+    } else {
+        (consumers, producers)
+    };
+    if !small.keys().any(|l| large.contains_key(l)) {
+        return;
+    }
+    // Dense task ids and adjacency.
+    let mut ids: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut coords: Vec<(usize, usize)> = Vec::new();
+    for (ni, node) in image.nodes.iter().enumerate() {
+        for ti in 0..node.tasks.len() {
+            ids.insert((ni, ti), coords.len());
+            coords.push((ni, ti));
+        }
+    }
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); coords.len()];
+    let mut edges = 0usize;
+    for (label, prods) in producers {
+        let Some(cons) = consumers.get(label) else {
+            continue;
+        };
+        for &(pi, pt) in prods {
+            for &(ci, ct) in cons {
+                // Local consumption always sees the publish; remote
+                // consumption requires the route (board carries the
+                // label), which the consumer's input latch implies.
+                if adj[ids[&(pi, pt)]].insert(ids[&(ci, ct)]) {
+                    edges += 1;
+                }
+            }
+        }
+    }
+    if edges == 0 {
+        // No task feeds another: no cycle is possible and the DFS (plus
+        // its per-task name strings) can be skipped wholesale.
+        return;
+    }
+    let name = |id: usize| -> String {
+        let (ni, ti) = coords[id];
+        format!(
+            "{}/{}",
+            image.nodes[ni].node, image.nodes[ni].tasks[ti].actor
+        )
+    };
+
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; coords.len()];
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for start in 0..coords.len() {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack of (vertex, successor list, next successor position).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        color[start] = 1;
+        stack.push((start, adj[start].iter().copied().collect(), 0));
+        loop {
+            let step = {
+                let Some(frame) = stack.last_mut() else { break };
+                if frame.2 < frame.1.len() {
+                    let s = frame.1[frame.2];
+                    frame.2 += 1;
+                    Some(s)
+                } else {
+                    None
+                }
+            };
+            let Some(s) = step else {
+                let (v, _, _) = stack.pop().expect("non-empty stack");
+                color[v] = 2;
+                continue;
+            };
+            match color[s] {
+                0 => {
+                    color[s] = 1;
+                    stack.push((s, adj[s].iter().copied().collect(), 0));
+                }
+                // Back edge: the cycle is the stack suffix from s.
+                1 if reported.insert(s) => {
+                    let from = stack
+                        .iter()
+                        .position(|&(x, _, _)| x == s)
+                        .unwrap_or(stack.len() - 1);
+                    let mut path: Vec<String> =
+                        stack[from..].iter().map(|&(x, _, _)| name(x)).collect();
+                    path.push(name(s));
+                    let latching = if config.latch_outputs {
+                        "each hop adds a full deadline of latency and \
+                         gain errors can amplify around the loop"
+                    } else {
+                        "feedback timing depends on completion jitter"
+                    };
+                    diagnostics.push(Diagnostic {
+                        severity: Severity::Warning,
+                        location: name(s),
+                        message: format!("publish cycle {}: {latching}", path.join(" -> ")),
+                        pass: Pass::Routes,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Marks every `pending` entry whose address equals `addr` as resolved.
+fn mark_written(pending: &[(u32, usize)], resolved: &mut [bool], remaining: &mut usize, addr: u32) {
+    let mut i = pending.partition_point(|&(a, _)| a < addr);
+    while let Some(&(a, _)) = pending.get(i) {
+        if a != addr {
+            break;
+        }
+        if !resolved[i] {
+            resolved[i] = true;
+            *remaining -= 1;
+        }
+        i += 1;
+    }
+}
+
+fn undriven_watches(
+    image: &ProgramImage,
+    producers: &FnvHashMap<&str, Vec<(usize, usize)>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    if image.debug.watch_suggestions.is_empty() {
+        return;
+    }
+    let node_ix: FnvHashMap<&str, usize> = image
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(ni, n)| (n.node.as_str(), ni))
+        .collect();
+    // Per node, the suggested cells still unaccounted for, sorted by
+    // address; `usize` is the suggestion index so surviving warnings can
+    // be re-emitted in suggestion order.
+    let mut pending: Vec<Vec<(u32, usize)>> = vec![Vec::new(); image.nodes.len()];
+    for (si, (node_name, symbol)) in image.debug.watch_suggestions.iter().enumerate() {
+        let Some(&ni) = node_ix.get(node_name.as_str()) else {
+            continue;
+        };
+        if let Some(sym) = image.nodes[ni].symbols.get(symbol) {
+            pending[ni].push((sym.addr, si));
+        }
+    }
+
+    let mut survivors: Vec<usize> = Vec::new();
+    for (ni, node) in image.nodes.iter().enumerate() {
+        let pending = &mut pending[ni];
+        if pending.is_empty() {
+            continue;
+        }
+        pending.sort_unstable();
+        let mut resolved = vec![false; pending.len()];
+        let mut remaining = pending.len();
+        // Latches and publications first: suggested watches are mostly
+        // actor outputs, which publications cover without touching the
+        // instruction stream. Only the leftovers pay the `Store` scan of
+        // the node's code, and it stops as soon as everything resolves.
+        'writes: {
+            for task in &node.tasks {
+                for latch in &task.input_latches {
+                    mark_written(pending, &mut resolved, &mut remaining, latch.to);
+                }
+                for p in &task.publications {
+                    mark_written(pending, &mut resolved, &mut remaining, p.board);
+                }
+            }
+            if remaining == 0 {
+                break 'writes;
+            }
+            for task in &node.tasks {
+                for instr in &task.code {
+                    if let Instr::Store(addr) = instr {
+                        mark_written(pending, &mut resolved, &mut remaining, *addr);
+                        if remaining == 0 {
+                            break 'writes;
+                        }
+                    }
+                }
+            }
+        }
+        if remaining == 0 {
+            continue;
+        }
+        // Not written locally: a broadcast routed in from another node
+        // may still land on the cell, if it is a board cell of a
+        // remotely produced label. Survivors are rare, so a linear board
+        // probe per survivor beats indexing the whole board table.
+        for (i, &(addr, si)) in pending.iter().enumerate() {
+            if resolved[i] {
+                continue;
+            }
+            let label = node
+                .board
+                .iter()
+                .find(|(_, s)| s.addr == addr)
+                .map(|(label, _)| label.as_str());
+            if !label.is_some_and(|label| has_remote_producer(producers, label, ni)) {
+                survivors.push(si);
+            }
+        }
+    }
+
+    survivors.sort_unstable();
+    for si in survivors {
+        let (node_name, symbol) = &image.debug.watch_suggestions[si];
+        diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            location: format!("{node_name}:{symbol}"),
+            message: format!(
+                "suggested watch `{symbol}` is never written by any task, \
+                 latch or publication — it would show its initial value \
+                 forever"
+            ),
+            pass: Pass::Routes,
+        });
+    }
+}

@@ -1,0 +1,133 @@
+//! Static-analysis cost: a full `gmdf_analyze::analyze` report over a
+//! fleet-scale compiled image, against the pump slice it rides along
+//! with.
+//!
+//! The server runs the analyzer synchronously inside
+//! `add_session`/`add_durable_session` and caches the report for the
+//! wire `Analyze` frame, so its cost budget is "invisible next to one
+//! scheduler slice". This bench makes that budget falsifiable:
+//!
+//! * `analyze/full_report` — lint + per-node RTA + route-graph passes
+//!   over a 32-node × 16-task fleet image (quick mode: 8 × 8);
+//! * `analyze/pump_slice` — one default-config scheduler slice
+//!   (`ServerConfig::slice_ns` = 1 ms of target time) of the *same*
+//!   fleet on a warmed simulator, stimuli flowing;
+//! * comparison row `pump_slice_vs_analyze` — slice/analyze wall-time
+//!   ratio. A speedup well above 1 is the claim "analysis at
+//!   registration is ≪ one pump slice"; `bench_check` gates CI on it
+//!   not collapsing.
+//!
+//! Persists `BENCH_analyze.json` at the repo root — regenerate with
+//! `cargo bench -p gmdf-bench --bench analyze`. With
+//! `GMDF_BENCH_QUICK=1` it measures the smaller shape and writes
+//! `BENCH_analyze.quick.json` instead, the CI baseline.
+
+use criterion::{criterion_group, Criterion};
+use gmdf_analyze::analyze;
+use gmdf_bench::fleet_node_system;
+use gmdf_bench::report::{repo_root, report_from, write_report, Comparison};
+use gmdf_codegen::{compile_system, CompileOptions, InstrumentOptions, ProgramImage};
+use gmdf_comdes::{SignalValue, System};
+use gmdf_target::{SimConfig, Simulator};
+use std::hint::black_box;
+
+/// One default-config scheduler slice of target time (`ServerConfig`'s
+/// `slice_ns` default), the unit the analysis cost is judged against.
+const SLICE_NS: u64 = 1_000_000;
+
+/// `(n_nodes, gains_per_node)` — 16 tasks per node in full mode.
+fn shape() -> (usize, usize) {
+    if criterion::quick_mode() {
+        (8, 7)
+    } else {
+        (32, 15)
+    }
+}
+
+fn compiled() -> (System, ProgramImage) {
+    let (n_nodes, gains) = shape();
+    let system = fleet_node_system(n_nodes, gains, 1);
+    let image = compile_system(
+        &system,
+        &CompileOptions {
+            instrument: InstrumentOptions::behavior(),
+            faults: vec![],
+        },
+    )
+    .expect("fleet compiles");
+    (system, image)
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+    let (system, image) = compiled();
+    let config = SimConfig::default();
+
+    group.bench_function("full_report", |b| {
+        b.iter(|| {
+            let report = analyze(black_box(&system), black_box(&image), black_box(&config))
+                .expect("fleet settles");
+            black_box(report.diagnostic_counts())
+        })
+    });
+
+    // The yardstick: one slice of the same fleet on a warmed simulator,
+    // with the shared stimulus flowing so the gain chains actually run.
+    // The first slice is paid outside the timed region (cold caches,
+    // first releases of every task); each iteration then advances one
+    // further slice.
+    let mut sim = Simulator::new(image.clone(), config).expect("fleet boots");
+    for k in 0..10_000u64 {
+        sim.schedule_signal(k * SLICE_NS, "u", SignalValue::Real((k % 5) as f64))
+            .ok();
+    }
+    let mut now = SLICE_NS;
+    sim.run_until(now).expect("warmup slice");
+    group.bench_function("pump_slice", |b| {
+        b.iter(|| {
+            now += SLICE_NS;
+            sim.run_until(now).expect("slice runs");
+            black_box(sim.now_ns())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze);
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    let median_of = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|r| r.name == format!("analyze/{name}"))
+            .unwrap_or_else(|| panic!("bench row `{name}` was measured"))
+            .median_ns
+    };
+    let slice_ns = median_of("pump_slice");
+    let analyze_ns = median_of("full_report");
+    let (n_nodes, gains) = shape();
+    eprintln!(
+        "[analyze] {n_nodes} nodes x {} tasks: full report {:.1} us, one {} ms pump slice {:.1} us \
+         ({:.1}x headroom)",
+        gains + 1,
+        analyze_ns / 1e3,
+        SLICE_NS / 1_000_000,
+        slice_ns / 1e3,
+        slice_ns / analyze_ns,
+    );
+    let comparison = Comparison {
+        name: "pump_slice_vs_analyze".to_owned(),
+        baseline_ns: slice_ns,
+        optimized_ns: analyze_ns,
+        speedup: slice_ns / analyze_ns,
+    };
+    let report = report_from("analyze", results, vec![comparison]);
+    let name = if criterion::quick_mode() {
+        "BENCH_analyze.quick.json"
+    } else {
+        "BENCH_analyze.json"
+    };
+    write_report(&repo_root().join(name), &report);
+}

@@ -1355,7 +1355,7 @@ impl<'a> NodeCompiler<'a> {
             })
             .collect::<Result<Vec<_>, CompileError>>()?;
 
-        Ok(TaskImage {
+        let mut task = TaskImage {
             actor: actor.name.clone(),
             code,
             period_ns: actor.timing.period_ns,
@@ -1366,6 +1366,9 @@ impl<'a> NodeCompiler<'a> {
             publications,
             start_event,
             end_event,
-        })
+            wcet: 0,
+        };
+        task.wcet = task.wcet_cycles();
+        Ok(task)
     }
 }

@@ -183,6 +183,12 @@ pub struct TaskImage {
     pub start_event: Option<u16>,
     /// Event id emitted at task end, if any.
     pub end_event: Option<u16>,
+    /// Longest-path activation cost in cycles, priced once by the
+    /// compiler so analysis never re-walks the instruction stream.
+    /// `0` means unpriced (hand-built or pre-pricing images);
+    /// [`TaskImage::wcet_cycles`] then computes it on demand.
+    #[serde(default)]
+    pub wcet: u64,
 }
 
 impl TaskImage {
@@ -190,6 +196,67 @@ impl TaskImage {
     /// A loose WCET (branches make real paths shorter).
     pub fn cycle_bound(&self) -> u64 {
         self.code.iter().map(Instr::cycles).sum()
+    }
+
+    /// Worst-case cycles of a single activation: the longest-path cost
+    /// through the step's control flow.
+    ///
+    /// The code generator emits branch-forward code only (state dispatch
+    /// and transition guards jump strictly ahead; iteration lives in the
+    /// periodic activation model, not in the step body), so the longest
+    /// path is a single right-to-left dynamic-programming sweep. Should
+    /// an image ever contain a backward jump, the sweep is abandoned and
+    /// the straight-line [`TaskImage::cycle_bound`] is returned instead —
+    /// looser, but still an upper bound. The result is clamped to ≥ 1
+    /// cycle, matching the kernel's minimum charge per activation.
+    ///
+    /// Compiled images carry the result in [`TaskImage::wcet`], so this
+    /// is a field read on the hot (session-registration) path; the sweep
+    /// below only runs for unpriced images.
+    pub fn wcet_cycles(&self) -> u64 {
+        if self.wcet != 0 {
+            return self.wcet;
+        }
+        let n = self.code.len();
+        let mut has_jump = false;
+        // Straight-line cost (the prefix up to the first Halt), fused
+        // into the jump prescan so the common pure-dataflow task is
+        // priced in exactly one pass with no scratch table.
+        let mut straight: u64 = 0;
+        let mut live = true;
+        for (i, instr) in self.code.iter().enumerate() {
+            if live {
+                straight = straight.saturating_add(instr.cycles());
+                if matches!(instr, Instr::Halt) {
+                    live = false;
+                }
+            }
+            let target = match instr {
+                Instr::Jmp(t) | Instr::JmpIfZero(t) | Instr::JmpIfNot(t) => *t as usize,
+                _ => continue,
+            };
+            if target <= i {
+                return self.cycle_bound().max(1);
+            }
+            has_jump = true;
+        }
+        if !has_jump {
+            return straight.max(1);
+        }
+        // best[i] = worst-case cycles from pc = i to Halt / end of code.
+        let mut best = vec![0u64; n + 1];
+        for i in (0..n).rev() {
+            let c = self.code[i].cycles();
+            best[i] = c.saturating_add(match self.code[i] {
+                Instr::Halt => 0,
+                Instr::Jmp(t) => best[(t as usize).min(n)],
+                Instr::JmpIfZero(t) | Instr::JmpIfNot(t) => {
+                    best[i + 1].max(best[(t as usize).min(n)])
+                }
+                _ => best[i + 1],
+            });
+        }
+        best.first().copied().unwrap_or(0).max(1)
     }
 }
 
@@ -304,7 +371,55 @@ mod tests {
             publications: vec![],
             start_event: None,
             end_event: None,
+            wcet: 0,
         };
         assert_eq!(t.cycle_bound(), 1 + 1 + 4 + 1);
+    }
+
+    fn task_with(code: Vec<Instr>) -> TaskImage {
+        TaskImage {
+            actor: "A".into(),
+            code,
+            period_ns: 1_000_000,
+            offset_ns: 0,
+            deadline_ns: 1_000_000,
+            priority: 0,
+            input_latches: vec![],
+            publications: vec![],
+            start_event: None,
+            end_event: None,
+            wcet: 0,
+        }
+    }
+
+    #[test]
+    fn wcet_takes_longest_branch() {
+        // 0: PushF       (1)
+        // 1: JmpIfZero 4 (2) ── taken: 4,5 costs 1+1; fallthrough: 2,3 costs 16+1
+        // 2: DivF        (16)
+        // 3: Halt        (1)
+        // 4: PushF       (1)
+        // 5: Halt        (1)
+        let t = task_with(vec![
+            Instr::PushF(0.0),
+            Instr::JmpIfZero(4),
+            Instr::DivF,
+            Instr::Halt,
+            Instr::PushF(1.0),
+            Instr::Halt,
+        ]);
+        assert_eq!(t.wcet_cycles(), 1 + 2 + 16 + 1);
+        // Tighter than the straight-line bound, never below either path.
+        assert!(t.wcet_cycles() < t.cycle_bound());
+        let short_path = 1 + 2 + 1 + 1;
+        assert!(t.wcet_cycles() >= short_path);
+    }
+
+    #[test]
+    fn wcet_falls_back_on_backward_jumps() {
+        let t = task_with(vec![Instr::PushF(0.0), Instr::Jmp(0)]);
+        assert_eq!(t.wcet_cycles(), t.cycle_bound());
+        // Empty code still charges the kernel's 1-cycle minimum.
+        assert_eq!(task_with(vec![]).wcet_cycles(), 1);
     }
 }

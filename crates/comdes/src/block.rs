@@ -247,6 +247,42 @@ impl BasicOp {
         }
     }
 
+    /// Input port *names* in positional order, allocation-free.
+    ///
+    /// `None` for [`BasicOp::Func`], whose signature is user-defined —
+    /// callers fall back to [`BasicOp::inputs`] there. Lint walks every
+    /// block of every actor on the server's session-registration path,
+    /// so the common case must not build `Vec<Port>` per block.
+    pub fn input_names(&self) -> Option<&'static [&'static str]> {
+        use BasicOp::*;
+        Some(match self {
+            Const(_) | PulseGen { .. } => &[],
+            Gain { .. }
+            | Offset { .. }
+            | Abs
+            | Neg
+            | Limit { .. }
+            | Deadband { .. }
+            | Derivative
+            | LowPass { .. }
+            | MovingAverage { .. }
+            | RateLimiter { .. }
+            | Integrator { .. }
+            | Hysteresis { .. }
+            | UnitDelay { .. }
+            | TimerOn { .. }
+            | Not
+            | RisingEdge => &["x"],
+            Sum | Sub | Mul | Div | Min | Max | And | Or | Xor | Compare(_) => &["a", "b"],
+            Pid { .. } => &["sp", "pv"],
+            SampleHold => &["x", "hold"],
+            Counter { .. } => &["inc", "reset"],
+            SrLatch => &["s", "r"],
+            Select => &["sel", "a", "b"],
+            Func { .. } => return None,
+        })
+    }
+
     /// Output port signature, in positional order.
     pub fn outputs(&self) -> Vec<Port> {
         use BasicOp::*;

@@ -1,0 +1,73 @@
+//! FNV-1a hashing for hot paths keyed by short strings.
+//!
+//! `std`'s default SipHash defends against adversarial key collisions,
+//! which matters for untrusted input but costs ~5× on the short label
+//! and node-name keys the analysis passes hash by the hundred per
+//! session registration. Model content is the user's own input, so the
+//! collision-DoS threat model does not apply there.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FNV-1a streaming hasher.
+#[derive(Clone, Debug)]
+pub struct FnvHasher(u64);
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(OFFSET_BASIS)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into std collections.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// `HashMap` keyed with FNV-1a.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// `HashSet` keyed with FNV-1a.
+pub type FnvHashSet<T> = HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut set = FnvHashSet::default();
+        for i in 0..1000 {
+            set.insert(format!("label_{i}"));
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains("label_7"));
+        assert!(!set.contains("label_1000"));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        use std::hash::Hash;
+        let mut a = FnvHasher::default();
+        "board/temp".hash(&mut a);
+        let mut b = FnvHasher::default();
+        "board/temp".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -57,6 +57,7 @@ mod block;
 mod error;
 mod export;
 mod expr;
+pub mod fnv;
 mod fsm;
 mod interp;
 mod lint;

@@ -9,18 +9,16 @@ use crate::network::{Block, Network};
 use crate::system::System;
 
 /// A lint finding (always a warning; errors come from `check`).
+///
+/// Rendering lives in `gmdf-analyze`, which absorbs lint findings into
+/// its unified `Diagnostic` stream — this type intentionally carries raw
+/// fields only.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintWarning {
     /// Path-ish location (`actor/block`).
     pub location: String,
     /// Human-readable message.
     pub message: String,
-}
-
-impl std::fmt::Display for LintWarning {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "warning: {} ({})", self.message, self.location)
-    }
 }
 
 fn lint_network(prefix: &str, net: &Network, out: &mut Vec<LintWarning>) {
@@ -31,28 +29,31 @@ fn lint_network(prefix: &str, net: &Network, out: &mut Vec<LintWarning>) {
         });
     }
     for inst in &net.blocks {
-        let loc = format!("{prefix}/{}", inst.name);
+        // The location string is built per finding, not per block: lint
+        // runs on the server's session-registration path, and basic
+        // blocks (the overwhelming majority) produce no findings here.
+        let loc = || format!("{prefix}/{}", inst.name);
         match &inst.block {
             Block::StateMachine(fsm) => {
                 for s in fsm.unreachable_states() {
                     out.push(LintWarning {
-                        location: loc.clone(),
+                        location: loc(),
                         message: format!("state `{s}` is unreachable from the initial state"),
                     });
                 }
                 if fsm.outputs.is_empty() {
                     out.push(LintWarning {
-                        location: loc.clone(),
+                        location: loc(),
                         message: "state machine has no outputs; its activity is invisible".into(),
                     });
                 }
             }
             Block::Modal(m) => {
                 for mode in &m.modes {
-                    lint_network(&format!("{loc}/{}", mode.name), &mode.network, out);
+                    lint_network(&format!("{}/{}", loc(), mode.name), &mode.network, out);
                 }
             }
-            Block::Composite(c) => lint_network(&loc, &c.network, out),
+            Block::Composite(c) => lint_network(&loc(), &c.network, out),
             Block::Basic(_) => {}
         }
     }
@@ -72,18 +73,26 @@ pub fn lint(system: &System) -> Vec<LintWarning> {
     for (_, actor) in system.actors() {
         lint_network(&actor.name, &actor.network, &mut out);
     }
-    if let Ok(map) = system.signal_map() {
-        for (label, (_, origin)) in &map {
-            if matches!(origin, crate::system::SignalOrigin::Actor { .. }) {
-                let consumed = system
-                    .actors()
-                    .any(|(_, a)| a.inputs.iter().any(|i| i.label == *label));
-                if !consumed {
-                    out.push(LintWarning {
-                        location: label.clone(),
-                        message: format!("signal `{label}` is produced but never consumed"),
-                    });
-                }
+    {
+        // One pass over actor outputs and inputs instead of building the
+        // full signal map and rescanning consumers per label: actor
+        // outputs are exactly the `SignalOrigin::Actor` entries, and
+        // fleet-scale systems have hundreds of labels. Lint runs on the
+        // server's session-registration path.
+        let consumed: crate::fnv::FnvHashSet<&str> = system
+            .actors()
+            .flat_map(|(_, a)| a.inputs.iter().map(|i| i.label.as_str()))
+            .collect();
+        let produced: std::collections::BTreeSet<&str> = system
+            .actors()
+            .flat_map(|(_, a)| a.outputs.iter().map(|o| o.label.as_str()))
+            .collect();
+        for label in produced {
+            if !consumed.contains(label) {
+                out.push(LintWarning {
+                    location: label.to_owned(),
+                    message: format!("signal `{label}` is produced but never consumed"),
+                });
             }
         }
     }

@@ -416,16 +416,50 @@ impl Network {
     /// Block inputs with no driver (read as type zero at runtime); useful
     /// for lint-style warnings.
     pub fn undriven_block_inputs(&self) -> Vec<(String, String)> {
+        // Lint calls this for every actor of a fleet on the server's
+        // session-registration path, and the overwhelmingly common
+        // answer is "nothing undriven". On a [`Network::check`]-ed
+        // network every block sink resolves and has a single driver, so
+        // equal counts of block-input ports and block-sink connections
+        // prove exactly that without scanning per port. (On an
+        // unchecked network with a double-driven sink the shortcut can
+        // mask an undriven input — lint only sees validated systems.)
+        let port_count = |b: &BlockInstance| match &b.block {
+            Block::Basic(op) => op
+                .input_names()
+                .map_or_else(|| op.inputs().len(), <[&str]>::len),
+            other => other.inputs().len(),
+        };
+        let input_ports: usize = self.blocks.iter().map(port_count).sum();
+        let block_sinks = self
+            .connections
+            .iter()
+            .filter(|c| matches!(&c.to, Sink::Block { .. }))
+            .count();
+        if input_ports == block_sinks {
+            return Vec::new();
+        }
+        // Something is undriven: identify it. Networks are small (a
+        // dozen connections), where a linear scan per port beats both
+        // hashing and sort-plus-binary-search; the static port-name
+        // tables avoid allocating `Vec<Port>` per basic block.
         let mut out = Vec::new();
         for b in &self.blocks {
-            for p in b.block.inputs() {
+            let mut check = |port: &str| {
                 let driven = self.connections.iter().any(|c| {
-                    matches!(&c.to, Sink::Block { block, port }
-                        if *block == b.name && *port == p.name)
+                    matches!(&c.to, Sink::Block { block, port: p }
+                        if *block == b.name && *p == port)
                 });
                 if !driven {
-                    out.push((b.name.clone(), p.name.clone()));
+                    out.push((b.name.clone(), port.to_owned()));
                 }
+            };
+            match &b.block {
+                Block::Basic(op) => match op.input_names() {
+                    Some(names) => names.iter().for_each(|n| check(n)),
+                    None => op.inputs().iter().for_each(|p| check(&p.name)),
+                },
+                other => other.inputs().iter().for_each(|p| check(&p.name)),
             }
         }
         out

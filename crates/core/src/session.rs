@@ -215,6 +215,20 @@ impl DebugSession {
         &self.sim
     }
 
+    /// Runs the static analyzer (`gmdf-analyze`) over this session's
+    /// system, compiled image and platform configuration — schedulability
+    /// verdicts, route checks, and model lint in one
+    /// [`AnalysisReport`](gmdf_analyze::AnalysisReport), without
+    /// simulating anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gmdf_analyze::AnalysisError::Diverged`] when the
+    /// response-time iteration cannot settle within its bounded budget.
+    pub fn analyze(&self) -> Result<gmdf_analyze::AnalysisReport, gmdf_analyze::AnalysisError> {
+        gmdf_analyze::analyze(&self.system, self.sim.image(), self.sim.config())
+    }
+
     /// Mutable simulator access.
     pub fn simulator_mut(&mut self) -> &mut Simulator {
         &mut self.sim

@@ -98,6 +98,12 @@ mod server;
 mod wire;
 
 pub use event::{EngineEvent, SessionSnapshot, TraceSlice};
+// The static-analysis vocabulary wire clients consume (`Analyze` frame
+// replies, `SessionInfo::diagnostics`): re-exported so remote tooling
+// needs only `gmdf_server`.
+pub use gmdf_analyze::{
+    AnalysisError, AnalysisReport, Diagnostic, NodeReport, Pass, Severity, TaskReport, TaskVerdict,
+};
 pub use metrics::{
     FleetMetrics, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession, SessionHealth,
     SessionInfo, WireConnection,

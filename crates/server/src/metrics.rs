@@ -284,6 +284,11 @@ pub struct SessionInfo {
     pub now_ns: u64,
     /// Entries in the execution trace.
     pub trace_len: u64,
+    /// `(errors, warnings)` from the session's cached static-analysis
+    /// report (wire v5) — enough for a client to decide whether the full
+    /// `Analyze` report is worth fetching. Quarantined rows carry
+    /// `(0, 0)`.
+    pub diagnostics: (u64, u64),
 }
 
 /// Per-connection wire counters as read out in a snapshot — one row of

@@ -48,8 +48,13 @@ use std::sync::mpsc;
 /// commands ([`ClientFrame::Command`] carries a `session`), the live
 /// directory pair ([`ClientFrame::ListSessions`] /
 /// [`ServerFrame::Sessions`]), and the optional shared-secret `token`
-/// in [`ClientFrame::Hello`].
-pub const WIRE_VERSION: u32 = 4;
+/// in [`ClientFrame::Hello`]. Version 5 added static analysis: the
+/// server-scope [`ClientFrame::Analyze`] / [`ServerFrame::Analysis`]
+/// pair serving each session's cached
+/// [`AnalysisReport`](gmdf_analyze::AnalysisReport), and the
+/// `diagnostics: (errors, warnings)` summary on every [`SessionInfo`]
+/// directory row.
+pub const WIRE_VERSION: u32 = 5;
 
 /// Upper bound on one frame's payload length (64 MiB) — large enough
 /// for a full-trace snapshot of any realistic session, small enough
@@ -127,6 +132,18 @@ pub enum ClientFrame {
         /// Client-chosen request id, echoed in the reply.
         seq: u64,
     },
+    /// Request one session's cached static-analysis report
+    /// (schedulability verdicts, route findings, model lint). The
+    /// report is computed once when the session registers and served
+    /// from cache, so this is cheap enough to poll. Server-scope (no
+    /// prior attach needed); answered with [`ServerFrame::Analysis`],
+    /// or [`ServerFrame::Error`] for an unknown session.
+    Analyze {
+        /// Client-chosen request id, echoed in the reply.
+        seq: u64,
+        /// The session whose report to fetch.
+        session: SessionId,
+    },
 }
 
 /// A message from the wire server to a remote client.
@@ -193,6 +210,15 @@ pub enum ServerFrame {
         /// The point-in-time fleet view (boxed: it is by far the
         /// largest payload, and boxing keeps the frame enum small).
         snapshot: Box<MetricsSnapshot>,
+    },
+    /// Reply to a [`ClientFrame::Analyze`] request: the session's
+    /// cached static-analysis report.
+    Analysis {
+        /// The request id this answers.
+        seq: u64,
+        /// The full report (boxed: diagnostics-heavy reports dwarf the
+        /// other variants, and boxing keeps the frame enum small).
+        report: Box<gmdf_analyze::AnalysisReport>,
     },
     /// One event from an attached session's broadcast stream. The
     /// event carries its session id — a multiplexed connection's merged

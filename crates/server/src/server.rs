@@ -29,6 +29,7 @@ use crate::metrics::{
 use crate::persist;
 use crate::queue::{self, EventReceiver, EventSender};
 use gmdf::{DebugSession, SessionSpec};
+use gmdf_analyze::AnalysisReport;
 use gmdf_comdes::SignalValue;
 use gmdf_engine::store::DEFAULT_SEGMENT_CAPACITY;
 use gmdf_engine::{Codec, EngineNotice, Retention, SegmentConfig, StoreError, TraceEntry};
@@ -338,6 +339,11 @@ struct SessionCell {
     /// When the session registered with this server process (uptime
     /// base for health reporting).
     registered_at: Instant,
+    /// Static analysis of the session's spec, run once at registration
+    /// and cached for the session's lifetime (the spec never changes).
+    /// Analysis failures degrade to a one-error report — a session is
+    /// never refused over its diagnostics.
+    analysis: Arc<AnalysisReport>,
 }
 
 /// One worker's run queue.
@@ -575,6 +581,9 @@ impl DebugServer {
         init: impl FnOnce(&mut SessionInner),
     ) -> SessionHandle {
         let shard = (id as usize) % self.shared.shards.len();
+        let analysis = Arc::new(session.analyze().unwrap_or_else(|e| {
+            AnalysisReport::from_failure(&session.simulator().image().system, e.to_string())
+        }));
         let mut inner = SessionInner {
             session,
             notices,
@@ -609,6 +618,7 @@ impl DebugServer {
             mailbox: Mutex::new(VecDeque::new()),
             queued: AtomicBool::new(false),
             registered_at: Instant::now(),
+            analysis,
         });
         lock(&self.sessions).push(Arc::clone(&cell));
         if resume {
@@ -675,6 +685,7 @@ impl DebugServer {
                 state,
                 now_ns: inner.session.now_ns(),
                 trace_len: inner.session.engine().trace().len() as u64,
+                diagnostics: cell.analysis.diagnostic_counts(),
             });
         }
         for (id, _) in &self.quarantined {
@@ -683,9 +694,21 @@ impl DebugServer {
                 state: HealthState::Quarantined,
                 now_ns: 0,
                 trace_len: 0,
+                diagnostics: (0, 0),
             });
         }
         rows
+    }
+
+    /// The cached static-analysis report for session `id`, or `None`
+    /// for an unknown id. Computed once at registration (the spec is
+    /// immutable for the session's lifetime) — this never takes the
+    /// session's state lock, so it is safe on the wire reader path.
+    pub fn analysis(&self, id: SessionId) -> Option<Arc<AnalysisReport>> {
+        lock(&self.sessions)
+            .iter()
+            .find(|cell| cell.id == id)
+            .map(|cell| Arc::clone(&cell.analysis))
     }
 
     /// The wire-handshake shared secret, when one is configured.
@@ -838,6 +861,12 @@ impl SessionHandle {
     /// The session's server-assigned id.
     pub fn id(&self) -> SessionId {
         self.cell.id
+    }
+
+    /// The session's cached static-analysis report (computed at
+    /// registration; see [`DebugServer::analysis`]).
+    pub fn analysis(&self) -> Arc<AnalysisReport> {
+        Arc::clone(&self.cell.analysis)
     }
 
     /// Posts a command to the session's mailbox and wakes its shard.

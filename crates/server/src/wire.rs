@@ -41,6 +41,7 @@ use crate::queue::{EventReceiver, Notify};
 use crate::server::{lock, DebugServer, SessionCommand, SessionId};
 use crate::EngineEvent;
 use crate::SessionSnapshot;
+use gmdf_analyze::AnalysisReport;
 use serde::Serialize;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -422,7 +423,8 @@ fn frame_seq(frame: &ServerFrame) -> Option<u64> {
         | ServerFrame::Snapshot { seq, .. }
         | ServerFrame::Trace { seq, .. }
         | ServerFrame::Sessions { seq, .. }
-        | ServerFrame::Metrics { seq, .. } => Some(*seq),
+        | ServerFrame::Metrics { seq, .. }
+        | ServerFrame::Analysis { seq, .. } => Some(*seq),
         ServerFrame::Error { seq, .. } => *seq,
         ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
     }
@@ -684,6 +686,18 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                     seq,
                     sessions: server.session_directory(),
                 });
+            }
+            ReadOutcome::Frame(ClientFrame::Analyze { seq, session }) => {
+                match server.analysis(session) {
+                    Some(report) => reply(ServerFrame::Analysis {
+                        seq,
+                        report: Box::new((*report).clone()),
+                    }),
+                    None => reply(ServerFrame::Error {
+                        seq: Some(seq),
+                        message: format!("unknown session {session}"),
+                    }),
+                }
             }
             ReadOutcome::Frame(ClientFrame::Attach {
                 seq,
@@ -1030,6 +1044,30 @@ impl WireClient {
         self.write(&ClientFrame::ListSessions { seq })?;
         self.wait_reply(seq, timeout, "Sessions", move |frame| match frame {
             ServerFrame::Sessions { seq: s, sessions } if s == seq => Ok(sessions),
+            other => Err(other),
+        })
+    }
+
+    /// Fetches one session's cached static-analysis report
+    /// (schedulability verdicts, route findings, model lint) — a
+    /// *server-scope* call, valid without any attach. The server
+    /// computed the report when the session registered, so this never
+    /// waits on the session itself.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] for an unknown session,
+    /// [`WireError::Timeout`] when `timeout` elapses, transport errors
+    /// otherwise.
+    pub fn analyze(
+        &mut self,
+        session: SessionId,
+        timeout: Duration,
+    ) -> Result<AnalysisReport, WireError> {
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Analyze { seq, session })?;
+        self.wait_reply(seq, timeout, "Analysis", move |frame| match frame {
+            ServerFrame::Analysis { seq: s, report } if s == seq => Ok(*report),
             other => Err(other),
         })
     }

@@ -117,6 +117,8 @@ fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
             .prop_map(|(seq, session)| ClientFrame::Detach { seq, session }),
         any::<u64>().prop_map(|seq| ClientFrame::ListSessions { seq }),
         any::<u64>().prop_map(|seq| ClientFrame::ListMetrics { seq }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, session)| ClientFrame::Analyze { seq, session }),
         (any::<u64>(), any::<u64>(), arb_command()).prop_map(|(seq, session, command)| {
             ClientFrame::Command {
                 seq,
@@ -207,9 +209,61 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
                         },
                         now_ns,
                         trace_len,
+                        diagnostics: (session % 2, trace_len % 5),
                     })
                     .collect(),
             }),
+        (any::<u64>(), any::<u64>(), 0u64..3).prop_map(|(seq, wcrt, n)| {
+            ServerFrame::Analysis {
+                seq,
+                report: Box::new(gmdf_server::AnalysisReport {
+                    system: "sys".to_owned(),
+                    nodes: vec![gmdf_server::NodeReport {
+                        node: "n0".to_owned(),
+                        cpu_hz: 50_000_000,
+                        utilization_ppm: wcrt % 2_000_000,
+                        overutilized: wcrt % 2 == 0,
+                        hyperperiod_ns: if wcrt % 3 == 0 {
+                            None
+                        } else {
+                            Some(u128::from(wcrt) << 64)
+                        },
+                        tasks: (0..n)
+                            .map(|i| gmdf_server::TaskReport {
+                                actor: format!("A{i}"),
+                                period_ns: 1_000_000 + i,
+                                deadline_ns: 1_000_000,
+                                priority: (i % 4) as u8,
+                                wcet_cycles: wcrt % 10_000,
+                                wcet_ns: wcrt % 500_000,
+                                release_jitter_ns: i * 13,
+                                verdict: match i % 3 {
+                                    0 => gmdf_server::TaskVerdict::Schedulable { wcrt_ns: wcrt },
+                                    1 => gmdf_server::TaskVerdict::DeadlineRisk { bound_ns: wcrt },
+                                    _ => gmdf_server::TaskVerdict::Overutilized,
+                                },
+                            })
+                            .collect(),
+                    }],
+                    diagnostics: (0..n)
+                        .map(|i| gmdf_server::Diagnostic {
+                            severity: match i % 3 {
+                                0 => gmdf_server::Severity::Info,
+                                1 => gmdf_server::Severity::Warning,
+                                _ => gmdf_server::Severity::Error,
+                            },
+                            location: format!("n0/A{i}"),
+                            message: format!("finding {i} \"quoted\""),
+                            pass: match i % 3 {
+                                0 => gmdf_server::Pass::Lint,
+                                1 => gmdf_server::Pass::Schedulability,
+                                _ => gmdf_server::Pass::Routes,
+                            },
+                        })
+                        .collect(),
+                }),
+            }
+        }),
         proptest::option::of(any::<u64>()).prop_map(|seq| ServerFrame::Error {
             seq,
             message: "unknown session 9".to_owned(),
@@ -372,6 +426,36 @@ fn unknown_sessions_are_refused_and_detach_is_idempotent() {
     // Detach acks even for sessions that were never attached (or do
     // not exist): the post-state "not attached" already holds.
     client.detach(99).expect("detach is idempotent");
+}
+
+/// Wire v5 `Analyze`: a remote client's report is identical to the
+/// in-process cached one, the directory rows carry its
+/// `(errors, warnings)` summary, and unknown sessions get a remote
+/// error, all without any attach.
+#[test]
+fn analyze_round_trips_and_directory_carries_diagnostics() {
+    let (server, wire) = wired_server(ServerConfig::default());
+    let handle = server.add_session(active_session(blinker_system("ana", 0.002, 1_000_000)));
+    let mut client = WireClient::connect(wire.local_addr()).expect("handshake");
+
+    let remote = client.analyze(handle.id(), WAIT).expect("analysis reply");
+    let local = handle.analysis();
+    assert_eq!(json_of(&remote), json_of(&*local));
+    // The default blinker preset is lightly loaded: verdicts must all
+    // be Schedulable and nothing may be refused.
+    assert!(remote.all_schedulable(), "report: {remote:?}");
+
+    let rows = client.list_sessions(WAIT).expect("directory");
+    let row = rows
+        .iter()
+        .find(|r| r.session == handle.id())
+        .expect("session row");
+    assert_eq!(row.diagnostics, local.diagnostic_counts());
+
+    match client.analyze(99, WAIT) {
+        Err(WireError::Remote(m)) => assert!(m.contains("unknown session"), "message: {m}"),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------------

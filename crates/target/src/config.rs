@@ -68,6 +68,30 @@ pub struct SimConfig {
     pub memo_steps: bool,
 }
 
+impl SimConfig {
+    /// Upper bound on how far any release of a task with period
+    /// `period_ns` can land past its nominal instant under this
+    /// configuration — the *effective release jitter* a static analyzer
+    /// (`gmdf-analyze`) must widen response-time bounds by.
+    ///
+    /// This mirrors the kernel's release arithmetic exactly: raw clock
+    /// jitter is capped below the period so releases stay monotone
+    /// (`period - 1` tickless, `period - tick` with a tick), and tick
+    /// quantization then rounds the jittered instant *up* by at most
+    /// `tick - 1`. Degenerate periods (`tick >= period`) are rejected
+    /// at simulator boot; here they saturate to a finite bound.
+    pub fn release_jitter_bound_ns(&self, period_ns: u64) -> u64 {
+        let cap = if self.tick_ns == 0 {
+            period_ns.saturating_sub(1)
+        } else {
+            period_ns.saturating_sub(self.tick_ns)
+        };
+        self.clock_jitter_ns
+            .min(cap)
+            .saturating_add(self.tick_ns.saturating_sub(1))
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -81,5 +105,32 @@ impl Default for SimConfig {
             dispatch: DispatchMode::Calendar,
             memo_steps: true,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_bound_matches_kernel_caps() {
+        let tickless = SimConfig {
+            clock_jitter_ns: 40_000,
+            ..SimConfig::default()
+        };
+        // Raw jitter below the cap passes through unchanged.
+        assert_eq!(tickless.release_jitter_bound_ns(1_000_000), 40_000);
+        // The cap bites for short periods: period - 1.
+        assert_eq!(tickless.release_jitter_bound_ns(10_000), 9_999);
+
+        let ticked = SimConfig {
+            clock_jitter_ns: 40_000,
+            tick_ns: 100_000,
+            ..SimConfig::default()
+        };
+        // Quantization can add up to tick - 1 on top of the raw jitter.
+        assert_eq!(ticked.release_jitter_bound_ns(1_000_000), 40_000 + 99_999);
+        // Degenerate (rejected at boot) periods still yield a finite bound.
+        assert_eq!(ticked.release_jitter_bound_ns(50_000), 99_999);
     }
 }

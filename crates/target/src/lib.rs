@@ -42,4 +42,4 @@ pub use config::{DispatchMode, SimConfig};
 pub use error::SimError;
 pub use event::{SimEvent, WatchEvent};
 pub use jtag::JtagMonitor;
-pub use sim::Simulator;
+pub use sim::{cycles_to_ns, Simulator};

@@ -55,8 +55,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Converts a cycle count to nanoseconds on a `hz` clock (rounding up).
-fn ns_of(cycles: u64, hz: u64) -> u64 {
+///
+/// This is *the* conversion the kernel uses to project task completions,
+/// exposed publicly so static analysis (`gmdf-analyze`) prices cycle
+/// costs with the exact same rounding the simulator will exhibit.
+pub fn cycles_to_ns(cycles: u64, hz: u64) -> u64 {
     ((u128::from(cycles) * 1_000_000_000).div_ceil(u128::from(hz))) as u64
+}
+
+/// Internal alias kept for the kernel's original vocabulary.
+fn ns_of(cycles: u64, hz: u64) -> u64 {
+    cycles_to_ns(cycles, hz)
 }
 
 /// How many whole cycles fit in `dt_ns` on a `hz` clock.
