@@ -21,6 +21,12 @@
 //! * comparison row `append_disk_binary_vs_json` — the same durable
 //!   batch under the binary record codec against the JSON codec: the
 //!   serialization share of the durability bill.
+//! * `trace_store/replay_from_zero` / `seek_to_time` — time travel to
+//!   the end of a long deterministic run: re-executing the whole
+//!   session from t = 0 versus restoring the nearest persisted
+//!   full-state checkpoint (4096-entry cadence, the
+//!   `PersistConfig::checkpoint_interval` default) and replaying only
+//!   the O(interval) tail; comparison row `seek_vs_replay_from_zero`.
 //!
 //! Persists `BENCH_trace.json` at the repo root — regenerate with
 //! `cargo bench -p gmdf-bench --bench trace_store`. With
@@ -186,7 +192,115 @@ fn bench_store(c: &mut Criterion) {
     std::fs::remove_dir_all(&compact_dir).ok();
 }
 
-criterion_group!(benches, bench_store);
+/// Checkpoint cadence for the time-travel rows — the durable-session
+/// default (`PersistConfig::checkpoint_interval`).
+const CKPT_INTERVAL: u64 = 4096;
+
+/// A busy ring session for the time-travel rows: one trace entry every
+/// ~100 µs of target time, so `trace_len()` entries span seconds of
+/// deterministic re-execution.
+fn seek_session() -> gmdf::DebugSession {
+    use gmdf_comdes::{
+        ActorBuilder, Expr, FsmBuilder, NetworkBuilder, NodeSpec, Port, System, Timing,
+        VAR_TIME_IN_STATE,
+    };
+    let mut fb = FsmBuilder::new().output(Port::int("s"));
+    for i in 0..3 {
+        fb = fb.state(&format!("S{i}"), |st| st.entry("s", Expr::Int(i)));
+    }
+    for i in 0..3u64 {
+        fb = fb.transition(
+            &format!("S{i}"),
+            &format!("S{}", (i + 1) % 3),
+            Expr::var(VAR_TIME_IN_STATE).ge(Expr::Real(1e-4)),
+        );
+    }
+    let fsm = fb.initial("S0").build().expect("ring fsm");
+    let net = NetworkBuilder::new()
+        .output(Port::int("s"))
+        .state_machine("ring", fsm)
+        .connect("ring.s", "s")
+        .expect("endpoint")
+        .build()
+        .expect("ring net");
+    let actor = ActorBuilder::new("Ring", net)
+        .output("s", "state_sig")
+        .timing(Timing::periodic(50_000, 0))
+        .build()
+        .expect("ring actor");
+    let mut node = NodeSpec::new("ecu", 50_000_000);
+    node.actors.push(actor);
+    gmdf::Workflow::from_system(System::new("seek_ring").with_node(node))
+        .expect("valid system")
+        .default_abstraction()
+        .default_commands()
+        .connect(
+            gmdf::ChannelMode::Active,
+            gmdf_codegen::CompileOptions {
+                instrument: gmdf_codegen::InstrumentOptions::behavior(),
+                faults: vec![],
+            },
+            // A fast debug link: at the default 115200 baud the UART
+            // cannot sustain this event rate, so the backlog (part of
+            // the checkpoint image) would grow with the trace and the
+            // seek would degenerate to O(n) image parsing.
+            gmdf_target::SimConfig {
+                uart_baud: 10_000_000,
+                ..gmdf_target::SimConfig::default()
+            },
+        )
+        .expect("session boots")
+}
+
+/// Time travel to the end of a long run: full deterministic re-execution
+/// from t = 0 versus nearest-checkpoint restore (JSON image parse +
+/// state restore, as the durable-session seek path pays it) plus an
+/// O(interval) replay of the tail.
+fn bench_time_travel(c: &mut Criterion) {
+    let n = trace_len();
+    // The reference run, imaged every `CKPT_INTERVAL` entries the same
+    // way the durable-session pump does (checked at slice boundaries).
+    let mut reference = seek_session();
+    let mut images: Vec<(u64, String)> = Vec::new();
+    let mut last = 0u64;
+    while (reference.engine().trace().len() as u64) < n {
+        reference.run_for(10_000_000).expect("reference run");
+        let len = reference.engine().trace().len() as u64;
+        if len.saturating_sub(last) >= CKPT_INTERVAL {
+            let image = reference.save_state();
+            images.push((image.t_ns(), serde_json::to_string(&image).expect("image")));
+            last = len;
+        }
+    }
+    let target_ns = reference.now_ns();
+    let (ckpt_t_ns, payload) = images.last().expect("checkpoints written").clone();
+    drop(reference);
+
+    let mut group = c.benchmark_group("trace_store");
+    group.bench_function("replay_from_zero", |b| {
+        b.iter(|| {
+            let mut session = seek_session();
+            session.run_for(target_ns).expect("replay");
+            black_box(session.engine().trace().len())
+        })
+    });
+    group.bench_function("seek_to_time", |b| {
+        b.iter(|| {
+            let image: gmdf::SessionCheckpoint =
+                serde_json::from_str(&payload).expect("image parses");
+            let mut session = seek_session();
+            session.restore_state(&image).expect("restore");
+            session.resume_trace_store(Box::new(gmdf_engine::OffsetMemStore::new(
+                image.trace_len(),
+            )));
+            session.run_for(target_ns - ckpt_t_ns).expect("replay tail");
+            black_box(session.engine().trace().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_time_travel);
 
 /// The satellite comparison: indexed window vs the old linear scan, on
 /// the in-memory backend (identical data, identical answer).
@@ -268,11 +382,45 @@ fn codec_comparison(results: &[criterion::BenchResult]) -> Comparison {
     }
 }
 
+/// The tentpole comparison: time travel to the end of the long run via
+/// nearest-checkpoint restore against full re-execution from t = 0.
+/// Derived from the criterion-timed medians of the `replay_from_zero` /
+/// `seek_to_time` rows.
+fn seek_comparison(results: &[criterion::BenchResult]) -> Comparison {
+    let median_of = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|r| r.name == format!("trace_store/{name}"))
+            .unwrap_or_else(|| panic!("bench row `{name}` was measured"))
+            .median_ns
+    };
+    let baseline_ns = median_of("replay_from_zero");
+    let optimized_ns = median_of("seek_to_time");
+    let speedup = baseline_ns / optimized_ns;
+    eprintln!(
+        "[trace_store] seek over {} entries at {CKPT_INTERVAL}-entry checkpoints: \
+         from-zero {:.1} ms, checkpointed {:.1} ms ({speedup:.0}x)",
+        trace_len(),
+        baseline_ns / 1e6,
+        optimized_ns / 1e6,
+    );
+    Comparison {
+        name: "seek_vs_replay_from_zero".to_owned(),
+        baseline_ns,
+        optimized_ns,
+        speedup,
+    }
+}
+
 fn main() {
     benches();
     let comparison = window_comparison();
     let results = criterion::take_results();
-    let comparisons = vec![comparison, codec_comparison(&results)];
+    let comparisons = vec![
+        comparison,
+        codec_comparison(&results),
+        seek_comparison(&results),
+    ];
     let report = report_from("trace_store", results, comparisons);
     let name = if criterion::quick_mode() {
         "BENCH_trace.quick.json"

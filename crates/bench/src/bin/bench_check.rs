@@ -119,6 +119,17 @@ fn validate(report: &BenchReport, label: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the candidate's comparison rows — the headline speedups —
+/// so CI logs show the measured numbers, not just pass/fail.
+fn print_comparisons(candidate: &BenchReport) {
+    for c in &candidate.comparisons {
+        println!(
+            "bench_check:   comparison `{}`: baseline {:.0} ns, optimized {:.0} ns — {:.1}x",
+            c.name, c.baseline_ns, c.optimized_ns, c.speedup
+        );
+    }
+}
+
 fn check(baseline: &BenchReport, candidate: &BenchReport, max_regress: f64) -> Vec<String> {
     let mut failures = Vec::new();
     if baseline.bench != candidate.bench {
@@ -218,6 +229,7 @@ fn main() -> ExitCode {
             candidate.results.len(),
             candidate.comparisons.len(),
         );
+        print_comparisons(&candidate);
         return ExitCode::SUCCESS;
     }
     let failures = check(&baseline, &candidate, max_regress);
@@ -228,6 +240,7 @@ fn main() -> ExitCode {
             candidate.results.len(),
             candidate.comparisons.len(),
         );
+        print_comparisons(&candidate);
         ExitCode::SUCCESS
     } else {
         for f in &failures {

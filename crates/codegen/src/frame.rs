@@ -117,7 +117,10 @@ pub fn crc16(data: &[u8]) -> u16 {
 ///
 /// Tolerates garbage between frames (resynchronizes on the next `SOF`
 /// whose CRC verifies) and counts discarded bytes and CRC failures.
-#[derive(Debug, Default, Clone)]
+///
+/// Serializable so mid-stream decoder state (a frame straddling a
+/// checkpoint instant) survives a checkpoint/restore round trip.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Bytes discarded while hunting for a frame start.

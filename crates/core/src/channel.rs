@@ -74,6 +74,19 @@ impl ActiveChannel {
     pub fn crc_errors(&self) -> u64 {
         self.decoder.crc_errors
     }
+
+    /// Snapshot of the stateful frame decoder (partial frame bytes plus
+    /// error counters) — what a session checkpoint captures so a frame
+    /// straddling the checkpoint instant still completes after restore.
+    pub fn decoder_state(&self) -> FrameDecoder {
+        self.decoder.clone()
+    }
+
+    /// Restores a decoder snapshot taken by
+    /// [`ActiveChannel::decoder_state`].
+    pub fn restore_decoder(&mut self, state: FrameDecoder) {
+        self.decoder = state;
+    }
 }
 
 /// Translates passive JTAG watch hits into model events using the

@@ -7,11 +7,11 @@
 //! channel or the passive JTAG monitor.
 
 use crate::channel::{ActiveChannel, PassiveChannel};
-use gmdf_codegen::{compile_system, CompileError, CompileOptions, ProgramImage};
+use gmdf_codegen::{compile_system, CompileError, CompileOptions, FrameDecoder, ProgramImage};
 use gmdf_comdes::{ComdesError, Interpreter, SignalValue, System};
-use gmdf_engine::{classify, BugClass, DebuggerEngine, Divergence};
+use gmdf_engine::{classify, BugClass, DebuggerEngine, Divergence, EngineCheckpoint};
 use gmdf_gdm::{DebuggerModel, ModelEvent};
-use gmdf_target::{JtagMonitor, SimConfig, SimError, Simulator};
+use gmdf_target::{JtagMonitor, JtagState, SimConfig, SimError, SimState, Simulator};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -82,6 +82,40 @@ pub struct RunReport {
     pub violations: usize,
     /// `true` if a breakpoint paused the engine.
     pub breakpoint_hit: bool,
+}
+
+/// Full serializable state of a [`DebugSession`] at one instant — the
+/// unit a checkpoint store persists for O(interval) time travel.
+///
+/// Captures the target platform ([`SimState`]), the channel's
+/// mid-stream decode state (partial UART frames / JTAG change
+/// detection), the engine's presentation state
+/// ([`EngineCheckpoint`]), the stimulus schedule, and the trace length
+/// at the instant. The execution trace itself is **not** inside the
+/// checkpoint: it lives in its own (segmented) store, and a restored
+/// session regenerates entries from `trace_len` onward by
+/// deterministic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    sim: SimState,
+    engine: EngineCheckpoint,
+    /// Per-node frame decoders in node order (active channel only).
+    active: Option<Vec<FrameDecoder>>,
+    passive: Option<JtagState>,
+    stimuli: Vec<(u64, String, SignalValue)>,
+    trace_len: u64,
+}
+
+impl SessionCheckpoint {
+    /// Simulation time at which the checkpoint was taken.
+    pub fn t_ns(&self) -> u64 {
+        self.sim.now_ns()
+    }
+
+    /// Trace length (next sequence number) at the checkpoint instant.
+    pub fn trace_len(&self) -> u64 {
+        self.trace_len
+    }
 }
 
 /// A live model-level debug session.
@@ -186,6 +220,77 @@ impl DebugSession {
         self.engine.set_trace_store(store);
     }
 
+    /// Replaces the trace's backend *without* catch-up: the store's
+    /// current length becomes the next sequence number, and recording
+    /// continues from there. This is how a time-travel replica resumes
+    /// from a checkpoint — the entries before the checkpoint already
+    /// live in the durable store and must not be regenerated.
+    pub fn resume_trace_store(&mut self, store: Box<dyn gmdf_engine::TraceStore>) {
+        self.engine.resume_trace_store(store);
+    }
+
+    /// Captures the session's complete dynamic state — target, channel
+    /// decode state, engine presentation state, stimulus schedule and
+    /// trace position — as one serializable [`SessionCheckpoint`].
+    pub fn save_state(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            sim: self.sim.save_state(),
+            engine: self.engine.save_state(),
+            active: self
+                .active
+                .as_ref()
+                .map(|chans| chans.iter().map(|(_, c)| c.decoder_state()).collect()),
+            passive: self.passive.as_ref().map(|(m, _)| m.save_state()),
+            stimuli: self.stimuli.clone(),
+            trace_len: self.engine.trace().len() as u64,
+        }
+    }
+
+    /// Restores a [`SessionCheckpoint`] into this session, which must
+    /// have been built from the same [`SessionSpec`](crate::SessionSpec)
+    /// (same system, GDM, channel mode and configuration). After restore
+    /// the session behaves bit-identically to the one the snapshot was
+    /// taken from — same future events, same trace entries.
+    ///
+    /// The execution trace is **not** touched: pair this with
+    /// [`DebugSession::resume_trace_store`] (or a fresh store) so the
+    /// trace position matches [`SessionCheckpoint::trace_len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadState`] (wrapped) when the snapshot does
+    /// not structurally match this session — different channel mode,
+    /// node count, or watch list.
+    pub fn restore_state(&mut self, state: &SessionCheckpoint) -> Result<(), SessionError> {
+        match (&self.active, &state.active) {
+            (Some(chans), Some(decs)) if chans.len() == decs.len() => {}
+            (None, None) => {}
+            _ => {
+                return Err(SessionError::Sim(SimError::BadState(
+                    "checkpoint channel mode does not match session".into(),
+                )))
+            }
+        }
+        if self.passive.is_some() != state.passive.is_some() {
+            return Err(SessionError::Sim(SimError::BadState(
+                "checkpoint channel mode does not match session".into(),
+            )));
+        }
+        self.sim.restore_state(&state.sim)?;
+        self.engine.restore_state(&state.engine);
+        if let (Some(chans), Some(decs)) = (&mut self.active, &state.active) {
+            for ((_, chan), dec) in chans.iter_mut().zip(decs) {
+                chan.restore_decoder(dec.clone());
+            }
+        }
+        if let (Some((monitor, _)), Some(jtag)) = (&mut self.passive, &state.passive) {
+            monitor.restore_state(jtag)?;
+        }
+        self.stimuli = state.stimuli.clone();
+        self.uart_buf.clear();
+        Ok(())
+    }
+
     /// Flushes the trace's backing store, surfacing any sticky
     /// storage failure.
     ///
@@ -208,6 +313,14 @@ impl DebugSession {
         &mut self,
     ) -> Result<gmdf_engine::MaintenanceReport, gmdf_engine::StoreError> {
         self.engine.maintain_trace()
+    }
+
+    /// Pins the trace store's retention floor so eviction never drops
+    /// an entry at or past the oldest retained checkpoint's trace
+    /// position — see
+    /// [`gmdf_engine::TraceStore::set_retain_floor`].
+    pub fn set_trace_retain_floor(&mut self, floor: u64) {
+        self.engine.set_trace_retain_floor(floor);
     }
 
     /// The target simulator.

@@ -33,7 +33,7 @@ pub enum EngineState {
 }
 
 /// A model-level breakpoint.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Breakpoint {
     /// Events that trigger the pause.
     pub matcher: CommandMatcher,
@@ -71,7 +71,7 @@ pub struct EngineNotice {
 }
 
 /// Aggregate engine statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Commands processed (not counting queued ones).
     pub events_processed: u64,
@@ -180,6 +180,13 @@ impl DebuggerEngine {
         &mut self,
     ) -> Result<crate::store::MaintenanceReport, crate::store::StoreError> {
         self.trace.maintain()
+    }
+
+    /// Pins the trace store's retention floor (entries with
+    /// `seq >= floor` may no longer be evicted) — see
+    /// [`crate::store::TraceStore::set_retain_floor`].
+    pub fn set_trace_retain_floor(&mut self, floor: u64) {
+        self.trace.set_retain_floor(floor);
     }
 
     /// Violations recorded so far — the found bugs.
@@ -325,6 +332,48 @@ impl DebuggerEngine {
         }
     }
 
+    /// Replaces the trace backend in **resume** mode: the trace's next
+    /// sequence number continues from `store.len()` instead of starting
+    /// at zero with deterministic catch-up. This is what a time-travel
+    /// replica uses after restoring a checkpoint — re-generated commands
+    /// append at the checkpoint boundary rather than being dropped
+    /// against an already-persisted prefix.
+    pub fn resume_trace_store(&mut self, store: Box<dyn crate::store::TraceStore>) {
+        self.trace = ExecutionTrace::resume_with_store(store);
+    }
+
+    /// Captures the engine's dynamic state for a checkpoint: animation
+    /// state, control state, breakpoints, expectation-monitor cursors,
+    /// recorded violations, the paused-command queue and the counters.
+    /// The debug model and the trace are not included — the model is
+    /// configuration (rebuilt from the spec) and the trace has its own
+    /// store.
+    pub fn save_state(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            visual: self.visual.clone(),
+            state: self.state,
+            breakpoints: self.breakpoints.clone(),
+            monitors: self.monitors.clone(),
+            violations: self.violations.clone(),
+            queue: self.queue.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a checkpointed engine state (see
+    /// [`DebuggerEngine::save_state`]). The trace backend is untouched —
+    /// pair with [`DebuggerEngine::resume_trace_store`] /
+    /// [`DebuggerEngine::set_trace_store`] as the restore path requires.
+    pub fn restore_state(&mut self, state: &EngineCheckpoint) {
+        self.visual = state.visual.clone();
+        self.state = state.state;
+        self.breakpoints = state.breakpoints.clone();
+        self.monitors = state.monitors.clone();
+        self.violations = state.violations.clone();
+        self.queue = state.queue.clone();
+        self.stats = state.stats;
+    }
+
     /// Renders the current animation frame as a scene.
     pub fn frame(&self) -> Scene {
         render_gdm(&self.gdm, &self.visual)
@@ -339,6 +388,22 @@ impl DebuggerEngine {
     pub fn frame_ascii(&self) -> String {
         render_ascii(&self.gdm, &self.visual)
     }
+}
+
+/// Serializable dynamic state of a [`DebuggerEngine`] — the
+/// engine-side half of a session checkpoint. Captures everything that
+/// influences future trace entries (paused queue, breakpoints, monitor
+/// cursors) plus the presentation state, so a restored engine is
+/// indistinguishable from one that never stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    visual: VisualState,
+    state: EngineState,
+    breakpoints: Vec<Breakpoint>,
+    monitors: Vec<ExpectationMonitor>,
+    violations: Vec<Violation>,
+    queue: VecDeque<ModelEvent>,
+    stats: EngineStats,
 }
 
 /// Applies one reaction to the animation state — shared by the live

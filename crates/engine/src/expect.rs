@@ -94,7 +94,11 @@ impl fmt::Display for Violation {
 }
 
 /// Runtime state of one expectation (sequence cursor etc.).
-#[derive(Debug, Clone)]
+///
+/// Serializable so checkpoints capture mid-sequence cursors and open
+/// response-time windows — monitor state influences future violations,
+/// so a restored session must resume it exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExpectationMonitor {
     spec: Expectation,
     cursor: usize,

@@ -52,13 +52,14 @@ mod trace;
 
 pub use classify::{classify, compare_behavior, BugClass, Divergence};
 pub use engine::{
-    apply_reaction, Breakpoint, DebuggerEngine, EngineNotice, EngineState, EngineStats, FeedOutcome,
+    apply_reaction, Breakpoint, DebuggerEngine, EngineCheckpoint, EngineNotice, EngineState,
+    EngineStats, FeedOutcome,
 };
 pub use expect::{allowed_transitions, Expectation, ExpectationMonitor, Violation};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RecentSeries, StoreMetrics};
 pub use replay::{timing_diagram, Replayer};
 pub use store::{
-    Codec, MaintenanceReport, MemStore, Retention, SegmentConfig, SegmentStore, StoreError,
-    StoreStats, TraceStore,
+    CheckpointMeta, CheckpointStore, Codec, MaintenanceReport, MemStore, OffsetMemStore, Retention,
+    SegmentConfig, SegmentStore, StoreError, StoreStats, TraceStore,
 };
 pub use trace::{ExecutionTrace, TraceEntry};

@@ -189,6 +189,20 @@ pub trait TraceStore: Send + fmt::Debug {
     fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
         Ok(MaintenanceReport::default())
     }
+
+    /// Forbids retention from evicting any entry with `seq >= floor`.
+    ///
+    /// Time travel anchors on checkpoints: a seek restores the nearest
+    /// checkpoint at or before the target and replays forward, and the
+    /// full-trace view stitches the persisted prefix below the restore
+    /// point onto the regenerated tail. Evicting a segment newer than
+    /// the **oldest retained checkpoint** would tear a hole in every
+    /// such stitch, so the checkpoint owner pins the floor here after
+    /// each checkpoint write. `u64::MAX` (the initial value) disables
+    /// the clamp — a store without checkpoints retains the original
+    /// budget-only behavior. The default implementation (memory stores,
+    /// stores without retention) ignores the floor: they never evict.
+    fn set_retain_floor(&mut self, _floor: u64) {}
 }
 
 /// What [`TraceStore::maintain`] accomplished in one call.
@@ -815,6 +829,100 @@ impl TraceStore for MemStore {
 }
 
 // ---------------------------------------------------------------------------
+// OffsetMemStore
+// ---------------------------------------------------------------------------
+
+/// An in-memory trace store whose first entry has sequence number
+/// `base` instead of 0 — the backend a time-travel replica records
+/// into.
+///
+/// A replica restored from a checkpoint taken at trace length `base`
+/// regenerates entries `base, base+1, …` by deterministic replay; the
+/// entries below `base` already live in the durable store and are
+/// *not* re-recorded. [`TraceStore::len`] reports `base + stored`,
+/// [`TraceStore::first_retained_seq`] reports `base`, and reads below
+/// `base` clamp up to it, so the replica's trace numbering lines up
+/// exactly with the original run's.
+#[derive(Debug, Clone)]
+pub struct OffsetMemStore {
+    base: u64,
+    entries: Vec<TraceEntry>,
+}
+
+impl OffsetMemStore {
+    /// An empty store whose next append must carry `seq == base`.
+    pub fn new(base: u64) -> Self {
+        OffsetMemStore {
+            base,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The fixed offset: sequence number of the first recordable entry.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+impl TraceStore for OffsetMemStore {
+    fn append(&mut self, entry: TraceEntry) -> Result<(), StoreError> {
+        debug_assert_eq!(entry.seq, self.len());
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    fn read_into(
+        &self,
+        from_seq: u64,
+        to_seq: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), StoreError> {
+        let n = self.entries.len();
+        let from = (from_seq.max(self.base) - self.base).min(n as u64) as usize;
+        let to = (to_seq.max(self.base) - self.base).min(n as u64) as usize;
+        if from < to {
+            out.extend_from_slice(&self.entries[from..to]);
+        }
+        Ok(())
+    }
+
+    fn window_bounds(&self, t0_ns: u64, t1_ns: u64) -> Result<(u64, u64), StoreError> {
+        if t0_ns > t1_ns {
+            return Ok((0, 0));
+        }
+        let lo = self.entries.partition_point(|e| e.event.time_ns < t0_ns);
+        let hi = self.entries.partition_point(|e| e.event.time_ns <= t1_ns);
+        if lo >= hi {
+            Ok((0, 0))
+        } else {
+            Ok((self.base + lo as u64, self.base + hi as u64))
+        }
+    }
+
+    fn time_range(&self) -> Option<(u64, u64)> {
+        let first = self.entries.first()?.event.time_ns;
+        let last = self.entries.last()?.event.time_ns;
+        Some((first, last))
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn as_slice(&self) -> Option<&[TraceEntry]> {
+        Some(&self.entries)
+    }
+
+    fn first_retained_seq(&self) -> u64 {
+        self.base
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SegmentStore
 // ---------------------------------------------------------------------------
 
@@ -900,6 +1008,10 @@ pub struct SegmentStore {
     tail_bytes: u64,
     /// Writer on the active segment file; opened lazily.
     writer: Option<BufWriter<File>>,
+    /// Eviction clamp (see [`TraceStore::set_retain_floor`]): entries
+    /// with `seq >= retain_floor` must stay readable. `u64::MAX` = no
+    /// clamp.
+    retain_floor: u64,
 }
 
 impl SegmentStore {
@@ -982,6 +1094,7 @@ impl SegmentStore {
             tail_first: 0,
             tail_bytes: 0,
             writer: None,
+            retain_floor: u64::MAX,
         };
         store.recover()?;
         Ok(store)
@@ -1424,7 +1537,16 @@ impl TraceStore for SegmentStore {
             }
         }
         if let Some(budget) = self.retention.max_disk_bytes {
-            while self.disk_bytes() > budget && !self.sealed.is_empty() {
+            // The clamp wins over the budget: a segment holding any
+            // entry at or past the retain floor (the oldest retained
+            // checkpoint's trace position) is never evicted, even if
+            // the store stays over budget as a result.
+            while self.disk_bytes() > budget
+                && self
+                    .sealed
+                    .first()
+                    .is_some_and(|m| m.last_seq < self.retain_floor)
+            {
                 let meta = self.sealed.remove(0);
                 let idx = self.segment_index(meta.first_seq);
                 let path = if meta.compressed {
@@ -1440,6 +1562,230 @@ impl TraceStore for SegmentStore {
         }
         Ok(report)
     }
+
+    fn set_retain_floor(&mut self, floor: u64) {
+        self.retain_floor = floor;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+/// Checkpoint-file magic: the first 4 bytes of every `.ck` file.
+const CKPT_MAGIC: [u8; 4] = *b"GCP1";
+
+/// Codec tag byte after the magic. Only JSON exists today; the tag is
+/// in the file (not a sidecar) so future codecs can coexist in one
+/// directory, exactly like segment stores record theirs in `meta.json`.
+const CKPT_CODEC_JSON: u8 = 0;
+
+/// Index entry for one retained checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Trace length (next sequence number) at the checkpoint instant.
+    pub seq: u64,
+    /// Simulation time of the checkpoint instant.
+    pub t_ns: u64,
+    /// On-disk size of the checkpoint file.
+    pub bytes: u64,
+}
+
+/// A directory of full-state checkpoints keyed by `(seq, t_ns)` — the
+/// anchor points O(interval) time travel restores and replays from.
+///
+/// Layout: one file per checkpoint,
+/// `ckpt-<seq:016>-<t_ns:020>.ck`, holding `GCP1` magic, a codec tag
+/// byte, and one `[u32 len BE][payload]` frame (the same framing as
+/// segments, journals and the wire). The payload is opaque to the
+/// store — the debug server puts a serialized session checkpoint
+/// there.
+///
+/// **Crash safety**: writes go to a `.tmp` sibling, fsync, then rename
+/// — a kill at any byte leaves either the previous directory contents
+/// (the `.tmp` is deleted on the next open) or the complete new file.
+/// Opening validates every file's magic, tag and frame length and
+/// deletes damaged ones, so a seek never anchors on a torn checkpoint:
+/// it falls back to the previous one (or to replay from zero).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Ascending by `seq` (and by `t_ns` — simulation time and trace
+    /// length grow together).
+    metas: Vec<CheckpointMeta>,
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) the checkpoint directory, deleting stale
+    /// `.tmp` leftovers and damaged files on the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut metas = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+                continue;
+            }
+            let Some((seq, t_ns)) = parse_checkpoint_name(name) else {
+                continue;
+            };
+            let bytes = std::fs::read(entry.path())?;
+            if validate_checkpoint(&bytes).is_none() {
+                // A torn or corrupt checkpoint must never anchor a
+                // seek — remove it so the index only holds usable ones.
+                std::fs::remove_file(entry.path())?;
+                continue;
+            }
+            metas.push(CheckpointMeta {
+                seq,
+                t_ns,
+                bytes: bytes.len() as u64,
+            });
+        }
+        metas.sort_by_key(|m| (m.seq, m.t_ns));
+        Ok(CheckpointStore { dir, metas })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Retained checkpoints, ascending by sequence.
+    pub fn metas(&self) -> &[CheckpointMeta] {
+        &self.metas
+    }
+
+    /// Number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// `true` when no checkpoint is retained.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Trace position of the oldest retained checkpoint — what the
+    /// trace store's retain floor is pinned to.
+    pub fn oldest_seq(&self) -> Option<u64> {
+        self.metas.first().map(|m| m.seq)
+    }
+
+    /// The newest retained checkpoint.
+    pub fn latest(&self) -> Option<CheckpointMeta> {
+        self.metas.last().copied()
+    }
+
+    /// The newest checkpoint taken at or before simulation time
+    /// `t_ns` — the anchor for `SeekTo{t_ns}`.
+    pub fn nearest_at_or_before_time(&self, t_ns: u64) -> Option<CheckpointMeta> {
+        let pos = self.metas.partition_point(|m| m.t_ns <= t_ns);
+        pos.checked_sub(1).map(|i| self.metas[i])
+    }
+
+    /// The newest checkpoint taken strictly before `t_ns` — the anchor
+    /// for `ReplayWindow{t0,..}`, which must *regenerate* (not skip)
+    /// entries at exactly `t0`.
+    pub fn nearest_before_time(&self, t_ns: u64) -> Option<CheckpointMeta> {
+        let pos = self.metas.partition_point(|m| m.t_ns < t_ns);
+        pos.checked_sub(1).map(|i| self.metas[i])
+    }
+
+    /// The newest checkpoint whose trace position is at or below
+    /// `seq` — the anchor for `StepBack`.
+    pub fn nearest_at_or_before_seq(&self, seq: u64) -> Option<CheckpointMeta> {
+        let pos = self.metas.partition_point(|m| m.seq <= seq);
+        pos.checked_sub(1).map(|i| self.metas[i])
+    }
+
+    fn path_for(&self, seq: u64, t_ns: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:016}-{t_ns:020}.ck"))
+    }
+
+    /// Persists one checkpoint payload under `(seq, t_ns)` crash-safely
+    /// (write `.tmp`, fsync, rename). Returns the file size written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects payloads over the `u32`
+    /// frame limit.
+    pub fn save(&mut self, seq: u64, t_ns: u64, payload: &[u8]) -> Result<u64, StoreError> {
+        let mut image = Vec::with_capacity(9 + payload.len());
+        image.extend_from_slice(&CKPT_MAGIC);
+        image.push(CKPT_CODEC_JSON);
+        image.extend_from_slice(&frame_len(payload.len())?);
+        image.extend_from_slice(payload);
+        let path = self.path_for(seq, t_ns);
+        let tmp = path.with_extension("ck.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        match self
+            .metas
+            .iter()
+            .position(|m| m.seq == seq && m.t_ns == t_ns)
+        {
+            Some(i) => self.metas[i].bytes = image.len() as u64,
+            None => {
+                self.metas.push(CheckpointMeta {
+                    seq,
+                    t_ns,
+                    bytes: image.len() as u64,
+                });
+                self.metas.sort_by_key(|m| (m.seq, m.t_ns));
+            }
+        }
+        Ok(image.len() as u64)
+    }
+
+    /// Loads and validates the checkpoint at `(meta.seq, meta.t_ns)`,
+    /// returning its payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and validation failures (bad magic, unknown codec
+    /// tag, torn frame) — callers fall back to an older checkpoint.
+    pub fn load(&self, meta: &CheckpointMeta) -> Result<Vec<u8>, StoreError> {
+        let bytes = std::fs::read(self.path_for(meta.seq, meta.t_ns))?;
+        validate_checkpoint(&bytes)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| {
+                StoreError::new(format!(
+                    "checkpoint at seq {} (t={} ns) is damaged",
+                    meta.seq, meta.t_ns
+                ))
+            })
+    }
+}
+
+/// Parses `ckpt-<seq:016>-<t_ns:020>.ck` back into `(seq, t_ns)`.
+fn parse_checkpoint_name(name: &str) -> Option<(u64, u64)> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
+    let (seq, t_ns) = stem.split_once('-')?;
+    Some((seq.parse().ok()?, t_ns.parse().ok()?))
+}
+
+/// Checks a checkpoint file image (magic, codec tag, exact frame
+/// length) and returns the payload slice when whole.
+fn validate_checkpoint(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 9 || bytes[..4] != CKPT_MAGIC || bytes[4] != CKPT_CODEC_JSON {
+        return None;
+    }
+    let len = u32::from_be_bytes(bytes[5..9].try_into().ok()?) as usize;
+    let payload = &bytes[9..];
+    (payload.len() == len).then_some(payload)
 }
 
 #[cfg(test)]
@@ -1969,6 +2315,129 @@ mod tests {
         let s = SegmentStore::open_with(&dir, config).unwrap();
         assert_eq!(s.len(), 6);
         assert_eq!(s.stats().compacted_segments, 0, "fell back to the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retain_floor_clamps_eviction() {
+        let dir = tmp_dir("floor");
+        let config = SegmentConfig {
+            capacity: 4,
+            codec: Codec::Json,
+            retention: Retention {
+                compress_after: Some(0),
+                max_disk_bytes: Some(600),
+            },
+        };
+        let mut s = SegmentStore::open_with(&dir, config).unwrap();
+        for i in 0..26 {
+            s.append(entry(i, 10 * i)).unwrap();
+        }
+        s.sync().unwrap();
+        // An "oldest checkpoint" at seq 4: segment 1 (seqs 4..8) and
+        // everything after it must survive, however tight the budget.
+        s.set_retain_floor(4);
+        while s.maintain().unwrap().did_work() {}
+        assert_eq!(
+            s.first_retained_seq(),
+            4,
+            "only the pre-floor segment was evictable"
+        );
+        let mut out = Vec::new();
+        s.read_into(0, u64::MAX, &mut out).unwrap();
+        assert_eq!(out.first().unwrap().seq, 4);
+        assert_eq!(out.last().unwrap().seq, 25);
+        // Raising the floor releases older segments to the budget again.
+        s.set_retain_floor(12);
+        while s.maintain().unwrap().did_work() {}
+        assert!(s.first_retained_seq() > 4);
+        assert!(s.first_retained_seq() <= 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn offset_store_lines_up_with_absolute_numbering() {
+        let mut s = OffsetMemStore::new(100);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.first_retained_seq(), 100);
+        assert!(s.is_empty() || s.len() == 100); // no entries yet
+        for i in 100..110 {
+            s.append(entry(i, 10 * i)).unwrap();
+        }
+        assert_eq!(s.len(), 110);
+        // Reads below the base clamp up to it.
+        let mut out = Vec::new();
+        s.read_into(0, u64::MAX, &mut out).unwrap();
+        assert_eq!(out.first().unwrap().seq, 100);
+        assert_eq!(out.len(), 10);
+        out.clear();
+        s.read_into(104, 107, &mut out).unwrap();
+        assert_eq!(
+            out.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![104, 105, 106]
+        );
+        // Windows report absolute bounds.
+        assert_eq!(s.window_bounds(1030, 1050).unwrap(), (103, 106));
+        assert_eq!(s.time_range(), Some((1000, 1090)));
+        assert_eq!(s.as_slice().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_and_indexes() {
+        let dir = tmp_dir("ckpt");
+        let mut c = CheckpointStore::open(&dir).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.nearest_at_or_before_time(u64::MAX), None);
+        for (seq, t) in [(10u64, 1000u64), (20, 2000), (30, 3000)] {
+            let payload = format!("{{\"seq\":{seq}}}");
+            let written = c.save(seq, t, payload.as_bytes()).unwrap();
+            assert_eq!(written, 9 + payload.len() as u64);
+        }
+        assert_eq!(c.oldest_seq(), Some(10));
+        assert_eq!(c.latest().unwrap().seq, 30);
+        // Selection semantics.
+        assert_eq!(c.nearest_at_or_before_time(2000).unwrap().seq, 20);
+        assert_eq!(c.nearest_before_time(2000).unwrap().seq, 10);
+        assert_eq!(c.nearest_at_or_before_time(1999).unwrap().seq, 10);
+        assert_eq!(c.nearest_at_or_before_time(999), None);
+        assert_eq!(c.nearest_at_or_before_seq(29).unwrap().seq, 20);
+        assert_eq!(c.nearest_at_or_before_seq(30).unwrap().seq, 30);
+        // Payloads round-trip, and the index survives reopen.
+        let c2 = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(c2.metas(), c.metas());
+        let meta = c2.nearest_at_or_before_time(2500).unwrap();
+        assert_eq!(c2.load(&meta).unwrap(), b"{\"seq\":20}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous() {
+        let dir = tmp_dir("ckpt-torn");
+        {
+            let mut c = CheckpointStore::open(&dir).unwrap();
+            c.save(10, 1000, b"good-old").unwrap();
+            c.save(20, 2000, b"good-new").unwrap();
+        }
+        let newest = dir.join(format!("ckpt-{:016}-{:020}.ck", 20u64, 2000u64));
+        let image = std::fs::read(&newest).unwrap();
+        // A kill at *any* byte during the write sequence leaves either
+        // a partial .tmp (ignored and deleted) or a complete renamed
+        // file — simulate both damage shapes and the fallback.
+        for cut in 0..image.len() {
+            std::fs::write(dir.join("ckpt-next.ck.tmp"), &image[..cut]).unwrap();
+            let c = CheckpointStore::open(&dir).unwrap();
+            assert_eq!(c.len(), 2, "tmp leftovers never enter the index");
+            assert!(!dir.join("ckpt-next.ck.tmp").exists(), "tmp deleted");
+        }
+        // Paranoia: even a torn *renamed* file (not producible by the
+        // tmp+fsync+rename sequence, but disks lie) is dropped, and the
+        // previous checkpoint anchors the seek.
+        std::fs::write(&newest, &image[..image.len() - 3]).unwrap();
+        let c = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        let meta = c.nearest_at_or_before_time(u64::MAX).unwrap();
+        assert_eq!(meta.seq, 10);
+        assert_eq!(c.load(&meta).unwrap(), b"good-old");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -137,6 +137,22 @@ impl ExecutionTrace {
         }
     }
 
+    /// Creates a trace over `store` in **resume** mode: the next
+    /// sequence number continues from `store.len()` instead of starting
+    /// at zero with deterministic catch-up. A time-travel replica uses
+    /// this after restoring a checkpoint — the replayed suffix appends
+    /// at the checkpoint boundary (the store's length *is* the
+    /// checkpoint's trace length), never re-deriving the prefix.
+    pub fn resume_with_store(store: Box<dyn TraceStore>) -> Self {
+        let next_seq = store.len();
+        ExecutionTrace {
+            store,
+            next_seq,
+            error: None,
+            metrics: None,
+        }
+    }
+
     /// Attaches a metrics sink: store appends and range reads are timed
     /// into it from now on. Pass the same `Arc` to every trace whose
     /// I/O should aggregate into one fleet-wide read-out.
@@ -156,6 +172,15 @@ impl ExecutionTrace {
     /// at 0 blindly.
     pub fn first_retained_seq(&self) -> u64 {
         self.store.first_retained_seq()
+    }
+
+    /// Pins the backing store's retention floor: entries with
+    /// `seq >= floor` may no longer be evicted — see
+    /// [`TraceStore::set_retain_floor`]. The checkpoint owner calls
+    /// this with the oldest retained checkpoint's trace position after
+    /// every checkpoint write.
+    pub fn set_retain_floor(&mut self, floor: u64) {
+        self.store.set_retain_floor(floor);
     }
 
     /// Runs one bounded unit of store maintenance (segment compression

@@ -127,6 +127,48 @@ pub struct TraceSlice {
     pub complete: bool,
 }
 
+/// The reply to [`SessionCommand::SeekTo`] /
+/// [`SessionCommand::StepBack`]: where the time-travel replica landed
+/// and what it cost to get there. The live session is untouched by a
+/// seek — the server restores the nearest persisted checkpoint into a
+/// throwaway replica and deterministically replays it forward
+/// O(checkpoint interval), instead of O(whole trace) from zero.
+///
+/// [`SessionCommand::SeekTo`]: crate::SessionCommand::SeekTo
+/// [`SessionCommand::StepBack`]: crate::SessionCommand::StepBack
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeekReport {
+    /// The session whose history was seeked.
+    pub session: SessionId,
+    /// The requested target instant, clamped to the live session's
+    /// current time (history cannot be seeked into the future).
+    pub target_ns: u64,
+    /// The replica's clock after the seek (equals `target_ns`).
+    pub now_ns: u64,
+    /// Trace position (sequence number) of the restored checkpoint;
+    /// `None` when no usable checkpoint preceded the target and the
+    /// replica replayed from time zero instead.
+    pub checkpoint_seq: Option<u64>,
+    /// Target time of the restored checkpoint, when one was used.
+    pub checkpoint_t_ns: Option<u64>,
+    /// Journaled commands re-applied between the checkpoint and the
+    /// target.
+    pub replayed_commands: u64,
+    /// Trace entries the replica regenerated on the way to the target.
+    /// This is the seek's cost — bounded by the checkpoint interval,
+    /// not by the trace length.
+    pub replayed_entries: u64,
+    /// The replica's trace length at the target instant (persisted
+    /// prefix plus regenerated entries).
+    pub trace_len: u64,
+    /// The replica's engine control state at the target instant.
+    pub engine_state: EngineState,
+    /// The replica's full trace, serialized — byte-identical to the
+    /// trace an uninterrupted run had at the same instant. `None`
+    /// unless the seek asked for it (O(trace length) to build).
+    pub trace_json: Option<String>,
+}
+
 /// A consistent point-in-time view of one hosted session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSnapshot {

@@ -97,7 +97,7 @@ mod queue;
 mod server;
 mod wire;
 
-pub use event::{EngineEvent, SessionSnapshot, TraceSlice};
+pub use event::{EngineEvent, SeekReport, SessionSnapshot, TraceSlice};
 // The static-analysis vocabulary wire clients consume (`Analyze` frame
 // replies, `SessionInfo::diagnostics`): re-exported so remote tooling
 // needs only `gmdf_server`.
@@ -111,6 +111,6 @@ pub use metrics::{
 pub use queue::{EventReceiver, TryIter, MAX_COALESCED_ENTRIES};
 pub use server::{
     DebugServer, PersistConfig, ServerConfig, ServerError, SessionCommand, SessionHandle,
-    SessionId, MAX_FETCH_BYTES, MAX_FETCH_ENTRIES,
+    SessionId, DEFAULT_CHECKPOINT_INTERVAL, MAX_FETCH_BYTES, MAX_FETCH_ENTRIES,
 };
 pub use wire::{WireClient, WireError, WireServer};

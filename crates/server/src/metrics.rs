@@ -167,6 +167,19 @@ pub struct MetricsRegistry {
     /// Wall nanoseconds per journal append **including the fsync** —
     /// the slowest thing on a durable session's command path.
     pub journal_append_ns: Histogram,
+    /// Full-state checkpoints written (durable sessions).
+    pub checkpoint_writes: Counter,
+    /// Total checkpoint payload bytes written.
+    pub checkpoint_bytes: Counter,
+    /// Checkpoint images loaded back during time-travel seeks.
+    pub checkpoint_restores: Counter,
+    /// Wall nanoseconds per checkpoint write (serialize + fsync +
+    /// rename) — the periodic cost a durable session pays for
+    /// O(interval) seeks.
+    pub checkpoint_write_ns: Histogram,
+    /// Wall nanoseconds per checkpoint load during a seek (read +
+    /// parse), excluding the replay that follows.
+    pub checkpoint_restore_ns: Histogram,
     /// Wire-layer counters.
     pub wire: WireMetrics,
     /// Recent (timestamp, events-fed) samples, one per pumped slice —
@@ -196,6 +209,11 @@ impl MetricsRegistry {
             store: Arc::new(StoreMetrics::default()),
             journal_appends: Counter::new(),
             journal_append_ns: Histogram::new(),
+            checkpoint_writes: Counter::new(),
+            checkpoint_bytes: Counter::new(),
+            checkpoint_restores: Counter::new(),
+            checkpoint_write_ns: Histogram::new(),
+            checkpoint_restore_ns: Histogram::new(),
             wire: WireMetrics::default(),
             events_recent: RecentSeries::new(256),
         }
@@ -388,6 +406,16 @@ pub struct FleetMetrics {
     pub journal_appends: u64,
     /// Journal append+fsync latency.
     pub journal_append_ns: HistogramSnapshot,
+    /// Full-state checkpoints written.
+    pub checkpoint_writes: u64,
+    /// Total checkpoint payload bytes written.
+    pub checkpoint_bytes: u64,
+    /// Checkpoint images loaded back by time-travel seeks.
+    pub checkpoint_restores: u64,
+    /// Checkpoint write latency (serialize + fsync + rename).
+    pub checkpoint_write_ns: HistogramSnapshot,
+    /// Checkpoint load latency during seeks (read + parse).
+    pub checkpoint_restore_ns: HistogramSnapshot,
     /// Live wire connections.
     pub wire_connections: u64,
     /// Wire frames written.
@@ -475,6 +503,9 @@ impl MetricsSnapshot {
         counter("gmdf_store_appends_total", f.store_appends);
         counter("gmdf_store_reads_total", f.store_reads);
         counter("gmdf_journal_appends_total", f.journal_appends);
+        counter("gmdf_checkpoint_writes_total", f.checkpoint_writes);
+        counter("gmdf_checkpoint_bytes", f.checkpoint_bytes);
+        counter("gmdf_checkpoint_restores_total", f.checkpoint_restores);
         counter("gmdf_wire_frames_tx_total", f.wire_frames_tx);
         counter("gmdf_wire_frames_rx_total", f.wire_frames_rx);
         counter("gmdf_wire_bytes_tx_total", f.wire_bytes_tx);
@@ -507,6 +538,8 @@ impl MetricsSnapshot {
         histo("gmdf_store_read_ns", &f.store_read_ns);
         histo("gmdf_store_maintain_ns", &f.store_maintain_ns);
         histo("gmdf_journal_append_ns", &f.journal_append_ns);
+        histo("gmdf_checkpoint_write_ns", &f.checkpoint_write_ns);
+        histo("gmdf_checkpoint_restore_ns", &f.checkpoint_restore_ns);
         for c in &f.wire_conns {
             let id = c.connection;
             out.push_str(&format!(
@@ -617,6 +650,11 @@ pub(crate) fn fleet_skeleton(registry: &MetricsRegistry) -> FleetMetrics {
         store_maintain_ns: registry.store.maintain_ns.snapshot(),
         journal_appends: registry.journal_appends.get(),
         journal_append_ns: registry.journal_append_ns.snapshot(),
+        checkpoint_writes: registry.checkpoint_writes.get(),
+        checkpoint_bytes: registry.checkpoint_bytes.get(),
+        checkpoint_restores: registry.checkpoint_restores.get(),
+        checkpoint_write_ns: registry.checkpoint_write_ns.snapshot(),
+        checkpoint_restore_ns: registry.checkpoint_restore_ns.snapshot(),
         wire_connections: registry.wire.connections.get(),
         wire_frames_tx: registry.wire.frames_tx.get(),
         wire_frames_rx: registry.wire.frames_rx.get(),

@@ -78,19 +78,64 @@ impl Journal {
 }
 
 /// `true` for commands that change session state and must be journaled
-/// (read-only queries are not part of the replayable history).
+/// (read-only queries are not part of the replayable history). The
+/// time-travel trio (`SeekTo`/`StepBack`/`ReplayWindow`) is read-only
+/// too: a seek inspects a detached replica, never the live session.
 pub(crate) fn journaled(command: &SessionCommand) -> bool {
     !matches!(
         command,
         SessionCommand::Snapshot { .. }
             | SessionCommand::FetchRange { .. }
             | SessionCommand::ReplayFrom { .. }
+            | SessionCommand::SeekTo { .. }
+            | SessionCommand::StepBack { .. }
+            | SessionCommand::ReplayWindow { .. }
     )
 }
 
 /// Directory of one session's persisted state.
 pub(crate) fn session_dir(root: &Path, id: u64) -> PathBuf {
     root.join("sessions").join(format!("{id:016}"))
+}
+
+/// Directory of one durable session's periodic full-state checkpoints
+/// (`ckpt-<seq>-<t_ns>.ck` files — see
+/// [`gmdf_engine::CheckpointStore`]).
+pub(crate) fn checkpoint_dir(root: &Path, id: u64) -> PathBuf {
+    session_dir(root, id).join("checkpoints")
+}
+
+/// The payload of one on-disk checkpoint: the session's full serialized
+/// state plus the journal position it corresponds to. A seek restores
+/// the state and re-applies only `journal[journal_pos..]` — the target
+/// time alone cannot disambiguate several commands journaled at the
+/// same instant, so the position is persisted alongside the state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ServerCheckpoint {
+    /// Journal records already applied when the checkpoint was taken.
+    pub journal_pos: u64,
+    /// The session's full state (simulator, engine, channels).
+    pub session: gmdf::SessionCheckpoint,
+}
+
+/// Loads and parses one session directory's `spec.json`.
+pub(crate) fn load_spec(dir: &Path) -> Result<SessionSpec, String> {
+    let spec_text = std::fs::read_to_string(dir.join("spec.json"))
+        .map_err(|e| format!("cannot read spec.json: {e}"))?;
+    serde_json::from_str(&spec_text).map_err(|e| format!("corrupt spec.json: {e}"))
+}
+
+/// Reads the valid prefix of one session directory's journal. A torn
+/// tail record is ignored (not truncated — that is
+/// [`restore_session`]'s job; seeks are read-only observers).
+pub(crate) fn read_journal(dir: &Path) -> Result<Vec<JournalRecord>, String> {
+    let path = dir.join("journal.log");
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let (records, _valid_len) =
+        read_records::<JournalRecord>(&path).map_err(|e| format!("cannot read journal: {e}"))?;
+    Ok(records)
 }
 
 /// Creates a fresh durable-session directory: writes the spec
@@ -157,6 +202,9 @@ pub(crate) struct RestoredSession {
     /// Where delta publication resumes (everything before is history,
     /// served via `FetchRange`/`ReplayFrom`).
     pub trace_cursor: u64,
+    /// Records in the (torn-tail-truncated) journal — the position new
+    /// checkpoints record as their [`ServerCheckpoint::journal_pos`].
+    pub journal_len: u64,
 }
 
 /// Rebuilds one durable session from `<root>/sessions/<id>` (see the
@@ -173,10 +221,7 @@ pub(crate) fn restore_session(
     store_config: SegmentConfig,
 ) -> Result<RestoredSession, String> {
     let dir = session_dir(root, id);
-    let spec_text = std::fs::read_to_string(dir.join("spec.json"))
-        .map_err(|e| format!("session {id}: cannot read spec.json: {e}"))?;
-    let spec: SessionSpec = serde_json::from_str(&spec_text)
-        .map_err(|e| format!("session {id}: corrupt spec.json: {e}"))?;
+    let spec = load_spec(&dir).map_err(|e| format!("session {id}: {e}"))?;
     let mut session = spec
         .build()
         .map_err(|e| format!("session {id}: rebuild failed: {e}"))?;
@@ -213,6 +258,7 @@ pub(crate) fn restore_session(
 
     // Deterministic replay: pump to each command's application instant,
     // apply it, and tally the total granted run budget.
+    let journal_len = records.len() as u64;
     let mut total_budget_ns: u64 = 0;
     let mut events_fed: u64 = 0;
     for record in records {
@@ -249,7 +295,10 @@ pub(crate) fn restore_session(
             // Never journaled; tolerated for robustness.
             SessionCommand::Snapshot { .. }
             | SessionCommand::FetchRange { .. }
-            | SessionCommand::ReplayFrom { .. } => {}
+            | SessionCommand::ReplayFrom { .. }
+            | SessionCommand::SeekTo { .. }
+            | SessionCommand::StepBack { .. }
+            | SessionCommand::ReplayWindow { .. } => {}
         }
     }
     let remaining_ns = total_budget_ns.saturating_sub(session.now_ns());
@@ -275,5 +324,6 @@ pub(crate) fn restore_session(
         violations,
         breakpoint_hits,
         trace_cursor,
+        journal_len,
     })
 }

@@ -30,7 +30,7 @@
 //! is byte-identical to serializing the in-process broadcast
 //! (`crates/server/tests/wire.rs` pins this down).
 
-use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
+use crate::event::{EngineEvent, SeekReport, SessionSnapshot, TraceSlice};
 use crate::metrics::{MetricsSnapshot, QuarantinedSession, SessionInfo};
 use crate::server::{SessionCommand, SessionId};
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
@@ -53,8 +53,12 @@ use std::sync::mpsc;
 /// pair serving each session's cached
 /// [`AnalysisReport`](gmdf_analyze::AnalysisReport), and the
 /// `diagnostics: (errors, warnings)` summary on every [`SessionInfo`]
-/// directory row.
-pub const WIRE_VERSION: u32 = 5;
+/// directory row. Version 6 added time travel: the
+/// [`SessionCommand::SeekTo`] / [`SessionCommand::StepBack`] commands
+/// with their [`ServerFrame::Seek`] reply, and
+/// [`SessionCommand::ReplayWindow`], answered — like the other history
+/// reads — with [`ServerFrame::Trace`].
+pub const WIRE_VERSION: u32 = 6;
 
 /// Upper bound on one frame's payload length (64 MiB) — large enough
 /// for a full-trace snapshot of any realistic session, small enough
@@ -211,6 +215,16 @@ pub enum ServerFrame {
         /// largest payload, and boxing keeps the frame enum small).
         snapshot: Box<MetricsSnapshot>,
     },
+    /// Reply to a [`SessionCommand::SeekTo`] or
+    /// [`SessionCommand::StepBack`] command: where the time-travel
+    /// replica landed.
+    Seek {
+        /// The request id this answers.
+        seq: u64,
+        /// The seek outcome (boxed: the optional serialized trace makes
+        /// this a large payload, and boxing keeps the frame enum small).
+        report: Box<SeekReport>,
+    },
     /// Reply to a [`ClientFrame::Analyze`] request: the session's
     /// cached static-analysis report.
     Analysis {
@@ -295,6 +309,35 @@ impl Serialize for SessionCommand {
                     field("limit", limit.to_content()),
                 ],
             ),
+            SessionCommand::SeekTo {
+                t_ns,
+                include_trace,
+                ..
+            } => tagged(
+                "SeekTo",
+                vec![
+                    field("t_ns", t_ns.to_content()),
+                    field("include_trace", include_trace.to_content()),
+                ],
+            ),
+            SessionCommand::StepBack {
+                entries,
+                include_trace,
+                ..
+            } => tagged(
+                "StepBack",
+                vec![
+                    field("entries", entries.to_content()),
+                    field("include_trace", include_trace.to_content()),
+                ],
+            ),
+            SessionCommand::ReplayWindow { t0_ns, t1_ns, .. } => tagged(
+                "ReplayWindow",
+                vec![
+                    field("t0_ns", t0_ns.to_content()),
+                    field("t1_ns", t1_ns.to_content()),
+                ],
+            ),
         }
     }
 }
@@ -358,6 +401,30 @@ impl Deserialize for SessionCommand {
                 Ok(SessionCommand::ReplayFrom {
                     seq: get(fields, "seq")?,
                     limit: get(fields, "limit")?,
+                    reply,
+                })
+            }
+            "SeekTo" => {
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::SeekTo {
+                    t_ns: get(fields, "t_ns")?,
+                    include_trace: get(fields, "include_trace")?,
+                    reply,
+                })
+            }
+            "StepBack" => {
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::StepBack {
+                    entries: get(fields, "entries")?,
+                    include_trace: get(fields, "include_trace")?,
+                    reply,
+                })
+            }
+            "ReplayWindow" => {
+                let (reply, _) = mpsc::channel();
+                Ok(SessionCommand::ReplayWindow {
+                    t0_ns: get(fields, "t0_ns")?,
+                    t1_ns: get(fields, "t1_ns")?,
                     reply,
                 })
             }

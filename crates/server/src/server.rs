@@ -21,7 +21,7 @@
 //! follow it; command senders touch only the mailbox), so the server
 //! cannot deadlock on its own locks.
 
-use crate::event::{EngineEvent, SessionSnapshot, TraceSlice};
+use crate::event::{EngineEvent, SeekReport, SessionSnapshot, TraceSlice};
 use crate::metrics::{
     self, Counter, HealthState, MetricsRegistry, MetricsSnapshot, QuarantinedSession,
     SessionHealth, SessionInfo,
@@ -32,7 +32,10 @@ use gmdf::{DebugSession, SessionSpec};
 use gmdf_analyze::AnalysisReport;
 use gmdf_comdes::SignalValue;
 use gmdf_engine::store::DEFAULT_SEGMENT_CAPACITY;
-use gmdf_engine::{Codec, EngineNotice, Retention, SegmentConfig, StoreError, TraceEntry};
+use gmdf_engine::{
+    CheckpointMeta, CheckpointStore, Codec, EngineNotice, ExecutionTrace, MemStore, OffsetMemStore,
+    Retention, SegmentConfig, StoreError, TraceEntry,
+};
 use gmdf_gdm::CommandMatcher;
 use std::collections::VecDeque;
 use std::fmt;
@@ -120,7 +123,21 @@ pub struct PersistConfig {
     /// How often the background compactor sweeps the durable sessions.
     /// Only consulted when `retention` is active.
     pub compact_interval: Duration,
+    /// Full-state checkpoint cadence, in trace entries: after a pumped
+    /// slice, a durable session whose trace grew by at least this many
+    /// entries since the last checkpoint writes a new one
+    /// (crash-safely, next to its journal). Checkpoints are what make
+    /// [`SessionCommand::SeekTo`] / [`SessionCommand::StepBack`] /
+    /// [`SessionCommand::ReplayWindow`] O(interval) instead of
+    /// O(whole trace). `0` disables checkpointing (seeks fall back to
+    /// replay-from-zero).
+    pub checkpoint_interval: u64,
 }
+
+/// Default [`PersistConfig::checkpoint_interval`]: frequent enough
+/// that a seek replays at most a few thousand entries, rare enough
+/// that checkpoint serialization stays far off the pump's hot path.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4096;
 
 impl PersistConfig {
     /// Persistence rooted at `root` with the default segment capacity,
@@ -132,6 +149,7 @@ impl PersistConfig {
             codec: Codec::Binary,
             retention: Retention::default(),
             compact_interval: Duration::from_millis(250),
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
         }
     }
 
@@ -160,6 +178,14 @@ impl PersistConfig {
     #[must_use]
     pub fn with_compact_interval(mut self, interval: Duration) -> Self {
         self.compact_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Overrides the checkpoint cadence (trace entries between
+    /// full-state checkpoints; `0` disables checkpointing).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, entries: u64) -> Self {
+        self.checkpoint_interval = entries;
         self
     }
 
@@ -263,6 +289,48 @@ pub enum SessionCommand {
         /// Where to deliver the page.
         reply: mpsc::Sender<TraceSlice>,
     },
+    /// Reply with a [`SeekReport`] for the session's state at target
+    /// time `t_ns` (clamped to the live clock). The server restores the
+    /// nearest persisted checkpoint at or before the target into a
+    /// detached replica and deterministically replays it forward —
+    /// O(checkpoint interval), not O(trace length). The live session is
+    /// never touched. Requires a durable session; a seek failure is
+    /// reported on the reply channel, never by failing the session.
+    SeekTo {
+        /// Target instant, in target nanoseconds.
+        t_ns: u64,
+        /// Also serialize the replica's full trace into
+        /// [`SeekReport::trace_json`] (O(trace length) to build).
+        include_trace: bool,
+        /// Where to deliver the report (or the seek error).
+        reply: mpsc::Sender<Result<SeekReport, String>>,
+    },
+    /// Reply with a [`SeekReport`] for the instant `entries` trace
+    /// entries before the current end of the trace — "rewind N steps".
+    /// Same checkpoint-restore machinery as [`Self::SeekTo`]; stepping
+    /// below the trace's retention floor is an error.
+    StepBack {
+        /// How many trace entries to step back from the end.
+        entries: u64,
+        /// Also serialize the replica's full trace.
+        include_trace: bool,
+        /// Where to deliver the report (or the seek error).
+        reply: mpsc::Sender<Result<SeekReport, String>>,
+    },
+    /// Reply with the trace entries whose event time falls in
+    /// `[t0_ns, t1_ns]`, regenerated by checkpoint-restore + replay
+    /// rather than read from the live store — so the window is
+    /// available even on a session whose early segments were evicted,
+    /// as long as a checkpoint precedes it. Paged exactly like
+    /// [`Self::FetchRange`] (same caps, same [`TraceSlice`] contract).
+    ReplayWindow {
+        /// Window start (inclusive), in target nanoseconds.
+        t0_ns: u64,
+        /// Window end (inclusive), in target nanoseconds.
+        t1_ns: u64,
+        /// Where to deliver the page (or the seek error).
+        reply: mpsc::Sender<Result<TraceSlice, String>>,
+    },
 }
 
 /// Server-side failure surfaced to clients.
@@ -313,6 +381,23 @@ struct SessionInner {
     /// Durable sessions journal every state-affecting command here
     /// before applying it; `None` for in-memory sessions.
     journal: Option<persist::Journal>,
+    /// Records appended to (or restored from) the journal so far — the
+    /// position a checkpoint records as its
+    /// [`persist::ServerCheckpoint::journal_pos`].
+    journal_len: u64,
+    /// Periodic full-state checkpoints for O(interval) time travel;
+    /// `None` for in-memory sessions (and for durable sessions whose
+    /// checkpoint directory failed to open on restore — seeks then fall
+    /// back to replay-from-zero).
+    checkpoints: Option<CheckpointStore>,
+    /// Trace entries between checkpoints; `0` disables checkpointing.
+    checkpoint_interval: u64,
+    /// Trace length at the last written checkpoint.
+    last_checkpoint_len: u64,
+    /// The durable session's directory (spec + journal live here);
+    /// `None` for in-memory sessions. Seeks re-read both to build the
+    /// replica.
+    dir: Option<PathBuf>,
     /// Cumulative events dropped by this session's bounded subscriber
     /// queues — each queue holds a clone, so drops survive the queue
     /// that suffered them. Always on (it feeds
@@ -445,6 +530,14 @@ impl DebugServer {
             server.shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
             match persist::restore_session(&persist.root, id, persist.segment_config()) {
                 Ok(restored) => {
+                    // A checkpoint store that fails to open degrades the
+                    // session to checkpoint-less (seeks replay from
+                    // zero) rather than quarantining it — checkpoints
+                    // are derived state, the journal is the truth.
+                    let checkpoints =
+                        CheckpointStore::open(persist::checkpoint_dir(&persist.root, id)).ok();
+                    let dir = persist::session_dir(&persist.root, id);
+                    let checkpoint_interval = persist.checkpoint_interval;
                     server.register(id, restored.session, restored.notices, |inner| {
                         inner.remaining_ns = restored.remaining_ns;
                         inner.trace_cursor = restored.trace_cursor;
@@ -452,6 +545,21 @@ impl DebugServer {
                         inner.violations = restored.violations;
                         inner.breakpoint_hits = restored.breakpoint_hits;
                         inner.journal = Some(restored.journal);
+                        inner.journal_len = restored.journal_len;
+                        inner.dir = Some(dir);
+                        inner.checkpoint_interval = checkpoint_interval;
+                        if let Some(cs) = checkpoints {
+                            inner.last_checkpoint_len = cs.latest().map_or(0, |m| m.seq);
+                            // Segments still referenced by the oldest
+                            // retained checkpoint must outlive retention
+                            // eviction: a seek replays forward from that
+                            // checkpoint and pages its window out of the
+                            // persisted prefix.
+                            if let Some(oldest) = cs.oldest_seq() {
+                                inner.session.set_trace_retain_floor(oldest);
+                            }
+                            inner.checkpoints = Some(cs);
+                        }
                     });
                 }
                 Err(message) => server.quarantined.push((id, message)),
@@ -563,10 +671,17 @@ impl DebugServer {
         let (journal, store) =
             persist::create_session_dir(&persist.root, id, spec, persist.segment_config())
                 .map_err(ServerError::Persist)?;
+        let checkpoints = CheckpointStore::open(persist::checkpoint_dir(&persist.root, id))
+            .map_err(|e| ServerError::Persist(format!("cannot open checkpoint store: {e}")))?;
         session.set_trace_store(Box::new(store));
         let notices = session.engine_mut().subscribe();
+        let dir = persist::session_dir(&persist.root, id);
+        let checkpoint_interval = persist.checkpoint_interval;
         Ok(self.register(id, session, notices, |inner| {
             inner.journal = Some(journal);
+            inner.checkpoints = Some(checkpoints);
+            inner.checkpoint_interval = checkpoint_interval;
+            inner.dir = Some(dir);
         }))
     }
 
@@ -596,6 +711,11 @@ impl DebugServer {
             breakpoint_hits: 0,
             failed: None,
             journal: None,
+            journal_len: 0,
+            checkpoints: None,
+            checkpoint_interval: 0,
+            last_checkpoint_len: 0,
+            dir: None,
             lagged: Counter::new(),
             last_slice: None,
         };
@@ -1100,6 +1220,81 @@ impl SessionHandle {
         self.await_reply(&rx, timeout)
     }
 
+    /// Seeks the session's history to target time `t_ns` (clamped to
+    /// the live clock): restores the nearest persisted checkpoint at or
+    /// before the target into a detached replica and deterministically
+    /// replays it forward — O(checkpoint interval), not O(trace
+    /// length). The live session is untouched. With `include_trace` the
+    /// report carries the replica's full serialized trace,
+    /// byte-identical to an uninterrupted run's at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Persist`] on an in-memory session or when the
+    /// replica cannot be rebuilt, plus the usual
+    /// [`ServerError::Shutdown`] / [`ServerError::Timeout`].
+    pub fn seek_to(
+        &self,
+        t_ns: u64,
+        include_trace: bool,
+        timeout: Duration,
+    ) -> Result<SeekReport, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::SeekTo {
+            t_ns,
+            include_trace,
+            reply: tx,
+        })?;
+        self.await_reply(&rx, timeout)?
+            .map_err(ServerError::Persist)
+    }
+
+    /// Rewinds the session's history `entries` trace entries from the
+    /// current end of the trace — same machinery (and same errors) as
+    /// [`SessionHandle::seek_to`]. Stepping below the trace's retention
+    /// floor is an error.
+    pub fn step_back(
+        &self,
+        entries: u64,
+        include_trace: bool,
+        timeout: Duration,
+    ) -> Result<SeekReport, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::StepBack {
+            entries,
+            include_trace,
+            reply: tx,
+        })?;
+        self.await_reply(&rx, timeout)?
+            .map_err(ServerError::Persist)
+    }
+
+    /// Replays the trace window `[t0_ns, t1_ns]` through
+    /// checkpoint-restore + deterministic re-execution and returns it
+    /// as one [`TraceSlice`] page (same caps and continuation contract
+    /// as [`SessionHandle::fetch_range`]). Works even when the live
+    /// store has evicted the window's segments, as long as a checkpoint
+    /// precedes it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionHandle::seek_to`].
+    pub fn replay_window(
+        &self,
+        t0_ns: u64,
+        t1_ns: u64,
+        timeout: Duration,
+    ) -> Result<TraceSlice, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        self.send(SessionCommand::ReplayWindow {
+            t0_ns,
+            t1_ns,
+            reply: tx,
+        })?;
+        self.await_reply(&rx, timeout)?
+            .map_err(ServerError::Persist)
+    }
+
     /// Waits for a mailbox-routed reply, translating a dropped sender
     /// into the session/server failure that caused it.
     fn await_reply<T>(&self, rx: &mpsc::Receiver<T>, timeout: Duration) -> Result<T, ServerError> {
@@ -1300,16 +1495,24 @@ fn run_turn(shared: &Shared, cell: &Arc<SessionCell>) {
                 if let Err(e) = inner.session.sync_trace() {
                     fail(&mut inner, cell.id, &format!("trace store failed: {e}"));
                 } else {
-                    let now_ns = inner.session.now_ns();
-                    broadcast(
-                        &mut inner,
-                        EngineEvent::SliceCompleted {
-                            session: cell.id,
-                            now_ns,
-                            report,
-                        },
-                    );
-                    pumped = true;
+                    // The trace is on disk; if the slice crossed a
+                    // checkpoint boundary, persist a full-state image
+                    // before acknowledging the slice (a checkpoint that
+                    // claimed entries the trace store never synced
+                    // would restore ahead of its own history).
+                    maybe_checkpoint(&mut inner, cell.id, registry);
+                    if inner.failed.is_none() {
+                        let now_ns = inner.session.now_ns();
+                        broadcast(
+                            &mut inner,
+                            EngineEvent::SliceCompleted {
+                                session: cell.id,
+                                now_ns,
+                                report,
+                            },
+                        );
+                        pumped = true;
+                    }
                 }
             }
             Err(e) => fail(&mut inner, cell.id, &e.to_string()),
@@ -1472,7 +1675,334 @@ fn apply_command(
                 Err(e) => fail(inner, id, &format!("trace history read failed: {e}")),
             }
         }
+        // The time-travel trio runs entirely on a detached replica: a
+        // seek failure is the *request's* failure (bad target, evicted
+        // history, damaged checkpoint chain), reported on the reply
+        // channel — it never fails the live session.
+        SessionCommand::SeekTo {
+            t_ns,
+            include_trace,
+            reply,
+        } => {
+            let target = t_ns.min(inner.session.now_ns());
+            let _ = reply.send(seek_to_target(inner, id, registry, target, include_trace));
+        }
+        SessionCommand::StepBack {
+            entries,
+            include_trace,
+            reply,
+        } => {
+            let result = step_back_target(inner, entries)
+                .and_then(|target| seek_to_target(inner, id, registry, target, include_trace));
+            let _ = reply.send(result);
+        }
+        SessionCommand::ReplayWindow {
+            t0_ns,
+            t1_ns,
+            reply,
+        } => {
+            // The checkpoint must land *strictly before* the window so
+            // every in-window entry (time >= t0) is regenerated by the
+            // replica rather than assumed persisted: an entry the
+            // checkpoint already covers has time <= checkpoint time
+            // < t0 and therefore cannot be part of the window.
+            let target = t1_ns.min(inner.session.now_ns());
+            let result = seek_replica(inner, registry, t0_ns, true, target).and_then(|replica| {
+                let trace = replica.session.engine().trace();
+                let (lo, hi) = trace
+                    .window_bounds(t0_ns, t1_ns)
+                    .map_err(|e| format!("replica window read failed: {e}"))?;
+                let end = hi.min(lo.saturating_add(MAX_FETCH_ENTRIES));
+                let entries = read_bounded(trace, lo, end)
+                    .map_err(|e| format!("replica window read failed: {e}"))?;
+                let first = entries.first().map_or(lo, |e| e.seq);
+                let next = entries.last().map_or(first, |e| e.seq + 1);
+                Ok(TraceSlice {
+                    session: id,
+                    first_seq: first,
+                    complete: next >= hi,
+                    entries,
+                    end_seq: hi,
+                })
+            });
+            let _ = reply.send(result);
+        }
     }
+}
+
+/// Persists a full-state checkpoint when the trace has grown by at
+/// least one checkpoint interval since the last one. Runs on the pump
+/// path right after `sync_trace`, so a checkpoint never references
+/// trace entries that are not themselves on disk yet. A write failure
+/// fails the session — a durable session whose checkpoint chain can no
+/// longer advance would silently degrade every future seek.
+fn maybe_checkpoint(inner: &mut SessionInner, id: SessionId, registry: &MetricsRegistry) {
+    if inner.checkpoint_interval == 0 || inner.checkpoints.is_none() {
+        return;
+    }
+    // During post-restart catch-up the simulator's clock lags the
+    // recovered store: an image taken now would pair a stale `t_ns`
+    // with the full recovered length, and a seek restoring it would
+    // regenerate (duplicate) the gap. Checkpoints resume once the
+    // deterministic replay has re-reached the recovered length.
+    if inner.session.engine().trace().catching_up() {
+        return;
+    }
+    let len = inner.session.engine().trace().len() as u64;
+    if len.saturating_sub(inner.last_checkpoint_len) < inner.checkpoint_interval {
+        return;
+    }
+    let image = persist::ServerCheckpoint {
+        journal_pos: inner.journal_len,
+        session: inner.session.save_state(),
+    };
+    let payload = match serde_json::to_string(&image) {
+        Ok(payload) => payload,
+        Err(e) => {
+            fail(inner, id, &format!("checkpoint serialization failed: {e}"));
+            return;
+        }
+    };
+    let t0 = registry.enabled().then(Instant::now);
+    let store = inner.checkpoints.as_mut().expect("checked above");
+    match store.save(len, image.session.t_ns(), payload.as_bytes()) {
+        Ok(bytes) => {
+            inner.last_checkpoint_len = len;
+            if let Some(t0) = t0 {
+                registry.checkpoint_writes.inc();
+                registry.checkpoint_bytes.add(bytes);
+                registry
+                    .checkpoint_write_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+            // Pin retention: segments at or above the oldest retained
+            // checkpoint's position must survive eviction — a seek
+            // restores that checkpoint and pages its forward window out
+            // of the persisted prefix.
+            if let Some(oldest) = inner
+                .checkpoints
+                .as_ref()
+                .and_then(CheckpointStore::oldest_seq)
+            {
+                inner.session.set_trace_retain_floor(oldest);
+            }
+        }
+        Err(e) => fail(inner, id, &format!("checkpoint write failed: {e}")),
+    }
+}
+
+/// A detached time-travel replica: an independent session rebuilt at
+/// some past instant from checkpoint + journal replay. Its trace store
+/// is an [`OffsetMemStore`] holding only the regenerated suffix, with
+/// absolute sequence numbers.
+struct SeekReplica {
+    session: DebugSession,
+    /// Trace length at the restored checkpoint (0 when replaying from
+    /// zero) — the replica's store starts here.
+    base: u64,
+    /// The checkpoint that was restored, if any.
+    checkpoint: Option<CheckpointMeta>,
+    /// Journaled commands re-applied on the way to the target.
+    replayed_commands: u64,
+}
+
+/// Builds a replica of the session at `target_ns`: restores the newest
+/// *loadable* checkpoint whose time satisfies the horizon (`< horizon`
+/// when `strictly_before`, else `<= horizon`), then deterministically
+/// replays journal and pump up to the target. A damaged checkpoint
+/// falls back to the next older one; with none usable the replica
+/// replays from time zero — strictly slower, never wrong.
+fn seek_replica(
+    inner: &SessionInner,
+    registry: &MetricsRegistry,
+    horizon_ns: u64,
+    strictly_before: bool,
+    target_ns: u64,
+) -> Result<SeekReplica, String> {
+    let dir = inner.dir.as_ref().ok_or_else(|| {
+        "time travel needs a durable session (in-memory sessions keep no checkpoints or journal)"
+            .to_owned()
+    })?;
+    let spec = persist::load_spec(dir)?;
+    let records = persist::read_journal(dir)?;
+    let mut restored: Option<(CheckpointMeta, persist::ServerCheckpoint)> = None;
+    if let Some(store) = &inner.checkpoints {
+        let in_horizon = |m: &CheckpointMeta| {
+            if strictly_before {
+                m.t_ns < horizon_ns
+            } else {
+                m.t_ns <= horizon_ns
+            }
+        };
+        for meta in store.metas().iter().rev().filter(|m| in_horizon(m)) {
+            let t0 = registry.enabled().then(Instant::now);
+            // A checkpoint that fails to load or parse is skipped, not
+            // fatal: the one before it (or replay-from-zero) serves the
+            // same seek, just more slowly.
+            let Ok(payload) = store.load(meta) else {
+                continue;
+            };
+            let Ok(text) = String::from_utf8(payload) else {
+                continue;
+            };
+            let Ok(image) = serde_json::from_str::<persist::ServerCheckpoint>(&text) else {
+                continue;
+            };
+            if let Some(t0) = t0 {
+                registry.checkpoint_restores.inc();
+                registry
+                    .checkpoint_restore_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+            restored = Some((*meta, image));
+            break;
+        }
+    }
+    let mut session = spec
+        .build()
+        .map_err(|e| format!("replica rebuild failed: {e}"))?;
+    let (base, journal_pos, checkpoint) = match restored {
+        Some((meta, image)) => {
+            session
+                .restore_state(&image.session)
+                .map_err(|e| format!("checkpoint restore failed: {e}"))?;
+            (image.session.trace_len(), image.journal_pos, Some(meta))
+        }
+        None => (0, 0, None),
+    };
+    session.resume_trace_store(Box::new(OffsetMemStore::new(base)));
+    // Deterministic replay, mirroring `persist::restore_session`: pump
+    // to each command's application instant, apply it, stop at the
+    // target. `RunFor` only grants budget (the pump below realizes it);
+    // read-only commands are never journaled.
+    let mut replayed_commands: u64 = 0;
+    for record in records.iter().skip(journal_pos as usize) {
+        if record.at_ns > target_ns {
+            break;
+        }
+        let now = session.now_ns();
+        if record.at_ns > now {
+            session
+                .run_for(record.at_ns - now)
+                .map_err(|e| format!("replica replay failed: {e}"))?;
+        }
+        match &record.command {
+            SessionCommand::ScheduleSignal {
+                time_ns,
+                label,
+                value,
+            } => {
+                session
+                    .schedule_signal(*time_ns, label, *value)
+                    .map_err(|e| format!("replica stimulus replay failed: {e}"))?;
+            }
+            SessionCommand::AddBreakpoint { matcher, one_shot } => {
+                session
+                    .engine_mut()
+                    .add_breakpoint(matcher.clone(), *one_shot);
+            }
+            SessionCommand::ClearBreakpoints => session.engine_mut().clear_breakpoints(),
+            SessionCommand::Step => {
+                session.engine_mut().step();
+            }
+            SessionCommand::Resume => {
+                session.engine_mut().resume();
+            }
+            _ => {}
+        }
+        replayed_commands += 1;
+    }
+    let now = session.now_ns();
+    if target_ns > now {
+        session
+            .run_for(target_ns - now)
+            .map_err(|e| format!("replica replay failed: {e}"))?;
+    }
+    Ok(SeekReplica {
+        session,
+        base,
+        checkpoint,
+        replayed_commands,
+    })
+}
+
+/// Runs a full seek to `target_ns` and packages the result.
+fn seek_to_target(
+    inner: &SessionInner,
+    id: SessionId,
+    registry: &MetricsRegistry,
+    target_ns: u64,
+    include_trace: bool,
+) -> Result<SeekReport, String> {
+    let replica = seek_replica(inner, registry, target_ns, false, target_ns)?;
+    let trace_len = replica.session.engine().trace().len() as u64;
+    let trace_json = if include_trace {
+        Some(replica_trace_json(inner, &replica)?)
+    } else {
+        None
+    };
+    Ok(SeekReport {
+        session: id,
+        target_ns,
+        now_ns: replica.session.now_ns(),
+        checkpoint_seq: replica.checkpoint.map(|m| m.seq),
+        checkpoint_t_ns: replica.checkpoint.map(|m| m.t_ns),
+        replayed_commands: replica.replayed_commands,
+        replayed_entries: trace_len.saturating_sub(replica.base),
+        trace_len,
+        engine_state: replica.session.engine().state(),
+        trace_json,
+    })
+}
+
+/// Serializes the replica's full trace: the persisted prefix below the
+/// checkpoint (read from the live store) plus the regenerated suffix —
+/// byte-identical to the trace an uninterrupted run serialized at the
+/// same instant.
+fn replica_trace_json(inner: &SessionInner, replica: &SeekReplica) -> Result<String, String> {
+    let mut combined: Vec<TraceEntry> = Vec::new();
+    if replica.base > 0 {
+        let live = inner.session.engine().trace();
+        live.read_range_into(0, replica.base, &mut combined)
+            .map_err(|e| format!("trace prefix read failed: {e}"))?;
+        if combined.len() as u64 != replica.base {
+            return Err(format!(
+                "trace prefix below the checkpoint is incomplete ({} of {} entries retained) — \
+                 retention evicted it; use ReplayWindow instead",
+                combined.len(),
+                replica.base
+            ));
+        }
+    }
+    combined.extend(replica.session.engine().trace().entries());
+    Ok(ExecutionTrace::with_store(Box::new(MemStore::from_entries(combined))).to_json())
+}
+
+/// Resolves a [`SessionCommand::StepBack`] to the target instant: the
+/// event time of the entry `entries` + 1 positions before the current
+/// end of the trace (so the replica's trace ends `entries` entries
+/// shorter). Stepping over the whole trace lands at time zero.
+fn step_back_target(inner: &SessionInner, entries: u64) -> Result<u64, String> {
+    let trace = inner.session.engine().trace();
+    let len = trace.len() as u64;
+    let keep = len.saturating_sub(entries);
+    if keep == 0 {
+        return Ok(0);
+    }
+    let pivot = keep - 1;
+    if pivot < trace.first_retained_seq() {
+        return Err(format!(
+            "step-back target (trace entry {pivot}) is below the retention floor ({})",
+            trace.first_retained_seq()
+        ));
+    }
+    let mut page: Vec<TraceEntry> = Vec::new();
+    trace
+        .read_range_into(pivot, pivot + 1, &mut page)
+        .map_err(|e| format!("trace read failed: {e}"))?;
+    page.first()
+        .map(|e| e.event.time_ns)
+        .ok_or_else(|| format!("trace entry {pivot} could not be read back"))
 }
 
 /// Reads trace entries `[lo, end)` for one reply page, bounded by the
@@ -1576,6 +2106,7 @@ fn journal_command(
         fail(inner, id, &format!("command journal write failed: {e}"));
         return false;
     }
+    inner.journal_len += 1;
     true
 }
 

@@ -424,7 +424,8 @@ fn frame_seq(frame: &ServerFrame) -> Option<u64> {
         | ServerFrame::Trace { seq, .. }
         | ServerFrame::Sessions { seq, .. }
         | ServerFrame::Metrics { seq, .. }
-        | ServerFrame::Analysis { seq, .. } => Some(*seq),
+        | ServerFrame::Analysis { seq, .. }
+        | ServerFrame::Seek { seq, .. } => Some(*seq),
         ServerFrame::Error { seq, .. } => *seq,
         ServerFrame::HelloAck { .. } | ServerFrame::Event { .. } => None,
     }
@@ -783,6 +784,45 @@ fn serve_connection(stream: TcpStream, server: &Arc<DebugServer>, shutdown: &Arc
                             message: e.to_string(),
                         }),
                     },
+                    SessionCommand::SeekTo {
+                        t_ns,
+                        include_trace,
+                        ..
+                    } => match handle.seek_to(t_ns, include_trace, SNAPSHOT_WAIT) {
+                        Ok(report) => reply(ServerFrame::Seek {
+                            seq,
+                            report: Box::new(report),
+                        }),
+                        Err(e) => reply(ServerFrame::Error {
+                            seq: Some(seq),
+                            message: e.to_string(),
+                        }),
+                    },
+                    SessionCommand::StepBack {
+                        entries,
+                        include_trace,
+                        ..
+                    } => match handle.step_back(entries, include_trace, SNAPSHOT_WAIT) {
+                        Ok(report) => reply(ServerFrame::Seek {
+                            seq,
+                            report: Box::new(report),
+                        }),
+                        Err(e) => reply(ServerFrame::Error {
+                            seq: Some(seq),
+                            message: e.to_string(),
+                        }),
+                    },
+                    // A replayed window is served like the other
+                    // history pages: one Trace frame.
+                    SessionCommand::ReplayWindow { t0_ns, t1_ns, .. } => {
+                        match handle.replay_window(t0_ns, t1_ns, SNAPSHOT_WAIT) {
+                            Ok(slice) => reply(ServerFrame::Trace { seq, slice }),
+                            Err(e) => reply(ServerFrame::Error {
+                                seq: Some(seq),
+                                message: e.to_string(),
+                            }),
+                        }
+                    }
                     other => match handle.send(other) {
                         Ok(()) => reply(ServerFrame::Ack { seq }),
                         Err(e) => reply(ServerFrame::Error {
@@ -1271,6 +1311,104 @@ impl WireClient {
         self.wait_trace(request, timeout)
     }
 
+    /// Seeks `session`'s history to target time `t_ns`: the server
+    /// restores its nearest persisted checkpoint into a detached
+    /// replica and replays forward — O(checkpoint interval), not
+    /// O(trace length). With `include_trace` the report carries the
+    /// replica's full serialized trace, byte-identical to an
+    /// uninterrupted run's at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] when `timeout` elapses, transport or
+    /// remote errors (in-memory session, evicted history) otherwise.
+    pub fn seek_to(
+        &mut self,
+        session: SessionId,
+        t_ns: u64,
+        include_trace: bool,
+        timeout: Duration,
+    ) -> Result<crate::SeekReport, WireError> {
+        let (reply, _) = mpsc::channel();
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq,
+            session,
+            command: SessionCommand::SeekTo {
+                t_ns,
+                include_trace,
+                reply,
+            },
+        })?;
+        self.wait_seek(seq, timeout)
+    }
+
+    /// Rewinds `session`'s history `entries` trace entries from the
+    /// current end of the trace — the remote form of
+    /// [`crate::SessionHandle::step_back`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WireClient::seek_to`].
+    pub fn step_back(
+        &mut self,
+        session: SessionId,
+        entries: u64,
+        include_trace: bool,
+        timeout: Duration,
+    ) -> Result<crate::SeekReport, WireError> {
+        let (reply, _) = mpsc::channel();
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq,
+            session,
+            command: SessionCommand::StepBack {
+                entries,
+                include_trace,
+                reply,
+            },
+        })?;
+        self.wait_seek(seq, timeout)
+    }
+
+    /// Requests the trace window `[t0_ns, t1_ns]` regenerated through
+    /// checkpoint-restore + deterministic replay — one bounded
+    /// [`crate::TraceSlice`] page, same contract as
+    /// [`WireClient::fetch_range`], but served even when the live store
+    /// evicted the window's segments.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WireClient::seek_to`].
+    pub fn replay_window(
+        &mut self,
+        session: SessionId,
+        t0_ns: u64,
+        t1_ns: u64,
+        timeout: Duration,
+    ) -> Result<crate::TraceSlice, WireError> {
+        let (reply, _) = mpsc::channel();
+        let seq = self.next_seq();
+        self.write(&ClientFrame::Command {
+            seq,
+            session,
+            command: SessionCommand::ReplayWindow {
+                t0_ns,
+                t1_ns,
+                reply,
+            },
+        })?;
+        self.wait_trace(seq, timeout)
+    }
+
+    /// Waits for the [`ServerFrame::Seek`] reply answering `seq`.
+    fn wait_seek(&mut self, seq: u64, timeout: Duration) -> Result<crate::SeekReport, WireError> {
+        self.wait_reply(seq, timeout, "Seek", move |frame| match frame {
+            ServerFrame::Seek { seq: s, report } if s == seq => Ok(*report),
+            other => Err(other),
+        })
+    }
+
     /// Waits for the [`ServerFrame::Trace`] reply answering `seq`.
     fn wait_trace(&mut self, seq: u64, timeout: Duration) -> Result<crate::TraceSlice, WireError> {
         self.wait_reply(seq, timeout, "Trace", move |frame| match frame {
@@ -1308,7 +1446,8 @@ impl WireClient {
                     | ServerFrame::Snapshot { .. }
                     | ServerFrame::Trace { .. }
                     | ServerFrame::Sessions { .. }
-                    | ServerFrame::Metrics { .. },
+                    | ServerFrame::Metrics { .. }
+                    | ServerFrame::Seek { .. },
                 ) => {}
                 Err(other) => {
                     return Err(WireError::Protocol(format!(
@@ -1355,7 +1494,8 @@ impl WireClient {
                 | ServerFrame::Snapshot { .. }
                 | ServerFrame::Trace { .. }
                 | ServerFrame::Sessions { .. }
-                | ServerFrame::Metrics { .. } => {}
+                | ServerFrame::Metrics { .. }
+                | ServerFrame::Seek { .. } => {}
                 ServerFrame::Error { seq: Some(_), .. } => {}
                 ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
                 other => {
@@ -1406,7 +1546,8 @@ impl WireClient {
                 | ServerFrame::Snapshot { .. }
                 | ServerFrame::Trace { .. }
                 | ServerFrame::Sessions { .. }
-                | ServerFrame::Metrics { .. } => {}
+                | ServerFrame::Metrics { .. }
+                | ServerFrame::Seek { .. } => {}
                 ServerFrame::Error { seq: Some(_), .. } => {}
                 ServerFrame::Error { message, .. } => return Err(WireError::Remote(message)),
                 other => {

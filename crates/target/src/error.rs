@@ -30,6 +30,9 @@ pub enum SimError {
     BadConfig(String),
     /// The program image violates a platform invariant.
     BadImage(String),
+    /// A state snapshot does not fit the simulator it is being restored
+    /// into (shape mismatch or internal inconsistency).
+    BadState(String),
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +48,7 @@ impl fmt::Display for SimError {
             }
             SimError::BadConfig(m) => write!(f, "bad simulator configuration: {m}"),
             SimError::BadImage(m) => write!(f, "bad program image: {m}"),
+            SimError::BadState(m) => write!(f, "bad state snapshot: {m}"),
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::error::SimError;
 use crate::event::WatchEvent;
 use crate::sim::Simulator;
 use gmdf_comdes::{SignalType, SignalValue};
+use serde::{Deserialize, Serialize};
 
 /// TAP bits per 64-bit data scan: instruction-register preamble plus the
 /// data register and state-machine overhead.
@@ -143,4 +144,49 @@ impl JtagMonitor {
         sim.run_until(t_end_ns)?;
         Ok(hits)
     }
+
+    /// Captures the probe's dynamic state (scan-time account, pending
+    /// poll instant, last observed raw per watch in registration order) —
+    /// the watch list itself is configuration, re-created from the spec.
+    pub fn save_state(&self) -> JtagState {
+        JtagState {
+            scan_ns_total: self.scan_ns_total,
+            next_poll_ns: self.next_poll_ns,
+            last_raws: self.watches.iter().map(|w| w.last_raw).collect(),
+        }
+    }
+
+    /// Restores a state snapshot captured from a probe with the same
+    /// watch list (same watches, same registration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadState`] when the snapshot's watch count
+    /// does not match this probe's.
+    pub fn restore_state(&mut self, state: &JtagState) -> Result<(), SimError> {
+        if state.last_raws.len() != self.watches.len() {
+            return Err(SimError::BadState(format!(
+                "snapshot has {} watch(es), probe has {}",
+                state.last_raws.len(),
+                self.watches.len()
+            )));
+        }
+        self.scan_ns_total = state.scan_ns_total;
+        self.next_poll_ns = state.next_poll_ns;
+        for (w, &raw) in self.watches.iter_mut().zip(&state.last_raws) {
+            w.last_raw = raw;
+        }
+        Ok(())
+    }
+}
+
+/// Serializable dynamic state of a [`JtagMonitor`] — what a session
+/// checkpoint captures so passive-channel change detection resumes
+/// exactly where it left off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JtagState {
+    scan_ns_total: u64,
+    next_poll_ns: Option<u64>,
+    /// Last raw value per watch, in registration order.
+    last_raws: Vec<Option<u64>>,
 }

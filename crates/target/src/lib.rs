@@ -41,5 +41,5 @@ mod sim;
 pub use config::{DispatchMode, SimConfig};
 pub use error::SimError;
 pub use event::{SimEvent, WatchEvent};
-pub use jtag::JtagMonitor;
-pub use sim::{cycles_to_ns, Simulator};
+pub use jtag::{JtagMonitor, JtagState};
+pub use sim::{cycles_to_ns, SimState, Simulator};

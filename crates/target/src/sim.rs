@@ -51,6 +51,7 @@ use crate::event::SimEvent;
 use crate::memo::TaskMemo;
 use gmdf_codegen::{vm, Frame, ProgramImage, Symbol};
 use gmdf_comdes::SignalValue;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -92,7 +93,7 @@ fn jitter_ns(seed: u64, node: usize, task: usize, k: u64, max: u64) -> u64 {
 }
 
 /// One released, not yet completed activation.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Job {
     seq: u64,
     release_ns: u64,
@@ -106,7 +107,7 @@ struct Job {
 }
 
 /// Output values of a completed activation awaiting its deadline instant.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PendingPub {
     deadline_ns: u64,
     seq: u64,
@@ -157,7 +158,7 @@ impl Uart {
 /// per-window progress. Partial progress only materializes into
 /// `executed_cycles` at preemption instants, which are schedule events,
 /// not caller choices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct RunAnchor {
     ti: usize,
     seq: u64,
@@ -199,7 +200,7 @@ struct NodeNames {
 type PubRoute = Vec<(usize, u32)>;
 
 /// An in-flight labeled-signal broadcast.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Delivery {
     time_ns: u64,
     node_idx: usize,
@@ -1165,6 +1166,227 @@ impl Simulator {
             calendar.push_release(next_release_ns, ni, ti);
         }
         self.mark_dirty(ni);
+        Ok(())
+    }
+}
+
+/// Per-task slice of a [`SimState`]: the kernel counters plus every
+/// in-flight activation. The step-memo cache is *not* here — it is a
+/// bit-exact pure cache, rebuilt empty on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TaskState {
+    next_release_idx: u64,
+    next_release_ns: u64,
+    next_seq: u64,
+    jobs: Vec<Job>,
+    pending_pubs: Vec<PendingPub>,
+}
+
+/// Per-node slice of a [`SimState`]: data segment, task states, UART
+/// transmit state and the CPU anchor. Derived structures (the ready
+/// index and the completion projection) are rebuilt on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NodeState {
+    data: Vec<u64>,
+    tasks: Vec<TaskState>,
+    uart_busy_until_ns: u64,
+    uart_queue: Vec<(u64, u8)>,
+    cycles_executed: u64,
+    anchor: Option<RunAnchor>,
+}
+
+/// A complete serializable snapshot of a [`Simulator`]'s dynamic state.
+///
+/// Captures everything a bit-exact resume needs: the clock, every node's
+/// data segment, task/kernel counters, in-flight jobs and their pending
+/// emits, undrained UART bytes, CPU anchors, unapplied stimuli and
+/// in-flight network deliveries. Derived state — the event calendar, the
+/// ready index, completion projections and the step-memo cache — is
+/// deliberately absent and rebuilt by [`Simulator::restore_state`].
+///
+/// Two things are intentionally **not** state:
+///
+/// * the [`Simulator::events`] log — a grow-only observability log, never
+///   read back by the kernel; a restored simulator starts with an empty
+///   log and appends only post-restore events;
+/// * the memo-hit counters' future trajectory — the cache restarts cold,
+///   so a restored run may report more misses than the uninterrupted one
+///   while producing the identical event/UART stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimState {
+    now_ns: u64,
+    nodes: Vec<NodeState>,
+    stimuli: Vec<(u64, String, SignalValue)>,
+    stim_pos: u64,
+    deliveries: Vec<Delivery>,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl SimState {
+    /// Simulation time at which this snapshot was captured.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+}
+
+impl Simulator {
+    /// Captures the simulator's complete dynamic state (see [`SimState`]
+    /// for what is included). The snapshot is independent of the live
+    /// simulator: restoring it into a freshly booted twin and running on
+    /// is bit-identical to never having stopped.
+    pub fn save_state(&self) -> SimState {
+        SimState {
+            now_ns: self.now_ns,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeState {
+                    data: n.data.clone(),
+                    tasks: n
+                        .tasks
+                        .iter()
+                        .map(|t| TaskState {
+                            next_release_idx: t.next_release_idx,
+                            next_release_ns: t.next_release_ns,
+                            next_seq: t.next_seq,
+                            jobs: t.jobs.iter().cloned().collect(),
+                            pending_pubs: t.pending_pubs.iter().cloned().collect(),
+                        })
+                        .collect(),
+                    uart_busy_until_ns: n.uart.busy_until_ns,
+                    uart_queue: n.uart.queue.iter().copied().collect(),
+                    cycles_executed: n.cycles_executed,
+                    anchor: n.anchor,
+                })
+                .collect(),
+            stimuli: self.stimuli.clone(),
+            stim_pos: self.stim_pos as u64,
+            deliveries: self.deliveries.iter().cloned().collect(),
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+        }
+    }
+
+    /// Restores a [`SimState`] previously captured (from a simulator
+    /// booted off the **same image and configuration**) into this one,
+    /// rebuilding all derived structures: calendar entries for armed
+    /// releases and queued deadline publications, the per-node ready
+    /// index, job counts, and fresh (empty) step-memo caches. The event
+    /// log is cleared — see [`SimState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadState`] when the snapshot does not fit this
+    /// simulator's image (node/task/data-segment shape mismatch, or an
+    /// anchor pointing at a job that is not there).
+    pub fn restore_state(&mut self, state: &SimState) -> Result<(), SimError> {
+        if state.nodes.len() != self.nodes.len() {
+            return Err(SimError::BadState(format!(
+                "snapshot has {} node(s), image has {}",
+                state.nodes.len(),
+                self.nodes.len()
+            )));
+        }
+        if state.stim_pos as usize > state.stimuli.len() {
+            return Err(SimError::BadState(format!(
+                "stimulus cursor {} beyond {} stimuli",
+                state.stim_pos,
+                state.stimuli.len()
+            )));
+        }
+        for (ni, ns) in state.nodes.iter().enumerate() {
+            let node = &self.image.nodes[ni];
+            if ns.tasks.len() != node.tasks.len() {
+                return Err(SimError::BadState(format!(
+                    "snapshot node `{}` has {} task(s), image has {}",
+                    node.node,
+                    ns.tasks.len(),
+                    node.tasks.len()
+                )));
+            }
+            if ns.data.len() != self.nodes[ni].data.len() {
+                return Err(SimError::BadState(format!(
+                    "snapshot node `{}` has {} data cell(s), image has {}",
+                    node.node,
+                    ns.data.len(),
+                    self.nodes[ni].data.len()
+                )));
+            }
+            if let Some(a) = ns.anchor {
+                let anchored = ns
+                    .tasks
+                    .get(a.ti)
+                    .and_then(|t| t.jobs.first())
+                    .is_some_and(|j| j.seq == a.seq);
+                if !anchored {
+                    return Err(SimError::BadState(format!(
+                        "snapshot node `{}` anchors task {} job {} which is not released",
+                        node.node, a.ti, a.seq
+                    )));
+                }
+            }
+        }
+
+        let n = self.nodes.len();
+        self.now_ns = state.now_ns;
+        self.stimuli = state.stimuli.clone();
+        self.stim_pos = state.stim_pos as usize;
+        self.deliveries = state.deliveries.iter().cloned().collect();
+        self.memo_hits = state.memo_hits;
+        self.memo_misses = state.memo_misses;
+        self.events.clear();
+        self.calendar = Calendar::default();
+        self.epochs = vec![0; n];
+        self.dirty.clear();
+        self.dirty_flag = vec![false; n];
+        self.due = DueSet::default();
+
+        let Simulator {
+            image,
+            config,
+            nodes,
+            calendar,
+            job_counts,
+            ..
+        } = self;
+        for (ni, ns) in state.nodes.iter().enumerate() {
+            let nrt = &mut nodes[ni];
+            nrt.data.copy_from_slice(&ns.data);
+            nrt.uart.busy_until_ns = ns.uart_busy_until_ns;
+            nrt.uart.queue = ns.uart_queue.iter().copied().collect();
+            nrt.cycles_executed = ns.cycles_executed;
+            nrt.anchor = ns.anchor;
+            nrt.ready = crate::calendar::ReadyIndex::default();
+            nrt.last_proj = None;
+            let mut count: u32 = 0;
+            for (ti, ts) in ns.tasks.iter().enumerate() {
+                let task = &image.nodes[ni].tasks[ti];
+                let rt = &mut nrt.tasks[ti];
+                rt.next_release_idx = ts.next_release_idx;
+                rt.next_release_ns = ts.next_release_ns;
+                rt.next_seq = ts.next_seq;
+                rt.jobs = ts.jobs.iter().cloned().collect();
+                rt.pending_pubs = ts.pending_pubs.iter().cloned().collect();
+                rt.memo = TaskMemo::new(&task.code);
+                count += rt.jobs.len() as u32;
+                if config.dispatch == DispatchMode::Calendar {
+                    calendar.push_release(rt.next_release_ns, ni, ti);
+                    for p in &rt.pending_pubs {
+                        calendar.push_publish(p.deadline_ns, ni, ti);
+                    }
+                    if let Some(front) = rt.jobs.front() {
+                        nrt.ready.insert(task.priority, front.release_ns, ti);
+                    }
+                }
+            }
+            job_counts[ni] = count;
+        }
+        // Re-project every node's CPU completion into the calendar.
+        for ni in 0..n {
+            self.mark_dirty(ni);
+        }
+        self.flush_dirty();
         Ok(())
     }
 }
